@@ -1,0 +1,264 @@
+//! Anomaly detection (§V-E2, Example II).
+//!
+//! Two detectors, both pluggable into the cycle as [`Analyzer`]s:
+//!
+//! * [`IterationVarianceDetector`] — flags iterations whose throughput
+//!   deviates robustly (MAD z-score beyond a threshold) from the other
+//!   iterations of the same run, then corroborates the finding with the
+//!   supporting metrics the paper names (`closeTime`, `latency`,
+//!   `totalTime`, `wrRdTime`) so "measurement errors can be excluded".
+//! * [`crate::bounding_box::BoundingBoxDetector`] — the IO500-based
+//!   expectation box after Liem et al.
+
+use crate::describe::mad_scores;
+use iokc_core::model::{Knowledge, KnowledgeItem};
+use iokc_core::phases::{Analyzer, CycleError, Finding};
+
+/// Detects per-iteration throughput anomalies inside each knowledge
+/// object.
+#[derive(Debug, Clone)]
+pub struct IterationVarianceDetector {
+    /// Robust z-score threshold (default 3.5, the standard MAD cut-off).
+    pub threshold: f64,
+    /// Minimum iterations required for a verdict.
+    pub min_iterations: usize,
+    /// Practical-significance guard: the iteration must also deviate from
+    /// the peer mean by at least this fraction (default 20%). Without it,
+    /// a run whose healthy iterations are nearly identical would flag
+    /// harmless 1–2% wiggles (tiny MAD inflates the z-score).
+    pub min_relative_deviation: f64,
+}
+
+impl Default for IterationVarianceDetector {
+    fn default() -> IterationVarianceDetector {
+        IterationVarianceDetector {
+            threshold: 3.5,
+            min_iterations: 4,
+            min_relative_deviation: 0.2,
+        }
+    }
+}
+
+/// One anomalous iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationAnomaly {
+    /// Operation (`write` / `read`).
+    pub operation: String,
+    /// Iteration index.
+    pub iteration: u32,
+    /// The iteration's bandwidth, MiB/s.
+    pub bw_mib: f64,
+    /// Mean bandwidth of the non-anomalous iterations, MiB/s.
+    pub peer_mean_mib: f64,
+    /// Robust z-score.
+    pub score: f64,
+    /// Names of supporting metrics that corroborate (deviate in the same
+    /// direction).
+    pub corroborated_by: Vec<String>,
+}
+
+impl IterationVarianceDetector {
+    /// Scan one knowledge object.
+    #[must_use]
+    pub fn detect(&self, knowledge: &Knowledge) -> Vec<IterationAnomaly> {
+        let mut anomalies = Vec::new();
+        let operations: Vec<String> = knowledge
+            .summaries
+            .iter()
+            .map(|s| s.operation.clone())
+            .collect();
+        for operation in operations {
+            let rows: Vec<&iokc_core::model::IterationResult> = knowledge
+                .results
+                .iter()
+                .filter(|r| r.operation == operation)
+                .collect();
+            if rows.len() < self.min_iterations {
+                continue;
+            }
+            let bws: Vec<f64> = rows.iter().map(|r| r.bw_mib).collect();
+            let scores = mad_scores(&bws);
+            for (i, score) in scores.iter().enumerate() {
+                if score.abs() < self.threshold {
+                    continue;
+                }
+                let peers: Vec<f64> = bws
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, v)| *v)
+                    .collect();
+                let peer_mean = iokc_util::stats::mean(&peers);
+                if peer_mean > 0.0
+                    && (bws[i] - peer_mean).abs() / peer_mean < self.min_relative_deviation
+                {
+                    continue;
+                }
+                // Corroboration: a genuinely slow iteration must also look
+                // slow in its time-domain metrics, not just the bandwidth
+                // column (which would suggest a measurement error).
+                let mut corroborated_by = Vec::new();
+                let slow = *score < 0.0;
+                for (name, select) in [
+                    ("totalTime", &(|r: &iokc_core::model::IterationResult| r.total_s)
+                        as &dyn Fn(&iokc_core::model::IterationResult) -> f64),
+                    ("wrRdTime", &|r| r.wrrd_s),
+                    ("latency", &|r| r.latency_s),
+                    ("closeTime", &|r| r.close_s),
+                    ("ops", &|r| r.ops_per_sec),
+                ] {
+                    let series: Vec<f64> = rows.iter().map(|r| select(r)).collect();
+                    let metric_scores = mad_scores(&series);
+                    let deviates = match name {
+                        // Slow iteration ⇒ times up, rates down.
+                        "ops" => (metric_scores[i] < -2.0) == slow && metric_scores[i].abs() > 2.0,
+                        _ => (metric_scores[i] > 2.0) == slow && metric_scores[i].abs() > 2.0,
+                    };
+                    if deviates {
+                        corroborated_by.push(name.to_owned());
+                    }
+                }
+                anomalies.push(IterationAnomaly {
+                    operation: operation.clone(),
+                    iteration: rows[i].iteration,
+                    bw_mib: bws[i],
+                    peer_mean_mib: iokc_util::stats::mean(&peers),
+                    score: *score,
+                    corroborated_by,
+                });
+            }
+        }
+        anomalies
+    }
+}
+
+impl Analyzer for IterationVarianceDetector {
+    fn name(&self) -> &str {
+        "iteration-variance-detector"
+    }
+
+    fn analyze(&self, items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError> {
+        let mut findings = Vec::new();
+        for item in items {
+            let KnowledgeItem::Benchmark(knowledge) = item else {
+                continue;
+            };
+            for anomaly in self.detect(knowledge) {
+                findings.push(Finding {
+                    tag: "anomaly".to_owned(),
+                    knowledge_id: knowledge.id,
+                    message: format!(
+                        "{} iteration {} at {:.0} MiB/s vs peer mean {:.0} MiB/s \
+                         (robust z = {:.1}; corroborated by {})",
+                        anomaly.operation,
+                        anomaly.iteration,
+                        anomaly.bw_mib,
+                        anomaly.peer_mean_mib,
+                        anomaly.score,
+                        if anomaly.corroborated_by.is_empty() {
+                            "nothing — possible measurement error".to_owned()
+                        } else {
+                            anomaly.corroborated_by.join(", ")
+                        }
+                    ),
+                    values: vec![anomaly.bw_mib, anomaly.peer_mean_mib, anomaly.score],
+                });
+            }
+        }
+        Ok(findings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_core::model::{IterationResult, KnowledgeSource, OperationSummary};
+
+    fn knowledge_with_series(bws: &[f64]) -> Knowledge {
+        let mut k = Knowledge::new(KnowledgeSource::Ior, "ior -i 6");
+        k.id = Some(9);
+        k.summaries.push(OperationSummary {
+            operation: "write".into(),
+            api: "MPIIO".into(),
+            max_mib: iokc_util::stats::max(bws),
+            min_mib: iokc_util::stats::min(bws),
+            mean_mib: iokc_util::stats::mean(bws),
+            stddev_mib: iokc_util::stats::stddev(bws),
+            mean_ops: 0.0,
+            iterations: bws.len() as u32,
+        });
+        for (i, bw) in bws.iter().enumerate() {
+            // A slow iteration takes proportionally longer.
+            let scale = iokc_util::stats::mean(bws) / bw.max(1.0);
+            k.results.push(IterationResult {
+                operation: "write".into(),
+                iteration: i as u32,
+                bw_mib: *bw,
+                ops: 6400,
+                ops_per_sec: bw / 2.0,
+                latency_s: 0.0007 * scale,
+                open_s: 0.002,
+                wrrd_s: 4.4 * scale,
+                close_s: 0.001 * scale,
+                total_s: 4.5 * scale,
+            });
+        }
+        k
+    }
+
+    #[test]
+    fn detects_fig5_iteration_two() {
+        let k = knowledge_with_series(&[2850.0, 1251.0, 2840.0, 2860.0, 2855.0, 2845.0]);
+        let anomalies = IterationVarianceDetector::default().detect(&k);
+        assert_eq!(anomalies.len(), 1);
+        let a = &anomalies[0];
+        assert_eq!(a.iteration, 1);
+        assert_eq!(a.bw_mib, 1251.0);
+        assert!((a.peer_mean_mib - 2850.0).abs() < 1.0);
+        assert!(a.score < -3.5);
+        assert!(
+            a.corroborated_by.contains(&"totalTime".to_owned()),
+            "supporting metrics: {:?}",
+            a.corroborated_by
+        );
+        assert!(a.corroborated_by.contains(&"wrRdTime".to_owned()));
+    }
+
+    #[test]
+    fn clean_series_yields_nothing() {
+        let k = knowledge_with_series(&[2850.0, 2840.0, 2860.0, 2855.0, 2845.0, 2852.0]);
+        assert!(IterationVarianceDetector::default().detect(&k).is_empty());
+    }
+
+    #[test]
+    fn too_few_iterations_skipped() {
+        let k = knowledge_with_series(&[2850.0, 1251.0]);
+        assert!(IterationVarianceDetector::default().detect(&k).is_empty());
+    }
+
+    #[test]
+    fn analyzer_trait_produces_findings() {
+        let k = knowledge_with_series(&[2850.0, 1251.0, 2840.0, 2860.0, 2855.0, 2845.0]);
+        let findings = IterationVarianceDetector::default()
+            .analyze(&[KnowledgeItem::Benchmark(k)])
+            .unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].tag, "anomaly");
+        assert_eq!(findings[0].knowledge_id, Some(9));
+        assert!(findings[0].message.contains("iteration 1"));
+        assert!(findings[0].message.contains("corroborated by"));
+    }
+
+    #[test]
+    fn measurement_error_is_called_out() {
+        // Bandwidth dips but every time-domain metric stays flat — the
+        // corroboration list must be empty and the message must say so.
+        let mut k = knowledge_with_series(&[2850.0, 2840.0, 2860.0, 2855.0, 2845.0, 2852.0]);
+        k.results[1].bw_mib = 1251.0; // inconsistent with its times
+        let findings = IterationVarianceDetector::default()
+            .analyze(&[KnowledgeItem::Benchmark(k)])
+            .unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("possible measurement error"));
+    }
+}

@@ -1,0 +1,467 @@
+//! Chart rendering: SVG for exportable figures, ASCII for terminals.
+//!
+//! §V-D: "the tool provides the ability to visualize results as an
+//! interactive graph and export it as an image file." The web front end
+//! is substituted by static SVG output (same information content) plus
+//! terminal bars for quick looks.
+
+use crate::describe::Describe;
+
+/// A named series of (x, y) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart-wide options.
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+}
+
+impl Default for ChartOptions {
+    fn default() -> ChartOptions {
+        ChartOptions {
+            title: String::new(),
+            x_label: String::new(),
+            y_label: String::new(),
+            width: 800,
+            height: 480,
+        }
+    }
+}
+
+const MARGIN: f64 = 60.0;
+const PALETTE: [&str; 6] = ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b"];
+
+fn bounds(series: &[Series]) -> (f64, f64, f64, f64) {
+    let mut xmin = f64::INFINITY;
+    let mut xmax = f64::NEG_INFINITY;
+    let mut ymin = 0.0f64;
+    let mut ymax = f64::NEG_INFINITY;
+    for s in series {
+        for (x, y) in &s.points {
+            xmin = xmin.min(*x);
+            xmax = xmax.max(*x);
+            ymin = ymin.min(*y);
+            ymax = ymax.max(*y);
+        }
+    }
+    if !xmin.is_finite() {
+        (xmin, xmax) = (0.0, 1.0);
+    }
+    if !ymax.is_finite() {
+        ymax = 1.0;
+    }
+    if (xmax - xmin).abs() < f64::EPSILON {
+        xmax = xmin + 1.0;
+    }
+    if (ymax - ymin).abs() < f64::EPSILON {
+        ymax = ymin + 1.0;
+    }
+    (xmin, xmax, ymin, ymax)
+}
+
+/// Render a line chart (one polyline per series, with point markers and a
+/// legend) as a standalone SVG document.
+#[must_use]
+pub fn line_chart(series: &[Series], opts: &ChartOptions) -> String {
+    let (xmin, xmax, ymin, ymax) = bounds(series);
+    let w = f64::from(opts.width);
+    let h = f64::from(opts.height);
+    let plot_w = w - 2.0 * MARGIN;
+    let plot_h = h - 2.0 * MARGIN;
+    let sx = |x: f64| MARGIN + (x - xmin) / (xmax - xmin) * plot_w;
+    let sy = |y: f64| h - MARGIN - (y - ymin) / (ymax - ymin) * plot_h;
+
+    let mut svg = svg_header(opts, xmin, xmax, ymin, ymax);
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|(x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y)))
+            .collect();
+        svg.push_str(&format!(
+            "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" points=\"{}\"/>\n",
+            path.join(" ")
+        ));
+        for (x, y) in &s.points {
+            svg.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>\n",
+                sx(*x),
+                sy(*y)
+            ));
+        }
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{color}\" font-size=\"12\">{}</text>\n",
+            w - MARGIN - 150.0,
+            MARGIN + 16.0 * (i as f64 + 1.0),
+            escape(&s.label)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Render grouped bars (e.g. write/read bandwidth per iteration — the
+/// Fig. 5 layout) as SVG. `categories` label the x positions; each series
+/// contributes one bar per category.
+#[must_use]
+pub fn bar_chart(categories: &[String], series: &[Series], opts: &ChartOptions) -> String {
+    let ymax = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(_, y)| *y))
+        .fold(1.0f64, f64::max);
+    let w = f64::from(opts.width);
+    let h = f64::from(opts.height);
+    let plot_w = w - 2.0 * MARGIN;
+    let plot_h = h - 2.0 * MARGIN;
+    let ncat = categories.len().max(1) as f64;
+    let group_w = plot_w / ncat;
+    let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
+
+    let mut svg = svg_header(opts, 0.0, ncat, 0.0, ymax);
+    for (si, s) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        for (ci, (_, y)) in s.points.iter().enumerate() {
+            let x = MARGIN + ci as f64 * group_w + group_w * 0.1 + si as f64 * bar_w;
+            let bar_h = (y / ymax) * plot_h;
+            svg.push_str(&format!(
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{color}\"/>\n",
+                x,
+                h - MARGIN - bar_h,
+                bar_w,
+                bar_h
+            ));
+        }
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{color}\" font-size=\"12\">{}</text>\n",
+            w - MARGIN - 150.0,
+            MARGIN + 16.0 * (si as f64 + 1.0),
+            escape(&s.label)
+        ));
+    }
+    for (ci, category) in categories.iter().enumerate() {
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" text-anchor=\"middle\">{}</text>\n",
+            MARGIN + (ci as f64 + 0.5) * group_w,
+            h - MARGIN + 16.0,
+            escape(category)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Render box plots (one per labelled [`Describe`]) as SVG — the §V-D
+/// overview chart.
+#[must_use]
+pub fn box_plot(boxes: &[(String, Describe)], opts: &ChartOptions) -> String {
+    let ymax = boxes.iter().map(|(_, d)| d.max).fold(1.0f64, f64::max);
+    let w = f64::from(opts.width);
+    let h = f64::from(opts.height);
+    let plot_w = w - 2.0 * MARGIN;
+    let plot_h = h - 2.0 * MARGIN;
+    let n = boxes.len().max(1) as f64;
+    let slot = plot_w / n;
+    let sy = |y: f64| h - MARGIN - (y / ymax) * plot_h;
+
+    let mut svg = svg_header(opts, 0.0, n, 0.0, ymax);
+    for (i, (label, d)) in boxes.iter().enumerate() {
+        let cx = MARGIN + (i as f64 + 0.5) * slot;
+        let half = slot * 0.25;
+        // Whiskers.
+        svg.push_str(&format!(
+            "<line x1=\"{cx:.1}\" y1=\"{:.1}\" x2=\"{cx:.1}\" y2=\"{:.1}\" stroke=\"#333\"/>\n",
+            sy(d.min),
+            sy(d.max)
+        ));
+        // Box q1..q3.
+        svg.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"#9ecae1\" stroke=\"#333\"/>\n",
+            cx - half,
+            sy(d.q3),
+            2.0 * half,
+            (sy(d.q1) - sy(d.q3)).max(1.0)
+        ));
+        // Median.
+        svg.push_str(&format!(
+            "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#d62728\" stroke-width=\"2\"/>\n",
+            cx - half,
+            sy(d.median),
+            cx + half,
+            sy(d.median)
+        ));
+        // Mean marker.
+        svg.push_str(&format!(
+            "<circle cx=\"{cx:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"#2ca02c\"/>\n",
+            sy(d.mean)
+        ));
+        svg.push_str(&format!(
+            "<text x=\"{cx:.1}\" y=\"{:.1}\" font-size=\"11\" text-anchor=\"middle\">{}</text>\n",
+            h - MARGIN + 16.0,
+            escape(label)
+        ));
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn svg_header(opts: &ChartOptions, xmin: f64, xmax: f64, ymin: f64, ymax: f64) -> String {
+    let w = f64::from(opts.width);
+    let h = f64::from(opts.height);
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n",
+        opts.width, opts.height, opts.width, opts.height
+    );
+    svg.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"24\" font-size=\"16\" text-anchor=\"middle\">{}</text>\n",
+        w / 2.0,
+        escape(&opts.title)
+    ));
+    // Axes.
+    svg.push_str(&format!(
+        "<line x1=\"{MARGIN}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#333\"/>\n",
+        h - MARGIN,
+        w - MARGIN,
+        h - MARGIN
+    ));
+    svg.push_str(&format!(
+        "<line x1=\"{MARGIN}\" y1=\"{MARGIN}\" x2=\"{MARGIN}\" y2=\"{:.1}\" stroke=\"#333\"/>\n",
+        h - MARGIN
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\">{}</text>\n",
+        w / 2.0,
+        h - 12.0,
+        escape(&opts.x_label)
+    ));
+    svg.push_str(&format!(
+        "<text x=\"16\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\" transform=\"rotate(-90 16 {:.1})\">{}</text>\n",
+        h / 2.0,
+        h / 2.0,
+        escape(&opts.y_label)
+    ));
+    // Min/max tick labels.
+    svg.push_str(&format!(
+        "<text x=\"{MARGIN}\" y=\"{:.1}\" font-size=\"10\">{xmin:.6}</text>\n",
+        h - MARGIN + 28.0
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">{xmax:.6}</text>\n",
+        w - MARGIN,
+        h - MARGIN + 28.0
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{MARGIN}\" font-size=\"10\" text-anchor=\"end\">{ymax:.6}</text>\n",
+        MARGIN - 6.0
+    ));
+    svg.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">{ymin:.6}</text>\n",
+        MARGIN - 6.0,
+        h - MARGIN
+    ));
+    svg
+}
+
+/// Render a heat map (rows × columns matrix) as SVG — the chart type the
+/// paper's outlook (§VI) asks for. Cell color scales linearly from white
+/// to a dark blue at the matrix maximum.
+#[must_use]
+pub fn heat_map(matrix: &[Vec<f64>], row_labels: &[String], opts: &ChartOptions) -> String {
+    let rows = matrix.len().max(1);
+    let cols = matrix.first().map(Vec::len).unwrap_or(0).max(1);
+    let max = matrix
+        .iter()
+        .flatten()
+        .copied()
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let w = f64::from(opts.width);
+    let h = f64::from(opts.height);
+    let plot_w = w - 2.0 * MARGIN;
+    let plot_h = h - 2.0 * MARGIN;
+    let cell_w = plot_w / cols as f64;
+    let cell_h = plot_h / rows as f64;
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\">\n         <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n         <text x=\"{:.0}\" y=\"24\" font-size=\"16\" text-anchor=\"middle\">{}</text>\n",
+        opts.width,
+        opts.height,
+        w / 2.0,
+        escape(&opts.title)
+    );
+    for (r, row) in matrix.iter().enumerate() {
+        let y = MARGIN + r as f64 * cell_h;
+        if let Some(label) = row_labels.get(r) {
+            svg.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">{}</text>\n",
+                MARGIN - 6.0,
+                y + cell_h * 0.7,
+                escape(label)
+            ));
+        }
+        for (c, value) in row.iter().enumerate() {
+            let intensity = (value / max).clamp(0.0, 1.0);
+            // white (255,255,255) → dark blue (8,48,107).
+            let red = (255.0 - intensity * 247.0) as u8;
+            let green = (255.0 - intensity * 207.0) as u8;
+            let blue = (255.0 - intensity * 148.0) as u8;
+            svg.push_str(&format!(
+                "<rect x=\"{:.1}\" y=\"{y:.1}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"rgb({red},{green},{blue})\"/>\n",
+                MARGIN + c as f64 * cell_w,
+                cell_w.max(0.5),
+                cell_h.max(0.5)
+            ));
+        }
+    }
+    svg.push_str(&format!(
+        "<text x=\"{:.0}\" y=\"{:.0}\" font-size=\"12\" text-anchor=\"middle\">{}</text>\n",
+        w / 2.0,
+        h - 12.0,
+        escape(&opts.x_label)
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// ASCII horizontal bars for terminal views: one row per (label, value).
+#[must_use]
+pub fn ascii_bars(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bar_len = ((value / max) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} | {}{} {value:.2}\n",
+            "#".repeat(bar_len),
+            " ".repeat(width.saturating_sub(bar_len))
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<Series> {
+        vec![
+            Series {
+                label: "write".into(),
+                points: vec![(0.0, 2850.0), (1.0, 1251.0), (2.0, 2840.0)],
+            },
+            Series {
+                label: "read".into(),
+                points: vec![(0.0, 3109.0), (1.0, 3095.0), (2.0, 3100.0)],
+            },
+        ]
+    }
+
+    #[test]
+    fn line_chart_is_valid_svg() {
+        let svg = line_chart(
+            &series(),
+            &ChartOptions {
+                title: "Fig 5".into(),
+                x_label: "iteration".into(),
+                y_label: "MiB/s".into(),
+                ..ChartOptions::default()
+            },
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert!(svg.contains("Fig 5"));
+        assert!(svg.contains("iteration"));
+    }
+
+    #[test]
+    fn bar_chart_draws_all_bars() {
+        let categories: Vec<String> = (0..3).map(|i| format!("iter {i}")).collect();
+        let svg = bar_chart(&categories, &series(), &ChartOptions::default());
+        assert_eq!(svg.matches("<rect").count(), 1 + 6, "background + 6 bars");
+        assert!(svg.contains("iter 2"));
+    }
+
+    #[test]
+    fn box_plot_draws_boxes() {
+        let boxes = vec![
+            ("run A".to_owned(), Describe::of(&[1.0, 2.0, 3.0, 4.0])),
+            ("run B".to_owned(), Describe::of(&[2.0, 2.5, 3.5, 5.0])),
+        ];
+        let svg = box_plot(&boxes, &ChartOptions::default());
+        assert!(svg.contains("run A"));
+        // 1 background + 2 boxes.
+        assert_eq!(svg.matches("<rect").count(), 3);
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let svg = line_chart(&[], &ChartOptions::default());
+        assert!(svg.contains("</svg>"));
+        let svg = bar_chart(&[], &[], &ChartOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let svg = line_chart(
+            &[Series { label: "a<b&c".into(), points: vec![(0.0, 1.0)] }],
+            &ChartOptions::default(),
+        );
+        assert!(svg.contains("a&lt;b&amp;c"));
+    }
+
+    #[test]
+    fn heat_map_renders_cells() {
+        let matrix = vec![vec![0.0, 1.0, 2.0], vec![2.0, 1.0, 0.0]];
+        let labels = vec!["rank 0".to_owned(), "rank 1".to_owned()];
+        let svg = heat_map(
+            &matrix,
+            &labels,
+            &ChartOptions { title: "hm".into(), ..ChartOptions::default() },
+        );
+        // 1 background + 6 cells.
+        assert_eq!(svg.matches("<rect").count(), 7);
+        assert!(svg.contains("rank 1"));
+        // Max cell is the darkest (smallest rgb components).
+        assert!(svg.contains("rgb(8,48,107)"));
+        // Zero cells are white.
+        assert!(svg.contains("rgb(255,255,255)"));
+    }
+
+    #[test]
+    fn heat_map_handles_empty() {
+        let svg = heat_map(&[], &[], &ChartOptions::default());
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn ascii_bars_scale() {
+        let rows = vec![("write".to_owned(), 100.0), ("read".to_owned(), 50.0)];
+        let text = ascii_bars(&rows, 20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains(&"#".repeat(20)));
+        assert!(lines[1].contains(&"#".repeat(10)));
+        assert!(!lines[1].contains(&"#".repeat(11)));
+    }
+}

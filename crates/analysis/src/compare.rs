@@ -1,0 +1,294 @@
+//! The comparison view (§V-D).
+//!
+//! "Our tool offers the ability to select any number of knowledge objects
+//! and compares them based on defined metrics. … the user can select the
+//! axes of the chart at runtime" — the x-axis is an applied option
+//! ([`OptionAxis`]), the y-axis a focused metric ([`MetricAxis`]). The
+//! overview is a box-plot summary per knowledge object; filtering and
+//! sorting narrow the selection.
+
+use crate::describe::Describe;
+use iokc_core::model::Knowledge;
+
+/// Selectable x-axes: the option whose effect is being studied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptionAxis {
+    /// Transfer size in bytes.
+    TransferSize,
+    /// Block size in bytes.
+    BlockSize,
+    /// Task count.
+    Tasks,
+    /// Segment count.
+    Segments,
+    /// Clients per node.
+    ClientsPerNode,
+}
+
+impl OptionAxis {
+    /// Axis label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OptionAxis::TransferSize => "transfer size (bytes)",
+            OptionAxis::BlockSize => "block size (bytes)",
+            OptionAxis::Tasks => "tasks",
+            OptionAxis::Segments => "segments",
+            OptionAxis::ClientsPerNode => "clients per node",
+        }
+    }
+
+    /// Extract the option value from a knowledge object.
+    #[must_use]
+    pub fn value(self, k: &Knowledge) -> f64 {
+        match self {
+            OptionAxis::TransferSize => k.pattern.transfer_size as f64,
+            OptionAxis::BlockSize => k.pattern.block_size as f64,
+            OptionAxis::Tasks => f64::from(k.pattern.tasks),
+            OptionAxis::Segments => k.pattern.segments as f64,
+            OptionAxis::ClientsPerNode => f64::from(k.pattern.clients_per_node),
+        }
+    }
+}
+
+/// Selectable y-axes: the focused metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricAxis {
+    /// Mean bandwidth of an operation, MiB/s.
+    MeanBandwidth(String),
+    /// Max bandwidth of an operation, MiB/s.
+    MaxBandwidth(String),
+    /// Mean op rate of an operation, ops/s.
+    MeanOps(String),
+}
+
+impl MetricAxis {
+    /// Axis label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            MetricAxis::MeanBandwidth(op) => format!("mean {op} bandwidth (MiB/s)"),
+            MetricAxis::MaxBandwidth(op) => format!("max {op} bandwidth (MiB/s)"),
+            MetricAxis::MeanOps(op) => format!("mean {op} ops/s"),
+        }
+    }
+
+    /// Extract the metric from a knowledge object (absent operation →
+    /// `None`).
+    #[must_use]
+    pub fn value(&self, k: &Knowledge) -> Option<f64> {
+        match self {
+            MetricAxis::MeanBandwidth(op) => k.summary(op).map(|s| s.mean_mib),
+            MetricAxis::MaxBandwidth(op) => k.summary(op).map(|s| s.max_mib),
+            MetricAxis::MeanOps(op) => k.summary(op).map(|s| s.mean_ops),
+        }
+    }
+}
+
+/// Filters over knowledge objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KnowledgeFilter {
+    /// Command contains a substring.
+    CommandContains(String),
+    /// Exact API match.
+    Api(String),
+    /// Task count in an inclusive range.
+    TasksBetween(u32, u32),
+    /// Has a summary for this operation.
+    HasOperation(String),
+}
+
+impl KnowledgeFilter {
+    /// Apply the filter.
+    #[must_use]
+    pub fn matches(&self, k: &Knowledge) -> bool {
+        match self {
+            KnowledgeFilter::CommandContains(text) => k.command.contains(text.as_str()),
+            KnowledgeFilter::Api(api) => k.pattern.api == *api,
+            KnowledgeFilter::TasksBetween(lo, hi) => {
+                (*lo..=*hi).contains(&k.pattern.tasks)
+            }
+            KnowledgeFilter::HasOperation(op) => k.summary(op).is_some(),
+        }
+    }
+}
+
+/// One comparison point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonPoint {
+    /// Knowledge id (if persisted).
+    pub knowledge_id: Option<u64>,
+    /// Command (series label).
+    pub command: String,
+    /// x value (selected option).
+    pub x: f64,
+    /// y value (selected metric).
+    pub y: f64,
+}
+
+/// Build the comparison series: filter, extract both axes, sort by x.
+#[must_use]
+pub fn compare(
+    items: &[&Knowledge],
+    filters: &[KnowledgeFilter],
+    x: OptionAxis,
+    y: &MetricAxis,
+) -> Vec<ComparisonPoint> {
+    let mut points: Vec<ComparisonPoint> = items
+        .iter()
+        .filter(|k| filters.iter().all(|f| f.matches(k)))
+        .filter_map(|k| {
+            y.value(k).map(|yv| ComparisonPoint {
+                knowledge_id: k.id,
+                command: k.command.clone(),
+                x: x.value(k),
+                y: yv,
+            })
+        })
+        .collect();
+    points.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+    points
+}
+
+/// Box-plot overview per knowledge object: the per-iteration throughput
+/// distribution of one operation (§V-D's automatic overview chart).
+#[must_use]
+pub fn overview(items: &[&Knowledge], operation: &str) -> Vec<(String, Describe)> {
+    items
+        .iter()
+        .filter_map(|k| {
+            let series: Vec<f64> = k
+                .results
+                .iter()
+                .filter(|r| r.operation == operation)
+                .map(|r| r.bw_mib)
+                .collect();
+            if series.is_empty() {
+                None
+            } else {
+                Some((k.command.clone(), Describe::of(&series)))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_core::model::{IterationResult, KnowledgeSource, OperationSummary};
+
+    fn knowledge(command: &str, api: &str, tasks: u32, xfer: u64, mean_bw: f64) -> Knowledge {
+        let mut k = Knowledge::new(KnowledgeSource::Ior, command);
+        k.pattern.api = api.into();
+        k.pattern.tasks = tasks;
+        k.pattern.transfer_size = xfer;
+        k.summaries.push(OperationSummary {
+            operation: "write".into(),
+            api: api.into(),
+            max_mib: mean_bw * 1.1,
+            min_mib: mean_bw * 0.9,
+            mean_mib: mean_bw,
+            stddev_mib: mean_bw * 0.05,
+            mean_ops: mean_bw / 2.0,
+            iterations: 3,
+        });
+        for i in 0..3 {
+            k.results.push(IterationResult {
+                operation: "write".into(),
+                iteration: i,
+                bw_mib: mean_bw + f64::from(i) * 10.0,
+                ops: 100,
+                ops_per_sec: 50.0,
+                latency_s: 0.001,
+                open_s: 0.001,
+                wrrd_s: 1.0,
+                close_s: 0.001,
+                total_s: 1.0,
+            });
+        }
+        k
+    }
+
+    #[test]
+    fn compare_sorts_by_x() {
+        let a = knowledge("ior -t 2m", "MPIIO", 80, 2 << 20, 2800.0);
+        let b = knowledge("ior -t 512k", "MPIIO", 80, 512 << 10, 1900.0);
+        let c = knowledge("ior -t 1m", "MPIIO", 80, 1 << 20, 2400.0);
+        let points = compare(
+            &[&a, &b, &c],
+            &[],
+            OptionAxis::TransferSize,
+            &MetricAxis::MeanBandwidth("write".into()),
+        );
+        let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![(512 << 10) as f64, (1 << 20) as f64, (2 << 20) as f64]);
+        assert_eq!(points[0].y, 1900.0);
+    }
+
+    #[test]
+    fn filters_narrow_selection() {
+        let a = knowledge("ior -a mpiio", "MPIIO", 80, 1 << 20, 2800.0);
+        let b = knowledge("ior -a posix", "POSIX", 40, 1 << 20, 2000.0);
+        let points = compare(
+            &[&a, &b],
+            &[KnowledgeFilter::Api("MPIIO".into())],
+            OptionAxis::Tasks,
+            &MetricAxis::MeanBandwidth("write".into()),
+        );
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].command, "ior -a mpiio");
+
+        let points = compare(
+            &[&a, &b],
+            &[KnowledgeFilter::TasksBetween(30, 50)],
+            OptionAxis::Tasks,
+            &MetricAxis::MeanBandwidth("write".into()),
+        );
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].x, 40.0);
+
+        let points = compare(
+            &[&a, &b],
+            &[KnowledgeFilter::CommandContains("posix".into())],
+            OptionAxis::Tasks,
+            &MetricAxis::MaxBandwidth("write".into()),
+        );
+        assert_eq!(points.len(), 1);
+        assert!((points[0].y - 2200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_operation_is_dropped() {
+        let a = knowledge("ior", "MPIIO", 80, 1 << 20, 2800.0);
+        let points = compare(
+            &[&a],
+            &[],
+            OptionAxis::Tasks,
+            &MetricAxis::MeanBandwidth("read".into()),
+        );
+        assert!(points.is_empty());
+        assert!(!KnowledgeFilter::HasOperation("read".into()).matches(&a));
+        assert!(KnowledgeFilter::HasOperation("write".into()).matches(&a));
+    }
+
+    #[test]
+    fn overview_builds_boxplots() {
+        let a = knowledge("ior A", "MPIIO", 80, 1 << 20, 2800.0);
+        let b = knowledge("ior B", "MPIIO", 80, 1 << 20, 1000.0);
+        let boxes = overview(&[&a, &b], "write");
+        assert_eq!(boxes.len(), 2);
+        assert_eq!(boxes[0].0, "ior A");
+        assert_eq!(boxes[0].1.n, 3);
+        assert!((boxes[0].1.mean - 2810.0).abs() < 1e-9);
+        assert!(overview(&[&a], "read").is_empty());
+    }
+
+    #[test]
+    fn axis_labels() {
+        assert_eq!(OptionAxis::TransferSize.label(), "transfer size (bytes)");
+        assert_eq!(
+            MetricAxis::MeanOps("stat".into()).label(),
+            "mean stat ops/s"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Descriptive statistics and box-plot summaries.
+//!
+//! The knowledge explorer's overview chart shows each knowledge object
+//! "on the basis of their throughput with corresponding min, max, mean as
+//! a boxplot" (§V-D); this module computes those summaries.
+
+use iokc_util::stats;
+
+/// Five-number summary plus mean/stddev of a metric series.
+///
+/// ```
+/// use iokc_analysis::Describe;
+///
+/// let d = Describe::of(&[2850.0, 1251.0, 2840.0, 2860.0, 2855.0, 2845.0]);
+/// let (lower_fence, _) = d.fences(1.5);
+/// assert!(1251.0 < lower_fence, "the anomalous iteration is an outlier");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Describe {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Describe {
+    /// Describe a series. An empty series yields all-zero statistics.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Describe {
+        Describe {
+            n: values.len(),
+            mean: stats::mean(values),
+            stddev: stats::stddev(values),
+            min: stats::min(values),
+            q1: stats::percentile(values, 0.25),
+            median: stats::median(values),
+            q3: stats::percentile(values, 0.75),
+            max: stats::max(values),
+        }
+    }
+
+    /// Interquartile range.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Tukey fences at `k` IQRs (the classic outlier rule).
+    #[must_use]
+    pub fn fences(&self, k: f64) -> (f64, f64) {
+        (self.q1 - k * self.iqr(), self.q3 + k * self.iqr())
+    }
+
+    /// Coefficient of variation (stddev / mean); zero when mean is zero.
+    #[must_use]
+    pub fn cv(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+/// Robust z-scores via the median absolute deviation. Returns one score
+/// per sample (0 when MAD is zero).
+#[must_use]
+pub fn mad_scores(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let med = stats::median(values);
+    let deviations: Vec<f64> = values.iter().map(|v| (v - med).abs()).collect();
+    let mad = stats::median(&deviations);
+    if mad <= f64::EPSILON {
+        return vec![0.0; values.len()];
+    }
+    // 1.4826 ≈ normal-consistency constant.
+    values.iter().map(|v| (v - med) / (1.4826 * mad)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_matches_hand_values() {
+        let d = Describe::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(d.n, 8);
+        assert!((d.mean - 5.0).abs() < 1e-12);
+        assert!((d.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(d.min, 2.0);
+        assert_eq!(d.max, 9.0);
+        assert!((d.median - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let d = Describe::of(&[]);
+        assert_eq!(d.n, 0);
+        assert_eq!(d.mean, 0.0);
+        assert_eq!(d.cv(), 0.0);
+    }
+
+    #[test]
+    fn fences_catch_fig5_anomaly() {
+        // Five normal iterations around 2850 and the anomalous 1251.
+        let series = [2850.0, 1251.0, 2840.0, 2860.0, 2855.0, 2845.0];
+        let d = Describe::of(&series);
+        let (lo, _hi) = d.fences(1.5);
+        assert!(1251.0 < lo, "anomaly must fall below the lower fence");
+        assert!(2840.0 > lo);
+    }
+
+    #[test]
+    fn mad_scores_flag_outlier() {
+        let series = [2850.0, 1251.0, 2840.0, 2860.0, 2855.0, 2845.0];
+        let scores = mad_scores(&series);
+        assert!(scores[1] < -3.5, "anomaly score {}", scores[1]);
+        for (i, s) in scores.iter().enumerate() {
+            if i != 1 {
+                assert!(s.abs() < 3.5, "iteration {i} wrongly flagged: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn mad_zero_when_constant() {
+        assert_eq!(mad_scores(&[5.0, 5.0, 5.0]), vec![0.0, 0.0, 0.0]);
+        assert!(mad_scores(&[]).is_empty());
+    }
+}

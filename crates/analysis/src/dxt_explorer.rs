@@ -1,0 +1,335 @@
+//! A DXT-Explorer equivalent: interactive log analysis over Darshan
+//! extended traces.
+//!
+//! §II-A2 of the paper discusses DXT Explorer — "an interactive log
+//! analysis tool, which uses Darshan's extended tracing module" to
+//! visualize I/O behaviour and spot bottlenecks — and the §VI outlook
+//! asks for heat-map support in the knowledge explorer. This module
+//! provides both: per-rank timelines, time×rank transfer heat maps, rank
+//! straggler detection, and an access-size breakdown, all computed from
+//! [`iokc_darshan::DxtSegment`]s.
+
+use crate::charts::ChartOptions;
+use iokc_darshan::{DarshanLog, DxtSegment};
+use iokc_util::stats;
+
+/// Per-rank activity summary derived from DXT segments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankActivity {
+    /// Rank id.
+    pub rank: i32,
+    /// Number of read segments.
+    pub reads: u64,
+    /// Number of write segments.
+    pub writes: u64,
+    /// Total bytes moved.
+    pub bytes: u64,
+    /// First segment start, seconds.
+    pub first_start: f64,
+    /// Last segment end, seconds.
+    pub last_end: f64,
+    /// Cumulative busy (in-I/O) time, seconds.
+    pub busy_secs: f64,
+}
+
+/// The timeline view over one log's DXT data.
+#[derive(Debug, Clone)]
+pub struct DxtTimeline {
+    /// All segments, sorted by (rank, start).
+    pub segments: Vec<DxtSegment>,
+    /// Per-rank summaries, sorted by rank.
+    pub ranks: Vec<RankActivity>,
+    /// Trace end (max segment end), seconds.
+    pub span_secs: f64,
+}
+
+impl DxtTimeline {
+    /// Build the timeline from a log. Returns `None` when the log carries
+    /// no DXT data (tracing was off).
+    #[must_use]
+    pub fn from_log(log: &DarshanLog) -> Option<DxtTimeline> {
+        if log.dxt.is_empty() {
+            return None;
+        }
+        let mut segments = log.dxt.clone();
+        segments.sort_by(|a, b| a.rank.cmp(&b.rank).then(a.start.total_cmp(&b.start)));
+        let mut ranks: Vec<RankActivity> = Vec::new();
+        for segment in &segments {
+            if ranks.last().map(|r| r.rank) != Some(segment.rank) {
+                ranks.push(RankActivity {
+                    rank: segment.rank,
+                    reads: 0,
+                    writes: 0,
+                    bytes: 0,
+                    first_start: segment.start,
+                    last_end: segment.end,
+                    busy_secs: 0.0,
+                });
+            }
+            let current = ranks.last_mut().expect("pushed above");
+            if segment.is_write {
+                current.writes += 1;
+            } else {
+                current.reads += 1;
+            }
+            current.bytes += segment.length;
+            current.first_start = current.first_start.min(segment.start);
+            current.last_end = current.last_end.max(segment.end);
+            current.busy_secs += (segment.end - segment.start).max(0.0);
+        }
+        let span_secs = segments.iter().map(|s| s.end).fold(0.0f64, f64::max);
+        Some(DxtTimeline { segments, ranks, span_secs })
+    }
+
+    /// The time × rank transfer heat map: `bins` time buckets per rank,
+    /// each cell holding the bytes moved in that window. Returns
+    /// `(matrix[rank_index][bin], rank_ids)`.
+    #[must_use]
+    pub fn heat_map(&self, bins: usize) -> (Vec<Vec<f64>>, Vec<i32>) {
+        let bins = bins.max(1);
+        let rank_ids: Vec<i32> = self.ranks.iter().map(|r| r.rank).collect();
+        let mut matrix = vec![vec![0.0f64; bins]; rank_ids.len()];
+        let span = self.span_secs.max(1e-9);
+        for segment in &self.segments {
+            let Some(row) = rank_ids.iter().position(|r| *r == segment.rank) else {
+                continue;
+            };
+            // Spread the segment's bytes over the bins it overlaps.
+            let seg_span = (segment.end - segment.start).max(1e-12);
+            let first_bin = ((segment.start / span) * bins as f64).floor() as usize;
+            let last_bin = ((segment.end / span) * bins as f64).ceil() as usize;
+            let upper = last_bin.min(bins);
+            for (bin, cell) in matrix[row][first_bin..upper].iter_mut().enumerate() {
+                let bin = bin + first_bin;
+                let bin_start = bin as f64 / bins as f64 * span;
+                let bin_end = (bin + 1) as f64 / bins as f64 * span;
+                let overlap =
+                    (segment.end.min(bin_end) - segment.start.max(bin_start)).max(0.0);
+                *cell += segment.length as f64 * (overlap / seg_span);
+            }
+        }
+        (matrix, rank_ids)
+    }
+
+    /// Straggler detection: ranks whose busy time robustly exceeds the
+    /// population (MAD z > `threshold` and ≥ `min_relative` above the
+    /// median). These are the ranks an interactive DXT session would zoom
+    /// into.
+    #[must_use]
+    pub fn stragglers(&self, threshold: f64, min_relative: f64) -> Vec<(i32, f64)> {
+        let busy: Vec<f64> = self.ranks.iter().map(|r| r.busy_secs).collect();
+        if busy.len() < 4 {
+            return Vec::new();
+        }
+        let scores = crate::describe::mad_scores(&busy);
+        let median = stats::median(&busy);
+        // When more than half the ranks are identical the MAD collapses to
+        // zero and every score reads 0; fall back to the relative rule
+        // with the score reported as the relative excess.
+        let mad_collapsed = scores.iter().all(|s| *s == 0.0) && stats::stddev(&busy) > 0.0;
+        self.ranks
+            .iter()
+            .zip(&scores)
+            .filter(|(rank, score)| {
+                let relative_ok = rank.busy_secs > median * (1.0 + min_relative);
+                relative_ok && (**score > threshold || mad_collapsed)
+            })
+            .map(|(rank, score)| {
+                let reported = if mad_collapsed {
+                    (rank.busy_secs - median) / median.max(1e-12)
+                } else {
+                    *score
+                };
+                (rank.rank, reported)
+            })
+            .collect()
+    }
+
+    /// Render the per-rank timeline as SVG: one row per rank, one
+    /// rectangle per segment (write = orange, read = blue).
+    #[must_use]
+    pub fn render_timeline_svg(&self, opts: &ChartOptions) -> String {
+        let w = f64::from(opts.width);
+        let h = f64::from(opts.height);
+        let margin = 60.0;
+        let plot_w = w - 2.0 * margin;
+        let plot_h = h - 2.0 * margin;
+        let nranks = self.ranks.len().max(1) as f64;
+        let row_h = (plot_h / nranks).min(18.0);
+        let span = self.span_secs.max(1e-9);
+        let mut svg = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\">\n\
+             <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n\
+             <text x=\"{:.0}\" y=\"24\" font-size=\"16\" text-anchor=\"middle\">{}</text>\n",
+            opts.width,
+            opts.height,
+            w / 2.0,
+            opts.title
+        );
+        for (row, rank) in self.ranks.iter().enumerate() {
+            let y = margin + row as f64 * (plot_h / nranks);
+            svg.push_str(&format!(
+                "<text x=\"{:.0}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">rank {}</text>\n",
+                margin - 6.0,
+                y + row_h * 0.8,
+                rank.rank
+            ));
+            for segment in self.segments.iter().filter(|s| s.rank == rank.rank) {
+                let x = margin + segment.start / span * plot_w;
+                let width = ((segment.end - segment.start) / span * plot_w).max(0.5);
+                let color = if segment.is_write { "#ff7f0e" } else { "#1f77b4" };
+                svg.push_str(&format!(
+                    "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{width:.1}\" height=\"{:.1}\" fill=\"{color}\"/>\n",
+                    row_h * 0.9
+                ));
+            }
+        }
+        svg.push_str(&format!(
+            "<text x=\"{:.0}\" y=\"{:.0}\" font-size=\"12\" text-anchor=\"middle\">time (0 … {:.3}s)</text>\n",
+            w / 2.0,
+            h - 16.0,
+            self.span_secs
+        ));
+        svg.push_str("</svg>\n");
+        svg
+    }
+
+    /// Render a textual report (the terminal face of the explorer).
+    #[must_use]
+    pub fn render_report(&self) -> String {
+        let mut table = iokc_util::table::TextTable::new(vec![
+            "rank", "reads", "writes", "MiB", "busy(s)", "span(s)",
+        ]);
+        for rank in &self.ranks {
+            table.push_row(vec![
+                rank.rank.to_string(),
+                rank.reads.to_string(),
+                rank.writes.to_string(),
+                format!("{:.2}", rank.bytes as f64 / (1024.0 * 1024.0)),
+                format!("{:.4}", rank.busy_secs),
+                format!("{:.4}", rank.last_end - rank.first_start),
+            ]);
+        }
+        let mut out = format!(
+            "DXT timeline: {} segments, {} ranks, {:.4}s span\n",
+            self.segments.len(),
+            self.ranks.len(),
+            self.span_secs
+        );
+        out.push_str(&table.render());
+        let stragglers = self.stragglers(3.5, 0.25);
+        if stragglers.is_empty() {
+            out.push_str("\nno straggler ranks detected\n");
+        } else {
+            for (rank, score) in stragglers {
+                out.push_str(&format!(
+                    "\nSTRAGGLER: rank {rank} busy time deviates (robust z = {score:.1})\n"
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_darshan::{LogBuilder, Module};
+
+    fn log_with_straggler() -> DarshanLog {
+        let mut builder = LogBuilder::new(1, 8, "ior", true);
+        for rank in 0..8 {
+            builder.open(Module::Posix, "/scratch/t", rank, 0.0, 0.01);
+            // Rank 5 takes 4x longer per op.
+            let op_time = if rank == 5 { 0.4 } else { 0.1 };
+            for i in 0..4 {
+                let start = 0.01 + f64::from(i) * op_time;
+                builder.transfer(
+                    "/scratch/t",
+                    rank,
+                    true,
+                    (i as u64) << 20,
+                    1 << 20,
+                    start,
+                    start + op_time,
+                    None,
+                );
+            }
+        }
+        builder.finish()
+    }
+
+    #[test]
+    fn timeline_summarises_ranks() {
+        let log = log_with_straggler();
+        let timeline = DxtTimeline::from_log(&log).unwrap();
+        assert_eq!(timeline.ranks.len(), 8);
+        assert_eq!(timeline.segments.len(), 32);
+        let r0 = &timeline.ranks[0];
+        assert_eq!(r0.writes, 4);
+        assert_eq!(r0.reads, 0);
+        assert_eq!(r0.bytes, 4 << 20);
+        assert!((r0.busy_secs - 0.4).abs() < 1e-9);
+        // The straggler's span dominates the trace.
+        assert!((timeline.span_secs - 1.61).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straggler_is_detected() {
+        let log = log_with_straggler();
+        let timeline = DxtTimeline::from_log(&log).unwrap();
+        let stragglers = timeline.stragglers(3.5, 0.25);
+        assert_eq!(stragglers.len(), 1, "{stragglers:?}");
+        assert_eq!(stragglers[0].0, 5);
+        assert!(stragglers[0].1 > 2.5, "reported excess: {}", stragglers[0].1);
+    }
+
+    #[test]
+    fn uniform_ranks_have_no_stragglers() {
+        let mut builder = LogBuilder::new(1, 6, "ior", true);
+        for rank in 0..6 {
+            builder.transfer("/f", rank, true, 0, 1 << 20, 0.0, 0.1, None);
+        }
+        let timeline = DxtTimeline::from_log(&builder.finish()).unwrap();
+        assert!(timeline.stragglers(3.5, 0.25).is_empty());
+    }
+
+    #[test]
+    fn heat_map_conserves_bytes() {
+        let log = log_with_straggler();
+        let timeline = DxtTimeline::from_log(&log).unwrap();
+        let (matrix, rank_ids) = timeline.heat_map(16);
+        assert_eq!(rank_ids.len(), 8);
+        let total: f64 = matrix.iter().flatten().sum();
+        let expected: f64 = timeline.segments.iter().map(|s| s.length as f64).sum();
+        assert!(
+            (total - expected).abs() < expected * 1e-6,
+            "heat map must conserve bytes: {total} vs {expected}"
+        );
+        // The straggler's row is spread wider (later bins non-zero).
+        let straggler_row = rank_ids.iter().position(|r| *r == 5).unwrap();
+        assert!(matrix[straggler_row][15] > 0.0);
+        assert_eq!(matrix[0][15], 0.0);
+    }
+
+    #[test]
+    fn svg_and_report_render() {
+        let log = log_with_straggler();
+        let timeline = DxtTimeline::from_log(&log).unwrap();
+        let svg = timeline.render_timeline_svg(&ChartOptions {
+            title: "dxt".into(),
+            ..ChartOptions::default()
+        });
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("#ff7f0e").count(), 32, "one rect per write segment");
+        let report = timeline.render_report();
+        assert!(report.contains("32 segments"));
+        assert!(report.contains("STRAGGLER: rank 5"));
+    }
+
+    #[test]
+    fn empty_dxt_yields_none() {
+        let log = LogBuilder::new(1, 1, "x", false).finish();
+        assert!(DxtTimeline::from_log(&log).is_none());
+    }
+}

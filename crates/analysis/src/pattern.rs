@@ -1,0 +1,265 @@
+//! I/O pattern analysis (§IV use case).
+//!
+//! "A deep understanding of the I/O pattern helps to better exploit
+//! resources as well as improve the requirements for HPC storage
+//! resources" — this module classifies a run's access pattern from its
+//! Darshan counters: sequentiality, dominant access size, read/write mix
+//! and metadata intensity, and names the pattern in the vocabulary HPC
+//! I/O studies use (checkpoint-style, scan-style, metadata-bound, …).
+
+use iokc_darshan::{DarshanLog, Module};
+
+/// Direction mix of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// ≥ 80% of bytes written.
+    WriteHeavy,
+    /// ≥ 80% of bytes read.
+    ReadHeavy,
+    /// Anything in between.
+    Mixed,
+}
+
+/// Spatial locality of accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locality {
+    /// ≥ 75% of accesses consecutive to the previous one.
+    Sequential,
+    /// ≥ 75% sequential-or-forward.
+    MostlyForward,
+    /// Everything else.
+    Scattered,
+}
+
+/// Dominant transfer size class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeClass {
+    /// Most accesses below 100 KiB.
+    Small,
+    /// Most accesses in 100 KiB – 4 MiB.
+    Medium,
+    /// Most accesses above 4 MiB.
+    Large,
+}
+
+/// The classified pattern of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoPatternProfile {
+    /// Byte-direction mix.
+    pub direction: Direction,
+    /// Access locality.
+    pub locality: Locality,
+    /// Dominant access size.
+    pub size_class: SizeClass,
+    /// Metadata ops (opens+stats+fsyncs) per data op; ≥ 1.0 is
+    /// metadata-bound territory.
+    pub metadata_intensity: f64,
+    /// Distinct files touched.
+    pub files: usize,
+    /// Human-readable pattern name.
+    pub label: String,
+}
+
+/// Classify a Darshan log's POSIX-level pattern. Returns `None` when the
+/// log has no data operations at all (a pure metadata run still
+/// classifies — with `metadata_intensity = ∞` represented as `f64::MAX`).
+#[must_use]
+pub fn classify(log: &DarshanLog) -> Option<IoPatternProfile> {
+    let m = Module::Posix;
+    let reads = log.total_counter(m, "POSIX_READS").max(0) as f64;
+    let writes = log.total_counter(m, "POSIX_WRITES").max(0) as f64;
+    let bytes_read = log.total_counter(m, "POSIX_BYTES_READ").max(0) as f64;
+    let bytes_written = log.total_counter(m, "POSIX_BYTES_WRITTEN").max(0) as f64;
+    let opens = log.total_counter(m, "POSIX_OPENS").max(0) as f64;
+    let stats = log.total_counter(m, "POSIX_STATS").max(0) as f64;
+    let fsyncs = log.total_counter(m, "POSIX_FSYNCS").max(0) as f64;
+    let data_ops = reads + writes;
+    let meta_ops = opens + stats + fsyncs;
+    if data_ops == 0.0 && meta_ops == 0.0 {
+        return None;
+    }
+
+    let total_bytes = bytes_read + bytes_written;
+    let direction = if total_bytes == 0.0 {
+        Direction::Mixed
+    } else if bytes_written / total_bytes >= 0.8 {
+        Direction::WriteHeavy
+    } else if bytes_read / total_bytes >= 0.8 {
+        Direction::ReadHeavy
+    } else {
+        Direction::Mixed
+    };
+
+    let consec = (log.total_counter(m, "POSIX_CONSEC_READS")
+        + log.total_counter(m, "POSIX_CONSEC_WRITES"))
+    .max(0) as f64;
+    let seq = (log.total_counter(m, "POSIX_SEQ_READS")
+        + log.total_counter(m, "POSIX_SEQ_WRITES"))
+    .max(0) as f64;
+    let locality = if data_ops == 0.0 {
+        Locality::Scattered
+    } else if consec / data_ops >= 0.75 {
+        Locality::Sequential
+    } else if seq / data_ops >= 0.75 {
+        Locality::MostlyForward
+    } else {
+        Locality::Scattered
+    };
+
+    // Histogram mass per size class (read + write buckets combined).
+    let bucket = |name: &str| log.total_counter(m, name).max(0) as f64;
+    let small = bucket("POSIX_SIZE_READ_0_100")
+        + bucket("POSIX_SIZE_READ_100_1K")
+        + bucket("POSIX_SIZE_READ_1K_10K")
+        + bucket("POSIX_SIZE_READ_10K_100K")
+        + bucket("POSIX_SIZE_WRITE_0_100")
+        + bucket("POSIX_SIZE_WRITE_100_1K")
+        + bucket("POSIX_SIZE_WRITE_1K_10K")
+        + bucket("POSIX_SIZE_WRITE_10K_100K");
+    let medium = bucket("POSIX_SIZE_READ_100K_1M")
+        + bucket("POSIX_SIZE_READ_1M_4M")
+        + bucket("POSIX_SIZE_WRITE_100K_1M")
+        + bucket("POSIX_SIZE_WRITE_1M_4M");
+    let large = bucket("POSIX_SIZE_READ_4M_10M")
+        + bucket("POSIX_SIZE_READ_10M_PLUS")
+        + bucket("POSIX_SIZE_WRITE_4M_10M")
+        + bucket("POSIX_SIZE_WRITE_10M_PLUS");
+    let size_class = if large >= medium && large >= small {
+        SizeClass::Large
+    } else if medium >= small {
+        SizeClass::Medium
+    } else {
+        SizeClass::Small
+    };
+
+    let metadata_intensity = if data_ops == 0.0 {
+        f64::MAX
+    } else {
+        meta_ops / data_ops
+    };
+    let files = log.names.len();
+
+    let label = match (direction, locality, size_class) {
+        _ if metadata_intensity >= 1.0 => "metadata-bound (mdtest-style)",
+        (Direction::WriteHeavy, Locality::Sequential | Locality::MostlyForward, SizeClass::Large | SizeClass::Medium) => {
+            "checkpoint-style sequential write"
+        }
+        (Direction::ReadHeavy, Locality::Sequential | Locality::MostlyForward, SizeClass::Large | SizeClass::Medium) => {
+            "restart/scan-style sequential read"
+        }
+        (_, Locality::Scattered, SizeClass::Small) => "random small-access (ior-hard-style)",
+        (Direction::Mixed, _, _) => "mixed read/write workload",
+        (_, _, SizeClass::Small) => "small-access stream",
+        _ => "bulk-transfer workload",
+    }
+    .to_owned();
+
+    Some(IoPatternProfile {
+        direction,
+        locality,
+        size_class,
+        metadata_intensity,
+        files,
+        label,
+    })
+}
+
+/// Render the profile as a short report for the explorer.
+#[must_use]
+pub fn render_profile(profile: &IoPatternProfile) -> String {
+    format!(
+        "I/O pattern : {}\n\
+         direction   : {:?}\n\
+         locality    : {:?}\n\
+         access size : {:?}\n\
+         metadata    : {:.2} meta-ops per data-op\n\
+         files       : {}\n",
+        profile.label,
+        profile.direction,
+        profile.locality,
+        profile.size_class,
+        profile.metadata_intensity,
+        profile.files
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_darshan::LogBuilder;
+
+    #[test]
+    fn checkpoint_pattern_detected() {
+        let mut b = LogBuilder::new(1, 4, "hacc", false);
+        for rank in 0..4 {
+            let path = format!("/scratch/ckpt.{rank}");
+            b.open(Module::Posix, &path, rank, 0.0, 0.01);
+            for i in 0..8u64 {
+                b.transfer(&path, rank, true, i * (8 << 20), 8 << 20, 0.1, 0.2, None);
+            }
+            b.close(Module::Posix, &path, rank, 0.9, 0.91);
+        }
+        let profile = classify(&b.finish()).unwrap();
+        assert_eq!(profile.direction, Direction::WriteHeavy);
+        assert_eq!(profile.locality, Locality::Sequential);
+        assert_eq!(profile.size_class, SizeClass::Large);
+        assert_eq!(profile.label, "checkpoint-style sequential write");
+        assert_eq!(profile.files, 4);
+        assert!(profile.metadata_intensity < 0.2);
+    }
+
+    #[test]
+    fn random_small_pattern_detected() {
+        let mut b = LogBuilder::new(1, 2, "ior-hard", false);
+        // Interleaved strided 47008-byte writes: forward but never
+        // consecutive, and with gaps (rank writes every second slot).
+        for i in 0..32u64 {
+            let offset = i * 2 * 47_008;
+            b.transfer("/scratch/shared", 0, true, offset, 47_008, 0.1, 0.2, None);
+        }
+        // And a scattered read-back from the other rank.
+        for i in (0..32u64).rev() {
+            b.transfer("/scratch/shared", 1, false, i * 2 * 47_008, 47_008, 0.3, 0.4, None);
+        }
+        let profile = classify(&b.finish()).unwrap();
+        assert_eq!(profile.size_class, SizeClass::Small);
+        assert_ne!(profile.locality, Locality::Sequential);
+    }
+
+    #[test]
+    fn metadata_bound_detected() {
+        let mut b = LogBuilder::new(1, 4, "mdtest", false);
+        for i in 0..100 {
+            let path = format!("/scratch/md/f{i}");
+            b.open(Module::Posix, &path, 0, 0.0, 0.001);
+            b.meta(&path, 0, iokc_darshan::MetaKind::Stat, 0.002, 0.003);
+            b.close(Module::Posix, &path, 0, 0.004, 0.005);
+        }
+        let profile = classify(&b.finish()).unwrap();
+        assert!(profile.metadata_intensity >= 1.0);
+        assert_eq!(profile.label, "metadata-bound (mdtest-style)");
+    }
+
+    #[test]
+    fn read_heavy_scan_detected() {
+        let mut b = LogBuilder::new(1, 1, "scan", false);
+        for i in 0..16u64 {
+            b.transfer("/data/input", 0, false, i * (1 << 20), 1 << 20, 0.0, 0.1, None);
+        }
+        let profile = classify(&b.finish()).unwrap();
+        assert_eq!(profile.direction, Direction::ReadHeavy);
+        assert_eq!(profile.label, "restart/scan-style sequential read");
+    }
+
+    #[test]
+    fn empty_log_is_none_and_render_works() {
+        let log = LogBuilder::new(1, 1, "x", false).finish();
+        assert!(classify(&log).is_none());
+        let mut b = LogBuilder::new(1, 1, "y", false);
+        b.transfer("/f", 0, true, 0, 1 << 20, 0.0, 0.1, None);
+        let profile = classify(&b.finish()).unwrap();
+        let text = render_profile(&profile);
+        assert!(text.contains("I/O pattern"));
+        assert!(text.contains("files       : 1"));
+    }
+}

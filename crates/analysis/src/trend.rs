@@ -1,0 +1,241 @@
+//! Performance-trend detection across the accumulated knowledge base.
+//!
+//! The knowledge cycle's value compounds as the base grows (§III): the
+//! same benchmark command re-run over weeks becomes a regression monitor.
+//! This module groups benchmark knowledge by command, orders each group
+//! by run time, and flags groups whose recent runs fall significantly
+//! below their own history — the system-drift flavour of the paper's
+//! anomaly-detection use case ("anomalies can be caused by … hardware
+//! failures, and incorrect system configuration").
+
+use iokc_core::model::{Knowledge, KnowledgeItem};
+use iokc_core::phases::{Analyzer, CycleError, Finding};
+use iokc_util::stats;
+
+/// A detected drift in one command's history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Drift {
+    /// The benchmark command whose history drifted.
+    pub command: String,
+    /// Operation examined.
+    pub operation: String,
+    /// Mean bandwidth of the baseline (older) runs, MiB/s.
+    pub baseline_mib: f64,
+    /// Mean bandwidth of the recent runs, MiB/s.
+    pub recent_mib: f64,
+    /// Relative change (negative = regression).
+    pub change: f64,
+    /// Number of runs in the history.
+    pub runs: usize,
+}
+
+/// Detects regressions in repeated runs of the same command.
+#[derive(Debug, Clone)]
+pub struct TrendDetector {
+    /// How many of the newest runs form the "recent" window.
+    pub recent_window: usize,
+    /// Minimum total runs of a command before a verdict.
+    pub min_runs: usize,
+    /// Relative drop that counts as a regression (e.g. `0.15` = 15%).
+    pub threshold: f64,
+}
+
+impl Default for TrendDetector {
+    fn default() -> TrendDetector {
+        TrendDetector { recent_window: 2, min_runs: 5, threshold: 0.15 }
+    }
+}
+
+impl TrendDetector {
+    /// Scan a corpus for drifts. Both regressions and improvements beyond
+    /// the threshold are reported (an unexplained speedup usually means a
+    /// caching artifact or a config change worth recording).
+    #[must_use]
+    pub fn detect(&self, corpus: &[&Knowledge]) -> Vec<Drift> {
+        let mut groups: Vec<(&str, Vec<&Knowledge>)> = Vec::new();
+        for k in corpus {
+            match groups.iter_mut().find(|(command, _)| *command == k.command) {
+                Some((_, list)) => list.push(k),
+                None => groups.push((k.command.as_str(), vec![k])),
+            }
+        }
+        let mut drifts = Vec::new();
+        for (command, mut history) in groups {
+            if history.len() < self.min_runs {
+                continue;
+            }
+            history.sort_by_key(|k| k.start_time);
+            for operation in ["write", "read"] {
+                let series: Vec<f64> = history
+                    .iter()
+                    .filter_map(|k| k.summary(operation).map(|s| s.mean_mib))
+                    .collect();
+                if series.len() < self.min_runs {
+                    continue;
+                }
+                let split = series.len() - self.recent_window.min(series.len() - 1);
+                let baseline = stats::mean(&series[..split]);
+                let recent = stats::mean(&series[split..]);
+                if baseline <= 0.0 {
+                    continue;
+                }
+                let change = (recent - baseline) / baseline;
+                if change.abs() >= self.threshold {
+                    drifts.push(Drift {
+                        command: command.to_owned(),
+                        operation: operation.to_owned(),
+                        baseline_mib: baseline,
+                        recent_mib: recent,
+                        change,
+                        runs: series.len(),
+                    });
+                }
+            }
+        }
+        drifts
+    }
+}
+
+impl Analyzer for TrendDetector {
+    fn name(&self) -> &str {
+        "trend-detector"
+    }
+
+    fn analyze(&self, items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError> {
+        let corpus: Vec<&Knowledge> = items
+            .iter()
+            .filter_map(|item| match item {
+                KnowledgeItem::Benchmark(k) => Some(k),
+                KnowledgeItem::Io500(_) => None,
+            })
+            .collect();
+        Ok(self
+            .detect(&corpus)
+            .into_iter()
+            .map(|drift| Finding {
+                tag: if drift.change < 0.0 { "regression" } else { "improvement" }.to_owned(),
+                knowledge_id: None,
+                message: format!(
+                    "{} {} bandwidth drifted {:+.1}% over {} runs of `{}` \
+                     (baseline {:.0} MiB/s, recent {:.0} MiB/s)",
+                    drift.operation,
+                    if drift.change < 0.0 { "regressed:" } else { "improved:" },
+                    drift.change * 100.0,
+                    drift.runs,
+                    drift.command,
+                    drift.baseline_mib,
+                    drift.recent_mib
+                ),
+                values: vec![drift.baseline_mib, drift.recent_mib, drift.change],
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_core::model::{KnowledgeSource, OperationSummary};
+
+    fn run(command: &str, start: u64, write_bw: f64) -> Knowledge {
+        let mut k = Knowledge::new(KnowledgeSource::Ior, command);
+        k.start_time = start;
+        k.summaries.push(OperationSummary {
+            operation: "write".into(),
+            api: "MPIIO".into(),
+            max_mib: write_bw,
+            min_mib: write_bw,
+            mean_mib: write_bw,
+            stddev_mib: 0.0,
+            mean_ops: 0.0,
+            iterations: 1,
+        });
+        k
+    }
+
+    #[test]
+    fn regression_detected_in_history() {
+        // Five healthy nightly runs, then two after a disk started dying.
+        let corpus: Vec<Knowledge> = vec![
+            run("ior -b 4m", 100, 2850.0),
+            run("ior -b 4m", 200, 2830.0),
+            run("ior -b 4m", 300, 2870.0),
+            run("ior -b 4m", 400, 2845.0),
+            run("ior -b 4m", 500, 2860.0),
+            run("ior -b 4m", 600, 2100.0),
+            run("ior -b 4m", 700, 2050.0),
+        ];
+        let refs: Vec<&Knowledge> = corpus.iter().collect();
+        let drifts = TrendDetector::default().detect(&refs);
+        assert_eq!(drifts.len(), 1);
+        let d = &drifts[0];
+        assert!(d.change < -0.2, "change {:.2}", d.change);
+        assert_eq!(d.runs, 7);
+        assert!((d.baseline_mib - 2851.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn history_order_comes_from_timestamps_not_input_order() {
+        // Shuffled input: the regression is still at the (chronological)
+        // end.
+        let corpus: Vec<Knowledge> = vec![
+            run("ior", 600, 2100.0),
+            run("ior", 200, 2830.0),
+            run("ior", 700, 2050.0),
+            run("ior", 100, 2850.0),
+            run("ior", 400, 2845.0),
+            run("ior", 300, 2870.0),
+            run("ior", 500, 2860.0),
+        ];
+        let refs: Vec<&Knowledge> = corpus.iter().collect();
+        let drifts = TrendDetector::default().detect(&refs);
+        assert_eq!(drifts.len(), 1);
+        assert!(drifts[0].change < -0.2);
+    }
+
+    #[test]
+    fn stable_history_and_short_history_stay_quiet() {
+        let stable: Vec<Knowledge> =
+            (0..8).map(|i| run("ior", i * 100, 2850.0 + f64::from(i as u32))).collect();
+        let refs: Vec<&Knowledge> = stable.iter().collect();
+        assert!(TrendDetector::default().detect(&refs).is_empty());
+
+        let short: Vec<Knowledge> = vec![
+            run("ior", 100, 2850.0),
+            run("ior", 200, 1000.0),
+        ];
+        let refs: Vec<&Knowledge> = short.iter().collect();
+        assert!(TrendDetector::default().detect(&refs).is_empty());
+    }
+
+    #[test]
+    fn different_commands_are_separate_histories() {
+        let mut corpus = Vec::new();
+        for i in 0..5 {
+            corpus.push(run("ior -b 4m", i * 100, 2850.0));
+            corpus.push(run("ior -b 8m", i * 100, 3000.0));
+        }
+        // Only the -b 8m history regresses.
+        corpus.push(run("ior -b 8m", 600, 1500.0));
+        corpus.push(run("ior -b 8m", 700, 1450.0));
+        corpus.push(run("ior -b 4m", 600, 2840.0));
+        corpus.push(run("ior -b 4m", 700, 2860.0));
+        let refs: Vec<&Knowledge> = corpus.iter().collect();
+        let drifts = TrendDetector::default().detect(&refs);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].command, "ior -b 8m");
+    }
+
+    #[test]
+    fn analyzer_tags_regressions_and_improvements() {
+        let mut corpus: Vec<KnowledgeItem> = (0..5)
+            .map(|i| KnowledgeItem::Benchmark(run("ior", i * 100, 2000.0)))
+            .collect();
+        corpus.push(KnowledgeItem::Benchmark(run("ior", 600, 2600.0)));
+        corpus.push(KnowledgeItem::Benchmark(run("ior", 700, 2700.0)));
+        let findings = TrendDetector::default().analyze(&corpus).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].tag, "improvement");
+        assert!(findings[0].message.contains("improved"));
+    }
+}

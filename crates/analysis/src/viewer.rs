@@ -1,0 +1,277 @@
+//! The knowledge viewer (§V-D): single-run views.
+//!
+//! "By selecting the command used for the benchmark, all related
+//! benchmarks and file system information, as well as the corresponding
+//! benchmark summary are displayed immediately" — here as plain-text
+//! panels suitable for a terminal (the web GUI substitution documented in
+//! DESIGN.md).
+
+use iokc_core::model::{Io500Knowledge, Knowledge};
+use iokc_util::table::TextTable;
+
+/// Render the full single-run view of a benchmark knowledge object:
+/// command, pattern, file-system info, system info, summary table and the
+/// per-iteration detail table.
+#[must_use]
+pub fn render_knowledge(k: &Knowledge) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("command : {}\n", k.command));
+    out.push_str(&format!("source  : {}\n", k.source.as_str()));
+    if k.start_time > 0 {
+        out.push_str(&format!(
+            "window  : {} .. {} ({} s)\n",
+            k.start_time,
+            k.end_time,
+            k.end_time.saturating_sub(k.start_time)
+        ));
+    }
+    out.push('\n');
+
+    let p = &k.pattern;
+    let mut pattern = TextTable::new(vec!["parameter", "value"]);
+    pattern.push_row(vec!["api".to_owned(), p.api.clone()]);
+    pattern.push_row(vec!["test file".to_owned(), p.test_file.clone()]);
+    pattern.push_row(vec![
+        "block size".to_owned(),
+        iokc_util::units::format_size(p.block_size),
+    ]);
+    pattern.push_row(vec![
+        "transfer size".to_owned(),
+        iokc_util::units::format_size(p.transfer_size),
+    ]);
+    pattern.push_row(vec!["segments".to_owned(), p.segments.to_string()]);
+    pattern.push_row(vec!["tasks".to_owned(), p.tasks.to_string()]);
+    pattern.push_row(vec!["clients/node".to_owned(), p.clients_per_node.to_string()]);
+    pattern.push_row(vec!["iterations".to_owned(), p.iterations.to_string()]);
+    pattern.push_row(vec!["file per proc".to_owned(), p.file_per_proc.to_string()]);
+    pattern.push_row(vec!["reorder tasks".to_owned(), p.reorder_tasks.to_string()]);
+    pattern.push_row(vec!["fsync".to_owned(), p.fsync.to_string()]);
+    pattern.push_row(vec!["collective".to_owned(), p.collective.to_string()]);
+    out.push_str("I/O pattern:\n");
+    out.push_str(&pattern.render());
+    out.push('\n');
+
+    if let Some(fs) = &k.filesystem {
+        let mut table = TextTable::new(vec!["filesystem", "value"]);
+        table.push_row(vec!["type".to_owned(), fs.fs_type.clone()]);
+        table.push_row(vec!["entry type".to_owned(), fs.entry_type.clone()]);
+        table.push_row(vec!["entry id".to_owned(), fs.entry_id.clone()]);
+        table.push_row(vec!["metadata node".to_owned(), fs.metadata_node.clone()]);
+        table.push_row(vec![
+            "chunk size".to_owned(),
+            iokc_util::units::format_size(fs.chunk_size),
+        ]);
+        table.push_row(vec!["storage targets".to_owned(), fs.storage_targets.to_string()]);
+        table.push_row(vec!["raid".to_owned(), fs.raid.clone()]);
+        table.push_row(vec!["storage pool".to_owned(), fs.storage_pool.clone()]);
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+
+    if let Some(sys) = &k.system {
+        let mut table = TextTable::new(vec!["system", "value"]);
+        table.push_row(vec!["name".to_owned(), sys.system.clone()]);
+        table.push_row(vec!["cpu".to_owned(), sys.cpu_model.clone()]);
+        table.push_row(vec!["cores/node".to_owned(), sys.cores.to_string()]);
+        table.push_row(vec!["cpu MHz".to_owned(), format!("{:.0}", sys.cpu_mhz)]);
+        table.push_row(vec!["memory".to_owned(), format!("{} KiB", sys.mem_kib)]);
+        out.push_str(&table.render());
+        out.push('\n');
+    }
+
+    let mut summary = TextTable::new(vec![
+        "operation",
+        "api",
+        "max(MiB/s)",
+        "min(MiB/s)",
+        "mean(MiB/s)",
+        "stddev",
+        "mean ops/s",
+        "iters",
+    ]);
+    for s in &k.summaries {
+        summary.push_row(vec![
+            s.operation.clone(),
+            s.api.clone(),
+            format!("{:.2}", s.max_mib),
+            format!("{:.2}", s.min_mib),
+            format!("{:.2}", s.mean_mib),
+            format!("{:.2}", s.stddev_mib),
+            format!("{:.2}", s.mean_ops),
+            s.iterations.to_string(),
+        ]);
+    }
+    out.push_str("summary:\n");
+    out.push_str(&summary.render());
+    out.push('\n');
+
+    if !k.results.is_empty() {
+        let mut detail = TextTable::new(vec![
+            "operation",
+            "iter",
+            "bw(MiB/s)",
+            "ops/s",
+            "latency(s)",
+            "open(s)",
+            "wr/rd(s)",
+            "close(s)",
+            "total(s)",
+        ]);
+        for r in &k.results {
+            detail.push_row(vec![
+                r.operation.clone(),
+                r.iteration.to_string(),
+                format!("{:.2}", r.bw_mib),
+                format!("{:.2}", r.ops_per_sec),
+                format!("{:.6}", r.latency_s),
+                format!("{:.6}", r.open_s),
+                format!("{:.6}", r.wrrd_s),
+                format!("{:.6}", r.close_s),
+                format!("{:.6}", r.total_s),
+            ]);
+        }
+        out.push_str("per-iteration detail:\n");
+        out.push_str(&detail.render());
+    }
+    out
+}
+
+/// Render the IO500 viewer (§V-D: "it can additionally visualize score
+/// value and different test cases for each IO500 execution").
+#[must_use]
+pub fn render_io500(k: &Io500Knowledge) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("IO500 run (tasks = {})\n", k.tasks));
+    out.push_str(&format!(
+        "scores: bandwidth {:.4} GiB/s | metadata {:.4} kIOPS | total {:.4}\n\n",
+        k.bw_score, k.md_score, k.total_score
+    ));
+    let mut table = TextTable::new(vec!["testcase", "value", "unit", "time(s)"]);
+    for tc in &k.testcases {
+        table.push_row(vec![
+            tc.name.clone(),
+            format!("{:.4}", tc.value),
+            tc.unit.clone(),
+            format!("{:.2}", tc.time_s),
+        ]);
+    }
+    out.push_str(&table.render());
+    if !k.options.is_empty() {
+        out.push_str("\noptions:\n");
+        for (key, value) in &k.options {
+            out.push_str(&format!("  {key} = {value}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_core::model::{
+        FilesystemInfo, Io500Testcase, IterationResult, KnowledgeSource, OperationSummary,
+        SystemInfo,
+    };
+
+    fn sample() -> Knowledge {
+        let mut k = Knowledge::new(KnowledgeSource::Ior, "ior -a mpiio -b 4m");
+        k.pattern.api = "MPIIO".into();
+        k.pattern.block_size = 4 << 20;
+        k.pattern.transfer_size = 2 << 20;
+        k.pattern.tasks = 80;
+        k.summaries.push(OperationSummary {
+            operation: "write".into(),
+            api: "MPIIO".into(),
+            max_mib: 2850.12,
+            min_mib: 1251.0,
+            mean_mib: 2583.5,
+            stddev_mib: 590.0,
+            mean_ops: 1290.0,
+            iterations: 6,
+        });
+        k.results.push(IterationResult {
+            operation: "write".into(),
+            iteration: 0,
+            bw_mib: 2850.12,
+            ops: 6400,
+            ops_per_sec: 1425.06,
+            latency_s: 0.0007,
+            open_s: 0.002,
+            wrrd_s: 4.4,
+            close_s: 0.001,
+            total_s: 4.5,
+        });
+        k.filesystem = Some(FilesystemInfo {
+            fs_type: "BeeGFS".into(),
+            entry_type: "file".into(),
+            entry_id: "E-1".into(),
+            metadata_node: "meta01".into(),
+            chunk_size: 512 * 1024,
+            storage_targets: 4,
+            raid: "RAID0".into(),
+            storage_pool: "Default".into(),
+        });
+        k.system = Some(SystemInfo {
+            system: "FUCHS-CSC".into(),
+            cpu_model: "E5-2670v2".into(),
+            cores: 20,
+            cpu_mhz: 2500.0,
+            cache_kib: 25_600,
+            mem_kib: 134_217_728,
+        });
+        k
+    }
+
+    #[test]
+    fn knowledge_view_shows_all_panels() {
+        let text = render_knowledge(&sample());
+        assert!(text.contains("command : ior -a mpiio -b 4m"));
+        assert!(text.contains("block size"));
+        assert!(text.contains("4 MiB"));
+        assert!(text.contains("BeeGFS"));
+        assert!(text.contains("meta01"));
+        assert!(text.contains("FUCHS-CSC"));
+        assert!(text.contains("2850.12"));
+        assert!(text.contains("per-iteration detail:"));
+    }
+
+    #[test]
+    fn optional_panels_are_skipped() {
+        let mut k = sample();
+        k.filesystem = None;
+        k.system = None;
+        k.results.clear();
+        let text = render_knowledge(&k);
+        assert!(!text.contains("BeeGFS"));
+        assert!(!text.contains("per-iteration detail:"));
+        assert!(text.contains("summary:"));
+    }
+
+    #[test]
+    fn io500_view() {
+        let k = Io500Knowledge {
+            id: None,
+            tasks: 40,
+            bw_score: 0.745,
+            md_score: 13.2,
+            total_score: 3.15,
+            testcases: vec![Io500Testcase {
+                name: "ior-easy-write".into(),
+                value: 2.5,
+                unit: "GiB/s".into(),
+                time_s: 31.0,
+            }],
+            options: std::collections::BTreeMap::from([(
+                "dir".to_owned(),
+                "/scratch/io500".to_owned(),
+            )]),
+            system: None,
+            start_time: 0,
+        };
+        let text = render_io500(&k);
+        assert!(text.contains("tasks = 40"));
+        assert!(text.contains("total 3.1500"));
+        assert!(text.contains("ior-easy-write"));
+        assert!(text.contains("dir = /scratch/io500"));
+    }
+}

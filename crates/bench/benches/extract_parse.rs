@@ -1,0 +1,81 @@
+//! Extraction benches: the scanf-style output parsers and the Darshan
+//! binary decoder (the band's "reimplement log readers" deliverables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iokc_benchmarks::instrument::{darshan_from_phases, InstrumentOptions};
+use iokc_benchmarks::ior::{run_ior, IorConfig};
+use iokc_extract::{ingest_darshan, parse_io500_output, parse_ior_output};
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::prelude::SystemConfig;
+use std::hint::black_box;
+
+fn sample_ior_output() -> String {
+    let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 71);
+    let config = IorConfig::parse_command(
+        "ior -a mpiio -b 1m -t 256k -s 2 -F -C -e -i 6 -o /scratch/bench -k",
+    )
+    .unwrap();
+    run_ior(&mut world, JobLayout::new(4, 2), &config, 1)
+        .unwrap()
+        .render()
+}
+
+fn sample_darshan_log() -> Vec<u8> {
+    let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 72);
+    let config = IorConfig::parse_command(
+        "ior -a mpiio -b 1m -t 64k -s 4 -F -C -i 2 -o /scratch/dbench -k",
+    )
+    .unwrap();
+    let result = run_ior(&mut world, JobLayout::new(4, 2), &config, 2).unwrap();
+    let phases: Vec<&iokc_sim::metrics::PhaseResult> =
+        result.phases.iter().map(|(_, _, p)| p).collect();
+    let log = darshan_from_phases(
+        &phases,
+        &InstrumentOptions { dxt: true, nprocs: 4, ..InstrumentOptions::default() },
+    );
+    iokc_darshan::encode(&log)
+}
+
+const IO500_SAMPLE: &str = "\
+IO500 version io500-isc22 (iokc reimplementation)
+[RESULT]       ior-easy-write       2.501234 GiB/s : time 31.221 seconds
+[RESULT]    mdtest-easy-write      14.220000 kIOPS : time 8.410 seconds
+[RESULT]       ior-hard-write       0.112345 GiB/s : time 110.020 seconds
+[RESULT]    mdtest-hard-write       5.110000 kIOPS : time 20.120 seconds
+[RESULT]                 find     120.500000 kIOPS : time 1.950 seconds
+[RESULT]        ior-easy-read       2.750000 GiB/s : time 28.400 seconds
+[RESULT]     mdtest-easy-stat      28.400000 kIOPS : time 4.210 seconds
+[RESULT]        ior-hard-read       0.410000 GiB/s : time 30.150 seconds
+[RESULT]     mdtest-hard-stat      22.100000 kIOPS : time 5.410 seconds
+[RESULT]   mdtest-easy-delete      11.200000 kIOPS : time 10.680 seconds
+[RESULT]     mdtest-hard-read       7.400000 kIOPS : time 16.160 seconds
+[RESULT]   mdtest-hard-delete       4.900000 kIOPS : time 24.400 seconds
+[SCORE ] Bandwidth 0.745112 GiB/s : IOPS 13.211000 kiops : TOTAL 3.137588
+";
+
+fn bench_parsers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extract");
+    let ior_text = sample_ior_output();
+    let darshan_bytes = sample_darshan_log();
+
+    group.bench_function("parse_ior_output", |b| {
+        b.iter(|| black_box(parse_ior_output(&ior_text).unwrap()));
+    });
+    group.bench_function("parse_io500_output", |b| {
+        b.iter(|| black_box(parse_io500_output(IO500_SAMPLE).unwrap()));
+    });
+    group.bench_function("darshan_decode_and_ingest", |b| {
+        b.iter(|| black_box(ingest_darshan(&darshan_bytes).unwrap()));
+    });
+    group.bench_function("pattern_compile_and_match", |b| {
+        b.iter(|| {
+            let p = iokc_util::pattern::Pattern::compile("Max Write: {bw:f} MiB/sec").unwrap();
+            black_box(p.first_match(&ior_text))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parsers);
+criterion_main!(benches);

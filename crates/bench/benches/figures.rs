@@ -1,0 +1,125 @@
+//! Figure-regeneration benches: every data figure of the paper (Fig. 5,
+//! Fig. 6, and the Fig. 3 impact-factor ablation) regenerated at test
+//! scale under Criterion timing, with the expected shape asserted on
+//! every iteration so a regression in the model breaks the bench.
+//!
+//! The paper-scale regenerations live in the `fig3_sweep`,
+//! `fig5_iterations` and `fig6_bounding_box` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iokc_benchmarks::io500::{run_io500_with_faults, Io500Config, PhaseFaults};
+use iokc_benchmarks::ior::{run_ior, IorConfig};
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::{Fault, FaultPlan, FaultTarget};
+use iokc_sim::prelude::SystemConfig;
+use iokc_sim::time::SimTime;
+use std::hint::black_box;
+
+/// Scaled Fig. 5: six iterations, storage interference in iteration 1.
+fn fig5_small(seed: u64) -> Vec<f64> {
+    let layout = JobLayout::new(4, 2);
+    let mut world =
+        World::new(SystemConfig::test_small().with_noise(0.01), FaultPlan::none(), seed);
+    let base = IorConfig::parse_command(
+        "ior -a mpiio -b 1m -t 512k -s 2 -F -C -e -i 1 -o /scratch/fig5 -k -w",
+    )
+    .unwrap();
+    let mut writes = Vec::new();
+    for iteration in 0..6u32 {
+        if iteration == 1 {
+            let mut plan = FaultPlan::none();
+            for target in 0..world.system().pfs.storage_targets {
+                plan.push(Fault::slow_target(target, 0.3, world.now(), SimTime(u64::MAX)));
+            }
+            world.set_faults(plan);
+        }
+        let run = run_ior(&mut world, layout, &base, u64::from(iteration)).unwrap();
+        world.set_faults(FaultPlan::none());
+        writes.push(run.max_bw(iokc_benchmarks::Access::Write));
+    }
+    writes
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_anomaly");
+    group.sample_size(10);
+    group.bench_function("six_iterations_with_interference", |b| {
+        b.iter(|| {
+            let writes = fig5_small(42);
+            // Shape check: iteration 1 below half of its peers' mean.
+            let peers: Vec<f64> = writes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != 1)
+                .map(|(_, v)| *v)
+                .collect();
+            assert!(writes[1] < iokc_util::stats::mean(&peers) * 0.55);
+            black_box(writes)
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_io500");
+    group.sample_size(10);
+    group.bench_function("degraded_run_small", |b| {
+        b.iter(|| {
+            let system = SystemConfig::test_small().with_noise(0.1);
+            let mut world = World::new(system, FaultPlan::none(), 77);
+            let mut schedule = PhaseFaults::new();
+            schedule.insert(
+                "ior-easy-read".to_owned(),
+                FaultPlan::none().with(Fault::permanent(FaultTarget::NodeNic(0), 0.05)),
+            );
+            let result = run_io500_with_faults(
+                &mut world,
+                JobLayout::new(4, 2),
+                &Io500Config::small("/scratch/fig6"),
+                &schedule,
+            )
+            .unwrap();
+            // Shape check: the broken node drags ior-easy-read below
+            // ior-hard-read (normally easy ≫ hard).
+            let easy_read = result.phase("ior-easy-read").unwrap().value;
+            let hard_read = result.phase("ior-hard-read").unwrap().value;
+            assert!(easy_read < hard_read);
+            black_box(result.total_score)
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_impact_factors");
+    group.sample_size(10);
+    group.bench_function("stripe_count_ablation", |b| {
+        b.iter(|| {
+            let mut bws = Vec::new();
+            for stripe in [1u32, 2, 4] {
+                let mut world = World::new(
+                    SystemConfig::test_small(),
+                    FaultPlan::none(),
+                    u64::from(stripe),
+                );
+                let mut config = IorConfig::parse_command(
+                    "ior -a posix -b 2m -t 512k -s 2 -F -i 1 -o /scratch/fig3 -k -w",
+                )
+                .unwrap();
+                config.stripe = iokc_sim::script::StripeHint {
+                    chunk_size: None,
+                    stripe_count: Some(stripe),
+                };
+                let run = run_ior(&mut world, JobLayout::new(1, 1), &config, 3).unwrap();
+                bws.push(run.max_bw(iokc_benchmarks::Access::Write));
+            }
+            // Shape: striping wider than one target helps a single writer.
+            assert!(bws[1] > bws[0]);
+            black_box(bws)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5, bench_fig6, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Bench the paper's contribution itself: a full knowledge-cycle
+//! iteration (generate → extract → persist → analyze → use) at test
+//! scale, plus the extraction-and-persistence half in isolation so the
+//! workflow overhead is separable from the benchmark runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iokc_benchmarks::{IorConfig, IorGenerator};
+use iokc_core::phases::Extractor;
+use iokc_core::KnowledgeCycle;
+use iokc_extract::IorExtractor;
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::prelude::SystemConfig;
+use iokc_store::KnowledgeStore;
+use iokc_usage::RegenerateUsage;
+use std::hint::black_box;
+
+fn build_cycle(seed: u64) -> KnowledgeCycle {
+    let world = World::new(SystemConfig::test_small(), FaultPlan::none(), seed);
+    let config = IorConfig::parse_command(
+        "ior -a mpiio -b 1m -t 256k -s 2 -F -C -e -i 2 -o /scratch/bench -k",
+    )
+    .expect("bench command parses");
+    let generator = IorGenerator::new(world, JobLayout::new(4, 2), config, seed);
+    let mut cycle = KnowledgeCycle::new();
+    cycle
+        .add_generator(Box::new(generator))
+        .add_extractor(Box::new(IorExtractor))
+        .add_persister(Box::new(KnowledgeStore::in_memory()))
+        .add_analyzer(Box::new(iokc_analysis::IterationVarianceDetector::default()))
+        .add_analyzer(Box::new(iokc_analysis::TrendDetector::default()))
+        .add_usage(Box::new(RegenerateUsage::default()));
+    cycle
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge_cycle");
+    group.sample_size(10);
+
+    group.bench_function("full_iteration_4ranks", |b| {
+        b.iter(|| {
+            let mut cycle = build_cycle(17);
+            let report = cycle.run_once().expect("cycle runs");
+            assert_eq!(report.extracted, 1);
+            black_box(report.persisted_ids)
+        });
+    });
+
+    group.bench_function("three_iterations_with_regeneration", |b| {
+        b.iter(|| {
+            let mut cycle = build_cycle(18);
+            let reports = cycle.run_iterative(3).expect("cycle iterates");
+            assert_eq!(reports.len(), 3);
+            black_box(reports.len())
+        });
+    });
+
+    // Extraction alone: parse a fixed artifact set repeatedly.
+    let artifacts = {
+        let world = World::new(SystemConfig::test_small(), FaultPlan::none(), 19);
+        let config = IorConfig::parse_command(
+            "ior -a mpiio -b 1m -t 256k -s 2 -F -C -e -i 4 -o /scratch/x -k",
+        )
+        .expect("bench command parses");
+        let mut generator = IorGenerator::new(world, JobLayout::new(4, 2), config, 19);
+        iokc_core::phases::Generator::generate(&mut generator).expect("artifacts")
+    };
+    group.bench_function("extract_and_persist_only", |b| {
+        b.iter(|| {
+            let refs: Vec<&iokc_core::phases::Artifact> = artifacts
+                .iter()
+                .filter(|a| IorExtractor.accepts(a))
+                .collect();
+            let items = IorExtractor.extract(&refs).expect("extracts");
+            let mut store = KnowledgeStore::in_memory();
+            let mut ids = Vec::new();
+            for item in &items {
+                if let iokc_core::model::KnowledgeItem::Benchmark(k) = item {
+                    ids.push(store.save_knowledge(k).expect("persists"));
+                }
+            }
+            black_box(ids)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle);
+criterion_main!(benches);

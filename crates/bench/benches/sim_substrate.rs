@@ -1,0 +1,78 @@
+//! Substrate benches: the max–min flow solver and the event engine —
+//! the ablation targets DESIGN.md §6 calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::flow::{solve_rates, FlowPath};
+use iokc_sim::prelude::{OpenMode, ScriptSet, SystemConfig};
+use iokc_sim::rng::Rng;
+use std::hint::black_box;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_solver");
+    for &nflows in &[16usize, 64, 256, 1024] {
+        let nres = 64u32;
+        let mut rng = Rng::seed_from(9);
+        let capacities: Vec<f64> =
+            (0..nres).map(|_| rng.uniform(1e8, 1e10)).collect();
+        let flows: Vec<FlowPath> = (0..nflows)
+            .map(|_| {
+                FlowPath::new(vec![
+                    rng.next_below(u64::from(nres)) as u32,
+                    rng.next_below(u64::from(nres)) as u32,
+                    rng.next_below(u64::from(nres)) as u32,
+                ])
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("maxmin", nflows), &nflows, |b, _| {
+            b.iter(|| black_box(solve_rates(&capacities, &flows)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(20);
+
+    group.bench_function("write_phase_16ranks_64MiB", |b| {
+        b.iter(|| {
+            let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 4);
+            let mut scripts = ScriptSet::new(16);
+            for rank in 0..16u32 {
+                let path = format!("/scratch/b{rank}");
+                scripts.rank(rank).open(&path, OpenMode::Write);
+                for i in 0..4u64 {
+                    scripts.rank(rank).write(&path, i << 20, 1 << 20);
+                }
+                scripts.rank(rank).close(&path).barrier();
+            }
+            let result = world.run(JobLayout::new(16, 4), &scripts).unwrap();
+            black_box(result.finished)
+        });
+    });
+
+    group.bench_function("metadata_phase_2000_creates", |b| {
+        b.iter(|| {
+            let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 5);
+            let mut scripts = ScriptSet::new(4);
+            for rank in 0..4u32 {
+                let dir = format!("/scratch/md{rank}");
+                scripts.rank(rank).mkdir(&dir);
+                for i in 0..500u32 {
+                    let path = format!("{dir}/f{i}");
+                    scripts.rank(rank).open(&path, OpenMode::Write);
+                    scripts.rank(rank).close(&path);
+                }
+            }
+            let result = world.run(JobLayout::new(4, 2), &scripts).unwrap();
+            black_box(result.finished)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Store benches: bulk insert, indexed-equality vs full-scan selection,
+//! and the SQL front end (ablation: secondary indexes, DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iokc_store::{sql, Column, ColumnType, Database, OrderBy, Predicate, TableSchema, Value};
+use std::hint::black_box;
+
+fn populated(rows: usize) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "performances",
+            vec![
+                Column::required("command", ColumnType::Text),
+                Column::required("api", ColumnType::Text),
+                Column::new("tasks", ColumnType::Integer),
+                Column::new("bw", ColumnType::Real),
+            ],
+        )
+        .with_index("api"),
+    )
+    .unwrap();
+    for i in 0..rows {
+        let api = ["POSIX", "MPIIO", "HDF5"][i % 3];
+        db.insert(
+            "performances",
+            vec![
+                Value::from(format!("ior -b {i}m")),
+                Value::from(api),
+                Value::from((i % 128) as u32),
+                Value::from(i as f64 * 1.5),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    let db = populated(10_000);
+
+    group.bench_function("insert_10k_rows", |b| {
+        b.iter(|| black_box(populated(10_000).row_count("performances").unwrap()));
+    });
+
+    group.bench_function("select_eq_indexed", |b| {
+        b.iter(|| {
+            let rows = db
+                .select(
+                    "performances",
+                    &Predicate::Eq("api".into(), Value::from("MPIIO")),
+                    OrderBy::Id,
+                    None,
+                )
+                .unwrap();
+            black_box(rows.len())
+        });
+    });
+
+    group.bench_function("select_scan_equivalent", |b| {
+        b.iter(|| {
+            let rows = db
+                .select(
+                    "performances",
+                    &Predicate::Contains("api".into(), "MPIIO".into()),
+                    OrderBy::Id,
+                    None,
+                )
+                .unwrap();
+            black_box(rows.len())
+        });
+    });
+
+    group.bench_function("sql_parse_and_select", |b| {
+        b.iter(|| {
+            let rows = sql::query(
+                &db,
+                "SELECT * FROM performances WHERE tasks > 64 AND bw < 5000 ORDER BY bw DESC LIMIT 20",
+            )
+            .unwrap();
+            black_box(rows.len())
+        });
+    });
+
+    group.bench_function("json_image_roundtrip_1k", |b| {
+        let small = populated(1_000);
+        b.iter(|| {
+            let image = iokc_store::persist::to_json(&small);
+            let restored = iokc_store::persist::from_json(&image).unwrap();
+            black_box(restored.row_count("performances").unwrap())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

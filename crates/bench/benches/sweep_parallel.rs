@@ -1,0 +1,50 @@
+//! Sweep benches: sequential vs Rayon-parallel workpackage execution
+//! (ablation: sweep parallelism, DESIGN.md §6). Each workpackage runs a
+//! small IOR job in its own simulated world.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iokc_benchmarks::ior::{run_ior, IorConfig};
+use iokc_jube::{run_sweep, run_sweep_parallel, JubeConfig};
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::prelude::SystemConfig;
+use std::hint::black_box;
+
+const SWEEP: &str = "\
+benchmark bench-sweep
+param xfer = 64k, 128k, 256k, 512k
+param block = 512k, 1m
+step run = ior -a posix -b $block -t $xfer -s 2 -F -i 1 -o /scratch/bs$wp -k -w
+pattern write_bw = Max Write: {bw:f} MiB/sec
+";
+
+fn runner(wp: usize, _step: &str, command: &str) -> Result<String, String> {
+    let config = IorConfig::parse_command(command).map_err(|e| e.to_string())?;
+    let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), wp as u64);
+    let result = run_ior(&mut world, JobLayout::new(4, 2), &config, wp as u64)
+        .map_err(|e| e.to_string())?;
+    Ok(result.render())
+}
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jube_sweep");
+    group.sample_size(10);
+    let config = JubeConfig::parse(SWEEP).unwrap();
+
+    group.bench_function("sequential_8_workpackages", |b| {
+        b.iter(|| {
+            let workspace = run_sweep(&config, runner).unwrap();
+            black_box(workspace.workpackages.len())
+        });
+    });
+    group.bench_function("rayon_8_workpackages", |b| {
+        b.iter(|| {
+            let workspace = run_sweep_parallel(&config, || runner).unwrap();
+            black_box(workspace.workpackages.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

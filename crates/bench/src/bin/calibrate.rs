@@ -1,0 +1,13 @@
+//! Quick calibration check: print the Fig. 5 series at paper scale.
+
+fn main() {
+    let start = std::time::Instant::now();
+    let data = iokc_bench::run_fig5(42);
+    println!("fig5 wall time: {:.1?}", start.elapsed());
+    for s in &data.run.samples {
+        println!(
+            "iter {} {:<5} bw {:8.1} MiB/s iops {:8.1} total {:6.2}s",
+            s.iter, s.access.as_str(), s.bw_mib, s.iops, s.total_s
+        );
+    }
+}

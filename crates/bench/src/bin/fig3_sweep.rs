@@ -1,0 +1,71 @@
+//! Regenerate the Figure 3 ablation: the I/O performance impact factors
+//! (application, middleware, file system, hardware), each swept on the
+//! simulated FUCHS-CSC system with its effect on write bandwidth.
+//!
+//! Figure 3 in the paper is a taxonomy, not a data plot; this binary
+//! turns each named factor into a measured sweep so the taxonomy is
+//! backed by numbers (DESIGN.md experiment F3).
+//!
+//! ```text
+//! cargo run --release -p iokc-bench --bin fig3_sweep
+//! ```
+
+use iokc_analysis::ascii_bars;
+use iokc_bench::run_fig3_sweep;
+
+fn main() {
+    let started = std::time::Instant::now();
+    let points = run_fig3_sweep(11);
+    eprintln!("fig3 sweep in {:.1?}\n", started.elapsed());
+
+    println!("Figure 3 — I/O performance impact factors (write bandwidth, MiB/s)\n");
+    let mut current = String::new();
+    let mut group: Vec<(String, f64)> = Vec::new();
+    let flush = |factor: &str, group: &mut Vec<(String, f64)>| {
+        if group.is_empty() {
+            return;
+        }
+        println!("factor: {factor}");
+        print!("{}", ascii_bars(group, 36));
+        println!();
+        group.clear();
+    };
+    for point in &points {
+        if point.factor != current && !current.is_empty() {
+            flush(&current.clone(), &mut group);
+        }
+        current = point.factor.clone();
+        group.push((point.value.clone(), point.write_mib));
+    }
+    flush(&current.clone(), &mut group);
+
+    // Shape assertions: each factor must visibly move performance.
+    let value = |factor: &str, v: &str| -> f64 {
+        points
+            .iter()
+            .find(|p| p.factor == factor && p.value == v)
+            .map(|p| p.write_mib)
+            .unwrap_or_else(|| panic!("missing point {factor}/{v}"))
+    };
+    assert!(
+        value("transfer_size", "4m") > value("transfer_size", "256k"),
+        "larger transfers must win"
+    );
+    assert!(
+        value("access_mode", "file-per-process") >= value("access_mode", "shared-file"),
+        "file-per-process must not trail the shared file"
+    );
+    assert!(
+        value("stripe_count", "4") > value("stripe_count", "1") * 1.5,
+        "striping must help the single writer"
+    );
+    assert!(
+        value("nodes", "2") > value("nodes", "1") * 1.2,
+        "a second node must add bandwidth while storage has headroom"
+    );
+    assert!(
+        value("nodes", "4") >= value("nodes", "2") * 0.95,
+        "beyond saturation more nodes must at least hold the level"
+    );
+    println!("all Figure 3 factor effects reproduced (see DESIGN.md F3).");
+}

@@ -1,0 +1,103 @@
+//! Regenerate Figure 5 of the paper: per-iteration write/read throughput
+//! and operation rates for the §V-E1 IOR run (80 ranks, FUCHS-CSC), with
+//! the iteration-2 anomaly, plus the knowledge explorer's detection.
+//!
+//! ```text
+//! cargo run --release -p iokc-bench --bin fig5_iterations
+//! ```
+//!
+//! Writes `figures/fig5_throughput.svg` and prints the series the paper's
+//! chart shows. Paper values: write mean ≈ 2850 MiB/s for iterations
+//! {1,3,4,5,6}, iteration 2 ≈ 1251 MiB/s; reads ≈ 3110 MiB/s.
+
+use iokc_analysis::{bar_chart, ChartOptions, IterationVarianceDetector, Series};
+use iokc_bench::run_fig5;
+use iokc_benchmarks::Access;
+
+fn main() {
+    let started = std::time::Instant::now();
+    let data = run_fig5(42);
+    eprintln!("fig5 regenerated in {:.1?}", started.elapsed());
+
+    println!("Figure 5 — performance analysis through multiple iterations");
+    println!("command: {}\n", data.knowledge.command);
+    println!("iter   write MiB/s   write ops/s   read MiB/s   read ops/s");
+    let mut write_series = Vec::new();
+    let mut read_series = Vec::new();
+    let mut write_ops = Vec::new();
+    let mut read_ops = Vec::new();
+    for iteration in 0..6u32 {
+        let w = data
+            .run
+            .samples_of(Access::Write)
+            .find(|s| s.iter == iteration)
+            .expect("write sample");
+        let r = data
+            .run
+            .samples_of(Access::Read)
+            .find(|s| s.iter == iteration)
+            .expect("read sample");
+        println!(
+            "{iteration:>4}   {:>11.1}   {:>11.1}   {:>10.1}   {:>10.1}",
+            w.bw_mib, w.iops, r.bw_mib, r.iops
+        );
+        write_series.push((f64::from(iteration), w.bw_mib));
+        read_series.push((f64::from(iteration), r.bw_mib));
+        write_ops.push(w.iops);
+        read_ops.push(r.iops);
+    }
+
+    // Paper-vs-measured summary.
+    let writes: Vec<f64> = write_series.iter().map(|(_, v)| *v).collect();
+    let peers: Vec<f64> = writes
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1)
+        .map(|(_, v)| *v)
+        .collect();
+    let peer_mean = iokc_util::stats::mean(&peers);
+    println!("\npaper:    write mean 2850 MiB/s, anomalous iteration 1251 MiB/s (44%)");
+    println!(
+        "measured: write mean {:.0} MiB/s, anomalous iteration {:.0} MiB/s ({:.0}%)",
+        peer_mean,
+        writes[1],
+        writes[1] / peer_mean * 100.0
+    );
+
+    // The knowledge explorer detects the anomaly.
+    let anomalies = IterationVarianceDetector::default().detect(&data.knowledge);
+    for anomaly in &anomalies {
+        println!(
+            "\ndetected: {} iteration {} at {:.0} MiB/s (robust z = {:.1}), corroborated by {}",
+            anomaly.operation,
+            anomaly.iteration,
+            anomaly.bw_mib,
+            anomaly.score,
+            anomaly.corroborated_by.join(", ")
+        );
+    }
+    assert!(
+        anomalies.iter().any(|a| a.iteration == 1 && a.operation == "write"),
+        "the Fig. 5 anomaly must be detected"
+    );
+
+    // Export the chart (write/read throughput per iteration, Fig. 5's
+    // upper panel layout).
+    std::fs::create_dir_all("figures").expect("figures dir");
+    let categories: Vec<String> = (1..=6).map(|i| format!("iter {i}")).collect();
+    let svg = bar_chart(
+        &categories,
+        &[
+            Series { label: "write MiB/s".into(), points: write_series },
+            Series { label: "read MiB/s".into(), points: read_series },
+        ],
+        &ChartOptions {
+            title: "Fig. 5 — throughput per iteration (simulated FUCHS-CSC)".into(),
+            x_label: "iteration".into(),
+            y_label: "MiB/s".into(),
+            ..ChartOptions::default()
+        },
+    );
+    std::fs::write("figures/fig5_throughput.svg", svg).expect("write svg");
+    println!("\nwrote figures/fig5_throughput.svg");
+}

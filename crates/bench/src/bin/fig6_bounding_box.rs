@@ -1,0 +1,111 @@
+//! Regenerate Figure 6 of the paper: IO500 boundary test cases at 40
+//! ranks — write-phase variance across runs, stable reads, and one run
+//! whose `ior-easy-read` collapses under a broken node, flagged by the
+//! bounding box.
+//!
+//! ```text
+//! cargo run --release -p iokc-bench --bin fig6_bounding_box
+//! ```
+//!
+//! Writes `figures/fig6_bounding_box.svg`.
+
+use iokc_analysis::{box_plot, ChartOptions, BoundingBox, Describe, Verdict};
+use iokc_bench::run_fig6;
+use iokc_core::model::Io500Knowledge;
+use iokc_extract::parse_io500_output;
+
+const DIMENSIONS: [&str; 4] = [
+    "ior-easy-write",
+    "ior-easy-read",
+    "ior-hard-write",
+    "ior-hard-read",
+];
+
+fn main() {
+    let started = std::time::Instant::now();
+    let data = run_fig6(4, 7);
+    eprintln!("fig6 regenerated in {:.1?}", started.elapsed());
+
+    let references: Vec<Io500Knowledge> = data
+        .references
+        .iter()
+        .map(|r| parse_io500_output(&r.render()).expect("io500 output parses"))
+        .collect();
+    let degraded = parse_io500_output(&data.degraded.render()).expect("io500 output parses");
+
+    println!("Figure 6 — anomaly detection through IO500 boundary test cases");
+    println!("\nper-run values (GiB/s):");
+    println!("run        easy-write  easy-read  hard-write  hard-read");
+    for (i, run) in references.iter().enumerate() {
+        print_run(&format!("ref {i}"), run);
+    }
+    print_run("DEGRADED", &degraded);
+
+    // Variance structure the paper observes: writes scatter, reads don't.
+    let series = |name: &str| -> Vec<f64> {
+        references
+            .iter()
+            .map(|r| r.testcase(name).expect("testcase").value)
+            .collect()
+    };
+    let cv = |v: &[f64]| iokc_util::stats::stddev(v) / iokc_util::stats::mean(v).max(1e-12);
+    println!("\ncoefficient of variation across healthy runs:");
+    for name in DIMENSIONS {
+        println!("  {name:<16} {:.3}", cv(&series(name)));
+    }
+    assert!(
+        cv(&series("ior-easy-write")) > cv(&series("ior-easy-read")),
+        "paper shape: write variance large, read variance small"
+    );
+
+    // The bounding box flags the degraded read.
+    let refs: Vec<&Io500Knowledge> = references.iter().collect();
+    let bbox = BoundingBox::fit(&refs, &DIMENSIONS, 0.15);
+    println!("\n{}", bbox.render_check(&degraded));
+    let verdicts = bbox.check(&degraded);
+    let below: Vec<&str> = verdicts
+        .iter()
+        .filter(|(_, _, v)| *v == Verdict::Below)
+        .map(|(n, _, _)| n.as_str())
+        .collect();
+    assert!(
+        below.contains(&"ior-easy-read"),
+        "the broken-node read must fall below the box (got {below:?})"
+    );
+    println!("paper:    bad ior-easy read attributed to a possibly broken node");
+    println!("measured: {below:?} below the expectation box (injected: node 0 NIC at 4%)");
+
+    // Export the box-plot view (reference distribution per dimension with
+    // the degraded run visible as the outlier context).
+    std::fs::create_dir_all("figures").expect("figures dir");
+    let boxes: Vec<(String, Describe)> = DIMENSIONS
+        .iter()
+        .map(|name| {
+            let mut values = series(name);
+            values.push(degraded.testcase(name).expect("testcase").value);
+            ((*name).to_owned(), Describe::of(&values))
+        })
+        .collect();
+    let svg = box_plot(
+        &boxes,
+        &ChartOptions {
+            title: "Fig. 6 — IO500 boundary test cases (simulated FUCHS-CSC)".into(),
+            x_label: "test case".into(),
+            y_label: "GiB/s".into(),
+            ..ChartOptions::default()
+        },
+    );
+    std::fs::write("figures/fig6_bounding_box.svg", svg).expect("write svg");
+    println!("\nwrote figures/fig6_bounding_box.svg");
+}
+
+fn print_run(label: &str, run: &Io500Knowledge) {
+    let value = |name: &str| run.testcase(name).map(|t| t.value).unwrap_or(0.0);
+    println!(
+        "{label:<10} {:>10.3} {:>10.3} {:>11.3} {:>10.3}",
+        value("ior-easy-write"),
+        value("ior-easy-read"),
+        value("ior-hard-write"),
+        value("ior-hard-read"),
+    );
+}

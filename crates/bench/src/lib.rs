@@ -1,0 +1,16 @@
+//! `iokc-bench` — the benchmark/experiment harness.
+//!
+//! [`experiments`] reproduces every figure of the paper on the simulated
+//! FUCHS-CSC system; the `src/bin` binaries print each figure's series,
+//! and the Criterion benches under `benches/` measure the substrate and
+//! regenerate the figures under timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{
+    paper_layout, run_fig3_sweep, run_fig5, run_fig6, Fig5Data, Fig6Data, SweepPoint,
+    PAPER_COMMAND,
+};

@@ -1,0 +1,444 @@
+//! [`Generator`] phase modules: benchmarks as knowledge sources (§V-A).
+//!
+//! Each generator owns a simulated [`World`] (its "allocation" on the
+//! cluster), runs its benchmark when the cycle asks, and emits the raw
+//! artifacts a real deployment would leave behind: the benchmark's stdout
+//! in its native format, BeeGFS entry info for the test file, `/proc`
+//! snapshots, and (optionally) a binary Darshan log. The IOR generator is
+//! reconfigurable, closing Example I's loop: the usage phase hands it a
+//! new command and the next cycle iteration runs it.
+
+use crate::hacc::{run_hacc, HaccConfig};
+use crate::instrument::{darshan_from_phases, InstrumentOptions};
+use crate::io500::{run_io500, Io500Config};
+use crate::ior::{run_ior, IorConfig};
+use crate::mdtest::{run_mdtest, MdtestConfig};
+use iokc_core::phases::{Artifact, ArtifactKind, CycleError, Generator, PhaseKind};
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::sysinfo::ProcSnapshot;
+
+/// Unix-time base for simulated runs (the paper's submission era).
+const EPOCH: u64 = 1_656_590_400;
+
+/// An IOR run as a knowledge generator.
+pub struct IorGenerator {
+    world: World,
+    layout: JobLayout,
+    config: IorConfig,
+    seed: u64,
+    /// Also emit a binary Darshan log artifact for each run.
+    pub with_darshan: bool,
+    runs: u64,
+}
+
+impl IorGenerator {
+    /// Create a generator executing `config` on `world`.
+    #[must_use]
+    pub fn new(world: World, layout: JobLayout, config: IorConfig, seed: u64) -> IorGenerator {
+        IorGenerator { world, layout, config, seed, with_darshan: false, runs: 0 }
+    }
+
+    /// The current command line.
+    #[must_use]
+    pub fn command(&self) -> String {
+        self.config.to_command()
+    }
+
+    /// Access the world (inspection in tests and examples).
+    #[must_use]
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+}
+
+impl Generator for IorGenerator {
+    fn name(&self) -> &str {
+        "ior-generator"
+    }
+
+    /// Accept any command the IOR front end can parse (the cycle's
+    /// regeneration path).
+    fn reconfigure(&mut self, command: &str) -> bool {
+        match IorConfig::parse_command(command) {
+            Ok(config) => {
+                self.config = config;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+        let run_tag = format!("ior-run-{}", self.runs);
+        self.runs += 1;
+        let start_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let result = run_ior(&mut self.world, self.layout, &self.config, self.seed ^ self.runs)
+            .map_err(|e| CycleError::new(PhaseKind::Generation, "ior-generator", e))?;
+        let end_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let system_name = self.world.system().cluster.name.clone();
+
+        let mut artifacts = Vec::new();
+        let with_run_meta = |a: Artifact| {
+            a.with_meta("run", &run_tag)
+                .with_meta("system", &system_name)
+                .with_meta("tasks", &self.layout.np.to_string())
+                .with_meta("start_time", &start_unix.to_string())
+                .with_meta("end_time", &end_unix.to_string())
+        };
+        artifacts.push(with_run_meta(
+            Artifact::text(ArtifactKind::IorOutput, "ior_stdout", result.render())
+                .with_meta("command", &self.config.to_command()),
+        ));
+        // Entry info of the (first) test file, when it still exists — in
+        // the format of whatever file system the world is configured with.
+        let probe = self.config.file_for(0);
+        if self.world.system().pfs.fs_type.eq_ignore_ascii_case("lustre") {
+            if let Some(text) = self.world.namespace().entry_info_lustre(&probe) {
+                artifacts.push(with_run_meta(Artifact::text(
+                    ArtifactKind::LustreStripeInfo,
+                    "getstripe",
+                    text,
+                )));
+            }
+        } else if let Some(text) = self.world.namespace().entry_info(&probe) {
+            artifacts.push(with_run_meta(Artifact::text(
+                ArtifactKind::BeegfsEntryInfo,
+                "entryinfo",
+                text,
+            )));
+        }
+        let snapshot = ProcSnapshot::of(&self.world.system().cluster);
+        artifacts.push(with_run_meta(Artifact::text(
+            ArtifactKind::ProcCpuinfo,
+            "cpuinfo",
+            snapshot.render_cpuinfo(),
+        )));
+        artifacts.push(with_run_meta(Artifact::text(
+            ArtifactKind::ProcMeminfo,
+            "meminfo",
+            snapshot.render_meminfo(),
+        )));
+        if self.with_darshan {
+            let phase_refs: Vec<&iokc_sim::metrics::PhaseResult> =
+                result.phases.iter().map(|(_, _, p)| p).collect();
+            let log = darshan_from_phases(
+                &phase_refs,
+                &InstrumentOptions {
+                    job_id: self.runs,
+                    nprocs: self.layout.np,
+                    exe: "ior".to_owned(),
+                    dxt: true,
+                    api: self.config.api,
+                    start_unix,
+                },
+            );
+            artifacts.push(with_run_meta(Artifact::binary(
+                ArtifactKind::DarshanLog,
+                "darshan.log",
+                iokc_darshan::encode(&log),
+            )));
+        }
+        Ok(artifacts)
+    }
+}
+
+/// An IO500 run as a knowledge generator.
+pub struct Io500Generator {
+    world: World,
+    layout: JobLayout,
+    config: Io500Config,
+    runs: u64,
+}
+
+impl Io500Generator {
+    /// Create a generator executing the suite on `world`.
+    #[must_use]
+    pub fn new(world: World, layout: JobLayout, config: Io500Config) -> Io500Generator {
+        Io500Generator { world, layout, config, runs: 0 }
+    }
+}
+
+impl Generator for Io500Generator {
+    fn name(&self) -> &str {
+        "io500-generator"
+    }
+
+    fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+        let run_tag = format!("io500-run-{}", self.runs);
+        self.runs += 1;
+        let start_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let result = run_io500(&mut self.world, self.layout, &self.config)
+            .map_err(|e| CycleError::new(PhaseKind::Generation, "io500-generator", e))?;
+        let system_name = self.world.system().cluster.name.clone();
+        let snapshot = ProcSnapshot::of(&self.world.system().cluster);
+        let with_run_meta = |a: Artifact| {
+            a.with_meta("run", &run_tag)
+                .with_meta("system", &system_name)
+                .with_meta("tasks", &self.layout.np.to_string())
+                .with_meta("start_time", &start_unix.to_string())
+        };
+        Ok(vec![
+            with_run_meta(
+                Artifact::text(ArtifactKind::Io500Output, "io500_result", result.render())
+                    .with_meta("dir", &self.config.dir),
+            ),
+            with_run_meta(Artifact::text(
+                ArtifactKind::ProcCpuinfo,
+                "cpuinfo",
+                snapshot.render_cpuinfo(),
+            )),
+            with_run_meta(Artifact::text(
+                ArtifactKind::ProcMeminfo,
+                "meminfo",
+                snapshot.render_meminfo(),
+            )),
+        ])
+    }
+}
+
+/// An mdtest run as a knowledge generator.
+pub struct MdtestGenerator {
+    world: World,
+    layout: JobLayout,
+    config: MdtestConfig,
+    runs: u64,
+}
+
+impl MdtestGenerator {
+    /// Create a generator executing `config` on `world`.
+    #[must_use]
+    pub fn new(world: World, layout: JobLayout, config: MdtestConfig) -> MdtestGenerator {
+        MdtestGenerator { world, layout, config, runs: 0 }
+    }
+}
+
+impl Generator for MdtestGenerator {
+    fn name(&self) -> &str {
+        "mdtest-generator"
+    }
+
+    fn reconfigure(&mut self, command: &str) -> bool {
+        match MdtestConfig::parse_command(command) {
+            Ok(config) => {
+                self.config = config;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+        let run_tag = format!("mdtest-run-{}", self.runs);
+        self.runs += 1;
+        let start_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let result = run_mdtest(&mut self.world, self.layout, &self.config)
+            .map_err(|e| CycleError::new(PhaseKind::Generation, "mdtest-generator", e))?;
+        let end_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let system_name = self.world.system().cluster.name.clone();
+        Ok(vec![Artifact::text(
+            ArtifactKind::MdtestOutput,
+            "mdtest_stdout",
+            result.render(),
+        )
+        .with_meta("run", &run_tag)
+        .with_meta("system", &system_name)
+        .with_meta("tasks", &self.layout.np.to_string())
+        .with_meta("command", &self.config.to_command())
+        .with_meta("start_time", &start_unix.to_string())
+        .with_meta("end_time", &end_unix.to_string())])
+    }
+}
+
+/// A HACC-IO run as a knowledge generator.
+pub struct HaccGenerator {
+    world: World,
+    layout: JobLayout,
+    config: HaccConfig,
+    runs: u64,
+}
+
+impl HaccGenerator {
+    /// Create a generator executing `config` on `world`.
+    #[must_use]
+    pub fn new(world: World, layout: JobLayout, config: HaccConfig) -> HaccGenerator {
+        HaccGenerator { world, layout, config, runs: 0 }
+    }
+}
+
+impl Generator for HaccGenerator {
+    fn name(&self) -> &str {
+        "hacc-generator"
+    }
+
+    fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+        let run_tag = format!("hacc-run-{}", self.runs);
+        self.runs += 1;
+        let start_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        // Fresh file set per run: HACC-IO overwrites its checkpoint; the
+        // simulated namespace keeps files, so unlink the previous set.
+        if self.runs > 1 {
+            let mut cleanup = iokc_sim::script::ScriptSet::new(self.layout.np);
+            for rank in 0..self.layout.np {
+                let (file, _) = hacc_file_of(&self.config, rank);
+                if self.world.namespace().file(&file).is_some()
+                    && !cleanup.paths().contains(&file)
+                {
+                    cleanup.rank(rank % self.layout.np).unlink(&file);
+                }
+            }
+            if cleanup.total_ops() > 0 {
+                self.world
+                    .run(self.layout, &cleanup)
+                    .map_err(|e| CycleError::new(PhaseKind::Generation, "hacc-generator", e))?;
+            }
+        }
+        let result = run_hacc(&mut self.world, self.layout, &self.config)
+            .map_err(|e| CycleError::new(PhaseKind::Generation, "hacc-generator", e))?;
+        let end_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let system_name = self.world.system().cluster.name.clone();
+        Ok(vec![Artifact::text(
+            ArtifactKind::HaccOutput,
+            "hacc_stdout",
+            result.render(),
+        )
+        .with_meta("run", &run_tag)
+        .with_meta("system", &system_name)
+        .with_meta("tasks", &self.layout.np.to_string())
+        .with_meta("start_time", &start_unix.to_string())
+        .with_meta("end_time", &end_unix.to_string())])
+    }
+}
+
+/// The file a rank writes in a HACC-IO configuration (mirror of the
+/// private `HaccConfig::file_of`).
+fn hacc_file_of(config: &HaccConfig, rank: u32) -> (String, u64) {
+    match config.mode {
+        crate::hacc::FileMode::SingleSharedFile => (config.path.clone(), 0),
+        crate::hacc::FileMode::FilePerProcess => (format!("{}.{rank:06}", config.path), 0),
+        crate::hacc::FileMode::FilePerGroup { group_size } => {
+            let group = rank / group_size.max(1);
+            (format!("{}.g{group:04}", config.path), 0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_sim::config::SystemConfig;
+    use iokc_sim::faults::FaultPlan;
+
+    fn small_world(seed: u64) -> World {
+        World::new(SystemConfig::test_small(), FaultPlan::none(), seed)
+    }
+
+    #[test]
+    fn ior_generator_emits_expected_artifacts() {
+        let config =
+            IorConfig::parse_command("ior -a posix -b 1m -t 256k -s 1 -i 1 -o /scratch/g -F -k")
+                .unwrap();
+        let mut generator =
+            IorGenerator::new(small_world(3), JobLayout::new(2, 2), config, 1);
+        generator.with_darshan = true;
+        let artifacts = generator.generate().unwrap();
+        let kinds: Vec<ArtifactKind> = artifacts.iter().map(|a| a.kind).collect();
+        assert!(kinds.contains(&ArtifactKind::IorOutput));
+        assert!(kinds.contains(&ArtifactKind::BeegfsEntryInfo));
+        assert!(kinds.contains(&ArtifactKind::ProcCpuinfo));
+        assert!(kinds.contains(&ArtifactKind::ProcMeminfo));
+        assert!(kinds.contains(&ArtifactKind::DarshanLog));
+        let ior = artifacts.iter().find(|a| a.kind == ArtifactKind::IorOutput).unwrap();
+        assert!(ior.as_text().unwrap().contains("Max Write:"));
+        assert_eq!(ior.meta["run"], "ior-run-0");
+        assert_eq!(ior.meta["tasks"], "2");
+        // Second run advances the tag and time.
+        let again = generator.generate().unwrap();
+        assert_eq!(again[0].meta["run"], "ior-run-1");
+        assert!(again[0].meta["start_time"] >= ior.meta["start_time"]);
+    }
+
+    #[test]
+    fn lustre_world_emits_getstripe_artifacts() {
+        let mut system = SystemConfig::test_small();
+        system.pfs.fs_type = "Lustre".to_owned();
+        let world = World::new(system, FaultPlan::none(), 4);
+        let config =
+            IorConfig::parse_command("ior -a posix -b 512k -t 256k -s 1 -F -i 1 -o /scratch/lg -k")
+                .unwrap();
+        let mut generator = IorGenerator::new(world, JobLayout::new(2, 2), config, 1);
+        let artifacts = generator.generate().unwrap();
+        let kinds: Vec<ArtifactKind> = artifacts.iter().map(|a| a.kind).collect();
+        assert!(kinds.contains(&ArtifactKind::LustreStripeInfo));
+        assert!(!kinds.contains(&ArtifactKind::BeegfsEntryInfo));
+        let lfs = artifacts
+            .iter()
+            .find(|a| a.kind == ArtifactKind::LustreStripeInfo)
+            .unwrap();
+        assert!(lfs.as_text().unwrap().contains("lmm_stripe_count"));
+    }
+
+    #[test]
+    fn ior_generator_reconfigures() {
+        let config =
+            IorConfig::parse_command("ior -a posix -b 1m -t 256k -s 1 -i 1 -o /scratch/r -F -k")
+                .unwrap();
+        let mut generator = IorGenerator::new(small_world(5), JobLayout::new(2, 2), config, 1);
+        assert!(generator.reconfigure("ior -a posix -b 2m -t 256k -s 1 -i 1 -o /scratch/r -F -k"));
+        assert!(generator.command().contains("-b 2m"));
+        assert!(!generator.reconfigure("mdtest -n 100"));
+        let artifacts = generator.generate().unwrap();
+        assert!(artifacts[0].meta["command"].contains("-b 2m"));
+    }
+
+    #[test]
+    fn mdtest_generator_reconfigures_and_emits() {
+        let config = MdtestConfig::parse_command("mdtest -n 8 -d /scratch -u").unwrap();
+        let mut generator = MdtestGenerator::new(small_world(7), JobLayout::new(2, 2), config);
+        let artifacts = generator.generate().unwrap();
+        assert_eq!(artifacts.len(), 1);
+        assert_eq!(artifacts[0].kind, ArtifactKind::MdtestOutput);
+        assert!(artifacts[0].as_text().unwrap().contains("SUMMARY rate:"));
+        assert!(generator.reconfigure("mdtest -n 4 -d /scratch -w 128"));
+        assert!(!generator.reconfigure("ior -b 4m"));
+        let again = generator.generate().unwrap();
+        assert!(again[0].meta["command"].contains("-w 128"));
+    }
+
+    #[test]
+    fn hacc_generator_runs_twice() {
+        use crate::hacc::FileMode;
+        use iokc_sim::api::IoApi;
+        let config = HaccConfig::new(
+            10_000,
+            FileMode::FilePerProcess,
+            IoApi::Posix,
+            "/scratch/haccgen",
+        );
+        let mut generator = HaccGenerator::new(small_world(8), JobLayout::new(2, 2), config);
+        let first = generator.generate().unwrap();
+        assert!(first[0]
+            .as_text()
+            .unwrap()
+            .contains("Aggregate Checkpoint Performance"));
+        // Second run must clean up the previous checkpoint files first.
+        let second = generator.generate().unwrap();
+        assert_eq!(second[0].meta["run"], "hacc-run-1");
+    }
+
+    #[test]
+    fn io500_generator_emits_result_block() {
+        let mut generator = Io500Generator::new(
+            small_world(9),
+            JobLayout::new(2, 2),
+            Io500Config::small("/scratch/gen500"),
+        );
+        let artifacts = generator.generate().unwrap();
+        let output = artifacts
+            .iter()
+            .find(|a| a.kind == ArtifactKind::Io500Output)
+            .unwrap();
+        assert!(output.as_text().unwrap().contains("[SCORE ]"));
+        assert_eq!(output.meta["tasks"], "2");
+        assert_eq!(output.meta["dir"], "/scratch/gen500");
+    }
+}

@@ -1,0 +1,240 @@
+//! IOR-format output rendering.
+//!
+//! Reproduces the structure of IOR 3.x stdout — the options block, the
+//! per-iteration results table, `Max Write:`/`Max Read:` lines, and the
+//! `Summary of all tests:` table — because the knowledge extractor
+//! (§V-B of the paper) parses exactly this text.
+
+use crate::ior::{Access, IorRunResult};
+use iokc_util::stats;
+
+/// One row of the per-iteration results table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IorSample {
+    /// Write or read.
+    pub access: Access,
+    /// Aggregate bandwidth over the phase's total time, MiB/s.
+    pub bw_mib: f64,
+    /// Transfer operations per second over the data span.
+    pub iops: f64,
+    /// Mean per-op latency, seconds.
+    pub latency_s: f64,
+    /// Block size, KiB (output column).
+    pub block_kib: u64,
+    /// Transfer size, KiB (output column).
+    pub xfer_kib: u64,
+    /// Open span, seconds.
+    pub open_s: f64,
+    /// Data-transfer span, seconds.
+    pub wrrd_s: f64,
+    /// Close span, seconds.
+    pub close_s: f64,
+    /// Total phase time, seconds.
+    pub total_s: f64,
+    /// Iteration index.
+    pub iter: u32,
+    /// Number of transfer operations.
+    pub ops: u64,
+}
+
+/// Render a complete IOR output document.
+#[must_use]
+pub fn render_output(run: &IorRunResult) -> String {
+    let cfg = &run.config;
+    let mut out = String::new();
+    out.push_str("IOR-3.3.0 (iokc reimplementation): MPI Coordinated Test of Parallel I/O\n");
+    out.push_str(&format!("Command line        : {}\n", cfg.to_command()));
+    out.push_str("Machine             : Linux fuchs-csc\n");
+    out.push_str(&format!("Path                : {}\n", cfg.test_file));
+    out.push('\n');
+    out.push_str("Options:\n");
+    out.push_str(&format!("api                 : {}\n", cfg.api.as_str()));
+    out.push_str(&format!("test filename       : {}\n", cfg.test_file));
+    out.push_str(&format!(
+        "access              : {}\n",
+        if cfg.file_per_proc { "file-per-process" } else { "single-shared-file" }
+    ));
+    out.push_str(&format!(
+        "type                : {}\n",
+        if cfg.collective { "collective" } else { "independent" }
+    ));
+    out.push_str(&format!("segments            : {}\n", cfg.segments));
+    out.push_str("ordering in a file  : sequential\n");
+    out.push_str(&format!(
+        "ordering inter file : {}\n",
+        if cfg.reorder_tasks {
+            "constant task offset"
+        } else {
+            "no tasks offsets"
+        }
+    ));
+    out.push_str(&format!("nodes               : {}\n", run.np.div_ceil(run.ppn)));
+    out.push_str(&format!("tasks               : {}\n", run.np));
+    out.push_str(&format!("clients per node    : {}\n", run.ppn));
+    out.push_str(&format!("repetitions         : {}\n", cfg.iterations));
+    out.push_str(&format!(
+        "xfersize            : {}\n",
+        iokc_util::units::format_size(cfg.transfer_size)
+    ));
+    out.push_str(&format!(
+        "blocksize           : {}\n",
+        iokc_util::units::format_size(cfg.block_size)
+    ));
+    out.push_str(&format!(
+        "aggregate filesize  : {:.2} GiB\n",
+        iokc_util::units::to_gib(cfg.aggregate_bytes(run.np))
+    ));
+    out.push('\n');
+    out.push_str("Results:\n\n");
+    out.push_str(
+        "access    bw(MiB/s)  IOPS       Latency(s)  block(KiB) xfer(KiB)  open(s)    wr/rd(s)   close(s)   total(s)   iter\n",
+    );
+    out.push_str(
+        "------    ---------  ----       ----------  ---------- ---------  --------   --------   --------   --------   ----\n",
+    );
+    for s in &run.samples {
+        out.push_str(&format!(
+            "{:<9} {:<10.2} {:<10.2} {:<11.6} {:<10} {:<10} {:<10.6} {:<10.6} {:<10.6} {:<10.6} {}\n",
+            s.access.as_str(),
+            s.bw_mib,
+            s.iops,
+            s.latency_s,
+            s.block_kib,
+            s.xfer_kib,
+            s.open_s,
+            s.wrrd_s,
+            s.close_s,
+            s.total_s,
+            s.iter
+        ));
+    }
+    out.push('\n');
+    for access in [Access::Write, Access::Read] {
+        let bws: Vec<f64> = run.samples_of(access).map(|s| s.bw_mib).collect();
+        if bws.is_empty() {
+            continue;
+        }
+        let label = match access {
+            Access::Write => "Max Write:",
+            Access::Read => "Max Read: ",
+        };
+        let max = stats::max(&bws);
+        out.push_str(&format!(
+            "{label} {max:.2} MiB/sec ({:.2} MB/sec)\n",
+            max * 1.048_576
+        ));
+    }
+    out.push('\n');
+    out.push_str("Summary of all tests:\n");
+    out.push_str(
+        "Operation   Max(MiB)   Min(MiB)  Mean(MiB)     StdDev   Max(OPs)   Min(OPs)  Mean(OPs)     StdDev    Mean(s) Test# #Tasks tPN reps fPP reord segcnt blksiz xsize aggs(MiB) API\n",
+    );
+    for access in [Access::Write, Access::Read] {
+        let samples: Vec<&IorSample> = run.samples_of(access).collect();
+        if samples.is_empty() {
+            continue;
+        }
+        let bws: Vec<f64> = samples.iter().map(|s| s.bw_mib).collect();
+        let opss: Vec<f64> = samples.iter().map(|s| s.iops).collect();
+        let times: Vec<f64> = samples.iter().map(|s| s.total_s).collect();
+        out.push_str(&format!(
+            "{:<11} {:>9.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.5} {:>5} {:>6} {:>3} {:>4} {:>3} {:>5} {:>6} {:>6} {:>5} {:>9.1} {}\n",
+            access.as_str(),
+            stats::max(&bws),
+            stats::min(&bws),
+            stats::mean(&bws),
+            stats::stddev(&bws),
+            stats::max(&opss),
+            stats::min(&opss),
+            stats::mean(&opss),
+            stats::stddev(&opss),
+            stats::mean(&times),
+            0,
+            run.np,
+            run.ppn,
+            run.config.iterations,
+            u8::from(run.config.file_per_proc),
+            u8::from(run.config.reorder_tasks),
+            run.config.segments,
+            run.config.block_size,
+            run.config.transfer_size,
+            iokc_util::units::to_mib(run.config.aggregate_bytes(run.np)),
+            run.config.api.as_str()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ior::IorConfig;
+
+    fn fake_run() -> IorRunResult {
+        let config = IorConfig::parse_command(
+            "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 2 -o /scratch/t -k",
+        )
+        .unwrap();
+        let mk = |access, bw: f64, iter| IorSample {
+            access,
+            bw_mib: bw,
+            iops: bw / 2.0,
+            latency_s: 0.0007,
+            block_kib: 4096,
+            xfer_kib: 2048,
+            open_s: 0.002,
+            wrrd_s: 4.4,
+            close_s: 0.001,
+            total_s: 4.5,
+            iter,
+        ops: 6400,
+        };
+        IorRunResult {
+            config,
+            np: 80,
+            ppn: 20,
+            samples: vec![
+                mk(Access::Write, 2850.12, 0),
+                mk(Access::Read, 3109.90, 0),
+                mk(Access::Write, 1251.00, 1),
+                mk(Access::Read, 3095.10, 1),
+            ],
+            phases: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn output_structure_matches_ior() {
+        let text = render_output(&fake_run());
+        assert!(text.contains("api                 : MPIIO"));
+        assert!(text.contains("access              : file-per-process"));
+        assert!(text.contains("tasks               : 80"));
+        assert!(text.contains("clients per node    : 20"));
+        assert!(text.contains("xfersize            : 2 MiB"));
+        assert!(text.contains("blocksize           : 4 MiB"));
+        assert!(text.contains("aggregate filesize  : 12.50 GiB"));
+        assert!(text.contains("Max Write: 2850.12 MiB/sec"));
+        assert!(text.contains("Max Read:  3109.90 MiB/sec"));
+        assert!(text.contains("Summary of all tests:"));
+    }
+
+    #[test]
+    fn iteration_rows_carry_iter_index() {
+        let text = render_output(&fake_run());
+        let rows: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("write") || l.starts_with("read"))
+            .collect();
+        // 4 iteration rows + 2 summary rows.
+        assert_eq!(rows.len(), 6);
+        assert!(rows[0].trim_end().ends_with('0'));
+        assert!(rows[2].trim_end().ends_with('1'));
+    }
+
+    #[test]
+    fn max_and_mean_helpers() {
+        let run = fake_run();
+        assert_eq!(run.max_bw(Access::Write), 2850.12);
+        assert!((run.mean_bw(Access::Write) - 2050.56).abs() < 1e-9);
+    }
+}

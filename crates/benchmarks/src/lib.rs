@@ -1,0 +1,30 @@
+//! `iokc-benchmarks` — reimplementations of the community benchmarks the
+//! paper's knowledge-generation phase drives (§V-A): IOR, mdtest, HACC-IO,
+//! the IO500 suite and its `find` phase, plus a Darshan instrumentation
+//! adapter.
+//!
+//! Every driver compiles rank behaviour into [`iokc_sim`] scripts,
+//! executes them on a simulated system, and renders results in the
+//! original tool's output format so the knowledge extractor parses the
+//! same text a real deployment would produce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod find;
+pub mod generators;
+pub mod hacc;
+pub mod instrument;
+pub mod io500;
+pub mod ior;
+pub mod ior_output;
+pub mod mdtest;
+
+pub use find::{run_find, FindResult};
+pub use generators::{HaccGenerator, Io500Generator, IorGenerator, MdtestGenerator};
+pub use hacc::{run_hacc, FileMode, HaccConfig, HaccResult, BYTES_PER_PARTICLE};
+pub use instrument::{darshan_from_phases, InstrumentOptions};
+pub use io500::{run_io500, run_io500_with_faults, Io500Config, Io500Phase, Io500Result, PhaseFaults, PhaseUnit};
+pub use ior::{run_ior, Access, IorConfig, IorParseError, IorRunResult};
+pub use ior_output::IorSample;
+pub use mdtest::{run_mdtest, MdPhase, MdWorkload, MdtestConfig, MdtestParseError, MdtestResult};

@@ -1,0 +1,697 @@
+//! `iokc` — the I/O knowledge cycle command line.
+//!
+//! Drives the five phases end to end on the simulated FUCHS-CSC system:
+//!
+//! ```text
+//! iokc run "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/t -k" --tasks 80
+//! iokc io500 --tasks 40
+//! iokc list
+//! iokc view 1
+//! iokc compare --metric write --axis transfer
+//! iokc detect
+//! iokc recommend 1
+//! iokc sql "SELECT command, tasks FROM performances WHERE api = 'MPIIO'"
+//! iokc cycle "ior -b 4m -t 1m -s 4 -F -i 2 -o /scratch/c -k" --iterations 3
+//! iokc stack
+//! ```
+//!
+//! Knowledge persists in `--db <path>` (default `knowledge.iokc.json`),
+//! the "local database" of the paper's Fig. 4.
+
+use iokc_analysis::{
+    compare, render_io500, render_knowledge, BoundingBoxDetector, IterationVarianceDetector,
+    MetricAxis, OptionAxis, TrendDetector,
+};
+use iokc_benchmarks::instrument::{darshan_from_phases, InstrumentOptions};
+use iokc_benchmarks::{
+    run_ior, HaccConfig, HaccGenerator, Io500Config, Io500Generator, IorConfig, IorGenerator,
+    MdtestConfig, MdtestGenerator,
+};
+use iokc_core::model::KnowledgeItem;
+use iokc_core::phases::Analyzer;
+use iokc_core::KnowledgeCycle;
+use iokc_extract::{DarshanExtractor, HaccExtractor, Io500Extractor, IorExtractor, MdtestExtractor};
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::prelude::SystemConfig;
+use iokc_store::KnowledgeStore;
+use iokc_usage::{recommend, RegenerateUsage};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("iokc: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    db: PathBuf,
+    tasks: u32,
+    ppn: u32,
+    seed: u64,
+    iterations: u32,
+    metric: String,
+    axis: String,
+    filter_api: Option<String>,
+    filter_contains: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        db: PathBuf::from("knowledge.iokc.json"),
+        tasks: 80,
+        ppn: 20,
+        seed: 42,
+        iterations: 3,
+        metric: "write".to_owned(),
+        axis: "transfer".to_owned(),
+        filter_api: None,
+        filter_contains: None,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {flag}"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--db" => opts.db = PathBuf::from(value(&mut i, "--db")?),
+            "--tasks" => {
+                opts.tasks = value(&mut i, "--tasks")?
+                    .parse()
+                    .map_err(|_| "bad --tasks".to_owned())?;
+            }
+            "--ppn" => {
+                opts.ppn = value(&mut i, "--ppn")?
+                    .parse()
+                    .map_err(|_| "bad --ppn".to_owned())?;
+            }
+            "--seed" => {
+                opts.seed = value(&mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed".to_owned())?;
+            }
+            "--iterations" => {
+                opts.iterations = value(&mut i, "--iterations")?
+                    .parse()
+                    .map_err(|_| "bad --iterations".to_owned())?;
+            }
+            "--metric" => opts.metric = value(&mut i, "--metric")?,
+            "--axis" => opts.axis = value(&mut i, "--axis")?,
+            "--api" => opts.filter_api = Some(value(&mut i, "--api")?),
+            "--contains" => opts.filter_contains = Some(value(&mut i, "--contains")?),
+            other => opts.positional.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if opts.tasks == 0 || opts.ppn == 0 {
+        return Err("--tasks and --ppn must be non-zero".to_owned());
+    }
+    Ok(opts)
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        print_help();
+        return Ok(());
+    };
+    let opts = parse_options(&args[1..])?;
+    match command.as_str() {
+        "run" => cmd_run(&opts),
+        "io500" => cmd_io500(&opts),
+        "mdtest" => cmd_mdtest(&opts),
+        "hacc" => cmd_hacc(&opts),
+        "list" => cmd_list(&opts),
+        "view" => cmd_view(&opts),
+        "compare" => cmd_compare(&opts),
+        "detect" => cmd_detect(&opts),
+        "recommend" => cmd_recommend(&opts),
+        "sql" => cmd_sql(&opts),
+        "cycle" => cmd_cycle(&opts),
+        "dxt" => cmd_dxt(&opts),
+        "export" => cmd_export(&opts),
+        "report" => cmd_report(&opts),
+        "import" => cmd_import(&opts),
+        "jube" => cmd_jube(&opts),
+        "stack" => {
+            print_stack();
+            Ok(())
+        }
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (try `iokc help`)")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "iokc — the I/O knowledge cycle (simulated FUCHS-CSC backend)\n\n\
+         USAGE: iokc <command> [options]\n\n\
+         COMMANDS:\n\
+         \x20 run \"<ior command>\"   generate -> extract -> persist -> analyze one IOR run\n\
+         \x20 io500                 run the IO500 suite and persist its knowledge\n\
+         \x20 mdtest \"<mdtest cmd>\" run the metadata benchmark and persist its knowledge\n\
+         \x20 hacc --particles <n>  run the HACC-IO checkpoint/restart benchmark\n\
+         \x20 list                  list stored knowledge objects\n\
+         \x20 view <id>             knowledge viewer for one object\n\
+         \x20 compare               comparison view (--axis transfer|block|tasks, --metric <op>)\n\
+         \x20 detect                run the anomaly detectors over the store\n\
+         \x20 recommend <id>        tuning recommendations for one object\n\
+         \x20 sql \"<query>\"         query the store's tables directly\n\
+         \x20 cycle \"<ior cmd>\"     iterative knowledge cycle (--iterations N)\n\
+         \x20 dxt \"<ior cmd>\"       DXT explorer: per-rank timeline, heat map, stragglers\n\
+         \x20 export <id> [file]    share a knowledge object as JSON (stdout by default)\n\
+         \x20 report [file]         write the HTML knowledge-explorer report (report.html)\n\
+         \x20 import <file>         add a shared JSON knowledge object to the store\n\
+         \x20 jube <config file>    run a JUBE-style sweep on the simulated system\n\
+         \x20 stack                 print the simulated parallel I/O stack (Fig. 1)\n\n\
+         OPTIONS: --db <path> --tasks <n> --ppn <n> --seed <n> --iterations <n>\n\
+         \x20        --metric <operation> --axis <transfer|block|tasks|segments>\n\
+         \x20        --api <API> --contains <text>   (comparison filters)"
+    );
+}
+
+fn open_store(opts: &Options) -> Result<KnowledgeStore, String> {
+    KnowledgeStore::open(opts.db.clone()).map_err(|e| e.to_string())
+}
+
+fn fuchs_world(seed: u64) -> World {
+    World::new(SystemConfig::fuchs_csc(), FaultPlan::none(), seed)
+}
+
+fn ensure_dirs(world: &mut World, path: &str) -> Result<(), String> {
+    let mut missing = Vec::new();
+    let mut dir = iokc_sim::script::parent_dir(path).to_owned();
+    while dir != "/" && !world.namespace().is_dir(&dir) {
+        missing.push(dir.clone());
+        dir = iokc_sim::script::parent_dir(&dir).to_owned();
+    }
+    if missing.is_empty() {
+        return Ok(());
+    }
+    let mut scripts = iokc_sim::script::ScriptSet::new(1);
+    for dir in missing.iter().rev() {
+        scripts.rank(0).mkdir(dir);
+    }
+    world
+        .run(JobLayout::new(1, 1), &scripts)
+        .map(|_| ())
+        .map_err(|e| e.to_string())
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let command = opts
+        .positional
+        .first()
+        .ok_or("run needs an ior command string")?;
+    let config = IorConfig::parse_command(command).map_err(|e| e.to_string())?;
+    let mut world = fuchs_world(opts.seed);
+    ensure_dirs(&mut world, &config.test_file)?;
+    let layout = JobLayout::new(opts.tasks, opts.ppn.min(opts.tasks));
+    let mut generator = IorGenerator::new(world, layout, config, opts.seed);
+    generator.with_darshan = true;
+
+    let mut cycle = KnowledgeCycle::new();
+    cycle
+        .add_generator(Box::new(generator))
+        .add_extractor(Box::new(IorExtractor))
+        .add_extractor(Box::new(DarshanExtractor))
+        .add_persister(Box::new(open_store(opts)?))
+        .add_analyzer(Box::new(IterationVarianceDetector::default()));
+    let report = cycle.run_once().map_err(|e| e.to_string())?;
+    println!(
+        "generated {} artifacts, extracted {} knowledge objects, persisted ids {:?}",
+        report.artifacts, report.extracted, report.persisted_ids
+    );
+    for finding in &report.findings {
+        println!("[{}] {}", finding.tag, finding.message);
+    }
+    let store = open_store(opts)?;
+    if let Some(id) = report.persisted_ids.first() {
+        if let Some(knowledge) = store.load_knowledge(*id).map_err(|e| e.to_string())? {
+            println!("\n{}", render_knowledge(&knowledge));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_io500(opts: &Options) -> Result<(), String> {
+    let mut world = fuchs_world(opts.seed);
+    ensure_dirs(&mut world, "/scratch/io500/x")?;
+    let layout = JobLayout::new(opts.tasks, opts.ppn.min(opts.tasks));
+    let generator = Io500Generator::new(world, layout, Io500Config::standard("/scratch/io500"));
+    let mut cycle = KnowledgeCycle::new();
+    cycle
+        .add_generator(Box::new(generator))
+        .add_extractor(Box::new(Io500Extractor))
+        .add_persister(Box::new(open_store(opts)?))
+        .add_analyzer(Box::new(BoundingBoxDetector::default()));
+    let report = cycle.run_once().map_err(|e| e.to_string())?;
+    println!("io500 complete: persisted ids {:?}", report.persisted_ids);
+    for finding in &report.findings {
+        println!("[{}] {}", finding.tag, finding.message);
+    }
+    let store = open_store(opts)?;
+    if let Some(id) = report.persisted_ids.first() {
+        if let Some(k) = store.load_io500(*id).map_err(|e| e.to_string())? {
+            println!("\n{}", render_io500(&k));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_mdtest(opts: &Options) -> Result<(), String> {
+    let command = opts
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("mdtest -n 200 -d /scratch/md -u");
+    let config = MdtestConfig::parse_command(command).map_err(|e| e.to_string())?;
+    let mut world = fuchs_world(opts.seed);
+    ensure_dirs(&mut world, &format!("{}/x", config.dir))?;
+    let layout = JobLayout::new(opts.tasks, opts.ppn.min(opts.tasks));
+    let generator = MdtestGenerator::new(world, layout, config);
+    let mut cycle = KnowledgeCycle::new();
+    cycle
+        .add_generator(Box::new(generator))
+        .add_extractor(Box::new(MdtestExtractor))
+        .add_persister(Box::new(open_store(opts)?));
+    let report = cycle.run_once().map_err(|e| e.to_string())?;
+    println!("mdtest complete: persisted ids {:?}", report.persisted_ids);
+    let store = open_store(opts)?;
+    if let Some(id) = report.persisted_ids.first() {
+        if let Some(k) = store.load_knowledge(*id).map_err(|e| e.to_string())? {
+            println!("\n{}", render_knowledge(&k));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_hacc(opts: &Options) -> Result<(), String> {
+    // Particle count arrives as the first positional (default 2M).
+    let particles: u64 = opts
+        .positional
+        .first()
+        .map(|v| v.parse().map_err(|_| "bad particle count".to_owned()))
+        .transpose()?
+        .unwrap_or(2_000_000);
+    let mut world = fuchs_world(opts.seed);
+    ensure_dirs(&mut world, "/scratch/hacc/x")?;
+    let layout = JobLayout::new(opts.tasks, opts.ppn.min(opts.tasks));
+    let config = HaccConfig::new(
+        particles,
+        iokc_benchmarks::FileMode::FilePerProcess,
+        iokc_sim::api::IoApi::MpiIo { collective: false },
+        "/scratch/hacc/part",
+    );
+    let generator = HaccGenerator::new(world, layout, config);
+    let mut cycle = KnowledgeCycle::new();
+    cycle
+        .add_generator(Box::new(generator))
+        .add_extractor(Box::new(HaccExtractor))
+        .add_persister(Box::new(open_store(opts)?));
+    let report = cycle.run_once().map_err(|e| e.to_string())?;
+    println!("hacc-io complete: persisted ids {:?}", report.persisted_ids);
+    let store = open_store(opts)?;
+    if let Some(id) = report.persisted_ids.first() {
+        if let Some(k) = store.load_knowledge(*id).map_err(|e| e.to_string())? {
+            println!("\n{}", render_knowledge(&k));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_list(opts: &Options) -> Result<(), String> {
+    let store = open_store(opts)?;
+    let items = store.load_all_items().map_err(|e| e.to_string())?;
+    if items.is_empty() {
+        println!("knowledge base is empty ({})", opts.db.display());
+        return Ok(());
+    }
+    let mut table = iokc_util::table::TextTable::new(vec!["kind", "id", "summary"]);
+    for item in &items {
+        match item {
+            KnowledgeItem::Benchmark(k) => {
+                let bw = k
+                    .summary("write")
+                    .map(|s| format!("write mean {:.0} MiB/s", s.mean_mib))
+                    .unwrap_or_else(|| "no write summary".to_owned());
+                table.push_row(vec![
+                    "benchmark".to_owned(),
+                    k.id.map(|i| i.to_string()).unwrap_or_default(),
+                    format!("{} | {}", k.command, bw),
+                ]);
+            }
+            KnowledgeItem::Io500(k) => {
+                table.push_row(vec![
+                    "io500".to_owned(),
+                    k.id.map(|i| i.to_string()).unwrap_or_default(),
+                    format!("tasks {} | total score {:.4}", k.tasks, k.total_score),
+                ]);
+            }
+        }
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn parse_id(opts: &Options) -> Result<u64, String> {
+    opts.positional
+        .first()
+        .ok_or("missing knowledge id")?
+        .parse()
+        .map_err(|_| "knowledge id must be a number".to_owned())
+}
+
+fn cmd_view(opts: &Options) -> Result<(), String> {
+    let store = open_store(opts)?;
+    let id = parse_id(opts)?;
+    if let Some(k) = store.load_knowledge(id).map_err(|e| e.to_string())? {
+        println!("{}", render_knowledge(&k));
+        return Ok(());
+    }
+    if let Some(k) = store.load_io500(id).map_err(|e| e.to_string())? {
+        println!("{}", render_io500(&k));
+        return Ok(());
+    }
+    Err(format!("no knowledge object with id {id}"))
+}
+
+fn cmd_compare(opts: &Options) -> Result<(), String> {
+    let store = open_store(opts)?;
+    let items = store.load_all_items().map_err(|e| e.to_string())?;
+    let benchmarks: Vec<&iokc_core::model::Knowledge> = items
+        .iter()
+        .filter_map(|item| match item {
+            KnowledgeItem::Benchmark(k) => Some(k),
+            KnowledgeItem::Io500(_) => None,
+        })
+        .collect();
+    let axis = match opts.axis.as_str() {
+        "transfer" => OptionAxis::TransferSize,
+        "block" => OptionAxis::BlockSize,
+        "tasks" => OptionAxis::Tasks,
+        "segments" => OptionAxis::Segments,
+        other => return Err(format!("unknown axis `{other}`")),
+    };
+    let metric = MetricAxis::MeanBandwidth(opts.metric.clone());
+    let mut filters = Vec::new();
+    if let Some(api) = &opts.filter_api {
+        filters.push(iokc_analysis::KnowledgeFilter::Api(api.clone()));
+    }
+    if let Some(text) = &opts.filter_contains {
+        filters.push(iokc_analysis::KnowledgeFilter::CommandContains(text.clone()));
+    }
+    let points = compare(&benchmarks, &filters, axis, &metric);
+    if points.is_empty() {
+        println!("no comparable knowledge for metric `{}`", opts.metric);
+        return Ok(());
+    }
+    let mut table =
+        iokc_util::table::TextTable::new(vec![axis.label().to_owned(), metric.label()]);
+    for p in &points {
+        table.push_row(vec![format!("{}", p.x), format!("{:.2}", p.y)]);
+    }
+    print!("{}", table.render());
+    let bars: Vec<(String, f64)> = points.iter().map(|p| (format!("{}", p.x), p.y)).collect();
+    println!("\n{}", iokc_analysis::ascii_bars(&bars, 40));
+    Ok(())
+}
+
+fn cmd_detect(opts: &Options) -> Result<(), String> {
+    let store = open_store(opts)?;
+    let items = store.load_all_items().map_err(|e| e.to_string())?;
+    let mut findings = Vec::new();
+    findings.extend(
+        IterationVarianceDetector::default()
+            .analyze(&items)
+            .map_err(|e| e.to_string())?,
+    );
+    findings.extend(
+        BoundingBoxDetector::default()
+            .analyze(&items)
+            .map_err(|e| e.to_string())?,
+    );
+    findings.extend(
+        TrendDetector::default()
+            .analyze(&items)
+            .map_err(|e| e.to_string())?,
+    );
+    if findings.is_empty() {
+        println!("no anomalies detected across {} knowledge objects", items.len());
+    }
+    for finding in findings {
+        println!(
+            "[{}] (knowledge {}) {}",
+            finding.tag,
+            finding
+                .knowledge_id
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "?".to_owned()),
+            finding.message
+        );
+    }
+    Ok(())
+}
+
+fn cmd_recommend(opts: &Options) -> Result<(), String> {
+    let store = open_store(opts)?;
+    let id = parse_id(opts)?;
+    let knowledge = store
+        .load_knowledge(id)
+        .map_err(|e| e.to_string())?
+        .ok_or_else(|| format!("no benchmark knowledge with id {id}"))?;
+    let recommendations = recommend(&knowledge);
+    if recommendations.is_empty() {
+        println!("no recommendations — the configuration looks well tuned");
+    }
+    for r in recommendations {
+        println!("[{}] {}", r.rule, r.message);
+    }
+    Ok(())
+}
+
+fn cmd_sql(opts: &Options) -> Result<(), String> {
+    let store = open_store(opts)?;
+    let query = opts.positional.first().ok_or("sql needs a query string")?;
+    match iokc_store::sql::select(store.database(), query).map_err(|e| e.to_string())? {
+        iokc_store::sql::QueryResult::Count(n) => println!("{n}"),
+        iokc_store::sql::QueryResult::Rows { columns, rows } => {
+            let mut table = iokc_util::table::TextTable::new(columns);
+            for row in rows {
+                table.push_row(row.iter().map(|v| v.to_string()).collect());
+            }
+            print!("{}", table.render());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_cycle(opts: &Options) -> Result<(), String> {
+    let command = opts
+        .positional
+        .first()
+        .ok_or("cycle needs an ior command string")?;
+    let config = IorConfig::parse_command(command).map_err(|e| e.to_string())?;
+    let mut world = fuchs_world(opts.seed);
+    ensure_dirs(&mut world, &config.test_file)?;
+    let layout = JobLayout::new(opts.tasks, opts.ppn.min(opts.tasks));
+    let generator = IorGenerator::new(world, layout, config, opts.seed);
+    let mut cycle = KnowledgeCycle::new();
+    cycle
+        .add_generator(Box::new(generator))
+        .add_extractor(Box::new(IorExtractor))
+        .add_persister(Box::new(open_store(opts)?))
+        .add_analyzer(Box::new(IterationVarianceDetector::default()))
+        .add_usage(Box::new(RegenerateUsage::default()));
+    let reports = cycle
+        .run_iterative(opts.iterations)
+        .map_err(|e| e.to_string())?;
+    println!("cycle ran {} iteration(s)", reports.len());
+    for (i, report) in reports.iter().enumerate() {
+        println!(
+            "  iteration {}: {} artifacts, ids {:?}, next commands {:?}",
+            i + 1,
+            report.artifacts,
+            report.persisted_ids,
+            report.usage.new_commands
+        );
+    }
+    Ok(())
+}
+
+fn cmd_report(opts: &Options) -> Result<(), String> {
+    let store = open_store(opts)?;
+    let items = store.load_all_items().map_err(|e| e.to_string())?;
+    let mut findings = Vec::new();
+    findings.extend(
+        IterationVarianceDetector::default()
+            .analyze(&items)
+            .map_err(|e| e.to_string())?,
+    );
+    findings.extend(
+        BoundingBoxDetector::default()
+            .analyze(&items)
+            .map_err(|e| e.to_string())?,
+    );
+    findings.extend(
+        TrendDetector::default()
+            .analyze(&items)
+            .map_err(|e| e.to_string())?,
+    );
+    let html = iokc_analysis::render_html(&items, &findings);
+    let path = opts
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("report.html");
+    std::fs::write(path, html).map_err(|e| format!("write {path}: {e}"))?;
+    println!(
+        "wrote {path} ({} knowledge objects, {} findings)",
+        items.len(),
+        findings.len()
+    );
+    Ok(())
+}
+
+fn cmd_export(opts: &Options) -> Result<(), String> {
+    let store = open_store(opts)?;
+    let id = parse_id(opts)?;
+    let item = if let Some(k) = store.load_knowledge(id).map_err(|e| e.to_string())? {
+        KnowledgeItem::Benchmark(k)
+    } else if let Some(k) = store.load_io500(id).map_err(|e| e.to_string())? {
+        KnowledgeItem::Io500(k)
+    } else {
+        return Err(format!("no knowledge object with id {id}"));
+    };
+    let json = item.to_json().to_pretty();
+    match opts.positional.get(1) {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            println!("exported knowledge {id} to {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_import(opts: &Options) -> Result<(), String> {
+    let path = opts.positional.first().ok_or("import needs a file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let json = iokc_util::json::parse(&text).map_err(|e| e.to_string())?;
+    let item = KnowledgeItem::from_json(&json)
+        .ok_or("the file is not a valid knowledge object")?;
+    let mut store = open_store(opts)?;
+    let id = match &item {
+        KnowledgeItem::Benchmark(k) => store.save_knowledge(k).map_err(|e| e.to_string())?,
+        KnowledgeItem::Io500(k) => store.save_io500(k).map_err(|e| e.to_string())?,
+    };
+    println!("imported knowledge object as id {id}");
+    Ok(())
+}
+
+fn cmd_dxt(opts: &Options) -> Result<(), String> {
+    let command = opts
+        .positional
+        .first()
+        .ok_or("dxt needs an ior command string")?;
+    let config = IorConfig::parse_command(command).map_err(|e| e.to_string())?;
+    let mut world = fuchs_world(opts.seed);
+    ensure_dirs(&mut world, &config.test_file)?;
+    let layout = JobLayout::new(opts.tasks, opts.ppn.min(opts.tasks));
+    let result = run_ior(&mut world, layout, &config, opts.seed).map_err(|e| e.to_string())?;
+    let phases: Vec<&iokc_sim::metrics::PhaseResult> =
+        result.phases.iter().map(|(_, _, p)| p).collect();
+    let log = darshan_from_phases(
+        &phases,
+        &InstrumentOptions {
+            job_id: opts.seed,
+            nprocs: layout.np,
+            exe: "ior".to_owned(),
+            dxt: true,
+            api: config.api,
+            start_unix: 1_656_590_400,
+        },
+    );
+    let timeline = iokc_analysis::DxtTimeline::from_log(&log)
+        .ok_or("the run produced no DXT segments")?;
+    print!("{}", timeline.render_report());
+    if let Some(profile) = iokc_analysis::classify(&log) {
+        println!("\n{}", iokc_analysis::render_profile(&profile));
+    }
+    std::fs::create_dir_all("figures").map_err(|e| e.to_string())?;
+    let svg = timeline.render_timeline_svg(&iokc_analysis::ChartOptions {
+        title: format!("DXT timeline — {command}"),
+        ..iokc_analysis::ChartOptions::default()
+    });
+    std::fs::write("figures/dxt_timeline.svg", svg).map_err(|e| e.to_string())?;
+    let (matrix, rank_ids) = timeline.heat_map(64);
+    let labels: Vec<String> = rank_ids.iter().map(|r| format!("rank {r}")).collect();
+    let heat = iokc_analysis::heat_map(
+        &matrix,
+        &labels,
+        &iokc_analysis::ChartOptions {
+            title: "DXT transfer heat map (bytes per window)".into(),
+            x_label: "time".into(),
+            ..iokc_analysis::ChartOptions::default()
+        },
+    );
+    std::fs::write("figures/dxt_heatmap.svg", heat).map_err(|e| e.to_string())?;
+    println!("
+wrote figures/dxt_timeline.svg and figures/dxt_heatmap.svg");
+    Ok(())
+}
+
+fn cmd_jube(opts: &Options) -> Result<(), String> {
+    let path = opts.positional.first().ok_or("jube needs a config file path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let config = iokc_jube::JubeConfig::parse(&text).map_err(|e| e.to_string())?;
+    let tasks = opts.tasks;
+    let ppn = opts.ppn.min(opts.tasks);
+    let base_seed = opts.seed;
+    let workspace = iokc_jube::run_sweep_parallel(&config, || {
+        move |wp: usize, _step: &str, command: &str| -> Result<String, String> {
+            let ior = IorConfig::parse_command(command).map_err(|e| e.to_string())?;
+            let mut world = fuchs_world(base_seed ^ wp as u64);
+            ensure_dirs(&mut world, &ior.test_file)?;
+            let result = run_ior(&mut world, JobLayout::new(tasks, ppn), &ior, wp as u64)
+                .map_err(|e| e.to_string())?;
+            Ok(result.render())
+        }
+    })
+    .map_err(|e| e.to_string())?;
+    println!(
+        "sweep `{}` complete: {} workpackages
+",
+        workspace.benchmark,
+        workspace.workpackages.len()
+    );
+    print!("{}", workspace.result_table(&config).render());
+    Ok(())
+}
+
+fn print_stack() {
+    println!(
+        "simulated parallel I/O architecture (paper Fig. 1)\n\
+         \n\
+         application layer  : IOR | mdtest | HACC-IO | IO500 (iokc-benchmarks)\n\
+         high-level library : HDF5 layer (open/close/chunk-index costs)\n\
+         middleware         : MPI-IO (independent + two-phase collective)\n\
+         operating system   : POSIX ops, per-node page cache (iokc-sim)\n\
+         parallel FS        : BeeGFS-like — 4 metadata servers, striped storage targets\n\
+         storage hardware   : per-target disk + read-cache bandwidth, RAID write penalty\n\
+         interconnect       : per-node NIC + shared fabric, max-min fair sharing"
+    );
+}

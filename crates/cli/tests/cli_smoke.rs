@@ -1,0 +1,125 @@
+//! End-to-end tests of the `iokc` binary: the full workflow a user would
+//! drive from a shell, against a temp knowledge base.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iokc-cli-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn iokc(dir: &PathBuf, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_iokc"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("iokc binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    assert!(
+        output.status.success(),
+        "iokc failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+const RUN_ARGS: [&str; 5] = [
+    "run",
+    "ior -a mpiio -b 1m -t 512k -s 2 -F -C -e -i 3 -o /scratch/cli -k",
+    "--tasks",
+    "8",
+    "--db",
+];
+
+#[test]
+fn run_list_view_sql_flow() {
+    let dir = tempdir("flow");
+    let mut args: Vec<&str> = RUN_ARGS.to_vec();
+    args.push("kb.json");
+    let out = stdout(&iokc(&dir, &args));
+    assert!(out.contains("persisted ids"));
+
+    let list = stdout(&iokc(&dir, &["list", "--db", "kb.json"]));
+    assert!(list.contains("benchmark"));
+    assert!(list.contains("ior -a mpiio"));
+
+    let view = stdout(&iokc(&dir, &["view", "1", "--db", "kb.json"]));
+    assert!(view.contains("I/O pattern:"));
+    assert!(view.contains("per-iteration detail:"));
+
+    let sql = stdout(&iokc(&dir, &[
+        "sql",
+        "SELECT command, tasks FROM performances WHERE api = 'MPIIO'",
+        "--db",
+        "kb.json",
+    ]));
+    assert!(sql.contains("ior -a mpiio"));
+    assert!(sql.contains('8'));
+
+    let detect = stdout(&iokc(&dir, &["detect", "--db", "kb.json"]));
+    assert!(detect.contains("no anomalies") || detect.contains('['));
+
+    let recommend = stdout(&iokc(&dir, &["recommend", "1", "--db", "kb.json"]));
+    assert!(
+        recommend.contains("well tuned") || recommend.contains('['),
+        "{recommend}"
+    );
+}
+
+#[test]
+fn export_import_shares_knowledge_between_bases() {
+    let dir = tempdir("share");
+    let mut args: Vec<&str> = RUN_ARGS.to_vec();
+    args.push("local.json");
+    stdout(&iokc(&dir, &args));
+    stdout(&iokc(&dir, &["export", "1", "shared.json", "--db", "local.json"]));
+    let imported = stdout(&iokc(&dir, &["import", "shared.json", "--db", "global.json"]));
+    assert!(imported.contains("imported knowledge object as id 1"));
+    let list = stdout(&iokc(&dir, &["list", "--db", "global.json"]));
+    assert!(list.contains("ior -a mpiio"));
+}
+
+#[test]
+fn report_writes_html() {
+    let dir = tempdir("report");
+    let mut args: Vec<&str> = RUN_ARGS.to_vec();
+    args.push("kb.json");
+    stdout(&iokc(&dir, &args));
+    stdout(&iokc(&dir, &["report", "out.html", "--db", "kb.json"]));
+    let html = std::fs::read_to_string(dir.join("out.html")).unwrap();
+    assert!(html.contains("I/O knowledge explorer"));
+    assert!(html.contains("ior -a mpiio"));
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let dir = tempdir("errors");
+    let bad = iokc(&dir, &["view", "99", "--db", "kb.json"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("no knowledge object"));
+
+    let unknown = iokc(&dir, &["frobnicate"]);
+    assert!(!unknown.status.success());
+    assert!(String::from_utf8_lossy(&unknown.stderr).contains("unknown command"));
+
+    let badcmd = iokc(&dir, &["run", "fio --bs=4k", "--db", "kb.json"]);
+    assert!(!badcmd.status.success());
+    assert!(String::from_utf8_lossy(&badcmd.stderr).contains("invalid ior command"));
+}
+
+#[test]
+fn help_lists_every_command() {
+    let dir = tempdir("help");
+    let help = stdout(&iokc(&dir, &["help"]));
+    for command in [
+        "run", "io500", "mdtest", "hacc", "list", "view", "compare", "detect", "recommend", "sql", "cycle",
+        "dxt", "export", "import", "report", "jube", "stack",
+    ] {
+        assert!(help.contains(command), "help missing `{command}`");
+    }
+}

@@ -1,0 +1,565 @@
+//! The cycle orchestrator and module registry.
+//!
+//! [`KnowledgeCycle`] wires registered phase modules into the iterative
+//! workflow of Fig. 2: generate → extract → persist → analyze → use, then
+//! either terminate or feed the usage phase's new benchmark commands back
+//! into generation. The registry realises the modular architecture of
+//! Fig. 4 — modules are added independently, can be listed, and a missing
+//! phase simply short-circuits (e.g. a cycle without analyzers still
+//! persists knowledge).
+
+use crate::model::KnowledgeItem;
+use crate::phases::{
+    Analyzer, Artifact, CycleError, Extractor, Finding, Generator, Persister, PhaseKind,
+    UsageModule, UsageOutcome,
+};
+
+/// What happened in one iteration of the cycle.
+#[derive(Debug, Default)]
+pub struct CycleReport {
+    /// Artifacts produced by generation.
+    pub artifacts: usize,
+    /// Knowledge items extracted.
+    pub extracted: usize,
+    /// Ids assigned by persistence (one per extracted item).
+    pub persisted_ids: Vec<u64>,
+    /// Findings from analysis.
+    pub findings: Vec<Finding>,
+    /// Combined usage outcome.
+    pub usage: UsageOutcome,
+    /// Per-phase module names that ran (execution trace, useful for
+    /// reproducibility reports).
+    pub trace: Vec<(PhaseKind, String)>,
+}
+
+impl CycleReport {
+    /// Serialize the report as JSON — the reproducibility trace of one
+    /// cycle iteration (which modules ran in which phase, what they
+    /// produced, what usage scheduled next).
+    #[must_use]
+    pub fn to_json(&self) -> iokc_util::json::Json {
+        use iokc_util::json::Json;
+        Json::obj(vec![
+            ("artifacts", Json::from(self.artifacts)),
+            ("extracted", Json::from(self.extracted)),
+            (
+                "persisted_ids",
+                Json::Arr(self.persisted_ids.iter().map(|i| Json::from(*i)).collect()),
+            ),
+            (
+                "findings",
+                Json::Arr(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("tag", Json::from(f.tag.as_str())),
+                                (
+                                    "knowledge_id",
+                                    f.knowledge_id.map(Json::from).unwrap_or(Json::Null),
+                                ),
+                                ("message", Json::from(f.message.as_str())),
+                                (
+                                    "values",
+                                    Json::Arr(f.values.iter().map(|v| Json::from(*v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "usage",
+                Json::obj(vec![
+                    (
+                        "new_commands",
+                        Json::Arr(
+                            self.usage
+                                .new_commands
+                                .iter()
+                                .map(|c| Json::from(c.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "recommendations",
+                        Json::Arr(
+                            self.usage
+                                .recommendations
+                                .iter()
+                                .map(|c| Json::from(c.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "trace",
+                Json::Arr(
+                    self.trace
+                        .iter()
+                        .map(|(phase, module)| {
+                            Json::obj(vec![
+                                ("phase", Json::from(phase.as_str())),
+                                ("module", Json::from(module.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The knowledge cycle engine.
+#[derive(Default)]
+pub struct KnowledgeCycle {
+    generators: Vec<Box<dyn Generator>>,
+    extractors: Vec<Box<dyn Extractor>>,
+    persisters: Vec<Box<dyn Persister>>,
+    analyzers: Vec<Box<dyn Analyzer>>,
+    usage_modules: Vec<Box<dyn UsageModule>>,
+}
+
+impl KnowledgeCycle {
+    /// An empty cycle with no modules.
+    #[must_use]
+    pub fn new() -> KnowledgeCycle {
+        KnowledgeCycle::default()
+    }
+
+    /// Register a generation module.
+    pub fn add_generator(&mut self, module: Box<dyn Generator>) -> &mut Self {
+        self.generators.push(module);
+        self
+    }
+
+    /// Register an extraction module.
+    pub fn add_extractor(&mut self, module: Box<dyn Extractor>) -> &mut Self {
+        self.extractors.push(module);
+        self
+    }
+
+    /// Register a persistence module. The first registered persister is
+    /// the *primary* one: analysis reads the accumulated knowledge from
+    /// it. Additional persisters (e.g. a public/remote database next to
+    /// the local one, Fig. 4) receive the same writes.
+    pub fn add_persister(&mut self, module: Box<dyn Persister>) -> &mut Self {
+        self.persisters.push(module);
+        self
+    }
+
+    /// Register an analysis module.
+    pub fn add_analyzer(&mut self, module: Box<dyn Analyzer>) -> &mut Self {
+        self.analyzers.push(module);
+        self
+    }
+
+    /// Register a usage module.
+    pub fn add_usage(&mut self, module: Box<dyn UsageModule>) -> &mut Self {
+        self.usage_modules.push(module);
+        self
+    }
+
+    /// Names of registered modules per phase (the registry view).
+    #[must_use]
+    pub fn registry(&self) -> Vec<(PhaseKind, Vec<String>)> {
+        vec![
+            (
+                PhaseKind::Generation,
+                self.generators.iter().map(|m| m.name().to_owned()).collect(),
+            ),
+            (
+                PhaseKind::Extraction,
+                self.extractors.iter().map(|m| m.name().to_owned()).collect(),
+            ),
+            (
+                PhaseKind::Persistence,
+                self.persisters.iter().map(|m| m.name().to_owned()).collect(),
+            ),
+            (
+                PhaseKind::Analysis,
+                self.analyzers.iter().map(|m| m.name().to_owned()).collect(),
+            ),
+            (
+                PhaseKind::Usage,
+                self.usage_modules.iter().map(|m| m.name().to_owned()).collect(),
+            ),
+        ]
+    }
+
+    /// Run one full iteration of the cycle.
+    pub fn run_once(&mut self) -> Result<CycleReport, CycleError> {
+        let mut report = CycleReport::default();
+
+        // Phase I: Generation.
+        let mut artifacts: Vec<Artifact> = Vec::new();
+        for generator in &mut self.generators {
+            report
+                .trace
+                .push((PhaseKind::Generation, generator.name().to_owned()));
+            artifacts.extend(generator.generate()?);
+        }
+        report.artifacts = artifacts.len();
+
+        // Phase II: Extraction. Every extractor sees the artifacts it
+        // accepts; an artifact may feed several extractors.
+        let mut items: Vec<KnowledgeItem> = Vec::new();
+        for extractor in &self.extractors {
+            let accepted: Vec<&Artifact> =
+                artifacts.iter().filter(|a| extractor.accepts(a)).collect();
+            if accepted.is_empty() {
+                continue;
+            }
+            report
+                .trace
+                .push((PhaseKind::Extraction, extractor.name().to_owned()));
+            items.extend(extractor.extract(&accepted)?);
+        }
+        report.extracted = items.len();
+
+        // Phase III: Persistence. The primary persister's ids are
+        // reported; mirrors receive the same items.
+        for (index, persister) in self.persisters.iter_mut().enumerate() {
+            report
+                .trace
+                .push((PhaseKind::Persistence, persister.name().to_owned()));
+            let ids = persister.persist(&items)?;
+            if index == 0 {
+                report.persisted_ids = ids;
+            }
+        }
+
+        // Phase IV: Analysis over the full accumulated knowledge base.
+        let corpus: Vec<KnowledgeItem> = match self.persisters.first() {
+            Some(primary) => primary.load_all()?,
+            None => items.clone(),
+        };
+        for analyzer in &self.analyzers {
+            report
+                .trace
+                .push((PhaseKind::Analysis, analyzer.name().to_owned()));
+            report.findings.extend(analyzer.analyze(&corpus)?);
+        }
+
+        // Phase V: Usage.
+        for module in &mut self.usage_modules {
+            report
+                .trace
+                .push((PhaseKind::Usage, module.name().to_owned()));
+            let outcome = module.apply(&corpus, &report.findings)?;
+            report.usage.merge(outcome);
+        }
+
+        Ok(report)
+    }
+
+    /// Run the cycle iteratively: after each iteration, feed the usage
+    /// phase's `new_commands` to the generators (the first one whose
+    /// [`Generator::reconfigure`] accepts each command wins) and go
+    /// again, up to `max_iterations` or until usage schedules nothing new
+    /// — "this iterative cyclic process is either re-launched or
+    /// terminated" (§III).
+    pub fn run_iterative(&mut self, max_iterations: u32) -> Result<Vec<CycleReport>, CycleError> {
+        let mut reports = Vec::new();
+        for _ in 0..max_iterations {
+            let report = self.run_once()?;
+            let commands = report.usage.new_commands.clone();
+            reports.push(report);
+            if commands.is_empty() {
+                break;
+            }
+            let mut any_applied = false;
+            for command in &commands {
+                for generator in &mut self.generators {
+                    if generator.reconfigure(command) {
+                        any_applied = true;
+                        break;
+                    }
+                }
+            }
+            if !any_applied {
+                break;
+            }
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Knowledge, KnowledgeSource};
+    use crate::phases::{ArtifactKind, Payload};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct FakeGenerator {
+        command: String,
+        runs: u32,
+    }
+
+    impl Generator for FakeGenerator {
+        fn name(&self) -> &str {
+            "fake-ior"
+        }
+        fn reconfigure(&mut self, command: &str) -> bool {
+            if command.starts_with("ior") {
+                self.command = command.to_owned();
+                true
+            } else {
+                false
+            }
+        }
+        fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+            self.runs += 1;
+            Ok(vec![Artifact::text(
+                ArtifactKind::IorOutput,
+                "stdout",
+                format!("RESULT bw=100 run={} cmd={}", self.runs, self.command),
+            )
+            .with_meta("command", &self.command)])
+        }
+    }
+
+    struct FakeExtractor;
+
+    impl Extractor for FakeExtractor {
+        fn name(&self) -> &str {
+            "fake-extractor"
+        }
+        fn accepts(&self, artifact: &Artifact) -> bool {
+            artifact.kind == ArtifactKind::IorOutput
+        }
+        fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+            Ok(artifacts
+                .iter()
+                .map(|a| {
+                    KnowledgeItem::Benchmark(Knowledge::new(
+                        KnowledgeSource::Ior,
+                        a.meta.get("command").map(String::as_str).unwrap_or(""),
+                    ))
+                })
+                .collect())
+        }
+    }
+
+    #[derive(Default)]
+    struct MemPersister {
+        items: Rc<RefCell<Vec<KnowledgeItem>>>,
+    }
+
+    impl Persister for MemPersister {
+        fn name(&self) -> &str {
+            "memory"
+        }
+        fn persist(&mut self, items: &[KnowledgeItem]) -> Result<Vec<u64>, CycleError> {
+            let mut store = self.items.borrow_mut();
+            let mut ids = Vec::new();
+            for item in items {
+                store.push(item.clone());
+                ids.push(store.len() as u64);
+            }
+            Ok(ids)
+        }
+        fn load_all(&self) -> Result<Vec<KnowledgeItem>, CycleError> {
+            Ok(self.items.borrow().clone())
+        }
+    }
+
+    struct CountingAnalyzer;
+
+    impl Analyzer for CountingAnalyzer {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn analyze(&self, items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError> {
+            Ok(vec![Finding {
+                tag: "observation".into(),
+                knowledge_id: None,
+                message: format!("{} items in corpus", items.len()),
+                values: vec![items.len() as f64],
+            }])
+        }
+    }
+
+    /// Usage module that schedules one follow-up command, then stops.
+    struct OneFollowUp {
+        fired: bool,
+    }
+
+    impl UsageModule for OneFollowUp {
+        fn name(&self) -> &str {
+            "regenerate"
+        }
+        fn apply(
+            &mut self,
+            _items: &[KnowledgeItem],
+            _findings: &[Finding],
+        ) -> Result<UsageOutcome, CycleError> {
+            if self.fired {
+                return Ok(UsageOutcome::default());
+            }
+            self.fired = true;
+            Ok(UsageOutcome {
+                new_commands: vec!["ior -b 8m".into()],
+                ..UsageOutcome::default()
+            })
+        }
+    }
+
+    fn full_cycle(shared: Rc<RefCell<Vec<KnowledgeItem>>>) -> KnowledgeCycle {
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .add_generator(Box::new(FakeGenerator { command: "ior -b 4m".into(), runs: 0 }))
+            .add_extractor(Box::new(FakeExtractor))
+            .add_persister(Box::new(MemPersister { items: shared }))
+            .add_analyzer(Box::new(CountingAnalyzer))
+            .add_usage(Box::new(OneFollowUp { fired: false }));
+        cycle
+    }
+
+    #[test]
+    fn run_once_flows_through_all_phases() {
+        let store = Rc::new(RefCell::new(Vec::new()));
+        let mut cycle = full_cycle(store.clone());
+        let report = cycle.run_once().unwrap();
+        assert_eq!(report.artifacts, 1);
+        assert_eq!(report.extracted, 1);
+        assert_eq!(report.persisted_ids, vec![1]);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.usage.new_commands, vec!["ior -b 8m".to_owned()]);
+        // Trace covers all five phases.
+        let phases: Vec<PhaseKind> = report.trace.iter().map(|(p, _)| *p).collect();
+        for kind in PhaseKind::ALL {
+            assert!(phases.contains(&kind), "missing {kind:?} in trace");
+        }
+        assert_eq!(store.borrow().len(), 1);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let store = Rc::new(RefCell::new(Vec::new()));
+        let mut cycle = full_cycle(store);
+        let report = cycle.run_once().unwrap();
+        let json = report.to_json();
+        assert_eq!(json.get("artifacts").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(
+            json.get("trace")
+                .and_then(|t| t.at(0))
+                .and_then(|e| e.get("phase"))
+                .and_then(|p| p.as_str()),
+            Some("generation")
+        );
+        // The document parses back.
+        let text = json.to_pretty();
+        assert!(iokc_util::json::parse(&text).is_ok());
+        assert!(text.contains("new_commands"));
+    }
+
+    #[test]
+    fn iterative_run_feeds_commands_back() {
+        let store = Rc::new(RefCell::new(Vec::new()));
+        let mut cycle = full_cycle(store.clone());
+        let reports = cycle.run_iterative(5).unwrap();
+        // Iteration 1 schedules a follow-up; iteration 2 does not.
+        assert_eq!(reports.len(), 2);
+        assert_eq!(store.borrow().len(), 2);
+        // The corpus grows across iterations (the whole point of the
+        // knowledge base).
+        assert_eq!(reports[1].findings[0].values[0], 2.0);
+    }
+
+    #[test]
+    fn iterative_stops_when_no_generator_accepts() {
+        // Schedule a non-ior command that the generator declines.
+        struct AlienUsage;
+        impl UsageModule for AlienUsage {
+            fn name(&self) -> &str {
+                "alien"
+            }
+            fn apply(
+                &mut self,
+                _items: &[KnowledgeItem],
+                _findings: &[Finding],
+            ) -> Result<UsageOutcome, CycleError> {
+                Ok(UsageOutcome {
+                    new_commands: vec!["fio --bs=4k".into()],
+                    ..UsageOutcome::default()
+                })
+            }
+        }
+        let store = Rc::new(RefCell::new(Vec::new()));
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .add_generator(Box::new(FakeGenerator { command: "ior -b 4m".into(), runs: 0 }))
+            .add_extractor(Box::new(FakeExtractor))
+            .add_persister(Box::new(MemPersister { items: store }))
+            .add_usage(Box::new(AlienUsage));
+        let reports = cycle.run_iterative(5).unwrap();
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn registry_lists_modules() {
+        let store = Rc::new(RefCell::new(Vec::new()));
+        let cycle = full_cycle(store);
+        let registry = cycle.registry();
+        assert_eq!(registry.len(), 5);
+        assert_eq!(registry[0].1, vec!["fake-ior".to_owned()]);
+        assert_eq!(registry[2].1, vec!["memory".to_owned()]);
+    }
+
+    #[test]
+    fn cycle_without_persister_analyzes_fresh_items() {
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .add_generator(Box::new(FakeGenerator { command: "ior".into(), runs: 0 }))
+            .add_extractor(Box::new(FakeExtractor))
+            .add_analyzer(Box::new(CountingAnalyzer));
+        let report = cycle.run_once().unwrap();
+        assert_eq!(report.findings[0].values[0], 1.0);
+        assert!(report.persisted_ids.is_empty());
+    }
+
+    #[test]
+    fn extractor_skips_foreign_artifacts() {
+        struct BinaryGen;
+        impl Generator for BinaryGen {
+            fn name(&self) -> &str {
+                "darshan"
+            }
+            fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+                Ok(vec![Artifact {
+                    kind: ArtifactKind::DarshanLog,
+                    name: "log".into(),
+                    payload: Payload::Binary(vec![0]),
+                    meta: Default::default(),
+                }])
+            }
+        }
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .add_generator(Box::new(BinaryGen))
+            .add_extractor(Box::new(FakeExtractor));
+        let report = cycle.run_once().unwrap();
+        assert_eq!(report.artifacts, 1);
+        assert_eq!(report.extracted, 0);
+    }
+
+    #[test]
+    fn mirror_persister_receives_items_but_primary_reports_ids() {
+        let primary = Rc::new(RefCell::new(Vec::new()));
+        let mirror = Rc::new(RefCell::new(Vec::new()));
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .add_generator(Box::new(FakeGenerator { command: "ior".into(), runs: 0 }))
+            .add_extractor(Box::new(FakeExtractor))
+            .add_persister(Box::new(MemPersister { items: primary.clone() }))
+            .add_persister(Box::new(MemPersister { items: mirror.clone() }));
+        let report = cycle.run_once().unwrap();
+        assert_eq!(report.persisted_ids, vec![1]);
+        assert_eq!(primary.borrow().len(), 1);
+        assert_eq!(mirror.borrow().len(), 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! `iokc-core` — the I/O knowledge cycle.
+//!
+//! This crate is the paper's primary contribution: a generic, modular,
+//! tool-agnostic workflow for generating, extracting, persisting,
+//! analyzing and using I/O knowledge (Zhu, Neuwirth, Lippert — IEEE
+//! CLUSTER 2022). It defines
+//!
+//! * the [`model`] — the *knowledge object* (§V-B): I/O pattern
+//!   parameters, per-operation summaries, individual iteration results,
+//!   file-system settings and system statistics, plus the separate IO500
+//!   knowledge object — with a stable JSON interchange form;
+//! * the [`phases`] — one trait per phase of Fig. 2 (generation,
+//!   extraction, persistence, analysis, usage), connected only through
+//!   data types so that any tool can plug in;
+//! * the [`cycle`] — the orchestrator and module registry realising the
+//!   modular architecture of Fig. 4, with iterative re-generation driven
+//!   by the usage phase's outcomes.
+//!
+//! Everything concrete — benchmark generators over the cluster simulator,
+//! output parsers, the relational store, the knowledge explorer, the
+//! recommendation/prediction modules — lives in sibling crates and plugs
+//! into these traits.
+
+//!
+//! A minimal cycle with inline modules:
+//!
+//! ```
+//! use iokc_core::model::{Knowledge, KnowledgeItem, KnowledgeSource};
+//! use iokc_core::phases::*;
+//! use iokc_core::KnowledgeCycle;
+//!
+//! struct Gen;
+//! impl Generator for Gen {
+//!     fn name(&self) -> &str { "demo-gen" }
+//!     fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+//!         Ok(vec![Artifact::text(ArtifactKind::IorOutput, "out", "bw 42".into())])
+//!     }
+//! }
+//! struct Ext;
+//! impl Extractor for Ext {
+//!     fn name(&self) -> &str { "demo-ext" }
+//!     fn accepts(&self, a: &Artifact) -> bool { a.kind == ArtifactKind::IorOutput }
+//!     fn extract(&self, a: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+//!         Ok(a.iter()
+//!             .map(|_| KnowledgeItem::Benchmark(Knowledge::new(KnowledgeSource::Ior, "ior")))
+//!             .collect())
+//!     }
+//! }
+//!
+//! let mut cycle = KnowledgeCycle::new();
+//! cycle.add_generator(Box::new(Gen)).add_extractor(Box::new(Ext));
+//! let report = cycle.run_once().unwrap();
+//! assert_eq!(report.extracted, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycle;
+pub mod model;
+pub mod phases;
+
+pub use cycle::{CycleReport, KnowledgeCycle};
+pub use model::{
+    FilesystemInfo, Io500Knowledge, Io500Testcase, IoPattern, IterationResult, Knowledge,
+    KnowledgeItem, KnowledgeSource, OperationSummary, SystemInfo,
+};
+pub use phases::{
+    Analyzer, Artifact, ArtifactKind, CycleError, Extractor, Finding, Generator, Payload,
+    Persister, PhaseKind, UsageModule, UsageOutcome,
+};

@@ -1,0 +1,739 @@
+//! The knowledge object model.
+//!
+//! §V-B of the paper: "the tool extracts different benchmark statistics
+//! and transforms the metrics of interest into a knowledge object. Our
+//! knowledge object currently consists of the parameters used, i.e.,
+//! parameters describing the I/O pattern and the obtained benchmark
+//! results", plus file-system settings and `/proc` system statistics.
+//! IO500 knowledge is kept as a separate object kind, mirroring the
+//! paper's separate `IOFHs*` tables.
+
+use iokc_util::json::Json;
+use std::collections::BTreeMap;
+
+/// Where a knowledge object came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KnowledgeSource {
+    /// IOR benchmark output.
+    Ior,
+    /// mdtest output.
+    Mdtest,
+    /// HACC-IO output.
+    Hacc,
+    /// A Darshan characterization log.
+    Darshan,
+    /// Another/unknown generator.
+    Other,
+}
+
+impl KnowledgeSource {
+    /// Stable name used in persistence and JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KnowledgeSource::Ior => "ior",
+            KnowledgeSource::Mdtest => "mdtest",
+            KnowledgeSource::Hacc => "hacc",
+            KnowledgeSource::Darshan => "darshan",
+            KnowledgeSource::Other => "other",
+        }
+    }
+
+    /// Parse a stored name.
+    #[must_use]
+    pub fn parse(name: &str) -> KnowledgeSource {
+        match name {
+            "ior" => KnowledgeSource::Ior,
+            "mdtest" => KnowledgeSource::Mdtest,
+            "hacc" => KnowledgeSource::Hacc,
+            "darshan" => KnowledgeSource::Darshan,
+            _ => KnowledgeSource::Other,
+        }
+    }
+}
+
+/// The I/O pattern parameters of a run (the `performances` table fields).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct IoPattern {
+    /// I/O interface name (`POSIX`, `MPIIO`, `HDF5`).
+    pub api: String,
+    /// Test file path.
+    pub test_file: String,
+    /// Block size, bytes.
+    pub block_size: u64,
+    /// Transfer size, bytes.
+    pub transfer_size: u64,
+    /// Segment count.
+    pub segments: u64,
+    /// File per process?
+    pub file_per_proc: bool,
+    /// Task reordering?
+    pub reorder_tasks: bool,
+    /// fsync after write phases?
+    pub fsync: bool,
+    /// Collective I/O?
+    pub collective: bool,
+    /// Iterations.
+    pub iterations: u32,
+    /// Rank count.
+    pub tasks: u32,
+    /// Ranks per node.
+    pub clients_per_node: u32,
+}
+
+/// Summary statistics per operation (the `summaries` table).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperationSummary {
+    /// Operation name (`write` / `read` / `create` / …).
+    pub operation: String,
+    /// Interface the operation ran through.
+    pub api: String,
+    /// Max bandwidth over iterations, MiB/s.
+    pub max_mib: f64,
+    /// Min bandwidth over iterations, MiB/s.
+    pub min_mib: f64,
+    /// Mean bandwidth over iterations, MiB/s.
+    pub mean_mib: f64,
+    /// Standard deviation of bandwidth, MiB/s.
+    pub stddev_mib: f64,
+    /// Mean operations per second.
+    pub mean_ops: f64,
+    /// Number of iterations summarised.
+    pub iterations: u32,
+}
+
+/// One per-iteration result (the `results` table; the paper stores
+/// individual results "in order to provide a rich set of visualization
+/// options").
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationResult {
+    /// Operation name.
+    pub operation: String,
+    /// Iteration index.
+    pub iteration: u32,
+    /// Bandwidth, MiB/s.
+    pub bw_mib: f64,
+    /// Operation count.
+    pub ops: u64,
+    /// Operation rate, ops/s.
+    pub ops_per_sec: f64,
+    /// Mean per-op latency, seconds.
+    pub latency_s: f64,
+    /// Open span, seconds.
+    pub open_s: f64,
+    /// Data (wr/rd) span, seconds.
+    pub wrrd_s: f64,
+    /// Close span, seconds.
+    pub close_s: f64,
+    /// Total time, seconds.
+    pub total_s: f64,
+}
+
+/// File-system settings of the run (the `filesystems` table; §V-B lists
+/// BeeGFS `Entry type`, `EntryID`, `Metadata node`, `Stripe pattern
+/// details`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FilesystemInfo {
+    /// File system type (e.g. `BeeGFS`).
+    pub fs_type: String,
+    /// Entry type (`file` / `directory`).
+    pub entry_type: String,
+    /// Entry id.
+    pub entry_id: String,
+    /// Owning metadata node.
+    pub metadata_node: String,
+    /// Stripe chunk size, bytes.
+    pub chunk_size: u64,
+    /// Number of storage targets.
+    pub storage_targets: u32,
+    /// RAID scheme.
+    pub raid: String,
+    /// Storage pool name.
+    pub storage_pool: String,
+}
+
+/// System statistics from `/proc` (§V-B).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SystemInfo {
+    /// Host/system name.
+    pub system: String,
+    /// CPU model string.
+    pub cpu_model: String,
+    /// Processor core count per node.
+    pub cores: u32,
+    /// Processor frequency, MHz.
+    pub cpu_mhz: f64,
+    /// Cache size, KiB.
+    pub cache_kib: u64,
+    /// Memory size, KiB.
+    pub mem_kib: u64,
+}
+
+/// A benchmark knowledge object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Knowledge {
+    /// Store-assigned id (`None` until persisted).
+    pub id: Option<u64>,
+    /// Generator that produced it.
+    pub source: KnowledgeSource,
+    /// The exact command used (knowledge regeneration keys off this).
+    pub command: String,
+    /// I/O pattern parameters.
+    pub pattern: IoPattern,
+    /// Per-operation summaries.
+    pub summaries: Vec<OperationSummary>,
+    /// Individual per-iteration results.
+    pub results: Vec<IterationResult>,
+    /// File-system settings, when extracted.
+    pub filesystem: Option<FilesystemInfo>,
+    /// System statistics, when extracted.
+    pub system: Option<SystemInfo>,
+    /// Run start, Unix seconds.
+    pub start_time: u64,
+    /// Run end, Unix seconds.
+    pub end_time: u64,
+    /// Id of the knowledge object this run was derived from (Example I:
+    /// new knowledge generated from existing knowledge).
+    pub derived_from: Option<u64>,
+}
+
+impl Knowledge {
+    /// An empty knowledge object for a source and command.
+    #[must_use]
+    pub fn new(source: KnowledgeSource, command: &str) -> Knowledge {
+        Knowledge {
+            id: None,
+            source,
+            command: command.to_owned(),
+            pattern: IoPattern::default(),
+            summaries: Vec::new(),
+            results: Vec::new(),
+            filesystem: None,
+            system: None,
+            start_time: 0,
+            end_time: 0,
+            derived_from: None,
+        }
+    }
+
+    /// The summary for an operation, if present.
+    #[must_use]
+    pub fn summary(&self, operation: &str) -> Option<&OperationSummary> {
+        self.summaries.iter().find(|s| s.operation == operation)
+    }
+
+    /// Per-iteration bandwidth series for an operation.
+    #[must_use]
+    pub fn series(&self, operation: &str) -> Vec<(u32, f64)> {
+        self.results
+            .iter()
+            .filter(|r| r.operation == operation)
+            .map(|r| (r.iteration, r.bw_mib))
+            .collect()
+    }
+
+    /// Serialize to JSON (the interchange format between the cluster-side
+    /// and workstation-side halves of the architecture, Fig. 4).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("source", Json::from(self.source.as_str())),
+            ("command", Json::from(self.command.as_str())),
+            ("start_time", Json::from(self.start_time)),
+            ("end_time", Json::from(self.end_time)),
+            ("pattern", pattern_json(&self.pattern)),
+            (
+                "summaries",
+                Json::Arr(self.summaries.iter().map(summary_json).collect()),
+            ),
+            (
+                "results",
+                Json::Arr(self.results.iter().map(result_json).collect()),
+            ),
+        ];
+        if let Some(id) = self.id {
+            obj.push(("id", Json::from(id)));
+        }
+        if let Some(fs) = &self.filesystem {
+            obj.push(("filesystem", fs_json(fs)));
+        }
+        if let Some(sys) = &self.system {
+            obj.push(("system", system_json(sys)));
+        }
+        if let Some(parent) = self.derived_from {
+            obj.push(("derived_from", Json::from(parent)));
+        }
+        Json::obj(obj)
+    }
+
+    /// Deserialize from JSON. Returns `None` when required fields are
+    /// missing or mistyped.
+    #[must_use]
+    pub fn from_json(json: &Json) -> Option<Knowledge> {
+        let mut k = Knowledge::new(
+            KnowledgeSource::parse(json.get("source")?.as_str()?),
+            json.get("command")?.as_str()?,
+        );
+        k.id = json.get("id").and_then(Json::as_u64);
+        k.start_time = json.get("start_time")?.as_u64()?;
+        k.end_time = json.get("end_time")?.as_u64()?;
+        k.pattern = pattern_from(json.get("pattern")?)?;
+        for s in json.get("summaries")?.as_arr()? {
+            k.summaries.push(summary_from(s)?);
+        }
+        for r in json.get("results")?.as_arr()? {
+            k.results.push(result_from(r)?);
+        }
+        k.filesystem = json.get("filesystem").and_then(fs_from);
+        k.system = json.get("system").and_then(system_from);
+        k.derived_from = json.get("derived_from").and_then(Json::as_u64);
+        Some(k)
+    }
+}
+
+/// One IO500 test case (the `IOFHsTestcases`/`IOFHsResults` tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Io500Testcase {
+    /// Phase name (`ior-easy-write`, …).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit (`GiB/s` or `kIOPS`).
+    pub unit: String,
+    /// Elapsed seconds.
+    pub time_s: f64,
+}
+
+/// An IO500 knowledge object (the paper keeps it separate from the IOR
+/// knowledge object; `IOFHsRuns`/`IOFHsScores` tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Io500Knowledge {
+    /// Store-assigned id.
+    pub id: Option<u64>,
+    /// Rank count.
+    pub tasks: u32,
+    /// Bandwidth score, GiB/s.
+    pub bw_score: f64,
+    /// Metadata score, kIOPS.
+    pub md_score: f64,
+    /// Total score.
+    pub total_score: f64,
+    /// All test cases.
+    pub testcases: Vec<Io500Testcase>,
+    /// Options used (key → value), the `IOFHsOptions` table.
+    pub options: BTreeMap<String, String>,
+    /// System statistics.
+    pub system: Option<SystemInfo>,
+    /// Run start, Unix seconds.
+    pub start_time: u64,
+}
+
+impl Io500Knowledge {
+    /// Test case lookup by name.
+    #[must_use]
+    pub fn testcase(&self, name: &str) -> Option<&Io500Testcase> {
+        self.testcases.iter().find(|t| t.name == name)
+    }
+
+    /// Serialize to JSON.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = vec![
+            ("tasks", Json::from(u64::from(self.tasks))),
+            ("bw_score", Json::from(self.bw_score)),
+            ("md_score", Json::from(self.md_score)),
+            ("total_score", Json::from(self.total_score)),
+            ("start_time", Json::from(self.start_time)),
+            (
+                "testcases",
+                Json::Arr(
+                    self.testcases
+                        .iter()
+                        .map(|t| {
+                            Json::obj(vec![
+                                ("name", Json::from(t.name.as_str())),
+                                ("value", Json::from(t.value)),
+                                ("unit", Json::from(t.unit.as_str())),
+                                ("time_s", Json::from(t.time_s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "options",
+                Json::Obj(
+                    self.options
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(v.as_str())))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(id) = self.id {
+            obj.push(("id", Json::from(id)));
+        }
+        if let Some(sys) = &self.system {
+            obj.push(("system", system_json(sys)));
+        }
+        Json::obj(obj)
+    }
+
+    /// Deserialize from JSON.
+    #[must_use]
+    pub fn from_json(json: &Json) -> Option<Io500Knowledge> {
+        let mut testcases = Vec::new();
+        for t in json.get("testcases")?.as_arr()? {
+            testcases.push(Io500Testcase {
+                name: t.get("name")?.as_str()?.to_owned(),
+                value: t.get("value")?.as_f64()?,
+                unit: t.get("unit")?.as_str()?.to_owned(),
+                time_s: t.get("time_s")?.as_f64()?,
+            });
+        }
+        let mut options = BTreeMap::new();
+        if let Some(Json::Obj(map)) = json.get("options") {
+            for (k, v) in map {
+                options.insert(k.clone(), v.as_str()?.to_owned());
+            }
+        }
+        Some(Io500Knowledge {
+            id: json.get("id").and_then(Json::as_u64),
+            tasks: json.get("tasks")?.as_u64()? as u32,
+            bw_score: json.get("bw_score")?.as_f64()?,
+            md_score: json.get("md_score")?.as_f64()?,
+            total_score: json.get("total_score")?.as_f64()?,
+            testcases,
+            options,
+            system: json.get("system").and_then(system_from),
+            start_time: json.get("start_time")?.as_u64()?,
+        })
+    }
+}
+
+/// Any knowledge item flowing through the cycle.
+///
+/// The two variants intentionally differ in size — items are moved in
+/// small batches between phases, never stored in bulk arrays where the
+/// size gap would matter.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum KnowledgeItem {
+    /// A benchmark knowledge object.
+    Benchmark(Knowledge),
+    /// An IO500 knowledge object.
+    Io500(Io500Knowledge),
+}
+
+impl KnowledgeItem {
+    /// Serialize either kind to tagged JSON.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        match self {
+            KnowledgeItem::Benchmark(k) => Json::obj(vec![
+                ("kind", Json::from("benchmark")),
+                ("knowledge", k.to_json()),
+            ]),
+            KnowledgeItem::Io500(k) => Json::obj(vec![
+                ("kind", Json::from("io500")),
+                ("knowledge", k.to_json()),
+            ]),
+        }
+    }
+
+    /// Deserialize tagged JSON.
+    #[must_use]
+    pub fn from_json(json: &Json) -> Option<KnowledgeItem> {
+        match json.get("kind")?.as_str()? {
+            "benchmark" => Knowledge::from_json(json.get("knowledge")?).map(KnowledgeItem::Benchmark),
+            "io500" => Io500Knowledge::from_json(json.get("knowledge")?).map(KnowledgeItem::Io500),
+            _ => None,
+        }
+    }
+}
+
+fn pattern_json(p: &IoPattern) -> Json {
+    Json::obj(vec![
+        ("api", Json::from(p.api.as_str())),
+        ("test_file", Json::from(p.test_file.as_str())),
+        ("block_size", Json::from(p.block_size)),
+        ("transfer_size", Json::from(p.transfer_size)),
+        ("segments", Json::from(p.segments)),
+        ("file_per_proc", Json::from(p.file_per_proc)),
+        ("reorder_tasks", Json::from(p.reorder_tasks)),
+        ("fsync", Json::from(p.fsync)),
+        ("collective", Json::from(p.collective)),
+        ("iterations", Json::from(u64::from(p.iterations))),
+        ("tasks", Json::from(u64::from(p.tasks))),
+        ("clients_per_node", Json::from(u64::from(p.clients_per_node))),
+    ])
+}
+
+fn pattern_from(json: &Json) -> Option<IoPattern> {
+    Some(IoPattern {
+        api: json.get("api")?.as_str()?.to_owned(),
+        test_file: json.get("test_file")?.as_str()?.to_owned(),
+        block_size: json.get("block_size")?.as_u64()?,
+        transfer_size: json.get("transfer_size")?.as_u64()?,
+        segments: json.get("segments")?.as_u64()?,
+        file_per_proc: json.get("file_per_proc")?.as_bool()?,
+        reorder_tasks: json.get("reorder_tasks")?.as_bool()?,
+        fsync: json.get("fsync")?.as_bool()?,
+        collective: json.get("collective")?.as_bool()?,
+        iterations: json.get("iterations")?.as_u64()? as u32,
+        tasks: json.get("tasks")?.as_u64()? as u32,
+        clients_per_node: json.get("clients_per_node")?.as_u64()? as u32,
+    })
+}
+
+fn summary_json(s: &OperationSummary) -> Json {
+    Json::obj(vec![
+        ("operation", Json::from(s.operation.as_str())),
+        ("api", Json::from(s.api.as_str())),
+        ("max_mib", Json::from(s.max_mib)),
+        ("min_mib", Json::from(s.min_mib)),
+        ("mean_mib", Json::from(s.mean_mib)),
+        ("stddev_mib", Json::from(s.stddev_mib)),
+        ("mean_ops", Json::from(s.mean_ops)),
+        ("iterations", Json::from(u64::from(s.iterations))),
+    ])
+}
+
+fn summary_from(json: &Json) -> Option<OperationSummary> {
+    Some(OperationSummary {
+        operation: json.get("operation")?.as_str()?.to_owned(),
+        api: json.get("api")?.as_str()?.to_owned(),
+        max_mib: json.get("max_mib")?.as_f64()?,
+        min_mib: json.get("min_mib")?.as_f64()?,
+        mean_mib: json.get("mean_mib")?.as_f64()?,
+        stddev_mib: json.get("stddev_mib")?.as_f64()?,
+        mean_ops: json.get("mean_ops")?.as_f64()?,
+        iterations: json.get("iterations")?.as_u64()? as u32,
+    })
+}
+
+fn result_json(r: &IterationResult) -> Json {
+    Json::obj(vec![
+        ("operation", Json::from(r.operation.as_str())),
+        ("iteration", Json::from(u64::from(r.iteration))),
+        ("bw_mib", Json::from(r.bw_mib)),
+        ("ops", Json::from(r.ops)),
+        ("ops_per_sec", Json::from(r.ops_per_sec)),
+        ("latency_s", Json::from(r.latency_s)),
+        ("open_s", Json::from(r.open_s)),
+        ("wrrd_s", Json::from(r.wrrd_s)),
+        ("close_s", Json::from(r.close_s)),
+        ("total_s", Json::from(r.total_s)),
+    ])
+}
+
+fn result_from(json: &Json) -> Option<IterationResult> {
+    Some(IterationResult {
+        operation: json.get("operation")?.as_str()?.to_owned(),
+        iteration: json.get("iteration")?.as_u64()? as u32,
+        bw_mib: json.get("bw_mib")?.as_f64()?,
+        ops: json.get("ops")?.as_u64()?,
+        ops_per_sec: json.get("ops_per_sec")?.as_f64()?,
+        latency_s: json.get("latency_s")?.as_f64()?,
+        open_s: json.get("open_s")?.as_f64()?,
+        wrrd_s: json.get("wrrd_s")?.as_f64()?,
+        close_s: json.get("close_s")?.as_f64()?,
+        total_s: json.get("total_s")?.as_f64()?,
+    })
+}
+
+fn fs_json(fs: &FilesystemInfo) -> Json {
+    Json::obj(vec![
+        ("fs_type", Json::from(fs.fs_type.as_str())),
+        ("entry_type", Json::from(fs.entry_type.as_str())),
+        ("entry_id", Json::from(fs.entry_id.as_str())),
+        ("metadata_node", Json::from(fs.metadata_node.as_str())),
+        ("chunk_size", Json::from(fs.chunk_size)),
+        ("storage_targets", Json::from(u64::from(fs.storage_targets))),
+        ("raid", Json::from(fs.raid.as_str())),
+        ("storage_pool", Json::from(fs.storage_pool.as_str())),
+    ])
+}
+
+fn fs_from(json: &Json) -> Option<FilesystemInfo> {
+    Some(FilesystemInfo {
+        fs_type: json.get("fs_type")?.as_str()?.to_owned(),
+        entry_type: json.get("entry_type")?.as_str()?.to_owned(),
+        entry_id: json.get("entry_id")?.as_str()?.to_owned(),
+        metadata_node: json.get("metadata_node")?.as_str()?.to_owned(),
+        chunk_size: json.get("chunk_size")?.as_u64()?,
+        storage_targets: json.get("storage_targets")?.as_u64()? as u32,
+        raid: json.get("raid")?.as_str()?.to_owned(),
+        storage_pool: json.get("storage_pool")?.as_str()?.to_owned(),
+    })
+}
+
+fn system_json(sys: &SystemInfo) -> Json {
+    Json::obj(vec![
+        ("system", Json::from(sys.system.as_str())),
+        ("cpu_model", Json::from(sys.cpu_model.as_str())),
+        ("cores", Json::from(u64::from(sys.cores))),
+        ("cpu_mhz", Json::from(sys.cpu_mhz)),
+        ("cache_kib", Json::from(sys.cache_kib)),
+        ("mem_kib", Json::from(sys.mem_kib)),
+    ])
+}
+
+fn system_from(json: &Json) -> Option<SystemInfo> {
+    Some(SystemInfo {
+        system: json.get("system")?.as_str()?.to_owned(),
+        cpu_model: json.get("cpu_model")?.as_str()?.to_owned(),
+        cores: json.get("cores")?.as_u64()? as u32,
+        cpu_mhz: json.get("cpu_mhz")?.as_f64()?,
+        cache_kib: json.get("cache_kib")?.as_u64()?,
+        mem_kib: json.get("mem_kib")?.as_u64()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_knowledge() -> Knowledge {
+        let mut k = Knowledge::new(
+            KnowledgeSource::Ior,
+            "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/test80 -k",
+        );
+        k.pattern = IoPattern {
+            api: "MPIIO".into(),
+            test_file: "/scratch/test80".into(),
+            block_size: 4 << 20,
+            transfer_size: 2 << 20,
+            segments: 40,
+            file_per_proc: true,
+            reorder_tasks: true,
+            fsync: true,
+            collective: false,
+            iterations: 6,
+            tasks: 80,
+            clients_per_node: 20,
+        };
+        k.summaries.push(OperationSummary {
+            operation: "write".into(),
+            api: "MPIIO".into(),
+            max_mib: 2903.5,
+            min_mib: 1251.0,
+            mean_mib: 2583.5,
+            stddev_mib: 590.0,
+            mean_ops: 1290.0,
+            iterations: 6,
+        });
+        for (i, bw) in [2850.0, 1251.0, 2840.0, 2860.0, 2855.0, 2845.0].iter().enumerate() {
+            k.results.push(IterationResult {
+                operation: "write".into(),
+                iteration: i as u32,
+                bw_mib: *bw,
+                ops: 6400,
+                ops_per_sec: bw / 2.0,
+                latency_s: 0.0007,
+                open_s: 0.002,
+                wrrd_s: 4.4,
+                close_s: 0.001,
+                total_s: 4.5,
+            });
+        }
+        k.filesystem = Some(FilesystemInfo {
+            fs_type: "BeeGFS".into(),
+            entry_type: "file".into(),
+            entry_id: "5-2A3B4C5D-1".into(),
+            metadata_node: "meta01".into(),
+            chunk_size: 512 * 1024,
+            storage_targets: 4,
+            raid: "RAID6".into(),
+            storage_pool: "Default".into(),
+        });
+        k.system = Some(SystemInfo {
+            system: "FUCHS-CSC".into(),
+            cpu_model: "Intel(R) Xeon(R) CPU E5-2670 v2 @ 2.50GHz".into(),
+            cores: 20,
+            cpu_mhz: 2500.0,
+            cache_kib: 25600,
+            mem_kib: 128 * 1024 * 1024,
+        });
+        k.start_time = 1_656_590_400;
+        k.end_time = 1_656_590_700;
+        k
+    }
+
+    #[test]
+    fn json_roundtrip_benchmark() {
+        let k = sample_knowledge();
+        let json = k.to_json();
+        let back = Knowledge::from_json(&json).unwrap();
+        assert_eq!(back, k);
+        // And through text.
+        let text = json.to_pretty();
+        let reparsed = iokc_util::json::parse(&text).unwrap();
+        assert_eq!(Knowledge::from_json(&reparsed).unwrap(), k);
+    }
+
+    #[test]
+    fn json_roundtrip_io500() {
+        let k = Io500Knowledge {
+            id: Some(3),
+            tasks: 40,
+            bw_score: 1.25,
+            md_score: 9.5,
+            total_score: (1.25f64 * 9.5).sqrt(),
+            testcases: vec![Io500Testcase {
+                name: "ior-easy-write".into(),
+                value: 2.5,
+                unit: "GiB/s".into(),
+                time_s: 30.0,
+            }],
+            options: BTreeMap::from([("dir".to_owned(), "/scratch/io500".to_owned())]),
+            system: None,
+            start_time: 1_656_590_400,
+        };
+        let back = Io500Knowledge::from_json(&k.to_json()).unwrap();
+        assert_eq!(back, k);
+    }
+
+    #[test]
+    fn tagged_item_roundtrip() {
+        let item = KnowledgeItem::Benchmark(sample_knowledge());
+        let back = KnowledgeItem::from_json(&item.to_json()).unwrap();
+        assert_eq!(back, item);
+        assert!(KnowledgeItem::from_json(&Json::obj(vec![("kind", Json::from("alien"))])).is_none());
+    }
+
+    #[test]
+    fn series_and_summary_lookup() {
+        let k = sample_knowledge();
+        let series = k.series("write");
+        assert_eq!(series.len(), 6);
+        assert_eq!(series[1], (1, 1251.0));
+        assert!(k.summary("write").is_some());
+        assert!(k.summary("read").is_none());
+        assert!(k.series("read").is_empty());
+    }
+
+    #[test]
+    fn source_parse_roundtrip() {
+        for s in [
+            KnowledgeSource::Ior,
+            KnowledgeSource::Mdtest,
+            KnowledgeSource::Hacc,
+            KnowledgeSource::Darshan,
+        ] {
+            assert_eq!(KnowledgeSource::parse(s.as_str()), s);
+        }
+        assert_eq!(KnowledgeSource::parse("whatever"), KnowledgeSource::Other);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(Knowledge::from_json(&Json::Null).is_none());
+        let json = sample_knowledge().to_json();
+        // Drop a required field.
+        if let Json::Obj(mut map) = json {
+            map.remove("command");
+            assert!(Knowledge::from_json(&Json::Obj(map)).is_none());
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! The five phase abstractions of the knowledge cycle (Fig. 2).
+//!
+//! Each phase is a trait; concrete implementations live in the other
+//! crates (benchmark generators over the simulator, the extractor, the
+//! relational store, the explorer, the usage modules). Keeping the traits
+//! here — free of simulator, parser, or storage types — is what makes the
+//! workflow "software and hardware agnostic" (§I): a new tool plugs in by
+//! implementing one trait and registering it.
+
+use crate::model::KnowledgeItem;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// What kind of raw output an artifact carries, so extractors can decide
+/// whether they understand it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArtifactKind {
+    /// IOR stdout.
+    IorOutput,
+    /// mdtest stdout.
+    MdtestOutput,
+    /// HACC-IO stdout.
+    HaccOutput,
+    /// IO500 result text.
+    Io500Output,
+    /// A binary Darshan-style log.
+    DarshanLog,
+    /// `beegfs-ctl --getentryinfo` text.
+    BeegfsEntryInfo,
+    /// Lustre `lfs getstripe` text.
+    LustreStripeInfo,
+    /// `/proc/cpuinfo` text.
+    ProcCpuinfo,
+    /// `/proc/meminfo` text.
+    ProcMeminfo,
+    /// Anything else.
+    Other,
+}
+
+/// Raw output produced by the generation phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    /// Content kind.
+    pub kind: ArtifactKind,
+    /// Name (e.g. the output file name in a JUBE workspace).
+    pub name: String,
+    /// Payload.
+    pub payload: Payload,
+    /// Free-form metadata (command, tasks, system name, …) that travels
+    /// with the artifact into extraction.
+    pub meta: BTreeMap<String, String>,
+}
+
+/// Artifact payload: benchmark outputs are text; Darshan logs are binary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// UTF-8 text.
+    Text(String),
+    /// Raw bytes.
+    Binary(Vec<u8>),
+}
+
+impl Artifact {
+    /// A text artifact.
+    #[must_use]
+    pub fn text(kind: ArtifactKind, name: &str, body: String) -> Artifact {
+        Artifact {
+            kind,
+            name: name.to_owned(),
+            payload: Payload::Text(body),
+            meta: BTreeMap::new(),
+        }
+    }
+
+    /// A binary artifact.
+    #[must_use]
+    pub fn binary(kind: ArtifactKind, name: &str, body: Vec<u8>) -> Artifact {
+        Artifact {
+            kind,
+            name: name.to_owned(),
+            payload: Payload::Binary(body),
+            meta: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a metadata entry (builder style).
+    #[must_use]
+    pub fn with_meta(mut self, key: &str, value: &str) -> Artifact {
+        self.meta.insert(key.to_owned(), value.to_owned());
+        self
+    }
+
+    /// Text payload, if this artifact is textual.
+    #[must_use]
+    pub fn as_text(&self) -> Option<&str> {
+        match &self.payload {
+            Payload::Text(t) => Some(t),
+            Payload::Binary(_) => None,
+        }
+    }
+
+    /// Binary payload, if this artifact is binary.
+    #[must_use]
+    pub fn as_binary(&self) -> Option<&[u8]> {
+        match &self.payload {
+            Payload::Binary(b) => Some(b),
+            Payload::Text(_) => None,
+        }
+    }
+}
+
+/// Error from any phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleError {
+    /// Which phase failed.
+    pub phase: PhaseKind,
+    /// Module name.
+    pub module: String,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl CycleError {
+    /// Construct an error.
+    #[must_use]
+    pub fn new(phase: PhaseKind, module: &str, message: impl fmt::Display) -> CycleError {
+        CycleError {
+            phase,
+            module: module.to_owned(),
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} phase, module {}: {}",
+            self.phase.as_str(),
+            self.module,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// The five phases of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// Phase I: knowledge generation.
+    Generation,
+    /// Phase II: knowledge extraction.
+    Extraction,
+    /// Phase III: knowledge persistence.
+    Persistence,
+    /// Phase IV: knowledge analysis.
+    Analysis,
+    /// Phase V: knowledge usage.
+    Usage,
+}
+
+impl PhaseKind {
+    /// All phases in cycle order.
+    pub const ALL: [PhaseKind; 5] = [
+        PhaseKind::Generation,
+        PhaseKind::Extraction,
+        PhaseKind::Persistence,
+        PhaseKind::Analysis,
+        PhaseKind::Usage,
+    ];
+
+    /// Display name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PhaseKind::Generation => "generation",
+            PhaseKind::Extraction => "extraction",
+            PhaseKind::Persistence => "persistence",
+            PhaseKind::Analysis => "analysis",
+            PhaseKind::Usage => "usage",
+        }
+    }
+}
+
+/// Phase I — produce raw artifacts (run benchmarks, collect traces).
+pub trait Generator {
+    /// Module name (for the registry and error messages).
+    fn name(&self) -> &str;
+    /// Run the generator, producing artifacts.
+    fn generate(&mut self) -> Result<Vec<Artifact>, CycleError>;
+    /// Accept a new command for the next run — the path by which the
+    /// usage phase's "create configuration" feeds back into generation
+    /// (Example I). The default declines every command.
+    fn reconfigure(&mut self, _command: &str) -> bool {
+        false
+    }
+}
+
+/// Phase II — turn artifacts into knowledge items.
+pub trait Extractor {
+    /// Module name.
+    fn name(&self) -> &str;
+    /// Does this extractor understand the artifact?
+    fn accepts(&self, artifact: &Artifact) -> bool;
+    /// Extract knowledge from the artifacts this extractor accepts.
+    /// Called once per cycle with every accepted artifact.
+    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError>;
+}
+
+/// Phase III — persist knowledge items, returning their assigned ids.
+pub trait Persister {
+    /// Module name.
+    fn name(&self) -> &str;
+    /// Store the items; returns one id per item, in order.
+    fn persist(&mut self, items: &[KnowledgeItem]) -> Result<Vec<u64>, CycleError>;
+    /// Load every stored item (analysis may look beyond the current
+    /// cycle's additions — that is the entire point of sharing).
+    fn load_all(&self) -> Result<Vec<KnowledgeItem>, CycleError>;
+}
+
+/// A finding produced by the analysis phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// Severity/class tag (`anomaly`, `observation`, `comparison`, …).
+    pub tag: String,
+    /// Which knowledge item (store id) the finding concerns, if any.
+    pub knowledge_id: Option<u64>,
+    /// Human-readable description.
+    pub message: String,
+    /// Numeric payload (metric values backing the finding).
+    pub values: Vec<f64>,
+}
+
+/// Phase IV — analyze the accumulated knowledge.
+pub trait Analyzer {
+    /// Module name.
+    fn name(&self) -> &str;
+    /// Analyze items (typically everything the persister holds).
+    fn analyze(&self, items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError>;
+}
+
+/// The outcome of the usage phase: what to do next.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct UsageOutcome {
+    /// New benchmark commands to run in the next cycle iteration
+    /// (Example I: new knowledge generation).
+    pub new_commands: Vec<String>,
+    /// Tuning recommendations for the user.
+    pub recommendations: Vec<String>,
+    /// Free-form notes (predictions, detected anomalies acted upon, …).
+    pub notes: Vec<String>,
+}
+
+impl UsageOutcome {
+    /// Merge another outcome into this one.
+    pub fn merge(&mut self, other: UsageOutcome) {
+        self.new_commands.extend(other.new_commands);
+        self.recommendations.extend(other.recommendations);
+        self.notes.extend(other.notes);
+    }
+}
+
+/// Phase V — apply the knowledge.
+pub trait UsageModule {
+    /// Module name.
+    fn name(&self) -> &str;
+    /// Apply knowledge and analysis findings.
+    fn apply(
+        &mut self,
+        items: &[KnowledgeItem],
+        findings: &[Finding],
+    ) -> Result<UsageOutcome, CycleError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_accessors() {
+        let a = Artifact::text(ArtifactKind::IorOutput, "stdout", "Max Write: 1".into())
+            .with_meta("command", "ior -w");
+        assert_eq!(a.as_text(), Some("Max Write: 1"));
+        assert!(a.as_binary().is_none());
+        assert_eq!(a.meta["command"], "ior -w");
+
+        let b = Artifact::binary(ArtifactKind::DarshanLog, "log", vec![1, 2, 3]);
+        assert_eq!(b.as_binary(), Some(&[1u8, 2, 3][..]));
+        assert!(b.as_text().is_none());
+    }
+
+    #[test]
+    fn phase_kinds_are_ordered() {
+        let names: Vec<&str> = PhaseKind::ALL.iter().map(|p| p.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["generation", "extraction", "persistence", "analysis", "usage"]
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CycleError::new(PhaseKind::Extraction, "ior-extractor", "no Max Write line");
+        assert_eq!(
+            e.to_string(),
+            "extraction phase, module ior-extractor: no Max Write line"
+        );
+    }
+
+    #[test]
+    fn usage_outcome_merges() {
+        let mut a = UsageOutcome {
+            new_commands: vec!["ior -w".into()],
+            recommendations: vec![],
+            notes: vec!["n1".into()],
+        };
+        a.merge(UsageOutcome {
+            new_commands: vec!["ior -r".into()],
+            recommendations: vec!["increase stripe".into()],
+            notes: vec![],
+        });
+        assert_eq!(a.new_commands.len(), 2);
+        assert_eq!(a.recommendations.len(), 1);
+        assert_eq!(a.notes.len(), 1);
+    }
+}

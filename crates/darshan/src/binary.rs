@@ -1,0 +1,346 @@
+//! The binary on-disk log format.
+//!
+//! Compact little-endian layout, self-describing enough for a reader to
+//! validate structure without trusting lengths blindly:
+//!
+//! ```text
+//! magic   u64  = 0x444f_4b43_4c4f_4731 ("DOKCLOG1")
+//! version u32  = 1
+//! job:    job_id u64, nprocs u32, start u64, end u64, exe str
+//! names:  count u32, [record_id u64, path str] ...
+//! modules: count u32, [module u8, nrecs u32,
+//!            [record_id u64, rank i32,
+//!             ncounters u32, i64..., nfcounters u32, f64...] ...] ...
+//! dxt:    count u32, [record_id u64, rank i32, op u8,
+//!          offset u64, length u64, start f64, end f64] ...
+//! str   = len u32, utf8 bytes
+//! ```
+
+use crate::counters::Module;
+use crate::log::{DarshanLog, DxtSegment, FileRecord, JobHeader};
+use std::collections::BTreeMap;
+use std::fmt;
+
+const MAGIC: u64 = 0x444f_4b43_4c4f_4731;
+const VERSION: u32 = 1;
+
+/// Error decoding a log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are documented by the variant docs
+pub enum DecodeError {
+    /// Input ended before the structure was complete.
+    Truncated { offset: usize },
+    /// Bad magic number — not a log file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// Unknown module id.
+    BadModule(u8),
+    /// A declared length is implausible for the remaining input.
+    BadLength { offset: usize },
+    /// A string was not valid UTF-8.
+    BadUtf8 { offset: usize },
+    /// Counter array length does not match the module's definition.
+    CounterMismatch { module: &'static str },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { offset } => write!(f, "log truncated at byte {offset}"),
+            DecodeError::BadMagic => write!(f, "not a darshan-style log (bad magic)"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported log version {v}"),
+            DecodeError::BadModule(m) => write!(f, "unknown module id {m}"),
+            DecodeError::BadLength { offset } => write!(f, "implausible length at byte {offset}"),
+            DecodeError::BadUtf8 { offset } => write!(f, "invalid utf-8 at byte {offset}"),
+            DecodeError::CounterMismatch { module } => {
+                write!(f, "counter array size mismatch for module {module}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialize a log to bytes.
+#[must_use]
+pub fn encode(log: &DarshanLog) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1024 + log.dxt.len() * 41);
+    put_u64(&mut out, MAGIC);
+    put_u32(&mut out, VERSION);
+    put_u64(&mut out, log.job.job_id);
+    put_u32(&mut out, log.job.nprocs);
+    put_u64(&mut out, log.job.start_time);
+    put_u64(&mut out, log.job.end_time);
+    put_str(&mut out, &log.job.exe);
+    put_u32(&mut out, log.names.len() as u32);
+    for (id, path) in &log.names {
+        put_u64(&mut out, *id);
+        put_str(&mut out, path);
+    }
+    put_u32(&mut out, log.modules.len() as u32);
+    for (module, records) in &log.modules {
+        out.push(module.id());
+        put_u32(&mut out, records.len() as u32);
+        for rec in records {
+            put_u64(&mut out, rec.record_id);
+            put_u32(&mut out, rec.rank as u32);
+            put_u32(&mut out, rec.counters.len() as u32);
+            for c in &rec.counters {
+                put_u64(&mut out, *c as u64);
+            }
+            put_u32(&mut out, rec.fcounters.len() as u32);
+            for c in &rec.fcounters {
+                put_u64(&mut out, c.to_bits());
+            }
+        }
+    }
+    put_u32(&mut out, log.dxt.len() as u32);
+    for seg in &log.dxt {
+        put_u64(&mut out, seg.record_id);
+        put_u32(&mut out, seg.rank as u32);
+        out.push(u8::from(seg.is_write));
+        put_u64(&mut out, seg.offset);
+        put_u64(&mut out, seg.length);
+        put_u64(&mut out, seg.start.to_bits());
+        put_u64(&mut out, seg.end.to_bits());
+    }
+    out
+}
+
+/// Deserialize a log from bytes.
+pub fn decode(bytes: &[u8]) -> Result<DarshanLog, DecodeError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.u64()? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let job = JobHeader {
+        job_id: r.u64()?,
+        nprocs: r.u32()?,
+        start_time: r.u64()?,
+        end_time: r.u64()?,
+        exe: r.string()?,
+    };
+    let nnames = r.len_checked(12)?;
+    let mut names = BTreeMap::new();
+    for _ in 0..nnames {
+        let id = r.u64()?;
+        let path = r.string()?;
+        names.insert(id, path);
+    }
+    let nmodules = r.len_checked(5)?;
+    let mut modules = BTreeMap::new();
+    for _ in 0..nmodules {
+        let module = Module::from_id(r.u8()?).ok_or(DecodeError::BadModule(0))?;
+        let nrecs = r.len_checked(20)?;
+        let mut records = Vec::with_capacity(nrecs);
+        for _ in 0..nrecs {
+            let record_id = r.u64()?;
+            let rank = r.u32()? as i32;
+            let nc = r.len_checked(8)?;
+            if nc != module.counter_names().len() {
+                return Err(DecodeError::CounterMismatch { module: module.as_str() });
+            }
+            let mut counters = Vec::with_capacity(nc);
+            for _ in 0..nc {
+                counters.push(r.u64()? as i64);
+            }
+            let nf = r.len_checked(8)?;
+            if nf != module.fcounter_names().len() {
+                return Err(DecodeError::CounterMismatch { module: module.as_str() });
+            }
+            let mut fcounters = Vec::with_capacity(nf);
+            for _ in 0..nf {
+                fcounters.push(f64::from_bits(r.u64()?));
+            }
+            records.push(FileRecord { record_id, rank, counters, fcounters });
+        }
+        modules.insert(module, records);
+    }
+    let nsegs = r.len_checked(41)?;
+    let mut dxt = Vec::with_capacity(nsegs);
+    for _ in 0..nsegs {
+        dxt.push(DxtSegment {
+            record_id: r.u64()?,
+            rank: r.u32()? as i32,
+            is_write: r.u8()? != 0,
+            offset: r.u64()?,
+            length: r.u64()?,
+            start: f64::from_bits(r.u64()?),
+            end: f64::from_bits(r.u64()?),
+        });
+    }
+    Ok(DarshanLog { job, names, modules, dxt })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], DecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DecodeError::Truncated { offset: self.pos });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a u32 count and reject counts that could not possibly fit in
+    /// the remaining input given `min_item_size` — prevents huge
+    /// pre-allocations from corrupt headers.
+    fn len_checked(&mut self, min_item_size: usize) -> Result<usize, DecodeError> {
+        let offset = self.pos;
+        let n = self.u32()? as usize;
+        if n * min_item_size.max(1) > self.bytes.len().saturating_sub(self.pos) {
+            return Err(DecodeError::BadLength { offset });
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let offset = self.pos;
+        let len = self.len_checked(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8 { offset })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogBuilder;
+
+    fn sample() -> DarshanLog {
+        let mut b = LogBuilder::new(4242, 8, "hacc_io", true);
+        b.set_times(1_700_000_000, 1_700_000_060);
+        for rank in 0..4 {
+            let path = format!("/scratch/part.{rank}");
+            b.open(Module::Posix, &path, rank, 0.5, 0.6);
+            b.transfer(&path, rank, true, 0, 38 * 1_000_000, 0.6, 2.0, None);
+            b.close(Module::Posix, &path, rank, 2.0, 2.1);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let log = sample();
+        let bytes = encode(&log);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded, log);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = encode(&sample());
+        bytes[0] ^= 0xff;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadMagic));
+        let mut bytes = encode(&sample());
+        bytes[8] = 99;
+        assert!(matches!(decode(&bytes), Err(DecodeError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let bytes = encode(&sample());
+        // Chop the log at several points; every prefix must fail cleanly,
+        // never panic.
+        for cut in [1, 8, 12, 40, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} did not error");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_length() {
+        let log = sample();
+        let mut bytes = encode(&log);
+        // The name-record count lives right after the exe string; blast a
+        // huge value into it.
+        let exe_pos = 8 + 4 + 8 + 4 + 8 + 8;
+        let exe_len = log.job.exe.len();
+        let count_pos = exe_pos + 4 + exe_len;
+        bytes[count_pos..count_pos + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(DecodeError::BadLength { .. }) | Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_rank_roundtrips() {
+        // Shared records use rank -1.
+        let mut log = sample();
+        if let Some(recs) = log.modules.get_mut(&Module::Posix) {
+            recs[0].rank = -1;
+        }
+        let decoded = decode(&encode(&log)).unwrap();
+        assert_eq!(decoded.records(Module::Posix)[0].rank, -1);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn arbitrary_logs_roundtrip(
+                job_id in any::<u64>(),
+                nprocs in 1u32..512,
+                files in proptest::collection::vec(
+                    ("[a-z0-9/]{1,24}", 0u64..1_000_000, 1u64..100_000),
+                    1..8
+                ),
+                dxt in any::<bool>(),
+            ) {
+                let mut b = LogBuilder::new(job_id, nprocs, "proptest", dxt);
+                for (i, (path, offset, len)) in files.iter().enumerate() {
+                    let rank = (i as u32 % nprocs) as i32;
+                    b.open(Module::Posix, path, rank, 0.0, 0.01);
+                    b.transfer(path, rank, i % 2 == 0, *offset, *len, 0.01, 0.5, None);
+                    b.close(Module::Posix, path, rank, 0.5, 0.51);
+                }
+                let log = b.finish();
+                let decoded = decode(&encode(&log)).unwrap();
+                prop_assert_eq!(decoded, log);
+            }
+
+            #[test]
+            fn decode_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let _ = decode(&bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Counter definitions for the characterization modules.
+//!
+//! Mirrors the structure of Darshan's module counter arrays: each module
+//! (POSIX, MPI-IO, STDIO) defines an ordered set of integer counters and
+//! floating-point counters; every per-file record carries one value per
+//! counter. Names follow Darshan's `MODULE_COUNTER` convention so tooling
+//! built against real Darshan output reads naturally.
+
+/// A characterization module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Module {
+    /// POSIX I/O functions.
+    Posix,
+    /// MPI-IO functions.
+    Mpiio,
+    /// Buffered `stdio` streams.
+    Stdio,
+}
+
+impl Module {
+    /// All modules, in serialization order.
+    pub const ALL: [Module; 3] = [Module::Posix, Module::Mpiio, Module::Stdio];
+
+    /// Stable one-byte id for the binary format.
+    #[must_use]
+    pub fn id(self) -> u8 {
+        match self {
+            Module::Posix => 0,
+            Module::Mpiio => 1,
+            Module::Stdio => 2,
+        }
+    }
+
+    /// Decode a module id.
+    #[must_use]
+    pub fn from_id(id: u8) -> Option<Module> {
+        match id {
+            0 => Some(Module::Posix),
+            1 => Some(Module::Mpiio),
+            2 => Some(Module::Stdio),
+            _ => None,
+        }
+    }
+
+    /// Display name as it appears in `darshan-parser` output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Module::Posix => "POSIX",
+            Module::Mpiio => "MPI-IO",
+            Module::Stdio => "STDIO",
+        }
+    }
+
+    /// Integer counter names for this module, in record order.
+    #[must_use]
+    pub fn counter_names(self) -> &'static [&'static str] {
+        match self {
+            Module::Posix => POSIX_COUNTERS,
+            Module::Mpiio => MPIIO_COUNTERS,
+            Module::Stdio => STDIO_COUNTERS,
+        }
+    }
+
+    /// Floating-point counter names for this module, in record order.
+    #[must_use]
+    pub fn fcounter_names(self) -> &'static [&'static str] {
+        match self {
+            Module::Posix => POSIX_FCOUNTERS,
+            Module::Mpiio => MPIIO_FCOUNTERS,
+            Module::Stdio => STDIO_FCOUNTERS,
+        }
+    }
+
+    /// Index of a named integer counter.
+    #[must_use]
+    pub fn counter_index(self, name: &str) -> Option<usize> {
+        self.counter_names().iter().position(|n| *n == name)
+    }
+
+    /// Index of a named floating-point counter.
+    #[must_use]
+    pub fn fcounter_index(self, name: &str) -> Option<usize> {
+        self.fcounter_names().iter().position(|n| *n == name)
+    }
+}
+
+/// POSIX integer counters (ordered subset of Darshan's set).
+pub const POSIX_COUNTERS: &[&str] = &[
+    "POSIX_OPENS",
+    "POSIX_READS",
+    "POSIX_WRITES",
+    "POSIX_SEEKS",
+    "POSIX_STATS",
+    "POSIX_FSYNCS",
+    "POSIX_BYTES_READ",
+    "POSIX_BYTES_WRITTEN",
+    "POSIX_MAX_BYTE_READ",
+    "POSIX_MAX_BYTE_WRITTEN",
+    "POSIX_CONSEC_READS",
+    "POSIX_CONSEC_WRITES",
+    "POSIX_SEQ_READS",
+    "POSIX_SEQ_WRITES",
+    "POSIX_SIZE_READ_0_100",
+    "POSIX_SIZE_READ_100_1K",
+    "POSIX_SIZE_READ_1K_10K",
+    "POSIX_SIZE_READ_10K_100K",
+    "POSIX_SIZE_READ_100K_1M",
+    "POSIX_SIZE_READ_1M_4M",
+    "POSIX_SIZE_READ_4M_10M",
+    "POSIX_SIZE_READ_10M_PLUS",
+    "POSIX_SIZE_WRITE_0_100",
+    "POSIX_SIZE_WRITE_100_1K",
+    "POSIX_SIZE_WRITE_1K_10K",
+    "POSIX_SIZE_WRITE_10K_100K",
+    "POSIX_SIZE_WRITE_100K_1M",
+    "POSIX_SIZE_WRITE_1M_4M",
+    "POSIX_SIZE_WRITE_4M_10M",
+    "POSIX_SIZE_WRITE_10M_PLUS",
+];
+
+/// POSIX floating-point counters (timestamps and cumulative times, secs).
+pub const POSIX_FCOUNTERS: &[&str] = &[
+    "POSIX_F_OPEN_START_TIMESTAMP",
+    "POSIX_F_CLOSE_END_TIMESTAMP",
+    "POSIX_F_READ_TIME",
+    "POSIX_F_WRITE_TIME",
+    "POSIX_F_META_TIME",
+    "POSIX_F_MAX_READ_TIME",
+    "POSIX_F_MAX_WRITE_TIME",
+];
+
+/// MPI-IO integer counters.
+pub const MPIIO_COUNTERS: &[&str] = &[
+    "MPIIO_INDEP_OPENS",
+    "MPIIO_COLL_OPENS",
+    "MPIIO_INDEP_READS",
+    "MPIIO_INDEP_WRITES",
+    "MPIIO_COLL_READS",
+    "MPIIO_COLL_WRITES",
+    "MPIIO_SYNCS",
+    "MPIIO_BYTES_READ",
+    "MPIIO_BYTES_WRITTEN",
+];
+
+/// MPI-IO floating-point counters.
+pub const MPIIO_FCOUNTERS: &[&str] = &[
+    "MPIIO_F_OPEN_START_TIMESTAMP",
+    "MPIIO_F_CLOSE_END_TIMESTAMP",
+    "MPIIO_F_READ_TIME",
+    "MPIIO_F_WRITE_TIME",
+    "MPIIO_F_META_TIME",
+];
+
+/// STDIO integer counters.
+pub const STDIO_COUNTERS: &[&str] = &[
+    "STDIO_OPENS",
+    "STDIO_READS",
+    "STDIO_WRITES",
+    "STDIO_BYTES_READ",
+    "STDIO_BYTES_WRITTEN",
+];
+
+/// STDIO floating-point counters.
+pub const STDIO_FCOUNTERS: &[&str] = &[
+    "STDIO_F_OPEN_START_TIMESTAMP",
+    "STDIO_F_CLOSE_END_TIMESTAMP",
+];
+
+/// Darshan-style access-size histogram bucket index for a read/write of
+/// `len` bytes (8 buckets: 0–100, 100–1K, 1K–10K, 10K–100K, 100K–1M,
+/// 1M–4M, 4M–10M, 10M+).
+#[must_use]
+pub fn size_bucket(len: u64) -> usize {
+    match len {
+        0..=100 => 0,
+        101..=1_024 => 1,
+        1_025..=10_240 => 2,
+        10_241..=102_400 => 3,
+        102_401..=1_048_576 => 4,
+        1_048_577..=4_194_304 => 5,
+        4_194_305..=10_485_760 => 6,
+        _ => 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_ids_roundtrip() {
+        for m in Module::ALL {
+            assert_eq!(Module::from_id(m.id()), Some(m));
+        }
+        assert_eq!(Module::from_id(99), None);
+    }
+
+    #[test]
+    fn counter_lookup() {
+        assert_eq!(Module::Posix.counter_index("POSIX_OPENS"), Some(0));
+        assert_eq!(
+            Module::Posix.counter_index("POSIX_BYTES_WRITTEN"),
+            Some(7)
+        );
+        assert_eq!(Module::Posix.counter_index("NOPE"), None);
+        assert_eq!(Module::Mpiio.fcounter_index("MPIIO_F_WRITE_TIME"), Some(3));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(size_bucket(0), 0);
+        assert_eq!(size_bucket(100), 0);
+        assert_eq!(size_bucket(101), 1);
+        assert_eq!(size_bucket(47_008), 3);
+        assert_eq!(size_bucket(2 * 1024 * 1024), 5);
+        assert_eq!(size_bucket(100 * 1024 * 1024), 7);
+    }
+
+    #[test]
+    fn read_and_write_buckets_are_parallel() {
+        // The write buckets must start exactly 8 entries after the read
+        // buckets so `size_bucket` can index both.
+        let read0 = Module::Posix.counter_index("POSIX_SIZE_READ_0_100").unwrap();
+        let write0 = Module::Posix
+            .counter_index("POSIX_SIZE_WRITE_0_100")
+            .unwrap();
+        assert_eq!(write0 - read0, 8);
+    }
+}

@@ -1,0 +1,25 @@
+//! `iokc-darshan` — a Darshan-like I/O characterization log format.
+//!
+//! The reproduction band for this paper notes there are no trace-parsing
+//! crates to lean on: this crate reimplements the pieces of the Darshan
+//! ecosystem the knowledge cycle touches —
+//!
+//! * the runtime side ([`log::LogBuilder`]) that accumulates per-file
+//!   counters and optional DXT trace segments while a job runs,
+//! * the binary log format ([`binary::encode`] / [`binary::decode`]),
+//! * `darshan-parser`-style text output ([`text::render_parser_output`]),
+//! * and the PyDarshan-equivalent aggregation API ([`text::LogSummary`])
+//!   that the knowledge extractor consumes (§V-B of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod counters;
+pub mod log;
+pub mod text;
+
+pub use binary::{decode, encode, DecodeError};
+pub use counters::Module;
+pub use log::{DarshanLog, DxtSegment, FileRecord, JobHeader, LogBuilder, MetaKind, MpiioTransfer};
+pub use text::{render_parser_output, LogSummary};

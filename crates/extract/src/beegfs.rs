@@ -1,0 +1,139 @@
+//! Parser for BeeGFS `beegfs-ctl --getentryinfo` output.
+//!
+//! §V-B: "for BeeGFS, the file system settings Entry type, EntryID,
+//! Metadata node, Stripe pattern details can be collected."
+
+use iokc_core::model::FilesystemInfo;
+use iokc_util::pattern::Pattern;
+
+/// Parse entry-info text into [`FilesystemInfo`]. Returns `None` when the
+/// required fields are missing.
+#[must_use]
+pub fn parse_entry_info(text: &str) -> Option<FilesystemInfo> {
+    let field = |label: &str| -> Option<String> {
+        text.lines().find_map(|line| {
+            let (key, value) = line.split_once(':')?;
+            (key.trim() == label).then(|| value.trim().to_owned())
+        })
+    };
+    let entry_type = field("Entry type")?;
+    let entry_id = field("EntryID")?;
+    let metadata_node = field("Metadata node")?
+        .split_whitespace()
+        .next()
+        .unwrap_or("")
+        .to_owned();
+
+    // "+ Chunksize: 512K"
+    let chunk = Pattern::compile("+ Chunksize: {size}")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .map(|(_, caps)| caps["size"].clone())
+        .and_then(|s| parse_chunk(&s))
+        .unwrap_or(0);
+
+    // "+ Number of storage targets: desired: 4; actual: 4"
+    let targets = Pattern::compile("actual: {n:d}")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .and_then(|(_, caps)| caps["n"].parse().ok())
+        .unwrap_or(0);
+
+    // "+ Storage Pool: 1 (Default)"
+    let pool = Pattern::compile("+ Storage Pool: {} ({name:*})")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .map(|(_, caps)| caps["name"].trim_end_matches(')').to_owned())
+        .unwrap_or_default();
+
+    let raid = Pattern::compile("+ Type: {raid}")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .map(|(_, caps)| caps["raid"].clone())
+        .unwrap_or_default();
+
+    Some(FilesystemInfo {
+        fs_type: "BeeGFS".to_owned(),
+        entry_type,
+        entry_id,
+        metadata_node,
+        chunk_size: chunk,
+        storage_targets: targets,
+        raid,
+        storage_pool: pool,
+    })
+}
+
+/// Parse BeeGFS chunk-size notation (`512K`, `1M`, plain bytes).
+fn parse_chunk(text: &str) -> Option<u64> {
+    let t = text.trim();
+    if let Some(num) = t.strip_suffix(['K', 'k']) {
+        num.parse::<u64>().ok().map(|n| n * 1024)
+    } else if let Some(num) = t.strip_suffix(['M', 'm']) {
+        num.parse::<u64>().ok().map(|n| n * 1024 * 1024)
+    } else {
+        t.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+Entry type: file
+EntryID: 5-2A3B4C5D-1
+Metadata node: meta02 [ID: 2]
+Stripe pattern details:
++ Type: RAID0
++ Chunksize: 512K
++ Number of storage targets: desired: 4; actual: 4
++ Storage targets:
+  + 3 @ storage03 [ID: 3]
+  + 4 @ storage04 [ID: 4]
+  + 1 @ storage01 [ID: 1]
+  + 2 @ storage02 [ID: 2]
++ Storage Pool: 1 (Default)
+";
+
+    #[test]
+    fn parses_all_fields() {
+        let fs = parse_entry_info(SAMPLE).unwrap();
+        assert_eq!(fs.fs_type, "BeeGFS");
+        assert_eq!(fs.entry_type, "file");
+        assert_eq!(fs.entry_id, "5-2A3B4C5D-1");
+        assert_eq!(fs.metadata_node, "meta02");
+        assert_eq!(fs.chunk_size, 512 * 1024);
+        assert_eq!(fs.storage_targets, 4);
+        assert_eq!(fs.raid, "RAID0");
+        assert_eq!(fs.storage_pool, "Default");
+    }
+
+    #[test]
+    fn chunk_notations() {
+        assert_eq!(parse_chunk("512K"), Some(512 * 1024));
+        assert_eq!(parse_chunk("1M"), Some(1024 * 1024));
+        assert_eq!(parse_chunk("65536"), Some(65536));
+        assert_eq!(parse_chunk("abc"), None);
+    }
+
+    #[test]
+    fn missing_required_fields_yield_none() {
+        assert!(parse_entry_info("").is_none());
+        assert!(parse_entry_info("Entry type: file\n").is_none());
+    }
+
+    #[test]
+    fn parses_simulator_rendered_entry_info() {
+        use iokc_sim_free::entry_text;
+        let fs = parse_entry_info(&entry_text()).unwrap();
+        assert_eq!(fs.entry_type, "file");
+        assert!(fs.chunk_size > 0);
+    }
+
+    mod iokc_sim_free {
+        pub fn entry_text() -> String {
+            super::SAMPLE.to_owned()
+        }
+    }
+}

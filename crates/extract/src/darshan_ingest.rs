@@ -1,0 +1,113 @@
+//! Darshan log ingestion — the PyDarshan integration of §V-B.
+//!
+//! Converts a binary Darshan-style log into a benchmark knowledge object:
+//! the POSIX-layer totals become `write`/`read` operation summaries and
+//! the job header populates the pattern fields.
+
+use iokc_core::model::{Knowledge, KnowledgeSource, OperationSummary};
+use iokc_darshan::{decode, DecodeError, LogSummary};
+
+/// Error ingesting a Darshan log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DarshanIngestError {
+    /// The binary payload did not decode.
+    Decode(DecodeError),
+    /// The log carries no I/O at all.
+    Empty,
+}
+
+impl std::fmt::Display for DarshanIngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DarshanIngestError::Decode(e) => write!(f, "darshan decode: {e}"),
+            DarshanIngestError::Empty => write!(f, "darshan log contains no I/O"),
+        }
+    }
+}
+
+impl std::error::Error for DarshanIngestError {}
+
+/// Ingest a binary Darshan-style log.
+pub fn ingest_darshan(bytes: &[u8]) -> Result<Knowledge, DarshanIngestError> {
+    let log = decode(bytes).map_err(DarshanIngestError::Decode)?;
+    let summary = LogSummary::from_log(&log);
+    if summary.writes == 0 && summary.reads == 0 {
+        return Err(DarshanIngestError::Empty);
+    }
+    let mut k = Knowledge::new(
+        KnowledgeSource::Darshan,
+        &format!("darshan:{} (job {})", log.job.exe, log.job.job_id),
+    );
+    k.pattern.api = "POSIX".to_owned();
+    k.pattern.tasks = summary.nprocs;
+    k.start_time = log.job.start_time;
+    k.end_time = log.job.end_time;
+    if summary.writes > 0 {
+        k.summaries.push(OperationSummary {
+            operation: "write".to_owned(),
+            api: "POSIX".to_owned(),
+            max_mib: summary.write_bandwidth_mib(),
+            min_mib: summary.write_bandwidth_mib(),
+            mean_mib: summary.write_bandwidth_mib(),
+            stddev_mib: 0.0,
+            mean_ops: if summary.write_time > 0.0 {
+                summary.writes as f64 / summary.write_time
+            } else {
+                0.0
+            },
+            iterations: 1,
+        });
+    }
+    if summary.reads > 0 {
+        k.summaries.push(OperationSummary {
+            operation: "read".to_owned(),
+            api: "POSIX".to_owned(),
+            max_mib: summary.read_bandwidth_mib(),
+            min_mib: summary.read_bandwidth_mib(),
+            mean_mib: summary.read_bandwidth_mib(),
+            stddev_mib: 0.0,
+            mean_ops: if summary.read_time > 0.0 {
+                summary.reads as f64 / summary.read_time
+            } else {
+                0.0
+            },
+            iterations: 1,
+        });
+    }
+    Ok(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_darshan::{encode, LogBuilder, Module};
+
+    #[test]
+    fn ingests_a_log() {
+        let mut b = LogBuilder::new(88, 16, "ior", false);
+        b.set_times(1000, 1060);
+        b.open(Module::Posix, "/scratch/x", 0, 0.0, 0.1);
+        b.transfer("/scratch/x", 0, true, 0, 64 << 20, 0.1, 1.1, None);
+        b.transfer("/scratch/x", 0, false, 0, 32 << 20, 1.1, 1.6, None);
+        b.close(Module::Posix, "/scratch/x", 0, 1.6, 1.7);
+        let bytes = encode(&b.finish());
+        let k = ingest_darshan(&bytes).unwrap();
+        assert_eq!(k.source, KnowledgeSource::Darshan);
+        assert_eq!(k.pattern.tasks, 16);
+        assert_eq!(k.start_time, 1000);
+        // 64 MiB in 1.0 s.
+        assert!((k.summary("write").unwrap().mean_mib - 64.0).abs() < 1e-9);
+        // 32 MiB in 0.5 s.
+        assert!((k.summary("read").unwrap().mean_mib - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_corrupt_and_empty() {
+        assert!(matches!(
+            ingest_darshan(&[1, 2, 3]),
+            Err(DarshanIngestError::Decode(_))
+        ));
+        let empty = encode(&LogBuilder::new(1, 1, "x", false).finish());
+        assert_eq!(ingest_darshan(&empty), Err(DarshanIngestError::Empty));
+    }
+}

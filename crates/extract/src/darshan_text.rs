@@ -1,0 +1,184 @@
+//! Parser for `darshan-parser`-style text dumps.
+//!
+//! Sites often share characterization data as the textual output of
+//! `darshan-parser` rather than binary logs; a tool-agnostic extractor
+//! (§III) should take those too. The format is tab-separated:
+//!
+//! ```text
+//! #<module>\t<rank>\t<record id>\t<counter>\t<value>\t<file name>
+//! POSIX\t0\t12345\tPOSIX_BYTES_WRITTEN\t1048576\t/scratch/f
+//! ```
+
+use iokc_core::model::{Knowledge, KnowledgeSource, OperationSummary};
+use std::collections::BTreeMap;
+
+/// Error from parsing darshan-parser text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DarshanTextError(pub String);
+
+impl std::fmt::Display for DarshanTextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unparseable darshan-parser text: {}", self.0)
+    }
+}
+
+impl std::error::Error for DarshanTextError {}
+
+/// Totals accumulated from the counter lines.
+#[derive(Debug, Default, Clone)]
+struct Totals {
+    counters: BTreeMap<String, f64>,
+    files: std::collections::BTreeSet<String>,
+    nprocs: u32,
+    job_id: u64,
+    exe: String,
+    runtime: u64,
+}
+
+fn parse_lines(text: &str) -> Result<Totals, DarshanTextError> {
+    let mut totals = Totals::default();
+    for line in text.lines() {
+        let line = line.trim_end();
+        if let Some(rest) = line.strip_prefix("# nprocs:") {
+            totals.nprocs = rest.trim().parse().unwrap_or(0);
+        } else if let Some(rest) = line.strip_prefix("# jobid:") {
+            totals.job_id = rest.trim().parse().unwrap_or(0);
+        } else if let Some(rest) = line.strip_prefix("# exe:") {
+            totals.exe = rest.trim().to_owned();
+        } else if let Some(rest) = line.strip_prefix("# run time:") {
+            totals.runtime = rest.trim().parse().unwrap_or(0);
+        }
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        // module, rank, record id, counter, value, file name.
+        if fields.len() < 6 {
+            continue;
+        }
+        let counter = fields[3];
+        let Ok(value) = fields[4].parse::<f64>() else {
+            continue;
+        };
+        if counter.starts_with("POSIX_") || counter.starts_with("MPIIO_") {
+            *totals.counters.entry(counter.to_owned()).or_insert(0.0) += value;
+            totals.files.insert(fields[5].to_owned());
+        }
+    }
+    if totals.counters.is_empty() {
+        return Err(DarshanTextError("no counter lines found".into()));
+    }
+    Ok(totals)
+}
+
+/// Parse a `darshan-parser` dump into a benchmark knowledge object (the
+/// same shape the binary-log ingester produces).
+pub fn parse_darshan_text(text: &str) -> Result<Knowledge, DarshanTextError> {
+    let totals = parse_lines(text)?;
+    let get = |name: &str| totals.counters.get(name).copied().unwrap_or(0.0);
+    let mut k = Knowledge::new(
+        KnowledgeSource::Darshan,
+        &format!("darshan:{} (job {})", totals.exe, totals.job_id),
+    );
+    k.pattern.api = "POSIX".to_owned();
+    k.pattern.tasks = totals.nprocs;
+    k.end_time = totals.runtime;
+
+    let mut push = |operation: &str, bytes: f64, ops: f64, time: f64| {
+        if ops <= 0.0 {
+            return;
+        }
+        let bw = if time > 0.0 { bytes / (1024.0 * 1024.0) / time } else { 0.0 };
+        k.summaries.push(OperationSummary {
+            operation: operation.to_owned(),
+            api: "POSIX".to_owned(),
+            max_mib: bw,
+            min_mib: bw,
+            mean_mib: bw,
+            stddev_mib: 0.0,
+            mean_ops: if time > 0.0 { ops / time } else { 0.0 },
+            iterations: 1,
+        });
+    };
+    push(
+        "write",
+        get("POSIX_BYTES_WRITTEN"),
+        get("POSIX_WRITES"),
+        get("POSIX_F_WRITE_TIME"),
+    );
+    push(
+        "read",
+        get("POSIX_BYTES_READ"),
+        get("POSIX_READS"),
+        get("POSIX_F_READ_TIME"),
+    );
+    if k.summaries.is_empty() {
+        return Err(DarshanTextError("no read or write activity".into()));
+    }
+    Ok(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rendered_parser_output() {
+        // Render text from our own binary-log writer and parse it back —
+        // the two Darshan ingestion paths must agree.
+        use iokc_darshan::{render_parser_output, LogBuilder, Module};
+        let mut b = LogBuilder::new(321, 8, "ior", false);
+        b.set_times(1000, 1120);
+        b.open(Module::Posix, "/scratch/a", 0, 0.0, 0.1);
+        b.transfer("/scratch/a", 0, true, 0, 256 << 20, 0.1, 2.1, None);
+        b.transfer("/scratch/a", 0, false, 0, 128 << 20, 2.1, 3.1, None);
+        b.close(Module::Posix, "/scratch/a", 0, 3.1, 3.2);
+        let log = b.finish();
+        let text = render_parser_output(&log);
+
+        let from_text = parse_darshan_text(&text).unwrap();
+        let from_binary = crate::ingest_darshan(&iokc_darshan::encode(&log)).unwrap();
+        assert_eq!(from_text.pattern.tasks, from_binary.pattern.tasks);
+        let text_write = from_text.summary("write").unwrap();
+        let binary_write = from_binary.summary("write").unwrap();
+        assert!((text_write.mean_mib - binary_write.mean_mib).abs() < 0.01);
+        // 256 MiB over 2.0 s of write time.
+        assert!((text_write.mean_mib - 128.0).abs() < 0.01);
+        let text_read = from_text.summary("read").unwrap();
+        assert!((text_read.mean_mib - 128.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn parses_hand_written_dump() {
+        let dump = "\
+# darshan log version: 3.41
+# exe: ./simulation
+# jobid: 555
+# nprocs: 64
+# run time: 300
+
+#<module>\t<rank>\t<record id>\t<counter>\t<value>\t<file name>
+POSIX\t-1\t42\tPOSIX_WRITES\t6400\t/scratch/out
+POSIX\t-1\t42\tPOSIX_BYTES_WRITTEN\t6710886400\t/scratch/out
+POSIX\t-1\t42\tPOSIX_F_WRITE_TIME\t25.5\t/scratch/out
+";
+        let k = parse_darshan_text(dump).unwrap();
+        assert_eq!(k.pattern.tasks, 64);
+        assert_eq!(k.end_time, 300);
+        assert!(k.command.contains("./simulation"));
+        assert!(k.command.contains("555"));
+        let write = k.summary("write").unwrap();
+        // 6400 MiB over 25.5 s ≈ 251 MiB/s.
+        assert!((write.mean_mib - 6400.0 / 25.5).abs() < 0.01);
+        assert!(k.summary("read").is_none());
+    }
+
+    #[test]
+    fn rejects_non_darshan_text() {
+        assert!(parse_darshan_text("hello world").is_err());
+        assert!(parse_darshan_text("").is_err());
+        // Counters present but no data activity.
+        let dump = "POSIX\t0\t1\tPOSIX_OPENS\t5\t/f\n";
+        assert!(parse_darshan_text(dump).is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! [`Extractor`] phase modules built from the parsers.
+//!
+//! §V-B: the knowledge extractor runs after generation, locates benchmark
+//! outputs, and enriches the resulting knowledge objects with file-system
+//! settings (BeeGFS entry info) and `/proc` system statistics. Artifacts
+//! are associated by their `run` metadata key: auxiliary artifacts
+//! (entry info, cpuinfo, meminfo) attach to the benchmark output that
+//! carries the same `run` value; auxiliary artifacts without a `run` key
+//! attach to every output.
+
+use crate::beegfs::parse_entry_info;
+use crate::lustre::parse_lfs_getstripe;
+use crate::darshan_ingest::ingest_darshan;
+use crate::hacc_parse::parse_hacc_output;
+use crate::io500_parse::parse_io500_output;
+use crate::ior_parse::parse_ior_output;
+use crate::mdtest_parse::parse_mdtest_output;
+use crate::procfs::{parse_cpuinfo, parse_meminfo};
+use iokc_core::model::{Knowledge, KnowledgeItem};
+use iokc_core::phases::{Artifact, ArtifactKind, CycleError, Extractor, PhaseKind};
+
+fn same_run(output: &Artifact, aux: &Artifact) -> bool {
+    match (output.meta.get("run"), aux.meta.get("run")) {
+        (_, None) => true,
+        (Some(a), Some(b)) => a == b,
+        (None, Some(_)) => false,
+    }
+}
+
+/// Attach file-system and system info from auxiliary artifacts.
+fn enrich(knowledge: &mut Knowledge, output: &Artifact, artifacts: &[&Artifact]) {
+    let system_name = output
+        .meta
+        .get("system")
+        .cloned()
+        .unwrap_or_else(|| "unknown".to_owned());
+    for aux in artifacts {
+        if !same_run(output, aux) {
+            continue;
+        }
+        match aux.kind {
+            ArtifactKind::BeegfsEntryInfo => {
+                if let Some(text) = aux.as_text() {
+                    knowledge.filesystem = parse_entry_info(text);
+                }
+            }
+            ArtifactKind::LustreStripeInfo => {
+                if let Some(text) = aux.as_text() {
+                    knowledge.filesystem = parse_lfs_getstripe(text);
+                }
+            }
+            ArtifactKind::ProcCpuinfo => {
+                if let Some(text) = aux.as_text() {
+                    if let Some(info) = parse_cpuinfo(text, &system_name) {
+                        let mem = knowledge.system.as_ref().map_or(0, |s| s.mem_kib);
+                        knowledge.system = Some(iokc_core::model::SystemInfo { mem_kib: mem, ..info });
+                    }
+                }
+            }
+            ArtifactKind::ProcMeminfo => {
+                if let Some(text) = aux.as_text() {
+                    if let Some(mem) = parse_meminfo(text) {
+                        if let Some(sys) = &mut knowledge.system {
+                            sys.mem_kib = mem;
+                        } else {
+                            knowledge.system = Some(iokc_core::model::SystemInfo {
+                                system: system_name.clone(),
+                                mem_kib: mem,
+                                ..Default::default()
+                            });
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(start) = output.meta.get("start_time").and_then(|v| v.parse().ok()) {
+        knowledge.start_time = start;
+    }
+    if let Some(end) = output.meta.get("end_time").and_then(|v| v.parse().ok()) {
+        knowledge.end_time = end;
+    }
+}
+
+/// Extracts IOR outputs (plus attached BeeGFS/procfs artifacts).
+#[derive(Debug, Default)]
+pub struct IorExtractor;
+
+impl Extractor for IorExtractor {
+    fn name(&self) -> &str {
+        "ior-extractor"
+    }
+
+    fn accepts(&self, artifact: &Artifact) -> bool {
+        matches!(
+            artifact.kind,
+            ArtifactKind::IorOutput
+                | ArtifactKind::BeegfsEntryInfo
+                | ArtifactKind::LustreStripeInfo
+                | ArtifactKind::ProcCpuinfo
+                | ArtifactKind::ProcMeminfo
+        )
+    }
+
+    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+        let mut items = Vec::new();
+        for output in artifacts.iter().filter(|a| a.kind == ArtifactKind::IorOutput) {
+            let text = output.as_text().ok_or_else(|| {
+                CycleError::new(PhaseKind::Extraction, self.name(), "binary ior artifact")
+            })?;
+            let mut knowledge = parse_ior_output(text)
+                .map_err(|e| CycleError::new(PhaseKind::Extraction, self.name(), e))?;
+            enrich(&mut knowledge, output, artifacts);
+            if let Some(parent) = output.meta.get("derived_from").and_then(|v| v.parse().ok()) {
+                knowledge.derived_from = Some(parent);
+            }
+            items.push(KnowledgeItem::Benchmark(knowledge));
+        }
+        Ok(items)
+    }
+}
+
+/// Extracts IO500 result blocks.
+#[derive(Debug, Default)]
+pub struct Io500Extractor;
+
+impl Extractor for Io500Extractor {
+    fn name(&self) -> &str {
+        "io500-extractor"
+    }
+
+    fn accepts(&self, artifact: &Artifact) -> bool {
+        matches!(
+            artifact.kind,
+            ArtifactKind::Io500Output | ArtifactKind::ProcCpuinfo | ArtifactKind::ProcMeminfo
+        )
+    }
+
+    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+        let mut items = Vec::new();
+        for output in artifacts.iter().filter(|a| a.kind == ArtifactKind::Io500Output) {
+            let text = output.as_text().ok_or_else(|| {
+                CycleError::new(PhaseKind::Extraction, self.name(), "binary io500 artifact")
+            })?;
+            let mut knowledge = parse_io500_output(text)
+                .map_err(|e| CycleError::new(PhaseKind::Extraction, self.name(), e))?;
+            if let Some(tasks) = output.meta.get("tasks").and_then(|v| v.parse().ok()) {
+                knowledge.tasks = tasks;
+            }
+            if let Some(start) = output.meta.get("start_time").and_then(|v| v.parse().ok()) {
+                knowledge.start_time = start;
+            }
+            for (key, value) in &output.meta {
+                knowledge.options.insert(key.clone(), value.clone());
+            }
+            // System info from same-run procfs artifacts.
+            let system_name = output
+                .meta
+                .get("system")
+                .cloned()
+                .unwrap_or_else(|| "unknown".to_owned());
+            let cpu = artifacts
+                .iter()
+                .find(|a| a.kind == ArtifactKind::ProcCpuinfo && same_run(output, a));
+            let mem = artifacts
+                .iter()
+                .find(|a| a.kind == ArtifactKind::ProcMeminfo && same_run(output, a));
+            if let (Some(cpu), Some(mem)) = (cpu.and_then(|a| a.as_text()), mem.and_then(|a| a.as_text())) {
+                knowledge.system = crate::procfs::parse_system_info(cpu, mem, &system_name);
+            }
+            items.push(KnowledgeItem::Io500(knowledge));
+        }
+        Ok(items)
+    }
+}
+
+/// Extracts mdtest summaries.
+#[derive(Debug, Default)]
+pub struct MdtestExtractor;
+
+impl Extractor for MdtestExtractor {
+    fn name(&self) -> &str {
+        "mdtest-extractor"
+    }
+
+    fn accepts(&self, artifact: &Artifact) -> bool {
+        artifact.kind == ArtifactKind::MdtestOutput
+    }
+
+    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+        artifacts
+            .iter()
+            .map(|output| {
+                let text = output.as_text().ok_or_else(|| {
+                    CycleError::new(PhaseKind::Extraction, self.name(), "binary mdtest artifact")
+                })?;
+                let mut knowledge = parse_mdtest_output(text)
+                    .map_err(|e| CycleError::new(PhaseKind::Extraction, self.name(), e))?;
+                enrich(&mut knowledge, output, artifacts);
+                Ok(KnowledgeItem::Benchmark(knowledge))
+            })
+            .collect()
+    }
+}
+
+/// Extracts HACC-IO summaries.
+#[derive(Debug, Default)]
+pub struct HaccExtractor;
+
+impl Extractor for HaccExtractor {
+    fn name(&self) -> &str {
+        "hacc-extractor"
+    }
+
+    fn accepts(&self, artifact: &Artifact) -> bool {
+        artifact.kind == ArtifactKind::HaccOutput
+    }
+
+    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+        artifacts
+            .iter()
+            .map(|output| {
+                let text = output.as_text().ok_or_else(|| {
+                    CycleError::new(PhaseKind::Extraction, self.name(), "binary hacc artifact")
+                })?;
+                let mut knowledge = parse_hacc_output(text)
+                    .map_err(|e| CycleError::new(PhaseKind::Extraction, self.name(), e))?;
+                enrich(&mut knowledge, output, artifacts);
+                Ok(KnowledgeItem::Benchmark(knowledge))
+            })
+            .collect()
+    }
+}
+
+/// Extracts binary Darshan logs (the PyDarshan role).
+#[derive(Debug, Default)]
+pub struct DarshanExtractor;
+
+impl Extractor for DarshanExtractor {
+    fn name(&self) -> &str {
+        "darshan-extractor"
+    }
+
+    fn accepts(&self, artifact: &Artifact) -> bool {
+        artifact.kind == ArtifactKind::DarshanLog
+    }
+
+    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+        artifacts
+            .iter()
+            .map(|output| {
+                let bytes = output.as_binary().ok_or_else(|| {
+                    CycleError::new(PhaseKind::Extraction, self.name(), "textual darshan artifact")
+                })?;
+                let knowledge = ingest_darshan(bytes)
+                    .map_err(|e| CycleError::new(PhaseKind::Extraction, self.name(), e))?;
+                Ok(KnowledgeItem::Benchmark(knowledge))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IOR_TEXT: &str = include_str!("testdata/ior_sample.txt");
+
+    fn ior_artifact(run: &str) -> Artifact {
+        Artifact::text(ArtifactKind::IorOutput, "stdout", IOR_TEXT.to_owned())
+            .with_meta("run", run)
+            .with_meta("system", "FUCHS-CSC")
+            .with_meta("start_time", "1656590400")
+            .with_meta("end_time", "1656590700")
+    }
+
+    fn entry_artifact(run: Option<&str>) -> Artifact {
+        let text = "\
+Entry type: file
+EntryID: 7-AA-1
+Metadata node: meta01 [ID: 1]
+Stripe pattern details:
++ Type: RAID0
++ Chunksize: 512K
++ Number of storage targets: desired: 4; actual: 4
++ Storage Pool: 1 (Default)
+";
+        let a = Artifact::text(ArtifactKind::BeegfsEntryInfo, "entryinfo", text.to_owned());
+        match run {
+            Some(r) => a.with_meta("run", r),
+            None => a,
+        }
+    }
+
+    #[test]
+    fn ior_extractor_enriches_with_same_run_aux() {
+        let ior = ior_artifact("r1");
+        let fs = entry_artifact(Some("r1"));
+        let other_fs = entry_artifact(Some("r2"));
+        let ex = IorExtractor;
+        // Same run: attached.
+        let items = ex.extract(&[&ior, &fs]).unwrap();
+        let KnowledgeItem::Benchmark(k) = &items[0] else { panic!("wrong kind") };
+        assert_eq!(k.filesystem.as_ref().unwrap().entry_id, "7-AA-1");
+        assert_eq!(k.start_time, 1_656_590_400);
+        // Different run: not attached.
+        let items = ex.extract(&[&ior, &other_fs]).unwrap();
+        let KnowledgeItem::Benchmark(k) = &items[0] else { panic!("wrong kind") };
+        assert!(k.filesystem.is_none());
+        // No run key on the aux: attaches everywhere.
+        let global_fs = entry_artifact(None);
+        let items = ex.extract(&[&ior, &global_fs]).unwrap();
+        let KnowledgeItem::Benchmark(k) = &items[0] else { panic!("wrong kind") };
+        assert!(k.filesystem.is_some());
+    }
+
+    #[test]
+    fn lustre_stripe_info_enriches_too() {
+        let ior = ior_artifact("r9");
+        let lfs = Artifact::text(
+            ArtifactKind::LustreStripeInfo,
+            "getstripe",
+            "/scratch/test80\nlmm_stripe_count:  4\nlmm_stripe_size:   1048576\nlmm_pattern:       raid0\nlmm_stripe_offset: 1\n"
+                .to_owned(),
+        )
+        .with_meta("run", "r9");
+        let items = IorExtractor.extract(&[&ior, &lfs]).unwrap();
+        let KnowledgeItem::Benchmark(k) = &items[0] else { panic!("wrong kind") };
+        let fs = k.filesystem.as_ref().unwrap();
+        assert_eq!(fs.fs_type, "Lustre");
+        assert_eq!(fs.storage_targets, 4);
+    }
+
+    #[test]
+    fn ior_extractor_propagates_parse_errors() {
+        let bad = Artifact::text(ArtifactKind::IorOutput, "stdout", "garbage".into());
+        let err = IorExtractor.extract(&[&bad]).unwrap_err();
+        assert_eq!(err.module, "ior-extractor");
+        assert_eq!(err.phase, PhaseKind::Extraction);
+    }
+
+    #[test]
+    fn derived_from_metadata_links_provenance() {
+        let ior = ior_artifact("r1").with_meta("derived_from", "42");
+        let items = IorExtractor.extract(&[&ior]).unwrap();
+        let KnowledgeItem::Benchmark(k) = &items[0] else { panic!("wrong kind") };
+        assert_eq!(k.derived_from, Some(42));
+    }
+
+    #[test]
+    fn accepts_matrix() {
+        let ior = IorExtractor;
+        assert!(ior.accepts(&Artifact::text(ArtifactKind::IorOutput, "x", String::new())));
+        assert!(ior.accepts(&Artifact::text(ArtifactKind::ProcCpuinfo, "x", String::new())));
+        assert!(!ior.accepts(&Artifact::text(ArtifactKind::MdtestOutput, "x", String::new())));
+        assert!(DarshanExtractor.accepts(&Artifact::binary(ArtifactKind::DarshanLog, "x", vec![])));
+        assert!(!DarshanExtractor.accepts(&Artifact::text(ArtifactKind::IorOutput, "x", String::new())));
+    }
+}

@@ -1,0 +1,124 @@
+//! Parser for HACC-IO summary output.
+
+use iokc_core::model::{Knowledge, KnowledgeSource, OperationSummary};
+use iokc_util::pattern::Pattern;
+
+/// Error from parsing HACC-IO output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaccOutputError(pub String);
+
+impl std::fmt::Display for HaccOutputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unparseable hacc-io output: {}", self.0)
+    }
+}
+
+impl std::error::Error for HaccOutputError {}
+
+/// Parse HACC-IO output into a knowledge object with `checkpoint` and
+/// `restart` operation summaries (MiB/s).
+pub fn parse_hacc_output(text: &str) -> Result<Knowledge, HaccOutputError> {
+    let particles = Pattern::compile("Particles per rank : {n:d}")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .and_then(|(_, caps)| caps["n"].parse::<u64>().ok())
+        .ok_or_else(|| HaccOutputError("missing particle count".into()))?;
+    let ranks = Pattern::compile("Number of ranks : {n:d}")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .and_then(|(_, caps)| caps["n"].parse::<u32>().ok())
+        .unwrap_or(0);
+    let mode = Pattern::compile("File mode : {mode}")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .map(|(_, caps)| caps["mode"].clone())
+        .unwrap_or_default();
+    let api = Pattern::compile("API : {api}")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .map(|(_, caps)| caps["api"].clone())
+        .unwrap_or_else(|| "POSIX".to_owned());
+
+    let mut k = Knowledge::new(
+        KnowledgeSource::Hacc,
+        &format!("hacc_io -p {particles} --mode {mode}"),
+    );
+    k.pattern.api = api.clone();
+    k.pattern.tasks = ranks;
+    k.pattern.file_per_proc = mode == "file-per-process";
+    k.pattern.block_size = particles * 38;
+
+    let mut push = |operation: &str, bw: f64| {
+        k.summaries.push(OperationSummary {
+            operation: operation.to_owned(),
+            api: api.clone(),
+            max_mib: bw,
+            min_mib: bw,
+            mean_mib: bw,
+            stddev_mib: 0.0,
+            mean_ops: 0.0,
+            iterations: 1,
+        });
+    };
+    let ckpt = Pattern::compile("Aggregate Checkpoint Performance: {bw:f} MiB/s")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .and_then(|(_, caps)| caps["bw"].parse::<f64>().ok())
+        .ok_or_else(|| HaccOutputError("missing checkpoint performance".into()))?;
+    push("checkpoint", ckpt);
+    if let Some((_, caps)) = Pattern::compile("Aggregate Restart Performance: {bw:f} MiB/s")
+        .expect("static pattern compiles")
+        .first_match(text)
+    {
+        push("restart", caps["bw"].parse().unwrap_or(0.0));
+    }
+    Ok(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_generated_output() {
+        use iokc_benchmarks::hacc::{run_hacc, FileMode, HaccConfig};
+        use iokc_sim::api::IoApi;
+        use iokc_sim::prelude::*;
+        let mut w = World::new(SystemConfig::test_small(), FaultPlan::none(), 41);
+        let result = run_hacc(
+            &mut w,
+            JobLayout::new(2, 2),
+            &HaccConfig::new(20_000, FileMode::FilePerProcess, IoApi::Posix, "/scratch/h"),
+        )
+        .unwrap();
+        let k = parse_hacc_output(&result.render()).unwrap();
+        assert_eq!(k.source, KnowledgeSource::Hacc);
+        assert_eq!(k.pattern.tasks, 2);
+        assert!(k.pattern.file_per_proc);
+        assert_eq!(k.pattern.block_size, 20_000 * 38);
+        assert!(k.summary("checkpoint").unwrap().mean_mib > 0.0);
+        assert!(k.summary("restart").unwrap().mean_mib > 0.0);
+    }
+
+    #[test]
+    fn restart_is_optional() {
+        let text = "\
+-------- HACC-IO --------
+Number of ranks    : 8
+Particles per rank : 1000
+File mode          : single-shared-file
+API                : MPIIO
+Aggregate Checkpoint Performance: 512.25 MiB/s
+";
+        let k = parse_hacc_output(text).unwrap();
+        assert_eq!(k.summaries.len(), 1);
+        assert_eq!(k.summary("checkpoint").unwrap().mean_mib, 512.25);
+        assert_eq!(k.pattern.api, "MPIIO");
+    }
+
+    #[test]
+    fn rejects_missing_performance() {
+        assert!(parse_hacc_output("Particles per rank : 5\n").is_err());
+        assert!(parse_hacc_output("").is_err());
+    }
+}

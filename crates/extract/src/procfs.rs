@@ -1,0 +1,120 @@
+//! Parsers for `/proc/cpuinfo` and `/proc/meminfo` snapshots (§V-B: "for
+//! the system statistics including processor cores, processor
+//! architecture, processor frequency, but also the cache and memory
+//! sizes, the extractor uses the data from /proc/").
+
+use iokc_core::model::SystemInfo;
+
+/// Parse cpuinfo text into the CPU-side fields of [`SystemInfo`].
+/// `system` is the cluster/host name attached by the caller.
+#[must_use]
+pub fn parse_cpuinfo(text: &str, system: &str) -> Option<SystemInfo> {
+    let mut cores = 0u32;
+    let mut model = None;
+    let mut mhz = None;
+    let mut cache_kib = None;
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "processor" => cores += 1,
+            "model name" if model.is_none() => model = Some(value.to_owned()),
+            "cpu MHz" if mhz.is_none() => mhz = value.parse::<f64>().ok(),
+            "cache size" if cache_kib.is_none() => {
+                cache_kib = value
+                    .strip_suffix("KB")
+                    .map(str::trim)
+                    .and_then(|v| v.parse::<u64>().ok());
+            }
+            _ => {}
+        }
+    }
+    if cores == 0 {
+        return None;
+    }
+    Some(SystemInfo {
+        system: system.to_owned(),
+        cpu_model: model?,
+        cores,
+        cpu_mhz: mhz.unwrap_or(0.0),
+        cache_kib: cache_kib.unwrap_or(0),
+        mem_kib: 0,
+    })
+}
+
+/// Parse meminfo text, returning `MemTotal` in KiB.
+#[must_use]
+pub fn parse_meminfo(text: &str) -> Option<u64> {
+    for line in text.lines() {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        if key.trim() == "MemTotal" {
+            return value
+                .trim()
+                .strip_suffix("kB")
+                .map(str::trim)
+                .and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+/// Combine cpuinfo and meminfo into one [`SystemInfo`].
+#[must_use]
+pub fn parse_system_info(cpuinfo: &str, meminfo: &str, system: &str) -> Option<SystemInfo> {
+    let mut info = parse_cpuinfo(cpuinfo, system)?;
+    info.mem_kib = parse_meminfo(meminfo).unwrap_or(0);
+    Some(info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_sim::config::ClusterConfig;
+    use iokc_sim::sysinfo::ProcSnapshot;
+
+    #[test]
+    fn parses_simulated_procfs() {
+        let snap = ProcSnapshot::of(&ClusterConfig::fuchs_csc());
+        let info = parse_system_info(
+            &snap.render_cpuinfo(),
+            &snap.render_meminfo(),
+            "FUCHS-CSC",
+        )
+        .unwrap();
+        assert_eq!(info.system, "FUCHS-CSC");
+        assert_eq!(info.cores, 20);
+        assert!(info.cpu_model.contains("E5-2670 v2"));
+        assert_eq!(info.cpu_mhz, 2500.0);
+        assert_eq!(info.cache_kib, 25_600);
+        assert_eq!(info.mem_kib, 128 * 1024 * 1024);
+    }
+
+    #[test]
+    fn handles_real_world_format_quirks() {
+        let cpuinfo = "\
+processor\t: 0
+model name\t: AMD EPYC 7763 64-Core Processor
+cpu MHz\t\t: 2450.000
+cache size\t: 512 KB
+
+processor\t: 1
+model name\t: AMD EPYC 7763 64-Core Processor
+cpu MHz\t\t: 2450.000
+cache size\t: 512 KB
+";
+        let info = parse_cpuinfo(cpuinfo, "x").unwrap();
+        assert_eq!(info.cores, 2);
+        assert_eq!(info.cache_kib, 512);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(parse_cpuinfo("", "x").is_none());
+        assert!(parse_meminfo("").is_none());
+    }
+}

@@ -1,0 +1,242 @@
+//! JUBE-style benchmark configuration.
+//!
+//! The real JUBE uses XML; this reimplementation keeps the same concepts
+//! (parameter sets, substitution, steps, result patterns) in a line-based
+//! format that the usage phase can generate mechanically (§V-E1):
+//!
+//! ```text
+//! benchmark ior-scaling
+//! param tasks = 20, 40, 80
+//! param xfer = 1m, 2m
+//! step run = ior -a mpiio -t $xfer -b 4m -o /scratch/t$tasks
+//! pattern write_bw = Max Write: {bw:f} MiB/sec
+//! ```
+
+use iokc_util::pattern::Pattern;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed configuration.
+#[derive(Debug, Clone)]
+pub struct JubeConfig {
+    /// Benchmark name.
+    pub name: String,
+    /// Parameter sets in declaration order: name → values.
+    pub params: Vec<(String, Vec<String>)>,
+    /// Steps in declaration order.
+    pub steps: Vec<Step>,
+    /// Result-extraction patterns: metric name → pattern.
+    pub patterns: Vec<(String, Pattern)>,
+}
+
+/// One execution step.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// Step name.
+    pub name: String,
+    /// Name of the step this one depends on, if any.
+    pub after: Option<String>,
+    /// Command template with `$param` placeholders.
+    pub template: String,
+}
+
+/// Configuration parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "jube config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl JubeConfig {
+    /// Parse the line-based format. `#` starts a comment; blank lines are
+    /// skipped.
+    pub fn parse(text: &str) -> Result<JubeConfig, ConfigError> {
+        let mut name = String::new();
+        let mut params: Vec<(String, Vec<String>)> = Vec::new();
+        let mut steps: Vec<Step> = Vec::new();
+        let mut patterns: Vec<(String, Pattern)> = Vec::new();
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |message: String| ConfigError { line: line_no, message };
+            if let Some(rest) = line.strip_prefix("benchmark ") {
+                name = rest.trim().to_owned();
+            } else if let Some(rest) = line.strip_prefix("param ") {
+                let (pname, values) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err("param needs `name = v1, v2`".into()))?;
+                let pname = pname.trim().to_owned();
+                if pname.is_empty() || !pname.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                    return Err(err(format!("bad parameter name `{pname}`")));
+                }
+                if params.iter().any(|(n, _)| *n == pname) {
+                    return Err(err(format!("duplicate parameter `{pname}`")));
+                }
+                let values: Vec<String> = values
+                    .split(',')
+                    .map(|v| v.trim().to_owned())
+                    .filter(|v| !v.is_empty())
+                    .collect();
+                if values.is_empty() {
+                    return Err(err(format!("parameter `{pname}` has no values")));
+                }
+                params.push((pname, values));
+            } else if let Some(rest) = line.strip_prefix("step ") {
+                let (head, template) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err("step needs `name [after dep] = command`".into()))?;
+                let head_tokens: Vec<&str> = head.split_whitespace().collect();
+                let (sname, after) = match head_tokens.as_slice() {
+                    [sname] => ((*sname).to_owned(), None),
+                    [sname, "after", dep] => ((*sname).to_owned(), Some((*dep).to_owned())),
+                    _ => return Err(err("step header must be `name` or `name after dep`".into())),
+                };
+                if let Some(dep) = &after {
+                    if !steps.iter().any(|s| s.name == *dep) {
+                        return Err(err(format!("step `{sname}` depends on unknown `{dep}`")));
+                    }
+                }
+                steps.push(Step {
+                    name: sname,
+                    after,
+                    template: template.trim().to_owned(),
+                });
+            } else if let Some(rest) = line.strip_prefix("pattern ") {
+                let (pname, source) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err("pattern needs `name = pattern`".into()))?;
+                let compiled = Pattern::compile(source.trim())
+                    .map_err(|e| err(format!("pattern `{}`: {e}", pname.trim())))?;
+                patterns.push((pname.trim().to_owned(), compiled));
+            } else {
+                return Err(err(format!("unrecognised directive: {line}")));
+            }
+        }
+        if steps.is_empty() {
+            return Err(ConfigError { line: 0, message: "no steps defined".into() });
+        }
+        if name.is_empty() {
+            name = "benchmark".to_owned();
+        }
+        Ok(JubeConfig { name, params, steps, patterns })
+    }
+
+    /// All parameter combinations (Cartesian product, declaration order;
+    /// one empty combination when there are no parameters).
+    #[must_use]
+    pub fn expand(&self) -> Vec<BTreeMap<String, String>> {
+        let mut combos: Vec<BTreeMap<String, String>> = vec![BTreeMap::new()];
+        for (pname, values) in &self.params {
+            let mut next = Vec::with_capacity(combos.len() * values.len());
+            for combo in &combos {
+                for value in values {
+                    let mut extended = combo.clone();
+                    extended.insert(pname.clone(), value.clone());
+                    next.push(extended);
+                }
+            }
+            combos = next;
+        }
+        combos
+    }
+}
+
+/// Substitute `$name` placeholders (longest-name-first so `$tasks` wins
+/// over `$t`).
+#[must_use]
+pub fn substitute(template: &str, values: &BTreeMap<String, String>) -> String {
+    let mut names: Vec<&String> = values.keys().collect();
+    names.sort_by_key(|n| std::cmp::Reverse(n.len()));
+    let mut out = template.to_owned();
+    for name in names {
+        out = out.replace(&format!("${name}"), &values[name]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# IOR scaling study
+benchmark ior-scaling
+param tasks = 20, 40, 80
+param xfer = 1m, 2m
+
+step run = ior -a mpiio -t $xfer -b 4m -o /scratch/t$tasks
+step verify after run = echo done $tasks
+pattern write_bw = Max Write: {bw:f} MiB/sec
+";
+
+    #[test]
+    fn parses_all_directives() {
+        let config = JubeConfig::parse(SAMPLE).unwrap();
+        assert_eq!(config.name, "ior-scaling");
+        assert_eq!(config.params.len(), 2);
+        assert_eq!(config.params[0].0, "tasks");
+        assert_eq!(config.params[0].1, vec!["20", "40", "80"]);
+        assert_eq!(config.steps.len(), 2);
+        assert_eq!(config.steps[1].after.as_deref(), Some("run"));
+        assert_eq!(config.patterns.len(), 1);
+    }
+
+    #[test]
+    fn cartesian_expansion() {
+        let config = JubeConfig::parse(SAMPLE).unwrap();
+        let combos = config.expand();
+        assert_eq!(combos.len(), 6);
+        // Declaration order: tasks varies slowest.
+        assert_eq!(combos[0]["tasks"], "20");
+        assert_eq!(combos[0]["xfer"], "1m");
+        assert_eq!(combos[1]["xfer"], "2m");
+        assert_eq!(combos[5]["tasks"], "80");
+    }
+
+    #[test]
+    fn substitution_prefers_longest_name() {
+        let values = BTreeMap::from([
+            ("t".to_owned(), "WRONG".to_owned()),
+            ("tasks".to_owned(), "80".to_owned()),
+        ]);
+        assert_eq!(substitute("run -n $tasks", &values), "run -n 80");
+    }
+
+    #[test]
+    fn no_params_yields_single_combo() {
+        let config = JubeConfig::parse("step run = hostname\n").unwrap();
+        assert_eq!(config.expand().len(), 1);
+        assert_eq!(config.name, "benchmark");
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let err = JubeConfig::parse("param = 1\nstep run = x\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = JubeConfig::parse("param a = \nstep run = x\n").unwrap_err();
+        assert!(err.message.contains("no values"));
+        let err = JubeConfig::parse("junk\n").unwrap_err();
+        assert!(err.message.contains("unrecognised"));
+        let err = JubeConfig::parse("step b after ghost = x\n").unwrap_err();
+        assert!(err.message.contains("unknown"));
+        let err = JubeConfig::parse("param a = 1\nparam a = 2\nstep run = x\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+        assert!(JubeConfig::parse("benchmark x\n").is_err(), "no steps");
+        let err = JubeConfig::parse("pattern p = {bad:q}\nstep r = x\n").unwrap_err();
+        assert!(err.message.contains("pattern"));
+    }
+}

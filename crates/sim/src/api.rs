@@ -1,0 +1,367 @@
+//! I/O interface layers: POSIX, MPI-IO, and HDF5.
+//!
+//! The paper's Figure 1 layering — high-level libraries over MPI-IO over
+//! POSIX — is realised here as *script transformers*: a benchmark driver
+//! describes file accesses once, and the chosen [`IoApi`] decides what ops
+//! actually reach the simulated file system:
+//!
+//! * **POSIX** — the access maps 1:1 onto namespace/data ops.
+//! * **MPI-IO (independent)** — POSIX plus the cost of `MPI_File_open`'s
+//!   collective metadata handshake.
+//! * **MPI-IO (collective)** — two-phase I/O: ranks ship their pieces to
+//!   per-node aggregators over the fabric, aggregators issue large
+//!   contiguous accesses.
+//! * **HDF5** — rides on MPI-IO and adds the library's metadata footprint
+//!   (superblock/object headers, chunk-index updates).
+
+use crate::script::{OpenMode, RankScript, ScriptSet, StripeHint};
+use crate::time::SimDuration;
+
+/// Which I/O interface a benchmark uses (IOR `-a`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoApi {
+    /// Plain POSIX calls.
+    Posix,
+    /// MPI-IO; `collective` selects two-phase collective buffering
+    /// (IOR `-c`).
+    MpiIo {
+        /// Use collective (two-phase) transfers.
+        collective: bool,
+    },
+    /// HDF5 atop MPI-IO.
+    Hdf5 {
+        /// Use collective transfers underneath.
+        collective: bool,
+    },
+}
+
+impl IoApi {
+    /// Parse an IOR `-a` argument (case-insensitive).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<IoApi> {
+        match name.to_ascii_lowercase().as_str() {
+            "posix" => Some(IoApi::Posix),
+            "mpiio" => Some(IoApi::MpiIo { collective: false }),
+            "hdf5" => Some(IoApi::Hdf5 { collective: false }),
+            _ => None,
+        }
+    }
+
+    /// The name IOR prints in its output header.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IoApi::Posix => "POSIX",
+            IoApi::MpiIo { .. } => "MPIIO",
+            IoApi::Hdf5 { .. } => "HDF5",
+        }
+    }
+
+    /// Switch collective mode on/off (IOR `-c` combines with `-a`).
+    #[must_use]
+    pub fn with_collective(self, collective: bool) -> IoApi {
+        match self {
+            IoApi::Posix => IoApi::Posix,
+            IoApi::MpiIo { .. } => IoApi::MpiIo { collective },
+            IoApi::Hdf5 { .. } => IoApi::Hdf5 { collective },
+        }
+    }
+
+    /// Is this API collective?
+    #[must_use]
+    pub fn is_collective(self) -> bool {
+        matches!(
+            self,
+            IoApi::MpiIo { collective: true } | IoApi::Hdf5 { collective: true }
+        )
+    }
+}
+
+/// Per-open bookkeeping cost of the HDF5 library (superblock reads, object
+/// header creation), charged as compute time on every rank.
+const HDF5_OPEN_OVERHEAD: SimDuration = SimDuration(180_000);
+/// Chunk-index (B-tree) update charged per HDF5 dataset write.
+const HDF5_WRITE_OVERHEAD: SimDuration = SimDuration(25_000);
+
+/// Emit the ops for opening `path` through `api` on one rank.
+///
+/// MPI-IO and HDF5 opens are collective: callers should follow the open
+/// with a barrier (the drivers do).
+pub fn open_file(
+    api: IoApi,
+    rank: &mut RankScript<'_>,
+    path: &str,
+    mode: OpenMode,
+    hint: StripeHint,
+) {
+    match api {
+        IoApi::Posix => {
+            rank.open_hint(path, mode, hint);
+        }
+        IoApi::MpiIo { .. } => {
+            // MPI_File_open performs a stat (existence/consistency check)
+            // plus the open proper on every rank.
+            if mode != OpenMode::Write {
+                rank.stat(path);
+            }
+            rank.open_hint(path, mode, hint);
+        }
+        IoApi::Hdf5 { .. } => {
+            if mode != OpenMode::Write {
+                rank.stat(path);
+            }
+            rank.open_hint(path, mode, hint);
+            // Library-side header parsing / creation.
+            rank.compute(HDF5_OPEN_OVERHEAD);
+        }
+    }
+}
+
+/// Emit the ops for closing `path` through `api` on one rank.
+pub fn close_file(api: IoApi, rank: &mut RankScript<'_>, path: &str) {
+    match api {
+        IoApi::Posix | IoApi::MpiIo { .. } => {
+            rank.close(path);
+        }
+        IoApi::Hdf5 { .. } => {
+            // Flush the object header / chunk index before close.
+            rank.compute(HDF5_WRITE_OVERHEAD);
+            rank.close(path);
+        }
+    }
+}
+
+/// Emit the ops for one rank's transfer (`write`/`read` of `len` bytes at
+/// `offset`) through a non-collective path.
+pub fn independent_xfer(
+    api: IoApi,
+    rank: &mut RankScript<'_>,
+    path: &str,
+    offset: u64,
+    len: u64,
+    is_write: bool,
+) {
+    if matches!(api, IoApi::Hdf5 { .. }) && is_write {
+        rank.compute(HDF5_WRITE_OVERHEAD);
+    }
+    if is_write {
+        rank.write(path, offset, len);
+    } else {
+        rank.read(path, offset, len);
+    }
+}
+
+/// Plan for one collective transfer round: every rank contributes `len`
+/// bytes at its own offset; aggregators perform the file access.
+///
+/// `offsets[r]` is rank r's file offset for this round. Aggregator choice
+/// follows ROMIO's default of one aggregator per node (the first rank on
+/// each node).
+pub struct CollectiveRound<'a> {
+    /// Target file.
+    pub path: &'a str,
+    /// Per-rank file offsets (length = np).
+    pub offsets: &'a [u64],
+    /// Bytes per rank.
+    pub len: u64,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+    /// Ranks per node (aggregator = first rank of each node).
+    pub ppn: u32,
+    /// Unique tag base for this round's shuffle messages.
+    pub tag: u32,
+}
+
+/// Emit a full two-phase collective transfer into `set`.
+///
+/// Phase 1 (shuffle): every non-aggregator sends its piece to its node's
+/// aggregator (for reads the data flows the other way, which costs the
+/// same in this model, so the same message pattern is used).
+/// Phase 2 (access): each aggregator performs one contiguous file access
+/// covering its node's pieces, then all ranks synchronize.
+pub fn collective_xfer(api: IoApi, set: &mut ScriptSet, round: &CollectiveRound<'_>) {
+    let np = set.nranks();
+    assert_eq!(round.offsets.len(), np as usize, "one offset per rank");
+    let ppn = round.ppn.max(1);
+    for rank in 0..np {
+        let node_first = rank - rank % ppn;
+        let is_agg = rank == node_first;
+        let members_on_node = (node_first..np).take(ppn as usize).count() as u32;
+        let mut rs = set.rank(rank);
+        if matches!(api, IoApi::Hdf5 { .. }) && round.is_write {
+            rs.compute(HDF5_WRITE_OVERHEAD);
+        }
+        if is_agg {
+            // Receive every other node-local piece, then access the file.
+            for peer in (node_first + 1)..(node_first + members_on_node) {
+                rs.recv(peer, round.tag + peer);
+            }
+        } else {
+            rs.send(node_first, round.len, round.tag + rank);
+        }
+        let _ = rs; // end the &mut ScriptSet borrow before re-borrowing
+        if is_agg {
+            // One access per contiguous run of the node's offsets; in the
+            // common segmented layouts the node's pieces are contiguous.
+            let mut node_offsets: Vec<u64> = (node_first..node_first + members_on_node)
+                .map(|r| round.offsets[r as usize])
+                .collect();
+            node_offsets.sort_unstable();
+            let mut rs = set.rank(rank);
+            let mut run_start = node_offsets[0];
+            let mut run_len = round.len;
+            for off in node_offsets.iter().copied().skip(1) {
+                if off == run_start + run_len {
+                    run_len += round.len;
+                } else {
+                    emit_access(&mut rs, round.path, run_start, run_len, round.is_write);
+                    run_start = off;
+                    run_len = round.len;
+                }
+            }
+            emit_access(&mut rs, round.path, run_start, run_len, round.is_write);
+        }
+        set.rank(rank).barrier();
+    }
+}
+
+fn emit_access(rs: &mut RankScript<'_>, path: &str, offset: u64, len: u64, is_write: bool) {
+    if is_write {
+        rs.write(path, offset, len);
+    } else {
+        rs.read(path, offset, len);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::engine::{JobLayout, World};
+    use crate::faults::FaultPlan;
+    use crate::script::OpKind;
+    use iokc_util::units::MIB;
+
+    #[test]
+    fn api_parsing_and_names() {
+        assert_eq!(IoApi::parse("posix"), Some(IoApi::Posix));
+        assert_eq!(IoApi::parse("MPIIO"), Some(IoApi::MpiIo { collective: false }));
+        assert_eq!(IoApi::parse("HDF5"), Some(IoApi::Hdf5 { collective: false }));
+        assert_eq!(IoApi::parse("netcdf"), None);
+        assert_eq!(IoApi::Posix.as_str(), "POSIX");
+        assert!(IoApi::MpiIo { collective: false }
+            .with_collective(true)
+            .is_collective());
+        assert!(!IoApi::Posix.with_collective(true).is_collective());
+    }
+
+    #[test]
+    fn hdf5_open_adds_overhead_ops() {
+        let mut set = ScriptSet::new(1);
+        open_file(
+            IoApi::Hdf5 { collective: false },
+            &mut set.rank(0),
+            "/scratch/h5",
+            OpenMode::Write,
+            StripeHint::default(),
+        );
+        let kinds: Vec<OpKind> = set.script(0).iter().map(|o| o.kind()).collect();
+        assert_eq!(kinds, vec![OpKind::Open, OpKind::Compute]);
+    }
+
+    #[test]
+    fn collective_round_shuffles_and_aggregates() {
+        // 4 ranks, 2 per node: ranks 0 and 2 aggregate.
+        let mut set = ScriptSet::new(4);
+        let offsets = [0, MIB, 2 * MIB, 3 * MIB];
+        collective_xfer(
+            IoApi::MpiIo { collective: true },
+            &mut set,
+            &CollectiveRound {
+                path: "/scratch/coll",
+                offsets: &offsets,
+                len: MIB,
+                is_write: true,
+                ppn: 2,
+                tag: 100,
+            },
+        );
+        // Rank 0: recv from 1, write 2 MiB contiguous, barrier.
+        let k0: Vec<OpKind> = set.script(0).iter().map(|o| o.kind()).collect();
+        assert_eq!(k0, vec![OpKind::Recv, OpKind::Write, OpKind::Barrier]);
+        // Rank 1: send to 0, barrier.
+        let k1: Vec<OpKind> = set.script(1).iter().map(|o| o.kind()).collect();
+        assert_eq!(k1, vec![OpKind::Send, OpKind::Barrier]);
+        // The aggregated write is a single contiguous 2 MiB access.
+        let writes: Vec<(u64, u64)> = set
+            .script(0)
+            .iter()
+            .filter_map(|o| match o {
+                crate::script::Op::Write { offset, len, .. } => Some((*offset, *len)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes, vec![(0, 2 * MIB)]);
+    }
+
+    #[test]
+    fn collective_round_executes() {
+        let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 21);
+        let mut setup = ScriptSet::new(4);
+        for r in 0..4 {
+            open_file(
+                IoApi::MpiIo { collective: true },
+                &mut setup.rank(r),
+                "/scratch/coll",
+                OpenMode::Write,
+                StripeHint::default(),
+            );
+            setup.rank(r).barrier();
+        }
+        world.run(JobLayout::new(4, 2), &setup).unwrap();
+
+        let mut set = ScriptSet::new(4);
+        let offsets = [0, MIB, 2 * MIB, 3 * MIB];
+        collective_xfer(
+            IoApi::MpiIo { collective: true },
+            &mut set,
+            &CollectiveRound {
+                path: "/scratch/coll",
+                offsets: &offsets,
+                len: MIB,
+                is_write: true,
+                ppn: 2,
+                tag: 7000,
+            },
+        );
+        let result = world.run(JobLayout::new(4, 2), &set).unwrap();
+        assert_eq!(result.bytes(OpKind::Write), 4 * MIB);
+        assert_eq!(result.ops(OpKind::Write), 2, "one aggregated write per node");
+        assert_eq!(result.ops(OpKind::Send), 2);
+    }
+
+    #[test]
+    fn noncontiguous_offsets_split_accesses() {
+        let mut set = ScriptSet::new(2);
+        // Two ranks on one node with a hole between their pieces.
+        let offsets = [0, 4 * MIB];
+        collective_xfer(
+            IoApi::MpiIo { collective: true },
+            &mut set,
+            &CollectiveRound {
+                path: "/f",
+                offsets: &offsets,
+                len: MIB,
+                is_write: false,
+                ppn: 2,
+                tag: 0,
+            },
+        );
+        let reads = set
+            .script(0)
+            .iter()
+            .filter(|o| o.kind() == OpKind::Read)
+            .count();
+        assert_eq!(reads, 2);
+    }
+}

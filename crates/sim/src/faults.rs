@@ -1,0 +1,195 @@
+//! Fault and interference injection.
+//!
+//! The paper's anomaly-detection use case (§V-E2) observes effects — an
+//! iteration with less than half the usual write throughput, an IO500 run
+//! whose `ior-easy read` falls out of the expected bounding box — whose
+//! causes live in the system: congested fabric, a degraded node, a broken
+//! storage target. This module injects exactly those causes so that the
+//! analysis phase has true anomalies to find.
+
+use crate::time::SimTime;
+
+/// What part of the system a fault degrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The shared fabric between compute and storage.
+    Fabric,
+    /// One compute node's NIC.
+    NodeNic(u32),
+    /// One storage target's bandwidth.
+    StorageTarget(u32),
+    /// One metadata server's service rate.
+    MetadataServer(u32),
+}
+
+/// A capacity-scaling fault active during a time window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fault {
+    /// Component degraded.
+    pub target: FaultTarget,
+    /// Capacity multiplier while active (e.g. `0.3` = 70% degradation).
+    pub factor: f64,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive); `SimTime(u64::MAX)` = forever.
+    pub until: SimTime,
+}
+
+impl Fault {
+    /// A fabric congestion burst (background job storms the interconnect).
+    #[must_use]
+    pub fn fabric_congestion(factor: f64, from: SimTime, until: SimTime) -> Fault {
+        Fault { target: FaultTarget::Fabric, factor, from, until }
+    }
+
+    /// A degraded (but not dead) compute node NIC.
+    #[must_use]
+    pub fn degraded_node(node: u32, factor: f64, from: SimTime, until: SimTime) -> Fault {
+        Fault { target: FaultTarget::NodeNic(node), factor, from, until }
+    }
+
+    /// A slow storage target (failing disk / RAID rebuild).
+    #[must_use]
+    pub fn slow_target(target: u32, factor: f64, from: SimTime, until: SimTime) -> Fault {
+        Fault { target: FaultTarget::StorageTarget(target), factor, from, until }
+    }
+
+    /// An overloaded metadata server.
+    #[must_use]
+    pub fn slow_mds(mds: u32, factor: f64, from: SimTime, until: SimTime) -> Fault {
+        Fault { target: FaultTarget::MetadataServer(mds), factor, from, until }
+    }
+
+    /// A permanent fault starting at the epoch.
+    #[must_use]
+    pub fn permanent(target: FaultTarget, factor: f64) -> Fault {
+        Fault {
+            target,
+            factor,
+            from: SimTime::ZERO,
+            until: SimTime(u64::MAX),
+        }
+    }
+
+    /// Is the fault active at `t`?
+    #[must_use]
+    pub fn active_at(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+/// The set of injected faults for a run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// No faults.
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Add a fault (builder style).
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Add a fault in place.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push(fault);
+    }
+
+    /// All faults.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Combined capacity factor for a component at time `t` (product of
+    /// all active matching faults).
+    #[must_use]
+    pub fn factor(&self, target: FaultTarget, t: SimTime) -> f64 {
+        self.faults
+            .iter()
+            .filter(|f| f.target == target && f.active_at(t))
+            .map(|f| f.factor.max(0.0))
+            .product()
+    }
+
+    /// Every window edge (start or end) strictly after `t` — the engine
+    /// schedules rate recomputation at these instants.
+    #[must_use]
+    pub fn edges_after(&self, t: SimTime) -> Vec<SimTime> {
+        let mut edges: Vec<SimTime> = self
+            .faults
+            .iter()
+            .flat_map(|f| [f.from, f.until])
+            .filter(|e| *e > t && e.0 != u64::MAX)
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_and_factors() {
+        let plan = FaultPlan::none()
+            .with(Fault::fabric_congestion(
+                0.5,
+                SimTime::from_secs(1),
+                SimTime::from_secs(2),
+            ))
+            .with(Fault::fabric_congestion(
+                0.5,
+                SimTime::from_millis(1500),
+                SimTime::from_secs(3),
+            ));
+        assert_eq!(plan.factor(FaultTarget::Fabric, SimTime::ZERO), 1.0);
+        assert_eq!(plan.factor(FaultTarget::Fabric, SimTime::from_secs(1)), 0.5);
+        // Overlap multiplies.
+        assert_eq!(
+            plan.factor(FaultTarget::Fabric, SimTime::from_millis(1700)),
+            0.25
+        );
+        assert_eq!(plan.factor(FaultTarget::NodeNic(0), SimTime::from_secs(1)), 1.0);
+    }
+
+    #[test]
+    fn window_end_is_exclusive() {
+        let plan = FaultPlan::none().with(Fault::slow_target(
+            2,
+            0.1,
+            SimTime::from_secs(1),
+            SimTime::from_secs(2),
+        ));
+        assert_eq!(plan.factor(FaultTarget::StorageTarget(2), SimTime::from_secs(2)), 1.0);
+    }
+
+    #[test]
+    fn edges_are_sorted_and_deduped() {
+        let plan = FaultPlan::none()
+            .with(Fault::slow_mds(0, 0.5, SimTime::from_secs(5), SimTime::from_secs(9)))
+            .with(Fault::degraded_node(1, 0.5, SimTime::from_secs(2), SimTime::from_secs(5)));
+        let edges = plan.edges_after(SimTime::from_secs(2));
+        assert_eq!(
+            edges,
+            vec![SimTime::from_secs(5), SimTime::from_secs(9)]
+        );
+    }
+
+    #[test]
+    fn permanent_fault_has_no_finite_edges() {
+        let plan = FaultPlan::none().with(Fault::permanent(FaultTarget::Fabric, 0.5));
+        assert!(plan.edges_after(SimTime::ZERO).is_empty());
+        assert_eq!(plan.factor(FaultTarget::Fabric, SimTime::from_secs(1000)), 0.5);
+    }
+}

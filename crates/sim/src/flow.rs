@@ -1,0 +1,303 @@
+//! Max–min fair bandwidth sharing.
+//!
+//! The simulator models every in-flight data movement (a client writing a
+//! stripe chunk to a storage target, an MPI shuffle message between two
+//! nodes) as a *flow* traversing a set of capacitated *resources* (client
+//! NIC, fabric, storage target). Between engine events rates are constant,
+//! so the fluid model only needs the classic progressive-filling algorithm:
+//! grow every flow's rate uniformly, freeze the flows crossing each
+//! bottleneck as it saturates, and repeat. The result is the unique
+//! max–min fair allocation — the same first-order behaviour as the
+//! fair-share queueing of an InfiniBand fabric plus file-server request
+//! schedulers.
+//!
+//! This module is pure (no engine state) so its invariants can be checked
+//! by property tests: feasibility (no resource over capacity), work
+//! conservation, and the bottleneck characterisation of max–min fairness.
+
+/// Index of a resource in the capacity vector.
+pub type ResourceId = u32;
+
+/// A flow's static description: which resources it traverses.
+///
+/// Duplicate resource ids in one flow are allowed and count once (a flow
+/// cannot congest itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowPath {
+    resources: Vec<ResourceId>,
+}
+
+impl FlowPath {
+    /// Build a path; deduplicates resource ids.
+    #[must_use]
+    pub fn new(mut resources: Vec<ResourceId>) -> FlowPath {
+        resources.sort_unstable();
+        resources.dedup();
+        FlowPath { resources }
+    }
+
+    /// Resources traversed.
+    #[must_use]
+    pub fn resources(&self) -> &[ResourceId] {
+        &self.resources
+    }
+}
+
+/// Compute the max–min fair rate for each flow.
+///
+/// * `capacities[r]` — current capacity of resource `r` in bytes/s
+///   (values `<= 0` are treated as a tiny positive capacity so faulted
+///   resources stall flows without dividing by zero).
+/// * `flows[i]` — the path of flow `i`.
+///
+/// Returns one rate per flow, in bytes/s. Runs in
+/// `O(bottlenecks × (flows + resources))`, with `bottlenecks ≤ resources`.
+#[must_use]
+pub fn solve_rates(capacities: &[f64], flows: &[FlowPath]) -> Vec<f64> {
+    const MIN_CAPACITY: f64 = 1.0; // 1 byte/s floor for faulted resources
+
+    let nres = capacities.len();
+    let mut remaining: Vec<f64> = capacities
+        .iter()
+        .map(|c| if *c > MIN_CAPACITY { *c } else { MIN_CAPACITY })
+        .collect();
+    // Number of unfrozen flows crossing each resource.
+    let mut load = vec![0u32; nres];
+    for flow in flows {
+        for &r in flow.resources() {
+            load[r as usize] += 1;
+        }
+    }
+
+    let mut rates = vec![0.0f64; flows.len()];
+    let mut frozen = vec![false; flows.len()];
+    let mut level = 0.0f64; // current uniform fill level of unfrozen flows
+    let mut unfrozen = flows.iter().filter(|f| !f.resources().is_empty()).count();
+    // Flows with no resources are unconstrained; they never freeze via a
+    // bottleneck, so give them an effectively infinite rate up front.
+    for (i, flow) in flows.iter().enumerate() {
+        if flow.resources().is_empty() {
+            rates[i] = f64::INFINITY;
+            frozen[i] = true;
+        }
+    }
+
+    while unfrozen > 0 {
+        // Find the next bottleneck: the resource that saturates first as
+        // the uniform level grows. Constraint per resource r:
+        //   level ≤ remaining[r] / load[r]  (remaining excludes frozen usage)
+        let mut bottleneck_level = f64::INFINITY;
+        for r in 0..nres {
+            if load[r] > 0 {
+                let candidate = remaining[r] / f64::from(load[r]);
+                if candidate < bottleneck_level {
+                    bottleneck_level = candidate;
+                }
+            }
+        }
+        if !bottleneck_level.is_finite() {
+            // No loaded resources left; remaining flows are unconstrained.
+            for (i, f) in frozen.iter_mut().enumerate() {
+                if !*f {
+                    rates[i] = f64::INFINITY;
+                    *f = true;
+                }
+            }
+            break;
+        }
+        level = bottleneck_level.max(level);
+
+        // Freeze every unfrozen flow that crosses a saturated resource.
+        let mut froze_any = false;
+        for (i, flow) in flows.iter().enumerate() {
+            if frozen[i] {
+                continue;
+            }
+            let saturated = flow.resources().iter().any(|&r| {
+                let r = r as usize;
+                load[r] > 0 && remaining[r] / f64::from(load[r]) <= level * (1.0 + 1e-9) + 1e-6
+            });
+            if saturated {
+                rates[i] = level;
+                frozen[i] = true;
+                froze_any = true;
+                unfrozen -= 1;
+                for &r in flow.resources() {
+                    let r = r as usize;
+                    remaining[r] -= level;
+                    load[r] -= 1;
+                }
+            }
+        }
+        debug_assert!(froze_any, "progressive filling must freeze at least one flow");
+        if !froze_any {
+            // Numerical safety valve: freeze everything at the current level.
+            for (i, f) in frozen.iter_mut().enumerate() {
+                if !*f {
+                    rates[i] = level;
+                    *f = true;
+                }
+            }
+            break;
+        }
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(resources: &[u32]) -> FlowPath {
+        FlowPath::new(resources.to_vec())
+    }
+
+    #[test]
+    fn single_flow_gets_min_capacity_on_path() {
+        let caps = vec![10.0, 4.0, 8.0];
+        let rates = solve_rates(&caps, &[path(&[0, 1, 2])]);
+        assert!((rates[0] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_flows_share_equally() {
+        let caps = vec![9.0];
+        let rates = solve_rates(&caps, &[path(&[0]), path(&[0]), path(&[0])]);
+        for r in rates {
+            assert!((r - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn classic_maxmin_example() {
+        // Link 0 cap 10 shared by flows A(0) and B(0,1); link 1 cap 3.
+        // B is bottlenecked at 3 by link 1; A then gets the rest: 7.
+        let caps = vec![10.0, 3.0];
+        let rates = solve_rates(&caps, &[path(&[0]), path(&[0, 1])]);
+        assert!((rates[1] - 3.0).abs() < 1e-9, "B = {}", rates[1]);
+        assert!((rates[0] - 7.0).abs() < 1e-9, "A = {}", rates[0]);
+    }
+
+    #[test]
+    fn three_link_chain() {
+        // Flows: A(0,1), B(1,2), C(2). caps: 10, 4, 6.
+        // Uniform fill: link1 saturates at level 2 → A=B=2.
+        // C continues: link2 remaining 6-2=4 → C=4.
+        let caps = vec![10.0, 4.0, 6.0];
+        let rates = solve_rates(&caps, &[path(&[0, 1]), path(&[1, 2]), path(&[2])]);
+        assert!((rates[0] - 2.0).abs() < 1e-9);
+        assert!((rates[1] - 2.0).abs() < 1e-9);
+        assert!((rates[2] - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_resources_count_once() {
+        let caps = vec![5.0];
+        let rates = solve_rates(&caps, &[path(&[0, 0, 0])]);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_path_is_unconstrained() {
+        let caps = vec![5.0];
+        let rates = solve_rates(&caps, &[path(&[]), path(&[0])]);
+        assert!(rates[0].is_infinite());
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_capacity_is_floored_not_divided() {
+        let caps = vec![0.0];
+        let rates = solve_rates(&caps, &[path(&[0])]);
+        assert!(rates[0] > 0.0 && rates[0] <= 1.0);
+    }
+
+    #[test]
+    fn no_flows_is_fine() {
+        assert!(solve_rates(&[1.0, 2.0], &[]).is_empty());
+    }
+
+    fn check_invariants(caps: &[f64], flows: &[FlowPath], rates: &[f64]) {
+        // Feasibility: usage within capacity (+ tolerance).
+        for (r, &cap) in caps.iter().enumerate() {
+            let usage: f64 = flows
+                .iter()
+                .zip(rates)
+                .filter(|(f, _)| f.resources().contains(&(r as u32)))
+                .map(|(_, rate)| rate)
+                .sum();
+            let cap = cap.max(1.0);
+            assert!(
+                usage <= cap * (1.0 + 1e-6) + 1e-6,
+                "resource {r} over capacity: {usage} > {cap}"
+            );
+        }
+        // Max–min: every flow has a bottleneck resource that is saturated
+        // and on which it has a maximal rate.
+        for (i, flow) in flows.iter().enumerate() {
+            if flow.resources().is_empty() {
+                continue;
+            }
+            let has_bottleneck = flow.resources().iter().any(|&r| {
+                let usage: f64 = flows
+                    .iter()
+                    .zip(rates)
+                    .filter(|(f, _)| f.resources().contains(&r))
+                    .map(|(_, rate)| rate)
+                    .sum();
+                let cap = caps[r as usize].max(1.0);
+                let saturated = usage >= cap * (1.0 - 1e-6) - 1e-6;
+                let maximal = flows
+                    .iter()
+                    .zip(rates)
+                    .filter(|(f, _)| f.resources().contains(&r))
+                    .all(|(_, rate)| *rate <= rates[i] * (1.0 + 1e-6) + 1e-6);
+                saturated && maximal
+            });
+            assert!(has_bottleneck, "flow {i} has no bottleneck");
+        }
+    }
+
+    #[test]
+    fn invariants_on_dense_example() {
+        let caps = vec![12.0, 7.0, 20.0, 3.0];
+        let flows = vec![
+            path(&[0, 1]),
+            path(&[0, 2]),
+            path(&[1, 3]),
+            path(&[2]),
+            path(&[0, 1, 2, 3]),
+            path(&[3]),
+        ];
+        let rates = solve_rates(&caps, &flows);
+        check_invariants(&caps, &flows, &rates);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+            #[test]
+            fn maxmin_invariants_hold(
+                caps in proptest::collection::vec(1.0f64..1000.0, 1..8),
+                flow_specs in proptest::collection::vec(
+                    proptest::collection::vec(0u32..8, 1..5),
+                    1..20
+                ),
+            ) {
+                let nres = caps.len() as u32;
+                let flows: Vec<FlowPath> = flow_specs
+                    .into_iter()
+                    .map(|spec| FlowPath::new(
+                        spec.into_iter().map(|r| r % nres).collect()
+                    ))
+                    .collect();
+                let rates = solve_rates(&caps, &flows);
+                prop_assert_eq!(rates.len(), flows.len());
+                check_invariants(&caps, &flows, &rates);
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Execution records and phase results.
+//!
+//! Every scripted op that executes produces an [`OpRecord`]; benchmark
+//! drivers turn record streams into their native output formats, and the
+//! Darshan writer turns them into characterization logs. The record is the
+//! simulator's equivalent of "what actually happened on the system".
+
+use crate::script::{OpKind, PathId, Rank};
+use crate::time::{SimDuration, SimTime};
+
+/// One completed operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpRecord {
+    /// Executing rank.
+    pub rank: Rank,
+    /// Operation class.
+    pub kind: OpKind,
+    /// Target path (meaningless for barriers/compute/send/recv).
+    pub path: Option<PathId>,
+    /// Byte offset for data ops.
+    pub offset: u64,
+    /// Byte count for data ops and messages.
+    pub len: u64,
+    /// When the rank issued the op.
+    pub start: SimTime,
+    /// When the op completed.
+    pub end: SimTime,
+    /// Whether a read was served from the client page cache.
+    pub cache_hit: bool,
+}
+
+impl OpRecord {
+    /// Duration of the op.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// Result of executing one script set ("phase") against the world.
+#[derive(Debug, Clone)]
+pub struct PhaseResult {
+    /// Completed op records, in completion order.
+    pub records: Vec<OpRecord>,
+    /// Simulated time when the phase started.
+    pub started: SimTime,
+    /// Simulated time when the last rank finished.
+    pub finished: SimTime,
+    /// Interned path names (index = `PathId`).
+    pub paths: Vec<String>,
+    /// Data ops skipped because the stonewall deadline expired.
+    pub stonewalled_ops: u64,
+}
+
+impl PhaseResult {
+    /// Wall time of the phase.
+    #[must_use]
+    pub fn wall(&self) -> SimDuration {
+        self.finished - self.started
+    }
+
+    /// Total bytes moved by ops of `kind` (write/read/send).
+    #[must_use]
+    pub fn bytes(&self, kind: OpKind) -> u64 {
+        self.records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.len)
+            .sum()
+    }
+
+    /// Number of ops of `kind`.
+    #[must_use]
+    pub fn ops(&self, kind: OpKind) -> u64 {
+        self.records.iter().filter(|r| r.kind == kind).count() as u64
+    }
+
+    /// First issue time among ops of `kind`, if any.
+    #[must_use]
+    pub fn first_start(&self, kind: OpKind) -> Option<SimTime> {
+        self.records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.start)
+            .min()
+    }
+
+    /// Last completion among ops of `kind`, if any.
+    #[must_use]
+    pub fn last_end(&self, kind: OpKind) -> Option<SimTime> {
+        self.records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.end)
+            .max()
+    }
+
+    /// Aggregate bandwidth of `kind` over the span from first issue to
+    /// last completion, in MiB/s — the way IOR computes its bandwidth
+    /// column.
+    #[must_use]
+    pub fn bandwidth_mib(&self, kind: OpKind) -> f64 {
+        let (Some(first), Some(last)) = (self.first_start(kind), self.last_end(kind)) else {
+            return 0.0;
+        };
+        iokc_util::units::mib_per_sec(self.bytes(kind), (last - first).nanos())
+    }
+
+    /// Aggregate op rate of `kind` over its active span, ops/s.
+    #[must_use]
+    pub fn op_rate(&self, kind: OpKind) -> f64 {
+        let (Some(first), Some(last)) = (self.first_start(kind), self.last_end(kind)) else {
+            return 0.0;
+        };
+        iokc_util::units::ops_per_sec(self.ops(kind), (last - first).nanos())
+    }
+
+    /// Per-op durations in seconds for `kind` (latency statistics).
+    #[must_use]
+    pub fn latencies_secs(&self, kind: OpKind) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.duration().as_secs_f64())
+            .collect()
+    }
+
+    /// Summed time spent in ops of `kind` across ranks, seconds (IOR's
+    /// per-phase open/close/wr-rd accounting uses max-over-ranks; that is
+    /// [`PhaseResult::span_secs`]).
+    #[must_use]
+    pub fn total_op_secs(&self, kind: OpKind) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .map(|r| r.duration().as_secs_f64())
+            .sum()
+    }
+
+    /// First-issue to last-completion span for `kind`, seconds.
+    #[must_use]
+    pub fn span_secs(&self, kind: OpKind) -> f64 {
+        match (self.first_start(kind), self.last_end(kind)) {
+            (Some(a), Some(b)) => (b - a).as_secs_f64(),
+            _ => 0.0,
+        }
+    }
+
+    /// Records touching a specific path.
+    pub fn records_for_path<'a>(
+        &'a self,
+        path: &'a str,
+    ) -> impl Iterator<Item = &'a OpRecord> + 'a {
+        let id = self.paths.iter().position(|p| p == path).map(|i| i as u32);
+        self.records
+            .iter()
+            .filter(move |r| r.path.map(|p| Some(p.0) == id).unwrap_or(false))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::OpKind;
+    use iokc_util::units::MIB;
+
+    fn rec(kind: OpKind, len: u64, start_ms: u64, end_ms: u64) -> OpRecord {
+        OpRecord {
+            rank: 0,
+            kind,
+            path: Some(PathId(0)),
+            offset: 0,
+            len,
+            start: SimTime::from_millis(start_ms),
+            end: SimTime::from_millis(end_ms),
+            cache_hit: false,
+        }
+    }
+
+    fn phase(records: Vec<OpRecord>) -> PhaseResult {
+        PhaseResult {
+            records,
+            started: SimTime::ZERO,
+            finished: SimTime::from_secs(1),
+            paths: vec!["/scratch/f".to_owned()],
+            stonewalled_ops: 0,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let p = phase(vec![
+            rec(OpKind::Write, 100 * MIB, 0, 500),
+            rec(OpKind::Write, 100 * MIB, 100, 1000),
+            rec(OpKind::Read, 10 * MIB, 0, 100),
+        ]);
+        assert_eq!(p.bytes(OpKind::Write), 200 * MIB);
+        assert_eq!(p.ops(OpKind::Write), 2);
+        // 200 MiB over 1 s span = 200 MiB/s.
+        assert!((p.bandwidth_mib(OpKind::Write) - 200.0).abs() < 1e-9);
+        assert!((p.op_rate(OpKind::Write) - 2.0).abs() < 1e-9);
+        assert_eq!(p.latencies_secs(OpKind::Write).len(), 2);
+        assert!((p.total_op_secs(OpKind::Write) - 1.4).abs() < 1e-9);
+        assert!((p.span_secs(OpKind::Write) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_kind_yields_zeros() {
+        let p = phase(vec![]);
+        assert_eq!(p.bandwidth_mib(OpKind::Read), 0.0);
+        assert_eq!(p.op_rate(OpKind::Stat), 0.0);
+        assert!(p.first_start(OpKind::Write).is_none());
+    }
+
+    #[test]
+    fn wall_and_path_filter() {
+        let p = phase(vec![rec(OpKind::Write, 1, 0, 1)]);
+        assert_eq!(p.wall(), SimDuration::from_secs(1));
+        assert_eq!(p.records_for_path("/scratch/f").count(), 1);
+        assert_eq!(p.records_for_path("/other").count(), 0);
+    }
+}

@@ -1,0 +1,515 @@
+//! The simulated parallel file system namespace and data layout.
+//!
+//! Models the BeeGFS structures the paper's extractor reports on: each
+//! file has an *entry id*, an owning *metadata node*, and a *stripe
+//! pattern* (chunk size + storage-target list). Data placement follows
+//! BeeGFS's round-robin chunk distribution over the file's target set.
+
+use crate::config::PfsConfig;
+use crate::script::{parent_dir, PathId, StripeHint};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-file metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileMeta {
+    /// BeeGFS-style entry id (hex string derived from a stable hash).
+    pub entry_id: String,
+    /// Owning metadata server index.
+    pub mds: u32,
+    /// Stripe chunk size, bytes.
+    pub chunk_size: u64,
+    /// Storage targets this file stripes over (global target indices).
+    pub targets: Vec<u32>,
+    /// Current file size (max written extent), bytes.
+    pub size: u64,
+    /// Creation time in nanoseconds of sim time.
+    pub created_ns: u64,
+}
+
+impl FileMeta {
+    /// The storage target and in-target byte count for each piece of the
+    /// byte range `[offset, offset+len)`, split at chunk boundaries and
+    /// coalesced per contiguous chunk run.
+    #[must_use]
+    pub fn layout(&self, offset: u64, len: u64) -> Vec<(u32, u64)> {
+        let mut segments: Vec<(u32, u64)> = Vec::new();
+        if len == 0 || self.targets.is_empty() {
+            return segments;
+        }
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let chunk_index = pos / self.chunk_size;
+            let chunk_end = (chunk_index + 1) * self.chunk_size;
+            let piece = chunk_end.min(end) - pos;
+            let target = self.targets[(chunk_index % self.targets.len() as u64) as usize];
+            match segments.last_mut() {
+                Some((last_target, bytes)) if *last_target == target => *bytes += piece,
+                _ => segments.push((target, piece)),
+            }
+            pos += piece;
+        }
+        segments
+    }
+
+    /// True if the byte range starts or ends off a chunk boundary — such
+    /// accesses to shared files pay a read-modify-write / range-lock
+    /// penalty (the ior-hard effect).
+    #[must_use]
+    pub fn is_unaligned(&self, offset: u64, len: u64) -> bool {
+        !offset.is_multiple_of(self.chunk_size) || !(offset + len).is_multiple_of(self.chunk_size)
+    }
+}
+
+/// Errors surfaced by namespace operations. Benchmarks drive the engine,
+/// so these indicate driver bugs or deliberately-tested misuse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Path does not exist.
+    NotFound(String),
+    /// Create/mkdir on an existing path.
+    AlreadyExists(String),
+    /// Rmdir on a non-empty directory.
+    NotEmpty(String),
+    /// Parent directory missing.
+    NoParent(String),
+    /// Operation on the wrong entry type (file vs directory).
+    WrongType(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::NoParent(p) => write!(f, "parent directory missing: {p}"),
+            FsError::WrongType(p) => write!(f, "wrong entry type: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// The namespace: directories, files, and placement state.
+#[derive(Debug, Clone)]
+pub struct Namespace {
+    config: PfsConfig,
+    files: BTreeMap<String, FileMeta>,
+    dirs: BTreeSet<String>,
+    created_count: u64,
+}
+
+impl Namespace {
+    /// A namespace containing only `/` and `/scratch`.
+    #[must_use]
+    pub fn new(config: PfsConfig) -> Namespace {
+        let mut dirs = BTreeSet::new();
+        dirs.insert("/".to_owned());
+        dirs.insert("/scratch".to_owned());
+        Namespace {
+            config,
+            files: BTreeMap::new(),
+            dirs,
+            created_count: 0,
+        }
+    }
+
+    /// Access the file system configuration.
+    #[must_use]
+    pub fn config(&self) -> &PfsConfig {
+        &self.config
+    }
+
+    /// Number of files currently present.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Look up a file.
+    #[must_use]
+    pub fn file(&self, path: &str) -> Option<&FileMeta> {
+        self.files.get(path)
+    }
+
+    /// True if `path` is a directory.
+    #[must_use]
+    pub fn is_dir(&self, path: &str) -> bool {
+        self.dirs.contains(path)
+    }
+
+    /// The metadata server responsible for `path` (by parent-dir hash, as
+    /// BeeGFS assigns inode ownership).
+    #[must_use]
+    pub fn mds_for(&self, path: &str) -> u32 {
+        (stable_hash(parent_dir(path)) % u64::from(self.config.metadata_servers.max(1))) as u32
+    }
+
+    /// Create a directory. Parents must exist.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), FsError> {
+        if self.dirs.contains(path) || self.files.contains_key(path) {
+            return Err(FsError::AlreadyExists(path.to_owned()));
+        }
+        if !self.dirs.contains(parent_dir(path)) {
+            return Err(FsError::NoParent(path.to_owned()));
+        }
+        self.dirs.insert(path.to_owned());
+        Ok(())
+    }
+
+    /// Remove an empty directory.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), FsError> {
+        if !self.dirs.contains(path) {
+            return Err(FsError::NotFound(path.to_owned()));
+        }
+        if self.list_dir(path).next().is_some() {
+            return Err(FsError::NotEmpty(path.to_owned()));
+        }
+        self.dirs.remove(path);
+        Ok(())
+    }
+
+    /// Create a file (no-op error if it exists). `now_ns` stamps creation.
+    pub fn create(
+        &mut self,
+        path: &str,
+        hint: StripeHint,
+        now_ns: u64,
+    ) -> Result<&FileMeta, FsError> {
+        if self.files.contains_key(path) || self.dirs.contains(path) {
+            return Err(FsError::AlreadyExists(path.to_owned()));
+        }
+        if !self.dirs.contains(parent_dir(path)) {
+            return Err(FsError::NoParent(path.to_owned()));
+        }
+        let chunk_size = hint.chunk_size.unwrap_or(self.config.default_chunk_size).max(1);
+        let stripe_count = hint
+            .stripe_count
+            .unwrap_or(self.config.default_stripe_count)
+            .clamp(1, self.config.storage_targets.max(1));
+        let ntargets = self.config.storage_targets.max(1);
+        // BeeGFS spreads first targets per file (free-space/random target
+        // chooser); a stable path hash keeps the simulation deterministic
+        // while avoiding the convoy effect of all files starting on the
+        // same target.
+        let first = (stable_hash(path) % u64::from(ntargets)) as u32;
+        let targets: Vec<u32> = (0..stripe_count).map(|i| (first + i) % ntargets).collect();
+        self.created_count += 1;
+        let entry_id = format!(
+            "{:X}-{:08X}-1",
+            self.created_count,
+            stable_hash(path) as u32
+        );
+        let mds = self.mds_for(path);
+        let meta = FileMeta {
+            entry_id,
+            mds,
+            chunk_size,
+            targets,
+            size: 0,
+            created_ns: now_ns,
+        };
+        self.files.insert(path.to_owned(), meta);
+        Ok(self.files.get(path).expect("just inserted"))
+    }
+
+    /// Look up a file for an open; errors if missing.
+    pub fn open_existing(&self, path: &str) -> Result<&FileMeta, FsError> {
+        if self.dirs.contains(path) {
+            return Err(FsError::WrongType(path.to_owned()));
+        }
+        self.files
+            .get(path)
+            .ok_or_else(|| FsError::NotFound(path.to_owned()))
+    }
+
+    /// Extend file size after a write.
+    pub fn note_write(&mut self, path: &str, offset: u64, len: u64) -> Result<(), FsError> {
+        let meta = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| FsError::NotFound(path.to_owned()))?;
+        meta.size = meta.size.max(offset + len);
+        Ok(())
+    }
+
+    /// Remove a file.
+    pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        self.files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| FsError::NotFound(path.to_owned()))
+    }
+
+    /// Iterate over the immediate children (files and directories) of `dir`.
+    pub fn list_dir<'a>(&'a self, dir: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        let prefix = if dir == "/" { String::new() } else { dir.to_owned() };
+        let file_children = self
+            .files
+            .keys()
+            .map(String::as_str)
+            .filter(move |p| is_child(p, dir));
+        let dir_children = self
+            .dirs
+            .iter()
+            .map(String::as_str)
+            .filter(move |p| is_child(p, dir));
+        let _ = prefix;
+        file_children.chain(dir_children)
+    }
+
+    /// Number of entries directly inside `dir` (drives readdir cost).
+    #[must_use]
+    pub fn dir_entries(&self, dir: &str) -> usize {
+        self.list_dir(dir).count()
+    }
+
+    /// Render BeeGFS-style `beegfs-ctl --getentryinfo` output for a path —
+    /// the exact text the knowledge extractor parses.
+    #[must_use]
+    pub fn entry_info(&self, path: &str) -> Option<String> {
+        let meta = self.files.get(path)?;
+        let mut out = String::new();
+        out.push_str("Entry type: file\n");
+        out.push_str(&format!("EntryID: {}\n", meta.entry_id));
+        out.push_str(&format!("Metadata node: meta{:02} [ID: {}]\n", meta.mds + 1, meta.mds + 1));
+        out.push_str("Stripe pattern details:\n");
+        out.push_str("+ Type: RAID0\n");
+        out.push_str(&format!("+ Chunksize: {}\n", format_chunk(meta.chunk_size)));
+        out.push_str(&format!(
+            "+ Number of storage targets: desired: {}; actual: {}\n",
+            meta.targets.len(),
+            meta.targets.len()
+        ));
+        out.push_str("+ Storage targets:\n");
+        for t in &meta.targets {
+            out.push_str(&format!("  + {} @ storage{:02} [ID: {}]\n", t + 1, t + 1, t + 1));
+        }
+        out.push_str(&format!("+ Storage Pool: 1 ({})\n", self.config.storage_pool));
+        Some(out)
+    }
+}
+
+fn is_child(path: &str, dir: &str) -> bool {
+    if dir == "/" {
+        path != "/" && path.rfind('/') == Some(0)
+    } else {
+        path.len() > dir.len()
+            && path.starts_with(dir)
+            && path.as_bytes()[dir.len()] == b'/'
+            && !path[dir.len() + 1..].contains('/')
+    }
+}
+
+fn format_chunk(bytes: u64) -> String {
+    if bytes.is_multiple_of(1024 * 1024) {
+        format!("{}M", bytes / (1024 * 1024))
+    } else if bytes.is_multiple_of(1024) {
+        format!("{}K", bytes / 1024)
+    } else {
+        format!("{bytes}")
+    }
+}
+
+impl Namespace {
+    /// Render Lustre-style `lfs getstripe` output for a path — the §VI
+    /// outlook asks for further parallel file systems, and the extractor
+    /// understands this format alongside the BeeGFS one.
+    #[must_use]
+    pub fn entry_info_lustre(&self, path: &str) -> Option<String> {
+        let meta = self.files.get(path)?;
+        let mut out = format!("{path}\n");
+        out.push_str(&format!("lmm_stripe_count:  {}\n", meta.targets.len()));
+        out.push_str(&format!("lmm_stripe_size:   {}\n", meta.chunk_size));
+        out.push_str("lmm_pattern:       raid0\n");
+        out.push_str("lmm_layout_gen:    0\n");
+        out.push_str(&format!(
+            "lmm_stripe_offset: {}\n",
+            meta.targets.first().copied().unwrap_or(0)
+        ));
+        out.push_str("\tobdidx\t\t objid\t\t objid\t\t group\n");
+        for (i, target) in meta.targets.iter().enumerate() {
+            let objid = stable_hash(path).wrapping_add(i as u64) & 0xff_ffff;
+            out.push_str(&format!(
+                "\t{:>6}\t{:>11}\t{:>#11x}\t{:>7}\n",
+                target, objid, objid, 0
+            ));
+        }
+        Some(out)
+    }
+}
+
+/// FNV-1a — stable across runs and platforms (unlike `DefaultHasher`).
+#[must_use]
+pub fn stable_hash(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Interned-path lookup table passed to the engine alongside scripts.
+#[derive(Debug, Clone, Default)]
+pub struct PathTable {
+    names: Vec<String>,
+}
+
+impl PathTable {
+    /// Build from a slice of interned names (index = `PathId`).
+    #[must_use]
+    pub fn new(names: Vec<String>) -> PathTable {
+        PathTable { names }
+    }
+
+    /// Resolve an id.
+    #[must_use]
+    pub fn name(&self, id: PathId) -> &str {
+        &self.names[id.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_util::units::MIB;
+
+    fn ns() -> Namespace {
+        Namespace::new(PfsConfig::test_small())
+    }
+
+    #[test]
+    fn create_and_layout() {
+        let mut ns = ns();
+        ns.create("/scratch/f0", StripeHint::default(), 0).unwrap();
+        let meta = ns.file("/scratch/f0").unwrap();
+        assert_eq!(meta.chunk_size, 512 * 1024);
+        assert_eq!(meta.targets.len(), 2);
+        // 2 MiB write = 4 chunks over 2 targets, round robin → coalesced
+        // into 4 alternating segments of 512 KiB.
+        let segs = meta.layout(0, 2 * MIB);
+        assert_eq!(segs.len(), 4);
+        assert!(segs.iter().all(|(_, b)| *b == 512 * 1024));
+        assert_eq!(segs[0].0, segs[2].0);
+        assert_ne!(segs[0].0, segs[1].0);
+    }
+
+    #[test]
+    fn layout_handles_partial_chunks() {
+        let mut ns = ns();
+        ns.create("/scratch/f1", StripeHint { chunk_size: Some(1024), stripe_count: Some(2) }, 0)
+            .unwrap();
+        let meta = ns.file("/scratch/f1").unwrap();
+        let segs = meta.layout(512, 1024);
+        // 512 bytes in chunk 0 (target A), 512 bytes in chunk 1 (target B).
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].1, 512);
+        assert_eq!(segs[1].1, 512);
+        let total: u64 = segs.iter().map(|(_, b)| b).sum();
+        assert_eq!(total, 1024);
+    }
+
+    #[test]
+    fn unaligned_detection() {
+        let mut ns = ns();
+        ns.create("/scratch/f2", StripeHint::default(), 0).unwrap();
+        let meta = ns.file("/scratch/f2").unwrap();
+        assert!(!meta.is_unaligned(0, 512 * 1024));
+        assert!(meta.is_unaligned(47008, 47008));
+        assert!(meta.is_unaligned(0, 47008));
+    }
+
+    #[test]
+    fn namespace_errors() {
+        let mut ns = ns();
+        assert!(matches!(ns.mkdir("/a/b"), Err(FsError::NoParent(_))));
+        ns.mkdir("/a").unwrap();
+        ns.mkdir("/a/b").unwrap();
+        assert!(matches!(ns.mkdir("/a"), Err(FsError::AlreadyExists(_))));
+        assert!(matches!(ns.rmdir("/a"), Err(FsError::NotEmpty(_))));
+        ns.rmdir("/a/b").unwrap();
+        ns.rmdir("/a").unwrap();
+        assert!(matches!(ns.unlink("/nope"), Err(FsError::NotFound(_))));
+        assert!(matches!(ns.open_existing("/nope"), Err(FsError::NotFound(_))));
+    }
+
+    #[test]
+    fn write_extends_size() {
+        let mut ns = ns();
+        ns.create("/scratch/f3", StripeHint::default(), 0).unwrap();
+        ns.note_write("/scratch/f3", 4 * MIB, MIB).unwrap();
+        assert_eq!(ns.file("/scratch/f3").unwrap().size, 5 * MIB);
+        ns.note_write("/scratch/f3", 0, 10).unwrap();
+        assert_eq!(ns.file("/scratch/f3").unwrap().size, 5 * MIB);
+    }
+
+    #[test]
+    fn listing_and_counting() {
+        let mut ns = ns();
+        ns.mkdir("/scratch/job").unwrap();
+        ns.create("/scratch/job/a", StripeHint::default(), 0).unwrap();
+        ns.create("/scratch/job/b", StripeHint::default(), 0).unwrap();
+        ns.mkdir("/scratch/job/sub").unwrap();
+        assert_eq!(ns.dir_entries("/scratch/job"), 3);
+        assert_eq!(ns.dir_entries("/scratch"), 1);
+        let children: Vec<&str> = ns.list_dir("/scratch/job").collect();
+        assert!(children.contains(&"/scratch/job/a"));
+        assert!(children.contains(&"/scratch/job/sub"));
+    }
+
+    #[test]
+    fn entry_info_renders_beegfs_text() {
+        let mut ns = ns();
+        ns.create("/scratch/f4", StripeHint::default(), 0).unwrap();
+        let info = ns.entry_info("/scratch/f4").unwrap();
+        assert!(info.contains("Entry type: file"));
+        assert!(info.contains("EntryID:"));
+        assert!(info.contains("Metadata node: meta"));
+        assert!(info.contains("+ Chunksize: 512K"));
+        assert!(info.contains("+ Number of storage targets: desired: 2; actual: 2"));
+        assert!(ns.entry_info("/absent").is_none());
+    }
+
+    #[test]
+    fn lustre_entry_info_renders() {
+        let mut ns = ns();
+        ns.create("/scratch/lus", StripeHint::default(), 0).unwrap();
+        let info = ns.entry_info_lustre("/scratch/lus").unwrap();
+        assert!(info.starts_with("/scratch/lus\n"));
+        assert!(info.contains("lmm_stripe_count:  2"));
+        assert!(info.contains("lmm_stripe_size:   524288"));
+        assert!(info.contains("obdidx"));
+        assert!(ns.entry_info_lustre("/absent").is_none());
+    }
+
+    #[test]
+    fn stable_hash_is_stable() {
+        assert_eq!(stable_hash("abc"), stable_hash("abc"));
+        assert_ne!(stable_hash("abc"), stable_hash("abd"));
+    }
+
+    #[test]
+    fn placement_spreads_first_targets() {
+        // Over many files the hash placement must hit every target.
+        let mut ns = ns();
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..32 {
+            let path = format!("/scratch/spread{i}");
+            ns.create(&path, StripeHint { chunk_size: None, stripe_count: Some(1) }, 0)
+                .unwrap();
+            seen.insert(ns.file(&path).unwrap().targets[0]);
+        }
+        assert_eq!(seen.len() as u32, ns.config().storage_targets);
+        // Deterministic: same path → same placement.
+        assert_eq!(
+            ns.file("/scratch/spread0").unwrap().targets,
+            {
+                let mut ns2 = super::Namespace::new(crate::config::PfsConfig::test_small());
+                ns2.create("/scratch/spread0", StripeHint { chunk_size: None, stripe_count: Some(1) }, 0).unwrap();
+                ns2.file("/scratch/spread0").unwrap().targets.clone()
+            }
+        );
+    }
+}

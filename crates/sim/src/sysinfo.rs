@@ -1,0 +1,97 @@
+//! Simulated `/proc` system information.
+//!
+//! The paper's extractor collects "processor cores, processor
+//! architecture, processor frequency, but also the cache and memory sizes
+//! … from `/proc/`" (§V-B). Real runs read the node's procfs; the
+//! simulation renders equivalent `cpuinfo`/`meminfo` text from the
+//! cluster configuration so the extractor exercises the identical parsing
+//! path.
+
+use crate::config::ClusterConfig;
+
+/// A snapshot of one node's system information, renderable as procfs text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcSnapshot {
+    /// CPU model string.
+    pub model_name: String,
+    /// Logical processor count on the node.
+    pub cpus: u32,
+    /// Frequency in MHz.
+    pub cpu_mhz: f64,
+    /// L3 cache size in KiB.
+    pub cache_kib: u64,
+    /// Total memory in KiB.
+    pub mem_total_kib: u64,
+    /// Architecture string.
+    pub architecture: String,
+}
+
+impl ProcSnapshot {
+    /// Snapshot a node of the given cluster.
+    #[must_use]
+    pub fn of(cluster: &ClusterConfig) -> ProcSnapshot {
+        ProcSnapshot {
+            model_name: cluster.cpu_model.clone(),
+            cpus: cluster.cores_per_node,
+            cpu_mhz: cluster.cpu_mhz,
+            cache_kib: 25_600, // E5-2670 v2: 25 MB L3
+            mem_total_kib: cluster.mem_per_node / 1024,
+            architecture: "x86_64".to_owned(),
+        }
+    }
+
+    /// Render `/proc/cpuinfo`-style text (one stanza per logical CPU).
+    #[must_use]
+    pub fn render_cpuinfo(&self) -> String {
+        let mut out = String::new();
+        for cpu in 0..self.cpus {
+            out.push_str(&format!("processor\t: {cpu}\n"));
+            out.push_str("vendor_id\t: GenuineIntel\n");
+            out.push_str(&format!("model name\t: {}\n", self.model_name));
+            out.push_str(&format!("cpu MHz\t\t: {:.3}\n", self.cpu_mhz));
+            out.push_str(&format!("cache size\t: {} KB\n", self.cache_kib));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render `/proc/meminfo`-style text.
+    #[must_use]
+    pub fn render_meminfo(&self) -> String {
+        let free = self.mem_total_kib * 9 / 10;
+        format!(
+            "MemTotal:       {:>10} kB\nMemFree:        {:>10} kB\nMemAvailable:   {:>10} kB\n",
+            self.mem_total_kib, free, free
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuchs_snapshot() {
+        let snap = ProcSnapshot::of(&ClusterConfig::fuchs_csc());
+        assert_eq!(snap.cpus, 20);
+        assert_eq!(snap.mem_total_kib, 128 * 1024 * 1024);
+        assert!(snap.model_name.contains("E5-2670"));
+    }
+
+    #[test]
+    fn cpuinfo_has_one_stanza_per_cpu() {
+        let snap = ProcSnapshot::of(&ClusterConfig::test_small());
+        let text = snap.render_cpuinfo();
+        assert_eq!(text.matches("processor\t:").count(), 4);
+        assert!(text.contains("model name\t: TestCPU"));
+        assert!(text.contains("cpu MHz\t\t: 2000.000"));
+    }
+
+    #[test]
+    fn meminfo_reports_total() {
+        let snap = ProcSnapshot::of(&ClusterConfig::test_small());
+        let text = snap.render_meminfo();
+        assert!(text.starts_with("MemTotal:"));
+        assert!(text.contains("8388608 kB"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Simulated time.
+//!
+//! The engine keeps time as integer nanoseconds. Integer keys make event
+//! ordering exact and runs bit-reproducible — the knowledge cycle's
+//! "verified environment" requirement (§III, Generation phase) is realised
+//! here by determinism rather than by exclusive cluster reservations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from fractional seconds (saturating).
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> SimTime {
+        SimTime(iokc_util::units::secs_to_nanos(secs))
+    }
+
+    /// Construct from whole microseconds.
+    #[must_use]
+    pub fn from_micros(micros: u64) -> SimTime {
+        SimTime(micros * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[must_use]
+    pub fn from_millis(millis: u64) -> SimTime {
+        SimTime(millis * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[must_use]
+    pub fn from_secs(secs: u64) -> SimTime {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// This instant as fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Raw nanoseconds.
+    #[must_use]
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+/// A span of simulated time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from fractional seconds (saturating, non-negative).
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> SimDuration {
+        SimDuration(iokc_util::units::secs_to_nanos(secs))
+    }
+
+    /// Construct from whole microseconds.
+    #[must_use]
+    pub fn from_micros(micros: u64) -> SimDuration {
+        SimDuration(micros * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[must_use]
+    pub fn from_millis(millis: u64) -> SimDuration {
+        SimDuration(millis * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[must_use]
+    pub fn from_secs(secs: u64) -> SimDuration {
+        SimDuration(secs * 1_000_000_000)
+    }
+
+    /// This span as fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Raw nanoseconds.
+    #[must_use]
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Scale by a non-negative factor, saturating.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor.max(0.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + SimDuration::from_micros(500);
+        assert_eq!(t.nanos(), 10_500_000);
+        assert_eq!((t - SimTime::from_millis(10)).nanos(), 500_000);
+        assert_eq!(SimTime::from_millis(1) - SimTime::from_secs(1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs_f64(2.5).nanos(), 2_500_000_000);
+        assert!((SimDuration::from_secs(3).as_secs_f64() - 3.0).abs() < 1e-12);
+        assert_eq!(SimDuration::from_secs(2).mul_f64(0.5), SimDuration::from_secs(1));
+        assert_eq!(SimDuration::from_secs(2).mul_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_and_since() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert_eq!(
+            SimTime::from_secs(2).since(SimTime::from_secs(1)),
+            SimDuration::from_secs(1)
+        );
+        assert_eq!(
+            SimTime::from_secs(1).since(SimTime::from_secs(2)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+    }
+}

@@ -1,0 +1,966 @@
+//! The paper's knowledge schema bound onto the relational engine.
+//!
+//! §V-C: benchmark knowledge lives in four tables — `performances`
+//! (pattern + command, one row per knowledge object), `summaries`
+//! (per-operation statistics, FK `performance_id`), `results` (individual
+//! iteration results, FK `summary_id`), `filesystems` (BeeGFS settings) —
+//! plus `systeminfos` for the `/proc` statistics. IO500 knowledge is kept
+//! in its own tables: `IOFHsRuns`, `IOFHsScores`, `IOFHsTestcases`,
+//! `IOFHsOptions`, `IOFHsResults` and `IOFHsSystem`, keyed by `IOFH_id`.
+//!
+//! [`KnowledgeStore`] implements [`iokc_core::Persister`], with an
+//! optional on-disk image (the "local database" of Fig. 4; a second
+//! store instance models the "global database").
+
+use crate::database::{Column, Database, DbError, OrderBy, Predicate, Row, TableSchema};
+use crate::persist;
+use crate::value::{ColumnType, Value};
+use iokc_core::model::{
+    FilesystemInfo, Io500Knowledge, Io500Testcase, IoPattern, IterationResult, Knowledge,
+    KnowledgeItem, KnowledgeSource, OperationSummary, SystemInfo,
+};
+use iokc_core::phases::{CycleError, Persister, PhaseKind};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// The knowledge database.
+pub struct KnowledgeStore {
+    db: Database,
+    /// When set, every write is flushed to this file.
+    path: Option<PathBuf>,
+}
+
+impl KnowledgeStore {
+    /// An in-memory store with the paper's schema.
+    #[must_use]
+    pub fn in_memory() -> KnowledgeStore {
+        KnowledgeStore { db: build_schema(), path: None }
+    }
+
+    /// A file-backed store: loads the image when the file exists,
+    /// otherwise starts fresh; writes flush back to the file.
+    pub fn open(path: PathBuf) -> Result<KnowledgeStore, DbError> {
+        let db = if path.exists() {
+            persist::load(&path)?
+        } else {
+            build_schema()
+        };
+        Ok(KnowledgeStore { db, path: Some(path) })
+    }
+
+    /// Access the underlying database (the explorer's SQL surface).
+    #[must_use]
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Number of benchmark knowledge objects stored.
+    #[must_use]
+    pub fn knowledge_count(&self) -> usize {
+        self.db.row_count("performances").unwrap_or(0)
+    }
+
+    /// Number of IO500 knowledge objects stored.
+    #[must_use]
+    pub fn io500_count(&self) -> usize {
+        self.db.row_count("IOFHsRuns").unwrap_or(0)
+    }
+
+    fn flush(&self) -> Result<(), DbError> {
+        if let Some(path) = &self.path {
+            persist::save(&self.db, path)
+                .map_err(|e| DbError::Corrupt(format!("flush {}: {e}", path.display())))?;
+        }
+        Ok(())
+    }
+
+    /// Persist a benchmark knowledge object; returns its id.
+    pub fn save_knowledge(&mut self, k: &Knowledge) -> Result<u64, DbError> {
+        let p = &k.pattern;
+        let performance_id = self.db.insert(
+            "performances",
+            vec![
+                Value::from(k.command.as_str()),
+                Value::from(k.source.as_str()),
+                Value::from(p.api.as_str()),
+                Value::from(p.test_file.as_str()),
+                Value::from(p.block_size),
+                Value::from(p.transfer_size),
+                Value::from(p.segments),
+                Value::from(p.file_per_proc),
+                Value::from(p.reorder_tasks),
+                Value::from(p.fsync),
+                Value::from(p.collective),
+                Value::from(p.iterations),
+                Value::from(p.tasks),
+                Value::from(p.clients_per_node),
+                Value::from(k.start_time),
+                Value::from(k.end_time),
+                k.derived_from.map(Value::from).unwrap_or(Value::Null),
+            ],
+        )?;
+        for summary in &k.summaries {
+            let summary_id = self.db.insert(
+                "summaries",
+                vec![
+                    Value::Int(performance_id),
+                    Value::from(summary.operation.as_str()),
+                    Value::from(summary.api.as_str()),
+                    Value::from(summary.max_mib),
+                    Value::from(summary.min_mib),
+                    Value::from(summary.mean_mib),
+                    Value::from(summary.stddev_mib),
+                    Value::from(summary.mean_ops),
+                    Value::from(summary.iterations),
+                ],
+            )?;
+            for result in k.results.iter().filter(|r| r.operation == summary.operation) {
+                self.db.insert(
+                    "results",
+                    vec![
+                        Value::Int(summary_id),
+                        Value::from(result.iteration),
+                        Value::from(result.bw_mib),
+                        Value::from(result.ops),
+                        Value::from(result.ops_per_sec),
+                        Value::from(result.latency_s),
+                        Value::from(result.open_s),
+                        Value::from(result.wrrd_s),
+                        Value::from(result.close_s),
+                        Value::from(result.total_s),
+                    ],
+                )?;
+            }
+        }
+        if let Some(fs) = &k.filesystem {
+            self.db.insert(
+                "filesystems",
+                vec![
+                    Value::Int(performance_id),
+                    Value::from(fs.fs_type.as_str()),
+                    Value::from(fs.entry_type.as_str()),
+                    Value::from(fs.entry_id.as_str()),
+                    Value::from(fs.metadata_node.as_str()),
+                    Value::from(fs.chunk_size),
+                    Value::from(fs.storage_targets),
+                    Value::from(fs.raid.as_str()),
+                    Value::from(fs.storage_pool.as_str()),
+                ],
+            )?;
+        }
+        if let Some(sys) = &k.system {
+            self.db.insert(
+                "systeminfos",
+                vec![
+                    Value::Int(performance_id),
+                    Value::from(sys.system.as_str()),
+                    Value::from(sys.cpu_model.as_str()),
+                    Value::from(sys.cores),
+                    Value::from(sys.cpu_mhz),
+                    Value::from(sys.cache_kib),
+                    Value::from(sys.mem_kib),
+                ],
+            )?;
+        }
+        self.flush()?;
+        Ok(performance_id as u64)
+    }
+
+    /// Load a benchmark knowledge object by id.
+    pub fn load_knowledge(&self, id: u64) -> Result<Option<Knowledge>, DbError> {
+        let Some(row) = self.db.get("performances", id as i64)? else {
+            return Ok(None);
+        };
+        let text = |i: usize| row.values[i].as_text().unwrap_or("").to_owned();
+        let int = |i: usize| row.values[i].as_int().unwrap_or(0);
+        let mut k = Knowledge::new(KnowledgeSource::parse(&text(1)), &text(0));
+        k.id = Some(id);
+        k.pattern = IoPattern {
+            api: text(2),
+            test_file: text(3),
+            block_size: int(4) as u64,
+            transfer_size: int(5) as u64,
+            segments: int(6) as u64,
+            file_per_proc: int(7) != 0,
+            reorder_tasks: int(8) != 0,
+            fsync: int(9) != 0,
+            collective: int(10) != 0,
+            iterations: int(11) as u32,
+            tasks: int(12) as u32,
+            clients_per_node: int(13) as u32,
+        };
+        k.start_time = int(14) as u64;
+        k.end_time = int(15) as u64;
+        k.derived_from = row.values[16].as_int().map(|v| v as u64);
+
+        let summaries = self.db.select(
+            "summaries",
+            &Predicate::Eq("performance_id".into(), Value::Int(id as i64)),
+            OrderBy::Id,
+            None,
+        )?;
+        for srow in &summaries {
+            k.summaries.push(OperationSummary {
+                operation: srow.values[1].as_text().unwrap_or("").to_owned(),
+                api: srow.values[2].as_text().unwrap_or("").to_owned(),
+                max_mib: srow.values[3].as_real().unwrap_or(0.0),
+                min_mib: srow.values[4].as_real().unwrap_or(0.0),
+                mean_mib: srow.values[5].as_real().unwrap_or(0.0),
+                stddev_mib: srow.values[6].as_real().unwrap_or(0.0),
+                mean_ops: srow.values[7].as_real().unwrap_or(0.0),
+                iterations: srow.values[8].as_int().unwrap_or(0) as u32,
+            });
+            let operation = srow.values[1].as_text().unwrap_or("").to_owned();
+            let results = self.db.select(
+                "results",
+                &Predicate::Eq("summary_id".into(), Value::Int(srow.id)),
+                OrderBy::Id,
+                None,
+            )?;
+            for rrow in results {
+                k.results.push(IterationResult {
+                    operation: operation.clone(),
+                    iteration: rrow.values[1].as_int().unwrap_or(0) as u32,
+                    bw_mib: rrow.values[2].as_real().unwrap_or(0.0),
+                    ops: rrow.values[3].as_int().unwrap_or(0) as u64,
+                    ops_per_sec: rrow.values[4].as_real().unwrap_or(0.0),
+                    latency_s: rrow.values[5].as_real().unwrap_or(0.0),
+                    open_s: rrow.values[6].as_real().unwrap_or(0.0),
+                    wrrd_s: rrow.values[7].as_real().unwrap_or(0.0),
+                    close_s: rrow.values[8].as_real().unwrap_or(0.0),
+                    total_s: rrow.values[9].as_real().unwrap_or(0.0),
+                });
+            }
+        }
+
+        k.filesystem = self
+            .one_child("filesystems", id)?
+            .map(|frow| FilesystemInfo {
+                fs_type: frow.values[1].as_text().unwrap_or("").to_owned(),
+                entry_type: frow.values[2].as_text().unwrap_or("").to_owned(),
+                entry_id: frow.values[3].as_text().unwrap_or("").to_owned(),
+                metadata_node: frow.values[4].as_text().unwrap_or("").to_owned(),
+                chunk_size: frow.values[5].as_int().unwrap_or(0) as u64,
+                storage_targets: frow.values[6].as_int().unwrap_or(0) as u32,
+                raid: frow.values[7].as_text().unwrap_or("").to_owned(),
+                storage_pool: frow.values[8].as_text().unwrap_or("").to_owned(),
+            });
+        k.system = self.one_child("systeminfos", id)?.map(|srow| SystemInfo {
+            system: srow.values[1].as_text().unwrap_or("").to_owned(),
+            cpu_model: srow.values[2].as_text().unwrap_or("").to_owned(),
+            cores: srow.values[3].as_int().unwrap_or(0) as u32,
+            cpu_mhz: srow.values[4].as_real().unwrap_or(0.0),
+            cache_kib: srow.values[5].as_int().unwrap_or(0) as u64,
+            mem_kib: srow.values[6].as_int().unwrap_or(0) as u64,
+        });
+        Ok(Some(k))
+    }
+
+    fn one_child(&self, table: &str, performance_id: u64) -> Result<Option<Row>, DbError> {
+        Ok(self
+            .db
+            .select(
+                table,
+                &Predicate::Eq("performance_id".into(), Value::Int(performance_id as i64)),
+                OrderBy::Id,
+                Some(1),
+            )?
+            .into_iter()
+            .next())
+    }
+
+    /// Persist an IO500 knowledge object; returns its `IOFH_id`.
+    pub fn save_io500(&mut self, k: &Io500Knowledge) -> Result<u64, DbError> {
+        let iofh_id = self.db.insert(
+            "IOFHsRuns",
+            vec![Value::from(k.tasks), Value::from(k.start_time)],
+        )?;
+        self.db.insert(
+            "IOFHsScores",
+            vec![
+                Value::Int(iofh_id),
+                Value::from(k.bw_score),
+                Value::from(k.md_score),
+                Value::from(k.total_score),
+            ],
+        )?;
+        for testcase in &k.testcases {
+            let tc_id = self.db.insert(
+                "IOFHsTestcases",
+                vec![
+                    Value::Int(iofh_id),
+                    Value::from(testcase.name.as_str()),
+                    Value::from(testcase.unit.as_str()),
+                ],
+            )?;
+            self.db.insert(
+                "IOFHsResults",
+                vec![
+                    Value::Int(tc_id),
+                    Value::from(testcase.value),
+                    Value::from(testcase.time_s),
+                ],
+            )?;
+        }
+        for (key, value) in &k.options {
+            self.db.insert(
+                "IOFHsOptions",
+                vec![
+                    Value::Int(iofh_id),
+                    Value::from(key.as_str()),
+                    Value::from(value.as_str()),
+                ],
+            )?;
+        }
+        if let Some(sys) = &k.system {
+            self.db.insert(
+                "IOFHsSystem",
+                vec![
+                    Value::Int(iofh_id),
+                    Value::from(sys.system.as_str()),
+                    Value::from(sys.cpu_model.as_str()),
+                    Value::from(sys.cores),
+                    Value::from(sys.cpu_mhz),
+                    Value::from(sys.cache_kib),
+                    Value::from(sys.mem_kib),
+                ],
+            )?;
+        }
+        self.flush()?;
+        Ok(iofh_id as u64)
+    }
+
+    /// Load an IO500 knowledge object by `IOFH_id`.
+    pub fn load_io500(&self, id: u64) -> Result<Option<Io500Knowledge>, DbError> {
+        let Some(run) = self.db.get("IOFHsRuns", id as i64)? else {
+            return Ok(None);
+        };
+        let scores = self
+            .db
+            .select(
+                "IOFHsScores",
+                &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
+                OrderBy::Id,
+                Some(1),
+            )?
+            .into_iter()
+            .next();
+        let mut testcases = Vec::new();
+        for tc in self.db.select(
+            "IOFHsTestcases",
+            &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
+            OrderBy::Id,
+            None,
+        )? {
+            let result = self
+                .db
+                .select(
+                    "IOFHsResults",
+                    &Predicate::Eq("testcase_id".into(), Value::Int(tc.id)),
+                    OrderBy::Id,
+                    Some(1),
+                )?
+                .into_iter()
+                .next();
+            testcases.push(Io500Testcase {
+                name: tc.values[1].as_text().unwrap_or("").to_owned(),
+                unit: tc.values[2].as_text().unwrap_or("").to_owned(),
+                value: result
+                    .as_ref()
+                    .and_then(|r| r.values[1].as_real())
+                    .unwrap_or(0.0),
+                time_s: result
+                    .as_ref()
+                    .and_then(|r| r.values[2].as_real())
+                    .unwrap_or(0.0),
+            });
+        }
+        let mut options = BTreeMap::new();
+        for opt in self.db.select(
+            "IOFHsOptions",
+            &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
+            OrderBy::Id,
+            None,
+        )? {
+            options.insert(
+                opt.values[1].as_text().unwrap_or("").to_owned(),
+                opt.values[2].as_text().unwrap_or("").to_owned(),
+            );
+        }
+        let system = self
+            .db
+            .select(
+                "IOFHsSystem",
+                &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
+                OrderBy::Id,
+                Some(1),
+            )?
+            .into_iter()
+            .next()
+            .map(|srow| SystemInfo {
+                system: srow.values[1].as_text().unwrap_or("").to_owned(),
+                cpu_model: srow.values[2].as_text().unwrap_or("").to_owned(),
+                cores: srow.values[3].as_int().unwrap_or(0) as u32,
+                cpu_mhz: srow.values[4].as_real().unwrap_or(0.0),
+                cache_kib: srow.values[5].as_int().unwrap_or(0) as u64,
+                mem_kib: srow.values[6].as_int().unwrap_or(0) as u64,
+            });
+        Ok(Some(Io500Knowledge {
+            id: Some(id),
+            tasks: run.values[0].as_int().unwrap_or(0) as u32,
+            start_time: run.values[1].as_int().unwrap_or(0) as u64,
+            bw_score: scores
+                .as_ref()
+                .and_then(|s| s.values[1].as_real())
+                .unwrap_or(0.0),
+            md_score: scores
+                .as_ref()
+                .and_then(|s| s.values[2].as_real())
+                .unwrap_or(0.0),
+            total_score: scores
+                .as_ref()
+                .and_then(|s| s.values[3].as_real())
+                .unwrap_or(0.0),
+            testcases,
+            options,
+            system,
+        }))
+    }
+
+    /// Load every stored knowledge item.
+    pub fn load_all_items(&self) -> Result<Vec<KnowledgeItem>, DbError> {
+        let mut items = Vec::new();
+        for row in self
+            .db
+            .select("performances", &Predicate::True, OrderBy::Id, None)?
+        {
+            if let Some(k) = self.load_knowledge(row.id as u64)? {
+                items.push(KnowledgeItem::Benchmark(k));
+            }
+        }
+        for row in self.db.select("IOFHsRuns", &Predicate::True, OrderBy::Id, None)? {
+            if let Some(k) = self.load_io500(row.id as u64)? {
+                items.push(KnowledgeItem::Io500(k));
+            }
+        }
+        Ok(items)
+    }
+}
+
+impl Persister for KnowledgeStore {
+    fn name(&self) -> &str {
+        if self.path.is_some() {
+            "knowledge-store(file)"
+        } else {
+            "knowledge-store(memory)"
+        }
+    }
+
+    fn persist(&mut self, items: &[KnowledgeItem]) -> Result<Vec<u64>, CycleError> {
+        let mut ids = Vec::with_capacity(items.len());
+        for item in items {
+            let id = match item {
+                KnowledgeItem::Benchmark(k) => self.save_knowledge(k),
+                KnowledgeItem::Io500(k) => self.save_io500(k),
+            }
+            .map_err(|e| CycleError::new(PhaseKind::Persistence, "knowledge-store", e))?;
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    fn load_all(&self) -> Result<Vec<KnowledgeItem>, CycleError> {
+        self.load_all_items()
+            .map_err(|e| CycleError::new(PhaseKind::Persistence, "knowledge-store", e))
+    }
+}
+
+/// Build the paper's schema.
+fn build_schema() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "performances",
+            vec![
+                Column::required("command", ColumnType::Text),
+                Column::required("source", ColumnType::Text),
+                Column::new("api", ColumnType::Text),
+                Column::new("testFileName", ColumnType::Text),
+                Column::new("block_size", ColumnType::Integer),
+                Column::new("transfer_size", ColumnType::Integer),
+                Column::new("segments", ColumnType::Integer),
+                Column::new("filePerProc", ColumnType::Integer),
+                Column::new("reorderTasks", ColumnType::Integer),
+                Column::new("fsync", ColumnType::Integer),
+                Column::new("collective", ColumnType::Integer),
+                Column::new("iterations", ColumnType::Integer),
+                Column::new("tasks", ColumnType::Integer),
+                Column::new("clientsPerNode", ColumnType::Integer),
+                Column::new("start_time", ColumnType::Integer),
+                Column::new("end_time", ColumnType::Integer),
+                Column::new("derived_from", ColumnType::Integer),
+            ],
+        )
+        .with_index("api")
+        .with_index("command"),
+    )
+    .expect("fresh database accepts schema");
+    db.create_table(
+        TableSchema::new(
+            "summaries",
+            vec![
+                Column::required("performance_id", ColumnType::Integer),
+                Column::required("operation", ColumnType::Text),
+                Column::new("api", ColumnType::Text),
+                Column::new("max_mib", ColumnType::Real),
+                Column::new("min_mib", ColumnType::Real),
+                Column::new("mean_mib", ColumnType::Real),
+                Column::new("stddev_mib", ColumnType::Real),
+                Column::new("mean_ops", ColumnType::Real),
+                Column::new("iterations", ColumnType::Integer),
+            ],
+        )
+        .with_fk("performance_id", "performances")
+        .with_index("performance_id"),
+    )
+    .expect("fresh database accepts schema");
+    db.create_table(
+        TableSchema::new(
+            "results",
+            vec![
+                Column::required("summary_id", ColumnType::Integer),
+                Column::new("iteration", ColumnType::Integer),
+                Column::new("bw_mib", ColumnType::Real),
+                Column::new("ops", ColumnType::Integer),
+                Column::new("ops_per_sec", ColumnType::Real),
+                Column::new("latency_s", ColumnType::Real),
+                Column::new("open_s", ColumnType::Real),
+                Column::new("wrRd_s", ColumnType::Real),
+                Column::new("close_s", ColumnType::Real),
+                Column::new("total_s", ColumnType::Real),
+            ],
+        )
+        .with_fk("summary_id", "summaries")
+        .with_index("summary_id"),
+    )
+    .expect("fresh database accepts schema");
+    db.create_table(
+        TableSchema::new(
+            "filesystems",
+            vec![
+                Column::required("performance_id", ColumnType::Integer),
+                Column::new("fs_type", ColumnType::Text),
+                Column::new("entry_type", ColumnType::Text),
+                Column::new("entry_id", ColumnType::Text),
+                Column::new("metadata_node", ColumnType::Text),
+                Column::new("chunk_size", ColumnType::Integer),
+                Column::new("storage_targets", ColumnType::Integer),
+                Column::new("raid", ColumnType::Text),
+                Column::new("storage_pool", ColumnType::Text),
+            ],
+        )
+        .with_fk("performance_id", "performances")
+        .with_index("performance_id"),
+    )
+    .expect("fresh database accepts schema");
+    db.create_table(
+        TableSchema::new(
+            "systeminfos",
+            vec![
+                Column::required("performance_id", ColumnType::Integer),
+                Column::new("system", ColumnType::Text),
+                Column::new("cpu_model", ColumnType::Text),
+                Column::new("cores", ColumnType::Integer),
+                Column::new("cpu_mhz", ColumnType::Real),
+                Column::new("cache_kib", ColumnType::Integer),
+                Column::new("mem_kib", ColumnType::Integer),
+            ],
+        )
+        .with_fk("performance_id", "performances")
+        .with_index("performance_id"),
+    )
+    .expect("fresh database accepts schema");
+
+    db.create_table(TableSchema::new(
+        "IOFHsRuns",
+        vec![
+            Column::new("tasks", ColumnType::Integer),
+            Column::new("start_time", ColumnType::Integer),
+        ],
+    ))
+    .expect("fresh database accepts schema");
+    db.create_table(
+        TableSchema::new(
+            "IOFHsScores",
+            vec![
+                Column::required("IOFH_id", ColumnType::Integer),
+                Column::new("bw_score", ColumnType::Real),
+                Column::new("md_score", ColumnType::Real),
+                Column::new("total_score", ColumnType::Real),
+            ],
+        )
+        .with_fk("IOFH_id", "IOFHsRuns")
+        .with_index("IOFH_id"),
+    )
+    .expect("fresh database accepts schema");
+    db.create_table(
+        TableSchema::new(
+            "IOFHsTestcases",
+            vec![
+                Column::required("IOFH_id", ColumnType::Integer),
+                Column::required("name", ColumnType::Text),
+                Column::new("unit", ColumnType::Text),
+            ],
+        )
+        .with_fk("IOFH_id", "IOFHsRuns")
+        .with_index("IOFH_id"),
+    )
+    .expect("fresh database accepts schema");
+    db.create_table(
+        TableSchema::new(
+            "IOFHsResults",
+            vec![
+                Column::required("testcase_id", ColumnType::Integer),
+                Column::new("value", ColumnType::Real),
+                Column::new("time_s", ColumnType::Real),
+            ],
+        )
+        .with_fk("testcase_id", "IOFHsTestcases")
+        .with_index("testcase_id"),
+    )
+    .expect("fresh database accepts schema");
+    db.create_table(
+        TableSchema::new(
+            "IOFHsOptions",
+            vec![
+                Column::required("IOFH_id", ColumnType::Integer),
+                Column::required("key", ColumnType::Text),
+                Column::new("value", ColumnType::Text),
+            ],
+        )
+        .with_fk("IOFH_id", "IOFHsRuns")
+        .with_index("IOFH_id"),
+    )
+    .expect("fresh database accepts schema");
+    db.create_table(
+        TableSchema::new(
+            "IOFHsSystem",
+            vec![
+                Column::required("IOFH_id", ColumnType::Integer),
+                Column::new("system", ColumnType::Text),
+                Column::new("cpu_model", ColumnType::Text),
+                Column::new("cores", ColumnType::Integer),
+                Column::new("cpu_mhz", ColumnType::Real),
+                Column::new("cache_kib", ColumnType::Integer),
+                Column::new("mem_kib", ColumnType::Integer),
+            ],
+        )
+        .with_fk("IOFH_id", "IOFHsRuns")
+        .with_index("IOFH_id"),
+    )
+    .expect("fresh database accepts schema");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_knowledge() -> Knowledge {
+        let mut k = Knowledge::new(KnowledgeSource::Ior, "ior -a mpiio -b 4m -t 2m -s 40");
+        k.pattern = IoPattern {
+            api: "MPIIO".into(),
+            test_file: "/scratch/test80".into(),
+            block_size: 4 << 20,
+            transfer_size: 2 << 20,
+            segments: 40,
+            file_per_proc: true,
+            reorder_tasks: true,
+            fsync: true,
+            collective: false,
+            iterations: 2,
+            tasks: 80,
+            clients_per_node: 20,
+        };
+        k.summaries.push(OperationSummary {
+            operation: "write".into(),
+            api: "MPIIO".into(),
+            max_mib: 2850.12,
+            min_mib: 1251.0,
+            mean_mib: 2050.56,
+            stddev_mib: 799.56,
+            mean_ops: 1025.28,
+            iterations: 2,
+        });
+        for (i, bw) in [2850.12, 1251.0].into_iter().enumerate() {
+            k.results.push(IterationResult {
+                operation: "write".into(),
+                iteration: i as u32,
+                bw_mib: bw,
+                ops: 6400,
+                ops_per_sec: bw / 2.0,
+                latency_s: 0.0007,
+                open_s: 0.002,
+                wrrd_s: 4.4,
+                close_s: 0.001,
+                total_s: 4.5,
+            });
+        }
+        k.filesystem = Some(FilesystemInfo {
+            fs_type: "BeeGFS".into(),
+            entry_type: "file".into(),
+            entry_id: "A-1".into(),
+            metadata_node: "meta01".into(),
+            chunk_size: 512 * 1024,
+            storage_targets: 4,
+            raid: "RAID0".into(),
+            storage_pool: "Default".into(),
+        });
+        k.system = Some(SystemInfo {
+            system: "FUCHS-CSC".into(),
+            cpu_model: "E5-2670v2".into(),
+            cores: 20,
+            cpu_mhz: 2500.0,
+            cache_kib: 25600,
+            mem_kib: 134_217_728,
+        });
+        k.start_time = 100;
+        k.end_time = 200;
+        k
+    }
+
+    fn sample_io500() -> Io500Knowledge {
+        Io500Knowledge {
+            id: None,
+            tasks: 40,
+            bw_score: 1.2,
+            md_score: 11.0,
+            total_score: (1.2f64 * 11.0).sqrt(),
+            testcases: vec![
+                Io500Testcase {
+                    name: "ior-easy-write".into(),
+                    value: 2.5,
+                    unit: "GiB/s".into(),
+                    time_s: 31.0,
+                },
+                Io500Testcase {
+                    name: "mdtest-easy-write".into(),
+                    value: 14.2,
+                    unit: "kIOPS".into(),
+                    time_s: 8.4,
+                },
+            ],
+            options: BTreeMap::from([("dir".to_owned(), "/scratch/io500".to_owned())]),
+            system: Some(SystemInfo {
+                system: "FUCHS-CSC".into(),
+                cpu_model: "E5-2670v2".into(),
+                cores: 20,
+                cpu_mhz: 2500.0,
+                cache_kib: 25600,
+                mem_kib: 134_217_728,
+            }),
+            start_time: 7777,
+        }
+    }
+
+    #[test]
+    fn knowledge_roundtrip() {
+        let mut store = KnowledgeStore::in_memory();
+        let original = sample_knowledge();
+        let id = store.save_knowledge(&original).unwrap();
+        let mut loaded = store.load_knowledge(id).unwrap().unwrap();
+        assert_eq!(loaded.id, Some(id));
+        loaded.id = None;
+        assert_eq!(loaded, original);
+        assert!(store.load_knowledge(99).unwrap().is_none());
+    }
+
+    #[test]
+    fn io500_roundtrip() {
+        let mut store = KnowledgeStore::in_memory();
+        let original = sample_io500();
+        let id = store.save_io500(&original).unwrap();
+        let mut loaded = store.load_io500(id).unwrap().unwrap();
+        assert_eq!(loaded.id, Some(id));
+        loaded.id = None;
+        assert_eq!(loaded, original);
+    }
+
+    #[test]
+    fn rows_land_in_paper_tables() {
+        let mut store = KnowledgeStore::in_memory();
+        store.save_knowledge(&sample_knowledge()).unwrap();
+        store.save_io500(&sample_io500()).unwrap();
+        let db = store.database();
+        assert_eq!(db.row_count("performances").unwrap(), 1);
+        assert_eq!(db.row_count("summaries").unwrap(), 1);
+        assert_eq!(db.row_count("results").unwrap(), 2);
+        assert_eq!(db.row_count("filesystems").unwrap(), 1);
+        assert_eq!(db.row_count("systeminfos").unwrap(), 1);
+        assert_eq!(db.row_count("IOFHsRuns").unwrap(), 1);
+        assert_eq!(db.row_count("IOFHsScores").unwrap(), 1);
+        assert_eq!(db.row_count("IOFHsTestcases").unwrap(), 2);
+        assert_eq!(db.row_count("IOFHsResults").unwrap(), 2);
+        assert_eq!(db.row_count("IOFHsOptions").unwrap(), 1);
+        assert_eq!(db.row_count("IOFHsSystem").unwrap(), 1);
+    }
+
+    #[test]
+    fn sql_surface_reaches_knowledge() {
+        let mut store = KnowledgeStore::in_memory();
+        store.save_knowledge(&sample_knowledge()).unwrap();
+        let rows = crate::sql::query(
+            store.database(),
+            "SELECT * FROM performances WHERE api = 'MPIIO'",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        let rows = crate::sql::query(
+            store.database(),
+            "SELECT * FROM results WHERE bw_mib < 2000",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn persister_trait_roundtrip() {
+        let mut store = KnowledgeStore::in_memory();
+        let items = vec![
+            KnowledgeItem::Benchmark(sample_knowledge()),
+            KnowledgeItem::Io500(sample_io500()),
+        ];
+        let ids = store.persist(&items).unwrap();
+        assert_eq!(ids, vec![1, 1]); // separate id spaces, as in the paper
+        let loaded = Persister::load_all(&store).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert!(matches!(loaded[0], KnowledgeItem::Benchmark(_)));
+        assert!(matches!(loaded[1], KnowledgeItem::Io500(_)));
+    }
+
+    #[test]
+    fn file_backed_store_survives_reopen() {
+        let dir = std::env::temp_dir().join("iokc-kstore-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("knowledge.iokc.json");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = KnowledgeStore::open(path.clone()).unwrap();
+            store.save_knowledge(&sample_knowledge()).unwrap();
+        }
+        let store = KnowledgeStore::open(path.clone()).unwrap();
+        assert_eq!(store.knowledge_count(), 1);
+        let k = store.load_knowledge(1).unwrap().unwrap();
+        assert_eq!(k.pattern.tasks, 80);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_summary() -> impl Strategy<Value = OperationSummary> {
+            (
+                "[a-z]{3,8}",
+                0.0f64..1e5,
+                0.0f64..1e5,
+                0.0f64..1e5,
+                0u32..20,
+            )
+                .prop_map(|(operation, max, min, mean, iterations)| OperationSummary {
+                    operation,
+                    api: "POSIX".into(),
+                    max_mib: max,
+                    min_mib: min,
+                    mean_mib: mean,
+                    stddev_mib: 0.0,
+                    mean_ops: mean / 2.0,
+                    iterations,
+                })
+        }
+
+        fn arb_knowledge() -> impl Strategy<Value = Knowledge> {
+            (
+                "[ -~]{1,60}",
+                proptest::collection::vec(arb_summary(), 0..4),
+                0u64..1u64 << 40,
+                0u64..1u64 << 30,
+                1u32..512,
+                proptest::option::of(0u64..1000),
+            )
+                .prop_map(|(command, summaries, block, xfer, tasks, _)| {
+                    let mut k = Knowledge::new(KnowledgeSource::Ior, &command);
+                    // Deduplicate operations: the store keys results by
+                    // operation within a knowledge object.
+                    let mut seen = std::collections::BTreeSet::new();
+                    for summary in summaries {
+                        if seen.insert(summary.operation.clone()) {
+                            for i in 0..summary.iterations.min(3) {
+                                k.results.push(IterationResult {
+                                    operation: summary.operation.clone(),
+                                    iteration: i,
+                                    bw_mib: summary.mean_mib + f64::from(i),
+                                    ops: 10,
+                                    ops_per_sec: 5.0,
+                                    latency_s: 0.001,
+                                    open_s: 0.002,
+                                    wrrd_s: 1.5,
+                                    close_s: 0.003,
+                                    total_s: 1.6,
+                                });
+                            }
+                            k.summaries.push(summary);
+                        }
+                    }
+                    k.pattern.block_size = block;
+                    k.pattern.transfer_size = xfer;
+                    k.pattern.tasks = tasks;
+                    k.pattern.api = "POSIX".into();
+                    k
+                })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn arbitrary_knowledge_roundtrips(k in arb_knowledge()) {
+                let mut store = KnowledgeStore::in_memory();
+                let id = store.save_knowledge(&k).unwrap();
+                let mut loaded = store.load_knowledge(id).unwrap().unwrap();
+                loaded.id = None;
+                prop_assert_eq!(loaded, k);
+            }
+
+            #[test]
+            fn many_objects_keep_distinct_ids(
+                ks in proptest::collection::vec(arb_knowledge(), 1..6)
+            ) {
+                let mut store = KnowledgeStore::in_memory();
+                let mut ids = Vec::new();
+                for k in &ks {
+                    ids.push(store.save_knowledge(k).unwrap());
+                }
+                let mut unique = ids.clone();
+                unique.sort_unstable();
+                unique.dedup();
+                prop_assert_eq!(unique.len(), ids.len());
+                for (id, original) in ids.iter().zip(&ks) {
+                    let mut loaded = store.load_knowledge(*id).unwrap().unwrap();
+                    loaded.id = None;
+                    prop_assert_eq!(&loaded, original);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derived_from_is_persisted() {
+        let mut store = KnowledgeStore::in_memory();
+        let parent = store.save_knowledge(&sample_knowledge()).unwrap();
+        let mut child = sample_knowledge();
+        child.derived_from = Some(parent);
+        let child_id = store.save_knowledge(&child).unwrap();
+        let loaded = store.load_knowledge(child_id).unwrap().unwrap();
+        assert_eq!(loaded.derived_from, Some(parent));
+    }
+}

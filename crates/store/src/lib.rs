@@ -1,0 +1,23 @@
+//! `iokc-store` — the knowledge persistence phase (§V-C).
+//!
+//! A from-scratch embedded relational engine standing in for SQLite:
+//! typed columns, auto-increment rowids, NOT NULL / foreign-key
+//! constraints, secondary indexes, predicate queries, a small SQL
+//! dialect (the DB-API 2.0 face), deterministic JSON images on disk, and
+//! CSV export. [`KnowledgeStore`] binds the paper's exact schema —
+//! `performances`, `summaries`, `results`, `filesystems` plus the IO500
+//! `IOFHs*` tables — and implements [`iokc_core::Persister`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod knowledge_store;
+pub mod persist;
+pub mod sql;
+pub mod value;
+
+pub use database::{Column, Database, DbError, ForeignKey, OrderBy, Predicate, Row, TableSchema};
+pub use knowledge_store::KnowledgeStore;
+pub use persist::{export_csv, import_csv, load, save};
+pub use value::{ColumnType, Value};

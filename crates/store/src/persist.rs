@@ -1,0 +1,495 @@
+//! Durable storage of a database.
+//!
+//! The paper stores knowledge "either directly as a local SQLite database
+//! or by specifying a SQL connection URL remotely" (§V-C). Here the
+//! local form is a deterministic JSON image on disk — schemas, rows and
+//! auto-increment counters — written atomically (temp file + rename).
+//! CSV export/import covers the paper's "saved e.g. as a CSV file" path.
+
+use crate::database::{Column, Database, DbError, ForeignKey, OrderBy, Predicate, TableSchema};
+use crate::value::{ColumnType, Value};
+use iokc_util::json::Json;
+use iokc_util::table::TextTable;
+use std::path::Path;
+
+/// Serialize the whole database to a JSON document.
+#[must_use]
+pub fn to_json(db: &Database) -> Json {
+    let mut tables = Vec::new();
+    for name in db.table_names() {
+        let schema = db.schema(name).expect("listed table exists");
+        let rows = db
+            .select(name, &Predicate::True, OrderBy::Id, None)
+            .expect("full scan of existing table");
+        let columns: Vec<Json> = schema
+            .columns
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("name", Json::from(c.name.as_str())),
+                    ("type", Json::from(c.ty.as_str())),
+                    ("not_null", Json::from(c.not_null)),
+                ])
+            })
+            .collect();
+        let fks: Vec<Json> = schema
+            .foreign_keys
+            .iter()
+            .map(|fk| {
+                Json::obj(vec![
+                    ("column", Json::from(fk.column.as_str())),
+                    ("references", Json::from(fk.references_table.as_str())),
+                ])
+            })
+            .collect();
+        let indexes: Vec<Json> = schema
+            .indexes
+            .iter()
+            .map(|i| Json::from(i.as_str()))
+            .collect();
+        let row_json: Vec<Json> = rows
+            .iter()
+            .map(|row| {
+                let mut cells = vec![Json::from(row.id)];
+                cells.extend(row.values.iter().map(value_to_json));
+                Json::Arr(cells)
+            })
+            .collect();
+        tables.push(Json::obj(vec![
+            ("name", Json::from(name)),
+            ("columns", Json::Arr(columns)),
+            ("foreign_keys", Json::Arr(fks)),
+            ("indexes", Json::Arr(indexes)),
+            ("rows", Json::Arr(row_json)),
+        ]));
+    }
+    Json::obj(vec![
+        ("format", Json::from("iokc-store")),
+        ("version", Json::from(1u64)),
+        ("tables", Json::Arr(tables)),
+    ])
+}
+
+/// Rebuild a database from its JSON image.
+pub fn from_json(json: &Json) -> Result<Database, DbError> {
+    if json.get("format").and_then(Json::as_str) != Some("iokc-store") {
+        return Err(DbError::Corrupt("missing iokc-store format tag".into()));
+    }
+    let mut db = Database::new();
+    let tables = json
+        .get("tables")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| DbError::Corrupt("missing tables array".into()))?;
+    for table in tables {
+        let name = table
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| DbError::Corrupt("table without name".into()))?;
+        let mut columns = Vec::new();
+        for col in table
+            .get("columns")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| DbError::Corrupt(format!("{name}: missing columns")))?
+        {
+            let cname = col
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| DbError::Corrupt(format!("{name}: column without name")))?;
+            let ty = match col.get("type").and_then(Json::as_str) {
+                Some("INTEGER") => ColumnType::Integer,
+                Some("REAL") => ColumnType::Real,
+                Some("TEXT") => ColumnType::Text,
+                other => {
+                    return Err(DbError::Corrupt(format!(
+                        "{name}.{cname}: bad type {other:?}"
+                    )))
+                }
+            };
+            let not_null = col.get("not_null").and_then(Json::as_bool).unwrap_or(false);
+            columns.push(Column { name: cname.to_owned(), ty, not_null });
+        }
+        let mut schema = TableSchema::new(name, columns);
+        if let Some(fks) = table.get("foreign_keys").and_then(Json::as_arr) {
+            for fk in fks {
+                schema.foreign_keys.push(ForeignKey {
+                    column: fk
+                        .get("column")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| DbError::Corrupt("fk without column".into()))?
+                        .to_owned(),
+                    references_table: fk
+                        .get("references")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| DbError::Corrupt("fk without references".into()))?
+                        .to_owned(),
+                });
+            }
+        }
+        if let Some(indexes) = table.get("indexes").and_then(Json::as_arr) {
+            for index in indexes {
+                schema.indexes.push(
+                    index
+                        .as_str()
+                        .ok_or_else(|| DbError::Corrupt("non-text index".into()))?
+                        .to_owned(),
+                );
+            }
+        }
+        db.create_table(schema)?;
+        // Rows: insert preserving original ids. FK checks hold because
+        // tables are serialized in name order but rows reference ids that
+        // may live in tables loaded later — so load rows in a second pass.
+    }
+    // Second pass: rows, FK-safe because parents are fully loaded in pass
+    // order only if tables happen to sort that way; instead insert raw.
+    for table in tables {
+        let name = table
+            .get("name")
+            .and_then(Json::as_str)
+            .expect("validated in first pass");
+        let rows = table
+            .get("rows")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| DbError::Corrupt(format!("{name}: missing rows")))?;
+        for row in rows {
+            let cells = row
+                .as_arr()
+                .ok_or_else(|| DbError::Corrupt(format!("{name}: row not an array")))?;
+            if cells.is_empty() {
+                return Err(DbError::Corrupt(format!("{name}: empty row")));
+            }
+            let id = cells[0]
+                .as_f64()
+                .map(|f| f as i64)
+                .ok_or_else(|| DbError::Corrupt(format!("{name}: row without id")))?;
+            let values: Vec<Value> = cells[1..].iter().map(json_to_value).collect();
+            db.insert_raw(name, id, values)?;
+        }
+    }
+    Ok(db)
+}
+
+fn value_to_json(value: &Value) -> Json {
+    match value {
+        Value::Null => Json::Null,
+        Value::Int(i) => Json::obj(vec![("i", Json::from(*i))]),
+        Value::Real(r) => Json::Num(*r),
+        Value::Text(t) => Json::from(t.as_str()),
+    }
+}
+
+fn json_to_value(json: &Json) -> Value {
+    match json {
+        Json::Null => Value::Null,
+        Json::Obj(map) => map
+            .get("i")
+            .and_then(Json::as_f64)
+            .map(|f| Value::Int(f as i64))
+            .unwrap_or(Value::Null),
+        Json::Num(n) => Value::Real(*n),
+        Json::Str(s) => Value::Text(s.clone()),
+        _ => Value::Null,
+    }
+}
+
+/// Save a database to a file (atomic: temp file + rename).
+pub fn save(db: &Database, path: &Path) -> Result<(), std::io::Error> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, to_json(db).to_pretty())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Load a database from a file.
+pub fn load(path: &Path) -> Result<Database, DbError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| DbError::Corrupt(format!("read {}: {e}", path.display())))?;
+    let json = iokc_util::json::parse(&text)
+        .map_err(|e| DbError::Corrupt(format!("parse {}: {e}", path.display())))?;
+    from_json(&json)
+}
+
+/// Export one table as CSV (header = `id` + column names).
+pub fn export_csv(db: &Database, table: &str) -> Result<String, DbError> {
+    let schema = db.schema(table)?;
+    let mut header = vec!["id".to_owned()];
+    header.extend(schema.columns.iter().map(|c| c.name.clone()));
+    let mut text_table = TextTable::new(header);
+    for row in db.select(table, &Predicate::True, OrderBy::Id, None)? {
+        let mut cells = vec![row.id.to_string()];
+        cells.extend(row.values.iter().map(|v| match v {
+            Value::Null => String::new(),
+            other => other.to_string(),
+        }));
+        text_table.push_row(cells);
+    }
+    Ok(text_table.render_csv())
+}
+
+/// Import CSV rows into an existing table. The header must name the
+/// table's columns (an `id` column, if present, is preserved as the
+/// rowid); empty cells become NULL; numeric cells are typed by the
+/// column's declared type.
+pub fn import_csv(db: &mut Database, table: &str, text: &str) -> Result<usize, DbError> {
+    let rows = iokc_util::table::parse_csv(text);
+    let Some((header, data)) = rows.split_first() else {
+        return Ok(0);
+    };
+    let schema = db.schema(table)?.clone();
+    // Map CSV columns → schema positions (or the id pseudo-column).
+    let mut id_column = None;
+    let mut mapping = Vec::with_capacity(header.len());
+    for (i, name) in header.iter().enumerate() {
+        if name == "id" {
+            id_column = Some(i);
+            mapping.push(None);
+        } else {
+            let ci = schema.column_index(name).ok_or_else(|| DbError::NoSuchColumn {
+                table: table.to_owned(),
+                column: name.clone(),
+            })?;
+            mapping.push(Some(ci));
+        }
+    }
+    let mut imported = 0;
+    for row in data {
+        let mut values = vec![Value::Null; schema.columns.len()];
+        for (cell, target) in row.iter().zip(&mapping) {
+            let Some(ci) = target else { continue };
+            values[*ci] = if cell.is_empty() {
+                Value::Null
+            } else {
+                match schema.columns[*ci].ty {
+                    ColumnType::Integer => cell
+                        .parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| DbError::TypeMismatch {
+                            table: table.to_owned(),
+                            column: schema.columns[*ci].name.clone(),
+                            value: cell.clone(),
+                        })?,
+                    ColumnType::Real => cell
+                        .parse::<f64>()
+                        .map(Value::Real)
+                        .map_err(|_| DbError::TypeMismatch {
+                            table: table.to_owned(),
+                            column: schema.columns[*ci].name.clone(),
+                            value: cell.clone(),
+                        })?,
+                    ColumnType::Text => Value::Text(cell.clone()),
+                }
+            };
+        }
+        match id_column.and_then(|i| row.get(i)).and_then(|c| c.parse::<i64>().ok()) {
+            Some(id) => db.insert_raw(table, id, values)?,
+            None => {
+                db.insert(table, values)?;
+            }
+        }
+        imported += 1;
+    }
+    Ok(imported)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{Column, TableSchema};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "performances",
+                vec![
+                    Column::required("command", ColumnType::Text),
+                    Column::new("mean", ColumnType::Real),
+                    Column::new("tasks", ColumnType::Integer),
+                ],
+            )
+            .with_index("command"),
+        )
+        .unwrap();
+        db.create_table(
+            TableSchema::new(
+                "summaries",
+                vec![Column::required("performance_id", ColumnType::Integer)],
+            )
+            .with_fk("performance_id", "performances"),
+        )
+        .unwrap();
+        let pid = db
+            .insert(
+                "performances",
+                vec![Value::from("ior -b 4m"), Value::from(2850.12), Value::from(80u32)],
+            )
+            .unwrap();
+        db.insert(
+            "performances",
+            vec![Value::from("ior -b 8m"), Value::Null, Value::Null],
+        )
+        .unwrap();
+        db.insert("summaries", vec![Value::from(pid)]).unwrap();
+        db
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let db = sample_db();
+        let image = to_json(&db);
+        let restored = from_json(&image).unwrap();
+        assert_eq!(restored.table_names(), db.table_names());
+        for table in db.table_names() {
+            let a = db.select(table, &Predicate::True, OrderBy::Id, None).unwrap();
+            let b = restored.select(table, &Predicate::True, OrderBy::Id, None).unwrap();
+            assert_eq!(a, b, "table {table} differs");
+        }
+        // Auto-increment continues past restored ids.
+        let mut restored = restored;
+        let next = restored
+            .insert(
+                "performances",
+                vec![Value::from("new"), Value::Null, Value::Null],
+            )
+            .unwrap();
+        assert_eq!(next, 3);
+    }
+
+    #[test]
+    fn int_real_distinction_survives_roundtrip() {
+        // Integers are tagged in JSON so Int(2) doesn't come back Real(2.0).
+        let db = sample_db();
+        let restored = from_json(&to_json(&db)).unwrap();
+        let rows = restored
+            .select("performances", &Predicate::True, OrderBy::Id, None)
+            .unwrap();
+        assert_eq!(rows[0].values[2], Value::Int(80));
+        assert_eq!(rows[0].values[1], Value::Real(2850.12));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("iokc-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.iokc.json");
+        let db = sample_db();
+        save(&db, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(restored.row_count("performances").unwrap(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn csv_export_import_roundtrip() {
+        let db = sample_db();
+        let csv = export_csv(&db, "performances").unwrap();
+        // Import into a fresh database with the same schema.
+        let mut fresh = Database::new();
+        fresh
+            .create_table(
+                TableSchema::new(
+                    "performances",
+                    vec![
+                        Column::required("command", ColumnType::Text),
+                        Column::new("mean", ColumnType::Real),
+                        Column::new("tasks", ColumnType::Integer),
+                    ],
+                )
+                .with_index("command"),
+            )
+            .unwrap();
+        let imported = import_csv(&mut fresh, "performances", &csv).unwrap();
+        assert_eq!(imported, 2);
+        let original = db
+            .select("performances", &Predicate::True, OrderBy::Id, None)
+            .unwrap();
+        let restored = fresh
+            .select("performances", &Predicate::True, OrderBy::Id, None)
+            .unwrap();
+        // Text/NULL/Int columns round trip exactly; the REAL column too
+        // (f64 display → parse is lossless for these values).
+        assert_eq!(original.len(), restored.len());
+        for (a, b) in original.iter().zip(&restored) {
+            assert_eq!(a.id, b.id, "ids preserved");
+            assert_eq!(a.values[0], b.values[0]);
+            assert_eq!(a.values[2], b.values[2]);
+        }
+        // Errors: unknown column and bad numeric cell.
+        assert!(matches!(
+            import_csv(&mut fresh, "performances", "ghost
+x
+"),
+            Err(DbError::NoSuchColumn { .. })
+        ));
+        assert!(matches!(
+            import_csv(&mut fresh, "performances", "tasks
+not-a-number
+"),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        assert_eq!(import_csv(&mut fresh, "performances", "").unwrap(), 0);
+    }
+
+    #[test]
+    fn rejects_corrupt_images() {
+        assert!(from_json(&Json::Null).is_err());
+        assert!(from_json(&Json::obj(vec![("format", Json::from("wrong"))])).is_err());
+        let mut good = to_json(&sample_db());
+        // Break a row.
+        if let Json::Obj(map) = &mut good {
+            if let Some(Json::Arr(tables)) = map.get_mut("tables") {
+                if let Some(Json::Obj(t)) = tables.first_mut() {
+                    t.insert("rows".into(), Json::Arr(vec![Json::Num(5.0)]));
+                }
+            }
+        }
+        assert!(from_json(&good).is_err());
+    }
+
+    #[test]
+    fn csv_export_contains_rows() {
+        let db = sample_db();
+        let csv = export_csv(&db, "performances").unwrap();
+        let rows = iokc_util::table::parse_csv(&csv);
+        assert_eq!(rows[0], vec!["id", "command", "mean", "tasks"]);
+        assert_eq!(rows[1][1], "ior -b 4m");
+        assert_eq!(rows[2][2], "", "NULL exports as empty cell");
+        assert!(export_csv(&db, "nope").is_err());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn arbitrary_rows_roundtrip(
+                rows in proptest::collection::vec(
+                    ("[a-z ]{0,20}", proptest::option::of(-1e9f64..1e9), proptest::option::of(any::<i32>())),
+                    0..30
+                )
+            ) {
+                let mut db = Database::new();
+                db.create_table(TableSchema::new(
+                    "t",
+                    vec![
+                        Column::new("a", ColumnType::Text),
+                        Column::new("b", ColumnType::Real),
+                        Column::new("c", ColumnType::Integer),
+                    ],
+                )).unwrap();
+                for (a, b, c) in &rows {
+                    db.insert("t", vec![
+                        Value::from(a.as_str()),
+                        b.map(Value::Real).unwrap_or(Value::Null),
+                        c.map(|v| Value::Int(i64::from(v))).unwrap_or(Value::Null),
+                    ]).unwrap();
+                }
+                let restored = from_json(&to_json(&db)).unwrap();
+                let a = db.select("t", &Predicate::True, OrderBy::Id, None).unwrap();
+                let b = restored.select("t", &Predicate::True, OrderBy::Id, None).unwrap();
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,640 @@
+//! A small SQL subset — the store's "DB-API 2.0" face.
+//!
+//! The paper's prototype talks to SQLite through DB-API; tooling built on
+//! this store can use the same idiom:
+//!
+//! ```
+//! use iokc_store::{Database, TableSchema, Column, ColumnType, sql};
+//!
+//! let mut db = Database::new();
+//! db.create_table(TableSchema::new("runs", vec![
+//!     Column::required("command", ColumnType::Text),
+//!     Column::new("bw", ColumnType::Real),
+//! ])).unwrap();
+//! sql::execute(&mut db, "INSERT INTO runs VALUES ('ior -b 4m', 2850.12)").unwrap();
+//! let rows = sql::query(&db, "SELECT * FROM runs WHERE bw > 1000 ORDER BY bw DESC LIMIT 5").unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+//!
+//! Supported statements:
+//! `SELECT *|cols FROM t [WHERE cond [AND|OR cond]…] [ORDER BY col [ASC|DESC]] [LIMIT n]`,
+//! `INSERT INTO t VALUES (…)`, `UPDATE t SET col = lit [WHERE …]`,
+//! `DELETE FROM t [WHERE …]`,
+//! `SELECT COUNT(*) FROM t [WHERE …]`. Conditions are
+//! `col (=|!=|<|<=|>|>=|LIKE) literal`; literals are numbers, `'strings'`
+//! (with `''` escaping) and `NULL`. `AND` binds tighter than `OR`.
+
+use crate::database::{Database, DbError, OrderBy, Predicate, Row};
+use crate::value::Value;
+use std::fmt;
+
+/// A SQL error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Syntax error with context.
+    Syntax(String),
+    /// Database-level failure.
+    Db(DbError),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Syntax(msg) => write!(f, "sql syntax error: {msg}"),
+            SqlError::Db(e) => write!(f, "sql: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<DbError> for SqlError {
+    fn from(e: DbError) -> SqlError {
+        SqlError::Db(e)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    /// A numeric literal; the flag records whether the source text was an
+    /// integer (no decimal point or exponent), so `-1.5e2` stays REAL.
+    Number(f64, bool),
+    Str(String),
+    Symbol(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Multibyte UTF-8 is only legal inside string literals; handle the
+        // quote/byte cases on raw bytes and slice the original &str for
+        // string contents so non-ASCII text survives intact.
+        let c = if b.is_ascii() { b as char } else { '\u{80}' };
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == '\'' {
+            let mut s = String::new();
+            i += 1;
+            let mut run_start = i;
+            loop {
+                if i >= bytes.len() {
+                    return Err(SqlError::Syntax("unterminated string".into()));
+                }
+                if bytes[i] == b'\'' {
+                    s.push_str(&input[run_start..i]);
+                    if bytes.get(i + 1) == Some(&b'\'') {
+                        s.push('\'');
+                        i += 2;
+                        run_start = i;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            tokens.push(Token::Str(s));
+        } else if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) {
+            let start = i;
+            i += 1;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
+                    || bytes[i] == b'E' || bytes[i] == b'+' || bytes[i] == b'-')
+            {
+                // Stop '-'/'+' unless following an exponent marker.
+                if (bytes[i] == b'-' || bytes[i] == b'+')
+                    && !(bytes[i - 1] == b'e' || bytes[i - 1] == b'E')
+                {
+                    break;
+                }
+                i += 1;
+            }
+            let text = &input[start..i];
+            let n: f64 = text
+                .parse()
+                .map_err(|_| SqlError::Syntax(format!("bad number {text}")))?;
+            let is_int = !text.contains(['.', 'e', 'E']);
+            tokens.push(Token::Number(n, is_int));
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            tokens.push(Token::Ident(input[start..i].to_owned()));
+        } else {
+            // Multi-char operators first (byte compare: all operators are
+            // ASCII, so this never lands inside a UTF-8 sequence).
+            let two = bytes.get(i..i + 2);
+            if matches!(two, Some(b"!=") | Some(b"<=") | Some(b">=") | Some(b"<>")) {
+                tokens.push(Token::Symbol(
+                    std::str::from_utf8(two.expect("matched above"))
+                        .expect("ascii operator")
+                        .to_owned(),
+                ));
+                i += 2;
+            } else if b.is_ascii() && "=<>(),*".contains(c) {
+                tokens.push(Token::Symbol(c.to_string()));
+                i += 1;
+            } else {
+                let offending = input[i..].chars().next().unwrap_or('?');
+                return Err(SqlError::Syntax(format!(
+                    "unexpected character '{offending}'"
+                )));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn keyword(&mut self, word: &str) -> bool {
+        if let Some(Token::Ident(id)) = self.peek() {
+            if id.eq_ignore_ascii_case(word) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<(), SqlError> {
+        if self.keyword(word) {
+            Ok(())
+        } else {
+            Err(SqlError::Syntax(format!("expected {word}")))
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Token::Symbol(s)) if s == sym => Ok(()),
+            other => Err(SqlError::Syntax(format!("expected '{sym}', found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(id)) => Ok(id),
+            other => Err(SqlError::Syntax(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value, SqlError> {
+        match self.next() {
+            Some(Token::Number(n, is_int)) => {
+                if is_int && n.fract() == 0.0 && n.abs() < 9e15 {
+                    Ok(Value::Int(n as i64))
+                } else {
+                    Ok(Value::Real(n))
+                }
+            }
+            Some(Token::Str(s)) => Ok(Value::Text(s)),
+            Some(Token::Ident(id)) if id.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            other => Err(SqlError::Syntax(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    /// `cond (AND cond)*` — one AND-chain.
+    fn conjunction(&mut self) -> Result<Predicate, SqlError> {
+        let mut pred = self.condition()?;
+        while self.keyword("AND") {
+            pred = pred.and(self.condition()?);
+        }
+        Ok(pred)
+    }
+
+    /// Full WHERE expression: AND binds tighter than OR.
+    fn where_expr(&mut self) -> Result<Predicate, SqlError> {
+        let mut pred = self.conjunction()?;
+        while self.keyword("OR") {
+            pred = pred.or(self.conjunction()?);
+        }
+        Ok(pred)
+    }
+
+    fn condition(&mut self) -> Result<Predicate, SqlError> {
+        let column = self.ident()?;
+        if self.keyword("LIKE") {
+            let Value::Text(pattern) = self.literal()? else {
+                return Err(SqlError::Syntax("LIKE needs a string".into()));
+            };
+            return Ok(Predicate::Contains(
+                column,
+                pattern.trim_matches('%').to_owned(),
+            ));
+        }
+        let op = match self.next() {
+            Some(Token::Symbol(s)) => s,
+            other => return Err(SqlError::Syntax(format!("expected operator, found {other:?}"))),
+        };
+        let value = self.literal()?;
+        Ok(match op.as_str() {
+            "=" => Predicate::Eq(column, value),
+            "!=" | "<>" => Predicate::Ne(column, value),
+            "<" => Predicate::Lt(column, value),
+            "<=" => Predicate::Le(column, value),
+            ">" => Predicate::Gt(column, value),
+            ">=" => Predicate::Ge(column, value),
+            other => return Err(SqlError::Syntax(format!("unknown operator {other}"))),
+        })
+    }
+
+    fn tail(&mut self) -> Result<(Predicate, OrderBy, Option<usize>), SqlError> {
+        let predicate = if self.keyword("WHERE") {
+            self.where_expr()?
+        } else {
+            Predicate::True
+        };
+        let order = if self.keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            let column = self.ident()?;
+            if self.keyword("DESC") {
+                OrderBy::Desc(column)
+            } else {
+                let _ = self.keyword("ASC");
+                OrderBy::Asc(column)
+            }
+        } else {
+            OrderBy::Id
+        };
+        let limit = if self.keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Number(n, _)) if n >= 0.0 && n.fract() == 0.0 => Some(n as usize),
+                other => return Err(SqlError::Syntax(format!("bad LIMIT {other:?}"))),
+            }
+        } else {
+            None
+        };
+        if let Some(tok) = self.peek() {
+            return Err(SqlError::Syntax(format!("trailing tokens at {tok:?}")));
+        }
+        Ok((predicate, order, limit))
+    }
+}
+
+/// Result of a `SELECT`: either rows (with the projected column names) or
+/// a count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryResult {
+    /// Projected rows.
+    Rows {
+        /// Projected column names (`id` included when `*`).
+        columns: Vec<String>,
+        /// Cell values per row, in `columns` order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `COUNT(*)` result.
+    Count(usize),
+}
+
+/// Run a `SELECT`; convenience wrapper returning raw rows for `*`.
+pub fn query(db: &Database, statement: &str) -> Result<Vec<Row>, SqlError> {
+    match select(db, statement)? {
+        QueryResult::Rows { columns, rows } => {
+            // Reassemble Row structs when the projection was `*`.
+            Ok(rows
+                .into_iter()
+                .map(|mut values| {
+                    let id = if columns.first().map(String::as_str) == Some("id") {
+                        match values.remove(0) {
+                            Value::Int(i) => i,
+                            _ => 0,
+                        }
+                    } else {
+                        0
+                    };
+                    Row { id, values }
+                })
+                .collect())
+        }
+        QueryResult::Count(n) => Ok(vec![Row { id: n as i64, values: vec![Value::Int(n as i64)] }]),
+    }
+}
+
+/// Run a `SELECT` with full projection support.
+pub fn select(db: &Database, statement: &str) -> Result<QueryResult, SqlError> {
+    let mut p = Parser { tokens: tokenize(statement)?, pos: 0 };
+    p.expect_keyword("SELECT")?;
+
+    // COUNT(*)?
+    if let Some(Token::Ident(id)) = p.peek() {
+        if id.eq_ignore_ascii_case("count") {
+            p.pos += 1;
+            p.expect_symbol("(")?;
+            p.expect_symbol("*")?;
+            p.expect_symbol(")")?;
+            p.expect_keyword("FROM")?;
+            let table = p.ident()?;
+            let (predicate, _, _) = p.tail()?;
+            let rows = db.select(&table, &predicate, OrderBy::Id, None)?;
+            return Ok(QueryResult::Count(rows.len()));
+        }
+    }
+
+    let mut projection: Option<Vec<String>> = None;
+    if matches!(p.peek(), Some(Token::Symbol(s)) if s == "*") {
+        p.pos += 1;
+    } else {
+        let mut cols = vec![p.ident()?];
+        while matches!(p.peek(), Some(Token::Symbol(s)) if s == ",") {
+            p.pos += 1;
+            cols.push(p.ident()?);
+        }
+        projection = Some(cols);
+    }
+    p.expect_keyword("FROM")?;
+    let table = p.ident()?;
+    let (predicate, order, limit) = p.tail()?;
+    let rows = db.select(&table, &predicate, order, limit)?;
+    let schema = db.schema(&table)?;
+    match projection {
+        None => {
+            let mut columns = vec!["id".to_owned()];
+            columns.extend(schema.columns.iter().map(|c| c.name.clone()));
+            Ok(QueryResult::Rows {
+                columns,
+                rows: rows
+                    .into_iter()
+                    .map(|r| {
+                        let mut cells = vec![Value::Int(r.id)];
+                        cells.extend(r.values);
+                        cells
+                    })
+                    .collect(),
+            })
+        }
+        Some(columns) => {
+            let mut projected = Vec::with_capacity(rows.len());
+            for row in &rows {
+                let mut cells = Vec::with_capacity(columns.len());
+                for column in &columns {
+                    cells.push(db.cell(&table, row, column)?);
+                }
+                projected.push(cells);
+            }
+            Ok(QueryResult::Rows { columns, rows: projected })
+        }
+    }
+}
+
+/// Execute a mutating statement (`INSERT`, `DELETE`). Returns the new
+/// rowid for inserts, the number of removed rows for deletes.
+pub fn execute(db: &mut Database, statement: &str) -> Result<i64, SqlError> {
+    let mut p = Parser { tokens: tokenize(statement)?, pos: 0 };
+    if p.keyword("INSERT") {
+        p.expect_keyword("INTO")?;
+        let table = p.ident()?;
+        p.expect_keyword("VALUES")?;
+        p.expect_symbol("(")?;
+        let mut values = vec![p.literal()?];
+        while matches!(p.peek(), Some(Token::Symbol(s)) if s == ",") {
+            p.pos += 1;
+            values.push(p.literal()?);
+        }
+        p.expect_symbol(")")?;
+        if let Some(tok) = p.peek() {
+            return Err(SqlError::Syntax(format!("trailing tokens at {tok:?}")));
+        }
+        Ok(db.insert(&table, values)?)
+    } else if p.keyword("UPDATE") {
+        let table = p.ident()?;
+        p.expect_keyword("SET")?;
+        let column = p.ident()?;
+        p.expect_symbol("=")?;
+        let value = p.literal()?;
+        let (predicate, _, _) = p.tail()?;
+        Ok(db.update(&table, &column, value, &predicate)? as i64)
+    } else if p.keyword("DELETE") {
+        p.expect_keyword("FROM")?;
+        let table = p.ident()?;
+        let (predicate, _, _) = p.tail()?;
+        Ok(db.delete(&table, &predicate)? as i64)
+    } else {
+        Err(SqlError::Syntax("expected INSERT, UPDATE or DELETE".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{Column, TableSchema};
+    use crate::value::ColumnType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "runs",
+            vec![
+                Column::required("command", ColumnType::Text),
+                Column::new("bw", ColumnType::Real),
+                Column::new("tasks", ColumnType::Integer),
+            ],
+        ))
+        .unwrap();
+        let mut database = db;
+        for (cmd, bw, tasks) in [
+            ("ior -b 4m", 2850.12, 80i64),
+            ("ior -b 8m", 1251.0, 80),
+            ("mdtest -n 100", 0.0, 40),
+        ] {
+            database
+                .insert(
+                    "runs",
+                    vec![Value::from(cmd), Value::from(bw), Value::Int(tasks)],
+                )
+                .unwrap();
+        }
+        database
+    }
+
+    #[test]
+    fn select_star() {
+        let db = db();
+        let rows = query(&db, "SELECT * FROM runs").unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].id, 1);
+        assert_eq!(rows[0].values[0], Value::from("ior -b 4m"));
+    }
+
+    #[test]
+    fn where_order_limit() {
+        let db = db();
+        let rows = query(
+            &db,
+            "SELECT * FROM runs WHERE tasks = 80 ORDER BY bw DESC LIMIT 1",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[1], Value::Real(2850.12));
+    }
+
+    #[test]
+    fn and_or_precedence() {
+        let db = db();
+        // tasks = 40 OR (tasks = 80 AND bw > 2000) → rows 1 and 3.
+        let rows = query(
+            &db,
+            "SELECT * FROM runs WHERE tasks = 40 OR tasks = 80 AND bw > 2000",
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn like_and_projection() {
+        let db = db();
+        let result = select(&db, "SELECT command, bw FROM runs WHERE command LIKE '%mdtest%'")
+            .unwrap();
+        let QueryResult::Rows { columns, rows } = result else {
+            panic!("expected rows")
+        };
+        assert_eq!(columns, vec!["command", "bw"]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::from("mdtest -n 100"));
+    }
+
+    #[test]
+    fn count_star() {
+        let db = db();
+        assert_eq!(
+            select(&db, "SELECT COUNT(*) FROM runs WHERE tasks = 80").unwrap(),
+            QueryResult::Count(2)
+        );
+    }
+
+    #[test]
+    fn insert_and_delete() {
+        let mut db = db();
+        let id = execute(
+            &mut db,
+            "INSERT INTO runs VALUES ('it''s ior', 99.5, NULL)",
+        )
+        .unwrap();
+        assert_eq!(id, 4);
+        let rows = query(&db, "SELECT * FROM runs WHERE command LIKE '%it''s%'").unwrap();
+        assert_eq!(rows.len(), 1);
+        let removed = execute(&mut db, "DELETE FROM runs WHERE bw < 100").unwrap();
+        assert_eq!(removed, 2, "mdtest row and the new row");
+        assert_eq!(db.row_count("runs").unwrap(), 2);
+    }
+
+    #[test]
+    fn update_statement() {
+        let mut db = db();
+        let changed = execute(&mut db, "UPDATE runs SET bw = 99.5 WHERE tasks = 80").unwrap();
+        assert_eq!(changed, 2);
+        let rows = query(&db, "SELECT * FROM runs WHERE bw = 99.5").unwrap();
+        assert_eq!(rows.len(), 2);
+        // Unconditional update touches everything.
+        let all = execute(&mut db, "UPDATE runs SET tasks = 1").unwrap();
+        assert_eq!(all, 3);
+    }
+
+    #[test]
+    fn syntax_errors() {
+        let mut db = db();
+        assert!(matches!(query(&db, "SELEC * FROM runs"), Err(SqlError::Syntax(_))));
+        assert!(matches!(
+            query(&db, "SELECT * FROM runs WHERE"),
+            Err(SqlError::Syntax(_))
+        ));
+        assert!(matches!(
+            query(&db, "SELECT * FROM runs LIMIT -1"),
+            Err(SqlError::Syntax(_))
+        ));
+        assert!(matches!(
+            query(&db, "SELECT * FROM runs junk"),
+            Err(SqlError::Syntax(_))
+        ));
+        assert!(matches!(
+            execute(&mut db, "CREATE TABLE x (y INTEGER)"),
+            Err(SqlError::Syntax(_))
+        ));
+        assert!(matches!(
+            execute(&mut db, "UPDATE runs SET"),
+            Err(SqlError::Syntax(_))
+        ));
+        assert!(matches!(
+            query(&db, "SELECT * FROM runs WHERE command LIKE 5"),
+            Err(SqlError::Syntax(_))
+        ));
+        assert!(matches!(
+            query(&db, "SELECT * FROM runs WHERE command ~ 'x'"),
+            Err(SqlError::Syntax(_))
+        ));
+    }
+
+    #[test]
+    fn db_errors_propagate() {
+        let db = db();
+        assert!(matches!(
+            query(&db, "SELECT * FROM ghosts"),
+            Err(SqlError::Db(DbError::NoSuchTable(_)))
+        ));
+        assert!(matches!(
+            query(&db, "SELECT * FROM runs WHERE ghost = 1"),
+            Err(SqlError::Db(DbError::NoSuchColumn { .. }))
+        ));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            #[test]
+            fn sql_never_panics_on_noise(statement in ".{0,120}") {
+                let mut database = db();
+                let _ = query(&database, &statement);
+                let _ = select(&database, &statement);
+                let _ = execute(&mut database, &statement);
+            }
+
+            #[test]
+            fn inserted_strings_roundtrip(text in "[^']{0,40}") {
+                let mut database = db();
+                let escaped = text.replace('\'', "''");
+                let statement =
+                    format!("INSERT INTO runs VALUES ('{escaped}', 1.0, 1)");
+                let id = execute(&mut database, &statement).unwrap();
+                let row = database.get("runs", id).unwrap().unwrap();
+                prop_assert_eq!(row.values[0].as_text().unwrap(), text);
+            }
+        }
+    }
+
+    #[test]
+    fn numbers_parse_with_signs_and_exponents() {
+        let mut db = db();
+        execute(&mut db, "INSERT INTO runs VALUES ('neg', -1.5e2, -3)").unwrap();
+        let rows = query(&db, "SELECT * FROM runs WHERE bw <= -100").unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[1], Value::Real(-150.0));
+        assert_eq!(rows[0].values[2], Value::Int(-3));
+    }
+}

@@ -1,0 +1,267 @@
+//! New-knowledge generation: benchmark configuration creation (§V-E1).
+//!
+//! "The user can apply the generated command to re-run the workflow.
+//! First, the previously applied command is selected and then loaded from
+//! the corresponding configuration in the view and can be modified as
+//! required. Afterward, the new command can be created by clicking
+//! 'create configuration'." — [`CommandBuilder`] is that dialog as an
+//! API: load a stored command, mutate parameters, emit the new command
+//! (or a JUBE configuration that sweeps it).
+
+use iokc_core::model::{Knowledge, KnowledgeItem};
+use iokc_core::phases::{CycleError, Finding, UsageModule, UsageOutcome};
+use std::collections::BTreeMap;
+
+/// A parsed, editable command form (tool name + flag map).
+///
+/// ```
+/// use iokc_usage::CommandBuilder;
+///
+/// let mut builder = CommandBuilder::load("ior -a mpiio -b 4m -t 2m -F -k");
+/// builder.set("-b", "8m").remove("-k").enable("-e");
+/// assert_eq!(builder.build(), "ior -a mpiio -b 8m -t 2m -F -e");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandBuilder {
+    tool: String,
+    /// Flags with values, in first-seen order.
+    options: Vec<(String, Option<String>)>,
+}
+
+impl CommandBuilder {
+    /// Load a command line into the editable form. Values are any token
+    /// not starting with `-` that follows a flag.
+    #[must_use]
+    pub fn load(command: &str) -> CommandBuilder {
+        let mut tokens = command.split_whitespace();
+        let tool = tokens.next().unwrap_or("ior").to_owned();
+        let mut options: Vec<(String, Option<String>)> = Vec::new();
+        let mut pending: Option<String> = None;
+        for token in tokens {
+            if let Some(flag) = token.strip_prefix('-') {
+                if let Some(prev) = pending.take() {
+                    options.push((prev, None));
+                }
+                pending = Some(format!("-{flag}"));
+            } else if let Some(flag) = pending.take() {
+                options.push((flag, Some(token.to_owned())));
+            }
+        }
+        if let Some(flag) = pending {
+            options.push((flag, None));
+        }
+        CommandBuilder { tool, options }
+    }
+
+    /// Current value of a flag.
+    #[must_use]
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(f, _)| f == flag)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Is a boolean flag present?
+    #[must_use]
+    pub fn has(&self, flag: &str) -> bool {
+        self.options.iter().any(|(f, _)| f == flag)
+    }
+
+    /// Set (or add) a flag with a value.
+    pub fn set(&mut self, flag: &str, value: &str) -> &mut Self {
+        if let Some(slot) = self.options.iter_mut().find(|(f, _)| f == flag) {
+            slot.1 = Some(value.to_owned());
+        } else {
+            self.options.push((flag.to_owned(), Some(value.to_owned())));
+        }
+        self
+    }
+
+    /// Enable a boolean flag.
+    pub fn enable(&mut self, flag: &str) -> &mut Self {
+        if !self.has(flag) {
+            self.options.push((flag.to_owned(), None));
+        }
+        self
+    }
+
+    /// Remove a flag entirely.
+    pub fn remove(&mut self, flag: &str) -> &mut Self {
+        self.options.retain(|(f, _)| f != flag);
+        self
+    }
+
+    /// Emit the command line ("create configuration").
+    #[must_use]
+    pub fn build(&self) -> String {
+        let mut out = self.tool.clone();
+        for (flag, value) in &self.options {
+            out.push(' ');
+            out.push_str(flag);
+            if let Some(v) = value {
+                out.push(' ');
+                out.push_str(v);
+            }
+        }
+        out
+    }
+}
+
+/// Generate a JUBE-style sweep configuration from a base command: one
+/// parameter set per varied flag, Cartesian-expanded by the JUBE engine.
+/// Returned as the TOML-like text `iokc-jube` parses.
+#[must_use]
+pub fn generate_jube_config(
+    benchmark_name: &str,
+    base_command: &str,
+    sweeps: &BTreeMap<String, Vec<String>>,
+) -> String {
+    let mut builder = CommandBuilder::load(base_command);
+    let mut out = String::new();
+    out.push_str(&format!("benchmark {benchmark_name}\n"));
+    for (flag, values) in sweeps {
+        let name = flag.trim_start_matches('-');
+        out.push_str(&format!("param {name} = {}\n", values.join(", ")));
+        builder.set(flag, &format!("${name}"));
+    }
+    out.push_str(&format!("step run = {}\n", builder.build()));
+    out
+}
+
+/// The usage module for Example I: for each analysed command, produce a
+/// follow-up command with a doubled block size (the paper's demonstration
+/// mutates the loaded configuration and re-runs the workflow).
+#[derive(Debug, Clone, Default)]
+pub struct RegenerateUsage {
+    /// Commands already scheduled (avoid re-scheduling forever).
+    seen: std::collections::BTreeSet<String>,
+}
+
+impl RegenerateUsage {
+    /// Produce the follow-up command for a knowledge object, if any.
+    #[must_use]
+    pub fn follow_up(knowledge: &Knowledge) -> Option<String> {
+        let mut builder = CommandBuilder::load(&knowledge.command);
+        let block = builder.get("-b")?;
+        let bytes = iokc_util::units::parse_size(block).ok()?;
+        let doubled = bytes.checked_mul(2)?;
+        builder.set("-b", &render_size(doubled));
+        Some(builder.build())
+    }
+}
+
+fn render_size(bytes: u64) -> String {
+    const MIB: u64 = 1 << 20;
+    const KIB: u64 = 1 << 10;
+    if bytes.is_multiple_of(MIB) {
+        format!("{}m", bytes / MIB)
+    } else if bytes.is_multiple_of(KIB) {
+        format!("{}k", bytes / KIB)
+    } else {
+        bytes.to_string()
+    }
+}
+
+impl UsageModule for RegenerateUsage {
+    fn name(&self) -> &str {
+        "regenerate-configuration"
+    }
+
+    fn apply(
+        &mut self,
+        items: &[KnowledgeItem],
+        _findings: &[Finding],
+    ) -> Result<UsageOutcome, CycleError> {
+        let mut outcome = UsageOutcome::default();
+        for item in items {
+            let KnowledgeItem::Benchmark(knowledge) = item else {
+                continue;
+            };
+            if !self.seen.insert(knowledge.command.clone()) {
+                continue;
+            }
+            if let Some(command) = RegenerateUsage::follow_up(knowledge) {
+                if !self.seen.contains(&command) {
+                    outcome.notes.push(format!(
+                        "created configuration `{command}` from `{}`",
+                        knowledge.command
+                    ));
+                    outcome.new_commands.push(command);
+                }
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_core::model::KnowledgeSource;
+
+    const PAPER_CMD: &str =
+        "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k";
+
+    #[test]
+    fn load_and_rebuild_is_identity() {
+        let builder = CommandBuilder::load(PAPER_CMD);
+        assert_eq!(builder.build(), PAPER_CMD);
+        assert_eq!(builder.get("-b"), Some("4m"));
+        assert!(builder.has("-F"));
+        assert!(!builder.has("-w"));
+    }
+
+    #[test]
+    fn mutation_flow() {
+        let mut builder = CommandBuilder::load(PAPER_CMD);
+        builder.set("-b", "8m").set("-t", "4m").remove("-k").enable("-w");
+        let command = builder.build();
+        assert!(command.contains("-b 8m"));
+        assert!(command.contains("-t 4m"));
+        assert!(!command.contains("-k"));
+        assert!(command.ends_with("-w"));
+    }
+
+    #[test]
+    fn follow_up_doubles_block() {
+        let k = Knowledge::new(KnowledgeSource::Ior, PAPER_CMD);
+        let next = RegenerateUsage::follow_up(&k).unwrap();
+        assert!(next.contains("-b 8m"), "{next}");
+        // Everything else preserved.
+        assert!(next.contains("-t 2m"));
+        assert!(next.contains("-i 6"));
+    }
+
+    #[test]
+    fn follow_up_requires_block_flag() {
+        let k = Knowledge::new(KnowledgeSource::Mdtest, "mdtest -n 100");
+        assert!(RegenerateUsage::follow_up(&k).is_none());
+    }
+
+    #[test]
+    fn usage_module_schedules_once() {
+        let k = Knowledge::new(KnowledgeSource::Ior, "ior -b 4m -t 1m -o /scratch/x");
+        let items = vec![KnowledgeItem::Benchmark(k)];
+        let mut module = RegenerateUsage::default();
+        let first = module.apply(&items, &[]).unwrap();
+        assert_eq!(first.new_commands.len(), 1);
+        assert!(first.new_commands[0].contains("-b 8m"));
+        let second = module.apply(&items, &[]).unwrap();
+        assert!(second.new_commands.is_empty(), "no duplicate scheduling");
+    }
+
+    #[test]
+    fn jube_config_generation() {
+        let sweeps = BTreeMap::from([
+            ("-t".to_owned(), vec!["1m".to_owned(), "2m".to_owned()]),
+            ("-b".to_owned(), vec!["4m".to_owned(), "8m".to_owned()]),
+        ]);
+        let config = generate_jube_config("ior-sweep", PAPER_CMD, &sweeps);
+        assert!(config.contains("benchmark ior-sweep"));
+        assert!(config.contains("param b = 4m, 8m"));
+        assert!(config.contains("param t = 1m, 2m"));
+        assert!(config.contains("-b $b"));
+        assert!(config.contains("-t $t"));
+    }
+}

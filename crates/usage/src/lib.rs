@@ -1,0 +1,23 @@
+//! `iokc-usage` — the knowledge usage phase (Phase V, §V-E and §IV).
+//!
+//! The concrete use cases of the knowledge cycle:
+//!
+//! * [`confgen`] — new-knowledge generation: load a stored command,
+//!   mutate it, emit the next configuration (Example I) or a JUBE sweep;
+//! * [`mod@recommend`] — the rule-based recommendation module for offline
+//!   I/O optimization;
+//! * [`predict`] — linear-regression performance prediction (§VI);
+//! * [`workload`] — synthetic workload generation from observed patterns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confgen;
+pub mod predict;
+pub mod recommend;
+pub mod workload;
+
+pub use confgen::{generate_jube_config, CommandBuilder, RegenerateUsage};
+pub use predict::{fit, pattern_features, train_bandwidth_model, FitError, LinearModel, PATTERN_FEATURE_NAMES};
+pub use recommend::{recommend, Recommendation, RecommendationUsage};
+pub use workload::{derive_workload, WorkloadComponent, WorkloadSpec};

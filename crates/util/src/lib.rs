@@ -1,0 +1,53 @@
+//! Shared utilities for the `iokc` workspace.
+//!
+//! This crate deliberately reimplements small pieces of infrastructure that
+//! a Python prototype would pull from its standard library or PyPI:
+//!
+//! * [`json`] — a self-contained JSON value model, parser and writer, used
+//!   for knowledge-object interchange and the store's export format.
+//! * [`pattern`] — a scanf-style pattern matcher used by the JUBE-like
+//!   sweep engine and the knowledge extractor to pull metrics out of
+//!   benchmark output without a regex dependency.
+//! * [`units`] — byte-size and rate parsing/formatting (`4m`, `2m`,
+//!   `MiB/s`) compatible with IOR's option grammar.
+//! * [`table`] — plain-text table rendering for CLI views of the
+//!   knowledge explorer.
+//! * [`stats`] — small numeric helpers shared by the simulator and the
+//!   analysis crate (mean/geomean/percentiles on `f64` slices).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod pattern;
+pub mod stats;
+pub mod table;
+pub mod units;
+
+/// Round a floating point value to `digits` decimal digits.
+///
+/// Used when emitting benchmark output in the fixed-precision textual
+/// formats of IOR/IO500 so that parsing the output back reproduces the
+/// stored values exactly.
+#[must_use]
+pub fn round_to(value: f64, digits: u32) -> f64 {
+    let factor = 10f64.powi(digits as i32);
+    (value * factor).round() / factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_to_truncates_noise() {
+        assert_eq!(round_to(2850.123456, 2), 2850.12);
+        assert_eq!(round_to(0.006, 2), 0.01);
+        assert_eq!(round_to(-1.2341, 3), -1.234);
+    }
+
+    #[test]
+    fn round_to_zero_digits() {
+        assert_eq!(round_to(2.6, 0), 3.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Small numeric helpers shared across the workspace.
+//!
+//! The analysis crate builds richer descriptive statistics on top of these;
+//! the benchmark drivers use [`geometric_mean`] for IO500 scoring and the
+//! simulator uses [`mean`]/[`max`] when summarising per-rank timings.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation; `0.0` for fewer than two samples.
+#[must_use]
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Minimum; `0.0` for an empty slice.
+#[must_use]
+pub fn min(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::INFINITY, f64::min).min_finite()
+}
+
+/// Maximum; `0.0` for an empty slice.
+#[must_use]
+pub fn max(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max_finite()
+}
+
+trait Finite {
+    fn min_finite(self) -> f64;
+    fn max_finite(self) -> f64;
+}
+
+impl Finite for f64 {
+    fn min_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+    fn max_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Geometric mean of strictly positive values, as used by IO500 scoring.
+/// Returns `0.0` if the slice is empty or contains a non-positive value
+/// (matching IO500's treatment of invalid phases).
+#[must_use]
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Linear-interpolated percentile (`q` in `[0, 1]`) of an unsorted slice.
+/// Returns `0.0` for an empty slice.
+#[must_use]
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in metric values"));
+    let q = q.clamp(0.0, 1.0);
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median (50th percentile).
+#[must_use]
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((stddev(&v) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(stddev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn min_max() {
+        let v = [3.0, -1.0, 7.5];
+        assert_eq!(min(&v), -1.0);
+        assert_eq!(max(&v), 7.5);
+        assert_eq!(min(&[]), 0.0);
+        assert_eq!(max(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), 0.0);
+        assert_eq!(geometric_mean(&[1.0, -2.0]), 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert!((median(&v) - 2.5).abs() < 1e-12);
+        assert!((percentile(&v, 0.25) - 1.75).abs() < 1e-12);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Plain-text table rendering.
+//!
+//! The knowledge explorer's CLI views (single-run viewer, comparison view,
+//! IO500 viewer) and the JUBE-like result tables render through this module.
+
+/// A simple column-aligned text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given header cells.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a data row. Rows shorter than the header are padded with
+    /// empty cells; longer rows extend the column count.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        self.rows.push(row.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with a `|`-separated, `-`-underlined header, e.g.
+    ///
+    /// ```text
+    /// access | bw(MiB/s) | ops
+    /// -------+-----------+-----
+    /// write  | 2850.12   | 1425
+    /// ```
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for (i, cell) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        render_row(&mut out, &self.header, &widths);
+        // Separator line.
+        for (i, width) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("-+-");
+            }
+            for _ in 0..*width {
+                out.push('-');
+            }
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row, &widths);
+        }
+        out
+    }
+
+    /// Render as CSV (RFC 4180-style quoting of cells containing commas,
+    /// quotes or newlines). Used by the store's CSV export.
+    #[must_use]
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        csv_row(&mut out, &self.header);
+        for row in &self.rows {
+            csv_row(&mut out, row);
+        }
+        out
+    }
+}
+
+fn render_row(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (i, width) in widths.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" | ");
+        }
+        let cell = cells.get(i).map(String::as_str).unwrap_or("");
+        out.push_str(cell);
+        let pad = width.saturating_sub(cell.chars().count());
+        // Don't pad the final column: keeps lines trim.
+        if i + 1 < widths.len() {
+            for _ in 0..pad {
+                out.push(' ');
+            }
+        }
+    }
+    out.push('\n');
+}
+
+fn csv_row(out: &mut String, cells: &[String]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if cell.contains([',', '"', '\n']) {
+            out.push('"');
+            out.push_str(&cell.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(cell);
+        }
+    }
+    out.push('\n');
+}
+
+/// Parse a CSV document produced by [`TextTable::render_csv`] (or any
+/// RFC 4180 CSV) back into rows of cells.
+#[must_use]
+pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row = Vec::new();
+    let mut cell = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => cell.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut cell));
+                }
+                '\n' => {
+                    row.push(std::mem::take(&mut cell));
+                    rows.push(std::mem::take(&mut row));
+                }
+                '\r' => {}
+                c => cell.push(c),
+            }
+        }
+    }
+    if saw_any && (!cell.is_empty() || !row.is_empty()) {
+        row.push(cell);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["access", "bw(MiB/s)"]);
+        t.push_row(vec!["write", "2850.12"]);
+        t.push_row(vec!["read", "3109.9"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines[0], "access | bw(MiB/s)");
+        assert_eq!(lines[1], "-------+----------");
+        assert_eq!(lines[2], "write  | 2850.12");
+        assert_eq!(lines[3], "read   | 3109.9");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.push_row(vec!["1"]);
+        let rendered = t.render();
+        assert!(rendered.lines().nth(2).unwrap().starts_with("1 | "));
+    }
+
+    #[test]
+    fn csv_quoting_roundtrip() {
+        let mut t = TextTable::new(vec!["cmd", "note"]);
+        t.push_row(vec!["ior -a mpiio, -b 4m", "say \"hi\"\nbye"]);
+        let csv = t.render_csv();
+        let rows = parse_csv(&csv);
+        assert_eq!(rows[0], vec!["cmd", "note"]);
+        assert_eq!(rows[1][0], "ior -a mpiio, -b 4m");
+        assert_eq!(rows[1][1], "say \"hi\"\nbye");
+    }
+
+    #[test]
+    fn parse_csv_handles_missing_trailing_newline() {
+        let rows = parse_csv("a,b\n1,2");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+        assert!(parse_csv("").is_empty());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = TextTable::new(vec!["x"]);
+        assert!(t.is_empty());
+        t.push_row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Example II of the paper (§V-E2): anomaly detection.
+//!
+//! Part 1 — per-iteration variance: a six-iteration IOR run where storage
+//! interference hits iteration 2; the knowledge explorer's variance
+//! detector flags it and corroborates with the supporting metrics
+//! (`closeTime`, `latency`, `totalTime`, `wrRdTime`).
+//!
+//! Part 2 — IO500 bounding box (after Liem et al.): reference runs span
+//! an expectation box; a run with a broken node falls below it on
+//! `ior-easy-read`.
+//!
+//! ```text
+//! cargo run --release -p iokc-examples --bin anomaly_detection
+//! ```
+
+use iokc_analysis::{BoundingBox, IterationVarianceDetector};
+use iokc_benchmarks::io500::{run_io500, run_io500_with_faults, Io500Config, PhaseFaults};
+use iokc_benchmarks::ior::{run_ior, IorConfig};
+use iokc_core::model::Io500Knowledge;
+use iokc_extract::{parse_io500_output, parse_ior_output};
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::{Fault, FaultPlan, FaultTarget};
+use iokc_sim::prelude::SystemConfig;
+use iokc_sim::time::SimTime;
+
+fn main() {
+    part1_iteration_variance();
+    part2_bounding_box();
+}
+
+fn part1_iteration_variance() {
+    println!("== part 1: iteration-variance anomaly (paper Fig. 5) ==\n");
+    let layout = JobLayout::new(16, 8);
+    let mut world = World::new(SystemConfig::fuchs_csc().with_noise(0.01), FaultPlan::none(), 7);
+    let base = IorConfig::parse_command(
+        "ior -a mpiio -b 4m -t 2m -s 4 -F -C -e -i 1 -o /scratch/anom -k",
+    )
+    .expect("valid command");
+
+    // Six iterations; interference on the storage targets during the
+    // third one (index 2).
+    let mut samples = Vec::new();
+    for iteration in 0..6u32 {
+        if iteration == 2 {
+            let mut plan = FaultPlan::none();
+            for target in 0..world.system().pfs.storage_targets {
+                plan.push(Fault::slow_target(target, 0.35, world.now(), SimTime(u64::MAX)));
+            }
+            world.set_faults(plan);
+        }
+        let run = run_ior(&mut world, layout, &base, u64::from(iteration)).expect("run");
+        world.set_faults(FaultPlan::none());
+        for mut sample in run.samples {
+            sample.iter = iteration;
+            samples.push(sample);
+        }
+    }
+    let run = iokc_benchmarks::ior::IorRunResult {
+        config: IorConfig { iterations: 6, ..base },
+        np: layout.np,
+        ppn: layout.ppn,
+        samples,
+        phases: Vec::new(),
+    };
+    let knowledge = parse_ior_output(&run.render()).expect("own output parses");
+
+    println!("write bandwidth per iteration (MiB/s):");
+    for (iteration, bw) in knowledge.series("write") {
+        println!("  iteration {iteration}: {bw:9.1}");
+    }
+    let anomalies = IterationVarianceDetector::default().detect(&knowledge);
+    assert!(!anomalies.is_empty(), "the injected anomaly must be found");
+    for anomaly in &anomalies {
+        println!(
+            "\nANOMALY: {} iteration {} at {:.0} MiB/s vs peers {:.0} MiB/s (z = {:.1})",
+            anomaly.operation, anomaly.iteration, anomaly.bw_mib, anomaly.peer_mean_mib, anomaly.score
+        );
+        println!("  corroborated by: {}", anomaly.corroborated_by.join(", "));
+    }
+}
+
+fn part2_bounding_box() {
+    println!("\n== part 2: IO500 bounding box (paper Fig. 6) ==\n");
+    let layout = JobLayout::new(8, 4);
+    let config = Io500Config::small("/scratch/io500box");
+
+    // Three healthy reference runs with run-to-run storage noise.
+    let mut references: Vec<Io500Knowledge> = Vec::new();
+    for seed in [11, 22, 33] {
+        let system = SystemConfig::fuchs_csc()
+            .with_noise(0.2)
+            .with_noise_interval(5_000_000_000);
+        let mut world = World::new(system, FaultPlan::none(), seed);
+        let result = run_io500(&mut world, layout, &config).expect("reference run");
+        references.push(parse_io500_output(&result.render()).expect("io500 parses"));
+    }
+
+    // One run with a node breaking during ior-easy-read.
+    let system = SystemConfig::fuchs_csc()
+        .with_noise(0.2)
+        .with_noise_interval(5_000_000_000);
+    let mut world = World::new(system, FaultPlan::none(), 44);
+    let mut schedule = PhaseFaults::new();
+    schedule.insert(
+        "ior-easy-read".to_owned(),
+        FaultPlan::none().with(Fault::permanent(FaultTarget::NodeNic(0), 0.03)),
+    );
+    let degraded_result =
+        run_io500_with_faults(&mut world, layout, &config, &schedule).expect("degraded run");
+    let degraded = parse_io500_output(&degraded_result.render()).expect("io500 parses");
+
+    let refs: Vec<&Io500Knowledge> = references.iter().collect();
+    let bbox = BoundingBox::fit(
+        &refs,
+        &["ior-easy-write", "ior-easy-read", "ior-hard-write", "ior-hard-read"],
+        0.2,
+    );
+    print!("{}", bbox.render_check(&degraded));
+    let verdicts = bbox.check(&degraded);
+    let below: Vec<&str> = verdicts
+        .iter()
+        .filter(|(_, _, v)| *v == iokc_analysis::Verdict::Below)
+        .map(|(name, _, _)| name.as_str())
+        .collect();
+    assert!(
+        below.contains(&"ior-easy-read"),
+        "the broken node must push ior-easy-read below the box (got {below:?})"
+    );
+    println!("\nthe bounding box isolates the broken-node read anomaly: {below:?}");
+}

@@ -1,0 +1,105 @@
+//! Workload generation (§IV, fifth use case): "the knowledge obtained
+//! from our generic workflow can be used to … generate new benchmark
+//! configurations, but also synthetic workload for simulation".
+//!
+//! A mixed production-like campaign (checkpoint-heavy IOR plus a
+//! small-transfer job) is observed, knowledge is extracted, a synthetic
+//! workload spec is derived from the corpus, lowered to fresh benchmark
+//! commands, and replayed on a second simulated system — the full
+//! knowledge-to-workload loop.
+//!
+//! ```text
+//! cargo run --release -p iokc-examples --bin workload_generation
+//! ```
+
+use iokc_benchmarks::ior::{run_ior, Access, IorConfig};
+use iokc_core::model::Knowledge;
+use iokc_extract::parse_ior_output;
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::prelude::SystemConfig;
+use iokc_usage::derive_workload;
+
+fn observe(command: &str, seed: u64, runs: usize) -> Vec<Knowledge> {
+    (0..runs)
+        .map(|i| {
+            let mut world = World::new(
+                SystemConfig::fuchs_csc().with_noise(0.02),
+                FaultPlan::none(),
+                seed + i as u64,
+            );
+            let config = IorConfig::parse_command(command).expect("valid command");
+            let result =
+                run_ior(&mut world, JobLayout::new(40, 20), &config, seed).expect("runs");
+            parse_ior_output(&result.render()).expect("output parses")
+        })
+        .collect()
+}
+
+fn main() {
+    // The observed campaign: mostly checkpoint-style large writes, some
+    // small-transfer analysis jobs.
+    println!("observing the production campaign…");
+    let mut corpus = Vec::new();
+    corpus.extend(observe(
+        "ior -a mpiio -b 8m -t 2m -s 4 -F -C -e -i 1 -o /scratch/ckpt -k -w",
+        100,
+        3,
+    ));
+    corpus.extend(observe(
+        "ior -a posix -b 1m -t 256k -s 4 -F -C -e -i 1 -o /scratch/ana -k -w",
+        200,
+        1,
+    ));
+    println!("  {} knowledge objects extracted", corpus.len());
+
+    // Derive the synthetic workload.
+    let refs: Vec<&Knowledge> = corpus.iter().collect();
+    let spec = derive_workload(&refs).expect("derivable workload");
+    println!("\nderived workload ({} tasks):", spec.tasks);
+    for component in &spec.components {
+        println!(
+            "  {:>4.0}%  {}  transfer {}  block {}  fpp {}",
+            component.weight * 100.0,
+            component.api,
+            iokc_util::units::format_size(component.transfer_size),
+            iokc_util::units::format_size(component.block_size),
+            component.file_per_proc
+        );
+    }
+    assert_eq!(spec.components.len(), 2);
+    assert!((spec.components[0].weight - 0.75).abs() < 1e-9);
+
+    // Lower to commands and replay on a different (fresh) system.
+    let commands = spec.to_commands("/scratch", 4);
+    println!("\nreplaying the synthetic workload on a fresh system:");
+    let mut synthetic_bw = Vec::new();
+    for command in &commands {
+        let config = IorConfig::parse_command(command).expect("generated command parses");
+        let mut world =
+            World::new(SystemConfig::fuchs_csc().with_noise(0.02), FaultPlan::none(), 999);
+        let result = run_ior(&mut world, JobLayout::new(spec.tasks, 20), &config, 7)
+            .expect("synthetic command runs");
+        let bw = result.max_bw(Access::Write);
+        synthetic_bw.push(bw);
+        println!("  {command}\n    -> write {bw:.0} MiB/s");
+    }
+
+    // The synthetic checkpoint component must land near the observed
+    // checkpoint bandwidth (same pattern, same system model).
+    let observed_ckpt = corpus[0]
+        .summary("write")
+        .expect("write summary")
+        .mean_mib;
+    let synthetic_ckpt = synthetic_bw[0];
+    let gap = (synthetic_ckpt - observed_ckpt).abs() / observed_ckpt;
+    println!(
+        "\nobserved checkpoint {observed_ckpt:.0} MiB/s vs synthetic {synthetic_ckpt:.0} MiB/s ({:.1}% apart)",
+        gap * 100.0
+    );
+    assert!(
+        gap < 0.15,
+        "synthetic workload must reproduce the observed bandwidth within 15%"
+    );
+    println!("workload generation example complete.");
+}

@@ -1,0 +1,65 @@
+//! X2 — HACC-IO checkpoint/restart (§V-A): the three file modes and two
+//! APIs execute, the canonical ordering holds, and the extractor reads
+//! the native output.
+
+use iokc_benchmarks::hacc::{run_hacc, FileMode, HaccConfig};
+use iokc_extract::parse_hacc_output;
+use iokc_sim::api::IoApi;
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::prelude::SystemConfig;
+
+fn bw(mode: FileMode, api: IoApi, seed: u64) -> (f64, f64, usize) {
+    let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), seed);
+    let config = HaccConfig::new(200_000, mode, api, "/scratch/hacc");
+    let result = run_hacc(&mut world, JobLayout::new(4, 2), &config).unwrap();
+    (
+        result.checkpoint_bw_mib,
+        result.restart_bw_mib,
+        world.namespace().file_count(),
+    )
+}
+
+#[test]
+fn all_modes_and_apis_execute() {
+    for api in [IoApi::Posix, IoApi::MpiIo { collective: false }] {
+        for (mode, expected_files) in [
+            (FileMode::SingleSharedFile, 1usize),
+            (FileMode::FilePerProcess, 4),
+            (FileMode::FilePerGroup { group_size: 2 }, 2),
+        ] {
+            let (ckpt, restart, files) = bw(mode, api, 51);
+            assert!(ckpt > 0.0, "{mode:?}/{api:?} checkpoint");
+            assert!(restart > 0.0, "{mode:?}/{api:?} restart");
+            assert_eq!(files, expected_files, "{mode:?} file count");
+        }
+    }
+}
+
+#[test]
+fn file_per_process_beats_shared_file() {
+    let (ssf, _, _) = bw(FileMode::SingleSharedFile, IoApi::Posix, 52);
+    let (fpp, _, _) = bw(FileMode::FilePerProcess, IoApi::Posix, 52);
+    assert!(
+        fpp >= ssf * 0.95,
+        "file-per-process ({fpp}) must not trail single-shared-file ({ssf})"
+    );
+}
+
+#[test]
+fn output_parses_into_knowledge() {
+    let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 53);
+    let config = HaccConfig::new(
+        100_000,
+        FileMode::FilePerGroup { group_size: 2 },
+        IoApi::MpiIo { collective: false },
+        "/scratch/haccp",
+    );
+    let result = run_hacc(&mut world, JobLayout::new(4, 2), &config).unwrap();
+    let knowledge = parse_hacc_output(&result.render()).unwrap();
+    assert_eq!(knowledge.pattern.api, "MPIIO");
+    assert_eq!(knowledge.pattern.tasks, 4);
+    assert_eq!(knowledge.pattern.block_size, 100_000 * 38);
+    let ckpt = knowledge.summary("checkpoint").unwrap().mean_mib;
+    assert!((ckpt - result.checkpoint_bw_mib).abs() < 0.01);
+}

@@ -1,0 +1,157 @@
+//! F2 — the five-phase knowledge cycle (paper Fig. 2), end to end with
+//! the real modules: IOR generator on the simulator, the extractor, the
+//! relational store, the variance analyzer and the regeneration usage
+//! module.
+
+use iokc_benchmarks::{IorConfig, IorGenerator};
+use iokc_core::model::KnowledgeItem;
+use iokc_core::phases::{Persister, PhaseKind};
+use iokc_core::KnowledgeCycle;
+use iokc_extract::{DarshanExtractor, IorExtractor};
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::prelude::SystemConfig;
+use iokc_store::KnowledgeStore;
+use iokc_usage::RegenerateUsage;
+
+fn small_world(seed: u64) -> World {
+    World::new(SystemConfig::test_small(), FaultPlan::none(), seed)
+}
+
+#[test]
+fn full_cycle_produces_complete_knowledge() {
+    let config = IorConfig::parse_command(
+        "ior -a mpiio -b 1m -t 256k -s 2 -F -C -e -i 3 -o /scratch/cycle -k",
+    )
+    .unwrap();
+    let mut generator = IorGenerator::new(small_world(1), JobLayout::new(4, 2), config, 1);
+    generator.with_darshan = true;
+
+    let mut cycle = KnowledgeCycle::new();
+    cycle
+        .add_generator(Box::new(generator))
+        .add_extractor(Box::new(IorExtractor))
+        .add_extractor(Box::new(DarshanExtractor))
+        .add_persister(Box::new(KnowledgeStore::in_memory()))
+        .add_analyzer(Box::new(iokc_analysis::IterationVarianceDetector::default()))
+        .add_usage(Box::new(RegenerateUsage::default()));
+
+    let report = cycle.run_once().unwrap();
+
+    // Every phase ran.
+    for kind in PhaseKind::ALL {
+        assert!(
+            report.trace.iter().any(|(p, _)| *p == kind),
+            "phase {kind:?} missing from trace"
+        );
+    }
+    // 5 artifacts: ior output, entry info, cpuinfo, meminfo, darshan log.
+    assert_eq!(report.artifacts, 5);
+    // Two knowledge objects: the IOR parse and the Darshan ingest.
+    assert_eq!(report.extracted, 2);
+    assert_eq!(report.persisted_ids.len(), 2);
+    // Usage scheduled a follow-up command.
+    assert_eq!(report.usage.new_commands.len(), 1);
+    assert!(report.usage.new_commands[0].contains("-b 2m"));
+}
+
+#[test]
+fn extracted_knowledge_carries_fs_and_system_info() {
+    let config = IorConfig::parse_command(
+        "ior -a posix -b 1m -t 512k -s 1 -F -i 2 -o /scratch/info -k",
+    )
+    .unwrap();
+    let generator = IorGenerator::new(small_world(2), JobLayout::new(2, 2), config, 3);
+    let mut cycle = KnowledgeCycle::new();
+    let store = KnowledgeStore::in_memory();
+    cycle
+        .add_generator(Box::new(generator))
+        .add_extractor(Box::new(IorExtractor))
+        .add_persister(Box::new(store));
+    let report = cycle.run_once().unwrap();
+    assert_eq!(report.persisted_ids, vec![1]);
+
+    // Reload through a second cycle's analysis path: build a fresh store
+    // is not possible (moved), so check via the report's corpus instead —
+    // run the cycle again and inspect what analysis would see.
+    struct Probe(std::rc::Rc<std::cell::RefCell<Vec<KnowledgeItem>>>);
+    impl iokc_core::phases::Analyzer for Probe {
+        fn name(&self) -> &str {
+            "probe"
+        }
+        fn analyze(
+            &self,
+            items: &[KnowledgeItem],
+        ) -> Result<Vec<iokc_core::phases::Finding>, iokc_core::phases::CycleError> {
+            self.0.borrow_mut().extend(items.to_vec());
+            Ok(Vec::new())
+        }
+    }
+    let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+    let config = IorConfig::parse_command(
+        "ior -a posix -b 1m -t 512k -s 1 -F -i 2 -o /scratch/info2 -k",
+    )
+    .unwrap();
+    let generator = IorGenerator::new(small_world(4), JobLayout::new(2, 2), config, 5);
+    let mut cycle = KnowledgeCycle::new();
+    cycle
+        .add_generator(Box::new(generator))
+        .add_extractor(Box::new(IorExtractor))
+        .add_persister(Box::new(KnowledgeStore::in_memory()))
+        .add_analyzer(Box::new(Probe(seen.clone())));
+    cycle.run_once().unwrap();
+
+    let items = seen.borrow();
+    let KnowledgeItem::Benchmark(k) = &items[0] else {
+        panic!("expected benchmark knowledge");
+    };
+    // Pattern extracted from the output's options block.
+    assert_eq!(k.pattern.api, "POSIX");
+    assert_eq!(k.pattern.tasks, 2);
+    assert_eq!(k.pattern.block_size, 1 << 20);
+    // BeeGFS entry info travelled along (same-run artifact).
+    let fs = k.filesystem.as_ref().expect("filesystem info attached");
+    assert_eq!(fs.fs_type, "BeeGFS");
+    assert_eq!(fs.chunk_size, 512 * 1024);
+    assert!(fs.storage_targets > 0);
+    // /proc system info travelled along.
+    let sys = k.system.as_ref().expect("system info attached");
+    assert_eq!(sys.system, "test-small");
+    assert_eq!(sys.cores, 4);
+    assert!(sys.mem_kib > 0);
+    // Summaries and per-iteration results are populated.
+    assert!(k.summary("write").is_some());
+    assert!(k.summary("read").is_some());
+    assert_eq!(k.series("write").len(), 2);
+}
+
+#[test]
+fn persisted_knowledge_survives_store_roundtrip() {
+    let dir = std::env::temp_dir().join("iokc-integration-cycle");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.iokc.json");
+    let _ = std::fs::remove_file(&path);
+
+    let config = IorConfig::parse_command(
+        "ior -a mpiio -b 512k -t 256k -s 2 -i 2 -o /scratch/rt -k",
+    )
+    .unwrap();
+    let generator = IorGenerator::new(small_world(6), JobLayout::new(4, 2), config, 7);
+    let mut cycle = KnowledgeCycle::new();
+    cycle
+        .add_generator(Box::new(generator))
+        .add_extractor(Box::new(IorExtractor))
+        .add_persister(Box::new(KnowledgeStore::open(path.clone()).unwrap()));
+    cycle.run_once().unwrap();
+
+    let store = KnowledgeStore::open(path.clone()).unwrap();
+    let items = Persister::load_all(&store).unwrap();
+    assert_eq!(items.len(), 1);
+    let KnowledgeItem::Benchmark(k) = &items[0] else {
+        panic!("expected benchmark knowledge");
+    };
+    assert!(k.command.contains("-b 512k"));
+    assert_eq!(k.pattern.iterations, 2);
+    assert!(!k.pattern.file_per_proc, "shared file run");
+    std::fs::remove_file(&path).unwrap();
+}

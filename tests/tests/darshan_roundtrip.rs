@@ -1,0 +1,115 @@
+//! X3 — Darshan as a data source (§V-A/V-B): a simulated IOR run is
+//! instrumented into a Darshan-style log, encoded, decoded, parsed with
+//! the PyDarshan-equivalent API, and ingested as knowledge; the counters
+//! must reconstruct the simulator's op records exactly.
+
+use iokc_benchmarks::instrument::{darshan_from_phases, InstrumentOptions};
+use iokc_benchmarks::ior::{run_ior, IorConfig};
+use iokc_darshan::{decode, encode, render_parser_output, LogSummary, Module};
+use iokc_extract::ingest_darshan;
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::prelude::{OpKind, SystemConfig};
+
+#[test]
+fn darshan_counters_match_simulated_ops_exactly() {
+    let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 31);
+    let config = IorConfig::parse_command(
+        "ior -a mpiio -b 1m -t 256k -s 2 -F -C -e -i 2 -o /scratch/dx -k",
+    )
+    .unwrap();
+    let layout = JobLayout::new(4, 2);
+    let result = run_ior(&mut world, layout, &config, 1).unwrap();
+
+    let phases: Vec<&iokc_sim::metrics::PhaseResult> =
+        result.phases.iter().map(|(_, _, p)| p).collect();
+    let opts = InstrumentOptions {
+        job_id: 777,
+        nprocs: layout.np,
+        exe: "ior".to_owned(),
+        dxt: true,
+        api: config.api,
+        start_unix: 1_656_590_400,
+    };
+    let log = darshan_from_phases(&phases, &opts);
+
+    // Ground truth from the simulator's op records.
+    let sim_writes: u64 = phases.iter().map(|p| p.ops(OpKind::Write)).sum();
+    let sim_write_bytes: u64 = phases.iter().map(|p| p.bytes(OpKind::Write)).sum();
+    let sim_reads: u64 = phases.iter().map(|p| p.ops(OpKind::Read)).sum();
+    let sim_read_bytes: u64 = phases.iter().map(|p| p.bytes(OpKind::Read)).sum();
+    let sim_opens: u64 = phases.iter().map(|p| p.ops(OpKind::Open)).sum();
+    let sim_fsyncs: u64 = phases.iter().map(|p| p.ops(OpKind::Fsync)).sum();
+
+    assert_eq!(log.total_counter(Module::Posix, "POSIX_WRITES") as u64, sim_writes);
+    assert_eq!(
+        log.total_counter(Module::Posix, "POSIX_BYTES_WRITTEN") as u64,
+        sim_write_bytes
+    );
+    assert_eq!(log.total_counter(Module::Posix, "POSIX_READS") as u64, sim_reads);
+    assert_eq!(
+        log.total_counter(Module::Posix, "POSIX_BYTES_READ") as u64,
+        sim_read_bytes
+    );
+    assert_eq!(log.total_counter(Module::Posix, "POSIX_OPENS") as u64, sim_opens);
+    assert_eq!(log.total_counter(Module::Posix, "POSIX_FSYNCS") as u64, sim_fsyncs);
+    // MPI-IO layer mirrors the data ops.
+    assert_eq!(
+        log.total_counter(Module::Mpiio, "MPIIO_BYTES_WRITTEN") as u64,
+        sim_write_bytes
+    );
+
+    // DXT traced every transfer.
+    assert_eq!(log.dxt.len() as u64, sim_writes + sim_reads);
+    // Sequential writes are detected (IOR writes each file sequentially).
+    assert!(log.total_counter(Module::Posix, "POSIX_CONSEC_WRITES") > 0);
+
+    // Binary round trip is exact.
+    let bytes = encode(&log);
+    let decoded = decode(&bytes).unwrap();
+    assert_eq!(decoded, log);
+
+    // The PyDarshan-equivalent summary agrees.
+    let summary = LogSummary::from_log(&decoded);
+    assert_eq!(summary.bytes_written, sim_write_bytes);
+    assert_eq!(summary.writes, sim_writes);
+    assert_eq!(summary.nprocs, 4);
+
+    // darshan-parser style text mentions the files.
+    let text = render_parser_output(&decoded);
+    assert!(text.contains("/scratch/dx.00000000"));
+    assert!(text.contains("X_POSIX"));
+
+    // Knowledge ingestion (the extractor path).
+    let knowledge = ingest_darshan(&bytes).unwrap();
+    assert_eq!(knowledge.pattern.tasks, 4);
+    assert!(knowledge.summary("write").unwrap().mean_mib > 0.0);
+    assert!(knowledge.summary("read").unwrap().mean_mib > 0.0);
+}
+
+#[test]
+fn dxt_segments_reproduce_access_pattern() {
+    let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 37);
+    let config = IorConfig::parse_command(
+        "ior -a posix -b 1m -t 512k -s 2 -F -i 1 -o /scratch/dxt -k -w",
+    )
+    .unwrap();
+    let result = run_ior(&mut world, JobLayout::new(2, 2), &config, 2).unwrap();
+    let phases: Vec<&iokc_sim::metrics::PhaseResult> =
+        result.phases.iter().map(|(_, _, p)| p).collect();
+    let log = darshan_from_phases(
+        &phases,
+        &InstrumentOptions { dxt: true, nprocs: 2, ..InstrumentOptions::default() },
+    );
+    // Rank 0's segments: sequential 512 KiB writes at 0, 512K, 1M, 1.5M.
+    let rank0: Vec<&iokc_darshan::DxtSegment> =
+        log.dxt.iter().filter(|s| s.rank == 0 && s.is_write).collect();
+    assert_eq!(rank0.len(), 4);
+    let offsets: Vec<u64> = rank0.iter().map(|s| s.offset).collect();
+    assert_eq!(offsets, vec![0, 512 << 10, 1 << 20, 3 << 19]);
+    assert!(rank0.iter().all(|s| s.length == 512 << 10));
+    // Timestamps are ordered within the rank.
+    for pair in rank0.windows(2) {
+        assert!(pair[0].end <= pair[1].start + 1e-9);
+    }
+}

@@ -1,0 +1,115 @@
+//! HDF5-layer runs (the third API of the paper's Fig. 1 stack) and
+//! mid-phase fault windows (capacity changes while flows are in flight).
+
+use iokc_benchmarks::ior::{run_ior, Access, IorConfig};
+use iokc_extract::parse_ior_output;
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::{Fault, FaultPlan, FaultTarget};
+use iokc_sim::prelude::*;
+use iokc_sim::time::SimTime;
+
+#[test]
+fn hdf5_api_runs_and_costs_more_than_mpiio() {
+    let run_with = |api: &str| {
+        let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 61);
+        let config = IorConfig::parse_command(&format!(
+            "ior -a {api} -b 1m -t 256k -s 2 -F -C -e -i 2 -o /scratch/h5 -k"
+        ))
+        .unwrap();
+        let result = run_ior(&mut world, JobLayout::new(4, 2), &config, 1).unwrap();
+        let knowledge = parse_ior_output(&result.render()).unwrap();
+        (result, knowledge)
+    };
+    let (hdf5, k_hdf5) = run_with("hdf5");
+    let (mpiio, k_mpiio) = run_with("mpiio");
+    assert_eq!(k_hdf5.pattern.api, "HDF5");
+    assert_eq!(k_mpiio.pattern.api, "MPIIO");
+    // Both move the same data; HDF5 carries library overheads, so its
+    // total times are at least as long (never faster).
+    let t_hdf5 = hdf5.samples_of(Access::Write).next().unwrap().total_s;
+    let t_mpiio = mpiio.samples_of(Access::Write).next().unwrap().total_s;
+    assert!(
+        t_hdf5 >= t_mpiio,
+        "HDF5 write phase ({t_hdf5}s) must not beat MPI-IO ({t_mpiio}s)"
+    );
+    assert!(k_hdf5.summary("write").unwrap().mean_mib > 0.0);
+    assert!(k_hdf5.summary("read").unwrap().mean_mib > 0.0);
+}
+
+#[test]
+fn fault_window_opening_mid_phase_slows_inflight_transfers() {
+    // A fabric fault whose window STARTS in the middle of the write phase:
+    // the engine must re-rate in-flight flows at the window edge.
+    let run = |fault: Option<Fault>| {
+        let plan = match fault {
+            Some(f) => FaultPlan::none().with(f),
+            None => FaultPlan::none(),
+        };
+        let mut world = World::new(SystemConfig::test_small(), plan, 71);
+        let mut scripts = ScriptSet::new(2);
+        for rank in 0..2 {
+            let path = format!("/scratch/w{rank}");
+            scripts.rank(rank).open(&path, OpenMode::Write);
+            for i in 0..16u64 {
+                scripts.rank(rank).write(&path, i << 20, 1 << 20);
+            }
+            scripts.rank(rank).close(&path);
+        }
+        world
+            .run(JobLayout::new(2, 1), &scripts)
+            .unwrap()
+            .wall()
+            .as_secs_f64()
+    };
+    let healthy = run(None);
+    // Window opens at 40% of the healthy runtime and never closes.
+    let edge = SimTime::from_secs_f64(healthy * 0.4);
+    let faulty = run(Some(Fault::fabric_congestion(0.2, edge, SimTime(u64::MAX))));
+    assert!(
+        faulty > healthy * 1.5,
+        "mid-phase fault must stretch the run: {faulty} vs {healthy}"
+    );
+
+    // And a window that CLOSES before the run starts has no effect.
+    let expired = run(Some(Fault::fabric_congestion(
+        0.2,
+        SimTime::ZERO,
+        SimTime::from_secs_f64(1e-9),
+    )));
+    assert!((expired - healthy).abs() < healthy * 0.01);
+}
+
+#[test]
+fn per_target_fault_reroutes_shape_not_totals() {
+    // One slow target out of four: total bytes still land, the phase just
+    // takes longer than healthy but less than an all-targets fault.
+    let run = |targets: &[u32]| {
+        let mut plan = FaultPlan::none();
+        for t in targets {
+            plan.push(Fault::permanent(FaultTarget::StorageTarget(*t), 0.2));
+        }
+        let mut world = World::new(SystemConfig::test_small(), plan, 73);
+        let mut scripts = ScriptSet::new(4);
+        for rank in 0..4 {
+            let path = format!("/scratch/t{rank}");
+            // Stripe across every target so each file feels the fault.
+            scripts.rank(rank).open_hint(
+                &path,
+                OpenMode::Write,
+                StripeHint { chunk_size: None, stripe_count: Some(4) },
+            );
+            for i in 0..8u64 {
+                scripts.rank(rank).write(&path, i << 20, 1 << 20);
+            }
+            scripts.rank(rank).close(&path);
+        }
+        let result = world.run(JobLayout::new(4, 2), &scripts).unwrap();
+        assert_eq!(result.bytes(OpKind::Write), (4 * 8) << 20);
+        result.wall().as_secs_f64()
+    };
+    let healthy = run(&[]);
+    let one_slow = run(&[0]);
+    let all_slow = run(&[0, 1, 2, 3]);
+    assert!(one_slow > healthy, "{one_slow} vs {healthy}");
+    assert!(all_slow > one_slow, "{all_slow} vs {one_slow}");
+}

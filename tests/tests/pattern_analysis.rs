@@ -1,0 +1,90 @@
+//! §IV I/O pattern analysis use case over real simulated runs: the
+//! classifier must recover the intended pattern of each benchmark from
+//! nothing but its Darshan counters.
+
+use iokc_analysis::{classify, Direction, DxtTimeline, Locality, SizeClass};
+use iokc_benchmarks::hacc::{run_hacc, FileMode, HaccConfig};
+use iokc_benchmarks::instrument::{darshan_from_phases, InstrumentOptions};
+use iokc_benchmarks::ior::{run_ior, IorConfig};
+use iokc_sim::api::IoApi;
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::prelude::SystemConfig;
+
+fn world(seed: u64) -> World {
+    World::new(SystemConfig::test_small(), FaultPlan::none(), seed)
+}
+
+#[test]
+fn ior_write_run_classifies_as_checkpoint_style() {
+    let mut w = world(81);
+    let config = IorConfig::parse_command(
+        "ior -a posix -b 4m -t 1m -s 2 -F -e -i 1 -o /scratch/pat -k -w",
+    )
+    .unwrap();
+    let result = run_ior(&mut w, JobLayout::new(4, 2), &config, 1).unwrap();
+    let phases: Vec<&iokc_sim::metrics::PhaseResult> =
+        result.phases.iter().map(|(_, _, p)| p).collect();
+    let log = darshan_from_phases(
+        &phases,
+        &InstrumentOptions { dxt: true, nprocs: 4, ..InstrumentOptions::default() },
+    );
+    let profile = classify(&log).unwrap();
+    assert_eq!(profile.direction, Direction::WriteHeavy);
+    assert_eq!(profile.locality, Locality::Sequential);
+    assert_eq!(profile.size_class, SizeClass::Medium);
+    assert_eq!(profile.label, "checkpoint-style sequential write");
+    assert_eq!(profile.files, 4);
+}
+
+#[test]
+fn hacc_checkpoint_and_restart_classify_as_mixed_bulk() {
+    let mut w = world(82);
+    let config = HaccConfig::new(
+        2_000_000,
+        FileMode::FilePerProcess,
+        IoApi::Posix,
+        "/scratch/hpat",
+    );
+    let result = run_hacc(&mut w, JobLayout::new(4, 2), &config).unwrap();
+    let mut phases = vec![&result.checkpoint];
+    if let Some(restart) = &result.restart {
+        phases.push(restart);
+    }
+    let log = darshan_from_phases(
+        &phases,
+        &InstrumentOptions { dxt: true, nprocs: 4, ..InstrumentOptions::default() },
+    );
+    let profile = classify(&log).unwrap();
+    // Checkpoint + restart moves equal bytes both ways.
+    assert_eq!(profile.direction, Direction::Mixed);
+    assert_eq!(profile.size_class, SizeClass::Large);
+    assert!(profile.metadata_intensity < 0.5);
+}
+
+#[test]
+fn dxt_timeline_covers_the_run() {
+    let mut w = world(83);
+    let config = IorConfig::parse_command(
+        "ior -a mpiio -b 1m -t 256k -s 2 -F -C -i 1 -o /scratch/tl -k",
+    )
+    .unwrap();
+    let result = run_ior(&mut w, JobLayout::new(4, 2), &config, 1).unwrap();
+    let phases: Vec<&iokc_sim::metrics::PhaseResult> =
+        result.phases.iter().map(|(_, _, p)| p).collect();
+    let log = darshan_from_phases(
+        &phases,
+        &InstrumentOptions { dxt: true, nprocs: 4, ..InstrumentOptions::default() },
+    );
+    let timeline = DxtTimeline::from_log(&log).unwrap();
+    assert_eq!(timeline.ranks.len(), 4);
+    // 4 ranks × (8 writes + 8 reads).
+    assert_eq!(timeline.segments.len(), 64);
+    // No stragglers in a healthy symmetric run.
+    assert!(timeline.stragglers(3.5, 0.25).is_empty());
+    // The heat map conserves the run's bytes.
+    let (matrix, _) = timeline.heat_map(32);
+    let total: f64 = matrix.iter().flatten().sum();
+    let moved: f64 = log.dxt.iter().map(|s| s.length as f64).sum();
+    assert!((total - moved).abs() < moved * 1e-6);
+}
