@@ -100,8 +100,11 @@ impl IterationVarianceDetector {
                 let mut corroborated_by = Vec::new();
                 let slow = *score < 0.0;
                 for (name, select) in [
-                    ("totalTime", &(|r: &iokc_core::model::IterationResult| r.total_s)
-                        as &dyn Fn(&iokc_core::model::IterationResult) -> f64),
+                    (
+                        "totalTime",
+                        &(|r: &iokc_core::model::IterationResult| r.total_s)
+                            as &dyn Fn(&iokc_core::model::IterationResult) -> f64,
+                    ),
                     ("wrRdTime", &|r| r.wrrd_s),
                     ("latency", &|r| r.latency_s),
                     ("closeTime", &|r| r.close_s),

@@ -293,7 +293,11 @@ impl Analyzer for BoundingBoxDetector {
                 knowledge_id: subject.id,
                 message: format!(
                     "{name} = {value:.4} falls {} the expectation box [{:.4} … {:.4}]",
-                    if verdict == Verdict::Below { "below" } else { "above" },
+                    if verdict == Verdict::Below {
+                        "below"
+                    } else {
+                        "above"
+                    },
                     bound.min,
                     bound.max
                 ),
@@ -320,6 +324,7 @@ mod tests2d {
             options: Default::default(),
             system: None,
             start_time: 0,
+            warnings: Vec::new(),
         }
     }
 
@@ -329,11 +334,20 @@ mod tests2d {
         let ref_refs: Vec<&Io500Knowledge> = refs.iter().collect();
         let bbox = ExpectationBox2D::fit(&ref_refs, 0.05).unwrap();
         // A well-tuned application inside the box on both axes.
-        assert_eq!(bbox.check_point(1.1, 11.0), (Verdict::Inside, Verdict::Inside));
+        assert_eq!(
+            bbox.check_point(1.1, 11.0),
+            (Verdict::Inside, Verdict::Inside)
+        );
         // Bandwidth fine, metadata collapsed (too many tiny files).
-        assert_eq!(bbox.check_point(1.0, 2.0), (Verdict::Inside, Verdict::Below));
+        assert_eq!(
+            bbox.check_point(1.0, 2.0),
+            (Verdict::Inside, Verdict::Below)
+        );
         // Suspiciously fast bandwidth (cache artifact).
-        assert_eq!(bbox.check_point(5.0, 11.0), (Verdict::Above, Verdict::Inside));
+        assert_eq!(
+            bbox.check_point(5.0, 11.0),
+            (Verdict::Above, Verdict::Inside)
+        );
         assert!(ExpectationBox2D::fit(&[], 0.1).is_none());
     }
 
@@ -370,11 +384,17 @@ mod tests {
             options: Default::default(),
             system: None,
             start_time: 0,
+            warnings: Vec::new(),
         }
     }
 
     fn tc(name: &str, value: f64) -> Io500Testcase {
-        Io500Testcase { name: name.into(), value, unit: "GiB/s".into(), time_s: 1.0 }
+        Io500Testcase {
+            name: name.into(),
+            value,
+            unit: "GiB/s".into(),
+            time_s: 1.0,
+        }
     }
 
     fn references() -> Vec<Io500Knowledge> {
@@ -427,7 +447,9 @@ mod tests {
         let bbox = BoundingBox::fit(&ref_refs, &[], 0.05);
         let cached = run(2.5, 9.9, 0.1, 0.4);
         let verdicts = bbox.check(&cached);
-        assert!(verdicts.iter().any(|(n, _, v)| n == "ior-easy-read" && *v == Verdict::Above));
+        assert!(verdicts
+            .iter()
+            .any(|(n, _, v)| n == "ior-easy-read" && *v == Verdict::Above));
     }
 
     #[test]
@@ -455,7 +477,10 @@ mod tests {
     #[test]
     fn analyzer_needs_two_runs() {
         let items = vec![KnowledgeItem::Io500(run(1.0, 1.0, 1.0, 1.0))];
-        assert!(BoundingBoxDetector::default().analyze(&items).unwrap().is_empty());
+        assert!(BoundingBoxDetector::default()
+            .analyze(&items)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

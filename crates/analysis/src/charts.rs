@@ -44,7 +44,9 @@ impl Default for ChartOptions {
 }
 
 const MARGIN: f64 = 60.0;
-const PALETTE: [&str; 6] = ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b"];
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+];
 
 fn bounds(series: &[Series]) -> (f64, f64, f64, f64) {
     let mut xmin = f64::INFINITY;
@@ -338,14 +340,23 @@ pub fn heat_map(matrix: &[Vec<f64>], row_labels: &[String], opts: &ChartOptions)
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// ASCII horizontal bars for terminal views: one row per (label, value).
 #[must_use]
 pub fn ascii_bars(rows: &[(String, f64)], width: usize) -> String {
-    let max = rows.iter().map(|(_, v)| *v).fold(f64::MIN_POSITIVE, f64::max);
-    let label_w = rows.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let max = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for (label, value) in rows {
         let bar_len = ((value / max) * width as f64).round() as usize;
@@ -425,7 +436,10 @@ mod tests {
     #[test]
     fn labels_are_escaped() {
         let svg = line_chart(
-            &[Series { label: "a<b&c".into(), points: vec![(0.0, 1.0)] }],
+            &[Series {
+                label: "a<b&c".into(),
+                points: vec![(0.0, 1.0)],
+            }],
             &ChartOptions::default(),
         );
         assert!(svg.contains("a&lt;b&amp;c"));
@@ -438,7 +452,10 @@ mod tests {
         let svg = heat_map(
             &matrix,
             &labels,
-            &ChartOptions { title: "hm".into(), ..ChartOptions::default() },
+            &ChartOptions {
+                title: "hm".into(),
+                ..ChartOptions::default()
+            },
         );
         // 1 background + 6 cells.
         assert_eq!(svg.matches("<rect").count(), 7);

@@ -105,9 +105,7 @@ impl KnowledgeFilter {
         match self {
             KnowledgeFilter::CommandContains(text) => k.command.contains(text.as_str()),
             KnowledgeFilter::Api(api) => k.pattern.api == *api,
-            KnowledgeFilter::TasksBetween(lo, hi) => {
-                (*lo..=*hi).contains(&k.pattern.tasks)
-            }
+            KnowledgeFilter::TasksBetween(lo, hi) => (*lo..=*hi).contains(&k.pattern.tasks),
             KnowledgeFilter::HasOperation(op) => k.summary(op).is_some(),
         }
     }
@@ -221,7 +219,10 @@ mod tests {
             &MetricAxis::MeanBandwidth("write".into()),
         );
         let xs: Vec<f64> = points.iter().map(|p| p.x).collect();
-        assert_eq!(xs, vec![(512 << 10) as f64, (1 << 20) as f64, (2 << 20) as f64]);
+        assert_eq!(
+            xs,
+            vec![(512 << 10) as f64, (1 << 20) as f64, (2 << 20) as f64]
+        );
         assert_eq!(points[0].y, 1900.0);
     }
 

@@ -78,7 +78,11 @@ impl DxtTimeline {
             current.busy_secs += (segment.end - segment.start).max(0.0);
         }
         let span_secs = segments.iter().map(|s| s.end).fold(0.0f64, f64::max);
-        Some(DxtTimeline { segments, ranks, span_secs })
+        Some(DxtTimeline {
+            segments,
+            ranks,
+            span_secs,
+        })
     }
 
     /// The time × rank transfer heat map: `bins` time buckets per rank,
@@ -103,8 +107,7 @@ impl DxtTimeline {
                 let bin = bin + first_bin;
                 let bin_start = bin as f64 / bins as f64 * span;
                 let bin_end = (bin + 1) as f64 / bins as f64 * span;
-                let overlap =
-                    (segment.end.min(bin_end) - segment.start.max(bin_start)).max(0.0);
+                let overlap = (segment.end.min(bin_end) - segment.start.max(bin_start)).max(0.0);
                 *cell += segment.length as f64 * (overlap / seg_span);
             }
         }
@@ -177,7 +180,11 @@ impl DxtTimeline {
             for segment in self.segments.iter().filter(|s| s.rank == rank.rank) {
                 let x = margin + segment.start / span * plot_w;
                 let width = ((segment.end - segment.start) / span * plot_w).max(0.5);
-                let color = if segment.is_write { "#ff7f0e" } else { "#1f77b4" };
+                let color = if segment.is_write {
+                    "#ff7f0e"
+                } else {
+                    "#1f77b4"
+                };
                 svg.push_str(&format!(
                     "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{width:.1}\" height=\"{:.1}\" fill=\"{color}\"/>\n",
                     row_h * 0.9
@@ -281,7 +288,11 @@ mod tests {
         let stragglers = timeline.stragglers(3.5, 0.25);
         assert_eq!(stragglers.len(), 1, "{stragglers:?}");
         assert_eq!(stragglers[0].0, 5);
-        assert!(stragglers[0].1 > 2.5, "reported excess: {}", stragglers[0].1);
+        assert!(
+            stragglers[0].1 > 2.5,
+            "reported excess: {}",
+            stragglers[0].1
+        );
     }
 
     #[test]
@@ -321,7 +332,11 @@ mod tests {
             ..ChartOptions::default()
         });
         assert!(svg.starts_with("<svg"));
-        assert_eq!(svg.matches("#ff7f0e").count(), 32, "one rect per write segment");
+        assert_eq!(
+            svg.matches("#ff7f0e").count(),
+            32,
+            "one rect per write segment"
+        );
         let report = timeline.render_report();
         assert!(report.contains("32 segments"));
         assert!(report.contains("STRAGGLER: rank 5"));

@@ -93,9 +93,8 @@ pub fn classify(log: &DarshanLog) -> Option<IoPatternProfile> {
     let consec = (log.total_counter(m, "POSIX_CONSEC_READS")
         + log.total_counter(m, "POSIX_CONSEC_WRITES"))
     .max(0) as f64;
-    let seq = (log.total_counter(m, "POSIX_SEQ_READS")
-        + log.total_counter(m, "POSIX_SEQ_WRITES"))
-    .max(0) as f64;
+    let seq = (log.total_counter(m, "POSIX_SEQ_READS") + log.total_counter(m, "POSIX_SEQ_WRITES"))
+        .max(0) as f64;
     let locality = if data_ops == 0.0 {
         Locality::Scattered
     } else if consec / data_ops >= 0.75 {
@@ -141,12 +140,16 @@ pub fn classify(log: &DarshanLog) -> Option<IoPatternProfile> {
 
     let label = match (direction, locality, size_class) {
         _ if metadata_intensity >= 1.0 => "metadata-bound (mdtest-style)",
-        (Direction::WriteHeavy, Locality::Sequential | Locality::MostlyForward, SizeClass::Large | SizeClass::Medium) => {
-            "checkpoint-style sequential write"
-        }
-        (Direction::ReadHeavy, Locality::Sequential | Locality::MostlyForward, SizeClass::Large | SizeClass::Medium) => {
-            "restart/scan-style sequential read"
-        }
+        (
+            Direction::WriteHeavy,
+            Locality::Sequential | Locality::MostlyForward,
+            SizeClass::Large | SizeClass::Medium,
+        ) => "checkpoint-style sequential write",
+        (
+            Direction::ReadHeavy,
+            Locality::Sequential | Locality::MostlyForward,
+            SizeClass::Large | SizeClass::Medium,
+        ) => "restart/scan-style sequential read",
         (_, Locality::Scattered, SizeClass::Small) => "random small-access (ior-hard-style)",
         (Direction::Mixed, _, _) => "mixed read/write workload",
         (_, _, SizeClass::Small) => "small-access stream",
@@ -219,7 +222,16 @@ mod tests {
         }
         // And a scattered read-back from the other rank.
         for i in (0..32u64).rev() {
-            b.transfer("/scratch/shared", 1, false, i * 2 * 47_008, 47_008, 0.3, 0.4, None);
+            b.transfer(
+                "/scratch/shared",
+                1,
+                false,
+                i * 2 * 47_008,
+                47_008,
+                0.3,
+                0.4,
+                None,
+            );
         }
         let profile = classify(&b.finish()).unwrap();
         assert_eq!(profile.size_class, SizeClass::Small);
@@ -244,7 +256,16 @@ mod tests {
     fn read_heavy_scan_detected() {
         let mut b = LogBuilder::new(1, 1, "scan", false);
         for i in 0..16u64 {
-            b.transfer("/data/input", 0, false, i * (1 << 20), 1 << 20, 0.0, 0.1, None);
+            b.transfer(
+                "/data/input",
+                0,
+                false,
+                i * (1 << 20),
+                1 << 20,
+                0.0,
+                0.1,
+                None,
+            );
         }
         let profile = classify(&b.finish()).unwrap();
         assert_eq!(profile.direction, Direction::ReadHeavy);

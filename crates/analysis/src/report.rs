@@ -23,7 +23,9 @@ th{background:#eef3f8}tr:nth-child(even){background:#fafafa}\
 figure{margin:1em 0}";
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render the knowledge-base report.
@@ -71,9 +73,11 @@ pub fn render_html(items: &[KnowledgeItem], findings: &[Finding]) -> String {
 
     // Benchmark knowledge table.
     if !benchmarks.is_empty() {
-        html.push_str("<h2>Benchmark knowledge</h2><table><tr>\
+        html.push_str(
+            "<h2>Benchmark knowledge</h2><table><tr>\
             <th>id</th><th>command</th><th>api</th><th>tasks</th>\
-            <th>write mean (MiB/s)</th><th>read mean (MiB/s)</th><th>iters</th></tr>");
+            <th>write mean (MiB/s)</th><th>read mean (MiB/s)</th><th>iters</th></tr>",
+        );
         for k in &benchmarks {
             let fmt_bw = |operation: &str| {
                 k.summary(operation)
@@ -149,9 +153,11 @@ pub fn render_html(items: &[KnowledgeItem], findings: &[Finding]) -> String {
 
     // IO500 table.
     if !io500s.is_empty() {
-        html.push_str("<h2>IO500 runs</h2><table><tr>\
+        html.push_str(
+            "<h2>IO500 runs</h2><table><tr>\
             <th>id</th><th>tasks</th><th>bandwidth (GiB/s)</th>\
-            <th>metadata (kIOPS)</th><th>total score</th></tr>");
+            <th>metadata (kIOPS)</th><th>total score</th></tr>",
+        );
         for k in &io500s {
             html.push_str(&format!(
                 "<tr><td>{}</td><td>{}</td><td>{:.4}</td><td>{:.4}</td><td>{:.4}</td></tr>",
@@ -223,6 +229,7 @@ mod tests {
                 options: Default::default(),
                 system: None,
                 start_time: 0,
+                warnings: Vec::new(),
             }),
         ];
         let findings = vec![Finding {

@@ -42,7 +42,11 @@ pub struct TrendDetector {
 
 impl Default for TrendDetector {
     fn default() -> TrendDetector {
-        TrendDetector { recent_window: 2, min_runs: 5, threshold: 0.15 }
+        TrendDetector {
+            recent_window: 2,
+            min_runs: 5,
+            threshold: 0.15,
+        }
     }
 }
 
@@ -113,13 +117,22 @@ impl Analyzer for TrendDetector {
             .detect(&corpus)
             .into_iter()
             .map(|drift| Finding {
-                tag: if drift.change < 0.0 { "regression" } else { "improvement" }.to_owned(),
+                tag: if drift.change < 0.0 {
+                    "regression"
+                } else {
+                    "improvement"
+                }
+                .to_owned(),
                 knowledge_id: None,
                 message: format!(
                     "{} {} bandwidth drifted {:+.1}% over {} runs of `{}` \
                      (baseline {:.0} MiB/s, recent {:.0} MiB/s)",
                     drift.operation,
-                    if drift.change < 0.0 { "regressed:" } else { "improved:" },
+                    if drift.change < 0.0 {
+                        "regressed:"
+                    } else {
+                        "improved:"
+                    },
                     drift.change * 100.0,
                     drift.runs,
                     drift.command,
@@ -195,15 +208,13 @@ mod tests {
 
     #[test]
     fn stable_history_and_short_history_stay_quiet() {
-        let stable: Vec<Knowledge> =
-            (0..8).map(|i| run("ior", i * 100, 2850.0 + f64::from(i as u32))).collect();
+        let stable: Vec<Knowledge> = (0..8)
+            .map(|i| run("ior", i * 100, 2850.0 + f64::from(i as u32)))
+            .collect();
         let refs: Vec<&Knowledge> = stable.iter().collect();
         assert!(TrendDetector::default().detect(&refs).is_empty());
 
-        let short: Vec<Knowledge> = vec![
-            run("ior", 100, 2850.0),
-            run("ior", 200, 1000.0),
-        ];
+        let short: Vec<Knowledge> = vec![run("ior", 100, 2850.0), run("ior", 200, 1000.0)];
         let refs: Vec<&Knowledge> = short.iter().collect();
         assert!(TrendDetector::default().detect(&refs).is_empty());
     }

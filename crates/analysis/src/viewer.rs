@@ -41,10 +41,19 @@ pub fn render_knowledge(k: &Knowledge) -> String {
     ]);
     pattern.push_row(vec!["segments".to_owned(), p.segments.to_string()]);
     pattern.push_row(vec!["tasks".to_owned(), p.tasks.to_string()]);
-    pattern.push_row(vec!["clients/node".to_owned(), p.clients_per_node.to_string()]);
+    pattern.push_row(vec![
+        "clients/node".to_owned(),
+        p.clients_per_node.to_string(),
+    ]);
     pattern.push_row(vec!["iterations".to_owned(), p.iterations.to_string()]);
-    pattern.push_row(vec!["file per proc".to_owned(), p.file_per_proc.to_string()]);
-    pattern.push_row(vec!["reorder tasks".to_owned(), p.reorder_tasks.to_string()]);
+    pattern.push_row(vec![
+        "file per proc".to_owned(),
+        p.file_per_proc.to_string(),
+    ]);
+    pattern.push_row(vec![
+        "reorder tasks".to_owned(),
+        p.reorder_tasks.to_string(),
+    ]);
     pattern.push_row(vec!["fsync".to_owned(), p.fsync.to_string()]);
     pattern.push_row(vec!["collective".to_owned(), p.collective.to_string()]);
     out.push_str("I/O pattern:\n");
@@ -61,7 +70,10 @@ pub fn render_knowledge(k: &Knowledge) -> String {
             "chunk size".to_owned(),
             iokc_util::units::format_size(fs.chunk_size),
         ]);
-        table.push_row(vec!["storage targets".to_owned(), fs.storage_targets.to_string()]);
+        table.push_row(vec![
+            "storage targets".to_owned(),
+            fs.storage_targets.to_string(),
+        ]);
         table.push_row(vec!["raid".to_owned(), fs.raid.clone()]);
         table.push_row(vec!["storage pool".to_owned(), fs.storage_pool.clone()]);
         out.push_str(&table.render());
@@ -267,6 +279,7 @@ mod tests {
             )]),
             system: None,
             start_time: 0,
+            warnings: Vec::new(),
         };
         let text = render_io500(&k);
         assert!(text.contains("tasks = 40"));

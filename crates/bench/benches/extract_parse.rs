@@ -23,16 +23,19 @@ fn sample_ior_output() -> String {
 
 fn sample_darshan_log() -> Vec<u8> {
     let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 72);
-    let config = IorConfig::parse_command(
-        "ior -a mpiio -b 1m -t 64k -s 4 -F -C -i 2 -o /scratch/dbench -k",
-    )
-    .unwrap();
+    let config =
+        IorConfig::parse_command("ior -a mpiio -b 1m -t 64k -s 4 -F -C -i 2 -o /scratch/dbench -k")
+            .unwrap();
     let result = run_ior(&mut world, JobLayout::new(4, 2), &config, 2).unwrap();
     let phases: Vec<&iokc_sim::metrics::PhaseResult> =
         result.phases.iter().map(|(_, _, p)| p).collect();
     let log = darshan_from_phases(
         &phases,
-        &InstrumentOptions { dxt: true, nprocs: 4, ..InstrumentOptions::default() },
+        &InstrumentOptions {
+            dxt: true,
+            nprocs: 4,
+            ..InstrumentOptions::default()
+        },
     );
     iokc_darshan::encode(&log)
 }

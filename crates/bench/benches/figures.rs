@@ -18,8 +18,11 @@ use std::hint::black_box;
 /// Scaled Fig. 5: six iterations, storage interference in iteration 1.
 fn fig5_small(seed: u64) -> Vec<f64> {
     let layout = JobLayout::new(4, 2);
-    let mut world =
-        World::new(SystemConfig::test_small().with_noise(0.01), FaultPlan::none(), seed);
+    let mut world = World::new(
+        SystemConfig::test_small().with_noise(0.01),
+        FaultPlan::none(),
+        seed,
+    );
     let base = IorConfig::parse_command(
         "ior -a mpiio -b 1m -t 512k -s 2 -F -C -e -i 1 -o /scratch/fig5 -k -w",
     )
@@ -29,7 +32,12 @@ fn fig5_small(seed: u64) -> Vec<f64> {
         if iteration == 1 {
             let mut plan = FaultPlan::none();
             for target in 0..world.system().pfs.storage_targets {
-                plan.push(Fault::slow_target(target, 0.3, world.now(), SimTime(u64::MAX)));
+                plan.push(Fault::slow_target(
+                    target,
+                    0.3,
+                    world.now(),
+                    SimTime(u64::MAX),
+                ));
             }
             world.set_faults(plan);
         }

@@ -14,8 +14,7 @@ fn bench_solver(c: &mut Criterion) {
     for &nflows in &[16usize, 64, 256, 1024] {
         let nres = 64u32;
         let mut rng = Rng::seed_from(9);
-        let capacities: Vec<f64> =
-            (0..nres).map(|_| rng.uniform(1e8, 1e10)).collect();
+        let capacities: Vec<f64> = (0..nres).map(|_| rng.uniform(1e8, 1e10)).collect();
         let flows: Vec<FlowPath> = (0..nflows)
             .map(|_| {
                 FlowPath::new(vec![

@@ -21,8 +21,8 @@ pattern write_bw = Max Write: {bw:f} MiB/sec
 fn runner(wp: usize, _step: &str, command: &str) -> Result<String, String> {
     let config = IorConfig::parse_command(command).map_err(|e| e.to_string())?;
     let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), wp as u64);
-    let result = run_ior(&mut world, JobLayout::new(4, 2), &config, wp as u64)
-        .map_err(|e| e.to_string())?;
+    let result =
+        run_ior(&mut world, JobLayout::new(4, 2), &config, wp as u64).map_err(|e| e.to_string())?;
     Ok(result.render())
 }
 

@@ -7,7 +7,11 @@ fn main() {
     for s in &data.run.samples {
         println!(
             "iter {} {:<5} bw {:8.1} MiB/s iops {:8.1} total {:6.2}s",
-            s.iter, s.access.as_str(), s.bw_mib, s.iops, s.total_s
+            s.iter,
+            s.access.as_str(),
+            s.bw_mib,
+            s.iops,
+            s.total_s
         );
     }
 }

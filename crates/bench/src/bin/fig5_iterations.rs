@@ -77,7 +77,9 @@ fn main() {
         );
     }
     assert!(
-        anomalies.iter().any(|a| a.iteration == 1 && a.operation == "write"),
+        anomalies
+            .iter()
+            .any(|a| a.iteration == 1 && a.operation == "write"),
         "the Fig. 5 anomaly must be detected"
     );
 
@@ -88,8 +90,14 @@ fn main() {
     let svg = bar_chart(
         &categories,
         &[
-            Series { label: "write MiB/s".into(), points: write_series },
-            Series { label: "read MiB/s".into(), points: read_series },
+            Series {
+                label: "write MiB/s".into(),
+                points: write_series,
+            },
+            Series {
+                label: "read MiB/s".into(),
+                points: read_series,
+            },
         ],
         &ChartOptions {
             title: "Fig. 5 — throughput per iteration (simulated FUCHS-CSC)".into(),

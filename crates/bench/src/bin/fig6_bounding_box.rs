@@ -9,7 +9,7 @@
 //!
 //! Writes `figures/fig6_bounding_box.svg`.
 
-use iokc_analysis::{box_plot, ChartOptions, BoundingBox, Describe, Verdict};
+use iokc_analysis::{box_plot, BoundingBox, ChartOptions, Describe, Verdict};
 use iokc_bench::run_fig6;
 use iokc_core::model::Io500Knowledge;
 use iokc_extract::parse_io500_output;

@@ -4,10 +4,8 @@
 //! the simulated FUCHS-CSC system; the figure binaries print the series
 //! and EXPERIMENTS.md records paper-vs-measured.
 
+use iokc_benchmarks::io500::{run_io500_with_faults, Io500Config, Io500Result, PhaseFaults};
 use iokc_benchmarks::ior::{run_ior, Access, IorConfig, IorRunResult};
-use iokc_benchmarks::io500::{
-    run_io500_with_faults, Io500Config, Io500Result, PhaseFaults,
-};
 use iokc_core::model::Knowledge;
 use iokc_extract::parse_ior_output;
 use iokc_sim::engine::{JobLayout, World};
@@ -124,7 +122,11 @@ pub fn run_fig5(seed: u64) -> Fig5Data {
     };
     let output = run.render();
     let knowledge = parse_ior_output(&output).expect("own output parses");
-    Fig5Data { run, output, knowledge }
+    Fig5Data {
+        run,
+        output,
+        knowledge,
+    }
 }
 
 /// Figure 6 data: repeated IO500 runs plus one run with a node failure
@@ -148,7 +150,11 @@ pub fn run_fig6(reference_runs: usize, seed: u64) -> Fig6Data {
         let system = SystemConfig::fuchs_csc()
             .with_noise(0.22)
             .with_noise_interval(15_000_000_000);
-        let mut world = World::new(system, FaultPlan::none(), seed.wrapping_add(i as u64 * 7919));
+        let mut world = World::new(
+            system,
+            FaultPlan::none(),
+            seed.wrapping_add(i as u64 * 7919),
+        );
         let result = run_io500_with_faults(&mut world, layout, &config, &PhaseFaults::new())
             .expect("reference io500 run");
         references.push(result);
@@ -157,7 +163,11 @@ pub fn run_fig6(reference_runs: usize, seed: u64) -> Fig6Data {
     let system = SystemConfig::fuchs_csc()
         .with_noise(0.22)
         .with_noise_interval(15_000_000_000);
-    let mut world = World::new(system, FaultPlan::none(), seed.wrapping_mul(31).wrapping_add(1));
+    let mut world = World::new(
+        system,
+        FaultPlan::none(),
+        seed.wrapping_mul(31).wrapping_add(1),
+    );
     let mut schedule = PhaseFaults::new();
     // Node 0's NIC collapses while ior-easy-read runs (transient failure:
     // the paper suspects "a broken node" behind the bad ior-easy read).
@@ -165,9 +175,12 @@ pub fn run_fig6(reference_runs: usize, seed: u64) -> Fig6Data {
         "ior-easy-read".to_owned(),
         FaultPlan::none().with(Fault::permanent(FaultTarget::NodeNic(0), 0.04)),
     );
-    let degraded = run_io500_with_faults(&mut world, layout, &config, &schedule)
-        .expect("degraded io500 run");
-    Fig6Data { references, degraded }
+    let degraded =
+        run_io500_with_faults(&mut world, layout, &config, &schedule).expect("degraded io500 run");
+    Fig6Data {
+        references,
+        degraded,
+    }
 }
 
 /// One point of the Figure 3 impact-factor sweep.
@@ -190,7 +203,11 @@ pub fn run_fig3_sweep(seed: u64) -> Vec<SweepPoint> {
     let base_cmd = "ior -a mpiio -b 4m -t 1m -s 8 -F -C -e -i 1 -o /scratch/sweep -w";
 
     let measure = |cfg: &IorConfig, np: u32, ppn: u32, seed: u64| -> f64 {
-        let mut world = World::new(SystemConfig::fuchs_csc().with_noise(0.0), FaultPlan::none(), seed);
+        let mut world = World::new(
+            SystemConfig::fuchs_csc().with_noise(0.0),
+            FaultPlan::none(),
+            seed,
+        );
         run_ior(&mut world, JobLayout::new(np, ppn), cfg, seed)
             .expect("sweep run")
             .max_bw(Access::Write)

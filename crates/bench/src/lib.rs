@@ -11,6 +11,5 @@
 pub mod experiments;
 
 pub use experiments::{
-    paper_layout, run_fig3_sweep, run_fig5, run_fig6, Fig5Data, Fig6Data, SweepPoint,
-    PAPER_COMMAND,
+    paper_layout, run_fig3_sweep, run_fig5, run_fig6, Fig5Data, Fig6Data, SweepPoint, PAPER_COMMAND,
 };

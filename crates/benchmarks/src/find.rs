@@ -93,7 +93,9 @@ mod tests {
             setup.rank(0).close(&path);
         }
         setup.rank(0).mkdir("/scratch/tree/sub");
-        setup.rank(0).open("/scratch/tree/sub/other", OpenMode::Write);
+        setup
+            .rank(0)
+            .open("/scratch/tree/sub/other", OpenMode::Write);
         setup.rank(0).close("/scratch/tree/sub/other");
         w.run(JobLayout::new(1, 1), &setup).unwrap();
 
@@ -120,8 +122,16 @@ mod tests {
         let result = run_find(&mut w, JobLayout::new(2, 2), "/scratch/big", "").unwrap();
         assert_eq!(result.matched, 300);
         let cap = w.system().pfs.mds_ops_per_sec * f64::from(w.system().pfs.metadata_servers);
-        assert!(result.rate < cap * 1.5, "find rate {} vs MDS cap {cap}", result.rate);
-        assert!(result.rate > 1000.0, "find rate {} implausibly low", result.rate);
+        assert!(
+            result.rate < cap * 1.5,
+            "find rate {} vs MDS cap {cap}",
+            result.rate
+        );
+        assert!(
+            result.rate > 1000.0,
+            "find rate {} implausibly low",
+            result.rate
+        );
     }
 
     #[test]

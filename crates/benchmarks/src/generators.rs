@@ -15,6 +15,7 @@ use crate::ior::{run_ior, IorConfig};
 use crate::mdtest::{run_mdtest, MdtestConfig};
 use iokc_core::phases::{Artifact, ArtifactKind, CycleError, Generator, PhaseKind};
 use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::CrashSchedule;
 use iokc_sim::sysinfo::ProcSnapshot;
 
 /// Unix-time base for simulated runs (the paper's submission era).
@@ -28,6 +29,9 @@ pub struct IorGenerator {
     seed: u64,
     /// Also emit a binary Darshan log artifact for each run.
     pub with_darshan: bool,
+    /// Process-level fault injection: invocation attempts on this
+    /// schedule die with a transient error instead of producing output.
+    pub crashes: CrashSchedule,
     runs: u64,
 }
 
@@ -35,7 +39,15 @@ impl IorGenerator {
     /// Create a generator executing `config` on `world`.
     #[must_use]
     pub fn new(world: World, layout: JobLayout, config: IorConfig, seed: u64) -> IorGenerator {
-        IorGenerator { world, layout, config, seed, with_darshan: false, runs: 0 }
+        IorGenerator {
+            world,
+            layout,
+            config,
+            seed,
+            with_darshan: false,
+            crashes: CrashSchedule::none(),
+            runs: 0,
+        }
     }
 
     /// The current command line.
@@ -69,11 +81,23 @@ impl Generator for IorGenerator {
     }
 
     fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+        if self.crashes.tick() {
+            return Err(CycleError::transient(
+                PhaseKind::Generation,
+                "ior-generator",
+                format!("injected crash on attempt {}", self.crashes.calls() - 1),
+            ));
+        }
         let run_tag = format!("ior-run-{}", self.runs);
         self.runs += 1;
         let start_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
-        let result = run_ior(&mut self.world, self.layout, &self.config, self.seed ^ self.runs)
-            .map_err(|e| CycleError::new(PhaseKind::Generation, "ior-generator", e))?;
+        let result = run_ior(
+            &mut self.world,
+            self.layout,
+            &self.config,
+            self.seed ^ self.runs,
+        )
+        .map_err(|e| CycleError::new(PhaseKind::Generation, "ior-generator", e))?;
         let end_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
         let system_name = self.world.system().cluster.name.clone();
 
@@ -92,7 +116,13 @@ impl Generator for IorGenerator {
         // Entry info of the (first) test file, when it still exists — in
         // the format of whatever file system the world is configured with.
         let probe = self.config.file_for(0);
-        if self.world.system().pfs.fs_type.eq_ignore_ascii_case("lustre") {
+        if self
+            .world
+            .system()
+            .pfs
+            .fs_type
+            .eq_ignore_ascii_case("lustre")
+        {
             if let Some(text) = self.world.namespace().entry_info_lustre(&probe) {
                 artifacts.push(with_run_meta(Artifact::text(
                     ArtifactKind::LustreStripeInfo,
@@ -154,7 +184,12 @@ impl Io500Generator {
     /// Create a generator executing the suite on `world`.
     #[must_use]
     pub fn new(world: World, layout: JobLayout, config: Io500Config) -> Io500Generator {
-        Io500Generator { world, layout, config, runs: 0 }
+        Io500Generator {
+            world,
+            layout,
+            config,
+            runs: 0,
+        }
     }
 }
 
@@ -208,7 +243,12 @@ impl MdtestGenerator {
     /// Create a generator executing `config` on `world`.
     #[must_use]
     pub fn new(world: World, layout: JobLayout, config: MdtestConfig) -> MdtestGenerator {
-        MdtestGenerator { world, layout, config, runs: 0 }
+        MdtestGenerator {
+            world,
+            layout,
+            config,
+            runs: 0,
+        }
     }
 }
 
@@ -261,7 +301,12 @@ impl HaccGenerator {
     /// Create a generator executing `config` on `world`.
     #[must_use]
     pub fn new(world: World, layout: JobLayout, config: HaccConfig) -> HaccGenerator {
-        HaccGenerator { world, layout, config, runs: 0 }
+        HaccGenerator {
+            world,
+            layout,
+            config,
+            runs: 0,
+        }
     }
 }
 
@@ -280,8 +325,7 @@ impl Generator for HaccGenerator {
             let mut cleanup = iokc_sim::script::ScriptSet::new(self.layout.np);
             for rank in 0..self.layout.np {
                 let (file, _) = hacc_file_of(&self.config, rank);
-                if self.world.namespace().file(&file).is_some()
-                    && !cleanup.paths().contains(&file)
+                if self.world.namespace().file(&file).is_some() && !cleanup.paths().contains(&file)
                 {
                     cleanup.rank(rank % self.layout.np).unlink(&file);
                 }
@@ -337,8 +381,7 @@ mod tests {
         let config =
             IorConfig::parse_command("ior -a posix -b 1m -t 256k -s 1 -i 1 -o /scratch/g -F -k")
                 .unwrap();
-        let mut generator =
-            IorGenerator::new(small_world(3), JobLayout::new(2, 2), config, 1);
+        let mut generator = IorGenerator::new(small_world(3), JobLayout::new(2, 2), config, 1);
         generator.with_darshan = true;
         let artifacts = generator.generate().unwrap();
         let kinds: Vec<ArtifactKind> = artifacts.iter().map(|a| a.kind).collect();
@@ -347,7 +390,10 @@ mod tests {
         assert!(kinds.contains(&ArtifactKind::ProcCpuinfo));
         assert!(kinds.contains(&ArtifactKind::ProcMeminfo));
         assert!(kinds.contains(&ArtifactKind::DarshanLog));
-        let ior = artifacts.iter().find(|a| a.kind == ArtifactKind::IorOutput).unwrap();
+        let ior = artifacts
+            .iter()
+            .find(|a| a.kind == ArtifactKind::IorOutput)
+            .unwrap();
         assert!(ior.as_text().unwrap().contains("Max Write:"));
         assert_eq!(ior.meta["run"], "ior-run-0");
         assert_eq!(ior.meta["tasks"], "2");

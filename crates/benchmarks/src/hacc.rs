@@ -9,9 +9,9 @@
 use iokc_sim::api::{close_file, independent_xfer, open_file, IoApi};
 use iokc_sim::engine::{JobLayout, SimError, World};
 use iokc_sim::metrics::PhaseResult;
-use iokc_sim::script::{OpenMode, ScriptSet, StripeHint};
 #[cfg(test)]
 use iokc_sim::script::OpKind;
+use iokc_sim::script::{OpenMode, ScriptSet, StripeHint};
 
 /// Bytes per particle record (xx,yy,zz,vx,vy,vz,phi as f32; pid as i64;
 /// mask as u16).
@@ -124,8 +124,14 @@ impl HaccResult {
             "Particles per rank : {}\n",
             self.config.particles_per_rank
         ));
-        out.push_str(&format!("File mode          : {}\n", self.config.mode.as_str()));
-        out.push_str(&format!("API                : {}\n", self.config.api.as_str()));
+        out.push_str(&format!(
+            "File mode          : {}\n",
+            self.config.mode.as_str()
+        ));
+        out.push_str(&format!(
+            "API                : {}\n",
+            self.config.api.as_str()
+        ));
         out.push_str(&format!(
             "Data per rank      : {:.2} MB\n",
             self.config.bytes_per_rank() as f64 / 1e6
@@ -187,10 +193,8 @@ pub fn run_hacc(
         write_set.rank(rank).barrier();
     }
     let checkpoint = world.run(layout, &write_set)?;
-    let checkpoint_bw_mib = iokc_util::units::mib_per_sec(
-        per_rank * u64::from(np),
-        checkpoint.wall().nanos(),
-    );
+    let checkpoint_bw_mib =
+        iokc_util::units::mib_per_sec(per_rank * u64::from(np), checkpoint.wall().nanos());
 
     // Restart phase: every rank reads back a *different* rank's block
     // (restart after re-balancing never aligns with the writer), which
@@ -255,7 +259,12 @@ mod tests {
     fn particle_record_is_38_bytes() {
         // 7 × f32 + i64 + u16 = 28 + 8 + 2.
         assert_eq!(BYTES_PER_PARTICLE, 7 * 4 + 8 + 2);
-        let cfg = HaccConfig::new(1_000_000, FileMode::FilePerProcess, IoApi::Posix, "/scratch/p");
+        let cfg = HaccConfig::new(
+            1_000_000,
+            FileMode::FilePerProcess,
+            IoApi::Posix,
+            "/scratch/p",
+        );
         assert_eq!(cfg.bytes_per_rank(), 38_000_000);
     }
 
@@ -276,7 +285,12 @@ mod tests {
     #[test]
     fn checkpoint_and_restart_run() {
         let mut w = world();
-        let cfg = HaccConfig::new(50_000, FileMode::FilePerProcess, IoApi::Posix, "/scratch/hc");
+        let cfg = HaccConfig::new(
+            50_000,
+            FileMode::FilePerProcess,
+            IoApi::Posix,
+            "/scratch/hc",
+        );
         let result = run_hacc(&mut w, JobLayout::new(4, 2), &cfg).unwrap();
         assert!(result.checkpoint_bw_mib > 0.0);
         assert!(result.restart_bw_mib > 0.0);
@@ -290,10 +304,18 @@ mod tests {
     #[test]
     fn shared_file_mode_creates_one_file() {
         let mut w = world();
-        let cfg = HaccConfig::new(10_000, FileMode::SingleSharedFile, IoApi::MpiIo { collective: false }, "/scratch/ssf");
+        let cfg = HaccConfig::new(
+            10_000,
+            FileMode::SingleSharedFile,
+            IoApi::MpiIo { collective: false },
+            "/scratch/ssf",
+        );
         run_hacc(&mut w, JobLayout::new(4, 2), &cfg).unwrap();
         assert!(w.namespace().file("/scratch/ssf").is_some());
-        assert_eq!(w.namespace().file("/scratch/ssf").unwrap().size, 4 * 380_000);
+        assert_eq!(
+            w.namespace().file("/scratch/ssf").unwrap().size,
+            4 * 380_000
+        );
         assert_eq!(w.namespace().file_count(), 1);
     }
 

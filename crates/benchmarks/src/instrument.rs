@@ -132,7 +132,11 @@ mod tests {
         let phase = run_simple();
         let log = darshan_from_phases(
             &[&phase],
-            &InstrumentOptions { nprocs: 2, dxt: true, ..InstrumentOptions::default() },
+            &InstrumentOptions {
+                nprocs: 2,
+                dxt: true,
+                ..InstrumentOptions::default()
+            },
         );
         assert_eq!(log.total_counter(Module::Posix, "POSIX_OPENS"), 2);
         assert_eq!(log.total_counter(Module::Posix, "POSIX_WRITES"), 4);
@@ -176,7 +180,11 @@ mod tests {
         let phase = run_simple();
         let log = darshan_from_phases(
             &[&phase],
-            &InstrumentOptions { nprocs: 2, dxt: true, ..InstrumentOptions::default() },
+            &InstrumentOptions {
+                nprocs: 2,
+                dxt: true,
+                ..InstrumentOptions::default()
+            },
         );
         let decoded = iokc_darshan::decode(&iokc_darshan::encode(&log)).unwrap();
         assert_eq!(decoded, log);

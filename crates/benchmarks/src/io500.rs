@@ -222,7 +222,10 @@ pub fn run_io500_with_faults(
         collective: false,
         random_offsets: false,
         deadline_secs: 0,
-        stripe: StripeHint { chunk_size: None, stripe_count: Some(4) },
+        stripe: StripeHint {
+            chunk_size: None,
+            stripe_count: Some(4),
+        },
     };
     let result = run_ior(world, layout, &ior_easy, 1)?;
     phases.push(bw_phase("ior-easy-write", &result, Access::Write, np));
@@ -255,7 +258,10 @@ pub fn run_io500_with_faults(
         collective: false,
         random_offsets: false,
         deadline_secs: 0,
-        stripe: StripeHint { chunk_size: None, stripe_count: Some(4) },
+        stripe: StripeHint {
+            chunk_size: None,
+            stripe_count: Some(4),
+        },
     };
     let result = run_ior(world, layout, &ior_hard, 2)?;
     phases.push(bw_phase("ior-hard-write", &result, Access::Write, np));
@@ -332,7 +338,10 @@ pub fn run_io500_with_faults(
         world,
         layout,
         "mdtest-hard-read",
-        MdAction::Read { bytes: 3901, peer_shift: layout.ppn },
+        MdAction::Read {
+            bytes: 3901,
+            peer_shift: layout.ppn,
+        },
         &hard_tree_paths(config, &mdh_dir, np),
     )?);
 
@@ -350,7 +359,9 @@ pub fn run_io500_with_faults(
     world.set_faults(base_faults.clone());
     let mut cleanup = ScriptSet::new(np);
     for rank in 0..np {
-        cleanup.rank(rank).unlink(&format!("{easy_dir}/ior_file_easy.{rank:08}"));
+        cleanup
+            .rank(rank)
+            .unlink(&format!("{easy_dir}/ior_file_easy.{rank:08}"));
     }
     cleanup.rank(0).unlink(&format!("{hard_dir}/ior_file_hard"));
     world.run(layout, &cleanup)?;

@@ -8,7 +8,9 @@
 //! results in IOR's native output format (see [`crate::ior_output`]).
 
 use crate::ior_output::{render_output, IorSample};
-use iokc_sim::api::{close_file, collective_xfer, independent_xfer, open_file, CollectiveRound, IoApi};
+use iokc_sim::api::{
+    close_file, collective_xfer, independent_xfer, open_file, CollectiveRound, IoApi,
+};
 use iokc_sim::engine::{JobLayout, SimError, World};
 use iokc_sim::metrics::PhaseResult;
 use iokc_sim::rng::Rng;
@@ -196,7 +198,9 @@ impl IorConfig {
             cfg.read = pending_read;
         }
         if cfg.block_size == 0 || cfg.transfer_size == 0 {
-            return Err(IorParseError("block and transfer size must be non-zero".into()));
+            return Err(IorParseError(
+                "block and transfer size must be non-zero".into(),
+            ));
         }
         if cfg.block_size % cfg.transfer_size != 0 {
             return Err(IorParseError(format!(
@@ -205,7 +209,9 @@ impl IorConfig {
             )));
         }
         if cfg.iterations == 0 || cfg.segments == 0 {
-            return Err(IorParseError("iterations and segments must be non-zero".into()));
+            return Err(IorParseError(
+                "iterations and segments must be non-zero".into(),
+            ));
         }
         cfg.api = cfg.api.with_collective(cfg.collective);
         Ok(cfg)
@@ -316,7 +322,9 @@ impl IorRunResult {
     /// Max bandwidth over iterations for an access direction, MiB/s.
     #[must_use]
     pub fn max_bw(&self, access: Access) -> f64 {
-        self.samples_of(access).map(|s| s.bw_mib).fold(0.0, f64::max)
+        self.samples_of(access)
+            .map(|s| s.bw_mib)
+            .fold(0.0, f64::max)
     }
 
     /// Mean bandwidth over iterations for an access direction, MiB/s.
@@ -404,12 +412,7 @@ fn xfer_offset(config: &IorConfig, np: u32, rank: u32, segment: u64, xfer: u64) 
     }
 }
 
-fn build_phase(
-    config: &IorConfig,
-    layout: JobLayout,
-    access: Access,
-    rng: &mut Rng,
-) -> ScriptSet {
+fn build_phase(config: &IorConfig, layout: JobLayout, access: Access, rng: &mut Rng) -> ScriptSet {
     let np = layout.np;
     let mut set = ScriptSet::new(np);
     if config.deadline_secs > 0 {
@@ -419,11 +422,19 @@ fn build_phase(
     }
     let xfers_per_block = config.block_size / config.transfer_size;
     let is_write = access == Access::Write;
-    let mode = if is_write { OpenMode::Write } else { OpenMode::Read };
+    let mode = if is_write {
+        OpenMode::Write
+    } else {
+        OpenMode::Read
+    };
 
     // Open (collective APIs synchronize on open).
     for rank in 0..np {
-        let data_rank = if is_write { rank } else { read_peer(config, layout, rank) };
+        let data_rank = if is_write {
+            rank
+        } else {
+            read_peer(config, layout, rank)
+        };
         let file = config.file_for(data_rank);
         open_file(config.api, &mut set.rank(rank), &file, mode, config.stripe);
     }
@@ -439,8 +450,11 @@ fn build_phase(
             for x in 0..xfers_per_block {
                 let offsets: Vec<u64> = (0..np)
                     .map(|rank| {
-                        let data_rank =
-                            if is_write { rank } else { read_peer(config, layout, rank) };
+                        let data_rank = if is_write {
+                            rank
+                        } else {
+                            read_peer(config, layout, rank)
+                        };
                         xfer_offset(config, np, data_rank, segment, x)
                     })
                     .collect();
@@ -461,11 +475,14 @@ fn build_phase(
         }
     } else {
         for rank in 0..np {
-            let data_rank = if is_write { rank } else { read_peer(config, layout, rank) };
+            let data_rank = if is_write {
+                rank
+            } else {
+                read_peer(config, layout, rank)
+            };
             let file = config.file_for(data_rank);
-            let mut accesses: Vec<u64> = Vec::with_capacity(
-                (config.segments * xfers_per_block) as usize,
-            );
+            let mut accesses: Vec<u64> =
+                Vec::with_capacity((config.segments * xfers_per_block) as usize);
             for segment in 0..config.segments {
                 for x in 0..xfers_per_block {
                     accesses.push(xfer_offset(config, np, data_rank, segment, x));
@@ -476,14 +493,25 @@ fn build_phase(
             }
             let mut rs = set.rank(rank);
             for offset in accesses {
-                independent_xfer(config.api, &mut rs, &file, offset, config.transfer_size, is_write);
+                independent_xfer(
+                    config.api,
+                    &mut rs,
+                    &file,
+                    offset,
+                    config.transfer_size,
+                    is_write,
+                );
             }
         }
     }
 
     // fsync (write phases with -e), close, final barrier.
     for rank in 0..np {
-        let data_rank = if is_write { rank } else { read_peer(config, layout, rank) };
+        let data_rank = if is_write {
+            rank
+        } else {
+            read_peer(config, layout, rank)
+        };
         let file = config.file_for(data_rank);
         if is_write && config.fsync {
             set.rank(rank).fsync(&file);
@@ -523,7 +551,11 @@ fn sample_from(
         } else {
             0.0
         },
-        iops: if wrrd_s > 0.0 { ops as f64 / wrrd_s } else { 0.0 },
+        iops: if wrrd_s > 0.0 {
+            ops as f64 / wrrd_s
+        } else {
+            0.0
+        },
         latency_s: iokc_util::stats::mean(&latencies),
         block_kib: config.block_size / 1024,
         xfer_kib: config.transfer_size / 1024,
@@ -600,8 +632,9 @@ mod tests {
     #[test]
     fn runs_file_per_process() {
         let mut world = small_world();
-        let cfg = IorConfig::parse_command("ior -a posix -b 1m -t 256k -s 2 -F -i 2 -o /scratch/fp -k")
-            .unwrap();
+        let cfg =
+            IorConfig::parse_command("ior -a posix -b 1m -t 256k -s 2 -F -i 2 -o /scratch/fp -k")
+                .unwrap();
         let result = run_ior(&mut world, JobLayout::new(4, 2), &cfg, 1).unwrap();
         // 2 iterations × (write + read).
         assert_eq!(result.samples.len(), 4);
@@ -649,9 +682,10 @@ mod tests {
     #[test]
     fn collective_mode_executes_on_shared_file() {
         let mut world = small_world();
-        let cfg =
-            IorConfig::parse_command("ior -a mpiio -c -b 512k -t 256k -s 2 -i 1 -o /scratch/coll -k")
-                .unwrap();
+        let cfg = IorConfig::parse_command(
+            "ior -a mpiio -c -b 512k -t 256k -s 2 -i 1 -o /scratch/coll -k",
+        )
+        .unwrap();
         let result = run_ior(&mut world, JobLayout::new(4, 2), &cfg, 1).unwrap();
         assert_eq!(result.samples.len(), 2);
         assert!(result.max_bw(Access::Write) > 0.0);
@@ -665,15 +699,20 @@ mod tests {
     #[test]
     fn output_renders_and_contains_summary() {
         let mut world = small_world();
-        let cfg = IorConfig::parse_command("ior -a posix -b 1m -t 512k -s 1 -F -i 2 -o /scratch/ro -k")
-            .unwrap();
+        let cfg =
+            IorConfig::parse_command("ior -a posix -b 1m -t 512k -s 1 -F -i 2 -o /scratch/ro -k")
+                .unwrap();
         let result = run_ior(&mut world, JobLayout::new(2, 2), &cfg, 1).unwrap();
         let text = result.render();
         assert!(text.contains("Max Write:"));
         assert!(text.contains("Max Read:"));
         assert!(text.contains("access"));
         assert!(text.contains("write"));
-        assert_eq!(text.matches("\nwrite").count(), 3, "2 iteration rows + summary row");
+        assert_eq!(
+            text.matches("\nwrite").count(),
+            3,
+            "2 iteration rows + summary row"
+        );
     }
 
     #[test]
@@ -721,7 +760,11 @@ mod tests {
         };
         let full = unlimited.samples_of(Access::Write).next().unwrap();
         let capped = walled.samples_of(Access::Write).next().unwrap();
-        assert!(full.total_s > 1.5, "uncapped run too fast: {}", full.total_s);
+        assert!(
+            full.total_s > 1.5,
+            "uncapped run too fast: {}",
+            full.total_s
+        );
         assert!(
             capped.total_s < full.total_s * 0.8,
             "stonewall must shorten the phase: {} vs {}",

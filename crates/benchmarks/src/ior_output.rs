@@ -52,11 +52,19 @@ pub fn render_output(run: &IorRunResult) -> String {
     out.push_str(&format!("test filename       : {}\n", cfg.test_file));
     out.push_str(&format!(
         "access              : {}\n",
-        if cfg.file_per_proc { "file-per-process" } else { "single-shared-file" }
+        if cfg.file_per_proc {
+            "file-per-process"
+        } else {
+            "single-shared-file"
+        }
     ));
     out.push_str(&format!(
         "type                : {}\n",
-        if cfg.collective { "collective" } else { "independent" }
+        if cfg.collective {
+            "collective"
+        } else {
+            "independent"
+        }
     ));
     out.push_str(&format!("segments            : {}\n", cfg.segments));
     out.push_str("ordering in a file  : sequential\n");
@@ -68,7 +76,10 @@ pub fn render_output(run: &IorRunResult) -> String {
             "no tasks offsets"
         }
     ));
-    out.push_str(&format!("nodes               : {}\n", run.np.div_ceil(run.ppn)));
+    out.push_str(&format!(
+        "nodes               : {}\n",
+        run.np.div_ceil(run.ppn)
+    ));
     out.push_str(&format!("tasks               : {}\n", run.np));
     out.push_str(&format!("clients per node    : {}\n", run.ppn));
     out.push_str(&format!("repetitions         : {}\n", cfg.iterations));
@@ -187,7 +198,7 @@ mod tests {
             close_s: 0.001,
             total_s: 4.5,
             iter,
-        ops: 6400,
+            ops: 6400,
         };
         IorRunResult {
             config,

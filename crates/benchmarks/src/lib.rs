@@ -24,7 +24,9 @@ pub use find::{run_find, FindResult};
 pub use generators::{HaccGenerator, Io500Generator, IorGenerator, MdtestGenerator};
 pub use hacc::{run_hacc, FileMode, HaccConfig, HaccResult, BYTES_PER_PARTICLE};
 pub use instrument::{darshan_from_phases, InstrumentOptions};
-pub use io500::{run_io500, run_io500_with_faults, Io500Config, Io500Phase, Io500Result, PhaseFaults, PhaseUnit};
+pub use io500::{
+    run_io500, run_io500_with_faults, Io500Config, Io500Phase, Io500Result, PhaseFaults, PhaseUnit,
+};
 pub use ior::{run_ior, Access, IorConfig, IorParseError, IorRunResult};
 pub use ior_output::IorSample;
 pub use mdtest::{run_mdtest, MdPhase, MdWorkload, MdtestConfig, MdtestParseError, MdtestResult};

@@ -12,9 +12,9 @@
 
 use iokc_sim::engine::{JobLayout, SimError, World};
 use iokc_sim::metrics::PhaseResult;
-use iokc_sim::script::{OpenMode, ScriptSet};
 #[cfg(test)]
 use iokc_sim::script::OpKind;
+use iokc_sim::script::{OpenMode, ScriptSet};
 use iokc_util::stats;
 
 /// mdtest variant.
@@ -160,13 +160,21 @@ impl MdtestConfig {
             (false, 3901) => MdWorkload::Hard,
             _ => MdWorkload::Custom { unique_dirs, bytes },
         };
-        Ok(MdtestConfig { files_per_rank, workload, dir, iterations })
+        Ok(MdtestConfig {
+            files_per_rank,
+            workload,
+            dir,
+            iterations,
+        })
     }
 
     /// Render the canonical command line for this configuration.
     #[must_use]
     pub fn to_command(&self) -> String {
-        let mut out = format!("mdtest -n {} -d {} -i {}", self.files_per_rank, self.dir, self.iterations);
+        let mut out = format!(
+            "mdtest -n {} -d {} -i {}",
+            self.files_per_rank, self.dir, self.iterations
+        );
         if self.workload.unique_dirs() {
             out.push_str(" -u");
         }
@@ -209,7 +217,12 @@ pub enum MdPhase {
 
 impl MdPhase {
     /// All phases in execution order.
-    pub const ALL: [MdPhase; 4] = [MdPhase::Creation, MdPhase::Stat, MdPhase::Read, MdPhase::Removal];
+    pub const ALL: [MdPhase; 4] = [
+        MdPhase::Creation,
+        MdPhase::Stat,
+        MdPhase::Read,
+        MdPhase::Removal,
+    ];
 
     /// Label used in mdtest's summary table.
     #[must_use]
@@ -286,9 +299,16 @@ impl MdtestResult {
                 }
             }
         ));
-        out.push_str(&format!("SUMMARY rate: (of {} iterations)\n", self.config.iterations));
-        out.push_str("   Operation                      Max            Min           Mean        Std Dev\n");
-        out.push_str("   ---------                      ---            ---           ----        -------\n");
+        out.push_str(&format!(
+            "SUMMARY rate: (of {} iterations)\n",
+            self.config.iterations
+        ));
+        out.push_str(
+            "   Operation                      Max            Min           Mean        Std Dev\n",
+        );
+        out.push_str(
+            "   ---------                      ---            ---           ----        -------\n",
+        );
         for (phase, rates) in &self.rates {
             out.push_str(&format!(
                 "   {:<22}   : {:>14.3} {:>14.3} {:>14.3} {:>14.3}\n",
@@ -432,10 +452,18 @@ mod tests {
     fn hard_is_slower_than_easy_on_creation() {
         // Shared-directory metadata contention (one MDS) vs spread trees.
         let mut w = world();
-        let easy = run_mdtest(&mut w, JobLayout::new(4, 1), &MdtestConfig::easy("/scratch", 50))
-            .unwrap();
-        let hard = run_mdtest(&mut w, JobLayout::new(4, 1), &MdtestConfig::hard("/scratch", 50))
-            .unwrap();
+        let easy = run_mdtest(
+            &mut w,
+            JobLayout::new(4, 1),
+            &MdtestConfig::easy("/scratch", 50),
+        )
+        .unwrap();
+        let hard = run_mdtest(
+            &mut w,
+            JobLayout::new(4, 1),
+            &MdtestConfig::hard("/scratch", 50),
+        )
+        .unwrap();
         let easy_rate = easy.mean_rate(MdPhase::Creation);
         let hard_rate = hard.mean_rate(MdPhase::Creation);
         assert!(
@@ -479,7 +507,10 @@ mod tests {
         let custom = MdtestConfig::parse_command("mdtest -n 10 -u -w 128").unwrap();
         assert_eq!(
             custom.workload,
-            MdWorkload::Custom { unique_dirs: true, bytes: 128 }
+            MdWorkload::Custom {
+                unique_dirs: true,
+                bytes: 128
+            }
         );
         // Round trip through to_command.
         for config in [&easy, &hard, &custom] {

@@ -28,24 +28,127 @@ use iokc_benchmarks::{
     MdtestConfig, MdtestGenerator,
 };
 use iokc_core::model::KnowledgeItem;
-use iokc_core::phases::Analyzer;
+use iokc_core::phases::{Analyzer, CycleError, ErrorClass};
+use iokc_core::resilience::{ResilienceConfig, RetryPolicy};
 use iokc_core::KnowledgeCycle;
-use iokc_extract::{DarshanExtractor, HaccExtractor, Io500Extractor, IorExtractor, MdtestExtractor};
+use iokc_extract::{
+    DarshanExtractor, HaccExtractor, Io500Extractor, IorExtractor, MdtestExtractor,
+};
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::FaultPlan;
 use iokc_sim::prelude::SystemConfig;
-use iokc_store::KnowledgeStore;
+use iokc_store::{DbError, KnowledgeStore};
 use iokc_usage::{recommend, RegenerateUsage};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// How a CLI failure maps to the process exit code — one code per error
+/// class, so scripts and schedulers can branch on the kind of failure
+/// without scraping stderr.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CliErrorKind {
+    /// Unclassified failure (exit 1).
+    Other,
+    /// Bad flags or arguments; retrying the same invocation cannot help
+    /// and the command line itself must change (exit 2).
+    Usage,
+    /// A transient phase failure — a rerun (or `--retries`) may succeed
+    /// (exit 3).
+    Transient,
+    /// A permanent phase failure — malformed input or unsupported
+    /// request (exit 4).
+    Permanent,
+    /// The knowledge base image failed checksum or decode validation
+    /// (exit 5).
+    Corrupt,
+}
+
+impl CliErrorKind {
+    fn exit_code(self) -> u8 {
+        match self {
+            CliErrorKind::Other => 1,
+            CliErrorKind::Usage => 2,
+            CliErrorKind::Transient => 3,
+            CliErrorKind::Permanent => 4,
+            CliErrorKind::Corrupt => 5,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            CliErrorKind::Other => "error",
+            CliErrorKind::Usage => "usage",
+            CliErrorKind::Transient => "transient",
+            CliErrorKind::Permanent => "permanent",
+            CliErrorKind::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// A classified CLI failure: every error leaving `dispatch` carries the
+/// class that decides the exit code and the one-line stderr prefix.
+#[derive(Debug)]
+struct CliError {
+    kind: CliErrorKind,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl std::fmt::Display) -> CliError {
+        CliError {
+            kind: CliErrorKind::Usage,
+            message: message.to_string(),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> CliError {
+        CliError {
+            kind: CliErrorKind::Other,
+            message,
+        }
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> CliError {
+        CliError::from(message.to_owned())
+    }
+}
+
+/// Classify a store failure: checksum/decode damage is distinct from
+/// ordinary I/O or lookup errors so callers can trigger recovery paths.
+fn store_err(e: DbError) -> CliError {
+    let kind = match &e {
+        DbError::Corrupt(_) => CliErrorKind::Corrupt,
+        _ => CliErrorKind::Permanent,
+    };
+    CliError {
+        kind,
+        message: e.to_string(),
+    }
+}
+
+/// Classify a cycle failure using the phase error taxonomy.
+fn cycle_err(e: CycleError) -> CliError {
+    let kind = match e.class {
+        ErrorClass::Transient => CliErrorKind::Transient,
+        ErrorClass::Permanent => CliErrorKind::Permanent,
+    };
+    CliError {
+        kind,
+        message: e.to_string(),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match dispatch(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("iokc: {message}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("iokc: {}: {}", error.kind.as_str(), error.message);
+            ExitCode::from(error.kind.exit_code())
         }
     }
 }
@@ -56,11 +159,24 @@ struct Options {
     ppn: u32,
     seed: u64,
     iterations: u32,
+    retries: u32,
+    phase_deadline_ms: Option<u64>,
     metric: String,
     axis: String,
     filter_api: Option<String>,
     filter_contains: Option<String>,
     positional: Vec<String>,
+}
+
+impl Options {
+    /// Resilience policy for cycle-driving commands, built from
+    /// `--retries` and `--phase-deadline`. Backoff jitter is seeded from
+    /// `--seed` so reruns are reproducible.
+    fn resilience(&self) -> ResilienceConfig {
+        ResilienceConfig::new()
+            .with_retry(RetryPolicy::with_retries(self.retries).seeded(self.seed))
+            .with_phase_deadline_ms(self.phase_deadline_ms)
+    }
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -70,6 +186,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         ppn: 20,
         seed: 42,
         iterations: 3,
+        retries: 0,
+        phase_deadline_ms: None,
         metric: "write".to_owned(),
         axis: "transfer".to_owned(),
         filter_api: None,
@@ -106,6 +224,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "bad --iterations".to_owned())?;
             }
+            "--retries" => {
+                opts.retries = value(&mut i, "--retries")?
+                    .parse()
+                    .map_err(|_| "bad --retries".to_owned())?;
+            }
+            "--phase-deadline" => {
+                opts.phase_deadline_ms = Some(
+                    value(&mut i, "--phase-deadline")?
+                        .parse()
+                        .map_err(|_| "bad --phase-deadline".to_owned())?,
+                );
+            }
             "--metric" => opts.metric = value(&mut i, "--metric")?,
             "--axis" => opts.axis = value(&mut i, "--axis")?,
             "--api" => opts.filter_api = Some(value(&mut i, "--api")?),
@@ -120,12 +250,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
         print_help();
         return Ok(());
     };
-    let opts = parse_options(&args[1..])?;
+    let opts = parse_options(&args[1..]).map_err(CliError::usage)?;
     match command.as_str() {
         "run" => cmd_run(&opts),
         "io500" => cmd_io500(&opts),
@@ -151,7 +281,9 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             print_help();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}` (try `iokc help`)")),
+        other => Err(CliError::usage(format!(
+            "unknown command `{other}` (try `iokc help`)"
+        ))),
     }
 }
 
@@ -178,13 +310,17 @@ fn print_help() {
          \x20 jube <config file>    run a JUBE-style sweep on the simulated system\n\
          \x20 stack                 print the simulated parallel I/O stack (Fig. 1)\n\n\
          OPTIONS: --db <path> --tasks <n> --ppn <n> --seed <n> --iterations <n>\n\
+         \x20        --retries <n> --phase-deadline <ms>   (resilience: retry transient\n\
+         \x20        phase failures with seeded backoff; budget per phase)\n\
          \x20        --metric <operation> --axis <transfer|block|tasks|segments>\n\
-         \x20        --api <API> --contains <text>   (comparison filters)"
+         \x20        --api <API> --contains <text>   (comparison filters)\n\n\
+         EXIT CODES: 0 ok, 1 error, 2 usage, 3 transient phase failure,\n\
+         \x20        4 permanent phase failure, 5 corrupt knowledge base"
     );
 }
 
-fn open_store(opts: &Options) -> Result<KnowledgeStore, String> {
-    KnowledgeStore::open(opts.db.clone()).map_err(|e| e.to_string())
+fn open_store(opts: &Options) -> Result<KnowledgeStore, CliError> {
+    KnowledgeStore::open(opts.db.clone()).map_err(store_err)
 }
 
 fn fuchs_world(seed: u64) -> World {
@@ -211,12 +347,12 @@ fn ensure_dirs(world: &mut World, path: &str) -> Result<(), String> {
         .map_err(|e| e.to_string())
 }
 
-fn cmd_run(opts: &Options) -> Result<(), String> {
+fn cmd_run(opts: &Options) -> Result<(), CliError> {
     let command = opts
         .positional
         .first()
-        .ok_or("run needs an ior command string")?;
-    let config = IorConfig::parse_command(command).map_err(|e| e.to_string())?;
+        .ok_or_else(|| CliError::usage("run needs an ior command string"))?;
+    let config = IorConfig::parse_command(command).map_err(CliError::usage)?;
     let mut world = fuchs_world(opts.seed);
     ensure_dirs(&mut world, &config.test_file)?;
     let layout = JobLayout::new(opts.tasks, opts.ppn.min(opts.tasks));
@@ -224,13 +360,14 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     generator.with_darshan = true;
 
     let mut cycle = KnowledgeCycle::new();
+    cycle.set_resilience(opts.resilience());
     cycle
         .add_generator(Box::new(generator))
         .add_extractor(Box::new(IorExtractor))
         .add_extractor(Box::new(DarshanExtractor))
         .add_persister(Box::new(open_store(opts)?))
         .add_analyzer(Box::new(IterationVarianceDetector::default()));
-    let report = cycle.run_once().map_err(|e| e.to_string())?;
+    let report = cycle.run_once().map_err(cycle_err)?;
     println!(
         "generated {} artifacts, extracted {} knowledge objects, persisted ids {:?}",
         report.artifacts, report.extracted, report.persisted_ids
@@ -240,71 +377,73 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     }
     let store = open_store(opts)?;
     if let Some(id) = report.persisted_ids.first() {
-        if let Some(knowledge) = store.load_knowledge(*id).map_err(|e| e.to_string())? {
+        if let Some(knowledge) = store.load_knowledge(*id).map_err(store_err)? {
             println!("\n{}", render_knowledge(&knowledge));
         }
     }
     Ok(())
 }
 
-fn cmd_io500(opts: &Options) -> Result<(), String> {
+fn cmd_io500(opts: &Options) -> Result<(), CliError> {
     let mut world = fuchs_world(opts.seed);
     ensure_dirs(&mut world, "/scratch/io500/x")?;
     let layout = JobLayout::new(opts.tasks, opts.ppn.min(opts.tasks));
     let generator = Io500Generator::new(world, layout, Io500Config::standard("/scratch/io500"));
     let mut cycle = KnowledgeCycle::new();
+    cycle.set_resilience(opts.resilience());
     cycle
         .add_generator(Box::new(generator))
         .add_extractor(Box::new(Io500Extractor))
         .add_persister(Box::new(open_store(opts)?))
         .add_analyzer(Box::new(BoundingBoxDetector::default()));
-    let report = cycle.run_once().map_err(|e| e.to_string())?;
+    let report = cycle.run_once().map_err(cycle_err)?;
     println!("io500 complete: persisted ids {:?}", report.persisted_ids);
     for finding in &report.findings {
         println!("[{}] {}", finding.tag, finding.message);
     }
     let store = open_store(opts)?;
     if let Some(id) = report.persisted_ids.first() {
-        if let Some(k) = store.load_io500(*id).map_err(|e| e.to_string())? {
+        if let Some(k) = store.load_io500(*id).map_err(store_err)? {
             println!("\n{}", render_io500(&k));
         }
     }
     Ok(())
 }
 
-fn cmd_mdtest(opts: &Options) -> Result<(), String> {
+fn cmd_mdtest(opts: &Options) -> Result<(), CliError> {
     let command = opts
         .positional
         .first()
         .map(String::as_str)
         .unwrap_or("mdtest -n 200 -d /scratch/md -u");
-    let config = MdtestConfig::parse_command(command).map_err(|e| e.to_string())?;
+    let config = MdtestConfig::parse_command(command).map_err(CliError::usage)?;
     let mut world = fuchs_world(opts.seed);
     ensure_dirs(&mut world, &format!("{}/x", config.dir))?;
     let layout = JobLayout::new(opts.tasks, opts.ppn.min(opts.tasks));
     let generator = MdtestGenerator::new(world, layout, config);
     let mut cycle = KnowledgeCycle::new();
+    cycle.set_resilience(opts.resilience());
     cycle
         .add_generator(Box::new(generator))
         .add_extractor(Box::new(MdtestExtractor))
         .add_persister(Box::new(open_store(opts)?));
-    let report = cycle.run_once().map_err(|e| e.to_string())?;
+    let report = cycle.run_once().map_err(cycle_err)?;
     println!("mdtest complete: persisted ids {:?}", report.persisted_ids);
     let store = open_store(opts)?;
     if let Some(id) = report.persisted_ids.first() {
-        if let Some(k) = store.load_knowledge(*id).map_err(|e| e.to_string())? {
+        if let Some(k) = store.load_knowledge(*id).map_err(store_err)? {
             println!("\n{}", render_knowledge(&k));
         }
     }
     Ok(())
 }
 
-fn cmd_hacc(opts: &Options) -> Result<(), String> {
+fn cmd_hacc(opts: &Options) -> Result<(), CliError> {
     // Particle count arrives as the first positional (default 2M).
     let particles: u64 = opts
         .positional
         .first()
-        .map(|v| v.parse().map_err(|_| "bad particle count".to_owned()))
+        .map(|v| v.parse().map_err(|_| CliError::usage("bad particle count")))
         .transpose()?
         .unwrap_or(2_000_000);
     let mut world = fuchs_world(opts.seed);
@@ -318,24 +457,25 @@ fn cmd_hacc(opts: &Options) -> Result<(), String> {
     );
     let generator = HaccGenerator::new(world, layout, config);
     let mut cycle = KnowledgeCycle::new();
+    cycle.set_resilience(opts.resilience());
     cycle
         .add_generator(Box::new(generator))
         .add_extractor(Box::new(HaccExtractor))
         .add_persister(Box::new(open_store(opts)?));
-    let report = cycle.run_once().map_err(|e| e.to_string())?;
+    let report = cycle.run_once().map_err(cycle_err)?;
     println!("hacc-io complete: persisted ids {:?}", report.persisted_ids);
     let store = open_store(opts)?;
     if let Some(id) = report.persisted_ids.first() {
-        if let Some(k) = store.load_knowledge(*id).map_err(|e| e.to_string())? {
+        if let Some(k) = store.load_knowledge(*id).map_err(store_err)? {
             println!("\n{}", render_knowledge(&k));
         }
     }
     Ok(())
 }
 
-fn cmd_list(opts: &Options) -> Result<(), String> {
+fn cmd_list(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
-    let items = store.load_all_items().map_err(|e| e.to_string())?;
+    let items = store.load_all_items().map_err(store_err)?;
     if items.is_empty() {
         println!("knowledge base is empty ({})", opts.db.display());
         return Ok(());
@@ -367,31 +507,31 @@ fn cmd_list(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_id(opts: &Options) -> Result<u64, String> {
+fn parse_id(opts: &Options) -> Result<u64, CliError> {
     opts.positional
         .first()
-        .ok_or("missing knowledge id")?
+        .ok_or_else(|| CliError::usage("missing knowledge id"))?
         .parse()
-        .map_err(|_| "knowledge id must be a number".to_owned())
+        .map_err(|_| CliError::usage("knowledge id must be a number"))
 }
 
-fn cmd_view(opts: &Options) -> Result<(), String> {
+fn cmd_view(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
     let id = parse_id(opts)?;
-    if let Some(k) = store.load_knowledge(id).map_err(|e| e.to_string())? {
+    if let Some(k) = store.load_knowledge(id).map_err(store_err)? {
         println!("{}", render_knowledge(&k));
         return Ok(());
     }
-    if let Some(k) = store.load_io500(id).map_err(|e| e.to_string())? {
+    if let Some(k) = store.load_io500(id).map_err(store_err)? {
         println!("{}", render_io500(&k));
         return Ok(());
     }
-    Err(format!("no knowledge object with id {id}"))
+    Err(CliError::from(format!("no knowledge object with id {id}")))
 }
 
-fn cmd_compare(opts: &Options) -> Result<(), String> {
+fn cmd_compare(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
-    let items = store.load_all_items().map_err(|e| e.to_string())?;
+    let items = store.load_all_items().map_err(store_err)?;
     let benchmarks: Vec<&iokc_core::model::Knowledge> = items
         .iter()
         .filter_map(|item| match item {
@@ -404,7 +544,7 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
         "block" => OptionAxis::BlockSize,
         "tasks" => OptionAxis::Tasks,
         "segments" => OptionAxis::Segments,
-        other => return Err(format!("unknown axis `{other}`")),
+        other => return Err(CliError::usage(format!("unknown axis `{other}`"))),
     };
     let metric = MetricAxis::MeanBandwidth(opts.metric.clone());
     let mut filters = Vec::new();
@@ -412,15 +552,16 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
         filters.push(iokc_analysis::KnowledgeFilter::Api(api.clone()));
     }
     if let Some(text) = &opts.filter_contains {
-        filters.push(iokc_analysis::KnowledgeFilter::CommandContains(text.clone()));
+        filters.push(iokc_analysis::KnowledgeFilter::CommandContains(
+            text.clone(),
+        ));
     }
     let points = compare(&benchmarks, &filters, axis, &metric);
     if points.is_empty() {
         println!("no comparable knowledge for metric `{}`", opts.metric);
         return Ok(());
     }
-    let mut table =
-        iokc_util::table::TextTable::new(vec![axis.label().to_owned(), metric.label()]);
+    let mut table = iokc_util::table::TextTable::new(vec![axis.label().to_owned(), metric.label()]);
     for p in &points {
         table.push_row(vec![format!("{}", p.x), format!("{:.2}", p.y)]);
     }
@@ -430,27 +571,30 @@ fn cmd_compare(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_detect(opts: &Options) -> Result<(), String> {
+fn cmd_detect(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
-    let items = store.load_all_items().map_err(|e| e.to_string())?;
+    let items = store.load_all_items().map_err(store_err)?;
     let mut findings = Vec::new();
     findings.extend(
         IterationVarianceDetector::default()
             .analyze(&items)
-            .map_err(|e| e.to_string())?,
+            .map_err(cycle_err)?,
     );
     findings.extend(
         BoundingBoxDetector::default()
             .analyze(&items)
-            .map_err(|e| e.to_string())?,
+            .map_err(cycle_err)?,
     );
     findings.extend(
         TrendDetector::default()
             .analyze(&items)
-            .map_err(|e| e.to_string())?,
+            .map_err(cycle_err)?,
     );
     if findings.is_empty() {
-        println!("no anomalies detected across {} knowledge objects", items.len());
+        println!(
+            "no anomalies detected across {} knowledge objects",
+            items.len()
+        );
     }
     for finding in findings {
         println!(
@@ -466,12 +610,12 @@ fn cmd_detect(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_recommend(opts: &Options) -> Result<(), String> {
+fn cmd_recommend(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
     let id = parse_id(opts)?;
     let knowledge = store
         .load_knowledge(id)
-        .map_err(|e| e.to_string())?
+        .map_err(store_err)?
         .ok_or_else(|| format!("no benchmark knowledge with id {id}"))?;
     let recommendations = recommend(&knowledge);
     if recommendations.is_empty() {
@@ -483,9 +627,12 @@ fn cmd_recommend(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sql(opts: &Options) -> Result<(), String> {
+fn cmd_sql(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
-    let query = opts.positional.first().ok_or("sql needs a query string")?;
+    let query = opts
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("sql needs a query string"))?;
     match iokc_store::sql::select(store.database(), query).map_err(|e| e.to_string())? {
         iokc_store::sql::QueryResult::Count(n) => println!("{n}"),
         iokc_store::sql::QueryResult::Rows { columns, rows } => {
@@ -499,26 +646,25 @@ fn cmd_sql(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_cycle(opts: &Options) -> Result<(), String> {
+fn cmd_cycle(opts: &Options) -> Result<(), CliError> {
     let command = opts
         .positional
         .first()
-        .ok_or("cycle needs an ior command string")?;
-    let config = IorConfig::parse_command(command).map_err(|e| e.to_string())?;
+        .ok_or_else(|| CliError::usage("cycle needs an ior command string"))?;
+    let config = IorConfig::parse_command(command).map_err(CliError::usage)?;
     let mut world = fuchs_world(opts.seed);
     ensure_dirs(&mut world, &config.test_file)?;
     let layout = JobLayout::new(opts.tasks, opts.ppn.min(opts.tasks));
     let generator = IorGenerator::new(world, layout, config, opts.seed);
     let mut cycle = KnowledgeCycle::new();
+    cycle.set_resilience(opts.resilience());
     cycle
         .add_generator(Box::new(generator))
         .add_extractor(Box::new(IorExtractor))
         .add_persister(Box::new(open_store(opts)?))
         .add_analyzer(Box::new(IterationVarianceDetector::default()))
         .add_usage(Box::new(RegenerateUsage::default()));
-    let reports = cycle
-        .run_iterative(opts.iterations)
-        .map_err(|e| e.to_string())?;
+    let reports = cycle.run_iterative(opts.iterations).map_err(cycle_err)?;
     println!("cycle ran {} iteration(s)", reports.len());
     for (i, report) in reports.iter().enumerate() {
         println!(
@@ -532,24 +678,24 @@ fn cmd_cycle(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_report(opts: &Options) -> Result<(), String> {
+fn cmd_report(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
-    let items = store.load_all_items().map_err(|e| e.to_string())?;
+    let items = store.load_all_items().map_err(store_err)?;
     let mut findings = Vec::new();
     findings.extend(
         IterationVarianceDetector::default()
             .analyze(&items)
-            .map_err(|e| e.to_string())?,
+            .map_err(cycle_err)?,
     );
     findings.extend(
         BoundingBoxDetector::default()
             .analyze(&items)
-            .map_err(|e| e.to_string())?,
+            .map_err(cycle_err)?,
     );
     findings.extend(
         TrendDetector::default()
             .analyze(&items)
-            .map_err(|e| e.to_string())?,
+            .map_err(cycle_err)?,
     );
     let html = iokc_analysis::render_html(&items, &findings);
     let path = opts
@@ -566,15 +712,15 @@ fn cmd_report(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_export(opts: &Options) -> Result<(), String> {
+fn cmd_export(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
     let id = parse_id(opts)?;
-    let item = if let Some(k) = store.load_knowledge(id).map_err(|e| e.to_string())? {
+    let item = if let Some(k) = store.load_knowledge(id).map_err(store_err)? {
         KnowledgeItem::Benchmark(k)
-    } else if let Some(k) = store.load_io500(id).map_err(|e| e.to_string())? {
+    } else if let Some(k) = store.load_io500(id).map_err(store_err)? {
         KnowledgeItem::Io500(k)
     } else {
-        return Err(format!("no knowledge object with id {id}"));
+        return Err(CliError::from(format!("no knowledge object with id {id}")));
     };
     let json = item.to_json().to_pretty();
     match opts.positional.get(1) {
@@ -587,27 +733,29 @@ fn cmd_export(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_import(opts: &Options) -> Result<(), String> {
-    let path = opts.positional.first().ok_or("import needs a file path")?;
+fn cmd_import(opts: &Options) -> Result<(), CliError> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("import needs a file path"))?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let json = iokc_util::json::parse(&text).map_err(|e| e.to_string())?;
-    let item = KnowledgeItem::from_json(&json)
-        .ok_or("the file is not a valid knowledge object")?;
+    let item = KnowledgeItem::from_json(&json).ok_or("the file is not a valid knowledge object")?;
     let mut store = open_store(opts)?;
     let id = match &item {
-        KnowledgeItem::Benchmark(k) => store.save_knowledge(k).map_err(|e| e.to_string())?,
-        KnowledgeItem::Io500(k) => store.save_io500(k).map_err(|e| e.to_string())?,
+        KnowledgeItem::Benchmark(k) => store.save_knowledge(k).map_err(store_err)?,
+        KnowledgeItem::Io500(k) => store.save_io500(k).map_err(store_err)?,
     };
     println!("imported knowledge object as id {id}");
     Ok(())
 }
 
-fn cmd_dxt(opts: &Options) -> Result<(), String> {
+fn cmd_dxt(opts: &Options) -> Result<(), CliError> {
     let command = opts
         .positional
         .first()
-        .ok_or("dxt needs an ior command string")?;
-    let config = IorConfig::parse_command(command).map_err(|e| e.to_string())?;
+        .ok_or_else(|| CliError::usage("dxt needs an ior command string"))?;
+    let config = IorConfig::parse_command(command).map_err(CliError::usage)?;
     let mut world = fuchs_world(opts.seed);
     ensure_dirs(&mut world, &config.test_file)?;
     let layout = JobLayout::new(opts.tasks, opts.ppn.min(opts.tasks));
@@ -625,8 +773,8 @@ fn cmd_dxt(opts: &Options) -> Result<(), String> {
             start_unix: 1_656_590_400,
         },
     );
-    let timeline = iokc_analysis::DxtTimeline::from_log(&log)
-        .ok_or("the run produced no DXT segments")?;
+    let timeline =
+        iokc_analysis::DxtTimeline::from_log(&log).ok_or("the run produced no DXT segments")?;
     print!("{}", timeline.render_report());
     if let Some(profile) = iokc_analysis::classify(&log) {
         println!("\n{}", iokc_analysis::render_profile(&profile));
@@ -649,13 +797,18 @@ fn cmd_dxt(opts: &Options) -> Result<(), String> {
         },
     );
     std::fs::write("figures/dxt_heatmap.svg", heat).map_err(|e| e.to_string())?;
-    println!("
-wrote figures/dxt_timeline.svg and figures/dxt_heatmap.svg");
+    println!(
+        "
+wrote figures/dxt_timeline.svg and figures/dxt_heatmap.svg"
+    );
     Ok(())
 }
 
-fn cmd_jube(opts: &Options) -> Result<(), String> {
-    let path = opts.positional.first().ok_or("jube needs a config file path")?;
+fn cmd_jube(opts: &Options) -> Result<(), CliError> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("jube needs a config file path"))?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let config = iokc_jube::JubeConfig::parse(&text).map_err(|e| e.to_string())?;
     let tasks = opts.tasks;

@@ -52,12 +52,15 @@ fn run_list_view_sql_flow() {
     assert!(view.contains("I/O pattern:"));
     assert!(view.contains("per-iteration detail:"));
 
-    let sql = stdout(&iokc(&dir, &[
-        "sql",
-        "SELECT command, tasks FROM performances WHERE api = 'MPIIO'",
-        "--db",
-        "kb.json",
-    ]));
+    let sql = stdout(&iokc(
+        &dir,
+        &[
+            "sql",
+            "SELECT command, tasks FROM performances WHERE api = 'MPIIO'",
+            "--db",
+            "kb.json",
+        ],
+    ));
     assert!(sql.contains("ior -a mpiio"));
     assert!(sql.contains('8'));
 
@@ -77,8 +80,14 @@ fn export_import_shares_knowledge_between_bases() {
     let mut args: Vec<&str> = RUN_ARGS.to_vec();
     args.push("local.json");
     stdout(&iokc(&dir, &args));
-    stdout(&iokc(&dir, &["export", "1", "shared.json", "--db", "local.json"]));
-    let imported = stdout(&iokc(&dir, &["import", "shared.json", "--db", "global.json"]));
+    stdout(&iokc(
+        &dir,
+        &["export", "1", "shared.json", "--db", "local.json"],
+    ));
+    let imported = stdout(&iokc(
+        &dir,
+        &["import", "shared.json", "--db", "global.json"],
+    ));
     assert!(imported.contains("imported knowledge object as id 1"));
     let list = stdout(&iokc(&dir, &["list", "--db", "global.json"]));
     assert!(list.contains("ior -a mpiio"));
@@ -113,12 +122,63 @@ fn errors_are_reported_not_panicked() {
 }
 
 #[test]
+fn error_classes_map_to_distinct_exit_codes() {
+    let dir = tempdir("exitcodes");
+
+    // Usage errors (bad command line) exit 2.
+    let unknown = iokc(&dir, &["frobnicate"]);
+    assert_eq!(unknown.status.code(), Some(2));
+    let badflag = iokc(&dir, &["list", "--tasks", "zero"]);
+    assert_eq!(badflag.status.code(), Some(2));
+    let badcmd = iokc(&dir, &["run", "fio --bs=4k", "--db", "kb.json"]);
+    assert_eq!(badcmd.status.code(), Some(2));
+
+    // A corrupt knowledge-base image (and no recoverable backup) exits 5
+    // with a one-line classified stderr message.
+    std::fs::write(dir.join("kb.json"), "this is not a knowledge base").unwrap();
+    let corrupt = iokc(&dir, &["list", "--db", "kb.json"]);
+    assert_eq!(corrupt.status.code(), Some(5));
+    let stderr = String::from_utf8_lossy(&corrupt.stderr);
+    assert!(stderr.starts_with("iokc: corrupt: "), "{stderr}");
+    assert_eq!(stderr.trim_end().lines().count(), 1, "{stderr}");
+
+    // Unclassified failures keep the generic exit 1.
+    let missing = iokc(&dir, &["view", "99", "--db", "empty.json"]);
+    assert_eq!(missing.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&missing.stderr).starts_with("iokc: error: "));
+}
+
+#[test]
+fn resilience_flags_are_accepted_by_run() {
+    let dir = tempdir("resilience-flags");
+    let mut args: Vec<&str> = RUN_ARGS.to_vec();
+    args.extend(["kb.json", "--retries", "2", "--phase-deadline", "600000"]);
+    let out = stdout(&iokc(&dir, &args));
+    assert!(out.contains("persisted ids"));
+}
+
+#[test]
 fn help_lists_every_command() {
     let dir = tempdir("help");
     let help = stdout(&iokc(&dir, &["help"]));
     for command in [
-        "run", "io500", "mdtest", "hacc", "list", "view", "compare", "detect", "recommend", "sql", "cycle",
-        "dxt", "export", "import", "report", "jube", "stack",
+        "run",
+        "io500",
+        "mdtest",
+        "hacc",
+        "list",
+        "view",
+        "compare",
+        "detect",
+        "recommend",
+        "sql",
+        "cycle",
+        "dxt",
+        "export",
+        "import",
+        "report",
+        "jube",
+        "stack",
     ] {
         assert!(help.contains(command), "help missing `{command}`");
     }

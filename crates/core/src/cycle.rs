@@ -7,11 +7,22 @@
 //! Fig. 4 — modules are added independently, can be listed, and a missing
 //! phase simply short-circuits (e.g. a cycle without analyzers still
 //! persists knowledge).
+//!
+//! Failures degrade rather than abort: every module invocation runs under
+//! the registered [`ResilienceConfig`] — transient errors are retried with
+//! deterministic backoff, repeatedly failing analyzers and usage modules
+//! are quarantined, and only *critical* failures (a generator that never
+//! produces, the primary persister refusing writes) end the iteration
+//! with an error. The report records attempts, degradations and
+//! quarantines so nothing fails silently.
 
 use crate::model::KnowledgeItem;
 use crate::phases::{
     Analyzer, Artifact, CycleError, Extractor, Finding, Generator, Persister, PhaseKind,
     UsageModule, UsageOutcome,
+};
+use crate::resilience::{
+    retryable, AttemptOutcome, AttemptRecord, QuarantineBook, ResilienceConfig,
 };
 
 /// What happened in one iteration of the cycle.
@@ -30,6 +41,14 @@ pub struct CycleReport {
     /// Per-phase module names that ran (execution trace, useful for
     /// reproducibility reports).
     pub trace: Vec<(PhaseKind, String)>,
+    /// Retry record per module invocation (attempt counts, virtual
+    /// backoff, final outcome).
+    pub attempts: Vec<AttemptRecord>,
+    /// Human-readable notes about non-critical failures the cycle
+    /// continued past.
+    pub degradations: Vec<String>,
+    /// Modules skipped this iteration because they are quarantined.
+    pub quarantined: Vec<(PhaseKind, String)>,
 }
 
 impl CycleReport {
@@ -107,7 +126,60 @@ impl CycleReport {
                         .collect(),
                 ),
             ),
+            (
+                "attempts",
+                Json::Arr(
+                    self.attempts
+                        .iter()
+                        .map(|a| {
+                            Json::obj(vec![
+                                ("phase", Json::from(a.phase.as_str())),
+                                ("module", Json::from(a.module.as_str())),
+                                ("attempts", Json::from(u64::from(a.attempts))),
+                                ("backoff_ms", Json::from(a.backoff_ms)),
+                                ("outcome", Json::from(a.outcome.as_str())),
+                                (
+                                    "last_error",
+                                    a.last_error
+                                        .as_deref()
+                                        .map(Json::from)
+                                        .unwrap_or(Json::Null),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "degradations",
+                Json::Arr(
+                    self.degradations
+                        .iter()
+                        .map(|d| Json::from(d.as_str()))
+                        .collect(),
+                ),
+            ),
+            (
+                "quarantined",
+                Json::Arr(
+                    self.quarantined
+                        .iter()
+                        .map(|(phase, module)| {
+                            Json::obj(vec![
+                                ("phase", Json::from(phase.as_str())),
+                                ("module", Json::from(module.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
         ])
+    }
+
+    /// Did this iteration complete without any degradation or skip?
+    #[must_use]
+    pub fn fully_healthy(&self) -> bool {
+        self.degradations.is_empty() && self.quarantined.is_empty()
     }
 }
 
@@ -119,6 +191,8 @@ pub struct KnowledgeCycle {
     persisters: Vec<Box<dyn Persister>>,
     analyzers: Vec<Box<dyn Analyzer>>,
     usage_modules: Vec<Box<dyn UsageModule>>,
+    resilience: ResilienceConfig,
+    quarantine: QuarantineBook,
 }
 
 impl KnowledgeCycle {
@@ -126,6 +200,31 @@ impl KnowledgeCycle {
     #[must_use]
     pub fn new() -> KnowledgeCycle {
         KnowledgeCycle::default()
+    }
+
+    /// Replace the resilience configuration (retries, deadlines,
+    /// quarantine). The default retries nothing and quarantines after 3
+    /// consecutive failures.
+    pub fn set_resilience(&mut self, config: ResilienceConfig) -> &mut Self {
+        self.resilience = config;
+        self
+    }
+
+    /// The active resilience configuration.
+    #[must_use]
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// The quarantine ledger (state persists across iterations).
+    #[must_use]
+    pub fn quarantine(&self) -> &QuarantineBook {
+        &self.quarantine
+    }
+
+    /// Lift the quarantine of one module.
+    pub fn release_quarantine(&mut self, phase: PhaseKind, module: &str) {
+        self.quarantine.release(phase, module);
     }
 
     /// Register a generation module.
@@ -167,15 +266,24 @@ impl KnowledgeCycle {
         vec![
             (
                 PhaseKind::Generation,
-                self.generators.iter().map(|m| m.name().to_owned()).collect(),
+                self.generators
+                    .iter()
+                    .map(|m| m.name().to_owned())
+                    .collect(),
             ),
             (
                 PhaseKind::Extraction,
-                self.extractors.iter().map(|m| m.name().to_owned()).collect(),
+                self.extractors
+                    .iter()
+                    .map(|m| m.name().to_owned())
+                    .collect(),
             ),
             (
                 PhaseKind::Persistence,
-                self.persisters.iter().map(|m| m.name().to_owned()).collect(),
+                self.persisters
+                    .iter()
+                    .map(|m| m.name().to_owned())
+                    .collect(),
             ),
             (
                 PhaseKind::Analysis,
@@ -183,27 +291,52 @@ impl KnowledgeCycle {
             ),
             (
                 PhaseKind::Usage,
-                self.usage_modules.iter().map(|m| m.name().to_owned()).collect(),
+                self.usage_modules
+                    .iter()
+                    .map(|m| m.name().to_owned())
+                    .collect(),
             ),
         ]
     }
 
     /// Run one full iteration of the cycle.
+    ///
+    /// Module failures are handled per the registered
+    /// [`ResilienceConfig`]: transient errors are retried with
+    /// deterministic virtual backoff; exhausted non-critical modules
+    /// degrade (their contribution is skipped and noted in
+    /// [`CycleReport::degradations`]); quarantined analyzers and usage
+    /// modules are skipped with a recorded finding. Only critical
+    /// failures — a generator that never produced artifacts, or the
+    /// *primary* persister refusing writes — return an error.
     pub fn run_once(&mut self) -> Result<CycleReport, CycleError> {
         let mut report = CycleReport::default();
 
-        // Phase I: Generation.
+        // Phase I: Generation. A failed generator degrades (its artifacts
+        // are simply absent this iteration) unless it is critical: with a
+        // single registered generator, losing it means the iteration can
+        // produce nothing at all.
+        let critical_generation = self.generators.len() == 1;
         let mut artifacts: Vec<Artifact> = Vec::new();
         for generator in &mut self.generators {
-            report
-                .trace
-                .push((PhaseKind::Generation, generator.name().to_owned()));
-            artifacts.extend(generator.generate()?);
+            let name = generator.name().to_owned();
+            let produced = invoke_module(
+                &self.resilience,
+                &mut self.quarantine,
+                &mut report,
+                PhaseKind::Generation,
+                &name,
+                critical_generation,
+                false,
+                || generator.generate(),
+            )?;
+            artifacts.extend(produced.into_iter().flatten());
         }
         report.artifacts = artifacts.len();
 
         // Phase II: Extraction. Every extractor sees the artifacts it
-        // accepts; an artifact may feed several extractors.
+        // accepts; an artifact may feed several extractors. A failed
+        // extractor degrades — the other extractors' knowledge survives.
         let mut items: Vec<KnowledgeItem> = Vec::new();
         for extractor in &self.extractors {
             let accepted: Vec<&Artifact> =
@@ -211,44 +344,92 @@ impl KnowledgeCycle {
             if accepted.is_empty() {
                 continue;
             }
-            report
-                .trace
-                .push((PhaseKind::Extraction, extractor.name().to_owned()));
-            items.extend(extractor.extract(&accepted)?);
+            let name = extractor.name().to_owned();
+            let extracted = invoke_module(
+                &self.resilience,
+                &mut self.quarantine,
+                &mut report,
+                PhaseKind::Extraction,
+                &name,
+                false,
+                false,
+                || extractor.extract(&accepted),
+            )?;
+            items.extend(extracted.into_iter().flatten());
         }
         report.extracted = items.len();
 
         // Phase III: Persistence. The primary persister's ids are
-        // reported; mirrors receive the same items.
+        // reported; mirrors receive the same writes. Losing the primary
+        // is critical (knowledge would be dropped on the floor); a failed
+        // mirror degrades.
         for (index, persister) in self.persisters.iter_mut().enumerate() {
-            report
-                .trace
-                .push((PhaseKind::Persistence, persister.name().to_owned()));
-            let ids = persister.persist(&items)?;
+            let name = persister.name().to_owned();
+            let ids = invoke_module(
+                &self.resilience,
+                &mut self.quarantine,
+                &mut report,
+                PhaseKind::Persistence,
+                &name,
+                index == 0,
+                false,
+                || persister.persist(&items),
+            )?;
             if index == 0 {
-                report.persisted_ids = ids;
+                report.persisted_ids = ids.unwrap_or_default();
             }
         }
 
         // Phase IV: Analysis over the full accumulated knowledge base.
+        // When the primary store cannot be read back, analysis degrades
+        // to this iteration's fresh items rather than aborting.
         let corpus: Vec<KnowledgeItem> = match self.persisters.first() {
-            Some(primary) => primary.load_all()?,
+            Some(primary) => match primary.load_all() {
+                Ok(corpus) => corpus,
+                Err(err) => {
+                    report.degradations.push(format!(
+                        "analysis corpus degraded to this iteration's items: {err}"
+                    ));
+                    items.clone()
+                }
+            },
             None => items.clone(),
         };
         for analyzer in &self.analyzers {
-            report
-                .trace
-                .push((PhaseKind::Analysis, analyzer.name().to_owned()));
-            report.findings.extend(analyzer.analyze(&corpus)?);
+            let name = analyzer.name().to_owned();
+            let findings = invoke_module(
+                &self.resilience,
+                &mut self.quarantine,
+                &mut report,
+                PhaseKind::Analysis,
+                &name,
+                false,
+                true,
+                || analyzer.analyze(&corpus),
+            )?;
+            report.findings.extend(findings.into_iter().flatten());
         }
 
-        // Phase V: Usage.
+        // Phase V: Usage. Modules see the findings as they stood after
+        // analysis (a snapshot, so resilience bookkeeping during this
+        // phase cannot change what later modules observe).
+        let findings = report.findings.clone();
         for module in &mut self.usage_modules {
-            report
-                .trace
-                .push((PhaseKind::Usage, module.name().to_owned()));
-            let outcome = module.apply(&corpus, &report.findings)?;
-            report.usage.merge(outcome);
+            let name = module.name().to_owned();
+            let findings = &findings;
+            let outcome = invoke_module(
+                &self.resilience,
+                &mut self.quarantine,
+                &mut report,
+                PhaseKind::Usage,
+                &name,
+                false,
+                true,
+                || module.apply(&corpus, findings),
+            )?;
+            if let Some(outcome) = outcome {
+                report.usage.merge(outcome);
+            }
         }
 
         Ok(report)
@@ -283,6 +464,123 @@ impl KnowledgeCycle {
             }
         }
         Ok(reports)
+    }
+}
+
+/// Run one module invocation under the resilience policy.
+///
+/// Returns `Ok(Some(value))` on success, `Ok(None)` when the module was
+/// skipped (quarantine) or degraded past its retry budget without being
+/// critical, and `Err` when a critical module exhausted its budget.
+#[allow(clippy::too_many_arguments)]
+fn invoke_module<T>(
+    config: &ResilienceConfig,
+    quarantine: &mut QuarantineBook,
+    report: &mut CycleReport,
+    phase: PhaseKind,
+    name: &str,
+    critical: bool,
+    quarantinable: bool,
+    mut attempt_once: impl FnMut() -> Result<T, CycleError>,
+) -> Result<Option<T>, CycleError> {
+    if quarantinable && quarantine.is_quarantined(phase, name) {
+        report.attempts.push(AttemptRecord {
+            phase,
+            module: name.to_owned(),
+            attempts: 0,
+            backoff_ms: 0,
+            outcome: AttemptOutcome::Skipped,
+            last_error: None,
+        });
+        report.findings.push(Finding {
+            tag: "quarantine".into(),
+            knowledge_id: None,
+            message: format!(
+                "module {name} is quarantined in the {} phase and was skipped",
+                phase.as_str()
+            ),
+            values: Vec::new(),
+        });
+        report.quarantined.push((phase, name.to_owned()));
+        return Ok(None);
+    }
+
+    report.trace.push((phase, name.to_owned()));
+    let mut attempts = 0u32;
+    let mut backoff_ms = 0u64;
+    loop {
+        attempts += 1;
+        match attempt_once() {
+            Ok(value) => {
+                if quarantinable {
+                    quarantine.record_success(phase, name);
+                }
+                report.attempts.push(AttemptRecord {
+                    phase,
+                    module: name.to_owned(),
+                    attempts,
+                    backoff_ms,
+                    outcome: AttemptOutcome::Succeeded,
+                    last_error: None,
+                });
+                return Ok(Some(value));
+            }
+            Err(err) => {
+                let mut deadline_note = "";
+                if retryable(err.class, attempts, &config.retry) {
+                    let delay = config.retry.delay_ms(phase, name, attempts + 1);
+                    let within_deadline = config
+                        .phase_deadline_ms
+                        .is_none_or(|deadline| backoff_ms.saturating_add(delay) <= deadline);
+                    if within_deadline {
+                        backoff_ms += delay;
+                        continue;
+                    }
+                    deadline_note = " (phase deadline exhausted)";
+                }
+                // Retry budget spent. Quarantine bookkeeping, then either
+                // degrade or — for critical modules — fail the iteration.
+                if quarantinable
+                    && quarantine.record_failure(
+                        phase,
+                        name,
+                        &err.message,
+                        config.quarantine_threshold,
+                    )
+                {
+                    report.findings.push(Finding {
+                        tag: "quarantine".into(),
+                        knowledge_id: None,
+                        message: format!(
+                            "module {name} quarantined after {} consecutive failures in the {} \
+                             phase: {}",
+                            quarantine.failures(phase, name),
+                            phase.as_str(),
+                            err.message
+                        ),
+                        values: Vec::new(),
+                    });
+                }
+                report.attempts.push(AttemptRecord {
+                    phase,
+                    module: name.to_owned(),
+                    attempts,
+                    backoff_ms,
+                    outcome: AttemptOutcome::Degraded,
+                    last_error: Some(err.message.clone()),
+                });
+                if critical {
+                    return Err(err);
+                }
+                report.degradations.push(format!(
+                    "{} phase, module {name}: degraded after {attempts} attempt(s){deadline_note}: {} [{}]",
+                    phase.as_str(),
+                    err.message,
+                    err.class.as_str(),
+                ));
+                return Ok(None);
+            }
+        }
     }
 }
 
@@ -411,7 +709,10 @@ mod tests {
     fn full_cycle(shared: Rc<RefCell<Vec<KnowledgeItem>>>) -> KnowledgeCycle {
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FakeGenerator { command: "ior -b 4m".into(), runs: 0 }))
+            .add_generator(Box::new(FakeGenerator {
+                command: "ior -b 4m".into(),
+                runs: 0,
+            }))
             .add_extractor(Box::new(FakeExtractor))
             .add_persister(Box::new(MemPersister { items: shared }))
             .add_analyzer(Box::new(CountingAnalyzer))
@@ -492,7 +793,10 @@ mod tests {
         let store = Rc::new(RefCell::new(Vec::new()));
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FakeGenerator { command: "ior -b 4m".into(), runs: 0 }))
+            .add_generator(Box::new(FakeGenerator {
+                command: "ior -b 4m".into(),
+                runs: 0,
+            }))
             .add_extractor(Box::new(FakeExtractor))
             .add_persister(Box::new(MemPersister { items: store }))
             .add_usage(Box::new(AlienUsage));
@@ -514,7 +818,10 @@ mod tests {
     fn cycle_without_persister_analyzes_fresh_items() {
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FakeGenerator { command: "ior".into(), runs: 0 }))
+            .add_generator(Box::new(FakeGenerator {
+                command: "ior".into(),
+                runs: 0,
+            }))
             .add_extractor(Box::new(FakeExtractor))
             .add_analyzer(Box::new(CountingAnalyzer));
         let report = cycle.run_once().unwrap();
@@ -547,16 +854,291 @@ mod tests {
         assert_eq!(report.extracted, 0);
     }
 
+    /// Generator that fails (transiently) a fixed number of times before
+    /// producing.
+    struct FlakyGenerator {
+        failures_left: u32,
+    }
+
+    impl Generator for FlakyGenerator {
+        fn name(&self) -> &str {
+            "flaky-gen"
+        }
+        fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                return Err(CycleError::transient(
+                    PhaseKind::Generation,
+                    "flaky-gen",
+                    "node dropped off the fabric",
+                ));
+            }
+            Ok(vec![Artifact::text(
+                ArtifactKind::IorOutput,
+                "stdout",
+                "RESULT bw=100".into(),
+            )
+            .with_meta("command", "ior")])
+        }
+    }
+
+    struct FailingAnalyzer;
+
+    impl Analyzer for FailingAnalyzer {
+        fn name(&self) -> &str {
+            "broken-analyzer"
+        }
+        fn analyze(&self, _items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError> {
+            Err(CycleError::new(
+                PhaseKind::Analysis,
+                "broken-analyzer",
+                "division by zero in model fit",
+            ))
+        }
+    }
+
+    #[test]
+    fn transient_generator_failure_is_retried_to_success() {
+        use crate::resilience::{ResilienceConfig, RetryPolicy};
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .add_generator(Box::new(FlakyGenerator { failures_left: 2 }))
+            .add_extractor(Box::new(FakeExtractor));
+        cycle.set_resilience(
+            ResilienceConfig::new().with_retry(RetryPolicy::with_retries(3).seeded(42)),
+        );
+        let report = cycle.run_once().unwrap();
+        assert_eq!(report.artifacts, 1);
+        assert_eq!(report.extracted, 1);
+        let record = &report.attempts[0];
+        assert_eq!(record.attempts, 3);
+        assert_eq!(record.outcome, crate::resilience::AttemptOutcome::Succeeded);
+        assert!(record.backoff_ms > 0);
+        assert!(report.fully_healthy());
+    }
+
+    #[test]
+    fn transient_failure_without_retries_is_critical_for_sole_generator() {
+        let mut cycle = KnowledgeCycle::new();
+        cycle.add_generator(Box::new(FlakyGenerator { failures_left: 1 }));
+        // Default config retries nothing, and a sole generator is
+        // critical.
+        let err = cycle.run_once().unwrap_err();
+        assert_eq!(err.phase, PhaseKind::Generation);
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn secondary_generator_failure_degrades() {
+        let store = Rc::new(RefCell::new(Vec::new()));
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .add_generator(Box::new(FakeGenerator {
+                command: "ior".into(),
+                runs: 0,
+            }))
+            .add_generator(Box::new(FlakyGenerator { failures_left: 99 }))
+            .add_extractor(Box::new(FakeExtractor))
+            .add_persister(Box::new(MemPersister { items: store }));
+        let report = cycle.run_once().unwrap();
+        // The healthy generator's artifact flowed through.
+        assert_eq!(report.artifacts, 1);
+        assert_eq!(report.persisted_ids, vec![1]);
+        assert_eq!(report.degradations.len(), 1);
+        assert!(
+            report.degradations[0].contains("flaky-gen"),
+            "{:?}",
+            report.degradations
+        );
+        assert!(!report.fully_healthy());
+    }
+
+    #[test]
+    fn primary_persister_failure_is_critical() {
+        struct RefusingPersister;
+        impl Persister for RefusingPersister {
+            fn name(&self) -> &str {
+                "refusing"
+            }
+            fn persist(&mut self, _items: &[KnowledgeItem]) -> Result<Vec<u64>, CycleError> {
+                Err(CycleError::new(
+                    PhaseKind::Persistence,
+                    "refusing",
+                    "disk full",
+                ))
+            }
+            fn load_all(&self) -> Result<Vec<KnowledgeItem>, CycleError> {
+                Ok(Vec::new())
+            }
+        }
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .add_generator(Box::new(FakeGenerator {
+                command: "ior".into(),
+                runs: 0,
+            }))
+            .add_extractor(Box::new(FakeExtractor))
+            .add_persister(Box::new(RefusingPersister));
+        let err = cycle.run_once().unwrap_err();
+        assert_eq!(err.phase, PhaseKind::Persistence);
+        assert_eq!(err.module, "refusing");
+    }
+
+    #[test]
+    fn failing_analyzer_degrades_then_quarantines_across_iterations() {
+        use crate::resilience::ResilienceConfig;
+        let store = Rc::new(RefCell::new(Vec::new()));
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .add_generator(Box::new(FakeGenerator {
+                command: "ior".into(),
+                runs: 0,
+            }))
+            .add_extractor(Box::new(FakeExtractor))
+            .add_persister(Box::new(MemPersister { items: store }))
+            .add_analyzer(Box::new(FailingAnalyzer))
+            .add_analyzer(Box::new(CountingAnalyzer));
+        cycle.set_resilience(ResilienceConfig::new().with_quarantine_threshold(2));
+
+        // Iteration 1: degraded, not yet quarantined.
+        let r1 = cycle.run_once().unwrap();
+        assert_eq!(r1.degradations.len(), 1);
+        assert!(r1.quarantined.is_empty());
+        assert_eq!(
+            r1.findings.len(),
+            1,
+            "healthy analyzer still ran: {:?}",
+            r1.findings
+        );
+
+        // Iteration 2: second consecutive failure trips the quarantine.
+        let r2 = cycle.run_once().unwrap();
+        assert!(r2.findings.iter().any(|f| f.tag == "quarantine"));
+        assert!(cycle
+            .quarantine()
+            .is_quarantined(PhaseKind::Analysis, "broken-analyzer"));
+
+        // Iteration 3: skipped outright, with a recorded finding; the
+        // cycle keeps producing knowledge.
+        let r3 = cycle.run_once().unwrap();
+        assert_eq!(
+            r3.quarantined,
+            vec![(PhaseKind::Analysis, "broken-analyzer".to_owned())]
+        );
+        assert!(r3
+            .findings
+            .iter()
+            .any(|f| f.tag == "quarantine" && f.message.contains("skipped")));
+        assert!(r3.trace.iter().all(|(_, m)| m != "broken-analyzer"));
+        assert_eq!(r3.persisted_ids.len(), 1);
+
+        // Release lifts the quarantine.
+        cycle.release_quarantine(PhaseKind::Analysis, "broken-analyzer");
+        let r4 = cycle.run_once().unwrap();
+        assert!(r4.quarantined.is_empty());
+        assert_eq!(r4.degradations.len(), 1);
+    }
+
+    #[test]
+    fn phase_deadline_bounds_retry_backoff() {
+        use crate::resilience::{ResilienceConfig, RetryPolicy};
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .add_generator(Box::new(FakeGenerator {
+                command: "ior".into(),
+                runs: 0,
+            }))
+            .add_generator(Box::new(FlakyGenerator { failures_left: 99 }));
+        cycle.set_resilience(
+            ResilienceConfig::new()
+                .with_retry(RetryPolicy::with_retries(50).seeded(1))
+                .with_phase_deadline_ms(Some(300)),
+        );
+        let report = cycle.run_once().unwrap();
+        let record = report
+            .attempts
+            .iter()
+            .find(|a| a.module == "flaky-gen")
+            .unwrap();
+        // With a 100 ms base delay doubling per retry, the 300 ms budget
+        // admits only a couple of retries, not all 50.
+        assert!(record.attempts < 5, "attempts = {}", record.attempts);
+        assert!(record.backoff_ms <= 300);
+        assert!(
+            report.degradations[0].contains("deadline"),
+            "{:?}",
+            report.degradations
+        );
+    }
+
+    #[test]
+    fn retry_accounting_is_deterministic() {
+        use crate::resilience::{ResilienceConfig, RetryPolicy};
+        let run = || {
+            let mut cycle = KnowledgeCycle::new();
+            cycle
+                .add_generator(Box::new(FlakyGenerator { failures_left: 2 }))
+                .add_extractor(Box::new(FakeExtractor));
+            cycle.set_resilience(
+                ResilienceConfig::new().with_retry(RetryPolicy::with_retries(4).seeded(7)),
+            );
+            let report = cycle.run_once().unwrap();
+            report.attempts.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn permanent_error_is_not_retried() {
+        struct PermanentGen;
+        impl Generator for PermanentGen {
+            fn name(&self) -> &str {
+                "permanent"
+            }
+            fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+                Err(CycleError::new(
+                    PhaseKind::Generation,
+                    "permanent",
+                    "bad config",
+                ))
+            }
+        }
+        use crate::resilience::{ResilienceConfig, RetryPolicy};
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .add_generator(Box::new(PermanentGen))
+            .add_generator(Box::new(FakeGenerator {
+                command: "ior".into(),
+                runs: 0,
+            }));
+        cycle.set_resilience(ResilienceConfig::new().with_retry(RetryPolicy::with_retries(5)));
+        let report = cycle.run_once().unwrap();
+        let record = report
+            .attempts
+            .iter()
+            .find(|a| a.module == "permanent")
+            .unwrap();
+        assert_eq!(record.attempts, 1);
+        assert_eq!(record.backoff_ms, 0);
+    }
+
     #[test]
     fn mirror_persister_receives_items_but_primary_reports_ids() {
         let primary = Rc::new(RefCell::new(Vec::new()));
         let mirror = Rc::new(RefCell::new(Vec::new()));
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FakeGenerator { command: "ior".into(), runs: 0 }))
+            .add_generator(Box::new(FakeGenerator {
+                command: "ior".into(),
+                runs: 0,
+            }))
             .add_extractor(Box::new(FakeExtractor))
-            .add_persister(Box::new(MemPersister { items: primary.clone() }))
-            .add_persister(Box::new(MemPersister { items: mirror.clone() }));
+            .add_persister(Box::new(MemPersister {
+                items: primary.clone(),
+            }))
+            .add_persister(Box::new(MemPersister {
+                items: mirror.clone(),
+            }));
         let report = cycle.run_once().unwrap();
         assert_eq!(report.persisted_ids, vec![1]);
         assert_eq!(primary.borrow().len(), 1);

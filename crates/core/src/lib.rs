@@ -14,7 +14,11 @@
 //!   data types so that any tool can plug in;
 //! * the [`cycle`] — the orchestrator and module registry realising the
 //!   modular architecture of Fig. 4, with iterative re-generation driven
-//!   by the usage phase's outcomes.
+//!   by the usage phase's outcomes;
+//! * the [`resilience`] layer — an error taxonomy (transient vs.
+//!   permanent), deterministic seeded retry with virtual-time backoff,
+//!   per-phase deadlines, and quarantine of repeatedly failing modules,
+//!   so long sweeps degrade instead of aborting.
 //!
 //! Everything concrete — benchmark generators over the cluster simulator,
 //! output parsers, the relational store, the knowledge explorer, the
@@ -59,6 +63,7 @@
 pub mod cycle;
 pub mod model;
 pub mod phases;
+pub mod resilience;
 
 pub use cycle::{CycleReport, KnowledgeCycle};
 pub use model::{
@@ -66,6 +71,9 @@ pub use model::{
     KnowledgeItem, KnowledgeSource, OperationSummary, SystemInfo,
 };
 pub use phases::{
-    Analyzer, Artifact, ArtifactKind, CycleError, Extractor, Finding, Generator, Payload,
-    Persister, PhaseKind, UsageModule, UsageOutcome,
+    Analyzer, Artifact, ArtifactKind, CycleError, ErrorClass, Extractor, Finding, Generator,
+    Payload, Persister, PhaseKind, UsageModule, UsageOutcome,
+};
+pub use resilience::{
+    AttemptOutcome, AttemptRecord, QuarantineBook, ResilienceConfig, RetryPolicy,
 };

@@ -195,6 +195,10 @@ pub struct Knowledge {
     /// Id of the knowledge object this run was derived from (Example I:
     /// new knowledge generated from existing knowledge).
     pub derived_from: Option<u64>,
+    /// Structured extraction warnings: a truncated or partially corrupt
+    /// artifact still yields a knowledge object, with the pieces that
+    /// could not be recovered recorded here.
+    pub warnings: Vec<String>,
 }
 
 impl Knowledge {
@@ -213,7 +217,21 @@ impl Knowledge {
             start_time: 0,
             end_time: 0,
             derived_from: None,
+            warnings: Vec::new(),
         }
+    }
+
+    /// Record an extraction warning (builder style).
+    #[must_use]
+    pub fn with_warning(mut self, warning: impl Into<String>) -> Knowledge {
+        self.warnings.push(warning.into());
+        self
+    }
+
+    /// Did extraction recover this object only partially?
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        !self.warnings.is_empty()
     }
 
     /// The summary for an operation, if present.
@@ -263,6 +281,17 @@ impl Knowledge {
         if let Some(parent) = self.derived_from {
             obj.push(("derived_from", Json::from(parent)));
         }
+        if !self.warnings.is_empty() {
+            obj.push((
+                "warnings",
+                Json::Arr(
+                    self.warnings
+                        .iter()
+                        .map(|w| Json::from(w.as_str()))
+                        .collect(),
+                ),
+            ));
+        }
         Json::obj(obj)
     }
 
@@ -287,6 +316,11 @@ impl Knowledge {
         k.filesystem = json.get("filesystem").and_then(fs_from);
         k.system = json.get("system").and_then(system_from);
         k.derived_from = json.get("derived_from").and_then(Json::as_u64);
+        if let Some(warnings) = json.get("warnings").and_then(Json::as_arr) {
+            for w in warnings {
+                k.warnings.push(w.as_str()?.to_owned());
+            }
+        }
         Some(k)
     }
 }
@@ -326,6 +360,9 @@ pub struct Io500Knowledge {
     pub system: Option<SystemInfo>,
     /// Run start, Unix seconds.
     pub start_time: u64,
+    /// Structured warnings from lenient extraction. Empty when the run
+    /// parsed cleanly.
+    pub warnings: Vec<String>,
 }
 
 impl Io500Knowledge {
@@ -333,6 +370,12 @@ impl Io500Knowledge {
     #[must_use]
     pub fn testcase(&self, name: &str) -> Option<&Io500Testcase> {
         self.testcases.iter().find(|t| t.name == name)
+    }
+
+    /// True when lenient extraction recorded at least one warning.
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        !self.warnings.is_empty()
     }
 
     /// Serialize to JSON.
@@ -376,6 +419,17 @@ impl Io500Knowledge {
         if let Some(sys) = &self.system {
             obj.push(("system", system_json(sys)));
         }
+        if !self.warnings.is_empty() {
+            obj.push((
+                "warnings",
+                Json::Arr(
+                    self.warnings
+                        .iter()
+                        .map(|w| Json::from(w.as_str()))
+                        .collect(),
+                ),
+            ));
+        }
         Json::obj(obj)
     }
 
@@ -407,6 +461,14 @@ impl Io500Knowledge {
             options,
             system: json.get("system").and_then(system_from),
             start_time: json.get("start_time")?.as_u64()?,
+            warnings: match json.get("warnings") {
+                Some(w) => w
+                    .as_arr()?
+                    .iter()
+                    .map(|x| Some(x.as_str()?.to_owned()))
+                    .collect::<Option<Vec<String>>>()?,
+                None => Vec::new(),
+            },
         })
     }
 }
@@ -445,7 +507,9 @@ impl KnowledgeItem {
     #[must_use]
     pub fn from_json(json: &Json) -> Option<KnowledgeItem> {
         match json.get("kind")?.as_str()? {
-            "benchmark" => Knowledge::from_json(json.get("knowledge")?).map(KnowledgeItem::Benchmark),
+            "benchmark" => {
+                Knowledge::from_json(json.get("knowledge")?).map(KnowledgeItem::Benchmark)
+            }
             "io500" => Io500Knowledge::from_json(json.get("knowledge")?).map(KnowledgeItem::Io500),
             _ => None,
         }
@@ -465,7 +529,10 @@ fn pattern_json(p: &IoPattern) -> Json {
         ("collective", Json::from(p.collective)),
         ("iterations", Json::from(u64::from(p.iterations))),
         ("tasks", Json::from(u64::from(p.tasks))),
-        ("clients_per_node", Json::from(u64::from(p.clients_per_node))),
+        (
+            "clients_per_node",
+            Json::from(u64::from(p.clients_per_node)),
+        ),
     ])
 }
 
@@ -623,7 +690,10 @@ mod tests {
             mean_ops: 1290.0,
             iterations: 6,
         });
-        for (i, bw) in [2850.0, 1251.0, 2840.0, 2860.0, 2855.0, 2845.0].iter().enumerate() {
+        for (i, bw) in [2850.0, 1251.0, 2840.0, 2860.0, 2855.0, 2845.0]
+            .iter()
+            .enumerate()
+        {
             k.results.push(IterationResult {
                 operation: "write".into(),
                 iteration: i as u32,
@@ -689,6 +759,7 @@ mod tests {
             options: BTreeMap::from([("dir".to_owned(), "/scratch/io500".to_owned())]),
             system: None,
             start_time: 1_656_590_400,
+            warnings: vec!["salvaged".to_owned()],
         };
         let back = Io500Knowledge::from_json(&k.to_json()).unwrap();
         assert_eq!(back, k);
@@ -699,7 +770,9 @@ mod tests {
         let item = KnowledgeItem::Benchmark(sample_knowledge());
         let back = KnowledgeItem::from_json(&item.to_json()).unwrap();
         assert_eq!(back, item);
-        assert!(KnowledgeItem::from_json(&Json::obj(vec![("kind", Json::from("alien"))])).is_none());
+        assert!(
+            KnowledgeItem::from_json(&Json::obj(vec![("kind", Json::from("alien"))])).is_none()
+        );
     }
 
     #[test]

@@ -109,6 +109,29 @@ impl Artifact {
     }
 }
 
+/// How an error is expected to behave on retry — the error taxonomy the
+/// resilience layer acts on (see [`crate::resilience`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorClass {
+    /// Retrying the same operation may succeed (lost node, torn write,
+    /// overloaded storage target). The retry policy applies.
+    Transient,
+    /// Retrying cannot help (malformed input, logic error, unsupported
+    /// format). The module fails immediately after the first attempt.
+    Permanent,
+}
+
+impl ErrorClass {
+    /// Display name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorClass::Transient => "transient",
+            ErrorClass::Permanent => "permanent",
+        }
+    }
+}
+
 /// Error from any phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CycleError {
@@ -118,17 +141,40 @@ pub struct CycleError {
     pub module: String,
     /// Human-readable cause.
     pub message: String,
+    /// Whether a retry can plausibly succeed.
+    pub class: ErrorClass,
 }
 
 impl CycleError {
-    /// Construct an error.
+    /// Construct a permanent error (the conservative default: retrying an
+    /// error of unknown nature wastes the retry budget).
     #[must_use]
     pub fn new(phase: PhaseKind, module: &str, message: impl fmt::Display) -> CycleError {
         CycleError {
             phase,
             module: module.to_owned(),
             message: message.to_string(),
+            class: ErrorClass::Permanent,
         }
+    }
+
+    /// Construct a transient error — one the retry policy should act on.
+    #[must_use]
+    pub fn transient(phase: PhaseKind, module: &str, message: impl fmt::Display) -> CycleError {
+        CycleError::new(phase, module, message).with_class(ErrorClass::Transient)
+    }
+
+    /// Override the error class (builder style).
+    #[must_use]
+    pub fn with_class(mut self, class: ErrorClass) -> CycleError {
+        self.class = class;
+        self
+    }
+
+    /// Is a retry worth attempting?
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        self.class == ErrorClass::Transient
     }
 }
 
@@ -147,7 +193,7 @@ impl fmt::Display for CycleError {
 impl std::error::Error for CycleError {}
 
 /// The five phases of Fig. 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PhaseKind {
     /// Phase I: knowledge generation.
     Generation,
@@ -296,7 +342,13 @@ mod tests {
         let names: Vec<&str> = PhaseKind::ALL.iter().map(|p| p.as_str()).collect();
         assert_eq!(
             names,
-            vec!["generation", "extraction", "persistence", "analysis", "usage"]
+            vec![
+                "generation",
+                "extraction",
+                "persistence",
+                "analysis",
+                "usage"
+            ]
         );
     }
 

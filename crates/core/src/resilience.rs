@@ -1,0 +1,412 @@
+//! Resilience for the knowledge cycle: retries, deadlines, quarantine.
+//!
+//! Long benchmark sweeps die for boring reasons — a node drops off the
+//! fabric mid-run, a storage target wobbles, one analyzer chokes on one
+//! odd knowledge object. The cycle should degrade, not abort: transient
+//! failures are retried under a bounded, *deterministic* backoff policy;
+//! modules that keep failing are quarantined and skipped with a recorded
+//! [`crate::phases::Finding`]; everything that happened is visible in the
+//! [`crate::cycle::CycleReport`].
+//!
+//! Backoff uses **virtual time**: delays are computed (deterministically,
+//! from a seed) and accounted against the per-phase deadline, but the
+//! orchestrator never sleeps. The same seed and the same fault plan
+//! therefore produce byte-identical reports — attempt counts, backoff
+//! schedules and all — which is what makes resilience behaviour testable
+//! at all.
+
+use crate::phases::{ErrorClass, PhaseKind};
+use std::collections::BTreeMap;
+
+/// Bounded retry with deterministic exponential backoff.
+///
+/// Attempt `n` (1-based) of a failing operation waits
+/// `base_delay_ms * multiplier^(n-1)` virtual milliseconds, capped at
+/// `max_delay_ms`, plus a deterministic jitter of up to a quarter of the
+/// capped delay derived from `jitter_seed`, the phase, the module name
+/// and the attempt number. Only [`ErrorClass::Transient`] errors are
+/// retried; permanent errors fail on the first attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per module invocation (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in virtual milliseconds.
+    pub base_delay_ms: u64,
+    /// Exponential growth factor between retries.
+    pub multiplier: u64,
+    /// Upper bound on a single backoff delay.
+    pub max_delay_ms: u64,
+    /// Seed for the deterministic jitter.
+    pub jitter_seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail fast.
+    #[must_use]
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay_ms: 0,
+            multiplier: 2,
+            max_delay_ms: 0,
+            jitter_seed: 0,
+        }
+    }
+
+    /// A policy with `retries` retries (so `retries + 1` attempts) and a
+    /// 100 ms base delay doubling up to 10 s.
+    #[must_use]
+    pub fn with_retries(retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            base_delay_ms: 100,
+            multiplier: 2,
+            max_delay_ms: 10_000,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Override the jitter seed (builder style).
+    #[must_use]
+    pub fn seeded(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// The virtual backoff before retry attempt `attempt` (2-based: the
+    /// first attempt has no delay) of `module` in `phase`.
+    #[must_use]
+    pub fn delay_ms(&self, phase: PhaseKind, module: &str, attempt: u32) -> u64 {
+        if attempt <= 1 {
+            return 0;
+        }
+        let exp = u32::min(attempt - 2, 62);
+        let raw = self
+            .base_delay_ms
+            .saturating_mul(self.multiplier.max(1).saturating_pow(exp));
+        let capped = raw.min(self.max_delay_ms);
+        let jitter_span = capped / 4;
+        if jitter_span == 0 {
+            return capped;
+        }
+        let mut h = self.jitter_seed ^ 0x9e37_79b9_7f4a_7c15;
+        h = mix(h ^ phase.as_str().len() as u64);
+        for b in phase.as_str().bytes().chain(module.bytes()) {
+            h = mix(h ^ u64::from(b));
+        }
+        h = mix(h ^ u64::from(attempt));
+        capped.saturating_add(h % jitter_span)
+    }
+
+    /// The full backoff schedule for `module` in `phase`: one entry per
+    /// retry (empty when `max_attempts <= 1`).
+    #[must_use]
+    pub fn schedule(&self, phase: PhaseKind, module: &str) -> Vec<u64> {
+        (2..=self.max_attempts)
+            .map(|attempt| self.delay_ms(phase, module, attempt))
+            .collect()
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed hash step.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How the cycle behaves under failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceConfig {
+    /// Retry policy for transient module failures.
+    pub retry: RetryPolicy,
+    /// Budget of cumulative virtual backoff per module invocation within
+    /// a phase; once exceeded, remaining retries are abandoned and the
+    /// module degrades. `None` = unbounded.
+    pub phase_deadline_ms: Option<u64>,
+    /// Consecutive failed invocations after which an analyzer or usage
+    /// module is quarantined (skipped with a recorded finding). `0`
+    /// disables quarantine.
+    pub quarantine_threshold: u32,
+}
+
+impl ResilienceConfig {
+    /// No retries, quarantine after 3 consecutive failures, no deadline —
+    /// the orchestrator's default.
+    #[must_use]
+    pub fn new() -> ResilienceConfig {
+        ResilienceConfig {
+            retry: RetryPolicy::none(),
+            phase_deadline_ms: None,
+            quarantine_threshold: 3,
+        }
+    }
+
+    /// Fail-fast configuration: no retries, no quarantine.
+    #[must_use]
+    pub fn strict() -> ResilienceConfig {
+        ResilienceConfig {
+            retry: RetryPolicy::none(),
+            phase_deadline_ms: None,
+            quarantine_threshold: 0,
+        }
+    }
+
+    /// Override the retry policy (builder style).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ResilienceConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Override the per-phase backoff deadline (builder style).
+    #[must_use]
+    pub fn with_phase_deadline_ms(mut self, deadline: Option<u64>) -> ResilienceConfig {
+        self.phase_deadline_ms = deadline;
+        self
+    }
+
+    /// Override the quarantine threshold (builder style).
+    #[must_use]
+    pub fn with_quarantine_threshold(mut self, threshold: u32) -> ResilienceConfig {
+        self.quarantine_threshold = threshold;
+        self
+    }
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> ResilienceConfig {
+        ResilienceConfig::new()
+    }
+}
+
+/// How one module invocation ended, after retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The module produced its output (possibly after retries).
+    Succeeded,
+    /// The module failed past its retry budget; the cycle continued
+    /// without its contribution.
+    Degraded,
+    /// The module was quarantined and not invoked at all.
+    Skipped,
+}
+
+impl AttemptOutcome {
+    /// Display name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AttemptOutcome::Succeeded => "succeeded",
+            AttemptOutcome::Degraded => "degraded",
+            AttemptOutcome::Skipped => "skipped",
+        }
+    }
+}
+
+/// The retry record of one module invocation within one cycle iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// Phase the module ran in.
+    pub phase: PhaseKind,
+    /// Module name.
+    pub module: String,
+    /// Attempts made (0 when the module was skipped by quarantine).
+    pub attempts: u32,
+    /// Cumulative virtual backoff spent, in milliseconds.
+    pub backoff_ms: u64,
+    /// Final outcome.
+    pub outcome: AttemptOutcome,
+    /// The error that ended the last failing attempt, if any.
+    pub last_error: Option<String>,
+}
+
+/// Tracks consecutive failures per (phase, module) and quarantines
+/// repeat offenders. State survives across cycle iterations, so a module
+/// that fails every iteration is eventually silenced instead of spamming
+/// degradations forever.
+#[derive(Debug, Clone, Default)]
+pub struct QuarantineBook {
+    counts: BTreeMap<(PhaseKind, String), u32>,
+    quarantined: BTreeMap<(PhaseKind, String), String>,
+}
+
+impl QuarantineBook {
+    /// Empty book.
+    #[must_use]
+    pub fn new() -> QuarantineBook {
+        QuarantineBook::default()
+    }
+
+    /// Is this module quarantined?
+    #[must_use]
+    pub fn is_quarantined(&self, phase: PhaseKind, module: &str) -> bool {
+        self.quarantined.contains_key(&(phase, module.to_owned()))
+    }
+
+    /// Record a successful invocation (resets the consecutive-failure
+    /// count).
+    pub fn record_success(&mut self, phase: PhaseKind, module: &str) {
+        self.counts.remove(&(phase, module.to_owned()));
+    }
+
+    /// Record a failed invocation. Returns `true` when this failure
+    /// crossed the threshold and the module is now quarantined.
+    pub fn record_failure(
+        &mut self,
+        phase: PhaseKind,
+        module: &str,
+        reason: &str,
+        threshold: u32,
+    ) -> bool {
+        let key = (phase, module.to_owned());
+        let count = self.counts.entry(key.clone()).or_insert(0);
+        *count += 1;
+        if threshold > 0 && *count >= threshold && !self.quarantined.contains_key(&key) {
+            self.quarantined.insert(key, reason.to_owned());
+            return true;
+        }
+        false
+    }
+
+    /// Consecutive failures recorded for a module.
+    #[must_use]
+    pub fn failures(&self, phase: PhaseKind, module: &str) -> u32 {
+        self.counts
+            .get(&(phase, module.to_owned()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All quarantined modules with the reason that tipped them over.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<(PhaseKind, String, String)> {
+        self.quarantined
+            .iter()
+            .map(|((phase, module), reason)| (*phase, module.clone(), reason.clone()))
+            .collect()
+    }
+
+    /// Lift a quarantine (e.g. after operator intervention).
+    pub fn release(&mut self, phase: PhaseKind, module: &str) {
+        let key = (phase, module.to_owned());
+        self.quarantined.remove(&key);
+        self.counts.remove(&key);
+    }
+}
+
+/// Should this error be retried, given the policy and the class?
+#[must_use]
+pub fn retryable(class: ErrorClass, attempt: u32, policy: &RetryPolicy) -> bool {
+    class == ErrorClass::Transient && attempt < policy.max_attempts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_retry_policy_has_empty_schedule() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts, 1);
+        assert!(p.schedule(PhaseKind::Generation, "g").is_empty());
+        assert_eq!(p.delay_ms(PhaseKind::Generation, "g", 1), 0);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 100,
+            multiplier: 2,
+            max_delay_ms: 500,
+            jitter_seed: 0,
+        };
+        let schedule = p.schedule(PhaseKind::Generation, "gen");
+        assert_eq!(schedule.len(), 5);
+        // Base values 100, 200, 400, 500 (capped), 500 (capped), each plus
+        // jitter below a quarter of the capped value.
+        assert!(schedule[0] >= 100 && schedule[0] < 125, "{schedule:?}");
+        assert!(schedule[1] >= 200 && schedule[1] < 250, "{schedule:?}");
+        assert!(schedule[2] >= 400 && schedule[2] < 500, "{schedule:?}");
+        assert!(schedule[3] >= 500 && schedule[3] < 625, "{schedule:?}");
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_module() {
+        let p = RetryPolicy::with_retries(4).seeded(7);
+        let a = p.schedule(PhaseKind::Analysis, "explorer");
+        let b = p.schedule(PhaseKind::Analysis, "explorer");
+        assert_eq!(a, b);
+        // A different module gets a different jitter stream.
+        let c = p.schedule(PhaseKind::Analysis, "anomaly");
+        assert_ne!(a, c);
+        // A different seed shifts the schedule.
+        let d = RetryPolicy::with_retries(4).seeded(8);
+        assert_ne!(a, d.schedule(PhaseKind::Analysis, "explorer"));
+    }
+
+    #[test]
+    fn overflow_proof_backoff() {
+        let p = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_delay_ms: u64::MAX / 2,
+            multiplier: u64::MAX,
+            max_delay_ms: u64::MAX,
+            jitter_seed: 1,
+        };
+        // Saturates instead of panicking.
+        let _ = p.delay_ms(PhaseKind::Usage, "m", u32::MAX);
+    }
+
+    #[test]
+    fn quarantine_after_threshold() {
+        let mut book = QuarantineBook::new();
+        assert!(!book.record_failure(PhaseKind::Analysis, "bad", "boom", 3));
+        assert!(!book.record_failure(PhaseKind::Analysis, "bad", "boom", 3));
+        assert!(!book.is_quarantined(PhaseKind::Analysis, "bad"));
+        assert!(book.record_failure(PhaseKind::Analysis, "bad", "boom", 3));
+        assert!(book.is_quarantined(PhaseKind::Analysis, "bad"));
+        // Further failures do not re-announce the quarantine.
+        assert!(!book.record_failure(PhaseKind::Analysis, "bad", "boom", 3));
+        assert_eq!(book.quarantined().len(), 1);
+        book.release(PhaseKind::Analysis, "bad");
+        assert!(!book.is_quarantined(PhaseKind::Analysis, "bad"));
+        assert_eq!(book.failures(PhaseKind::Analysis, "bad"), 0);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut book = QuarantineBook::new();
+        book.record_failure(PhaseKind::Usage, "rec", "x", 3);
+        book.record_failure(PhaseKind::Usage, "rec", "x", 3);
+        book.record_success(PhaseKind::Usage, "rec");
+        assert_eq!(book.failures(PhaseKind::Usage, "rec"), 0);
+        assert!(!book.record_failure(PhaseKind::Usage, "rec", "x", 3));
+    }
+
+    #[test]
+    fn zero_threshold_disables_quarantine() {
+        let mut book = QuarantineBook::new();
+        for _ in 0..10 {
+            assert!(!book.record_failure(PhaseKind::Analysis, "m", "r", 0));
+        }
+        assert!(!book.is_quarantined(PhaseKind::Analysis, "m"));
+    }
+
+    #[test]
+    fn retryable_only_for_transient_within_budget() {
+        let p = RetryPolicy::with_retries(2);
+        assert!(retryable(ErrorClass::Transient, 1, &p));
+        assert!(retryable(ErrorClass::Transient, 2, &p));
+        assert!(!retryable(ErrorClass::Transient, 3, &p));
+        assert!(!retryable(ErrorClass::Permanent, 1, &p));
+    }
+}

@@ -108,9 +108,59 @@ pub fn encode(log: &DarshanLog) -> Vec<u8> {
     out
 }
 
-/// Deserialize a log from bytes.
+/// Deserialize a log from bytes. All-or-nothing: any structural problem
+/// rejects the whole log. Use [`decode_salvage`] to keep the complete
+/// records that precede a truncation.
 pub fn decode(bytes: &[u8]) -> Result<DarshanLog, DecodeError> {
+    let mut log = empty_log();
     let mut r = Reader { bytes, pos: 0 };
+    decode_into(&mut r, &mut log)?;
+    Ok(log)
+}
+
+/// The result of a best-effort decode: whatever was complete before the
+/// first structural problem, plus that problem (if any).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Salvage {
+    /// Header, names, records and DXT segments that decoded completely.
+    pub log: DarshanLog,
+    /// The structural problem that ended the decode, when there was one.
+    pub error: Option<DecodeError>,
+}
+
+/// Best-effort decode of a possibly truncated or corrupt log.
+///
+/// Decoding proceeds record by record; everything complete before the
+/// first structural problem is kept, so a log torn mid-write still
+/// surrenders its job header, resolved names, and the file records that
+/// made it to disk. A log with bad magic salvages nothing but still
+/// returns (with the error), never panics.
+#[must_use]
+pub fn decode_salvage(bytes: &[u8]) -> Salvage {
+    let mut log = empty_log();
+    let mut r = Reader { bytes, pos: 0 };
+    let error = decode_into(&mut r, &mut log).err();
+    Salvage { log, error }
+}
+
+fn empty_log() -> DarshanLog {
+    DarshanLog {
+        job: JobHeader {
+            job_id: 0,
+            nprocs: 0,
+            start_time: 0,
+            end_time: 0,
+            exe: String::new(),
+        },
+        names: BTreeMap::new(),
+        modules: BTreeMap::new(),
+        dxt: Vec::new(),
+    }
+}
+
+/// Decode `bytes` into `log` incrementally, so that on error everything
+/// already placed in `log` is complete and usable.
+fn decode_into(r: &mut Reader, log: &mut DarshanLog) -> Result<(), DecodeError> {
     if r.u64()? != MAGIC {
         return Err(DecodeError::BadMagic);
     }
@@ -125,25 +175,26 @@ pub fn decode(bytes: &[u8]) -> Result<DarshanLog, DecodeError> {
         end_time: r.u64()?,
         exe: r.string()?,
     };
-    let nnames = r.len_checked(12)?;
-    let mut names = BTreeMap::new();
+    log.job = job;
+    let nnames = r.u32()? as usize;
     for _ in 0..nnames {
         let id = r.u64()?;
         let path = r.string()?;
-        names.insert(id, path);
+        log.names.insert(id, path);
     }
-    let nmodules = r.len_checked(5)?;
-    let mut modules = BTreeMap::new();
+    let nmodules = r.u32()? as usize;
     for _ in 0..nmodules {
         let module = Module::from_id(r.u8()?).ok_or(DecodeError::BadModule(0))?;
-        let nrecs = r.len_checked(20)?;
-        let mut records = Vec::with_capacity(nrecs);
+        let nrecs = r.u32()? as usize;
+        log.modules.entry(module).or_default();
         for _ in 0..nrecs {
             let record_id = r.u64()?;
             let rank = r.u32()? as i32;
             let nc = r.len_checked(8)?;
             if nc != module.counter_names().len() {
-                return Err(DecodeError::CounterMismatch { module: module.as_str() });
+                return Err(DecodeError::CounterMismatch {
+                    module: module.as_str(),
+                });
             }
             let mut counters = Vec::with_capacity(nc);
             for _ in 0..nc {
@@ -151,20 +202,26 @@ pub fn decode(bytes: &[u8]) -> Result<DarshanLog, DecodeError> {
             }
             let nf = r.len_checked(8)?;
             if nf != module.fcounter_names().len() {
-                return Err(DecodeError::CounterMismatch { module: module.as_str() });
+                return Err(DecodeError::CounterMismatch {
+                    module: module.as_str(),
+                });
             }
             let mut fcounters = Vec::with_capacity(nf);
             for _ in 0..nf {
                 fcounters.push(f64::from_bits(r.u64()?));
             }
-            records.push(FileRecord { record_id, rank, counters, fcounters });
+            let record = FileRecord {
+                record_id,
+                rank,
+                counters,
+                fcounters,
+            };
+            log.modules.entry(module).or_default().push(record);
         }
-        modules.insert(module, records);
     }
-    let nsegs = r.len_checked(41)?;
-    let mut dxt = Vec::with_capacity(nsegs);
+    let nsegs = r.u32()? as usize;
     for _ in 0..nsegs {
-        dxt.push(DxtSegment {
+        let seg = DxtSegment {
             record_id: r.u64()?,
             rank: r.u32()? as i32,
             is_write: r.u8()? != 0,
@@ -172,9 +229,10 @@ pub fn decode(bytes: &[u8]) -> Result<DarshanLog, DecodeError> {
             length: r.u64()?,
             start: f64::from_bits(r.u64()?),
             end: f64::from_bits(r.u64()?),
-        });
+        };
+        log.dxt.push(seg);
     }
-    Ok(DarshanLog { job, names, modules, dxt })
+    Ok(())
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -210,11 +268,15 @@ impl Reader<'_> {
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read a u32 count and reject counts that could not possibly fit in
@@ -299,6 +361,46 @@ mod tests {
     }
 
     #[test]
+    fn salvage_keeps_complete_records_before_truncation() {
+        let log = sample();
+        let bytes = encode(&log);
+        // Cut off the last DXT segment (41 bytes).
+        let cut = bytes.len() - 20;
+        let salvage = decode_salvage(&bytes[..cut]);
+        assert!(matches!(salvage.error, Some(DecodeError::Truncated { .. })));
+        assert_eq!(salvage.log.job, log.job);
+        assert_eq!(salvage.log.names, log.names);
+        assert_eq!(salvage.log.modules, log.modules);
+        assert_eq!(salvage.log.dxt.len(), log.dxt.len() - 1);
+
+        // Cut in the middle of the module records: the job header and
+        // names survive, some records may.
+        let salvage = decode_salvage(&bytes[..bytes.len() / 2]);
+        assert!(salvage.error.is_some());
+        assert_eq!(salvage.log.job, log.job);
+        assert_eq!(salvage.log.names, log.names);
+    }
+
+    #[test]
+    fn salvage_of_bad_magic_is_empty_but_clean() {
+        let mut bytes = encode(&sample());
+        bytes[0] ^= 0xff;
+        let salvage = decode_salvage(&bytes);
+        assert_eq!(salvage.error, Some(DecodeError::BadMagic));
+        assert!(salvage.log.names.is_empty());
+        assert!(salvage.log.modules.is_empty());
+        assert_eq!(salvage.log.job.exe, "");
+    }
+
+    #[test]
+    fn salvage_agrees_with_decode_on_intact_logs() {
+        let log = sample();
+        let salvage = decode_salvage(&encode(&log));
+        assert_eq!(salvage.error, None);
+        assert_eq!(salvage.log, log);
+    }
+
+    #[test]
     fn negative_rank_roundtrips() {
         // Shared records use rank -1.
         let mut log = sample();
@@ -340,6 +442,25 @@ mod tests {
             #[test]
             fn decode_never_panics_on_noise(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
                 let _ = decode(&bytes);
+                let _ = decode_salvage(&bytes);
+            }
+
+            #[test]
+            fn salvage_of_any_truncation_is_self_consistent(
+                fraction in 0f64..1f64,
+            ) {
+                let bytes = encode(&sample());
+                let cut = ((bytes.len() as f64) * fraction) as usize;
+                let salvage = decode_salvage(&bytes[..cut]);
+                // A proper prefix always reports what stopped it, and
+                // whatever was salvaged has well-formed counter arrays.
+                prop_assert!(cut == bytes.len() || salvage.error.is_some());
+                for (module, records) in &salvage.log.modules {
+                    for rec in records {
+                        prop_assert_eq!(rec.counters.len(), module.counter_names().len());
+                        prop_assert_eq!(rec.fcounters.len(), module.fcounter_names().len());
+                    }
+                }
             }
         }
     }

@@ -199,10 +199,7 @@ mod tests {
     #[test]
     fn counter_lookup() {
         assert_eq!(Module::Posix.counter_index("POSIX_OPENS"), Some(0));
-        assert_eq!(
-            Module::Posix.counter_index("POSIX_BYTES_WRITTEN"),
-            Some(7)
-        );
+        assert_eq!(Module::Posix.counter_index("POSIX_BYTES_WRITTEN"), Some(7));
         assert_eq!(Module::Posix.counter_index("NOPE"), None);
         assert_eq!(Module::Mpiio.fcounter_index("MPIIO_F_WRITE_TIME"), Some(3));
     }
@@ -221,7 +218,9 @@ mod tests {
     fn read_and_write_buckets_are_parallel() {
         // The write buckets must start exactly 8 entries after the read
         // buckets so `size_bucket` can index both.
-        let read0 = Module::Posix.counter_index("POSIX_SIZE_READ_0_100").unwrap();
+        let read0 = Module::Posix
+            .counter_index("POSIX_SIZE_READ_0_100")
+            .unwrap();
         let write0 = Module::Posix
             .counter_index("POSIX_SIZE_WRITE_0_100")
             .unwrap();

@@ -19,7 +19,7 @@ pub mod counters;
 pub mod log;
 pub mod text;
 
-pub use binary::{decode, encode, DecodeError};
+pub use binary::{decode, decode_salvage, encode, DecodeError, Salvage};
 pub use counters::Module;
 pub use log::{DarshanLog, DxtSegment, FileRecord, JobHeader, LogBuilder, MetaKind, MpiioTransfer};
 pub use text::{render_parser_output, LogSummary};

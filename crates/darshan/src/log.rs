@@ -129,7 +129,10 @@ impl DarshanLog {
     /// DXT segments touching one file.
     #[must_use]
     pub fn dxt_for(&self, record_id: u64) -> Vec<&DxtSegment> {
-        self.dxt.iter().filter(|s| s.record_id == record_id).collect()
+        self.dxt
+            .iter()
+            .filter(|s| s.record_id == record_id)
+            .collect()
     }
 }
 
@@ -176,8 +179,7 @@ impl DarshanLog {
                                 shared.fcounters[ci] = rec.fcounters[ci];
                             }
                         } else if name.contains("CLOSE_END") || name.contains("MAX") {
-                            shared.fcounters[ci] =
-                                shared.fcounters[ci].max(rec.fcounters[ci]);
+                            shared.fcounters[ci] = shared.fcounters[ci].max(rec.fcounters[ci]);
                         } else {
                             shared.fcounters[ci] += rec.fcounters[ci];
                         }
@@ -394,11 +396,19 @@ impl LogBuilder {
         let key = (id, rank, is_write);
         if let Some(prev_end) = self.last_end.get(&key).copied() {
             if offset == prev_end {
-                let name = if is_write { "POSIX_CONSEC_WRITES" } else { "POSIX_CONSEC_READS" };
+                let name = if is_write {
+                    "POSIX_CONSEC_WRITES"
+                } else {
+                    "POSIX_CONSEC_READS"
+                };
                 self.bump(m, path, rank, name, 1);
             }
             if offset >= prev_end {
-                let name = if is_write { "POSIX_SEQ_WRITES" } else { "POSIX_SEQ_READS" };
+                let name = if is_write {
+                    "POSIX_SEQ_WRITES"
+                } else {
+                    "POSIX_SEQ_READS"
+                };
                 self.bump(m, path, rank, name, 1);
             }
         }
@@ -413,7 +423,11 @@ impl LogBuilder {
             };
             self.bump(Module::Mpiio, path, rank, ops_name, 1);
             self.bump(Module::Mpiio, path, rank, bytes_name, len as i64);
-            let time_name = if is_write { "MPIIO_F_WRITE_TIME" } else { "MPIIO_F_READ_TIME" };
+            let time_name = if is_write {
+                "MPIIO_F_WRITE_TIME"
+            } else {
+                "MPIIO_F_READ_TIME"
+            };
             self.bump_f(Module::Mpiio, path, rank, time_name, dur);
         }
 
@@ -487,7 +501,10 @@ mod tests {
         let log = sample_log();
         assert_eq!(log.total_counter(Module::Posix, "POSIX_OPENS"), 2);
         assert_eq!(log.total_counter(Module::Posix, "POSIX_WRITES"), 4);
-        assert_eq!(log.total_counter(Module::Posix, "POSIX_BYTES_WRITTEN"), 16384);
+        assert_eq!(
+            log.total_counter(Module::Posix, "POSIX_BYTES_WRITTEN"),
+            16384
+        );
         assert_eq!(log.total_counter(Module::Posix, "POSIX_BYTES_READ"), 16384);
         assert_eq!(log.total_counter(Module::Posix, "POSIX_FSYNCS"), 2);
         // Second write of each rank is consecutive to the first.
@@ -498,9 +515,18 @@ mod tests {
     #[test]
     fn histograms_bucket_by_size() {
         let log = sample_log();
-        assert_eq!(log.total_counter(Module::Posix, "POSIX_SIZE_WRITE_1K_10K"), 4);
-        assert_eq!(log.total_counter(Module::Posix, "POSIX_SIZE_READ_1K_10K"), 2);
-        assert_eq!(log.total_counter(Module::Posix, "POSIX_SIZE_WRITE_0_100"), 0);
+        assert_eq!(
+            log.total_counter(Module::Posix, "POSIX_SIZE_WRITE_1K_10K"),
+            4
+        );
+        assert_eq!(
+            log.total_counter(Module::Posix, "POSIX_SIZE_READ_1K_10K"),
+            2
+        );
+        assert_eq!(
+            log.total_counter(Module::Posix, "POSIX_SIZE_WRITE_0_100"),
+            0
+        );
     }
 
     #[test]
@@ -540,13 +566,34 @@ mod tests {
     fn mpiio_layer_counters() {
         let mut b = LogBuilder::new(1, 1, "ior", false);
         b.coll_open("/f", 0, 0.0, 0.1);
-        b.transfer("/f", 0, true, 0, 1024, 0.1, 0.2, Some(MpiioTransfer { collective: true }));
-        b.transfer("/f", 0, false, 0, 1024, 0.2, 0.3, Some(MpiioTransfer { collective: false }));
+        b.transfer(
+            "/f",
+            0,
+            true,
+            0,
+            1024,
+            0.1,
+            0.2,
+            Some(MpiioTransfer { collective: true }),
+        );
+        b.transfer(
+            "/f",
+            0,
+            false,
+            0,
+            1024,
+            0.2,
+            0.3,
+            Some(MpiioTransfer { collective: false }),
+        );
         let log = b.finish();
         assert_eq!(log.total_counter(Module::Mpiio, "MPIIO_COLL_OPENS"), 1);
         assert_eq!(log.total_counter(Module::Mpiio, "MPIIO_COLL_WRITES"), 1);
         assert_eq!(log.total_counter(Module::Mpiio, "MPIIO_INDEP_READS"), 1);
-        assert_eq!(log.total_counter(Module::Mpiio, "MPIIO_BYTES_WRITTEN"), 1024);
+        assert_eq!(
+            log.total_counter(Module::Mpiio, "MPIIO_BYTES_WRITTEN"),
+            1024
+        );
     }
 
     #[test]
@@ -554,9 +601,30 @@ mod tests {
         let mut b = LogBuilder::new(1, 2, "ior", false);
         // A shared file touched by both ranks, and a private file.
         for rank in 0..2 {
-            b.open(Module::Posix, "/scratch/shared", rank, 0.1 + f64::from(rank), 0.2);
-            b.transfer("/scratch/shared", rank, true, u64::from(rank as u32) << 20, 1 << 20, 0.2, 0.4, None);
-            b.close(Module::Posix, "/scratch/shared", rank, 0.5, 0.6 + f64::from(rank));
+            b.open(
+                Module::Posix,
+                "/scratch/shared",
+                rank,
+                0.1 + f64::from(rank),
+                0.2,
+            );
+            b.transfer(
+                "/scratch/shared",
+                rank,
+                true,
+                u64::from(rank as u32) << 20,
+                1 << 20,
+                0.2,
+                0.4,
+                None,
+            );
+            b.close(
+                Module::Posix,
+                "/scratch/shared",
+                rank,
+                0.5,
+                0.6 + f64::from(rank),
+            );
         }
         b.open(Module::Posix, "/scratch/private", 0, 0.0, 0.1);
         b.transfer("/scratch/private", 0, true, 0, 4096, 0.1, 0.2, None);

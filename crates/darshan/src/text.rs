@@ -53,17 +53,16 @@ impl LogSummary {
         let mut per_file_written = BTreeMap::new();
         for rec in log.records(m) {
             let written = rec.counter(m, "POSIX_BYTES_WRITTEN").unwrap_or(0).max(0) as u64;
-            let path = log
-                .path_of(rec.record_id)
-                .unwrap_or("<unknown>")
-                .to_owned();
+            let path = log.path_of(rec.record_id).unwrap_or("<unknown>").to_owned();
             *per_file_written.entry(path).or_insert(0) += written;
         }
         let mut write_size_histogram = BTreeMap::new();
         let mut read_size_histogram = BTreeMap::new();
         for (i, label) in BUCKET_LABELS.iter().enumerate() {
-            let wname = m.counter_names()[m.counter_index("POSIX_SIZE_WRITE_0_100").expect("base") + i];
-            let rname = m.counter_names()[m.counter_index("POSIX_SIZE_READ_0_100").expect("base") + i];
+            let wname =
+                m.counter_names()[m.counter_index("POSIX_SIZE_WRITE_0_100").expect("base") + i];
+            let rname =
+                m.counter_names()[m.counter_index("POSIX_SIZE_READ_0_100").expect("base") + i];
             write_size_histogram.insert(*label, log.total_counter(m, wname).max(0) as u64);
             read_size_histogram.insert(*label, log.total_counter(m, rname).max(0) as u64);
         }

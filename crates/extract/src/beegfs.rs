@@ -77,6 +77,7 @@ fn parse_chunk(text: &str) -> Option<u64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -5,7 +5,7 @@
 //! the job header populates the pattern fields.
 
 use iokc_core::model::{Knowledge, KnowledgeSource, OperationSummary};
-use iokc_darshan::{decode, DecodeError, LogSummary};
+use iokc_darshan::{decode, decode_salvage, DarshanLog, DecodeError, LogSummary};
 
 /// Error ingesting a Darshan log.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,13 +27,46 @@ impl std::fmt::Display for DarshanIngestError {
 
 impl std::error::Error for DarshanIngestError {}
 
-/// Ingest a binary Darshan-style log.
+/// Ingest a binary Darshan-style log. Strict: a log that does not decode
+/// completely, or carries no I/O, is an error. See
+/// [`ingest_darshan_lenient`] for the degrade-instead-of-fail variant.
 pub fn ingest_darshan(bytes: &[u8]) -> Result<Knowledge, DarshanIngestError> {
     let log = decode(bytes).map_err(DarshanIngestError::Decode)?;
     let summary = LogSummary::from_log(&log);
     if summary.writes == 0 && summary.reads == 0 {
         return Err(DarshanIngestError::Empty);
     }
+    Ok(knowledge_from_log(&log, &summary))
+}
+
+/// Best-effort ingestion of a possibly truncated or corrupt log.
+///
+/// Whatever records decode completely become the knowledge object; each
+/// problem (truncation, bad magic, no I/O in the salvaged part) is
+/// recorded as a structured warning on the object instead of failing the
+/// extraction. Always returns a knowledge object; callers can check
+/// [`Knowledge::is_partial`].
+#[must_use]
+pub fn ingest_darshan_lenient(bytes: &[u8]) -> Knowledge {
+    let salvage = decode_salvage(bytes);
+    let summary = LogSummary::from_log(&salvage.log);
+    let mut k = knowledge_from_log(&salvage.log, &summary);
+    if let Some(error) = &salvage.error {
+        k.warnings.push(format!(
+            "darshan log decoded partially: {error}; kept {} name(s), {} module record(s), {} \
+             dxt segment(s)",
+            salvage.log.names.len(),
+            salvage.log.modules.values().map(Vec::len).sum::<usize>(),
+            salvage.log.dxt.len(),
+        ));
+    }
+    if summary.writes == 0 && summary.reads == 0 {
+        k.warnings.push("no I/O recovered from the log".to_owned());
+    }
+    k
+}
+
+fn knowledge_from_log(log: &DarshanLog, summary: &LogSummary) -> Knowledge {
     let mut k = Knowledge::new(
         KnowledgeSource::Darshan,
         &format!("darshan:{} (job {})", log.job.exe, log.job.job_id),
@@ -74,10 +107,11 @@ pub fn ingest_darshan(bytes: &[u8]) -> Result<Knowledge, DarshanIngestError> {
             iterations: 1,
         });
     }
-    Ok(k)
+    k
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_darshan::{encode, LogBuilder, Module};
@@ -109,5 +143,49 @@ mod tests {
         ));
         let empty = encode(&LogBuilder::new(1, 1, "x", false).finish());
         assert_eq!(ingest_darshan(&empty), Err(DarshanIngestError::Empty));
+    }
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut b = LogBuilder::new(88, 16, "ior", false);
+        b.set_times(1000, 1060);
+        for rank in 0..4 {
+            let path = format!("/scratch/x.{rank}");
+            b.open(Module::Posix, &path, rank, 0.0, 0.1);
+            b.transfer(&path, rank, true, 0, 64 << 20, 0.1, 1.1, None);
+            b.close(Module::Posix, &path, rank, 1.6, 1.7);
+        }
+        encode(&b.finish())
+    }
+
+    #[test]
+    fn lenient_ingest_of_truncated_log_yields_partial_knowledge() {
+        let bytes = sample_bytes();
+        let k = ingest_darshan_lenient(&bytes[..bytes.len() * 3 / 4]);
+        assert!(k.is_partial(), "warnings: {:?}", k.warnings);
+        assert!(k.warnings[0].contains("decoded partially"));
+        // The job header survived the truncation.
+        assert_eq!(k.pattern.tasks, 16);
+        assert_eq!(k.start_time, 1000);
+        assert!(k.command.contains("job 88"));
+    }
+
+    #[test]
+    fn lenient_ingest_of_bad_magic_warns_instead_of_failing() {
+        let mut bytes = sample_bytes();
+        bytes[0] ^= 0xff;
+        let k = ingest_darshan_lenient(&bytes);
+        assert!(k.is_partial());
+        assert!(k.warnings.iter().any(|w| w.contains("bad magic")));
+        assert!(k.warnings.iter().any(|w| w.contains("no I/O")));
+        assert!(k.summaries.is_empty());
+    }
+
+    #[test]
+    fn lenient_ingest_of_intact_log_matches_strict() {
+        let bytes = sample_bytes();
+        let strict = ingest_darshan(&bytes).unwrap();
+        let lenient = ingest_darshan_lenient(&bytes);
+        assert_eq!(strict, lenient);
+        assert!(!lenient.is_partial());
     }
 }

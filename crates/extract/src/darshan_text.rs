@@ -88,7 +88,11 @@ pub fn parse_darshan_text(text: &str) -> Result<Knowledge, DarshanTextError> {
         if ops <= 0.0 {
             return;
         }
-        let bw = if time > 0.0 { bytes / (1024.0 * 1024.0) / time } else { 0.0 };
+        let bw = if time > 0.0 {
+            bytes / (1024.0 * 1024.0) / time
+        } else {
+            0.0
+        };
         k.summaries.push(OperationSummary {
             operation: operation.to_owned(),
             api: "POSIX".to_owned(),
@@ -119,6 +123,7 @@ pub fn parse_darshan_text(text: &str) -> Result<Knowledge, DarshanTextError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

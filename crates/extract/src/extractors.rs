@@ -9,11 +9,11 @@
 //! attach to every output.
 
 use crate::beegfs::parse_entry_info;
-use crate::lustre::parse_lfs_getstripe;
-use crate::darshan_ingest::ingest_darshan;
+use crate::darshan_ingest::ingest_darshan_lenient;
 use crate::hacc_parse::parse_hacc_output;
-use crate::io500_parse::parse_io500_output;
-use crate::ior_parse::parse_ior_output;
+use crate::io500_parse::parse_io500_output_lenient;
+use crate::ior_parse::parse_ior_output_lenient;
+use crate::lustre::parse_lfs_getstripe;
 use crate::mdtest_parse::parse_mdtest_output;
 use crate::procfs::{parse_cpuinfo, parse_meminfo};
 use iokc_core::model::{Knowledge, KnowledgeItem};
@@ -53,7 +53,10 @@ fn enrich(knowledge: &mut Knowledge, output: &Artifact, artifacts: &[&Artifact])
                 if let Some(text) = aux.as_text() {
                     if let Some(info) = parse_cpuinfo(text, &system_name) {
                         let mem = knowledge.system.as_ref().map_or(0, |s| s.mem_kib);
-                        knowledge.system = Some(iokc_core::model::SystemInfo { mem_kib: mem, ..info });
+                        knowledge.system = Some(iokc_core::model::SystemInfo {
+                            mem_kib: mem,
+                            ..info
+                        });
                     }
                 }
             }
@@ -105,11 +108,16 @@ impl Extractor for IorExtractor {
 
     fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
         let mut items = Vec::new();
-        for output in artifacts.iter().filter(|a| a.kind == ArtifactKind::IorOutput) {
+        for output in artifacts
+            .iter()
+            .filter(|a| a.kind == ArtifactKind::IorOutput)
+        {
             let text = output.as_text().ok_or_else(|| {
                 CycleError::new(PhaseKind::Extraction, self.name(), "binary ior artifact")
             })?;
-            let mut knowledge = parse_ior_output(text)
+            // Lenient: a truncated output still yields a (partial)
+            // knowledge object; only unrecognizable text is an error.
+            let mut knowledge = parse_ior_output_lenient(text)
                 .map_err(|e| CycleError::new(PhaseKind::Extraction, self.name(), e))?;
             enrich(&mut knowledge, output, artifacts);
             if let Some(parent) = output.meta.get("derived_from").and_then(|v| v.parse().ok()) {
@@ -139,11 +147,14 @@ impl Extractor for Io500Extractor {
 
     fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
         let mut items = Vec::new();
-        for output in artifacts.iter().filter(|a| a.kind == ArtifactKind::Io500Output) {
+        for output in artifacts
+            .iter()
+            .filter(|a| a.kind == ArtifactKind::Io500Output)
+        {
             let text = output.as_text().ok_or_else(|| {
                 CycleError::new(PhaseKind::Extraction, self.name(), "binary io500 artifact")
             })?;
-            let mut knowledge = parse_io500_output(text)
+            let mut knowledge = parse_io500_output_lenient(text)
                 .map_err(|e| CycleError::new(PhaseKind::Extraction, self.name(), e))?;
             if let Some(tasks) = output.meta.get("tasks").and_then(|v| v.parse().ok()) {
                 knowledge.tasks = tasks;
@@ -166,7 +177,9 @@ impl Extractor for Io500Extractor {
             let mem = artifacts
                 .iter()
                 .find(|a| a.kind == ArtifactKind::ProcMeminfo && same_run(output, a));
-            if let (Some(cpu), Some(mem)) = (cpu.and_then(|a| a.as_text()), mem.and_then(|a| a.as_text())) {
+            if let (Some(cpu), Some(mem)) =
+                (cpu.and_then(|a| a.as_text()), mem.and_then(|a| a.as_text()))
+            {
                 knowledge.system = crate::procfs::parse_system_info(cpu, mem, &system_name);
             }
             items.push(KnowledgeItem::Io500(knowledge));
@@ -251,17 +264,22 @@ impl Extractor for DarshanExtractor {
             .iter()
             .map(|output| {
                 let bytes = output.as_binary().ok_or_else(|| {
-                    CycleError::new(PhaseKind::Extraction, self.name(), "textual darshan artifact")
+                    CycleError::new(
+                        PhaseKind::Extraction,
+                        self.name(),
+                        "textual darshan artifact",
+                    )
                 })?;
-                let knowledge = ingest_darshan(bytes)
-                    .map_err(|e| CycleError::new(PhaseKind::Extraction, self.name(), e))?;
-                Ok(KnowledgeItem::Benchmark(knowledge))
+                // Lenient: whatever records survive a truncated or corrupt
+                // log become a partial knowledge object with warnings.
+                Ok(KnowledgeItem::Benchmark(ingest_darshan_lenient(bytes)))
             })
             .collect()
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -301,17 +319,23 @@ Stripe pattern details:
         let ex = IorExtractor;
         // Same run: attached.
         let items = ex.extract(&[&ior, &fs]).unwrap();
-        let KnowledgeItem::Benchmark(k) = &items[0] else { panic!("wrong kind") };
+        let KnowledgeItem::Benchmark(k) = &items[0] else {
+            panic!("wrong kind")
+        };
         assert_eq!(k.filesystem.as_ref().unwrap().entry_id, "7-AA-1");
         assert_eq!(k.start_time, 1_656_590_400);
         // Different run: not attached.
         let items = ex.extract(&[&ior, &other_fs]).unwrap();
-        let KnowledgeItem::Benchmark(k) = &items[0] else { panic!("wrong kind") };
+        let KnowledgeItem::Benchmark(k) = &items[0] else {
+            panic!("wrong kind")
+        };
         assert!(k.filesystem.is_none());
         // No run key on the aux: attaches everywhere.
         let global_fs = entry_artifact(None);
         let items = ex.extract(&[&ior, &global_fs]).unwrap();
-        let KnowledgeItem::Benchmark(k) = &items[0] else { panic!("wrong kind") };
+        let KnowledgeItem::Benchmark(k) = &items[0] else {
+            panic!("wrong kind")
+        };
         assert!(k.filesystem.is_some());
     }
 
@@ -326,7 +350,9 @@ Stripe pattern details:
         )
         .with_meta("run", "r9");
         let items = IorExtractor.extract(&[&ior, &lfs]).unwrap();
-        let KnowledgeItem::Benchmark(k) = &items[0] else { panic!("wrong kind") };
+        let KnowledgeItem::Benchmark(k) = &items[0] else {
+            panic!("wrong kind")
+        };
         let fs = k.filesystem.as_ref().unwrap();
         assert_eq!(fs.fs_type, "Lustre");
         assert_eq!(fs.storage_targets, 4);
@@ -344,7 +370,9 @@ Stripe pattern details:
     fn derived_from_metadata_links_provenance() {
         let ior = ior_artifact("r1").with_meta("derived_from", "42");
         let items = IorExtractor.extract(&[&ior]).unwrap();
-        let KnowledgeItem::Benchmark(k) = &items[0] else { panic!("wrong kind") };
+        let KnowledgeItem::Benchmark(k) = &items[0] else {
+            panic!("wrong kind")
+        };
         assert_eq!(k.derived_from, Some(42));
     }
 
@@ -352,9 +380,21 @@ Stripe pattern details:
     fn accepts_matrix() {
         let ior = IorExtractor;
         assert!(ior.accepts(&Artifact::text(ArtifactKind::IorOutput, "x", String::new())));
-        assert!(ior.accepts(&Artifact::text(ArtifactKind::ProcCpuinfo, "x", String::new())));
-        assert!(!ior.accepts(&Artifact::text(ArtifactKind::MdtestOutput, "x", String::new())));
+        assert!(ior.accepts(&Artifact::text(
+            ArtifactKind::ProcCpuinfo,
+            "x",
+            String::new()
+        )));
+        assert!(!ior.accepts(&Artifact::text(
+            ArtifactKind::MdtestOutput,
+            "x",
+            String::new()
+        )));
         assert!(DarshanExtractor.accepts(&Artifact::binary(ArtifactKind::DarshanLog, "x", vec![])));
-        assert!(!DarshanExtractor.accepts(&Artifact::text(ArtifactKind::IorOutput, "x", String::new())));
+        assert!(!DarshanExtractor.accepts(&Artifact::text(
+            ArtifactKind::IorOutput,
+            "x",
+            String::new()
+        )));
     }
 }

@@ -76,6 +76,7 @@ pub fn parse_hacc_output(text: &str) -> Result<Knowledge, HaccOutputError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -15,11 +15,27 @@ impl std::fmt::Display for Io500OutputError {
 
 impl std::error::Error for Io500OutputError {}
 
-/// Parse an IO500 result block into an IO500 knowledge object.
+/// Parse an IO500 result block into an IO500 knowledge object. Strict: a
+/// run with no `[RESULT]` lines or no `[SCORE ]` line is an error. See
+/// [`parse_io500_output_lenient`] for the degrade-instead-of-fail
+/// variant.
 pub fn parse_io500_output(text: &str) -> Result<Io500Knowledge, Io500OutputError> {
-    let result_line =
-        Pattern::compile("[RESULT] {name} {value:f} {unit} : time {time:f} seconds")
-            .expect("static pattern compiles");
+    parse_impl(text, false)
+}
+
+/// Parse a possibly truncated IO500 result block.
+///
+/// A run cut off before the `[SCORE ]` line keeps whatever `[RESULT]`
+/// lines survived, with zeroed scores and a structured warning on the
+/// knowledge object. Only output with no `[RESULT]` lines at all is an
+/// error.
+pub fn parse_io500_output_lenient(text: &str) -> Result<Io500Knowledge, Io500OutputError> {
+    parse_impl(text, true)
+}
+
+fn parse_impl(text: &str, lenient: bool) -> Result<Io500Knowledge, Io500OutputError> {
+    let result_line = Pattern::compile("[RESULT] {name} {value:f} {unit} : time {time:f} seconds")
+        .expect("static pattern compiles");
     let mut testcases = Vec::new();
     for caps in result_line.all_matches(text) {
         testcases.push(Io500Testcase {
@@ -33,28 +49,42 @@ pub fn parse_io500_output(text: &str) -> Result<Io500Knowledge, Io500OutputError
         return Err(Io500OutputError("no [RESULT] lines".into()));
     }
 
-    let score_line = Pattern::compile(
-        "[SCORE ] Bandwidth {bw:f} GiB/s : IOPS {md:f} kiops : TOTAL {total:f}",
-    )
-    .expect("static pattern compiles");
-    let (_, caps) = score_line
-        .first_match(text)
-        .ok_or_else(|| Io500OutputError("no [SCORE ] line".into()))?;
+    let mut warnings = Vec::new();
+    let score_line =
+        Pattern::compile("[SCORE ] Bandwidth {bw:f} GiB/s : IOPS {md:f} kiops : TOTAL {total:f}")
+            .expect("static pattern compiles");
+    let (bw_score, md_score, total_score) = match score_line.first_match(text) {
+        Some((_, caps)) => (
+            caps["bw"].parse().unwrap_or(0.0),
+            caps["md"].parse().unwrap_or(0.0),
+            caps["total"].parse().unwrap_or(0.0),
+        ),
+        None if lenient => {
+            warnings.push(format!(
+                "no [SCORE ] line; kept {} [RESULT] line(s), scores unknown",
+                testcases.len()
+            ));
+            (0.0, 0.0, 0.0)
+        }
+        None => return Err(Io500OutputError("no [SCORE ] line".into())),
+    };
 
     Ok(Io500Knowledge {
         id: None,
         tasks: 0,
-        bw_score: caps["bw"].parse().unwrap_or(0.0),
-        md_score: caps["md"].parse().unwrap_or(0.0),
-        total_score: caps["total"].parse().unwrap_or(0.0),
+        bw_score,
+        md_score,
+        total_score,
         testcases,
         options: Default::default(),
         system: None,
         start_time: 0,
+        warnings,
     })
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -105,5 +135,32 @@ IO500 version io500-isc22 (iokc reimplementation)
             .collect::<Vec<_>>()
             .join("\n");
         assert!(parse_io500_output(&no_score).is_err());
+    }
+
+    #[test]
+    fn lenient_keeps_results_when_score_line_is_cut_off() {
+        let no_score: String = SAMPLE
+            .lines()
+            .filter(|l| !l.starts_with("[SCORE"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let k = parse_io500_output_lenient(&no_score).unwrap();
+        assert!(k.is_partial());
+        assert!(k.warnings[0].contains("no [SCORE ] line"));
+        assert_eq!(k.testcases.len(), 12);
+        assert_eq!(k.total_score, 0.0);
+    }
+
+    #[test]
+    fn lenient_still_rejects_unrecognizable_input() {
+        assert!(parse_io500_output_lenient("nothing here").is_err());
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_intact_output() {
+        let strict = parse_io500_output(SAMPLE).unwrap();
+        let lenient = parse_io500_output_lenient(SAMPLE).unwrap();
+        assert_eq!(strict, lenient);
+        assert!(!lenient.is_partial());
     }
 }

@@ -29,20 +29,48 @@ fn option_value<'a>(text: &'a str, key: &str) -> Option<&'a str> {
     })
 }
 
-/// Parse a complete IOR output document.
+/// Parse a complete IOR output document. Strict: missing header fields,
+/// missing result rows, or a summary line that disagrees with the rows
+/// are all errors. See [`parse_ior_output_lenient`] for the variant that
+/// degrades to warnings.
 pub fn parse_ior_output(text: &str) -> Result<Knowledge, IorOutputError> {
-    let command = option_value(text, "Command line")
-        .ok_or_else(|| IorOutputError("missing Command line".into()))?
-        .to_owned();
+    parse_impl(text, false)
+}
+
+/// Parse a possibly truncated or mangled IOR output document.
+///
+/// Recoverable problems — a missing `Command line`, a missing `api`, rows
+/// cut off mid-run (salvaged from the `Max Write:`/`Max Read:` summary
+/// lines when present), or a summary line that disagrees with the rows —
+/// become structured warnings on the returned knowledge object. Only
+/// input with no recognizable IOR content at all is an error.
+pub fn parse_ior_output_lenient(text: &str) -> Result<Knowledge, IorOutputError> {
+    parse_impl(text, true)
+}
+
+fn parse_impl(text: &str, lenient: bool) -> Result<Knowledge, IorOutputError> {
+    let mut warnings: Vec<String> = Vec::new();
+    let command = match option_value(text, "Command line") {
+        Some(c) => c.to_owned(),
+        None if lenient => {
+            warnings.push("missing Command line header; command unknown".to_owned());
+            String::new()
+        }
+        None => return Err(IorOutputError("missing Command line".into())),
+    };
     let mut k = Knowledge::new(KnowledgeSource::Ior, &command);
 
-    let api = option_value(text, "api")
-        .ok_or_else(|| IorOutputError("missing api".into()))?
-        .to_owned();
+    let api = match option_value(text, "api") {
+        Some(a) => a.to_owned(),
+        None if lenient => {
+            warnings.push("missing api header; access pattern incomplete".to_owned());
+            String::new()
+        }
+        None => return Err(IorOutputError("missing api".into())),
+    };
     k.pattern.api = api.clone();
     k.pattern.test_file = option_value(text, "test filename").unwrap_or("").to_owned();
-    k.pattern.file_per_proc =
-        option_value(text, "access").is_some_and(|v| v == "file-per-process");
+    k.pattern.file_per_proc = option_value(text, "access").is_some_and(|v| v == "file-per-process");
     k.pattern.collective = option_value(text, "type").is_some_and(|v| v == "collective");
     k.pattern.reorder_tasks =
         option_value(text, "ordering inter file").is_some_and(|v| v.contains("constant"));
@@ -95,7 +123,10 @@ pub fn parse_ior_output(text: &str) -> Result<Knowledge, IorOutputError> {
         });
     }
     if k.results.is_empty() {
-        return Err(IorOutputError("no result rows found".into()));
+        if !lenient {
+            return Err(IorOutputError("no result rows found".into()));
+        }
+        warnings.push("no result rows found; output truncated before the results table".to_owned());
     }
 
     // Summaries (computed from the rows; the Max Write/Read lines are used
@@ -123,25 +154,61 @@ pub fn parse_ior_output(text: &str) -> Result<Knowledge, IorOutputError> {
         });
     }
 
-    // Cross-check against the Max Write/Read lines when present.
+    // Cross-check against the Max Write/Read lines when present. In
+    // lenient mode they also serve as a salvage source when the rows
+    // themselves were cut off.
     for (label, operation) in [("Max Write:", "write"), ("Max Read:", "read")] {
         let p = Pattern::compile(&format!("{label} {{bw:f}} MiB/sec")).expect("pattern");
         if let Some((_, caps)) = p.first_match(text) {
             let reported: f64 = caps["bw"].parse().unwrap_or(0.0);
-            if let Some(summary) = k.summaries.iter().find(|s| s.operation == operation) {
-                if (summary.max_mib - reported).abs() > summary.max_mib.max(1.0) * 0.01 {
-                    return Err(IorOutputError(format!(
+            match k.summaries.iter().find(|s| s.operation == operation) {
+                Some(summary)
+                    if (summary.max_mib - reported).abs() > summary.max_mib.max(1.0) * 0.01 =>
+                {
+                    let msg = format!(
                         "{label} {reported} disagrees with rows (max {})",
                         summary.max_mib
-                    )));
+                    );
+                    if !lenient {
+                        return Err(IorOutputError(msg));
+                    }
+                    warnings.push(msg);
                 }
+                Some(_) => {}
+                None if lenient => {
+                    warnings.push(format!(
+                        "{operation} summary salvaged from the `{label}` line only"
+                    ));
+                    k.summaries.push(OperationSummary {
+                        operation: operation.to_owned(),
+                        api: api.clone(),
+                        max_mib: reported,
+                        min_mib: reported,
+                        mean_mib: reported,
+                        stddev_mib: 0.0,
+                        mean_ops: 0.0,
+                        iterations: 0,
+                    });
+                }
+                None => {}
             }
         }
     }
+
+    if lenient
+        && command.is_empty()
+        && api.is_empty()
+        && k.results.is_empty()
+        && k.summaries.is_empty()
+    {
+        return Err(IorOutputError("no recognizable ior content".into()));
+    }
+    k.warnings = warnings;
     Ok(k)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -231,6 +298,62 @@ Max Read:  3109.90 MiB/sec (3261.02 MB/sec)
         assert!(parse_ior_output("not ior output at all").is_err());
         let inconsistent = SAMPLE.replace("Max Write: 2850.12", "Max Write: 9999.99");
         assert!(parse_ior_output(&inconsistent).is_err());
+    }
+
+    #[test]
+    fn lenient_salvages_truncated_output() {
+        // Cut the document right after the results header: the rows are
+        // gone but the options block survives.
+        let cut = SAMPLE.split("------").next().unwrap();
+        assert!(parse_ior_output(cut).is_err());
+        let k = parse_ior_output_lenient(cut).unwrap();
+        assert!(k.is_partial());
+        assert!(k.warnings.iter().any(|w| w.contains("no result rows")));
+        assert_eq!(k.pattern.tasks, 80);
+        assert!(k.command.starts_with("ior -a mpiio"));
+    }
+
+    #[test]
+    fn lenient_salvages_summary_lines_when_rows_are_mangled() {
+        // Keep the header and the Max lines but drop the result rows.
+        let mangled: String = SAMPLE
+            .lines()
+            .filter(|l| !(l.starts_with("write") || l.starts_with("read")))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let k = parse_ior_output_lenient(&mangled).unwrap();
+        assert!(k.is_partial());
+        assert!(k.results.is_empty());
+        let w = k.summary("write").unwrap();
+        assert_eq!(w.max_mib, 2850.12);
+        assert_eq!(w.iterations, 0);
+        assert!(k
+            .warnings
+            .iter()
+            .any(|w| w.contains("salvaged from the `Max Write:` line")));
+    }
+
+    #[test]
+    fn lenient_downgrades_cross_check_mismatch_to_warning() {
+        let inconsistent = SAMPLE.replace("Max Write: 2850.12", "Max Write: 9999.99");
+        let k = parse_ior_output_lenient(&inconsistent).unwrap();
+        assert!(k.is_partial());
+        assert!(k.warnings.iter().any(|w| w.contains("disagrees")));
+        // The row-derived summary wins.
+        assert_eq!(k.summary("write").unwrap().max_mib, 2850.12);
+    }
+
+    #[test]
+    fn lenient_still_rejects_unrecognizable_input() {
+        assert!(parse_ior_output_lenient("not ior output at all").is_err());
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_intact_output() {
+        let strict = parse_ior_output(SAMPLE).unwrap();
+        let lenient = parse_ior_output_lenient(SAMPLE).unwrap();
+        assert_eq!(strict, lenient);
+        assert!(!lenient.is_partial());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod beegfs;
 pub mod darshan_ingest;
@@ -16,18 +17,20 @@ pub mod darshan_text;
 pub mod extractors;
 pub mod hacc_parse;
 pub mod io500_parse;
-pub mod lustre;
 pub mod ior_parse;
+pub mod lustre;
 pub mod mdtest_parse;
 pub mod procfs;
 
 pub use beegfs::parse_entry_info;
-pub use darshan_ingest::{ingest_darshan, DarshanIngestError};
+pub use darshan_ingest::{ingest_darshan, ingest_darshan_lenient, DarshanIngestError};
 pub use darshan_text::{parse_darshan_text, DarshanTextError};
-pub use extractors::{DarshanExtractor, HaccExtractor, Io500Extractor, IorExtractor, MdtestExtractor};
+pub use extractors::{
+    DarshanExtractor, HaccExtractor, Io500Extractor, IorExtractor, MdtestExtractor,
+};
 pub use hacc_parse::parse_hacc_output;
-pub use io500_parse::parse_io500_output;
+pub use io500_parse::{parse_io500_output, parse_io500_output_lenient};
+pub use ior_parse::{parse_ior_output, parse_ior_output_lenient};
 pub use lustre::parse_lfs_getstripe;
-pub use ior_parse::parse_ior_output;
 pub use mdtest_parse::parse_mdtest_output;
 pub use procfs::{parse_cpuinfo, parse_meminfo, parse_system_info};

@@ -31,7 +31,11 @@ pub fn parse_lfs_getstripe(text: &str) -> Option<FilesystemInfo> {
         .and_then(|(_, caps)| caps["n"].parse::<u32>().ok())
         .unwrap_or(0);
     // The first non-empty line is the path (how lfs prints it).
-    let path = text.lines().find(|l| !l.trim().is_empty())?.trim().to_owned();
+    let path = text
+        .lines()
+        .find(|l| !l.trim().is_empty())?
+        .trim()
+        .to_owned();
     Some(FilesystemInfo {
         fs_type: "Lustre".to_owned(),
         entry_type: "file".to_owned(),
@@ -45,6 +49,7 @@ pub fn parse_lfs_getstripe(text: &str) -> Option<FilesystemInfo> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -79,7 +84,8 @@ lmm_stripe_offset: 2
         use iokc_sim::pfs::Namespace;
         use iokc_sim::script::StripeHint;
         let mut ns = Namespace::new(PfsConfig::test_small());
-        ns.create("/scratch/lfile", StripeHint::default(), 0).unwrap();
+        ns.create("/scratch/lfile", StripeHint::default(), 0)
+            .unwrap();
         let text = ns.entry_info_lustre("/scratch/lfile").unwrap();
         let fs = parse_lfs_getstripe(&text).unwrap();
         assert_eq!(fs.fs_type, "Lustre");

@@ -60,6 +60,7 @@ pub fn parse_mdtest_output(text: &str) -> Result<Knowledge, MdtestOutputError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -72,6 +72,7 @@ pub fn parse_system_info(cpuinfo: &str, meminfo: &str, system: &str) -> Option<S
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_sim::config::ClusterConfig;
@@ -80,12 +81,8 @@ mod tests {
     #[test]
     fn parses_simulated_procfs() {
         let snap = ProcSnapshot::of(&ClusterConfig::fuchs_csc());
-        let info = parse_system_info(
-            &snap.render_cpuinfo(),
-            &snap.render_meminfo(),
-            "FUCHS-CSC",
-        )
-        .unwrap();
+        let info =
+            parse_system_info(&snap.render_cpuinfo(), &snap.render_meminfo(), "FUCHS-CSC").unwrap();
         assert_eq!(info.system, "FUCHS-CSC");
         assert_eq!(info.cores, 20);
         assert!(info.cpu_model.contains("E5-2670 v2"));

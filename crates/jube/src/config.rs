@@ -72,7 +72,10 @@ impl JubeConfig {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let err = |message: String| ConfigError { line: line_no, message };
+            let err = |message: String| ConfigError {
+                line: line_no,
+                message,
+            };
             if let Some(rest) = line.strip_prefix("benchmark ") {
                 name = rest.trim().to_owned();
             } else if let Some(rest) = line.strip_prefix("param ") {
@@ -127,12 +130,20 @@ impl JubeConfig {
             }
         }
         if steps.is_empty() {
-            return Err(ConfigError { line: 0, message: "no steps defined".into() });
+            return Err(ConfigError {
+                line: 0,
+                message: "no steps defined".into(),
+            });
         }
         if name.is_empty() {
             name = "benchmark".to_owned();
         }
-        Ok(JubeConfig { name, params, steps, patterns })
+        Ok(JubeConfig {
+            name,
+            params,
+            steps,
+            patterns,
+        })
     }
 
     /// All parameter combinations (Cartesian product, declaration order;

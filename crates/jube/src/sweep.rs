@@ -170,13 +170,19 @@ where
     for (id, params) in combos.into_iter().enumerate() {
         workpackages.push(run_workpackage(config, id, params, &mut runner)?);
     }
-    Ok(Workspace { benchmark: config.name.clone(), workpackages })
+    Ok(Workspace {
+        benchmark: config.name.clone(),
+        workpackages,
+    })
 }
 
 /// Execute a configuration with workpackages in parallel (Rayon). The
 /// runner factory is called once per workpackage so each parallel lane
 /// owns its state (e.g. its own simulated world).
-pub fn run_sweep_parallel<F, R>(config: &JubeConfig, runner_factory: F) -> Result<Workspace, SweepError>
+pub fn run_sweep_parallel<F, R>(
+    config: &JubeConfig,
+    runner_factory: F,
+) -> Result<Workspace, SweepError>
 where
     F: Fn() -> R + Sync,
     R: FnMut(usize, &str, &str) -> Result<String, String>,
@@ -190,7 +196,10 @@ where
             run_workpackage(config, id, params, &mut runner)
         })
         .collect();
-    Ok(Workspace { benchmark: config.name.clone(), workpackages: results? })
+    Ok(Workspace {
+        benchmark: config.name.clone(),
+        workpackages: results?,
+    })
 }
 
 fn run_workpackage<F>(
@@ -202,7 +211,12 @@ fn run_workpackage<F>(
 where
     F: FnMut(usize, &str, &str) -> Result<String, String>,
 {
-    let mut wp = Workpackage { id, params, commands: Vec::new(), outputs: Vec::new() };
+    let mut wp = Workpackage {
+        id,
+        params,
+        commands: Vec::new(),
+        outputs: Vec::new(),
+    };
     // Make the workpackage id available for substitution (unique paths).
     let mut values = wp.params.clone();
     values.insert("wp".to_owned(), format!("{id:06}"));
@@ -246,8 +260,14 @@ pattern value = result {v:f}
         let config = JubeConfig::parse(CONFIG).unwrap();
         let workspace = run_sweep(&config, fake_runner).unwrap();
         assert_eq!(workspace.workpackages.len(), 3);
-        assert_eq!(workspace.workpackages[0].commands[0].1, "work -n 1 -o out000000");
-        assert_eq!(workspace.workpackages[2].commands[0].1, "work -n 3 -o out000002");
+        assert_eq!(
+            workspace.workpackages[0].commands[0].1,
+            "work -n 1 -o out000000"
+        );
+        assert_eq!(
+            workspace.workpackages[2].commands[0].1,
+            "work -n 3 -o out000002"
+        );
         let tree = workspace.tree();
         assert_eq!(tree[0], "demo/000000/run_stdout");
     }
@@ -305,8 +325,7 @@ pattern value = result {v:f}
             let dir = bench_root.join(format!("{wp:06}"));
             let stdout = std::fs::read_to_string(dir.join("run_stdout")).unwrap();
             assert!(stdout.contains("result"));
-            let configuration =
-                std::fs::read_to_string(dir.join("configuration.txt")).unwrap();
+            let configuration = std::fs::read_to_string(dir.join("configuration.txt")).unwrap();
             assert!(configuration.contains("n = "));
             assert!(configuration.contains("step run: work -n"));
         }
@@ -315,10 +334,8 @@ pattern value = result {v:f}
 
     #[test]
     fn dependent_steps_execute_in_order() {
-        let config = JubeConfig::parse(
-            "step first = alpha\nstep second after first = beta\n",
-        )
-        .unwrap();
+        let config =
+            JubeConfig::parse("step first = alpha\nstep second after first = beta\n").unwrap();
         let mut order = Vec::new();
         let workspace = run_sweep(&config, |_, step, _| {
             order.push(step.to_owned());

@@ -245,8 +245,14 @@ mod tests {
     #[test]
     fn api_parsing_and_names() {
         assert_eq!(IoApi::parse("posix"), Some(IoApi::Posix));
-        assert_eq!(IoApi::parse("MPIIO"), Some(IoApi::MpiIo { collective: false }));
-        assert_eq!(IoApi::parse("HDF5"), Some(IoApi::Hdf5 { collective: false }));
+        assert_eq!(
+            IoApi::parse("MPIIO"),
+            Some(IoApi::MpiIo { collective: false })
+        );
+        assert_eq!(
+            IoApi::parse("HDF5"),
+            Some(IoApi::Hdf5 { collective: false })
+        );
         assert_eq!(IoApi::parse("netcdf"), None);
         assert_eq!(IoApi::Posix.as_str(), "POSIX");
         assert!(IoApi::MpiIo { collective: false }
@@ -336,7 +342,11 @@ mod tests {
         );
         let result = world.run(JobLayout::new(4, 2), &set).unwrap();
         assert_eq!(result.bytes(OpKind::Write), 4 * MIB);
-        assert_eq!(result.ops(OpKind::Write), 2, "one aggregated write per node");
+        assert_eq!(
+            result.ops(OpKind::Write),
+            2,
+            "one aggregated write per node"
+        );
         assert_eq!(result.ops(OpKind::Send), 2);
     }
 

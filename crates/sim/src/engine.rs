@@ -61,11 +61,18 @@ impl JobLayout {
 #[allow(missing_docs)] // variant fields are documented by the variant docs
 pub enum SimError {
     /// A namespace operation failed (driver bug or tested misuse).
-    Fs { rank: Rank, op: OpKind, cause: crate::pfs::FsError },
+    Fs {
+        rank: Rank,
+        op: OpKind,
+        cause: crate::pfs::FsError,
+    },
     /// Ranks deadlocked (barrier/recv mismatch).
     Deadlock { waiting: u32 },
     /// The layout references more nodes than the cluster has.
-    LayoutTooLarge { nodes_needed: u32, nodes_available: u32 },
+    LayoutTooLarge {
+        nodes_needed: u32,
+        nodes_available: u32,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -77,7 +84,10 @@ impl std::fmt::Display for SimError {
             SimError::Deadlock { waiting } => {
                 write!(f, "simulation deadlock: {waiting} ranks still waiting")
             }
-            SimError::LayoutTooLarge { nodes_needed, nodes_available } => write!(
+            SimError::LayoutTooLarge {
+                nodes_needed,
+                nodes_available,
+            } => write!(
                 f,
                 "job needs {nodes_needed} nodes but the cluster has {nodes_available}"
             ),
@@ -134,13 +144,20 @@ struct ActiveFlow {
 enum RankState {
     Ready,
     /// Waiting for `outstanding` data flows of the current op.
-    DataWait { outstanding: u32 },
+    DataWait {
+        outstanding: u32,
+    },
     /// Waiting for an `OpFinish` event.
     TimerWait,
     /// Waiting at a barrier.
-    BarrierWait { group: u32 },
+    BarrierWait {
+        group: u32,
+    },
     /// Waiting for a message.
-    RecvWait { from: Rank, tag: u32 },
+    RecvWait {
+        from: Rank,
+        tag: u32,
+    },
     Done,
 }
 
@@ -475,7 +492,11 @@ impl<'w> Execution<'w> {
                 self.world
                     .namespace
                     .mkdir(&name)
-                    .map_err(|cause| SimError::Fs { rank, op: OpKind::Mkdir, cause })?;
+                    .map_err(|cause| SimError::Fs {
+                        rank,
+                        op: OpKind::Mkdir,
+                        cause,
+                    })?;
                 self.meta_op(rank, &name, 1.2);
             }
             Op::Rmdir { path } => {
@@ -483,7 +504,11 @@ impl<'w> Execution<'w> {
                 self.world
                     .namespace
                     .rmdir(&name)
-                    .map_err(|cause| SimError::Fs { rank, op: OpKind::Rmdir, cause })?;
+                    .map_err(|cause| SimError::Fs {
+                        rank,
+                        op: OpKind::Rmdir,
+                        cause,
+                    })?;
                 self.meta_op(rank, &name, 1.0);
             }
             Op::Open { path, mode, hint } => {
@@ -495,7 +520,11 @@ impl<'w> Execution<'w> {
                         self.world
                             .namespace
                             .create(&name, hint, self.world.now.nanos())
-                            .map_err(|cause| SimError::Fs { rank, op: OpKind::Open, cause })?;
+                            .map_err(|cause| SimError::Fs {
+                                rank,
+                                op: OpKind::Open,
+                                cause,
+                            })?;
                         cost = 1.3; // create + layout allocation
                     }
                     (false, _) => {
@@ -525,8 +554,7 @@ impl<'w> Execution<'w> {
             }
             Op::Stat { path } => {
                 let name = self.scripts.path(path).to_owned();
-                if self.world.namespace.file(&name).is_none()
-                    && !self.world.namespace.is_dir(&name)
+                if self.world.namespace.file(&name).is_none() && !self.world.namespace.is_dir(&name)
                 {
                     return Err(SimError::Fs {
                         rank,
@@ -541,7 +569,11 @@ impl<'w> Execution<'w> {
                 self.world
                     .namespace
                     .unlink(&name)
-                    .map_err(|cause| SimError::Fs { rank, op: OpKind::Unlink, cause })?;
+                    .map_err(|cause| SimError::Fs {
+                        rank,
+                        op: OpKind::Unlink,
+                        cause,
+                    })?;
                 self.world.dirty.remove(&name);
                 self.world.file_lock_busy.remove(&name);
                 self.meta_op(rank, &name, 1.1);
@@ -609,15 +641,22 @@ impl<'w> Execution<'w> {
                         .push_back(self.world.now + dur + latency);
                     self.try_release_recv(to, rank, tag, self.world.now + dur + latency);
                 } else {
-                    let resources =
-                        vec![self.res_nic(node), self.res_fabric(), self.res_nic(dst_node)];
+                    let resources = vec![
+                        self.res_nic(node),
+                        self.res_fabric(),
+                        self.res_nic(dst_node),
+                    ];
                     self.ranks[rank as usize] = RankState::DataWait { outstanding: 1 };
                     self.schedule(
                         self.world.now + latency,
                         Event::FlowStart(PendingFlow {
                             resources,
                             bytes: bytes as f64,
-                            outcome: FlowOutcome::Message { from: rank, to, tag },
+                            outcome: FlowOutcome::Message {
+                                from: rank,
+                                to,
+                                tag,
+                            },
                         }),
                     );
                 }
@@ -655,7 +694,11 @@ impl<'w> Execution<'w> {
         is_write: bool,
     ) -> Result<(), SimError> {
         let name = self.scripts.path(path).to_owned();
-        let kind = if is_write { OpKind::Write } else { OpKind::Read };
+        let kind = if is_write {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        };
         let latency = SimDuration(self.world.system.cluster.network_latency_ns);
         let meta = self
             .world
@@ -758,7 +801,11 @@ impl<'w> Execution<'w> {
             self.world
                 .namespace
                 .note_write(&name, offset, len)
-                .map_err(|cause| SimError::Fs { rank, op: kind, cause })?;
+                .map_err(|cause| SimError::Fs {
+                    rank,
+                    op: kind,
+                    cause,
+                })?;
             let dirty = self.world.dirty.entry(name.clone()).or_default();
             for (target, _) in meta.layout(offset, len) {
                 dirty.insert(target);
@@ -957,7 +1004,11 @@ impl<'w> Execution<'w> {
         let read_sigma = sigma * 0.2;
         let read_mu = -read_sigma * read_sigma / 2.0;
         for i in 0..self.world.target_read_noise.len() {
-            let v = self.world.rng.lognormal(read_mu, read_sigma).clamp(0.7, 1.2);
+            let v = self
+                .world
+                .rng
+                .lognormal(read_mu, read_sigma)
+                .clamp(0.7, 1.2);
             self.world.target_read_noise[i] = v;
         }
     }
@@ -1124,7 +1175,10 @@ mod tests {
         assert_eq!(w.namespace().file("/scratch/f").unwrap().size, 4 * MIB);
         // 4 MiB at ~0.8 GB/s NIC-bound → ≥ 5 ms; sanity-check the scale.
         let write_secs = result.span_secs(OpKind::Write);
-        assert!(write_secs > 0.003 && write_secs < 0.1, "write took {write_secs}s");
+        assert!(
+            write_secs > 0.003 && write_secs < 0.1,
+            "write took {write_secs}s"
+        );
     }
 
     #[test]
@@ -1176,8 +1230,16 @@ mod tests {
             }
             s
         };
-        let mut w1 = World::new(SystemConfig::test_small().with_noise(0.1), FaultPlan::none(), 7);
-        let mut w2 = World::new(SystemConfig::test_small().with_noise(0.1), FaultPlan::none(), 7);
+        let mut w1 = World::new(
+            SystemConfig::test_small().with_noise(0.1),
+            FaultPlan::none(),
+            7,
+        );
+        let mut w2 = World::new(
+            SystemConfig::test_small().with_noise(0.1),
+            FaultPlan::none(),
+            7,
+        );
         let r1 = w1.run(layout(2, 2), &build()).unwrap();
         let r2 = w2.run(layout(2, 2), &build()).unwrap();
         assert_eq!(r1.finished, r2.finished);
@@ -1243,7 +1305,9 @@ mod tests {
     fn recv_before_send_blocks_until_delivery() {
         let mut s = ScriptSet::new(2);
         s.rank(0).recv(1, 9);
-        s.rank(1).compute(SimDuration::from_millis(5)).send(0, 1024, 9);
+        s.rank(1)
+            .compute(SimDuration::from_millis(5))
+            .send(0, 1024, 9);
         let mut w = world();
         let result = w.run(layout(2, 1), &s).unwrap();
         let recv_end = result.last_end(OpKind::Recv).unwrap();
@@ -1278,7 +1342,10 @@ mod tests {
             .read("/scratch/c", 0, MIB)
             .close("/scratch/c");
         let hit = w.run(layout(1, 1), &s2).unwrap();
-        assert!(hit.records.iter().any(|r| r.kind == OpKind::Read && r.cache_hit));
+        assert!(hit
+            .records
+            .iter()
+            .any(|r| r.kind == OpKind::Read && r.cache_hit));
 
         // A rank on another node reads: miss, slower.
         let mut s3 = ScriptSet::new(2);
@@ -1310,10 +1377,8 @@ mod tests {
             w.run(layout(1, 1), &s).unwrap().span_secs(OpKind::Write)
         };
         let healthy = run(FaultPlan::none());
-        let degraded = run(FaultPlan::none().with(crate::faults::Fault::permanent(
-            FaultTarget::Fabric,
-            0.25,
-        )));
+        let degraded =
+            run(FaultPlan::none().with(crate::faults::Fault::permanent(FaultTarget::Fabric, 0.25)));
         assert!(
             degraded > healthy * 1.5,
             "degraded {degraded} vs healthy {healthy}"
@@ -1326,7 +1391,13 @@ mod tests {
         let mut s = ScriptSet::new(1);
         s.rank(0).open("/scratch/absent", OpenMode::Read);
         let err = w.run(layout(1, 1), &s).unwrap_err();
-        assert!(matches!(err, SimError::Fs { op: OpKind::Open, .. }));
+        assert!(matches!(
+            err,
+            SimError::Fs {
+                op: OpKind::Open,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1525,16 +1596,24 @@ mod tests {
             s.rank(0).open_hint(
                 "/scratch/st",
                 OpenMode::Write,
-                StripeHint { chunk_size: None, stripe_count: Some(stripe) },
+                StripeHint {
+                    chunk_size: None,
+                    stripe_count: Some(stripe),
+                },
             );
             for i in 0..8 {
                 s.rank(0).write("/scratch/st", i * 4 * MIB, 4 * MIB);
             }
             s.rank(0).close("/scratch/st");
-            w.run(layout(1, 1), &s).unwrap().bandwidth_mib(OpKind::Write)
+            w.run(layout(1, 1), &s)
+                .unwrap()
+                .bandwidth_mib(OpKind::Write)
         };
         let one = run_with(1);
         let four = run_with(4);
-        assert!(four > one * 1.5, "stripe 4 ({four}) should beat stripe 1 ({one})");
+        assert!(
+            four > one * 1.5,
+            "stripe 4 ({four}) should beat stripe 1 ({one})"
+        );
     }
 }

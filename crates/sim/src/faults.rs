@@ -39,25 +39,45 @@ impl Fault {
     /// A fabric congestion burst (background job storms the interconnect).
     #[must_use]
     pub fn fabric_congestion(factor: f64, from: SimTime, until: SimTime) -> Fault {
-        Fault { target: FaultTarget::Fabric, factor, from, until }
+        Fault {
+            target: FaultTarget::Fabric,
+            factor,
+            from,
+            until,
+        }
     }
 
     /// A degraded (but not dead) compute node NIC.
     #[must_use]
     pub fn degraded_node(node: u32, factor: f64, from: SimTime, until: SimTime) -> Fault {
-        Fault { target: FaultTarget::NodeNic(node), factor, from, until }
+        Fault {
+            target: FaultTarget::NodeNic(node),
+            factor,
+            from,
+            until,
+        }
     }
 
     /// A slow storage target (failing disk / RAID rebuild).
     #[must_use]
     pub fn slow_target(target: u32, factor: f64, from: SimTime, until: SimTime) -> Fault {
-        Fault { target: FaultTarget::StorageTarget(target), factor, from, until }
+        Fault {
+            target: FaultTarget::StorageTarget(target),
+            factor,
+            from,
+            until,
+        }
     }
 
     /// An overloaded metadata server.
     #[must_use]
     pub fn slow_mds(mds: u32, factor: f64, from: SimTime, until: SimTime) -> Fault {
-        Fault { target: FaultTarget::MetadataServer(mds), factor, from, until }
+        Fault {
+            target: FaultTarget::MetadataServer(mds),
+            factor,
+            from,
+            until,
+        }
     }
 
     /// A permanent fault starting at the epoch.
@@ -136,9 +156,79 @@ impl FaultPlan {
     }
 }
 
+/// A process-level crash schedule for fault-harness tests: which
+/// invocation attempts of a module (0-based, counted across retries) die
+/// before producing output.
+///
+/// Capacity faults above degrade what a run measures; a crash schedule
+/// kills the run itself — the generator returns a transient error instead
+/// of artifacts, exercising the cycle's retry and degradation paths.
+#[derive(Debug, Clone, Default)]
+pub struct CrashSchedule {
+    crash_attempts: std::collections::BTreeSet<u64>,
+    calls: u64,
+}
+
+impl CrashSchedule {
+    /// Never crash.
+    #[must_use]
+    pub fn none() -> CrashSchedule {
+        CrashSchedule::default()
+    }
+
+    /// Crash the first `n` invocation attempts, then run normally — the
+    /// "node came back after a reboot" shape that retries recover from.
+    #[must_use]
+    pub fn first_n(n: u64) -> CrashSchedule {
+        CrashSchedule {
+            crash_attempts: (0..n).collect(),
+            calls: 0,
+        }
+    }
+
+    /// Crash exactly the given 0-based invocation attempts.
+    #[must_use]
+    pub fn at_attempts(attempts: &[u64]) -> CrashSchedule {
+        CrashSchedule {
+            crash_attempts: attempts.iter().copied().collect(),
+            calls: 0,
+        }
+    }
+
+    /// Record one invocation attempt; true when this attempt crashes.
+    pub fn tick(&mut self) -> bool {
+        let call = self.calls;
+        self.calls += 1;
+        self.crash_attempts.contains(&call)
+    }
+
+    /// Attempts recorded so far.
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn crash_schedule_counts_attempts() {
+        let mut s = CrashSchedule::first_n(2);
+        assert!(s.tick());
+        assert!(s.tick());
+        assert!(!s.tick());
+        assert_eq!(s.calls(), 3);
+
+        let mut s = CrashSchedule::at_attempts(&[1]);
+        assert!(!s.tick());
+        assert!(s.tick());
+        assert!(!s.tick());
+
+        let mut s = CrashSchedule::none();
+        assert!(!s.tick());
+    }
 
     #[test]
     fn windows_and_factors() {
@@ -160,7 +250,10 @@ mod tests {
             plan.factor(FaultTarget::Fabric, SimTime::from_millis(1700)),
             0.25
         );
-        assert_eq!(plan.factor(FaultTarget::NodeNic(0), SimTime::from_secs(1)), 1.0);
+        assert_eq!(
+            plan.factor(FaultTarget::NodeNic(0), SimTime::from_secs(1)),
+            1.0
+        );
     }
 
     #[test]
@@ -171,25 +264,38 @@ mod tests {
             SimTime::from_secs(1),
             SimTime::from_secs(2),
         ));
-        assert_eq!(plan.factor(FaultTarget::StorageTarget(2), SimTime::from_secs(2)), 1.0);
+        assert_eq!(
+            plan.factor(FaultTarget::StorageTarget(2), SimTime::from_secs(2)),
+            1.0
+        );
     }
 
     #[test]
     fn edges_are_sorted_and_deduped() {
         let plan = FaultPlan::none()
-            .with(Fault::slow_mds(0, 0.5, SimTime::from_secs(5), SimTime::from_secs(9)))
-            .with(Fault::degraded_node(1, 0.5, SimTime::from_secs(2), SimTime::from_secs(5)));
+            .with(Fault::slow_mds(
+                0,
+                0.5,
+                SimTime::from_secs(5),
+                SimTime::from_secs(9),
+            ))
+            .with(Fault::degraded_node(
+                1,
+                0.5,
+                SimTime::from_secs(2),
+                SimTime::from_secs(5),
+            ));
         let edges = plan.edges_after(SimTime::from_secs(2));
-        assert_eq!(
-            edges,
-            vec![SimTime::from_secs(5), SimTime::from_secs(9)]
-        );
+        assert_eq!(edges, vec![SimTime::from_secs(5), SimTime::from_secs(9)]);
     }
 
     #[test]
     fn permanent_fault_has_no_finite_edges() {
         let plan = FaultPlan::none().with(Fault::permanent(FaultTarget::Fabric, 0.5));
         assert!(plan.edges_after(SimTime::ZERO).is_empty());
-        assert_eq!(plan.factor(FaultTarget::Fabric, SimTime::from_secs(1000)), 0.5);
+        assert_eq!(
+            plan.factor(FaultTarget::Fabric, SimTime::from_secs(1000)),
+            0.5
+        );
     }
 }

@@ -129,7 +129,10 @@ pub fn solve_rates(capacities: &[f64], flows: &[FlowPath]) -> Vec<f64> {
                 }
             }
         }
-        debug_assert!(froze_any, "progressive filling must freeze at least one flow");
+        debug_assert!(
+            froze_any,
+            "progressive filling must freeze at least one flow"
+        );
         if !froze_any {
             // Numerical safety valve: freeze everything at the current level.
             for (i, f) in frozen.iter_mut().enumerate() {

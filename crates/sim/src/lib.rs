@@ -60,7 +60,7 @@ pub mod prelude {
     pub use crate::api::IoApi;
     pub use crate::config::{ClusterConfig, PfsConfig, RaidScheme, SystemConfig};
     pub use crate::engine::{JobLayout, SimError, World};
-    pub use crate::faults::{Fault, FaultPlan, FaultTarget};
+    pub use crate::faults::{CrashSchedule, Fault, FaultPlan, FaultTarget};
     pub use crate::metrics::{OpRecord, PhaseResult};
     pub use crate::pfs::Namespace;
     pub use crate::rng::Rng;

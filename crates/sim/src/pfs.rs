@@ -183,7 +183,10 @@ impl Namespace {
         if !self.dirs.contains(parent_dir(path)) {
             return Err(FsError::NoParent(path.to_owned()));
         }
-        let chunk_size = hint.chunk_size.unwrap_or(self.config.default_chunk_size).max(1);
+        let chunk_size = hint
+            .chunk_size
+            .unwrap_or(self.config.default_chunk_size)
+            .max(1);
         let stripe_count = hint
             .stripe_count
             .unwrap_or(self.config.default_stripe_count)
@@ -244,7 +247,11 @@ impl Namespace {
 
     /// Iterate over the immediate children (files and directories) of `dir`.
     pub fn list_dir<'a>(&'a self, dir: &'a str) -> impl Iterator<Item = &'a str> + 'a {
-        let prefix = if dir == "/" { String::new() } else { dir.to_owned() };
+        let prefix = if dir == "/" {
+            String::new()
+        } else {
+            dir.to_owned()
+        };
         let file_children = self
             .files
             .keys()
@@ -273,7 +280,11 @@ impl Namespace {
         let mut out = String::new();
         out.push_str("Entry type: file\n");
         out.push_str(&format!("EntryID: {}\n", meta.entry_id));
-        out.push_str(&format!("Metadata node: meta{:02} [ID: {}]\n", meta.mds + 1, meta.mds + 1));
+        out.push_str(&format!(
+            "Metadata node: meta{:02} [ID: {}]\n",
+            meta.mds + 1,
+            meta.mds + 1
+        ));
         out.push_str("Stripe pattern details:\n");
         out.push_str("+ Type: RAID0\n");
         out.push_str(&format!("+ Chunksize: {}\n", format_chunk(meta.chunk_size)));
@@ -284,9 +295,17 @@ impl Namespace {
         ));
         out.push_str("+ Storage targets:\n");
         for t in &meta.targets {
-            out.push_str(&format!("  + {} @ storage{:02} [ID: {}]\n", t + 1, t + 1, t + 1));
+            out.push_str(&format!(
+                "  + {} @ storage{:02} [ID: {}]\n",
+                t + 1,
+                t + 1,
+                t + 1
+            ));
         }
-        out.push_str(&format!("+ Storage Pool: 1 ({})\n", self.config.storage_pool));
+        out.push_str(&format!(
+            "+ Storage Pool: 1 ({})\n",
+            self.config.storage_pool
+        ));
         Some(out)
     }
 }
@@ -399,8 +418,15 @@ mod tests {
     #[test]
     fn layout_handles_partial_chunks() {
         let mut ns = ns();
-        ns.create("/scratch/f1", StripeHint { chunk_size: Some(1024), stripe_count: Some(2) }, 0)
-            .unwrap();
+        ns.create(
+            "/scratch/f1",
+            StripeHint {
+                chunk_size: Some(1024),
+                stripe_count: Some(2),
+            },
+            0,
+        )
+        .unwrap();
         let meta = ns.file("/scratch/f1").unwrap();
         let segs = meta.layout(512, 1024);
         // 512 bytes in chunk 0 (target A), 512 bytes in chunk 1 (target B).
@@ -432,7 +458,10 @@ mod tests {
         ns.rmdir("/a/b").unwrap();
         ns.rmdir("/a").unwrap();
         assert!(matches!(ns.unlink("/nope"), Err(FsError::NotFound(_))));
-        assert!(matches!(ns.open_existing("/nope"), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            ns.open_existing("/nope"),
+            Err(FsError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -449,8 +478,10 @@ mod tests {
     fn listing_and_counting() {
         let mut ns = ns();
         ns.mkdir("/scratch/job").unwrap();
-        ns.create("/scratch/job/a", StripeHint::default(), 0).unwrap();
-        ns.create("/scratch/job/b", StripeHint::default(), 0).unwrap();
+        ns.create("/scratch/job/a", StripeHint::default(), 0)
+            .unwrap();
+        ns.create("/scratch/job/b", StripeHint::default(), 0)
+            .unwrap();
         ns.mkdir("/scratch/job/sub").unwrap();
         assert_eq!(ns.dir_entries("/scratch/job"), 3);
         assert_eq!(ns.dir_entries("/scratch"), 1);
@@ -497,19 +528,31 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for i in 0..32 {
             let path = format!("/scratch/spread{i}");
-            ns.create(&path, StripeHint { chunk_size: None, stripe_count: Some(1) }, 0)
-                .unwrap();
+            ns.create(
+                &path,
+                StripeHint {
+                    chunk_size: None,
+                    stripe_count: Some(1),
+                },
+                0,
+            )
+            .unwrap();
             seen.insert(ns.file(&path).unwrap().targets[0]);
         }
         assert_eq!(seen.len() as u32, ns.config().storage_targets);
         // Deterministic: same path → same placement.
-        assert_eq!(
-            ns.file("/scratch/spread0").unwrap().targets,
-            {
-                let mut ns2 = super::Namespace::new(crate::config::PfsConfig::test_small());
-                ns2.create("/scratch/spread0", StripeHint { chunk_size: None, stripe_count: Some(1) }, 0).unwrap();
-                ns2.file("/scratch/spread0").unwrap().targets.clone()
-            }
-        );
+        assert_eq!(ns.file("/scratch/spread0").unwrap().targets, {
+            let mut ns2 = super::Namespace::new(crate::config::PfsConfig::test_small());
+            ns2.create(
+                "/scratch/spread0",
+                StripeHint {
+                    chunk_size: None,
+                    stripe_count: Some(1),
+                },
+                0,
+            )
+            .unwrap();
+            ns2.file("/scratch/spread0").unwrap().targets.clone()
+        });
     }
 }

@@ -47,7 +47,11 @@ pub enum Op {
     /// Remove an empty directory.
     Rmdir { path: PathId },
     /// Open (and possibly create) a file.
-    Open { path: PathId, mode: OpenMode, hint: StripeHint },
+    Open {
+        path: PathId,
+        mode: OpenMode,
+        hint: StripeHint,
+    },
     /// Close an open file.
     Close { path: PathId },
     /// Write `len` bytes at `offset`.
@@ -279,7 +283,14 @@ impl RankScript<'_> {
     /// Append `Open` with striping hints.
     pub fn open_hint(&mut self, path: &str, mode: OpenMode, hint: StripeHint) -> &mut Self {
         let p = self.set.intern(path);
-        self.set.push(self.rank, Op::Open { path: p, mode, hint });
+        self.set.push(
+            self.rank,
+            Op::Open {
+                path: p,
+                mode,
+                hint,
+            },
+        );
         self
     }
 
@@ -293,14 +304,28 @@ impl RankScript<'_> {
     /// Append `Write`.
     pub fn write(&mut self, path: &str, offset: u64, len: u64) -> &mut Self {
         let p = self.set.intern(path);
-        self.set.push(self.rank, Op::Write { path: p, offset, len });
+        self.set.push(
+            self.rank,
+            Op::Write {
+                path: p,
+                offset,
+                len,
+            },
+        );
         self
     }
 
     /// Append `Read`.
     pub fn read(&mut self, path: &str, offset: u64, len: u64) -> &mut Self {
         let p = self.set.intern(path);
-        self.set.push(self.rank, Op::Read { path: p, offset, len });
+        self.set.push(
+            self.rank,
+            Op::Read {
+                path: p,
+                offset,
+                len,
+            },
+        );
         self
     }
 

@@ -164,14 +164,20 @@ mod tests {
         let t = SimTime::from_millis(10) + SimDuration::from_micros(500);
         assert_eq!(t.nanos(), 10_500_000);
         assert_eq!((t - SimTime::from_millis(10)).nanos(), 500_000);
-        assert_eq!(SimTime::from_millis(1) - SimTime::from_secs(1), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_millis(1) - SimTime::from_secs(1),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn conversions() {
         assert_eq!(SimTime::from_secs_f64(2.5).nanos(), 2_500_000_000);
         assert!((SimDuration::from_secs(3).as_secs_f64() - 3.0).abs() < 1e-12);
-        assert_eq!(SimDuration::from_secs(2).mul_f64(0.5), SimDuration::from_secs(1));
+        assert_eq!(
+            SimDuration::from_secs(2).mul_f64(0.5),
+            SimDuration::from_secs(1)
+        );
         assert_eq!(SimDuration::from_secs(2).mul_f64(-1.0), SimDuration::ZERO);
     }
 

@@ -26,13 +26,21 @@ impl Column {
     /// A nullable column.
     #[must_use]
     pub fn new(name: &str, ty: ColumnType) -> Column {
-        Column { name: name.to_owned(), ty, not_null: false }
+        Column {
+            name: name.to_owned(),
+            ty,
+            not_null: false,
+        }
     }
 
     /// A NOT NULL column.
     #[must_use]
     pub fn required(name: &str, ty: ColumnType) -> Column {
-        Column { name: name.to_owned(), ty, not_null: true }
+        Column {
+            name: name.to_owned(),
+            ty,
+            not_null: true,
+        }
     }
 }
 
@@ -104,13 +112,25 @@ pub enum DbError {
     /// Unknown column.
     NoSuchColumn { table: String, column: String },
     /// Wrong number of values for an insert.
-    Arity { table: String, expected: usize, got: usize },
+    Arity {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
     /// Value does not fit the column type.
-    TypeMismatch { table: String, column: String, value: String },
+    TypeMismatch {
+        table: String,
+        column: String,
+        value: String,
+    },
     /// NOT NULL violated.
     NotNull { table: String, column: String },
     /// Foreign key references a missing row.
-    ForeignKey { table: String, column: String, missing_id: i64 },
+    ForeignKey {
+        table: String,
+        column: String,
+        missing_id: i64,
+    },
     /// Creating a table that exists.
     TableExists(String),
     /// Corrupt persistence payload.
@@ -124,16 +144,28 @@ impl fmt::Display for DbError {
             DbError::NoSuchColumn { table, column } => {
                 write!(f, "no such column: {table}.{column}")
             }
-            DbError::Arity { table, expected, got } => {
+            DbError::Arity {
+                table,
+                expected,
+                got,
+            } => {
                 write!(f, "{table}: expected {expected} values, got {got}")
             }
-            DbError::TypeMismatch { table, column, value } => {
+            DbError::TypeMismatch {
+                table,
+                column,
+                value,
+            } => {
                 write!(f, "{table}.{column}: value {value} has wrong type")
             }
             DbError::NotNull { table, column } => {
                 write!(f, "{table}.{column}: NOT NULL constraint failed")
             }
-            DbError::ForeignKey { table, column, missing_id } => {
+            DbError::ForeignKey {
+                table,
+                column,
+                missing_id,
+            } => {
                 write!(f, "{table}.{column}: FOREIGN KEY row {missing_id} missing")
             }
             DbError::TableExists(t) => write!(f, "table exists: {t}"),
@@ -196,10 +228,12 @@ impl Predicate {
             if name == "id" {
                 return Ok(Value::Int(row.id));
             }
-            let idx = schema.column_index(name).ok_or_else(|| DbError::NoSuchColumn {
-                table: schema.name.clone(),
-                column: name.to_owned(),
-            })?;
+            let idx = schema
+                .column_index(name)
+                .ok_or_else(|| DbError::NoSuchColumn {
+                    table: schema.name.clone(),
+                    column: name.to_owned(),
+                })?;
             Ok(row.values[idx].clone())
         };
         Ok(match self {
@@ -248,7 +282,12 @@ impl Table {
             .iter()
             .map(|c| (c.clone(), BTreeMap::new()))
             .collect();
-        Table { schema, rows: BTreeMap::new(), next_id: 1, secondary }
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            next_id: 1,
+            secondary,
+        }
     }
 
     fn index_insert(&mut self, id: i64, values: &[Value]) {
@@ -378,9 +417,13 @@ impl Database {
                 }
             }
             for fk in t.schema.foreign_keys.clone() {
-                let ci = t.schema.column_index(&fk.column).ok_or_else(|| {
-                    DbError::NoSuchColumn { table: table.to_owned(), column: fk.column.clone() }
-                })?;
+                let ci =
+                    t.schema
+                        .column_index(&fk.column)
+                        .ok_or_else(|| DbError::NoSuchColumn {
+                            table: table.to_owned(),
+                            column: fk.column.clone(),
+                        })?;
                 if let Some(refid) = values[ci].as_int() {
                     let target = self
                         .tables
@@ -452,7 +495,10 @@ impl Database {
             .tables
             .get(table)
             .ok_or_else(|| DbError::NoSuchTable(table.to_owned()))?;
-        Ok(t.rows.get(&id).map(|values| Row { id, values: values.clone() }))
+        Ok(t.rows.get(&id).map(|values| Row {
+            id,
+            values: values.clone(),
+        }))
     }
 
     /// Query rows matching `predicate`, ordered and limited.
@@ -483,12 +529,20 @@ impl Database {
         let mut rows: Vec<Row> = match candidate_ids {
             Some(ids) => ids
                 .into_iter()
-                .filter_map(|id| t.rows.get(&id).map(|v| Row { id, values: v.clone() }))
+                .filter_map(|id| {
+                    t.rows.get(&id).map(|v| Row {
+                        id,
+                        values: v.clone(),
+                    })
+                })
                 .collect(),
             None => {
                 let mut out = Vec::new();
                 for (id, values) in &t.rows {
-                    let row = Row { id: *id, values: values.clone() };
+                    let row = Row {
+                        id: *id,
+                        values: values.clone(),
+                    };
                     if predicate.eval(&t.schema, &row)? {
                         out.push(row);
                     }
@@ -500,10 +554,13 @@ impl Database {
         match &order {
             OrderBy::Id => rows.sort_by_key(|r| r.id),
             OrderBy::Asc(column) | OrderBy::Desc(column) => {
-                let ci = t.schema.column_index(column).ok_or_else(|| DbError::NoSuchColumn {
-                    table: table.to_owned(),
-                    column: column.clone(),
-                })?;
+                let ci = t
+                    .schema
+                    .column_index(column)
+                    .ok_or_else(|| DbError::NoSuchColumn {
+                        table: table.to_owned(),
+                        column: column.clone(),
+                    })?;
                 rows.sort_by(|a, b| a.values[ci].total_cmp(&b.values[ci]).then(a.id.cmp(&b.id)));
                 if matches!(order, OrderBy::Desc(_)) {
                     rows.reverse();
@@ -532,10 +589,13 @@ impl Database {
             .map(|r| r.id)
             .collect();
         let t = self.tables.get_mut(table).expect("select verified table");
-        let ci = t.schema.column_index(column).ok_or_else(|| DbError::NoSuchColumn {
-            table: table.to_owned(),
-            column: column.to_owned(),
-        })?;
+        let ci = t
+            .schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: table.to_owned(),
+                column: column.to_owned(),
+            })?;
         let col = &t.schema.columns[ci];
         if value.is_null() && col.not_null {
             return Err(DbError::NotNull {
@@ -583,15 +643,18 @@ impl Database {
             return Ok(Value::Int(row.id));
         }
         let schema = self.schema(table)?;
-        let ci = schema.column_index(column).ok_or_else(|| DbError::NoSuchColumn {
-            table: table.to_owned(),
-            column: column.to_owned(),
-        })?;
+        let ci = schema
+            .column_index(column)
+            .ok_or_else(|| DbError::NoSuchColumn {
+                table: table.to_owned(),
+                column: column.to_owned(),
+            })?;
         Ok(row.values[ci].clone())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -631,7 +694,11 @@ mod tests {
         let id = db
             .insert(
                 "performances",
-                vec![Value::from("ior -w"), Value::from("MPIIO"), Value::from(80u32)],
+                vec![
+                    Value::from("ior -w"),
+                    Value::from("MPIIO"),
+                    Value::from(80u32),
+                ],
             )
             .unwrap();
         assert_eq!(id, 1);
@@ -650,7 +717,10 @@ mod tests {
         ));
         // NOT NULL.
         assert!(matches!(
-            db.insert("performances", vec![Value::Null, Value::from("a"), Value::Null]),
+            db.insert(
+                "performances",
+                vec![Value::Null, Value::from("a"), Value::Null]
+            ),
             Err(DbError::NotNull { .. })
         ));
         // Type mismatch.
@@ -759,7 +829,11 @@ mod tests {
             let api = if i % 3 == 0 { "MPIIO" } else { "POSIX" };
             db.insert(
                 "performances",
-                vec![Value::from(format!("c{i}")), Value::from(api), Value::Int(i)],
+                vec![
+                    Value::from(format!("c{i}")),
+                    Value::from(api),
+                    Value::Int(i),
+                ],
             )
             .unwrap();
         }
@@ -790,12 +864,19 @@ mod tests {
         for i in 0..10 {
             db.insert(
                 "performances",
-                vec![Value::from(format!("c{i}")), Value::from("MPIIO"), Value::Int(i)],
+                vec![
+                    Value::from(format!("c{i}")),
+                    Value::from("MPIIO"),
+                    Value::Int(i),
+                ],
             )
             .unwrap();
         }
         let removed = db
-            .delete("performances", &Predicate::Lt("tasks".into(), Value::Int(5)))
+            .delete(
+                "performances",
+                &Predicate::Lt("tasks".into(), Value::Int(5)),
+            )
             .unwrap();
         assert_eq!(removed, 5);
         assert_eq!(db.row_count("performances").unwrap(), 5);
@@ -816,7 +897,11 @@ mod tests {
         for i in 0..6 {
             db.insert(
                 "performances",
-                vec![Value::from(format!("c{i}")), Value::from("POSIX"), Value::Int(i)],
+                vec![
+                    Value::from(format!("c{i}")),
+                    Value::from("POSIX"),
+                    Value::Int(i),
+                ],
             )
             .unwrap();
         }
@@ -845,7 +930,12 @@ mod tests {
             Err(DbError::NotNull { .. })
         ));
         assert!(matches!(
-            db.update("performances", "tasks", Value::from("oops"), &Predicate::True),
+            db.update(
+                "performances",
+                "tasks",
+                Value::from("oops"),
+                &Predicate::True
+            ),
             Err(DbError::TypeMismatch { .. })
         ));
         assert!(matches!(
@@ -874,7 +964,11 @@ mod tests {
         for i in 0..3 {
             db.insert(
                 "performances",
-                vec![Value::from(format!("c{i}")), Value::from("POSIX"), Value::Int(i)],
+                vec![
+                    Value::from(format!("c{i}")),
+                    Value::from("POSIX"),
+                    Value::Int(i),
+                ],
             )
             .unwrap();
         }

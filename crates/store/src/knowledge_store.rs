@@ -28,24 +28,44 @@ pub struct KnowledgeStore {
     db: Database,
     /// When set, every write is flushed to this file.
     path: Option<PathBuf>,
+    /// How the on-disk image was recovered at open time, if it was.
+    recovery: persist::RecoveryReport,
 }
 
 impl KnowledgeStore {
     /// An in-memory store with the paper's schema.
     #[must_use]
     pub fn in_memory() -> KnowledgeStore {
-        KnowledgeStore { db: build_schema(), path: None }
+        KnowledgeStore {
+            db: build_schema(),
+            path: None,
+            recovery: persist::RecoveryReport::default(),
+        }
     }
 
-    /// A file-backed store: loads the image when the file exists,
-    /// otherwise starts fresh; writes flush back to the file.
+    /// A file-backed store: loads the image when the file (or its `.bak`
+    /// generation) exists, otherwise starts fresh; writes flush back to
+    /// the file. A torn or corrupt primary image falls back to the last
+    /// good generation — check [`KnowledgeStore::recovery`] to see
+    /// whether that happened.
     pub fn open(path: PathBuf) -> Result<KnowledgeStore, DbError> {
-        let db = if path.exists() {
-            persist::load(&path)?
+        let (db, recovery) = if path.exists() || persist::backup_path(&path).exists() {
+            persist::load_with_recovery(&path)?
         } else {
-            build_schema()
+            (build_schema(), persist::RecoveryReport::default())
         };
-        Ok(KnowledgeStore { db, path: Some(path) })
+        Ok(KnowledgeStore {
+            db,
+            path: Some(path),
+            recovery,
+        })
+    }
+
+    /// How the on-disk image was loaded: whether the `.bak` generation
+    /// had to stand in for a torn or corrupt primary image.
+    #[must_use]
+    pub fn recovery(&self) -> &persist::RecoveryReport {
+        &self.recovery
     }
 
     /// Access the underlying database (the explorer's SQL surface).
@@ -114,7 +134,11 @@ impl KnowledgeStore {
                     Value::from(summary.iterations),
                 ],
             )?;
-            for result in k.results.iter().filter(|r| r.operation == summary.operation) {
+            for result in k
+                .results
+                .iter()
+                .filter(|r| r.operation == summary.operation)
+            {
                 self.db.insert(
                     "results",
                     vec![
@@ -162,6 +186,7 @@ impl KnowledgeStore {
                 ],
             )?;
         }
+        self.save_warnings("benchmark", performance_id, &k.warnings)?;
         self.flush()?;
         Ok(performance_id as u64)
     }
@@ -253,7 +278,44 @@ impl KnowledgeStore {
             cache_kib: srow.values[5].as_int().unwrap_or(0) as u64,
             mem_kib: srow.values[6].as_int().unwrap_or(0) as u64,
         });
+        k.warnings = self.load_warnings("benchmark", id);
         Ok(Some(k))
+    }
+
+    fn save_warnings(
+        &mut self,
+        owner: &str,
+        owner_id: i64,
+        warnings: &[String],
+    ) -> Result<(), DbError> {
+        for warning in warnings {
+            self.db.insert(
+                "warnings",
+                vec![
+                    Value::from(owner),
+                    Value::Int(owner_id),
+                    Value::from(warning.as_str()),
+                ],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Warnings for one knowledge object. Images persisted before the
+    /// `warnings` table existed simply have none.
+    fn load_warnings(&self, owner: &str, id: u64) -> Vec<String> {
+        self.db
+            .select(
+                "warnings",
+                &Predicate::Eq("owner_id".into(), Value::Int(id as i64)),
+                OrderBy::Id,
+                None,
+            )
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|row| row.values[0].as_text() == Some(owner))
+            .map(|row| row.values[2].as_text().unwrap_or("").to_owned())
+            .collect()
     }
 
     fn one_child(&self, table: &str, performance_id: u64) -> Result<Option<Row>, DbError> {
@@ -326,6 +388,7 @@ impl KnowledgeStore {
                 ],
             )?;
         }
+        self.save_warnings("io500", iofh_id, &k.warnings)?;
         self.flush()?;
         Ok(iofh_id as u64)
     }
@@ -424,6 +487,7 @@ impl KnowledgeStore {
             testcases,
             options,
             system,
+            warnings: self.load_warnings("io500", id),
         }))
     }
 
@@ -438,7 +502,10 @@ impl KnowledgeStore {
                 items.push(KnowledgeItem::Benchmark(k));
             }
         }
-        for row in self.db.select("IOFHsRuns", &Predicate::True, OrderBy::Id, None)? {
+        for row in self
+            .db
+            .select("IOFHsRuns", &Predicate::True, OrderBy::Id, None)?
+        {
             if let Some(k) = self.load_io500(row.id as u64)? {
                 items.push(KnowledgeItem::Io500(k));
             }
@@ -659,10 +726,26 @@ fn build_schema() -> Database {
         .with_index("IOFH_id"),
     )
     .expect("fresh database accepts schema");
+    // Extraction warnings for either knowledge kind ("benchmark" rows
+    // key off performances ids, "io500" rows off IOFHsRuns ids) — the
+    // partiality of a salvaged run must survive persistence.
+    db.create_table(
+        TableSchema::new(
+            "warnings",
+            vec![
+                Column::required("owner", ColumnType::Text),
+                Column::required("owner_id", ColumnType::Integer),
+                Column::required("message", ColumnType::Text),
+            ],
+        )
+        .with_index("owner_id"),
+    )
+    .expect("fresh database accepts schema");
     db
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -760,7 +843,28 @@ mod tests {
                 mem_kib: 134_217_728,
             }),
             start_time: 7777,
+            warnings: Vec::new(),
         }
+    }
+
+    #[test]
+    fn extraction_warnings_roundtrip() {
+        let mut store = KnowledgeStore::in_memory();
+        let partial = sample_knowledge().with_warning("rows truncated after iteration 1");
+        let id = store.save_knowledge(&partial).unwrap();
+        let loaded = store.load_knowledge(id).unwrap().unwrap();
+        assert_eq!(loaded.warnings, partial.warnings);
+        assert!(loaded.is_partial());
+
+        let mut io500 = sample_io500();
+        io500.warnings.push("no [SCORE ] line".to_owned());
+        let id = store.save_io500(&io500).unwrap();
+        let loaded = store.load_io500(id).unwrap().unwrap();
+        assert_eq!(loaded.warnings, io500.warnings);
+        // Warnings attach to their own object, not to every one.
+        let clean_id = store.save_knowledge(&sample_knowledge()).unwrap();
+        let clean = store.load_knowledge(clean_id).unwrap().unwrap();
+        assert!(clean.warnings.is_empty());
     }
 
     #[test]

@@ -3,14 +3,24 @@
 //! The paper stores knowledge "either directly as a local SQLite database
 //! or by specifying a SQL connection URL remotely" (§V-C). Here the
 //! local form is a deterministic JSON image on disk — schemas, rows and
-//! auto-increment counters — written atomically (temp file + rename).
-//! CSV export/import covers the paper's "saved e.g. as a CSV file" path.
+//! auto-increment counters. CSV export/import covers the paper's "saved
+//! e.g. as a CSV file" path.
+//!
+//! Writes are crash-safe: the image is written to a temp file, fsynced,
+//! and renamed over the target, with the previous checksum-valid image
+//! rotated to a `.bak` generation first. Every image carries a trailing
+//! checksum footer (`#iokc-crc64:<hex>` over the JSON body, FNV-1a 64),
+//! so a torn or bit-flipped image is *detected* on load rather than
+//! silently yielding wrong data — [`load_with_recovery`] then falls back
+//! to the last good generation. [`inject_torn_write`] truncates an image
+//! at a byte offset so tests can exercise exactly that path.
 
 use crate::database::{Column, Database, DbError, ForeignKey, OrderBy, Predicate, TableSchema};
 use crate::value::{ColumnType, Value};
 use iokc_util::json::Json;
 use iokc_util::table::TextTable;
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 
 /// Serialize the whole database to a JSON document.
 #[must_use]
@@ -106,7 +116,11 @@ pub fn from_json(json: &Json) -> Result<Database, DbError> {
                 }
             };
             let not_null = col.get("not_null").and_then(Json::as_bool).unwrap_or(false);
-            columns.push(Column { name: cname.to_owned(), ty, not_null });
+            columns.push(Column {
+                name: cname.to_owned(),
+                ty,
+                not_null,
+            });
         }
         let mut schema = TableSchema::new(name, columns);
         if let Some(fks) = table.get("foreign_keys").and_then(Json::as_arr) {
@@ -192,20 +206,164 @@ fn json_to_value(json: &Json) -> Value {
     }
 }
 
-/// Save a database to a file (atomic: temp file + rename).
-pub fn save(db: &Database, path: &Path) -> Result<(), std::io::Error> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, to_json(db).to_pretty())?;
-    std::fs::rename(&tmp, path)
+/// Marker introducing the checksum footer line.
+const FOOTER_MARKER: &str = "\n#iokc-crc64:";
+
+/// FNV-1a 64-bit checksum of the image body.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
-/// Load a database from a file.
+/// Render the on-disk image: pretty JSON body plus the checksum footer.
+#[must_use]
+pub fn render_image(db: &Database) -> String {
+    let body = to_json(db).to_pretty();
+    let crc = checksum(body.as_bytes());
+    format!("{body}{FOOTER_MARKER}{crc:016x}\n")
+}
+
+/// Split an image into its JSON body, verifying the checksum footer.
+///
+/// Images without a footer (written before checksumming existed) are
+/// accepted as-is; a present-but-wrong footer, or a malformed one, is
+/// corruption.
+pub fn verify_image(text: &str) -> Result<&str, DbError> {
+    let Some(at) = text.rfind(FOOTER_MARKER) else {
+        return Ok(text);
+    };
+    let body = &text[..at];
+    let footer = text[at + FOOTER_MARKER.len()..].trim_end();
+    let Ok(recorded) = u64::from_str_radix(footer, 16) else {
+        return Err(DbError::Corrupt(format!(
+            "malformed checksum footer {footer:?} (torn write?)"
+        )));
+    };
+    let actual = checksum(body.as_bytes());
+    if actual != recorded {
+        return Err(DbError::Corrupt(format!(
+            "checksum mismatch: image records {recorded:016x}, body hashes to {actual:016x}"
+        )));
+    }
+    Ok(body)
+}
+
+/// The sibling temp file a save writes before the atomic rename.
+#[must_use]
+pub fn temp_path(path: &Path) -> PathBuf {
+    sibling(path, ".tmp")
+}
+
+/// The previous-generation backup kept next to the image.
+#[must_use]
+pub fn backup_path(path: &Path) -> PathBuf {
+    sibling(path, ".bak")
+}
+
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// Save a database to a file, crash-safely.
+///
+/// The image (with checksum footer) is written to a temp file and
+/// fsynced; the current image — if it verifies — is rotated to the
+/// `.bak` generation; then the temp file is renamed into place. A crash
+/// at any point leaves either the old image, the old image plus a stray
+/// temp file, or the new image — never a file that loads as wrong data.
+pub fn save(db: &Database, path: &Path) -> Result<(), std::io::Error> {
+    let image = render_image(db);
+    let tmp = temp_path(path);
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(image.as_bytes())?;
+        file.sync_all()?;
+    }
+    // Rotate only a checksum-valid current image into the backup slot;
+    // rotating a torn image would evict the last good generation.
+    if path.exists() && load_verified(path).is_ok() {
+        std::fs::rename(path, backup_path(path))?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Make the renames durable (best-effort: not all platforms allow
+    // opening a directory for sync).
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(handle) = std::fs::File::open(dir) {
+            let _ = handle.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// What happened while loading an image.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The primary image was unusable and the `.bak` generation was
+    /// loaded instead.
+    pub recovered_from_backup: bool,
+    /// Why the primary image was rejected, when it was.
+    pub primary_error: Option<String>,
+}
+
+/// Load a database from a file, verifying its checksum.
 pub fn load(path: &Path) -> Result<Database, DbError> {
+    load_verified(path)
+}
+
+/// Load a database, falling back to the `.bak` generation when the
+/// primary image is missing, torn, or corrupt. The report says which
+/// generation was used and why.
+pub fn load_with_recovery(path: &Path) -> Result<(Database, RecoveryReport), DbError> {
+    match load_verified(path) {
+        Ok(db) => Ok((db, RecoveryReport::default())),
+        Err(primary_error) => {
+            let backup = backup_path(path);
+            if !backup.exists() {
+                return Err(primary_error);
+            }
+            match load_verified(&backup) {
+                Ok(db) => Ok((
+                    db,
+                    RecoveryReport {
+                        recovered_from_backup: true,
+                        primary_error: Some(primary_error.to_string()),
+                    },
+                )),
+                Err(backup_error) => Err(DbError::Corrupt(format!(
+                    "primary image unusable ({primary_error}) and backup image unusable \
+                     ({backup_error})"
+                ))),
+            }
+        }
+    }
+}
+
+fn load_verified(path: &Path) -> Result<Database, DbError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| DbError::Corrupt(format!("read {}: {e}", path.display())))?;
-    let json = iokc_util::json::parse(&text)
+    let body = verify_image(&text)?;
+    let json = iokc_util::json::parse(body)
         .map_err(|e| DbError::Corrupt(format!("parse {}: {e}", path.display())))?;
     from_json(&json)
+}
+
+/// Fault-injection hook: truncate an on-disk image to `keep_bytes`,
+/// simulating a write torn by a crash or a full disk. Used by the
+/// resilience test harness; safe to call on any file.
+pub fn inject_torn_write(path: &Path, keep_bytes: u64) -> Result<(), std::io::Error> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep_bytes)?;
+    file.sync_all()
 }
 
 /// Export one table as CSV (header = `id` + column names).
@@ -243,10 +401,12 @@ pub fn import_csv(db: &mut Database, table: &str, text: &str) -> Result<usize, D
             id_column = Some(i);
             mapping.push(None);
         } else {
-            let ci = schema.column_index(name).ok_or_else(|| DbError::NoSuchColumn {
-                table: table.to_owned(),
-                column: name.clone(),
-            })?;
+            let ci = schema
+                .column_index(name)
+                .ok_or_else(|| DbError::NoSuchColumn {
+                    table: table.to_owned(),
+                    column: name.clone(),
+                })?;
             mapping.push(Some(ci));
         }
     }
@@ -255,31 +415,35 @@ pub fn import_csv(db: &mut Database, table: &str, text: &str) -> Result<usize, D
         let mut values = vec![Value::Null; schema.columns.len()];
         for (cell, target) in row.iter().zip(&mapping) {
             let Some(ci) = target else { continue };
-            values[*ci] = if cell.is_empty() {
-                Value::Null
-            } else {
-                match schema.columns[*ci].ty {
-                    ColumnType::Integer => cell
-                        .parse::<i64>()
-                        .map(Value::Int)
-                        .map_err(|_| DbError::TypeMismatch {
-                            table: table.to_owned(),
-                            column: schema.columns[*ci].name.clone(),
-                            value: cell.clone(),
+            values[*ci] =
+                if cell.is_empty() {
+                    Value::Null
+                } else {
+                    match schema.columns[*ci].ty {
+                        ColumnType::Integer => {
+                            cell.parse::<i64>().map(Value::Int).map_err(|_| {
+                                DbError::TypeMismatch {
+                                    table: table.to_owned(),
+                                    column: schema.columns[*ci].name.clone(),
+                                    value: cell.clone(),
+                                }
+                            })?
+                        }
+                        ColumnType::Real => cell.parse::<f64>().map(Value::Real).map_err(|_| {
+                            DbError::TypeMismatch {
+                                table: table.to_owned(),
+                                column: schema.columns[*ci].name.clone(),
+                                value: cell.clone(),
+                            }
                         })?,
-                    ColumnType::Real => cell
-                        .parse::<f64>()
-                        .map(Value::Real)
-                        .map_err(|_| DbError::TypeMismatch {
-                            table: table.to_owned(),
-                            column: schema.columns[*ci].name.clone(),
-                            value: cell.clone(),
-                        })?,
-                    ColumnType::Text => Value::Text(cell.clone()),
-                }
-            };
+                        ColumnType::Text => Value::Text(cell.clone()),
+                    }
+                };
         }
-        match id_column.and_then(|i| row.get(i)).and_then(|c| c.parse::<i64>().ok()) {
+        match id_column
+            .and_then(|i| row.get(i))
+            .and_then(|c| c.parse::<i64>().ok())
+        {
             Some(id) => db.insert_raw(table, id, values)?,
             None => {
                 db.insert(table, values)?;
@@ -291,6 +455,7 @@ pub fn import_csv(db: &mut Database, table: &str, text: &str) -> Result<usize, D
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::database::{Column, TableSchema};
@@ -320,7 +485,11 @@ mod tests {
         let pid = db
             .insert(
                 "performances",
-                vec![Value::from("ior -b 4m"), Value::from(2850.12), Value::from(80u32)],
+                vec![
+                    Value::from("ior -b 4m"),
+                    Value::from(2850.12),
+                    Value::from(80u32),
+                ],
             )
             .unwrap();
         db.insert(
@@ -339,8 +508,12 @@ mod tests {
         let restored = from_json(&image).unwrap();
         assert_eq!(restored.table_names(), db.table_names());
         for table in db.table_names() {
-            let a = db.select(table, &Predicate::True, OrderBy::Id, None).unwrap();
-            let b = restored.select(table, &Predicate::True, OrderBy::Id, None).unwrap();
+            let a = db
+                .select(table, &Predicate::True, OrderBy::Id, None)
+                .unwrap();
+            let b = restored
+                .select(table, &Predicate::True, OrderBy::Id, None)
+                .unwrap();
             assert_eq!(a, b, "table {table} differs");
         }
         // Auto-increment continues past restored ids.
@@ -415,15 +588,23 @@ mod tests {
         }
         // Errors: unknown column and bad numeric cell.
         assert!(matches!(
-            import_csv(&mut fresh, "performances", "ghost
+            import_csv(
+                &mut fresh,
+                "performances",
+                "ghost
 x
-"),
+"
+            ),
             Err(DbError::NoSuchColumn { .. })
         ));
         assert!(matches!(
-            import_csv(&mut fresh, "performances", "tasks
+            import_csv(
+                &mut fresh,
+                "performances",
+                "tasks
 not-a-number
-"),
+"
+            ),
             Err(DbError::TypeMismatch { .. })
         ));
         assert_eq!(import_csv(&mut fresh, "performances", "").unwrap(), 0);
@@ -443,6 +624,124 @@ not-a-number
             }
         }
         assert!(from_json(&good).is_err());
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("iokc-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn image_carries_verifiable_checksum() {
+        let image = render_image(&sample_db());
+        let body = verify_image(&image).unwrap();
+        assert!(!body.contains("#iokc-crc64"));
+        // Flipping one byte in the body is detected.
+        let tampered = image.replacen("performances", "perform4nces", 1);
+        assert!(matches!(verify_image(&tampered), Err(DbError::Corrupt(_))));
+        // A malformed footer is detected.
+        assert!(matches!(
+            verify_image("{}\n#iokc-crc64:zz"),
+            Err(DbError::Corrupt(_))
+        ));
+        // Footer-less legacy images pass through unchanged.
+        assert_eq!(verify_image("{\"a\": 1}").unwrap(), "{\"a\": 1}");
+    }
+
+    #[test]
+    fn save_rotates_backup_generation() {
+        let dir = scratch_dir("rotate");
+        let path = dir.join("kb.json");
+        let mut db = sample_db();
+        save(&db, &path).unwrap();
+        assert!(
+            !backup_path(&path).exists(),
+            "first save has nothing to rotate"
+        );
+        db.insert(
+            "performances",
+            vec![Value::from("ior -b 16m"), Value::Null, Value::Null],
+        )
+        .unwrap();
+        save(&db, &path).unwrap();
+        assert!(backup_path(&path).exists());
+        // Backup holds the previous generation, primary the new one.
+        assert_eq!(load(&path).unwrap().row_count("performances").unwrap(), 3);
+        assert_eq!(
+            load(&backup_path(&path))
+                .unwrap()
+                .row_count("performances")
+                .unwrap(),
+            2
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_detected_and_recovered_from_backup() {
+        let dir = scratch_dir("torn");
+        let path = dir.join("kb.json");
+        let mut db = sample_db();
+        save(&db, &path).unwrap();
+        db.insert(
+            "performances",
+            vec![Value::from("ior -b 16m"), Value::Null, Value::Null],
+        )
+        .unwrap();
+        save(&db, &path).unwrap();
+
+        // Tear the primary image in half.
+        let full = std::fs::metadata(&path).unwrap().len();
+        inject_torn_write(&path, full / 2).unwrap();
+
+        // Plain load reports corruption; recovery falls back to the
+        // previous generation.
+        assert!(load(&path).is_err());
+        let (recovered, report) = load_with_recovery(&path).unwrap();
+        assert!(report.recovered_from_backup);
+        assert!(report.primary_error.is_some());
+        assert_eq!(recovered.row_count("performances").unwrap(), 2);
+
+        // A save after recovery must not rotate the torn image over the
+        // good backup.
+        save(&recovered, &path).unwrap();
+        assert_eq!(
+            load(&backup_path(&path))
+                .unwrap()
+                .row_count("performances")
+                .unwrap(),
+            2
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_without_backup_reports_the_primary_error() {
+        let dir = scratch_dir("nobak");
+        let path = dir.join("kb.json");
+        save(&sample_db(), &path).unwrap();
+        inject_torn_write(&path, 10).unwrap();
+        assert!(matches!(
+            load_with_recovery(&path),
+            Err(DbError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_backup_and_torn_primary_is_an_error() {
+        let dir = scratch_dir("bothtorn");
+        let path = dir.join("kb.json");
+        let db = sample_db();
+        save(&db, &path).unwrap();
+        save(&db, &path).unwrap();
+        inject_torn_write(&path, 7).unwrap();
+        inject_torn_write(&backup_path(&path), 7).unwrap();
+        let err = load_with_recovery(&path).unwrap_err();
+        assert!(err.to_string().contains("backup image unusable"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -489,6 +788,64 @@ not-a-number
                 let a = db.select("t", &Predicate::True, OrderBy::Id, None).unwrap();
                 let b = restored.select("t", &Predicate::True, OrderBy::Id, None).unwrap();
                 prop_assert_eq!(a, b);
+            }
+        }
+
+        fn stored_commands(db: &Database) -> Vec<String> {
+            db.select("performances", &Predicate::True, OrderBy::Id, None)
+                .unwrap()
+                .iter()
+                .map(|row| row.values[0].to_string())
+                .collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn truncation_recovers_a_generation_or_reports_corruption(
+                commands in proptest::collection::vec("[a-z ]{1,16}", 1..6),
+                fraction in 0f64..1f64
+            ) {
+                use std::sync::atomic::{AtomicU32, Ordering};
+                static CASE: AtomicU32 = AtomicU32::new(0);
+                let dir = scratch_dir(&format!("prop-torn-{}", CASE.fetch_add(1, Ordering::Relaxed)));
+                let path = dir.join("kb.json");
+
+                // Generation 1: the given rows. Generation 2: one more.
+                let mut db = Database::new();
+                db.create_table(TableSchema::new(
+                    "performances",
+                    vec![Column::required("command", ColumnType::Text)],
+                )).unwrap();
+                for c in &commands {
+                    db.insert("performances", vec![Value::from(c.as_str())]).unwrap();
+                }
+                save(&db, &path).unwrap();
+                let generation1 = stored_commands(&db);
+                db.insert("performances", vec![Value::from("generation-two-extra")]).unwrap();
+                save(&db, &path).unwrap();
+                let generation2 = stored_commands(&db);
+
+                // Tear the primary image at an arbitrary byte offset.
+                let len = std::fs::metadata(&path).unwrap().len();
+                let keep = ((len as f64) * fraction) as u64;
+                inject_torn_write(&path, keep).unwrap();
+
+                // Whatever happens, the loaded data must be *a* complete
+                // generation — never a silently truncated mixture.
+                match load_with_recovery(&path) {
+                    Ok((loaded, report)) => {
+                        let rows = stored_commands(&loaded);
+                        if report.recovered_from_backup {
+                            prop_assert_eq!(rows, generation1);
+                        } else {
+                            prop_assert_eq!(rows, generation2);
+                        }
+                    }
+                    Err(DbError::Corrupt(_)) => {}
+                    Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+                }
+                std::fs::remove_dir_all(&dir).unwrap();
             }
         }
     }

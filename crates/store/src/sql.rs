@@ -99,12 +99,18 @@ fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                 }
             }
             tokens.push(Token::Str(s));
-        } else if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)) {
+        } else if c.is_ascii_digit()
+            || (c == '-' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit))
+        {
             let start = i;
             i += 1;
             while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e'
-                    || bytes[i] == b'E' || bytes[i] == b'+' || bytes[i] == b'-')
+                && ((bytes[i] as char).is_ascii_digit()
+                    || bytes[i] == b'.'
+                    || bytes[i] == b'e'
+                    || bytes[i] == b'E'
+                    || bytes[i] == b'+'
+                    || bytes[i] == b'-')
             {
                 // Stop '-'/'+' unless following an exponent marker.
                 if (bytes[i] == b'-' || bytes[i] == b'+')
@@ -192,14 +198,18 @@ impl Parser {
     fn expect_symbol(&mut self, sym: &str) -> Result<(), SqlError> {
         match self.next() {
             Some(Token::Symbol(s)) if s == sym => Ok(()),
-            other => Err(SqlError::Syntax(format!("expected '{sym}', found {other:?}"))),
+            other => Err(SqlError::Syntax(format!(
+                "expected '{sym}', found {other:?}"
+            ))),
         }
     }
 
     fn ident(&mut self) -> Result<String, SqlError> {
         match self.next() {
             Some(Token::Ident(id)) => Ok(id),
-            other => Err(SqlError::Syntax(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Syntax(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -214,7 +224,9 @@ impl Parser {
             }
             Some(Token::Str(s)) => Ok(Value::Text(s)),
             Some(Token::Ident(id)) if id.eq_ignore_ascii_case("null") => Ok(Value::Null),
-            other => Err(SqlError::Syntax(format!("expected literal, found {other:?}"))),
+            other => Err(SqlError::Syntax(format!(
+                "expected literal, found {other:?}"
+            ))),
         }
     }
 
@@ -249,7 +261,11 @@ impl Parser {
         }
         let op = match self.next() {
             Some(Token::Symbol(s)) => s,
-            other => return Err(SqlError::Syntax(format!("expected operator, found {other:?}"))),
+            other => {
+                return Err(SqlError::Syntax(format!(
+                    "expected operator, found {other:?}"
+                )))
+            }
         };
         let value = self.literal()?;
         Ok(match op.as_str() {
@@ -331,13 +347,19 @@ pub fn query(db: &Database, statement: &str) -> Result<Vec<Row>, SqlError> {
                 })
                 .collect())
         }
-        QueryResult::Count(n) => Ok(vec![Row { id: n as i64, values: vec![Value::Int(n as i64)] }]),
+        QueryResult::Count(n) => Ok(vec![Row {
+            id: n as i64,
+            values: vec![Value::Int(n as i64)],
+        }]),
     }
 }
 
 /// Run a `SELECT` with full projection support.
 pub fn select(db: &Database, statement: &str) -> Result<QueryResult, SqlError> {
-    let mut p = Parser { tokens: tokenize(statement)?, pos: 0 };
+    let mut p = Parser {
+        tokens: tokenize(statement)?,
+        pos: 0,
+    };
     p.expect_keyword("SELECT")?;
 
     // COUNT(*)?
@@ -396,7 +418,10 @@ pub fn select(db: &Database, statement: &str) -> Result<QueryResult, SqlError> {
                 }
                 projected.push(cells);
             }
-            Ok(QueryResult::Rows { columns, rows: projected })
+            Ok(QueryResult::Rows {
+                columns,
+                rows: projected,
+            })
         }
     }
 }
@@ -404,7 +429,10 @@ pub fn select(db: &Database, statement: &str) -> Result<QueryResult, SqlError> {
 /// Execute a mutating statement (`INSERT`, `DELETE`). Returns the new
 /// rowid for inserts, the number of removed rows for deletes.
 pub fn execute(db: &mut Database, statement: &str) -> Result<i64, SqlError> {
-    let mut p = Parser { tokens: tokenize(statement)?, pos: 0 };
+    let mut p = Parser {
+        tokens: tokenize(statement)?,
+        pos: 0,
+    };
     if p.keyword("INSERT") {
         p.expect_keyword("INTO")?;
         let table = p.ident()?;
@@ -439,6 +467,7 @@ pub fn execute(db: &mut Database, statement: &str) -> Result<i64, SqlError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::database::{Column, TableSchema};
@@ -507,8 +536,11 @@ mod tests {
     #[test]
     fn like_and_projection() {
         let db = db();
-        let result = select(&db, "SELECT command, bw FROM runs WHERE command LIKE '%mdtest%'")
-            .unwrap();
+        let result = select(
+            &db,
+            "SELECT command, bw FROM runs WHERE command LIKE '%mdtest%'",
+        )
+        .unwrap();
         let QueryResult::Rows { columns, rows } = result else {
             panic!("expected rows")
         };
@@ -529,11 +561,7 @@ mod tests {
     #[test]
     fn insert_and_delete() {
         let mut db = db();
-        let id = execute(
-            &mut db,
-            "INSERT INTO runs VALUES ('it''s ior', 99.5, NULL)",
-        )
-        .unwrap();
+        let id = execute(&mut db, "INSERT INTO runs VALUES ('it''s ior', 99.5, NULL)").unwrap();
         assert_eq!(id, 4);
         let rows = query(&db, "SELECT * FROM runs WHERE command LIKE '%it''s%'").unwrap();
         assert_eq!(rows.len(), 1);
@@ -557,7 +585,10 @@ mod tests {
     #[test]
     fn syntax_errors() {
         let mut db = db();
-        assert!(matches!(query(&db, "SELEC * FROM runs"), Err(SqlError::Syntax(_))));
+        assert!(matches!(
+            query(&db, "SELEC * FROM runs"),
+            Err(SqlError::Syntax(_))
+        ));
         assert!(matches!(
             query(&db, "SELECT * FROM runs WHERE"),
             Err(SqlError::Syntax(_))

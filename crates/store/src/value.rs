@@ -185,6 +185,7 @@ impl From<bool> for Value {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -215,7 +215,11 @@ mod tests {
     #[test]
     fn mutation_flow() {
         let mut builder = CommandBuilder::load(PAPER_CMD);
-        builder.set("-b", "8m").set("-t", "4m").remove("-k").enable("-w");
+        builder
+            .set("-b", "8m")
+            .set("-t", "4m")
+            .remove("-k")
+            .enable("-w");
         let command = builder.build();
         assert!(command.contains("-b 8m"));
         assert!(command.contains("-t 4m"));

@@ -18,6 +18,8 @@ pub mod recommend;
 pub mod workload;
 
 pub use confgen::{generate_jube_config, CommandBuilder, RegenerateUsage};
-pub use predict::{fit, pattern_features, train_bandwidth_model, FitError, LinearModel, PATTERN_FEATURE_NAMES};
+pub use predict::{
+    fit, pattern_features, train_bandwidth_model, FitError, LinearModel, PATTERN_FEATURE_NAMES,
+};
 pub use recommend::{recommend, Recommendation, RecommendationUsage};
 pub use workload::{derive_workload, WorkloadComponent, WorkloadSpec};

@@ -28,8 +28,7 @@ impl LinearModel {
     pub fn predict(&self, features: &[f64]) -> f64 {
         assert_eq!(features.len(), self.features.len(), "feature arity");
         self.coefficients[0]
-            + self
-                .coefficients[1..]
+            + self.coefficients[1..]
                 .iter()
                 .zip(features)
                 .map(|(c, x)| c * x)
@@ -75,16 +74,15 @@ impl std::error::Error for FitError {}
 
 /// Fit OLS with a tiny ridge term. `xs[i]` is sample i's feature vector;
 /// `ys[i]` its target.
-pub fn fit(
-    feature_names: &[&str],
-    xs: &[Vec<f64>],
-    ys: &[f64],
-) -> Result<LinearModel, FitError> {
+pub fn fit(feature_names: &[&str], xs: &[Vec<f64>], ys: &[f64]) -> Result<LinearModel, FitError> {
     let nfeat = feature_names.len();
     let ncoef = nfeat + 1;
     let n = xs.len();
     if n < ncoef {
-        return Err(FitError::TooFewSamples { samples: n, needed: ncoef });
+        return Err(FitError::TooFewSamples {
+            samples: n,
+            needed: ncoef,
+        });
     }
     assert_eq!(n, ys.len(), "xs and ys length");
 
@@ -124,7 +122,11 @@ pub fn fit(
         ss_res += (y - predicted) * (y - predicted);
         ss_tot += (y - mean_y) * (y - mean_y);
     }
-    let r_squared = if ss_tot <= f64::EPSILON { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r_squared = if ss_tot <= f64::EPSILON {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
 
     Ok(LinearModel {
         features: feature_names.iter().map(|s| (*s).to_owned()).collect(),
@@ -242,7 +244,10 @@ mod tests {
     fn too_few_samples_rejected() {
         assert_eq!(
             fit(&["a", "b"], &[vec![1.0, 2.0]], &[3.0]),
-            Err(FitError::TooFewSamples { samples: 1, needed: 3 })
+            Err(FitError::TooFewSamples {
+                samples: 1,
+                needed: 3
+            })
         );
     }
 

@@ -28,7 +28,10 @@ pub fn recommend(k: &Knowledge) -> Vec<Recommendation> {
 
     // Rule: unaligned transfers against the stripe chunk.
     if let Some(fs) = &k.filesystem {
-        if fs.chunk_size > 0 && p.transfer_size > 0 && !p.transfer_size.is_multiple_of(fs.chunk_size) {
+        if fs.chunk_size > 0
+            && p.transfer_size > 0
+            && !p.transfer_size.is_multiple_of(fs.chunk_size)
+        {
             out.push(Recommendation {
                 rule: "align-transfer-to-chunk",
                 message: format!(
@@ -259,7 +262,9 @@ mod tests {
         ok.pattern.reorder_tasks = false;
         ok.summaries.push(summary("write", 2800.0));
         ok.summaries.push(summary("read", 3100.0));
-        assert!(!recommend(&ok).iter().any(|r| r.rule == "reorder-tasks-for-reads"));
+        assert!(!recommend(&ok)
+            .iter()
+            .any(|r| r.rule == "reorder-tasks-for-reads"));
     }
 
     #[test]
@@ -279,7 +284,9 @@ mod tests {
         assert!(recs.iter().any(|r| r.rule == "stripe-wider-than-transfer"));
         // Transfer spanning several chunks silences it.
         k.pattern.transfer_size = 2 << 20;
-        assert!(!recommend(&k).iter().any(|r| r.rule == "stripe-wider-than-transfer"));
+        assert!(!recommend(&k)
+            .iter()
+            .any(|r| r.rule == "stripe-wider-than-transfer"));
     }
 
     #[test]

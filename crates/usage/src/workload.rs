@@ -99,8 +99,7 @@ impl WorkloadSpec {
             .iter()
             .enumerate()
             .map(|(i, c)| {
-                let iterations =
-                    ((f64::from(total_iterations) * c.weight).round() as u32).max(1);
+                let iterations = ((f64::from(total_iterations) * c.weight).round() as u32).max(1);
                 let mut cmd = format!(
                     "ior -a {} -b {} -t {} -s {} -i {} -o {}/synthetic{}",
                     c.api.to_ascii_lowercase(),
@@ -151,10 +150,12 @@ mod tests {
 
     #[test]
     fn derives_weighted_mix() {
-        let corpus = [knowledge("MPIIO", 2 << 20, 4 << 20, true, 80),
+        let corpus = [
+            knowledge("MPIIO", 2 << 20, 4 << 20, true, 80),
             knowledge("MPIIO", 2 << 20, 4 << 20, true, 80),
             knowledge("MPIIO", 2 << 20, 4 << 20, true, 40),
-            knowledge("POSIX", 47_008, 47_008, false, 80)];
+            knowledge("POSIX", 47_008, 47_008, false, 80),
+        ];
         let refs: Vec<&Knowledge> = corpus.iter().collect();
         let spec = derive_workload(&refs).unwrap();
         assert_eq!(spec.components.len(), 2);
@@ -166,8 +167,10 @@ mod tests {
 
     #[test]
     fn lowering_produces_runnable_commands() {
-        let corpus = [knowledge("MPIIO", 2 << 20, 4 << 20, true, 80),
-            knowledge("POSIX", 1 << 20, 8 << 20, false, 80)];
+        let corpus = [
+            knowledge("MPIIO", 2 << 20, 4 << 20, true, 80),
+            knowledge("POSIX", 1 << 20, 8 << 20, false, 80),
+        ];
         let refs: Vec<&Knowledge> = corpus.iter().collect();
         let spec = derive_workload(&refs).unwrap();
         let commands = spec.to_commands("/scratch/synth", 6);

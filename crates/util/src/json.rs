@@ -36,12 +36,7 @@ impl Json {
     /// Build an object from key/value pairs.
     #[must_use]
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
     /// Borrow the value at `key` if this is an object containing it.
@@ -75,9 +70,7 @@ impl Json {
     #[must_use]
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
-                Some(*n as u64)
-            }
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
             _ => None,
         }
     }
@@ -223,7 +216,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -391,8 +388,7 @@ impl<'a> Parser<'a> {
                             if !(0xdc00..0xe000).contains(&low) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                            let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
                             char::from_u32(combined)
                                 .ok_or_else(|| self.err("invalid surrogate pair"))?
                         } else {
@@ -446,8 +442,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ascii");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| self.err("invalid number"))
@@ -526,7 +522,10 @@ mod tests {
     fn parse_nested() {
         let doc = r#"{"a": [1, 2, {"b": null}], "c": "x\ny"}"#;
         let v = parse(doc).unwrap();
-        assert_eq!(v.get("a").unwrap().at(2).unwrap().get("b"), Some(&Json::Null));
+        assert_eq!(
+            v.get("a").unwrap().at(2).unwrap().get("b"),
+            Some(&Json::Null)
+        );
         assert_eq!(v.get("c").unwrap().as_str(), Some("x\ny"));
     }
 
@@ -596,12 +595,7 @@ mod tests {
             leaf.prop_recursive(3, 24, 4, |inner| {
                 prop_oneof![
                     proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
-                    proptest::collection::btree_map(
-                        "[a-z]{1,6}",
-                        inner,
-                        0..4
-                    )
-                    .prop_map(Json::Obj),
+                    proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(Json::Obj),
                 ]
             })
         }

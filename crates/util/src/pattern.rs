@@ -116,9 +116,9 @@ impl Pattern {
                     parts.push(Part::Cap { name, kind });
                 }
                 '\\' => {
-                    let escaped = chars.next().ok_or_else(|| {
-                        PatternError(format!("dangling escape in `{source}`"))
-                    })?;
+                    let escaped = chars
+                        .next()
+                        .ok_or_else(|| PatternError(format!("dangling escape in `{source}`")))?;
                     push_text(&mut lit, escaped);
                 }
                 c if c.is_whitespace() => {
@@ -178,7 +178,9 @@ impl Pattern {
     /// Scan a multi-line text and return captures from every matching line.
     #[must_use]
     pub fn all_matches(&self, text: &str) -> Vec<Captures> {
-        text.lines().filter_map(|line| self.captures(line)).collect()
+        text.lines()
+            .filter_map(|line| self.captures(line))
+            .collect()
     }
 
     fn match_at(&self, input: &str, start: usize) -> Option<Captures> {
@@ -230,10 +232,7 @@ impl Pattern {
                                 loop {
                                     if let Some(rest_caps) = rest.match_at(input, cut) {
                                         if let Some(name) = name {
-                                            caps.insert(
-                                                name.clone(),
-                                                input[pos..cut].to_owned(),
-                                            );
+                                            caps.insert(name.clone(), input[pos..cut].to_owned());
                                         }
                                         caps.extend(rest_caps);
                                         return Some(caps);
@@ -404,9 +403,7 @@ mod tests {
     #[test]
     fn lazy_capture() {
         let p = Pattern::compile("Command line used: {cmd:*}$").unwrap();
-        let caps = p
-            .captures("Command line used: ior -a mpiio -b 4m")
-            .unwrap();
+        let caps = p.captures("Command line used: ior -a mpiio -b 4m").unwrap();
         assert_eq!(caps["cmd"], "ior -a mpiio -b 4m");
     }
 
@@ -521,7 +518,11 @@ mod tests {
     #[test]
     fn extract_f64_helper() {
         assert_eq!(
-            extract_f64("Max Read: {bw:f} MiB/sec", "x\nMax Read:  99.5 MiB/sec", "bw"),
+            extract_f64(
+                "Max Read: {bw:f} MiB/sec",
+                "x\nMax Read:  99.5 MiB/sec",
+                "bw"
+            ),
             Some(99.5)
         );
     }

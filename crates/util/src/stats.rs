@@ -27,13 +27,21 @@ pub fn stddev(values: &[f64]) -> f64 {
 /// Minimum; `0.0` for an empty slice.
 #[must_use]
 pub fn min(values: &[f64]) -> f64 {
-    values.iter().copied().fold(f64::INFINITY, f64::min).min_finite()
+    values
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+        .min_finite()
 }
 
 /// Maximum; `0.0` for an empty slice.
 #[must_use]
 pub fn max(values: &[f64]) -> f64 {
-    values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max_finite()
+    values
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max_finite()
 }
 
 trait Finite {

@@ -31,11 +31,14 @@ fn main() {
 fn part1_iteration_variance() {
     println!("== part 1: iteration-variance anomaly (paper Fig. 5) ==\n");
     let layout = JobLayout::new(16, 8);
-    let mut world = World::new(SystemConfig::fuchs_csc().with_noise(0.01), FaultPlan::none(), 7);
-    let base = IorConfig::parse_command(
-        "ior -a mpiio -b 4m -t 2m -s 4 -F -C -e -i 1 -o /scratch/anom -k",
-    )
-    .expect("valid command");
+    let mut world = World::new(
+        SystemConfig::fuchs_csc().with_noise(0.01),
+        FaultPlan::none(),
+        7,
+    );
+    let base =
+        IorConfig::parse_command("ior -a mpiio -b 4m -t 2m -s 4 -F -C -e -i 1 -o /scratch/anom -k")
+            .expect("valid command");
 
     // Six iterations; interference on the storage targets during the
     // third one (index 2).
@@ -44,7 +47,12 @@ fn part1_iteration_variance() {
         if iteration == 2 {
             let mut plan = FaultPlan::none();
             for target in 0..world.system().pfs.storage_targets {
-                plan.push(Fault::slow_target(target, 0.35, world.now(), SimTime(u64::MAX)));
+                plan.push(Fault::slow_target(
+                    target,
+                    0.35,
+                    world.now(),
+                    SimTime(u64::MAX),
+                ));
             }
             world.set_faults(plan);
         }
@@ -56,7 +64,10 @@ fn part1_iteration_variance() {
         }
     }
     let run = iokc_benchmarks::ior::IorRunResult {
-        config: IorConfig { iterations: 6, ..base },
+        config: IorConfig {
+            iterations: 6,
+            ..base
+        },
         np: layout.np,
         ppn: layout.ppn,
         samples,
@@ -73,7 +84,11 @@ fn part1_iteration_variance() {
     for anomaly in &anomalies {
         println!(
             "\nANOMALY: {} iteration {} at {:.0} MiB/s vs peers {:.0} MiB/s (z = {:.1})",
-            anomaly.operation, anomaly.iteration, anomaly.bw_mib, anomaly.peer_mean_mib, anomaly.score
+            anomaly.operation,
+            anomaly.iteration,
+            anomaly.bw_mib,
+            anomaly.peer_mean_mib,
+            anomaly.score
         );
         println!("  corroborated by: {}", anomaly.corroborated_by.join(", "));
     }
@@ -112,7 +127,12 @@ fn part2_bounding_box() {
     let refs: Vec<&Io500Knowledge> = references.iter().collect();
     let bbox = BoundingBox::fit(
         &refs,
-        &["ior-easy-write", "ior-easy-read", "ior-hard-write", "ior-hard-read"],
+        &[
+            "ior-easy-write",
+            "ior-easy-read",
+            "ior-hard-write",
+            "ior-hard-read",
+        ],
         0.2,
     );
     print!("{}", bbox.render_check(&degraded));

@@ -24,9 +24,15 @@ fn main() {
     let modes = [
         ("single-shared-file", FileMode::SingleSharedFile),
         ("file-per-process", FileMode::FilePerProcess),
-        ("file-per-group(10)", FileMode::FilePerGroup { group_size: 10 }),
+        (
+            "file-per-group(10)",
+            FileMode::FilePerGroup { group_size: 10 },
+        ),
     ];
-    let apis = [("POSIX", IoApi::Posix), ("MPIIO", IoApi::MpiIo { collective: false })];
+    let apis = [
+        ("POSIX", IoApi::Posix),
+        ("MPIIO", IoApi::MpiIo { collective: false }),
+    ];
 
     let mut table = TextTable::new(vec![
         "mode",
@@ -38,8 +44,7 @@ fn main() {
     let mut results = Vec::new();
     for (mode_name, mode) in modes {
         for (api_name, api) in apis {
-            let mut world =
-                World::new(SystemConfig::fuchs_csc(), FaultPlan::none(), 1234);
+            let mut world = World::new(SystemConfig::fuchs_csc(), FaultPlan::none(), 1234);
             let config = HaccConfig::new(
                 particles_per_rank,
                 mode,
@@ -61,7 +66,10 @@ fn main() {
             results.push((mode_name, api_name, result));
         }
     }
-    println!("HACC-IO on simulated FUCHS-CSC — {} ranks, {} particles/rank\n", layout.np, particles_per_rank);
+    println!(
+        "HACC-IO on simulated FUCHS-CSC — {} ranks, {} particles/rank\n",
+        layout.np, particles_per_rank
+    );
     print!("{}", table.render());
 
     // The canonical shape: file-per-process beats the single shared file

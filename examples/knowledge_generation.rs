@@ -60,7 +60,10 @@ fn main() {
             report.usage.new_commands
         );
     }
-    assert!(reports.len() >= 3, "regeneration must drive several iterations");
+    assert!(
+        reports.len() >= 3,
+        "regeneration must drive several iterations"
+    );
 
     // Reopen the knowledge base: one object per generation, block size
     // doubling each time.

@@ -56,9 +56,8 @@ fn main() {
     let refs: Vec<&Knowledge> = corpus.iter().collect();
 
     // Train on everything except the largest-transfer configuration.
-    let (train, holdout): (Vec<&Knowledge>, Vec<&Knowledge>) = refs
-        .iter()
-        .partition(|k| k.pattern.transfer_size < 2 << 20);
+    let (train, holdout): (Vec<&Knowledge>, Vec<&Knowledge>) =
+        refs.iter().partition(|k| k.pattern.transfer_size < 2 << 20);
     let model = train_bandwidth_model(&train, "write").expect("model trains");
     print!("{}", model.render());
     assert!(model.r_squared > 0.5, "R² = {}", model.r_squared);

@@ -29,8 +29,7 @@ fn observe(command: &str, seed: u64, runs: usize) -> Vec<Knowledge> {
                 seed + i as u64,
             );
             let config = IorConfig::parse_command(command).expect("valid command");
-            let result =
-                run_ior(&mut world, JobLayout::new(40, 20), &config, seed).expect("runs");
+            let result = run_ior(&mut world, JobLayout::new(40, 20), &config, seed).expect("runs");
             parse_ior_output(&result.render()).expect("output parses")
         })
         .collect()
@@ -76,8 +75,11 @@ fn main() {
     let mut synthetic_bw = Vec::new();
     for command in &commands {
         let config = IorConfig::parse_command(command).expect("generated command parses");
-        let mut world =
-            World::new(SystemConfig::fuchs_csc().with_noise(0.02), FaultPlan::none(), 999);
+        let mut world = World::new(
+            SystemConfig::fuchs_csc().with_noise(0.02),
+            FaultPlan::none(),
+            999,
+        );
         let result = run_ior(&mut world, JobLayout::new(spec.tasks, 20), &config, 7)
             .expect("synthetic command runs");
         let bw = result.max_bw(Access::Write);
@@ -87,10 +89,7 @@ fn main() {
 
     // The synthetic checkpoint component must land near the observed
     // checkpoint bandwidth (same pattern, same system model).
-    let observed_ckpt = corpus[0]
-        .summary("write")
-        .expect("write summary")
-        .mean_mib;
+    let observed_ckpt = corpus[0].summary("write").expect("write summary").mean_mib;
     let synthetic_ckpt = synthetic_bw[0];
     let gap = (synthetic_ckpt - observed_ckpt).abs() / observed_ckpt;
     println!(

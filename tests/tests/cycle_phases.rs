@@ -57,10 +57,9 @@ fn full_cycle_produces_complete_knowledge() {
 
 #[test]
 fn extracted_knowledge_carries_fs_and_system_info() {
-    let config = IorConfig::parse_command(
-        "ior -a posix -b 1m -t 512k -s 1 -F -i 2 -o /scratch/info -k",
-    )
-    .unwrap();
+    let config =
+        IorConfig::parse_command("ior -a posix -b 1m -t 512k -s 1 -F -i 2 -o /scratch/info -k")
+            .unwrap();
     let generator = IorGenerator::new(small_world(2), JobLayout::new(2, 2), config, 3);
     let mut cycle = KnowledgeCycle::new();
     let store = KnowledgeStore::in_memory();
@@ -88,10 +87,9 @@ fn extracted_knowledge_carries_fs_and_system_info() {
         }
     }
     let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-    let config = IorConfig::parse_command(
-        "ior -a posix -b 1m -t 512k -s 1 -F -i 2 -o /scratch/info2 -k",
-    )
-    .unwrap();
+    let config =
+        IorConfig::parse_command("ior -a posix -b 1m -t 512k -s 1 -F -i 2 -o /scratch/info2 -k")
+            .unwrap();
     let generator = IorGenerator::new(small_world(4), JobLayout::new(2, 2), config, 5);
     let mut cycle = KnowledgeCycle::new();
     cycle
@@ -132,10 +130,9 @@ fn persisted_knowledge_survives_store_roundtrip() {
     let path = dir.join("roundtrip.iokc.json");
     let _ = std::fs::remove_file(&path);
 
-    let config = IorConfig::parse_command(
-        "ior -a mpiio -b 512k -t 256k -s 2 -i 2 -o /scratch/rt -k",
-    )
-    .unwrap();
+    let config =
+        IorConfig::parse_command("ior -a mpiio -b 512k -t 256k -s 2 -i 2 -o /scratch/rt -k")
+            .unwrap();
     let generator = IorGenerator::new(small_world(6), JobLayout::new(4, 2), config, 7);
     let mut cycle = KnowledgeCycle::new();
     cycle

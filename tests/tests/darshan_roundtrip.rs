@@ -14,10 +14,9 @@ use iokc_sim::prelude::{OpKind, SystemConfig};
 #[test]
 fn darshan_counters_match_simulated_ops_exactly() {
     let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 31);
-    let config = IorConfig::parse_command(
-        "ior -a mpiio -b 1m -t 256k -s 2 -F -C -e -i 2 -o /scratch/dx -k",
-    )
-    .unwrap();
+    let config =
+        IorConfig::parse_command("ior -a mpiio -b 1m -t 256k -s 2 -F -C -e -i 2 -o /scratch/dx -k")
+            .unwrap();
     let layout = JobLayout::new(4, 2);
     let result = run_ior(&mut world, layout, &config, 1).unwrap();
 
@@ -41,18 +40,30 @@ fn darshan_counters_match_simulated_ops_exactly() {
     let sim_opens: u64 = phases.iter().map(|p| p.ops(OpKind::Open)).sum();
     let sim_fsyncs: u64 = phases.iter().map(|p| p.ops(OpKind::Fsync)).sum();
 
-    assert_eq!(log.total_counter(Module::Posix, "POSIX_WRITES") as u64, sim_writes);
+    assert_eq!(
+        log.total_counter(Module::Posix, "POSIX_WRITES") as u64,
+        sim_writes
+    );
     assert_eq!(
         log.total_counter(Module::Posix, "POSIX_BYTES_WRITTEN") as u64,
         sim_write_bytes
     );
-    assert_eq!(log.total_counter(Module::Posix, "POSIX_READS") as u64, sim_reads);
+    assert_eq!(
+        log.total_counter(Module::Posix, "POSIX_READS") as u64,
+        sim_reads
+    );
     assert_eq!(
         log.total_counter(Module::Posix, "POSIX_BYTES_READ") as u64,
         sim_read_bytes
     );
-    assert_eq!(log.total_counter(Module::Posix, "POSIX_OPENS") as u64, sim_opens);
-    assert_eq!(log.total_counter(Module::Posix, "POSIX_FSYNCS") as u64, sim_fsyncs);
+    assert_eq!(
+        log.total_counter(Module::Posix, "POSIX_OPENS") as u64,
+        sim_opens
+    );
+    assert_eq!(
+        log.total_counter(Module::Posix, "POSIX_FSYNCS") as u64,
+        sim_fsyncs
+    );
     // MPI-IO layer mirrors the data ops.
     assert_eq!(
         log.total_counter(Module::Mpiio, "MPIIO_BYTES_WRITTEN") as u64,
@@ -90,20 +101,26 @@ fn darshan_counters_match_simulated_ops_exactly() {
 #[test]
 fn dxt_segments_reproduce_access_pattern() {
     let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 37);
-    let config = IorConfig::parse_command(
-        "ior -a posix -b 1m -t 512k -s 2 -F -i 1 -o /scratch/dxt -k -w",
-    )
-    .unwrap();
+    let config =
+        IorConfig::parse_command("ior -a posix -b 1m -t 512k -s 2 -F -i 1 -o /scratch/dxt -k -w")
+            .unwrap();
     let result = run_ior(&mut world, JobLayout::new(2, 2), &config, 2).unwrap();
     let phases: Vec<&iokc_sim::metrics::PhaseResult> =
         result.phases.iter().map(|(_, _, p)| p).collect();
     let log = darshan_from_phases(
         &phases,
-        &InstrumentOptions { dxt: true, nprocs: 2, ..InstrumentOptions::default() },
+        &InstrumentOptions {
+            dxt: true,
+            nprocs: 2,
+            ..InstrumentOptions::default()
+        },
     );
     // Rank 0's segments: sequential 512 KiB writes at 0, 512K, 1M, 1.5M.
-    let rank0: Vec<&iokc_darshan::DxtSegment> =
-        log.dxt.iter().filter(|s| s.rank == 0 && s.is_write).collect();
+    let rank0: Vec<&iokc_darshan::DxtSegment> = log
+        .dxt
+        .iter()
+        .filter(|s| s.rank == 0 && s.is_write)
+        .collect();
     assert_eq!(rank0.len(), 4);
     let offsets: Vec<u64> = rank0.iter().map(|s| s.offset).collect();
     assert_eq!(offsets, vec![0, 512 << 10, 1 << 20, 3 << 19]);

@@ -15,10 +15,13 @@ use iokc_usage::{CommandBuilder, RegenerateUsage};
 
 #[test]
 fn iterative_cycle_grows_the_corpus() {
+    // Clear the whole scratch dir: the store recovers from a leftover
+    // `.bak` image when the primary is missing, so removing only the
+    // primary would resurrect a previous run's corpus.
     let dir = std::env::temp_dir().join("iokc-integration-e1");
+    let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("e1.iokc.json");
-    let _ = std::fs::remove_file(&path);
 
     let world = World::new(SystemConfig::test_small(), FaultPlan::none(), 3);
     let config = IorConfig::parse_command(
@@ -46,7 +49,11 @@ fn iterative_cycle_grows_the_corpus() {
             KnowledgeItem::Io500(_) => panic!("unexpected io500 item"),
         })
         .collect();
-    assert_eq!(blocks, vec![512 << 10, 1 << 20, 2 << 20], "block doubles each cycle");
+    assert_eq!(
+        blocks,
+        vec![512 << 10, 1 << 20, 2 << 20],
+        "block doubles each cycle"
+    );
     std::fs::remove_file(&path).unwrap();
 }
 
@@ -56,7 +63,10 @@ fn create_configuration_matches_paper_flow() {
     // new command, run it. Here against a live world.
     let paper = "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k";
     let mut builder = CommandBuilder::load(paper);
-    builder.set("-s", "2").set("-i", "1").set("-o", "/scratch/new");
+    builder
+        .set("-s", "2")
+        .set("-i", "1")
+        .set("-o", "/scratch/new");
     let created = builder.build();
 
     let config = IorConfig::parse_command(&created).expect("created command is runnable");

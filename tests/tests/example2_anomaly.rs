@@ -15,7 +15,11 @@ use iokc_sim::time::SimTime;
 /// Scaled-down Fig. 5: 6 iterations, interference during iteration 1.
 fn fig5_small(seed: u64) -> iokc_core::model::Knowledge {
     let layout = JobLayout::new(4, 2);
-    let mut world = World::new(SystemConfig::test_small().with_noise(0.01), FaultPlan::none(), seed);
+    let mut world = World::new(
+        SystemConfig::test_small().with_noise(0.01),
+        FaultPlan::none(),
+        seed,
+    );
     let base =
         IorConfig::parse_command("ior -a mpiio -b 1m -t 512k -s 2 -F -C -e -i 1 -o /scratch/f5 -k")
             .unwrap();
@@ -24,7 +28,12 @@ fn fig5_small(seed: u64) -> iokc_core::model::Knowledge {
         if iteration == 1 {
             let mut plan = FaultPlan::none();
             for target in 0..world.system().pfs.storage_targets {
-                plan.push(Fault::slow_target(target, 0.3, world.now(), SimTime(u64::MAX)));
+                plan.push(Fault::slow_target(
+                    target,
+                    0.3,
+                    world.now(),
+                    SimTime(u64::MAX),
+                ));
             }
             world.set_faults(plan);
         }
@@ -36,7 +45,10 @@ fn fig5_small(seed: u64) -> iokc_core::model::Knowledge {
         }
     }
     let run = IorRunResult {
-        config: IorConfig { iterations: 6, ..base },
+        config: IorConfig {
+            iterations: 6,
+            ..base
+        },
         np: layout.np,
         ppn: layout.ppn,
         samples,
@@ -65,12 +77,17 @@ fn fig5_iteration_anomaly_detected_and_corroborated() {
 
     // The detector finds exactly that iteration.
     let anomalies = IterationVarianceDetector::default().detect(&knowledge);
-    let write_anomalies: Vec<_> = anomalies.iter().filter(|a| a.operation == "write").collect();
+    let write_anomalies: Vec<_> = anomalies
+        .iter()
+        .filter(|a| a.operation == "write")
+        .collect();
     assert_eq!(write_anomalies.len(), 1, "{anomalies:?}");
     assert_eq!(write_anomalies[0].iteration, 1);
     // Supporting metrics corroborate (it is not a measurement error).
     assert!(
-        write_anomalies[0].corroborated_by.contains(&"totalTime".to_owned()),
+        write_anomalies[0]
+            .corroborated_by
+            .contains(&"totalTime".to_owned()),
         "corroborations: {:?}",
         write_anomalies[0].corroborated_by
     );
@@ -79,8 +96,11 @@ fn fig5_iteration_anomaly_detected_and_corroborated() {
 #[test]
 fn fig5_healthy_run_reports_nothing() {
     let layout = JobLayout::new(4, 2);
-    let mut world =
-        World::new(SystemConfig::test_small().with_noise(0.01), FaultPlan::none(), 9);
+    let mut world = World::new(
+        SystemConfig::test_small().with_noise(0.01),
+        FaultPlan::none(),
+        9,
+    );
     let base =
         IorConfig::parse_command("ior -a mpiio -b 1m -t 512k -s 2 -F -C -e -i 6 -o /scratch/ok -k")
             .unwrap();
@@ -121,14 +141,21 @@ fn io500_run(seed: u64, broken_node: bool) -> Io500Knowledge {
 
 #[test]
 fn fig6_bounding_box_flags_broken_node_read() {
-    let references: Vec<Io500Knowledge> =
-        [11u64, 22, 33].iter().map(|s| io500_run(*s, false)).collect();
+    let references: Vec<Io500Knowledge> = [11u64, 22, 33]
+        .iter()
+        .map(|s| io500_run(*s, false))
+        .collect();
     let degraded = io500_run(44, true);
 
     let refs: Vec<&Io500Knowledge> = references.iter().collect();
     let bbox = BoundingBox::fit(
         &refs,
-        &["ior-easy-write", "ior-easy-read", "ior-hard-write", "ior-hard-read"],
+        &[
+            "ior-easy-write",
+            "ior-easy-read",
+            "ior-hard-write",
+            "ior-hard-read",
+        ],
         0.25,
     );
     let verdicts = bbox.check(&degraded);
@@ -154,8 +181,10 @@ fn fig6_bounding_box_flags_broken_node_read() {
 fn fig6_reads_are_stabler_than_writes_across_runs() {
     // The Fig. 6 observation: write variance across runs is large, read
     // variance small.
-    let runs: Vec<Io500Knowledge> =
-        [5u64, 6, 7, 8].iter().map(|s| io500_run(*s, false)).collect();
+    let runs: Vec<Io500Knowledge> = [5u64, 6, 7, 8]
+        .iter()
+        .map(|s| io500_run(*s, false))
+        .collect();
     let series = |name: &str| -> Vec<f64> {
         runs.iter()
             .map(|r| r.testcase(name).expect("testcase present").value)

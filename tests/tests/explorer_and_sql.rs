@@ -44,7 +44,10 @@ fn explorer_views_and_comparison() {
         &MetricAxis::MeanBandwidth("write".into()),
     );
     assert_eq!(points.len(), 3);
-    assert!(points[2].y > points[0].y, "larger transfers win: {points:?}");
+    assert!(
+        points[2].y > points[0].y,
+        "larger transfers win: {points:?}"
+    );
 
     // Overview box plots.
     let boxes = overview(&refs, "write");
@@ -101,7 +104,9 @@ fn filtering_and_sorting_narrow_the_comparison() {
     let refs: Vec<&Knowledge> = corpus.iter().collect();
     let filtered = compare(
         &refs,
-        &[iokc_analysis::KnowledgeFilter::CommandContains("64k".into())],
+        &[iokc_analysis::KnowledgeFilter::CommandContains(
+            "64k".into(),
+        )],
         OptionAxis::TransferSize,
         &MetricAxis::MaxBandwidth("write".into()),
     );

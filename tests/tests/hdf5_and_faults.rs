@@ -96,7 +96,10 @@ fn per_target_fault_reroutes_shape_not_totals() {
             scripts.rank(rank).open_hint(
                 &path,
                 OpenMode::Write,
-                StripeHint { chunk_size: None, stripe_count: Some(4) },
+                StripeHint {
+                    chunk_size: None,
+                    stripe_count: Some(4),
+                },
             );
             for i in 0..8u64 {
                 scripts.rank(rank).write(&path, i << 20, 1 << 20);

@@ -40,7 +40,9 @@ fn io500_tables_follow_paper_schema() {
     .unwrap();
     let mut knowledge = parse_io500_output(&result.render()).unwrap();
     knowledge.tasks = 4;
-    knowledge.options.insert("dir".into(), "/scratch/io500y".into());
+    knowledge
+        .options
+        .insert("dir".into(), "/scratch/io500y".into());
 
     let mut store = KnowledgeStore::in_memory();
     let id = store.save_io500(&knowledge).unwrap();
@@ -81,9 +83,7 @@ fn scoring_is_geometric_and_consistent_with_output() {
     // Rendered (6-decimal) scores round-trip.
     assert!((parsed.bw_score - result.bw_score).abs() < 1e-5);
     assert!((parsed.md_score - result.md_score).abs() < 1e-5);
-    assert!(
-        (parsed.total_score - (result.bw_score * result.md_score).sqrt()).abs() < 1e-5
-    );
+    assert!((parsed.total_score - (result.bw_score * result.md_score).sqrt()).abs() < 1e-5);
     // Canonical IO500 orderings.
     let value = |name: &str| result.phase(name).unwrap().value;
     assert!(value("ior-easy-write") > value("ior-hard-write"));

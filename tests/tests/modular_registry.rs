@@ -5,7 +5,7 @@
 
 use iokc_benchmarks::{Io500Config, Io500Generator, IorConfig, IorGenerator};
 use iokc_core::model::KnowledgeItem;
-use iokc_core::phases::{PhaseKind, Persister};
+use iokc_core::phases::{Persister, PhaseKind};
 use iokc_core::KnowledgeCycle;
 use iokc_extract::{Io500Extractor, IorExtractor};
 use iokc_sim::engine::{JobLayout, World};
@@ -19,16 +19,17 @@ fn world(seed: u64) -> World {
 
 #[test]
 fn two_generators_two_extractors_two_databases() {
-    let ior_config = IorConfig::parse_command(
-        "ior -a mpiio -b 512k -t 256k -s 1 -F -i 1 -o /scratch/m1 -k",
-    )
-    .unwrap();
+    let ior_config =
+        IorConfig::parse_command("ior -a mpiio -b 512k -t 256k -s 1 -F -i 1 -o /scratch/m1 -k")
+            .unwrap();
+    // Clear the whole scratch dir: the store recovers from a leftover
+    // `.bak` image when the primary is missing, so removing only the
+    // primaries would resurrect a previous run's corpus.
     let dir = std::env::temp_dir().join("iokc-integration-registry");
+    let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let local_path = dir.join("local.iokc.json");
     let global_path = dir.join("global.iokc.json");
-    let _ = std::fs::remove_file(&local_path);
-    let _ = std::fs::remove_file(&global_path);
 
     let mut cycle = KnowledgeCycle::new();
     cycle

@@ -18,16 +18,19 @@ fn world(seed: u64) -> World {
 #[test]
 fn ior_write_run_classifies_as_checkpoint_style() {
     let mut w = world(81);
-    let config = IorConfig::parse_command(
-        "ior -a posix -b 4m -t 1m -s 2 -F -e -i 1 -o /scratch/pat -k -w",
-    )
-    .unwrap();
+    let config =
+        IorConfig::parse_command("ior -a posix -b 4m -t 1m -s 2 -F -e -i 1 -o /scratch/pat -k -w")
+            .unwrap();
     let result = run_ior(&mut w, JobLayout::new(4, 2), &config, 1).unwrap();
     let phases: Vec<&iokc_sim::metrics::PhaseResult> =
         result.phases.iter().map(|(_, _, p)| p).collect();
     let log = darshan_from_phases(
         &phases,
-        &InstrumentOptions { dxt: true, nprocs: 4, ..InstrumentOptions::default() },
+        &InstrumentOptions {
+            dxt: true,
+            nprocs: 4,
+            ..InstrumentOptions::default()
+        },
     );
     let profile = classify(&log).unwrap();
     assert_eq!(profile.direction, Direction::WriteHeavy);
@@ -53,7 +56,11 @@ fn hacc_checkpoint_and_restart_classify_as_mixed_bulk() {
     }
     let log = darshan_from_phases(
         &phases,
-        &InstrumentOptions { dxt: true, nprocs: 4, ..InstrumentOptions::default() },
+        &InstrumentOptions {
+            dxt: true,
+            nprocs: 4,
+            ..InstrumentOptions::default()
+        },
     );
     let profile = classify(&log).unwrap();
     // Checkpoint + restart moves equal bytes both ways.
@@ -65,16 +72,19 @@ fn hacc_checkpoint_and_restart_classify_as_mixed_bulk() {
 #[test]
 fn dxt_timeline_covers_the_run() {
     let mut w = world(83);
-    let config = IorConfig::parse_command(
-        "ior -a mpiio -b 1m -t 256k -s 2 -F -C -i 1 -o /scratch/tl -k",
-    )
-    .unwrap();
+    let config =
+        IorConfig::parse_command("ior -a mpiio -b 1m -t 256k -s 2 -F -C -i 1 -o /scratch/tl -k")
+            .unwrap();
     let result = run_ior(&mut w, JobLayout::new(4, 2), &config, 1).unwrap();
     let phases: Vec<&iokc_sim::metrics::PhaseResult> =
         result.phases.iter().map(|(_, _, p)| p).collect();
     let log = darshan_from_phases(
         &phases,
-        &InstrumentOptions { dxt: true, nprocs: 4, ..InstrumentOptions::default() },
+        &InstrumentOptions {
+            dxt: true,
+            nprocs: 4,
+            ..InstrumentOptions::default()
+        },
     );
     let timeline = DxtTimeline::from_log(&log).unwrap();
     assert_eq!(timeline.ranks.len(), 4);

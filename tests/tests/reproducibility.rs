@@ -30,7 +30,10 @@ fn pipeline(seed: u64) -> (String, String) {
 fn same_seed_yields_byte_identical_knowledge() {
     let (output_a, json_a) = pipeline(12345);
     let (output_b, json_b) = pipeline(12345);
-    assert_eq!(output_a, output_b, "benchmark output must be byte-identical");
+    assert_eq!(
+        output_a, output_b,
+        "benchmark output must be byte-identical"
+    );
     assert_eq!(json_a, json_b, "knowledge JSON must be byte-identical");
 }
 

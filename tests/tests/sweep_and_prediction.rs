@@ -21,9 +21,13 @@ pattern write_bw = Max Write: {bw:f} MiB/sec
 
 fn runner(wp: usize, _step: &str, command: &str) -> Result<String, String> {
     let config = IorConfig::parse_command(command).map_err(|e| e.to_string())?;
-    let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), 100 + wp as u64);
-    let result = run_ior(&mut world, JobLayout::new(4, 2), &config, wp as u64)
-        .map_err(|e| e.to_string())?;
+    let mut world = World::new(
+        SystemConfig::test_small(),
+        FaultPlan::none(),
+        100 + wp as u64,
+    );
+    let result =
+        run_ior(&mut world, JobLayout::new(4, 2), &config, wp as u64).map_err(|e| e.to_string())?;
     Ok(result.render())
 }
 
@@ -90,7 +94,10 @@ fn corpus_trains_a_useful_predictor() {
     let mean_error = iokc_util::stats::mean(&errors);
     assert!(mean_error < 0.35, "mean error {mean_error:.2}");
     for pair in predictions.windows(2) {
-        assert!(pair[1] > pair[0], "predictions must be monotone: {predictions:?}");
+        assert!(
+            pair[1] > pair[0],
+            "predictions must be monotone: {predictions:?}"
+        );
     }
 }
 

@@ -1,0 +1,782 @@
+//! A hermetic stand-in for [proptest](https://crates.io/crates/proptest).
+//!
+//! This workspace builds in offline containers with no crates.io
+//! registry, so the subset of the proptest API its tests use is
+//! reproduced here: the [`proptest!`] macro, the [`strategy::Strategy`]
+//! trait with `prop_map`/`prop_recursive`/`boxed`, integer and float
+//! range strategies, regex-literal string strategies (character
+//! classes, `.`, and `{m,n}` quantifiers), tuple composition,
+//! [`collection::vec`]/[`collection::btree_map`], [`option::of`],
+//! [`prop_oneof!`], and `ProptestConfig::with_cases`.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   in the assertion message instead of minimizing them.
+//! * **Fully deterministic.** Values derive from a fixed per-test seed
+//!   (the test's name), so every run of the suite sees the same cases.
+//! * **Regex support is the subset the workspace uses** — literals,
+//!   escapes, `[...]` classes with ranges and negation, `.`, and the
+//!   `{n}`/`{m,n}`/`*`/`+`/`?` quantifiers. Unsupported syntax panics
+//!   at test time rather than silently generating wrong data.
+
+pub mod test_runner {
+    //! Deterministic case-count configuration and RNG.
+
+    /// Mirror of proptest's `Config`, exposed as `ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            // The real default is 256; 64 keeps deterministic offline
+            // suites fast while still exploring a useful input space.
+            Config { cases: 64 }
+        }
+    }
+
+    /// A small, fast, deterministic generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from raw state.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Seed deterministically from a test name.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty range in strategy");
+            // Multiply-shift bounded sampling; bias is negligible for
+            // test generation purposes.
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// Uniform `usize` in `[lo, hi)`.
+        pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo < hi, "empty usize range in strategy");
+            lo + self.below((hi - lo) as u64) as usize
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn f64_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and its combinators.
+
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value: Debug;
+
+        /// Produce one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+
+        /// Build a recursive strategy: `depth` applications of
+        /// `recurse` stacked on this leaf strategy. The depth budget
+        /// replaces proptest's size-driven recursion; `_desired_size`
+        /// and `_expected_branch_size` are accepted for signature
+        /// parity and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strategy = self.boxed();
+            for _ in 0..depth {
+                strategy = recurse(strategy).boxed();
+            }
+            strategy
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over the given alternatives.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(
+                !options.is_empty(),
+                "prop_oneof! needs at least one alternative"
+            );
+            Union { options }
+        }
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.usize_in(0, self.options.len());
+            self.options[pick].generate(rng)
+        }
+    }
+
+    /// Always-the-same-value strategy.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `any::<T>()` — the full value space of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized + Debug {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy for any `Arbitrary` type.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values across a wide magnitude span.
+            let magnitude = rng.f64_unit() * 600.0 - 300.0;
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            sign * magnitude.exp2()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128) - (self.start as i128);
+                    assert!(span > 0, "empty range in strategy");
+                    let offset = ((u128::from(rng.next_u64()) as i128)
+                        .rem_euclid(span)) as i128;
+                    ((self.start as i128) + offset) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range in strategy");
+            self.start + rng.f64_unit() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_regex(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! String generation from the regex-literal subset the workspace
+    //! uses: literals, escapes, `[...]` classes (ranges, negation),
+    //! `.`, and `{n}` / `{m,n}` / `*` / `+` / `?` quantifiers.
+
+    use crate::test_runner::TestRng;
+
+    enum Element {
+        /// Draw one char from this set.
+        OneOf(Vec<char>),
+        /// Draw one printable char *not* in this set.
+        NoneOf(Vec<char>),
+        /// Any char except newline (`.`).
+        Dot,
+        /// A fixed char.
+        Literal(char),
+    }
+
+    struct Piece {
+        element: Element,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let element = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let negated = chars.get(i) == Some(&'^');
+                    if negated {
+                        i += 1;
+                    }
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            unescape(chars.get(i).copied().unwrap_or('\\'))
+                        } else {
+                            chars[i]
+                        };
+                        // A range needs `-` followed by a non-`]` char.
+                        if chars.get(i + 1) == Some(&'-')
+                            && chars.get(i + 2).is_some_and(|c| *c != ']')
+                        {
+                            let hi = chars[i + 2];
+                            for code in (lo as u32)..=(hi as u32) {
+                                if let Some(c) = char::from_u32(code) {
+                                    set.push(c);
+                                }
+                            }
+                            i += 3;
+                        } else {
+                            set.push(lo);
+                            i += 1;
+                        }
+                    }
+                    assert!(
+                        i < chars.len(),
+                        "unterminated character class in pattern {pattern:?}"
+                    );
+                    i += 1; // consume ']'
+                    if negated {
+                        Element::NoneOf(set)
+                    } else {
+                        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                        Element::OneOf(set)
+                    }
+                }
+                '.' => {
+                    i += 1;
+                    Element::Dot
+                }
+                '\\' => {
+                    i += 1;
+                    let c = unescape(chars.get(i).copied().unwrap_or('\\'));
+                    i += 1;
+                    Element::Literal(c)
+                }
+                '(' | ')' | '|' => {
+                    panic!(
+                        "unsupported regex syntax {:?} in pattern {pattern:?}",
+                        chars[i]
+                    )
+                }
+                c => {
+                    i += 1;
+                    Element::Literal(c)
+                }
+            };
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|c| *c == '}')
+                        .unwrap_or_else(|| panic!("unterminated {{..}} in {pattern:?}"));
+                    let body: String = chars[i + 1..i + close].iter().collect();
+                    i += close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad {m,n} lower bound"),
+                            hi.trim().parse().expect("bad {m,n} upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("bad {n} count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            assert!(min <= max, "inverted quantifier in {pattern:?}");
+            pieces.push(Piece { element, min, max });
+        }
+        pieces
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    fn dot_char(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII; occasionally tabs and multi-byte
+        // characters so parsers meet non-trivial UTF-8.
+        const EXOTIC: [char; 8] = ['\t', 'é', 'ß', '中', '😀', '¤', '\u{7f}', '\u{1}'];
+        if rng.below(10) == 0 {
+            EXOTIC[rng.usize_in(0, EXOTIC.len())]
+        } else {
+            char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or(' ')
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = piece.min + rng.usize_in(0, piece.max - piece.min + 1);
+            for _ in 0..count {
+                let c = match &piece.element {
+                    Element::Literal(c) => *c,
+                    Element::Dot => dot_char(rng),
+                    Element::OneOf(set) => set[rng.usize_in(0, set.len())],
+                    Element::NoneOf(set) => loop {
+                        let candidate = dot_char(rng);
+                        if !set.contains(&candidate) {
+                            break candidate;
+                        }
+                    },
+                };
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// How many elements a collection strategy may produce.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: range.start,
+                hi: range.end,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.lo, self.hi.max(self.lo + 1))
+        }
+    }
+
+    /// Strategy producing `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector with element strategy and size range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// A map with key/value strategies and a size range. Duplicate keys
+    /// collapse, so the generated map may be smaller than drawn.
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord + Debug,
+        V::Value: Debug,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` about a third of the time, otherwise `Some(inner)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(3) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! The names `use proptest::prelude::*` brings in.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// `prop::` paths as used inside prelude-importing test modules.
+    pub mod prop {
+        pub use crate::{collection, option};
+    }
+}
+
+/// Assert a condition inside a property test. Without shrinking there
+/// is no early-return protocol, so this is a plain `assert!` that
+/// panics with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// The proptest entry point: declares `#[test]` functions whose
+/// arguments are drawn from strategies, running `cases` deterministic
+/// cases each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            (<$crate::test_runner::Config as Default>::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for _case in 0..config.cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..200 {
+            let s = "[a-z0-9/]{1,24}".generate(&mut rng);
+            assert!((1..=24).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '/'));
+
+            let t = "[^']{0,40}".generate(&mut rng);
+            assert!(!t.contains('\''));
+
+            let dot = ".{0,20}".generate(&mut rng);
+            assert!(dot.chars().count() <= 20);
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..500 {
+            let v = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-1e9f64..1e9).generate(&mut rng);
+            assert!((-1e9..1e9).contains(&f));
+            let i = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let gen = |seed| {
+            let mut rng = TestRng::from_seed(seed);
+            (0..20)
+                .map(|_| crate::collection::vec(0u64..100, 0..5).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(42), gen(42));
+        assert_ne!(gen(42), gen(43));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn macro_draws_and_runs(
+            v in prop::collection::vec(any::<bool>(), 3),
+            pick in prop_oneof![Just("a"), Just("b")],
+            opt in prop::option::of(0u8..9),
+        ) {
+            prop_assert_eq!(v.len(), 3);
+            prop_assert!(pick == "a" || pick == "b");
+            if let Some(x) = opt {
+                prop_assert!(x < 9);
+            }
+        }
+    }
+}

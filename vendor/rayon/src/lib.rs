@@ -1,0 +1,150 @@
+//! A hermetic stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! This workspace builds in offline containers with no crates.io
+//! registry, so the handful of rayon APIs it uses are reproduced here on
+//! top of plain sequential iterators. The semantics match rayon's for
+//! deterministic workloads (ordered `collect`, short-circuiting
+//! `Result` collection); only the parallel execution is elided. The
+//! package name and version shadow the real crate so switching back is
+//! a one-line change in the workspace manifest.
+
+/// The traits users import with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{IndexedParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+/// Sequential re-implementation of the parallel iterator surface.
+pub mod iter {
+    /// Conversion into a "parallel" iterator.
+    pub trait IntoParallelIterator {
+        /// The element type.
+        type Item;
+        /// The iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Convert self into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = SeqIter<I::IntoIter>;
+        fn into_par_iter(self) -> Self::Iter {
+            SeqIter {
+                inner: self.into_iter(),
+            }
+        }
+    }
+
+    /// The core iterator trait; every adapter below returns another
+    /// implementor so chains like `into_par_iter().enumerate().map(..)
+    /// .collect()` type-check exactly as with rayon.
+    pub trait ParallelIterator: Sized {
+        /// The element type.
+        type Item;
+        /// The underlying sequential iterator.
+        type Seq: Iterator<Item = Self::Item>;
+
+        /// Unwrap into the underlying sequential iterator.
+        fn into_seq(self) -> Self::Seq;
+
+        /// Map every element.
+        fn map<U, F: FnMut(Self::Item) -> U>(self, f: F) -> SeqIter<std::iter::Map<Self::Seq, F>> {
+            SeqIter {
+                inner: self.into_seq().map(f),
+            }
+        }
+
+        /// Filter elements.
+        fn filter<F: FnMut(&Self::Item) -> bool>(
+            self,
+            f: F,
+        ) -> SeqIter<std::iter::Filter<Self::Seq, F>> {
+            SeqIter {
+                inner: self.into_seq().filter(f),
+            }
+        }
+
+        /// Pair every element with its index.
+        fn enumerate(self) -> SeqIter<std::iter::Enumerate<Self::Seq>> {
+            SeqIter {
+                inner: self.into_seq().enumerate(),
+            }
+        }
+
+        /// Collect into any `FromIterator` container (including
+        /// `Result<Vec<_>, _>`, which short-circuits like rayon's).
+        fn collect<C: FromIterator<Self::Item>>(self) -> C {
+            self.into_seq().collect()
+        }
+
+        /// Sum the elements.
+        fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+            self.into_seq().sum()
+        }
+
+        /// Count the elements.
+        fn count(self) -> usize {
+            self.into_seq().count()
+        }
+
+        /// Run a closure on every element.
+        fn for_each<F: FnMut(Self::Item)>(self, f: F) {
+            self.into_seq().for_each(f);
+        }
+    }
+
+    /// Indexed variants (no-ops here, present for API parity).
+    pub trait IndexedParallelIterator: ParallelIterator {}
+    impl<T: ParallelIterator> IndexedParallelIterator for T {}
+
+    /// A sequential iterator wearing the parallel-iterator trait.
+    pub struct SeqIter<I> {
+        inner: I,
+    }
+
+    impl<I: Iterator> ParallelIterator for SeqIter<I> {
+        type Item = I::Item;
+        type Seq = I;
+        fn into_seq(self) -> I {
+            self.inner
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let doubled: Vec<i32> = vec![1, 2, 3].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn enumerate_then_result_collect_short_circuits() {
+        let ok: Result<Vec<usize>, String> = (0..4usize)
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                if v < 4 {
+                    Ok(i + v)
+                } else {
+                    Err("big".to_owned())
+                }
+            })
+            .collect();
+        assert_eq!(ok.unwrap(), vec![0, 2, 4, 6]);
+        let err: Result<Vec<u32>, String> = vec![1u32, 9]
+            .into_par_iter()
+            .map(|v| {
+                if v < 5 {
+                    Ok(v)
+                } else {
+                    Err(format!("{v} too big"))
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "9 too big");
+    }
+}
