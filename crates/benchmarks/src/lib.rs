@@ -11,6 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod find;
 pub mod generators;
 pub mod hacc;
@@ -20,6 +21,7 @@ pub mod ior;
 pub mod ior_output;
 pub mod mdtest;
 
+pub use campaign::{CampaignRunner, SimCampaignRunner};
 pub use find::{run_find, FindResult};
 pub use generators::{HaccGenerator, Io500Generator, IorGenerator, MdtestGenerator};
 pub use hacc::{run_hacc, FileMode, HaccConfig, HaccResult, BYTES_PER_PARTICLE};

@@ -17,6 +17,13 @@
 //!
 //! Knowledge persists in `--db <path>` (default `knowledge.iokc.json`),
 //! the "local database" of the paper's Fig. 4.
+//!
+//! `iokc sweep` runs parameter sweeps as *durable campaigns*: every
+//! workpackage state transition is journaled, so a killed campaign
+//! resumes with `iokc sweep --resume <dir>`, re-running only unfinished
+//! workpackages.
+
+#![warn(clippy::unwrap_used)]
 
 use iokc_analysis::{
     compare, render_io500, render_knowledge, BoundingBoxDetector, IterationVarianceDetector,
@@ -161,6 +168,11 @@ struct Options {
     iterations: u32,
     retries: u32,
     phase_deadline_ms: Option<u64>,
+    campaign: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    max_parallel: usize,
+    wp_deadline_ms: Option<u64>,
+    quarantine: u32,
     metric: String,
     axis: String,
     filter_api: Option<String>,
@@ -188,6 +200,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         iterations: 3,
         retries: 0,
         phase_deadline_ms: None,
+        campaign: None,
+        resume: None,
+        max_parallel: 4,
+        wp_deadline_ms: None,
+        quarantine: 3,
         metric: "write".to_owned(),
         axis: "transfer".to_owned(),
         filter_api: None,
@@ -236,6 +253,28 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| "bad --phase-deadline".to_owned())?,
                 );
             }
+            "--campaign" => opts.campaign = Some(PathBuf::from(value(&mut i, "--campaign")?)),
+            "--resume" => opts.resume = Some(PathBuf::from(value(&mut i, "--resume")?)),
+            "--max-parallel" => {
+                opts.max_parallel = value(&mut i, "--max-parallel")?
+                    .parse()
+                    .map_err(|_| "bad --max-parallel".to_owned())?;
+                if opts.max_parallel == 0 {
+                    return Err("--max-parallel must be non-zero".to_owned());
+                }
+            }
+            "--wp-deadline" => {
+                opts.wp_deadline_ms = Some(
+                    value(&mut i, "--wp-deadline")?
+                        .parse()
+                        .map_err(|_| "bad --wp-deadline".to_owned())?,
+                );
+            }
+            "--quarantine" => {
+                opts.quarantine = value(&mut i, "--quarantine")?
+                    .parse()
+                    .map_err(|_| "bad --quarantine".to_owned())?;
+            }
             "--metric" => opts.metric = value(&mut i, "--metric")?,
             "--axis" => opts.axis = value(&mut i, "--axis")?,
             "--api" => opts.filter_api = Some(value(&mut i, "--api")?),
@@ -273,6 +312,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "report" => cmd_report(&opts),
         "import" => cmd_import(&opts),
         "jube" => cmd_jube(&opts),
+        "sweep" => cmd_sweep(&opts),
         "stack" => {
             print_stack();
             Ok(())
@@ -308,6 +348,10 @@ fn print_help() {
          \x20 report [file]         write the HTML knowledge-explorer report (report.html)\n\
          \x20 import <file>         add a shared JSON knowledge object to the store\n\
          \x20 jube <config file>    run a JUBE-style sweep on the simulated system\n\
+         \x20 sweep <config file>   durable sweep campaign: journaled state, retries,\n\
+         \x20                       quarantine (--campaign <dir>, --max-parallel <n>,\n\
+         \x20                       --wp-deadline <ms>, --quarantine <n>)\n\
+         \x20 sweep --resume <dir>  resume a killed campaign from its journal\n\
          \x20 stack                 print the simulated parallel I/O stack (Fig. 1)\n\n\
          OPTIONS: --db <path> --tasks <n> --ppn <n> --seed <n> --iterations <n>\n\
          \x20        --retries <n> --phase-deadline <ms>   (resilience: retry transient\n\
@@ -832,6 +876,114 @@ fn cmd_jube(opts: &Options) -> Result<(), CliError> {
         workspace.workpackages.len()
     );
     print!("{}", workspace.result_table(&config).render());
+    Ok(())
+}
+
+/// Classify a campaign failure for the exit-code taxonomy: a journal
+/// that belongs to another configuration is a usage error, invalid
+/// parameter combinations and fatal step failures are permanent, and
+/// journal I/O trouble is unclassified.
+fn campaign_err(e: iokc_jube::CampaignError) -> CliError {
+    let kind = match &e {
+        iokc_jube::CampaignError::Io(_) => CliErrorKind::Other,
+        iokc_jube::CampaignError::Mismatch { .. } => CliErrorKind::Usage,
+        iokc_jube::CampaignError::Sweep(_) => CliErrorKind::Permanent,
+    };
+    CliError {
+        kind,
+        message: e.to_string(),
+    }
+}
+
+fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
+    // `--resume <dir>` reads the configuration copy stored in the
+    // campaign directory on the first run, so resumption needs no
+    // config argument (and cannot accidentally pass a different one).
+    let (dir, text) = match &opts.resume {
+        Some(dir) => {
+            let path = dir.join(iokc_jube::campaign::CONFIG_FILE);
+            let text = std::fs::read_to_string(&path).map_err(|e| {
+                CliError::usage(format!(
+                    "--resume: cannot read {} (was this directory created by `iokc sweep`?): {e}",
+                    path.display()
+                ))
+            })?;
+            (dir.clone(), text)
+        }
+        None => {
+            let config_path = opts
+                .positional
+                .first()
+                .ok_or_else(|| CliError::usage("sweep needs a config file (or --resume <dir>)"))?;
+            let text = std::fs::read_to_string(config_path)
+                .map_err(|e| format!("read {config_path}: {e}"))?;
+            let dir = opts
+                .campaign
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(format!("{config_path}.campaign")));
+            (dir, text)
+        }
+    };
+    let config = iokc_jube::JubeConfig::parse(&text).map_err(|e| CliError::usage(e.to_string()))?;
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let config_copy = dir.join(iokc_jube::campaign::CONFIG_FILE);
+    if !config_copy.exists() {
+        std::fs::write(&config_copy, &text)
+            .map_err(|e| format!("write {}: {e}", config_copy.display()))?;
+    }
+
+    let options = iokc_jube::CampaignOptions {
+        max_parallel: opts.max_parallel,
+        wp_deadline_ms: opts.wp_deadline_ms,
+        retry: RetryPolicy::with_retries(opts.retries).seeded(opts.seed),
+        quarantine_threshold: opts.quarantine,
+        abort: None,
+    };
+    let hooks =
+        iokc_benchmarks::SimCampaignRunner::new(opts.seed, opts.tasks, opts.ppn.min(opts.tasks));
+    let report = iokc_jube::run_campaign(&config, &dir, &options, || hooks.runner())
+        .map_err(campaign_err)?;
+
+    println!(
+        "campaign `{}` in {}: {}",
+        config.name,
+        dir.display(),
+        report.summary
+    );
+    if report.torn_tail {
+        println!("note: the journal had a torn tail (crash mid-append); the valid prefix was used");
+    }
+    let combos = config.expand();
+    for (wp, reason) in &report.quarantined {
+        let params = combos
+            .get(*wp)
+            .map(|params| {
+                params
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect::<Vec<String>>()
+                    .join(", ")
+            })
+            .unwrap_or_default();
+        println!("quarantined {wp:06} [{params}]: {reason}");
+    }
+    for straggler in &report.stragglers {
+        println!("straggler: {straggler}");
+    }
+    print!("{}", report.workspace.result_table(&config).render());
+    // Quarantined combinations do not fail the sweep: the campaign is
+    // complete when every workpackage reached a terminal state. Anything
+    // still re-runnable exits transient so schedulers re-invoke us.
+    if !report.summary.is_complete() {
+        return Err(CliError {
+            kind: CliErrorKind::Transient,
+            message: format!(
+                "campaign incomplete ({} workpackage(s) remaining) — resume with `iokc sweep --resume {}`",
+                report.summary.remaining(),
+                dir.display()
+            ),
+        });
+    }
     Ok(())
 }
 

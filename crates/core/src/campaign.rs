@@ -1,0 +1,195 @@
+//! Campaign-level state and reporting types.
+//!
+//! A *campaign* is a batch of independent work items — in this workspace,
+//! the workpackages of a JUBE-style parameter sweep (§V-A) — executed
+//! under supervision: each item moves through a small state machine and
+//! the campaign as a whole is summarised for operators and exit-code
+//! logic. The types live here, free of sweep/simulator specifics, so
+//! that any batch driver (the jube executor today, a trace-replay
+//! campaign tomorrow) reports progress in the same vocabulary, just as
+//! the phase traits in [`crate::phases`] keep the cycle tool-agnostic.
+
+use std::fmt;
+
+/// The life cycle of one campaign work item.
+///
+/// ```text
+/// pending ──▶ running ──▶ done
+///               │  ▲
+///               ▼  │ (bounded retry, transient failures)
+///             failed ──▶ quarantined   (repeat offenders)
+/// pending ──▶ cancelled                (cooperative cancellation)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WorkState {
+    /// Not started (or re-enqueued after a crash).
+    Pending,
+    /// Claimed by a worker; a journaled `running` without a terminal
+    /// state means the process died mid-item.
+    Running,
+    /// Completed; outputs captured.
+    Done,
+    /// Failed past its retry budget but still eligible for a resumed
+    /// re-run.
+    Failed,
+    /// Failed repeatedly (or permanently); skipped so one bad parameter
+    /// combination cannot sink the campaign.
+    Quarantined,
+    /// Abandoned because the campaign was cancelled or aborted before
+    /// the item ran.
+    Cancelled,
+}
+
+impl WorkState {
+    /// Display name (also the journal encoding).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorkState::Pending => "pending",
+            WorkState::Running => "running",
+            WorkState::Done => "done",
+            WorkState::Failed => "failed",
+            WorkState::Quarantined => "quarantined",
+            WorkState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Is this a terminal state (no further attempts in this campaign)?
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(self, WorkState::Done | WorkState::Quarantined)
+    }
+}
+
+impl fmt::Display for WorkState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A work item that took conspicuously longer than its completed peers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StragglerReport {
+    /// Work item id.
+    pub id: usize,
+    /// Its elapsed time, in milliseconds (virtual or wall — whichever
+    /// clock the campaign ran under).
+    pub elapsed_ms: u64,
+    /// The p95 elapsed time of all completed peers, in milliseconds.
+    pub p95_ms: u64,
+}
+
+impl fmt::Display for StragglerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "workpackage {:06} took {} ms (p95 of completed peers: {} ms)",
+            self.id, self.elapsed_ms, self.p95_ms
+        )
+    }
+}
+
+/// Aggregate outcome of one campaign run (fresh or resumed).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignSummary {
+    /// Total work items in the campaign.
+    pub total: usize,
+    /// Items completed, including previously journaled completions.
+    pub completed: usize,
+    /// Items skipped because the journal already recorded them done.
+    pub replayed: usize,
+    /// Items that needed more than one attempt before completing.
+    pub retried: usize,
+    /// Items quarantined (this run or previously journaled).
+    pub quarantined: usize,
+    /// Items that failed past their retry budget but remain re-runnable.
+    pub failed: usize,
+    /// Items never attempted because the campaign was cancelled.
+    pub cancelled: usize,
+}
+
+impl CampaignSummary {
+    /// Did every item reach a terminal state with nothing left to rerun?
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.completed + self.quarantined == self.total
+    }
+
+    /// Items a resumed campaign would still run.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.total
+            .saturating_sub(self.completed)
+            .saturating_sub(self.quarantined)
+    }
+}
+
+impl fmt::Display for CampaignSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} done ({} replayed from journal, {} retried), {} quarantined, \
+             {} failed, {} cancelled, {} remaining",
+            self.completed,
+            self.total,
+            self.replayed,
+            self.retried,
+            self.quarantined,
+            self.failed,
+            self.cancelled,
+            self.remaining()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_names_and_terminality() {
+        assert_eq!(WorkState::Pending.as_str(), "pending");
+        assert_eq!(WorkState::Quarantined.to_string(), "quarantined");
+        assert!(WorkState::Done.is_terminal());
+        assert!(WorkState::Quarantined.is_terminal());
+        assert!(!WorkState::Failed.is_terminal());
+        assert!(!WorkState::Running.is_terminal());
+    }
+
+    #[test]
+    fn summary_accounting() {
+        let summary = CampaignSummary {
+            total: 16,
+            completed: 12,
+            replayed: 5,
+            retried: 2,
+            quarantined: 4,
+            failed: 0,
+            cancelled: 0,
+        };
+        assert!(summary.is_complete());
+        assert_eq!(summary.remaining(), 0);
+        let text = summary.to_string();
+        assert!(text.contains("12/16 done"));
+        assert!(text.contains("4 quarantined"));
+
+        let partial = CampaignSummary {
+            total: 16,
+            completed: 6,
+            ..CampaignSummary::default()
+        };
+        assert!(!partial.is_complete());
+        assert_eq!(partial.remaining(), 10);
+    }
+
+    #[test]
+    fn straggler_display() {
+        let s = StragglerReport {
+            id: 7,
+            elapsed_ms: 900,
+            p95_ms: 300,
+        };
+        assert!(s.to_string().contains("000007"));
+        assert!(s.to_string().contains("900 ms"));
+    }
+}

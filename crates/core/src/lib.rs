@@ -18,7 +18,10 @@
 //! * the [`resilience`] layer — an error taxonomy (transient vs.
 //!   permanent), deterministic seeded retry with virtual-time backoff,
 //!   per-phase deadlines, and quarantine of repeatedly failing modules,
-//!   so long sweeps degrade instead of aborting.
+//!   so long sweeps degrade instead of aborting;
+//! * the [`campaign`] vocabulary — the per-item state machine and the
+//!   summary/straggler report types that batch drivers (the jube sweep
+//!   executor) use to account for durable, resumable campaigns.
 //!
 //! Everything concrete — benchmark generators over the cluster simulator,
 //! output parsers, the relational store, the knowledge explorer, the
@@ -60,11 +63,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod cycle;
 pub mod model;
 pub mod phases;
 pub mod resilience;
 
+pub use campaign::{CampaignSummary, StragglerReport, WorkState};
 pub use cycle::{CycleReport, KnowledgeCycle};
 pub use model::{
     FilesystemInfo, Io500Knowledge, Io500Testcase, IoPattern, IterationResult, Knowledge,

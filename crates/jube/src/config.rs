@@ -180,6 +180,7 @@ pub fn substitute(template: &str, values: &BTreeMap<String, String>) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

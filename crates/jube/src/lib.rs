@@ -26,11 +26,25 @@
 //! assert_eq!(series[1].1, 20.0);
 //! ```
 
+//! For overnight-scale studies, [`run_campaign`] runs the same
+//! configuration under a supervised executor with a durable write-ahead
+//! journal: killed campaigns resume from the journal, transient failures
+//! are retried with bounded backoff, and repeatedly failing parameter
+//! combinations are quarantined instead of sinking the sweep.
+
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
+pub mod campaign;
 pub mod config;
+pub mod executor;
 pub mod sweep;
 
+pub use campaign::{config_fingerprint, journal_path, CampaignError, CampaignState};
 pub use config::{substitute, ConfigError, JubeConfig, Step};
-pub use sweep::{run_sweep, run_sweep_parallel, SweepError, Workpackage, Workspace};
+pub use executor::{run_campaign, CampaignOptions, CampaignReport, StepFailure, StepOutcome};
+pub use sweep::{
+    run_sweep, run_sweep_parallel, validate_combos, InvalidCombo, SweepError, Workpackage,
+    Workspace,
+};

@@ -26,28 +26,171 @@ pub struct Workpackage {
     pub outputs: Vec<(String, String)>,
 }
 
-/// Execution error for one workpackage.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SweepError {
-    /// Failing workpackage id.
+/// A parameter combination whose step commands cannot be fully
+/// substituted (a `$name` placeholder survives because no parameter —
+/// and not the implicit `wp` — defines it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidCombo {
+    /// Workpackage id of the combination.
     pub workpackage: usize,
-    /// Failing step.
+    /// The parameter values of the combination.
+    pub params: BTreeMap<String, String>,
+    /// The first step whose template leaves placeholders unresolved.
     pub step: String,
-    /// Runner-reported cause.
-    pub message: String,
+    /// The unresolved placeholder names.
+    pub unresolved: Vec<String>,
 }
 
-impl fmt::Display for SweepError {
+impl fmt::Display for InvalidCombo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "workpackage {:06} step {}: {}",
-            self.workpackage, self.step, self.message
+            "workpackage {:06} step {} leaves ${} unresolved [{}]",
+            self.workpackage,
+            self.step,
+            self.unresolved.join(", $"),
+            params_display(&self.params)
         )
     }
 }
 
+/// Execution error for a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepError {
+    /// One workpackage's step failed at run time.
+    Step {
+        /// Failing workpackage id.
+        workpackage: usize,
+        /// Parameter values of the failing combination, so the failure
+        /// is diagnosable from the one-line `Display` alone.
+        params: BTreeMap<String, String>,
+        /// Failing step.
+        step: String,
+        /// Runner-reported cause.
+        message: String,
+    },
+    /// Parameter substitution failed before anything ran. Every invalid
+    /// combination is listed, not just the first.
+    InvalidParams(Vec<InvalidCombo>),
+}
+
+impl SweepError {
+    /// The failing workpackage id, for step failures.
+    #[must_use]
+    pub fn workpackage(&self) -> Option<usize> {
+        match self {
+            SweepError::Step { workpackage, .. } => Some(*workpackage),
+            SweepError::InvalidParams(_) => None,
+        }
+    }
+
+    /// The failing step name, for step failures.
+    #[must_use]
+    pub fn step(&self) -> Option<&str> {
+        match self {
+            SweepError::Step { step, .. } => Some(step),
+            SweepError::InvalidParams(_) => None,
+        }
+    }
+}
+
+/// Render a parameter map as `name=value` pairs for one-line errors.
+fn params_display(params: &BTreeMap<String, String>) -> String {
+    params
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<String>>()
+        .join(", ")
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Step {
+                workpackage,
+                params,
+                step,
+                message,
+            } => write!(
+                f,
+                "workpackage {workpackage:06} step {step}: {message} [{}]",
+                params_display(params)
+            ),
+            SweepError::InvalidParams(combos) => {
+                write!(
+                    f,
+                    "{} parameter combination(s) failed substitution: ",
+                    combos.len()
+                )?;
+                for (i, combo) in combos.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{combo}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 impl std::error::Error for SweepError {}
+
+/// Validate every expanded combination before any runner is built:
+/// substitute each step template and collect the combinations that still
+/// contain `$name` placeholders. Returns every invalid combination at
+/// once, so one sweep failure reports the whole extent of a config bug.
+#[must_use]
+pub fn validate_combos(
+    config: &JubeConfig,
+    combos: &[BTreeMap<String, String>],
+) -> Vec<InvalidCombo> {
+    let mut invalid = Vec::new();
+    for (id, params) in combos.iter().enumerate() {
+        let mut values = params.clone();
+        values.insert("wp".to_owned(), format!("{id:06}"));
+        for step in &config.steps {
+            let command = substitute(&step.template, &values);
+            let unresolved = unresolved_placeholders(&command);
+            if !unresolved.is_empty() {
+                invalid.push(InvalidCombo {
+                    workpackage: id,
+                    params: params.clone(),
+                    step: step.name.clone(),
+                    unresolved,
+                });
+                break; // one entry per combination is enough
+            }
+        }
+    }
+    invalid
+}
+
+/// `$name` placeholders remaining in a substituted command.
+fn unresolved_placeholders(command: &str) -> Vec<String> {
+    let bytes = command.as_bytes();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'$' {
+            let start = i + 1;
+            let mut end = start;
+            while end < bytes.len() && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_') {
+                end += 1;
+            }
+            if end > start {
+                let name = command[start..end].to_owned();
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    names
+}
 
 /// A completed sweep: the benchmark name and every workpackage.
 #[derive(Debug, Clone)]
@@ -166,6 +309,10 @@ where
     F: FnMut(usize, &str, &str) -> Result<String, String>,
 {
     let combos = config.expand();
+    let invalid = validate_combos(config, &combos);
+    if !invalid.is_empty() {
+        return Err(SweepError::InvalidParams(invalid));
+    }
     let mut workpackages = Vec::with_capacity(combos.len());
     for (id, params) in combos.into_iter().enumerate() {
         workpackages.push(run_workpackage(config, id, params, &mut runner)?);
@@ -179,6 +326,12 @@ where
 /// Execute a configuration with workpackages in parallel (Rayon). The
 /// runner factory is called once per workpackage so each parallel lane
 /// owns its state (e.g. its own simulated world).
+///
+/// Every combination is validated up front: the runner factory is never
+/// invoked when any combination fails substitution, and *all* invalid
+/// combinations are reported at once. For durable, supervised execution
+/// (journal, retries, quarantine, resume) use
+/// [`crate::executor::run_campaign`] instead.
 pub fn run_sweep_parallel<F, R>(
     config: &JubeConfig,
     runner_factory: F,
@@ -188,6 +341,10 @@ where
     R: FnMut(usize, &str, &str) -> Result<String, String>,
 {
     let combos = config.expand();
+    let invalid = validate_combos(config, &combos);
+    if !invalid.is_empty() {
+        return Err(SweepError::InvalidParams(invalid));
+    }
     let results: Result<Vec<Workpackage>, SweepError> = combos
         .into_par_iter()
         .enumerate()
@@ -222,8 +379,9 @@ where
     values.insert("wp".to_owned(), format!("{id:06}"));
     for step in &config.steps {
         let command = substitute(&step.template, &values);
-        let output = runner(id, &step.name, &command).map_err(|message| SweepError {
+        let output = runner(id, &step.name, &command).map_err(|message| SweepError::Step {
             workpackage: id,
+            params: wp.params.clone(),
             step: step.name.clone(),
             message,
         })?;
@@ -234,6 +392,7 @@ where
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::config::JubeConfig;
@@ -298,7 +457,7 @@ pattern value = result {v:f}
     }
 
     #[test]
-    fn step_failure_is_reported_with_location() {
+    fn step_failure_is_reported_with_location_and_params() {
         let config = JubeConfig::parse(CONFIG).unwrap();
         let err = run_sweep(&config, |id, _, _| {
             if id == 1 {
@@ -308,9 +467,58 @@ pattern value = result {v:f}
             }
         })
         .unwrap_err();
-        assert_eq!(err.workpackage, 1);
-        assert_eq!(err.step, "run");
-        assert!(err.to_string().contains("boom"));
+        assert_eq!(err.workpackage(), Some(1));
+        assert_eq!(err.step(), Some("run"));
+        let line = err.to_string();
+        assert!(line.contains("boom"), "{line}");
+        // The failing combination's parameter map is in the one-liner.
+        assert!(line.contains("n=2"), "{line}");
+        // And SweepError is a real std error.
+        let as_std: &dyn std::error::Error = &err;
+        assert!(as_std.to_string().contains("workpackage 000001"));
+    }
+
+    #[test]
+    fn invalid_substitutions_are_reported_all_at_once() {
+        // `$ghost` is never defined; `$m` only for some combos? No — all
+        // combos miss both, so every combination is invalid. The runner
+        // factory must never run.
+        let config = JubeConfig::parse(
+            "benchmark bad\nparam n = 1, 2, 3\nstep run = work -n $n -x $ghost\n",
+        )
+        .unwrap();
+        let ran = std::sync::atomic::AtomicUsize::new(0);
+        let err = run_sweep_parallel(&config, || {
+            ran.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            |_: usize, _: &str, _: &str| Ok(String::new())
+        })
+        .unwrap_err();
+        assert_eq!(ran.load(std::sync::atomic::Ordering::SeqCst), 0);
+        let SweepError::InvalidParams(combos) = &err else {
+            panic!("expected InvalidParams, got {err:?}");
+        };
+        assert_eq!(combos.len(), 3, "every invalid combination is listed");
+        assert_eq!(combos[0].unresolved, vec!["ghost".to_owned()]);
+        let line = err.to_string();
+        assert!(line.contains("3 parameter combination(s)"), "{line}");
+        assert!(line.contains("$ghost"), "{line}");
+        assert!(line.contains("n=2"), "{line}");
+        // Sequential sweeps validate identically.
+        assert!(matches!(
+            run_sweep(&config, |_, _, _| Ok(String::new())),
+            Err(SweepError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn validate_combos_accepts_wp_and_defined_params() {
+        let config = JubeConfig::parse(CONFIG).unwrap();
+        let combos = config.expand();
+        assert!(validate_combos(&config, &combos).is_empty());
+        // A literal `$` not followed by an identifier is not a placeholder.
+        let config = JubeConfig::parse("step run = echo 5$ and $n\nparam n = 1\n").unwrap();
+        let combos = config.expand();
+        assert!(validate_combos(&config, &combos).is_empty());
     }
 
     #[test]

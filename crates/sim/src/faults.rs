@@ -167,6 +167,10 @@ impl FaultPlan {
 pub struct CrashSchedule {
     crash_attempts: std::collections::BTreeSet<u64>,
     calls: u64,
+    /// Keyed schedule for campaign executors: (work item, 0-based attempt
+    /// within that item) pairs whose worker dies mid-workpackage.
+    keyed_crashes: std::collections::BTreeSet<(u64, u64)>,
+    keyed_calls: std::collections::BTreeMap<u64, u64>,
 }
 
 impl CrashSchedule {
@@ -182,7 +186,7 @@ impl CrashSchedule {
     pub fn first_n(n: u64) -> CrashSchedule {
         CrashSchedule {
             crash_attempts: (0..n).collect(),
-            calls: 0,
+            ..CrashSchedule::default()
         }
     }
 
@@ -191,7 +195,20 @@ impl CrashSchedule {
     pub fn at_attempts(attempts: &[u64]) -> CrashSchedule {
         CrashSchedule {
             crash_attempts: attempts.iter().copied().collect(),
-            calls: 0,
+            ..CrashSchedule::default()
+        }
+    }
+
+    /// Crash specific workers of a supervised campaign: each pair is a
+    /// (work item id, 0-based attempt within that item) whose worker
+    /// dies mid-workpackage instead of returning output. Attempts are
+    /// counted per item, so retries of the same workpackage advance its
+    /// own attempt counter regardless of what other workers do.
+    #[must_use]
+    pub fn at_workpackages(kills: &[(u64, u64)]) -> CrashSchedule {
+        CrashSchedule {
+            keyed_crashes: kills.iter().copied().collect(),
+            ..CrashSchedule::default()
         }
     }
 
@@ -202,10 +219,25 @@ impl CrashSchedule {
         self.crash_attempts.contains(&call)
     }
 
+    /// Record one attempt of work item `key`; true when the keyed
+    /// schedule kills this worker.
+    pub fn tick_worker(&mut self, key: u64) -> bool {
+        let attempt = self.keyed_calls.entry(key).or_insert(0);
+        let this = *attempt;
+        *attempt += 1;
+        self.keyed_crashes.contains(&(key, this))
+    }
+
     /// Attempts recorded so far.
     #[must_use]
     pub fn calls(&self) -> u64 {
         self.calls
+    }
+
+    /// Attempts recorded so far for work item `key`.
+    #[must_use]
+    pub fn worker_calls(&self, key: u64) -> u64 {
+        self.keyed_calls.get(&key).copied().unwrap_or(0)
     }
 }
 
@@ -227,6 +259,25 @@ mod tests {
         assert!(!s.tick());
 
         let mut s = CrashSchedule::none();
+        assert!(!s.tick());
+    }
+
+    #[test]
+    fn keyed_schedule_counts_attempts_per_work_item() {
+        let mut s = CrashSchedule::at_workpackages(&[(5, 0), (5, 1), (9, 1)]);
+        // Item 5 dies on its first two attempts, then runs.
+        assert!(s.tick_worker(5));
+        assert!(s.tick_worker(5));
+        assert!(!s.tick_worker(5));
+        // Item 9 survives attempt 0, dies on attempt 1 — interleaved
+        // items keep independent counters.
+        assert!(!s.tick_worker(9));
+        assert!(!s.tick_worker(7));
+        assert!(s.tick_worker(9));
+        assert_eq!(s.worker_calls(5), 3);
+        assert_eq!(s.worker_calls(9), 2);
+        assert_eq!(s.worker_calls(42), 0);
+        // The flat and keyed schedules are independent.
         assert!(!s.tick());
     }
 

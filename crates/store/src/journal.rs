@@ -1,0 +1,287 @@
+//! Append-only, checksummed journal files.
+//!
+//! The campaign layer needs a *write-ahead* record of work-item state
+//! transitions that survives process death at any instant. The database
+//! image in [`crate::persist`] is the wrong shape for that — it rewrites
+//! the whole file per save — so this module provides the complementary
+//! primitive: an append-only line journal where every record carries its
+//! own FNV-1a 64 checksum (the same checksum the image footer uses) and
+//! is fsynced before the writer proceeds.
+//!
+//! A crash can only ever tear the *last* record. [`read_journal`]
+//! therefore salvages the longest valid prefix and reports the torn
+//! tail instead of failing, mirroring [`crate::persist::load_with_recovery`]'s
+//! "detect, then fall back to the last good generation" contract.
+//! [`crate::persist::inject_torn_write`] works on journal files too, so
+//! tests can cut one at any byte offset.
+//!
+//! Record format, one record per line:
+//!
+//! ```text
+//! j1 <crc64:016x> <payload>
+//! ```
+//!
+//! Payloads must be single-line (the campaign layer writes compact
+//! JSON); the writer rejects embedded newlines rather than corrupting
+//! the frame.
+
+use crate::persist::checksum;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+/// Version/magic prefix of every record line.
+const RECORD_MAGIC: &str = "j1";
+
+/// An open journal file, appending checksummed records durably.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Open (creating if absent) a journal for appending.
+    pub fn open(path: &Path) -> Result<JournalWriter, std::io::Error> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(JournalWriter { file })
+    }
+
+    /// Append one record and fsync it. The payload must not contain a
+    /// newline — records are line-framed.
+    pub fn append(&mut self, payload: &str) -> Result<(), std::io::Error> {
+        if payload.contains('\n') || payload.contains('\r') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "journal payloads must be single-line",
+            ));
+        }
+        let crc = checksum(payload.as_bytes());
+        let line = format!("{RECORD_MAGIC} {crc:016x} {payload}\n");
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()
+    }
+}
+
+/// The result of replaying a journal file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalReadReport {
+    /// Every checksum-valid record payload, in append order.
+    pub records: Vec<String>,
+    /// A torn or corrupt tail was found (and everything from the first
+    /// bad line onward was dropped).
+    pub torn_tail: bool,
+    /// Bytes dropped with the torn tail.
+    pub dropped_bytes: usize,
+}
+
+/// Replay a journal, salvaging the longest valid prefix.
+///
+/// A missing file is an empty journal, not an error: a fresh campaign
+/// directory and a crashed-before-first-record one are indistinguishable
+/// and both resume from nothing. Reading stops at the first record that
+/// is torn (no trailing newline), malformed, or checksum-invalid;
+/// everything before it is returned and the remainder is reported as
+/// dropped.
+pub fn read_journal(path: &Path) -> Result<JournalReadReport, std::io::Error> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(JournalReadReport::default())
+        }
+        Err(e) => return Err(e),
+    };
+    let mut report = JournalReadReport::default();
+    let mut consumed = 0usize;
+    for line in text.split_inclusive('\n') {
+        let Some(payload) = decode_record(line) else {
+            report.torn_tail = true;
+            break;
+        };
+        report.records.push(payload.to_owned());
+        consumed += line.len();
+    }
+    report.dropped_bytes = text.len() - consumed;
+    // A trailing partial line with no newline is also a torn tail even
+    // when every complete line verified.
+    if report.dropped_bytes > 0 {
+        report.torn_tail = true;
+    }
+    Ok(report)
+}
+
+/// Truncate a journal to its longest valid prefix, dropping any torn or
+/// corrupt tail, and report what survived.
+///
+/// A writer MUST salvage with this before appending to a journal that a
+/// crash may have torn: the torn tail has no newline, so a raw append
+/// would fuse the new record onto the torn bytes and corrupt every
+/// record from there on.
+pub fn truncate_torn_tail(path: &Path) -> Result<JournalReadReport, std::io::Error> {
+    let report = read_journal(path)?;
+    if report.dropped_bytes > 0 {
+        let len = std::fs::metadata(path)?.len();
+        let file = OpenOptions::new().write(true).open(path)?;
+        file.set_len(len.saturating_sub(report.dropped_bytes as u64))?;
+        file.sync_data()?;
+    }
+    Ok(report)
+}
+
+/// Decode one framed line into its payload, verifying the checksum.
+/// Returns `None` for torn (unterminated), malformed, or corrupt lines.
+fn decode_record(line: &str) -> Option<&str> {
+    let body = line.strip_suffix('\n')?;
+    let body = body.strip_suffix('\r').unwrap_or(body);
+    let rest = body.strip_prefix(RECORD_MAGIC)?.strip_prefix(' ')?;
+    let (crc_hex, payload) = rest.split_once(' ')?;
+    let recorded = u64::from_str_radix(crc_hex, 16).ok()?;
+    if checksum(payload.as_bytes()) != recorded {
+        return None;
+    }
+    Some(payload)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::persist::inject_torn_write;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("iokc-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("campaign.journal");
+        {
+            let mut writer = JournalWriter::open(&path).unwrap();
+            writer.append("{\"rec\":\"start\",\"wp\":0}").unwrap();
+            writer.append("{\"rec\":\"done\",\"wp\":0}").unwrap();
+        }
+        // Re-open appends, it does not truncate.
+        {
+            let mut writer = JournalWriter::open(&path).unwrap();
+            writer.append("{\"rec\":\"start\",\"wp\":1}").unwrap();
+        }
+        let report = read_journal(&path).unwrap();
+        assert_eq!(report.records.len(), 3);
+        assert!(!report.torn_tail);
+        assert_eq!(report.dropped_bytes, 0);
+        assert_eq!(report.records[2], "{\"rec\":\"start\",\"wp\":1}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let dir = scratch("missing");
+        let report = read_journal(&dir.join("nope.journal")).unwrap();
+        assert!(report.records.is_empty());
+        assert!(!report.torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newline_payloads_are_rejected() {
+        let dir = scratch("newline");
+        let mut writer = JournalWriter::open(&dir.join("j")).unwrap();
+        assert!(writer.append("two\nlines").is_err());
+        assert!(writer.append("cr\rline").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncation_at_any_offset_keeps_a_valid_prefix() {
+        let dir = scratch("truncate");
+        let path = dir.join("j");
+        let payloads: Vec<String> = (0..8).map(|i| format!("{{\"wp\":{i}}}")).collect();
+        {
+            let mut writer = JournalWriter::open(&path).unwrap();
+            for p in &payloads {
+                writer.append(p).unwrap();
+            }
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let full = text.len() as u64;
+        // Byte offsets that coincide with a record boundary: a cut there
+        // is indistinguishable from a shorter (but valid) journal.
+        let mut boundaries = vec![0u64];
+        let mut at = 0u64;
+        for line in text.split_inclusive('\n') {
+            at += line.len() as u64;
+            boundaries.push(at);
+        }
+        for keep in 0..=full {
+            let _ = std::fs::remove_file(&path);
+            {
+                let mut writer = JournalWriter::open(&path).unwrap();
+                for p in &payloads {
+                    writer.append(p).unwrap();
+                }
+            }
+            inject_torn_write(&path, keep).unwrap();
+            let report = read_journal(&path).unwrap();
+            // The salvaged records are exactly a prefix of what was
+            // written — never reordered, never a phantom record.
+            assert!(report.records.len() <= payloads.len());
+            assert_eq!(
+                report.records,
+                payloads[..report.records.len()].to_vec(),
+                "keep={keep}"
+            );
+            // A mid-record cut is always detected as torn.
+            assert_eq!(report.torn_tail, !boundaries.contains(&keep), "keep={keep}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_truncates_the_torn_tail_so_appends_stay_valid() {
+        let dir = scratch("salvage");
+        let path = dir.join("j");
+        {
+            let mut writer = JournalWriter::open(&path).unwrap();
+            writer.append("alpha").unwrap();
+            writer.append("beta").unwrap();
+        }
+        // Tear the second record mid-line, then salvage and append.
+        let full = std::fs::metadata(&path).unwrap().len();
+        inject_torn_write(&path, full - 3).unwrap();
+        let report = truncate_torn_tail(&path).unwrap();
+        assert!(report.torn_tail);
+        assert_eq!(report.records, vec!["alpha".to_owned()]);
+        {
+            let mut writer = JournalWriter::open(&path).unwrap();
+            writer.append("gamma").unwrap();
+        }
+        // Without the truncation, `gamma` would have fused onto the torn
+        // bytes of `beta` and been dropped too.
+        let report = read_journal(&path).unwrap();
+        assert_eq!(report.records, vec!["alpha".to_owned(), "gamma".to_owned()]);
+        assert!(!report.torn_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_record_drops_the_rest() {
+        let dir = scratch("corrupt");
+        let path = dir.join("j");
+        {
+            let mut writer = JournalWriter::open(&path).unwrap();
+            writer.append("alpha").unwrap();
+            writer.append("beta").unwrap();
+            writer.append("gamma").unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("beta", "beta!", 1)).unwrap();
+        let report = read_journal(&path).unwrap();
+        assert_eq!(report.records, vec!["alpha".to_owned()]);
+        assert!(report.torn_tail);
+        assert!(report.dropped_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
