@@ -11,6 +11,7 @@
 //!   expectation box after Liem et al.
 
 use crate::describe::mad_scores;
+use iokc_core::ctx::PhaseCtx;
 use iokc_core::model::{Knowledge, KnowledgeItem};
 use iokc_core::phases::{Analyzer, CycleError, Finding};
 
@@ -140,7 +141,11 @@ impl Analyzer for IterationVarianceDetector {
         "iteration-variance-detector"
     }
 
-    fn analyze(&self, items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError> {
+    fn analyze(
+        &self,
+        _ctx: &mut PhaseCtx,
+        items: &[KnowledgeItem],
+    ) -> Result<Vec<Finding>, CycleError> {
         let mut findings = Vec::new();
         for item in items {
             let KnowledgeItem::Benchmark(knowledge) = item else {
@@ -175,6 +180,10 @@ impl Analyzer for IterationVarianceDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn test_ctx() -> PhaseCtx {
+        PhaseCtx::detached(iokc_core::phases::PhaseKind::Analysis, "test")
+    }
     use iokc_core::model::{IterationResult, KnowledgeSource, OperationSummary};
 
     fn knowledge_with_series(bws: &[f64]) -> Knowledge {
@@ -243,7 +252,7 @@ mod tests {
     fn analyzer_trait_produces_findings() {
         let k = knowledge_with_series(&[2850.0, 1251.0, 2840.0, 2860.0, 2855.0, 2845.0]);
         let findings = IterationVarianceDetector::default()
-            .analyze(&[KnowledgeItem::Benchmark(k)])
+            .analyze(&mut test_ctx(), &[KnowledgeItem::Benchmark(k)])
             .unwrap();
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].tag, "anomaly");
@@ -259,7 +268,7 @@ mod tests {
         let mut k = knowledge_with_series(&[2850.0, 2840.0, 2860.0, 2855.0, 2845.0, 2852.0]);
         k.results[1].bw_mib = 1251.0; // inconsistent with its times
         let findings = IterationVarianceDetector::default()
-            .analyze(&[KnowledgeItem::Benchmark(k)])
+            .analyze(&mut test_ctx(), &[KnowledgeItem::Benchmark(k)])
             .unwrap();
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("possible measurement error"));

@@ -8,6 +8,7 @@
 //! `ior-easy` and `ior-hard`; this implementation supports any subset of
 //! test cases.
 
+use iokc_core::ctx::PhaseCtx;
 use iokc_core::model::{Io500Knowledge, KnowledgeItem};
 use iokc_core::phases::{Analyzer, CycleError, Finding};
 use iokc_util::stats;
@@ -268,7 +269,11 @@ impl Analyzer for BoundingBoxDetector {
         "io500-bounding-box"
     }
 
-    fn analyze(&self, items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError> {
+    fn analyze(
+        &self,
+        _ctx: &mut PhaseCtx,
+        items: &[KnowledgeItem],
+    ) -> Result<Vec<Finding>, CycleError> {
         let runs: Vec<&Io500Knowledge> = items
             .iter()
             .filter_map(|item| match item {
@@ -366,6 +371,10 @@ mod tests2d {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn test_ctx() -> PhaseCtx {
+        PhaseCtx::detached(iokc_core::phases::PhaseKind::Analysis, "test")
+    }
     use iokc_core::model::Io500Testcase;
 
     fn run(easy_w: f64, easy_r: f64, hard_w: f64, hard_r: f64) -> Io500Knowledge {
@@ -468,7 +477,9 @@ mod tests {
         let mut items: Vec<KnowledgeItem> =
             references().into_iter().map(KnowledgeItem::Io500).collect();
         items.push(KnowledgeItem::Io500(run(2.45, 0.9, 0.11, 0.40)));
-        let findings = BoundingBoxDetector::default().analyze(&items).unwrap();
+        let findings = BoundingBoxDetector::default()
+            .analyze(&mut test_ctx(), &items)
+            .unwrap();
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("ior-easy-read"));
         assert!(findings[0].message.contains("below"));
@@ -478,7 +489,7 @@ mod tests {
     fn analyzer_needs_two_runs() {
         let items = vec![KnowledgeItem::Io500(run(1.0, 1.0, 1.0, 1.0))];
         assert!(BoundingBoxDetector::default()
-            .analyze(&items)
+            .analyze(&mut test_ctx(), &items)
             .unwrap()
             .is_empty());
     }

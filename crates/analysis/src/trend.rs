@@ -8,6 +8,7 @@
 //! anomaly-detection use case ("anomalies can be caused by … hardware
 //! failures, and incorrect system configuration").
 
+use iokc_core::ctx::PhaseCtx;
 use iokc_core::model::{Knowledge, KnowledgeItem};
 use iokc_core::phases::{Analyzer, CycleError, Finding};
 use iokc_util::stats;
@@ -105,7 +106,11 @@ impl Analyzer for TrendDetector {
         "trend-detector"
     }
 
-    fn analyze(&self, items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError> {
+    fn analyze(
+        &self,
+        _ctx: &mut PhaseCtx,
+        items: &[KnowledgeItem],
+    ) -> Result<Vec<Finding>, CycleError> {
         let corpus: Vec<&Knowledge> = items
             .iter()
             .filter_map(|item| match item {
@@ -148,6 +153,10 @@ impl Analyzer for TrendDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn test_ctx() -> PhaseCtx {
+        PhaseCtx::detached(iokc_core::phases::PhaseKind::Analysis, "test")
+    }
     use iokc_core::model::{KnowledgeSource, OperationSummary};
 
     fn run(command: &str, start: u64, write_bw: f64) -> Knowledge {
@@ -244,7 +253,9 @@ mod tests {
             .collect();
         corpus.push(KnowledgeItem::Benchmark(run("ior", 600, 2600.0)));
         corpus.push(KnowledgeItem::Benchmark(run("ior", 700, 2700.0)));
-        let findings = TrendDetector::default().analyze(&corpus).unwrap();
+        let findings = TrendDetector::default()
+            .analyze(&mut test_ctx(), &corpus)
+            .unwrap();
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].tag, "improvement");
         assert!(findings[0].message.contains("improved"));

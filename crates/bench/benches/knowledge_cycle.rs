@@ -5,9 +5,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use iokc_benchmarks::{IorConfig, IorGenerator};
-use iokc_core::phases::Extractor;
-use iokc_core::KnowledgeCycle;
+use iokc_core::cycle::ModuleBox;
+use iokc_core::phases::{Extractor, PhaseKind};
+use iokc_core::{KnowledgeCycle, Observability, PhaseCtx};
 use iokc_extract::IorExtractor;
+use iokc_obs::{Clock, NullSink, Recorder, VirtualClock};
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::FaultPlan;
 use iokc_sim::prelude::SystemConfig;
@@ -24,12 +26,14 @@ fn build_cycle(seed: u64) -> KnowledgeCycle {
     let generator = IorGenerator::new(world, JobLayout::new(4, 2), config, seed);
     let mut cycle = KnowledgeCycle::new();
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(IorExtractor))
-        .add_persister(Box::new(KnowledgeStore::in_memory()))
-        .add_analyzer(Box::new(iokc_analysis::IterationVarianceDetector::default()))
-        .add_analyzer(Box::new(iokc_analysis::TrendDetector::default()))
-        .add_usage(Box::new(RegenerateUsage::default()));
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::persister(KnowledgeStore::in_memory()))
+        .register(ModuleBox::analyzer(
+            iokc_analysis::IterationVarianceDetector::default(),
+        ))
+        .register(ModuleBox::analyzer(iokc_analysis::TrendDetector::default()))
+        .register(ModuleBox::usage(RegenerateUsage::default()));
     cycle
 }
 
@@ -40,6 +44,23 @@ fn bench_cycle(c: &mut Criterion) {
     group.bench_function("full_iteration_4ranks", |b| {
         b.iter(|| {
             let mut cycle = build_cycle(17);
+            let report = cycle.run_once().expect("cycle runs");
+            assert_eq!(report.extracted, 1);
+            black_box(report.persisted_ids)
+        });
+    });
+
+    // The same iteration with full span/metric recording enabled: the
+    // observability acceptance gate is <5% overhead over the disabled
+    // path above.
+    group.bench_function("full_iteration_instrumented", |b| {
+        b.iter(|| {
+            let mut cycle = build_cycle(17);
+            let recorder = Recorder::new(
+                Clock::Virtual(VirtualClock::new()),
+                std::sync::Arc::new(NullSink),
+            );
+            cycle.set_observability(Observability::new(recorder));
             let report = cycle.run_once().expect("cycle runs");
             assert_eq!(report.extracted, 1);
             black_box(report.persisted_ids)
@@ -63,7 +84,8 @@ fn bench_cycle(c: &mut Criterion) {
         )
         .expect("bench command parses");
         let mut generator = IorGenerator::new(world, JobLayout::new(4, 2), config, 19);
-        iokc_core::phases::Generator::generate(&mut generator).expect("artifacts")
+        let mut ctx = PhaseCtx::detached(PhaseKind::Generation, "bench");
+        iokc_core::phases::Generator::generate(&mut generator, &mut ctx).expect("artifacts")
     };
     group.bench_function("extract_and_persist_only", |b| {
         b.iter(|| {
@@ -71,7 +93,8 @@ fn bench_cycle(c: &mut Criterion) {
                 .iter()
                 .filter(|a| IorExtractor.accepts(a))
                 .collect();
-            let items = IorExtractor.extract(&refs).expect("extracts");
+            let mut ctx = PhaseCtx::detached(PhaseKind::Extraction, "bench");
+            let items = IorExtractor.extract(&mut ctx, &refs).expect("extracts");
             let mut store = KnowledgeStore::in_memory();
             let mut ids = Vec::new();
             for item in &items {

@@ -13,6 +13,7 @@ use crate::instrument::{darshan_from_phases, InstrumentOptions};
 use crate::io500::{run_io500, Io500Config};
 use crate::ior::{run_ior, IorConfig};
 use crate::mdtest::{run_mdtest, MdtestConfig};
+use iokc_core::ctx::PhaseCtx;
 use iokc_core::phases::{Artifact, ArtifactKind, CycleError, Generator, PhaseKind};
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::CrashSchedule;
@@ -80,17 +81,18 @@ impl Generator for IorGenerator {
         }
     }
 
-    fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+    fn generate(&mut self, ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError> {
         if self.crashes.tick() {
-            return Err(CycleError::transient(
-                PhaseKind::Generation,
-                "ior-generator",
-                format!("injected crash on attempt {}", self.crashes.calls() - 1),
-            ));
+            return Err(ctx.transient_error(format!(
+                "injected crash on attempt {}",
+                self.crashes.calls() - 1
+            )));
         }
         let run_tag = format!("ior-run-{}", self.runs);
         self.runs += 1;
-        let start_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let start = self.world.now();
+        let start_ns = start.nanos();
+        let start_unix = EPOCH + start_ns / 1_000_000_000;
         let result = run_ior(
             &mut self.world,
             self.layout,
@@ -98,7 +100,11 @@ impl Generator for IorGenerator {
             self.seed ^ self.runs,
         )
         .map_err(|e| CycleError::new(PhaseKind::Generation, "ior-generator", e))?;
-        let end_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let end_ns = self.world.now().nanos();
+        // Report the benchmark's simulated duration on the cycle's
+        // (virtual) timeline, so spans reflect what a real run costs.
+        ctx.advance_virtual_ns(self.world.elapsed_ns_since(start));
+        let end_unix = EPOCH + end_ns / 1_000_000_000;
         let system_name = self.world.system().cluster.name.clone();
 
         let mut artifacts = Vec::new();
@@ -198,12 +204,15 @@ impl Generator for Io500Generator {
         "io500-generator"
     }
 
-    fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+    fn generate(&mut self, ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError> {
         let run_tag = format!("io500-run-{}", self.runs);
         self.runs += 1;
-        let start_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let start = self.world.now();
+        let start_ns = start.nanos();
+        let start_unix = EPOCH + start_ns / 1_000_000_000;
         let result = run_io500(&mut self.world, self.layout, &self.config)
             .map_err(|e| CycleError::new(PhaseKind::Generation, "io500-generator", e))?;
+        ctx.advance_virtual_ns(self.world.elapsed_ns_since(start));
         let system_name = self.world.system().cluster.name.clone();
         let snapshot = ProcSnapshot::of(&self.world.system().cluster);
         let with_run_meta = |a: Artifact| {
@@ -267,13 +276,17 @@ impl Generator for MdtestGenerator {
         }
     }
 
-    fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+    fn generate(&mut self, ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError> {
         let run_tag = format!("mdtest-run-{}", self.runs);
         self.runs += 1;
-        let start_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let start = self.world.now();
+        let start_ns = start.nanos();
+        let start_unix = EPOCH + start_ns / 1_000_000_000;
         let result = run_mdtest(&mut self.world, self.layout, &self.config)
             .map_err(|e| CycleError::new(PhaseKind::Generation, "mdtest-generator", e))?;
-        let end_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let end_ns = self.world.now().nanos();
+        ctx.advance_virtual_ns(self.world.elapsed_ns_since(start));
+        let end_unix = EPOCH + end_ns / 1_000_000_000;
         let system_name = self.world.system().cluster.name.clone();
         Ok(vec![Artifact::text(
             ArtifactKind::MdtestOutput,
@@ -315,10 +328,12 @@ impl Generator for HaccGenerator {
         "hacc-generator"
     }
 
-    fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+    fn generate(&mut self, ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError> {
         let run_tag = format!("hacc-run-{}", self.runs);
         self.runs += 1;
-        let start_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let start = self.world.now();
+        let start_ns = start.nanos();
+        let start_unix = EPOCH + start_ns / 1_000_000_000;
         // Fresh file set per run: HACC-IO overwrites its checkpoint; the
         // simulated namespace keeps files, so unlink the previous set.
         if self.runs > 1 {
@@ -338,7 +353,9 @@ impl Generator for HaccGenerator {
         }
         let result = run_hacc(&mut self.world, self.layout, &self.config)
             .map_err(|e| CycleError::new(PhaseKind::Generation, "hacc-generator", e))?;
-        let end_unix = EPOCH + self.world.now().nanos() / 1_000_000_000;
+        let end_ns = self.world.now().nanos();
+        ctx.advance_virtual_ns(self.world.elapsed_ns_since(start));
+        let end_unix = EPOCH + end_ns / 1_000_000_000;
         let system_name = self.world.system().cluster.name.clone();
         Ok(vec![Artifact::text(
             ArtifactKind::HaccOutput,
@@ -372,6 +389,10 @@ mod tests {
     use iokc_sim::config::SystemConfig;
     use iokc_sim::faults::FaultPlan;
 
+    fn ctx() -> PhaseCtx {
+        PhaseCtx::detached(PhaseKind::Generation, "test")
+    }
+
     fn small_world(seed: u64) -> World {
         World::new(SystemConfig::test_small(), FaultPlan::none(), seed)
     }
@@ -383,7 +404,7 @@ mod tests {
                 .unwrap();
         let mut generator = IorGenerator::new(small_world(3), JobLayout::new(2, 2), config, 1);
         generator.with_darshan = true;
-        let artifacts = generator.generate().unwrap();
+        let artifacts = generator.generate(&mut ctx()).unwrap();
         let kinds: Vec<ArtifactKind> = artifacts.iter().map(|a| a.kind).collect();
         assert!(kinds.contains(&ArtifactKind::IorOutput));
         assert!(kinds.contains(&ArtifactKind::BeegfsEntryInfo));
@@ -398,7 +419,7 @@ mod tests {
         assert_eq!(ior.meta["run"], "ior-run-0");
         assert_eq!(ior.meta["tasks"], "2");
         // Second run advances the tag and time.
-        let again = generator.generate().unwrap();
+        let again = generator.generate(&mut ctx()).unwrap();
         assert_eq!(again[0].meta["run"], "ior-run-1");
         assert!(again[0].meta["start_time"] >= ior.meta["start_time"]);
     }
@@ -412,7 +433,7 @@ mod tests {
             IorConfig::parse_command("ior -a posix -b 512k -t 256k -s 1 -F -i 1 -o /scratch/lg -k")
                 .unwrap();
         let mut generator = IorGenerator::new(world, JobLayout::new(2, 2), config, 1);
-        let artifacts = generator.generate().unwrap();
+        let artifacts = generator.generate(&mut ctx()).unwrap();
         let kinds: Vec<ArtifactKind> = artifacts.iter().map(|a| a.kind).collect();
         assert!(kinds.contains(&ArtifactKind::LustreStripeInfo));
         assert!(!kinds.contains(&ArtifactKind::BeegfsEntryInfo));
@@ -432,7 +453,7 @@ mod tests {
         assert!(generator.reconfigure("ior -a posix -b 2m -t 256k -s 1 -i 1 -o /scratch/r -F -k"));
         assert!(generator.command().contains("-b 2m"));
         assert!(!generator.reconfigure("mdtest -n 100"));
-        let artifacts = generator.generate().unwrap();
+        let artifacts = generator.generate(&mut ctx()).unwrap();
         assert!(artifacts[0].meta["command"].contains("-b 2m"));
     }
 
@@ -440,13 +461,13 @@ mod tests {
     fn mdtest_generator_reconfigures_and_emits() {
         let config = MdtestConfig::parse_command("mdtest -n 8 -d /scratch -u").unwrap();
         let mut generator = MdtestGenerator::new(small_world(7), JobLayout::new(2, 2), config);
-        let artifacts = generator.generate().unwrap();
+        let artifacts = generator.generate(&mut ctx()).unwrap();
         assert_eq!(artifacts.len(), 1);
         assert_eq!(artifacts[0].kind, ArtifactKind::MdtestOutput);
         assert!(artifacts[0].as_text().unwrap().contains("SUMMARY rate:"));
         assert!(generator.reconfigure("mdtest -n 4 -d /scratch -w 128"));
         assert!(!generator.reconfigure("ior -b 4m"));
-        let again = generator.generate().unwrap();
+        let again = generator.generate(&mut ctx()).unwrap();
         assert!(again[0].meta["command"].contains("-w 128"));
     }
 
@@ -461,13 +482,13 @@ mod tests {
             "/scratch/haccgen",
         );
         let mut generator = HaccGenerator::new(small_world(8), JobLayout::new(2, 2), config);
-        let first = generator.generate().unwrap();
+        let first = generator.generate(&mut ctx()).unwrap();
         assert!(first[0]
             .as_text()
             .unwrap()
             .contains("Aggregate Checkpoint Performance"));
         // Second run must clean up the previous checkpoint files first.
-        let second = generator.generate().unwrap();
+        let second = generator.generate(&mut ctx()).unwrap();
         assert_eq!(second[0].meta["run"], "hacc-run-1");
     }
 
@@ -478,7 +499,7 @@ mod tests {
             JobLayout::new(2, 2),
             Io500Config::small("/scratch/gen500"),
         );
-        let artifacts = generator.generate().unwrap();
+        let artifacts = generator.generate(&mut ctx()).unwrap();
         let output = artifacts
             .iter()
             .find(|a| a.kind == ArtifactKind::Io500Output)

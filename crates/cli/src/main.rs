@@ -34,13 +34,15 @@ use iokc_benchmarks::{
     run_ior, HaccConfig, HaccGenerator, Io500Config, Io500Generator, IorConfig, IorGenerator,
     MdtestConfig, MdtestGenerator,
 };
+use iokc_core::cycle::ModuleBox;
 use iokc_core::model::KnowledgeItem;
-use iokc_core::phases::{Analyzer, CycleError, ErrorClass};
+use iokc_core::phases::{Analyzer, CycleError, ErrorClass, Finding, PhaseKind};
 use iokc_core::resilience::{ResilienceConfig, RetryPolicy};
-use iokc_core::KnowledgeCycle;
+use iokc_core::{KnowledgeCycle, Observability, PhaseCtx};
 use iokc_extract::{
     DarshanExtractor, HaccExtractor, Io500Extractor, IorExtractor, MdtestExtractor,
 };
+use iokc_obs::{trace as obs_trace, Clock, Event, NullSink, Recorder, VirtualClock};
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::FaultPlan;
 use iokc_sim::prelude::SystemConfig;
@@ -142,6 +144,7 @@ fn cycle_err(e: CycleError) -> CliError {
     let kind = match e.class {
         ErrorClass::Transient => CliErrorKind::Transient,
         ErrorClass::Permanent => CliErrorKind::Permanent,
+        ErrorClass::Corrupt => CliErrorKind::Corrupt,
     };
     CliError {
         kind,
@@ -177,6 +180,8 @@ struct Options {
     axis: String,
     filter_api: Option<String>,
     filter_contains: Option<String>,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
     positional: Vec<String>,
 }
 
@@ -209,6 +214,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         axis: "transfer".to_owned(),
         filter_api: None,
         filter_contains: None,
+        metrics_out: None,
+        trace_out: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -278,6 +285,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--metric" => opts.metric = value(&mut i, "--metric")?,
             "--axis" => opts.axis = value(&mut i, "--axis")?,
             "--api" => opts.filter_api = Some(value(&mut i, "--api")?),
+            "--metrics" => opts.metrics_out = Some(PathBuf::from(value(&mut i, "--metrics")?)),
+            "--trace" => opts.trace_out = Some(PathBuf::from(value(&mut i, "--trace")?)),
             "--contains" => opts.filter_contains = Some(value(&mut i, "--contains")?),
             other => opts.positional.push(other.to_owned()),
         }
@@ -313,6 +322,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "import" => cmd_import(&opts),
         "jube" => cmd_jube(&opts),
         "sweep" => cmd_sweep(&opts),
+        "trace" => cmd_trace(&opts),
         "stack" => {
             print_stack();
             Ok(())
@@ -352,12 +362,15 @@ fn print_help() {
          \x20                       quarantine (--campaign <dir>, --max-parallel <n>,\n\
          \x20                       --wp-deadline <ms>, --quarantine <n>)\n\
          \x20 sweep --resume <dir>  resume a killed campaign from its journal\n\
+         \x20 trace <journal>       span tree + per-phase latency from a --trace journal\n\
          \x20 stack                 print the simulated parallel I/O stack (Fig. 1)\n\n\
          OPTIONS: --db <path> --tasks <n> --ppn <n> --seed <n> --iterations <n>\n\
          \x20        --retries <n> --phase-deadline <ms>   (resilience: retry transient\n\
          \x20        phase failures with seeded backoff; budget per phase)\n\
          \x20        --metric <operation> --axis <transfer|block|tasks|segments>\n\
-         \x20        --api <API> --contains <text>   (comparison filters)\n\n\
+         \x20        --api <API> --contains <text>   (comparison filters)\n\
+         \x20        --metrics <path>   dump the run's metrics registry as JSON\n\
+         \x20        --trace <path>     stream span/log events to a checksummed journal\n\n\
          EXIT CODES: 0 ok, 1 error, 2 usage, 3 transient phase failure,\n\
          \x20        4 permanent phase failure, 5 corrupt knowledge base"
     );
@@ -365,6 +378,102 @@ fn print_help() {
 
 fn open_store(opts: &Options) -> Result<KnowledgeStore, CliError> {
     KnowledgeStore::open(opts.db.clone()).map_err(store_err)
+}
+
+/// Run the three store-level anomaly detectors under a detached context
+/// (these invocations happen outside a running cycle).
+fn run_detectors(items: &[KnowledgeItem]) -> Result<Vec<Finding>, CliError> {
+    let mut ctx = PhaseCtx::detached(PhaseKind::Analysis, "iokc-detect");
+    let mut findings = Vec::new();
+    findings.extend(
+        IterationVarianceDetector::default()
+            .analyze(&mut ctx, items)
+            .map_err(cycle_err)?,
+    );
+    findings.extend(
+        BoundingBoxDetector::default()
+            .analyze(&mut ctx, items)
+            .map_err(cycle_err)?,
+    );
+    findings.extend(
+        TrendDetector::default()
+            .analyze(&mut ctx, items)
+            .map_err(cycle_err)?,
+    );
+    Ok(findings)
+}
+
+/// Observability for cycle-driving commands: the recorder runs on a
+/// virtual clock (phase/module spans report *simulated* time, which is
+/// what the backend actually models), and `--trace <path>` streams every
+/// event into a checksummed journal that `iokc trace` can replay.
+fn setup_observability(opts: &Options) -> Result<Observability, CliError> {
+    let clock = Clock::Virtual(VirtualClock::new());
+    let recorder = match &opts.trace_out {
+        Some(path) => {
+            let sink = iokc_store::JournalEventSink::open(path)
+                .map_err(|e| format!("open {}: {e}", path.display()))?;
+            Recorder::new(clock, std::sync::Arc::new(sink))
+        }
+        None => Recorder::new(clock, std::sync::Arc::new(NullSink)),
+    };
+    Ok(Observability::new(recorder))
+}
+
+/// After a cycle command (even a failed one): dump `--metrics` as stable
+/// JSON and point at the `--trace` journal.
+fn finish_observability(opts: &Options, obs: &Observability) -> Result<(), CliError> {
+    if let Some(path) = &opts.metrics_out {
+        let json = obs.metrics().to_json().to_pretty();
+        std::fs::write(path, json + "\n").map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote metrics to {}", path.display());
+    }
+    if let Some(path) = &opts.trace_out {
+        println!(
+            "wrote event journal to {} (inspect with `iokc trace {}`)",
+            path.display(),
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+/// `iokc trace <journal>` — rebuild the span tree from an event journal
+/// and print it with a per-phase latency table.
+fn cmd_trace(opts: &Options) -> Result<(), CliError> {
+    let path = opts
+        .positional
+        .first()
+        .ok_or_else(|| CliError::usage("trace needs an event journal path"))?;
+    let report = iokc_store::read_journal(std::path::Path::new(path))
+        .map_err(|e| format!("read {path}: {e}"))?;
+    let mut events: Vec<Event> = Vec::new();
+    let mut skipped = 0usize;
+    for record in &report.records {
+        match Event::parse_record(record) {
+            Some(event) => events.push(event),
+            None => skipped += 1,
+        }
+    }
+    if events.is_empty() {
+        println!("no events in {path}");
+        return Ok(());
+    }
+    let tree = obs_trace::build_span_tree(&events);
+    print!("{}", obs_trace::render_tree(&tree));
+    let rows = obs_trace::phase_latency(&tree);
+    if !rows.is_empty() {
+        println!("\n{}", obs_trace::render_latency_table(&rows));
+    }
+    if skipped > 0 {
+        println!("note: skipped {skipped} record(s) of unknown kind (written by a newer iokc?)");
+    }
+    if report.torn_tail {
+        println!(
+            "note: the journal had a torn tail (crash mid-append); the valid prefix was shown"
+        );
+    }
+    Ok(())
 }
 
 fn fuchs_world(seed: u64) -> World {
@@ -405,13 +514,16 @@ fn cmd_run(opts: &Options) -> Result<(), CliError> {
 
     let mut cycle = KnowledgeCycle::new();
     cycle.set_resilience(opts.resilience());
+    cycle.set_observability(setup_observability(opts)?);
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(IorExtractor))
-        .add_extractor(Box::new(DarshanExtractor))
-        .add_persister(Box::new(open_store(opts)?))
-        .add_analyzer(Box::new(IterationVarianceDetector::default()));
-    let report = cycle.run_once().map_err(cycle_err)?;
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::extractor(DarshanExtractor))
+        .register(ModuleBox::persister(open_store(opts)?))
+        .register(ModuleBox::analyzer(IterationVarianceDetector::default()));
+    let result = cycle.run_once();
+    finish_observability(opts, cycle.observability())?;
+    let report = result.map_err(cycle_err)?;
     println!(
         "generated {} artifacts, extracted {} knowledge objects, persisted ids {:?}",
         report.artifacts, report.extracted, report.persisted_ids
@@ -435,12 +547,15 @@ fn cmd_io500(opts: &Options) -> Result<(), CliError> {
     let generator = Io500Generator::new(world, layout, Io500Config::standard("/scratch/io500"));
     let mut cycle = KnowledgeCycle::new();
     cycle.set_resilience(opts.resilience());
+    cycle.set_observability(setup_observability(opts)?);
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(Io500Extractor))
-        .add_persister(Box::new(open_store(opts)?))
-        .add_analyzer(Box::new(BoundingBoxDetector::default()));
-    let report = cycle.run_once().map_err(cycle_err)?;
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(Io500Extractor))
+        .register(ModuleBox::persister(open_store(opts)?))
+        .register(ModuleBox::analyzer(BoundingBoxDetector::default()));
+    let result = cycle.run_once();
+    finish_observability(opts, cycle.observability())?;
+    let report = result.map_err(cycle_err)?;
     println!("io500 complete: persisted ids {:?}", report.persisted_ids);
     for finding in &report.findings {
         println!("[{}] {}", finding.tag, finding.message);
@@ -467,11 +582,14 @@ fn cmd_mdtest(opts: &Options) -> Result<(), CliError> {
     let generator = MdtestGenerator::new(world, layout, config);
     let mut cycle = KnowledgeCycle::new();
     cycle.set_resilience(opts.resilience());
+    cycle.set_observability(setup_observability(opts)?);
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(MdtestExtractor))
-        .add_persister(Box::new(open_store(opts)?));
-    let report = cycle.run_once().map_err(cycle_err)?;
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(MdtestExtractor))
+        .register(ModuleBox::persister(open_store(opts)?));
+    let result = cycle.run_once();
+    finish_observability(opts, cycle.observability())?;
+    let report = result.map_err(cycle_err)?;
     println!("mdtest complete: persisted ids {:?}", report.persisted_ids);
     let store = open_store(opts)?;
     if let Some(id) = report.persisted_ids.first() {
@@ -502,11 +620,14 @@ fn cmd_hacc(opts: &Options) -> Result<(), CliError> {
     let generator = HaccGenerator::new(world, layout, config);
     let mut cycle = KnowledgeCycle::new();
     cycle.set_resilience(opts.resilience());
+    cycle.set_observability(setup_observability(opts)?);
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(HaccExtractor))
-        .add_persister(Box::new(open_store(opts)?));
-    let report = cycle.run_once().map_err(cycle_err)?;
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(HaccExtractor))
+        .register(ModuleBox::persister(open_store(opts)?));
+    let result = cycle.run_once();
+    finish_observability(opts, cycle.observability())?;
+    let report = result.map_err(cycle_err)?;
     println!("hacc-io complete: persisted ids {:?}", report.persisted_ids);
     let store = open_store(opts)?;
     if let Some(id) = report.persisted_ids.first() {
@@ -618,22 +739,7 @@ fn cmd_compare(opts: &Options) -> Result<(), CliError> {
 fn cmd_detect(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
     let items = store.load_all_items().map_err(store_err)?;
-    let mut findings = Vec::new();
-    findings.extend(
-        IterationVarianceDetector::default()
-            .analyze(&items)
-            .map_err(cycle_err)?,
-    );
-    findings.extend(
-        BoundingBoxDetector::default()
-            .analyze(&items)
-            .map_err(cycle_err)?,
-    );
-    findings.extend(
-        TrendDetector::default()
-            .analyze(&items)
-            .map_err(cycle_err)?,
-    );
+    let findings = run_detectors(&items)?;
     if findings.is_empty() {
         println!(
             "no anomalies detected across {} knowledge objects",
@@ -702,13 +808,16 @@ fn cmd_cycle(opts: &Options) -> Result<(), CliError> {
     let generator = IorGenerator::new(world, layout, config, opts.seed);
     let mut cycle = KnowledgeCycle::new();
     cycle.set_resilience(opts.resilience());
+    cycle.set_observability(setup_observability(opts)?);
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(IorExtractor))
-        .add_persister(Box::new(open_store(opts)?))
-        .add_analyzer(Box::new(IterationVarianceDetector::default()))
-        .add_usage(Box::new(RegenerateUsage::default()));
-    let reports = cycle.run_iterative(opts.iterations).map_err(cycle_err)?;
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::persister(open_store(opts)?))
+        .register(ModuleBox::analyzer(IterationVarianceDetector::default()))
+        .register(ModuleBox::usage(RegenerateUsage::default()));
+    let result = cycle.run_iterative(opts.iterations);
+    finish_observability(opts, cycle.observability())?;
+    let reports = result.map_err(cycle_err)?;
     println!("cycle ran {} iteration(s)", reports.len());
     for (i, report) in reports.iter().enumerate() {
         println!(
@@ -725,22 +834,7 @@ fn cmd_cycle(opts: &Options) -> Result<(), CliError> {
 fn cmd_report(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
     let items = store.load_all_items().map_err(store_err)?;
-    let mut findings = Vec::new();
-    findings.extend(
-        IterationVarianceDetector::default()
-            .analyze(&items)
-            .map_err(cycle_err)?,
-    );
-    findings.extend(
-        BoundingBoxDetector::default()
-            .analyze(&items)
-            .map_err(cycle_err)?,
-    );
-    findings.extend(
-        TrendDetector::default()
-            .analyze(&items)
-            .map_err(cycle_err)?,
-    );
+    let findings = run_detectors(&items)?;
     let html = iokc_analysis::render_html(&items, &findings);
     let path = opts
         .positional
@@ -932,17 +1026,20 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
             .map_err(|e| format!("write {}: {e}", config_copy.display()))?;
     }
 
+    let obs = setup_observability(opts)?;
     let options = iokc_jube::CampaignOptions {
         max_parallel: opts.max_parallel,
         wp_deadline_ms: opts.wp_deadline_ms,
         retry: RetryPolicy::with_retries(opts.retries).seeded(opts.seed),
         quarantine_threshold: opts.quarantine,
         abort: None,
+        recorder: Some(std::sync::Arc::clone(obs.recorder())),
     };
     let hooks =
         iokc_benchmarks::SimCampaignRunner::new(opts.seed, opts.tasks, opts.ppn.min(opts.tasks));
-    let report = iokc_jube::run_campaign(&config, &dir, &options, || hooks.runner())
-        .map_err(campaign_err)?;
+    let result = iokc_jube::run_campaign(&config, &dir, &options, || hooks.runner());
+    finish_observability(opts, &obs)?;
+    let report = result.map_err(campaign_err)?;
 
     println!(
         "campaign `{}` in {}: {}",

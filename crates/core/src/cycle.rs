@@ -4,7 +4,8 @@
 //! workflow of Fig. 2: generate → extract → persist → analyze → use, then
 //! either terminate or feed the usage phase's new benchmark commands back
 //! into generation. The registry realises the modular architecture of
-//! Fig. 4 — modules are added independently, can be listed, and a missing
+//! Fig. 4 — modules are added independently through one
+//! [`KnowledgeCycle::register`] entry point, can be listed, and a missing
 //! phase simply short-circuits (e.g. a cycle without analyzers still
 //! persists knowledge).
 //!
@@ -15,7 +16,14 @@
 //! produces, the primary persister refusing writes) end the iteration
 //! with an error. The report records attempts, degradations and
 //! quarantines so nothing fails silently.
+//!
+//! Every run is instrumented through the cycle's [`Observability`]: one
+//! span per cycle, per phase, and per module invocation, stamped from the
+//! recorder's (wall or virtual) clock, plus counters and latency
+//! histograms in its metrics registry. The default observability drops
+//! events and times on the wall clock — cheap enough to be always-on.
 
+use crate::ctx::{Observability, PhaseCtx};
 use crate::model::KnowledgeItem;
 use crate::phases::{
     Analyzer, Artifact, CycleError, Extractor, Finding, Generator, Persister, PhaseKind,
@@ -24,6 +32,8 @@ use crate::phases::{
 use crate::resilience::{
     retryable, AttemptOutcome, AttemptRecord, QuarantineBook, ResilienceConfig,
 };
+use iokc_obs::{CancelToken, Recorder, SpanId, SpanStatus};
+use std::sync::Arc;
 
 /// What happened in one iteration of the cycle.
 #[derive(Debug, Default)]
@@ -44,21 +54,90 @@ pub struct CycleReport {
     /// Retry record per module invocation (attempt counts, virtual
     /// backoff, final outcome).
     pub attempts: Vec<AttemptRecord>,
-    /// Human-readable notes about non-critical failures the cycle
-    /// continued past.
-    pub degradations: Vec<String>,
+    /// Non-critical failures the cycle continued past, attributed to the
+    /// phase they occurred in.
+    pub degradations: Vec<(PhaseKind, String)>,
     /// Modules skipped this iteration because they are quarantined.
     pub quarantined: Vec<(PhaseKind, String)>,
 }
 
 impl CycleReport {
     /// Serialize the report as JSON — the reproducibility trace of one
-    /// cycle iteration (which modules ran in which phase, what they
-    /// produced, what usage scheduled next).
+    /// cycle iteration.
+    ///
+    /// The document is versioned: `"schema": 1`. Schema 1 nests
+    /// everything resilience-related under its phase — each entry of
+    /// `"phases"` carries the modules that ran, their attempt records,
+    /// the degradations and the quarantine skips for that phase — so
+    /// consumers (`iokc trace`, external dashboards) can rely on stable
+    /// field names. The full layout is documented in DESIGN.md.
     #[must_use]
     pub fn to_json(&self) -> iokc_util::json::Json {
         use iokc_util::json::Json;
+        let phases = PhaseKind::ALL
+            .iter()
+            .map(|&phase| {
+                Json::obj(vec![
+                    ("phase", Json::from(phase.as_str())),
+                    (
+                        "modules",
+                        Json::Arr(
+                            self.trace
+                                .iter()
+                                .filter(|(p, _)| *p == phase)
+                                .map(|(_, m)| Json::from(m.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "attempts",
+                        Json::Arr(
+                            self.attempts
+                                .iter()
+                                .filter(|a| a.phase == phase)
+                                .map(|a| {
+                                    Json::obj(vec![
+                                        ("module", Json::from(a.module.as_str())),
+                                        ("attempts", Json::from(u64::from(a.attempts))),
+                                        ("backoff_ms", Json::from(a.backoff_ms)),
+                                        ("outcome", Json::from(a.outcome.as_str())),
+                                        (
+                                            "last_error",
+                                            a.last_error
+                                                .as_deref()
+                                                .map(Json::from)
+                                                .unwrap_or(Json::Null),
+                                        ),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "degradations",
+                        Json::Arr(
+                            self.degradations
+                                .iter()
+                                .filter(|(p, _)| *p == phase)
+                                .map(|(_, d)| Json::from(d.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "quarantined",
+                        Json::Arr(
+                            self.quarantined
+                                .iter()
+                                .filter(|(p, _)| *p == phase)
+                                .map(|(_, m)| Json::from(m.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
         Json::obj(vec![
+            ("schema", Json::from(1u64)),
             ("artifacts", Json::from(self.artifacts)),
             ("extracted", Json::from(self.extracted)),
             (
@@ -110,69 +189,19 @@ impl CycleReport {
                                 .collect(),
                         ),
                     ),
+                    (
+                        "notes",
+                        Json::Arr(
+                            self.usage
+                                .notes
+                                .iter()
+                                .map(|c| Json::from(c.as_str()))
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
-            (
-                "trace",
-                Json::Arr(
-                    self.trace
-                        .iter()
-                        .map(|(phase, module)| {
-                            Json::obj(vec![
-                                ("phase", Json::from(phase.as_str())),
-                                ("module", Json::from(module.as_str())),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "attempts",
-                Json::Arr(
-                    self.attempts
-                        .iter()
-                        .map(|a| {
-                            Json::obj(vec![
-                                ("phase", Json::from(a.phase.as_str())),
-                                ("module", Json::from(a.module.as_str())),
-                                ("attempts", Json::from(u64::from(a.attempts))),
-                                ("backoff_ms", Json::from(a.backoff_ms)),
-                                ("outcome", Json::from(a.outcome.as_str())),
-                                (
-                                    "last_error",
-                                    a.last_error
-                                        .as_deref()
-                                        .map(Json::from)
-                                        .unwrap_or(Json::Null),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
-            (
-                "degradations",
-                Json::Arr(
-                    self.degradations
-                        .iter()
-                        .map(|d| Json::from(d.as_str()))
-                        .collect(),
-                ),
-            ),
-            (
-                "quarantined",
-                Json::Arr(
-                    self.quarantined
-                        .iter()
-                        .map(|(phase, module)| {
-                            Json::obj(vec![
-                                ("phase", Json::from(phase.as_str())),
-                                ("module", Json::from(module.as_str())),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
+            ("phases", Json::Arr(phases)),
         ])
     }
 
@@ -183,16 +212,105 @@ impl CycleReport {
     }
 }
 
+/// One registered phase module: the five trait objects under a single
+/// registration type, so [`KnowledgeCycle::register`] and
+/// [`KnowledgeCycle::registry`] share one path.
+pub enum ModuleBox {
+    /// A generation module.
+    Generator(Box<dyn Generator>),
+    /// An extraction module.
+    Extractor(Box<dyn Extractor>),
+    /// A persistence module.
+    Persister(Box<dyn Persister>),
+    /// An analysis module.
+    Analyzer(Box<dyn Analyzer>),
+    /// A usage module.
+    Usage(Box<dyn UsageModule>),
+}
+
+impl ModuleBox {
+    /// Wrap a generation module.
+    #[must_use]
+    pub fn generator(module: impl Generator + 'static) -> ModuleBox {
+        ModuleBox::Generator(Box::new(module))
+    }
+
+    /// Wrap an extraction module.
+    #[must_use]
+    pub fn extractor(module: impl Extractor + 'static) -> ModuleBox {
+        ModuleBox::Extractor(Box::new(module))
+    }
+
+    /// Wrap a persistence module.
+    #[must_use]
+    pub fn persister(module: impl Persister + 'static) -> ModuleBox {
+        ModuleBox::Persister(Box::new(module))
+    }
+
+    /// Wrap an analysis module.
+    #[must_use]
+    pub fn analyzer(module: impl Analyzer + 'static) -> ModuleBox {
+        ModuleBox::Analyzer(Box::new(module))
+    }
+
+    /// Wrap a usage module.
+    #[must_use]
+    pub fn usage(module: impl UsageModule + 'static) -> ModuleBox {
+        ModuleBox::Usage(Box::new(module))
+    }
+
+    /// The module's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            ModuleBox::Generator(m) => m.name(),
+            ModuleBox::Extractor(m) => m.name(),
+            ModuleBox::Persister(m) => m.name(),
+            ModuleBox::Analyzer(m) => m.name(),
+            ModuleBox::Usage(m) => m.name(),
+        }
+    }
+
+    /// The phase the module belongs to.
+    #[must_use]
+    pub fn phase(&self) -> PhaseKind {
+        match self {
+            ModuleBox::Generator(_) => PhaseKind::Generation,
+            ModuleBox::Extractor(_) => PhaseKind::Extraction,
+            ModuleBox::Persister(_) => PhaseKind::Persistence,
+            ModuleBox::Analyzer(_) => PhaseKind::Analysis,
+            ModuleBox::Usage(_) => PhaseKind::Usage,
+        }
+    }
+}
+
+impl std::fmt::Debug for ModuleBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ModuleBox::{:?}({})", self.phase(), self.name())
+    }
+}
+
+/// Anything [`KnowledgeCycle::register`] accepts. Implemented by
+/// [`ModuleBox`]; build one with the `ModuleBox::generator(…)` family of
+/// constructors.
+pub trait PhaseModule {
+    /// Convert into the registration representation.
+    fn into_module(self) -> ModuleBox;
+}
+
+impl PhaseModule for ModuleBox {
+    fn into_module(self) -> ModuleBox {
+        self
+    }
+}
+
 /// The knowledge cycle engine.
 #[derive(Default)]
 pub struct KnowledgeCycle {
-    generators: Vec<Box<dyn Generator>>,
-    extractors: Vec<Box<dyn Extractor>>,
-    persisters: Vec<Box<dyn Persister>>,
-    analyzers: Vec<Box<dyn Analyzer>>,
-    usage_modules: Vec<Box<dyn UsageModule>>,
+    modules: Vec<ModuleBox>,
     resilience: ResilienceConfig,
     quarantine: QuarantineBook,
+    obs: Observability,
 }
 
 impl KnowledgeCycle {
@@ -216,6 +334,20 @@ impl KnowledgeCycle {
         &self.resilience
     }
 
+    /// Replace the observability wiring (recorder clock, event sink,
+    /// metrics registry, cancel token). The default drops events and
+    /// times on the wall clock.
+    pub fn set_observability(&mut self, obs: Observability) -> &mut Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The cycle's observability handle.
+    #[must_use]
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
     /// The quarantine ledger (state persists across iterations).
     #[must_use]
     pub fn quarantine(&self) -> &QuarantineBook {
@@ -227,76 +359,83 @@ impl KnowledgeCycle {
         self.quarantine.release(phase, module);
     }
 
-    /// Register a generation module.
-    pub fn add_generator(&mut self, module: Box<dyn Generator>) -> &mut Self {
-        self.generators.push(module);
+    /// Register a phase module. This is the single registration entry
+    /// point for all five phases:
+    ///
+    /// ```
+    /// # use iokc_core::cycle::{KnowledgeCycle, ModuleBox};
+    /// # use iokc_core::ctx::PhaseCtx;
+    /// # use iokc_core::phases::*;
+    /// # struct Gen;
+    /// # impl Generator for Gen {
+    /// #     fn name(&self) -> &str { "g" }
+    /// #     fn generate(&mut self, _ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError> {
+    /// #         Ok(vec![])
+    /// #     }
+    /// # }
+    /// let mut cycle = KnowledgeCycle::new();
+    /// cycle.register(ModuleBox::generator(Gen));
+    /// ```
+    ///
+    /// Modules run in registration order within their phase. The first
+    /// registered persister is the *primary* one: analysis reads the
+    /// accumulated knowledge from it, and its ids are reported. Additional
+    /// persisters (e.g. a public/remote database next to the local one,
+    /// Fig. 4) receive the same writes.
+    pub fn register<M: PhaseModule>(&mut self, module: M) -> &mut Self {
+        self.modules.push(module.into_module());
         self
+    }
+
+    /// Register a generation module.
+    #[deprecated(since = "0.1.0", note = "use register(ModuleBox::generator(…))")]
+    pub fn add_generator(&mut self, module: Box<dyn Generator>) -> &mut Self {
+        self.register(ModuleBox::Generator(module))
     }
 
     /// Register an extraction module.
+    #[deprecated(since = "0.1.0", note = "use register(ModuleBox::extractor(…))")]
     pub fn add_extractor(&mut self, module: Box<dyn Extractor>) -> &mut Self {
-        self.extractors.push(module);
-        self
+        self.register(ModuleBox::Extractor(module))
     }
 
-    /// Register a persistence module. The first registered persister is
-    /// the *primary* one: analysis reads the accumulated knowledge from
-    /// it. Additional persisters (e.g. a public/remote database next to
-    /// the local one, Fig. 4) receive the same writes.
+    /// Register a persistence module.
+    #[deprecated(since = "0.1.0", note = "use register(ModuleBox::persister(…))")]
     pub fn add_persister(&mut self, module: Box<dyn Persister>) -> &mut Self {
-        self.persisters.push(module);
-        self
+        self.register(ModuleBox::Persister(module))
     }
 
     /// Register an analysis module.
+    #[deprecated(since = "0.1.0", note = "use register(ModuleBox::analyzer(…))")]
     pub fn add_analyzer(&mut self, module: Box<dyn Analyzer>) -> &mut Self {
-        self.analyzers.push(module);
-        self
+        self.register(ModuleBox::Analyzer(module))
     }
 
     /// Register a usage module.
+    #[deprecated(since = "0.1.0", note = "use register(ModuleBox::usage(…))")]
     pub fn add_usage(&mut self, module: Box<dyn UsageModule>) -> &mut Self {
-        self.usage_modules.push(module);
-        self
+        self.register(ModuleBox::Usage(module))
     }
 
-    /// Names of registered modules per phase (the registry view).
+    /// Names of registered modules per phase (the registry view). Every
+    /// phase appears, in cycle order, with its modules in registration
+    /// order — derived from the same single module list that execution
+    /// walks.
     #[must_use]
     pub fn registry(&self) -> Vec<(PhaseKind, Vec<String>)> {
-        vec![
-            (
-                PhaseKind::Generation,
-                self.generators
-                    .iter()
-                    .map(|m| m.name().to_owned())
-                    .collect(),
-            ),
-            (
-                PhaseKind::Extraction,
-                self.extractors
-                    .iter()
-                    .map(|m| m.name().to_owned())
-                    .collect(),
-            ),
-            (
-                PhaseKind::Persistence,
-                self.persisters
-                    .iter()
-                    .map(|m| m.name().to_owned())
-                    .collect(),
-            ),
-            (
-                PhaseKind::Analysis,
-                self.analyzers.iter().map(|m| m.name().to_owned()).collect(),
-            ),
-            (
-                PhaseKind::Usage,
-                self.usage_modules
-                    .iter()
-                    .map(|m| m.name().to_owned())
-                    .collect(),
-            ),
-        ]
+        PhaseKind::ALL
+            .iter()
+            .map(|&phase| {
+                (
+                    phase,
+                    self.modules
+                        .iter()
+                        .filter(|m| m.phase() == phase)
+                        .map(|m| m.name().to_owned())
+                        .collect(),
+                )
+            })
+            .collect()
     }
 
     /// Run one full iteration of the cycle.
@@ -309,130 +448,242 @@ impl KnowledgeCycle {
     /// modules are skipped with a recorded finding. Only critical
     /// failures — a generator that never produced artifacts, or the
     /// *primary* persister refusing writes — return an error.
+    ///
+    /// The run emits one `cycle` span with a child span per phase and a
+    /// grandchild span per module invocation, and observes per-phase and
+    /// per-module latency histograms (`iokc.phase.<phase>.ms`,
+    /// `iokc.module.<phase>.<module>.ms`).
     pub fn run_once(&mut self) -> Result<CycleReport, CycleError> {
+        let recorder = Arc::clone(self.obs.recorder());
+        let cancel = self.obs.cancel_token().clone();
         let mut report = CycleReport::default();
+        let cycle_span = recorder.start_span("cycle", None, None, None);
+        let result = self.run_phases(&recorder, &cancel, cycle_span.id, &mut report);
+        let status = match &result {
+            Ok(()) => SpanStatus::Ok,
+            Err(_) if cancel.is_cancelled() => SpanStatus::Cancelled,
+            Err(_) => SpanStatus::Failed,
+        };
+        let dur = recorder.end_span(&cycle_span, status);
+        recorder.observe("iokc.cycle.ms", ns_to_ms(dur));
+        recorder.counter("iokc.cycle.runs").inc();
+        result.map(|()| report)
+    }
 
+    /// The five phases of one iteration, each under its own span.
+    fn run_phases(
+        &mut self,
+        recorder: &Arc<Recorder>,
+        cancel: &CancelToken,
+        cycle_span: SpanId,
+        report: &mut CycleReport,
+    ) -> Result<(), CycleError> {
         // Phase I: Generation. A failed generator degrades (its artifacts
         // are simply absent this iteration) unless it is critical: with a
         // single registered generator, losing it means the iteration can
         // produce nothing at all.
-        let critical_generation = self.generators.len() == 1;
-        let mut artifacts: Vec<Artifact> = Vec::new();
-        for generator in &mut self.generators {
-            let name = generator.name().to_owned();
-            let produced = invoke_module(
-                &self.resilience,
-                &mut self.quarantine,
-                &mut report,
-                PhaseKind::Generation,
-                &name,
-                critical_generation,
-                false,
-                || generator.generate(),
-            )?;
-            artifacts.extend(produced.into_iter().flatten());
-        }
+        let critical_generation = self
+            .modules
+            .iter()
+            .filter(|m| m.phase() == PhaseKind::Generation)
+            .count()
+            == 1;
+        let artifacts: Vec<Artifact> =
+            with_phase_span(recorder, cycle_span, PhaseKind::Generation, |span| {
+                check_cancel(cancel, PhaseKind::Generation)?;
+                let mut artifacts = Vec::new();
+                for module in &mut self.modules {
+                    let ModuleBox::Generator(generator) = module else {
+                        continue;
+                    };
+                    let name = generator.name().to_owned();
+                    let produced = invoke_module(
+                        recorder,
+                        cancel,
+                        span,
+                        &self.resilience,
+                        &mut self.quarantine,
+                        report,
+                        PhaseKind::Generation,
+                        &name,
+                        critical_generation,
+                        false,
+                        |ctx| generator.generate(ctx),
+                    )?;
+                    artifacts.extend(produced.into_iter().flatten());
+                }
+                Ok(artifacts)
+            })?;
         report.artifacts = artifacts.len();
+        recorder
+            .counter("iokc.cycle.artifacts")
+            .add(artifacts.len() as u64);
 
         // Phase II: Extraction. Every extractor sees the artifacts it
         // accepts; an artifact may feed several extractors. A failed
         // extractor degrades — the other extractors' knowledge survives.
-        let mut items: Vec<KnowledgeItem> = Vec::new();
-        for extractor in &self.extractors {
-            let accepted: Vec<&Artifact> =
-                artifacts.iter().filter(|a| extractor.accepts(a)).collect();
-            if accepted.is_empty() {
-                continue;
-            }
-            let name = extractor.name().to_owned();
-            let extracted = invoke_module(
-                &self.resilience,
-                &mut self.quarantine,
-                &mut report,
-                PhaseKind::Extraction,
-                &name,
-                false,
-                false,
-                || extractor.extract(&accepted),
-            )?;
-            items.extend(extracted.into_iter().flatten());
-        }
+        let items: Vec<KnowledgeItem> =
+            with_phase_span(recorder, cycle_span, PhaseKind::Extraction, |span| {
+                check_cancel(cancel, PhaseKind::Extraction)?;
+                let mut items = Vec::new();
+                for module in &self.modules {
+                    let ModuleBox::Extractor(extractor) = module else {
+                        continue;
+                    };
+                    let accepted: Vec<&Artifact> =
+                        artifacts.iter().filter(|a| extractor.accepts(a)).collect();
+                    if accepted.is_empty() {
+                        continue;
+                    }
+                    let name = extractor.name().to_owned();
+                    let extracted = invoke_module(
+                        recorder,
+                        cancel,
+                        span,
+                        &self.resilience,
+                        &mut self.quarantine,
+                        report,
+                        PhaseKind::Extraction,
+                        &name,
+                        false,
+                        false,
+                        |ctx| extractor.extract(ctx, &accepted),
+                    )?;
+                    items.extend(extracted.into_iter().flatten());
+                }
+                Ok(items)
+            })?;
         report.extracted = items.len();
+        recorder
+            .counter("iokc.cycle.extracted")
+            .add(items.len() as u64);
 
         // Phase III: Persistence. The primary persister's ids are
         // reported; mirrors receive the same writes. Losing the primary
         // is critical (knowledge would be dropped on the floor); a failed
         // mirror degrades.
-        for (index, persister) in self.persisters.iter_mut().enumerate() {
-            let name = persister.name().to_owned();
-            let ids = invoke_module(
-                &self.resilience,
-                &mut self.quarantine,
-                &mut report,
-                PhaseKind::Persistence,
-                &name,
-                index == 0,
-                false,
-                || persister.persist(&items),
-            )?;
-            if index == 0 {
-                report.persisted_ids = ids.unwrap_or_default();
+        with_phase_span(recorder, cycle_span, PhaseKind::Persistence, |span| {
+            check_cancel(cancel, PhaseKind::Persistence)?;
+            let mut index = 0usize;
+            for module in &mut self.modules {
+                let ModuleBox::Persister(persister) = module else {
+                    continue;
+                };
+                let name = persister.name().to_owned();
+                let ids = invoke_module(
+                    recorder,
+                    cancel,
+                    span,
+                    &self.resilience,
+                    &mut self.quarantine,
+                    report,
+                    PhaseKind::Persistence,
+                    &name,
+                    index == 0,
+                    false,
+                    |ctx| persister.persist(ctx, &items),
+                )?;
+                if index == 0 {
+                    report.persisted_ids = ids.unwrap_or_default();
+                }
+                index += 1;
             }
-        }
+            Ok(())
+        })?;
 
         // Phase IV: Analysis over the full accumulated knowledge base.
         // When the primary store cannot be read back, analysis degrades
         // to this iteration's fresh items rather than aborting.
-        let corpus: Vec<KnowledgeItem> = match self.persisters.first() {
-            Some(primary) => match primary.load_all() {
-                Ok(corpus) => corpus,
-                Err(err) => {
-                    report.degradations.push(format!(
-                        "analysis corpus degraded to this iteration's items: {err}"
-                    ));
-                    items.clone()
+        with_phase_span(recorder, cycle_span, PhaseKind::Analysis, |span| {
+            check_cancel(cancel, PhaseKind::Analysis)?;
+            let primary = self.modules.iter().find_map(|m| match m {
+                ModuleBox::Persister(p) => Some(p),
+                _ => None,
+            });
+            let corpus: Vec<KnowledgeItem> = match primary {
+                Some(primary) => {
+                    let mut ctx = PhaseCtx::for_attempt(
+                        PhaseKind::Analysis,
+                        primary.name(),
+                        1,
+                        1,
+                        span,
+                        recorder,
+                        cancel,
+                    );
+                    match primary.load_all(&mut ctx) {
+                        Ok(corpus) => corpus,
+                        Err(err) => {
+                            report.degradations.push((
+                                PhaseKind::Analysis,
+                                format!(
+                                    "analysis corpus degraded to this iteration's items: {err}"
+                                ),
+                            ));
+                            items.clone()
+                        }
+                    }
                 }
-            },
-            None => items.clone(),
-        };
-        for analyzer in &self.analyzers {
-            let name = analyzer.name().to_owned();
-            let findings = invoke_module(
-                &self.resilience,
-                &mut self.quarantine,
-                &mut report,
-                PhaseKind::Analysis,
-                &name,
-                false,
-                true,
-                || analyzer.analyze(&corpus),
-            )?;
-            report.findings.extend(findings.into_iter().flatten());
-        }
-
-        // Phase V: Usage. Modules see the findings as they stood after
-        // analysis (a snapshot, so resilience bookkeeping during this
-        // phase cannot change what later modules observe).
-        let findings = report.findings.clone();
-        for module in &mut self.usage_modules {
-            let name = module.name().to_owned();
-            let findings = &findings;
-            let outcome = invoke_module(
-                &self.resilience,
-                &mut self.quarantine,
-                &mut report,
-                PhaseKind::Usage,
-                &name,
-                false,
-                true,
-                || module.apply(&corpus, findings),
-            )?;
-            if let Some(outcome) = outcome {
-                report.usage.merge(outcome);
+                None => items.clone(),
+            };
+            for module in &self.modules {
+                let ModuleBox::Analyzer(analyzer) = module else {
+                    continue;
+                };
+                let name = analyzer.name().to_owned();
+                let findings = invoke_module(
+                    recorder,
+                    cancel,
+                    span,
+                    &self.resilience,
+                    &mut self.quarantine,
+                    report,
+                    PhaseKind::Analysis,
+                    &name,
+                    false,
+                    true,
+                    |ctx| analyzer.analyze(ctx, &corpus),
+                )?;
+                report.findings.extend(findings.into_iter().flatten());
             }
-        }
 
-        Ok(report)
+            // Phase V: Usage. Modules see the findings as they stood
+            // after analysis (a snapshot, so resilience bookkeeping
+            // during this phase cannot change what later modules
+            // observe). The corpus is reused, so usage runs after the
+            // analysis span closes, under its own phase span.
+            let _ = span;
+            Ok(corpus)
+        })
+        .and_then(|corpus| {
+            with_phase_span(recorder, cycle_span, PhaseKind::Usage, |span| {
+                check_cancel(cancel, PhaseKind::Usage)?;
+                let findings = report.findings.clone();
+                for module in &mut self.modules {
+                    let ModuleBox::Usage(usage) = module else {
+                        continue;
+                    };
+                    let name = usage.name().to_owned();
+                    let outcome = invoke_module(
+                        recorder,
+                        cancel,
+                        span,
+                        &self.resilience,
+                        &mut self.quarantine,
+                        report,
+                        PhaseKind::Usage,
+                        &name,
+                        false,
+                        true,
+                        |ctx| usage.apply(ctx, &corpus, &findings),
+                    )?;
+                    if let Some(outcome) = outcome {
+                        report.usage.merge(outcome);
+                    }
+                }
+                Ok(())
+            })
+        })
     }
 
     /// Run the cycle iteratively: after each iteration, feed the usage
@@ -440,10 +691,14 @@ impl KnowledgeCycle {
     /// [`Generator::reconfigure`] accepts each command wins) and go
     /// again, up to `max_iterations` or until usage schedules nothing new
     /// — "this iterative cyclic process is either re-launched or
-    /// terminated" (§III).
+    /// terminated" (§III). Stops early (cleanly, with the reports so far)
+    /// when the observability cancel token fires between iterations.
     pub fn run_iterative(&mut self, max_iterations: u32) -> Result<Vec<CycleReport>, CycleError> {
         let mut reports = Vec::new();
         for _ in 0..max_iterations {
+            if self.obs.cancel_token().is_cancelled() {
+                break;
+            }
             let report = self.run_once()?;
             let commands = report.usage.new_commands.clone();
             reports.push(report);
@@ -452,7 +707,10 @@ impl KnowledgeCycle {
             }
             let mut any_applied = false;
             for command in &commands {
-                for generator in &mut self.generators {
+                for module in &mut self.modules {
+                    let ModuleBox::Generator(generator) = module else {
+                        continue;
+                    };
                     if generator.reconfigure(command) {
                         any_applied = true;
                         break;
@@ -467,13 +725,54 @@ impl KnowledgeCycle {
     }
 }
 
-/// Run one module invocation under the resilience policy.
+/// Nanoseconds to fractional milliseconds.
+fn ns_to_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Fail the phase when cancellation was requested before it started.
+fn check_cancel(cancel: &CancelToken, phase: PhaseKind) -> Result<(), CycleError> {
+    if cancel.is_cancelled() {
+        return Err(CycleError::transient(
+            phase,
+            "cycle",
+            "cancelled before phase start",
+        ));
+    }
+    Ok(())
+}
+
+/// Run `body` under a phase span, observing the phase latency histogram.
+fn with_phase_span<T>(
+    recorder: &Arc<Recorder>,
+    cycle_span: SpanId,
+    phase: PhaseKind,
+    body: impl FnOnce(SpanId) -> Result<T, CycleError>,
+) -> Result<T, CycleError> {
+    let span = recorder.start_span(phase.as_str(), Some(cycle_span), Some(phase.as_str()), None);
+    let result = body(span.id);
+    let status = if result.is_ok() {
+        SpanStatus::Ok
+    } else {
+        SpanStatus::Failed
+    };
+    let dur = recorder.end_span(&span, status);
+    recorder.observe(&format!("iokc.phase.{}.ms", phase.as_str()), ns_to_ms(dur));
+    result
+}
+
+/// Run one module invocation under the resilience policy, inside one
+/// module span covering every attempt (retry backoff advances the
+/// virtual clock, so the span faithfully includes it).
 ///
 /// Returns `Ok(Some(value))` on success, `Ok(None)` when the module was
 /// skipped (quarantine) or degraded past its retry budget without being
 /// critical, and `Err` when a critical module exhausted its budget.
 #[allow(clippy::too_many_arguments)]
 fn invoke_module<T>(
+    recorder: &Arc<Recorder>,
+    cancel: &CancelToken,
+    parent: SpanId,
     config: &ResilienceConfig,
     quarantine: &mut QuarantineBook,
     report: &mut CycleReport,
@@ -481,9 +780,14 @@ fn invoke_module<T>(
     name: &str,
     critical: bool,
     quarantinable: bool,
-    mut attempt_once: impl FnMut() -> Result<T, CycleError>,
+    mut attempt_once: impl FnMut(&mut PhaseCtx) -> Result<T, CycleError>,
 ) -> Result<Option<T>, CycleError> {
     if quarantinable && quarantine.is_quarantined(phase, name) {
+        recorder.log(
+            Some(parent),
+            &format!("module {name} is quarantined; skipped"),
+        );
+        recorder.counter("iokc.module.quarantine_skips").inc();
         report.attempts.push(AttemptRecord {
             phase,
             module: name.to_owned(),
@@ -506,11 +810,23 @@ fn invoke_module<T>(
     }
 
     report.trace.push((phase, name.to_owned()));
+    let span = recorder.start_span(name, Some(parent), Some(phase.as_str()), Some(name));
+    let module_metric = format!("iokc.module.{}.{name}.ms", phase.as_str());
+    let max_attempts = config.retry.max_attempts;
     let mut attempts = 0u32;
     let mut backoff_ms = 0u64;
     loop {
         attempts += 1;
-        match attempt_once() {
+        let mut ctx = PhaseCtx::for_attempt(
+            phase,
+            name,
+            attempts,
+            max_attempts,
+            span.id,
+            recorder,
+            cancel,
+        );
+        match attempt_once(&mut ctx) {
             Ok(value) => {
                 if quarantinable {
                     quarantine.record_success(phase, name);
@@ -523,6 +839,8 @@ fn invoke_module<T>(
                     outcome: AttemptOutcome::Succeeded,
                     last_error: None,
                 });
+                let dur = recorder.end_span(&span, SpanStatus::Ok);
+                recorder.observe(&module_metric, ns_to_ms(dur));
                 return Ok(Some(value));
             }
             Err(err) => {
@@ -533,6 +851,18 @@ fn invoke_module<T>(
                         .phase_deadline_ms
                         .is_none_or(|deadline| backoff_ms.saturating_add(delay) <= deadline);
                     if within_deadline {
+                        recorder.counter("iokc.module.retries").inc();
+                        recorder.log(
+                            Some(span.id),
+                            &format!(
+                                "attempt {attempts} failed ({}); retrying after {delay} ms \
+                                 virtual backoff",
+                                err.message
+                            ),
+                        );
+                        // Backoff is virtual time: advance the clock so
+                        // the module span includes it (no-op on wall).
+                        recorder.advance_ns(delay.saturating_mul(1_000_000));
                         backoff_ms += delay;
                         continue;
                     }
@@ -569,14 +899,20 @@ fn invoke_module<T>(
                     outcome: AttemptOutcome::Degraded,
                     last_error: Some(err.message.clone()),
                 });
+                let dur = recorder.end_span(&span, SpanStatus::Failed);
+                recorder.observe(&module_metric, ns_to_ms(dur));
+                recorder.counter("iokc.module.failures").inc();
                 if critical {
                     return Err(err);
                 }
-                report.degradations.push(format!(
-                    "{} phase, module {name}: degraded after {attempts} attempt(s){deadline_note}: {} [{}]",
-                    phase.as_str(),
-                    err.message,
-                    err.class.as_str(),
+                report.degradations.push((
+                    phase,
+                    format!(
+                        "{} phase, module {name}: degraded after {attempts} attempt(s){deadline_note}: {} [{}]",
+                        phase.as_str(),
+                        err.message,
+                        err.class.as_str(),
+                    ),
                 ));
                 return Ok(None);
             }
@@ -585,10 +921,12 @@ fn invoke_module<T>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::model::{Knowledge, KnowledgeSource};
     use crate::phases::{ArtifactKind, Payload};
+    use iokc_obs::{Clock, EventKind, MemorySink, MetricsRegistry, VirtualClock};
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -609,8 +947,10 @@ mod tests {
                 false
             }
         }
-        fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+        fn generate(&mut self, ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError> {
             self.runs += 1;
+            // Pretend every run takes 10 simulated ms.
+            ctx.advance_virtual_ms(10);
             Ok(vec![Artifact::text(
                 ArtifactKind::IorOutput,
                 "stdout",
@@ -629,7 +969,11 @@ mod tests {
         fn accepts(&self, artifact: &Artifact) -> bool {
             artifact.kind == ArtifactKind::IorOutput
         }
-        fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+        fn extract(
+            &self,
+            _ctx: &mut PhaseCtx,
+            artifacts: &[&Artifact],
+        ) -> Result<Vec<KnowledgeItem>, CycleError> {
             Ok(artifacts
                 .iter()
                 .map(|a| {
@@ -651,7 +995,11 @@ mod tests {
         fn name(&self) -> &str {
             "memory"
         }
-        fn persist(&mut self, items: &[KnowledgeItem]) -> Result<Vec<u64>, CycleError> {
+        fn persist(
+            &mut self,
+            _ctx: &mut PhaseCtx,
+            items: &[KnowledgeItem],
+        ) -> Result<Vec<u64>, CycleError> {
             let mut store = self.items.borrow_mut();
             let mut ids = Vec::new();
             for item in items {
@@ -660,7 +1008,7 @@ mod tests {
             }
             Ok(ids)
         }
-        fn load_all(&self) -> Result<Vec<KnowledgeItem>, CycleError> {
+        fn load_all(&self, _ctx: &mut PhaseCtx) -> Result<Vec<KnowledgeItem>, CycleError> {
             Ok(self.items.borrow().clone())
         }
     }
@@ -671,7 +1019,11 @@ mod tests {
         fn name(&self) -> &str {
             "counter"
         }
-        fn analyze(&self, items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError> {
+        fn analyze(
+            &self,
+            _ctx: &mut PhaseCtx,
+            items: &[KnowledgeItem],
+        ) -> Result<Vec<Finding>, CycleError> {
             Ok(vec![Finding {
                 tag: "observation".into(),
                 knowledge_id: None,
@@ -692,6 +1044,7 @@ mod tests {
         }
         fn apply(
             &mut self,
+            _ctx: &mut PhaseCtx,
             _items: &[KnowledgeItem],
             _findings: &[Finding],
         ) -> Result<UsageOutcome, CycleError> {
@@ -709,14 +1062,14 @@ mod tests {
     fn full_cycle(shared: Rc<RefCell<Vec<KnowledgeItem>>>) -> KnowledgeCycle {
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FakeGenerator {
+            .register(ModuleBox::generator(FakeGenerator {
                 command: "ior -b 4m".into(),
                 runs: 0,
             }))
-            .add_extractor(Box::new(FakeExtractor))
-            .add_persister(Box::new(MemPersister { items: shared }))
-            .add_analyzer(Box::new(CountingAnalyzer))
-            .add_usage(Box::new(OneFollowUp { fired: false }));
+            .register(ModuleBox::extractor(FakeExtractor))
+            .register(ModuleBox::persister(MemPersister { items: shared }))
+            .register(ModuleBox::analyzer(CountingAnalyzer))
+            .register(ModuleBox::usage(OneFollowUp { fired: false }));
         cycle
     }
 
@@ -739,18 +1092,35 @@ mod tests {
     }
 
     #[test]
-    fn report_serializes_to_json() {
+    fn report_serializes_to_versioned_json() {
         let store = Rc::new(RefCell::new(Vec::new()));
         let mut cycle = full_cycle(store);
         let report = cycle.run_once().unwrap();
         let json = report.to_json();
+        assert_eq!(json.get("schema").and_then(|v| v.as_u64()), Some(1));
         assert_eq!(json.get("artifacts").and_then(|v| v.as_u64()), Some(1));
+        // Schema 1 nests per-phase: five entries in cycle order, each
+        // with the modules that ran and their attempt records.
+        let phases = json.get("phases").and_then(|p| p.as_arr()).unwrap();
+        assert_eq!(phases.len(), 5);
         assert_eq!(
-            json.get("trace")
-                .and_then(|t| t.at(0))
-                .and_then(|e| e.get("phase"))
-                .and_then(|p| p.as_str()),
+            phases[0].get("phase").and_then(|p| p.as_str()),
             Some("generation")
+        );
+        assert_eq!(
+            phases[0]
+                .get("modules")
+                .and_then(|m| m.at(0))
+                .and_then(|m| m.as_str()),
+            Some("fake-ior")
+        );
+        assert_eq!(
+            phases[0]
+                .get("attempts")
+                .and_then(|a| a.at(0))
+                .and_then(|a| a.get("outcome"))
+                .and_then(|o| o.as_str()),
+            Some("succeeded")
         );
         // The document parses back.
         let text = json.to_pretty();
@@ -781,6 +1151,7 @@ mod tests {
             }
             fn apply(
                 &mut self,
+                _ctx: &mut PhaseCtx,
                 _items: &[KnowledgeItem],
                 _findings: &[Finding],
             ) -> Result<UsageOutcome, CycleError> {
@@ -793,13 +1164,13 @@ mod tests {
         let store = Rc::new(RefCell::new(Vec::new()));
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FakeGenerator {
+            .register(ModuleBox::generator(FakeGenerator {
                 command: "ior -b 4m".into(),
                 runs: 0,
             }))
-            .add_extractor(Box::new(FakeExtractor))
-            .add_persister(Box::new(MemPersister { items: store }))
-            .add_usage(Box::new(AlienUsage));
+            .register(ModuleBox::extractor(FakeExtractor))
+            .register(ModuleBox::persister(MemPersister { items: store }))
+            .register(ModuleBox::usage(AlienUsage));
         let reports = cycle.run_iterative(5).unwrap();
         assert_eq!(reports.len(), 1);
     }
@@ -815,7 +1186,9 @@ mod tests {
     }
 
     #[test]
-    fn cycle_without_persister_analyzes_fresh_items() {
+    #[allow(deprecated)]
+    fn deprecated_add_shims_still_register() {
+        let store = Rc::new(RefCell::new(Vec::new()));
         let mut cycle = KnowledgeCycle::new();
         cycle
             .add_generator(Box::new(FakeGenerator {
@@ -823,7 +1196,29 @@ mod tests {
                 runs: 0,
             }))
             .add_extractor(Box::new(FakeExtractor))
-            .add_analyzer(Box::new(CountingAnalyzer));
+            .add_persister(Box::new(MemPersister {
+                items: store.clone(),
+            }))
+            .add_analyzer(Box::new(CountingAnalyzer))
+            .add_usage(Box::new(OneFollowUp { fired: false }));
+        // The shims land in the same registry as register().
+        let registry = cycle.registry();
+        assert_eq!(registry[0].1, vec!["fake-ior".to_owned()]);
+        let report = cycle.run_once().unwrap();
+        assert_eq!(report.persisted_ids, vec![1]);
+        assert_eq!(store.borrow().len(), 1);
+    }
+
+    #[test]
+    fn cycle_without_persister_analyzes_fresh_items() {
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .register(ModuleBox::generator(FakeGenerator {
+                command: "ior".into(),
+                runs: 0,
+            }))
+            .register(ModuleBox::extractor(FakeExtractor))
+            .register(ModuleBox::analyzer(CountingAnalyzer));
         let report = cycle.run_once().unwrap();
         assert_eq!(report.findings[0].values[0], 1.0);
         assert!(report.persisted_ids.is_empty());
@@ -836,7 +1231,7 @@ mod tests {
             fn name(&self) -> &str {
                 "darshan"
             }
-            fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+            fn generate(&mut self, _ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError> {
                 Ok(vec![Artifact {
                     kind: ArtifactKind::DarshanLog,
                     name: "log".into(),
@@ -847,8 +1242,8 @@ mod tests {
         }
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(BinaryGen))
-            .add_extractor(Box::new(FakeExtractor));
+            .register(ModuleBox::generator(BinaryGen))
+            .register(ModuleBox::extractor(FakeExtractor));
         let report = cycle.run_once().unwrap();
         assert_eq!(report.artifacts, 1);
         assert_eq!(report.extracted, 0);
@@ -864,14 +1259,10 @@ mod tests {
         fn name(&self) -> &str {
             "flaky-gen"
         }
-        fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+        fn generate(&mut self, ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError> {
             if self.failures_left > 0 {
                 self.failures_left -= 1;
-                return Err(CycleError::transient(
-                    PhaseKind::Generation,
-                    "flaky-gen",
-                    "node dropped off the fabric",
-                ));
+                return Err(ctx.transient_error("node dropped off the fabric"));
             }
             Ok(vec![Artifact::text(
                 ArtifactKind::IorOutput,
@@ -888,12 +1279,12 @@ mod tests {
         fn name(&self) -> &str {
             "broken-analyzer"
         }
-        fn analyze(&self, _items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError> {
-            Err(CycleError::new(
-                PhaseKind::Analysis,
-                "broken-analyzer",
-                "division by zero in model fit",
-            ))
+        fn analyze(
+            &self,
+            ctx: &mut PhaseCtx,
+            _items: &[KnowledgeItem],
+        ) -> Result<Vec<Finding>, CycleError> {
+            Err(ctx.permanent_error("division by zero in model fit"))
         }
     }
 
@@ -902,8 +1293,8 @@ mod tests {
         use crate::resilience::{ResilienceConfig, RetryPolicy};
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FlakyGenerator { failures_left: 2 }))
-            .add_extractor(Box::new(FakeExtractor));
+            .register(ModuleBox::generator(FlakyGenerator { failures_left: 2 }))
+            .register(ModuleBox::extractor(FakeExtractor));
         cycle.set_resilience(
             ResilienceConfig::new().with_retry(RetryPolicy::with_retries(3).seeded(42)),
         );
@@ -920,7 +1311,7 @@ mod tests {
     #[test]
     fn transient_failure_without_retries_is_critical_for_sole_generator() {
         let mut cycle = KnowledgeCycle::new();
-        cycle.add_generator(Box::new(FlakyGenerator { failures_left: 1 }));
+        cycle.register(ModuleBox::generator(FlakyGenerator { failures_left: 1 }));
         // Default config retries nothing, and a sole generator is
         // critical.
         let err = cycle.run_once().unwrap_err();
@@ -933,20 +1324,21 @@ mod tests {
         let store = Rc::new(RefCell::new(Vec::new()));
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FakeGenerator {
+            .register(ModuleBox::generator(FakeGenerator {
                 command: "ior".into(),
                 runs: 0,
             }))
-            .add_generator(Box::new(FlakyGenerator { failures_left: 99 }))
-            .add_extractor(Box::new(FakeExtractor))
-            .add_persister(Box::new(MemPersister { items: store }));
+            .register(ModuleBox::generator(FlakyGenerator { failures_left: 99 }))
+            .register(ModuleBox::extractor(FakeExtractor))
+            .register(ModuleBox::persister(MemPersister { items: store }));
         let report = cycle.run_once().unwrap();
         // The healthy generator's artifact flowed through.
         assert_eq!(report.artifacts, 1);
         assert_eq!(report.persisted_ids, vec![1]);
         assert_eq!(report.degradations.len(), 1);
+        assert_eq!(report.degradations[0].0, PhaseKind::Generation);
         assert!(
-            report.degradations[0].contains("flaky-gen"),
+            report.degradations[0].1.contains("flaky-gen"),
             "{:?}",
             report.degradations
         );
@@ -960,25 +1352,25 @@ mod tests {
             fn name(&self) -> &str {
                 "refusing"
             }
-            fn persist(&mut self, _items: &[KnowledgeItem]) -> Result<Vec<u64>, CycleError> {
-                Err(CycleError::new(
-                    PhaseKind::Persistence,
-                    "refusing",
-                    "disk full",
-                ))
+            fn persist(
+                &mut self,
+                ctx: &mut PhaseCtx,
+                _items: &[KnowledgeItem],
+            ) -> Result<Vec<u64>, CycleError> {
+                Err(ctx.permanent_error("disk full"))
             }
-            fn load_all(&self) -> Result<Vec<KnowledgeItem>, CycleError> {
+            fn load_all(&self, _ctx: &mut PhaseCtx) -> Result<Vec<KnowledgeItem>, CycleError> {
                 Ok(Vec::new())
             }
         }
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FakeGenerator {
+            .register(ModuleBox::generator(FakeGenerator {
                 command: "ior".into(),
                 runs: 0,
             }))
-            .add_extractor(Box::new(FakeExtractor))
-            .add_persister(Box::new(RefusingPersister));
+            .register(ModuleBox::extractor(FakeExtractor))
+            .register(ModuleBox::persister(RefusingPersister));
         let err = cycle.run_once().unwrap_err();
         assert_eq!(err.phase, PhaseKind::Persistence);
         assert_eq!(err.module, "refusing");
@@ -990,14 +1382,14 @@ mod tests {
         let store = Rc::new(RefCell::new(Vec::new()));
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FakeGenerator {
+            .register(ModuleBox::generator(FakeGenerator {
                 command: "ior".into(),
                 runs: 0,
             }))
-            .add_extractor(Box::new(FakeExtractor))
-            .add_persister(Box::new(MemPersister { items: store }))
-            .add_analyzer(Box::new(FailingAnalyzer))
-            .add_analyzer(Box::new(CountingAnalyzer));
+            .register(ModuleBox::extractor(FakeExtractor))
+            .register(ModuleBox::persister(MemPersister { items: store }))
+            .register(ModuleBox::analyzer(FailingAnalyzer))
+            .register(ModuleBox::analyzer(CountingAnalyzer));
         cycle.set_resilience(ResilienceConfig::new().with_quarantine_threshold(2));
 
         // Iteration 1: degraded, not yet quarantined.
@@ -1044,11 +1436,11 @@ mod tests {
         use crate::resilience::{ResilienceConfig, RetryPolicy};
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FakeGenerator {
+            .register(ModuleBox::generator(FakeGenerator {
                 command: "ior".into(),
                 runs: 0,
             }))
-            .add_generator(Box::new(FlakyGenerator { failures_left: 99 }));
+            .register(ModuleBox::generator(FlakyGenerator { failures_left: 99 }));
         cycle.set_resilience(
             ResilienceConfig::new()
                 .with_retry(RetryPolicy::with_retries(50).seeded(1))
@@ -1065,7 +1457,7 @@ mod tests {
         assert!(record.attempts < 5, "attempts = {}", record.attempts);
         assert!(record.backoff_ms <= 300);
         assert!(
-            report.degradations[0].contains("deadline"),
+            report.degradations[0].1.contains("deadline"),
             "{:?}",
             report.degradations
         );
@@ -1077,8 +1469,8 @@ mod tests {
         let run = || {
             let mut cycle = KnowledgeCycle::new();
             cycle
-                .add_generator(Box::new(FlakyGenerator { failures_left: 2 }))
-                .add_extractor(Box::new(FakeExtractor));
+                .register(ModuleBox::generator(FlakyGenerator { failures_left: 2 }))
+                .register(ModuleBox::extractor(FakeExtractor));
             cycle.set_resilience(
                 ResilienceConfig::new().with_retry(RetryPolicy::with_retries(4).seeded(7)),
             );
@@ -1095,19 +1487,15 @@ mod tests {
             fn name(&self) -> &str {
                 "permanent"
             }
-            fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
-                Err(CycleError::new(
-                    PhaseKind::Generation,
-                    "permanent",
-                    "bad config",
-                ))
+            fn generate(&mut self, ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError> {
+                Err(ctx.permanent_error("bad config"))
             }
         }
         use crate::resilience::{ResilienceConfig, RetryPolicy};
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(PermanentGen))
-            .add_generator(Box::new(FakeGenerator {
+            .register(ModuleBox::generator(PermanentGen))
+            .register(ModuleBox::generator(FakeGenerator {
                 command: "ior".into(),
                 runs: 0,
             }));
@@ -1128,20 +1516,112 @@ mod tests {
         let mirror = Rc::new(RefCell::new(Vec::new()));
         let mut cycle = KnowledgeCycle::new();
         cycle
-            .add_generator(Box::new(FakeGenerator {
+            .register(ModuleBox::generator(FakeGenerator {
                 command: "ior".into(),
                 runs: 0,
             }))
-            .add_extractor(Box::new(FakeExtractor))
-            .add_persister(Box::new(MemPersister {
+            .register(ModuleBox::extractor(FakeExtractor))
+            .register(ModuleBox::persister(MemPersister {
                 items: primary.clone(),
             }))
-            .add_persister(Box::new(MemPersister {
+            .register(ModuleBox::persister(MemPersister {
                 items: mirror.clone(),
             }));
         let report = cycle.run_once().unwrap();
         assert_eq!(report.persisted_ids, vec![1]);
         assert_eq!(primary.borrow().len(), 1);
         assert_eq!(mirror.borrow().len(), 1);
+    }
+
+    #[test]
+    fn spans_cover_every_phase_and_module_on_the_virtual_clock() {
+        let clock = VirtualClock::new();
+        let sink = Arc::new(MemorySink::new());
+        let recorder = Recorder::new(Clock::Virtual(clock.clone()), sink.clone());
+        let store = Rc::new(RefCell::new(Vec::new()));
+        let mut cycle = full_cycle(store);
+        cycle.set_observability(Observability::new(recorder));
+
+        let report = cycle.run_once().unwrap();
+        assert_eq!(report.artifacts, 1);
+
+        let events = sink.snapshot();
+        let tree = iokc_obs::build_span_tree(&events);
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.open_spans, 0);
+        let root = &tree.roots[0];
+        assert_eq!(root.name, "cycle");
+        // One child per phase, in cycle order.
+        let phase_names: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(
+            phase_names,
+            vec![
+                "generation",
+                "extraction",
+                "persistence",
+                "analysis",
+                "usage"
+            ]
+        );
+        // The generator advanced the virtual clock by 10 ms, so the
+        // cycle total is exactly the generation total: virtual phase
+        // durations sum to the cycle duration with zero slack.
+        let phase_sum: u64 = root.children.iter().map(|c| c.dur_ns.unwrap_or(0)).sum();
+        assert_eq!(root.dur_ns, Some(phase_sum));
+        assert_eq!(root.dur_ns, Some(10_000_000));
+        // Module spans carry phase+module labels.
+        let gen_modules: Vec<&str> = root.children[0]
+            .children
+            .iter()
+            .map(|c| c.module.as_deref().unwrap_or("?"))
+            .collect();
+        assert_eq!(gen_modules, vec!["fake-ior"]);
+
+        // Metrics landed in the registry.
+        let metrics: Arc<MetricsRegistry> = cycle.observability().metrics();
+        assert_eq!(metrics.counter("iokc.cycle.runs").get(), 1);
+        let cycle_ms = metrics.histogram("iokc.cycle.ms").snapshot();
+        assert_eq!(cycle_ms.count, 1);
+        assert!((cycle_ms.sum - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancellation_stops_the_cycle_between_phases() {
+        let store = Rc::new(RefCell::new(Vec::new()));
+        let mut cycle = full_cycle(store);
+        cycle.observability().cancel_token().cancel();
+        let err = cycle.run_once().unwrap_err();
+        assert!(err.message.contains("cancelled"));
+        // run_iterative stops cleanly instead.
+        let reports = cycle.run_iterative(3).unwrap();
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn retry_backoff_advances_the_virtual_clock() {
+        use crate::resilience::{ResilienceConfig, RetryPolicy};
+        let clock = VirtualClock::new();
+        let sink = Arc::new(MemorySink::new());
+        let recorder = Recorder::new(Clock::Virtual(clock.clone()), sink.clone());
+        let mut cycle = KnowledgeCycle::new();
+        cycle
+            .register(ModuleBox::generator(FlakyGenerator { failures_left: 2 }))
+            .register(ModuleBox::extractor(FakeExtractor));
+        cycle.set_resilience(
+            ResilienceConfig::new().with_retry(RetryPolicy::with_retries(3).seeded(42)),
+        );
+        cycle.set_observability(Observability::new(recorder));
+        let report = cycle.run_once().unwrap();
+        let backoff_ms = report.attempts[0].backoff_ms;
+        assert!(backoff_ms > 0);
+        // The virtual clock advanced by exactly the recorded backoff.
+        assert_eq!(clock.now_ns(), backoff_ms * 1_000_000);
+        // And the retry log events are attached to the module span.
+        let events = sink.snapshot();
+        let retries = events
+            .iter()
+            .filter(|e| matches!(&e.kind, EventKind::Log { message, .. } if message.contains("retrying")))
+            .count();
+        assert_eq!(retries, 2);
     }
 }

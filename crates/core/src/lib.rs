@@ -29,9 +29,16 @@
 //! into these traits.
 
 //!
+//! Every phase-trait method receives a [`PhaseCtx`] carrying the module's
+//! identity, attempt number, open span, and handles to the cycle's
+//! recorder (spans, metrics, virtual clock) and cancel token — see the
+//! [`ctx`] module and the `iokc-obs` crate.
+//!
 //! A minimal cycle with inline modules:
 //!
 //! ```
+//! use iokc_core::ctx::PhaseCtx;
+//! use iokc_core::cycle::ModuleBox;
 //! use iokc_core::model::{Knowledge, KnowledgeItem, KnowledgeSource};
 //! use iokc_core::phases::*;
 //! use iokc_core::KnowledgeCycle;
@@ -39,7 +46,7 @@
 //! struct Gen;
 //! impl Generator for Gen {
 //!     fn name(&self) -> &str { "demo-gen" }
-//!     fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+//!     fn generate(&mut self, _ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError> {
 //!         Ok(vec![Artifact::text(ArtifactKind::IorOutput, "out", "bw 42".into())])
 //!     }
 //! }
@@ -47,7 +54,11 @@
 //! impl Extractor for Ext {
 //!     fn name(&self) -> &str { "demo-ext" }
 //!     fn accepts(&self, a: &Artifact) -> bool { a.kind == ArtifactKind::IorOutput }
-//!     fn extract(&self, a: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+//!     fn extract(
+//!         &self,
+//!         _ctx: &mut PhaseCtx,
+//!         a: &[&Artifact],
+//!     ) -> Result<Vec<KnowledgeItem>, CycleError> {
 //!         Ok(a.iter()
 //!             .map(|_| KnowledgeItem::Benchmark(Knowledge::new(KnowledgeSource::Ior, "ior")))
 //!             .collect())
@@ -55,7 +66,7 @@
 //! }
 //!
 //! let mut cycle = KnowledgeCycle::new();
-//! cycle.add_generator(Box::new(Gen)).add_extractor(Box::new(Ext));
+//! cycle.register(ModuleBox::generator(Gen)).register(ModuleBox::extractor(Ext));
 //! let report = cycle.run_once().unwrap();
 //! assert_eq!(report.extracted, 1);
 //! ```
@@ -64,13 +75,15 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod ctx;
 pub mod cycle;
 pub mod model;
 pub mod phases;
 pub mod resilience;
 
 pub use campaign::{CampaignSummary, StragglerReport, WorkState};
-pub use cycle::{CycleReport, KnowledgeCycle};
+pub use ctx::{Observability, PhaseCtx};
+pub use cycle::{CycleReport, KnowledgeCycle, ModuleBox, PhaseModule};
 pub use model::{
     FilesystemInfo, Io500Knowledge, Io500Testcase, IoPattern, IterationResult, Knowledge,
     KnowledgeItem, KnowledgeSource, OperationSummary, SystemInfo,

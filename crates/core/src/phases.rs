@@ -7,6 +7,7 @@
 //! workflow "software and hardware agnostic" (§I): a new tool plugs in by
 //! implementing one trait and registering it.
 
+use crate::ctx::PhaseCtx;
 use crate::model::KnowledgeItem;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -119,6 +120,11 @@ pub enum ErrorClass {
     /// Retrying cannot help (malformed input, logic error, unsupported
     /// format). The module fails immediately after the first attempt.
     Permanent,
+    /// Stored state is damaged (checksum mismatch, torn record, truncated
+    /// database). Not retryable — the data will not repair itself — and
+    /// distinguished from [`ErrorClass::Permanent`] so callers can route
+    /// to recovery paths and the CLI can exit with its corruption code.
+    Corrupt,
 }
 
 impl ErrorClass {
@@ -128,6 +134,18 @@ impl ErrorClass {
         match self {
             ErrorClass::Transient => "transient",
             ErrorClass::Permanent => "permanent",
+            ErrorClass::Corrupt => "corrupt",
+        }
+    }
+
+    /// Parse a display name back into a class (the journal decoding
+    /// path). Unknown names conservatively decode as permanent.
+    #[must_use]
+    pub fn parse(name: &str) -> ErrorClass {
+        match name {
+            "transient" => ErrorClass::Transient,
+            "corrupt" => ErrorClass::Corrupt,
+            _ => ErrorClass::Permanent,
         }
     }
 }
@@ -162,6 +180,22 @@ impl CycleError {
     #[must_use]
     pub fn transient(phase: PhaseKind, module: &str, message: impl fmt::Display) -> CycleError {
         CycleError::new(phase, module, message).with_class(ErrorClass::Transient)
+    }
+
+    /// Construct an explicitly permanent error. Equivalent to
+    /// [`CycleError::new`], but spelled out — call sites that *decided*
+    /// the error is permanent should say so rather than rely on the
+    /// default.
+    #[must_use]
+    pub fn permanent(phase: PhaseKind, module: &str, message: impl fmt::Display) -> CycleError {
+        CycleError::new(phase, module, message).with_class(ErrorClass::Permanent)
+    }
+
+    /// Construct a corruption error — stored state is damaged and a
+    /// retry cannot repair it.
+    #[must_use]
+    pub fn corrupt(phase: PhaseKind, module: &str, message: impl fmt::Display) -> CycleError {
+        CycleError::new(phase, module, message).with_class(ErrorClass::Corrupt)
     }
 
     /// Override the error class (builder style).
@@ -231,11 +265,19 @@ impl PhaseKind {
 }
 
 /// Phase I — produce raw artifacts (run benchmarks, collect traces).
+///
+/// Every phase method receives a [`PhaseCtx`]: the module's span handle,
+/// metrics access, the cooperative cancellation token, and which attempt
+/// this is under the retry policy. Modules that need none of it simply
+/// ignore the argument.
 pub trait Generator {
     /// Module name (for the registry and error messages).
     fn name(&self) -> &str;
-    /// Run the generator, producing artifacts.
-    fn generate(&mut self) -> Result<Vec<Artifact>, CycleError>;
+    /// Run the generator, producing artifacts. Simulator-backed
+    /// generators should advance the context's virtual clock by their
+    /// simulated elapsed time ([`PhaseCtx::advance_virtual_ns`]) so span
+    /// timings reflect simulated, not host, time.
+    fn generate(&mut self, ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError>;
     /// Accept a new command for the next run — the path by which the
     /// usage phase's "create configuration" feeds back into generation
     /// (Example I). The default declines every command.
@@ -252,7 +294,11 @@ pub trait Extractor {
     fn accepts(&self, artifact: &Artifact) -> bool;
     /// Extract knowledge from the artifacts this extractor accepts.
     /// Called once per cycle with every accepted artifact.
-    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError>;
+    fn extract(
+        &self,
+        ctx: &mut PhaseCtx,
+        artifacts: &[&Artifact],
+    ) -> Result<Vec<KnowledgeItem>, CycleError>;
 }
 
 /// Phase III — persist knowledge items, returning their assigned ids.
@@ -260,10 +306,14 @@ pub trait Persister {
     /// Module name.
     fn name(&self) -> &str;
     /// Store the items; returns one id per item, in order.
-    fn persist(&mut self, items: &[KnowledgeItem]) -> Result<Vec<u64>, CycleError>;
+    fn persist(
+        &mut self,
+        ctx: &mut PhaseCtx,
+        items: &[KnowledgeItem],
+    ) -> Result<Vec<u64>, CycleError>;
     /// Load every stored item (analysis may look beyond the current
     /// cycle's additions — that is the entire point of sharing).
-    fn load_all(&self) -> Result<Vec<KnowledgeItem>, CycleError>;
+    fn load_all(&self, ctx: &mut PhaseCtx) -> Result<Vec<KnowledgeItem>, CycleError>;
 }
 
 /// A finding produced by the analysis phase.
@@ -284,7 +334,11 @@ pub trait Analyzer {
     /// Module name.
     fn name(&self) -> &str;
     /// Analyze items (typically everything the persister holds).
-    fn analyze(&self, items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError>;
+    fn analyze(
+        &self,
+        ctx: &mut PhaseCtx,
+        items: &[KnowledgeItem],
+    ) -> Result<Vec<Finding>, CycleError>;
 }
 
 /// The outcome of the usage phase: what to do next.
@@ -315,6 +369,7 @@ pub trait UsageModule {
     /// Apply knowledge and analysis findings.
     fn apply(
         &mut self,
+        ctx: &mut PhaseCtx,
         items: &[KnowledgeItem],
         findings: &[Finding],
     ) -> Result<UsageOutcome, CycleError>;

@@ -16,6 +16,7 @@ use crate::ior_parse::parse_ior_output_lenient;
 use crate::lustre::parse_lfs_getstripe;
 use crate::mdtest_parse::parse_mdtest_output;
 use crate::procfs::{parse_cpuinfo, parse_meminfo};
+use iokc_core::ctx::PhaseCtx;
 use iokc_core::model::{Knowledge, KnowledgeItem};
 use iokc_core::phases::{Artifact, ArtifactKind, CycleError, Extractor, PhaseKind};
 
@@ -106,7 +107,11 @@ impl Extractor for IorExtractor {
         )
     }
 
-    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+    fn extract(
+        &self,
+        _ctx: &mut PhaseCtx,
+        artifacts: &[&Artifact],
+    ) -> Result<Vec<KnowledgeItem>, CycleError> {
         let mut items = Vec::new();
         for output in artifacts
             .iter()
@@ -145,7 +150,11 @@ impl Extractor for Io500Extractor {
         )
     }
 
-    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+    fn extract(
+        &self,
+        _ctx: &mut PhaseCtx,
+        artifacts: &[&Artifact],
+    ) -> Result<Vec<KnowledgeItem>, CycleError> {
         let mut items = Vec::new();
         for output in artifacts
             .iter()
@@ -201,7 +210,11 @@ impl Extractor for MdtestExtractor {
         artifact.kind == ArtifactKind::MdtestOutput
     }
 
-    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+    fn extract(
+        &self,
+        _ctx: &mut PhaseCtx,
+        artifacts: &[&Artifact],
+    ) -> Result<Vec<KnowledgeItem>, CycleError> {
         artifacts
             .iter()
             .map(|output| {
@@ -230,7 +243,11 @@ impl Extractor for HaccExtractor {
         artifact.kind == ArtifactKind::HaccOutput
     }
 
-    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+    fn extract(
+        &self,
+        _ctx: &mut PhaseCtx,
+        artifacts: &[&Artifact],
+    ) -> Result<Vec<KnowledgeItem>, CycleError> {
         artifacts
             .iter()
             .map(|output| {
@@ -259,7 +276,11 @@ impl Extractor for DarshanExtractor {
         artifact.kind == ArtifactKind::DarshanLog
     }
 
-    fn extract(&self, artifacts: &[&Artifact]) -> Result<Vec<KnowledgeItem>, CycleError> {
+    fn extract(
+        &self,
+        _ctx: &mut PhaseCtx,
+        artifacts: &[&Artifact],
+    ) -> Result<Vec<KnowledgeItem>, CycleError> {
         artifacts
             .iter()
             .map(|output| {
@@ -282,6 +303,10 @@ impl Extractor for DarshanExtractor {
 #[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
+
+    fn test_ctx() -> PhaseCtx {
+        PhaseCtx::detached(iokc_core::phases::PhaseKind::Extraction, "test")
+    }
 
     const IOR_TEXT: &str = include_str!("testdata/ior_sample.txt");
 
@@ -318,21 +343,21 @@ Stripe pattern details:
         let other_fs = entry_artifact(Some("r2"));
         let ex = IorExtractor;
         // Same run: attached.
-        let items = ex.extract(&[&ior, &fs]).unwrap();
+        let items = ex.extract(&mut test_ctx(), &[&ior, &fs]).unwrap();
         let KnowledgeItem::Benchmark(k) = &items[0] else {
             panic!("wrong kind")
         };
         assert_eq!(k.filesystem.as_ref().unwrap().entry_id, "7-AA-1");
         assert_eq!(k.start_time, 1_656_590_400);
         // Different run: not attached.
-        let items = ex.extract(&[&ior, &other_fs]).unwrap();
+        let items = ex.extract(&mut test_ctx(), &[&ior, &other_fs]).unwrap();
         let KnowledgeItem::Benchmark(k) = &items[0] else {
             panic!("wrong kind")
         };
         assert!(k.filesystem.is_none());
         // No run key on the aux: attaches everywhere.
         let global_fs = entry_artifact(None);
-        let items = ex.extract(&[&ior, &global_fs]).unwrap();
+        let items = ex.extract(&mut test_ctx(), &[&ior, &global_fs]).unwrap();
         let KnowledgeItem::Benchmark(k) = &items[0] else {
             panic!("wrong kind")
         };
@@ -349,7 +374,9 @@ Stripe pattern details:
                 .to_owned(),
         )
         .with_meta("run", "r9");
-        let items = IorExtractor.extract(&[&ior, &lfs]).unwrap();
+        let items = IorExtractor
+            .extract(&mut test_ctx(), &[&ior, &lfs])
+            .unwrap();
         let KnowledgeItem::Benchmark(k) = &items[0] else {
             panic!("wrong kind")
         };
@@ -361,7 +388,7 @@ Stripe pattern details:
     #[test]
     fn ior_extractor_propagates_parse_errors() {
         let bad = Artifact::text(ArtifactKind::IorOutput, "stdout", "garbage".into());
-        let err = IorExtractor.extract(&[&bad]).unwrap_err();
+        let err = IorExtractor.extract(&mut test_ctx(), &[&bad]).unwrap_err();
         assert_eq!(err.module, "ior-extractor");
         assert_eq!(err.phase, PhaseKind::Extraction);
     }
@@ -369,7 +396,7 @@ Stripe pattern details:
     #[test]
     fn derived_from_metadata_links_provenance() {
         let ior = ior_artifact("r1").with_meta("derived_from", "42");
-        let items = IorExtractor.extract(&[&ior]).unwrap();
+        let items = IorExtractor.extract(&mut test_ctx(), &[&ior]).unwrap();
         let KnowledgeItem::Benchmark(k) = &items[0] else {
             panic!("wrong kind")
         };

@@ -28,6 +28,7 @@ use crate::sweep::{validate_combos, SweepError, Workpackage, Workspace};
 use iokc_core::campaign::{CampaignSummary, StragglerReport};
 use iokc_core::phases::{ErrorClass, PhaseKind};
 use iokc_core::resilience::{retryable, RetryPolicy};
+use iokc_obs::{Recorder, SpanHandle, SpanId, SpanStatus};
 use iokc_store::journal::JournalWriter;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::Path;
@@ -118,6 +119,12 @@ pub struct CampaignOptions {
     /// discard unjournaled results — the observable behaviour of the
     /// campaign process being killed, used by crash-resume tests.
     pub abort: Option<Arc<AtomicBool>>,
+    /// Span/metric recorder. `None` (the default) records nothing. When
+    /// set, the executor opens a `campaign` root span, one span per
+    /// workpackage, and counts retries and quarantines; workpackage
+    /// virtual time advances the recorder's clock, so span durations are
+    /// simulated time whenever the runner reports it.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for CampaignOptions {
@@ -128,6 +135,7 @@ impl Default for CampaignOptions {
             retry: RetryPolicy::with_retries(2),
             quarantine_threshold: 3,
             abort: None,
+            recorder: None,
         }
     }
 }
@@ -178,6 +186,9 @@ struct Shared<'a> {
     /// journal so quarantine thresholds span resumes.
     failures: Mutex<BTreeMap<usize, u32>>,
     retried_wps: AtomicUsize,
+    /// The campaign root span (when a recorder is configured), parent of
+    /// every workpackage span.
+    root_span: Option<SpanId>,
 }
 
 impl Shared<'_> {
@@ -199,6 +210,10 @@ impl Shared<'_> {
                 false
             }
         }
+    }
+
+    fn recorder(&self) -> Option<&Arc<Recorder>> {
+        self.options.recorder.as_ref()
     }
 
     fn set_fatal(&self, error: SweepError) {
@@ -267,6 +282,10 @@ where
     let pending: VecDeque<usize> = (0..combos.len())
         .filter(|wp| state.is_pending(*wp))
         .collect();
+    let root = options
+        .recorder
+        .as_ref()
+        .map(|recorder| recorder.start_span("campaign", None, None, Some(&config.name)));
     let shared = Shared {
         config,
         options,
@@ -280,6 +299,7 @@ where
         failed: Mutex::new(BTreeSet::new()),
         failures: Mutex::new(state.failures.clone()),
         retried_wps: AtomicUsize::new(0),
+        root_span: root.map(|handle| handle.id),
     };
 
     let workers = options
@@ -292,7 +312,20 @@ where
         }
     });
 
-    if let Some(error) = lock(&shared.fatal).take() {
+    let fatal = lock(&shared.fatal).take();
+    if let (Some(recorder), Some(handle)) = (options.recorder.as_ref(), root.as_ref()) {
+        let status = if fatal.is_some() {
+            SpanStatus::Failed
+        } else if shared.aborted() {
+            SpanStatus::Cancelled
+        } else {
+            SpanStatus::Ok
+        };
+        let dur_ns = recorder.end_span(handle, status);
+        recorder.observe("iokc.campaign.ms", dur_ns as f64 / 1e6);
+        recorder.counter("iokc.campaign.runs").inc();
+    }
+    if let Some(error) = fatal {
         return Err(error);
     }
     Ok(assemble_report(config, &state, &shared, &combos))
@@ -335,20 +368,28 @@ where
     R: FnMut(usize, &str, &str) -> Result<StepOutcome, StepFailure>,
 {
     let options = shared.options;
+    let span = shared.recorder().map(|recorder| {
+        recorder.start_span(
+            &format!("wp{id:06}"),
+            shared.root_span,
+            None,
+            Some("workpackage"),
+        )
+    });
     let start = Instant::now();
     let mut virtual_ms = 0u64;
     let mut attempts_this_run = 0u32;
-    loop {
+    let status = loop {
         attempts_this_run += 1;
         let attempt = run_one_attempt(shared, runner_factory, id, start, &mut virtual_ms);
         match attempt {
-            Attempt::Discarded => return,
+            Attempt::Discarded => break SpanStatus::Cancelled,
             Attempt::Done(wp) => {
                 // A result that the abort switch raced is discarded
                 // *before* journaling — exactly what a killed process
                 // would leave behind.
                 if shared.aborted() {
-                    return;
+                    break SpanStatus::Cancelled;
                 }
                 let elapsed_ms = effective_elapsed(virtual_ms, start);
                 let done = Record::Done {
@@ -359,13 +400,13 @@ where
                     outputs: wp.outputs.clone(),
                 };
                 if !shared.journal_append(&done) {
-                    return;
+                    break SpanStatus::Failed;
                 }
                 if attempts_this_run > 1 {
                     shared.retried_wps.fetch_add(1, Ordering::SeqCst);
                 }
                 lock(&shared.results).insert(id, (wp, attempts_this_run, elapsed_ms));
-                return;
+                break SpanStatus::Ok;
             }
             Attempt::DeadlineExceeded { step, elapsed_ms } => {
                 let deadline = options.wp_deadline_ms.unwrap_or(0);
@@ -378,7 +419,7 @@ where
                     class: ErrorClass::Transient,
                     message,
                 }) {
-                    return;
+                    break SpanStatus::Failed;
                 }
                 // Deadlines bound the whole attempt loop: no retry, but
                 // repeat offenders still hit the quarantine threshold.
@@ -387,7 +428,7 @@ where
                 } else {
                     lock(&shared.failed).insert(id);
                 }
-                return;
+                break SpanStatus::Failed;
             }
             Attempt::Failed { step, failure } => {
                 let cumulative = bump_failures(shared, id);
@@ -398,7 +439,7 @@ where
                     class: failure.class,
                     message: failure.message.clone(),
                 }) {
-                    return;
+                    break SpanStatus::Failed;
                 }
                 let threshold = options.quarantine_threshold;
                 if failure.class == ErrorClass::Permanent {
@@ -419,13 +460,13 @@ where
                             message: failure.message,
                         });
                     }
-                    return;
+                    break SpanStatus::Failed;
                 }
                 // Transient: quarantine repeat offenders, else retry
                 // within budget, else mark failed (resumable).
                 if threshold > 0 && cumulative >= threshold {
                     quarantine(shared, id, cumulative);
-                    return;
+                    break SpanStatus::Failed;
                 }
                 if retryable(ErrorClass::Transient, attempts_this_run, &options.retry) {
                     // Backoff advances the virtual clock; deadlines see it.
@@ -434,6 +475,13 @@ where
                         &format!("wp{id:06}"),
                         attempts_this_run + 1,
                     );
+                    if let Some(recorder) = shared.recorder() {
+                        recorder.counter("iokc.campaign.retries").inc();
+                        recorder.log(
+                            span.as_ref().map(|handle| handle.id),
+                            &format!("wp{id:06} retrying after: {}", failure.message),
+                        );
+                    }
                     continue;
                 }
                 if threshold == 0 {
@@ -446,8 +494,23 @@ where
                 } else {
                     lock(&shared.failed).insert(id);
                 }
-                return;
+                break SpanStatus::Failed;
             }
+        }
+    };
+    end_wp_span(shared, span, virtual_ms, status);
+}
+
+/// Close a workpackage span: advance the recorder's virtual clock by the
+/// workpackage's simulated time (so span durations are virtual whenever
+/// the runner reports a virtual clock) and record the latency histogram.
+fn end_wp_span(shared: &Shared<'_>, span: Option<SpanHandle>, virtual_ms: u64, status: SpanStatus) {
+    if let (Some(recorder), Some(handle)) = (shared.recorder(), span) {
+        recorder.advance_ns(virtual_ms.saturating_mul(1_000_000));
+        let dur_ns = recorder.end_span(&handle, status);
+        recorder.observe("iokc.campaign.wp.ms", dur_ns as f64 / 1e6);
+        if status == SpanStatus::Failed {
+            recorder.counter("iokc.campaign.wp_failures").inc();
         }
     }
 }

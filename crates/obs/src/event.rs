@@ -1,0 +1,298 @@
+//! The structured event stream behind spans, and the sinks it flows to.
+//!
+//! Every span open/close and log line becomes one [`Event`]. Events
+//! serialize to *single-line* compact JSON so they frame cleanly as
+//! checksummed journal records (`iokc-store`'s `journal` module rejects
+//! embedded newlines) and replay losslessly: [`Event::parse_record`] is
+//! the exact inverse of [`Event::to_record`]. `iokc trace` rebuilds the
+//! span tree from a replayed stream via [`crate::trace`].
+
+use iokc_util::json::{self, Json};
+use std::fmt;
+
+/// How a span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanStatus {
+    /// The spanned operation succeeded.
+    Ok,
+    /// The spanned operation failed (degraded, errored, or quarantined).
+    Failed,
+    /// The spanned operation was cancelled before finishing.
+    Cancelled,
+}
+
+impl SpanStatus {
+    /// Display name (also the wire encoding).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanStatus::Ok => "ok",
+            SpanStatus::Failed => "failed",
+            SpanStatus::Cancelled => "cancelled",
+        }
+    }
+
+    fn parse(s: &str) -> Option<SpanStatus> {
+        match s {
+            "ok" => Some(SpanStatus::Ok),
+            "failed" => Some(SpanStatus::Failed),
+            "cancelled" => Some(SpanStatus::Cancelled),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SpanStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What one event records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart {
+        /// Span id, unique within one recorder's stream.
+        id: u64,
+        /// Enclosing span, if any.
+        parent: Option<u64>,
+        /// Span name (phase name, module name, workpackage id, …).
+        name: String,
+        /// Cycle phase this span belongs to, when applicable.
+        phase: Option<String>,
+        /// Module name this span times, when it times a module.
+        module: Option<String>,
+    },
+    /// A span closed.
+    SpanEnd {
+        /// Which span closed.
+        id: u64,
+        /// How it ended.
+        status: SpanStatus,
+        /// Elapsed time between start and end, in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A free-form log line, optionally attached to a span.
+    Log {
+        /// Enclosing span, if any.
+        span: Option<u64>,
+        /// The message.
+        message: String,
+    },
+}
+
+/// One record in the event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Emission order, strictly increasing per recorder. Replays sort by
+    /// this, so interleaved worker threads reconstruct deterministically.
+    pub seq: u64,
+    /// Timestamp in nanoseconds since the recorder clock's epoch.
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Serialize as a single-line compact JSON record (the journal
+    /// payload format).
+    #[must_use]
+    pub fn to_record(&self) -> String {
+        let opt_u64 = |v: Option<u64>| v.map(Json::from).unwrap_or(Json::Null);
+        let opt_str = |v: &Option<String>| v.as_deref().map(Json::from).unwrap_or(Json::Null);
+        let mut pairs = vec![
+            ("seq", Json::from(self.seq)),
+            ("ts", Json::from(self.ts_ns)),
+        ];
+        match &self.kind {
+            EventKind::SpanStart {
+                id,
+                parent,
+                name,
+                phase,
+                module,
+            } => {
+                pairs.push(("ev", Json::from("span_start")));
+                pairs.push(("id", Json::from(*id)));
+                pairs.push(("parent", opt_u64(*parent)));
+                pairs.push(("name", Json::from(name.as_str())));
+                pairs.push(("phase", opt_str(phase)));
+                pairs.push(("module", opt_str(module)));
+            }
+            EventKind::SpanEnd { id, status, dur_ns } => {
+                pairs.push(("ev", Json::from("span_end")));
+                pairs.push(("id", Json::from(*id)));
+                pairs.push(("status", Json::from(status.as_str())));
+                pairs.push(("dur", Json::from(*dur_ns)));
+            }
+            EventKind::Log { span, message } => {
+                pairs.push(("ev", Json::from("log")));
+                pairs.push(("span", opt_u64(*span)));
+                pairs.push(("msg", Json::from(message.as_str())));
+            }
+        }
+        Json::obj(pairs).to_compact()
+    }
+
+    /// Parse one record previously produced by [`Event::to_record`].
+    /// Returns `None` for records this version does not understand
+    /// (forward compatibility: unknown event kinds are skipped, not
+    /// fatal).
+    #[must_use]
+    pub fn parse_record(record: &str) -> Option<Event> {
+        let doc = json::parse(record).ok()?;
+        let seq = doc.get("seq")?.as_u64()?;
+        let ts_ns = doc.get("ts")?.as_u64()?;
+        let opt_u64 = |key: &str| doc.get(key).and_then(Json::as_u64);
+        let opt_string = |key: &str| doc.get(key).and_then(Json::as_str).map(str::to_owned);
+        let kind = match doc.get("ev")?.as_str()? {
+            "span_start" => EventKind::SpanStart {
+                id: doc.get("id")?.as_u64()?,
+                parent: opt_u64("parent"),
+                name: doc.get("name")?.as_str()?.to_owned(),
+                phase: opt_string("phase"),
+                module: opt_string("module"),
+            },
+            "span_end" => EventKind::SpanEnd {
+                id: doc.get("id")?.as_u64()?,
+                status: SpanStatus::parse(doc.get("status")?.as_str()?)?,
+                dur_ns: doc.get("dur")?.as_u64()?,
+            },
+            "log" => EventKind::Log {
+                span: opt_u64("span"),
+                message: doc.get("msg")?.as_str()?.to_owned(),
+            },
+            _ => return None,
+        };
+        Some(Event { seq, ts_ns, kind })
+    }
+}
+
+/// Where events go. Sinks must tolerate concurrent emitters; emission is
+/// infallible by contract — a sink that hits an I/O error records it
+/// internally rather than poisoning the instrumented hot path.
+pub trait EventSink: Send + Sync {
+    /// Record one event.
+    fn emit(&self, event: &Event);
+}
+
+/// A sink that drops everything — tracing disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// A sink that buffers events in memory, for tests and for `--metrics`
+/// style post-run inspection.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: std::sync::Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    #[must_use]
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of everything emitted so far, in emission order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Event> {
+        match self.events.lock() {
+            Ok(events) => events.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        match self.events.lock() {
+            Ok(mut events) => events.push(event.clone()),
+            Err(poisoned) => poisoned.into_inner().push(event.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(event: Event) {
+        let line = event.to_record();
+        assert!(!line.contains('\n'), "records must be single-line");
+        assert_eq!(Event::parse_record(&line).unwrap(), event);
+    }
+
+    #[test]
+    fn events_roundtrip_through_records() {
+        roundtrip(Event {
+            seq: 0,
+            ts_ns: 123,
+            kind: EventKind::SpanStart {
+                id: 1,
+                parent: None,
+                name: "cycle".into(),
+                phase: None,
+                module: None,
+            },
+        });
+        roundtrip(Event {
+            seq: 1,
+            ts_ns: 456,
+            kind: EventKind::SpanStart {
+                id: 2,
+                parent: Some(1),
+                name: "ior-generator".into(),
+                phase: Some("generation".into()),
+                module: Some("ior-generator".into()),
+            },
+        });
+        roundtrip(Event {
+            seq: 2,
+            ts_ns: 789,
+            kind: EventKind::SpanEnd {
+                id: 2,
+                status: SpanStatus::Failed,
+                dur_ns: 333,
+            },
+        });
+        roundtrip(Event {
+            seq: 3,
+            ts_ns: 790,
+            kind: EventKind::Log {
+                span: Some(1),
+                message: "retrying after backoff".into(),
+            },
+        });
+    }
+
+    #[test]
+    fn unknown_event_kinds_are_skipped_not_fatal() {
+        assert!(Event::parse_record(r#"{"seq":0,"ts":1,"ev":"from_the_future"}"#).is_none());
+        assert!(Event::parse_record("not json at all").is_none());
+    }
+
+    #[test]
+    fn memory_sink_preserves_order() {
+        let sink = MemorySink::new();
+        for seq in 0..4 {
+            sink.emit(&Event {
+                seq,
+                ts_ns: seq * 10,
+                kind: EventKind::Log {
+                    span: None,
+                    message: format!("m{seq}"),
+                },
+            });
+        }
+        let got = sink.snapshot();
+        assert_eq!(got.len(), 4);
+        assert!(got.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

@@ -1,0 +1,40 @@
+//! Observability primitives for the knowledge cycle.
+//!
+//! The paper's workflow is iterative and automated — runs feed back into
+//! new runs — so diagnosing *where* time and retries go needs telemetry
+//! that is cheap enough to leave always-on. This crate provides the three
+//! primitives the rest of the workspace instruments itself with:
+//!
+//! * **Spans** ([`Recorder::start_span`]/[`Recorder::end_span`]) — nested
+//!   timed regions stamped from a [`Clock`] that is either monotonic wall
+//!   time or a shared *virtual* clock the simulator advances, so simulated
+//!   runs get faithful timings instead of host noise.
+//! * **Metrics** ([`MetricsRegistry`]) — named counters and log₂-bucketed
+//!   histograms backed by atomics; handles are cheap to clone and safe to
+//!   hammer from worker threads.
+//! * **Events** ([`Event`], [`EventSink`]) — the structured record stream
+//!   behind the spans. Sinks are pluggable: in-memory for tests, an
+//!   fsynced checksummed journal (in `iokc-store`) for post-mortem
+//!   analysis, or [`NullSink`] when tracing is off.
+//!
+//! The crate is deliberately a leaf: it depends only on `iokc-util`, so
+//! every other crate (core, store, jube, cli) can instrument itself
+//! without dependency cycles. [`trace`] turns a replayed event stream
+//! back into a span tree and per-phase latency table — the engine behind
+//! `iokc trace`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+pub mod clock;
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod trace;
+
+pub use clock::{CancelToken, Clock, VirtualClock};
+pub use event::{Event, EventKind, EventSink, MemorySink, NullSink, SpanStatus};
+pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use recorder::{Recorder, SpanHandle, SpanId};
+pub use trace::{build_span_tree, phase_latency, PhaseLatencyRow, SpanNode, TraceTree};

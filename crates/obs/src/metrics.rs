@@ -1,0 +1,371 @@
+//! Counters and histograms in a lock-free-ish registry.
+//!
+//! Registration (first use of a name) takes a write lock; every increment
+//! and observation after that is a handful of atomic operations on
+//! handles that clone cheaply — callers cache a [`Counter`] once and
+//! hammer it from worker threads. Histograms bucket by powers of two
+//! (log₂), the classic latency-histogram shape: constant-time insert,
+//! bounded memory, resolution proportional to magnitude.
+//!
+//! [`MetricsRegistry::to_json`] dumps the whole registry as *stable* JSON
+//! (names sorted, buckets ascending), the format behind the CLI's
+//! `--metrics <path>` flag.
+
+use iokc_util::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log₂ buckets; covers values up to 2⁶². The last bucket is
+/// the overflow bucket.
+const BUCKETS: usize = 64;
+
+/// A histogram of non-negative observations in power-of-two buckets.
+///
+/// All state is atomic, so concurrent observers never block each other.
+/// The floating-point sum is maintained with a compare-exchange loop on
+/// the bit pattern — still lock-free, and exact enough that totals from
+/// a virtual clock reproduce bit-for-bit in single-threaded runs.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Which bucket a value falls into: bucket `i` counts `2^(i-1) < v <= 2^i`
+/// (bucket 0 is `v <= 1`).
+fn bucket_index(value: f64) -> usize {
+    if value <= 1.0 {
+        return 0;
+    }
+    let index = value.log2().ceil();
+    if index >= (BUCKETS - 1) as f64 {
+        BUCKETS - 1
+    } else {
+        index as usize
+    }
+}
+
+/// Atomically fold `value` into an f64 stored as bits, using `merge` to
+/// combine (add, min, max).
+fn fold_f64(cell: &AtomicU64, value: f64, merge: impl Fn(f64, f64) -> f64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = merge(f64::from_bits(current), value).to_bits();
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation. Negative and non-finite values are clamped
+    /// to zero rather than corrupting the distribution.
+    pub fn observe(&self, value: f64) {
+        let value = if value.is_finite() && value > 0.0 {
+            value
+        } else {
+            0.0
+        };
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        fold_f64(&self.sum_bits, value, |a, b| a + b);
+        fold_f64(&self.min_bits, value, f64::min);
+        fold_f64(&self.max_bits, value, f64::max);
+    }
+
+    /// A consistent-enough copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let (min, max) = if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+                f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+            )
+        };
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (2f64.powi(i as i32), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+    /// Non-empty buckets as `(upper_bound, count)`, ascending; bucket
+    /// `le` holds values in `(le/2, le]`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The process-wide (or cycle-wide) registry of named metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use. The returned
+    /// handle is cheap to clone and cache.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(counter) = read_lock(&self.counters).get(name) {
+            return counter.clone();
+        }
+        write_lock(&self.counters)
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(histogram) = read_lock(&self.histograms).get(name) {
+            return Arc::clone(histogram);
+        }
+        Arc::clone(
+            write_lock(&self.histograms)
+                .entry(name.to_owned())
+                .or_default(),
+        )
+    }
+
+    /// Record one observation into the histogram named `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.histogram(name).observe(value);
+    }
+
+    /// Every counter as `(name, value)`, sorted by name.
+    #[must_use]
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        read_lock(&self.counters)
+            .iter()
+            .map(|(name, counter)| (name.clone(), counter.get()))
+            .collect()
+    }
+
+    /// Every histogram as `(name, snapshot)`, sorted by name.
+    #[must_use]
+    pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
+        read_lock(&self.histograms)
+            .iter()
+            .map(|(name, histogram)| (name.clone(), histogram.snapshot()))
+            .collect()
+    }
+
+    /// Dump the registry as stable JSON: keys sorted, buckets ascending.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let counters = Json::obj(
+            self.counters()
+                .iter()
+                .map(|(name, value)| (name.as_str(), Json::from(*value)))
+                .collect(),
+        );
+        let histograms = Json::obj(
+            self.histograms()
+                .iter()
+                .map(|(name, snap)| {
+                    (
+                        name.as_str(),
+                        Json::obj(vec![
+                            ("count", Json::from(snap.count)),
+                            ("sum", Json::from(snap.sum)),
+                            ("min", Json::from(snap.min)),
+                            ("max", Json::from(snap.max)),
+                            (
+                                "buckets",
+                                Json::Arr(
+                                    snap.buckets
+                                        .iter()
+                                        .map(|(le, n)| {
+                                            Json::obj(vec![
+                                                ("le", Json::from(*le)),
+                                                ("count", Json::from(*n)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("schema", Json::from(1u64)),
+            ("counters", counters),
+            ("histograms", histograms),
+        ])
+    }
+}
+
+/// Read-lock a map, recovering from poisoning (metrics must never take
+/// an instrumented process down).
+fn read_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Write-lock a map, recovering from poisoning.
+fn write_lock<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_by_name() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("iokc.test.runs");
+        let b = registry.counter("iokc.test.runs");
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter("iokc.test.runs").get(), 3);
+        assert_eq!(registry.counters(), vec![("iokc.test.runs".to_owned(), 3)]);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_two() {
+        let h = Histogram::default();
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 5);
+        assert!((snap.sum - 106.0).abs() < 1e-9);
+        assert_eq!(snap.min, 0.5);
+        assert_eq!(snap.max, 100.0);
+        // 0.5 and 1.0 land in le=1 (bucket 0 reports le=2^0=1)... le
+        // values are 1, 2, 4, 128.
+        let les: Vec<f64> = snap.buckets.iter().map(|(le, _)| *le).collect();
+        assert_eq!(les, vec![1.0, 2.0, 4.0, 128.0]);
+        assert_eq!(snap.buckets[0].1, 2);
+    }
+
+    #[test]
+    fn pathological_observations_are_clamped() {
+        let h = Histogram::default();
+        h.observe(-5.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.sum, 0.0);
+        assert_eq!(snap.max, 0.0);
+    }
+
+    #[test]
+    fn registry_json_is_stable_and_parses() {
+        let registry = MetricsRegistry::new();
+        registry.counter("z.last").inc();
+        registry.counter("a.first").add(7);
+        registry.observe("phase.ms", 12.5);
+        let a = registry.to_json().to_pretty();
+        let b = registry.to_json().to_pretty();
+        assert_eq!(a, b, "dump must be deterministic");
+        let doc = iokc_util::json::parse(&a).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("a.first"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+        assert_eq!(
+            doc.get("histograms")
+                .and_then(|h| h.get("phase.ms"))
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        // Sorted keys: "a.first" serializes before "z.last".
+        assert!(a.find("a.first").unwrap() < a.find("z.last").unwrap());
+    }
+}

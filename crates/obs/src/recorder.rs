@@ -1,0 +1,214 @@
+//! The [`Recorder`]: one clock, one event sink, one metrics registry.
+//!
+//! A recorder is the single object a cycle (or campaign) threads through
+//! its instrumentation: spans are stamped from its [`Clock`], events flow
+//! to its [`EventSink`], and counters/histograms live in its
+//! [`MetricsRegistry`]. It is `Send + Sync`, so one `Arc<Recorder>` is
+//! shared by the orchestrator and every worker thread.
+
+use crate::clock::Clock;
+use crate::event::{Event, EventKind, EventSink, NullSink, SpanStatus};
+use crate::metrics::{Counter, MetricsRegistry};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Identifier of one span within a recorder's stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An open span: the token [`Recorder::end_span`] closes.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanHandle {
+    /// The span's id (give this as `parent` to child spans).
+    pub id: SpanId,
+    /// Start timestamp, nanoseconds since the recorder clock's epoch.
+    pub start_ns: u64,
+}
+
+/// The instrumentation hub: clock + sink + metrics.
+pub struct Recorder {
+    clock: Clock,
+    sink: Arc<dyn EventSink>,
+    metrics: Arc<MetricsRegistry>,
+    next_span: AtomicU64,
+    next_seq: AtomicU64,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("clock", &self.clock)
+            .field("spans_opened", &self.next_span.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::disabled()
+    }
+}
+
+impl Recorder {
+    /// A recorder with the given clock and sink, and a fresh metrics
+    /// registry.
+    #[must_use]
+    pub fn new(clock: Clock, sink: Arc<dyn EventSink>) -> Recorder {
+        Recorder {
+            clock,
+            sink,
+            metrics: Arc::new(MetricsRegistry::new()),
+            next_span: AtomicU64::new(1),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// A recorder that times on the wall clock and drops all events —
+    /// the near-zero-cost default when observability is not requested.
+    #[must_use]
+    pub fn disabled() -> Recorder {
+        Recorder::new(Clock::wall(), Arc::new(NullSink))
+    }
+
+    /// The recorder's clock.
+    #[must_use]
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The recorder's metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Nanoseconds since the clock's epoch.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Advance a virtual clock (no-op on wall clocks). The simulator-
+    /// backed generators call this with their simulated elapsed time, and
+    /// the retry loop calls it with virtual backoff delays.
+    pub fn advance_ns(&self, delta_ns: u64) {
+        self.clock.advance_ns(delta_ns);
+    }
+
+    /// Open a span. `phase`/`module` label what the span times, so
+    /// replays can aggregate per phase and per module.
+    #[must_use]
+    pub fn start_span(
+        &self,
+        name: &str,
+        parent: Option<SpanId>,
+        phase: Option<&str>,
+        module: Option<&str>,
+    ) -> SpanHandle {
+        let id = SpanId(self.next_span.fetch_add(1, Ordering::Relaxed));
+        let start_ns = self.now_ns();
+        self.emit(
+            start_ns,
+            EventKind::SpanStart {
+                id: id.0,
+                parent: parent.map(|p| p.0),
+                name: name.to_owned(),
+                phase: phase.map(str::to_owned),
+                module: module.map(str::to_owned),
+            },
+        );
+        SpanHandle { id, start_ns }
+    }
+
+    /// Close a span, returning its duration in nanoseconds.
+    pub fn end_span(&self, span: &SpanHandle, status: SpanStatus) -> u64 {
+        let now = self.now_ns();
+        let dur_ns = now.saturating_sub(span.start_ns);
+        self.emit(
+            now,
+            EventKind::SpanEnd {
+                id: span.id.0,
+                status,
+                dur_ns,
+            },
+        );
+        dur_ns
+    }
+
+    /// Emit a log line, optionally attached to a span.
+    pub fn log(&self, span: Option<SpanId>, message: &str) {
+        self.emit(
+            self.now_ns(),
+            EventKind::Log {
+                span: span.map(|s| s.0),
+                message: message.to_owned(),
+            },
+        );
+    }
+
+    /// The counter named `name` from this recorder's registry.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.metrics.counter(name)
+    }
+
+    /// Record one histogram observation in this recorder's registry.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.metrics.observe(name, value);
+    }
+
+    fn emit(&self, ts_ns: u64, kind: EventKind) {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        self.sink.emit(&Event { seq, ts_ns, kind });
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::event::MemorySink;
+
+    #[test]
+    fn spans_stamp_from_the_virtual_clock() {
+        let clock = VirtualClock::new();
+        let sink = Arc::new(MemorySink::new());
+        let recorder = Recorder::new(Clock::Virtual(clock.clone()), sink.clone());
+
+        let root = recorder.start_span("cycle", None, None, None);
+        clock.advance_ms(10);
+        let child = recorder.start_span("generation", Some(root.id), Some("generation"), None);
+        clock.advance_ms(5);
+        assert_eq!(recorder.end_span(&child, SpanStatus::Ok), 5_000_000);
+        assert_eq!(recorder.end_span(&root, SpanStatus::Ok), 15_000_000);
+
+        let events = sink.snapshot();
+        assert_eq!(events.len(), 4);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        match &events[1].kind {
+            EventKind::SpanStart { parent, phase, .. } => {
+                assert_eq!(*parent, Some(root.id.0));
+                assert_eq!(phase.as_deref(), Some("generation"));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_still_counts() {
+        let recorder = Recorder::disabled();
+        recorder.counter("runs").inc();
+        recorder.observe("ms", 3.0);
+        let span = recorder.start_span("noop", None, None, None);
+        recorder.end_span(&span, SpanStatus::Ok);
+        assert_eq!(recorder.metrics().counter("runs").get(), 1);
+    }
+}

@@ -1,0 +1,324 @@
+//! Rebuilding span trees and latency tables from replayed event streams.
+//!
+//! The journal holds a flat, append-ordered stream of [`Event`]s; this
+//! module folds it back into the nested structure the recorder saw:
+//! a forest of [`SpanNode`]s plus per-phase/per-module latency
+//! aggregates. `iokc trace` is a thin shell around [`build_span_tree`],
+//! [`phase_latency`] and the two renderers.
+
+use crate::event::{Event, EventKind, SpanStatus};
+use std::collections::BTreeMap;
+
+/// One span, with its children nested beneath it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    /// Span id.
+    pub id: u64,
+    /// Span name.
+    pub name: String,
+    /// Phase label, when the span belongs to a cycle phase.
+    pub phase: Option<String>,
+    /// Module label, when the span times one module invocation.
+    pub module: Option<String>,
+    /// Start timestamp (ns since the recorder clock's epoch).
+    pub start_ns: u64,
+    /// Duration in ns; `None` when the stream ended before the span
+    /// closed (a crash left it open).
+    pub dur_ns: Option<u64>,
+    /// Final status; `None` for spans left open.
+    pub status: Option<SpanStatus>,
+    /// Log lines attached to this span.
+    pub logs: Vec<String>,
+    /// Child spans, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+/// A reconstructed trace: the span forest plus stream-level counts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceTree {
+    /// Root spans (no parent, or parent never seen), in start order.
+    pub roots: Vec<SpanNode>,
+    /// Spans that never closed — evidence of a crash mid-operation.
+    pub open_spans: usize,
+    /// Events replayed.
+    pub events: usize,
+}
+
+/// Fold a replayed event stream into a span forest.
+///
+/// The stream may be truncated (crash, torn journal tail): spans without
+/// an end event are kept, flagged via [`SpanNode::dur_ns`]` == None` and
+/// counted in [`TraceTree::open_spans`]. Events are processed in `seq`
+/// order regardless of input order.
+#[must_use]
+pub fn build_span_tree(events: &[Event]) -> TraceTree {
+    let mut ordered: Vec<&Event> = events.iter().collect();
+    ordered.sort_by_key(|e| e.seq);
+
+    // Arena of nodes in first-seen order, then stitch children by id.
+    let mut nodes: Vec<SpanNode> = Vec::new();
+    let mut index_of: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut parent_of: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+
+    for event in &ordered {
+        match &event.kind {
+            EventKind::SpanStart {
+                id,
+                parent,
+                name,
+                phase,
+                module,
+            } => {
+                index_of.insert(*id, nodes.len());
+                parent_of.insert(*id, *parent);
+                nodes.push(SpanNode {
+                    id: *id,
+                    name: name.clone(),
+                    phase: phase.clone(),
+                    module: module.clone(),
+                    start_ns: event.ts_ns,
+                    dur_ns: None,
+                    status: None,
+                    logs: Vec::new(),
+                    children: Vec::new(),
+                });
+            }
+            EventKind::SpanEnd { id, status, dur_ns } => {
+                if let Some(&at) = index_of.get(id) {
+                    nodes[at].dur_ns = Some(*dur_ns);
+                    nodes[at].status = Some(*status);
+                }
+            }
+            EventKind::Log { span, message } => {
+                if let Some(at) = span.and_then(|s| index_of.get(&s)).copied() {
+                    nodes[at].logs.push(message.clone());
+                }
+            }
+        }
+    }
+
+    let open_spans = nodes.iter().filter(|n| n.dur_ns.is_none()).count();
+
+    // Stitch bottom-up: children were pushed after their parents (spans
+    // start after their parent starts), so draining in reverse order
+    // moves each node into its parent before the parent itself moves.
+    let mut tree = TraceTree {
+        roots: Vec::new(),
+        open_spans,
+        events: events.len(),
+    };
+    let mut slots: Vec<Option<SpanNode>> = nodes.into_iter().map(Some).collect();
+    for at in (0..slots.len()).rev() {
+        let Some(mut node) = slots[at].take() else {
+            continue;
+        };
+        node.children.reverse(); // collected in reverse start order
+        let parent_index = parent_of
+            .get(&node.id)
+            .copied()
+            .flatten()
+            .and_then(|p| index_of.get(&p).copied())
+            .filter(|&p| p < at);
+        match parent_index {
+            Some(p) => match &mut slots[p] {
+                Some(parent) => parent.children.push(node),
+                None => tree.roots.push(node),
+            },
+            None => tree.roots.push(node),
+        }
+    }
+    tree.roots.reverse();
+    tree
+}
+
+/// One row of the per-phase latency table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseLatencyRow {
+    /// Phase label.
+    pub phase: String,
+    /// Module label, or `"—"` for the phase's own span.
+    pub module: Option<String>,
+    /// Spans aggregated into this row.
+    pub spans: u64,
+    /// Total duration across those spans, in ns.
+    pub total_ns: u64,
+}
+
+/// Aggregate a span forest into per-phase / per-module latency rows.
+///
+/// Phase rows (module `None`) aggregate spans labelled with a phase but
+/// no module; module rows aggregate per `(phase, module)`. Rows come out
+/// sorted by phase label then module label.
+#[must_use]
+pub fn phase_latency(tree: &TraceTree) -> Vec<PhaseLatencyRow> {
+    let mut rows: BTreeMap<(String, Option<String>), (u64, u64)> = BTreeMap::new();
+    let mut stack: Vec<&SpanNode> = tree.roots.iter().collect();
+    while let Some(node) = stack.pop() {
+        stack.extend(node.children.iter());
+        let Some(phase) = &node.phase else { continue };
+        let key = (phase.clone(), node.module.clone());
+        let entry = rows.entry(key).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += node.dur_ns.unwrap_or(0);
+    }
+    rows.into_iter()
+        .map(|((phase, module), (spans, total_ns))| PhaseLatencyRow {
+            phase,
+            module,
+            spans,
+            total_ns,
+        })
+        .collect()
+}
+
+/// Format nanoseconds as fractional milliseconds.
+#[must_use]
+pub fn format_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Render the span forest as an indented tree, one span per line.
+#[must_use]
+pub fn render_tree(tree: &TraceTree) -> String {
+    fn walk(node: &SpanNode, prefix: &str, last: bool, root: bool, out: &mut String) {
+        let (branch, extend) = if root {
+            ("", "")
+        } else if last {
+            ("└─ ", "   ")
+        } else {
+            ("├─ ", "│  ")
+        };
+        let timing = match node.dur_ns {
+            Some(dur) => format!("{} ms", format_ms(dur)),
+            None => "open (never closed)".to_owned(),
+        };
+        let status = node.status.map(|s| s.as_str()).unwrap_or("?");
+        out.push_str(&format!(
+            "{prefix}{branch}{:<32} {:>12}  {status}\n",
+            node.name, timing
+        ));
+        let child_prefix = format!("{prefix}{extend}");
+        for (i, child) in node.children.iter().enumerate() {
+            walk(
+                child,
+                &child_prefix,
+                i + 1 == node.children.len(),
+                false,
+                out,
+            );
+        }
+    }
+    let mut out = String::new();
+    for root in &tree.roots {
+        walk(root, "", true, true, &mut out);
+    }
+    if tree.open_spans > 0 {
+        out.push_str(&format!(
+            "({} span(s) never closed — stream truncated mid-operation)\n",
+            tree.open_spans
+        ));
+    }
+    out
+}
+
+/// Render the per-phase latency table.
+#[must_use]
+pub fn render_latency_table(rows: &[PhaseLatencyRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<32} {:>6} {:>12}\n",
+        "phase", "module", "spans", "total ms"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<12} {:<32} {:>6} {:>12}\n",
+            row.phase,
+            row.module.as_deref().unwrap_or("—"),
+            row.spans,
+            format_ms(row.total_ns),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, VirtualClock};
+    use crate::event::MemorySink;
+    use crate::recorder::Recorder;
+    use std::sync::Arc;
+
+    fn sample_events() -> Vec<Event> {
+        let clock = VirtualClock::new();
+        let sink = Arc::new(MemorySink::new());
+        let recorder = Recorder::new(Clock::Virtual(clock.clone()), sink.clone());
+        let root = recorder.start_span("cycle", None, None, None);
+        let phase = recorder.start_span("generation", Some(root.id), Some("generation"), None);
+        let module = recorder.start_span(
+            "ior-generator",
+            Some(phase.id),
+            Some("generation"),
+            Some("ior-generator"),
+        );
+        recorder.log(Some(module.id), "attempt 1");
+        clock.advance_ms(10);
+        recorder.end_span(&module, SpanStatus::Ok);
+        recorder.end_span(&phase, SpanStatus::Ok);
+        clock.advance_ms(2);
+        recorder.end_span(&root, SpanStatus::Ok);
+        sink.snapshot()
+    }
+
+    #[test]
+    fn tree_rebuilds_nesting_and_durations() {
+        let tree = build_span_tree(&sample_events());
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.open_spans, 0);
+        let root = &tree.roots[0];
+        assert_eq!(root.name, "cycle");
+        assert_eq!(root.dur_ns, Some(12_000_000));
+        assert_eq!(root.children.len(), 1);
+        let phase = &root.children[0];
+        assert_eq!(phase.name, "generation");
+        assert_eq!(phase.children[0].name, "ior-generator");
+        assert_eq!(phase.children[0].dur_ns, Some(10_000_000));
+        assert_eq!(phase.children[0].logs, vec!["attempt 1".to_owned()]);
+    }
+
+    #[test]
+    fn truncated_stream_keeps_open_spans() {
+        let mut events = sample_events();
+        events.truncate(4); // cut before any span closes
+        let tree = build_span_tree(&events);
+        assert_eq!(tree.open_spans, 3);
+        assert_eq!(tree.roots.len(), 1);
+        assert!(tree.roots[0].dur_ns.is_none());
+        let rendered = render_tree(&tree);
+        assert!(rendered.contains("never closed"));
+    }
+
+    #[test]
+    fn latency_rows_aggregate_per_phase_and_module() {
+        let tree = build_span_tree(&sample_events());
+        let rows = phase_latency(&tree);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].phase, "generation");
+        assert_eq!(rows[0].module, None);
+        assert_eq!(rows[0].total_ns, 10_000_000);
+        assert_eq!(rows[1].module.as_deref(), Some("ior-generator"));
+        let table = render_latency_table(&rows);
+        assert!(table.contains("ior-generator"));
+    }
+
+    #[test]
+    fn out_of_order_events_sort_by_seq() {
+        let mut events = sample_events();
+        events.reverse();
+        let tree = build_span_tree(&events);
+        assert_eq!(tree.roots.len(), 1);
+        assert_eq!(tree.roots[0].name, "cycle");
+        assert_eq!(tree.open_spans, 0);
+    }
+}

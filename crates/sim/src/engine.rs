@@ -235,6 +235,14 @@ impl World {
         self.now
     }
 
+    /// Simulated nanoseconds elapsed since `start`, saturating at zero.
+    /// Generators use this to mirror a benchmark's simulated cost onto
+    /// the knowledge cycle's virtual observability clock.
+    #[must_use]
+    pub fn elapsed_ns_since(&self, start: SimTime) -> u64 {
+        self.now.since(start).nanos()
+    }
+
     /// The simulated system configuration.
     #[must_use]
     pub fn system(&self) -> &SystemConfig {

@@ -127,6 +127,69 @@ pub fn truncate_torn_tail(path: &Path) -> Result<JournalReadReport, std::io::Err
     Ok(report)
 }
 
+/// An [`iokc_obs::EventSink`] that appends every observability event as a
+/// checksummed journal record.
+///
+/// This is how span/log streams become durable: each [`iokc_obs::Event`]
+/// is serialized to its compact single-line JSON form and framed exactly
+/// like the campaign journal, so a crashed run leaves a salvageable
+/// prefix that `iokc trace` can replay (open spans in the rebuilt tree
+/// show where the process died).
+///
+/// Sinks are infallible by contract; an I/O error stops further writes
+/// and is reported through [`JournalEventSink::error`] instead of
+/// panicking inside instrumented code.
+#[derive(Debug)]
+pub struct JournalEventSink {
+    writer: std::sync::Mutex<JournalWriter>,
+    failed: std::sync::atomic::AtomicBool,
+    error: std::sync::Mutex<Option<String>>,
+}
+
+impl JournalEventSink {
+    /// Open (creating if absent) an event journal at `path`, salvaging a
+    /// torn tail first so appends never fuse onto torn bytes.
+    pub fn open(path: &Path) -> Result<JournalEventSink, std::io::Error> {
+        truncate_torn_tail(path)?;
+        Ok(JournalEventSink {
+            writer: std::sync::Mutex::new(JournalWriter::open(path)?),
+            failed: std::sync::atomic::AtomicBool::new(false),
+            error: std::sync::Mutex::new(None),
+        })
+    }
+
+    /// The first write error, if the sink has gone dark.
+    #[must_use]
+    pub fn error(&self) -> Option<String> {
+        match self.error.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+}
+
+impl iokc_obs::EventSink for JournalEventSink {
+    fn emit(&self, event: &iokc_obs::Event) {
+        use std::sync::atomic::Ordering;
+        if self.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        let record = event.to_record();
+        let mut writer = match self.writer.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Err(e) = writer.append(&record) {
+            self.failed.store(true, Ordering::Relaxed);
+            let mut slot = match self.error.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            slot.get_or_insert_with(|| e.to_string());
+        }
+    }
+}
+
 /// Decode one framed line into its payload, verifying the checksum.
 /// Returns `None` for torn (unterminated), malformed, or corrupt lines.
 fn decode_record(line: &str) -> Option<&str> {

@@ -15,6 +15,7 @@
 use crate::database::{Column, Database, DbError, OrderBy, Predicate, Row, TableSchema};
 use crate::persist;
 use crate::value::{ColumnType, Value};
+use iokc_core::ctx::PhaseCtx;
 use iokc_core::model::{
     FilesystemInfo, Io500Knowledge, Io500Testcase, IoPattern, IterationResult, Knowledge,
     KnowledgeItem, KnowledgeSource, OperationSummary, SystemInfo,
@@ -523,22 +524,35 @@ impl Persister for KnowledgeStore {
         }
     }
 
-    fn persist(&mut self, items: &[KnowledgeItem]) -> Result<Vec<u64>, CycleError> {
+    fn persist(
+        &mut self,
+        _ctx: &mut PhaseCtx,
+        items: &[KnowledgeItem],
+    ) -> Result<Vec<u64>, CycleError> {
         let mut ids = Vec::with_capacity(items.len());
         for item in items {
             let id = match item {
                 KnowledgeItem::Benchmark(k) => self.save_knowledge(k),
                 KnowledgeItem::Io500(k) => self.save_io500(k),
             }
-            .map_err(|e| CycleError::new(PhaseKind::Persistence, "knowledge-store", e))?;
+            .map_err(db_to_cycle_error)?;
             ids.push(id);
         }
         Ok(ids)
     }
 
-    fn load_all(&self) -> Result<Vec<KnowledgeItem>, CycleError> {
-        self.load_all_items()
-            .map_err(|e| CycleError::new(PhaseKind::Persistence, "knowledge-store", e))
+    fn load_all(&self, _ctx: &mut PhaseCtx) -> Result<Vec<KnowledgeItem>, CycleError> {
+        self.load_all_items().map_err(db_to_cycle_error)
+    }
+}
+
+/// Map a database error onto the cycle's error taxonomy: on-disk
+/// corruption is its own class (the CLI exits 5 on it and retries are
+/// pointless); everything else is a permanent logic/schema error.
+fn db_to_cycle_error(e: DbError) -> CycleError {
+    match &e {
+        DbError::Corrupt(_) => CycleError::corrupt(PhaseKind::Persistence, "knowledge-store", e),
+        _ => CycleError::permanent(PhaseKind::Persistence, "knowledge-store", e),
     }
 }
 
@@ -934,9 +948,10 @@ mod tests {
             KnowledgeItem::Benchmark(sample_knowledge()),
             KnowledgeItem::Io500(sample_io500()),
         ];
-        let ids = store.persist(&items).unwrap();
+        let mut ctx = PhaseCtx::detached(PhaseKind::Persistence, "knowledge-store");
+        let ids = store.persist(&mut ctx, &items).unwrap();
         assert_eq!(ids, vec![1, 1]); // separate id spaces, as in the paper
-        let loaded = Persister::load_all(&store).unwrap();
+        let loaded = Persister::load_all(&store, &mut ctx).unwrap();
         assert_eq!(loaded.len(), 2);
         assert!(matches!(loaded[0], KnowledgeItem::Benchmark(_)));
         assert!(matches!(loaded[1], KnowledgeItem::Io500(_)));

@@ -20,7 +20,9 @@ pub mod sql;
 pub mod value;
 
 pub use database::{Column, Database, DbError, ForeignKey, OrderBy, Predicate, Row, TableSchema};
-pub use journal::{read_journal, truncate_torn_tail, JournalReadReport, JournalWriter};
+pub use journal::{
+    read_journal, truncate_torn_tail, JournalEventSink, JournalReadReport, JournalWriter,
+};
 pub use knowledge_store::KnowledgeStore;
 pub use persist::{export_csv, import_csv, load, save};
 pub use value::{ColumnType, Value};

@@ -8,6 +8,7 @@
 //! API: load a stored command, mutate parameters, emit the new command
 //! (or a JUBE configuration that sweeps it).
 
+use iokc_core::ctx::PhaseCtx;
 use iokc_core::model::{Knowledge, KnowledgeItem};
 use iokc_core::phases::{CycleError, Finding, UsageModule, UsageOutcome};
 use std::collections::BTreeMap;
@@ -170,6 +171,7 @@ impl UsageModule for RegenerateUsage {
 
     fn apply(
         &mut self,
+        _ctx: &mut PhaseCtx,
         items: &[KnowledgeItem],
         _findings: &[Finding],
     ) -> Result<UsageOutcome, CycleError> {
@@ -198,6 +200,10 @@ impl UsageModule for RegenerateUsage {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn test_ctx() -> PhaseCtx {
+        PhaseCtx::detached(iokc_core::phases::PhaseKind::Usage, "test")
+    }
     use iokc_core::model::KnowledgeSource;
 
     const PAPER_CMD: &str =
@@ -248,10 +254,10 @@ mod tests {
         let k = Knowledge::new(KnowledgeSource::Ior, "ior -b 4m -t 1m -o /scratch/x");
         let items = vec![KnowledgeItem::Benchmark(k)];
         let mut module = RegenerateUsage::default();
-        let first = module.apply(&items, &[]).unwrap();
+        let first = module.apply(&mut test_ctx(), &items, &[]).unwrap();
         assert_eq!(first.new_commands.len(), 1);
         assert!(first.new_commands[0].contains("-b 8m"));
-        let second = module.apply(&items, &[]).unwrap();
+        let second = module.apply(&mut test_ctx(), &items, &[]).unwrap();
         assert!(second.new_commands.is_empty(), "no duplicate scheduling");
     }
 

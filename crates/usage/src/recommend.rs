@@ -8,6 +8,7 @@
 //! cache pitfalls, collective I/O for shared files with many ranks per
 //! node, and fsync placement.
 
+use iokc_core::ctx::PhaseCtx;
 use iokc_core::model::{Knowledge, KnowledgeItem};
 use iokc_core::phases::{CycleError, Finding, UsageModule, UsageOutcome};
 
@@ -154,6 +155,7 @@ impl UsageModule for RecommendationUsage {
 
     fn apply(
         &mut self,
+        _ctx: &mut PhaseCtx,
         items: &[KnowledgeItem],
         _findings: &[Finding],
     ) -> Result<UsageOutcome, CycleError> {
@@ -176,6 +178,10 @@ impl UsageModule for RecommendationUsage {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn test_ctx() -> PhaseCtx {
+        PhaseCtx::detached(iokc_core::phases::PhaseKind::Usage, "test")
+    }
     use iokc_core::model::{FilesystemInfo, KnowledgeSource, OperationSummary};
 
     fn base() -> Knowledge {
@@ -305,7 +311,7 @@ mod tests {
         let mut k = base();
         k.pattern.transfer_size = 47_008;
         let outcome = RecommendationUsage
-            .apply(&[KnowledgeItem::Benchmark(k)], &[])
+            .apply(&mut test_ctx(), &[KnowledgeItem::Benchmark(k)], &[])
             .unwrap();
         assert!(!outcome.recommendations.is_empty());
         assert!(outcome.recommendations[0].contains("[align-transfer-to-chunk]"));

@@ -10,6 +10,7 @@
 //! ```
 
 use iokc_benchmarks::{IorConfig, IorGenerator};
+use iokc_core::cycle::ModuleBox;
 use iokc_core::model::KnowledgeItem;
 use iokc_core::KnowledgeCycle;
 use iokc_extract::IorExtractor;
@@ -43,12 +44,12 @@ fn main() {
 
     let mut cycle = KnowledgeCycle::new();
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(IorExtractor))
-        .add_persister(Box::new(
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::persister(
             KnowledgeStore::open(db_path.clone()).expect("fresh store opens"),
         ))
-        .add_usage(Box::new(RegenerateUsage::default()));
+        .register(ModuleBox::usage(RegenerateUsage::default()));
 
     let reports = cycle.run_iterative(4).expect("iterative cycle");
     println!("the cycle ran {} times:", reports.len());

@@ -10,6 +10,7 @@
 //! ```
 
 use iokc_benchmarks::{IorConfig, IorGenerator};
+use iokc_core::cycle::ModuleBox;
 use iokc_core::KnowledgeCycle;
 use iokc_extract::IorExtractor;
 use iokc_sim::engine::{JobLayout, World};
@@ -31,11 +32,13 @@ fn main() {
     // Wire the five phases.
     let mut cycle = KnowledgeCycle::new();
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(IorExtractor))
-        .add_persister(Box::new(KnowledgeStore::in_memory()))
-        .add_analyzer(Box::new(iokc_analysis::IterationVarianceDetector::default()))
-        .add_usage(Box::new(RegenerateUsage::default()));
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::persister(KnowledgeStore::in_memory()))
+        .register(ModuleBox::analyzer(
+            iokc_analysis::IterationVarianceDetector::default(),
+        ))
+        .register(ModuleBox::usage(RegenerateUsage::default()));
 
     println!("registered modules:");
     for (phase, modules) in cycle.registry() {

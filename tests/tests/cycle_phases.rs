@@ -4,9 +4,10 @@
 //! module.
 
 use iokc_benchmarks::{IorConfig, IorGenerator};
+use iokc_core::cycle::ModuleBox;
 use iokc_core::model::KnowledgeItem;
 use iokc_core::phases::{Persister, PhaseKind};
-use iokc_core::KnowledgeCycle;
+use iokc_core::{KnowledgeCycle, PhaseCtx};
 use iokc_extract::{DarshanExtractor, IorExtractor};
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::FaultPlan;
@@ -29,12 +30,14 @@ fn full_cycle_produces_complete_knowledge() {
 
     let mut cycle = KnowledgeCycle::new();
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(IorExtractor))
-        .add_extractor(Box::new(DarshanExtractor))
-        .add_persister(Box::new(KnowledgeStore::in_memory()))
-        .add_analyzer(Box::new(iokc_analysis::IterationVarianceDetector::default()))
-        .add_usage(Box::new(RegenerateUsage::default()));
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::extractor(DarshanExtractor))
+        .register(ModuleBox::persister(KnowledgeStore::in_memory()))
+        .register(ModuleBox::analyzer(
+            iokc_analysis::IterationVarianceDetector::default(),
+        ))
+        .register(ModuleBox::usage(RegenerateUsage::default()));
 
     let report = cycle.run_once().unwrap();
 
@@ -64,9 +67,9 @@ fn extracted_knowledge_carries_fs_and_system_info() {
     let mut cycle = KnowledgeCycle::new();
     let store = KnowledgeStore::in_memory();
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(IorExtractor))
-        .add_persister(Box::new(store));
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::persister(store));
     let report = cycle.run_once().unwrap();
     assert_eq!(report.persisted_ids, vec![1]);
 
@@ -80,6 +83,7 @@ fn extracted_knowledge_carries_fs_and_system_info() {
         }
         fn analyze(
             &self,
+            _ctx: &mut PhaseCtx,
             items: &[KnowledgeItem],
         ) -> Result<Vec<iokc_core::phases::Finding>, iokc_core::phases::CycleError> {
             self.0.borrow_mut().extend(items.to_vec());
@@ -93,10 +97,10 @@ fn extracted_knowledge_carries_fs_and_system_info() {
     let generator = IorGenerator::new(small_world(4), JobLayout::new(2, 2), config, 5);
     let mut cycle = KnowledgeCycle::new();
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(IorExtractor))
-        .add_persister(Box::new(KnowledgeStore::in_memory()))
-        .add_analyzer(Box::new(Probe(seen.clone())));
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::persister(KnowledgeStore::in_memory()))
+        .register(ModuleBox::analyzer(Probe(seen.clone())));
     cycle.run_once().unwrap();
 
     let items = seen.borrow();
@@ -136,13 +140,16 @@ fn persisted_knowledge_survives_store_roundtrip() {
     let generator = IorGenerator::new(small_world(6), JobLayout::new(4, 2), config, 7);
     let mut cycle = KnowledgeCycle::new();
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(IorExtractor))
-        .add_persister(Box::new(KnowledgeStore::open(path.clone()).unwrap()));
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::persister(
+            KnowledgeStore::open(path.clone()).unwrap(),
+        ));
     cycle.run_once().unwrap();
 
     let store = KnowledgeStore::open(path.clone()).unwrap();
-    let items = Persister::load_all(&store).unwrap();
+    let mut ctx = PhaseCtx::detached(PhaseKind::Persistence, "knowledge-store");
+    let items = Persister::load_all(&store, &mut ctx).unwrap();
     assert_eq!(items.len(), 1);
     let KnowledgeItem::Benchmark(k) = &items[0] else {
         panic!("expected benchmark knowledge");

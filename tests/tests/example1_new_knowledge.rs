@@ -3,9 +3,10 @@
 //! knowledge base grows one generation per iteration.
 
 use iokc_benchmarks::{IorConfig, IorGenerator};
+use iokc_core::cycle::ModuleBox;
 use iokc_core::model::KnowledgeItem;
-use iokc_core::phases::Persister;
-use iokc_core::KnowledgeCycle;
+use iokc_core::phases::{Persister, PhaseKind};
+use iokc_core::{KnowledgeCycle, PhaseCtx};
 use iokc_extract::IorExtractor;
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::FaultPlan;
@@ -32,15 +33,18 @@ fn iterative_cycle_grows_the_corpus() {
 
     let mut cycle = KnowledgeCycle::new();
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(IorExtractor))
-        .add_persister(Box::new(KnowledgeStore::open(path.clone()).unwrap()))
-        .add_usage(Box::new(RegenerateUsage::default()));
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::persister(
+            KnowledgeStore::open(path.clone()).unwrap(),
+        ))
+        .register(ModuleBox::usage(RegenerateUsage::default()));
     let reports = cycle.run_iterative(3).unwrap();
     assert_eq!(reports.len(), 3);
 
     let store = KnowledgeStore::open(path.clone()).unwrap();
-    let items = Persister::load_all(&store).unwrap();
+    let mut ctx = PhaseCtx::detached(PhaseKind::Persistence, "knowledge-store");
+    let items = Persister::load_all(&store, &mut ctx).unwrap();
     assert_eq!(items.len(), 3, "one knowledge object per generation");
     let blocks: Vec<u64> = items
         .iter()

@@ -5,7 +5,8 @@
 use iokc_analysis::{compare, overview, render_knowledge, MetricAxis, OptionAxis};
 use iokc_benchmarks::ior::{run_ior, IorConfig};
 use iokc_core::model::{Knowledge, KnowledgeItem};
-use iokc_core::phases::Persister;
+use iokc_core::phases::{Persister, PhaseKind};
+use iokc_core::PhaseCtx;
 use iokc_extract::parse_ior_output;
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::FaultPlan;
@@ -64,9 +65,12 @@ fn explorer_views_and_comparison() {
 #[test]
 fn sql_and_csv_surface_the_knowledge_tables() {
     let mut store = KnowledgeStore::in_memory();
+    let mut ctx = PhaseCtx::detached(PhaseKind::Persistence, "knowledge-store");
     for (x, s) in [("16k", 11u64), ("512k", 12)] {
         let k = knowledge_for(x, s);
-        store.persist(&[KnowledgeItem::Benchmark(k)]).unwrap();
+        store
+            .persist(&mut ctx, &[KnowledgeItem::Benchmark(k)])
+            .unwrap();
     }
 
     // SQL over the paper's tables.

@@ -4,6 +4,7 @@
 
 use iokc_benchmarks::io500::{run_io500, Io500Config};
 use iokc_benchmarks::Io500Generator;
+use iokc_core::cycle::ModuleBox;
 use iokc_core::KnowledgeCycle;
 use iokc_extract::{parse_io500_output, Io500Extractor};
 use iokc_sim::engine::{JobLayout, World};
@@ -21,9 +22,9 @@ fn twelve_phases_parse_and_persist() {
     );
     let mut cycle = KnowledgeCycle::new();
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(Io500Extractor))
-        .add_persister(Box::new(KnowledgeStore::in_memory()));
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(Io500Extractor))
+        .register(ModuleBox::persister(KnowledgeStore::in_memory()));
     let report = cycle.run_once().unwrap();
     assert_eq!(report.extracted, 1);
     assert_eq!(report.persisted_ids, vec![1]);

@@ -4,9 +4,10 @@
 //! JSON.
 
 use iokc_benchmarks::{Io500Config, Io500Generator, IorConfig, IorGenerator};
+use iokc_core::cycle::ModuleBox;
 use iokc_core::model::KnowledgeItem;
 use iokc_core::phases::{Persister, PhaseKind};
-use iokc_core::KnowledgeCycle;
+use iokc_core::{KnowledgeCycle, PhaseCtx};
 use iokc_extract::{Io500Extractor, IorExtractor};
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::FaultPlan;
@@ -33,22 +34,26 @@ fn two_generators_two_extractors_two_databases() {
 
     let mut cycle = KnowledgeCycle::new();
     cycle
-        .add_generator(Box::new(IorGenerator::new(
+        .register(ModuleBox::generator(IorGenerator::new(
             world(61),
             JobLayout::new(2, 2),
             ior_config,
             1,
         )))
-        .add_generator(Box::new(Io500Generator::new(
+        .register(ModuleBox::generator(Io500Generator::new(
             world(62),
             JobLayout::new(2, 2),
             Io500Config::small("/scratch/m500"),
         )))
-        .add_extractor(Box::new(IorExtractor))
-        .add_extractor(Box::new(Io500Extractor))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::extractor(Io500Extractor))
         // Fig. 4: a local database and a global (shared) one.
-        .add_persister(Box::new(KnowledgeStore::open(local_path.clone()).unwrap()))
-        .add_persister(Box::new(KnowledgeStore::open(global_path.clone()).unwrap()));
+        .register(ModuleBox::persister(
+            KnowledgeStore::open(local_path.clone()).unwrap(),
+        ))
+        .register(ModuleBox::persister(
+            KnowledgeStore::open(global_path.clone()).unwrap(),
+        ));
 
     let registry = cycle.registry();
     assert_eq!(registry[0].1.len(), 2, "two generators registered");
@@ -66,9 +71,10 @@ fn two_generators_two_extractors_two_databases() {
     assert_eq!(local.io500_count(), 1);
     assert_eq!(global.knowledge_count(), 1);
     assert_eq!(global.io500_count(), 1);
+    let mut ctx = PhaseCtx::detached(PhaseKind::Persistence, "knowledge-store");
     assert_eq!(
-        Persister::load_all(&local).unwrap(),
-        Persister::load_all(&global).unwrap()
+        Persister::load_all(&local, &mut ctx).unwrap(),
+        Persister::load_all(&global, &mut ctx).unwrap()
     );
     std::fs::remove_file(&local_path).unwrap();
     std::fs::remove_file(&global_path).unwrap();
@@ -92,6 +98,7 @@ fn knowledge_travels_between_environments_as_json() {
         }
         fn analyze(
             &self,
+            _ctx: &mut PhaseCtx,
             items: &[KnowledgeItem],
         ) -> Result<Vec<iokc_core::phases::Finding>, iokc_core::phases::CycleError> {
             self.0.borrow_mut().extend(items.to_vec());
@@ -100,9 +107,9 @@ fn knowledge_travels_between_environments_as_json() {
     }
     generator.with_darshan = false;
     cycle
-        .add_generator(Box::new(generator))
-        .add_extractor(Box::new(IorExtractor))
-        .add_analyzer(Box::new(Probe(seen.clone())));
+        .register(ModuleBox::generator(generator))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::analyzer(Probe(seen.clone())));
     cycle.run_once().unwrap();
 
     let items = seen.borrow();

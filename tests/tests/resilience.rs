@@ -9,12 +9,13 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use iokc_benchmarks::{IorConfig, IorGenerator};
+use iokc_core::cycle::ModuleBox;
 use iokc_core::model::{Knowledge, KnowledgeItem, KnowledgeSource, OperationSummary};
 use iokc_core::phases::{
     Analyzer, Artifact, ArtifactKind, CycleError, Finding, Generator, PhaseKind,
 };
 use iokc_core::resilience::{AttemptOutcome, ResilienceConfig, RetryPolicy};
-use iokc_core::KnowledgeCycle;
+use iokc_core::{KnowledgeCycle, PhaseCtx};
 use iokc_darshan::{encode, LogBuilder, Module};
 use iokc_extract::{DarshanExtractor, IorExtractor};
 use iokc_sim::engine::{JobLayout, World};
@@ -51,7 +52,11 @@ impl Analyzer for Probe {
     fn name(&self) -> &str {
         "probe"
     }
-    fn analyze(&self, items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError> {
+    fn analyze(
+        &self,
+        _ctx: &mut PhaseCtx,
+        items: &[KnowledgeItem],
+    ) -> Result<Vec<Finding>, CycleError> {
         *self.0.borrow_mut() = items.to_vec();
         Ok(Vec::new())
     }
@@ -64,7 +69,11 @@ impl Analyzer for FailingAnalyzer {
     fn name(&self) -> &str {
         "failing-analyzer"
     }
-    fn analyze(&self, _items: &[KnowledgeItem]) -> Result<Vec<Finding>, CycleError> {
+    fn analyze(
+        &self,
+        _ctx: &mut PhaseCtx,
+        _items: &[KnowledgeItem],
+    ) -> Result<Vec<Finding>, CycleError> {
         Err(CycleError::transient(
             PhaseKind::Analysis,
             "failing-analyzer",
@@ -82,7 +91,7 @@ impl Generator for TornDarshanGen {
     fn name(&self) -> &str {
         "torn-darshan-gen"
     }
-    fn generate(&mut self) -> Result<Vec<Artifact>, CycleError> {
+    fn generate(&mut self, _ctx: &mut PhaseCtx) -> Result<Vec<Artifact>, CycleError> {
         let mut b = LogBuilder::new(99, 8, "app", false);
         b.set_times(5000, 5090);
         for rank in 0..4 {
@@ -108,9 +117,11 @@ fn generator_crash_mid_sweep_is_retried_to_success() {
         ResilienceConfig::new().with_retry(RetryPolicy::with_retries(3).seeded(11)),
     );
     cycle
-        .add_generator(Box::new(ior_generator(CrashSchedule::first_n(2))))
-        .add_extractor(Box::new(IorExtractor))
-        .add_persister(Box::new(KnowledgeStore::in_memory()));
+        .register(ModuleBox::generator(ior_generator(CrashSchedule::first_n(
+            2,
+        ))))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::persister(KnowledgeStore::in_memory()));
 
     let report = cycle.run_once().expect("cycle survives the crashes");
     assert!(report.artifacts > 0);
@@ -132,9 +143,11 @@ fn sole_generator_crashing_past_the_budget_is_critical() {
     let mut cycle = KnowledgeCycle::new();
     cycle.set_resilience(ResilienceConfig::new().with_retry(RetryPolicy::with_retries(1)));
     cycle
-        .add_generator(Box::new(ior_generator(CrashSchedule::first_n(10))))
-        .add_extractor(Box::new(IorExtractor))
-        .add_persister(Box::new(KnowledgeStore::in_memory()));
+        .register(ModuleBox::generator(ior_generator(CrashSchedule::first_n(
+            10,
+        ))))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::persister(KnowledgeStore::in_memory()));
 
     let err = cycle.run_once().expect_err("sole generator is critical");
     assert_eq!(err.phase, PhaseKind::Generation);
@@ -197,10 +210,10 @@ fn corrupt_darshan_log_degrades_to_partial_knowledge() {
     let corpus = Rc::new(RefCell::new(Vec::new()));
     let mut cycle = KnowledgeCycle::new();
     cycle
-        .add_generator(Box::new(TornDarshanGen { keep_fraction: 0.6 }))
-        .add_extractor(Box::new(DarshanExtractor))
-        .add_persister(Box::new(KnowledgeStore::in_memory()))
-        .add_analyzer(Box::new(Probe(Rc::clone(&corpus))));
+        .register(ModuleBox::generator(TornDarshanGen { keep_fraction: 0.6 }))
+        .register(ModuleBox::extractor(DarshanExtractor))
+        .register(ModuleBox::persister(KnowledgeStore::in_memory()))
+        .register(ModuleBox::analyzer(Probe(Rc::clone(&corpus))));
 
     let report = cycle.run_once().expect("cycle survives the corrupt log");
     assert_eq!(report.extracted, 1);
@@ -221,17 +234,17 @@ fn repeatedly_failing_analyzer_is_quarantined_not_fatal() {
     let mut cycle = KnowledgeCycle::new();
     cycle.set_resilience(ResilienceConfig::new().with_quarantine_threshold(2));
     cycle
-        .add_generator(Box::new(ior_generator(CrashSchedule::none())))
-        .add_extractor(Box::new(IorExtractor))
-        .add_persister(Box::new(KnowledgeStore::in_memory()))
-        .add_analyzer(Box::new(FailingAnalyzer));
+        .register(ModuleBox::generator(ior_generator(CrashSchedule::none())))
+        .register(ModuleBox::extractor(IorExtractor))
+        .register(ModuleBox::persister(KnowledgeStore::in_memory()))
+        .register(ModuleBox::analyzer(FailingAnalyzer));
 
     // Two failing iterations trip the threshold …
     let r1 = cycle.run_once().unwrap();
     assert!(r1
         .degradations
         .iter()
-        .any(|d| d.contains("failing-analyzer")));
+        .any(|d| d.1.contains("failing-analyzer")));
     let r2 = cycle.run_once().unwrap();
     assert!(r2
         .findings
@@ -271,11 +284,11 @@ fn retry_accounting_is_deterministic_end_to_end() {
             ResilienceConfig::new().with_retry(RetryPolicy::with_retries(4).seeded(23)),
         );
         cycle
-            .add_generator(Box::new(ior_generator(CrashSchedule::at_attempts(&[
-                0, 1, 2,
-            ]))))
-            .add_extractor(Box::new(IorExtractor))
-            .add_persister(Box::new(KnowledgeStore::in_memory()));
+            .register(ModuleBox::generator(ior_generator(
+                CrashSchedule::at_attempts(&[0, 1, 2]),
+            )))
+            .register(ModuleBox::extractor(IorExtractor))
+            .register(ModuleBox::persister(KnowledgeStore::in_memory()));
         cycle.run_once().unwrap().attempts
     };
     let first = run();
