@@ -4,6 +4,13 @@
 //! interactive graph and export it as an image file." The web front end
 //! is substituted by static SVG output (same information content) plus
 //! terminal bars for quick looks.
+//!
+//! Every chart comes in two flavours: a `write_*` function that streams
+//! the SVG/text into any [`fmt::Write`] target (used by the explorer
+//! service to fill HTTP response bodies directly) and a `*_chart`-style
+//! wrapper returning a `String` for callers that want one.
+
+use std::fmt;
 
 use crate::describe::Describe;
 
@@ -76,10 +83,13 @@ fn bounds(series: &[Series]) -> (f64, f64, f64, f64) {
     (xmin, xmax, ymin, ymax)
 }
 
-/// Render a line chart (one polyline per series, with point markers and a
-/// legend) as a standalone SVG document.
-#[must_use]
-pub fn line_chart(series: &[Series], opts: &ChartOptions) -> String {
+/// Stream a line chart (one polyline per series, with point markers and a
+/// legend) as a standalone SVG document into `out`.
+pub fn write_line_chart<W: fmt::Write>(
+    series: &[Series],
+    opts: &ChartOptions,
+    out: &mut W,
+) -> fmt::Result {
     let (xmin, xmax, ymin, ymax) = bounds(series);
     let w = f64::from(opts.width);
     let h = f64::from(opts.height);
@@ -88,41 +98,56 @@ pub fn line_chart(series: &[Series], opts: &ChartOptions) -> String {
     let sx = |x: f64| MARGIN + (x - xmin) / (xmax - xmin) * plot_w;
     let sy = |y: f64| h - MARGIN - (y - ymin) / (ymax - ymin) * plot_h;
 
-    let mut svg = svg_header(opts, xmin, xmax, ymin, ymax);
+    write_svg_header(opts, xmin, xmax, ymin, ymax, out)?;
     for (i, s) in series.iter().enumerate() {
         let color = PALETTE[i % PALETTE.len()];
-        let path: Vec<String> = s
-            .points
-            .iter()
-            .map(|(x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y)))
-            .collect();
-        svg.push_str(&format!(
-            "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" points=\"{}\"/>\n",
-            path.join(" ")
-        ));
+        write!(
+            out,
+            "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"2\" points=\""
+        )?;
+        for (pi, (x, y)) in s.points.iter().enumerate() {
+            if pi > 0 {
+                out.write_char(' ')?;
+            }
+            write!(out, "{:.1},{:.1}", sx(*x), sy(*y))?;
+        }
+        writeln!(out, "\"/>")?;
         for (x, y) in &s.points {
-            svg.push_str(&format!(
-                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>\n",
+            writeln!(
+                out,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>",
                 sx(*x),
                 sy(*y)
-            ));
+            )?;
         }
-        svg.push_str(&format!(
-            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{color}\" font-size=\"12\">{}</text>\n",
+        writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{color}\" font-size=\"12\">{}</text>",
             w - MARGIN - 150.0,
             MARGIN + 16.0 * (i as f64 + 1.0),
             escape(&s.label)
-        ));
+        )?;
     }
-    svg.push_str("</svg>\n");
+    writeln!(out, "</svg>")
+}
+
+/// Render a line chart as a `String` (see [`write_line_chart`]).
+#[must_use]
+pub fn line_chart(series: &[Series], opts: &ChartOptions) -> String {
+    let mut svg = String::new();
+    let _ = write_line_chart(series, opts, &mut svg);
     svg
 }
 
-/// Render grouped bars (e.g. write/read bandwidth per iteration — the
-/// Fig. 5 layout) as SVG. `categories` label the x positions; each series
-/// contributes one bar per category.
-#[must_use]
-pub fn bar_chart(categories: &[String], series: &[Series], opts: &ChartOptions) -> String {
+/// Stream grouped bars (e.g. write/read bandwidth per iteration — the
+/// Fig. 5 layout) as SVG into `out`. `categories` label the x positions;
+/// each series contributes one bar per category.
+pub fn write_bar_chart<W: fmt::Write>(
+    categories: &[String],
+    series: &[Series],
+    opts: &ChartOptions,
+    out: &mut W,
+) -> fmt::Result {
     let ymax = series
         .iter()
         .flat_map(|s| s.points.iter().map(|(_, y)| *y))
@@ -135,43 +160,56 @@ pub fn bar_chart(categories: &[String], series: &[Series], opts: &ChartOptions) 
     let group_w = plot_w / ncat;
     let bar_w = (group_w * 0.8) / series.len().max(1) as f64;
 
-    let mut svg = svg_header(opts, 0.0, ncat, 0.0, ymax);
+    write_svg_header(opts, 0.0, ncat, 0.0, ymax, out)?;
     for (si, s) in series.iter().enumerate() {
         let color = PALETTE[si % PALETTE.len()];
         for (ci, (_, y)) in s.points.iter().enumerate() {
             let x = MARGIN + ci as f64 * group_w + group_w * 0.1 + si as f64 * bar_w;
             let bar_h = (y / ymax) * plot_h;
-            svg.push_str(&format!(
-                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{color}\"/>\n",
+            writeln!(
+                out,
+                "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{color}\"/>",
                 x,
                 h - MARGIN - bar_h,
                 bar_w,
                 bar_h
-            ));
+            )?;
         }
-        svg.push_str(&format!(
-            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{color}\" font-size=\"12\">{}</text>\n",
+        writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" fill=\"{color}\" font-size=\"12\">{}</text>",
             w - MARGIN - 150.0,
             MARGIN + 16.0 * (si as f64 + 1.0),
             escape(&s.label)
-        ));
+        )?;
     }
     for (ci, category) in categories.iter().enumerate() {
-        svg.push_str(&format!(
-            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" text-anchor=\"middle\">{}</text>\n",
+        writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" text-anchor=\"middle\">{}</text>",
             MARGIN + (ci as f64 + 0.5) * group_w,
             h - MARGIN + 16.0,
             escape(category)
-        ));
+        )?;
     }
-    svg.push_str("</svg>\n");
+    writeln!(out, "</svg>")
+}
+
+/// Render grouped bars as a `String` (see [`write_bar_chart`]).
+#[must_use]
+pub fn bar_chart(categories: &[String], series: &[Series], opts: &ChartOptions) -> String {
+    let mut svg = String::new();
+    let _ = write_bar_chart(categories, series, opts, &mut svg);
     svg
 }
 
-/// Render box plots (one per labelled [`Describe`]) as SVG — the §V-D
-/// overview chart.
-#[must_use]
-pub fn box_plot(boxes: &[(String, Describe)], opts: &ChartOptions) -> String {
+/// Stream box plots (one per labelled [`Describe`]) as SVG into `out` —
+/// the §V-D overview chart.
+pub fn write_box_plot<W: fmt::Write>(
+    boxes: &[(String, Describe)],
+    opts: &ChartOptions,
+    out: &mut W,
+) -> fmt::Result {
     let ymax = boxes.iter().map(|(_, d)| d.max).fold(1.0f64, f64::max);
     let w = f64::from(opts.width);
     let h = f64::from(opts.height);
@@ -181,110 +219,142 @@ pub fn box_plot(boxes: &[(String, Describe)], opts: &ChartOptions) -> String {
     let slot = plot_w / n;
     let sy = |y: f64| h - MARGIN - (y / ymax) * plot_h;
 
-    let mut svg = svg_header(opts, 0.0, n, 0.0, ymax);
+    write_svg_header(opts, 0.0, n, 0.0, ymax, out)?;
     for (i, (label, d)) in boxes.iter().enumerate() {
         let cx = MARGIN + (i as f64 + 0.5) * slot;
         let half = slot * 0.25;
         // Whiskers.
-        svg.push_str(&format!(
-            "<line x1=\"{cx:.1}\" y1=\"{:.1}\" x2=\"{cx:.1}\" y2=\"{:.1}\" stroke=\"#333\"/>\n",
+        writeln!(
+            out,
+            "<line x1=\"{cx:.1}\" y1=\"{:.1}\" x2=\"{cx:.1}\" y2=\"{:.1}\" stroke=\"#333\"/>",
             sy(d.min),
             sy(d.max)
-        ));
+        )?;
         // Box q1..q3.
-        svg.push_str(&format!(
-            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"#9ecae1\" stroke=\"#333\"/>\n",
+        writeln!(
+            out,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"#9ecae1\" stroke=\"#333\"/>",
             cx - half,
             sy(d.q3),
             2.0 * half,
             (sy(d.q1) - sy(d.q3)).max(1.0)
-        ));
+        )?;
         // Median.
-        svg.push_str(&format!(
-            "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#d62728\" stroke-width=\"2\"/>\n",
+        writeln!(
+            out,
+            "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#d62728\" stroke-width=\"2\"/>",
             cx - half,
             sy(d.median),
             cx + half,
             sy(d.median)
-        ));
+        )?;
         // Mean marker.
-        svg.push_str(&format!(
-            "<circle cx=\"{cx:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"#2ca02c\"/>\n",
+        writeln!(
+            out,
+            "<circle cx=\"{cx:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"#2ca02c\"/>",
             sy(d.mean)
-        ));
-        svg.push_str(&format!(
-            "<text x=\"{cx:.1}\" y=\"{:.1}\" font-size=\"11\" text-anchor=\"middle\">{}</text>\n",
+        )?;
+        writeln!(
+            out,
+            "<text x=\"{cx:.1}\" y=\"{:.1}\" font-size=\"11\" text-anchor=\"middle\">{}</text>",
             h - MARGIN + 16.0,
             escape(label)
-        ));
+        )?;
     }
-    svg.push_str("</svg>\n");
+    writeln!(out, "</svg>")
+}
+
+/// Render box plots as a `String` (see [`write_box_plot`]).
+#[must_use]
+pub fn box_plot(boxes: &[(String, Describe)], opts: &ChartOptions) -> String {
+    let mut svg = String::new();
+    let _ = write_box_plot(boxes, opts, &mut svg);
     svg
 }
 
-fn svg_header(opts: &ChartOptions, xmin: f64, xmax: f64, ymin: f64, ymax: f64) -> String {
+fn write_svg_header<W: fmt::Write>(
+    opts: &ChartOptions,
+    xmin: f64,
+    xmax: f64,
+    ymin: f64,
+    ymax: f64,
+    out: &mut W,
+) -> fmt::Result {
     let w = f64::from(opts.width);
     let h = f64::from(opts.height);
-    let mut svg = format!(
-        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n",
+    writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">",
         opts.width, opts.height, opts.width, opts.height
-    );
-    svg.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
-    svg.push_str(&format!(
-        "<text x=\"{:.1}\" y=\"24\" font-size=\"16\" text-anchor=\"middle\">{}</text>\n",
+    )?;
+    writeln!(out, "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>")?;
+    writeln!(
+        out,
+        "<text x=\"{:.1}\" y=\"24\" font-size=\"16\" text-anchor=\"middle\">{}</text>",
         w / 2.0,
         escape(&opts.title)
-    ));
+    )?;
     // Axes.
-    svg.push_str(&format!(
-        "<line x1=\"{MARGIN}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#333\"/>\n",
+    writeln!(
+        out,
+        "<line x1=\"{MARGIN}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#333\"/>",
         h - MARGIN,
         w - MARGIN,
         h - MARGIN
-    ));
-    svg.push_str(&format!(
-        "<line x1=\"{MARGIN}\" y1=\"{MARGIN}\" x2=\"{MARGIN}\" y2=\"{:.1}\" stroke=\"#333\"/>\n",
+    )?;
+    writeln!(
+        out,
+        "<line x1=\"{MARGIN}\" y1=\"{MARGIN}\" x2=\"{MARGIN}\" y2=\"{:.1}\" stroke=\"#333\"/>",
         h - MARGIN
-    ));
-    svg.push_str(&format!(
-        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\">{}</text>\n",
+    )?;
+    writeln!(
+        out,
+        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\">{}</text>",
         w / 2.0,
         h - 12.0,
         escape(&opts.x_label)
-    ));
-    svg.push_str(&format!(
-        "<text x=\"16\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\" transform=\"rotate(-90 16 {:.1})\">{}</text>\n",
+    )?;
+    writeln!(
+        out,
+        "<text x=\"16\" y=\"{:.1}\" font-size=\"12\" text-anchor=\"middle\" transform=\"rotate(-90 16 {:.1})\">{}</text>",
         h / 2.0,
         h / 2.0,
         escape(&opts.y_label)
-    ));
+    )?;
     // Min/max tick labels.
-    svg.push_str(&format!(
-        "<text x=\"{MARGIN}\" y=\"{:.1}\" font-size=\"10\">{xmin:.6}</text>\n",
+    writeln!(
+        out,
+        "<text x=\"{MARGIN}\" y=\"{:.1}\" font-size=\"10\">{xmin:.6}</text>",
         h - MARGIN + 28.0
-    ));
-    svg.push_str(&format!(
-        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">{xmax:.6}</text>\n",
+    )?;
+    writeln!(
+        out,
+        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">{xmax:.6}</text>",
         w - MARGIN,
         h - MARGIN + 28.0
-    ));
-    svg.push_str(&format!(
-        "<text x=\"{:.1}\" y=\"{MARGIN}\" font-size=\"10\" text-anchor=\"end\">{ymax:.6}</text>\n",
+    )?;
+    writeln!(
+        out,
+        "<text x=\"{:.1}\" y=\"{MARGIN}\" font-size=\"10\" text-anchor=\"end\">{ymax:.6}</text>",
         MARGIN - 6.0
-    ));
-    svg.push_str(&format!(
-        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">{ymin:.6}</text>\n",
+    )?;
+    writeln!(
+        out,
+        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">{ymin:.6}</text>",
         MARGIN - 6.0,
         h - MARGIN
-    ));
-    svg
+    )
 }
 
-/// Render a heat map (rows × columns matrix) as SVG — the chart type the
-/// paper's outlook (§VI) asks for. Cell color scales linearly from white
-/// to a dark blue at the matrix maximum.
-#[must_use]
-pub fn heat_map(matrix: &[Vec<f64>], row_labels: &[String], opts: &ChartOptions) -> String {
+/// Stream a heat map (rows × columns matrix) as SVG into `out` — the
+/// chart type the paper's outlook (§VI) asks for. Cell color scales
+/// linearly from white to a dark blue at the matrix maximum.
+pub fn write_heat_map<W: fmt::Write>(
+    matrix: &[Vec<f64>],
+    row_labels: &[String],
+    opts: &ChartOptions,
+    out: &mut W,
+) -> fmt::Result {
     let rows = matrix.len().max(1);
     let cols = matrix.first().map(Vec::len).unwrap_or(0).max(1);
     let max = matrix
@@ -298,22 +368,24 @@ pub fn heat_map(matrix: &[Vec<f64>], row_labels: &[String], opts: &ChartOptions)
     let plot_h = h - 2.0 * MARGIN;
     let cell_w = plot_w / cols as f64;
     let cell_h = plot_h / rows as f64;
-    let mut svg = format!(
-        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\">\n         <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n         <text x=\"{:.0}\" y=\"24\" font-size=\"16\" text-anchor=\"middle\">{}</text>\n",
+    writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\">\n         <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n         <text x=\"{:.0}\" y=\"24\" font-size=\"16\" text-anchor=\"middle\">{}</text>",
         opts.width,
         opts.height,
         w / 2.0,
         escape(&opts.title)
-    );
+    )?;
     for (r, row) in matrix.iter().enumerate() {
         let y = MARGIN + r as f64 * cell_h;
         if let Some(label) = row_labels.get(r) {
-            svg.push_str(&format!(
-                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">{}</text>\n",
+            writeln!(
+                out,
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">{}</text>",
                 MARGIN - 6.0,
                 y + cell_h * 0.7,
                 escape(label)
-            ));
+            )?;
         }
         for (c, value) in row.iter().enumerate() {
             let intensity = (value / max).clamp(0.0, 1.0);
@@ -321,21 +393,30 @@ pub fn heat_map(matrix: &[Vec<f64>], row_labels: &[String], opts: &ChartOptions)
             let red = (255.0 - intensity * 247.0) as u8;
             let green = (255.0 - intensity * 207.0) as u8;
             let blue = (255.0 - intensity * 148.0) as u8;
-            svg.push_str(&format!(
-                "<rect x=\"{:.1}\" y=\"{y:.1}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"rgb({red},{green},{blue})\"/>\n",
+            writeln!(
+                out,
+                "<rect x=\"{:.1}\" y=\"{y:.1}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"rgb({red},{green},{blue})\"/>",
                 MARGIN + c as f64 * cell_w,
                 cell_w.max(0.5),
                 cell_h.max(0.5)
-            ));
+            )?;
         }
     }
-    svg.push_str(&format!(
-        "<text x=\"{:.0}\" y=\"{:.0}\" font-size=\"12\" text-anchor=\"middle\">{}</text>\n",
+    writeln!(
+        out,
+        "<text x=\"{:.0}\" y=\"{:.0}\" font-size=\"12\" text-anchor=\"middle\">{}</text>",
         w / 2.0,
         h - 12.0,
         escape(&opts.x_label)
-    ));
-    svg.push_str("</svg>\n");
+    )?;
+    writeln!(out, "</svg>")
+}
+
+/// Render a heat map as a `String` (see [`write_heat_map`]).
+#[must_use]
+pub fn heat_map(matrix: &[Vec<f64>], row_labels: &[String], opts: &ChartOptions) -> String {
+    let mut svg = String::new();
+    let _ = write_heat_map(matrix, row_labels, opts, &mut svg);
     svg
 }
 
@@ -345,9 +426,13 @@ fn escape(text: &str) -> String {
         .replace('>', "&gt;")
 }
 
-/// ASCII horizontal bars for terminal views: one row per (label, value).
-#[must_use]
-pub fn ascii_bars(rows: &[(String, f64)], width: usize) -> String {
+/// Stream ASCII horizontal bars for terminal views into `out`: one row
+/// per (label, value).
+pub fn write_ascii_bars<W: fmt::Write>(
+    rows: &[(String, f64)],
+    width: usize,
+    out: &mut W,
+) -> fmt::Result {
     let max = rows
         .iter()
         .map(|(_, v)| *v)
@@ -357,15 +442,23 @@ pub fn ascii_bars(rows: &[(String, f64)], width: usize) -> String {
         .map(|(l, _)| l.chars().count())
         .max()
         .unwrap_or(0);
-    let mut out = String::new();
     for (label, value) in rows {
         let bar_len = ((value / max) * width as f64).round() as usize;
-        out.push_str(&format!(
-            "{label:<label_w$} | {}{} {value:.2}\n",
+        writeln!(
+            out,
+            "{label:<label_w$} | {}{} {value:.2}",
             "#".repeat(bar_len),
             " ".repeat(width.saturating_sub(bar_len))
-        ));
+        )?;
     }
+    Ok(())
+}
+
+/// Render ASCII horizontal bars as a `String` (see [`write_ascii_bars`]).
+#[must_use]
+pub fn ascii_bars(rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = write_ascii_bars(rows, width, &mut out);
     out
 }
 
@@ -403,6 +496,24 @@ mod tests {
         assert_eq!(svg.matches("<circle").count(), 6);
         assert!(svg.contains("Fig 5"));
         assert!(svg.contains("iteration"));
+    }
+
+    #[test]
+    fn writer_and_string_charts_agree() {
+        let opts = ChartOptions::default();
+        let mut streamed = String::new();
+        write_line_chart(&series(), &opts, &mut streamed).unwrap();
+        assert_eq!(streamed, line_chart(&series(), &opts));
+
+        let categories: Vec<String> = (0..3).map(|i| format!("iter {i}")).collect();
+        let mut streamed = String::new();
+        write_bar_chart(&categories, &series(), &opts, &mut streamed).unwrap();
+        assert_eq!(streamed, bar_chart(&categories, &series(), &opts));
+
+        let boxes = vec![("run".to_owned(), Describe::of(&[1.0, 2.0, 3.0]))];
+        let mut streamed = String::new();
+        write_box_plot(&boxes, &opts, &mut streamed).unwrap();
+        assert_eq!(streamed, box_plot(&boxes, &opts));
     }
 
     #[test]

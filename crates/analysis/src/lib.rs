@@ -30,11 +30,14 @@ pub mod viewer;
 
 pub use anomaly::{IterationAnomaly, IterationVarianceDetector};
 pub use bounding_box::{Bound, BoundingBox, BoundingBoxDetector, ExpectationBox2D, Verdict};
-pub use charts::{ascii_bars, bar_chart, box_plot, heat_map, line_chart, ChartOptions, Series};
+pub use charts::{
+    ascii_bars, bar_chart, box_plot, heat_map, line_chart, write_ascii_bars, write_bar_chart,
+    write_box_plot, write_heat_map, write_line_chart, ChartOptions, Series,
+};
 pub use compare::{compare, overview, ComparisonPoint, KnowledgeFilter, MetricAxis, OptionAxis};
 pub use describe::{mad_scores, Describe};
 pub use dxt_explorer::{DxtTimeline, RankActivity};
 pub use pattern::{classify, render_profile, Direction, IoPatternProfile, Locality, SizeClass};
 pub use report::render_html;
 pub use trend::{Drift, TrendDetector};
-pub use viewer::{render_io500, render_knowledge};
+pub use viewer::{render_io500, render_knowledge, write_io500, write_knowledge};

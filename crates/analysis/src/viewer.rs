@@ -5,27 +5,33 @@
 //! benchmark summary are displayed immediately" — here as plain-text
 //! panels suitable for a terminal (the web GUI substitution documented in
 //! DESIGN.md).
+//!
+//! Each view comes in two flavours: a `write_*` function that streams the
+//! panel into any [`fmt::Write`] target (what the explorer service uses to
+//! fill HTTP response bodies without an intermediate copy) and a
+//! `render_*` convenience wrapper returning a `String`.
+
+use std::fmt;
 
 use iokc_core::model::{Io500Knowledge, Knowledge};
 use iokc_util::table::TextTable;
 
-/// Render the full single-run view of a benchmark knowledge object:
+/// Stream the full single-run view of a benchmark knowledge object —
 /// command, pattern, file-system info, system info, summary table and the
-/// per-iteration detail table.
-#[must_use]
-pub fn render_knowledge(k: &Knowledge) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("command : {}\n", k.command));
-    out.push_str(&format!("source  : {}\n", k.source.as_str()));
+/// per-iteration detail table — into `out`.
+pub fn write_knowledge<W: fmt::Write>(k: &Knowledge, out: &mut W) -> fmt::Result {
+    writeln!(out, "command : {}", k.command)?;
+    writeln!(out, "source  : {}", k.source.as_str())?;
     if k.start_time > 0 {
-        out.push_str(&format!(
-            "window  : {} .. {} ({} s)\n",
+        writeln!(
+            out,
+            "window  : {} .. {} ({} s)",
             k.start_time,
             k.end_time,
             k.end_time.saturating_sub(k.start_time)
-        ));
+        )?;
     }
-    out.push('\n');
+    writeln!(out)?;
 
     let p = &k.pattern;
     let mut pattern = TextTable::new(vec!["parameter", "value"]);
@@ -56,9 +62,9 @@ pub fn render_knowledge(k: &Knowledge) -> String {
     ]);
     pattern.push_row(vec!["fsync".to_owned(), p.fsync.to_string()]);
     pattern.push_row(vec!["collective".to_owned(), p.collective.to_string()]);
-    out.push_str("I/O pattern:\n");
-    out.push_str(&pattern.render());
-    out.push('\n');
+    writeln!(out, "I/O pattern:")?;
+    out.write_str(&pattern.render())?;
+    writeln!(out)?;
 
     if let Some(fs) = &k.filesystem {
         let mut table = TextTable::new(vec!["filesystem", "value"]);
@@ -76,8 +82,8 @@ pub fn render_knowledge(k: &Knowledge) -> String {
         ]);
         table.push_row(vec!["raid".to_owned(), fs.raid.clone()]);
         table.push_row(vec!["storage pool".to_owned(), fs.storage_pool.clone()]);
-        out.push_str(&table.render());
-        out.push('\n');
+        out.write_str(&table.render())?;
+        writeln!(out)?;
     }
 
     if let Some(sys) = &k.system {
@@ -87,8 +93,8 @@ pub fn render_knowledge(k: &Knowledge) -> String {
         table.push_row(vec!["cores/node".to_owned(), sys.cores.to_string()]);
         table.push_row(vec!["cpu MHz".to_owned(), format!("{:.0}", sys.cpu_mhz)]);
         table.push_row(vec!["memory".to_owned(), format!("{} KiB", sys.mem_kib)]);
-        out.push_str(&table.render());
-        out.push('\n');
+        out.write_str(&table.render())?;
+        writeln!(out)?;
     }
 
     let mut summary = TextTable::new(vec![
@@ -113,9 +119,9 @@ pub fn render_knowledge(k: &Knowledge) -> String {
             s.iterations.to_string(),
         ]);
     }
-    out.push_str("summary:\n");
-    out.push_str(&summary.render());
-    out.push('\n');
+    writeln!(out, "summary:")?;
+    out.write_str(&summary.render())?;
+    writeln!(out)?;
 
     if !k.results.is_empty() {
         let mut detail = TextTable::new(vec![
@@ -142,22 +148,29 @@ pub fn render_knowledge(k: &Knowledge) -> String {
                 format!("{:.6}", r.total_s),
             ]);
         }
-        out.push_str("per-iteration detail:\n");
-        out.push_str(&detail.render());
+        writeln!(out, "per-iteration detail:")?;
+        out.write_str(&detail.render())?;
     }
+    Ok(())
+}
+
+/// Render the full single-run view as a `String` (see [`write_knowledge`]).
+#[must_use]
+pub fn render_knowledge(k: &Knowledge) -> String {
+    let mut out = String::new();
+    let _ = write_knowledge(k, &mut out);
     out
 }
 
-/// Render the IO500 viewer (§V-D: "it can additionally visualize score
-/// value and different test cases for each IO500 execution").
-#[must_use]
-pub fn render_io500(k: &Io500Knowledge) -> String {
-    let mut out = String::new();
-    out.push_str(&format!("IO500 run (tasks = {})\n", k.tasks));
-    out.push_str(&format!(
-        "scores: bandwidth {:.4} GiB/s | metadata {:.4} kIOPS | total {:.4}\n\n",
+/// Stream the IO500 viewer (§V-D: "it can additionally visualize score
+/// value and different test cases for each IO500 execution") into `out`.
+pub fn write_io500<W: fmt::Write>(k: &Io500Knowledge, out: &mut W) -> fmt::Result {
+    writeln!(out, "IO500 run (tasks = {})", k.tasks)?;
+    writeln!(
+        out,
+        "scores: bandwidth {:.4} GiB/s | metadata {:.4} kIOPS | total {:.4}\n",
         k.bw_score, k.md_score, k.total_score
-    ));
+    )?;
     let mut table = TextTable::new(vec!["testcase", "value", "unit", "time(s)"]);
     for tc in &k.testcases {
         table.push_row(vec![
@@ -167,13 +180,21 @@ pub fn render_io500(k: &Io500Knowledge) -> String {
             format!("{:.2}", tc.time_s),
         ]);
     }
-    out.push_str(&table.render());
+    out.write_str(&table.render())?;
     if !k.options.is_empty() {
-        out.push_str("\noptions:\n");
+        writeln!(out, "\noptions:")?;
         for (key, value) in &k.options {
-            out.push_str(&format!("  {key} = {value}\n"));
+            writeln!(out, "  {key} = {value}")?;
         }
     }
+    Ok(())
+}
+
+/// Render the IO500 viewer as a `String` (see [`write_io500`]).
+#[must_use]
+pub fn render_io500(k: &Io500Knowledge) -> String {
+    let mut out = String::new();
+    let _ = write_io500(k, &mut out);
     out
 }
 
@@ -260,6 +281,14 @@ mod tests {
     }
 
     #[test]
+    fn write_knowledge_matches_render() {
+        let k = sample();
+        let mut streamed = String::new();
+        write_knowledge(&k, &mut streamed).unwrap();
+        assert_eq!(streamed, render_knowledge(&k));
+    }
+
+    #[test]
     fn io500_view() {
         let k = Io500Knowledge {
             id: None,
@@ -286,5 +315,8 @@ mod tests {
         assert!(text.contains("total 3.1500"));
         assert!(text.contains("ior-easy-write"));
         assert!(text.contains("dir = /scratch/io500"));
+        let mut streamed = String::new();
+        write_io500(&k, &mut streamed).unwrap();
+        assert_eq!(streamed, text);
     }
 }

@@ -1,0 +1,113 @@
+//! Explorer-service benches: request throughput against a cold vs a
+//! warm query cache. The cold side forces a miss on every request by
+//! varying the query string (each normalized key is new); the warm side
+//! repeats one query so everything after the first request is served
+//! from the cache. The gap is the cost of the store read + render that
+//! the cache elides.
+
+use std::sync::{Arc, RwLock};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iokc_benchmarks::ior::{run_ior, IorConfig};
+use iokc_explorerd::{Body, Explorer, Request};
+use iokc_obs::{Clock, NullSink, Recorder};
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::prelude::SystemConfig;
+use iokc_store::KnowledgeStore;
+use std::hint::black_box;
+
+fn populated_store() -> KnowledgeStore {
+    let mut store = KnowledgeStore::in_memory();
+    for (xfer, seed) in [("16k", 81u64), ("64k", 82), ("256k", 83), ("512k", 84)] {
+        let command =
+            format!("ior -a posix -b 512k -t {xfer} -s 2 -F -C -e -i 4 -o /scratch/bd{seed} -k");
+        let config = IorConfig::parse_command(&command).unwrap();
+        let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), seed);
+        let result = run_ior(&mut world, JobLayout::new(4, 2), &config, seed).unwrap();
+        let k = iokc_extract::parse_ior_output(&result.render()).unwrap();
+        store.save_knowledge(&k).unwrap();
+    }
+    store
+}
+
+fn request(path: &str, query: Vec<(String, String)>) -> Request {
+    Request {
+        method: "GET".to_owned(),
+        path: path.to_owned(),
+        query,
+        keep_alive: true,
+    }
+}
+
+fn body_len(body: &Body) -> usize {
+    match body {
+        Body::Full(bytes) => bytes.len(),
+        Body::Stream(_) => 0,
+    }
+}
+
+fn bench_explorerd(c: &mut Criterion) {
+    let recorder = Arc::new(Recorder::new(Clock::wall(), Arc::new(NullSink)));
+    let store = Arc::new(RwLock::new(populated_store()));
+    let explorer = Explorer::new(store, 4 << 20, recorder);
+
+    let mut group = c.benchmark_group("explorerd_requests");
+    group.sample_size(20);
+
+    // Every request carries a fresh query string, so every normalized
+    // cache key is new: store read + render on each request.
+    group.bench_function("run_detail_cold_cache", |b| {
+        let mut n: u64 = 0;
+        b.iter(|| {
+            n += 1;
+            let req = request("/api/runs/1", vec![("n".to_owned(), n.to_string())]);
+            let response = explorer.handle(&req);
+            assert_eq!(response.status, 200);
+            black_box(body_len(&response.body))
+        });
+    });
+
+    // One fixed query: after the first miss everything is a cache hit.
+    group.bench_function("run_detail_warm_cache", |b| {
+        let req = request("/api/runs/1", Vec::new());
+        b.iter(|| {
+            let response = explorer.handle(&req);
+            assert_eq!(response.status, 200);
+            black_box(body_len(&response.body))
+        });
+    });
+
+    // Same pair for an aggregate view (renders every run, so the miss
+    // cost — and the cache win — is larger).
+    group.bench_function("boxplot_cold_cache", |b| {
+        let mut n: u64 = 0;
+        b.iter(|| {
+            n += 1;
+            let req = request(
+                "/api/boxplot",
+                vec![
+                    ("op".to_owned(), "write".to_owned()),
+                    ("n".to_owned(), n.to_string()),
+                ],
+            );
+            let response = explorer.handle(&req);
+            assert_eq!(response.status, 200);
+            black_box(body_len(&response.body))
+        });
+    });
+
+    group.bench_function("boxplot_warm_cache", |b| {
+        let req = request("/api/boxplot", vec![("op".to_owned(), "write".to_owned())]);
+        b.iter(|| {
+            let response = explorer.handle(&req);
+            assert_eq!(response.status, 200);
+            black_box(body_len(&response.body))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_explorerd);
+criterion_main!(benches);

@@ -176,6 +176,11 @@ struct Options {
     max_parallel: usize,
     wp_deadline_ms: Option<u64>,
     quarantine: u32,
+    serve_addr: String,
+    serve_workers: usize,
+    serve_queue: usize,
+    serve_cache_bytes: usize,
+    serve_ms: Option<u64>,
     metric: String,
     axis: String,
     filter_api: Option<String>,
@@ -210,6 +215,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         max_parallel: 4,
         wp_deadline_ms: None,
         quarantine: 3,
+        serve_addr: "127.0.0.1:7070".to_owned(),
+        serve_workers: 4,
+        serve_queue: 64,
+        serve_cache_bytes: 1 << 20,
+        serve_ms: None,
         metric: "write".to_owned(),
         axis: "transfer".to_owned(),
         filter_api: None,
@@ -282,6 +292,35 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "bad --quarantine".to_owned())?;
             }
+            "--addr" => opts.serve_addr = value(&mut i, "--addr")?,
+            "--workers" => {
+                opts.serve_workers = value(&mut i, "--workers")?
+                    .parse()
+                    .map_err(|_| "bad --workers".to_owned())?;
+                if opts.serve_workers == 0 {
+                    return Err("--workers must be non-zero".to_owned());
+                }
+            }
+            "--queue" => {
+                opts.serve_queue = value(&mut i, "--queue")?
+                    .parse()
+                    .map_err(|_| "bad --queue".to_owned())?;
+                if opts.serve_queue == 0 {
+                    return Err("--queue must be non-zero".to_owned());
+                }
+            }
+            "--cache-bytes" => {
+                opts.serve_cache_bytes = value(&mut i, "--cache-bytes")?
+                    .parse()
+                    .map_err(|_| "bad --cache-bytes".to_owned())?;
+            }
+            "--serve-ms" => {
+                opts.serve_ms = Some(
+                    value(&mut i, "--serve-ms")?
+                        .parse()
+                        .map_err(|_| "bad --serve-ms".to_owned())?,
+                );
+            }
             "--metric" => opts.metric = value(&mut i, "--metric")?,
             "--axis" => opts.axis = value(&mut i, "--axis")?,
             "--api" => opts.filter_api = Some(value(&mut i, "--api")?),
@@ -322,6 +361,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "import" => cmd_import(&opts),
         "jube" => cmd_jube(&opts),
         "sweep" => cmd_sweep(&opts),
+        "serve" => cmd_serve(&opts),
         "trace" => cmd_trace(&opts),
         "stack" => {
             print_stack();
@@ -362,6 +402,9 @@ fn print_help() {
          \x20                       quarantine (--campaign <dir>, --max-parallel <n>,\n\
          \x20                       --wp-deadline <ms>, --quarantine <n>)\n\
          \x20 sweep --resume <dir>  resume a killed campaign from its journal\n\
+         \x20 serve                 HTTP knowledge-explorer service (--addr <host:port>,\n\
+         \x20                       --workers <n>, --queue <n>, --cache-bytes <n>,\n\
+         \x20                       --serve-ms <n> to stop after a fixed window)\n\
          \x20 trace <journal>       span tree + per-phase latency from a --trace journal\n\
          \x20 stack                 print the simulated parallel I/O stack (Fig. 1)\n\n\
          OPTIONS: --db <path> --tasks <n> --ppn <n> --seed <n> --iterations <n>\n\
@@ -434,6 +477,63 @@ fn finish_observability(opts: &Options, obs: &Observability) -> Result<(), CliEr
             path.display(),
             path.display()
         );
+    }
+    Ok(())
+}
+
+/// `iokc serve` — run the embedded HTTP knowledge-explorer service over
+/// the store. Unlike the cycle commands this is a live server, so the
+/// recorder runs on the wall clock; `--serve-ms <n>` bounds the serving
+/// window (useful for scripted smoke tests), otherwise the server runs
+/// until the process is killed.
+fn cmd_serve(opts: &Options) -> Result<(), CliError> {
+    let store = open_store(opts)?;
+    let recorder = match &opts.trace_out {
+        Some(path) => {
+            let sink = iokc_store::JournalEventSink::open(path)
+                .map_err(|e| format!("open {}: {e}", path.display()))?;
+            Recorder::new(Clock::wall(), std::sync::Arc::new(sink))
+        }
+        None => Recorder::new(Clock::wall(), std::sync::Arc::new(NullSink)),
+    };
+    let config = iokc_explorerd::ServerConfig {
+        addr: opts.serve_addr.clone(),
+        workers: opts.serve_workers,
+        queue: opts.serve_queue,
+        cache_bytes: opts.serve_cache_bytes,
+        ..iokc_explorerd::ServerConfig::default()
+    };
+    let server = iokc_explorerd::Server::start(config, store, std::sync::Arc::new(recorder))
+        .map_err(|e| format!("bind {}: {e}", opts.serve_addr))?;
+    println!(
+        "serving the knowledge explorer on http://{}",
+        server.local_addr()
+    );
+    println!(
+        "endpoints: / /api/runs /api/runs/<id> /api/io500/<id> /api/compare /api/boxplot /metrics"
+    );
+    match opts.serve_ms {
+        Some(ms) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            let stats = server.cache_stats();
+            let metrics = server.metrics();
+            server.shutdown();
+            if let Some(path) = &opts.metrics_out {
+                let json = metrics.to_json().to_pretty();
+                std::fs::write(path, json + "\n")
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                println!("wrote metrics to {}", path.display());
+            }
+            println!(
+                "serve window elapsed; cache: {} hit(s), {} miss(es), {} entrie(s) — shut down cleanly",
+                stats.hits, stats.misses, stats.entries
+            );
+        }
+        None => loop {
+            // No signal handling without external crates: park until the
+            // process is killed. The OS reclaims the sockets on exit.
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
     }
     Ok(())
 }

@@ -1,0 +1,494 @@
+//! A minimal HTTP/1.1 layer over blocking sockets.
+//!
+//! Deliberately small: `GET` only (the explorer is read-only), no
+//! request bodies, percent-decoded query strings, and two response body
+//! shapes — fixed-length (`Content-Length`) and streamed
+//! (`Transfer-Encoding: chunked`). Request parsing enforces a head-size
+//! limit and a read deadline so a slow-loris client cannot pin a worker,
+//! and polls a [`CancelToken`] so graceful shutdown is never blocked on
+//! a silent peer.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use iokc_obs::CancelToken;
+
+/// How often a blocked read wakes up to re-check the deadline and the
+/// cancellation token.
+const POLL_SLICE: Duration = Duration::from_millis(25);
+
+/// Flush threshold for chunked response bodies.
+const CHUNK_SIZE: usize = 8 * 1024;
+
+/// Parsing limits: how big a request head may grow and how long a
+/// client may take to deliver it.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers before the request is
+    /// rejected with `400`.
+    pub max_head_bytes: usize,
+    /// Deadline for receiving the complete request head; exceeding it
+    /// yields `408` and closes the connection.
+    pub read_deadline: Duration,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            read_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A parsed request: method, percent-decoded path, and query pairs.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, …), uppercase as sent.
+    pub method: String,
+    /// Percent-decoded path component, always starting with `/`.
+    pub path: String,
+    /// Percent-decoded query pairs in arrival order.
+    pub query: Vec<(String, String)>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    #[must_use]
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The cache key: path plus query pairs sorted into a canonical
+    /// order, so `?a=1&b=2` and `?b=2&a=1` share a cache entry.
+    #[must_use]
+    pub fn normalized(&self) -> String {
+        let mut pairs = self.query.clone();
+        pairs.sort();
+        let mut key = self.path.clone();
+        key.push('?');
+        for (i, (k, v)) in pairs.iter().enumerate() {
+            if i > 0 {
+                key.push('&');
+            }
+            key.push_str(k);
+            key.push('=');
+            key.push_str(v);
+        }
+        key
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The peer closed the connection before sending a request.
+    Closed,
+    /// The read deadline elapsed before the head completed.
+    Timeout,
+    /// The head exceeded [`Limits::max_head_bytes`].
+    TooLarge,
+    /// Shutdown was requested while waiting.
+    Cancelled,
+    /// The bytes received do not form a valid request.
+    Malformed(String),
+    /// A transport error other than a timeout.
+    Io(io::Error),
+}
+
+/// Read and parse one request head from `stream`, honouring the limits
+/// and the cancellation token. The stream's read timeout is set to a
+/// short poll slice so the deadline and the token are both observed
+/// promptly.
+pub fn read_request(
+    stream: &mut TcpStream,
+    limits: &Limits,
+    cancel: &CancelToken,
+) -> Result<Request, RecvError> {
+    stream
+        .set_read_timeout(Some(POLL_SLICE))
+        .map_err(RecvError::Io)?;
+    let started = Instant::now();
+    let mut head: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = find_head_end(&head) {
+            let text = std::str::from_utf8(&head[..end])
+                .map_err(|_| RecvError::Malformed("request head is not UTF-8".to_owned()))?;
+            return parse_head(text);
+        }
+        if cancel.is_cancelled() {
+            return Err(RecvError::Cancelled);
+        }
+        if head.len() > limits.max_head_bytes {
+            return Err(RecvError::TooLarge);
+        }
+        if started.elapsed() > limits.read_deadline {
+            return Err(RecvError::Timeout);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if head.is_empty() {
+                    Err(RecvError::Closed)
+                } else {
+                    Err(RecvError::Malformed("connection closed mid-request".into()))
+                };
+            }
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => return Err(RecvError::Closed),
+            Err(e) => return Err(RecvError::Io(e)),
+        }
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn parse_head(text: &str) -> Result<Request, RecvError> {
+    let malformed = |msg: &str| RecvError::Malformed(msg.to_owned());
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().ok_or_else(|| malformed("empty request"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().ok_or_else(|| malformed("missing method"))?;
+    let target = parts.next().ok_or_else(|| malformed("missing target"))?;
+    let version = parts.next().ok_or_else(|| malformed("missing version"))?;
+    if parts.next().is_some() || method.is_empty() || !target.starts_with('/') {
+        return Err(malformed("bad request line"));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(malformed("unsupported HTTP version")),
+    };
+
+    let mut connection = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| malformed("bad header"))?;
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "connection" => connection = Some(value.to_ascii_lowercase()),
+            "content-length" if value != "0" => {
+                return Err(malformed("request bodies are not supported"));
+            }
+            "transfer-encoding" => {
+                return Err(malformed("request bodies are not supported"));
+            }
+            _ => {}
+        }
+    }
+    let keep_alive = match connection.as_deref() {
+        Some(c) => !c.contains("close") && (http11 || c.contains("keep-alive")),
+        None => http11,
+    };
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(raw_path).ok_or_else(|| malformed("bad percent-encoding"))?;
+    let mut query = Vec::new();
+    for pair in raw_query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        let k = percent_decode(k).ok_or_else(|| malformed("bad percent-encoding"))?;
+        let v = percent_decode(v).ok_or_else(|| malformed("bad percent-encoding"))?;
+        query.push((k, v));
+    }
+    Ok(Request {
+        method: method.to_owned(),
+        path,
+        query,
+        keep_alive,
+    })
+}
+
+/// Decode `%XX` escapes and `+` (as space). Returns `None` on a
+/// truncated or non-hex escape or invalid UTF-8.
+fn percent_decode(text: &str) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3)?;
+                let hi = (hex[0] as char).to_digit(16)?;
+                let lo = (hex[1] as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// A response body: fully materialized (served with `Content-Length`,
+/// and shareable from the cache without copying) or produced on the fly
+/// into the socket (served with chunked transfer encoding).
+pub enum Body {
+    /// Complete body bytes.
+    Full(Arc<Vec<u8>>),
+    /// A producer invoked with the (chunk-encoding) response writer.
+    Stream(BodyProducer),
+}
+
+/// A streamed-body producer, invoked once with the chunk-encoding
+/// response writer.
+pub type BodyProducer = Box<dyn FnOnce(&mut dyn Write) -> io::Result<()> + Send>;
+
+/// An HTTP response ready to be written.
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) — e.g. `Retry-After` on `503`.
+    pub headers: Vec<(&'static str, String)>,
+    /// The body.
+    pub body: Body,
+}
+
+impl Response {
+    /// A `200` response with a fully materialized body.
+    #[must_use]
+    pub fn full(content_type: &'static str, body: Arc<Vec<u8>>) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            headers: Vec::new(),
+            body: Body::Full(body),
+        }
+    }
+
+    /// A `200` JSON response.
+    #[must_use]
+    pub fn json(json: &iokc_util::json::Json) -> Response {
+        Response::full("application/json", Arc::new(json.to_compact().into_bytes()))
+    }
+
+    /// A `200` HTML response.
+    #[must_use]
+    pub fn html(page: String) -> Response {
+        Response::full("text/html; charset=utf-8", Arc::new(page.into_bytes()))
+    }
+
+    /// A `200` chunked response produced by `writer`.
+    #[must_use]
+    pub fn stream(content_type: &'static str, writer: BodyProducer) -> Response {
+        Response {
+            status: 200,
+            content_type,
+            headers: Vec::new(),
+            body: Body::Stream(writer),
+        }
+    }
+
+    /// A plain-text error response.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: Body::Full(Arc::new(format!("{message}\n").into_bytes())),
+        }
+    }
+
+    /// `503 Service Unavailable` with a `Retry-After` hint — the
+    /// load-shedding response sent when the accept queue is full.
+    #[must_use]
+    pub fn unavailable(retry_after_secs: u32) -> Response {
+        let mut resp = Response::error(503, "server is at capacity, retry shortly");
+        resp.headers
+            .push(("Retry-After", retry_after_secs.to_string()));
+        resp
+    }
+
+    /// Serialize onto `stream`. `keep_alive` decides the `Connection`
+    /// header; a `Body::Stream` is sent with chunked encoding.
+    pub fn write(self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            if keep_alive { "keep-alive" } else { "close" }
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        match self.body {
+            Body::Full(bytes) => {
+                head.push_str(&format!("Content-Length: {}\r\n\r\n", bytes.len()));
+                stream.write_all(head.as_bytes())?;
+                stream.write_all(&bytes)?;
+            }
+            Body::Stream(producer) => {
+                head.push_str("Transfer-Encoding: chunked\r\n\r\n");
+                stream.write_all(head.as_bytes())?;
+                let mut chunker = ChunkWriter::new(stream);
+                producer(&mut chunker)?;
+                chunker.finish()?;
+            }
+        }
+        stream.flush()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Status",
+    }
+}
+
+/// Encodes written bytes as HTTP/1.1 chunks, buffering up to
+/// [`CHUNK_SIZE`] bytes per chunk.
+struct ChunkWriter<'a> {
+    out: &'a mut TcpStream,
+    buf: Vec<u8>,
+}
+
+impl<'a> ChunkWriter<'a> {
+    fn new(out: &'a mut TcpStream) -> ChunkWriter<'a> {
+        ChunkWriter {
+            out,
+            buf: Vec::with_capacity(CHUNK_SIZE),
+        }
+    }
+
+    fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        write!(self.out, "{:x}\r\n", self.buf.len())?;
+        self.out.write_all(&self.buf)?;
+        self.out.write_all(b"\r\n")?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    fn finish(mut self) -> io::Result<()> {
+        self.flush_chunk()?;
+        self.out.write_all(b"0\r\n\r\n")
+    }
+}
+
+impl Write for ChunkWriter<'_> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        if self.buf.len() >= CHUNK_SIZE {
+            self.flush_chunk()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.flush_chunk()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Request, RecvError> {
+        parse_head(text)
+    }
+
+    #[test]
+    fn parses_request_line_and_query() {
+        let req = parse("GET /api/runs?api=MPIIO&min_tasks=4 HTTP/1.1\r\nHost: x\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/api/runs");
+        assert_eq!(req.param("api"), Some("MPIIO"));
+        assert_eq!(req.param("min_tasks"), Some("4"));
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn percent_decoding_and_plus() {
+        let req = parse("GET /api/runs?command=ior%20-a+mpiio HTTP/1.1\r\n").unwrap();
+        assert_eq!(req.param("command"), Some("ior -a mpiio"));
+        assert!(percent_decode("%zz").is_none());
+        assert!(percent_decode("%2").is_none());
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        assert!(
+            !parse("GET / HTTP/1.1\r\nConnection: close\r\n")
+                .unwrap()
+                .keep_alive
+        );
+        assert!(!parse("GET / HTTP/1.0\r\n").unwrap().keep_alive);
+        assert!(
+            parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn rejects_bodies_and_garbage() {
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 5\r\n"),
+            Err(RecvError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/2.0\r\n"),
+            Err(RecvError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("nonsense\r\n"),
+            Err(RecvError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET noslash HTTP/1.1\r\n"),
+            Err(RecvError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn normalized_key_sorts_query() {
+        let a = parse("GET /api/runs?b=2&a=1 HTTP/1.1\r\n").unwrap();
+        let b = parse("GET /api/runs?a=1&b=2 HTTP/1.1\r\n").unwrap();
+        assert_eq!(a.normalized(), b.normalized());
+        assert_eq!(a.normalized(), "/api/runs?a=1&b=2");
+    }
+}

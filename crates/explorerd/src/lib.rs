@@ -1,0 +1,42 @@
+//! `iokc-explorerd` — the knowledge explorer as an HTTP service.
+//!
+//! The paper's Analysis phase (§V-D) is a *web-based* explorer: a
+//! single-run viewer, per-iteration detail, multi-object comparison with
+//! selectable axes, a box-plot overview, and an IO500 viewer. This crate
+//! serves exactly those views over HTTP/1.1 from a [`KnowledgeStore`],
+//! with no dependencies beyond the standard library:
+//!
+//! * [`http`] — a minimal HTTP/1.1 layer: request parsing with size and
+//!   time limits, fixed-length and chunked responses, keep-alive;
+//! * [`pool`] — a fixed worker-thread pool behind a bounded queue; when
+//!   the queue is full the server sheds load with `503 Retry-After`
+//!   instead of stalling every client;
+//! * [`cache`] — a read-through query cache keyed on the normalized
+//!   query *and* the store's write generation, so persisting new
+//!   knowledge invalidates every cached view;
+//! * [`service`] — the routing table and JSON/HTML renderers, reusing
+//!   the `iokc-analysis` viewers and charts;
+//! * [`server`] — the accept loop wiring it together, with graceful
+//!   shutdown through an `iokc-obs` [`iokc_obs::CancelToken`].
+//!
+//! Observability is first-class: every request runs under a span, the
+//! request log streams through the recorder's `EventSink`, and
+//! `GET /metrics` dumps the schema-1 metrics JSON.
+//!
+//! [`KnowledgeStore`]: iokc_store::KnowledgeStore
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+pub mod cache;
+pub mod http;
+pub mod pool;
+pub mod server;
+pub mod service;
+
+pub use cache::{CacheStats, QueryCache};
+pub use http::{Body, Limits, Request, Response};
+pub use pool::WorkerPool;
+pub use server::{Server, ServerConfig};
+pub use service::Explorer;

@@ -1,0 +1,241 @@
+//! A fixed worker pool behind a bounded queue.
+//!
+//! The server's backpressure story: one accept thread feeds connections
+//! to `N` workers through a queue of bounded capacity. [`WorkerPool::try_submit`]
+//! never blocks — when the queue is full it hands the item back so the
+//! caller can shed load (the server answers `503 Retry-After`) instead
+//! of letting every client's latency grow without bound.
+//!
+//! Shutdown is graceful: workers finish the item they are processing,
+//! drain what is already queued (each connection handler observes the
+//! cancellation token and exits quickly), then the pool joins them.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    wake: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+}
+
+/// A fixed set of worker threads consuming items of type `T` from a
+/// bounded queue via a shared handler.
+pub struct WorkerPool<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawn `workers` threads that each run `handler` on received
+    /// items. At most `capacity` items wait in the queue at once.
+    pub fn new<F>(workers: usize, capacity: usize, handler: F) -> WorkerPool<T>
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            wake: Condvar::new(),
+            capacity: capacity.max(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let handler = Arc::new(handler);
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for n in 0..workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let handler = Arc::clone(&handler);
+            let thread = std::thread::Builder::new()
+                .name(format!("explorerd-worker-{n}"))
+                .spawn(move || worker_loop(&shared, handler.as_ref()));
+            match thread {
+                Ok(handle) => handles.push(handle),
+                // Thread spawning only fails under resource exhaustion;
+                // the pool still works with the workers that did start.
+                Err(_) => break,
+            }
+        }
+        WorkerPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Queue an item for a worker. Returns the item back when the queue
+    /// is at capacity or the pool is shutting down — the caller decides
+    /// how to shed it.
+    pub fn try_submit(&self, item: T) -> Result<(), T> {
+        try_submit(&self.shared, item)
+    }
+
+    /// A cloneable submission handle that can outlive borrows of the
+    /// pool (e.g. live on the accept thread while the pool itself stays
+    /// owned by the server for shutdown).
+    #[must_use]
+    pub fn submitter(&self) -> Submitter<T> {
+        Submitter {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Items currently waiting (not counting in-flight work).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.shared.queue.lock().map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stop accepting work, let workers drain the queue, and join them.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A handle that can only submit work — see [`WorkerPool::submitter`].
+pub struct Submitter<T: Send + 'static> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T: Send + 'static> Clone for Submitter<T> {
+    fn clone(&self) -> Submitter<T> {
+        Submitter {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: Send + 'static> Submitter<T> {
+    /// Same contract as [`WorkerPool::try_submit`].
+    pub fn try_submit(&self, item: T) -> Result<(), T> {
+        try_submit(&self.shared, item)
+    }
+}
+
+fn try_submit<T>(shared: &Shared<T>, item: T) -> Result<(), T> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(item);
+    }
+    let Ok(mut queue) = shared.queue.lock() else {
+        return Err(item);
+    };
+    if queue.len() >= shared.capacity {
+        return Err(item);
+    }
+    queue.push_back(item);
+    drop(queue);
+    shared.wake.notify_one();
+    Ok(())
+}
+
+fn worker_loop<T, F: Fn(T) + ?Sized>(shared: &Shared<T>, handler: &F) {
+    loop {
+        let item = {
+            let Ok(mut queue) = shared.queue.lock() else {
+                return;
+            };
+            loop {
+                if let Some(item) = queue.pop_front() {
+                    break item;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = match shared.wake.wait(queue) {
+                    Ok(guard) => guard,
+                    Err(_) => return,
+                };
+            }
+        };
+        handler(item);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn processes_all_submitted_items() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let seen = Arc::clone(&seen);
+            WorkerPool::new(4, 64, move |n: usize| {
+                seen.fetch_add(n, Ordering::SeqCst);
+            })
+        };
+        for n in 1..=10 {
+            while pool.try_submit(n).is_err() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        pool.shutdown();
+        assert_eq!(seen.load(Ordering::SeqCst), 55);
+    }
+
+    #[test]
+    fn full_queue_rejects_and_returns_item() {
+        let gate = Arc::new(Mutex::new(()));
+        let hold = gate.lock().unwrap();
+        let pool = {
+            let gate = Arc::clone(&gate);
+            WorkerPool::new(1, 1, move |_: u32| {
+                let _wait = gate.lock();
+            })
+        };
+        // First item occupies the worker, second fills the queue; give
+        // the worker a moment to pick the first one up.
+        pool.try_submit(1).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while pool.queued() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.try_submit(2).unwrap();
+        assert_eq!(pool.try_submit(3), Err(3));
+        drop(hold);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_items() {
+        let seen = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let seen = Arc::clone(&seen);
+            WorkerPool::new(2, 32, move |_: u32| {
+                std::thread::sleep(Duration::from_millis(2));
+                seen.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        let mut submitted = 0;
+        for n in 0..16 {
+            if pool.try_submit(n).is_ok() {
+                submitted += 1;
+            }
+        }
+        pool.shutdown();
+        assert_eq!(seen.load(Ordering::SeqCst), submitted);
+    }
+}

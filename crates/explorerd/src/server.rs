@@ -1,0 +1,248 @@
+//! The accept loop: listener, worker pool, load shedding, shutdown.
+//!
+//! One dedicated thread accepts connections and feeds them to the
+//! [`WorkerPool`]. A worker owns a connection for its whole keep-alive
+//! lifetime, so the bounded queue gives real backpressure: when all
+//! workers are busy and the queue is full, new connections are answered
+//! `503 Retry-After` straight from the accept thread and closed —
+//! shedding load in O(1) instead of letting every client queue behind a
+//! stalled worker.
+//!
+//! Shutdown is cooperative through the shared [`CancelToken`]: the
+//! accept loop stops admitting work, in-flight handlers notice the
+//! token at their next read slice and close, and the pool drains and
+//! joins. No thread is left hung on a silent peer.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use iokc_obs::{CancelToken, MetricsRegistry, Recorder};
+use iokc_store::KnowledgeStore;
+
+use crate::cache::CacheStats;
+use crate::http::{read_request, Limits, RecvError, Response};
+use crate::pool::{Submitter, WorkerPool};
+use crate::service::Explorer;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Bounded accept-queue capacity; beyond it, load is shed with 503.
+    pub queue: usize,
+    /// Query-cache byte budget.
+    pub cache_bytes: usize,
+    /// Request parsing limits.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue: 64,
+            cache_bytes: 1 << 20,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A running explorer server.
+pub struct Server {
+    local_addr: SocketAddr,
+    explorer: Arc<Explorer>,
+    recorder: Arc<Recorder>,
+    cancel: CancelToken,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<WorkerPool<TcpStream>>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and the accept thread, and start
+    /// serving `store`.
+    pub fn start(
+        config: ServerConfig,
+        store: KnowledgeStore,
+        recorder: Arc<Recorder>,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let cancel = CancelToken::new();
+        let store = Arc::new(RwLock::new(store));
+        let explorer = Arc::new(Explorer::new(
+            Arc::clone(&store),
+            config.cache_bytes,
+            Arc::clone(&recorder),
+        ));
+
+        let pool = {
+            let explorer = Arc::clone(&explorer);
+            let limits = config.limits.clone();
+            let cancel = cancel.clone();
+            WorkerPool::new(config.workers, config.queue, move |stream: TcpStream| {
+                handle_connection(stream, &explorer, &limits, &cancel);
+            })
+        };
+
+        let accept = {
+            let cancel = cancel.clone();
+            let recorder = Arc::clone(&recorder);
+            let submitter = pool.submitter();
+            std::thread::Builder::new()
+                .name("explorerd-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &submitter, &cancel, &recorder))?
+        };
+
+        Ok(Server {
+            local_addr,
+            explorer,
+            recorder,
+            cancel,
+            accept: Some(accept),
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared store — writes through this handle bump the
+    /// generation and invalidate cached views.
+    #[must_use]
+    pub fn store(&self) -> Arc<RwLock<KnowledgeStore>> {
+        self.explorer.store()
+    }
+
+    /// The metrics registry serving `/metrics`.
+    #[must_use]
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        self.recorder.metrics()
+    }
+
+    /// Query-cache statistics.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.explorer.cache_stats()
+    }
+
+    /// The cancellation token; `cancel()` initiates graceful shutdown.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish
+    /// (handlers observe the token within one read slice), join all
+    /// threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.cancel.cancel();
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    pool: &Submitter<TcpStream>,
+    cancel: &CancelToken,
+    recorder: &Arc<Recorder>,
+) {
+    let shed = recorder.counter("explorerd.shed");
+    let accepted = recorder.counter("explorerd.connections");
+    loop {
+        if cancel.is_cancelled() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // The listener is non-blocking; accepted sockets get
+                // their own timeouts in the handler.
+                let _ = stream.set_nonblocking(false);
+                accepted.inc();
+                if let Err(stream) = pool.try_submit(stream) {
+                    shed.inc();
+                    shed_connection(stream);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Answer `503 Retry-After: 1` and close — the load-shedding path, run
+/// on the accept thread so it stays O(1) regardless of worker state.
+fn shed_connection(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = Response::unavailable(1).write(&mut stream, false);
+}
+
+/// Serve one connection for its keep-alive lifetime.
+fn handle_connection(
+    mut stream: TcpStream,
+    explorer: &Explorer,
+    limits: &Limits,
+    cancel: &CancelToken,
+) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    loop {
+        if cancel.is_cancelled() {
+            return;
+        }
+        match read_request(&mut stream, limits, cancel) {
+            Ok(req) => {
+                let keep_alive = req.keep_alive && !cancel.is_cancelled();
+                let response = explorer.handle(&req);
+                if response.write(&mut stream, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(RecvError::Closed | RecvError::Cancelled | RecvError::Io(_)) => return,
+            Err(RecvError::Timeout) => {
+                let _ = Response::error(408, "request not received before the read deadline")
+                    .write(&mut stream, false);
+                return;
+            }
+            Err(RecvError::TooLarge) => {
+                let _ = Response::error(400, "request head exceeds the size limit")
+                    .write(&mut stream, false);
+                return;
+            }
+            Err(RecvError::Malformed(what)) => {
+                let _ = Response::error(400, &what).write(&mut stream, false);
+                return;
+            }
+        }
+    }
+}

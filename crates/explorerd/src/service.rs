@@ -1,0 +1,797 @@
+//! Routing and rendering: the paper's explorer views over HTTP.
+//!
+//! JSON API (mirroring §V-D's views):
+//!
+//! * `GET /api/runs` — run listing with `kind`, `api`, `command`,
+//!   `min_tasks`/`max_tasks`, `op` filters and `sort`/`order`/`limit`;
+//!   streamed with chunked encoding through the incremental JSON
+//!   serializer, teeing into the cache;
+//! * `GET /api/runs/{id}` — one benchmark object with per-iteration
+//!   detail;
+//! * `GET /api/compare?x=..&y=..&op=..&ids=..` — the multi-object
+//!   comparison with runtime-selectable axes;
+//! * `GET /api/boxplot?op=..` — the per-run throughput distribution
+//!   overview;
+//! * `GET /api/io500/{id}` — one IO500 object;
+//! * `GET /metrics` — the schema-1 metrics JSON (never cached).
+//!
+//! HTML pages (`/`, `/runs/{id}`, `/io500/{id}`, `/compare`,
+//! `/boxplot`) embed the `iokc-analysis` text viewers and SVG charts.
+//!
+//! Every response except `/metrics` flows through the read-through
+//! [`QueryCache`], keyed on the normalized query and the store's write
+//! generation.
+
+use std::io::{self, Write};
+use std::sync::{Arc, RwLock};
+
+use iokc_analysis::{
+    compare, overview, write_bar_chart, write_box_plot, write_io500, write_knowledge,
+    write_line_chart, ChartOptions, KnowledgeFilter, MetricAxis, OptionAxis, Series,
+};
+use iokc_core::model::{Knowledge, KnowledgeItem};
+use iokc_obs::{Counter, Recorder, SpanStatus};
+use iokc_store::{DbError, KnowledgeStore};
+use iokc_util::json::{ArrayWriter, Json};
+
+use crate::cache::{CacheStats, QueryCache};
+use crate::http::{Request, Response};
+
+/// The explorer service: store access, cache, and observability.
+pub struct Explorer {
+    store: Arc<RwLock<KnowledgeStore>>,
+    cache: Arc<QueryCache>,
+    recorder: Arc<Recorder>,
+    requests: Counter,
+    errors: Counter,
+}
+
+/// A handler failure that maps onto an HTTP status.
+enum RouteError {
+    NotFound(String),
+    BadQuery(String),
+    Store(DbError),
+}
+
+impl From<DbError> for RouteError {
+    fn from(e: DbError) -> RouteError {
+        RouteError::Store(e)
+    }
+}
+
+type RouteResult = Result<Response, RouteError>;
+
+impl Explorer {
+    /// Build the service over a shared store. Cache counters and
+    /// request metrics register with the recorder's registry.
+    #[must_use]
+    pub fn new(
+        store: Arc<RwLock<KnowledgeStore>>,
+        cache_bytes: usize,
+        recorder: Arc<Recorder>,
+    ) -> Explorer {
+        let metrics = recorder.metrics();
+        Explorer {
+            store,
+            cache: Arc::new(QueryCache::new(cache_bytes, &metrics)),
+            requests: metrics.counter("explorerd.requests"),
+            errors: metrics.counter("explorerd.errors"),
+            recorder,
+        }
+    }
+
+    /// The shared store handle.
+    #[must_use]
+    pub fn store(&self) -> Arc<RwLock<KnowledgeStore>> {
+        Arc::clone(&self.store)
+    }
+
+    /// Cache statistics.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Handle one parsed request: route, render, record. Never panics;
+    /// failures become `4xx`/`5xx` responses.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.requests.inc();
+        let span =
+            self.recorder
+                .start_span("http.request", None, Some("analysis"), Some("explorerd"));
+        let response = match self.route(req) {
+            Ok(response) => response,
+            Err(RouteError::NotFound(what)) => Response::error(404, &what),
+            Err(RouteError::BadQuery(what)) => Response::error(400, &what),
+            Err(RouteError::Store(e)) => {
+                self.errors.inc();
+                Response::error(500, &format!("store error: {e}"))
+            }
+        };
+        let status = response.status;
+        self.recorder.log(
+            Some(span.id),
+            &format!("{} {} -> {status}", req.method, req.path),
+        );
+        let ns = self.recorder.end_span(
+            &span,
+            if status < 500 {
+                SpanStatus::Ok
+            } else {
+                SpanStatus::Failed
+            },
+        );
+        self.recorder.observe("explorerd.request_ns", ns as f64);
+        self.recorder
+            .counter(&format!("explorerd.status.{}xx", status / 100))
+            .inc();
+        response
+    }
+
+    fn route(&self, req: &Request) -> RouteResult {
+        if req.method != "GET" {
+            let mut resp = Response::error(405, "only GET is supported");
+            resp.headers.push(("Allow", "GET".to_owned()));
+            return Ok(resp);
+        }
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match segments.as_slice() {
+            [] => self.cached_html(req, index_page),
+            ["metrics"] => Ok(Response::json(&self.recorder.metrics().to_json())),
+            ["api", "runs"] => self.api_runs(req),
+            ["api", "runs", id] => {
+                let id = parse_run_id(id)?;
+                self.cached_json(req, move |store| {
+                    let k = load_benchmark(store, id)?;
+                    Ok(k.to_json())
+                })
+            }
+            ["api", "io500", id] => {
+                let id = parse_run_id(id)?;
+                self.cached_json(req, move |store| {
+                    let k = store
+                        .load_io500(id)?
+                        .ok_or_else(|| RouteError::NotFound(format!("no io500 run {id}")))?;
+                    Ok(k.to_json())
+                })
+            }
+            ["api", "compare"] => {
+                let spec = CompareSpec::from_request(req)?;
+                self.cached_json(req, move |store| compare_json(store, &spec))
+            }
+            ["api", "boxplot"] => {
+                let op = req.param("op").unwrap_or("write").to_owned();
+                self.cached_json(req, move |store| boxplot_json(store, &op))
+            }
+            ["runs", id] => {
+                let id = parse_run_id(id)?;
+                self.cached_html(req, move |store, out| run_page(store, id, out))
+            }
+            ["io500", id] => {
+                let id = parse_run_id(id)?;
+                self.cached_html(req, move |store, out| io500_page(store, id, out))
+            }
+            ["compare"] => {
+                let spec = CompareSpec::from_request(req)?;
+                self.cached_html(req, move |store, out| compare_page(store, &spec, out))
+            }
+            ["boxplot"] => {
+                let op = req.param("op").unwrap_or("write").to_owned();
+                self.cached_html(req, move |store, out| boxplot_page(store, &op, out))
+            }
+            _ => Err(RouteError::NotFound(format!(
+                "no route for {} (try /, /api/runs, /api/compare, /api/boxplot, /metrics)",
+                req.path
+            ))),
+        }
+    }
+
+    /// Read-through JSON endpoint: serve from cache or render under the
+    /// store read lock and fill the cache.
+    fn cached_json(
+        &self,
+        req: &Request,
+        render: impl FnOnce(&KnowledgeStore) -> Result<Json, RouteError>,
+    ) -> RouteResult {
+        let key = req.normalized();
+        let store = self.store.read().map_err(|_| poisoned())?;
+        let generation = store.generation();
+        if let Some((content_type, body)) = self.cache.get(&key, generation) {
+            return Ok(Response::full(content_type, body));
+        }
+        let json = render(&store)?;
+        drop(store);
+        let body = Arc::new(json.to_compact().into_bytes());
+        self.cache
+            .put(&key, generation, "application/json", Arc::clone(&body));
+        Ok(Response::full("application/json", body))
+    }
+
+    /// Read-through HTML endpoint.
+    fn cached_html(
+        &self,
+        req: &Request,
+        render: impl FnOnce(&KnowledgeStore, &mut String) -> Result<(), RouteError>,
+    ) -> RouteResult {
+        let key = req.normalized();
+        let store = self.store.read().map_err(|_| poisoned())?;
+        let generation = store.generation();
+        if let Some((content_type, body)) = self.cache.get(&key, generation) {
+            return Ok(Response::full(content_type, body));
+        }
+        let mut page = String::new();
+        render(&store, &mut page)?;
+        drop(store);
+        let body = Arc::new(page.into_bytes());
+        self.cache.put(
+            &key,
+            generation,
+            "text/html; charset=utf-8",
+            Arc::clone(&body),
+        );
+        Ok(Response::full("text/html; charset=utf-8", body))
+    }
+
+    /// `GET /api/runs`: the one endpoint whose body can grow with the
+    /// store, so a cache miss *streams* the JSON array into the socket
+    /// chunk by chunk through [`ArrayWriter`], teeing the bytes into
+    /// the cache rather than materializing the body up front.
+    fn api_runs(&self, req: &Request) -> RouteResult {
+        let key = req.normalized();
+        let filter = RunsQuery::from_request(req)?;
+        let store = self.store.read().map_err(|_| poisoned())?;
+        let generation = store.generation();
+        if let Some((content_type, body)) = self.cache.get(&key, generation) {
+            return Ok(Response::full(content_type, body));
+        }
+        let rows = filter.rows(&store)?;
+        drop(store);
+        let cache = Arc::clone(&self.cache);
+        Ok(Response::stream(
+            "application/json",
+            Box::new(move |out| {
+                let mut copy = Vec::new();
+                let mut tee = Tee {
+                    net: out,
+                    copy: &mut copy,
+                };
+                let mut array = ArrayWriter::new(&mut tee)?;
+                for row in &rows {
+                    array.push(row)?;
+                }
+                array.finish()?;
+                cache.put(&key, generation, "application/json", Arc::new(copy));
+                Ok(())
+            }),
+        ))
+    }
+}
+
+/// Duplicates everything written to the network into an owned buffer,
+/// so a streamed response can populate the cache as a side effect.
+struct Tee<'a> {
+    net: &'a mut dyn Write,
+    copy: &'a mut Vec<u8>,
+}
+
+impl Write for Tee<'_> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.net.write_all(data)?;
+        self.copy.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.net.flush()
+    }
+}
+
+fn poisoned() -> RouteError {
+    RouteError::Store(DbError::Corrupt("store lock poisoned".to_owned()))
+}
+
+fn parse_run_id(raw: &str) -> Result<u64, RouteError> {
+    raw.parse()
+        .map_err(|_| RouteError::BadQuery(format!("`{raw}` is not a run id")))
+}
+
+fn load_benchmark(store: &KnowledgeStore, id: u64) -> Result<Knowledge, RouteError> {
+    store
+        .load_knowledge(id)?
+        .ok_or_else(|| RouteError::NotFound(format!("no benchmark run {id}")))
+}
+
+fn benchmarks(items: &[KnowledgeItem]) -> Vec<&Knowledge> {
+    items
+        .iter()
+        .filter_map(|item| match item {
+            KnowledgeItem::Benchmark(k) => Some(k),
+            KnowledgeItem::Io500(_) => None,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- /api/runs
+
+/// Parsed `/api/runs` query parameters.
+struct RunsQuery {
+    kind: Option<String>,
+    api: Option<String>,
+    command: Option<String>,
+    op: Option<String>,
+    min_tasks: u32,
+    max_tasks: u32,
+    sort: Sort,
+    descending: bool,
+    limit: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Sort {
+    Id,
+    Tasks,
+    Command,
+    Bandwidth,
+}
+
+impl RunsQuery {
+    fn from_request(req: &Request) -> Result<RunsQuery, RouteError> {
+        let sort = match req.param("sort").unwrap_or("id") {
+            "id" => Sort::Id,
+            "tasks" => Sort::Tasks,
+            "command" => Sort::Command,
+            "bw" => Sort::Bandwidth,
+            other => {
+                return Err(RouteError::BadQuery(format!(
+                    "unknown sort `{other}` (expected id|tasks|command|bw)"
+                )))
+            }
+        };
+        let descending = match req.param("order").unwrap_or("asc") {
+            "asc" => false,
+            "desc" => true,
+            other => {
+                return Err(RouteError::BadQuery(format!(
+                    "unknown order `{other}` (expected asc|desc)"
+                )))
+            }
+        };
+        if let Some(kind) = req.param("kind") {
+            if kind != "benchmark" && kind != "io500" {
+                return Err(RouteError::BadQuery(format!(
+                    "unknown kind `{kind}` (expected benchmark|io500)"
+                )));
+            }
+        }
+        Ok(RunsQuery {
+            kind: req.param("kind").map(str::to_owned),
+            api: req.param("api").map(str::to_owned),
+            command: req.param("command").map(str::to_owned),
+            op: req.param("op").map(str::to_owned),
+            min_tasks: parse_num(req, "min_tasks", 0)?,
+            max_tasks: parse_num(req, "max_tasks", u32::MAX)?,
+            sort,
+            descending,
+            limit: parse_num(req, "limit", usize::MAX)?,
+        })
+    }
+
+    fn rows(&self, store: &KnowledgeStore) -> Result<Vec<Json>, RouteError> {
+        let items = store.load_all_items()?;
+        let mut kept: Vec<&KnowledgeItem> =
+            items.iter().filter(|item| self.matches(item)).collect();
+        kept.sort_by(|a, b| {
+            let cmp = match self.sort {
+                Sort::Id => item_id(a).cmp(&item_id(b)),
+                Sort::Tasks => item_tasks(a).cmp(&item_tasks(b)),
+                Sort::Command => item_command(a).cmp(item_command(b)),
+                Sort::Bandwidth => item_bandwidth(a).total_cmp(&item_bandwidth(b)),
+            };
+            if self.descending {
+                cmp.reverse()
+            } else {
+                cmp
+            }
+        });
+        Ok(kept
+            .iter()
+            .take(self.limit)
+            .map(|i| summary_row(i))
+            .collect())
+    }
+
+    fn matches(&self, item: &KnowledgeItem) -> bool {
+        let tasks = item_tasks(item);
+        if tasks < self.min_tasks || tasks > self.max_tasks {
+            return false;
+        }
+        match item {
+            KnowledgeItem::Benchmark(k) => {
+                self.kind.as_deref().unwrap_or("benchmark") == "benchmark"
+                    && self.api.as_ref().is_none_or(|api| &k.pattern.api == api)
+                    && self
+                        .command
+                        .as_ref()
+                        .is_none_or(|text| k.command.contains(text.as_str()))
+                    && self.op.as_ref().is_none_or(|op| k.summary(op).is_some())
+            }
+            KnowledgeItem::Io500(_) => {
+                self.kind.as_deref().unwrap_or("io500") == "io500"
+                    && self.api.is_none()
+                    && self.command.is_none()
+                    && self.op.is_none()
+            }
+        }
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(req: &Request, name: &str, default: T) -> Result<T, RouteError> {
+    match req.param(name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| RouteError::BadQuery(format!("bad number for `{name}`: `{raw}`"))),
+    }
+}
+
+fn item_id(item: &KnowledgeItem) -> u64 {
+    match item {
+        KnowledgeItem::Benchmark(k) => k.id.unwrap_or(0),
+        KnowledgeItem::Io500(k) => k.id.unwrap_or(0),
+    }
+}
+
+fn item_tasks(item: &KnowledgeItem) -> u32 {
+    match item {
+        KnowledgeItem::Benchmark(k) => k.pattern.tasks,
+        KnowledgeItem::Io500(k) => k.tasks,
+    }
+}
+
+fn item_command(item: &KnowledgeItem) -> &str {
+    match item {
+        KnowledgeItem::Benchmark(k) => &k.command,
+        KnowledgeItem::Io500(_) => "io500",
+    }
+}
+
+fn item_bandwidth(item: &KnowledgeItem) -> f64 {
+    match item {
+        KnowledgeItem::Benchmark(k) => k.summary("write").map_or(0.0, |s| s.mean_mib),
+        KnowledgeItem::Io500(k) => k.bw_score,
+    }
+}
+
+fn summary_row(item: &KnowledgeItem) -> Json {
+    match item {
+        KnowledgeItem::Benchmark(k) => Json::obj(vec![
+            ("kind", Json::from("benchmark")),
+            ("id", Json::from(k.id.unwrap_or(0))),
+            ("command", Json::from(k.command.as_str())),
+            ("api", Json::from(k.pattern.api.as_str())),
+            ("tasks", Json::from(u64::from(k.pattern.tasks))),
+            ("block_size", Json::from(k.pattern.block_size)),
+            ("transfer_size", Json::from(k.pattern.transfer_size)),
+            (
+                "write_mean_mib",
+                k.summary("write")
+                    .map_or(Json::Null, |s| Json::from(s.mean_mib)),
+            ),
+            (
+                "read_mean_mib",
+                k.summary("read")
+                    .map_or(Json::Null, |s| Json::from(s.mean_mib)),
+            ),
+            ("warnings", Json::from(k.warnings.len())),
+        ]),
+        KnowledgeItem::Io500(k) => Json::obj(vec![
+            ("kind", Json::from("io500")),
+            ("id", Json::from(k.id.unwrap_or(0))),
+            ("tasks", Json::from(u64::from(k.tasks))),
+            ("bw_score", Json::from(k.bw_score)),
+            ("md_score", Json::from(k.md_score)),
+            ("total_score", Json::from(k.total_score)),
+            ("warnings", Json::from(k.warnings.len())),
+        ]),
+    }
+}
+
+// -------------------------------------------------------------- /api/compare
+
+/// Parsed `/api/compare` parameters: axes, operation, and filters.
+struct CompareSpec {
+    x: OptionAxis,
+    y: MetricAxis,
+    op: String,
+    ids: Option<Vec<u64>>,
+    filters: Vec<KnowledgeFilter>,
+}
+
+impl CompareSpec {
+    fn from_request(req: &Request) -> Result<CompareSpec, RouteError> {
+        let op = req.param("op").unwrap_or("write").to_owned();
+        let x = match req.param("x").unwrap_or("transfer_size") {
+            "transfer_size" => OptionAxis::TransferSize,
+            "block_size" => OptionAxis::BlockSize,
+            "tasks" => OptionAxis::Tasks,
+            "segments" => OptionAxis::Segments,
+            "clients_per_node" => OptionAxis::ClientsPerNode,
+            other => {
+                return Err(RouteError::BadQuery(format!(
+                    "unknown x axis `{other}` (expected transfer_size|block_size|tasks|segments|clients_per_node)"
+                )))
+            }
+        };
+        let y = match req.param("y").unwrap_or("mean_bw") {
+            "mean_bw" => MetricAxis::MeanBandwidth(op.clone()),
+            "max_bw" => MetricAxis::MaxBandwidth(op.clone()),
+            "mean_ops" => MetricAxis::MeanOps(op.clone()),
+            other => {
+                return Err(RouteError::BadQuery(format!(
+                    "unknown y axis `{other}` (expected mean_bw|max_bw|mean_ops)"
+                )))
+            }
+        };
+        let ids = match req.param("ids") {
+            None => None,
+            Some(raw) => {
+                let mut ids = Vec::new();
+                for piece in raw.split(',').filter(|p| !p.is_empty()) {
+                    ids.push(piece.parse().map_err(|_| {
+                        RouteError::BadQuery(format!("`{piece}` in ids is not a run id"))
+                    })?);
+                }
+                Some(ids)
+            }
+        };
+        let mut filters = Vec::new();
+        if let Some(api) = req.param("api") {
+            filters.push(KnowledgeFilter::Api(api.to_owned()));
+        }
+        if let Some(text) = req.param("command") {
+            filters.push(KnowledgeFilter::CommandContains(text.to_owned()));
+        }
+        Ok(CompareSpec {
+            x,
+            y,
+            op,
+            ids,
+            filters,
+        })
+    }
+
+    fn points(
+        &self,
+        store: &KnowledgeStore,
+    ) -> Result<Vec<iokc_analysis::ComparisonPoint>, RouteError> {
+        let items = store.load_all_items()?;
+        let selected: Vec<&Knowledge> = benchmarks(&items)
+            .into_iter()
+            .filter(|k| {
+                self.ids
+                    .as_ref()
+                    .is_none_or(|ids| k.id.map(|id| ids.contains(&id)).unwrap_or(false))
+            })
+            .collect();
+        Ok(compare(&selected, &self.filters, self.x, &self.y))
+    }
+}
+
+fn compare_json(store: &KnowledgeStore, spec: &CompareSpec) -> Result<Json, RouteError> {
+    let points = spec.points(store)?;
+    Ok(Json::obj(vec![
+        ("x_label", Json::from(spec.x.label())),
+        ("y_label", Json::from(spec.y.label())),
+        ("operation", Json::from(spec.op.as_str())),
+        (
+            "points",
+            Json::Arr(
+                points
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("id", p.knowledge_id.map_or(Json::Null, Json::from)),
+                            ("command", Json::from(p.command.as_str())),
+                            ("x", Json::from(p.x)),
+                            ("y", Json::from(p.y)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]))
+}
+
+// -------------------------------------------------------------- /api/boxplot
+
+fn boxplot_json(store: &KnowledgeStore, op: &str) -> Result<Json, RouteError> {
+    let items = store.load_all_items()?;
+    let boxes = overview(&benchmarks(&items), op);
+    Ok(Json::obj(vec![
+        ("operation", Json::from(op)),
+        (
+            "boxes",
+            Json::Arr(
+                boxes
+                    .iter()
+                    .map(|(label, d)| {
+                        Json::obj(vec![
+                            ("label", Json::from(label.as_str())),
+                            ("n", Json::from(d.n)),
+                            ("min", Json::from(d.min)),
+                            ("q1", Json::from(d.q1)),
+                            ("median", Json::from(d.median)),
+                            ("q3", Json::from(d.q3)),
+                            ("max", Json::from(d.max)),
+                            ("mean", Json::from(d.mean)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]))
+}
+
+// ----------------------------------------------------------------- HTML pages
+
+fn html_escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn page_open(title: &str, out: &mut String) {
+    out.push_str("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>");
+    out.push_str(&html_escape(title));
+    out.push_str(
+        "</title><style>body{font-family:monospace;margin:2em}table{border-collapse:collapse}\
+         td,th{border:1px solid #ccc;padding:4px 8px}</style></head><body>\n",
+    );
+    out.push_str(&format!("<h1>{}</h1>\n", html_escape(title)));
+}
+
+fn page_close(out: &mut String) {
+    out.push_str("</body></html>\n");
+}
+
+fn index_page(store: &KnowledgeStore, out: &mut String) -> Result<(), RouteError> {
+    let items = store.load_all_items()?;
+    page_open("iokc knowledge explorer", out);
+    out.push_str(
+        "<p><a href=\"/api/runs\">/api/runs</a> · <a href=\"/compare\">/compare</a> · \
+         <a href=\"/boxplot\">/boxplot</a> · <a href=\"/metrics\">/metrics</a></p>\n",
+    );
+    out.push_str("<table><tr><th>kind</th><th>id</th><th>summary</th></tr>\n");
+    for item in &items {
+        match item {
+            KnowledgeItem::Benchmark(k) => {
+                let id = k.id.unwrap_or(0);
+                out.push_str(&format!(
+                    "<tr><td>benchmark</td><td><a href=\"/runs/{id}\">{id}</a></td><td>{}</td></tr>\n",
+                    html_escape(&k.command)
+                ));
+            }
+            KnowledgeItem::Io500(k) => {
+                let id = k.id.unwrap_or(0);
+                out.push_str(&format!(
+                    "<tr><td>io500</td><td><a href=\"/io500/{id}\">{id}</a></td>\
+                     <td>tasks {} | total score {:.4}</td></tr>\n",
+                    k.tasks, k.total_score
+                ));
+            }
+        }
+    }
+    out.push_str("</table>\n");
+    page_close(out);
+    Ok(())
+}
+
+fn run_page(store: &KnowledgeStore, id: u64, out: &mut String) -> Result<(), RouteError> {
+    let k = load_benchmark(store, id)?;
+    page_open(&format!("run {id}"), out);
+    let mut text = String::new();
+    let _ = write_knowledge(&k, &mut text);
+    out.push_str("<pre>");
+    out.push_str(&html_escape(&text));
+    out.push_str("</pre>\n");
+    // Per-iteration bandwidth, one series per operation (Fig. 5 layout).
+    let mut operations: Vec<&str> = Vec::new();
+    for r in &k.results {
+        if !operations.contains(&r.operation.as_str()) {
+            operations.push(r.operation.as_str());
+        }
+    }
+    let max_iter = k.results.iter().map(|r| r.iteration).max().unwrap_or(0);
+    let categories: Vec<String> = (0..=max_iter).map(|i| format!("iter {i}")).collect();
+    let series: Vec<Series> = operations
+        .iter()
+        .map(|op| Series {
+            label: (*op).to_owned(),
+            points: k
+                .results
+                .iter()
+                .filter(|r| r.operation == **op)
+                .map(|r| (f64::from(r.iteration), r.bw_mib))
+                .collect(),
+        })
+        .collect();
+    if !series.is_empty() {
+        let _ = write_bar_chart(
+            &categories,
+            &series,
+            &ChartOptions {
+                title: format!("per-iteration bandwidth — run {id}"),
+                x_label: "iteration".into(),
+                y_label: "MiB/s".into(),
+                ..ChartOptions::default()
+            },
+            out,
+        );
+    }
+    page_close(out);
+    Ok(())
+}
+
+fn io500_page(store: &KnowledgeStore, id: u64, out: &mut String) -> Result<(), RouteError> {
+    let k = store
+        .load_io500(id)?
+        .ok_or_else(|| RouteError::NotFound(format!("no io500 run {id}")))?;
+    page_open(&format!("io500 run {id}"), out);
+    let mut text = String::new();
+    let _ = write_io500(&k, &mut text);
+    out.push_str("<pre>");
+    out.push_str(&html_escape(&text));
+    out.push_str("</pre>\n");
+    page_close(out);
+    Ok(())
+}
+
+fn compare_page(
+    store: &KnowledgeStore,
+    spec: &CompareSpec,
+    out: &mut String,
+) -> Result<(), RouteError> {
+    let points = spec.points(store)?;
+    page_open("comparison", out);
+    if points.is_empty() {
+        out.push_str("<p>no comparable knowledge for this selection</p>\n");
+    } else {
+        let series = [Series {
+            label: spec.y.label(),
+            points: points.iter().map(|p| (p.x, p.y)).collect(),
+        }];
+        let _ = write_line_chart(
+            &series,
+            &ChartOptions {
+                title: "comparison".into(),
+                x_label: spec.x.label().to_owned(),
+                y_label: spec.y.label(),
+                ..ChartOptions::default()
+            },
+            out,
+        );
+    }
+    page_close(out);
+    Ok(())
+}
+
+fn boxplot_page(store: &KnowledgeStore, op: &str, out: &mut String) -> Result<(), RouteError> {
+    let items = store.load_all_items()?;
+    let boxes = overview(&benchmarks(&items), op);
+    page_open(&format!("throughput overview — {op}"), out);
+    if boxes.is_empty() {
+        out.push_str("<p>no runs with this operation</p>\n");
+    } else {
+        let _ = write_box_plot(
+            &boxes,
+            &ChartOptions {
+                title: format!("{op} bandwidth distribution"),
+                y_label: "MiB/s".into(),
+                ..ChartOptions::default()
+            },
+            out,
+        );
+    }
+    page_close(out);
+    Ok(())
+}

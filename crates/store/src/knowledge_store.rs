@@ -31,6 +31,10 @@ pub struct KnowledgeStore {
     path: Option<PathBuf>,
     /// How the on-disk image was recovered at open time, if it was.
     recovery: persist::RecoveryReport,
+    /// Monotonic write generation: bumped on every successful persist or
+    /// delete, so read-through caches over this store (the explorer
+    /// service) can key entries on it and invalidate on any mutation.
+    generation: u64,
 }
 
 impl KnowledgeStore {
@@ -41,6 +45,7 @@ impl KnowledgeStore {
             db: build_schema(),
             path: None,
             recovery: persist::RecoveryReport::default(),
+            generation: 0,
         }
     }
 
@@ -59,7 +64,17 @@ impl KnowledgeStore {
             db,
             path: Some(path),
             recovery,
+            generation: 0,
         })
+    }
+
+    /// The store's write generation: a monotonic counter bumped on every
+    /// successful persist or delete. Two calls returning the same value
+    /// bracket a window in which no knowledge changed, so any view
+    /// computed inside that window is still valid.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// How the on-disk image was loaded: whether the `.bak` generation
@@ -189,7 +204,40 @@ impl KnowledgeStore {
         }
         self.save_warnings("benchmark", performance_id, &k.warnings)?;
         self.flush()?;
+        self.generation += 1;
         Ok(performance_id as u64)
+    }
+
+    /// Delete a benchmark knowledge object and its dependent rows
+    /// (summaries, results, filesystem, system info, warnings). Returns
+    /// whether the object existed; the generation is bumped only when it
+    /// did, so deleting nothing invalidates nothing.
+    pub fn delete_knowledge(&mut self, id: u64) -> Result<bool, DbError> {
+        if self.db.get("performances", id as i64)?.is_none() {
+            return Ok(false);
+        }
+        let by_perf = Predicate::Eq("performance_id".into(), Value::Int(id as i64));
+        for srow in self.db.select("summaries", &by_perf, OrderBy::Id, None)? {
+            self.db.delete(
+                "results",
+                &Predicate::Eq("summary_id".into(), Value::Int(srow.id)),
+            )?;
+        }
+        self.db.delete("summaries", &by_perf)?;
+        self.db.delete("filesystems", &by_perf)?;
+        self.db.delete("systeminfos", &by_perf)?;
+        self.db.delete(
+            "warnings",
+            &Predicate::Eq("owner".into(), Value::from("benchmark"))
+                .and(Predicate::Eq("owner_id".into(), Value::Int(id as i64))),
+        )?;
+        self.db.delete(
+            "performances",
+            &Predicate::Eq("id".into(), Value::Int(id as i64)),
+        )?;
+        self.flush()?;
+        self.generation += 1;
+        Ok(true)
     }
 
     /// Load a benchmark knowledge object by id.
@@ -391,6 +439,7 @@ impl KnowledgeStore {
         }
         self.save_warnings("io500", iofh_id, &k.warnings)?;
         self.flush()?;
+        self.generation += 1;
         Ok(iofh_id as u64)
     }
 
@@ -1070,6 +1119,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn generation_bumps_on_writes_and_deletes_only() {
+        let mut store = KnowledgeStore::in_memory();
+        assert_eq!(store.generation(), 0);
+        let id = store.save_knowledge(&sample_knowledge()).unwrap();
+        assert_eq!(store.generation(), 1);
+        store.save_io500(&sample_io500()).unwrap();
+        assert_eq!(store.generation(), 2);
+        // Reads do not invalidate.
+        store.load_knowledge(id).unwrap();
+        store.load_all_items().unwrap();
+        assert_eq!(store.generation(), 2);
+        // Deleting an absent object is a no-op for the generation.
+        assert!(!store.delete_knowledge(999).unwrap());
+        assert_eq!(store.generation(), 2);
+        assert!(store.delete_knowledge(id).unwrap());
+        assert_eq!(store.generation(), 3);
+    }
+
+    #[test]
+    fn delete_knowledge_cascades_to_dependents() {
+        let mut store = KnowledgeStore::in_memory();
+        let keep = store
+            .save_knowledge(&sample_knowledge().with_warning("partial"))
+            .unwrap();
+        let gone = store
+            .save_knowledge(&sample_knowledge().with_warning("other"))
+            .unwrap();
+        assert!(store.delete_knowledge(gone).unwrap());
+        assert!(store.load_knowledge(gone).unwrap().is_none());
+        let db = store.database();
+        assert_eq!(db.row_count("performances").unwrap(), 1);
+        assert_eq!(db.row_count("summaries").unwrap(), 1);
+        assert_eq!(db.row_count("results").unwrap(), 2);
+        assert_eq!(db.row_count("filesystems").unwrap(), 1);
+        assert_eq!(db.row_count("systeminfos").unwrap(), 1);
+        assert_eq!(db.row_count("warnings").unwrap(), 1);
+        // The surviving object is intact, warnings included.
+        let survivor = store.load_knowledge(keep).unwrap().unwrap();
+        assert_eq!(survivor.warnings, vec!["partial".to_owned()]);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::io;
 
 /// A JSON value.
 ///
@@ -106,7 +107,8 @@ impl Json {
     #[must_use]
     pub fn to_compact(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, None, 0);
+        // Writing into a String cannot fail.
+        let _ = self.write(&mut out, None, 0);
         out
     }
 
@@ -114,95 +116,177 @@ impl Json {
     #[must_use]
     pub fn to_pretty(&self) -> String {
         let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
+        let _ = self.write(&mut out, Some(2), 0);
         out
     }
 
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+    /// Serialize compactly into any [`fmt::Write`] target.
+    pub fn write_compact<W: fmt::Write>(&self, out: &mut W) -> fmt::Result {
+        self.write(out, None, 0)
+    }
+
+    /// Serialize compactly into any [`io::Write`] target without
+    /// materializing the document as an intermediate `String` — the
+    /// streaming entry point large responses are built on.
+    pub fn write_compact_io<W: io::Write>(&self, out: &mut W) -> io::Result<()> {
+        let mut adapter = FmtToIo {
+            inner: out,
+            error: None,
+        };
+        match self.write(&mut adapter, None, 0) {
+            Ok(()) => Ok(()),
+            Err(_) => Err(adapter
+                .error
+                .unwrap_or_else(|| io::Error::other("formatting failed"))),
+        }
+    }
+
+    fn write<W: fmt::Write>(
+        &self,
+        out: &mut W,
+        indent: Option<usize>,
+        depth: usize,
+    ) -> fmt::Result {
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(true) => out.push_str("true"),
-            Json::Bool(false) => out.push_str("false"),
-            Json::Num(n) => write_number(out, *n),
-            Json::Str(s) => write_escaped(out, s),
+            Json::Null => out.write_str("null")?,
+            Json::Bool(true) => out.write_str("true")?,
+            Json::Bool(false) => out.write_str("false")?,
+            Json::Num(n) => write_number(out, *n)?,
+            Json::Str(s) => write_escaped(out, s)?,
             Json::Arr(items) => {
                 if items.is_empty() {
-                    out.push_str("[]");
-                    return;
+                    return out.write_str("[]");
                 }
-                out.push('[');
+                out.write_char('[')?;
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    newline_indent(out, indent, depth + 1);
-                    item.write(out, indent, depth + 1);
+                    newline_indent(out, indent, depth + 1)?;
+                    item.write(out, indent, depth + 1)?;
                 }
-                newline_indent(out, indent, depth);
-                out.push(']');
+                newline_indent(out, indent, depth)?;
+                out.write_char(']')?;
             }
             Json::Obj(map) => {
                 if map.is_empty() {
-                    out.push_str("{}");
-                    return;
+                    return out.write_str("{}");
                 }
-                out.push('{');
+                out.write_char('{')?;
                 for (i, (key, value)) in map.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.write_char(',')?;
                     }
-                    newline_indent(out, indent, depth + 1);
-                    write_escaped(out, key);
-                    out.push(':');
+                    newline_indent(out, indent, depth + 1)?;
+                    write_escaped(out, key)?;
+                    out.write_char(':')?;
                     if indent.is_some() {
-                        out.push(' ');
+                        out.write_char(' ')?;
                     }
-                    value.write(out, indent, depth + 1);
+                    value.write(out, indent, depth + 1)?;
                 }
-                newline_indent(out, indent, depth);
-                out.push('}');
+                newline_indent(out, indent, depth)?;
+                out.write_char('}')?;
             }
         }
+        Ok(())
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+/// Bridge [`fmt::Write`] onto an [`io::Write`], parking the first I/O
+/// error so the caller can surface it instead of the opaque `fmt::Error`.
+struct FmtToIo<'a, W: io::Write> {
+    inner: &'a mut W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> fmt::Write for FmtToIo<'_, W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.inner.write_all(s.as_bytes()).map_err(|e| {
+            self.error = Some(e);
+            fmt::Error
+        })
+    }
+}
+
+/// An incremental JSON array serializer over an [`io::Write`].
+///
+/// `/api/runs`-style responses can hold thousands of elements; this
+/// writer emits `[`, a comma-separated element per [`ArrayWriter::push`],
+/// and `]` on [`ArrayWriter::finish`] — each element is serialized
+/// straight into the sink, so the whole body never exists as one
+/// `String` in memory.
+#[derive(Debug)]
+pub struct ArrayWriter<W: io::Write> {
+    out: W,
+    elements: usize,
+}
+
+impl<W: io::Write> ArrayWriter<W> {
+    /// Open the array (writes `[`).
+    pub fn new(mut out: W) -> io::Result<ArrayWriter<W>> {
+        out.write_all(b"[")?;
+        Ok(ArrayWriter { out, elements: 0 })
+    }
+
+    /// Append one element.
+    pub fn push(&mut self, value: &Json) -> io::Result<()> {
+        if self.elements > 0 {
+            self.out.write_all(b",")?;
+        }
+        self.elements += 1;
+        value.write_compact_io(&mut self.out)
+    }
+
+    /// Elements written so far.
+    #[must_use]
+    pub fn elements(&self) -> usize {
+        self.elements
+    }
+
+    /// Close the array (writes `]`) and hand the sink back.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.write_all(b"]")?;
+        Ok(self.out)
+    }
+}
+
+fn newline_indent<W: fmt::Write>(out: &mut W, indent: Option<usize>, depth: usize) -> fmt::Result {
     if let Some(width) = indent {
-        out.push('\n');
+        out.write_char('\n')?;
         for _ in 0..width * depth {
-            out.push(' ');
+            out.write_char(' ')?;
         }
     }
+    Ok(())
 }
 
-fn write_number(out: &mut String, n: f64) {
+fn write_number<W: fmt::Write>(out: &mut W, n: f64) -> fmt::Result {
     if !n.is_finite() {
         // JSON has no NaN/Inf; the knowledge model never produces them, but
         // be defensive instead of emitting invalid documents.
-        out.push_str("null");
+        out.write_str("null")
     } else if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
-        let _ = fmt::Write::write_fmt(out, format_args!("{}", n as i64));
+        write!(out, "{}", n as i64)
     } else {
-        let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+        write!(out, "{n}")
     }
 }
 
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
+fn write_escaped<W: fmt::Write>(out: &mut W, s: &str) -> fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
 /// An error produced while parsing JSON text.
@@ -615,6 +699,53 @@ mod tests {
                 let _ = parse(&text);
             }
         }
+    }
+
+    #[test]
+    fn streaming_array_matches_batch_serialization() {
+        let items = vec![
+            Json::obj(vec![("id", Json::from(1u64)), ("bw", Json::from(2850.5))]),
+            Json::obj(vec![("id", Json::from(2u64)), ("cmd", Json::from("ior"))]),
+            Json::Null,
+        ];
+        let mut sink = Vec::new();
+        let mut writer = ArrayWriter::new(&mut sink).unwrap();
+        for item in &items {
+            writer.push(item).unwrap();
+        }
+        assert_eq!(writer.elements(), 3);
+        writer.finish().unwrap();
+        let streamed = String::from_utf8(sink).unwrap();
+        assert_eq!(streamed, Json::Arr(items).to_compact());
+
+        let mut empty = Vec::new();
+        ArrayWriter::new(&mut empty).unwrap().finish().unwrap();
+        assert_eq!(empty, b"[]");
+    }
+
+    #[test]
+    fn write_compact_io_matches_to_compact() {
+        let v = parse(r#"{"a":[1,2.5,"x\ny"],"b":null,"c":true}"#).unwrap();
+        let mut sink = Vec::new();
+        v.write_compact_io(&mut sink).unwrap();
+        assert_eq!(String::from_utf8(sink).unwrap(), v.to_compact());
+    }
+
+    #[test]
+    fn write_compact_io_surfaces_io_errors() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = Json::from("payload")
+            .write_compact_io(&mut Broken)
+            .unwrap_err();
+        assert_eq!(err.to_string(), "sink closed");
     }
 
     #[test]

@@ -10,6 +10,11 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The explorer service handles untrusted network input, so it gets a
+# stricter gate: any unwrap in the crate is an error, not a warning.
+echo "==> cargo clippy -p iokc-explorerd (unwraps are errors)"
+cargo clippy -p iokc-explorerd --all-targets -- -D warnings -D clippy::unwrap_used
+
 echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

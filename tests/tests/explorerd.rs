@@ -1,0 +1,392 @@
+//! The embedded knowledge-explorer service end to end: a real
+//! `TcpListener` on an ephemeral port serving a sim-populated store to
+//! concurrent raw-socket clients, plus the failure paths (malformed
+//! heads, oversized heads, slow-loris, load shedding) and the
+//! cache-invalidation protocol.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use iokc_benchmarks::ior::{run_ior, IorConfig};
+use iokc_core::model::{Io500Knowledge, Io500Testcase, Knowledge};
+use iokc_explorerd::{Limits, Server, ServerConfig};
+use iokc_extract::parse_ior_output;
+use iokc_obs::{Clock, NullSink, Recorder};
+use iokc_sim::engine::{JobLayout, World};
+use iokc_sim::faults::FaultPlan;
+use iokc_sim::prelude::SystemConfig;
+use iokc_store::KnowledgeStore;
+use iokc_util::json::{self, Json};
+
+fn knowledge_for(xfer: &str, seed: u64) -> Knowledge {
+    let command =
+        format!("ior -a posix -b 512k -t {xfer} -s 2 -F -C -e -i 2 -o /scratch/ed{seed} -k");
+    let config = IorConfig::parse_command(&command).unwrap();
+    let mut world = World::new(SystemConfig::test_small(), FaultPlan::none(), seed);
+    let result = run_ior(&mut world, JobLayout::new(4, 2), &config, seed).unwrap();
+    parse_ior_output(&result.render()).unwrap()
+}
+
+fn sample_io500() -> Io500Knowledge {
+    Io500Knowledge {
+        id: None,
+        tasks: 8,
+        bw_score: 0.8125,
+        md_score: 12.5,
+        total_score: 3.19,
+        testcases: vec![Io500Testcase {
+            name: "ior-easy-write".into(),
+            value: 2.5,
+            unit: "GiB/s".into(),
+            time_s: 31.0,
+        }],
+        options: std::collections::BTreeMap::new(),
+        system: None,
+        start_time: 0,
+        warnings: Vec::new(),
+    }
+}
+
+/// A store with three benchmark runs and one IO500 run.
+fn populated_store() -> KnowledgeStore {
+    let mut store = KnowledgeStore::in_memory();
+    for (xfer, seed) in [("16k", 21u64), ("64k", 22), ("512k", 23)] {
+        store.save_knowledge(&knowledge_for(xfer, seed)).unwrap();
+    }
+    store.save_io500(&sample_io500()).unwrap();
+    store
+}
+
+fn start_server(config: ServerConfig) -> Server {
+    let recorder = Arc::new(Recorder::new(Clock::wall(), Arc::new(NullSink)));
+    Server::start(config, populated_store(), recorder).unwrap()
+}
+
+/// Minimal HTTP client: one request, `Connection: close`, de-chunks the
+/// body. Returns `(status, body)`.
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    read_response(&mut stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> (u16, Vec<u8>) {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // A reset after the response bytes (the server closes hard
+            // on rejected requests) still counts as end-of-response.
+            Err(_) => break,
+        }
+    }
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response has a head");
+    let head = String::from_utf8_lossy(&raw[..split]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = &raw[split + 4..];
+    if head
+        .to_ascii_lowercase()
+        .contains("transfer-encoding: chunked")
+    {
+        (status, dechunk(body))
+    } else {
+        (status, body.to_vec())
+    }
+}
+
+fn dechunk(mut body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = body
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size = usize::from_str_radix(String::from_utf8_lossy(&body[..line_end]).trim(), 16)
+            .expect("hex chunk size");
+        body = &body[line_end + 2..];
+        if size == 0 {
+            return out;
+        }
+        out.extend_from_slice(&body[..size]);
+        body = &body[size + 2..];
+    }
+}
+
+fn parse_json(body: &[u8]) -> Json {
+    json::parse(std::str::from_utf8(body).expect("utf-8 body")).expect("valid JSON")
+}
+
+#[test]
+fn all_endpoint_families_answer_under_concurrent_load() {
+    let server = start_server(ServerConfig {
+        workers: 4,
+        queue: 32,
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Eight concurrent clients, each walking every endpoint family.
+    let clients: Vec<_> = (0..8)
+        .map(|n| {
+            std::thread::spawn(move || {
+                let (status, body) = get(addr, "/api/runs?sort=bw&order=desc");
+                assert_eq!(status, 200, "client {n}: /api/runs");
+                let runs = parse_json(&body);
+                match &runs {
+                    Json::Arr(rows) => assert!(rows.len() >= 4, "3 benchmarks + 1 io500"),
+                    other => panic!("client {n}: /api/runs not an array: {other:?}"),
+                }
+
+                let (status, body) = get(addr, "/api/runs/1");
+                assert_eq!(status, 200, "client {n}: /api/runs/1");
+                let run = parse_json(&body);
+                assert!(matches!(run, Json::Obj(_)), "client {n}: run detail");
+
+                // IO500 knowledge has its own id namespace (rowid of
+                // its own table), so the single run is id 1.
+                let (status, body) = get(addr, "/api/io500/1");
+                assert_eq!(status, 200, "client {n}: /api/io500/1");
+                parse_json(&body);
+
+                let (status, body) = get(addr, "/api/compare?x=transfer_size&y=mean_bw&op=write");
+                assert_eq!(status, 200, "client {n}: /api/compare");
+                match parse_json(&body) {
+                    Json::Obj(map) => {
+                        assert!(map.contains_key("points"));
+                        assert!(map.contains_key("x_label"));
+                    }
+                    other => panic!("client {n}: compare not an object: {other:?}"),
+                }
+
+                let (status, body) = get(addr, "/api/boxplot?op=write");
+                assert_eq!(status, 200, "client {n}: /api/boxplot");
+                parse_json(&body);
+
+                let (status, body) = get(addr, "/metrics");
+                assert_eq!(status, 200, "client {n}: /metrics");
+                parse_json(&body);
+
+                let (status, body) = get(addr, "/");
+                assert_eq!(status, 200, "client {n}: index page");
+                assert!(body.starts_with(b"<!DOCTYPE html>"), "client {n}: html");
+
+                let (status, body) = get(addr, "/runs/1");
+                assert_eq!(status, 200, "client {n}: /runs/1");
+                assert!(
+                    String::from_utf8_lossy(&body).contains("<svg"),
+                    "client {n}: run page embeds a chart"
+                );
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread panicked");
+    }
+
+    // Unknown ids and routes 404; non-GET methods 405.
+    let (status, _) = get(addr, "/api/runs/999");
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/api/nope");
+    assert_eq!(status, 404);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "POST / HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let (status, _) = read_response(&mut stream);
+    assert_eq!(status, 405);
+
+    server.shutdown();
+}
+
+#[test]
+fn malformed_and_oversized_heads_get_400() {
+    let server = start_server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Garbage that is not an HTTP request line.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"NOT-HTTP nonsense\r\n\r\n").unwrap();
+    let (status, _) = read_response(&mut stream);
+    assert_eq!(status, 400, "garbage request line");
+
+    // A head larger than the limit.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET / HTTP/1.1\r\nX-Filler: ").unwrap();
+    stream.write_all(&vec![b'a'; 16 * 1024]).unwrap();
+    let (status, _) = read_response(&mut stream);
+    assert_eq!(status, 400, "oversized head");
+
+    // Request bodies are rejected before any body byte is read.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET / HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let (status, _) = read_response(&mut stream);
+    assert_eq!(status, 400, "request body");
+
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_off_at_the_read_deadline() {
+    let server = start_server(ServerConfig {
+        limits: Limits {
+            read_deadline: Duration::from_millis(300),
+            ..Limits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Drip-feed a never-finished head past the deadline.
+    for _ in 0..4 {
+        stream.write_all(b"GET /slow").unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+    }
+    let (status, _) = read_response(&mut stream);
+    assert_eq!(status, 408, "slow-loris hits the read deadline");
+
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_load_with_503_retry_after() {
+    // One worker, queue of one: a third concurrent connection cannot be
+    // admitted and must be shed from the accept thread.
+    let server = start_server(ServerConfig {
+        workers: 1,
+        queue: 1,
+        limits: Limits {
+            read_deadline: Duration::from_secs(30),
+            ..Limits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Two idle connections: the first occupies the worker (it waits on
+    // the read deadline), the second fills the queue.
+    let hold_a = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+    let hold_b = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The third is answered 503 with Retry-After straight away.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let head = String::from_utf8_lossy(&raw);
+    assert!(head.starts_with("HTTP/1.1 503"), "shed response: {head}");
+    assert!(head.contains("Retry-After:"), "retry hint: {head}");
+    assert!(server
+        .metrics()
+        .to_json()
+        .to_compact()
+        .contains("explorerd.shed"));
+
+    drop(hold_a);
+    drop(hold_b);
+    server.shutdown();
+}
+
+#[test]
+fn cache_hits_rise_on_repeats_and_reset_after_a_store_write() {
+    let server = start_server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    // Cold: miss. Repeats: hits.
+    let (status, first) = get(addr, "/api/runs/1");
+    assert_eq!(status, 200);
+    for _ in 0..3 {
+        let (status, body) = get(addr, "/api/runs/1");
+        assert_eq!(status, 200);
+        assert_eq!(body, first, "cached body is byte-identical");
+    }
+    let warm = server.cache_stats();
+    assert!(warm.hits >= 3, "repeats hit the cache: {warm:?}");
+    assert!(warm.entries >= 1);
+
+    // A write through the shared store bumps the generation …
+    {
+        let store = server.store();
+        let mut store = store.write().unwrap();
+        store.save_knowledge(&knowledge_for("32k", 77)).unwrap();
+    }
+    // … so the next request invalidates the cache and misses.
+    let (status, _) = get(addr, "/api/runs/1");
+    assert_eq!(status, 200);
+    let cold = server.cache_stats();
+    assert!(cold.invalidations > warm.invalidations, "{cold:?}");
+    assert!(cold.misses > warm.misses, "post-write request is a miss");
+    // The new run is actually visible.
+    let (_, body) = get(addr, "/api/runs");
+    match parse_json(&body) {
+        Json::Arr(rows) => assert_eq!(rows.len(), 5, "3 + io500 + the new run"),
+        other => panic!("not an array: {other:?}"),
+    }
+
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_joins_every_thread_with_clients_attached() {
+    let server = start_server(ServerConfig {
+        workers: 2,
+        queue: 4,
+        limits: Limits {
+            read_deadline: Duration::from_secs(30),
+            ..Limits::default()
+        },
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Park two idle keep-alive connections on the workers, then shut
+    // down: handlers must notice the cancel token at their next read
+    // slice rather than waiting out the 30 s deadline.
+    let idle_a = TcpStream::connect(addr).unwrap();
+    let idle_b = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.shutdown();
+        let _ = done_tx.send(());
+    });
+    done_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("shutdown drained and joined without hanging");
+    drop(idle_a);
+    drop(idle_b);
+}
