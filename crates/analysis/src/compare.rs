@@ -9,6 +9,7 @@
 
 use crate::describe::Describe;
 use iokc_core::model::Knowledge;
+use iokc_store::RunSummary;
 
 /// Selectable x-axes: the option whose effect is being studied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +50,18 @@ impl OptionAxis {
             OptionAxis::ClientsPerNode => f64::from(k.pattern.clients_per_node),
         }
     }
+
+    /// Extract the option value from a query-engine projection row.
+    #[must_use]
+    pub fn value_of_summary(self, row: &RunSummary) -> f64 {
+        match self {
+            OptionAxis::TransferSize => row.transfer_size as f64,
+            OptionAxis::BlockSize => row.block_size as f64,
+            OptionAxis::Tasks => f64::from(row.tasks),
+            OptionAxis::Segments => row.segments as f64,
+            OptionAxis::ClientsPerNode => f64::from(row.clients_per_node),
+        }
+    }
 }
 
 /// Selectable y-axes: the focused metric.
@@ -81,6 +94,17 @@ impl MetricAxis {
             MetricAxis::MeanBandwidth(op) => k.summary(op).map(|s| s.mean_mib),
             MetricAxis::MaxBandwidth(op) => k.summary(op).map(|s| s.max_mib),
             MetricAxis::MeanOps(op) => k.summary(op).map(|s| s.mean_ops),
+        }
+    }
+
+    /// Extract the metric from a query-engine projection row (absent
+    /// operation → `None`).
+    #[must_use]
+    pub fn value_of_summary(&self, row: &RunSummary) -> Option<f64> {
+        match self {
+            MetricAxis::MeanBandwidth(op) => row.op(op).map(|s| s.mean_mib),
+            MetricAxis::MaxBandwidth(op) => row.op(op).map(|s| s.max_mib),
+            MetricAxis::MeanOps(op) => row.op(op).map(|s| s.mean_ops),
         }
     }
 }
@@ -146,6 +170,42 @@ pub fn compare(
         .collect();
     points.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
     points
+}
+
+/// Build the comparison series from query-engine projection rows:
+/// filtering has already been pushed down into the store, so this only
+/// extracts the axes and sorts by x (then y), exactly like [`compare`].
+#[must_use]
+pub fn compare_summaries(
+    rows: &[RunSummary],
+    x: OptionAxis,
+    y: &MetricAxis,
+) -> Vec<ComparisonPoint> {
+    let mut points: Vec<ComparisonPoint> = rows
+        .iter()
+        .filter_map(|row| {
+            y.value_of_summary(row).map(|yv| ComparisonPoint {
+                knowledge_id: Some(row.id),
+                command: row.command.clone(),
+                x: x.value_of_summary(row),
+                y: yv,
+            })
+        })
+        .collect();
+    points.sort_by(|a, b| a.x.total_cmp(&b.x).then(a.y.total_cmp(&b.y)));
+    points
+}
+
+/// Box-plot overview from pre-extracted per-iteration series (the query
+/// engine's `boxplot_series` projection): one box per run, labelled by
+/// command, matching [`overview`]'s output shape.
+#[must_use]
+pub fn overview_series(series: &[(String, Vec<f64>)]) -> Vec<(String, Describe)> {
+    series
+        .iter()
+        .filter(|(_, values)| !values.is_empty())
+        .map(|(label, values)| (label.clone(), Describe::of(values)))
+        .collect()
 }
 
 /// Box-plot overview per knowledge object: the per-iteration throughput

@@ -34,7 +34,10 @@ pub use charts::{
     ascii_bars, bar_chart, box_plot, heat_map, line_chart, write_ascii_bars, write_bar_chart,
     write_box_plot, write_heat_map, write_line_chart, ChartOptions, Series,
 };
-pub use compare::{compare, overview, ComparisonPoint, KnowledgeFilter, MetricAxis, OptionAxis};
+pub use compare::{
+    compare, compare_summaries, overview, overview_series, ComparisonPoint, KnowledgeFilter,
+    MetricAxis, OptionAxis,
+};
 pub use describe::{mad_scores, Describe};
 pub use dxt_explorer::{DxtTimeline, RankActivity};
 pub use pattern::{classify, render_profile, Direction, IoPatternProfile, Locality, SizeClass};

@@ -1,0 +1,156 @@
+//! Query-engine benches (ablation: predicate pushdown + secondary
+//! indexes + summary projection, DESIGN.md §"Query engine").
+//!
+//! Each pair contrasts the typed query engine against the pattern it
+//! replaced: deserialize every knowledge object out of the store, then
+//! filter/sort/count in application code. On a 1k-run store the engine
+//! answers a selective filter from its indexes while touching only the
+//! rows it returns; the old path pays full deserialization for all
+//! 1 000 runs on every query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use iokc_core::model::{
+    IterationResult, Knowledge, KnowledgeItem, KnowledgeSource, OperationSummary,
+};
+use iokc_store::{KnowledgeStore, Query, RunKind, RunOrder, RunPredicate};
+use std::hint::black_box;
+
+/// One synthetic benchmark run with realistic weight: two operation
+/// summaries and four per-iteration results, so full deserialization
+/// has a real cost to pay.
+fn knowledge(i: usize) -> Knowledge {
+    let api = ["POSIX", "MPIIO", "HDF5"][i % 3];
+    let bw = i as f64 * 1.5;
+    let command = format!(
+        "ior -a {} -b {}m -t 1m -o /scratch/q{i}",
+        api.to_lowercase(),
+        i % 16 + 1
+    );
+    let mut k = Knowledge::new(KnowledgeSource::Ior, &command);
+    k.pattern.api = api.to_owned();
+    k.pattern.tasks = (i % 128) as u32;
+    k.pattern.transfer_size = 1 << 20;
+    for op in ["write", "read"] {
+        k.summaries.push(OperationSummary {
+            operation: op.to_owned(),
+            api: api.to_owned(),
+            max_mib: bw * 1.2,
+            min_mib: bw * 0.8,
+            mean_mib: bw,
+            stddev_mib: 1.0,
+            mean_ops: bw / 2.0,
+            iterations: 2,
+        });
+        for iteration in 0..2u32 {
+            k.results.push(IterationResult {
+                operation: op.to_owned(),
+                iteration,
+                bw_mib: bw + f64::from(iteration),
+                ops: 10,
+                ops_per_sec: 5.0,
+                latency_s: 0.001,
+                open_s: 0.002,
+                wrrd_s: 1.0,
+                close_s: 0.003,
+                total_s: 1.1,
+            });
+        }
+    }
+    k
+}
+
+fn populated(runs: usize) -> KnowledgeStore {
+    let mut store = KnowledgeStore::in_memory();
+    for i in 0..runs {
+        store.save_knowledge(&knowledge(i)).unwrap();
+    }
+    store
+}
+
+/// The selective filter both sides answer: one API out of three, one
+/// bandwidth band out of the whole range (~7% of the store).
+fn selective() -> RunPredicate {
+    RunPredicate::ApiEq("MPIIO".into()).and(RunPredicate::BandwidthBetween(600.0, 900.0))
+}
+
+fn load_all_matches(store: &KnowledgeStore) -> usize {
+    #[allow(deprecated)]
+    let items = store.load_all_items().unwrap();
+    items
+        .iter()
+        .filter(|item| match item {
+            KnowledgeItem::Benchmark(k) => {
+                let bw = k.summary("write").map_or(0.0, |s| s.mean_mib);
+                k.pattern.api == "MPIIO" && (600.0..=900.0).contains(&bw)
+            }
+            KnowledgeItem::Io500(_) => false,
+        })
+        .count()
+}
+
+fn bench_query_engine(c: &mut Criterion) {
+    let store = populated(1_000);
+    let expected = load_all_matches(&store);
+    assert!(expected > 0, "the selective filter must match something");
+
+    let mut group = c.benchmark_group("query_engine");
+    group.sample_size(20);
+
+    // Cold selective filter: index-served summary projection…
+    group.bench_function("filtered_1k_engine", |b| {
+        let q = Query::new(selective());
+        b.iter(|| {
+            let rows = store.query_summaries(&q).unwrap();
+            assert_eq!(rows.len(), expected);
+            black_box(rows.len())
+        });
+    });
+
+    // …versus deserialize-everything-then-filter.
+    group.bench_function("filtered_1k_load_all", |b| {
+        b.iter(|| black_box(load_all_matches(&store)));
+    });
+
+    // Top-k by bandwidth: sorted index walk with limit pushdown…
+    group.bench_function("top10_bandwidth_engine", |b| {
+        let q = Query::new(RunPredicate::Kind(RunKind::Benchmark))
+            .order_by(RunOrder::Bandwidth)
+            .descending()
+            .limit(10);
+        b.iter(|| {
+            let rows = store.query_summaries(&q).unwrap();
+            assert_eq!(rows.len(), 10);
+            black_box(rows.last().map(|r| r.bandwidth()))
+        });
+    });
+
+    // …versus load everything, sort in memory, truncate.
+    group.bench_function("top10_bandwidth_load_all", |b| {
+        b.iter(|| {
+            #[allow(deprecated)]
+            let items = store.load_all_items().unwrap();
+            let mut bws: Vec<f64> = items
+                .iter()
+                .filter_map(|item| match item {
+                    KnowledgeItem::Benchmark(k) => {
+                        Some(k.summary("write").map_or(0.0, |s| s.mean_mib))
+                    }
+                    KnowledgeItem::Io500(_) => None,
+                })
+                .collect();
+            bws.sort_by(|a, b| b.total_cmp(a));
+            bws.truncate(10);
+            black_box(bws.last().copied())
+        });
+    });
+
+    // The count fast path never touches a row at all.
+    group.bench_function("count_engine", |b| {
+        b.iter(|| black_box(store.count(&RunPredicate::True).unwrap()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_engine);
+criterion_main!(benches);

@@ -26,8 +26,8 @@
 #![warn(clippy::unwrap_used)]
 
 use iokc_analysis::{
-    compare, render_io500, render_knowledge, BoundingBoxDetector, IterationVarianceDetector,
-    MetricAxis, OptionAxis, TrendDetector,
+    compare_summaries, render_io500, render_knowledge, BoundingBoxDetector,
+    IterationVarianceDetector, MetricAxis, OptionAxis, TrendDetector,
 };
 use iokc_benchmarks::instrument::{darshan_from_phases, InstrumentOptions};
 use iokc_benchmarks::{
@@ -46,7 +46,7 @@ use iokc_obs::{trace as obs_trace, Clock, Event, NullSink, Recorder, VirtualCloc
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::FaultPlan;
 use iokc_sim::prelude::SystemConfig;
-use iokc_store::{DbError, KnowledgeStore};
+use iokc_store::{DbError, KnowledgeStore, Query, RunKind, RunOrder, RunPredicate};
 use iokc_usage::{recommend, RegenerateUsage};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -185,6 +185,17 @@ struct Options {
     axis: String,
     filter_api: Option<String>,
     filter_contains: Option<String>,
+    filter_kind: Option<String>,
+    filter_op: Option<String>,
+    min_tasks: Option<u32>,
+    max_tasks: Option<u32>,
+    min_bw: Option<f64>,
+    max_bw: Option<f64>,
+    sort: String,
+    order_desc: bool,
+    limit: Option<usize>,
+    offset: usize,
+    count_only: bool,
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     positional: Vec<String>,
@@ -224,6 +235,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         axis: "transfer".to_owned(),
         filter_api: None,
         filter_contains: None,
+        filter_kind: None,
+        filter_op: None,
+        min_tasks: None,
+        max_tasks: None,
+        min_bw: None,
+        max_bw: None,
+        sort: "id".to_owned(),
+        order_desc: false,
+        limit: None,
+        offset: 0,
+        count_only: false,
         metrics_out: None,
         trace_out: None,
         positional: Vec::new(),
@@ -324,6 +346,57 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--metric" => opts.metric = value(&mut i, "--metric")?,
             "--axis" => opts.axis = value(&mut i, "--axis")?,
             "--api" => opts.filter_api = Some(value(&mut i, "--api")?),
+            "--kind" => opts.filter_kind = Some(value(&mut i, "--kind")?),
+            "--op" => opts.filter_op = Some(value(&mut i, "--op")?),
+            "--min-tasks" => {
+                opts.min_tasks = Some(
+                    value(&mut i, "--min-tasks")?
+                        .parse()
+                        .map_err(|_| "bad --min-tasks".to_owned())?,
+                );
+            }
+            "--max-tasks" => {
+                opts.max_tasks = Some(
+                    value(&mut i, "--max-tasks")?
+                        .parse()
+                        .map_err(|_| "bad --max-tasks".to_owned())?,
+                );
+            }
+            "--min-bw" => {
+                opts.min_bw = Some(
+                    value(&mut i, "--min-bw")?
+                        .parse()
+                        .map_err(|_| "bad --min-bw".to_owned())?,
+                );
+            }
+            "--max-bw" => {
+                opts.max_bw = Some(
+                    value(&mut i, "--max-bw")?
+                        .parse()
+                        .map_err(|_| "bad --max-bw".to_owned())?,
+                );
+            }
+            "--sort" => opts.sort = value(&mut i, "--sort")?,
+            "--order" => {
+                opts.order_desc = match value(&mut i, "--order")?.as_str() {
+                    "asc" => false,
+                    "desc" => true,
+                    other => return Err(format!("unknown --order `{other}` (expected asc|desc)")),
+                };
+            }
+            "--limit" => {
+                opts.limit = Some(
+                    value(&mut i, "--limit")?
+                        .parse()
+                        .map_err(|_| "bad --limit".to_owned())?,
+                );
+            }
+            "--offset" => {
+                opts.offset = value(&mut i, "--offset")?
+                    .parse()
+                    .map_err(|_| "bad --offset".to_owned())?;
+            }
+            "--count" => opts.count_only = true,
             "--metrics" => opts.metrics_out = Some(PathBuf::from(value(&mut i, "--metrics")?)),
             "--trace" => opts.trace_out = Some(PathBuf::from(value(&mut i, "--trace")?)),
             "--contains" => opts.filter_contains = Some(value(&mut i, "--contains")?),
@@ -349,6 +422,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "mdtest" => cmd_mdtest(&opts),
         "hacc" => cmd_hacc(&opts),
         "list" => cmd_list(&opts),
+        "query" => cmd_query(&opts),
         "view" => cmd_view(&opts),
         "compare" => cmd_compare(&opts),
         "detect" => cmd_detect(&opts),
@@ -387,6 +461,12 @@ fn print_help() {
          \x20 mdtest \"<mdtest cmd>\" run the metadata benchmark and persist its knowledge\n\
          \x20 hacc --particles <n>  run the HACC-IO checkpoint/restart benchmark\n\
          \x20 list                  list stored knowledge objects\n\
+         \x20 query                 filtered/sorted store queries served by the query\n\
+         \x20                       engine's indexes (--kind benchmark|io500, --api <API>,\n\
+         \x20                       --contains <text>, --op <operation>, --min-tasks /\n\
+         \x20                       --max-tasks <n>, --min-bw / --max-bw <MiB/s>,\n\
+         \x20                       --sort id|tasks|command|bw, --order asc|desc,\n\
+         \x20                       --limit <n>, --offset <n>, --count)\n\
          \x20 view <id>             knowledge viewer for one object\n\
          \x20 compare               comparison view (--axis transfer|block|tasks, --metric <op>)\n\
          \x20 detect                run the anomaly detectors over the store\n\
@@ -740,33 +820,136 @@ fn cmd_hacc(opts: &Options) -> Result<(), CliError> {
 
 fn cmd_list(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
-    let items = store.load_all_items().map_err(store_err)?;
-    if items.is_empty() {
+    // Summary projection: the listing never needs per-iteration results,
+    // so nothing is fully deserialized.
+    let rows = store.query_summaries(&Query::all()).map_err(store_err)?;
+    if rows.is_empty() {
         println!("knowledge base is empty ({})", opts.db.display());
         return Ok(());
     }
     let mut table = iokc_util::table::TextTable::new(vec!["kind", "id", "summary"]);
-    for item in &items {
-        match item {
-            KnowledgeItem::Benchmark(k) => {
-                let bw = k
-                    .summary("write")
+    for row in &rows {
+        match row.kind {
+            RunKind::Benchmark => {
+                let bw = row
+                    .op("write")
                     .map(|s| format!("write mean {:.0} MiB/s", s.mean_mib))
                     .unwrap_or_else(|| "no write summary".to_owned());
                 table.push_row(vec![
                     "benchmark".to_owned(),
-                    k.id.map(|i| i.to_string()).unwrap_or_default(),
-                    format!("{} | {}", k.command, bw),
+                    row.id.to_string(),
+                    format!("{} | {}", row.command, bw),
                 ]);
             }
-            KnowledgeItem::Io500(k) => {
+            RunKind::Io500 => {
                 table.push_row(vec![
                     "io500".to_owned(),
-                    k.id.map(|i| i.to_string()).unwrap_or_default(),
-                    format!("tasks {} | total score {:.4}", k.tasks, k.total_score),
+                    row.id.to_string(),
+                    format!("tasks {} | total score {:.4}", row.tasks, row.total_score),
                 ]);
             }
         }
+    }
+    print!("{}", table.render());
+    Ok(())
+}
+
+/// Build the `iokc query` predicate from filter flags. As in the HTTP
+/// API, `--api` and `--contains` pin the benchmark kind: IO500 runs have
+/// no API and a synthetic command, so matching them there would only
+/// surprise.
+fn query_predicate(opts: &Options) -> Result<RunPredicate, CliError> {
+    let mut conjuncts = Vec::new();
+    match opts.filter_kind.as_deref() {
+        Some("benchmark") => conjuncts.push(RunPredicate::Kind(RunKind::Benchmark)),
+        Some("io500") => conjuncts.push(RunPredicate::Kind(RunKind::Io500)),
+        Some(other) => {
+            return Err(CliError::usage(format!(
+                "unknown --kind `{other}` (expected benchmark|io500)"
+            )))
+        }
+        None => {}
+    }
+    if let Some(api) = &opts.filter_api {
+        conjuncts.push(RunPredicate::Kind(RunKind::Benchmark));
+        conjuncts.push(RunPredicate::ApiEq(api.clone()));
+    }
+    if let Some(text) = &opts.filter_contains {
+        conjuncts.push(RunPredicate::Kind(RunKind::Benchmark));
+        conjuncts.push(RunPredicate::CommandContains(text.clone()));
+    }
+    if let Some(op) = &opts.filter_op {
+        conjuncts.push(RunPredicate::HasOp(op.clone()));
+    }
+    if opts.min_tasks.is_some() || opts.max_tasks.is_some() {
+        conjuncts.push(RunPredicate::TasksBetween(
+            opts.min_tasks.unwrap_or(0),
+            opts.max_tasks.unwrap_or(u32::MAX),
+        ));
+    }
+    if opts.min_bw.is_some() || opts.max_bw.is_some() {
+        conjuncts.push(RunPredicate::BandwidthBetween(
+            opts.min_bw.unwrap_or(f64::NEG_INFINITY),
+            opts.max_bw.unwrap_or(f64::INFINITY),
+        ));
+    }
+    Ok(conjuncts
+        .into_iter()
+        .reduce(RunPredicate::and)
+        .unwrap_or(RunPredicate::True))
+}
+
+/// `iokc query` — the typed query engine from the shell: filters are
+/// pushed down into the store (served from its secondary indexes where
+/// possible) and only summary projections come back, never full
+/// knowledge objects.
+fn cmd_query(opts: &Options) -> Result<(), CliError> {
+    let store = open_store(opts)?;
+    let predicate = query_predicate(opts)?;
+    if opts.count_only {
+        println!("{}", store.count(&predicate).map_err(store_err)?);
+        return Ok(());
+    }
+    let order = match opts.sort.as_str() {
+        "id" => RunOrder::Id,
+        "tasks" => RunOrder::Tasks,
+        "command" => RunOrder::Command,
+        "bw" => RunOrder::Bandwidth,
+        other => {
+            return Err(CliError::usage(format!(
+                "unknown --sort `{other}` (expected id|tasks|command|bw)"
+            )))
+        }
+    };
+    let mut query = Query::new(predicate).order_by(order).offset(opts.offset);
+    if opts.order_desc {
+        query = query.descending();
+    }
+    if let Some(limit) = opts.limit {
+        query = query.limit(limit);
+    }
+    let rows = store.query_summaries(&query).map_err(store_err)?;
+    if rows.is_empty() {
+        println!("no matching runs");
+        return Ok(());
+    }
+    let mut table = iokc_util::table::TextTable::new(vec![
+        "kind",
+        "id",
+        "tasks",
+        "api",
+        "bandwidth",
+        "command",
+    ]);
+    for row in &rows {
+        table.push_row(vec![
+            row.kind.as_str().to_owned(),
+            row.id.to_string(),
+            row.tasks.to_string(),
+            row.api.clone(),
+            format!("{:.1}", row.bandwidth()),
+            row.command.clone(),
+        ]);
     }
     print!("{}", table.render());
     Ok(())
@@ -796,14 +979,6 @@ fn cmd_view(opts: &Options) -> Result<(), CliError> {
 
 fn cmd_compare(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
-    let items = store.load_all_items().map_err(store_err)?;
-    let benchmarks: Vec<&iokc_core::model::Knowledge> = items
-        .iter()
-        .filter_map(|item| match item {
-            KnowledgeItem::Benchmark(k) => Some(k),
-            KnowledgeItem::Io500(_) => None,
-        })
-        .collect();
     let axis = match opts.axis.as_str() {
         "transfer" => OptionAxis::TransferSize,
         "block" => OptionAxis::BlockSize,
@@ -812,16 +987,19 @@ fn cmd_compare(opts: &Options) -> Result<(), CliError> {
         other => return Err(CliError::usage(format!("unknown axis `{other}`"))),
     };
     let metric = MetricAxis::MeanBandwidth(opts.metric.clone());
-    let mut filters = Vec::new();
+    // The `--api`/`--contains` filters are pushed down into the store;
+    // the comparison runs over summary projections.
+    let mut predicate = RunPredicate::Kind(RunKind::Benchmark);
     if let Some(api) = &opts.filter_api {
-        filters.push(iokc_analysis::KnowledgeFilter::Api(api.clone()));
+        predicate = predicate.and(RunPredicate::ApiEq(api.clone()));
     }
     if let Some(text) = &opts.filter_contains {
-        filters.push(iokc_analysis::KnowledgeFilter::CommandContains(
-            text.clone(),
-        ));
+        predicate = predicate.and(RunPredicate::CommandContains(text.clone()));
     }
-    let points = compare(&benchmarks, &filters, axis, &metric);
+    let rows = store
+        .query_summaries(&Query::new(predicate))
+        .map_err(store_err)?;
+    let points = compare_summaries(&rows, axis, &metric);
     if points.is_empty() {
         println!("no comparable knowledge for metric `{}`", opts.metric);
         return Ok(());
@@ -838,7 +1016,9 @@ fn cmd_compare(opts: &Options) -> Result<(), CliError> {
 
 fn cmd_detect(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
-    let items = store.load_all_items().map_err(store_err)?;
+    // The detectors inspect per-iteration results, so this is a genuine
+    // full projection — the one read that must deserialize everything.
+    let items = store.query_items(&Query::all()).map_err(store_err)?;
     let findings = run_detectors(&items)?;
     if findings.is_empty() {
         println!(
@@ -933,7 +1113,9 @@ fn cmd_cycle(opts: &Options) -> Result<(), CliError> {
 
 fn cmd_report(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
-    let items = store.load_all_items().map_err(store_err)?;
+    // The HTML report renders per-iteration detail, so it needs the full
+    // projection, not summaries.
+    let items = store.query_items(&Query::all()).map_err(store_err)?;
     let findings = run_detectors(&items)?;
     let html = iokc_analysis::render_html(&items, &findings);
     let path = opts

@@ -158,6 +158,48 @@ fn resilience_flags_are_accepted_by_run() {
 }
 
 #[test]
+fn query_filters_and_counts_from_the_shell() {
+    let dir = tempdir("query");
+    let mut args: Vec<&str> = RUN_ARGS.to_vec();
+    args.push("kb.json");
+    stdout(&iokc(&dir, &args));
+
+    // One `iokc run` persists two objects: the IOR run itself and the
+    // darshan-derived knowledge.
+    let count = stdout(&iokc(&dir, &["query", "--count", "--db", "kb.json"]));
+    assert_eq!(count.trim(), "2");
+
+    let rows = stdout(&iokc(
+        &dir,
+        &[
+            "query", "--api", "MPIIO", "--sort", "bw", "--order", "desc", "--db", "kb.json",
+        ],
+    ));
+    assert!(rows.contains("ior -a mpiio"), "{rows}");
+    assert!(rows.contains("benchmark"), "{rows}");
+    assert!(!rows.contains("darshan"), "api filter leaked: {rows}");
+
+    let contains = stdout(&iokc(
+        &dir,
+        &["query", "--contains", "darshan", "--db", "kb.json"],
+    ));
+    assert!(contains.contains("darshan:ior"), "{contains}");
+
+    let none = stdout(&iokc(&dir, &["query", "--api", "HDF5", "--db", "kb.json"]));
+    assert!(none.contains("no matching runs"), "{none}");
+
+    let filtered = stdout(&iokc(
+        &dir,
+        &["query", "--min-tasks", "9", "--count", "--db", "kb.json"],
+    ));
+    assert_eq!(filtered.trim(), "0");
+
+    let bad = iokc(&dir, &["query", "--sort", "latency", "--db", "kb.json"]);
+    assert_eq!(bad.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown --sort"));
+}
+
+#[test]
 fn help_lists_every_command() {
     let dir = tempdir("help");
     let help = stdout(&iokc(&dir, &["help"]));
@@ -167,6 +209,7 @@ fn help_lists_every_command() {
         "mdtest",
         "hacc",
         "list",
+        "query",
         "view",
         "compare",
         "detect",

@@ -72,13 +72,16 @@ impl Server {
     /// serving `store`.
     pub fn start(
         config: ServerConfig,
-        store: KnowledgeStore,
+        mut store: KnowledgeStore,
         recorder: Arc<Recorder>,
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let cancel = CancelToken::new();
+        // The store's query engine reports into the same registry the
+        // service exposes at /metrics (index hits, full scans, pruning).
+        store.attach_recorder(Arc::clone(&recorder));
         let store = Arc::new(RwLock::new(store));
         let explorer = Arc::new(Explorer::new(
             Arc::clone(&store),

@@ -26,12 +26,12 @@ use std::io::{self, Write};
 use std::sync::{Arc, RwLock};
 
 use iokc_analysis::{
-    compare, overview, write_bar_chart, write_box_plot, write_io500, write_knowledge,
-    write_line_chart, ChartOptions, KnowledgeFilter, MetricAxis, OptionAxis, Series,
+    compare_summaries, overview_series, write_bar_chart, write_box_plot, write_io500,
+    write_knowledge, write_line_chart, ChartOptions, MetricAxis, OptionAxis, Series,
 };
-use iokc_core::model::{Knowledge, KnowledgeItem};
+use iokc_core::model::Knowledge;
 use iokc_obs::{Counter, Recorder, SpanStatus};
-use iokc_store::{DbError, KnowledgeStore};
+use iokc_store::{DbError, KnowledgeStore, Query, RunKind, RunOrder, RunPredicate, RunSummary};
 use iokc_util::json::{ArrayWriter, Json};
 
 use crate::cache::{CacheStats, QueryCache};
@@ -136,19 +136,19 @@ impl Explorer {
         }
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         match segments.as_slice() {
-            [] => self.cached_html(req, index_page),
+            [] => self.cached_html(req.normalized(), index_page),
             ["metrics"] => Ok(Response::json(&self.recorder.metrics().to_json())),
             ["api", "runs"] => self.api_runs(req),
             ["api", "runs", id] => {
                 let id = parse_run_id(id)?;
-                self.cached_json(req, move |store| {
+                self.cached_json(req.normalized(), move |store| {
                     let k = load_benchmark(store, id)?;
                     Ok(k.to_json())
                 })
             }
             ["api", "io500", id] => {
                 let id = parse_run_id(id)?;
-                self.cached_json(req, move |store| {
+                self.cached_json(req.normalized(), move |store| {
                     let k = store
                         .load_io500(id)?
                         .ok_or_else(|| RouteError::NotFound(format!("no io500 run {id}")))?;
@@ -157,27 +157,37 @@ impl Explorer {
             }
             ["api", "compare"] => {
                 let spec = CompareSpec::from_request(req)?;
-                self.cached_json(req, move |store| compare_json(store, &spec))
+                self.cached_json(spec.cache_key("/api/compare"), move |store| {
+                    compare_json(store, &spec)
+                })
             }
             ["api", "boxplot"] => {
                 let op = req.param("op").unwrap_or("write").to_owned();
-                self.cached_json(req, move |store| boxplot_json(store, &op))
+                self.cached_json(format!("/api/boxplot:op={op}"), move |store| {
+                    boxplot_json(store, &op)
+                })
             }
             ["runs", id] => {
                 let id = parse_run_id(id)?;
-                self.cached_html(req, move |store, out| run_page(store, id, out))
+                self.cached_html(req.normalized(), move |store, out| run_page(store, id, out))
             }
             ["io500", id] => {
                 let id = parse_run_id(id)?;
-                self.cached_html(req, move |store, out| io500_page(store, id, out))
+                self.cached_html(req.normalized(), move |store, out| {
+                    io500_page(store, id, out)
+                })
             }
             ["compare"] => {
                 let spec = CompareSpec::from_request(req)?;
-                self.cached_html(req, move |store, out| compare_page(store, &spec, out))
+                self.cached_html(spec.cache_key("/compare"), move |store, out| {
+                    compare_page(store, &spec, out)
+                })
             }
             ["boxplot"] => {
                 let op = req.param("op").unwrap_or("write").to_owned();
-                self.cached_html(req, move |store, out| boxplot_page(store, &op, out))
+                self.cached_html(format!("/boxplot:op={op}"), move |store, out| {
+                    boxplot_page(store, &op, out)
+                })
             }
             _ => Err(RouteError::NotFound(format!(
                 "no route for {} (try /, /api/runs, /api/compare, /api/boxplot, /metrics)",
@@ -187,13 +197,14 @@ impl Explorer {
     }
 
     /// Read-through JSON endpoint: serve from cache or render under the
-    /// store read lock and fill the cache.
+    /// store read lock and fill the cache. Typed-query endpoints pass a
+    /// canonical key derived from the parsed query, so two request
+    /// strings that parse identically share one entry.
     fn cached_json(
         &self,
-        req: &Request,
+        key: String,
         render: impl FnOnce(&KnowledgeStore) -> Result<Json, RouteError>,
     ) -> RouteResult {
-        let key = req.normalized();
         let store = self.store.read().map_err(|_| poisoned())?;
         let generation = store.generation();
         if let Some((content_type, body)) = self.cache.get(&key, generation) {
@@ -210,10 +221,9 @@ impl Explorer {
     /// Read-through HTML endpoint.
     fn cached_html(
         &self,
-        req: &Request,
+        key: String,
         render: impl FnOnce(&KnowledgeStore, &mut String) -> Result<(), RouteError>,
     ) -> RouteResult {
-        let key = req.normalized();
         let store = self.store.read().map_err(|_| poisoned())?;
         let generation = store.generation();
         if let Some((content_type, body)) = self.cache.get(&key, generation) {
@@ -237,14 +247,21 @@ impl Explorer {
     /// chunk by chunk through [`ArrayWriter`], teeing the bytes into
     /// the cache rather than materializing the body up front.
     fn api_runs(&self, req: &Request) -> RouteResult {
-        let key = req.normalized();
-        let filter = RunsQuery::from_request(req)?;
+        let query = RunsQuery::from_request(req)?.to_query();
+        // The cache keys on the *typed* query: `?api=X&sort=id` and
+        // `?sort=id&api=X` (or an explicit `order=asc`) land on the
+        // same entry.
+        let key = format!("/api/runs:{}", query.cache_key());
         let store = self.store.read().map_err(|_| poisoned())?;
         let generation = store.generation();
         if let Some((content_type, body)) = self.cache.get(&key, generation) {
             return Ok(Response::full(content_type, body));
         }
-        let rows = filter.rows(&store)?;
+        let rows: Vec<Json> = store
+            .query_summaries(&query)?
+            .iter()
+            .map(summary_row)
+            .collect();
         drop(store);
         let cache = Arc::clone(&self.cache);
         Ok(Response::stream(
@@ -301,19 +318,10 @@ fn load_benchmark(store: &KnowledgeStore, id: u64) -> Result<Knowledge, RouteErr
         .ok_or_else(|| RouteError::NotFound(format!("no benchmark run {id}")))
 }
 
-fn benchmarks(items: &[KnowledgeItem]) -> Vec<&Knowledge> {
-    items
-        .iter()
-        .filter_map(|item| match item {
-            KnowledgeItem::Benchmark(k) => Some(k),
-            KnowledgeItem::Io500(_) => None,
-        })
-        .collect()
-}
-
 // ---------------------------------------------------------------- /api/runs
 
-/// Parsed `/api/runs` query parameters.
+/// Parsed `/api/runs` query parameters; [`RunsQuery::to_query`] lowers
+/// them onto the store's typed query engine.
 struct RunsQuery {
     kind: Option<String>,
     api: Option<String>,
@@ -321,26 +329,19 @@ struct RunsQuery {
     op: Option<String>,
     min_tasks: u32,
     max_tasks: u32,
-    sort: Sort,
+    sort: RunOrder,
     descending: bool,
+    offset: usize,
     limit: usize,
-}
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Sort {
-    Id,
-    Tasks,
-    Command,
-    Bandwidth,
 }
 
 impl RunsQuery {
     fn from_request(req: &Request) -> Result<RunsQuery, RouteError> {
         let sort = match req.param("sort").unwrap_or("id") {
-            "id" => Sort::Id,
-            "tasks" => Sort::Tasks,
-            "command" => Sort::Command,
-            "bw" => Sort::Bandwidth,
+            "id" => RunOrder::Id,
+            "tasks" => RunOrder::Tasks,
+            "command" => RunOrder::Command,
+            "bw" => RunOrder::Bandwidth,
             other => {
                 return Err(RouteError::BadQuery(format!(
                     "unknown sort `{other}` (expected id|tasks|command|bw)"
@@ -372,56 +373,50 @@ impl RunsQuery {
             max_tasks: parse_num(req, "max_tasks", u32::MAX)?,
             sort,
             descending,
+            offset: parse_num(req, "offset", 0)?,
             limit: parse_num(req, "limit", usize::MAX)?,
         })
     }
 
-    fn rows(&self, store: &KnowledgeStore) -> Result<Vec<Json>, RouteError> {
-        let items = store.load_all_items()?;
-        let mut kept: Vec<&KnowledgeItem> =
-            items.iter().filter(|item| self.matches(item)).collect();
-        kept.sort_by(|a, b| {
-            let cmp = match self.sort {
-                Sort::Id => item_id(a).cmp(&item_id(b)),
-                Sort::Tasks => item_tasks(a).cmp(&item_tasks(b)),
-                Sort::Command => item_command(a).cmp(item_command(b)),
-                Sort::Bandwidth => item_bandwidth(a).total_cmp(&item_bandwidth(b)),
-            };
-            if self.descending {
-                cmp.reverse()
-            } else {
-                cmp
-            }
-        });
-        Ok(kept
-            .iter()
-            .take(self.limit)
-            .map(|i| summary_row(i))
-            .collect())
-    }
-
-    fn matches(&self, item: &KnowledgeItem) -> bool {
-        let tasks = item_tasks(item);
-        if tasks < self.min_tasks || tasks > self.max_tasks {
-            return false;
+    /// Lower the request parameters onto the typed query. The api,
+    /// command and op filters pin the benchmark kind — IO500 runs carry
+    /// none of those fields, matching the endpoint's long-standing
+    /// behavior of excluding them once such a filter is present.
+    fn to_query(&self) -> Query {
+        let mut conjuncts = Vec::new();
+        match self.kind.as_deref() {
+            Some("io500") => conjuncts.push(RunPredicate::Kind(RunKind::Io500)),
+            Some(_) => conjuncts.push(RunPredicate::Kind(RunKind::Benchmark)),
+            None => {}
         }
-        match item {
-            KnowledgeItem::Benchmark(k) => {
-                self.kind.as_deref().unwrap_or("benchmark") == "benchmark"
-                    && self.api.as_ref().is_none_or(|api| &k.pattern.api == api)
-                    && self
-                        .command
-                        .as_ref()
-                        .is_none_or(|text| k.command.contains(text.as_str()))
-                    && self.op.as_ref().is_none_or(|op| k.summary(op).is_some())
-            }
-            KnowledgeItem::Io500(_) => {
-                self.kind.as_deref().unwrap_or("io500") == "io500"
-                    && self.api.is_none()
-                    && self.command.is_none()
-                    && self.op.is_none()
-            }
+        if let Some(api) = &self.api {
+            conjuncts.push(RunPredicate::Kind(RunKind::Benchmark));
+            conjuncts.push(RunPredicate::ApiEq(api.clone()));
         }
+        if let Some(text) = &self.command {
+            conjuncts.push(RunPredicate::Kind(RunKind::Benchmark));
+            conjuncts.push(RunPredicate::CommandContains(text.clone()));
+        }
+        if let Some(op) = &self.op {
+            conjuncts.push(RunPredicate::HasOp(op.clone()));
+        }
+        if self.min_tasks > 0 || self.max_tasks < u32::MAX {
+            conjuncts.push(RunPredicate::TasksBetween(self.min_tasks, self.max_tasks));
+        }
+        let predicate = conjuncts
+            .into_iter()
+            .reduce(RunPredicate::and)
+            .unwrap_or(RunPredicate::True);
+        let mut query = Query::new(predicate)
+            .order_by(self.sort)
+            .offset(self.offset);
+        if self.descending {
+            query = query.descending();
+        }
+        if self.limit < usize::MAX {
+            query = query.limit(self.limit);
+        }
+        query
     }
 }
 
@@ -434,77 +429,49 @@ fn parse_num<T: std::str::FromStr>(req: &Request, name: &str, default: T) -> Res
     }
 }
 
-fn item_id(item: &KnowledgeItem) -> u64 {
-    match item {
-        KnowledgeItem::Benchmark(k) => k.id.unwrap_or(0),
-        KnowledgeItem::Io500(k) => k.id.unwrap_or(0),
-    }
-}
-
-fn item_tasks(item: &KnowledgeItem) -> u32 {
-    match item {
-        KnowledgeItem::Benchmark(k) => k.pattern.tasks,
-        KnowledgeItem::Io500(k) => k.tasks,
-    }
-}
-
-fn item_command(item: &KnowledgeItem) -> &str {
-    match item {
-        KnowledgeItem::Benchmark(k) => &k.command,
-        KnowledgeItem::Io500(_) => "io500",
-    }
-}
-
-fn item_bandwidth(item: &KnowledgeItem) -> f64 {
-    match item {
-        KnowledgeItem::Benchmark(k) => k.summary("write").map_or(0.0, |s| s.mean_mib),
-        KnowledgeItem::Io500(k) => k.bw_score,
-    }
-}
-
-fn summary_row(item: &KnowledgeItem) -> Json {
-    match item {
-        KnowledgeItem::Benchmark(k) => Json::obj(vec![
+fn summary_row(row: &RunSummary) -> Json {
+    match row.kind {
+        RunKind::Benchmark => Json::obj(vec![
             ("kind", Json::from("benchmark")),
-            ("id", Json::from(k.id.unwrap_or(0))),
-            ("command", Json::from(k.command.as_str())),
-            ("api", Json::from(k.pattern.api.as_str())),
-            ("tasks", Json::from(u64::from(k.pattern.tasks))),
-            ("block_size", Json::from(k.pattern.block_size)),
-            ("transfer_size", Json::from(k.pattern.transfer_size)),
+            ("id", Json::from(row.id)),
+            ("command", Json::from(row.command.as_str())),
+            ("api", Json::from(row.api.as_str())),
+            ("tasks", Json::from(u64::from(row.tasks))),
+            ("block_size", Json::from(row.block_size)),
+            ("transfer_size", Json::from(row.transfer_size)),
             (
                 "write_mean_mib",
-                k.summary("write")
+                row.op("write")
                     .map_or(Json::Null, |s| Json::from(s.mean_mib)),
             ),
             (
                 "read_mean_mib",
-                k.summary("read")
+                row.op("read")
                     .map_or(Json::Null, |s| Json::from(s.mean_mib)),
             ),
-            ("warnings", Json::from(k.warnings.len())),
+            ("warnings", Json::from(row.warning_count)),
         ]),
-        KnowledgeItem::Io500(k) => Json::obj(vec![
+        RunKind::Io500 => Json::obj(vec![
             ("kind", Json::from("io500")),
-            ("id", Json::from(k.id.unwrap_or(0))),
-            ("tasks", Json::from(u64::from(k.tasks))),
-            ("bw_score", Json::from(k.bw_score)),
-            ("md_score", Json::from(k.md_score)),
-            ("total_score", Json::from(k.total_score)),
-            ("warnings", Json::from(k.warnings.len())),
+            ("id", Json::from(row.id)),
+            ("tasks", Json::from(u64::from(row.tasks))),
+            ("bw_score", Json::from(row.bw_score)),
+            ("md_score", Json::from(row.md_score)),
+            ("total_score", Json::from(row.total_score)),
+            ("warnings", Json::from(row.warning_count)),
         ]),
     }
 }
 
 // -------------------------------------------------------------- /api/compare
 
-/// Parsed `/api/compare` parameters: axes, operation, and filters.
+/// Parsed `/api/compare` parameters: axes, operation, and a typed
+/// predicate pushed down into the query engine.
 struct CompareSpec {
     x: OptionAxis,
     y: MetricAxis,
     op: String,
-    ids: Option<Vec<u64>>,
-    filters: Vec<KnowledgeFilter>,
+    predicate: RunPredicate,
 }
 
 impl CompareSpec {
@@ -532,48 +499,50 @@ impl CompareSpec {
                 )))
             }
         };
-        let ids = match req.param("ids") {
-            None => None,
-            Some(raw) => {
-                let mut ids = Vec::new();
-                for piece in raw.split(',').filter(|p| !p.is_empty()) {
-                    ids.push(piece.parse().map_err(|_| {
-                        RouteError::BadQuery(format!("`{piece}` in ids is not a run id"))
-                    })?);
-                }
-                Some(ids)
+        let mut conjuncts = vec![RunPredicate::Kind(RunKind::Benchmark)];
+        if let Some(raw) = req.param("ids") {
+            let mut ids = Vec::new();
+            for piece in raw.split(',').filter(|p| !p.is_empty()) {
+                ids.push(piece.parse().map_err(|_| {
+                    RouteError::BadQuery(format!("`{piece}` in ids is not a run id"))
+                })?);
             }
-        };
-        let mut filters = Vec::new();
+            conjuncts.push(RunPredicate::IdIn(ids));
+        }
         if let Some(api) = req.param("api") {
-            filters.push(KnowledgeFilter::Api(api.to_owned()));
+            conjuncts.push(RunPredicate::ApiEq(api.to_owned()));
         }
         if let Some(text) = req.param("command") {
-            filters.push(KnowledgeFilter::CommandContains(text.to_owned()));
+            conjuncts.push(RunPredicate::CommandContains(text.to_owned()));
         }
+        let predicate = conjuncts
+            .into_iter()
+            .reduce(RunPredicate::and)
+            .unwrap_or(RunPredicate::True);
         Ok(CompareSpec {
             x,
             y,
             op,
-            ids,
-            filters,
+            predicate,
         })
+    }
+
+    /// Canonical cache key: route prefix + typed predicate + axes.
+    fn cache_key(&self, route: &str) -> String {
+        format!(
+            "{route}:{}|x={:?}|y={:?}",
+            Query::new(self.predicate.clone()).cache_key(),
+            self.x,
+            self.y,
+        )
     }
 
     fn points(
         &self,
         store: &KnowledgeStore,
     ) -> Result<Vec<iokc_analysis::ComparisonPoint>, RouteError> {
-        let items = store.load_all_items()?;
-        let selected: Vec<&Knowledge> = benchmarks(&items)
-            .into_iter()
-            .filter(|k| {
-                self.ids
-                    .as_ref()
-                    .is_none_or(|ids| k.id.map(|id| ids.contains(&id)).unwrap_or(false))
-            })
-            .collect();
-        Ok(compare(&selected, &self.filters, self.x, &self.y))
+        let rows = store.query_summaries(&Query::new(self.predicate.clone()))?;
+        Ok(compare_summaries(&rows, self.x, &self.y))
     }
 }
 
@@ -605,8 +574,7 @@ fn compare_json(store: &KnowledgeStore, spec: &CompareSpec) -> Result<Json, Rout
 // -------------------------------------------------------------- /api/boxplot
 
 fn boxplot_json(store: &KnowledgeStore, op: &str) -> Result<Json, RouteError> {
-    let items = store.load_all_items()?;
-    let boxes = overview(&benchmarks(&items), op);
+    let boxes = overview_series(&store.boxplot_series(&RunPredicate::True, op)?);
     Ok(Json::obj(vec![
         ("operation", Json::from(op)),
         (
@@ -655,28 +623,28 @@ fn page_close(out: &mut String) {
 }
 
 fn index_page(store: &KnowledgeStore, out: &mut String) -> Result<(), RouteError> {
-    let items = store.load_all_items()?;
+    // The listing needs only the projection rows, never the full join.
+    let rows = store.query_summaries(&Query::all())?;
     page_open("iokc knowledge explorer", out);
     out.push_str(
         "<p><a href=\"/api/runs\">/api/runs</a> · <a href=\"/compare\">/compare</a> · \
          <a href=\"/boxplot\">/boxplot</a> · <a href=\"/metrics\">/metrics</a></p>\n",
     );
     out.push_str("<table><tr><th>kind</th><th>id</th><th>summary</th></tr>\n");
-    for item in &items {
-        match item {
-            KnowledgeItem::Benchmark(k) => {
-                let id = k.id.unwrap_or(0);
+    for row in &rows {
+        let id = row.id;
+        match row.kind {
+            RunKind::Benchmark => {
                 out.push_str(&format!(
                     "<tr><td>benchmark</td><td><a href=\"/runs/{id}\">{id}</a></td><td>{}</td></tr>\n",
-                    html_escape(&k.command)
+                    html_escape(&row.command)
                 ));
             }
-            KnowledgeItem::Io500(k) => {
-                let id = k.id.unwrap_or(0);
+            RunKind::Io500 => {
                 out.push_str(&format!(
                     "<tr><td>io500</td><td><a href=\"/io500/{id}\">{id}</a></td>\
                      <td>tasks {} | total score {:.4}</td></tr>\n",
-                    k.tasks, k.total_score
+                    row.tasks, row.total_score
                 ));
             }
         }
@@ -776,8 +744,7 @@ fn compare_page(
 }
 
 fn boxplot_page(store: &KnowledgeStore, op: &str, out: &mut String) -> Result<(), RouteError> {
-    let items = store.load_all_items()?;
-    let boxes = overview(&benchmarks(&items), op);
+    let boxes = overview_series(&store.boxplot_series(&RunPredicate::True, op)?);
     page_open(&format!("throughput overview — {op}"), out);
     if boxes.is_empty() {
         out.push_str("<p>no runs with this operation</p>\n");

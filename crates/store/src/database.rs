@@ -265,6 +265,21 @@ pub enum OrderBy {
     Desc(String),
 }
 
+/// What one [`Database::select_with_stats`] call actually did — the
+/// observable half of predicate and limit pushdown. `rows_examined`
+/// counts rows the engine touched (probed from an index or visited in a
+/// scan), so `rows_examined < table size` proves pruning happened and
+/// `rows_examined ≈ limit` proves the limit short-circuited iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelectStats {
+    /// Rows probed or visited while answering the query.
+    pub rows_examined: usize,
+    /// Rows that matched (before the limit truncates them).
+    pub rows_matched: usize,
+    /// Whether a secondary index narrowed the candidate set.
+    pub index_used: bool,
+}
+
 /// A table: schema, rows, auto-increment counter, secondary indexes.
 #[derive(Debug, Clone)]
 pub(crate) struct Table {
@@ -310,6 +325,54 @@ impl Table {
             }
         }
     }
+}
+
+/// Find one indexable conjunct in the predicate's top-level `AND` chain
+/// and return the candidate rowids it selects. Equality wins over a
+/// range bound (it is more selective); `Or`/`Not`-shaped predicates and
+/// non-indexed columns fall back to a scan (`None`). Because `Value`'s
+/// `Ord` is exactly the comparison `Predicate::eval` uses, a range over
+/// the index's key space selects precisely the rows the conjunct
+/// accepts, so the full predicate re-evaluated on candidates stays the
+/// single source of truth.
+fn indexable_candidates(t: &Table, predicate: &Predicate) -> Option<Vec<i64>> {
+    use std::ops::Bound;
+
+    let mut conjuncts = Vec::new();
+    let mut stack = vec![predicate];
+    while let Some(p) = stack.pop() {
+        if let Predicate::And(a, b) = p {
+            stack.push(a);
+            stack.push(b);
+        } else {
+            conjuncts.push(p);
+        }
+    }
+
+    for conjunct in &conjuncts {
+        if let Predicate::Eq(column, value) = conjunct {
+            if let Some(index) = t.secondary.get(column) {
+                return Some(index.get(value).cloned().unwrap_or_default());
+            }
+        }
+    }
+    for conjunct in &conjuncts {
+        let (column, bounds) = match conjunct {
+            Predicate::Lt(c, v) => (c, (Bound::Unbounded, Bound::Excluded(v.clone()))),
+            Predicate::Le(c, v) => (c, (Bound::Unbounded, Bound::Included(v.clone()))),
+            Predicate::Gt(c, v) => (c, (Bound::Excluded(v.clone()), Bound::Unbounded)),
+            Predicate::Ge(c, v) => (c, (Bound::Included(v.clone()), Bound::Unbounded)),
+            _ => continue,
+        };
+        if let Some(index) = t.secondary.get(column) {
+            let mut ids = Vec::new();
+            for entry in index.range(bounds) {
+                ids.extend_from_slice(entry.1);
+            }
+            return Some(ids);
+        }
+    }
+    None
 }
 
 fn validate_predicate_columns(schema: &TableSchema, predicate: &Predicate) -> Result<(), DbError> {
@@ -503,8 +566,11 @@ impl Database {
 
     /// Query rows matching `predicate`, ordered and limited.
     ///
-    /// An `Eq` predicate on an indexed column is served from the secondary
-    /// index; everything else scans.
+    /// Indexable conjuncts of the predicate (equality or a single range
+    /// bound on an indexed column, anywhere in the top-level `AND` chain)
+    /// are served from the secondary index; everything else scans. With
+    /// `OrderBy::Id` the limit is pushed into the iteration, so the scan
+    /// stops as soon as enough rows matched.
     pub fn select(
         &self,
         table: &str,
@@ -512,65 +578,101 @@ impl Database {
         order: OrderBy,
         limit: Option<usize>,
     ) -> Result<Vec<Row>, DbError> {
+        Ok(self.select_with_stats(table, predicate, order, limit)?.0)
+    }
+
+    /// [`Database::select`] plus the execution statistics: how many rows
+    /// were actually examined, how many matched, and whether a secondary
+    /// index pruned the candidate set.
+    pub fn select_with_stats(
+        &self,
+        table: &str,
+        predicate: &Predicate,
+        order: OrderBy,
+        limit: Option<usize>,
+    ) -> Result<(Vec<Row>, SelectStats), DbError> {
         let t = self
             .tables
             .get(table)
             .ok_or_else(|| DbError::NoSuchTable(table.to_owned()))?;
         validate_predicate_columns(&t.schema, predicate)?;
-
-        let candidate_ids: Option<Vec<i64>> = match predicate {
-            Predicate::Eq(column, value) => t
-                .secondary
-                .get(column)
-                .map(|index| index.get(value).cloned().unwrap_or_default()),
-            _ => None,
+        // Resolve the ORDER BY column before doing any work, so an
+        // unknown column errors even on an empty result set.
+        let order_ci = match &order {
+            OrderBy::Id => None,
+            OrderBy::Asc(column) | OrderBy::Desc(column) => Some(
+                t.schema
+                    .column_index(column)
+                    .ok_or_else(|| DbError::NoSuchColumn {
+                        table: table.to_owned(),
+                        column: column.clone(),
+                    })?,
+            ),
         };
 
-        let mut rows: Vec<Row> = match candidate_ids {
-            Some(ids) => ids
-                .into_iter()
-                .filter_map(|id| {
-                    t.rows.get(&id).map(|v| Row {
+        let mut stats = SelectStats::default();
+        let candidate_ids = indexable_candidates(t, predicate);
+        stats.index_used = candidate_ids.is_some();
+
+        // With id ordering the output order equals the iteration order,
+        // so the limit short-circuits; ordered queries must see every
+        // match before sorting.
+        let cap = match (order_ci, limit) {
+            (None, Some(n)) => n,
+            _ => usize::MAX,
+        };
+
+        let mut rows: Vec<Row> = Vec::new();
+        match candidate_ids {
+            Some(mut ids) => {
+                ids.sort_unstable();
+                ids.dedup();
+                for id in ids {
+                    if rows.len() >= cap {
+                        break;
+                    }
+                    let Some(values) = t.rows.get(&id) else {
+                        continue;
+                    };
+                    stats.rows_examined += 1;
+                    let row = Row {
                         id,
-                        values: v.clone(),
-                    })
-                })
-                .collect(),
+                        values: values.clone(),
+                    };
+                    if predicate.eval(&t.schema, &row)? {
+                        stats.rows_matched += 1;
+                        rows.push(row);
+                    }
+                }
+            }
             None => {
-                let mut out = Vec::new();
                 for (id, values) in &t.rows {
+                    if rows.len() >= cap {
+                        break;
+                    }
+                    stats.rows_examined += 1;
                     let row = Row {
                         id: *id,
                         values: values.clone(),
                     };
                     if predicate.eval(&t.schema, &row)? {
-                        out.push(row);
+                        stats.rows_matched += 1;
+                        rows.push(row);
                     }
                 }
-                out
             }
-        };
+        }
 
-        match &order {
-            OrderBy::Id => rows.sort_by_key(|r| r.id),
-            OrderBy::Asc(column) | OrderBy::Desc(column) => {
-                let ci = t
-                    .schema
-                    .column_index(column)
-                    .ok_or_else(|| DbError::NoSuchColumn {
-                        table: table.to_owned(),
-                        column: column.clone(),
-                    })?;
-                rows.sort_by(|a, b| a.values[ci].total_cmp(&b.values[ci]).then(a.id.cmp(&b.id)));
-                if matches!(order, OrderBy::Desc(_)) {
-                    rows.reverse();
-                }
+        if let Some(ci) = order_ci {
+            rows.sort_by(|a, b| a.values[ci].total_cmp(&b.values[ci]).then(a.id.cmp(&b.id)));
+            if matches!(order, OrderBy::Desc(_)) {
+                rows.reverse();
             }
         }
         if let Some(n) = limit {
             rows.truncate(n);
         }
-        Ok(rows)
+        Ok((rows, stats))
     }
 
     /// Update one named column of every row matching a predicate; returns

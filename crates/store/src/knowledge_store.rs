@@ -14,6 +14,7 @@
 
 use crate::database::{Column, Database, DbError, OrderBy, Predicate, Row, TableSchema};
 use crate::persist;
+use crate::query::{Query, QueryObs, RunIndexes, RunKind, RunPredicate};
 use crate::value::{ColumnType, Value};
 use iokc_core::ctx::PhaseCtx;
 use iokc_core::model::{
@@ -26,7 +27,7 @@ use std::path::PathBuf;
 
 /// The knowledge database.
 pub struct KnowledgeStore {
-    db: Database,
+    pub(crate) db: Database,
     /// When set, every write is flushed to this file.
     path: Option<PathBuf>,
     /// How the on-disk image was recovered at open time, if it was.
@@ -35,6 +36,12 @@ pub struct KnowledgeStore {
     /// delete, so read-through caches over this store (the explorer
     /// service) can key entries on it and invalidate on any mutation.
     generation: u64,
+    /// The query engine's secondary run indexes (by api, by tasks,
+    /// sorted by bandwidth), maintained by every `save_*`/`delete_*`
+    /// and rebuilt from the tables on open.
+    pub(crate) indexes: RunIndexes,
+    /// Query-engine observability: recorder + counter handles.
+    pub(crate) obs: QueryObs,
 }
 
 impl KnowledgeStore {
@@ -46,6 +53,8 @@ impl KnowledgeStore {
             path: None,
             recovery: persist::RecoveryReport::default(),
             generation: 0,
+            indexes: RunIndexes::default(),
+            obs: QueryObs::default(),
         }
     }
 
@@ -60,11 +69,14 @@ impl KnowledgeStore {
         } else {
             (build_schema(), persist::RecoveryReport::default())
         };
+        let indexes = RunIndexes::rebuild(&db)?;
         Ok(KnowledgeStore {
             db,
             path: Some(path),
             recovery,
             generation: 0,
+            indexes,
+            obs: QueryObs::default(),
         })
     }
 
@@ -90,16 +102,20 @@ impl KnowledgeStore {
         &self.db
     }
 
-    /// Number of benchmark knowledge objects stored.
+    /// Number of benchmark knowledge objects stored. Routed through the
+    /// query engine's [`KnowledgeStore::count`] fast path — no row is
+    /// materialized and no `Knowledge` is deserialized.
     #[must_use]
     pub fn knowledge_count(&self) -> usize {
-        self.db.row_count("performances").unwrap_or(0)
+        self.count(&RunPredicate::Kind(RunKind::Benchmark))
+            .unwrap_or(0)
     }
 
-    /// Number of IO500 knowledge objects stored.
+    /// Number of IO500 knowledge objects stored. Same count fast path as
+    /// [`KnowledgeStore::knowledge_count`].
     #[must_use]
     pub fn io500_count(&self) -> usize {
-        self.db.row_count("IOFHsRuns").unwrap_or(0)
+        self.count(&RunPredicate::Kind(RunKind::Io500)).unwrap_or(0)
     }
 
     fn flush(&self) -> Result<(), DbError> {
@@ -205,6 +221,13 @@ impl KnowledgeStore {
         self.save_warnings("benchmark", performance_id, &k.warnings)?;
         self.flush()?;
         self.generation += 1;
+        let write_bw = k
+            .summaries
+            .iter()
+            .find(|s| s.operation == "write")
+            .map_or(0.0, |s| s.mean_mib);
+        self.indexes
+            .insert_bench(performance_id as u64, &p.api, p.tasks, write_bw);
         Ok(performance_id as u64)
     }
 
@@ -213,10 +236,20 @@ impl KnowledgeStore {
     /// whether the object existed; the generation is bumped only when it
     /// did, so deleting nothing invalidates nothing.
     pub fn delete_knowledge(&mut self, id: u64) -> Result<bool, DbError> {
-        if self.db.get("performances", id as i64)?.is_none() {
+        let Some(row) = self.db.get("performances", id as i64)? else {
             return Ok(false);
-        }
+        };
+        // Capture the index keys before the rows go away.
+        let api = row.values[2].as_text().unwrap_or("").to_owned();
+        let tasks = row.values[12].as_int().unwrap_or(0) as u32;
         let by_perf = Predicate::Eq("performance_id".into(), Value::Int(id as i64));
+        let write_bw = self
+            .db
+            .select("summaries", &by_perf, OrderBy::Id, None)?
+            .iter()
+            .find(|s| s.values[1].as_text() == Some("write"))
+            .and_then(|s| s.values[5].as_real())
+            .unwrap_or(0.0);
         for srow in self.db.select("summaries", &by_perf, OrderBy::Id, None)? {
             self.db.delete(
                 "results",
@@ -237,14 +270,18 @@ impl KnowledgeStore {
         )?;
         self.flush()?;
         self.generation += 1;
+        self.indexes.remove_bench(id, &api, tasks, write_bw);
         Ok(true)
     }
 
-    /// Load a benchmark knowledge object by id.
+    /// Load a benchmark knowledge object by id — the full multi-table
+    /// join. Counted by the `store.query.knowledge_deserialized` obs
+    /// counter; count-style reads must keep it at zero.
     pub fn load_knowledge(&self, id: u64) -> Result<Option<Knowledge>, DbError> {
         let Some(row) = self.db.get("performances", id as i64)? else {
             return Ok(None);
         };
+        self.obs.knowledge_deserialized.inc();
         let text = |i: usize| row.values[i].as_text().unwrap_or("").to_owned();
         let int = |i: usize| row.values[i].as_int().unwrap_or(0);
         let mut k = Knowledge::new(KnowledgeSource::parse(&text(1)), &text(0));
@@ -440,7 +477,54 @@ impl KnowledgeStore {
         self.save_warnings("io500", iofh_id, &k.warnings)?;
         self.flush()?;
         self.generation += 1;
+        self.indexes
+            .insert_io500(iofh_id as u64, k.tasks, k.bw_score);
         Ok(iofh_id as u64)
+    }
+
+    /// Delete an IO500 knowledge object and its dependent rows (scores,
+    /// testcases + their results, options, system info, warnings).
+    /// Returns whether the object existed; like
+    /// [`KnowledgeStore::delete_knowledge`], the generation is bumped
+    /// only when it did.
+    pub fn delete_io500(&mut self, id: u64) -> Result<bool, DbError> {
+        let Some(run) = self.db.get("IOFHsRuns", id as i64)? else {
+            return Ok(false);
+        };
+        let tasks = run.values[0].as_int().unwrap_or(0) as u32;
+        let by_iofh = Predicate::Eq("IOFH_id".into(), Value::Int(id as i64));
+        let bw_score = self
+            .db
+            .select("IOFHsScores", &by_iofh, OrderBy::Id, Some(1))?
+            .first()
+            .and_then(|s| s.values[1].as_real())
+            .unwrap_or(0.0);
+        for tc in self
+            .db
+            .select("IOFHsTestcases", &by_iofh, OrderBy::Id, None)?
+        {
+            self.db.delete(
+                "IOFHsResults",
+                &Predicate::Eq("testcase_id".into(), Value::Int(tc.id)),
+            )?;
+        }
+        self.db.delete("IOFHsTestcases", &by_iofh)?;
+        self.db.delete("IOFHsScores", &by_iofh)?;
+        self.db.delete("IOFHsOptions", &by_iofh)?;
+        self.db.delete("IOFHsSystem", &by_iofh)?;
+        self.db.delete(
+            "warnings",
+            &Predicate::Eq("owner".into(), Value::from("io500"))
+                .and(Predicate::Eq("owner_id".into(), Value::Int(id as i64))),
+        )?;
+        self.db.delete(
+            "IOFHsRuns",
+            &Predicate::Eq("id".into(), Value::Int(id as i64)),
+        )?;
+        self.flush()?;
+        self.generation += 1;
+        self.indexes.remove_io500(id, tasks, bw_score);
+        Ok(true)
     }
 
     /// Load an IO500 knowledge object by `IOFH_id`.
@@ -448,6 +532,7 @@ impl KnowledgeStore {
         let Some(run) = self.db.get("IOFHsRuns", id as i64)? else {
             return Ok(None);
         };
+        self.obs.knowledge_deserialized.inc();
         let scores = self
             .db
             .select(
@@ -541,26 +626,20 @@ impl KnowledgeStore {
         }))
     }
 
-    /// Load every stored knowledge item.
+    /// Load every stored knowledge item, fully deserialized.
+    ///
+    /// This is the load-everything-then-filter anti-pattern the query
+    /// engine replaces: filtered, sorted or counted reads should go
+    /// through [`KnowledgeStore::query_summaries`] /
+    /// [`KnowledgeStore::query_ids`] / [`KnowledgeStore::count`], and
+    /// full deserialization should be an explicit, narrow projection via
+    /// [`KnowledgeStore::query_items`].
+    #[deprecated(
+        since = "0.5.0",
+        note = "use query_items(&Query::all()) — or better, a narrower query projection"
+    )]
     pub fn load_all_items(&self) -> Result<Vec<KnowledgeItem>, DbError> {
-        let mut items = Vec::new();
-        for row in self
-            .db
-            .select("performances", &Predicate::True, OrderBy::Id, None)?
-        {
-            if let Some(k) = self.load_knowledge(row.id as u64)? {
-                items.push(KnowledgeItem::Benchmark(k));
-            }
-        }
-        for row in self
-            .db
-            .select("IOFHsRuns", &Predicate::True, OrderBy::Id, None)?
-        {
-            if let Some(k) = self.load_io500(row.id as u64)? {
-                items.push(KnowledgeItem::Io500(k));
-            }
-        }
-        Ok(items)
+        self.query_items(&Query::all())
     }
 }
 
@@ -591,7 +670,7 @@ impl Persister for KnowledgeStore {
     }
 
     fn load_all(&self, _ctx: &mut PhaseCtx) -> Result<Vec<KnowledgeItem>, CycleError> {
-        self.load_all_items().map_err(db_to_cycle_error)
+        self.query_items(&Query::all()).map_err(db_to_cycle_error)
     }
 }
 
@@ -1122,6 +1201,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim must keep working until it is removed
     fn generation_bumps_on_writes_and_deletes_only() {
         let mut store = KnowledgeStore::in_memory();
         assert_eq!(store.generation(), 0);

@@ -16,13 +16,17 @@ pub mod database;
 pub mod journal;
 pub mod knowledge_store;
 pub mod persist;
+pub mod query;
 pub mod sql;
 pub mod value;
 
-pub use database::{Column, Database, DbError, ForeignKey, OrderBy, Predicate, Row, TableSchema};
+pub use database::{
+    Column, Database, DbError, ForeignKey, OrderBy, Predicate, Row, SelectStats, TableSchema,
+};
 pub use journal::{
     read_journal, truncate_torn_tail, JournalEventSink, JournalReadReport, JournalWriter,
 };
 pub use knowledge_store::KnowledgeStore;
 pub use persist::{export_csv, import_csv, load, save};
+pub use query::{OpStat, Query, RunKind, RunOrder, RunPredicate, RunRef, RunSummary};
 pub use value::{ColumnType, Value};

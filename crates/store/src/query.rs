@@ -1,0 +1,1474 @@
+//! The typed query engine: predicates, ordering, projection and
+//! secondary run indexes executed *inside* the store.
+//!
+//! Every interactive reader of the knowledge base — the explorer
+//! service, the comparison and box-plot views, the CLI listings — used
+//! to call `load_all_items()` and filter in its own code, fully
+//! deserializing every `Knowledge` object (a multi-table join) per
+//! request. This module moves that work into the storage layer:
+//!
+//! * [`RunPredicate`] — the filter algebra (kind, api/op equality,
+//!   tasks/transfer-size/bandwidth ranges, command substring, id sets,
+//!   `And`/`Or`/`Not`);
+//! * [`Query`] — predicate + order + offset/limit, with a canonical
+//!   [`Query::cache_key`] read-through caches can key on;
+//! * [`RunSummary`] — the projection row answering list/compare/boxplot
+//!   queries without touching `results`/`filesystems`/`systeminfos`;
+//! * [`RunIndexes`] — secondary indexes by api, by tasks, and a sorted
+//!   bandwidth index (top-k, range scans), maintained incrementally on
+//!   every `save_*`/`delete_*` and rebuilt on `open()`;
+//! * per-query obs: a `store.query` span plus counters for index hits,
+//!   full-scan fallbacks, rows pruned by pushdown, and full `Knowledge`
+//!   deserializations.
+//!
+//! The executor always re-evaluates the complete predicate on every
+//! candidate row, so indexes are purely an optimization — the
+//! index-backed plan and the forced full scan return identical ids in
+//! identical order (property-tested in this module).
+
+use crate::database::{Database, DbError, OrderBy, Predicate, Row};
+use crate::knowledge_store::KnowledgeStore;
+use crate::value::Value;
+use iokc_obs::{Counter, Recorder, SpanStatus};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which id space a run lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RunKind {
+    /// Benchmark knowledge (`performances` tables).
+    Benchmark,
+    /// IO500 knowledge (`IOFHs*` tables).
+    Io500,
+}
+
+impl RunKind {
+    /// Stable lowercase name (JSON/cache-key form).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunKind::Benchmark => "benchmark",
+            RunKind::Io500 => "io500",
+        }
+    }
+}
+
+/// A reference to one stored run: kind plus id (the two kinds have
+/// separate id spaces, as in the paper's schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RunRef {
+    /// Which id space.
+    pub kind: RunKind,
+    /// The id within that space.
+    pub id: u64,
+}
+
+/// The filter algebra over stored runs.
+///
+/// Field semantics across the two kinds: an IO500 run has command
+/// `"io500"`, api `""`, no operations and transfer size `0`; its
+/// *bandwidth* is the `bw_score`, a benchmark's bandwidth is the mean
+/// write throughput (`0` when the run has no write summary).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunPredicate {
+    /// Matches everything.
+    True,
+    /// Runs of one kind.
+    Kind(RunKind),
+    /// Exact API match (`""` matches IO500 runs).
+    ApiEq(String),
+    /// Has a summary for this operation (never true for IO500).
+    HasOp(String),
+    /// Task count in an inclusive range.
+    TasksBetween(u32, u32),
+    /// Transfer size in an inclusive range (IO500 runs have size 0).
+    TransferBetween(u64, u64),
+    /// Bandwidth in an inclusive range (write mean MiB/s, or IO500
+    /// `bw_score`).
+    BandwidthBetween(f64, f64),
+    /// Command contains a substring.
+    CommandContains(String),
+    /// Id is in the set (applies within each kind's id space; combine
+    /// with [`RunPredicate::Kind`] to pin the space).
+    IdIn(Vec<u64>),
+    /// Conjunction.
+    And(Box<RunPredicate>, Box<RunPredicate>),
+    /// Disjunction.
+    Or(Box<RunPredicate>, Box<RunPredicate>),
+    /// Negation.
+    Not(Box<RunPredicate>),
+}
+
+impl RunPredicate {
+    /// Conjunction helper.
+    #[must_use]
+    pub fn and(self, other: RunPredicate) -> RunPredicate {
+        RunPredicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    #[must_use]
+    pub fn or(self, other: RunPredicate) -> RunPredicate {
+        RunPredicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[must_use]
+    pub fn negate(self) -> RunPredicate {
+        RunPredicate::Not(Box::new(self))
+    }
+
+    /// Could a run of `kind` possibly match? Conservative: `false` only
+    /// when the predicate *provably* excludes the kind, so planning can
+    /// skip a whole table.
+    fn may_match_kind(&self, kind: RunKind) -> bool {
+        match self {
+            RunPredicate::Kind(k) => *k == kind,
+            RunPredicate::HasOp(_) => kind == RunKind::Benchmark,
+            RunPredicate::And(a, b) => a.may_match_kind(kind) && b.may_match_kind(kind),
+            RunPredicate::Or(a, b) => a.may_match_kind(kind) || b.may_match_kind(kind),
+            _ => true,
+        }
+    }
+
+    fn write_key(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            RunPredicate::True => out.push('*'),
+            RunPredicate::Kind(k) => {
+                let _ = write!(out, "kind={}", k.as_str());
+            }
+            RunPredicate::ApiEq(api) => {
+                let _ = write!(out, "api={api}");
+            }
+            RunPredicate::HasOp(op) => {
+                let _ = write!(out, "op={op}");
+            }
+            RunPredicate::TasksBetween(lo, hi) => {
+                let _ = write!(out, "tasks={lo}..{hi}");
+            }
+            RunPredicate::TransferBetween(lo, hi) => {
+                let _ = write!(out, "xfer={lo}..{hi}");
+            }
+            RunPredicate::BandwidthBetween(lo, hi) => {
+                let _ = write!(out, "bw={lo}..{hi}");
+            }
+            RunPredicate::CommandContains(text) => {
+                let _ = write!(out, "cmd~{text}");
+            }
+            RunPredicate::IdIn(ids) => {
+                let _ = write!(out, "id∈{ids:?}");
+            }
+            RunPredicate::And(a, b) => {
+                out.push_str("(& ");
+                a.write_key(out);
+                out.push(' ');
+                b.write_key(out);
+                out.push(')');
+            }
+            RunPredicate::Or(a, b) => {
+                out.push_str("(| ");
+                a.write_key(out);
+                out.push(' ');
+                b.write_key(out);
+                out.push(')');
+            }
+            RunPredicate::Not(inner) => {
+                out.push_str("(! ");
+                inner.write_key(out);
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Sort key for query results. Every order breaks ties by `(id, kind)`,
+/// so paginated or limited results are deterministic across requests
+/// even when the sort key (tasks, bandwidth) is not unique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOrder {
+    /// By id (benchmark before io500 on equal ids).
+    Id,
+    /// By task count.
+    Tasks,
+    /// By command string.
+    Command,
+    /// By bandwidth (write mean MiB/s, or IO500 `bw_score`).
+    Bandwidth,
+}
+
+impl RunOrder {
+    fn as_str(self) -> &'static str {
+        match self {
+            RunOrder::Id => "id",
+            RunOrder::Tasks => "tasks",
+            RunOrder::Command => "command",
+            RunOrder::Bandwidth => "bw",
+        }
+    }
+}
+
+/// A typed query: predicate, order, offset/limit. Projection is chosen
+/// by the executing method — [`KnowledgeStore::query_summaries`] for
+/// the cheap [`RunSummary`] rows, [`KnowledgeStore::query_ids`] for
+/// bare refs, [`KnowledgeStore::query_items`] for explicit full
+/// deserialization, [`KnowledgeStore::count`] for the no-materialize
+/// count fast path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The filter.
+    pub predicate: RunPredicate,
+    /// The sort key.
+    pub order: RunOrder,
+    /// Reverse the sort (ties still ascend by id, keeping pagination
+    /// deterministic).
+    pub descending: bool,
+    /// Rows to skip after sorting.
+    pub offset: usize,
+    /// Maximum rows to return (`None` = all).
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// Everything, in id order.
+    #[must_use]
+    pub fn all() -> Query {
+        Query::new(RunPredicate::True)
+    }
+
+    /// A query with defaults: id order, no offset, no limit.
+    #[must_use]
+    pub fn new(predicate: RunPredicate) -> Query {
+        Query {
+            predicate,
+            order: RunOrder::Id,
+            descending: false,
+            offset: 0,
+            limit: None,
+        }
+    }
+
+    /// Set the sort key (builder style).
+    #[must_use]
+    pub fn order_by(mut self, order: RunOrder) -> Query {
+        self.order = order;
+        self
+    }
+
+    /// Sort descending (builder style).
+    #[must_use]
+    pub fn descending(mut self) -> Query {
+        self.descending = true;
+        self
+    }
+
+    /// Skip `n` rows (builder style).
+    #[must_use]
+    pub fn offset(mut self, n: usize) -> Query {
+        self.offset = n;
+        self
+    }
+
+    /// Return at most `n` rows (builder style).
+    #[must_use]
+    pub fn limit(mut self, n: usize) -> Query {
+        self.limit = Some(n);
+        self
+    }
+
+    /// A canonical text form of the *typed* query — read-through caches
+    /// key on this (plus the store generation), so two request strings
+    /// that parse to the same query share one cache entry.
+    #[must_use]
+    pub fn cache_key(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut pred = String::new();
+        self.predicate.write_key(&mut pred);
+        write!(
+            f,
+            "q[{pred}|{}{}|{}+{}]",
+            self.order.as_str(),
+            if self.descending { "-" } else { "+" },
+            self.offset,
+            self.limit.map_or("all".to_owned(), |n| n.to_string()),
+        )
+    }
+}
+
+/// Per-operation statistics of one benchmark run — the slice of an
+/// `OperationSummary` the interactive views actually read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStat {
+    /// Operation name (`write`, `read`, …).
+    pub operation: String,
+    /// Mean bandwidth, MiB/s.
+    pub mean_mib: f64,
+    /// Max bandwidth, MiB/s.
+    pub max_mib: f64,
+    /// Mean operation rate, ops/s.
+    pub mean_ops: f64,
+}
+
+/// The projection row: everything the list/compare/boxplot views need,
+/// materialized from `performances` + `summaries` (+ scores for IO500)
+/// without deserializing the full `Knowledge` object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Which id space.
+    pub kind: RunKind,
+    /// Run id.
+    pub id: u64,
+    /// Benchmark command (`"io500"` for IO500 runs).
+    pub command: String,
+    /// API (`""` for IO500 runs).
+    pub api: String,
+    /// Task count.
+    pub tasks: u32,
+    /// Block size in bytes (0 for IO500).
+    pub block_size: u64,
+    /// Transfer size in bytes (0 for IO500).
+    pub transfer_size: u64,
+    /// Segment count (0 for IO500).
+    pub segments: u64,
+    /// Clients per node (0 for IO500).
+    pub clients_per_node: u32,
+    /// Per-operation statistics (empty for IO500).
+    pub ops: Vec<OpStat>,
+    /// IO500 bandwidth score (0 for benchmarks).
+    pub bw_score: f64,
+    /// IO500 metadata score (0 for benchmarks).
+    pub md_score: f64,
+    /// IO500 total score (0 for benchmarks).
+    pub total_score: f64,
+    /// Number of extraction warnings attached to the run.
+    pub warning_count: usize,
+}
+
+impl RunSummary {
+    /// Statistics for one operation.
+    #[must_use]
+    pub fn op(&self, operation: &str) -> Option<&OpStat> {
+        self.ops.iter().find(|o| o.operation == operation)
+    }
+
+    /// The run's bandwidth under the engine's ordering: write mean for
+    /// benchmarks, `bw_score` for IO500.
+    #[must_use]
+    pub fn bandwidth(&self) -> f64 {
+        match self.kind {
+            RunKind::Benchmark => self.op("write").map_or(0.0, |o| o.mean_mib),
+            RunKind::Io500 => self.bw_score,
+        }
+    }
+}
+
+/// A bandwidth key with a total order (`f64` via `total_cmp`), usable
+/// in the sorted bandwidth index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct BwKey(pub(crate) f64);
+
+impl Eq for BwKey {}
+
+impl PartialOrd for BwKey {
+    fn partial_cmp(&self, other: &BwKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BwKey {
+    fn cmp(&self, other: &BwKey) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The secondary run indexes: by api (benchmarks), by tasks and by
+/// bandwidth (both kinds). Values are sorted id vectors. Maintained
+/// incrementally by `save_*`/`delete_*`; rebuilt from the tables on
+/// `open()`.
+#[derive(Debug, Clone, Default)]
+pub struct RunIndexes {
+    pub(crate) bench_by_api: BTreeMap<String, Vec<u64>>,
+    pub(crate) bench_by_tasks: BTreeMap<u32, Vec<u64>>,
+    pub(crate) io500_by_tasks: BTreeMap<u32, Vec<u64>>,
+    pub(crate) bench_by_bw: BTreeMap<BwKey, Vec<u64>>,
+    pub(crate) io500_by_bw: BTreeMap<BwKey, Vec<u64>>,
+}
+
+fn entry_insert<K: Ord>(map: &mut BTreeMap<K, Vec<u64>>, key: K, id: u64) {
+    let ids = map.entry(key).or_default();
+    match ids.binary_search(&id) {
+        Ok(_) => {}
+        Err(pos) => ids.insert(pos, id),
+    }
+}
+
+fn entry_remove<K: Ord>(map: &mut BTreeMap<K, Vec<u64>>, key: &K, id: u64) {
+    if let Some(ids) = map.get_mut(key) {
+        ids.retain(|x| *x != id);
+        if ids.is_empty() {
+            map.remove(key);
+        }
+    }
+}
+
+impl RunIndexes {
+    pub(crate) fn insert_bench(&mut self, id: u64, api: &str, tasks: u32, bw: f64) {
+        entry_insert(&mut self.bench_by_api, api.to_owned(), id);
+        entry_insert(&mut self.bench_by_tasks, tasks, id);
+        entry_insert(&mut self.bench_by_bw, BwKey(bw), id);
+    }
+
+    pub(crate) fn remove_bench(&mut self, id: u64, api: &str, tasks: u32, bw: f64) {
+        entry_remove(&mut self.bench_by_api, &api.to_owned(), id);
+        entry_remove(&mut self.bench_by_tasks, &tasks, id);
+        entry_remove(&mut self.bench_by_bw, &BwKey(bw), id);
+    }
+
+    pub(crate) fn insert_io500(&mut self, id: u64, tasks: u32, bw_score: f64) {
+        entry_insert(&mut self.io500_by_tasks, tasks, id);
+        entry_insert(&mut self.io500_by_bw, BwKey(bw_score), id);
+    }
+
+    pub(crate) fn remove_io500(&mut self, id: u64, tasks: u32, bw_score: f64) {
+        entry_remove(&mut self.io500_by_tasks, &tasks, id);
+        entry_remove(&mut self.io500_by_bw, &BwKey(bw_score), id);
+    }
+
+    /// Rebuild every index from the tables — the `open()` invariant:
+    /// after a rebuild the indexes agree exactly with the rows, whatever
+    /// the on-disk image contained.
+    pub(crate) fn rebuild(db: &Database) -> Result<RunIndexes, DbError> {
+        let mut indexes = RunIndexes::default();
+        let mut write_bw: BTreeMap<i64, f64> = BTreeMap::new();
+        for srow in db.select("summaries", &Predicate::True, OrderBy::Id, None)? {
+            if srow.values[1].as_text() == Some("write") {
+                if let Some(perf_id) = srow.values[0].as_int() {
+                    write_bw.insert(perf_id, srow.values[5].as_real().unwrap_or(0.0));
+                }
+            }
+        }
+        for row in db.select("performances", &Predicate::True, OrderBy::Id, None)? {
+            let api = row.values[2].as_text().unwrap_or("");
+            let tasks = row.values[12].as_int().unwrap_or(0) as u32;
+            let bw = write_bw.get(&row.id).copied().unwrap_or(0.0);
+            indexes.insert_bench(row.id as u64, api, tasks, bw);
+        }
+        let mut scores: BTreeMap<i64, f64> = BTreeMap::new();
+        for srow in db.select("IOFHsScores", &Predicate::True, OrderBy::Id, None)? {
+            if let Some(iofh_id) = srow.values[0].as_int() {
+                scores.insert(iofh_id, srow.values[1].as_real().unwrap_or(0.0));
+            }
+        }
+        for row in db.select("IOFHsRuns", &Predicate::True, OrderBy::Id, None)? {
+            let tasks = row.values[0].as_int().unwrap_or(0) as u32;
+            let bw = scores.get(&row.id).copied().unwrap_or(0.0);
+            indexes.insert_io500(row.id as u64, tasks, bw);
+        }
+        Ok(indexes)
+    }
+}
+
+/// Cached counter handles for the engine's observability. Rebuilt when
+/// a recorder is attached; the default registry belongs to a disabled
+/// recorder, so the counters always work and attaching is optional.
+#[derive(Clone)]
+pub(crate) struct QueryObs {
+    pub(crate) recorder: Arc<Recorder>,
+    pub(crate) queries: Counter,
+    pub(crate) index_hits: Counter,
+    pub(crate) full_scans: Counter,
+    pub(crate) rows_pruned: Counter,
+    pub(crate) knowledge_deserialized: Counter,
+}
+
+impl QueryObs {
+    pub(crate) fn new(recorder: Arc<Recorder>) -> QueryObs {
+        let metrics = recorder.metrics();
+        QueryObs {
+            queries: metrics.counter("store.query.queries"),
+            index_hits: metrics.counter("store.query.index_hits"),
+            full_scans: metrics.counter("store.query.full_scans"),
+            rows_pruned: metrics.counter("store.query.rows_pruned"),
+            knowledge_deserialized: metrics.counter("store.query.knowledge_deserialized"),
+            recorder,
+        }
+    }
+}
+
+impl Default for QueryObs {
+    fn default() -> QueryObs {
+        QueryObs::new(Arc::new(Recorder::disabled()))
+    }
+}
+
+/// One matched run plus the sort key captured during evaluation, so
+/// ordering never needs a second row probe.
+struct Matched {
+    run: RunRef,
+    key: SortKey,
+}
+
+enum SortKey {
+    Int(u64),
+    Text(String),
+    Bw(f64),
+}
+
+impl SortKey {
+    fn cmp_key(&self, other: &SortKey) -> std::cmp::Ordering {
+        match (self, other) {
+            (SortKey::Int(a), SortKey::Int(b)) => a.cmp(b),
+            (SortKey::Text(a), SortKey::Text(b)) => a.cmp(b),
+            (SortKey::Bw(a), SortKey::Bw(b)) => a.total_cmp(b),
+            _ => std::cmp::Ordering::Equal,
+        }
+    }
+}
+
+/// A lazily-probed benchmark row: the `performances` row is fetched
+/// once, `summaries` only when the predicate or sort key needs them.
+struct BenchProbe<'a> {
+    db: &'a Database,
+    id: u64,
+    row: Row,
+    ops: Option<Vec<OpStat>>,
+}
+
+impl<'a> BenchProbe<'a> {
+    fn fetch(db: &'a Database, id: u64) -> Result<Option<BenchProbe<'a>>, DbError> {
+        Ok(db.get("performances", id as i64)?.map(|row| BenchProbe {
+            db,
+            id,
+            row,
+            ops: None,
+        }))
+    }
+
+    fn command(&self) -> &str {
+        self.row.values[0].as_text().unwrap_or("")
+    }
+
+    fn api(&self) -> &str {
+        self.row.values[2].as_text().unwrap_or("")
+    }
+
+    fn transfer_size(&self) -> u64 {
+        self.row.values[5].as_int().unwrap_or(0) as u64
+    }
+
+    fn tasks(&self) -> u32 {
+        self.row.values[12].as_int().unwrap_or(0) as u32
+    }
+
+    fn ops(&mut self) -> Result<&[OpStat], DbError> {
+        if self.ops.is_none() {
+            let rows = self.db.select(
+                "summaries",
+                &Predicate::Eq("performance_id".into(), Value::Int(self.id as i64)),
+                OrderBy::Id,
+                None,
+            )?;
+            self.ops = Some(
+                rows.iter()
+                    .map(|srow| OpStat {
+                        operation: srow.values[1].as_text().unwrap_or("").to_owned(),
+                        max_mib: srow.values[3].as_real().unwrap_or(0.0),
+                        mean_mib: srow.values[5].as_real().unwrap_or(0.0),
+                        mean_ops: srow.values[7].as_real().unwrap_or(0.0),
+                    })
+                    .collect(),
+            );
+        }
+        Ok(self.ops.as_deref().unwrap_or(&[]))
+    }
+
+    fn bandwidth(&mut self) -> Result<f64, DbError> {
+        Ok(self
+            .ops()?
+            .iter()
+            .find(|o| o.operation == "write")
+            .map_or(0.0, |o| o.mean_mib))
+    }
+
+    fn eval(&mut self, predicate: &RunPredicate) -> Result<bool, DbError> {
+        Ok(match predicate {
+            RunPredicate::True => true,
+            RunPredicate::Kind(kind) => *kind == RunKind::Benchmark,
+            RunPredicate::ApiEq(api) => self.api() == api,
+            RunPredicate::HasOp(op) => self.ops()?.iter().any(|o| &o.operation == op),
+            RunPredicate::TasksBetween(lo, hi) => (*lo..=*hi).contains(&self.tasks()),
+            RunPredicate::TransferBetween(lo, hi) => (*lo..=*hi).contains(&self.transfer_size()),
+            RunPredicate::BandwidthBetween(lo, hi) => {
+                let bw = self.bandwidth()?;
+                *lo <= bw && bw <= *hi
+            }
+            RunPredicate::CommandContains(text) => self.command().contains(text.as_str()),
+            RunPredicate::IdIn(ids) => ids.contains(&self.id),
+            RunPredicate::And(a, b) => self.eval(a)? && self.eval(b)?,
+            RunPredicate::Or(a, b) => self.eval(a)? || self.eval(b)?,
+            RunPredicate::Not(inner) => !self.eval(inner)?,
+        })
+    }
+
+    fn sort_key(&mut self, order: RunOrder) -> Result<SortKey, DbError> {
+        Ok(match order {
+            RunOrder::Id => SortKey::Int(self.id),
+            RunOrder::Tasks => SortKey::Int(u64::from(self.tasks())),
+            RunOrder::Command => SortKey::Text(self.command().to_owned()),
+            RunOrder::Bandwidth => SortKey::Bw(self.bandwidth()?),
+        })
+    }
+}
+
+/// A lazily-probed IO500 row.
+struct Io500Probe<'a> {
+    db: &'a Database,
+    id: u64,
+    row: Row,
+    bw_score: Option<f64>,
+}
+
+impl<'a> Io500Probe<'a> {
+    fn fetch(db: &'a Database, id: u64) -> Result<Option<Io500Probe<'a>>, DbError> {
+        Ok(db.get("IOFHsRuns", id as i64)?.map(|row| Io500Probe {
+            db,
+            id,
+            row,
+            bw_score: None,
+        }))
+    }
+
+    fn tasks(&self) -> u32 {
+        self.row.values[0].as_int().unwrap_or(0) as u32
+    }
+
+    fn bw_score(&mut self) -> Result<f64, DbError> {
+        if self.bw_score.is_none() {
+            let score = self
+                .db
+                .select(
+                    "IOFHsScores",
+                    &Predicate::Eq("IOFH_id".into(), Value::Int(self.id as i64)),
+                    OrderBy::Id,
+                    Some(1),
+                )?
+                .first()
+                .and_then(|s| s.values[1].as_real())
+                .unwrap_or(0.0);
+            self.bw_score = Some(score);
+        }
+        Ok(self.bw_score.unwrap_or(0.0))
+    }
+
+    fn eval(&mut self, predicate: &RunPredicate) -> Result<bool, DbError> {
+        Ok(match predicate {
+            RunPredicate::True => true,
+            RunPredicate::Kind(kind) => *kind == RunKind::Io500,
+            RunPredicate::ApiEq(api) => api.is_empty(),
+            RunPredicate::HasOp(_) => false,
+            RunPredicate::TasksBetween(lo, hi) => (*lo..=*hi).contains(&self.tasks()),
+            RunPredicate::TransferBetween(lo, hi) => *lo == 0 || (*lo..=*hi).contains(&0),
+            RunPredicate::BandwidthBetween(lo, hi) => {
+                let bw = self.bw_score()?;
+                *lo <= bw && bw <= *hi
+            }
+            RunPredicate::CommandContains(text) => "io500".contains(text.as_str()),
+            RunPredicate::IdIn(ids) => ids.contains(&self.id),
+            RunPredicate::And(a, b) => self.eval(a)? && self.eval(b)?,
+            RunPredicate::Or(a, b) => self.eval(a)? || self.eval(b)?,
+            RunPredicate::Not(inner) => !self.eval(inner)?,
+        })
+    }
+
+    fn sort_key(&mut self, order: RunOrder) -> Result<SortKey, DbError> {
+        Ok(match order {
+            RunOrder::Id => SortKey::Int(self.id),
+            RunOrder::Tasks => SortKey::Int(u64::from(self.tasks())),
+            RunOrder::Command => SortKey::Text("io500".to_owned()),
+            RunOrder::Bandwidth => SortKey::Bw(self.bw_score()?),
+        })
+    }
+}
+
+/// The candidate plan for one kind: either an index-pruned id list or a
+/// full scan of the kind's table.
+enum Plan {
+    Index(Vec<u64>),
+    Scan,
+}
+
+/// Two-pointer intersection of ascending-sorted id lists.
+fn intersect_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn plan_candidates(indexes: &RunIndexes, kind: RunKind, predicate: &RunPredicate) -> Plan {
+    // Walk the top-level AND chain: every indexable conjunct contributes
+    // a sorted candidate list, and a matching row must appear in all of
+    // them, so the plan is their intersection — each usable index
+    // narrows the probe set further instead of the first one winning.
+    let mut conjuncts = Vec::new();
+    let mut stack = vec![predicate];
+    while let Some(p) = stack.pop() {
+        if let RunPredicate::And(a, b) = p {
+            stack.push(a);
+            stack.push(b);
+        } else {
+            conjuncts.push(p);
+        }
+    }
+    let mut lists: Vec<Vec<u64>> = Vec::new();
+    for conjunct in &conjuncts {
+        match conjunct {
+            RunPredicate::IdIn(set) => {
+                let mut ids = set.clone();
+                ids.sort_unstable();
+                ids.dedup();
+                lists.push(ids);
+            }
+            RunPredicate::ApiEq(api) if kind == RunKind::Benchmark => {
+                lists.push(
+                    indexes
+                        .bench_by_api
+                        .get(api.as_str())
+                        .cloned()
+                        .unwrap_or_default(),
+                );
+            }
+            RunPredicate::TasksBetween(lo, hi) => {
+                if lo > hi {
+                    return Plan::Index(Vec::new());
+                }
+                let map = match kind {
+                    RunKind::Benchmark => &indexes.bench_by_tasks,
+                    RunKind::Io500 => &indexes.io500_by_tasks,
+                };
+                let mut ids: Vec<u64> = map
+                    .range(lo..=hi)
+                    .flat_map(|(_, v)| v.iter().copied())
+                    .collect();
+                ids.sort_unstable();
+                lists.push(ids);
+            }
+            RunPredicate::BandwidthBetween(lo, hi) => {
+                if lo > hi {
+                    return Plan::Index(Vec::new());
+                }
+                let map = match kind {
+                    RunKind::Benchmark => &indexes.bench_by_bw,
+                    RunKind::Io500 => &indexes.io500_by_bw,
+                };
+                let mut ids: Vec<u64> = map
+                    .range(BwKey(*lo)..=BwKey(*hi))
+                    .flat_map(|(_, v)| v.iter().copied())
+                    .collect();
+                ids.sort_unstable();
+                lists.push(ids);
+            }
+            _ => {}
+        }
+    }
+    // Intersect starting from the smallest list, which bounds the output.
+    lists.sort_by_key(Vec::len);
+    let mut lists = lists.into_iter();
+    let Some(mut ids) = lists.next() else {
+        return Plan::Scan;
+    };
+    for other in lists {
+        if ids.is_empty() {
+            break;
+        }
+        ids = intersect_sorted(&ids, &other);
+    }
+    Plan::Index(ids)
+}
+
+impl KnowledgeStore {
+    /// Attach an observability recorder: engine spans and counters
+    /// (`store.query.*`) register with its metrics registry, so
+    /// `/metrics` shows whether queries are index-served.
+    pub fn attach_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.obs = QueryObs::new(recorder);
+    }
+
+    /// Execute a query, returning matched run refs in query order.
+    pub fn query_ids(&self, query: &Query) -> Result<Vec<RunRef>, DbError> {
+        self.execute(query, false)
+    }
+
+    /// Execute a query, materializing the cheap [`RunSummary`]
+    /// projection for each matched run (no `results`, `filesystems`,
+    /// `systeminfos` or full-`Knowledge` deserialization).
+    pub fn query_summaries(&self, query: &Query) -> Result<Vec<RunSummary>, DbError> {
+        let refs = self.execute(query, false)?;
+        refs.iter().map(|r| self.summarize(*r)).collect()
+    }
+
+    /// Execute a query and *fully deserialize* every matched run — the
+    /// explicit full projection. Use only when per-iteration results or
+    /// system/filesystem details are genuinely needed.
+    pub fn query_items(
+        &self,
+        query: &Query,
+    ) -> Result<Vec<iokc_core::model::KnowledgeItem>, DbError> {
+        use iokc_core::model::KnowledgeItem;
+        let refs = self.execute(query, false)?;
+        let mut items = Vec::with_capacity(refs.len());
+        for r in refs {
+            match r.kind {
+                RunKind::Benchmark => {
+                    if let Some(k) = self.load_knowledge(r.id)? {
+                        items.push(KnowledgeItem::Benchmark(k));
+                    }
+                }
+                RunKind::Io500 => {
+                    if let Some(k) = self.load_io500(r.id)? {
+                        items.push(KnowledgeItem::Io500(k));
+                    }
+                }
+            }
+        }
+        Ok(items)
+    }
+
+    /// Count matching runs without materializing any row projection.
+    /// Kind-only predicates are answered straight from the table sizes;
+    /// everything else runs the id executor (row probes, but never a
+    /// `Knowledge` deserialization).
+    pub fn count(&self, predicate: &RunPredicate) -> Result<usize, DbError> {
+        match predicate {
+            RunPredicate::True => {
+                Ok(self.db.row_count("performances")? + self.db.row_count("IOFHsRuns")?)
+            }
+            RunPredicate::Kind(RunKind::Benchmark) => self.db.row_count("performances"),
+            RunPredicate::Kind(RunKind::Io500) => self.db.row_count("IOFHsRuns"),
+            _ => Ok(self.execute(&Query::new(predicate.clone()), false)?.len()),
+        }
+    }
+
+    /// The per-run bandwidth series for one operation across every
+    /// matching benchmark run — the box-plot projection. Reads only the
+    /// matched `summaries` and `results` rows (both index-backed), not
+    /// the full `Knowledge` objects. Returns `(command, series)` pairs
+    /// in query order.
+    pub fn boxplot_series(
+        &self,
+        predicate: &RunPredicate,
+        operation: &str,
+    ) -> Result<Vec<(String, Vec<f64>)>, DbError> {
+        let query = Query::new(
+            RunPredicate::Kind(RunKind::Benchmark)
+                .and(RunPredicate::HasOp(operation.to_owned()))
+                .and(predicate.clone()),
+        );
+        let refs = self.execute(&query, false)?;
+        let mut out = Vec::with_capacity(refs.len());
+        for r in refs {
+            let Some(row) = self.db.get("performances", r.id as i64)? else {
+                continue;
+            };
+            let command = row.values[0].as_text().unwrap_or("").to_owned();
+            let summaries = self.db.select(
+                "summaries",
+                &Predicate::Eq("performance_id".into(), Value::Int(r.id as i64)),
+                OrderBy::Id,
+                None,
+            )?;
+            let mut series = Vec::new();
+            for srow in summaries
+                .iter()
+                .filter(|s| s.values[1].as_text() == Some(operation))
+            {
+                for rrow in self.db.select(
+                    "results",
+                    &Predicate::Eq("summary_id".into(), Value::Int(srow.id)),
+                    OrderBy::Id,
+                    None,
+                )? {
+                    series.push(rrow.values[2].as_real().unwrap_or(0.0));
+                }
+            }
+            if !series.is_empty() {
+                out.push((command, series));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Build the [`RunSummary`] projection for one run.
+    fn summarize(&self, r: RunRef) -> Result<RunSummary, DbError> {
+        match r.kind {
+            RunKind::Benchmark => {
+                let row = self.db.get("performances", r.id as i64)?.ok_or_else(|| {
+                    DbError::Corrupt(format!("benchmark run {} vanished mid-query", r.id))
+                })?;
+                let mut probe = BenchProbe {
+                    db: &self.db,
+                    id: r.id,
+                    row,
+                    ops: None,
+                };
+                let ops = probe.ops()?.to_vec();
+                Ok(RunSummary {
+                    kind: RunKind::Benchmark,
+                    id: r.id,
+                    command: probe.command().to_owned(),
+                    api: probe.api().to_owned(),
+                    tasks: probe.tasks(),
+                    block_size: probe.row.values[4].as_int().unwrap_or(0) as u64,
+                    transfer_size: probe.transfer_size(),
+                    segments: probe.row.values[6].as_int().unwrap_or(0) as u64,
+                    clients_per_node: probe.row.values[13].as_int().unwrap_or(0) as u32,
+                    ops,
+                    bw_score: 0.0,
+                    md_score: 0.0,
+                    total_score: 0.0,
+                    warning_count: self.warning_count("benchmark", r.id)?,
+                })
+            }
+            RunKind::Io500 => {
+                let row = self.db.get("IOFHsRuns", r.id as i64)?.ok_or_else(|| {
+                    DbError::Corrupt(format!("io500 run {} vanished mid-query", r.id))
+                })?;
+                let tasks = row.values[0].as_int().unwrap_or(0) as u32;
+                let scores = self
+                    .db
+                    .select(
+                        "IOFHsScores",
+                        &Predicate::Eq("IOFH_id".into(), Value::Int(r.id as i64)),
+                        OrderBy::Id,
+                        Some(1),
+                    )?
+                    .into_iter()
+                    .next();
+                let score = |i: usize| {
+                    scores
+                        .as_ref()
+                        .and_then(|s| s.values[i].as_real())
+                        .unwrap_or(0.0)
+                };
+                Ok(RunSummary {
+                    kind: RunKind::Io500,
+                    id: r.id,
+                    command: "io500".to_owned(),
+                    api: String::new(),
+                    tasks,
+                    block_size: 0,
+                    transfer_size: 0,
+                    segments: 0,
+                    clients_per_node: 0,
+                    ops: Vec::new(),
+                    bw_score: score(1),
+                    md_score: score(2),
+                    total_score: score(3),
+                    warning_count: self.warning_count("io500", r.id)?,
+                })
+            }
+        }
+    }
+
+    fn warning_count(&self, owner: &str, id: u64) -> Result<usize, DbError> {
+        Ok(self
+            .db
+            .select(
+                "warnings",
+                &Predicate::Eq("owner_id".into(), Value::Int(id as i64)),
+                OrderBy::Id,
+                None,
+            )?
+            .iter()
+            .filter(|row| row.values[0].as_text() == Some(owner))
+            .count())
+    }
+
+    /// The executor: plan candidates per kind (index or scan), evaluate
+    /// the full predicate on each, sort with the id tie-break, apply
+    /// offset/limit. `force_scan` disables index planning — the
+    /// equivalence oracle the property tests compare against.
+    pub(crate) fn execute(&self, query: &Query, force_scan: bool) -> Result<Vec<RunRef>, DbError> {
+        let span =
+            self.obs
+                .recorder
+                .start_span("store.query", None, Some("analysis"), Some("store"));
+        let result = self.execute_inner(query, force_scan);
+        self.obs.recorder.end_span(
+            &span,
+            if result.is_ok() {
+                SpanStatus::Ok
+            } else {
+                SpanStatus::Failed
+            },
+        );
+        result
+    }
+
+    fn execute_inner(&self, query: &Query, force_scan: bool) -> Result<Vec<RunRef>, DbError> {
+        self.obs.queries.inc();
+        let mut matched: Vec<Matched> = Vec::new();
+        let mut examined = 0usize;
+        let mut total = 0usize;
+        let mut any_index = false;
+        let mut any_scan = false;
+
+        for kind in [RunKind::Benchmark, RunKind::Io500] {
+            let table = match kind {
+                RunKind::Benchmark => "performances",
+                RunKind::Io500 => "IOFHsRuns",
+            };
+            let table_rows = self.db.row_count(table)?;
+            total += table_rows;
+            if !query.predicate.may_match_kind(kind) {
+                continue;
+            }
+            let plan = if force_scan {
+                Plan::Scan
+            } else {
+                plan_candidates(&self.indexes, kind, &query.predicate)
+            };
+            let ids: Vec<u64> = match &plan {
+                Plan::Index(ids) => {
+                    any_index = true;
+                    ids.clone()
+                }
+                Plan::Scan => {
+                    any_scan = true;
+                    self.db
+                        .select(table, &Predicate::True, OrderBy::Id, None)?
+                        .into_iter()
+                        .map(|row| row.id as u64)
+                        .collect()
+                }
+            };
+            for id in ids {
+                match kind {
+                    RunKind::Benchmark => {
+                        let Some(mut probe) = BenchProbe::fetch(&self.db, id)? else {
+                            continue;
+                        };
+                        examined += 1;
+                        if probe.eval(&query.predicate)? {
+                            matched.push(Matched {
+                                run: RunRef { kind, id },
+                                key: probe.sort_key(query.order)?,
+                            });
+                        }
+                    }
+                    RunKind::Io500 => {
+                        let Some(mut probe) = Io500Probe::fetch(&self.db, id)? else {
+                            continue;
+                        };
+                        examined += 1;
+                        if probe.eval(&query.predicate)? {
+                            matched.push(Matched {
+                                run: RunRef { kind, id },
+                                key: probe.sort_key(query.order)?,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        if any_index && !any_scan {
+            self.obs.index_hits.inc();
+        } else {
+            self.obs.full_scans.inc();
+        }
+        self.obs
+            .rows_pruned
+            .add(total.saturating_sub(examined) as u64);
+
+        // Sort: the requested key (possibly reversed), then always the
+        // (id, kind) tie-break ascending, so non-unique keys still give
+        // one deterministic order across requests and pages.
+        matched.sort_by(|a, b| {
+            let key = a.key.cmp_key(&b.key);
+            let key = if query.descending { key.reverse() } else { key };
+            key.then(a.run.id.cmp(&b.run.id))
+                .then(a.run.kind.cmp(&b.run.kind))
+        });
+
+        let refs = matched
+            .into_iter()
+            .skip(query.offset)
+            .take(query.limit.unwrap_or(usize::MAX))
+            .map(|m| m.run)
+            .collect();
+        Ok(refs)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use iokc_core::model::{
+        Io500Knowledge, IterationResult, Knowledge, KnowledgeSource, OperationSummary,
+    };
+
+    fn bench(command: &str, api: &str, tasks: u32, write_bw: f64) -> Knowledge {
+        let mut k = Knowledge::new(KnowledgeSource::Ior, command);
+        k.pattern.api = api.to_owned();
+        k.pattern.tasks = tasks;
+        k.pattern.transfer_size = 1 << 20;
+        k.summaries.push(OperationSummary {
+            operation: "write".into(),
+            api: api.to_owned(),
+            max_mib: write_bw * 1.2,
+            min_mib: write_bw * 0.8,
+            mean_mib: write_bw,
+            stddev_mib: 0.0,
+            mean_ops: write_bw / 2.0,
+            iterations: 2,
+        });
+        for i in 0..2u32 {
+            k.results.push(IterationResult {
+                operation: "write".into(),
+                iteration: i,
+                bw_mib: write_bw + f64::from(i),
+                ops: 10,
+                ops_per_sec: 5.0,
+                latency_s: 0.001,
+                open_s: 0.002,
+                wrrd_s: 1.0,
+                close_s: 0.003,
+                total_s: 1.1,
+            });
+        }
+        k
+    }
+
+    fn io500(tasks: u32, bw_score: f64) -> Io500Knowledge {
+        Io500Knowledge {
+            id: None,
+            tasks,
+            bw_score,
+            md_score: bw_score * 2.0,
+            total_score: bw_score * 1.5,
+            testcases: Vec::new(),
+            options: std::collections::BTreeMap::new(),
+            system: None,
+            start_time: 1,
+            warnings: Vec::new(),
+        }
+    }
+
+    fn seeded() -> KnowledgeStore {
+        let mut store = KnowledgeStore::in_memory();
+        store
+            .save_knowledge(&bench("ior -a posix", "POSIX", 8, 100.0))
+            .unwrap();
+        store
+            .save_knowledge(&bench("ior -a mpiio", "MPIIO", 16, 300.0))
+            .unwrap();
+        store
+            .save_knowledge(&bench("ior -a posix -x", "POSIX", 32, 200.0))
+            .unwrap();
+        store.save_io500(&io500(16, 1.5)).unwrap();
+        store
+    }
+
+    fn ids(refs: &[RunRef]) -> Vec<(RunKind, u64)> {
+        refs.iter().map(|r| (r.kind, r.id)).collect()
+    }
+
+    #[test]
+    fn api_filter_is_index_served_and_scan_equivalent() {
+        let store = seeded();
+        let q = Query::new(RunPredicate::ApiEq("POSIX".into()));
+        let indexed = store.execute(&q, false).unwrap();
+        let scanned = store.execute(&q, true).unwrap();
+        assert_eq!(
+            ids(&indexed),
+            vec![(RunKind::Benchmark, 1), (RunKind::Benchmark, 3)]
+        );
+        assert_eq!(indexed, scanned);
+    }
+
+    #[test]
+    fn bandwidth_range_uses_sorted_index() {
+        let store = seeded();
+        let q = Query::new(RunPredicate::BandwidthBetween(150.0, 250.0));
+        let refs = store.execute(&q, false).unwrap();
+        assert_eq!(ids(&refs), vec![(RunKind::Benchmark, 3)]);
+        // Reversed range is empty, never a panic.
+        let rev = Query::new(RunPredicate::BandwidthBetween(250.0, 150.0));
+        assert!(store.execute(&rev, false).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_sort_keys_break_ties_by_id() {
+        let mut store = KnowledgeStore::in_memory();
+        for _ in 0..4 {
+            store
+                .save_knowledge(&bench("dup", "POSIX", 8, 500.0))
+                .unwrap();
+        }
+        let q = Query::new(RunPredicate::True)
+            .order_by(RunOrder::Bandwidth)
+            .descending();
+        let all = store.query_ids(&q).unwrap();
+        assert_eq!(
+            ids(&all),
+            vec![
+                (RunKind::Benchmark, 1),
+                (RunKind::Benchmark, 2),
+                (RunKind::Benchmark, 3),
+                (RunKind::Benchmark, 4),
+            ]
+        );
+        // Pagination over the duplicate keys is deterministic: pages
+        // partition the same total order.
+        let page1 = store.query_ids(&q.clone().limit(2)).unwrap();
+        let page2 = store.query_ids(&q.clone().offset(2).limit(2)).unwrap();
+        let mut joined = ids(&page1);
+        joined.extend(ids(&page2));
+        assert_eq!(joined, ids(&all));
+    }
+
+    #[test]
+    fn counts_deserialize_nothing() {
+        let mut store = seeded();
+        let recorder = Arc::new(Recorder::disabled());
+        store.attach_recorder(Arc::clone(&recorder));
+        let deser = recorder
+            .metrics()
+            .counter("store.query.knowledge_deserialized");
+        assert_eq!(store.knowledge_count(), 3);
+        assert_eq!(store.io500_count(), 1);
+        assert_eq!(
+            store.count(&RunPredicate::ApiEq("POSIX".into())).unwrap(),
+            2
+        );
+        assert_eq!(store.count(&RunPredicate::TasksBetween(10, 40)).unwrap(), 3);
+        assert_eq!(deser.get(), 0, "count paths must not deserialize Knowledge");
+        store.load_knowledge(1).unwrap().unwrap();
+        assert_eq!(deser.get(), 1);
+    }
+
+    #[test]
+    fn summaries_project_without_full_deserialization() {
+        let mut store = seeded();
+        let recorder = Arc::new(Recorder::disabled());
+        store.attach_recorder(Arc::clone(&recorder));
+        let deser = recorder
+            .metrics()
+            .counter("store.query.knowledge_deserialized");
+        let rows = store
+            .query_summaries(&Query::all().order_by(RunOrder::Bandwidth).descending())
+            .unwrap();
+        assert_eq!(deser.get(), 0);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].command, "ior -a mpiio");
+        assert_eq!(rows[0].bandwidth(), 300.0);
+        let last = &rows[3];
+        assert_eq!(last.kind, RunKind::Io500);
+        assert_eq!(last.command, "io500");
+        assert_eq!(last.bandwidth(), 1.5);
+        assert_eq!(last.md_score, 3.0);
+    }
+
+    #[test]
+    fn query_items_is_the_explicit_full_projection() {
+        let store = seeded();
+        let items = store
+            .query_items(&Query::new(RunPredicate::ApiEq("MPIIO".into())))
+            .unwrap();
+        assert_eq!(items.len(), 1);
+        match &items[0] {
+            iokc_core::model::KnowledgeItem::Benchmark(k) => {
+                assert_eq!(k.command, "ior -a mpiio");
+                assert_eq!(k.results.len(), 2); // full join, results included
+            }
+            other => panic!("expected benchmark, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn obs_counters_distinguish_index_hits_from_scans() {
+        let mut store = seeded();
+        let recorder = Arc::new(Recorder::disabled());
+        store.attach_recorder(Arc::clone(&recorder));
+        let hits = recorder.metrics().counter("store.query.index_hits");
+        let scans = recorder.metrics().counter("store.query.full_scans");
+        let pruned = recorder.metrics().counter("store.query.rows_pruned");
+        store
+            .query_ids(&Query::new(
+                RunPredicate::Kind(RunKind::Benchmark).and(RunPredicate::ApiEq("MPIIO".into())),
+            ))
+            .unwrap();
+        assert_eq!((hits.get(), scans.get()), (1, 0));
+        assert!(pruned.get() >= 3, "api index should prune non-MPIIO rows");
+        store
+            .query_ids(&Query::new(RunPredicate::CommandContains("ior".into())))
+            .unwrap();
+        assert_eq!((hits.get(), scans.get()), (1, 1));
+    }
+
+    #[test]
+    fn indexes_rebuild_identically_on_open() {
+        let dir = std::env::temp_dir().join("iokc-query-reopen-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("knowledge.iokc.json");
+        let _ = std::fs::remove_file(&path);
+        let incremental = {
+            let mut store = KnowledgeStore::open(path.clone()).unwrap();
+            store
+                .save_knowledge(&bench("a", "POSIX", 8, 100.0))
+                .unwrap();
+            store
+                .save_knowledge(&bench("b", "MPIIO", 16, 300.0))
+                .unwrap();
+            store.save_io500(&io500(16, 1.5)).unwrap();
+            store.delete_knowledge(1).unwrap();
+            format!("{:?}", store.indexes)
+        };
+        let reopened = KnowledgeStore::open(path.clone()).unwrap();
+        assert_eq!(format!("{:?}", reopened.indexes), incremental);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn boxplot_series_reads_iteration_results() {
+        let store = seeded();
+        let series = store
+            .boxplot_series(&RunPredicate::ApiEq("POSIX".into()), "write")
+            .unwrap();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, "ior -a posix");
+        assert_eq!(series[0].1, vec![100.0, 101.0]);
+        assert_eq!(series[1].1, vec![200.0, 201.0]);
+    }
+
+    #[test]
+    fn cache_key_is_canonical_for_equal_queries() {
+        let a = Query::new(RunPredicate::ApiEq("POSIX".into())).limit(5);
+        let b = Query::new(RunPredicate::ApiEq("POSIX".into())).limit(5);
+        assert_eq!(a.cache_key(), b.cache_key());
+        let c = Query::new(RunPredicate::ApiEq("MPIIO".into())).limit(5);
+        assert_ne!(a.cache_key(), c.cache_key());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_predicate() -> impl Strategy<Value = RunPredicate> {
+            let leaf = prop_oneof![
+                Just(RunPredicate::True),
+                Just(RunPredicate::Kind(RunKind::Benchmark)),
+                Just(RunPredicate::Kind(RunKind::Io500)),
+                prop_oneof![Just("POSIX"), Just("MPIIO"), Just("HDF5"), Just("")]
+                    .prop_map(|api: &str| RunPredicate::ApiEq(api.to_owned())),
+                prop_oneof![Just("write"), Just("read"), Just("stat")]
+                    .prop_map(|op: &str| RunPredicate::HasOp(op.to_owned())),
+                (0u32..64, 0u32..64).prop_map(|(a, b)| RunPredicate::TasksBetween(a, b)),
+                (0.0f64..600.0, 0.0f64..600.0)
+                    .prop_map(|(a, b)| RunPredicate::BandwidthBetween(a, b)),
+                prop_oneof![Just("ior"), Just("io500"), Just("-x"), Just("zz")]
+                    .prop_map(|t: &str| RunPredicate::CommandContains(t.to_owned())),
+                proptest::collection::vec(1u64..12, 0..4).prop_map(RunPredicate::IdIn),
+            ];
+            leaf.prop_recursive(3, 16, 2, |inner| {
+                prop_oneof![
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| RunPredicate::And(Box::new(a), Box::new(b))),
+                    (inner.clone(), inner.clone())
+                        .prop_map(|(a, b)| RunPredicate::Or(Box::new(a), Box::new(b))),
+                    inner.prop_map(|p| RunPredicate::Not(Box::new(p))),
+                ]
+            })
+        }
+
+        fn arb_query() -> impl Strategy<Value = Query> {
+            (
+                arb_predicate(),
+                prop_oneof![
+                    Just(RunOrder::Id),
+                    Just(RunOrder::Tasks),
+                    Just(RunOrder::Command),
+                    Just(RunOrder::Bandwidth),
+                ],
+                any::<bool>(),
+                0usize..6,
+                proptest::option::of(0usize..8),
+            )
+                .prop_map(|(predicate, order, descending, offset, limit)| Query {
+                    predicate,
+                    order,
+                    descending,
+                    offset,
+                    limit,
+                })
+        }
+
+        /// (api, tasks, bw) tuples for benchmark runs, (tasks, bw) for
+        /// io500 runs, and interleaved delete positions.
+        type StoreOps = (Vec<(u8, u32, f64)>, Vec<(u32, f64)>, Vec<u64>, Vec<u64>);
+
+        fn arb_store_ops() -> impl Strategy<Value = StoreOps> {
+            (
+                proptest::collection::vec((0u8..3, 1u32..64, 0.0f64..600.0), 1..10),
+                proptest::collection::vec((1u32..64, 0.0f64..10.0), 0..5),
+                proptest::collection::vec(1u64..12, 0..4),
+                proptest::collection::vec(1u64..6, 0..3),
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn index_plan_equals_full_scan(
+                (benches, io500s, bench_dels, io500_dels) in arb_store_ops(),
+                queries in proptest::collection::vec(arb_query(), 1..4),
+            ) {
+                let mut store = KnowledgeStore::in_memory();
+                let apis = ["POSIX", "MPIIO", "HDF5"];
+                for (api, tasks, bw) in &benches {
+                    let k = bench(
+                        &format!("ior -a {} -t {tasks}", apis[*api as usize]),
+                        apis[*api as usize],
+                        *tasks,
+                        *bw,
+                    );
+                    store.save_knowledge(&k).unwrap();
+                }
+                for (tasks, bw) in &io500s {
+                    store.save_io500(&io500(*tasks, *bw)).unwrap();
+                }
+                // Interleaved deletes of both kinds: the incremental
+                // index maintenance must stay equivalent to a scan.
+                for id in &bench_dels {
+                    store.delete_knowledge(*id).unwrap();
+                }
+                for id in &io500_dels {
+                    store.delete_io500(*id).unwrap();
+                }
+                for q in &queries {
+                    let indexed = store.execute(q, false).unwrap();
+                    let scanned = store.execute(q, true).unwrap();
+                    prop_assert_eq!(&indexed, &scanned, "query {} diverged", q);
+                }
+            }
+        }
+    }
+}

@@ -660,6 +660,86 @@ mod tests {
     }
 
     #[test]
+    fn unknown_columns_error_in_every_clause() {
+        let db = db();
+        // Projection: the cell lookup fails, it does not silently yield NULL.
+        assert!(matches!(
+            select(&db, "SELECT ghost FROM runs"),
+            Err(SqlError::Db(DbError::NoSuchColumn { .. }))
+        ));
+        // ORDER BY is resolved before any row work.
+        assert!(matches!(
+            select(&db, "SELECT * FROM runs ORDER BY ghost"),
+            Err(SqlError::Db(DbError::NoSuchColumn { .. }))
+        ));
+        // A valid projection with an unknown WHERE column still errors.
+        assert!(matches!(
+            select(&db, "SELECT command FROM runs WHERE ghost = 1"),
+            Err(SqlError::Db(DbError::NoSuchColumn { .. }))
+        ));
+    }
+
+    #[test]
+    fn reversed_range_matches_nothing_without_error() {
+        let db = db();
+        // An unsatisfiable conjunction (bw > 2000 AND bw < 100) is a
+        // valid query with an empty answer, not a planner panic.
+        let rows = query(&db, "SELECT * FROM runs WHERE bw > 2000 AND bw < 100").unwrap();
+        assert!(rows.is_empty());
+        assert_eq!(
+            select(
+                &db,
+                "SELECT COUNT(*) FROM runs WHERE tasks > 80 AND tasks < 40"
+            )
+            .unwrap(),
+            QueryResult::Count(0)
+        );
+    }
+
+    #[test]
+    fn limit_zero_returns_no_rows() {
+        let db = db();
+        let QueryResult::Rows { rows, .. } = select(&db, "SELECT * FROM runs LIMIT 0").unwrap()
+        else {
+            panic!("expected rows")
+        };
+        assert!(rows.is_empty());
+        let QueryResult::Rows { rows, .. } =
+            select(&db, "SELECT command FROM runs WHERE tasks = 80 LIMIT 0").unwrap()
+        else {
+            panic!("expected rows")
+        };
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn limit_pushdown_short_circuits_row_iteration() {
+        use crate::database::{OrderBy, Predicate};
+        let db = db();
+        // In id order the limit is pushed into the scan: one matching
+        // row is enough, the remaining two are never examined.
+        let (rows, stats) = db
+            .select_with_stats("runs", &Predicate::True, OrderBy::Id, Some(1))
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(stats.rows_examined, 1, "{stats:?}");
+        // Ordering by a column needs the full match set before the
+        // limit truncates it, so every row is examined.
+        let (rows, stats) = db
+            .select_with_stats(
+                "runs",
+                &Predicate::True,
+                OrderBy::Desc("bw".to_owned()),
+                Some(1),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values[1], Value::Real(2850.12));
+        assert_eq!(stats.rows_examined, 3, "{stats:?}");
+        assert_eq!(stats.rows_matched, 3, "{stats:?}");
+    }
+
+    #[test]
     fn numbers_parse_with_signs_and_exponents() {
         let mut db = db();
         execute(&mut db, "INSERT INTO runs VALUES ('neg', -1.5e2, -3)").unwrap();

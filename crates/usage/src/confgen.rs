@@ -139,6 +139,30 @@ pub struct RegenerateUsage {
     seen: std::collections::BTreeSet<String>,
 }
 
+/// Select the candidate runs for new-knowledge generation straight from
+/// the store: the top `limit` benchmark runs by write bandwidth (the
+/// configurations most worth iterating on), chosen via the query
+/// engine's summary projection, with full `Knowledge` deserialization
+/// only for the runs actually selected.
+pub fn select_candidates(
+    store: &iokc_store::KnowledgeStore,
+    limit: usize,
+) -> Result<Vec<KnowledgeItem>, iokc_store::DbError> {
+    use iokc_store::{Query, RunKind, RunOrder, RunPredicate};
+    let top = store.query_summaries(
+        &Query::new(RunPredicate::Kind(RunKind::Benchmark))
+            .order_by(RunOrder::Bandwidth)
+            .descending()
+            .limit(limit),
+    )?;
+    let ids: Vec<u64> = top.iter().map(|row| row.id).collect();
+    store.query_items(
+        &Query::new(RunPredicate::Kind(RunKind::Benchmark).and(RunPredicate::IdIn(ids)))
+            .order_by(RunOrder::Bandwidth)
+            .descending(),
+    )
+}
+
 impl RegenerateUsage {
     /// Produce the follow-up command for a knowledge object, if any.
     #[must_use]
@@ -259,6 +283,49 @@ mod tests {
         assert!(first.new_commands[0].contains("-b 8m"));
         let second = module.apply(&mut test_ctx(), &items, &[]).unwrap();
         assert!(second.new_commands.is_empty(), "no duplicate scheduling");
+    }
+
+    #[test]
+    fn select_candidates_takes_top_bandwidth_runs() {
+        use iokc_core::model::OperationSummary;
+        let mut store = iokc_store::KnowledgeStore::in_memory();
+        for (command, bw) in [
+            ("ior -b 4m -t 1m -o /scratch/a", 100.0),
+            ("ior -b 8m -t 2m -o /scratch/b", 300.0),
+            ("ior -b 2m -t 1m -o /scratch/c", 200.0),
+        ] {
+            let mut k = Knowledge::new(KnowledgeSource::Ior, command);
+            k.summaries.push(OperationSummary {
+                operation: "write".into(),
+                api: "POSIX".into(),
+                max_mib: bw,
+                min_mib: bw,
+                mean_mib: bw,
+                stddev_mib: 0.0,
+                mean_ops: bw / 2.0,
+                iterations: 1,
+            });
+            store.save_knowledge(&k).unwrap();
+        }
+        let candidates = select_candidates(&store, 2).unwrap();
+        let commands: Vec<&str> = candidates
+            .iter()
+            .map(|item| match item {
+                KnowledgeItem::Benchmark(k) => k.command.as_str(),
+                other => panic!("io500 selected: {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            commands,
+            vec![
+                "ior -b 8m -t 2m -o /scratch/b",
+                "ior -b 2m -t 1m -o /scratch/c"
+            ],
+        );
+        // The selected items are fully deserialized and feed the module.
+        let mut module = RegenerateUsage::default();
+        let outcome = module.apply(&mut test_ctx(), &candidates, &[]).unwrap();
+        assert_eq!(outcome.new_commands.len(), 2);
     }
 
     #[test]

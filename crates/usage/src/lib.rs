@@ -17,7 +17,7 @@ pub mod predict;
 pub mod recommend;
 pub mod workload;
 
-pub use confgen::{generate_jube_config, CommandBuilder, RegenerateUsage};
+pub use confgen::{generate_jube_config, select_candidates, CommandBuilder, RegenerateUsage};
 pub use predict::{
     fit, pattern_features, train_bandwidth_model, FitError, LinearModel, PATTERN_FEATURE_NAMES,
 };

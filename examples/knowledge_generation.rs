@@ -17,7 +17,7 @@ use iokc_extract::IorExtractor;
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::FaultPlan;
 use iokc_sim::prelude::SystemConfig;
-use iokc_store::KnowledgeStore;
+use iokc_store::{KnowledgeStore, Query};
 use iokc_usage::{CommandBuilder, RegenerateUsage};
 
 fn main() {
@@ -69,7 +69,7 @@ fn main() {
     // Reopen the knowledge base: one object per generation, block size
     // doubling each time.
     let store = KnowledgeStore::open(db_path.clone()).expect("store reopens");
-    let items = store.load_all_items().expect("corpus loads");
+    let items = store.query_items(&Query::all()).expect("corpus loads");
     let blocks: Vec<u64> = items
         .iter()
         .filter_map(|item| match item {

@@ -15,6 +15,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo clippy -p iokc-explorerd (unwraps are errors)"
 cargo clippy -p iokc-explorerd --all-targets -- -D warnings -D clippy::unwrap_used
 
+# The store executes queries over persisted data and now backs every
+# read path, so it gets the same strict gate.
+echo "==> cargo clippy -p iokc-store (unwraps are errors)"
+cargo clippy -p iokc-store --all-targets -- -D warnings -D clippy::unwrap_used
+
+# Bench smoke: the vendored criterion runs each bench body once under
+# `cargo test`, so regressions in the bench harnesses fail fast here.
+echo "==> query-engine bench smoke"
+cargo test -p iokc-bench --bench query_engine
+
 echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -390,3 +390,51 @@ fn graceful_shutdown_joins_every_thread_with_clients_attached() {
     drop(idle_a);
     drop(idle_b);
 }
+
+#[test]
+fn duplicate_sort_keys_paginate_deterministically() {
+    // Four runs sharing one bandwidth value: without the engine's id
+    // tie-break, `sort=bw` order (and therefore every `limit`ed page)
+    // would depend on incidental iteration order.
+    let mut store = KnowledgeStore::in_memory();
+    let k = knowledge_for("64k", 91);
+    for _ in 0..4 {
+        store.save_knowledge(&k).unwrap();
+    }
+    let recorder = Arc::new(Recorder::new(Clock::wall(), Arc::new(NullSink)));
+    let server = Server::start(ServerConfig::default(), store, recorder).unwrap();
+    let addr = server.local_addr();
+
+    let ids_of = |body: &[u8]| -> Vec<u64> {
+        match parse_json(body) {
+            Json::Arr(rows) => rows
+                .iter()
+                .map(|row| match row {
+                    Json::Obj(map) => match map.get("id") {
+                        Some(Json::Num(id)) => *id as u64,
+                        other => panic!("bad id: {other:?}"),
+                    },
+                    other => panic!("not an object: {other:?}"),
+                })
+                .collect(),
+            other => panic!("not an array: {other:?}"),
+        }
+    };
+
+    let (status, body) = get(addr, "/api/runs?sort=bw&order=desc");
+    assert_eq!(status, 200);
+    let full = ids_of(&body);
+    assert_eq!(full, vec![1, 2, 3, 4], "equal keys fall back to id order");
+
+    // Requests repeat identically, and limit/offset pages partition the
+    // same total order.
+    let (_, body) = get(addr, "/api/runs?sort=bw&order=desc");
+    assert_eq!(ids_of(&body), full);
+    let (_, page1) = get(addr, "/api/runs?sort=bw&order=desc&limit=2");
+    let (_, page2) = get(addr, "/api/runs?sort=bw&order=desc&limit=2&offset=2");
+    let mut joined = ids_of(&page1);
+    joined.extend(ids_of(&page2));
+    assert_eq!(joined, full, "pages partition the duplicate-key order");
+
+    server.shutdown();
+}

@@ -21,7 +21,7 @@ use iokc_extract::{DarshanExtractor, IorExtractor};
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::{CrashSchedule, FaultPlan};
 use iokc_sim::prelude::SystemConfig;
-use iokc_store::{persist, KnowledgeStore};
+use iokc_store::{persist, KnowledgeStore, Query};
 
 fn scratch_dir(tag: &str) -> PathBuf {
     static CASE: AtomicU32 = AtomicU32::new(0);
@@ -195,7 +195,7 @@ fn torn_store_write_recovers_the_previous_generation() {
         .as_deref()
         .is_some_and(|e| !e.is_empty()));
     // The backup held generation 1 (written before the second save).
-    let items = store.load_all_items().unwrap();
+    let items = store.query_items(&Query::all()).unwrap();
     assert_eq!(items.len(), 1);
     let KnowledgeItem::Benchmark(k) = &items[0] else {
         panic!("wrong kind")
