@@ -131,6 +131,9 @@ impl From<&str> for CliError {
 fn store_err(e: DbError) -> CliError {
     let kind = match &e {
         DbError::Corrupt(_) => CliErrorKind::Corrupt,
+        // A full disk clears up when space is freed — schedulers may
+        // retry, so it gets the transient exit code.
+        DbError::Full(_) => CliErrorKind::Transient,
         _ => CliErrorKind::Permanent,
     };
     CliError {
@@ -198,6 +201,8 @@ struct Options {
     count_only: bool,
     metrics_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    repair: bool,
+    journal: Option<PathBuf>,
     positional: Vec<String>,
 }
 
@@ -248,6 +253,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         count_only: false,
         metrics_out: None,
         trace_out: None,
+        repair: false,
+        journal: None,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -399,6 +406,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--count" => opts.count_only = true,
             "--metrics" => opts.metrics_out = Some(PathBuf::from(value(&mut i, "--metrics")?)),
             "--trace" => opts.trace_out = Some(PathBuf::from(value(&mut i, "--trace")?)),
+            "--repair" => opts.repair = true,
+            "--journal" => opts.journal = Some(PathBuf::from(value(&mut i, "--journal")?)),
             "--contains" => opts.filter_contains = Some(value(&mut i, "--contains")?),
             other => opts.positional.push(other.to_owned()),
         }
@@ -436,6 +445,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "jube" => cmd_jube(&opts),
         "sweep" => cmd_sweep(&opts),
         "serve" => cmd_serve(&opts),
+        "fsck" => cmd_fsck(&opts),
         "trace" => cmd_trace(&opts),
         "stack" => {
             print_stack();
@@ -484,7 +494,11 @@ fn print_help() {
          \x20 sweep --resume <dir>  resume a killed campaign from its journal\n\
          \x20 serve                 HTTP knowledge-explorer service (--addr <host:port>,\n\
          \x20                       --workers <n>, --queue <n>, --cache-bytes <n>,\n\
-         \x20                       --serve-ms <n> to stop after a fixed window)\n\
+         \x20                       --serve-ms <n> to stop after a fixed window); a\n\
+         \x20                       damaged store serves read-only, /healthz reports it\n\
+         \x20 fsck                  check the knowledge base image and its backup\n\
+         \x20                       (--repair to fix, --journal <path> to also salvage\n\
+         \x20                       a torn event-journal tail)\n\
          \x20 trace <journal>       span tree + per-phase latency from a --trace journal\n\
          \x20 stack                 print the simulated parallel I/O stack (Fig. 1)\n\n\
          OPTIONS: --db <path> --tasks <n> --ppn <n> --seed <n> --iterations <n>\n\
@@ -566,8 +580,73 @@ fn finish_observability(opts: &Options, obs: &Observability) -> Result<(), CliEr
 /// recorder runs on the wall clock; `--serve-ms <n>` bounds the serving
 /// window (useful for scripted smoke tests), otherwise the server runs
 /// until the process is killed.
+/// `iokc fsck [--repair]` — offline integrity check of the knowledge
+/// base image, its backup generation, and (with `--journal <path>`) an
+/// event journal's tail. Reports findings on stdout; with `--repair` it
+/// fixes what it can (restore a generation, drop orphan rows, salvage a
+/// torn journal tail). Exits 5 (corrupt) while unrepaired damage
+/// remains, so scripts can gate on the exit code.
+fn cmd_fsck(opts: &Options) -> Result<(), CliError> {
+    let fsck_opts = iokc_store::FsckOptions {
+        repair: opts.repair,
+        journal: opts.journal.clone(),
+    };
+    let report = iokc_store::fsck(&opts.db, &iokc_store::StdVfs, &fsck_opts);
+    for finding in &report.findings {
+        let tag = if finding.repaired {
+            "repaired"
+        } else {
+            "found"
+        };
+        println!("{tag}: {}", finding.what);
+    }
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    if let Some(path) = &opts.metrics_out {
+        // Same schema-1 dump the cycle commands write, so dashboards can
+        // scrape repair activity alongside the robustness counters.
+        let metrics = iokc_obs::MetricsRegistry::new();
+        let _ = metrics.counter("store.faults_injected");
+        let _ = metrics.counter("store.open_degraded");
+        metrics
+            .counter("store.fsck_repairs")
+            .add(report.repaired() as u64);
+        let json = metrics.to_json().to_pretty();
+        std::fs::write(path, json + "\n").map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("wrote metrics to {}", path.display());
+    }
+    if report.clean() {
+        println!("fsck: {} clean", opts.db.display());
+        Ok(())
+    } else if report.unrepaired() == 0 {
+        println!("fsck: {} finding(s), all repaired", report.findings.len());
+        Ok(())
+    } else {
+        let hint = if opts.repair {
+            "damage is beyond repair; the store will still open read-only"
+        } else {
+            "rerun with --repair to fix what can be fixed"
+        };
+        Err(CliError {
+            kind: CliErrorKind::Corrupt,
+            message: format!(
+                "{} unrepaired finding(s) in {} ({hint})",
+                report.unrepaired(),
+                opts.db.display()
+            ),
+        })
+    }
+}
+
 fn cmd_serve(opts: &Options) -> Result<(), CliError> {
-    let store = open_store(opts)?;
+    // Serving must survive a damaged image: fall back to a read-only
+    // store over the empty schema rather than refusing to start, and let
+    // `/healthz` report the degradation.
+    let store = KnowledgeStore::open_or_degraded(opts.db.clone());
+    if let (true, Some(detail)) = (store.is_read_only(), store.health().detail()) {
+        eprintln!("iokc: warning: store degraded, serving read-only: {detail}");
+    }
     let recorder = match &opts.trace_out {
         Some(path) => {
             let sink = iokc_store::JournalEventSink::open(path)
@@ -590,7 +669,7 @@ fn cmd_serve(opts: &Options) -> Result<(), CliError> {
         server.local_addr()
     );
     println!(
-        "endpoints: / /api/runs /api/runs/<id> /api/io500/<id> /api/compare /api/boxplot /metrics"
+        "endpoints: / /api/runs /api/runs/<id> /api/io500/<id> /api/compare /api/boxplot /metrics /healthz"
     );
     match opts.serve_ms {
         Some(ms) => {

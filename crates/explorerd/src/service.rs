@@ -13,7 +13,9 @@
 //! * `GET /api/boxplot?op=..` — the per-run throughput distribution
 //!   overview;
 //! * `GET /api/io500/{id}` — one IO500 object;
-//! * `GET /metrics` — the schema-1 metrics JSON (never cached).
+//! * `GET /metrics` — the schema-1 metrics JSON (never cached);
+//! * `GET /healthz` — liveness and store health (never cached; a
+//!   degraded store still answers 200 with `status: "degraded"`).
 //!
 //! HTML pages (`/`, `/runs/{id}`, `/io500/{id}`, `/compare`,
 //! `/boxplot`) embed the `iokc-analysis` text viewers and SVG charts.
@@ -138,6 +140,7 @@ impl Explorer {
         match segments.as_slice() {
             [] => self.cached_html(req.normalized(), index_page),
             ["metrics"] => Ok(Response::json(&self.recorder.metrics().to_json())),
+            ["healthz"] => self.healthz(),
             ["api", "runs"] => self.api_runs(req),
             ["api", "runs", id] => {
                 let id = parse_run_id(id)?;
@@ -190,10 +193,28 @@ impl Explorer {
                 })
             }
             _ => Err(RouteError::NotFound(format!(
-                "no route for {} (try /, /api/runs, /api/compare, /api/boxplot, /metrics)",
+                "no route for {} (try /, /api/runs, /api/compare, /api/boxplot, /metrics, /healthz)",
                 req.path
             ))),
         }
+    }
+
+    /// `GET /healthz` — liveness + store health, never cached. Always
+    /// answers 200: a degraded store still serves reads, and the body
+    /// says so (`status: "degraded"`, `read_only: true`) so probes and
+    /// load balancers can distinguish "up but wounded" from "down".
+    fn healthz(&self) -> RouteResult {
+        let store = self.store.read().map_err(|_| poisoned())?;
+        let health = store.health();
+        let mut fields = vec![
+            ("status", Json::from(health.status())),
+            ("read_only", Json::from(store.is_read_only())),
+            ("generation", Json::from(store.generation())),
+        ];
+        if let Some(detail) = health.detail() {
+            fields.push(("detail", Json::from(detail)));
+        }
+        Ok(Response::json(&Json::obj(fields)))
     }
 
     /// Read-through JSON endpoint: serve from cache or render under the

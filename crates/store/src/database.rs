@@ -135,6 +135,15 @@ pub enum DbError {
     TableExists(String),
     /// Corrupt persistence payload.
     Corrupt(String),
+    /// The storage device rejected a write for lack of space (ENOSPC,
+    /// quota, or a short write) — transient: retryable after cleanup,
+    /// unlike corruption.
+    Full(String),
+    /// Any other I/O failure while persisting or loading an image.
+    Io(String),
+    /// The store is serving in degraded, read-only mode and refused a
+    /// write.
+    ReadOnly(String),
 }
 
 impl fmt::Display for DbError {
@@ -170,6 +179,9 @@ impl fmt::Display for DbError {
             }
             DbError::TableExists(t) => write!(f, "table exists: {t}"),
             DbError::Corrupt(msg) => write!(f, "corrupt database image: {msg}"),
+            DbError::Full(msg) => write!(f, "storage full: {msg}"),
+            DbError::Io(msg) => write!(f, "i/o error: {msg}"),
+            DbError::ReadOnly(msg) => write!(f, "store is read-only: {msg}"),
         }
     }
 }

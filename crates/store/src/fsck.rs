@@ -1,0 +1,513 @@
+//! Offline verification and repair of a store's on-disk state.
+//!
+//! `iokc fsck [--repair]` runs these checks without bringing the store
+//! fully online:
+//!
+//! 1. **Image generations** — the primary image and its `.bak` rotation
+//!    must verify their checksum footers and decode. A corrupt primary
+//!    with a good backup (or the reverse) is repairable by promoting or
+//!    re-rotating the good generation; both generations corrupt is not.
+//! 2. **Stray temp files** — a crash between the temp write and the
+//!    rename leaves a `.tmp` sibling; harmless, but removed on repair.
+//! 3. **Referential integrity** — checksums only prove the image is the
+//!    one that was written, not that it is *sensible*: rows whose
+//!    foreign keys point at deleted parents (e.g. from a half-applied
+//!    external import) are reported and, on repair, deleted cascade-wise
+//!    until the image is closed under its foreign keys.
+//! 4. **Index shape** — the query engine's secondary indexes must be
+//!    rebuildable from the tables; an image missing the paper's schema
+//!    cannot serve queries and is reported as unrepairable.
+//! 5. **Journal tail** (with `--journal`) — a torn trailing record is
+//!    reported and, on repair, truncated (idempotently) via
+//!    [`crate::journal::truncate_torn_tail_vfs`].
+//!
+//! The repair pass is designed so that a second `fsck` over the repaired
+//! state is clean; anything still reported afterwards is genuinely
+//! unrepairable and the store should be served via
+//! [`crate::KnowledgeStore::open_or_degraded`].
+
+use crate::database::{Database, OrderBy, Predicate};
+use crate::journal;
+use crate::persist;
+use crate::query::RunIndexes;
+use crate::value::Value;
+use crate::vfs::Vfs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What `fsck` should do.
+#[derive(Debug, Clone, Default)]
+pub struct FsckOptions {
+    /// Repair what can be repaired instead of only reporting.
+    pub repair: bool,
+    /// Also check (and on repair, salvage) this journal's tail.
+    pub journal: Option<PathBuf>,
+}
+
+/// One problem found in the on-disk state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FsckFinding {
+    /// What is wrong.
+    pub what: String,
+    /// Whether the repair pass fixed it.
+    pub repaired: bool,
+}
+
+/// Everything one `fsck` pass found.
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Problems, in check order.
+    pub findings: Vec<FsckFinding>,
+    /// Informational notes (which generation is authoritative, …).
+    pub notes: Vec<String>,
+}
+
+impl FsckReport {
+    /// No problems at all.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Problems the repair pass fixed.
+    #[must_use]
+    pub fn repaired(&self) -> usize {
+        self.findings.iter().filter(|f| f.repaired).count()
+    }
+
+    /// Problems left standing (repair off, or unrepairable).
+    #[must_use]
+    pub fn unrepaired(&self) -> usize {
+        self.findings.len() - self.repaired()
+    }
+
+    fn push(&mut self, what: impl Into<String>, repaired: bool) {
+        self.findings.push(FsckFinding {
+            what: what.into(),
+            repaired,
+        });
+    }
+
+    fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+}
+
+/// Verify (and optionally repair) the store image at `path`.
+#[must_use]
+pub fn fsck(path: &Path, vfs: &dyn Vfs, opts: &FsckOptions) -> FsckReport {
+    let mut report = FsckReport::default();
+    let backup = persist::backup_path(path);
+    let tmp = persist::temp_path(path);
+
+    if vfs.exists(&tmp) {
+        let repaired = opts.repair && vfs.remove_file(&tmp).is_ok();
+        report.push(
+            format!("stray temp image {} (crash mid-save)", tmp.display()),
+            repaired,
+        );
+    }
+
+    let primary = vfs.exists(path).then(|| persist::load_vfs(path, vfs));
+    let backup_db = vfs.exists(&backup).then(|| persist::load_vfs(&backup, vfs));
+
+    let db = match (primary, backup_db) {
+        (None, None) => {
+            report.note("no image on disk: nothing to check");
+            None
+        }
+        (Some(Ok(db)), None) => Some(db),
+        (Some(Ok(db)), Some(Ok(_))) => Some(db),
+        (Some(Ok(db)), Some(Err(e))) => {
+            // The backup is the safety net for the *next* torn save;
+            // refresh it from the healthy primary.
+            let repaired = opts.repair && copy_file(vfs, path, &backup).is_ok();
+            report.push(format!("backup image unusable: {e}"), repaired);
+            Some(db)
+        }
+        (None, Some(Ok(db))) => {
+            let repaired = opts.repair && persist::save_vfs(&db, path, vfs).is_ok();
+            report.push("primary image missing; backup generation present", repaired);
+            Some(db)
+        }
+        (Some(Err(e)), Some(Ok(db))) => {
+            // `save_vfs` refuses to rotate a non-verifying primary into
+            // the backup slot, so promoting is safe.
+            let repaired = opts.repair && persist::save_vfs(&db, path, vfs).is_ok();
+            report.push(
+                format!("primary image unusable ({e}); promoting backup generation"),
+                repaired,
+            );
+            Some(db)
+        }
+        (Some(Err(e)), None) => {
+            report.push(format!("primary image unusable and no backup: {e}"), false);
+            None
+        }
+        (None, Some(Err(e))) => {
+            report.push(
+                format!("primary image missing and backup unusable: {e}"),
+                false,
+            );
+            None
+        }
+        (Some(Err(pe)), Some(Err(be))) => {
+            report.push(
+                format!("both image generations unusable (primary: {pe}; backup: {be})"),
+                false,
+            );
+            None
+        }
+    };
+
+    if let Some(mut db) = db {
+        check_rows(&mut db, path, vfs, opts, &mut report);
+        match RunIndexes::rebuild(&db) {
+            Ok(_) => report.note("secondary indexes rebuild cleanly from the tables"),
+            Err(e) => report.push(format!("index rebuild failed (schema damage?): {e}"), false),
+        }
+    }
+
+    if let Some(journal_path) = &opts.journal {
+        check_journal(journal_path, vfs, opts, &mut report);
+    }
+
+    report
+}
+
+/// Referential-integrity scan: every foreign key (and the polymorphic
+/// `warnings.owner_id`) must reference a live parent row. Repair deletes
+/// orphans to a fixpoint — removing an orphaned summary may orphan its
+/// results — then rewrites the image.
+fn check_rows(
+    db: &mut Database,
+    path: &Path,
+    vfs: &dyn Vfs,
+    opts: &FsckOptions,
+    report: &mut FsckReport,
+) {
+    let mut deleted_any = false;
+    loop {
+        let orphans = find_orphans(db);
+        if orphans.is_empty() {
+            break;
+        }
+        for (table, id) in &orphans {
+            let repaired = opts.repair
+                && db
+                    .delete(table, &Predicate::Eq("id".into(), Value::Int(*id)))
+                    .is_ok();
+            report.push(
+                format!("{table} row {id} references a missing parent"),
+                repaired,
+            );
+            deleted_any |= repaired;
+        }
+        if !opts.repair {
+            break;
+        }
+    }
+    if deleted_any {
+        if let Err(e) = persist::save_vfs(db, path, vfs) {
+            report.push(format!("rewrite after orphan repair failed: {e}"), false);
+        }
+    }
+}
+
+/// Rows whose declared foreign keys (or `warnings`' implied ones) point
+/// at parents that do not exist.
+fn find_orphans(db: &Database) -> Vec<(String, i64)> {
+    let mut orphans = Vec::new();
+    for table in db.table_names() {
+        let Ok(schema) = db.schema(table) else {
+            continue;
+        };
+        if schema.foreign_keys.is_empty() && table != "warnings" {
+            continue;
+        }
+        let Ok(rows) = db.select(table, &Predicate::True, OrderBy::Id, None) else {
+            continue;
+        };
+        for row in rows {
+            let mut orphan = false;
+            for fk in &schema.foreign_keys {
+                let Some(ci) = schema.column_index(&fk.column) else {
+                    continue;
+                };
+                if let Some(parent_id) = row.values.get(ci).and_then(Value::as_int) {
+                    if !matches!(db.get(&fk.references_table, parent_id), Ok(Some(_))) {
+                        orphan = true;
+                    }
+                }
+            }
+            if table == "warnings" {
+                let parent_table = match row.values.first().and_then(Value::as_text) {
+                    Some("benchmark") => Some("performances"),
+                    Some("io500") => Some("IOFHsRuns"),
+                    _ => None,
+                };
+                if let (Some(parent_table), Some(owner_id)) =
+                    (parent_table, row.values.get(1).and_then(Value::as_int))
+                {
+                    if !matches!(db.get(parent_table, owner_id), Ok(Some(_))) {
+                        orphan = true;
+                    }
+                }
+            }
+            if orphan {
+                orphans.push((table.to_owned(), row.id));
+            }
+        }
+    }
+    orphans
+}
+
+fn check_journal(journal_path: &Path, vfs: &dyn Vfs, opts: &FsckOptions, report: &mut FsckReport) {
+    match journal::read_journal_vfs(journal_path, vfs) {
+        Ok(journal_report) if journal_report.torn_tail => {
+            let repaired = opts.repair
+                && journal::truncate_torn_tail_vfs(journal_path, vfs)
+                    .map(|r| !r.torn_tail || r.dropped_bytes > 0)
+                    .is_ok();
+            report.push(
+                format!(
+                    "journal {} has a torn tail ({} bytes after {} valid records)",
+                    journal_path.display(),
+                    journal_report.dropped_bytes,
+                    journal_report.records.len()
+                ),
+                repaired,
+            );
+        }
+        Ok(journal_report) => {
+            report.note(format!(
+                "journal {}: {} records, tail intact",
+                journal_path.display(),
+                journal_report.records.len()
+            ));
+        }
+        Err(e) => {
+            report.push(
+                format!("journal {} unreadable: {e}", journal_path.display()),
+                false,
+            );
+        }
+    }
+}
+
+fn copy_file(vfs: &dyn Vfs, from: &Path, to: &Path) -> io::Result<()> {
+    let bytes = vfs.read(from)?;
+    let mut file = vfs.create(to)?;
+    file.write_all(&bytes)?;
+    file.sync()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::knowledge_store::KnowledgeStore;
+    use crate::vfs::FaultVfs;
+    use iokc_core::model::{Knowledge, KnowledgeSource};
+    use std::sync::Arc;
+
+    fn kb() -> PathBuf {
+        PathBuf::from("/kb.json")
+    }
+
+    /// A disk holding a store with two saved generations (primary +
+    /// `.bak`), returned as a fresh fault-free filesystem.
+    fn two_generations() -> FaultVfs {
+        let vfs = Arc::new(FaultVfs::pristine());
+        {
+            let mut store =
+                KnowledgeStore::open_with_vfs(kb(), Arc::clone(&vfs) as Arc<dyn Vfs>).unwrap();
+            store
+                .save_knowledge(&Knowledge::new(KnowledgeSource::Ior, "gen-one"))
+                .unwrap();
+            store
+                .save_knowledge(&Knowledge::new(KnowledgeSource::Ior, "gen-two"))
+                .unwrap();
+        }
+        FaultVfs::from_state(vfs.durable_state())
+    }
+
+    #[test]
+    fn clean_store_reports_clean() {
+        let vfs = two_generations();
+        let report = fsck(&kb(), &vfs, &FsckOptions::default());
+        assert!(report.clean(), "{report:?}");
+    }
+
+    #[test]
+    fn torn_primary_is_repaired_from_backup() {
+        let vfs = two_generations();
+        let len = vfs.len(&kb()).unwrap();
+        vfs.set_len(&kb(), len / 2).unwrap();
+
+        let detect = fsck(&kb(), &vfs, &FsckOptions::default());
+        assert_eq!(detect.unrepaired(), 1, "{detect:?}");
+
+        let repair = fsck(
+            &kb(),
+            &vfs,
+            &FsckOptions {
+                repair: true,
+                journal: None,
+            },
+        );
+        assert_eq!(repair.repaired(), 1, "{repair:?}");
+        assert_eq!(repair.unrepaired(), 0);
+        // Second pass is clean and the store opens healthy on the
+        // backup's generation.
+        assert!(fsck(&kb(), &vfs, &FsckOptions::default()).clean());
+        let store = KnowledgeStore::open_with_vfs(
+            kb(),
+            Arc::new(FaultVfs::from_state(vfs.durable_state())),
+        )
+        .unwrap();
+        assert!(!store.is_read_only());
+        assert_eq!(store.knowledge_count(), 1);
+    }
+
+    #[test]
+    fn corrupt_backup_is_refreshed_from_primary() {
+        let vfs = two_generations();
+        let bak = persist::backup_path(&kb());
+        vfs.set_len(&bak, 5).unwrap();
+
+        let repair = fsck(
+            &kb(),
+            &vfs,
+            &FsckOptions {
+                repair: true,
+                journal: None,
+            },
+        );
+        assert_eq!(repair.repaired(), 1, "{repair:?}");
+        assert!(fsck(&kb(), &vfs, &FsckOptions::default()).clean());
+        assert!(persist::load_vfs(&bak, &vfs).is_ok());
+    }
+
+    #[test]
+    fn stray_temp_image_is_removed() {
+        let vfs = two_generations();
+        let mut file = vfs.create(&persist::temp_path(&kb())).unwrap();
+        file.write_all(b"half-written garbage").unwrap();
+        file.sync().unwrap();
+
+        let repair = fsck(
+            &kb(),
+            &vfs,
+            &FsckOptions {
+                repair: true,
+                journal: None,
+            },
+        );
+        assert_eq!(repair.repaired(), 1, "{repair:?}");
+        assert!(fsck(&kb(), &vfs, &FsckOptions::default()).clean());
+    }
+
+    #[test]
+    fn orphan_rows_are_detected_and_deleted() {
+        let vfs = Arc::new(FaultVfs::pristine());
+        let mut store = KnowledgeStore::open_with_vfs(kb(), vfs.clone()).unwrap();
+        store
+            .save_knowledge(&Knowledge::new(KnowledgeSource::Ior, "keeper"))
+            .unwrap();
+        // A checksum-valid image can still contain rows whose parents
+        // were deleted by a buggy external tool: forge one.
+        store
+            .db
+            .insert_raw(
+                "summaries",
+                999,
+                vec![
+                    Value::Int(12345), // no such performance
+                    Value::from("write"),
+                    Value::from("POSIX"),
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                    Value::Null,
+                ],
+            )
+            .unwrap();
+        persist::save_vfs(&store.db, &kb(), vfs.as_ref()).unwrap();
+
+        let check_vfs = FaultVfs::from_state(vfs.durable_state());
+        let detect = fsck(&kb(), &check_vfs, &FsckOptions::default());
+        assert_eq!(detect.unrepaired(), 1, "{detect:?}");
+        let repair = fsck(
+            &kb(),
+            &check_vfs,
+            &FsckOptions {
+                repair: true,
+                journal: None,
+            },
+        );
+        assert!(repair.repaired() >= 1, "{repair:?}");
+        assert!(fsck(&kb(), &check_vfs, &FsckOptions::default()).clean());
+        let store = KnowledgeStore::open_with_vfs(
+            kb(),
+            Arc::new(FaultVfs::from_state(check_vfs.durable_state())),
+        )
+        .unwrap();
+        assert_eq!(store.database().row_count("summaries").unwrap(), 0);
+        assert_eq!(store.database().row_count("performances").unwrap(), 1);
+        assert!(store.indexes_consistent().unwrap());
+    }
+
+    #[test]
+    fn both_generations_corrupt_is_unrepairable_but_store_degrades() {
+        let vfs = two_generations();
+        vfs.set_len(&kb(), 7).unwrap();
+        vfs.set_len(&persist::backup_path(&kb()), 7).unwrap();
+
+        let repair = fsck(
+            &kb(),
+            &vfs,
+            &FsckOptions {
+                repair: true,
+                journal: None,
+            },
+        );
+        assert!(repair.unrepaired() >= 1, "{repair:?}");
+
+        let store = KnowledgeStore::open_or_degraded_with_vfs(
+            kb(),
+            Arc::new(FaultVfs::from_state(vfs.durable_state())),
+        );
+        assert!(store.is_read_only());
+        assert_eq!(store.health().status(), "degraded");
+        // Reads keep working over the empty schema instead of erroring.
+        assert_eq!(store.knowledge_count(), 0);
+        assert!(store.load_knowledge(1).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_journal_tail_is_salvaged() {
+        let vfs = two_generations();
+        let journal_path = PathBuf::from("/events.journal");
+        {
+            let mut writer = journal::JournalWriter::open_vfs(&journal_path, &vfs).unwrap();
+            writer.append("alpha").unwrap();
+            writer.append("beta").unwrap();
+        }
+        let len = vfs.len(&journal_path).unwrap();
+        vfs.set_len(&journal_path, len - 4).unwrap();
+
+        let opts = FsckOptions {
+            repair: true,
+            journal: Some(journal_path.clone()),
+        };
+        let repair = fsck(&kb(), &vfs, &opts);
+        assert_eq!(repair.repaired(), 1, "{repair:?}");
+        let after = fsck(&kb(), &vfs, &opts);
+        assert!(after.clean(), "{after:?}");
+        let report = journal::read_journal_vfs(&journal_path, &vfs).unwrap();
+        assert_eq!(report.records, vec!["alpha".to_owned()]);
+    }
+}

@@ -26,24 +26,34 @@
 //! the frame.
 
 use crate::persist::checksum;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
+use crate::vfs::{StdVfs, Vfs, VfsFile};
 use std::path::Path;
 
 /// Version/magic prefix of every record line.
 const RECORD_MAGIC: &str = "j1";
 
 /// An open journal file, appending checksummed records durably.
-#[derive(Debug)]
 pub struct JournalWriter {
-    file: File,
+    file: Box<dyn VfsFile>,
+}
+
+impl std::fmt::Debug for JournalWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JournalWriter").finish_non_exhaustive()
+    }
 }
 
 impl JournalWriter {
     /// Open (creating if absent) a journal for appending.
     pub fn open(path: &Path) -> Result<JournalWriter, std::io::Error> {
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(JournalWriter { file })
+        JournalWriter::open_vfs(path, &StdVfs)
+    }
+
+    /// [`JournalWriter::open`] over an explicit [`Vfs`].
+    pub fn open_vfs(path: &Path, vfs: &dyn Vfs) -> Result<JournalWriter, std::io::Error> {
+        Ok(JournalWriter {
+            file: vfs.append(path)?,
+        })
     }
 
     /// Append one record and fsync it. The payload must not contain a
@@ -58,7 +68,7 @@ impl JournalWriter {
         let crc = checksum(payload.as_bytes());
         let line = format!("{RECORD_MAGIC} {crc:016x} {payload}\n");
         self.file.write_all(line.as_bytes())?;
-        self.file.sync_data()
+        self.file.sync()
     }
 }
 
@@ -83,13 +93,21 @@ pub struct JournalReadReport {
 /// everything before it is returned and the remainder is reported as
 /// dropped.
 pub fn read_journal(path: &Path) -> Result<JournalReadReport, std::io::Error> {
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
+    read_journal_vfs(path, &StdVfs)
+}
+
+/// [`read_journal`] over an explicit [`Vfs`].
+pub fn read_journal_vfs(path: &Path, vfs: &dyn Vfs) -> Result<JournalReadReport, std::io::Error> {
+    let bytes = match vfs.read(path) {
+        Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
             return Ok(JournalReadReport::default())
         }
         Err(e) => return Err(e),
     };
+    let text = String::from_utf8(bytes).map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, format!("journal: {e}"))
+    })?;
     let mut report = JournalReadReport::default();
     let mut consumed = 0usize;
     for line in text.split_inclusive('\n') {
@@ -116,13 +134,23 @@ pub fn read_journal(path: &Path) -> Result<JournalReadReport, std::io::Error> {
 /// crash may have torn: the torn tail has no newline, so a raw append
 /// would fuse the new record onto the torn bytes and corrupt every
 /// record from there on.
+///
+/// This is idempotent: the truncated journal ends in a valid record (or
+/// is empty), so a second invocation — e.g. after a crash mid-repair —
+/// finds nothing to drop and leaves the file untouched.
 pub fn truncate_torn_tail(path: &Path) -> Result<JournalReadReport, std::io::Error> {
-    let report = read_journal(path)?;
+    truncate_torn_tail_vfs(path, &StdVfs)
+}
+
+/// [`truncate_torn_tail`] over an explicit [`Vfs`].
+pub fn truncate_torn_tail_vfs(
+    path: &Path,
+    vfs: &dyn Vfs,
+) -> Result<JournalReadReport, std::io::Error> {
+    let report = read_journal_vfs(path, vfs)?;
     if report.dropped_bytes > 0 {
-        let len = std::fs::metadata(path)?.len();
-        let file = OpenOptions::new().write(true).open(path)?;
-        file.set_len(len.saturating_sub(report.dropped_bytes as u64))?;
-        file.sync_data()?;
+        let len = vfs.len(path)?;
+        vfs.set_len(path, len.saturating_sub(report.dropped_bytes as u64))?;
     }
     Ok(report)
 }
@@ -327,6 +355,59 @@ mod tests {
         assert_eq!(report.records, vec!["alpha".to_owned(), "gamma".to_owned()]);
         assert!(!report.torn_tail);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_torn_tail_twice_is_a_no_op() {
+        let dir = scratch("idempotent");
+        let path = dir.join("j");
+        {
+            let mut writer = JournalWriter::open(&path).unwrap();
+            writer.append("alpha").unwrap();
+            writer.append("beta").unwrap();
+        }
+        let full = std::fs::metadata(&path).unwrap().len();
+        inject_torn_write(&path, full - 3).unwrap();
+        let first = truncate_torn_tail(&path).unwrap();
+        assert!(first.torn_tail);
+        let after_first = std::fs::read(&path).unwrap();
+        // A second salvage — e.g. after a crash during repair — must not
+        // drop anything further or rewrite the file.
+        let second = truncate_torn_tail(&path).unwrap();
+        assert!(!second.torn_tail);
+        assert_eq!(second.dropped_bytes, 0);
+        assert_eq!(second.records, vec!["alpha".to_owned()]);
+        assert_eq!(std::fs::read(&path).unwrap(), after_first);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_repair_survives_a_failed_truncate() {
+        use crate::vfs::{FaultPlan, FaultVfs};
+        let path = Path::new("/j");
+        // Build a torn journal image under the in-memory vfs.
+        let pristine = FaultVfs::pristine();
+        {
+            let mut writer = JournalWriter::open_vfs(path, &pristine).unwrap();
+            writer.append("alpha").unwrap();
+            writer.append("beta").unwrap();
+        }
+        let full = pristine.len(path).unwrap();
+        pristine.set_len(path, full - 3).unwrap();
+        let image = pristine.durable_state();
+        // First repair attempt dies on the truncating set_len (reads are
+        // not mutating ops, so the set_len is op 0)...
+        let failing = FaultVfs::from_state_with_plan(image.clone(), FaultPlan::eio_at(0));
+        assert!(truncate_torn_tail_vfs(path, &failing).is_err());
+        // ...and a clean retry over the same disk state succeeds, after
+        // which a further invocation is a no-op.
+        let retry = FaultVfs::from_state(failing.durable_state());
+        let report = truncate_torn_tail_vfs(path, &retry).unwrap();
+        assert!(report.torn_tail);
+        assert_eq!(report.records, vec!["alpha".to_owned()]);
+        let again = truncate_torn_tail_vfs(path, &retry).unwrap();
+        assert!(!again.torn_tail);
+        assert_eq!(again.dropped_bytes, 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::database::{Column, Database, DbError, OrderBy, Predicate, Row, TableS
 use crate::persist;
 use crate::query::{Query, QueryObs, RunIndexes, RunKind, RunPredicate};
 use crate::value::{ColumnType, Value};
+use crate::vfs::{StdVfs, Vfs};
 use iokc_core::ctx::PhaseCtx;
 use iokc_core::model::{
     FilesystemInfo, Io500Knowledge, Io500Testcase, IoPattern, IterationResult, Knowledge,
@@ -24,14 +25,69 @@ use iokc_core::model::{
 use iokc_core::phases::{CycleError, Persister, PhaseKind};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Arc;
+
+/// How healthy a store is, from the perspective of anything serving it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreHealth {
+    /// The image loaded cleanly (or the store is fresh/in-memory).
+    Ok,
+    /// The primary image was unusable; the `.bak` generation stood in.
+    /// Fully functional, but one generation of writes was lost.
+    Recovered {
+        /// Why the primary image was rejected.
+        primary_error: String,
+    },
+    /// Unrecoverable corruption (or an unreadable disk): the store is
+    /// serving an empty schema read-only rather than refusing to open.
+    Degraded {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl StoreHealth {
+    /// Whether the store is read-only because of corruption.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, StoreHealth::Degraded { .. })
+    }
+
+    /// The health as a stable lowercase token (`ok` / `recovered` /
+    /// `degraded`) for health endpoints and logs.
+    #[must_use]
+    pub fn status(&self) -> &'static str {
+        match self {
+            StoreHealth::Ok => "ok",
+            StoreHealth::Recovered { .. } => "recovered",
+            StoreHealth::Degraded { .. } => "degraded",
+        }
+    }
+
+    /// Human-readable detail for the non-`Ok` states.
+    #[must_use]
+    pub fn detail(&self) -> Option<&str> {
+        match self {
+            StoreHealth::Ok => None,
+            StoreHealth::Recovered { primary_error } => Some(primary_error),
+            StoreHealth::Degraded { reason } => Some(reason),
+        }
+    }
+}
 
 /// The knowledge database.
 pub struct KnowledgeStore {
     pub(crate) db: Database,
     /// When set, every write is flushed to this file.
     path: Option<PathBuf>,
+    /// The filesystem under every flush/reload — [`StdVfs`] in
+    /// production, a fault-injecting VFS in the crash-consistency
+    /// harness.
+    vfs: Arc<dyn Vfs>,
     /// How the on-disk image was recovered at open time, if it was.
     recovery: persist::RecoveryReport,
+    /// Health at and since open: `Degraded` stores reject writes.
+    health: StoreHealth,
     /// Monotonic write generation: bumped on every successful persist or
     /// delete, so read-through caches over this store (the explorer
     /// service) can key entries on it and invalidate on any mutation.
@@ -51,7 +107,9 @@ impl KnowledgeStore {
         KnowledgeStore {
             db: build_schema(),
             path: None,
+            vfs: Arc::new(StdVfs),
             recovery: persist::RecoveryReport::default(),
+            health: StoreHealth::Ok,
             generation: 0,
             indexes: RunIndexes::default(),
             obs: QueryObs::default(),
@@ -64,20 +122,72 @@ impl KnowledgeStore {
     /// good generation — check [`KnowledgeStore::recovery`] to see
     /// whether that happened.
     pub fn open(path: PathBuf) -> Result<KnowledgeStore, DbError> {
-        let (db, recovery) = if path.exists() || persist::backup_path(&path).exists() {
-            persist::load_with_recovery(&path)?
+        KnowledgeStore::open_with_vfs(path, Arc::new(StdVfs))
+    }
+
+    /// [`KnowledgeStore::open`] over an explicit [`Vfs`].
+    pub fn open_with_vfs(path: PathBuf, vfs: Arc<dyn Vfs>) -> Result<KnowledgeStore, DbError> {
+        let (db, recovery) = if vfs.exists(&path) || vfs.exists(&persist::backup_path(&path)) {
+            persist::load_with_recovery_vfs(&path, vfs.as_ref())?
         } else {
             (build_schema(), persist::RecoveryReport::default())
         };
         let indexes = RunIndexes::rebuild(&db)?;
+        let health = match &recovery.primary_error {
+            Some(primary_error) if recovery.recovered_from_backup => StoreHealth::Recovered {
+                primary_error: primary_error.clone(),
+            },
+            _ => StoreHealth::Ok,
+        };
         Ok(KnowledgeStore {
             db,
             path: Some(path),
+            vfs,
             recovery,
+            health,
             generation: 0,
             indexes,
             obs: QueryObs::default(),
         })
+    }
+
+    /// Open a file-backed store, degrading instead of failing: when the
+    /// image (and its backup) are unrecoverably corrupt, the store comes
+    /// up read-only over an empty schema with
+    /// [`KnowledgeStore::health`] reporting `Degraded`, so a serving
+    /// layer stays up (answering `/healthz` honestly) rather than dying.
+    #[must_use]
+    pub fn open_or_degraded(path: PathBuf) -> KnowledgeStore {
+        KnowledgeStore::open_or_degraded_with_vfs(path, Arc::new(StdVfs))
+    }
+
+    /// [`KnowledgeStore::open_or_degraded`] over an explicit [`Vfs`].
+    #[must_use]
+    pub fn open_or_degraded_with_vfs(path: PathBuf, vfs: Arc<dyn Vfs>) -> KnowledgeStore {
+        match KnowledgeStore::open_with_vfs(path.clone(), Arc::clone(&vfs)) {
+            Ok(store) => store,
+            Err(e) => {
+                let store = KnowledgeStore {
+                    db: build_schema(),
+                    path: Some(path),
+                    vfs,
+                    recovery: persist::RecoveryReport::default(),
+                    health: StoreHealth::Degraded {
+                        reason: e.to_string(),
+                    },
+                    generation: 0,
+                    indexes: RunIndexes::default(),
+                    obs: QueryObs::default(),
+                };
+                store.obs.recorder.log(
+                    None,
+                    &format!(
+                        "WARN store.open_degraded: serving read-only over an empty schema: {e}"
+                    ),
+                );
+                store
+            }
+        }
     }
 
     /// The store's write generation: a monotonic counter bumped on every
@@ -94,6 +204,39 @@ impl KnowledgeStore {
     #[must_use]
     pub fn recovery(&self) -> &persist::RecoveryReport {
         &self.recovery
+    }
+
+    /// The store's health: `Ok`, `Recovered` (backup generation stood in
+    /// at open), or `Degraded` (read-only over an empty schema).
+    #[must_use]
+    pub fn health(&self) -> &StoreHealth {
+        &self.health
+    }
+
+    /// Whether writes are rejected because the store is degraded.
+    #[must_use]
+    pub fn is_read_only(&self) -> bool {
+        self.health.is_degraded()
+    }
+
+    /// The filesystem this store flushes through.
+    #[must_use]
+    pub fn vfs(&self) -> &dyn Vfs {
+        self.vfs.as_ref()
+    }
+
+    /// Whether the incrementally-maintained secondary indexes agree with
+    /// a bulk rebuild from the tables — the crash-consistency checker's
+    /// index invariant.
+    pub fn indexes_consistent(&self) -> Result<bool, DbError> {
+        Ok(RunIndexes::rebuild(&self.db)? == self.indexes)
+    }
+
+    fn ensure_writable(&self) -> Result<(), DbError> {
+        match &self.health {
+            StoreHealth::Degraded { reason } => Err(DbError::ReadOnly(reason.clone())),
+            _ => Ok(()),
+        }
     }
 
     /// Access the underlying database (the explorer's SQL surface).
@@ -118,16 +261,57 @@ impl KnowledgeStore {
         self.count(&RunPredicate::Kind(RunKind::Io500)).unwrap_or(0)
     }
 
-    fn flush(&self) -> Result<(), DbError> {
-        if let Some(path) = &self.path {
-            persist::save(&self.db, path)
-                .map_err(|e| DbError::Corrupt(format!("flush {}: {e}", path.display())))?;
+    /// Flush the in-memory database to disk. On failure the error is
+    /// classified ([`DbError::Full`] for ENOSPC-like conditions — the
+    /// CLI maps it to the transient exit code — [`DbError::Io`]
+    /// otherwise) and the in-memory state is *reverted to the last
+    /// durable image*, so an unacknowledged write is never visible to
+    /// later reads: memory and disk stay in agreement.
+    fn flush(&mut self) -> Result<(), DbError> {
+        let Some(path) = self.path.clone() else {
+            return Ok(());
+        };
+        match persist::save_vfs(&self.db, &path, self.vfs.as_ref()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let classified =
+                    persist::classify_io_error(&format!("flush {}", path.display()), &e);
+                self.revert_to_disk(&path);
+                Err(classified)
+            }
         }
-        Ok(())
+    }
+
+    /// Reload the last durable image after a failed flush. If even that
+    /// fails (the disk is gone, or the failed save tore the image with
+    /// no backup), the store degrades to read-only rather than serving
+    /// rows it cannot prove were persisted.
+    fn revert_to_disk(&mut self, path: &std::path::Path) {
+        let reloaded = if self.vfs.exists(path) || self.vfs.exists(&persist::backup_path(path)) {
+            persist::load_with_recovery_vfs(path, self.vfs.as_ref()).map(|(db, _)| db)
+        } else {
+            Ok(build_schema())
+        };
+        match reloaded.and_then(|db| RunIndexes::rebuild(&db).map(|indexes| (db, indexes))) {
+            Ok((db, indexes)) => {
+                self.db = db;
+                self.indexes = indexes;
+            }
+            Err(e) => {
+                self.health = StoreHealth::Degraded {
+                    reason: format!("reload after failed flush: {e}"),
+                };
+                self.obs.recorder.log(
+                    None,
+                    &format!("WARN store.open_degraded: reload after failed flush: {e}"),
+                );
+            }
+        }
     }
 
     /// Persist a benchmark knowledge object; returns its id.
     pub fn save_knowledge(&mut self, k: &Knowledge) -> Result<u64, DbError> {
+        self.ensure_writable()?;
         let p = &k.pattern;
         let performance_id = self.db.insert(
             "performances",
@@ -236,6 +420,7 @@ impl KnowledgeStore {
     /// whether the object existed; the generation is bumped only when it
     /// did, so deleting nothing invalidates nothing.
     pub fn delete_knowledge(&mut self, id: u64) -> Result<bool, DbError> {
+        self.ensure_writable()?;
         let Some(row) = self.db.get("performances", id as i64)? else {
             return Ok(false);
         };
@@ -419,6 +604,7 @@ impl KnowledgeStore {
 
     /// Persist an IO500 knowledge object; returns its `IOFH_id`.
     pub fn save_io500(&mut self, k: &Io500Knowledge) -> Result<u64, DbError> {
+        self.ensure_writable()?;
         let iofh_id = self.db.insert(
             "IOFHsRuns",
             vec![Value::from(k.tasks), Value::from(k.start_time)],
@@ -488,6 +674,7 @@ impl KnowledgeStore {
     /// [`KnowledgeStore::delete_knowledge`], the generation is bumped
     /// only when it did.
     pub fn delete_io500(&mut self, id: u64) -> Result<bool, DbError> {
+        self.ensure_writable()?;
         let Some(run) = self.db.get("IOFHsRuns", id as i64)? else {
             return Ok(false);
         };
@@ -676,10 +863,12 @@ impl Persister for KnowledgeStore {
 
 /// Map a database error onto the cycle's error taxonomy: on-disk
 /// corruption is its own class (the CLI exits 5 on it and retries are
-/// pointless); everything else is a permanent logic/schema error.
+/// pointless); a full disk is transient (retry after cleanup, exit
+/// code 3); everything else is a permanent logic/schema error.
 fn db_to_cycle_error(e: DbError) -> CycleError {
     match &e {
         DbError::Corrupt(_) => CycleError::corrupt(PhaseKind::Persistence, "knowledge-store", e),
+        DbError::Full(_) => CycleError::transient(PhaseKind::Persistence, "knowledge-store", e),
         _ => CycleError::permanent(PhaseKind::Persistence, "knowledge-store", e),
     }
 }
@@ -1195,6 +1384,175 @@ mod tests {
                     let mut loaded = store.load_knowledge(*id).unwrap().unwrap();
                     loaded.id = None;
                     prop_assert_eq!(&loaded, original);
+                }
+            }
+        }
+    }
+
+    mod robustness {
+        use super::*;
+        use crate::vfs::{FaultPlan, FaultVfs, Vfs};
+        use std::path::PathBuf;
+        use std::sync::Arc;
+
+        fn kb() -> PathBuf {
+            PathBuf::from("/kb.json")
+        }
+
+        fn cmd_knowledge(i: usize) -> Knowledge {
+            Knowledge::new(KnowledgeSource::Ior, &format!("cmd-{i}"))
+        }
+
+        fn stored_commands(store: &KnowledgeStore) -> Vec<String> {
+            store
+                .database()
+                .select("performances", &Predicate::True, OrderBy::Id, None)
+                .unwrap()
+                .iter()
+                .map(|row| row.values[0].as_text().unwrap_or("").to_owned())
+                .collect()
+        }
+
+        #[test]
+        fn enospc_mid_flush_is_transient_and_the_store_stays_coherent() {
+            // Probe the op range the second save occupies.
+            let probe = Arc::new(FaultVfs::pristine());
+            let mut store =
+                KnowledgeStore::open_with_vfs(kb(), probe.clone() as Arc<dyn Vfs>).unwrap();
+            store.save_knowledge(&cmd_knowledge(0)).unwrap();
+            let start = probe.op_count();
+            store.save_knowledge(&cmd_knowledge(1)).unwrap();
+            let end = probe.op_count();
+            assert!(end > start);
+
+            for op in start..end {
+                let vfs = Arc::new(FaultVfs::new(FaultPlan::enospc_at(op)));
+                let mut store =
+                    KnowledgeStore::open_with_vfs(kb(), vfs.clone() as Arc<dyn Vfs>).unwrap();
+                store.save_knowledge(&cmd_knowledge(0)).unwrap();
+                let generation = store.generation();
+                let err = store.save_knowledge(&cmd_knowledge(1)).unwrap_err();
+                assert!(matches!(err, DbError::Full(_)), "op {op}: {err}");
+                assert!(vfs.faults_injected() >= 1);
+                // The failed write bumped nothing and left memory equal
+                // to the last loadable image — fully absent or (when the
+                // fault hit the final directory sync, after the data
+                // already reached the file) fully present, never torn.
+                assert_eq!(store.generation(), generation, "op {op}");
+                assert!(store.indexes_consistent().unwrap(), "op {op}");
+                let commands = stored_commands(&store);
+                assert!(
+                    commands == vec!["cmd-0".to_owned()]
+                        || commands == vec!["cmd-0".to_owned(), "cmd-1".to_owned()],
+                    "op {op}: {commands:?}"
+                );
+                // The fault is one-shot, so a retry succeeds.
+                if commands.len() == 1 {
+                    store.save_knowledge(&cmd_knowledge(1)).unwrap();
+                    assert_eq!(store.generation(), generation + 1);
+                    assert_eq!(
+                        stored_commands(&store),
+                        vec!["cmd-0".to_owned(), "cmd-1".to_owned()]
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn degraded_store_rejects_writes_with_read_only() {
+            let disk = Arc::new(FaultVfs::pristine());
+            {
+                let mut store =
+                    KnowledgeStore::open_with_vfs(kb(), disk.clone() as Arc<dyn Vfs>).unwrap();
+                store.save_knowledge(&cmd_knowledge(0)).unwrap();
+            }
+            let vfs = FaultVfs::from_state(disk.durable_state());
+            vfs.set_len(&kb(), 9).unwrap();
+            let mut store = KnowledgeStore::open_or_degraded_with_vfs(
+                kb(),
+                Arc::new(FaultVfs::from_state(vfs.durable_state())),
+            );
+            assert!(store.is_read_only());
+            assert!(matches!(
+                store.save_knowledge(&cmd_knowledge(1)),
+                Err(DbError::ReadOnly(_))
+            ));
+            assert!(matches!(
+                store.delete_knowledge(1),
+                Err(DbError::ReadOnly(_))
+            ));
+            // Reads still answer (over the empty schema).
+            assert_eq!(store.knowledge_count(), 0);
+            // The Persister mapping surfaces it as a permanent error.
+            let mut ctx = PhaseCtx::detached(PhaseKind::Persistence, "knowledge-store");
+            assert!(store
+                .persist(&mut ctx, &[KnowledgeItem::Benchmark(cmd_knowledge(1))])
+                .is_err());
+        }
+
+        #[test]
+        fn robustness_counters_register_on_attach() {
+            let disk = Arc::new(FaultVfs::pristine());
+            {
+                let mut store =
+                    KnowledgeStore::open_with_vfs(kb(), disk.clone() as Arc<dyn Vfs>).unwrap();
+                store.save_knowledge(&cmd_knowledge(0)).unwrap();
+            }
+            let vfs = FaultVfs::from_state(disk.durable_state());
+            vfs.set_len(&kb(), 9).unwrap();
+            let serving = Arc::new(FaultVfs::from_state(vfs.durable_state()));
+            let mut store = KnowledgeStore::open_or_degraded_with_vfs(kb(), serving);
+            let recorder = Arc::new(iokc_obs::Recorder::disabled());
+            store.attach_recorder(Arc::clone(&recorder));
+            let metrics = recorder.metrics();
+            assert_eq!(metrics.counter("store.open_degraded").get(), 1);
+            assert_eq!(metrics.counter("store.fsck_repairs").get(), 0);
+            // A healthy store does not bump the degraded counter.
+            let mut healthy = KnowledgeStore::in_memory();
+            let recorder2 = Arc::new(iokc_obs::Recorder::disabled());
+            healthy.attach_recorder(Arc::clone(&recorder2));
+            assert_eq!(recorder2.metrics().counter("store.open_degraded").get(), 0);
+        }
+
+        mod prop {
+            use super::*;
+            use proptest::prelude::*;
+
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(24))]
+                #[test]
+                fn crash_at_any_fsync_recovers_an_acknowledged_prefix(crash_sync in 0u64..24) {
+                    let vfs = Arc::new(FaultVfs::new(FaultPlan::crash_at_fsync(crash_sync)));
+                    let mut store =
+                        KnowledgeStore::open_with_vfs(kb(), vfs.clone() as Arc<dyn Vfs>).unwrap();
+                    let mut acked = 0usize;
+                    for i in 0..6 {
+                        match store.save_knowledge(&cmd_knowledge(i)) {
+                            Ok(_) => acked += 1,
+                            Err(_) => break,
+                        }
+                    }
+                    // Every disk image the crash could expose must reopen
+                    // to an acknowledged prefix — never a torn mixture.
+                    // One extra run is allowed: an in-flight save whose
+                    // bytes all reached disk before the failure was
+                    // reported is durable even though unacknowledged.
+                    for state in vfs.crash_states() {
+                        let reopened = KnowledgeStore::open_with_vfs(
+                            kb(),
+                            Arc::new(FaultVfs::from_state(state)),
+                        )
+                        .unwrap();
+                        let commands = stored_commands(&reopened);
+                        prop_assert!(
+                            commands.len() >= acked && commands.len() <= acked + 1,
+                            "acked {acked}, recovered {commands:?}"
+                        );
+                        let expected: Vec<String> =
+                            (0..commands.len()).map(|i| format!("cmd-{i}")).collect();
+                        prop_assert_eq!(&commands, &expected);
+                        prop_assert!(reopened.indexes_consistent().unwrap());
+                    }
                 }
             }
         }

@@ -17,9 +17,9 @@
 
 use crate::database::{Column, Database, DbError, ForeignKey, OrderBy, Predicate, TableSchema};
 use crate::value::{ColumnType, Value};
+use crate::vfs::{StdVfs, Vfs};
 use iokc_util::json::Json;
 use iokc_util::table::TextTable;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Serialize the whole database to a JSON document.
@@ -282,27 +282,49 @@ fn sibling(path: &Path, suffix: &str) -> PathBuf {
 /// at any point leaves either the old image, the old image plus a stray
 /// temp file, or the new image — never a file that loads as wrong data.
 pub fn save(db: &Database, path: &Path) -> Result<(), std::io::Error> {
+    save_vfs(db, path, &StdVfs)
+}
+
+/// [`save`] over an explicit [`Vfs`] — the seam the fault-injection
+/// harness uses. An error at any step (including the final directory
+/// sync, whose renames a crash could otherwise revert) means the save
+/// is *not acknowledged*; the caller must treat the on-disk state as
+/// whatever the previous generation was.
+pub fn save_vfs(db: &Database, path: &Path, vfs: &dyn Vfs) -> Result<(), std::io::Error> {
     let image = render_image(db);
     let tmp = temp_path(path);
     {
-        let mut file = std::fs::File::create(&tmp)?;
+        let mut file = vfs.create(&tmp)?;
         file.write_all(image.as_bytes())?;
-        file.sync_all()?;
+        file.sync()?;
     }
     // Rotate only a checksum-valid current image into the backup slot;
     // rotating a torn image would evict the last good generation.
-    if path.exists() && load_verified(path).is_ok() {
-        std::fs::rename(path, backup_path(path))?;
+    if vfs.exists(path) && load_verified_vfs(path, vfs).is_ok() {
+        vfs.rename(path, &backup_path(path))?;
     }
-    std::fs::rename(&tmp, path)?;
-    // Make the renames durable (best-effort: not all platforms allow
-    // opening a directory for sync).
-    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        if let Ok(handle) = std::fs::File::open(dir) {
-            let _ = handle.sync_all();
-        }
-    }
+    vfs.rename(&tmp, path)?;
+    // Make the renames durable. `StdVfs` treats this as best-effort
+    // (not all platforms allow opening a directory for sync);
+    // fault-injecting VFS implementations fail it for real so the
+    // rename-uncertainty window is exercised.
+    vfs.sync_parent_dir(path)?;
     Ok(())
+}
+
+/// Classify an I/O failure from the persistence layer onto the store's
+/// error taxonomy: ENOSPC-like conditions (`StorageFull`, `WriteZero`)
+/// are transient — retryable once space is freed — while everything
+/// else is an opaque I/O failure. Corruption is never produced here; it
+/// is detected by checksums on the *read* path.
+#[must_use]
+pub fn classify_io_error(context: &str, e: &std::io::Error) -> DbError {
+    match e.kind() {
+        std::io::ErrorKind::StorageFull | std::io::ErrorKind::WriteZero => {
+            DbError::Full(format!("{context}: {e}"))
+        }
+        _ => DbError::Io(format!("{context}: {e}")),
+    }
 }
 
 /// What happened while loading an image.
@@ -317,21 +339,34 @@ pub struct RecoveryReport {
 
 /// Load a database from a file, verifying its checksum.
 pub fn load(path: &Path) -> Result<Database, DbError> {
-    load_verified(path)
+    load_verified_vfs(path, &StdVfs)
+}
+
+/// [`load`] over an explicit [`Vfs`].
+pub fn load_vfs(path: &Path, vfs: &dyn Vfs) -> Result<Database, DbError> {
+    load_verified_vfs(path, vfs)
 }
 
 /// Load a database, falling back to the `.bak` generation when the
 /// primary image is missing, torn, or corrupt. The report says which
 /// generation was used and why.
 pub fn load_with_recovery(path: &Path) -> Result<(Database, RecoveryReport), DbError> {
-    match load_verified(path) {
+    load_with_recovery_vfs(path, &StdVfs)
+}
+
+/// [`load_with_recovery`] over an explicit [`Vfs`].
+pub fn load_with_recovery_vfs(
+    path: &Path,
+    vfs: &dyn Vfs,
+) -> Result<(Database, RecoveryReport), DbError> {
+    match load_verified_vfs(path, vfs) {
         Ok(db) => Ok((db, RecoveryReport::default())),
         Err(primary_error) => {
             let backup = backup_path(path);
-            if !backup.exists() {
+            if !vfs.exists(&backup) {
                 return Err(primary_error);
             }
-            match load_verified(&backup) {
+            match load_verified_vfs(&backup, vfs) {
                 Ok(db) => Ok((
                     db,
                     RecoveryReport {
@@ -348,8 +383,11 @@ pub fn load_with_recovery(path: &Path) -> Result<(Database, RecoveryReport), DbE
     }
 }
 
-fn load_verified(path: &Path) -> Result<Database, DbError> {
-    let text = std::fs::read_to_string(path)
+fn load_verified_vfs(path: &Path, vfs: &dyn Vfs) -> Result<Database, DbError> {
+    let bytes = vfs
+        .read(path)
+        .map_err(|e| DbError::Corrupt(format!("read {}: {e}", path.display())))?;
+    let text = String::from_utf8(bytes)
         .map_err(|e| DbError::Corrupt(format!("read {}: {e}", path.display())))?;
     let body = verify_image(&text)?;
     let json = iokc_util::json::parse(body)
@@ -361,9 +399,7 @@ fn load_verified(path: &Path) -> Result<Database, DbError> {
 /// simulating a write torn by a crash or a full disk. Used by the
 /// resilience test harness; safe to call on any file.
 pub fn inject_torn_write(path: &Path, keep_bytes: u64) -> Result<(), std::io::Error> {
-    let file = std::fs::OpenOptions::new().write(true).open(path)?;
-    file.set_len(keep_bytes)?;
-    file.sync_all()
+    StdVfs.set_len(path, keep_bytes)
 }
 
 /// Export one table as CSV (header = `id` + column names).

@@ -391,7 +391,7 @@ impl Ord for BwKey {
 /// bandwidth (both kinds). Values are sorted id vectors. Maintained
 /// incrementally by `save_*`/`delete_*`; rebuilt from the tables on
 /// `open()`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunIndexes {
     pub(crate) bench_by_api: BTreeMap<String, Vec<u64>>,
     pub(crate) bench_by_tasks: BTreeMap<u32, Vec<u64>>,
@@ -805,8 +805,23 @@ fn plan_candidates(indexes: &RunIndexes, kind: RunKind, predicate: &RunPredicate
 impl KnowledgeStore {
     /// Attach an observability recorder: engine spans and counters
     /// (`store.query.*`) register with its metrics registry, so
-    /// `/metrics` shows whether queries are index-served.
+    /// `/metrics` shows whether queries are index-served. The
+    /// robustness counters (`store.faults_injected`,
+    /// `store.open_degraded`, `store.fsck_repairs`) register too, so a
+    /// degraded open or an injected storage fault is visible in the same
+    /// schema-1 dump.
     pub fn attach_recorder(&mut self, recorder: Arc<Recorder>) {
+        let metrics = recorder.metrics();
+        let degraded = metrics.counter("store.open_degraded");
+        let _ = metrics.counter("store.fsck_repairs");
+        self.vfs()
+            .attach_fault_counter(metrics.counter("store.faults_injected"));
+        if self.is_read_only() && degraded.get() == 0 {
+            degraded.inc();
+            if let Some(detail) = self.health().detail() {
+                recorder.log(None, &format!("WARN store.open_degraded: {detail}"));
+            }
+        }
         self.obs = QueryObs::new(recorder);
     }
 

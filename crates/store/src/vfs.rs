@@ -1,0 +1,811 @@
+//! A virtual filesystem under every store file operation.
+//!
+//! Persistence code that talks to `std::fs` directly can only be tested
+//! against the failures a developer's laptop happens to produce. The
+//! [`Vfs`] trait routes every read, write, fsync, rename and truncate
+//! through one seam so the same save/load/journal code runs over:
+//!
+//! * [`StdVfs`] — the real filesystem, used in production; and
+//! * [`FaultVfs`] — a deterministic in-memory filesystem that injects
+//!   ENOSPC, EIO, short writes, fsync failures and power-loss crash
+//!   points according to a reproducible [`FaultPlan`], while tracking
+//!   which bytes a real disk would actually guarantee after a crash.
+//!
+//! # The durability model
+//!
+//! [`FaultVfs`] keeps two images of every file: the *volatile* content
+//! (what the running process observes) and the *durable* content (what
+//! the disk promises to still hold after power loss). Writes land in
+//! the volatile image only; a successful `sync` on a file handle
+//! promotes that file's volatile content to durable. Renames apply to
+//! the volatile namespace immediately but are queued as *pending
+//! metadata operations* until [`Vfs::sync_parent_dir`] commits them —
+//! exactly the window in which a crashed POSIX system may expose either
+//! the old or the new directory entry.
+//!
+//! After a simulated crash, [`FaultVfs::crash_states`] enumerates the
+//! disk images a real machine could reboot into: the durable map with
+//! any *prefix* of the pending renames applied (journaling filesystems
+//! preserve metadata ordering), and — for each file written since its
+//! last successful fsync — variants where that file surfaces with its
+//! durable content, a torn prefix, or its full unsynced content (the
+//! page cache may have flushed it anyway). Enumeration varies one dirty
+//! file at a time and is capped, which bounds the state count while
+//! still covering every single-fault outcome.
+
+use iokc_obs::Counter;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// An open writable file handle, abstracted over the backing store.
+pub trait VfsFile: Send {
+    /// Append `data` to the file (handles are append-ordered: `create`
+    /// handles start at offset zero, `append` handles at the end).
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()>;
+    /// Make everything written through this handle durable (fsync).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The filesystem operations the store's persistence layer needs.
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Read a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Create (or truncate) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Open (creating if absent) a file for appending.
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Whether a file exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Current length of a file in bytes.
+    fn len(&self, path: &Path) -> io::Result<u64>;
+    /// Truncate a file to `len` bytes and make the truncation durable.
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Atomically rename `from` onto `to` (replacing any existing `to`).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Durability barrier for renames in `path`'s parent directory.
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()>;
+    /// Route injected-fault counts into an observability counter
+    /// (`store.faults_injected`). A no-op for real filesystems.
+    fn attach_fault_counter(&self, _counter: Counter) {}
+    /// How many faults this VFS has injected so far (always zero for
+    /// real filesystems).
+    fn faults_injected(&self) -> u64 {
+        0
+    }
+}
+
+/// The production VFS: a thin veneer over `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdVfs;
+
+struct StdFile(std::fs::File);
+
+impl VfsFile for StdFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        io::Write::write_all(&mut self.0, data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(StdFile(std::fs::File::create(path)?)))
+    }
+
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(StdFile(file)))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(len)?;
+        file.sync_data()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_parent_dir(&self, path: &Path) -> io::Result<()> {
+        // Best-effort: not every platform allows opening a directory
+        // for sync, and rename durability is already the common case on
+        // journaling filesystems.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(handle) = std::fs::File::open(dir) {
+                let _ = handle.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A reproducible fault schedule for [`FaultVfs`].
+///
+/// Faults are keyed by the VFS's global *operation counter* — every
+/// mutating call (create, write, sync, rename, truncate, remove,
+/// directory sync) increments it by one — and by the *sync counter*,
+/// which counts only durability barriers. Keying by position makes a
+/// plan deterministic: the same plan over the same workload injects the
+/// same faults at the same instants, every run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Operations that fail with `ErrorKind::StorageFull` (ENOSPC).
+    pub enospc_ops: BTreeSet<u64>,
+    /// Operations that fail with an EIO-style error.
+    pub eio_ops: BTreeSet<u64>,
+    /// Write operations that tear: half the payload lands, then the
+    /// write reports `ErrorKind::WriteZero`.
+    pub short_write_ops: BTreeSet<u64>,
+    /// Sync operations (by sync counter) that fail with EIO without
+    /// advancing durability.
+    pub fail_syncs: BTreeSet<u64>,
+    /// Power loss when the operation counter reaches this value; every
+    /// operation from there on fails.
+    pub crash_at_op: Option<u64>,
+    /// Power loss at the nth durability barrier (file or directory
+    /// sync), counted from zero.
+    pub crash_at_sync: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — [`FaultVfs`] degenerates to a
+    /// faithful in-memory filesystem.
+    #[must_use]
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Power loss when the global operation counter reaches `op`.
+    #[must_use]
+    pub fn crash_at_op(op: u64) -> FaultPlan {
+        FaultPlan {
+            crash_at_op: Some(op),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Power loss at the nth fsync/dir-sync boundary.
+    #[must_use]
+    pub fn crash_at_fsync(n: u64) -> FaultPlan {
+        FaultPlan {
+            crash_at_sync: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// ENOSPC on operation `op`.
+    #[must_use]
+    pub fn enospc_at(op: u64) -> FaultPlan {
+        FaultPlan {
+            enospc_ops: BTreeSet::from([op]),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// EIO on operation `op`.
+    #[must_use]
+    pub fn eio_at(op: u64) -> FaultPlan {
+        FaultPlan {
+            eio_ops: BTreeSet::from([op]),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Short (torn) write on operation `op`.
+    #[must_use]
+    pub fn short_write_at(op: u64) -> FaultPlan {
+        FaultPlan {
+            short_write_ops: BTreeSet::from([op]),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Failed fsync at sync counter `n` (durability does not advance).
+    #[must_use]
+    pub fn fail_fsync(n: u64) -> FaultPlan {
+        FaultPlan {
+            fail_syncs: BTreeSet::from([n]),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A seeded chaos plan: `faults` distinct ENOSPC/EIO/short-write
+    /// injections spread deterministically over the first `horizon`
+    /// operations. The same seed always yields the same plan, so a
+    /// failing chaos run reproduces from its seed alone.
+    #[must_use]
+    pub fn seeded_chaos(seed: u64, horizon: u64, faults: usize) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64* — deterministic, dependency-free.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut placed = 0usize;
+        while placed < faults && horizon > 0 {
+            let op = next() % horizon;
+            let bucket = next() % 3;
+            let inserted = match bucket {
+                0 => plan.enospc_ops.insert(op),
+                1 => plan.eio_ops.insert(op),
+                _ => plan.short_write_ops.insert(op),
+            };
+            if inserted {
+                placed += 1;
+            }
+        }
+        plan
+    }
+}
+
+/// The volatile image of one file: its current bytes plus how many of
+/// them were covered by the last successful fsync. Bytes past
+/// `synced_len` are the ones a crash may tear or lose; bytes before it
+/// are pinned (the store only ever appends between fsyncs, never
+/// overwrites in place).
+#[derive(Debug, Default, Clone)]
+struct FileNode {
+    bytes: Vec<u8>,
+    synced_len: usize,
+}
+
+impl FileNode {
+    fn dirty(&self) -> bool {
+        self.bytes.len() != self.synced_len
+    }
+}
+
+/// One file in the simulated filesystem is described by two byte
+/// images; `Inner` keys both by path.
+#[derive(Debug, Default)]
+struct Inner {
+    /// What the running process observes.
+    volatile: BTreeMap<PathBuf, FileNode>,
+    /// What the disk guarantees to still hold after power loss.
+    durable: BTreeMap<PathBuf, Vec<u8>>,
+    /// Renames applied to the volatile namespace but not yet committed
+    /// by a directory sync, in application order.
+    pending_renames: Vec<(PathBuf, PathBuf)>,
+    /// Global mutating-operation counter.
+    ops: u64,
+    /// Durability-barrier counter.
+    syncs: u64,
+    /// Power has been lost: every further operation fails.
+    crashed: bool,
+    /// Faults injected so far.
+    faults: u64,
+    /// Observability handle for `store.faults_injected`.
+    counter: Option<Counter>,
+}
+
+impl Inner {
+    fn fault(&mut self) {
+        self.faults += 1;
+        if let Some(counter) = &self.counter {
+            counter.inc();
+        }
+    }
+
+    /// Account one mutating operation and apply any op-keyed fault.
+    fn begin_op(&mut self, plan: &FaultPlan) -> Result<u64, io::Error> {
+        if self.crashed {
+            return Err(crash_error());
+        }
+        let op = self.ops;
+        self.ops += 1;
+        if plan.crash_at_op == Some(op) {
+            self.crashed = true;
+            self.fault();
+            return Err(crash_error());
+        }
+        if plan.eio_ops.contains(&op) {
+            self.fault();
+            return Err(io::Error::other("injected EIO"));
+        }
+        if plan.enospc_ops.contains(&op) {
+            self.fault();
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected ENOSPC",
+            ));
+        }
+        Ok(op)
+    }
+
+    /// Account one durability barrier and apply any sync-keyed fault.
+    fn begin_sync(&mut self, plan: &FaultPlan) -> Result<(), io::Error> {
+        let sync = self.syncs;
+        self.syncs += 1;
+        if plan.crash_at_sync == Some(sync) {
+            self.crashed = true;
+            self.fault();
+            return Err(crash_error());
+        }
+        if plan.fail_syncs.contains(&sync) {
+            self.fault();
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        Ok(())
+    }
+}
+
+fn crash_error() -> io::Error {
+    io::Error::other("simulated power loss")
+}
+
+fn not_found(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::NotFound,
+        format!("{}: no such file", path.display()),
+    )
+}
+
+/// A deterministic in-memory filesystem with fault injection and
+/// crash-state tracking. See the module docs for the durability model.
+#[derive(Debug)]
+pub struct FaultVfs {
+    plan: FaultPlan,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FaultVfs {
+    /// An empty filesystem executing `plan`.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> FaultVfs {
+        FaultVfs {
+            plan,
+            inner: Arc::new(Mutex::new(Inner::default())),
+        }
+    }
+
+    /// An empty filesystem with no faults — a faithful in-memory FS.
+    #[must_use]
+    pub fn pristine() -> FaultVfs {
+        FaultVfs::new(FaultPlan::none())
+    }
+
+    /// A filesystem booted from a post-crash disk image (as produced by
+    /// [`FaultVfs::crash_states`]), with no faults planned: volatile and
+    /// durable views start identical, like a freshly mounted disk.
+    #[must_use]
+    pub fn from_state(state: BTreeMap<PathBuf, Vec<u8>>) -> FaultVfs {
+        let vfs = FaultVfs::pristine();
+        {
+            let mut inner = vfs.lock();
+            inner.volatile = state
+                .iter()
+                .map(|(path, bytes)| {
+                    (
+                        path.clone(),
+                        FileNode {
+                            bytes: bytes.clone(),
+                            synced_len: bytes.len(),
+                        },
+                    )
+                })
+                .collect();
+            inner.durable = state;
+        }
+        vfs
+    }
+
+    /// [`FaultVfs::from_state`], but executing `plan` — for
+    /// retry-after-failure scenarios over a recovered disk image.
+    #[must_use]
+    pub fn from_state_with_plan(state: BTreeMap<PathBuf, Vec<u8>>, plan: FaultPlan) -> FaultVfs {
+        let mut vfs = FaultVfs::from_state(state);
+        vfs.plan = plan;
+        vfs
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Total mutating operations performed so far.
+    #[must_use]
+    pub fn op_count(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Total durability barriers performed so far.
+    #[must_use]
+    pub fn sync_count(&self) -> u64 {
+        self.lock().syncs
+    }
+
+    /// Whether a planned power loss has triggered.
+    #[must_use]
+    pub fn crashed(&self) -> bool {
+        self.lock().crashed
+    }
+
+    /// The conservative post-crash image: only bytes durable at the
+    /// last successful fsync, with no pending rename committed.
+    #[must_use]
+    pub fn durable_state(&self) -> BTreeMap<PathBuf, Vec<u8>> {
+        self.lock().durable.clone()
+    }
+
+    /// Every disk image a reboot could expose, bounded: each prefix of
+    /// the pending renames, optionally combined with one dirty file
+    /// surfacing as a torn half-prefix or as its full unsynced content.
+    #[must_use]
+    pub fn crash_states(&self) -> Vec<BTreeMap<PathBuf, Vec<u8>>> {
+        const MAX_STATES: usize = 64;
+        let inner = self.lock();
+        let mut states = BTreeSet::new();
+        for applied in 0..=inner.pending_renames.len() {
+            let mut base = inner.durable.clone();
+            for (from, to) in &inner.pending_renames[..applied] {
+                if let Some(bytes) = base.remove(from) {
+                    base.insert(to.clone(), bytes);
+                }
+            }
+            states.insert(base.clone());
+            // One dirty file at a time: surface its unsynced suffix
+            // torn in half or fully flushed. (The base state already
+            // covers "fully lost"; bytes under `synced_len` are pinned,
+            // the store never overwrites them between fsyncs.)
+            for (path, node) in &inner.volatile {
+                if !node.dirty() {
+                    continue;
+                }
+                let suffix = node.bytes.len() - node.synced_len;
+                let mut torn = base.clone();
+                torn.insert(
+                    path.clone(),
+                    node.bytes[..node.synced_len + suffix / 2].to_vec(),
+                );
+                states.insert(torn);
+                let mut full = base.clone();
+                full.insert(path.clone(), node.bytes.clone());
+                states.insert(full);
+                if states.len() >= MAX_STATES {
+                    return states.into_iter().collect();
+                }
+            }
+        }
+        states.into_iter().collect()
+    }
+}
+
+/// A handle into the simulated filesystem. Writes append to the file's
+/// volatile image; `sync` promotes it to durable.
+struct FaultFile {
+    path: PathBuf,
+    plan: FaultPlan,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl FaultFile {
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        let mut inner = self.lock();
+        let op = inner.begin_op(&self.plan)?;
+        if self.plan.short_write_ops.contains(&op) {
+            let half = &data[..data.len() / 2];
+            let node = inner.volatile.entry(self.path.clone()).or_default();
+            node.bytes.extend_from_slice(half);
+            inner.fault();
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "injected short write",
+            ));
+        }
+        inner
+            .volatile
+            .entry(self.path.clone())
+            .or_default()
+            .bytes
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut inner = self.lock();
+        inner.begin_op(&self.plan)?;
+        inner.begin_sync(&self.plan)?;
+        let bytes = match inner.volatile.get_mut(&self.path) {
+            Some(node) => {
+                node.synced_len = node.bytes.len();
+                node.bytes.clone()
+            }
+            None => Vec::new(),
+        };
+        inner.durable.insert(self.path.clone(), bytes);
+        Ok(())
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let inner = self.lock();
+        if inner.crashed {
+            return Err(crash_error());
+        }
+        inner
+            .volatile
+            .get(path)
+            .map(|node| node.bytes.clone())
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut inner = self.lock();
+        inner.begin_op(&self.plan)?;
+        inner
+            .volatile
+            .insert(path.to_path_buf(), FileNode::default());
+        Ok(Box::new(FaultFile {
+            path: path.to_path_buf(),
+            plan: self.plan.clone(),
+            inner: Arc::clone(&self.inner),
+        }))
+    }
+
+    fn append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let mut inner = self.lock();
+        inner.begin_op(&self.plan)?;
+        inner.volatile.entry(path.to_path_buf()).or_default();
+        Ok(Box::new(FaultFile {
+            path: path.to_path_buf(),
+            plan: self.plan.clone(),
+            inner: Arc::clone(&self.inner),
+        }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let inner = self.lock();
+        !inner.crashed && inner.volatile.contains_key(path)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        let inner = self.lock();
+        if inner.crashed {
+            return Err(crash_error());
+        }
+        inner
+            .volatile
+            .get(path)
+            .map(|node| node.bytes.len() as u64)
+            .ok_or_else(|| not_found(path))
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut inner = self.lock();
+        inner.begin_op(&self.plan)?;
+        let Some(node) = inner.volatile.get_mut(path) else {
+            return Err(not_found(path));
+        };
+        node.bytes.truncate(len as usize);
+        // `StdVfs::set_len` syncs the truncation; mirror that.
+        inner.begin_sync(&self.plan)?;
+        let bytes = match inner.volatile.get_mut(path) {
+            Some(node) => {
+                node.synced_len = node.bytes.len();
+                node.bytes.clone()
+            }
+            None => Vec::new(),
+        };
+        inner.durable.insert(path.to_path_buf(), bytes);
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        inner.begin_op(&self.plan)?;
+        let Some(node) = inner.volatile.remove(from) else {
+            return Err(not_found(from));
+        };
+        inner.volatile.insert(to.to_path_buf(), node);
+        inner
+            .pending_renames
+            .push((from.to_path_buf(), to.to_path_buf()));
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        inner.begin_op(&self.plan)?;
+        if inner.volatile.remove(path).is_none() {
+            return Err(not_found(path));
+        }
+        // Model the unlink as immediately durable (conservative for the
+        // fsck-repair flows that use it; nothing in the save path does).
+        inner.durable.remove(path);
+        inner.pending_renames.retain(|(from, _)| from != path);
+        Ok(())
+    }
+
+    fn sync_parent_dir(&self, _path: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        inner.begin_op(&self.plan)?;
+        inner.begin_sync(&self.plan)?;
+        let pending = std::mem::take(&mut inner.pending_renames);
+        for (from, to) in pending {
+            if let Some(bytes) = inner.durable.remove(&from) {
+                inner.durable.insert(to, bytes);
+            } else {
+                inner.durable.remove(&to);
+            }
+        }
+        Ok(())
+    }
+
+    fn attach_fault_counter(&self, counter: Counter) {
+        let mut inner = self.lock();
+        // Backfill faults injected before the recorder was attached.
+        let seen = counter.get();
+        if inner.faults > seen {
+            counter.add(inner.faults - seen);
+        }
+        inner.counter = Some(counter);
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.lock().faults
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> PathBuf {
+        PathBuf::from(name)
+    }
+
+    #[test]
+    fn writes_are_volatile_until_synced() {
+        let vfs = FaultVfs::pristine();
+        let mut file = vfs.create(&p("a")).unwrap();
+        file.write_all(b"hello").unwrap();
+        assert_eq!(vfs.read(&p("a")).unwrap(), b"hello");
+        assert!(vfs.durable_state().is_empty(), "no fsync yet");
+        file.sync().unwrap();
+        assert_eq!(vfs.durable_state().get(&p("a")).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn renames_are_pending_until_dir_sync() {
+        let vfs = FaultVfs::pristine();
+        let mut file = vfs.create(&p("a.tmp")).unwrap();
+        file.write_all(b"x").unwrap();
+        file.sync().unwrap();
+        vfs.rename(&p("a.tmp"), &p("a")).unwrap();
+        // Volatile view sees the new name; durable still the old.
+        assert!(vfs.exists(&p("a")));
+        assert!(!vfs.exists(&p("a.tmp")));
+        assert!(vfs.durable_state().contains_key(&p("a.tmp")));
+        // The crash states cover both orders.
+        let states = vfs.crash_states();
+        assert!(states.iter().any(|s| s.contains_key(&p("a.tmp"))));
+        assert!(states.iter().any(|s| s.contains_key(&p("a"))));
+        vfs.sync_parent_dir(&p("a")).unwrap();
+        assert!(vfs.durable_state().contains_key(&p("a")));
+        assert!(!vfs.durable_state().contains_key(&p("a.tmp")));
+    }
+
+    #[test]
+    fn enospc_and_short_writes_inject_their_error_kinds() {
+        // Op 0 is the create; op 1 the first write.
+        let vfs = FaultVfs::new(FaultPlan::enospc_at(1));
+        let mut file = vfs.create(&p("a")).unwrap();
+        let err = file.write_all(b"data").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(vfs.faults_injected(), 1);
+
+        let vfs = FaultVfs::new(FaultPlan::short_write_at(1));
+        let mut file = vfs.create(&p("a")).unwrap();
+        let err = file.write_all(b"data").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+        assert_eq!(vfs.read(&p("a")).unwrap(), b"da", "half landed");
+    }
+
+    #[test]
+    fn failed_fsync_does_not_advance_durability() {
+        let vfs = FaultVfs::new(FaultPlan::fail_fsync(0));
+        let mut file = vfs.create(&p("a")).unwrap();
+        file.write_all(b"hello").unwrap();
+        assert!(file.sync().is_err());
+        assert!(vfs.durable_state().is_empty());
+        // The next sync succeeds and promotes the content.
+        file.sync().unwrap();
+        assert_eq!(vfs.durable_state().get(&p("a")).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn crash_fails_every_later_operation() {
+        let vfs = FaultVfs::new(FaultPlan::crash_at_op(2));
+        let mut file = vfs.create(&p("a")).unwrap(); // op 0
+        file.write_all(b"x").unwrap(); // op 1
+        assert!(file.write_all(b"y").is_err()); // op 2: crash
+        assert!(vfs.crashed());
+        assert!(file.sync().is_err());
+        assert!(vfs.create(&p("b")).is_err());
+        assert!(vfs.read(&p("a")).is_err());
+    }
+
+    #[test]
+    fn crash_states_cover_torn_and_flushed_variants() {
+        let vfs = FaultVfs::pristine();
+        let mut file = vfs.create(&p("a")).unwrap();
+        file.write_all(b"durable!").unwrap();
+        file.sync().unwrap();
+        file.write_all(b" plus unsynced").unwrap();
+        let states = vfs.crash_states();
+        let images: BTreeSet<Vec<u8>> = states
+            .iter()
+            .filter_map(|s| s.get(&p("a")).cloned())
+            .collect();
+        assert!(images.contains(b"durable!".as_slice()), "durable-only");
+        assert!(
+            images.contains(b"durable! plus unsynced".as_slice()),
+            "fully flushed"
+        );
+        assert_eq!(images.len(), 3, "plus exactly one torn prefix");
+    }
+
+    #[test]
+    fn seeded_chaos_plans_are_reproducible() {
+        let a = FaultPlan::seeded_chaos(7, 100, 5);
+        let b = FaultPlan::seeded_chaos(7, 100, 5);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded_chaos(8, 100, 5);
+        assert_ne!(a, c, "different seed, different plan");
+        let total = a.enospc_ops.len() + a.eio_ops.len() + a.short_write_ops.len();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn from_state_round_trips_a_disk_image() {
+        let state = BTreeMap::from([(p("kb.json"), b"content".to_vec())]);
+        let vfs = FaultVfs::from_state(state);
+        assert_eq!(vfs.read(&p("kb.json")).unwrap(), b"content");
+        assert_eq!(vfs.durable_state().get(&p("kb.json")).unwrap(), b"content");
+    }
+}

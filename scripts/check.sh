@@ -20,6 +20,16 @@ cargo clippy -p iokc-explorerd --all-targets -- -D warnings -D clippy::unwrap_us
 echo "==> cargo clippy -p iokc-store (unwraps are errors)"
 cargo clippy -p iokc-store --all-targets -- -D warnings -D clippy::unwrap_used
 
+# The observability layer runs inside every cycle phase and must never
+# take a phase down, so it joins the strict-unwrap club.
+echo "==> cargo clippy -p iokc-obs (unwraps are errors)"
+cargo clippy -p iokc-obs --all-targets -- -D warnings -D clippy::unwrap_used
+
+# Crash-consistency: enumerate every crash point of the mixed workload
+# and verify each post-crash disk image recovers an acknowledged prefix.
+echo "==> crash-consistency suite"
+cargo test -p iokc-integration --test crash_consistency -q
+
 # Bench smoke: the vendored criterion runs each bench body once under
 # `cargo test`, so regressions in the bench harnesses fail fast here.
 echo "==> query-engine bench smoke"

@@ -1,0 +1,268 @@
+//! Crash-consistency checker for the knowledge store (ISSUE PR 6).
+//!
+//! A mixed save/delete/journal workload runs on the deterministic
+//! [`FaultVfs`]; for every virtual-filesystem operation the workload
+//! performs, one run is crashed exactly there and every post-crash disk
+//! image a real disk could expose (`crash_states`) is reopened and
+//! checked against the durability contract:
+//!
+//! * every acknowledged operation is fully present;
+//! * no unacknowledged operation is partially visible — the recovered
+//!   store equals an acknowledged-prefix state (at most one in-flight
+//!   operation whose bytes all reached disk may additionally appear);
+//! * the incremental secondary indexes equal a bulk rebuild;
+//! * the event journal salvages to a prefix of the acknowledged records;
+//! * `fsck --repair` fixes every finding the crash produced, and a
+//!   second pass comes back clean.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use iokc_core::model::{Io500Knowledge, Io500Testcase, Knowledge, KnowledgeSource};
+use iokc_store::journal::{read_journal_vfs, truncate_torn_tail_vfs, JournalWriter};
+use iokc_store::{
+    fsck, DbError, FaultPlan, FaultVfs, FsckOptions, KnowledgeStore, Query, RunKind, Vfs,
+};
+
+fn kb() -> PathBuf {
+    PathBuf::from("/kb.json")
+}
+
+fn journal_path() -> PathBuf {
+    PathBuf::from("/events.j")
+}
+
+fn bench(i: usize) -> Knowledge {
+    Knowledge::new(KnowledgeSource::Ior, &format!("ior -t 1m -b 16m #{i}"))
+}
+
+fn io500(i: usize) -> Io500Knowledge {
+    Io500Knowledge {
+        id: None,
+        tasks: 8 + i as u32,
+        bw_score: 0.5 + i as f64,
+        md_score: 10.0,
+        total_score: 2.25 + i as f64,
+        testcases: vec![Io500Testcase {
+            name: "ior-easy-write".into(),
+            value: 2.5,
+            unit: "GiB/s".into(),
+            time_s: 31.0,
+        }],
+        options: BTreeMap::new(),
+        system: None,
+        start_time: 0,
+        warnings: Vec::new(),
+    }
+}
+
+/// Stable content signature of a store: one sorted line per run.
+fn fingerprint(store: &KnowledgeStore) -> Vec<String> {
+    let mut rows: Vec<String> = store
+        .query_summaries(&Query::all())
+        .expect("fingerprint query")
+        .iter()
+        .map(|r| match r.kind {
+            RunKind::Benchmark => format!("b:{}:{}", r.id, r.command),
+            RunKind::Io500 => format!("i:{}:{}:{}", r.id, r.tasks, r.total_score),
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+struct WorkloadRun {
+    /// Store operations acknowledged (flush returned `Ok`).
+    acked: usize,
+    /// Journal records whose append was acknowledged.
+    journal_records: Vec<String>,
+    /// `states[j]` = fingerprint after `j` acknowledged store ops.
+    states: Vec<Vec<String>>,
+}
+
+/// The mixed workload: two benchmark saves, two IO500 saves, one delete
+/// of each kind, with a journal record appended after every
+/// acknowledged store operation. Stops at the first failure.
+fn run_workload(vfs: Arc<FaultVfs>) -> WorkloadRun {
+    let mut out = WorkloadRun {
+        acked: 0,
+        journal_records: Vec::new(),
+        states: Vec::new(),
+    };
+    let Ok(mut store) = KnowledgeStore::open_with_vfs(kb(), Arc::clone(&vfs) as Arc<dyn Vfs>)
+    else {
+        return out;
+    };
+    let Ok(mut journal) = JournalWriter::open_vfs(&journal_path(), &*vfs) else {
+        return out;
+    };
+    out.states.push(fingerprint(&store));
+    let mut bench_ids: Vec<u64> = Vec::new();
+    let mut io_ids: Vec<u64> = Vec::new();
+    for step in 0..6 {
+        let result: Result<(), DbError> = (|| {
+            match step {
+                0 => bench_ids.push(store.save_knowledge(&bench(0))?),
+                1 => io_ids.push(store.save_io500(&io500(0))?),
+                2 => bench_ids.push(store.save_knowledge(&bench(1))?),
+                3 => drop(store.delete_knowledge(bench_ids[0])?),
+                4 => io_ids.push(store.save_io500(&io500(1))?),
+                _ => drop(store.delete_io500(io_ids[0])?),
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            return out;
+        }
+        out.acked += 1;
+        out.states.push(fingerprint(&store));
+        let payload = format!("op-{step} acked");
+        if journal.append(&payload).is_err() {
+            return out;
+        }
+        out.journal_records.push(payload);
+    }
+    out
+}
+
+#[test]
+fn every_crash_point_recovers_an_acknowledged_prefix() {
+    // Fault-free probe: records the op budget and the fingerprint after
+    // each acknowledged operation.
+    let probe_vfs = Arc::new(FaultVfs::pristine());
+    let probe = run_workload(Arc::clone(&probe_vfs));
+    assert_eq!(probe.acked, 6, "fault-free workload must fully succeed");
+    let total_ops = probe_vfs.op_count();
+    assert!(total_ops > 20, "workload too small to be interesting");
+
+    for op in 0..total_ops {
+        let vfs = Arc::new(FaultVfs::new(FaultPlan::crash_at_op(op)));
+        let run = run_workload(Arc::clone(&vfs));
+        assert!(vfs.crashed(), "crash op {op} never fired");
+        let j = run.acked;
+        let hi = (j + 1).min(probe.acked);
+        let allowed = &probe.states[j..=hi];
+
+        for state in vfs.crash_states() {
+            let svfs = Arc::new(FaultVfs::from_state(state));
+
+            // Reopen: every exposable disk image must load (possibly
+            // via backup recovery) to an acknowledged-prefix state with
+            // indexes that match a bulk rebuild.
+            let reopened = KnowledgeStore::open_with_vfs(kb(), Arc::clone(&svfs) as Arc<dyn Vfs>)
+                .unwrap_or_else(|e| panic!("crash op {op}: reopen failed: {e}"));
+            let fp = fingerprint(&reopened);
+            assert!(
+                allowed.contains(&fp),
+                "crash op {op} (acked {j}): recovered state {fp:?} is not an acknowledged prefix"
+            );
+            assert!(
+                reopened.indexes_consistent().expect("index rebuild"),
+                "crash op {op}: incremental indexes diverge from bulk rebuild"
+            );
+
+            // Journal: the salvaged prefix is exactly the acknowledged
+            // records, plus at most the one in-flight record whose
+            // bytes fully landed.
+            let report = read_journal_vfs(&journal_path(), &*svfs).expect("journal read");
+            let n = run.journal_records.len();
+            assert!(
+                report.records.len() >= n && report.records.len() <= n + 1,
+                "crash op {op}: journal salvaged {} records, acknowledged {n}",
+                report.records.len()
+            );
+            assert_eq!(&report.records[..n], &run.journal_records[..]);
+            if report.records.len() == n + 1 {
+                assert_eq!(report.records[n], format!("op-{} acked", run.acked - 1));
+            }
+            if report.torn_tail {
+                let salvaged =
+                    truncate_torn_tail_vfs(&journal_path(), &*svfs).expect("torn-tail truncate");
+                let again = read_journal_vfs(&journal_path(), &*svfs).expect("journal reread");
+                assert!(
+                    !again.torn_tail,
+                    "crash op {op}: tail still torn after repair"
+                );
+                assert_eq!(again.records, salvaged.records);
+            }
+
+            // fsck: one repair pass fixes every finding the crash
+            // produced; the second pass is clean; the repaired image is
+            // still an acknowledged prefix.
+            let repair = fsck(
+                &kb(),
+                &*svfs,
+                &FsckOptions {
+                    repair: true,
+                    journal: Some(journal_path()),
+                },
+            );
+            assert_eq!(
+                repair.unrepaired(),
+                0,
+                "crash op {op}: unrepaired findings {:?}",
+                repair.findings
+            );
+            let second = fsck(
+                &kb(),
+                &*svfs,
+                &FsckOptions {
+                    repair: false,
+                    journal: Some(journal_path()),
+                },
+            );
+            assert!(
+                second.clean(),
+                "crash op {op}: fsck not clean after repair: {:?}",
+                second.findings
+            );
+            let after = KnowledgeStore::open_with_vfs(kb(), Arc::clone(&svfs) as Arc<dyn Vfs>)
+                .unwrap_or_else(|e| panic!("crash op {op}: reopen after fsck failed: {e}"));
+            assert!(allowed.contains(&fingerprint(&after)));
+        }
+    }
+}
+
+#[test]
+fn seeded_chaos_never_leaves_the_store_incoherent() {
+    for seed in 0..12u64 {
+        let vfs = Arc::new(FaultVfs::new(FaultPlan::seeded_chaos(seed, 200, 5)));
+        let Ok(mut store) = KnowledgeStore::open_with_vfs(kb(), Arc::clone(&vfs) as Arc<dyn Vfs>)
+        else {
+            continue;
+        };
+        let mut last_generation = store.generation();
+        for i in 0..10 {
+            if store.is_read_only() {
+                break;
+            }
+            match store.save_knowledge(&bench(i)) {
+                Ok(_) => {
+                    assert!(
+                        store.generation() > last_generation,
+                        "seed {seed}: acknowledged write did not advance the generation"
+                    );
+                }
+                Err(DbError::ReadOnly(_)) => break,
+                Err(_) => {
+                    // A failed write must leave memory equal to disk and
+                    // the generation untouched (monotone, no phantom
+                    // bumps).
+                    assert_eq!(store.generation(), last_generation, "seed {seed}");
+                }
+            }
+            last_generation = store.generation();
+            assert!(
+                store.indexes_consistent().expect("index rebuild"),
+                "seed {seed}: indexes diverged after op {i}"
+            );
+        }
+        // Whatever the chaos did, the durable image still opens (possibly
+        // via backup recovery) with consistent indexes.
+        let survivor = Arc::new(FaultVfs::from_state(vfs.durable_state()));
+        let reopened = KnowledgeStore::open_with_vfs(kb(), survivor as Arc<dyn Vfs>)
+            .unwrap_or_else(|e| panic!("seed {seed}: durable image does not reopen: {e}"));
+        assert!(reopened.indexes_consistent().expect("index rebuild"));
+    }
+}

@@ -438,3 +438,67 @@ fn duplicate_sort_keys_paginate_deterministically() {
 
     server.shutdown();
 }
+
+#[test]
+fn healthz_reports_a_healthy_store() {
+    let server = start_server(ServerConfig::default());
+    let (status, body) = get(server.local_addr(), "/healthz");
+    assert_eq!(status, 200);
+    let health = parse_json(&body);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(matches!(health.get("read_only"), Some(Json::Bool(false))));
+    server.shutdown();
+}
+
+#[test]
+fn degraded_store_serves_reads_and_healthz_says_so() {
+    // An unrecoverably damaged image (garbage primary, no backup) must
+    // not keep the explorer down: the store opens read-only over the
+    // empty schema and /healthz reports the degradation while the read
+    // endpoints keep answering.
+    let dir = std::env::temp_dir().join(format!("iokc-degraded-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("kb.json");
+    std::fs::write(&path, "this is not a knowledge image").unwrap();
+
+    let store = KnowledgeStore::open_or_degraded(path);
+    assert!(store.is_read_only());
+    let recorder = Arc::new(Recorder::new(Clock::wall(), Arc::new(NullSink)));
+    let server = Server::start(ServerConfig::default(), store, recorder).unwrap();
+    let addr = server.local_addr();
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "degraded store still answers health probes");
+    let health = parse_json(&body);
+    assert_eq!(
+        health.get("status").and_then(Json::as_str),
+        Some("degraded")
+    );
+    assert!(matches!(health.get("read_only"), Some(Json::Bool(true))));
+    assert!(
+        health.get("detail").and_then(Json::as_str).is_some(),
+        "degradation carries a structured reason"
+    );
+
+    let (status, body) = get(addr, "/api/runs");
+    assert_eq!(status, 200, "reads keep working over the empty schema");
+    assert!(matches!(parse_json(&body), Json::Arr(rows) if rows.is_empty()));
+
+    // The degradation surfaces in the schema-1 metrics dump.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let metrics = parse_json(&body);
+    let counters = metrics.get("counters").expect("schema-1 counters");
+    assert!(matches!(
+        counters.get("store.open_degraded"),
+        Some(Json::Num(n)) if *n == 1.0
+    ));
+    assert!(counters.get("store.faults_injected").is_some());
+    assert!(counters.get("store.fsck_repairs").is_some());
+
+    server.shutdown();
+    std::fs::remove_dir_all(
+        std::env::temp_dir().join(format!("iokc-degraded-{}", std::process::id())),
+    )
+    .ok();
+}
