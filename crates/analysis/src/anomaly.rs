@@ -178,6 +178,7 @@ impl Analyzer for IterationVarianceDetector {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

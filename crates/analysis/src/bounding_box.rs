@@ -314,6 +314,7 @@ impl Analyzer for BoundingBoxDetector {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests2d {
     use super::*;
     use iokc_core::model::Io500Knowledge;
@@ -369,6 +370,7 @@ mod tests2d {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

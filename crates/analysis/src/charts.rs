@@ -463,6 +463,7 @@ pub fn ascii_bars(rows: &[(String, f64)], width: usize) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

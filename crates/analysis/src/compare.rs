@@ -231,6 +231,7 @@ pub fn overview(items: &[&Knowledge], operation: &str) -> Vec<(String, Describe)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_core::model::{IterationResult, KnowledgeSource, OperationSummary};

@@ -92,6 +92,7 @@ pub fn mad_scores(values: &[f64]) -> Vec<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -239,6 +239,7 @@ impl DxtTimeline {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_darshan::{LogBuilder, Module};

@@ -187,6 +187,7 @@ pub fn render_profile(profile: &IoPatternProfile) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_darshan::LogBuilder;

@@ -176,6 +176,7 @@ pub fn render_html(items: &[KnowledgeItem], findings: &[Finding]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_core::model::{IterationResult, KnowledgeSource, OperationSummary};

@@ -151,6 +151,7 @@ impl Analyzer for TrendDetector {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

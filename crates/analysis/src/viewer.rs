@@ -199,6 +199,7 @@ pub fn render_io500(k: &Io500Knowledge) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_core::model::{

@@ -184,6 +184,9 @@ struct Options {
     serve_queue: usize,
     serve_cache_bytes: usize,
     serve_ms: Option<u64>,
+    request_deadline_ms: u64,
+    max_per_peer: usize,
+    rate_per_peer: f64,
     metric: String,
     axis: String,
     filter_api: Option<String>,
@@ -236,6 +239,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         serve_queue: 64,
         serve_cache_bytes: 1 << 20,
         serve_ms: None,
+        request_deadline_ms: 30_000,
+        max_per_peer: 0,
+        rate_per_peer: 0.0,
         metric: "write".to_owned(),
         axis: "transfer".to_owned(),
         filter_api: None,
@@ -349,6 +355,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .parse()
                         .map_err(|_| "bad --serve-ms".to_owned())?,
                 );
+            }
+            "--request-deadline-ms" => {
+                opts.request_deadline_ms = value(&mut i, "--request-deadline-ms")?
+                    .parse()
+                    .map_err(|_| "bad --request-deadline-ms".to_owned())?;
+                if opts.request_deadline_ms == 0 {
+                    return Err("--request-deadline-ms must be non-zero".to_owned());
+                }
+            }
+            "--max-per-peer" => {
+                opts.max_per_peer = value(&mut i, "--max-per-peer")?
+                    .parse()
+                    .map_err(|_| "bad --max-per-peer".to_owned())?;
+            }
+            "--rate" => {
+                opts.rate_per_peer = value(&mut i, "--rate")?
+                    .parse()
+                    .map_err(|_| "bad --rate".to_owned())?;
+                if opts.rate_per_peer < 0.0 || !opts.rate_per_peer.is_finite() {
+                    return Err("--rate must be a non-negative number".to_owned());
+                }
             }
             "--metric" => opts.metric = value(&mut i, "--metric")?,
             "--axis" => opts.axis = value(&mut i, "--axis")?,
@@ -494,6 +521,9 @@ fn print_help() {
          \x20 sweep --resume <dir>  resume a killed campaign from its journal\n\
          \x20 serve                 HTTP knowledge-explorer service (--addr <host:port>,\n\
          \x20                       --workers <n>, --queue <n>, --cache-bytes <n>,\n\
+         \x20                       --request-deadline-ms <n> per-request budget (504\n\
+         \x20                       past it), --max-per-peer <n> connection cap,\n\
+         \x20                       --rate <req/s> per-peer rate limit,\n\
          \x20                       --serve-ms <n> to stop after a fixed window); a\n\
          \x20                       damaged store serves read-only, /healthz reports it\n\
          \x20 fsck                  check the knowledge base image and its backup\n\
@@ -660,6 +690,9 @@ fn cmd_serve(opts: &Options) -> Result<(), CliError> {
         workers: opts.serve_workers,
         queue: opts.serve_queue,
         cache_bytes: opts.serve_cache_bytes,
+        request_deadline: std::time::Duration::from_millis(opts.request_deadline_ms),
+        max_per_peer: opts.max_per_peer,
+        rate_per_peer: opts.rate_per_peer,
         ..iokc_explorerd::ServerConfig::default()
     };
     let server = iokc_explorerd::Server::start(config, store, std::sync::Arc::new(recorder))

@@ -14,9 +14,10 @@
 //! cheap enough to be always-on.
 
 use crate::phases::{CycleError, PhaseKind};
-use iokc_obs::{CancelToken, Counter, Recorder, SpanId};
+use iokc_obs::{CancelToken, Counter, DeadlineToken, Recorder, SpanId};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 /// The recorder + cancellation pair a cycle (or campaign) runs under.
 #[derive(Debug, Clone, Default)]
@@ -72,7 +73,7 @@ pub struct PhaseCtx {
     max_attempts: u32,
     span: SpanId,
     recorder: Arc<Recorder>,
-    cancel: CancelToken,
+    deadline: DeadlineToken,
 }
 
 impl fmt::Debug for PhaseCtx {
@@ -113,7 +114,7 @@ impl PhaseCtx {
             max_attempts,
             span,
             recorder: Arc::clone(recorder),
-            cancel: cancel.clone(),
+            deadline: DeadlineToken::unbounded(cancel.clone()),
         }
     }
 
@@ -131,8 +132,27 @@ impl PhaseCtx {
             max_attempts: 1,
             span: span.id,
             recorder,
-            cancel: CancelToken::new(),
+            deadline: DeadlineToken::unbounded(CancelToken::new()),
         }
+    }
+
+    /// The same context with a wall-clock budget attached: downstream
+    /// polls of [`PhaseCtx::is_cancelled`] (and the deadline token itself)
+    /// start tripping once `budget` has elapsed, in addition to explicit
+    /// cancellation. Servers use this to carry per-request deadlines into
+    /// phase and store work.
+    #[must_use]
+    pub fn with_deadline(mut self, budget: Duration) -> PhaseCtx {
+        self.deadline = DeadlineToken::with_budget(self.deadline.cancel_token().clone(), budget);
+        self
+    }
+
+    /// The deadline token this invocation runs under — pass it to
+    /// deadline-aware callees (store query scans) so they stop when the
+    /// budget runs out.
+    #[must_use]
+    pub fn deadline(&self) -> &DeadlineToken {
+        &self.deadline
     }
 
     /// Which phase is running.
@@ -194,11 +214,12 @@ impl PhaseCtx {
         self.recorder.log(Some(self.span), message);
     }
 
-    /// Has cancellation been requested? Long-running modules should poll
-    /// this at convenient points and return early.
+    /// Should this invocation stop — because cancellation was requested
+    /// or its deadline budget ran out? Long-running modules poll this at
+    /// convenient points and return early.
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.cancel.is_cancelled()
+        self.deadline.should_stop()
     }
 
     /// Advance the cycle's virtual clock by `delta_ns` simulated
@@ -262,5 +283,21 @@ mod tests {
         ctx.counter("runs").inc();
         ctx.observe("ms", 1.0);
         ctx.advance_virtual_ms(5); // wall clock: must be a no-op
+    }
+
+    #[test]
+    fn deadline_budget_trips_is_cancelled() {
+        let ctx = PhaseCtx::detached(PhaseKind::Analysis, "variance");
+        assert!(!ctx.is_cancelled());
+        assert!(ctx.deadline().remaining().is_none());
+        let ctx = ctx.with_deadline(Duration::ZERO);
+        assert!(ctx.is_cancelled(), "exhausted budget must read as stop");
+        assert!(ctx.deadline().expired());
+        assert!(!ctx.deadline().cancel_token().is_cancelled());
+
+        let roomy = PhaseCtx::detached(PhaseKind::Analysis, "variance")
+            .with_deadline(Duration::from_secs(3600));
+        assert!(!roomy.is_cancelled());
+        assert!(roomy.deadline().remaining().is_some());
     }
 }

@@ -8,11 +8,11 @@
 //! and polls a [`CancelToken`] so graceful shutdown is never blocked on
 //! a silent peer.
 
-use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::io::{self, Write};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::transport::Conn;
 use iokc_obs::CancelToken;
 
 /// How often a blocked read wakes up to re-check the deadline and the
@@ -108,7 +108,7 @@ pub enum RecvError {
 /// short poll slice so the deadline and the token are both observed
 /// promptly.
 pub fn read_request(
-    stream: &mut TcpStream,
+    stream: &mut dyn Conn,
     limits: &Limits,
     cancel: &CancelToken,
 ) -> Result<Request, RecvError> {
@@ -331,7 +331,7 @@ impl Response {
 
     /// Serialize onto `stream`. `keep_alive` decides the `Connection`
     /// header; a `Body::Stream` is sent with chunked encoding.
-    pub fn write(self, stream: &mut TcpStream, keep_alive: bool) -> io::Result<()> {
+    pub fn write(self, stream: &mut dyn Conn, keep_alive: bool) -> io::Result<()> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: {}\r\n",
             self.status,
@@ -370,8 +370,10 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Status",
     }
 }
@@ -379,12 +381,12 @@ fn reason(status: u16) -> &'static str {
 /// Encodes written bytes as HTTP/1.1 chunks, buffering up to
 /// [`CHUNK_SIZE`] bytes per chunk.
 struct ChunkWriter<'a> {
-    out: &'a mut TcpStream,
+    out: &'a mut dyn Conn,
     buf: Vec<u8>,
 }
 
 impl<'a> ChunkWriter<'a> {
-    fn new(out: &'a mut TcpStream) -> ChunkWriter<'a> {
+    fn new(out: &'a mut dyn Conn) -> ChunkWriter<'a> {
         ChunkWriter {
             out,
             buf: Vec::with_capacity(CHUNK_SIZE),

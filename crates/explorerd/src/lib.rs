@@ -8,9 +8,15 @@
 //!
 //! * [`http`] — a minimal HTTP/1.1 layer: request parsing with size and
 //!   time limits, fixed-length and chunked responses, keep-alive;
+//! * [`transport`] — the socket fault seam: every byte flows through a
+//!   [`transport::Conn`] produced by the server's
+//!   [`transport::Transport`], so a deterministic fault injector slots
+//!   under the whole serving path in tests;
 //! * [`pool`] — a fixed worker-thread pool behind a bounded queue; when
 //!   the queue is full the server sheds load with `503 Retry-After`
 //!   instead of stalling every client;
+//! * [`admission`] — per-peer connection caps and rate limits, priority
+//!   shedding of expensive endpoints, and a circuit breaker over them;
 //! * [`cache`] — a read-through query cache keyed on the normalized
 //!   query *and* the store's write generation, so persisting new
 //!   knowledge invalidates every cached view;
@@ -29,14 +35,18 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+pub mod admission;
 pub mod cache;
 pub mod http;
 pub mod pool;
 pub mod server;
 pub mod service;
+pub mod transport;
 
+pub use admission::{classify, Admission, AdmissionConfig, AdmitDecision, EndpointClass};
 pub use cache::{CacheStats, QueryCache};
 pub use http::{Body, Limits, Request, Response};
 pub use pool::WorkerPool;
 pub use server::{Server, ServerConfig};
 pub use service::Explorer;
+pub use transport::{Conn, FaultTransport, NetFaultPlan, StdTransport, Transport};

@@ -14,10 +14,14 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 struct Shared<T> {
     queue: Mutex<VecDeque<T>>,
     wake: Condvar,
+    /// Signalled whenever a worker pops the queue empty, so waiters on
+    /// [`WorkerPool::wait_queue_empty`] never have to poll a clock.
+    drained: Condvar,
     capacity: usize,
     shutdown: AtomicBool,
 }
@@ -39,6 +43,7 @@ impl<T: Send + 'static> WorkerPool<T> {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::with_capacity(capacity)),
             wake: Condvar::new(),
+            drained: Condvar::new(),
             capacity: capacity.max(1),
             shutdown: AtomicBool::new(false),
         });
@@ -84,6 +89,28 @@ impl<T: Send + 'static> WorkerPool<T> {
     #[must_use]
     pub fn queued(&self) -> usize {
         self.shared.queue.lock().map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Block until the queue is empty (in-flight work may still be
+    /// running) or `timeout` elapses; `true` when it emptied. This is
+    /// event-driven — workers signal when they pop the last item — so
+    /// callers never spin on a clock.
+    #[must_use]
+    pub fn wait_queue_empty(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let Ok(mut queue) = self.shared.queue.lock() else {
+            return false;
+        };
+        while !queue.is_empty() {
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            queue = match self.shared.drained.wait_timeout(queue, remaining) {
+                Ok((guard, _)) => guard,
+                Err(_) => return false,
+            };
+        }
+        true
     }
 
     /// Number of worker threads.
@@ -156,6 +183,9 @@ fn worker_loop<T, F: Fn(T) + ?Sized>(shared: &Shared<T>, handler: &F) {
             };
             loop {
                 if let Some(item) = queue.pop_front() {
+                    if queue.is_empty() {
+                        shared.drained.notify_all();
+                    }
                     break item;
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -206,13 +236,10 @@ mod tests {
                 let _wait = gate.lock();
             })
         };
-        // First item occupies the worker, second fills the queue; give
-        // the worker a moment to pick the first one up.
+        // First item occupies the worker, second fills the queue; wait
+        // (event-driven, no polling) for the worker to pick the first up.
         pool.try_submit(1).unwrap();
-        let deadline = std::time::Instant::now() + Duration::from_secs(2);
-        while pool.queued() > 0 && std::time::Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(1));
-        }
+        assert!(pool.wait_queue_empty(Duration::from_secs(5)));
         pool.try_submit(2).unwrap();
         assert_eq!(pool.try_submit(3), Err(3));
         drop(hold);

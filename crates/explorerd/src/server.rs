@@ -1,12 +1,23 @@
-//! The accept loop: listener, worker pool, load shedding, shutdown.
+//! The accept loop: listener, transport seam, admission control, worker
+//! pool, load shedding, shutdown.
 //!
-//! One dedicated thread accepts connections and feeds them to the
-//! [`WorkerPool`]. A worker owns a connection for its whole keep-alive
-//! lifetime, so the bounded queue gives real backpressure: when all
-//! workers are busy and the queue is full, new connections are answered
-//! `503 Retry-After` straight from the accept thread and closed —
-//! shedding load in O(1) instead of letting every client queue behind a
-//! stalled worker.
+//! One dedicated thread accepts connections, wraps them through the
+//! configured [`Transport`] (production: raw sockets; chaos tests: the
+//! fault injector), checks the per-peer connection cap, and feeds them
+//! to the [`WorkerPool`]. A worker owns a connection for its whole
+//! keep-alive lifetime, so the bounded queue gives real backpressure:
+//! when all workers are busy and the queue is full, new connections are
+//! answered `503 Retry-After` straight from the accept thread and
+//! closed — shedding load in O(1) instead of letting every client queue
+//! behind a stalled worker.
+//!
+//! Each parsed request runs under a wall-clock deadline budget
+//! ([`ServerConfig::request_deadline`]) carried as an `iokc-obs`
+//! [`DeadlineToken`] into the store's query scans; a request that blows
+//! its budget answers `504` with partial-progress counters instead of
+//! pinning the worker. The [`Admission`] controller layers per-peer
+//! rate limits, priority shedding, and a circuit breaker on top — see
+//! [`crate::admission`].
 //!
 //! Shutdown is cooperative through the shared [`CancelToken`]: the
 //! accept loop stops admitting work, in-flight handlers notice the
@@ -14,18 +25,20 @@
 //! joins. No thread is left hung on a silent peer.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use iokc_obs::{CancelToken, MetricsRegistry, Recorder};
+use iokc_obs::{CancelToken, Counter, DeadlineToken, MetricsRegistry, Recorder};
 use iokc_store::KnowledgeStore;
 
+use crate::admission::{classify, Admission, AdmissionConfig, AdmitDecision, ConnPermit};
 use crate::cache::CacheStats;
 use crate::http::{read_request, Limits, RecvError, Response};
 use crate::pool::{Submitter, WorkerPool};
 use crate::service::Explorer;
+use crate::transport::{Conn, StdTransport, Transport};
 
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
@@ -43,6 +56,17 @@ pub struct ServerConfig {
     pub cache_bytes: usize,
     /// Request parsing limits.
     pub limits: Limits,
+    /// The socket seam every connection flows through. Production keeps
+    /// the default [`StdTransport`]; chaos tests substitute a
+    /// fault-injecting transport.
+    pub transport: Arc<dyn Transport>,
+    /// Wall-clock budget for one request, carried into store query
+    /// scans; exceeding it answers `504`. Generous by default.
+    pub request_deadline: Duration,
+    /// Maximum simultaneous connections per peer address (0 = no cap).
+    pub max_per_peer: usize,
+    /// Sustained requests/second per peer address (0 = unlimited).
+    pub rate_per_peer: f64,
 }
 
 impl Default for ServerConfig {
@@ -53,6 +77,44 @@ impl Default for ServerConfig {
             queue: 64,
             cache_bytes: 1 << 20,
             limits: Limits::default(),
+            transport: Arc::new(StdTransport),
+            request_deadline: Duration::from_secs(30),
+            max_per_peer: 0,
+            rate_per_peer: 0.0,
+        }
+    }
+}
+
+/// One queued unit of work: a wrapped connection plus its per-peer
+/// admission permit (released when the handler finishes).
+struct ConnTask {
+    conn: Box<dyn Conn>,
+    permit: Option<ConnPermit>,
+}
+
+/// The classified connection-error counters — every accepted connection
+/// that does not end in a clean response ends in exactly one of these.
+#[derive(Clone)]
+struct ConnObs {
+    recv_closed: Counter,
+    recv_timeout: Counter,
+    recv_too_large: Counter,
+    recv_malformed: Counter,
+    recv_io: Counter,
+    recv_cancelled: Counter,
+    write_failed: Counter,
+}
+
+impl ConnObs {
+    fn new(metrics: &MetricsRegistry) -> ConnObs {
+        ConnObs {
+            recv_closed: metrics.counter("explorerd.recv.closed"),
+            recv_timeout: metrics.counter("explorerd.recv.timeout"),
+            recv_too_large: metrics.counter("explorerd.recv.too_large"),
+            recv_malformed: metrics.counter("explorerd.recv.malformed"),
+            recv_io: metrics.counter("explorerd.recv.io"),
+            recv_cancelled: metrics.counter("explorerd.recv.cancelled"),
+            write_failed: metrics.counter("explorerd.write_failed"),
         }
     }
 }
@@ -64,7 +126,7 @@ pub struct Server {
     recorder: Arc<Recorder>,
     cancel: CancelToken,
     accept: Option<JoinHandle<()>>,
-    pool: Option<WorkerPool<TcpStream>>,
+    pool: Option<WorkerPool<ConnTask>>,
 }
 
 impl Server {
@@ -88,13 +150,39 @@ impl Server {
             config.cache_bytes,
             Arc::clone(&recorder),
         ));
+        let metrics = recorder.metrics();
+        config
+            .transport
+            .attach_fault_counter(metrics.counter("explorerd.faults_injected"));
+        let admission = Arc::new(Admission::new(
+            AdmissionConfig {
+                max_per_peer: config.max_per_peer,
+                rate_per_peer: config.rate_per_peer,
+                ..AdmissionConfig::default()
+            },
+            config.queue,
+            &metrics,
+        ));
 
         let pool = {
             let explorer = Arc::clone(&explorer);
             let limits = config.limits.clone();
             let cancel = cancel.clone();
-            WorkerPool::new(config.workers, config.queue, move |stream: TcpStream| {
-                handle_connection(stream, &explorer, &limits, &cancel);
+            let admission = Arc::clone(&admission);
+            let obs = ConnObs::new(&metrics);
+            let request_deadline = config.request_deadline;
+            WorkerPool::new(config.workers, config.queue, move |task: ConnTask| {
+                admission.note_dequeued();
+                handle_connection(
+                    task.conn,
+                    &explorer,
+                    &limits,
+                    &cancel,
+                    &admission,
+                    &obs,
+                    request_deadline,
+                );
+                drop(task.permit);
             })
         };
 
@@ -102,9 +190,20 @@ impl Server {
             let cancel = cancel.clone();
             let recorder = Arc::clone(&recorder);
             let submitter = pool.submitter();
+            let transport = Arc::clone(&config.transport);
+            let admission = Arc::clone(&admission);
             std::thread::Builder::new()
                 .name("explorerd-accept".to_owned())
-                .spawn(move || accept_loop(&listener, &submitter, &cancel, &recorder))?
+                .spawn(move || {
+                    accept_loop(
+                        &listener,
+                        transport.as_ref(),
+                        &admission,
+                        &submitter,
+                        &cancel,
+                        &recorder,
+                    );
+                })?
         };
 
         Ok(Server {
@@ -174,7 +273,9 @@ impl Drop for Server {
 
 fn accept_loop(
     listener: &TcpListener,
-    pool: &Submitter<TcpStream>,
+    transport: &dyn Transport,
+    admission: &Admission,
+    pool: &Submitter<ConnTask>,
     cancel: &CancelToken,
     recorder: &Arc<Recorder>,
 ) {
@@ -185,14 +286,28 @@ fn accept_loop(
             return;
         }
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((stream, peer)) => {
                 // The listener is non-blocking; accepted sockets get
                 // their own timeouts in the handler.
                 let _ = stream.set_nonblocking(false);
                 accepted.inc();
-                if let Err(stream) = pool.try_submit(stream) {
+                let conn = transport.wrap(stream);
+                let Some(permit) = admission.admit_conn(Some(peer.ip())) else {
+                    // Peer is over its concurrency cap: shed in O(1).
                     shed.inc();
-                    shed_connection(stream);
+                    shed_connection(conn);
+                    continue;
+                };
+                let task = ConnTask {
+                    conn,
+                    permit: Some(permit),
+                };
+                match pool.try_submit(task) {
+                    Ok(()) => admission.note_queued(),
+                    Err(task) => {
+                        shed.inc();
+                        shed_connection(task.conn);
+                    }
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -206,44 +321,87 @@ fn accept_loop(
 
 /// Answer `503 Retry-After: 1` and close — the load-shedding path, run
 /// on the accept thread so it stays O(1) regardless of worker state.
-fn shed_connection(mut stream: TcpStream) {
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    let _ = Response::unavailable(1).write(&mut stream, false);
+fn shed_connection(mut conn: Box<dyn Conn>) {
+    let _ = conn.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = Response::unavailable(1).write(conn.as_mut(), false);
+}
+
+/// `429 Too Many Requests` with a `Retry-After` hint.
+fn rate_limited() -> Response {
+    let mut resp = Response::error(429, "per-peer rate limit exceeded, retry shortly");
+    resp.headers.push(("Retry-After", "1".to_owned()));
+    resp
 }
 
 /// Serve one connection for its keep-alive lifetime.
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
-    mut stream: TcpStream,
+    mut conn: Box<dyn Conn>,
     explorer: &Explorer,
     limits: &Limits,
     cancel: &CancelToken,
+    admission: &Admission,
+    obs: &ConnObs,
+    request_deadline: Duration,
 ) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
+    let peer: Option<IpAddr> = conn.peer_addr().map(|a| a.ip());
     loop {
         if cancel.is_cancelled() {
             return;
         }
-        match read_request(&mut stream, limits, cancel) {
+        match read_request(conn.as_mut(), limits, cancel) {
             Ok(req) => {
                 let keep_alive = req.keep_alive && !cancel.is_cancelled();
-                let response = explorer.handle(&req);
-                if response.write(&mut stream, keep_alive).is_err() || !keep_alive {
+                let class = classify(&req.path);
+                let response = match admission.admit_request(peer, class, explorer.store_degraded())
+                {
+                    AdmitDecision::Admit => {
+                        let deadline = DeadlineToken::with_budget(cancel.clone(), request_deadline);
+                        let response = explorer.handle_deadline(&req, &deadline);
+                        admission.record_outcome(class, response.status < 500);
+                        response
+                    }
+                    AdmitDecision::RateLimited => rate_limited(),
+                    AdmitDecision::ShedExpensive | AdmitDecision::BreakerOpen => {
+                        Response::unavailable(1)
+                    }
+                };
+                if response.write(conn.as_mut(), keep_alive).is_err() {
+                    obs.write_failed.inc();
+                    return;
+                }
+                if !keep_alive {
                     return;
                 }
             }
-            Err(RecvError::Closed | RecvError::Cancelled | RecvError::Io(_)) => return,
+            Err(RecvError::Closed) => {
+                obs.recv_closed.inc();
+                return;
+            }
+            Err(RecvError::Cancelled) => {
+                obs.recv_cancelled.inc();
+                return;
+            }
+            Err(RecvError::Io(_)) => {
+                obs.recv_io.inc();
+                return;
+            }
             Err(RecvError::Timeout) => {
+                obs.recv_timeout.inc();
                 let _ = Response::error(408, "request not received before the read deadline")
-                    .write(&mut stream, false);
+                    .write(conn.as_mut(), false);
                 return;
             }
             Err(RecvError::TooLarge) => {
+                obs.recv_too_large.inc();
                 let _ = Response::error(400, "request head exceeds the size limit")
-                    .write(&mut stream, false);
+                    .write(conn.as_mut(), false);
                 return;
             }
             Err(RecvError::Malformed(what)) => {
-                let _ = Response::error(400, &what).write(&mut stream, false);
+                obs.recv_malformed.inc();
+                let _ = Response::error(400, &what).write(conn.as_mut(), false);
                 return;
             }
         }

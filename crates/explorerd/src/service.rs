@@ -32,7 +32,7 @@ use iokc_analysis::{
     write_knowledge, write_line_chart, ChartOptions, MetricAxis, OptionAxis, Series,
 };
 use iokc_core::model::Knowledge;
-use iokc_obs::{Counter, Recorder, SpanStatus};
+use iokc_obs::{Counter, DeadlineToken, Recorder, SpanStatus};
 use iokc_store::{DbError, KnowledgeStore, Query, RunKind, RunOrder, RunPredicate, RunSummary};
 use iokc_util::json::{ArrayWriter, Json};
 
@@ -46,18 +46,28 @@ pub struct Explorer {
     recorder: Arc<Recorder>,
     requests: Counter,
     errors: Counter,
+    deadline_exceeded: Counter,
 }
 
 /// A handler failure that maps onto an HTTP status.
 enum RouteError {
     NotFound(String),
     BadQuery(String),
+    /// The request's deadline budget ran out mid-query; the counters
+    /// carry the scan's partial progress into the `504` body.
+    Deadline {
+        examined: usize,
+        matched: usize,
+    },
     Store(DbError),
 }
 
 impl From<DbError> for RouteError {
     fn from(e: DbError) -> RouteError {
-        RouteError::Store(e)
+        match e {
+            DbError::Cancelled { examined, matched } => RouteError::Deadline { examined, matched },
+            other => RouteError::Store(other),
+        }
     }
 }
 
@@ -78,6 +88,7 @@ impl Explorer {
             cache: Arc::new(QueryCache::new(cache_bytes, &metrics)),
             requests: metrics.counter("explorerd.requests"),
             errors: metrics.counter("explorerd.errors"),
+            deadline_exceeded: metrics.counter("http.deadline_exceeded"),
             recorder,
         }
     }
@@ -94,17 +105,36 @@ impl Explorer {
         self.cache.stats()
     }
 
-    /// Handle one parsed request: route, render, record. Never panics;
-    /// failures become `4xx`/`5xx` responses.
+    /// Handle one parsed request with no deadline budget: route, render,
+    /// record. Never panics; failures become `4xx`/`5xx` responses.
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_deadline(req, &DeadlineToken::default())
+    }
+
+    /// Handle one parsed request under `deadline`. Store query scans
+    /// poll the token; when the budget runs out mid-scan the request
+    /// answers `504` with partial-progress counters instead of pinning
+    /// the worker, and `http.deadline_exceeded` ticks.
+    pub fn handle_deadline(&self, req: &Request, deadline: &DeadlineToken) -> Response {
         self.requests.inc();
         let span =
             self.recorder
                 .start_span("http.request", None, Some("analysis"), Some("explorerd"));
-        let response = match self.route(req) {
+        let response = match self.route(req, deadline) {
             Ok(response) => response,
             Err(RouteError::NotFound(what)) => Response::error(404, &what),
             Err(RouteError::BadQuery(what)) => Response::error(400, &what),
+            Err(RouteError::Deadline { examined, matched }) => {
+                self.deadline_exceeded.inc();
+                let body = Json::obj(vec![
+                    ("error", Json::from("deadline exceeded")),
+                    ("rows_examined", Json::from(examined as u64)),
+                    ("rows_matched", Json::from(matched as u64)),
+                ]);
+                let mut resp = Response::json(&body);
+                resp.status = 504;
+                resp
+            }
             Err(RouteError::Store(e)) => {
                 self.errors.inc();
                 Response::error(500, &format!("store error: {e}"))
@@ -130,7 +160,7 @@ impl Explorer {
         response
     }
 
-    fn route(&self, req: &Request) -> RouteResult {
+    fn route(&self, req: &Request, deadline: &DeadlineToken) -> RouteResult {
         if req.method != "GET" {
             let mut resp = Response::error(405, "only GET is supported");
             resp.headers.push(("Allow", "GET".to_owned()));
@@ -138,10 +168,18 @@ impl Explorer {
         }
         let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
         match segments.as_slice() {
-            [] => self.cached_html(req.normalized(), index_page),
-            ["metrics"] => Ok(Response::json(&self.recorder.metrics().to_json())),
+            [] => {
+                let deadline = deadline.clone();
+                self.cached_html(req.normalized(), move |store, out| {
+                    index_page(store, &deadline, out)
+                })
+            }
+            ["metrics"] => {
+                self.export_health_gauges();
+                Ok(Response::json(&self.recorder.metrics().to_json()))
+            }
             ["healthz"] => self.healthz(),
-            ["api", "runs"] => self.api_runs(req),
+            ["api", "runs"] => self.api_runs(req, deadline),
             ["api", "runs", id] => {
                 let id = parse_run_id(id)?;
                 self.cached_json(req.normalized(), move |store| {
@@ -160,14 +198,16 @@ impl Explorer {
             }
             ["api", "compare"] => {
                 let spec = CompareSpec::from_request(req)?;
+                let deadline = deadline.clone();
                 self.cached_json(spec.cache_key("/api/compare"), move |store| {
-                    compare_json(store, &spec)
+                    compare_json(store, &spec, &deadline)
                 })
             }
             ["api", "boxplot"] => {
                 let op = req.param("op").unwrap_or("write").to_owned();
+                let deadline = deadline.clone();
                 self.cached_json(format!("/api/boxplot:op={op}"), move |store| {
-                    boxplot_json(store, &op)
+                    boxplot_json(store, &op, &deadline)
                 })
             }
             ["runs", id] => {
@@ -182,14 +222,16 @@ impl Explorer {
             }
             ["compare"] => {
                 let spec = CompareSpec::from_request(req)?;
+                let deadline = deadline.clone();
                 self.cached_html(spec.cache_key("/compare"), move |store, out| {
-                    compare_page(store, &spec, out)
+                    compare_page(store, &spec, &deadline, out)
                 })
             }
             ["boxplot"] => {
                 let op = req.param("op").unwrap_or("write").to_owned();
+                let deadline = deadline.clone();
                 self.cached_html(format!("/boxplot:op={op}"), move |store, out| {
-                    boxplot_page(store, &op, out)
+                    boxplot_page(store, &op, &deadline, out)
                 })
             }
             _ => Err(RouteError::NotFound(format!(
@@ -215,6 +257,40 @@ impl Explorer {
             fields.push(("detail", Json::from(detail)));
         }
         Ok(Response::json(&Json::obj(fields)))
+    }
+
+    /// Mirror `/healthz` into gauges so `/metrics` alone tells the whole
+    /// story: `store.health.{ok,recovered,degraded}` are a one-hot
+    /// encoding of the store's health, and `store.read_only` flags
+    /// read-only (degraded) operation.
+    fn export_health_gauges(&self) {
+        let Ok(store) = self.store.read() else {
+            return;
+        };
+        let status = store.health().status();
+        let metrics = self.recorder.metrics();
+        metrics
+            .gauge("store.health.ok")
+            .set(u64::from(status == "ok"));
+        metrics
+            .gauge("store.health.recovered")
+            .set(u64::from(status == "recovered"));
+        metrics
+            .gauge("store.health.degraded")
+            .set(u64::from(status == "degraded"));
+        metrics
+            .gauge("store.read_only")
+            .set(u64::from(store.is_read_only()));
+    }
+
+    /// Is the store currently degraded? The server's circuit breaker
+    /// fast-fails expensive endpoints while this is true.
+    #[must_use]
+    pub fn store_degraded(&self) -> bool {
+        self.store
+            .read()
+            .map(|store| store.health().status() == "degraded")
+            .unwrap_or(true)
     }
 
     /// Read-through JSON endpoint: serve from cache or render under the
@@ -267,7 +343,7 @@ impl Explorer {
     /// store, so a cache miss *streams* the JSON array into the socket
     /// chunk by chunk through [`ArrayWriter`], teeing the bytes into
     /// the cache rather than materializing the body up front.
-    fn api_runs(&self, req: &Request) -> RouteResult {
+    fn api_runs(&self, req: &Request, deadline: &DeadlineToken) -> RouteResult {
         let query = RunsQuery::from_request(req)?.to_query();
         // The cache keys on the *typed* query: `?api=X&sort=id` and
         // `?sort=id&api=X` (or an explicit `order=asc`) land on the
@@ -279,7 +355,7 @@ impl Explorer {
             return Ok(Response::full(content_type, body));
         }
         let rows: Vec<Json> = store
-            .query_summaries(&query)?
+            .query_summaries_deadline(&query, deadline)?
             .iter()
             .map(summary_row)
             .collect();
@@ -561,14 +637,19 @@ impl CompareSpec {
     fn points(
         &self,
         store: &KnowledgeStore,
+        deadline: &DeadlineToken,
     ) -> Result<Vec<iokc_analysis::ComparisonPoint>, RouteError> {
-        let rows = store.query_summaries(&Query::new(self.predicate.clone()))?;
+        let rows = store.query_summaries_deadline(&Query::new(self.predicate.clone()), deadline)?;
         Ok(compare_summaries(&rows, self.x, &self.y))
     }
 }
 
-fn compare_json(store: &KnowledgeStore, spec: &CompareSpec) -> Result<Json, RouteError> {
-    let points = spec.points(store)?;
+fn compare_json(
+    store: &KnowledgeStore,
+    spec: &CompareSpec,
+    deadline: &DeadlineToken,
+) -> Result<Json, RouteError> {
+    let points = spec.points(store, deadline)?;
     Ok(Json::obj(vec![
         ("x_label", Json::from(spec.x.label())),
         ("y_label", Json::from(spec.y.label())),
@@ -594,8 +675,13 @@ fn compare_json(store: &KnowledgeStore, spec: &CompareSpec) -> Result<Json, Rout
 
 // -------------------------------------------------------------- /api/boxplot
 
-fn boxplot_json(store: &KnowledgeStore, op: &str) -> Result<Json, RouteError> {
-    let boxes = overview_series(&store.boxplot_series(&RunPredicate::True, op)?);
+fn boxplot_json(
+    store: &KnowledgeStore,
+    op: &str,
+    deadline: &DeadlineToken,
+) -> Result<Json, RouteError> {
+    let boxes =
+        overview_series(&store.boxplot_series_deadline(&RunPredicate::True, op, deadline)?);
     Ok(Json::obj(vec![
         ("operation", Json::from(op)),
         (
@@ -643,9 +729,13 @@ fn page_close(out: &mut String) {
     out.push_str("</body></html>\n");
 }
 
-fn index_page(store: &KnowledgeStore, out: &mut String) -> Result<(), RouteError> {
+fn index_page(
+    store: &KnowledgeStore,
+    deadline: &DeadlineToken,
+    out: &mut String,
+) -> Result<(), RouteError> {
     // The listing needs only the projection rows, never the full join.
-    let rows = store.query_summaries(&Query::all())?;
+    let rows = store.query_summaries_deadline(&Query::all(), deadline)?;
     page_open("iokc knowledge explorer", out);
     out.push_str(
         "<p><a href=\"/api/runs\">/api/runs</a> · <a href=\"/compare\">/compare</a> · \
@@ -738,9 +828,10 @@ fn io500_page(store: &KnowledgeStore, id: u64, out: &mut String) -> Result<(), R
 fn compare_page(
     store: &KnowledgeStore,
     spec: &CompareSpec,
+    deadline: &DeadlineToken,
     out: &mut String,
 ) -> Result<(), RouteError> {
-    let points = spec.points(store)?;
+    let points = spec.points(store, deadline)?;
     page_open("comparison", out);
     if points.is_empty() {
         out.push_str("<p>no comparable knowledge for this selection</p>\n");
@@ -764,8 +855,14 @@ fn compare_page(
     Ok(())
 }
 
-fn boxplot_page(store: &KnowledgeStore, op: &str, out: &mut String) -> Result<(), RouteError> {
-    let boxes = overview_series(&store.boxplot_series(&RunPredicate::True, op)?);
+fn boxplot_page(
+    store: &KnowledgeStore,
+    op: &str,
+    deadline: &DeadlineToken,
+    out: &mut String,
+) -> Result<(), RouteError> {
+    let boxes =
+        overview_series(&store.boxplot_series_deadline(&RunPredicate::True, op, deadline)?);
     page_open(&format!("throughput overview — {op}"), out);
     if boxes.is_empty() {
         out.push_str("<p>no runs with this operation</p>\n");

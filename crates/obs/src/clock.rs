@@ -9,7 +9,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A shared virtual clock: a monotonically advancing nanosecond counter.
 ///
@@ -130,6 +130,79 @@ impl CancelToken {
     }
 }
 
+/// A cancellation token with an optional wall-clock budget attached.
+///
+/// This is the unit of *deadline propagation*: a server hands each
+/// request a `DeadlineToken` built from its `--request-deadline-ms`
+/// budget, and every long-running loop downstream (store query scans,
+/// render paths) polls [`DeadlineToken::should_stop`] instead of the
+/// bare [`CancelToken`]. The token trips either when the shared cancel
+/// flag is raised (shutdown) or when the budget is exhausted (overload),
+/// and the two causes are distinguishable via [`DeadlineToken::expired`].
+#[derive(Debug, Clone)]
+pub struct DeadlineToken {
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+}
+
+impl Default for DeadlineToken {
+    fn default() -> DeadlineToken {
+        DeadlineToken::unbounded(CancelToken::new())
+    }
+}
+
+impl DeadlineToken {
+    /// A token with no time budget: it only stops when `cancel` fires.
+    #[must_use]
+    pub fn unbounded(cancel: CancelToken) -> DeadlineToken {
+        DeadlineToken {
+            cancel,
+            deadline: None,
+        }
+    }
+
+    /// A token whose budget runs out `budget` from now.
+    ///
+    /// A zero budget produces a token that is expired from birth, which
+    /// is occasionally useful in tests to exercise timeout paths
+    /// deterministically.
+    #[must_use]
+    pub fn with_budget(cancel: CancelToken, budget: Duration) -> DeadlineToken {
+        DeadlineToken {
+            cancel,
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+
+    /// The underlying shared cancellation token.
+    #[must_use]
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Has the wall-clock budget run out? (False for unbounded tokens.)
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Should work stop now, for either reason (cancelled or expired)?
+    #[must_use]
+    pub fn should_stop(&self) -> bool {
+        self.cancel.is_cancelled() || self.expired()
+    }
+
+    /// Time left in the budget; `None` when unbounded.
+    ///
+    /// Saturates at zero once expired, so callers can feed the result
+    /// straight into socket timeouts without sign checks.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
 mod tests {
@@ -166,5 +239,34 @@ mod tests {
         assert!(!alias.is_cancelled());
         token.cancel();
         assert!(alias.is_cancelled());
+    }
+
+    #[test]
+    fn unbounded_deadline_only_stops_on_cancel() {
+        let cancel = CancelToken::new();
+        let token = DeadlineToken::unbounded(cancel.clone());
+        assert!(!token.should_stop());
+        assert!(!token.expired());
+        assert!(token.remaining().is_none());
+        cancel.cancel();
+        assert!(token.should_stop());
+        assert!(!token.expired());
+    }
+
+    #[test]
+    fn zero_budget_is_expired_from_birth() {
+        let token = DeadlineToken::with_budget(CancelToken::new(), Duration::ZERO);
+        assert!(token.expired());
+        assert!(token.should_stop());
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+        assert!(!token.cancel_token().is_cancelled());
+    }
+
+    #[test]
+    fn generous_budget_is_not_expired_immediately() {
+        let token = DeadlineToken::with_budget(CancelToken::new(), Duration::from_secs(3600));
+        assert!(!token.expired());
+        assert!(!token.should_stop());
+        assert!(token.remaining().unwrap() > Duration::from_secs(3500));
     }
 }

@@ -33,8 +33,8 @@ pub mod metrics;
 pub mod recorder;
 pub mod trace;
 
-pub use clock::{CancelToken, Clock, VirtualClock};
+pub use clock::{CancelToken, Clock, DeadlineToken, VirtualClock};
 pub use event::{Event, EventKind, EventSink, MemorySink, NullSink, SpanStatus};
-pub use metrics::{Counter, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use recorder::{Recorder, SpanHandle, SpanId};
 pub use trace::{build_span_tree, phase_latency, PhaseLatencyRow, SpanNode, TraceTree};

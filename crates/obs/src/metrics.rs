@@ -40,6 +40,31 @@ impl Counter {
     }
 }
 
+/// A settable gauge handle: the last written value wins.
+///
+/// Counters only go up, which makes them useless for *state* — "is the
+/// store degraded right now", "is the connection read-only". A gauge is
+/// the scraper-facing answer: whoever renders `/metrics` sets it to the
+/// current state immediately before dumping, and the dump reflects now,
+/// not history.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Overwrite the gauge with `value`.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
 /// Number of log₂ buckets; covers values up to 2⁶². The last bucket is
 /// the overflow bucket.
 const BUCKETS: usize = 64;
@@ -178,6 +203,7 @@ impl HistogramSnapshot {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -196,6 +222,18 @@ impl MetricsRegistry {
             return counter.clone();
         }
         write_lock(&self.counters)
+            .entry(name.to_owned())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use (initial value 0).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(gauge) = read_lock(&self.gauges).get(name) {
+            return gauge.clone();
+        }
+        write_lock(&self.gauges)
             .entry(name.to_owned())
             .or_default()
             .clone()
@@ -228,6 +266,15 @@ impl MetricsRegistry {
             .collect()
     }
 
+    /// Every gauge as `(name, value)`, sorted by name.
+    #[must_use]
+    pub fn gauges(&self) -> Vec<(String, u64)> {
+        read_lock(&self.gauges)
+            .iter()
+            .map(|(name, gauge)| (name.clone(), gauge.get()))
+            .collect()
+    }
+
     /// Every histogram as `(name, snapshot)`, sorted by name.
     #[must_use]
     pub fn histograms(&self) -> Vec<(String, HistogramSnapshot)> {
@@ -242,6 +289,12 @@ impl MetricsRegistry {
     pub fn to_json(&self) -> Json {
         let counters = Json::obj(
             self.counters()
+                .iter()
+                .map(|(name, value)| (name.as_str(), Json::from(*value)))
+                .collect(),
+        );
+        let gauges = Json::obj(
+            self.gauges()
                 .iter()
                 .map(|(name, value)| (name.as_str(), Json::from(*value)))
                 .collect(),
@@ -279,6 +332,7 @@ impl MetricsRegistry {
         Json::obj(vec![
             ("schema", Json::from(1u64)),
             ("counters", counters),
+            ("gauges", gauges),
             ("histograms", histograms),
         ])
     }
@@ -328,6 +382,27 @@ mod tests {
         let les: Vec<f64> = snap.buckets.iter().map(|(le, _)| *le).collect();
         assert_eq!(les, vec![1.0, 2.0, 4.0, 128.0]);
         assert_eq!(snap.buckets[0].1, 2);
+    }
+
+    #[test]
+    fn gauges_overwrite_and_share_state_by_name() {
+        let registry = MetricsRegistry::new();
+        let g = registry.gauge("store.health.degraded");
+        g.set(1);
+        g.set(0);
+        registry.gauge("store.health.degraded").set(1);
+        assert_eq!(g.get(), 1);
+        assert_eq!(
+            registry.gauges(),
+            vec![("store.health.degraded".to_owned(), 1)]
+        );
+        let doc = iokc_util::json::parse(&registry.to_json().to_pretty()).unwrap();
+        assert_eq!(
+            doc.get("gauges")
+                .and_then(|g| g.get("store.health.degraded"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
     }
 
     #[test]

@@ -234,6 +234,7 @@ fn emit_access(rs: &mut RankScript<'_>, path: &str, offset: u64, len: u64, is_wr
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::config::SystemConfig;

@@ -257,6 +257,7 @@ pub fn bytes_per_target(block: u64, chunk: u64, stripe: u32) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1154,6 +1154,7 @@ impl NodeCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::script::StripeHint;

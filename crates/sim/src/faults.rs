@@ -242,6 +242,7 @@ impl CrashSchedule {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -148,6 +148,7 @@ pub fn solve_rates(capacities: &[f64], flows: &[FlowPath]) -> Vec<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -159,6 +159,7 @@ impl PhaseResult {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::script::OpKind;

@@ -391,6 +391,7 @@ impl PathTable {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_util::units::MIB;

@@ -399,6 +399,7 @@ pub fn parent_dir(path: &str) -> &str {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -144,6 +144,15 @@ pub enum DbError {
     /// The store is serving in degraded, read-only mode and refused a
     /// write.
     ReadOnly(String),
+    /// A query was stopped mid-scan because its deadline budget ran out
+    /// or cancellation was requested. Carries partial-progress counters
+    /// so callers can report how far the scan got.
+    Cancelled {
+        /// Rows examined before the query stopped.
+        examined: usize,
+        /// Rows that had matched before the query stopped.
+        matched: usize,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -182,6 +191,12 @@ impl fmt::Display for DbError {
             DbError::Full(msg) => write!(f, "storage full: {msg}"),
             DbError::Io(msg) => write!(f, "i/o error: {msg}"),
             DbError::ReadOnly(msg) => write!(f, "store is read-only: {msg}"),
+            DbError::Cancelled { examined, matched } => {
+                write!(
+                    f,
+                    "query cancelled after examining {examined} rows ({matched} matched)"
+                )
+            }
         }
     }
 }

@@ -29,7 +29,7 @@
 use crate::database::{Database, DbError, OrderBy, Predicate, Row};
 use crate::knowledge_store::KnowledgeStore;
 use crate::value::Value;
-use iokc_obs::{Counter, Recorder, SpanStatus};
+use iokc_obs::{Counter, DeadlineToken, Recorder, SpanStatus};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -485,6 +485,7 @@ pub(crate) struct QueryObs {
     pub(crate) full_scans: Counter,
     pub(crate) rows_pruned: Counter,
     pub(crate) knowledge_deserialized: Counter,
+    pub(crate) cancelled: Counter,
 }
 
 impl QueryObs {
@@ -496,6 +497,7 @@ impl QueryObs {
             full_scans: metrics.counter("store.query.full_scans"),
             rows_pruned: metrics.counter("store.query.rows_pruned"),
             knowledge_deserialized: metrics.counter("store.query.knowledge_deserialized"),
+            cancelled: metrics.counter("store.query_cancelled"),
             recorder,
         }
     }
@@ -830,12 +832,47 @@ impl KnowledgeStore {
         self.execute(query, false)
     }
 
+    /// [`KnowledgeStore::query_ids`] under a deadline: the scan polls
+    /// `deadline` between row probes and stops with
+    /// [`DbError::Cancelled`] (partial-progress counters included) the
+    /// moment the budget runs out or cancellation fires. Counted in
+    /// `store.query_cancelled`.
+    pub fn query_ids_deadline(
+        &self,
+        query: &Query,
+        deadline: &DeadlineToken,
+    ) -> Result<Vec<RunRef>, DbError> {
+        self.execute_deadline(query, false, Some(deadline))
+    }
+
     /// Execute a query, materializing the cheap [`RunSummary`]
     /// projection for each matched run (no `results`, `filesystems`,
     /// `systeminfos` or full-`Knowledge` deserialization).
     pub fn query_summaries(&self, query: &Query) -> Result<Vec<RunSummary>, DbError> {
         let refs = self.execute(query, false)?;
         refs.iter().map(|r| self.summarize(*r)).collect()
+    }
+
+    /// [`KnowledgeStore::query_summaries`] under a deadline; the scan
+    /// *and* the per-row projection both poll `deadline`.
+    pub fn query_summaries_deadline(
+        &self,
+        query: &Query,
+        deadline: &DeadlineToken,
+    ) -> Result<Vec<RunSummary>, DbError> {
+        let refs = self.execute_deadline(query, false, Some(deadline))?;
+        let mut rows = Vec::with_capacity(refs.len());
+        for (done, r) in refs.iter().enumerate() {
+            if deadline.should_stop() {
+                self.obs.cancelled.inc();
+                return Err(DbError::Cancelled {
+                    examined: refs.len(),
+                    matched: done,
+                });
+            }
+            rows.push(self.summarize(*r)?);
+        }
+        Ok(rows)
     }
 
     /// Execute a query and *fully deserialize* every matched run — the
@@ -890,14 +927,43 @@ impl KnowledgeStore {
         predicate: &RunPredicate,
         operation: &str,
     ) -> Result<Vec<(String, Vec<f64>)>, DbError> {
+        self.boxplot_series_inner(predicate, operation, None)
+    }
+
+    /// [`KnowledgeStore::boxplot_series`] under a deadline; polled
+    /// between runs, since each run fans out into `summaries` and
+    /// `results` selects.
+    pub fn boxplot_series_deadline(
+        &self,
+        predicate: &RunPredicate,
+        operation: &str,
+        deadline: &DeadlineToken,
+    ) -> Result<Vec<(String, Vec<f64>)>, DbError> {
+        self.boxplot_series_inner(predicate, operation, Some(deadline))
+    }
+
+    fn boxplot_series_inner(
+        &self,
+        predicate: &RunPredicate,
+        operation: &str,
+        deadline: Option<&DeadlineToken>,
+    ) -> Result<Vec<(String, Vec<f64>)>, DbError> {
         let query = Query::new(
             RunPredicate::Kind(RunKind::Benchmark)
                 .and(RunPredicate::HasOp(operation.to_owned()))
                 .and(predicate.clone()),
         );
-        let refs = self.execute(&query, false)?;
+        let refs = self.execute_deadline(&query, false, deadline)?;
+        let total = refs.len();
         let mut out = Vec::with_capacity(refs.len());
-        for r in refs {
+        for (done, r) in refs.into_iter().enumerate() {
+            if deadline.is_some_and(DeadlineToken::should_stop) {
+                self.obs.cancelled.inc();
+                return Err(DbError::Cancelled {
+                    examined: total,
+                    matched: done,
+                });
+            }
             let Some(row) = self.db.get("performances", r.id as i64)? else {
                 continue;
             };
@@ -1020,11 +1086,25 @@ impl KnowledgeStore {
     /// offset/limit. `force_scan` disables index planning — the
     /// equivalence oracle the property tests compare against.
     pub(crate) fn execute(&self, query: &Query, force_scan: bool) -> Result<Vec<RunRef>, DbError> {
+        self.execute_deadline(query, force_scan, None)
+    }
+
+    /// [`KnowledgeStore::execute`] with an optional deadline polled
+    /// between row probes. A `None` deadline never stops the scan.
+    pub(crate) fn execute_deadline(
+        &self,
+        query: &Query,
+        force_scan: bool,
+        deadline: Option<&DeadlineToken>,
+    ) -> Result<Vec<RunRef>, DbError> {
         let span =
             self.obs
                 .recorder
                 .start_span("store.query", None, Some("analysis"), Some("store"));
-        let result = self.execute_inner(query, force_scan);
+        let result = self.execute_inner(query, force_scan, deadline);
+        if matches!(result, Err(DbError::Cancelled { .. })) {
+            self.obs.cancelled.inc();
+        }
         self.obs.recorder.end_span(
             &span,
             if result.is_ok() {
@@ -1036,7 +1116,12 @@ impl KnowledgeStore {
         result
     }
 
-    fn execute_inner(&self, query: &Query, force_scan: bool) -> Result<Vec<RunRef>, DbError> {
+    fn execute_inner(
+        &self,
+        query: &Query,
+        force_scan: bool,
+        deadline: Option<&DeadlineToken>,
+    ) -> Result<Vec<RunRef>, DbError> {
         self.obs.queries.inc();
         let mut matched: Vec<Matched> = Vec::new();
         let mut examined = 0usize;
@@ -1074,6 +1159,16 @@ impl KnowledgeStore {
                 }
             };
             for id in ids {
+                // Poll the deadline per candidate row: each probe is at
+                // least one table `get`, so the poll is cheap relative
+                // to the work it bounds, and a runaway scan stops within
+                // one row of the budget expiring.
+                if deadline.is_some_and(DeadlineToken::should_stop) {
+                    return Err(DbError::Cancelled {
+                        examined,
+                        matched: matched.len(),
+                    });
+                }
                 match kind {
                     RunKind::Benchmark => {
                         let Some(mut probe) = BenchProbe::fetch(&self.db, id)? else {
@@ -1372,6 +1467,61 @@ mod tests {
         assert_eq!(series[0].0, "ior -a posix");
         assert_eq!(series[0].1, vec![100.0, 101.0]);
         assert_eq!(series[1].1, vec![200.0, 201.0]);
+    }
+
+    #[test]
+    fn exhausted_deadline_cancels_scans_with_progress_counters() {
+        use iokc_obs::CancelToken;
+        use std::time::Duration;
+        let mut store = seeded();
+        let recorder = Arc::new(Recorder::disabled());
+        store.attach_recorder(Arc::clone(&recorder));
+        let cancelled = recorder.metrics().counter("store.query_cancelled");
+
+        let expired = DeadlineToken::with_budget(CancelToken::new(), Duration::ZERO);
+        let err = store
+            .query_ids_deadline(&Query::all(), &expired)
+            .unwrap_err();
+        assert!(matches!(err, DbError::Cancelled { .. }), "{err}");
+        assert_eq!(cancelled.get(), 1);
+
+        let err = store
+            .query_summaries_deadline(&Query::all(), &expired)
+            .unwrap_err();
+        assert!(matches!(err, DbError::Cancelled { .. }), "{err}");
+        let err = store
+            .boxplot_series_deadline(&RunPredicate::True, "write", &expired)
+            .unwrap_err();
+        assert!(matches!(err, DbError::Cancelled { .. }), "{err}");
+        assert_eq!(cancelled.get(), 3);
+
+        // A cancelled token stops scans too, and the partial-progress
+        // display names how far it got.
+        let token = CancelToken::new();
+        token.cancel();
+        let err = store
+            .query_ids_deadline(&Query::all(), &DeadlineToken::unbounded(token))
+            .unwrap_err();
+        assert!(err.to_string().contains("query cancelled"), "{err}");
+
+        // An unbounded, un-cancelled token runs to completion and does
+        // not bump the counter.
+        let open = DeadlineToken::unbounded(CancelToken::new());
+        assert_eq!(
+            store
+                .query_ids_deadline(&Query::all(), &open)
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(
+            store
+                .query_summaries_deadline(&Query::all(), &open)
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(cancelled.get(), 4);
     }
 
     #[test]

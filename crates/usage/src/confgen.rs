@@ -222,6 +222,7 @@ impl UsageModule for RegenerateUsage {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -203,6 +203,7 @@ pub fn train_bandwidth_model(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_core::model::{KnowledgeSource, OperationSummary};

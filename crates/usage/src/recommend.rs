@@ -176,6 +176,7 @@ impl UsageModule for RecommendationUsage {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -133,6 +133,7 @@ fn size(bytes: u64) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_core::model::KnowledgeSource;

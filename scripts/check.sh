@@ -25,10 +25,20 @@ cargo clippy -p iokc-store --all-targets -- -D warnings -D clippy::unwrap_used
 echo "==> cargo clippy -p iokc-obs (unwraps are errors)"
 cargo clippy -p iokc-obs --all-targets -- -D warnings -D clippy::unwrap_used
 
+# Analysis, usage, and simulation produce the knowledge every other
+# layer consumes; a panic there poisons the whole cycle.
+echo "==> cargo clippy -p iokc-analysis -p iokc-usage -p iokc-sim (unwraps are errors)"
+cargo clippy -p iokc-analysis -p iokc-usage -p iokc-sim --all-targets -- -D warnings -D clippy::unwrap_used
+
 # Crash-consistency: enumerate every crash point of the mixed workload
 # and verify each post-crash disk image recovers an acknowledged prefix.
 echo "==> crash-consistency suite"
 cargo test -p iokc-integration --test crash_consistency -q
+
+# Network chaos: fault-injected transports, misbehaving clients,
+# deadline budgets, and admission control against the explorer service.
+echo "==> explorerd chaos suite"
+cargo test -p iokc-integration --test explorerd_chaos -q
 
 # Bench smoke: the vendored criterion runs each bench body once under
 # `cargo test`, so regressions in the bench harnesses fail fast here.

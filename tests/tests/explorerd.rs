@@ -447,6 +447,135 @@ fn healthz_reports_a_healthy_store() {
     let health = parse_json(&body);
     assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
     assert!(matches!(health.get("read_only"), Some(Json::Bool(false))));
+
+    // /metrics mirrors the health as a one-hot gauge set, so a scraper
+    // needs only one endpoint.
+    let (status, body) = get(server.local_addr(), "/metrics");
+    assert_eq!(status, 200);
+    let gauges = parse_json(&body).get("gauges").cloned().expect("gauges");
+    assert!(matches!(gauges.get("store.health.ok"), Some(Json::Num(n)) if *n == 1.0));
+    assert!(matches!(gauges.get("store.health.degraded"), Some(Json::Num(n)) if *n == 0.0));
+    assert!(matches!(gauges.get("store.read_only"), Some(Json::Num(n)) if *n == 0.0));
+    server.shutdown();
+}
+
+/// Read exactly one response from a keep-alive connection: head up to
+/// `\r\n\r\n`, then `Content-Length` body bytes — without waiting for
+/// EOF, so the connection stays usable. Returns `(status, head, body)`.
+fn read_keep_alive_response(stream: &mut TcpStream) -> (u16, String, Vec<u8>) {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 1024];
+    let split = loop {
+        if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut buf).expect("response head");
+        assert!(n > 0, "connection closed before a full head");
+        raw.extend_from_slice(&buf[..n]);
+    };
+    let head = String::from_utf8_lossy(&raw[..split]).to_string();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let content_length: usize = head
+        .to_ascii_lowercase()
+        .lines()
+        .find_map(|l| {
+            l.strip_prefix("content-length:")
+                .map(str::trim)
+                .map(String::from)
+        })
+        .expect("keep-alive responses carry Content-Length")
+        .parse()
+        .expect("numeric Content-Length");
+    let mut body = raw[split + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut buf).expect("response body");
+        assert!(n > 0, "connection closed mid-body");
+        body.extend_from_slice(&buf[..n]);
+    }
+    assert_eq!(
+        body.len(),
+        content_length,
+        "no trailing bytes past the body"
+    );
+    (status, head, body)
+}
+
+#[test]
+fn keep_alive_connection_survives_error_responses() {
+    // Regression: a 404 or a bad-query 400 must leave the connection in
+    // a parseable state — correctly framed with Content-Length and the
+    // connection held open — so the next request on the same socket
+    // still works.
+    let server = start_server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    write!(stream, "GET /api/nope HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let (status, head, _) = read_keep_alive_response(&mut stream);
+    assert_eq!(status, 404);
+    assert!(
+        head.to_ascii_lowercase().contains("connection: keep-alive"),
+        "404 keeps the connection: {head}"
+    );
+
+    write!(
+        stream,
+        "GET /api/runs?sort=bogus HTTP/1.1\r\nHost: t\r\n\r\n"
+    )
+    .unwrap();
+    let (status, head, _) = read_keep_alive_response(&mut stream);
+    assert_eq!(status, 400, "bad query on a parsed request");
+    assert!(
+        head.to_ascii_lowercase().contains("connection: keep-alive"),
+        "bad-query 400 keeps the connection: {head}"
+    );
+
+    // The same socket still serves a normal request afterwards.
+    write!(stream, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let (status, _, body) = read_keep_alive_response(&mut stream);
+    assert_eq!(status, 200, "connection survived both error responses");
+    parse_json(&body);
+
+    server.shutdown();
+}
+
+#[test]
+fn parse_level_errors_close_the_connection_explicitly() {
+    // Regression, the other path: when the request *head itself* cannot
+    // be parsed, the framing is unrecoverable — the server must say
+    // `Connection: close` and actually close, never leave a half-read
+    // socket pretending to be reusable.
+    let server = start_server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"NOT-HTTP nonsense\r\n\r\n").unwrap();
+    let (status, head, _) = read_keep_alive_response(&mut stream);
+    assert_eq!(status, 400);
+    assert!(
+        head.to_ascii_lowercase().contains("connection: close"),
+        "parse-level 400 declares the close: {head}"
+    );
+    // And the server really does close: the next read is EOF.
+    let mut buf = [0u8; 64];
+    assert_eq!(
+        stream.read(&mut buf).expect("clean EOF after close"),
+        0,
+        "connection is closed after a parse-level 400"
+    );
+
     server.shutdown();
 }
 
@@ -495,6 +624,10 @@ fn degraded_store_serves_reads_and_healthz_says_so() {
     ));
     assert!(counters.get("store.faults_injected").is_some());
     assert!(counters.get("store.fsck_repairs").is_some());
+    let gauges = metrics.get("gauges").expect("schema-1 gauges");
+    assert!(matches!(gauges.get("store.health.degraded"), Some(Json::Num(n)) if *n == 1.0));
+    assert!(matches!(gauges.get("store.health.ok"), Some(Json::Num(n)) if *n == 0.0));
+    assert!(matches!(gauges.get("store.read_only"), Some(Json::Num(n)) if *n == 1.0));
 
     server.shutdown();
     std::fs::remove_dir_all(
