@@ -62,7 +62,7 @@ fn bench_explorerd(c: &mut Criterion) {
         b.iter(|| {
             n += 1;
             let req = request("/api/runs/1", vec![("n".to_owned(), n.to_string())]);
-            let response = explorer.handle(&req);
+            let response = explorer.handle(&req, &iokc_obs::DeadlineToken::unbounded());
             assert_eq!(response.status, 200);
             black_box(body_len(&response.body))
         });
@@ -72,7 +72,7 @@ fn bench_explorerd(c: &mut Criterion) {
     group.bench_function("run_detail_warm_cache", |b| {
         let req = request("/api/runs/1", Vec::new());
         b.iter(|| {
-            let response = explorer.handle(&req);
+            let response = explorer.handle(&req, &iokc_obs::DeadlineToken::unbounded());
             assert_eq!(response.status, 200);
             black_box(body_len(&response.body))
         });
@@ -91,7 +91,7 @@ fn bench_explorerd(c: &mut Criterion) {
                     ("n".to_owned(), n.to_string()),
                 ],
             );
-            let response = explorer.handle(&req);
+            let response = explorer.handle(&req, &iokc_obs::DeadlineToken::unbounded());
             assert_eq!(response.status, 200);
             black_box(body_len(&response.body))
         });
@@ -100,7 +100,7 @@ fn bench_explorerd(c: &mut Criterion) {
     group.bench_function("boxplot_warm_cache", |b| {
         let req = request("/api/boxplot", vec![("op".to_owned(), "write".to_owned())]);
         b.iter(|| {
-            let response = explorer.handle(&req);
+            let response = explorer.handle(&req, &iokc_obs::DeadlineToken::unbounded());
             assert_eq!(response.status, 200);
             black_box(body_len(&response.body))
         });

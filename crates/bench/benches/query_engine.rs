@@ -12,7 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use iokc_core::model::{
     IterationResult, Knowledge, KnowledgeItem, KnowledgeSource, OperationSummary,
 };
-use iokc_store::{KnowledgeStore, Query, RunKind, RunOrder, RunPredicate};
+use iokc_store::{DeadlineToken, KnowledgeStore, Query, RunKind, RunOrder, RunPredicate};
 use std::hint::black_box;
 
 /// One synthetic benchmark run with realistic weight: two operation
@@ -74,8 +74,7 @@ fn selective() -> RunPredicate {
 }
 
 fn load_all_matches(store: &KnowledgeStore) -> usize {
-    #[allow(deprecated)]
-    let items = store.load_all_items().unwrap();
+    let items = store.query_items(&Query::all()).unwrap();
     items
         .iter()
         .filter(|item| match item {
@@ -100,7 +99,9 @@ fn bench_query_engine(c: &mut Criterion) {
     group.bench_function("filtered_1k_engine", |b| {
         let q = Query::new(selective());
         b.iter(|| {
-            let rows = store.query_summaries(&q).unwrap();
+            let rows = store
+                .query_summaries(&q, &DeadlineToken::unbounded())
+                .unwrap();
             assert_eq!(rows.len(), expected);
             black_box(rows.len())
         });
@@ -118,7 +119,9 @@ fn bench_query_engine(c: &mut Criterion) {
             .descending()
             .limit(10);
         b.iter(|| {
-            let rows = store.query_summaries(&q).unwrap();
+            let rows = store
+                .query_summaries(&q, &DeadlineToken::unbounded())
+                .unwrap();
             assert_eq!(rows.len(), 10);
             black_box(rows.last().map(|r| r.bandwidth()))
         });
@@ -127,8 +130,7 @@ fn bench_query_engine(c: &mut Criterion) {
     // …versus load everything, sort in memory, truncate.
     group.bench_function("top10_bandwidth_load_all", |b| {
         b.iter(|| {
-            #[allow(deprecated)]
-            let items = store.load_all_items().unwrap();
+            let items = store.query_items(&Query::all()).unwrap();
             let mut bws: Vec<f64> = items
                 .iter()
                 .filter_map(|item| match item {
@@ -152,5 +154,101 @@ fn bench_query_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_engine);
+/// Corpus-scale tier (DESIGN.md §6b): `open()`, point lookup, the
+/// selective filter, and batched ingest against a *segmented* on-disk
+/// corpus (in-memory VFS — identical code path to a real disk without
+/// timing the kernel). The default 2 000-run corpus keeps the CI smoke
+/// fast; `IOKC_BENCH_SCALE=100000` reproduces the tier recorded in
+/// `BENCH_store_scale.json`. Because `open()` maps segment metadata
+/// instead of bulk-rebuilding `RunIndexes`, its cost tracks the segment
+/// count, not the corpus size.
+fn bench_store_scale(c: &mut Criterion) {
+    use iokc_store::{FaultVfs, Vfs};
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    let runs: usize = std::env::var("IOKC_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    const SEAL: usize = 1_024;
+    let path = PathBuf::from("/bench-corpus.json");
+    let vfs = Arc::new(FaultVfs::pristine());
+
+    // Populate through `save_batch`: each batch shares one flush, and
+    // the active generation seals into a segment whenever it crosses
+    // the threshold — the exact write path a fleet ingester exercises.
+    let mut store =
+        KnowledgeStore::open_with_vfs(path.clone(), Arc::clone(&vfs) as Arc<dyn Vfs>).unwrap();
+    store.set_seal_threshold(SEAL);
+    let mut ingested = 0;
+    while ingested < runs {
+        let batch: Vec<KnowledgeItem> = (ingested..(ingested + SEAL).min(runs))
+            .map(|i| KnowledgeItem::Benchmark(knowledge(i)))
+            .collect();
+        ingested += batch.len();
+        store.save_batch(&batch).unwrap();
+    }
+    let segments = store.segment_metas().len();
+    drop(store);
+
+    let mut group = c.benchmark_group("store_scale");
+    group.sample_size(10);
+
+    // Cold open: manifest + segment metadata only, no bulk rebuild.
+    group.bench_function(format!("open_{runs}"), |b| {
+        b.iter(|| {
+            let reopened =
+                KnowledgeStore::open_with_vfs(path.clone(), Arc::clone(&vfs) as Arc<dyn Vfs>)
+                    .unwrap();
+            assert_eq!(reopened.segment_metas().len(), segments);
+            black_box(reopened.generation())
+        });
+    });
+
+    let store =
+        KnowledgeStore::open_with_vfs(path.clone(), Arc::clone(&vfs) as Arc<dyn Vfs>).unwrap();
+
+    // Point lookup: bloom filters route the probe past non-matching
+    // segments; only the owning segment's body is consulted.
+    let mid = (runs as u64).max(2) / 2;
+    group.bench_function(format!("point_lookup_{runs}"), |b| {
+        b.iter(|| {
+            let k = store.load_knowledge(mid).unwrap();
+            assert!(k.is_some());
+            black_box(k.map(|k| k.results.len()))
+        });
+    });
+
+    // Selective filter over the whole corpus (summary projections).
+    group.bench_function(format!("selective_filter_{runs}"), |b| {
+        let q = Query::new(selective());
+        b.iter(|| {
+            let rows = store
+                .query_summaries(&q, &DeadlineToken::unbounded())
+                .unwrap();
+            black_box(rows.len())
+        });
+    });
+    drop(store);
+
+    // Steady-state ingest: one 256-run batch appended to the corpus.
+    let mut store =
+        KnowledgeStore::open_with_vfs(path.clone(), Arc::clone(&vfs) as Arc<dyn Vfs>).unwrap();
+    store.set_seal_threshold(SEAL);
+    let mut next = runs;
+    group.bench_function("ingest_batch_256", |b| {
+        b.iter(|| {
+            let batch: Vec<KnowledgeItem> = (next..next + 256)
+                .map(|i| KnowledgeItem::Benchmark(knowledge(i)))
+                .collect();
+            next += 256;
+            black_box(store.save_batch(&batch).unwrap().len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_engine, bench_store_scale);
 criterion_main!(benches);

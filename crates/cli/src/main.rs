@@ -46,7 +46,7 @@ use iokc_obs::{trace as obs_trace, Clock, Event, NullSink, Recorder, VirtualCloc
 use iokc_sim::engine::{JobLayout, World};
 use iokc_sim::faults::FaultPlan;
 use iokc_sim::prelude::SystemConfig;
-use iokc_store::{DbError, KnowledgeStore, Query, RunKind, RunOrder, RunPredicate};
+use iokc_store::{DbError, DeadlineToken, KnowledgeStore, Query, RunKind, RunOrder, RunPredicate};
 use iokc_usage::{recommend, RegenerateUsage};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -473,6 +473,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "sweep" => cmd_sweep(&opts),
         "serve" => cmd_serve(&opts),
         "fsck" => cmd_fsck(&opts),
+        "compact" => cmd_compact(&opts),
         "trace" => cmd_trace(&opts),
         "stack" => {
             print_stack();
@@ -529,6 +530,9 @@ fn print_help() {
          \x20 fsck                  check the knowledge base image and its backup\n\
          \x20                       (--repair to fix, --journal <path> to also salvage\n\
          \x20                       a torn event-journal tail)\n\
+         \x20 compact               merge small sealed segments and drop deleted runs\n\
+         \x20                       from the segmented store (prints the plan and the\n\
+         \x20                       resulting report)\n\
          \x20 trace <journal>       span tree + per-phase latency from a --trace journal\n\
          \x20 stack                 print the simulated parallel I/O stack (Fig. 1)\n\n\
          OPTIONS: --db <path> --tasks <n> --ppn <n> --seed <n> --iterations <n>\n\
@@ -667,6 +671,39 @@ fn cmd_fsck(opts: &Options) -> Result<(), CliError> {
             ),
         })
     }
+}
+
+/// `iokc compact` — offline segment maintenance: merge the sealed
+/// segments into one, dropping tombstoned (deleted) runs and rewriting
+/// the per-segment index blocks. Prints the plan first so operators can
+/// see what a no-op means (one segment, no tombstones: nothing to do).
+fn cmd_compact(opts: &Options) -> Result<(), CliError> {
+    let mut store = open_store(opts)?;
+    let plan = store.compaction_plan();
+    if plan.is_noop() {
+        println!(
+            "compact: nothing to do ({} sealed segment(s), {} tombstone(s))",
+            plan.input_segments.len(),
+            plan.tombstones_to_drop
+        );
+        return Ok(());
+    }
+    println!(
+        "compact: merging segments {:?}, dropping {} tombstone(s)",
+        plan.input_segments, plan.tombstones_to_drop
+    );
+    let report = store.compact().map_err(store_err)?;
+    match report.output_segment {
+        Some(id) => println!(
+            "compact: {} segment(s) -> segment {id}, {} run(s) rewritten, {} tombstone(s) dropped",
+            report.segments_merged, report.runs_rewritten, report.tombstones_dropped
+        ),
+        None => println!(
+            "compact: {} segment(s) merged away entirely ({} tombstone(s) dropped)",
+            report.segments_merged, report.tombstones_dropped
+        ),
+    }
+    Ok(())
 }
 
 fn cmd_serve(opts: &Options) -> Result<(), CliError> {
@@ -934,7 +971,9 @@ fn cmd_list(opts: &Options) -> Result<(), CliError> {
     let store = open_store(opts)?;
     // Summary projection: the listing never needs per-iteration results,
     // so nothing is fully deserialized.
-    let rows = store.query_summaries(&Query::all()).map_err(store_err)?;
+    let rows = store
+        .query_summaries(&Query::all(), &DeadlineToken::unbounded())
+        .map_err(store_err)?;
     if rows.is_empty() {
         println!("knowledge base is empty ({})", opts.db.display());
         return Ok(());
@@ -1040,7 +1079,9 @@ fn cmd_query(opts: &Options) -> Result<(), CliError> {
     if let Some(limit) = opts.limit {
         query = query.limit(limit);
     }
-    let rows = store.query_summaries(&query).map_err(store_err)?;
+    let rows = store
+        .query_summaries(&query, &DeadlineToken::unbounded())
+        .map_err(store_err)?;
     if rows.is_empty() {
         println!("no matching runs");
         return Ok(());
@@ -1109,7 +1150,7 @@ fn cmd_compare(opts: &Options) -> Result<(), CliError> {
         predicate = predicate.and(RunPredicate::CommandContains(text.clone()));
     }
     let rows = store
-        .query_summaries(&Query::new(predicate))
+        .query_summaries(&Query::new(predicate), &DeadlineToken::unbounded())
         .map_err(store_err)?;
     let points = compare_summaries(&rows, axis, &metric);
     if points.is_empty() {
@@ -1175,7 +1216,11 @@ fn cmd_sql(opts: &Options) -> Result<(), CliError> {
         .positional
         .first()
         .ok_or_else(|| CliError::usage("sql needs a query string"))?;
-    match iokc_store::sql::select(store.database(), query).map_err(|e| e.to_string())? {
+    // SQL queries the whole corpus, so materialize a snapshot: the
+    // active generation plus every sealed segment, minus tombstones,
+    // merged into one relational image.
+    let db = store.snapshot().materialize().map_err(store_err)?;
+    match iokc_store::sql::select(&db, query).map_err(|e| e.to_string())? {
         iokc_store::sql::QueryResult::Count(n) => println!("{n}"),
         iokc_store::sql::QueryResult::Rows { columns, rows } => {
             let mut table = iokc_util::table::TextTable::new(columns);

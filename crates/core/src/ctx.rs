@@ -114,7 +114,7 @@ impl PhaseCtx {
             max_attempts,
             span,
             recorder: Arc::clone(recorder),
-            deadline: DeadlineToken::unbounded(cancel.clone()),
+            deadline: DeadlineToken::cancellable(cancel.clone()),
         }
     }
 
@@ -132,7 +132,7 @@ impl PhaseCtx {
             max_attempts: 1,
             span: span.id,
             recorder,
-            deadline: DeadlineToken::unbounded(CancelToken::new()),
+            deadline: DeadlineToken::unbounded(),
         }
     }
 

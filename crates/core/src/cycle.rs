@@ -387,36 +387,6 @@ impl KnowledgeCycle {
         self
     }
 
-    /// Register a generation module.
-    #[deprecated(since = "0.1.0", note = "use register(ModuleBox::generator(…))")]
-    pub fn add_generator(&mut self, module: Box<dyn Generator>) -> &mut Self {
-        self.register(ModuleBox::Generator(module))
-    }
-
-    /// Register an extraction module.
-    #[deprecated(since = "0.1.0", note = "use register(ModuleBox::extractor(…))")]
-    pub fn add_extractor(&mut self, module: Box<dyn Extractor>) -> &mut Self {
-        self.register(ModuleBox::Extractor(module))
-    }
-
-    /// Register a persistence module.
-    #[deprecated(since = "0.1.0", note = "use register(ModuleBox::persister(…))")]
-    pub fn add_persister(&mut self, module: Box<dyn Persister>) -> &mut Self {
-        self.register(ModuleBox::Persister(module))
-    }
-
-    /// Register an analysis module.
-    #[deprecated(since = "0.1.0", note = "use register(ModuleBox::analyzer(…))")]
-    pub fn add_analyzer(&mut self, module: Box<dyn Analyzer>) -> &mut Self {
-        self.register(ModuleBox::Analyzer(module))
-    }
-
-    /// Register a usage module.
-    #[deprecated(since = "0.1.0", note = "use register(ModuleBox::usage(…))")]
-    pub fn add_usage(&mut self, module: Box<dyn UsageModule>) -> &mut Self {
-        self.register(ModuleBox::Usage(module))
-    }
-
     /// Names of registered modules per phase (the registry view). Every
     /// phase appears, in cycle order, with its modules in registration
     /// order — derived from the same single module list that execution
@@ -1183,30 +1153,6 @@ mod tests {
         assert_eq!(registry.len(), 5);
         assert_eq!(registry[0].1, vec!["fake-ior".to_owned()]);
         assert_eq!(registry[2].1, vec!["memory".to_owned()]);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_add_shims_still_register() {
-        let store = Rc::new(RefCell::new(Vec::new()));
-        let mut cycle = KnowledgeCycle::new();
-        cycle
-            .add_generator(Box::new(FakeGenerator {
-                command: "ior".into(),
-                runs: 0,
-            }))
-            .add_extractor(Box::new(FakeExtractor))
-            .add_persister(Box::new(MemPersister {
-                items: store.clone(),
-            }))
-            .add_analyzer(Box::new(CountingAnalyzer))
-            .add_usage(Box::new(OneFollowUp { fired: false }));
-        // The shims land in the same registry as register().
-        let registry = cycle.registry();
-        assert_eq!(registry[0].1, vec!["fake-ior".to_owned()]);
-        let report = cycle.run_once().unwrap();
-        assert_eq!(report.persisted_ids, vec![1]);
-        assert_eq!(store.borrow().len(), 1);
     }
 
     #[test]

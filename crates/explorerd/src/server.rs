@@ -358,7 +358,7 @@ fn handle_connection(
                 {
                     AdmitDecision::Admit => {
                         let deadline = DeadlineToken::with_budget(cancel.clone(), request_deadline);
-                        let response = explorer.handle_deadline(&req, &deadline);
+                        let response = explorer.handle(&req, &deadline);
                         admission.record_outcome(class, response.status < 500);
                         response
                     }

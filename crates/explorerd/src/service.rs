@@ -33,7 +33,9 @@ use iokc_analysis::{
 };
 use iokc_core::model::Knowledge;
 use iokc_obs::{Counter, DeadlineToken, Recorder, SpanStatus};
-use iokc_store::{DbError, KnowledgeStore, Query, RunKind, RunOrder, RunPredicate, RunSummary};
+use iokc_store::{
+    DbError, KnowledgeStore, Query, RunKind, RunOrder, RunPredicate, RunSummary, Snapshot,
+};
 use iokc_util::json::{ArrayWriter, Json};
 
 use crate::cache::{CacheStats, QueryCache};
@@ -105,17 +107,13 @@ impl Explorer {
         self.cache.stats()
     }
 
-    /// Handle one parsed request with no deadline budget: route, render,
-    /// record. Never panics; failures become `4xx`/`5xx` responses.
-    pub fn handle(&self, req: &Request) -> Response {
-        self.handle_deadline(req, &DeadlineToken::default())
-    }
-
-    /// Handle one parsed request under `deadline`. Store query scans
-    /// poll the token; when the budget runs out mid-scan the request
-    /// answers `504` with partial-progress counters instead of pinning
-    /// the worker, and `http.deadline_exceeded` ticks.
-    pub fn handle_deadline(&self, req: &Request, deadline: &DeadlineToken) -> Response {
+    /// Handle one parsed request under `deadline`: route, render, record.
+    /// Pass [`DeadlineToken::unbounded()`] for no budget. Store query
+    /// scans poll the token; when the budget runs out mid-scan the
+    /// request answers `504` with partial-progress counters instead of
+    /// pinning the worker, and `http.deadline_exceeded` ticks. Never
+    /// panics; failures become `4xx`/`5xx` responses.
+    pub fn handle(&self, req: &Request, deadline: &DeadlineToken) -> Response {
         self.requests.inc();
         let span =
             self.recorder
@@ -293,42 +291,50 @@ impl Explorer {
             .unwrap_or(true)
     }
 
-    /// Read-through JSON endpoint: serve from cache or render under the
-    /// store read lock and fill the cache. Typed-query endpoints pass a
-    /// canonical key derived from the parsed query, so two request
-    /// strings that parse identically share one entry.
+    /// Pin a snapshot of the store and release the read lock
+    /// immediately: rendering then runs entirely unlocked against the
+    /// pinned generation, so a slow page never delays ingest (and
+    /// concurrent saves or compaction never tear a response).
+    fn pin(&self) -> Result<Snapshot, RouteError> {
+        let store = self.store.read().map_err(|_| poisoned())?;
+        Ok(store.snapshot())
+    }
+
+    /// Read-through JSON endpoint: serve from cache or render against a
+    /// pinned [`Snapshot`] — outside the store lock — and fill the
+    /// cache. Typed-query endpoints pass a canonical key derived from
+    /// the parsed query, so two request strings that parse identically
+    /// share one entry.
     fn cached_json(
         &self,
         key: String,
-        render: impl FnOnce(&KnowledgeStore) -> Result<Json, RouteError>,
+        render: impl FnOnce(&Snapshot) -> Result<Json, RouteError>,
     ) -> RouteResult {
-        let store = self.store.read().map_err(|_| poisoned())?;
-        let generation = store.generation();
+        let snapshot = self.pin()?;
+        let generation = snapshot.generation();
         if let Some((content_type, body)) = self.cache.get(&key, generation) {
             return Ok(Response::full(content_type, body));
         }
-        let json = render(&store)?;
-        drop(store);
+        let json = render(&snapshot)?;
         let body = Arc::new(json.to_compact().into_bytes());
         self.cache
             .put(&key, generation, "application/json", Arc::clone(&body));
         Ok(Response::full("application/json", body))
     }
 
-    /// Read-through HTML endpoint.
+    /// Read-through HTML endpoint: snapshot-then-render, unlocked.
     fn cached_html(
         &self,
         key: String,
-        render: impl FnOnce(&KnowledgeStore, &mut String) -> Result<(), RouteError>,
+        render: impl FnOnce(&Snapshot, &mut String) -> Result<(), RouteError>,
     ) -> RouteResult {
-        let store = self.store.read().map_err(|_| poisoned())?;
-        let generation = store.generation();
+        let snapshot = self.pin()?;
+        let generation = snapshot.generation();
         if let Some((content_type, body)) = self.cache.get(&key, generation) {
             return Ok(Response::full(content_type, body));
         }
         let mut page = String::new();
-        render(&store, &mut page)?;
-        drop(store);
+        render(&snapshot, &mut page)?;
         let body = Arc::new(page.into_bytes());
         self.cache.put(
             &key,
@@ -349,17 +355,16 @@ impl Explorer {
         // `?sort=id&api=X` (or an explicit `order=asc`) land on the
         // same entry.
         let key = format!("/api/runs:{}", query.cache_key());
-        let store = self.store.read().map_err(|_| poisoned())?;
-        let generation = store.generation();
+        let snapshot = self.pin()?;
+        let generation = snapshot.generation();
         if let Some((content_type, body)) = self.cache.get(&key, generation) {
             return Ok(Response::full(content_type, body));
         }
-        let rows: Vec<Json> = store
-            .query_summaries_deadline(&query, deadline)?
+        let rows: Vec<Json> = snapshot
+            .query_summaries(&query, deadline)?
             .iter()
             .map(summary_row)
             .collect();
-        drop(store);
         let cache = Arc::clone(&self.cache);
         Ok(Response::stream(
             "application/json",
@@ -409,7 +414,7 @@ fn parse_run_id(raw: &str) -> Result<u64, RouteError> {
         .map_err(|_| RouteError::BadQuery(format!("`{raw}` is not a run id")))
 }
 
-fn load_benchmark(store: &KnowledgeStore, id: u64) -> Result<Knowledge, RouteError> {
+fn load_benchmark(store: &Snapshot, id: u64) -> Result<Knowledge, RouteError> {
     store
         .load_knowledge(id)?
         .ok_or_else(|| RouteError::NotFound(format!("no benchmark run {id}")))
@@ -636,16 +641,16 @@ impl CompareSpec {
 
     fn points(
         &self,
-        store: &KnowledgeStore,
+        store: &Snapshot,
         deadline: &DeadlineToken,
     ) -> Result<Vec<iokc_analysis::ComparisonPoint>, RouteError> {
-        let rows = store.query_summaries_deadline(&Query::new(self.predicate.clone()), deadline)?;
+        let rows = store.query_summaries(&Query::new(self.predicate.clone()), deadline)?;
         Ok(compare_summaries(&rows, self.x, &self.y))
     }
 }
 
 fn compare_json(
-    store: &KnowledgeStore,
+    store: &Snapshot,
     spec: &CompareSpec,
     deadline: &DeadlineToken,
 ) -> Result<Json, RouteError> {
@@ -675,13 +680,8 @@ fn compare_json(
 
 // -------------------------------------------------------------- /api/boxplot
 
-fn boxplot_json(
-    store: &KnowledgeStore,
-    op: &str,
-    deadline: &DeadlineToken,
-) -> Result<Json, RouteError> {
-    let boxes =
-        overview_series(&store.boxplot_series_deadline(&RunPredicate::True, op, deadline)?);
+fn boxplot_json(store: &Snapshot, op: &str, deadline: &DeadlineToken) -> Result<Json, RouteError> {
+    let boxes = overview_series(&store.boxplot_series(&RunPredicate::True, op, deadline)?);
     Ok(Json::obj(vec![
         ("operation", Json::from(op)),
         (
@@ -730,12 +730,12 @@ fn page_close(out: &mut String) {
 }
 
 fn index_page(
-    store: &KnowledgeStore,
+    store: &Snapshot,
     deadline: &DeadlineToken,
     out: &mut String,
 ) -> Result<(), RouteError> {
     // The listing needs only the projection rows, never the full join.
-    let rows = store.query_summaries_deadline(&Query::all(), deadline)?;
+    let rows = store.query_summaries(&Query::all(), deadline)?;
     page_open("iokc knowledge explorer", out);
     out.push_str(
         "<p><a href=\"/api/runs\">/api/runs</a> · <a href=\"/compare\">/compare</a> · \
@@ -765,7 +765,7 @@ fn index_page(
     Ok(())
 }
 
-fn run_page(store: &KnowledgeStore, id: u64, out: &mut String) -> Result<(), RouteError> {
+fn run_page(store: &Snapshot, id: u64, out: &mut String) -> Result<(), RouteError> {
     let k = load_benchmark(store, id)?;
     page_open(&format!("run {id}"), out);
     let mut text = String::new();
@@ -811,7 +811,7 @@ fn run_page(store: &KnowledgeStore, id: u64, out: &mut String) -> Result<(), Rou
     Ok(())
 }
 
-fn io500_page(store: &KnowledgeStore, id: u64, out: &mut String) -> Result<(), RouteError> {
+fn io500_page(store: &Snapshot, id: u64, out: &mut String) -> Result<(), RouteError> {
     let k = store
         .load_io500(id)?
         .ok_or_else(|| RouteError::NotFound(format!("no io500 run {id}")))?;
@@ -826,7 +826,7 @@ fn io500_page(store: &KnowledgeStore, id: u64, out: &mut String) -> Result<(), R
 }
 
 fn compare_page(
-    store: &KnowledgeStore,
+    store: &Snapshot,
     spec: &CompareSpec,
     deadline: &DeadlineToken,
     out: &mut String,
@@ -856,13 +856,12 @@ fn compare_page(
 }
 
 fn boxplot_page(
-    store: &KnowledgeStore,
+    store: &Snapshot,
     op: &str,
     deadline: &DeadlineToken,
     out: &mut String,
 ) -> Result<(), RouteError> {
-    let boxes =
-        overview_series(&store.boxplot_series_deadline(&RunPredicate::True, op, deadline)?);
+    let boxes = overview_series(&store.boxplot_series(&RunPredicate::True, op, deadline)?);
     page_open(&format!("throughput overview — {op}"), out);
     if boxes.is_empty() {
         out.push_str("<p>no runs with this operation</p>\n");

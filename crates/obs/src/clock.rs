@@ -147,14 +147,22 @@ pub struct DeadlineToken {
 
 impl Default for DeadlineToken {
     fn default() -> DeadlineToken {
-        DeadlineToken::unbounded(CancelToken::new())
+        DeadlineToken::unbounded()
     }
 }
 
 impl DeadlineToken {
+    /// A token that never stops on its own: no budget, and a private
+    /// cancel flag nothing else holds. The argument every deadline-taking
+    /// read API accepts when the caller has no deadline to impose.
+    #[must_use]
+    pub fn unbounded() -> DeadlineToken {
+        DeadlineToken::cancellable(CancelToken::new())
+    }
+
     /// A token with no time budget: it only stops when `cancel` fires.
     #[must_use]
-    pub fn unbounded(cancel: CancelToken) -> DeadlineToken {
+    pub fn cancellable(cancel: CancelToken) -> DeadlineToken {
         DeadlineToken {
             cancel,
             deadline: None,
@@ -244,13 +252,15 @@ mod tests {
     #[test]
     fn unbounded_deadline_only_stops_on_cancel() {
         let cancel = CancelToken::new();
-        let token = DeadlineToken::unbounded(cancel.clone());
+        let token = DeadlineToken::cancellable(cancel.clone());
         assert!(!token.should_stop());
         assert!(!token.expired());
         assert!(token.remaining().is_none());
         cancel.cancel();
         assert!(token.should_stop());
         assert!(!token.expired());
+        // The argless form never stops: nothing holds its cancel flag.
+        assert!(!DeadlineToken::unbounded().should_stop());
     }
 
     #[test]

@@ -579,6 +579,23 @@ impl Database {
         Ok(())
     }
 
+    /// A table's auto-increment counter: the id the next [`Database::insert`]
+    /// would assign. `None` for unknown tables.
+    pub(crate) fn next_id(&self, table: &str) -> Option<i64> {
+        self.tables.get(table).map(|t| t.next_id)
+    }
+
+    /// Raise a table's auto-increment counter to at least `next`. Counters
+    /// never move backwards, so replaying a persisted image over freshly
+    /// restored rows (whose `insert_raw` calls already advanced the
+    /// counter) is safe in either order. Unknown tables are ignored — an
+    /// image may carry counters for tables a newer schema dropped.
+    pub(crate) fn bump_next_id(&mut self, table: &str, next: i64) {
+        if let Some(t) = self.tables.get_mut(table) {
+            t.next_id = t.next_id.max(next);
+        }
+    }
+
     /// Fetch one row by id.
     pub fn get(&self, table: &str, id: i64) -> Result<Option<Row>, DbError> {
         let t = self

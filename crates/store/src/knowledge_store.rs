@@ -14,7 +14,11 @@
 
 use crate::database::{Column, Database, DbError, OrderBy, Predicate, Row, TableSchema};
 use crate::persist;
-use crate::query::{Query, QueryObs, RunIndexes, RunKind, RunPredicate};
+use crate::query::{
+    run_refs_in_db, summarize_in_db, Query, QueryObs, RunIndexes, RunKind, RunPredicate, RunRef,
+    RunSummary, StoreView,
+};
+use crate::segment::{write_segment_vfs, Segment, SegmentData, SegmentMeta};
 use crate::value::{ColumnType, Value};
 use crate::vfs::{StdVfs, Vfs};
 use iokc_core::ctx::PhaseCtx;
@@ -23,9 +27,21 @@ use iokc_core::model::{
     KnowledgeItem, KnowledgeSource, OperationSummary, SystemInfo,
 };
 use iokc_core::phases::{CycleError, Persister, PhaseKind};
-use std::collections::BTreeMap;
-use std::path::PathBuf;
+use iokc_obs::DeadlineToken;
+use iokc_util::json::Json;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Format tag of the manifest document at a segmented store's nominal
+/// path. The legacy single-image layout tagged the same file
+/// `iokc-store`; [`load_state`] accepts both and migrates the legacy
+/// layout on the first flush.
+pub(crate) const MANIFEST_FORMAT: &str = "iokc-manifest";
+
+/// Active generations start sealing into segments at this many runs
+/// unless [`KnowledgeStore::set_seal_threshold`] overrides it.
+const DEFAULT_SEAL_THRESHOLD: usize = 1024;
 
 /// How healthy a store is, from the perspective of anything serving it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,11 +95,11 @@ impl StoreHealth {
 pub struct KnowledgeStore {
     pub(crate) db: Database,
     /// When set, every write is flushed to this file.
-    path: Option<PathBuf>,
+    pub(crate) path: Option<PathBuf>,
     /// The filesystem under every flush/reload — [`StdVfs`] in
     /// production, a fault-injecting VFS in the crash-consistency
     /// harness.
-    vfs: Arc<dyn Vfs>,
+    pub(crate) vfs: Arc<dyn Vfs>,
     /// How the on-disk image was recovered at open time, if it was.
     recovery: persist::RecoveryReport,
     /// Health at and since open: `Degraded` stores reject writes.
@@ -94,14 +110,33 @@ pub struct KnowledgeStore {
     generation: u64,
     /// The query engine's secondary run indexes (by api, by tasks,
     /// sorted by bandwidth), maintained by every `save_*`/`delete_*`
-    /// and rebuilt from the tables on open.
+    /// and rebuilt from the *active generation's* tables on open —
+    /// sealed segments carry their own index blocks instead.
     pub(crate) indexes: RunIndexes,
     /// Query-engine observability: recorder + counter handles.
     pub(crate) obs: QueryObs,
+    /// Sealed, immutable segments, oldest first. `Arc`d so snapshots
+    /// pin them across seals and compactions.
+    pub(crate) segments: Vec<Arc<Segment>>,
+    /// Runs deleted out of sealed segments: hidden from every read,
+    /// physically dropped at the next compaction. Active-generation
+    /// deletes remove rows directly and never tombstone.
+    pub(crate) tombstones: BTreeSet<(RunKind, u64)>,
+    /// Epoch of the active generation's on-disk image
+    /// (`<path>.active-<epoch>`); bumped by every seal.
+    pub(crate) active_epoch: u64,
+    /// The id the next sealed segment will take.
+    pub(crate) next_segment: u64,
+    /// Seal the active generation once it holds this many runs.
+    seal_threshold: usize,
+    /// Whether the manifest at `path` needs rewriting on the next
+    /// flush (new tombstone, legacy image migration, fresh store).
+    pub(crate) manifest_dirty: bool,
 }
 
 impl KnowledgeStore {
-    /// An in-memory store with the paper's schema.
+    /// An in-memory store with the paper's schema. In-memory stores
+    /// never seal: everything stays in the active generation.
     #[must_use]
     pub fn in_memory() -> KnowledgeStore {
         KnowledgeStore {
@@ -113,6 +148,12 @@ impl KnowledgeStore {
             generation: 0,
             indexes: RunIndexes::default(),
             obs: QueryObs::default(),
+            segments: Vec::new(),
+            tombstones: BTreeSet::new(),
+            active_epoch: 0,
+            next_segment: 0,
+            seal_threshold: DEFAULT_SEAL_THRESHOLD,
+            manifest_dirty: false,
         }
     }
 
@@ -126,28 +167,35 @@ impl KnowledgeStore {
     }
 
     /// [`KnowledgeStore::open`] over an explicit [`Vfs`].
+    ///
+    /// Opening a segmented store maps the manifest's segment metadata —
+    /// id ranges, counts, membership filters — without loading any
+    /// segment body and without any bulk index rebuild over sealed
+    /// data; only the (bounded) active generation is re-indexed. Open
+    /// cost is proportional to the active generation, not the corpus.
     pub fn open_with_vfs(path: PathBuf, vfs: Arc<dyn Vfs>) -> Result<KnowledgeStore, DbError> {
-        let (db, recovery) = if vfs.exists(&path) || vfs.exists(&persist::backup_path(&path)) {
-            persist::load_with_recovery_vfs(&path, vfs.as_ref())?
-        } else {
-            (build_schema(), persist::RecoveryReport::default())
-        };
-        let indexes = RunIndexes::rebuild(&db)?;
-        let health = match &recovery.primary_error {
-            Some(primary_error) if recovery.recovered_from_backup => StoreHealth::Recovered {
+        let state = load_state(&path, vfs.as_ref())?;
+        let health = match &state.recovery.primary_error {
+            Some(primary_error) if state.recovery.recovered_from_backup => StoreHealth::Recovered {
                 primary_error: primary_error.clone(),
             },
             _ => StoreHealth::Ok,
         };
         Ok(KnowledgeStore {
-            db,
+            db: state.db,
             path: Some(path),
             vfs,
-            recovery,
+            recovery: state.recovery,
             health,
             generation: 0,
-            indexes,
+            indexes: state.indexes,
             obs: QueryObs::default(),
+            segments: state.segments,
+            tombstones: state.tombstones,
+            active_epoch: state.active_epoch,
+            next_segment: state.next_segment,
+            seal_threshold: DEFAULT_SEAL_THRESHOLD,
+            manifest_dirty: state.manifest_dirty,
         })
     }
 
@@ -178,6 +226,12 @@ impl KnowledgeStore {
                     generation: 0,
                     indexes: RunIndexes::default(),
                     obs: QueryObs::default(),
+                    segments: Vec::new(),
+                    tombstones: BTreeSet::new(),
+                    active_epoch: 0,
+                    next_segment: 0,
+                    seal_threshold: DEFAULT_SEAL_THRESHOLD,
+                    manifest_dirty: false,
                 };
                 store.obs.recorder.log(
                     None,
@@ -226,23 +280,87 @@ impl KnowledgeStore {
     }
 
     /// Whether the incrementally-maintained secondary indexes agree with
-    /// a bulk rebuild from the tables — the crash-consistency checker's
-    /// index invariant.
+    /// a bulk rebuild from the active generation's tables — the
+    /// crash-consistency checker's index invariant.
     pub fn indexes_consistent(&self) -> Result<bool, DbError> {
         Ok(RunIndexes::rebuild(&self.db)? == self.indexes)
     }
 
-    fn ensure_writable(&self) -> Result<(), DbError> {
+    pub(crate) fn ensure_writable(&self) -> Result<(), DbError> {
         match &self.health {
             StoreHealth::Degraded { reason } => Err(DbError::ReadOnly(reason.clone())),
             _ => Ok(()),
         }
     }
 
-    /// Access the underlying database (the explorer's SQL surface).
+    /// Access the *active generation's* database. Sealed segments are
+    /// not visible here — whole-corpus relational access (the SQL
+    /// surface) goes through [`Snapshot::materialize`].
     #[must_use]
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The one read path over the segmented store: active generation +
+    /// indexes + sealed segments + tombstones, borrowed together.
+    pub(crate) fn view(&self) -> StoreView<'_> {
+        StoreView {
+            active: &self.db,
+            indexes: &self.indexes,
+            segments: &self.segments,
+            tombstones: &self.tombstones,
+            vfs: self.vfs.as_ref(),
+            obs: &self.obs,
+        }
+    }
+
+    /// Pin the store's current state into an immutable [`Snapshot`].
+    ///
+    /// Cheap: the (bounded) active generation and its indexes are
+    /// cloned; sealed segments are shared by `Arc`, so a million-run
+    /// corpus snapshots in active-generation time. The snapshot keeps
+    /// answering from exactly this generation while the store ingests,
+    /// seals, deletes, or compacts underneath it.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            active: self.db.clone(),
+            indexes: self.indexes.clone(),
+            segments: self.segments.clone(),
+            tombstones: self.tombstones.clone(),
+            vfs: Arc::clone(&self.vfs),
+            obs: self.obs.clone(),
+            generation: self.generation,
+        }
+    }
+
+    /// The sealed segments' metadata, oldest first.
+    #[must_use]
+    pub fn segment_metas(&self) -> Vec<SegmentMeta> {
+        self.segments.iter().map(|s| s.meta.clone()).collect()
+    }
+
+    /// How many runs deleted out of sealed segments await compaction.
+    #[must_use]
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Override the run count at which the active generation seals into
+    /// a segment (default 1024). Test and benchmark harnesses lower it
+    /// to exercise sealing on small corpora.
+    pub fn set_seal_threshold(&mut self, threshold: usize) {
+        self.seal_threshold = threshold.max(1);
+    }
+
+    /// The manifest describing this store's current on-disk layout.
+    pub(crate) fn manifest(&self) -> Manifest {
+        Manifest {
+            active_epoch: self.active_epoch,
+            next_segment: self.next_segment,
+            tombstones: self.tombstones.clone(),
+            segments: self.segments.iter().map(|s| s.meta.clone()).collect(),
+        }
     }
 
     /// Number of benchmark knowledge objects stored. Routed through the
@@ -261,41 +379,65 @@ impl KnowledgeStore {
         self.count(&RunPredicate::Kind(RunKind::Io500)).unwrap_or(0)
     }
 
-    /// Flush the in-memory database to disk. On failure the error is
-    /// classified ([`DbError::Full`] for ENOSPC-like conditions — the
-    /// CLI maps it to the transient exit code — [`DbError::Io`]
-    /// otherwise) and the in-memory state is *reverted to the last
-    /// durable image*, so an unacknowledged write is never visible to
-    /// later reads: memory and disk stay in agreement.
+    /// Flush the active generation (and, when dirty, the manifest) to
+    /// disk. On failure the error is classified ([`DbError::Full`] for
+    /// ENOSPC-like conditions — the CLI maps it to the transient exit
+    /// code — [`DbError::Io`] otherwise) and the in-memory state is
+    /// *reloaded from the last durable layout*, so an unacknowledged
+    /// write is never visible to later reads: memory and disk stay in
+    /// agreement.
     fn flush(&mut self) -> Result<(), DbError> {
         let Some(path) = self.path.clone() else {
             return Ok(());
         };
-        match persist::save_vfs(&self.db, &path, self.vfs.as_ref()) {
-            Ok(()) => Ok(()),
+        let active = persist::active_path(&path, self.active_epoch);
+        let result = persist::save_vfs(&self.db, &active, self.vfs.as_ref()).and_then(|()| {
+            if self.manifest_dirty {
+                persist::write_document_vfs(&path, self.vfs.as_ref(), &self.manifest().to_json())?;
+                // The very first manifest write has nothing to rotate
+                // into `.bak`; seed the backup generation explicitly so
+                // a torn manifest is *always* repairable from `.bak`,
+                // like every other image in the layout.
+                let bak = persist::backup_path(&path);
+                if !self.vfs.exists(&bak) {
+                    let bytes = self.vfs.read(&path)?;
+                    let mut file = self.vfs.create(&bak)?;
+                    file.write_all(&bytes)?;
+                    file.sync()?;
+                }
+            }
+            Ok(())
+        });
+        match result {
+            Ok(()) => {
+                self.manifest_dirty = false;
+                Ok(())
+            }
             Err(e) => {
                 let classified =
                     persist::classify_io_error(&format!("flush {}", path.display()), &e);
-                self.revert_to_disk(&path);
+                self.reload_from_disk(&path);
                 Err(classified)
             }
         }
     }
 
-    /// Reload the last durable image after a failed flush. If even that
-    /// fails (the disk is gone, or the failed save tore the image with
-    /// no backup), the store degrades to read-only rather than serving
-    /// rows it cannot prove were persisted.
-    fn revert_to_disk(&mut self, path: &std::path::Path) {
-        let reloaded = if self.vfs.exists(path) || self.vfs.exists(&persist::backup_path(path)) {
-            persist::load_with_recovery_vfs(path, self.vfs.as_ref()).map(|(db, _)| db)
-        } else {
-            Ok(build_schema())
-        };
-        match reloaded.and_then(|db| RunIndexes::rebuild(&db).map(|indexes| (db, indexes))) {
-            Ok((db, indexes)) => {
-                self.db = db;
-                self.indexes = indexes;
+    /// Reload the last durable layout after a failed flush or a failed
+    /// seal/compaction commit. Keeps the generation counter (caches over
+    /// a reverted write must still invalidate). If even the reload fails
+    /// (the disk is gone, or the failure tore the manifest with no
+    /// backup), the store degrades to read-only rather than serving rows
+    /// it cannot prove were persisted.
+    pub(crate) fn reload_from_disk(&mut self, path: &Path) {
+        match load_state(path, self.vfs.as_ref()) {
+            Ok(state) => {
+                self.db = state.db;
+                self.indexes = state.indexes;
+                self.segments = state.segments;
+                self.tombstones = state.tombstones;
+                self.active_epoch = state.active_epoch;
+                self.next_segment = state.next_segment;
+                self.manifest_dirty = state.manifest_dirty;
             }
             Err(e) => {
                 self.health = StoreHealth::Degraded {
@@ -309,9 +451,134 @@ impl KnowledgeStore {
         }
     }
 
+    /// Runs currently in the active generation.
+    fn active_run_count(&self) -> Result<usize, DbError> {
+        Ok(self.db.row_count("performances")? + self.db.row_count("IOFHsRuns")?)
+    }
+
+    /// Seal the active generation when it reached the threshold.
+    fn maybe_seal(&mut self) -> Result<(), DbError> {
+        if self.path.is_none() || self.health.is_degraded() {
+            return Ok(());
+        }
+        if self.active_run_count()? < self.seal_threshold {
+            return Ok(());
+        }
+        self.seal_active()
+    }
+
+    /// Seal the active generation into an immutable on-disk segment and
+    /// start a fresh, empty active generation.
+    ///
+    /// Protocol (disk first, memory only after the commit point):
+    ///
+    /// 1. compute the projection summaries of every active run and the
+    ///    segment's index block ([`SegmentMeta`]);
+    /// 2. write the segment file `<path>.seg-<id>`;
+    /// 3. write a fresh, empty active image at the *next* epoch, with
+    ///    every table's auto-increment counter forwarded — ids stay
+    ///    globally unique across all segments, which is what lets
+    ///    compaction merge segment databases by plain row copy;
+    /// 4. write the new manifest (the commit point: it names the new
+    ///    segment and the new epoch).
+    ///
+    /// A failure before step 4 leaves memory and the old manifest
+    /// untouched — the new files are strays for `fsck` to sweep. A
+    /// failure *in* step 4 reloads from disk, because either manifest
+    /// generation may have become durable. The write generation does not
+    /// change: sealing moves rows between layers without changing what
+    /// any read returns.
+    pub fn seal_active(&mut self) -> Result<(), DbError> {
+        self.ensure_writable()?;
+        let Some(path) = self.path.clone() else {
+            return Ok(());
+        };
+        let refs = run_refs_in_db(&self.db)?;
+        if refs.is_empty() {
+            return Ok(());
+        }
+        let mut summaries = Vec::with_capacity(refs.len());
+        for r in refs {
+            summaries.push(summarize_in_db(&self.db, r)?);
+        }
+        summaries.sort_by_key(|a| (a.kind, a.id));
+        let seg_id = self.next_segment;
+        let meta = SegmentMeta::compute(seg_id, &summaries);
+        let seg_path = persist::segment_path(&path, seg_id);
+        write_segment_vfs(&seg_path, self.vfs.as_ref(), seg_id, &summaries, &self.db).map_err(
+            |e| persist::classify_io_error(&format!("seal segment {}", seg_path.display()), &e),
+        )?;
+        let mut fresh = build_schema();
+        for table in self.db.table_names() {
+            if let Some(next) = self.db.next_id(table) {
+                fresh.bump_next_id(table, next);
+            }
+        }
+        let fresh_path = persist::active_path(&path, self.active_epoch + 1);
+        persist::save_vfs(&fresh, &fresh_path, self.vfs.as_ref()).map_err(|e| {
+            persist::classify_io_error(&format!("seal active {}", fresh_path.display()), &e)
+        })?;
+        let manifest = Manifest {
+            active_epoch: self.active_epoch + 1,
+            next_segment: seg_id + 1,
+            tombstones: self.tombstones.clone(),
+            segments: self
+                .segments
+                .iter()
+                .map(|s| s.meta.clone())
+                .chain(std::iter::once(meta.clone()))
+                .collect(),
+        };
+        if let Err(e) = persist::write_document_vfs(&path, self.vfs.as_ref(), &manifest.to_json()) {
+            let classified =
+                persist::classify_io_error(&format!("seal manifest {}", path.display()), &e);
+            self.reload_from_disk(&path);
+            return Err(classified);
+        }
+        // Commit point passed: swap memory. The sealed database moves
+        // into the segment's preloaded body, so open snapshots and the
+        // next queries keep working without re-reading the file.
+        let sealed_db = std::mem::replace(&mut self.db, fresh);
+        self.segments.push(Arc::new(Segment::preloaded(
+            meta,
+            seg_path,
+            Arc::new(SegmentData {
+                summaries,
+                db: sealed_db,
+            }),
+        )));
+        let old_active = persist::active_path(&path, self.active_epoch);
+        self.active_epoch += 1;
+        self.next_segment = seg_id + 1;
+        self.indexes = RunIndexes::default();
+        self.manifest_dirty = false;
+        // Best-effort cleanup of the superseded active generation; a
+        // crash here leaves strays that fsck sweeps.
+        for stale in [
+            old_active.clone(),
+            persist::backup_path(&old_active),
+            persist::temp_path(&old_active),
+        ] {
+            let _ = self.vfs.remove_file(&stale);
+        }
+        Ok(())
+    }
+
     /// Persist a benchmark knowledge object; returns its id.
     pub fn save_knowledge(&mut self, k: &Knowledge) -> Result<u64, DbError> {
         self.ensure_writable()?;
+        let performance_id = self.insert_knowledge_rows(k)?;
+        self.flush()?;
+        self.generation += 1;
+        self.maybe_seal()?;
+        Ok(performance_id as u64)
+    }
+
+    /// Insert a benchmark knowledge object's rows and index entries
+    /// without flushing — the shared body of
+    /// [`KnowledgeStore::save_knowledge`] and
+    /// [`KnowledgeStore::save_batch`].
+    fn insert_knowledge_rows(&mut self, k: &Knowledge) -> Result<i64, DbError> {
         let p = &k.pattern;
         let performance_id = self.db.insert(
             "performances",
@@ -403,8 +670,6 @@ impl KnowledgeStore {
             )?;
         }
         self.save_warnings("benchmark", performance_id, &k.warnings)?;
-        self.flush()?;
-        self.generation += 1;
         let write_bw = k
             .summaries
             .iter()
@@ -412,17 +677,20 @@ impl KnowledgeStore {
             .map_or(0.0, |s| s.mean_mib);
         self.indexes
             .insert_bench(performance_id as u64, &p.api, p.tasks, write_bw);
-        Ok(performance_id as u64)
+        Ok(performance_id)
     }
 
     /// Delete a benchmark knowledge object and its dependent rows
-    /// (summaries, results, filesystem, system info, warnings). Returns
-    /// whether the object existed; the generation is bumped only when it
-    /// did, so deleting nothing invalidates nothing.
+    /// (summaries, results, filesystem, system info, warnings). An
+    /// active-generation run is deleted physically; a segment-resident
+    /// run is tombstoned (hidden from every read, dropped at the next
+    /// compaction). Returns whether the object existed; the generation
+    /// is bumped only when it did, so deleting nothing invalidates
+    /// nothing.
     pub fn delete_knowledge(&mut self, id: u64) -> Result<bool, DbError> {
         self.ensure_writable()?;
         let Some(row) = self.db.get("performances", id as i64)? else {
-            return Ok(false);
+            return self.tombstone_delete(RunKind::Benchmark, id);
         };
         // Capture the index keys before the rows go away.
         let api = row.values[2].as_text().unwrap_or("").to_owned();
@@ -435,122 +703,41 @@ impl KnowledgeStore {
             .find(|s| s.values[1].as_text() == Some("write"))
             .and_then(|s| s.values[5].as_real())
             .unwrap_or(0.0);
-        for srow in self.db.select("summaries", &by_perf, OrderBy::Id, None)? {
-            self.db.delete(
-                "results",
-                &Predicate::Eq("summary_id".into(), Value::Int(srow.id)),
-            )?;
-        }
-        self.db.delete("summaries", &by_perf)?;
-        self.db.delete("filesystems", &by_perf)?;
-        self.db.delete("systeminfos", &by_perf)?;
-        self.db.delete(
-            "warnings",
-            &Predicate::Eq("owner".into(), Value::from("benchmark"))
-                .and(Predicate::Eq("owner_id".into(), Value::Int(id as i64))),
-        )?;
-        self.db.delete(
-            "performances",
-            &Predicate::Eq("id".into(), Value::Int(id as i64)),
-        )?;
+        delete_benchmark_rows(&mut self.db, id)?;
         self.flush()?;
         self.generation += 1;
         self.indexes.remove_bench(id, &api, tasks, write_bw);
         Ok(true)
     }
 
+    /// Tombstone a segment-resident run: the rows stay in their
+    /// immutable segment, the manifest hides them from every read, and
+    /// the next compaction drops them physically. The secondary indexes
+    /// are untouched — they only cover the active generation.
+    fn tombstone_delete(&mut self, kind: RunKind, id: u64) -> Result<bool, DbError> {
+        if self.view().locate(kind, id)?.is_none() {
+            return Ok(false);
+        }
+        self.tombstones.insert((kind, id));
+        self.manifest_dirty = true;
+        // A failed flush reloads from disk, which un-inserts the
+        // tombstone: the delete is only acknowledged once durable.
+        self.flush()?;
+        self.generation += 1;
+        Ok(true)
+    }
+
     /// Load a benchmark knowledge object by id — the full multi-table
-    /// join. Counted by the `store.query.knowledge_deserialized` obs
-    /// counter; count-style reads must keep it at zero.
+    /// join, resolved to whichever generation (active or sealed
+    /// segment) holds the run. Counted by the
+    /// `store.query.knowledge_deserialized` obs counter; count-style
+    /// reads must keep it at zero.
     pub fn load_knowledge(&self, id: u64) -> Result<Option<Knowledge>, DbError> {
-        let Some(row) = self.db.get("performances", id as i64)? else {
+        let Some(location) = self.view().locate(RunKind::Benchmark, id)? else {
             return Ok(None);
         };
         self.obs.knowledge_deserialized.inc();
-        let text = |i: usize| row.values[i].as_text().unwrap_or("").to_owned();
-        let int = |i: usize| row.values[i].as_int().unwrap_or(0);
-        let mut k = Knowledge::new(KnowledgeSource::parse(&text(1)), &text(0));
-        k.id = Some(id);
-        k.pattern = IoPattern {
-            api: text(2),
-            test_file: text(3),
-            block_size: int(4) as u64,
-            transfer_size: int(5) as u64,
-            segments: int(6) as u64,
-            file_per_proc: int(7) != 0,
-            reorder_tasks: int(8) != 0,
-            fsync: int(9) != 0,
-            collective: int(10) != 0,
-            iterations: int(11) as u32,
-            tasks: int(12) as u32,
-            clients_per_node: int(13) as u32,
-        };
-        k.start_time = int(14) as u64;
-        k.end_time = int(15) as u64;
-        k.derived_from = row.values[16].as_int().map(|v| v as u64);
-
-        let summaries = self.db.select(
-            "summaries",
-            &Predicate::Eq("performance_id".into(), Value::Int(id as i64)),
-            OrderBy::Id,
-            None,
-        )?;
-        for srow in &summaries {
-            k.summaries.push(OperationSummary {
-                operation: srow.values[1].as_text().unwrap_or("").to_owned(),
-                api: srow.values[2].as_text().unwrap_or("").to_owned(),
-                max_mib: srow.values[3].as_real().unwrap_or(0.0),
-                min_mib: srow.values[4].as_real().unwrap_or(0.0),
-                mean_mib: srow.values[5].as_real().unwrap_or(0.0),
-                stddev_mib: srow.values[6].as_real().unwrap_or(0.0),
-                mean_ops: srow.values[7].as_real().unwrap_or(0.0),
-                iterations: srow.values[8].as_int().unwrap_or(0) as u32,
-            });
-            let operation = srow.values[1].as_text().unwrap_or("").to_owned();
-            let results = self.db.select(
-                "results",
-                &Predicate::Eq("summary_id".into(), Value::Int(srow.id)),
-                OrderBy::Id,
-                None,
-            )?;
-            for rrow in results {
-                k.results.push(IterationResult {
-                    operation: operation.clone(),
-                    iteration: rrow.values[1].as_int().unwrap_or(0) as u32,
-                    bw_mib: rrow.values[2].as_real().unwrap_or(0.0),
-                    ops: rrow.values[3].as_int().unwrap_or(0) as u64,
-                    ops_per_sec: rrow.values[4].as_real().unwrap_or(0.0),
-                    latency_s: rrow.values[5].as_real().unwrap_or(0.0),
-                    open_s: rrow.values[6].as_real().unwrap_or(0.0),
-                    wrrd_s: rrow.values[7].as_real().unwrap_or(0.0),
-                    close_s: rrow.values[8].as_real().unwrap_or(0.0),
-                    total_s: rrow.values[9].as_real().unwrap_or(0.0),
-                });
-            }
-        }
-
-        k.filesystem = self
-            .one_child("filesystems", id)?
-            .map(|frow| FilesystemInfo {
-                fs_type: frow.values[1].as_text().unwrap_or("").to_owned(),
-                entry_type: frow.values[2].as_text().unwrap_or("").to_owned(),
-                entry_id: frow.values[3].as_text().unwrap_or("").to_owned(),
-                metadata_node: frow.values[4].as_text().unwrap_or("").to_owned(),
-                chunk_size: frow.values[5].as_int().unwrap_or(0) as u64,
-                storage_targets: frow.values[6].as_int().unwrap_or(0) as u32,
-                raid: frow.values[7].as_text().unwrap_or("").to_owned(),
-                storage_pool: frow.values[8].as_text().unwrap_or("").to_owned(),
-            });
-        k.system = self.one_child("systeminfos", id)?.map(|srow| SystemInfo {
-            system: srow.values[1].as_text().unwrap_or("").to_owned(),
-            cpu_model: srow.values[2].as_text().unwrap_or("").to_owned(),
-            cores: srow.values[3].as_int().unwrap_or(0) as u32,
-            cpu_mhz: srow.values[4].as_real().unwrap_or(0.0),
-            cache_kib: srow.values[5].as_int().unwrap_or(0) as u64,
-            mem_kib: srow.values[6].as_int().unwrap_or(0) as u64,
-        });
-        k.warnings = self.load_warnings("benchmark", id);
-        Ok(Some(k))
+        load_knowledge_from(location.db(), id)
     }
 
     fn save_warnings(
@@ -572,39 +759,20 @@ impl KnowledgeStore {
         Ok(())
     }
 
-    /// Warnings for one knowledge object. Images persisted before the
-    /// `warnings` table existed simply have none.
-    fn load_warnings(&self, owner: &str, id: u64) -> Vec<String> {
-        self.db
-            .select(
-                "warnings",
-                &Predicate::Eq("owner_id".into(), Value::Int(id as i64)),
-                OrderBy::Id,
-                None,
-            )
-            .unwrap_or_default()
-            .into_iter()
-            .filter(|row| row.values[0].as_text() == Some(owner))
-            .map(|row| row.values[2].as_text().unwrap_or("").to_owned())
-            .collect()
-    }
-
-    fn one_child(&self, table: &str, performance_id: u64) -> Result<Option<Row>, DbError> {
-        Ok(self
-            .db
-            .select(
-                table,
-                &Predicate::Eq("performance_id".into(), Value::Int(performance_id as i64)),
-                OrderBy::Id,
-                Some(1),
-            )?
-            .into_iter()
-            .next())
-    }
-
     /// Persist an IO500 knowledge object; returns its `IOFH_id`.
     pub fn save_io500(&mut self, k: &Io500Knowledge) -> Result<u64, DbError> {
         self.ensure_writable()?;
+        let iofh_id = self.insert_io500_rows(k)?;
+        self.flush()?;
+        self.generation += 1;
+        self.maybe_seal()?;
+        Ok(iofh_id as u64)
+    }
+
+    /// Insert an IO500 knowledge object's rows and index entries
+    /// without flushing — the shared body of
+    /// [`KnowledgeStore::save_io500`] and [`KnowledgeStore::save_batch`].
+    fn insert_io500_rows(&mut self, k: &Io500Knowledge) -> Result<i64, DbError> {
         let iofh_id = self.db.insert(
             "IOFHsRuns",
             vec![Value::from(k.tasks), Value::from(k.start_time)],
@@ -661,11 +829,9 @@ impl KnowledgeStore {
             )?;
         }
         self.save_warnings("io500", iofh_id, &k.warnings)?;
-        self.flush()?;
-        self.generation += 1;
         self.indexes
             .insert_io500(iofh_id as u64, k.tasks, k.bw_score);
-        Ok(iofh_id as u64)
+        Ok(iofh_id)
     }
 
     /// Delete an IO500 knowledge object and its dependent rows (scores,
@@ -676,7 +842,7 @@ impl KnowledgeStore {
     pub fn delete_io500(&mut self, id: u64) -> Result<bool, DbError> {
         self.ensure_writable()?;
         let Some(run) = self.db.get("IOFHsRuns", id as i64)? else {
-            return Ok(false);
+            return self.tombstone_delete(RunKind::Io500, id);
         };
         let tasks = run.values[0].as_int().unwrap_or(0) as u32;
         let by_iofh = Predicate::Eq("IOFH_id".into(), Value::Int(id as i64));
@@ -686,147 +852,59 @@ impl KnowledgeStore {
             .first()
             .and_then(|s| s.values[1].as_real())
             .unwrap_or(0.0);
-        for tc in self
-            .db
-            .select("IOFHsTestcases", &by_iofh, OrderBy::Id, None)?
-        {
-            self.db.delete(
-                "IOFHsResults",
-                &Predicate::Eq("testcase_id".into(), Value::Int(tc.id)),
-            )?;
-        }
-        self.db.delete("IOFHsTestcases", &by_iofh)?;
-        self.db.delete("IOFHsScores", &by_iofh)?;
-        self.db.delete("IOFHsOptions", &by_iofh)?;
-        self.db.delete("IOFHsSystem", &by_iofh)?;
-        self.db.delete(
-            "warnings",
-            &Predicate::Eq("owner".into(), Value::from("io500"))
-                .and(Predicate::Eq("owner_id".into(), Value::Int(id as i64))),
-        )?;
-        self.db.delete(
-            "IOFHsRuns",
-            &Predicate::Eq("id".into(), Value::Int(id as i64)),
-        )?;
+        delete_io500_rows(&mut self.db, id)?;
         self.flush()?;
         self.generation += 1;
         self.indexes.remove_io500(id, tasks, bw_score);
         Ok(true)
     }
 
-    /// Load an IO500 knowledge object by `IOFH_id`.
+    /// Load an IO500 knowledge object by `IOFH_id`, resolved to
+    /// whichever generation holds the run.
     pub fn load_io500(&self, id: u64) -> Result<Option<Io500Knowledge>, DbError> {
-        let Some(run) = self.db.get("IOFHsRuns", id as i64)? else {
+        let Some(location) = self.view().locate(RunKind::Io500, id)? else {
             return Ok(None);
         };
         self.obs.knowledge_deserialized.inc();
-        let scores = self
-            .db
-            .select(
-                "IOFHsScores",
-                &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
-                OrderBy::Id,
-                Some(1),
-            )?
-            .into_iter()
-            .next();
-        let mut testcases = Vec::new();
-        for tc in self.db.select(
-            "IOFHsTestcases",
-            &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
-            OrderBy::Id,
-            None,
-        )? {
-            let result = self
-                .db
-                .select(
-                    "IOFHsResults",
-                    &Predicate::Eq("testcase_id".into(), Value::Int(tc.id)),
-                    OrderBy::Id,
-                    Some(1),
-                )?
-                .into_iter()
-                .next();
-            testcases.push(Io500Testcase {
-                name: tc.values[1].as_text().unwrap_or("").to_owned(),
-                unit: tc.values[2].as_text().unwrap_or("").to_owned(),
-                value: result
-                    .as_ref()
-                    .and_then(|r| r.values[1].as_real())
-                    .unwrap_or(0.0),
-                time_s: result
-                    .as_ref()
-                    .and_then(|r| r.values[2].as_real())
-                    .unwrap_or(0.0),
-            });
-        }
-        let mut options = BTreeMap::new();
-        for opt in self.db.select(
-            "IOFHsOptions",
-            &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
-            OrderBy::Id,
-            None,
-        )? {
-            options.insert(
-                opt.values[1].as_text().unwrap_or("").to_owned(),
-                opt.values[2].as_text().unwrap_or("").to_owned(),
-            );
-        }
-        let system = self
-            .db
-            .select(
-                "IOFHsSystem",
-                &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
-                OrderBy::Id,
-                Some(1),
-            )?
-            .into_iter()
-            .next()
-            .map(|srow| SystemInfo {
-                system: srow.values[1].as_text().unwrap_or("").to_owned(),
-                cpu_model: srow.values[2].as_text().unwrap_or("").to_owned(),
-                cores: srow.values[3].as_int().unwrap_or(0) as u32,
-                cpu_mhz: srow.values[4].as_real().unwrap_or(0.0),
-                cache_kib: srow.values[5].as_int().unwrap_or(0) as u64,
-                mem_kib: srow.values[6].as_int().unwrap_or(0) as u64,
-            });
-        Ok(Some(Io500Knowledge {
-            id: Some(id),
-            tasks: run.values[0].as_int().unwrap_or(0) as u32,
-            start_time: run.values[1].as_int().unwrap_or(0) as u64,
-            bw_score: scores
-                .as_ref()
-                .and_then(|s| s.values[1].as_real())
-                .unwrap_or(0.0),
-            md_score: scores
-                .as_ref()
-                .and_then(|s| s.values[2].as_real())
-                .unwrap_or(0.0),
-            total_score: scores
-                .as_ref()
-                .and_then(|s| s.values[3].as_real())
-                .unwrap_or(0.0),
-            testcases,
-            options,
-            system,
-            warnings: self.load_warnings("io500", id),
-        }))
+        load_io500_from(location.db(), id)
     }
 
-    /// Load every stored knowledge item, fully deserialized.
-    ///
-    /// This is the load-everything-then-filter anti-pattern the query
-    /// engine replaces: filtered, sorted or counted reads should go
-    /// through [`KnowledgeStore::query_summaries`] /
-    /// [`KnowledgeStore::query_ids`] / [`KnowledgeStore::count`], and
-    /// full deserialization should be an explicit, narrow projection via
-    /// [`KnowledgeStore::query_items`].
-    #[deprecated(
-        since = "0.5.0",
-        note = "use query_items(&Query::all()) — or better, a narrower query projection"
-    )]
-    pub fn load_all_items(&self) -> Result<Vec<KnowledgeItem>, DbError> {
-        self.query_items(&Query::all())
+    /// Persist a batch of knowledge items with one durability point:
+    /// rows accumulate in the active generation (sealing into segments
+    /// at the threshold, which is itself a durability point), one final
+    /// flush covers the tail, and the write generation bumps once.
+    /// Returns the assigned ids in input order. On error the store
+    /// reloads the last durable layout, so no unacknowledged row is
+    /// ever visible.
+    pub fn save_batch(&mut self, items: &[KnowledgeItem]) -> Result<Vec<u64>, DbError> {
+        self.ensure_writable()?;
+        match self.save_batch_inner(items) {
+            Ok(ids) => Ok(ids),
+            Err(e) => {
+                if let Some(path) = self.path.clone() {
+                    self.reload_from_disk(&path);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    fn save_batch_inner(&mut self, items: &[KnowledgeItem]) -> Result<Vec<u64>, DbError> {
+        let mut ids = Vec::with_capacity(items.len());
+        for item in items {
+            let id = match item {
+                KnowledgeItem::Benchmark(k) => self.insert_knowledge_rows(k)?,
+                KnowledgeItem::Io500(k) => self.insert_io500_rows(k)?,
+            };
+            ids.push(id as u64);
+            // Sealing writes the rows inserted so far into an immutable
+            // segment, so the batch never holds more than one
+            // generation's worth of unflushed rows in memory.
+            self.maybe_seal()?;
+        }
+        self.flush()?;
+        self.generation += 1;
+        Ok(ids)
     }
 }
 
@@ -844,21 +922,607 @@ impl Persister for KnowledgeStore {
         _ctx: &mut PhaseCtx,
         items: &[KnowledgeItem],
     ) -> Result<Vec<u64>, CycleError> {
-        let mut ids = Vec::with_capacity(items.len());
-        for item in items {
-            let id = match item {
-                KnowledgeItem::Benchmark(k) => self.save_knowledge(k),
-                KnowledgeItem::Io500(k) => self.save_io500(k),
-            }
-            .map_err(db_to_cycle_error)?;
-            ids.push(id);
-        }
-        Ok(ids)
+        self.save_batch(items).map_err(db_to_cycle_error)
     }
 
     fn load_all(&self, _ctx: &mut PhaseCtx) -> Result<Vec<KnowledgeItem>, CycleError> {
         self.query_items(&Query::all()).map_err(db_to_cycle_error)
     }
+}
+
+/// The segmented store's manifest: what the file at the store's nominal
+/// path holds once the store has sealed (or tombstoned) anything. Names
+/// the active generation's epoch, every sealed segment's metadata
+/// (id ranges, counts, membership filter — the per-segment index
+/// block), and the tombstones.
+pub(crate) struct Manifest {
+    pub(crate) active_epoch: u64,
+    pub(crate) next_segment: u64,
+    pub(crate) tombstones: BTreeSet<(RunKind, u64)>,
+    pub(crate) segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    pub(crate) fn to_json(&self) -> Json {
+        let ids = |kind: RunKind| {
+            Json::Arr(
+                self.tombstones
+                    .iter()
+                    .filter(|(k, _)| *k == kind)
+                    .map(|(_, id)| Json::from(*id))
+                    .collect(),
+            )
+        };
+        Json::obj(vec![
+            ("format", Json::from(MANIFEST_FORMAT)),
+            ("version", Json::from(1u64)),
+            ("active_epoch", Json::from(self.active_epoch)),
+            ("next_segment", Json::from(self.next_segment)),
+            (
+                "tombstones",
+                Json::obj(vec![
+                    ("benchmark", ids(RunKind::Benchmark)),
+                    ("io500", ids(RunKind::Io500)),
+                ]),
+            ),
+            (
+                "segments",
+                Json::Arr(self.segments.iter().map(SegmentMeta::to_json).collect()),
+            ),
+        ])
+    }
+
+    pub(crate) fn from_json(json: &Json) -> Result<Manifest, DbError> {
+        if json.get("format").and_then(Json::as_str) != Some(MANIFEST_FORMAT) {
+            return Err(DbError::Corrupt(format!(
+                "manifest missing {MANIFEST_FORMAT} format tag"
+            )));
+        }
+        let field = |key: &str| {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| DbError::Corrupt(format!("manifest missing {key}")))
+        };
+        let mut tombstones = BTreeSet::new();
+        for (key, kind) in [("benchmark", RunKind::Benchmark), ("io500", RunKind::Io500)] {
+            for id in json
+                .get("tombstones")
+                .and_then(|t| t.get(key))
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+            {
+                let id = id
+                    .as_u64()
+                    .ok_or_else(|| DbError::Corrupt("manifest: bad tombstone id".into()))?;
+                tombstones.insert((kind, id));
+            }
+        }
+        let mut segments = Vec::new();
+        for seg in json
+            .get("segments")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| DbError::Corrupt("manifest missing segments".into()))?
+        {
+            segments.push(SegmentMeta::from_json(seg)?);
+        }
+        Ok(Manifest {
+            active_epoch: field("active_epoch")?,
+            next_segment: field("next_segment")?,
+            tombstones,
+            segments,
+        })
+    }
+}
+
+/// Everything [`KnowledgeStore::open_with_vfs`] and
+/// [`KnowledgeStore::reload_from_disk`] need, loaded in one place —
+/// the single open path over both on-disk layouts.
+pub(crate) struct LoadedState {
+    pub(crate) db: Database,
+    pub(crate) indexes: RunIndexes,
+    pub(crate) segments: Vec<Arc<Segment>>,
+    pub(crate) tombstones: BTreeSet<(RunKind, u64)>,
+    pub(crate) active_epoch: u64,
+    pub(crate) next_segment: u64,
+    pub(crate) manifest_dirty: bool,
+    pub(crate) recovery: persist::RecoveryReport,
+}
+
+/// Load a store's state from `path`: a fresh store (no file), the
+/// segmented layout (manifest + active image + segment files, mapped
+/// lazily), or the legacy single-image layout (migrated to the
+/// segmented layout on the first flush).
+pub(crate) fn load_state(path: &Path, vfs: &dyn Vfs) -> Result<LoadedState, DbError> {
+    let fresh = |dirty| LoadedState {
+        db: build_schema(),
+        indexes: RunIndexes::default(),
+        segments: Vec::new(),
+        tombstones: BTreeSet::new(),
+        active_epoch: 0,
+        next_segment: 0,
+        manifest_dirty: dirty,
+        recovery: persist::RecoveryReport::default(),
+    };
+    if !vfs.exists(path) && !vfs.exists(&persist::backup_path(path)) {
+        return Ok(fresh(true));
+    }
+    let (doc, recovery) = persist::read_document_with_recovery_vfs(path, vfs)?;
+    match doc.get("format").and_then(Json::as_str) {
+        Some(MANIFEST_FORMAT) => {
+            let manifest = Manifest::from_json(&doc)?;
+            let active = persist::active_path(path, manifest.active_epoch);
+            let (db, active_recovery) =
+                if vfs.exists(&active) || vfs.exists(&persist::backup_path(&active)) {
+                    persist::load_with_recovery_vfs(&active, vfs)?
+                } else {
+                    return Err(DbError::Corrupt(format!(
+                        "manifest names epoch {} but {} is missing",
+                        manifest.active_epoch,
+                        active.display()
+                    )));
+                };
+            let indexes = RunIndexes::rebuild(&db)?;
+            let segments = manifest
+                .segments
+                .into_iter()
+                .map(|meta| {
+                    let seg_path = persist::segment_path(path, meta.id);
+                    Arc::new(Segment::new(meta, seg_path))
+                })
+                .collect();
+            Ok(LoadedState {
+                db,
+                indexes,
+                segments,
+                tombstones: manifest.tombstones,
+                active_epoch: manifest.active_epoch,
+                next_segment: manifest.next_segment,
+                manifest_dirty: false,
+                recovery: persist::RecoveryReport {
+                    recovered_from_backup: recovery.recovered_from_backup
+                        || active_recovery.recovered_from_backup,
+                    primary_error: recovery.primary_error.or(active_recovery.primary_error),
+                },
+            })
+        }
+        _ => {
+            // Legacy single-image layout: the whole corpus is the
+            // active generation at epoch 0. The first flush writes the
+            // segmented layout (the legacy image rotates into `.bak`).
+            let db = persist::from_json(&doc)?;
+            let indexes = RunIndexes::rebuild(&db)?;
+            Ok(LoadedState {
+                db,
+                indexes,
+                segments: Vec::new(),
+                tombstones: BTreeSet::new(),
+                active_epoch: 0,
+                next_segment: 0,
+                manifest_dirty: true,
+                recovery,
+            })
+        }
+    }
+}
+
+/// An immutable, point-in-time view of the whole store: a clone of the
+/// (bounded) active generation and its indexes, `Arc`-shared sealed
+/// segments, and the tombstone set, all pinned at one
+/// [`Snapshot::generation`].
+///
+/// Reads through a snapshot are wait-free with respect to the store:
+/// ingest, sealing, deletes and compaction never change what a snapshot
+/// returns. Segment bodies a snapshot has touched stay resident for the
+/// snapshot's lifetime (they are never evicted from the shared
+/// [`Segment`] handle), and compaction preloads the bodies of the
+/// segments it replaces, so a snapshot keeps answering even after the
+/// segment files it references are unlinked. `Send + Sync`: explorerd
+/// hands snapshots to request threads and renders without holding the
+/// store lock.
+pub struct Snapshot {
+    active: Database,
+    indexes: RunIndexes,
+    segments: Vec<Arc<Segment>>,
+    tombstones: BTreeSet<(RunKind, u64)>,
+    vfs: Arc<dyn Vfs>,
+    obs: QueryObs,
+    generation: u64,
+}
+
+impl Snapshot {
+    fn view(&self) -> StoreView<'_> {
+        StoreView {
+            active: &self.active,
+            indexes: &self.indexes,
+            segments: &self.segments,
+            tombstones: &self.tombstones,
+            vfs: self.vfs.as_ref(),
+            obs: &self.obs,
+        }
+    }
+
+    /// The store's write generation at the moment this snapshot was
+    /// taken — the cache key for anything rendered from it.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// [`KnowledgeStore::query_ids`] against the pinned state.
+    pub fn query_ids(
+        &self,
+        query: &Query,
+        deadline: &DeadlineToken,
+    ) -> Result<Vec<RunRef>, DbError> {
+        self.view().execute(query, false, deadline)
+    }
+
+    /// [`KnowledgeStore::query_summaries`] against the pinned state.
+    pub fn query_summaries(
+        &self,
+        query: &Query,
+        deadline: &DeadlineToken,
+    ) -> Result<Vec<RunSummary>, DbError> {
+        self.view().query_summaries(query, deadline)
+    }
+
+    /// [`KnowledgeStore::boxplot_series`] against the pinned state.
+    pub fn boxplot_series(
+        &self,
+        predicate: &RunPredicate,
+        operation: &str,
+        deadline: &DeadlineToken,
+    ) -> Result<Vec<(String, Vec<f64>)>, DbError> {
+        self.view().boxplot_series(predicate, operation, deadline)
+    }
+
+    /// [`KnowledgeStore::count`] against the pinned state.
+    pub fn count(&self, predicate: &RunPredicate) -> Result<usize, DbError> {
+        self.view().count(predicate)
+    }
+
+    /// [`KnowledgeStore::query_items`] against the pinned state.
+    pub fn query_items(&self, query: &Query) -> Result<Vec<KnowledgeItem>, DbError> {
+        let refs = self
+            .view()
+            .execute(query, false, &DeadlineToken::unbounded())?;
+        let mut items = Vec::with_capacity(refs.len());
+        for r in refs {
+            match r.kind {
+                RunKind::Benchmark => {
+                    if let Some(k) = self.load_knowledge(r.id)? {
+                        items.push(KnowledgeItem::Benchmark(k));
+                    }
+                }
+                RunKind::Io500 => {
+                    if let Some(k) = self.load_io500(r.id)? {
+                        items.push(KnowledgeItem::Io500(k));
+                    }
+                }
+            }
+        }
+        Ok(items)
+    }
+
+    /// [`KnowledgeStore::load_knowledge`] against the pinned state.
+    pub fn load_knowledge(&self, id: u64) -> Result<Option<Knowledge>, DbError> {
+        let Some(location) = self.view().locate(RunKind::Benchmark, id)? else {
+            return Ok(None);
+        };
+        self.obs.knowledge_deserialized.inc();
+        load_knowledge_from(location.db(), id)
+    }
+
+    /// [`KnowledgeStore::load_io500`] against the pinned state.
+    pub fn load_io500(&self, id: u64) -> Result<Option<Io500Knowledge>, DbError> {
+        let Some(location) = self.view().locate(RunKind::Io500, id)? else {
+            return Ok(None);
+        };
+        self.obs.knowledge_deserialized.inc();
+        load_io500_from(location.db(), id)
+    }
+
+    /// Merge the pinned state into one relational database: the active
+    /// generation plus every segment's rows, minus tombstoned runs.
+    /// This is the whole-corpus surface the SQL layer queries — O(corpus)
+    /// by construction, which is exactly why the query engine, not SQL,
+    /// is the hot read path.
+    pub fn materialize(&self) -> Result<Database, DbError> {
+        let mut merged = self.active.clone();
+        for seg in &self.segments {
+            let data = seg.data(self.vfs.as_ref())?;
+            copy_all_rows(&data.db, &mut merged)?;
+        }
+        for (kind, id) in &self.tombstones {
+            match kind {
+                RunKind::Benchmark => delete_benchmark_rows(&mut merged, *id)?,
+                RunKind::Io500 => delete_io500_rows(&mut merged, *id)?,
+            }
+        }
+        Ok(merged)
+    }
+}
+
+/// Copy every row of every table from `src` into `dst` with ids
+/// preserved. Sound because sealed generations forward auto-increment
+/// counters: no two generations ever hold the same id in the same
+/// table.
+pub(crate) fn copy_all_rows(src: &Database, dst: &mut Database) -> Result<(), DbError> {
+    for table in src.table_names() {
+        for row in src.select(table, &Predicate::True, OrderBy::Id, None)? {
+            dst.insert_raw(table, row.id, row.values)?;
+        }
+    }
+    Ok(())
+}
+
+/// Cascade-delete one benchmark run's rows from `db` (summaries,
+/// results, filesystem, system info, warnings, then the performance
+/// row itself).
+pub(crate) fn delete_benchmark_rows(db: &mut Database, id: u64) -> Result<(), DbError> {
+    let by_perf = Predicate::Eq("performance_id".into(), Value::Int(id as i64));
+    for srow in db.select("summaries", &by_perf, OrderBy::Id, None)? {
+        db.delete(
+            "results",
+            &Predicate::Eq("summary_id".into(), Value::Int(srow.id)),
+        )?;
+    }
+    db.delete("summaries", &by_perf)?;
+    db.delete("filesystems", &by_perf)?;
+    db.delete("systeminfos", &by_perf)?;
+    db.delete(
+        "warnings",
+        &Predicate::Eq("owner".into(), Value::from("benchmark"))
+            .and(Predicate::Eq("owner_id".into(), Value::Int(id as i64))),
+    )?;
+    db.delete(
+        "performances",
+        &Predicate::Eq("id".into(), Value::Int(id as i64)),
+    )?;
+    Ok(())
+}
+
+/// Cascade-delete one IO500 run's rows from `db` (scores, testcases +
+/// their results, options, system info, warnings, then the run row).
+pub(crate) fn delete_io500_rows(db: &mut Database, id: u64) -> Result<(), DbError> {
+    let by_iofh = Predicate::Eq("IOFH_id".into(), Value::Int(id as i64));
+    for tc in db.select("IOFHsTestcases", &by_iofh, OrderBy::Id, None)? {
+        db.delete(
+            "IOFHsResults",
+            &Predicate::Eq("testcase_id".into(), Value::Int(tc.id)),
+        )?;
+    }
+    db.delete("IOFHsTestcases", &by_iofh)?;
+    db.delete("IOFHsScores", &by_iofh)?;
+    db.delete("IOFHsOptions", &by_iofh)?;
+    db.delete("IOFHsSystem", &by_iofh)?;
+    db.delete(
+        "warnings",
+        &Predicate::Eq("owner".into(), Value::from("io500"))
+            .and(Predicate::Eq("owner_id".into(), Value::Int(id as i64))),
+    )?;
+    db.delete(
+        "IOFHsRuns",
+        &Predicate::Eq("id".into(), Value::Int(id as i64)),
+    )?;
+    Ok(())
+}
+
+/// Warnings for one knowledge object in `db`. Images persisted before
+/// the `warnings` table existed simply have none.
+fn load_warnings_in(db: &Database, owner: &str, id: u64) -> Vec<String> {
+    db.select(
+        "warnings",
+        &Predicate::Eq("owner_id".into(), Value::Int(id as i64)),
+        OrderBy::Id,
+        None,
+    )
+    .unwrap_or_default()
+    .into_iter()
+    .filter(|row| row.values[0].as_text() == Some(owner))
+    .map(|row| row.values[2].as_text().unwrap_or("").to_owned())
+    .collect()
+}
+
+fn one_child_in(db: &Database, table: &str, performance_id: u64) -> Result<Option<Row>, DbError> {
+    Ok(db
+        .select(
+            table,
+            &Predicate::Eq("performance_id".into(), Value::Int(performance_id as i64)),
+            OrderBy::Id,
+            Some(1),
+        )?
+        .into_iter()
+        .next())
+}
+
+/// The full benchmark multi-table join against an explicit database —
+/// the shared body of [`KnowledgeStore::load_knowledge`] and
+/// [`Snapshot::load_knowledge`], so active and sealed generations load
+/// identically.
+pub(crate) fn load_knowledge_from(db: &Database, id: u64) -> Result<Option<Knowledge>, DbError> {
+    let Some(row) = db.get("performances", id as i64)? else {
+        return Ok(None);
+    };
+    let text = |i: usize| row.values[i].as_text().unwrap_or("").to_owned();
+    let int = |i: usize| row.values[i].as_int().unwrap_or(0);
+    let mut k = Knowledge::new(KnowledgeSource::parse(&text(1)), &text(0));
+    k.id = Some(id);
+    k.pattern = IoPattern {
+        api: text(2),
+        test_file: text(3),
+        block_size: int(4) as u64,
+        transfer_size: int(5) as u64,
+        segments: int(6) as u64,
+        file_per_proc: int(7) != 0,
+        reorder_tasks: int(8) != 0,
+        fsync: int(9) != 0,
+        collective: int(10) != 0,
+        iterations: int(11) as u32,
+        tasks: int(12) as u32,
+        clients_per_node: int(13) as u32,
+    };
+    k.start_time = int(14) as u64;
+    k.end_time = int(15) as u64;
+    k.derived_from = row.values[16].as_int().map(|v| v as u64);
+
+    let summaries = db.select(
+        "summaries",
+        &Predicate::Eq("performance_id".into(), Value::Int(id as i64)),
+        OrderBy::Id,
+        None,
+    )?;
+    for srow in &summaries {
+        k.summaries.push(OperationSummary {
+            operation: srow.values[1].as_text().unwrap_or("").to_owned(),
+            api: srow.values[2].as_text().unwrap_or("").to_owned(),
+            max_mib: srow.values[3].as_real().unwrap_or(0.0),
+            min_mib: srow.values[4].as_real().unwrap_or(0.0),
+            mean_mib: srow.values[5].as_real().unwrap_or(0.0),
+            stddev_mib: srow.values[6].as_real().unwrap_or(0.0),
+            mean_ops: srow.values[7].as_real().unwrap_or(0.0),
+            iterations: srow.values[8].as_int().unwrap_or(0) as u32,
+        });
+        let operation = srow.values[1].as_text().unwrap_or("").to_owned();
+        let results = db.select(
+            "results",
+            &Predicate::Eq("summary_id".into(), Value::Int(srow.id)),
+            OrderBy::Id,
+            None,
+        )?;
+        for rrow in results {
+            k.results.push(IterationResult {
+                operation: operation.clone(),
+                iteration: rrow.values[1].as_int().unwrap_or(0) as u32,
+                bw_mib: rrow.values[2].as_real().unwrap_or(0.0),
+                ops: rrow.values[3].as_int().unwrap_or(0) as u64,
+                ops_per_sec: rrow.values[4].as_real().unwrap_or(0.0),
+                latency_s: rrow.values[5].as_real().unwrap_or(0.0),
+                open_s: rrow.values[6].as_real().unwrap_or(0.0),
+                wrrd_s: rrow.values[7].as_real().unwrap_or(0.0),
+                close_s: rrow.values[8].as_real().unwrap_or(0.0),
+                total_s: rrow.values[9].as_real().unwrap_or(0.0),
+            });
+        }
+    }
+
+    k.filesystem = one_child_in(db, "filesystems", id)?.map(|frow| FilesystemInfo {
+        fs_type: frow.values[1].as_text().unwrap_or("").to_owned(),
+        entry_type: frow.values[2].as_text().unwrap_or("").to_owned(),
+        entry_id: frow.values[3].as_text().unwrap_or("").to_owned(),
+        metadata_node: frow.values[4].as_text().unwrap_or("").to_owned(),
+        chunk_size: frow.values[5].as_int().unwrap_or(0) as u64,
+        storage_targets: frow.values[6].as_int().unwrap_or(0) as u32,
+        raid: frow.values[7].as_text().unwrap_or("").to_owned(),
+        storage_pool: frow.values[8].as_text().unwrap_or("").to_owned(),
+    });
+    k.system = one_child_in(db, "systeminfos", id)?.map(|srow| SystemInfo {
+        system: srow.values[1].as_text().unwrap_or("").to_owned(),
+        cpu_model: srow.values[2].as_text().unwrap_or("").to_owned(),
+        cores: srow.values[3].as_int().unwrap_or(0) as u32,
+        cpu_mhz: srow.values[4].as_real().unwrap_or(0.0),
+        cache_kib: srow.values[5].as_int().unwrap_or(0) as u64,
+        mem_kib: srow.values[6].as_int().unwrap_or(0) as u64,
+    });
+    k.warnings = load_warnings_in(db, "benchmark", id);
+    Ok(Some(k))
+}
+
+/// The full IO500 multi-table join against an explicit database — the
+/// shared body of [`KnowledgeStore::load_io500`] and
+/// [`Snapshot::load_io500`].
+pub(crate) fn load_io500_from(db: &Database, id: u64) -> Result<Option<Io500Knowledge>, DbError> {
+    let Some(run) = db.get("IOFHsRuns", id as i64)? else {
+        return Ok(None);
+    };
+    let scores = db
+        .select(
+            "IOFHsScores",
+            &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
+            OrderBy::Id,
+            Some(1),
+        )?
+        .into_iter()
+        .next();
+    let mut testcases = Vec::new();
+    for tc in db.select(
+        "IOFHsTestcases",
+        &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
+        OrderBy::Id,
+        None,
+    )? {
+        let result = db
+            .select(
+                "IOFHsResults",
+                &Predicate::Eq("testcase_id".into(), Value::Int(tc.id)),
+                OrderBy::Id,
+                Some(1),
+            )?
+            .into_iter()
+            .next();
+        testcases.push(Io500Testcase {
+            name: tc.values[1].as_text().unwrap_or("").to_owned(),
+            unit: tc.values[2].as_text().unwrap_or("").to_owned(),
+            value: result
+                .as_ref()
+                .and_then(|r| r.values[1].as_real())
+                .unwrap_or(0.0),
+            time_s: result
+                .as_ref()
+                .and_then(|r| r.values[2].as_real())
+                .unwrap_or(0.0),
+        });
+    }
+    let mut options = BTreeMap::new();
+    for opt in db.select(
+        "IOFHsOptions",
+        &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
+        OrderBy::Id,
+        None,
+    )? {
+        options.insert(
+            opt.values[1].as_text().unwrap_or("").to_owned(),
+            opt.values[2].as_text().unwrap_or("").to_owned(),
+        );
+    }
+    let system = db
+        .select(
+            "IOFHsSystem",
+            &Predicate::Eq("IOFH_id".into(), Value::Int(id as i64)),
+            OrderBy::Id,
+            Some(1),
+        )?
+        .into_iter()
+        .next()
+        .map(|srow| SystemInfo {
+            system: srow.values[1].as_text().unwrap_or("").to_owned(),
+            cpu_model: srow.values[2].as_text().unwrap_or("").to_owned(),
+            cores: srow.values[3].as_int().unwrap_or(0) as u32,
+            cpu_mhz: srow.values[4].as_real().unwrap_or(0.0),
+            cache_kib: srow.values[5].as_int().unwrap_or(0) as u64,
+            mem_kib: srow.values[6].as_int().unwrap_or(0) as u64,
+        });
+    Ok(Some(Io500Knowledge {
+        id: Some(id),
+        tasks: run.values[0].as_int().unwrap_or(0) as u32,
+        start_time: run.values[1].as_int().unwrap_or(0) as u64,
+        bw_score: scores
+            .as_ref()
+            .and_then(|s| s.values[1].as_real())
+            .unwrap_or(0.0),
+        md_score: scores
+            .as_ref()
+            .and_then(|s| s.values[2].as_real())
+            .unwrap_or(0.0),
+        total_score: scores
+            .as_ref()
+            .and_then(|s| s.values[3].as_real())
+            .unwrap_or(0.0),
+        testcases,
+        options,
+        system,
+        warnings: load_warnings_in(db, "io500", id),
+    }))
 }
 
 /// Map a database error onto the cycle's error taxonomy: on-disk
@@ -874,7 +1538,7 @@ fn db_to_cycle_error(e: DbError) -> CycleError {
 }
 
 /// Build the paper's schema.
-fn build_schema() -> Database {
+pub(crate) fn build_schema() -> Database {
     let mut db = Database::new();
     db.create_table(
         TableSchema::new(
@@ -1277,9 +1941,11 @@ mod tests {
     #[test]
     fn file_backed_store_survives_reopen() {
         let dir = std::env::temp_dir().join("iokc-kstore-test");
+        // The segmented layout is several sibling files (manifest,
+        // `.bak`, `.active-<epoch>`); start from an empty directory.
+        let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("knowledge.iokc.json");
-        let _ = std::fs::remove_file(&path);
         {
             let mut store = KnowledgeStore::open(path.clone()).unwrap();
             store.save_knowledge(&sample_knowledge()).unwrap();
@@ -1467,7 +2133,10 @@ mod tests {
                 store.save_knowledge(&cmd_knowledge(0)).unwrap();
             }
             let vfs = FaultVfs::from_state(disk.durable_state());
+            // Both manifest generations must be unusable: a corrupt
+            // primary alone now recovers from the seeded `.bak`.
             vfs.set_len(&kb(), 9).unwrap();
+            vfs.set_len(&persist::backup_path(&kb()), 9).unwrap();
             let mut store = KnowledgeStore::open_or_degraded_with_vfs(
                 kb(),
                 Arc::new(FaultVfs::from_state(vfs.durable_state())),
@@ -1500,6 +2169,7 @@ mod tests {
             }
             let vfs = FaultVfs::from_state(disk.durable_state());
             vfs.set_len(&kb(), 9).unwrap();
+            vfs.set_len(&persist::backup_path(&kb()), 9).unwrap();
             let serving = Arc::new(FaultVfs::from_state(vfs.durable_state()));
             let mut store = KnowledgeStore::open_or_degraded_with_vfs(kb(), serving);
             let recorder = Arc::new(iokc_obs::Recorder::disabled());
@@ -1559,7 +2229,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the shim must keep working until it is removed
     fn generation_bumps_on_writes_and_deletes_only() {
         let mut store = KnowledgeStore::in_memory();
         assert_eq!(store.generation(), 0);
@@ -1569,7 +2238,7 @@ mod tests {
         assert_eq!(store.generation(), 2);
         // Reads do not invalidate.
         store.load_knowledge(id).unwrap();
-        store.load_all_items().unwrap();
+        store.query_items(&Query::all()).unwrap();
         assert_eq!(store.generation(), 2);
         // Deleting an absent object is a no-op for the generation.
         assert!(!store.delete_knowledge(999).unwrap());

@@ -12,25 +12,31 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+pub mod compaction;
 pub mod database;
 pub mod fsck;
 pub mod journal;
 pub mod knowledge_store;
 pub mod persist;
 pub mod query;
+pub mod segment;
 pub mod sql;
 pub mod value;
 pub mod vfs;
 
+pub use compaction::{CompactionPlan, CompactionReport};
 pub use database::{
     Column, Database, DbError, ForeignKey, OrderBy, Predicate, Row, SelectStats, TableSchema,
 };
 pub use fsck::{fsck, FsckFinding, FsckOptions, FsckReport};
+pub use iokc_obs::DeadlineToken;
 pub use journal::{
-    read_journal, truncate_torn_tail, JournalEventSink, JournalReadReport, JournalWriter,
+    read_journal, truncate_torn_tail, GroupJournal, JournalEventSink, JournalReadReport,
+    JournalWriter,
 };
-pub use knowledge_store::{KnowledgeStore, StoreHealth};
+pub use knowledge_store::{KnowledgeStore, Snapshot, StoreHealth};
 pub use persist::{classify_io_error, export_csv, import_csv, load, save};
 pub use query::{OpStat, Query, RunKind, RunOrder, RunPredicate, RunRef, RunSummary};
+pub use segment::{Segment, SegmentMeta};
 pub use value::{ColumnType, Value};
 pub use vfs::{FaultPlan, FaultVfs, StdVfs, Vfs, VfsFile};

@@ -73,9 +73,21 @@ pub fn to_json(db: &Database) -> Json {
             ("rows", Json::Arr(row_json)),
         ]));
     }
+    // Auto-increment counters, so an image that holds only a slice of
+    // the corpus (the segmented store's active generation) still
+    // allocates ids after the highest ever issued, not after the highest
+    // it happens to contain. Images without the key (written before the
+    // segmented store) fall back to max(id)+1 per table.
+    let next_ids = Json::obj(
+        db.table_names()
+            .into_iter()
+            .map(|name| (name, Json::from(db.next_id(name).unwrap_or(1) as u64)))
+            .collect(),
+    );
     Json::obj(vec![
         ("format", Json::from("iokc-store")),
         ("version", Json::from(1u64)),
+        ("next_ids", next_ids),
         ("tables", Json::Arr(tables)),
     ])
 }
@@ -180,6 +192,17 @@ pub fn from_json(json: &Json) -> Result<Database, DbError> {
             db.insert_raw(name, id, values)?;
         }
     }
+    // Restore auto-increment counters when the image carries them;
+    // `insert_raw` already advanced each to max(id)+1, so this only ever
+    // moves counters forward (segmented images allocate past ids that
+    // live in sealed segments, not in this image).
+    if let Some(Json::Obj(next_ids)) = json.get("next_ids") {
+        for (table, next) in next_ids {
+            if let Some(next) = next.as_u64() {
+                db.bump_next_id(table, next as i64);
+            }
+        }
+    }
     Ok(db)
 }
 
@@ -263,6 +286,19 @@ pub fn temp_path(path: &Path) -> PathBuf {
 #[must_use]
 pub fn backup_path(path: &Path) -> PathBuf {
     sibling(path, ".bak")
+}
+
+/// The segmented store's active-generation image for `epoch`, kept next
+/// to the manifest (which lives at the store's nominal path).
+#[must_use]
+pub fn active_path(path: &Path, epoch: u64) -> PathBuf {
+    sibling(path, &format!(".active-{epoch}"))
+}
+
+/// A sealed segment's file, kept next to the manifest.
+#[must_use]
+pub fn segment_path(path: &Path, id: u64) -> PathBuf {
+    sibling(path, &format!(".seg-{id}"))
 }
 
 fn sibling(path: &Path, suffix: &str) -> PathBuf {
@@ -393,6 +429,82 @@ fn load_verified_vfs(path: &Path, vfs: &dyn Vfs) -> Result<Database, DbError> {
     let json = iokc_util::json::parse(body)
         .map_err(|e| DbError::Corrupt(format!("parse {}: {e}", path.display())))?;
     from_json(&json)
+}
+
+/// Render any JSON document the way images are rendered: pretty body
+/// plus the checksum footer. Manifest and segment files of the segmented
+/// store use this, so every file the store writes is torn-write
+/// detectable by the same footer check.
+#[must_use]
+pub fn render_document(body: &Json) -> String {
+    let text = body.to_pretty();
+    let crc = checksum(text.as_bytes());
+    format!("{text}{FOOTER_MARKER}{crc:016x}\n")
+}
+
+/// Write a checksummed JSON document crash-safely: temp file, fsync,
+/// rotate a still-verifiable current generation to `.bak`, rename into
+/// place, sync the directory. The same protocol as [`save_vfs`], for
+/// documents that are not whole database images (manifests, segments).
+pub fn write_document_vfs(path: &Path, vfs: &dyn Vfs, body: &Json) -> Result<(), std::io::Error> {
+    let image = render_document(body);
+    let tmp = temp_path(path);
+    {
+        let mut file = vfs.create(&tmp)?;
+        file.write_all(image.as_bytes())?;
+        file.sync()?;
+    }
+    // Rotate only a checksum-valid current file into the backup slot;
+    // rotating a torn one would evict the last good generation.
+    if vfs.exists(path) && read_document_vfs(path, vfs).is_ok() {
+        vfs.rename(path, &backup_path(path))?;
+    }
+    vfs.rename(&tmp, path)?;
+    vfs.sync_parent_dir(path)?;
+    Ok(())
+}
+
+/// Read a checksummed JSON document, verifying its footer.
+pub fn read_document_vfs(path: &Path, vfs: &dyn Vfs) -> Result<Json, DbError> {
+    let bytes = vfs
+        .read(path)
+        .map_err(|e| DbError::Corrupt(format!("read {}: {e}", path.display())))?;
+    let text = String::from_utf8(bytes)
+        .map_err(|e| DbError::Corrupt(format!("read {}: {e}", path.display())))?;
+    let body = verify_image(&text)?;
+    iokc_util::json::parse(body)
+        .map_err(|e| DbError::Corrupt(format!("parse {}: {e}", path.display())))
+}
+
+/// [`read_document_vfs`] with the `.bak` fallback [`load_with_recovery`]
+/// gives database images: a missing, torn, or corrupt primary falls back
+/// to the previous generation when one survives.
+pub fn read_document_with_recovery_vfs(
+    path: &Path,
+    vfs: &dyn Vfs,
+) -> Result<(Json, RecoveryReport), DbError> {
+    match read_document_vfs(path, vfs) {
+        Ok(doc) => Ok((doc, RecoveryReport::default())),
+        Err(primary_error) => {
+            let backup = backup_path(path);
+            if !vfs.exists(&backup) {
+                return Err(primary_error);
+            }
+            match read_document_vfs(&backup, vfs) {
+                Ok(doc) => Ok((
+                    doc,
+                    RecoveryReport {
+                        recovered_from_backup: true,
+                        primary_error: Some(primary_error.to_string()),
+                    },
+                )),
+                Err(backup_error) => Err(DbError::Corrupt(format!(
+                    "primary document unusable ({primary_error}) and backup unusable \
+                     ({backup_error})"
+                ))),
+            }
+        }
+    }
 }
 
 /// Fault-injection hook: truncate an on-disk image to `keep_bytes`,
@@ -778,6 +890,58 @@ not-a-number
         let err = load_with_recovery(&path).unwrap_err();
         assert!(err.to_string().contains("backup image unusable"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn documents_roundtrip_with_rotation_and_recovery() {
+        let dir = scratch_dir("doc");
+        let path = dir.join("manifest.json");
+        let vfs = StdVfs;
+        let gen1 = Json::obj(vec![("gen", Json::from(1u64))]);
+        let gen2 = Json::obj(vec![("gen", Json::from(2u64))]);
+        write_document_vfs(&path, &vfs, &gen1).unwrap();
+        assert_eq!(
+            read_document_vfs(&path, &vfs).unwrap().get("gen"),
+            Some(&Json::Num(1.0))
+        );
+        write_document_vfs(&path, &vfs, &gen2).unwrap();
+        // Tear the primary: recovery falls back to generation 1.
+        let len = std::fs::metadata(&path).unwrap().len();
+        inject_torn_write(&path, len / 2).unwrap();
+        assert!(read_document_vfs(&path, &vfs).is_err());
+        let (doc, report) = read_document_with_recovery_vfs(&path, &vfs).unwrap();
+        assert!(report.recovered_from_backup);
+        assert_eq!(doc.get("gen"), Some(&Json::Num(1.0)));
+        // A further write must not rotate the torn primary over the backup.
+        write_document_vfs(&path, &vfs, &gen2).unwrap();
+        assert_eq!(
+            read_document_vfs(&backup_path(&path), &vfs)
+                .unwrap()
+                .get("gen"),
+            Some(&Json::Num(1.0))
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_image_restores_forwarded_counters() {
+        // A segmented active image holds a slice of the corpus but the
+        // full auto-increment state: ids must not be reissued.
+        let db = sample_db();
+        let mut json = to_json(&db);
+        if let Json::Obj(map) = &mut json {
+            if let Some(Json::Obj(next_ids)) = map.get_mut("next_ids") {
+                next_ids.insert("performances".into(), Json::from(100u64));
+            }
+        }
+        let mut restored = from_json(&json).unwrap();
+        let next = restored
+            .insert(
+                "performances",
+                vec![Value::from("new"), Value::Null, Value::Null],
+            )
+            .unwrap();
+        assert_eq!(next, 100);
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //!
 //! Every interactive reader of the knowledge base — the explorer
 //! service, the comparison and box-plot views, the CLI listings — used
-//! to call `load_all_items()` and filter in its own code, fully
-//! deserializing every `Knowledge` object (a multi-table join) per
-//! request. This module moves that work into the storage layer:
+//! to load every item and filter in its own code, fully deserializing
+//! every `Knowledge` object (a multi-table join) per request. This
+//! module moves that work into the storage layer:
 //!
 //! * [`RunPredicate`] — the filter algebra (kind, api/op equality,
 //!   tasks/transfer-size/bandwidth ranges, command substring, id sets,
@@ -28,9 +28,11 @@
 
 use crate::database::{Database, DbError, OrderBy, Predicate, Row};
 use crate::knowledge_store::KnowledgeStore;
+use crate::segment::{may_match_segment, Segment, SegmentData};
 use crate::value::Value;
+use crate::vfs::Vfs;
 use iokc_obs::{Counter, DeadlineToken, Recorder, SpanStatus};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -129,6 +131,31 @@ impl RunPredicate {
             RunPredicate::And(a, b) => a.may_match_kind(kind) && b.may_match_kind(kind),
             RunPredicate::Or(a, b) => a.may_match_kind(kind) || b.may_match_kind(kind),
             _ => true,
+        }
+    }
+
+    /// Evaluate against a materialized projection row — the segment scan
+    /// path, where every run already has its [`RunSummary`] in memory.
+    /// Must agree exactly with the row-probe evaluation
+    /// (property-tested: the segment path and the active path return the
+    /// same runs for the same data).
+    pub(crate) fn matches_summary(&self, s: &RunSummary) -> bool {
+        match self {
+            RunPredicate::True => true,
+            RunPredicate::Kind(kind) => *kind == s.kind,
+            RunPredicate::ApiEq(api) => s.api == *api,
+            RunPredicate::HasOp(op) => s.ops.iter().any(|o| o.operation == *op),
+            RunPredicate::TasksBetween(lo, hi) => (*lo..=*hi).contains(&s.tasks),
+            RunPredicate::TransferBetween(lo, hi) => (*lo..=*hi).contains(&s.transfer_size),
+            RunPredicate::BandwidthBetween(lo, hi) => {
+                let bw = s.bandwidth();
+                *lo <= bw && bw <= *hi
+            }
+            RunPredicate::CommandContains(text) => s.command.contains(text.as_str()),
+            RunPredicate::IdIn(ids) => ids.contains(&s.id),
+            RunPredicate::And(a, b) => a.matches_summary(s) && b.matches_summary(s),
+            RunPredicate::Or(a, b) => a.matches_summary(s) || b.matches_summary(s),
+            RunPredicate::Not(inner) => !inner.matches_summary(s),
         }
     }
 
@@ -828,51 +855,30 @@ impl KnowledgeStore {
     }
 
     /// Execute a query, returning matched run refs in query order.
-    pub fn query_ids(&self, query: &Query) -> Result<Vec<RunRef>, DbError> {
-        self.execute(query, false)
-    }
-
-    /// [`KnowledgeStore::query_ids`] under a deadline: the scan polls
-    /// `deadline` between row probes and stops with
+    ///
+    /// The scan polls `deadline` between row probes and stops with
     /// [`DbError::Cancelled`] (partial-progress counters included) the
-    /// moment the budget runs out or cancellation fires. Counted in
-    /// `store.query_cancelled`.
-    pub fn query_ids_deadline(
+    /// moment the budget runs out or cancellation fires — counted in
+    /// `store.query_cancelled`. Pass [`DeadlineToken::unbounded`] when
+    /// there is no deadline to impose.
+    pub fn query_ids(
         &self,
         query: &Query,
         deadline: &DeadlineToken,
     ) -> Result<Vec<RunRef>, DbError> {
-        self.execute_deadline(query, false, Some(deadline))
+        self.view().execute(query, false, deadline)
     }
 
     /// Execute a query, materializing the cheap [`RunSummary`]
     /// projection for each matched run (no `results`, `filesystems`,
-    /// `systeminfos` or full-`Knowledge` deserialization).
-    pub fn query_summaries(&self, query: &Query) -> Result<Vec<RunSummary>, DbError> {
-        let refs = self.execute(query, false)?;
-        refs.iter().map(|r| self.summarize(*r)).collect()
-    }
-
-    /// [`KnowledgeStore::query_summaries`] under a deadline; the scan
+    /// `systeminfos` or full-`Knowledge` deserialization). The scan
     /// *and* the per-row projection both poll `deadline`.
-    pub fn query_summaries_deadline(
+    pub fn query_summaries(
         &self,
         query: &Query,
         deadline: &DeadlineToken,
     ) -> Result<Vec<RunSummary>, DbError> {
-        let refs = self.execute_deadline(query, false, Some(deadline))?;
-        let mut rows = Vec::with_capacity(refs.len());
-        for (done, r) in refs.iter().enumerate() {
-            if deadline.should_stop() {
-                self.obs.cancelled.inc();
-                return Err(DbError::Cancelled {
-                    examined: refs.len(),
-                    matched: done,
-                });
-            }
-            rows.push(self.summarize(*r)?);
-        }
-        Ok(rows)
+        self.view().query_summaries(query, deadline)
     }
 
     /// Execute a query and *fully deserialize* every matched run — the
@@ -903,72 +909,221 @@ impl KnowledgeStore {
     }
 
     /// Count matching runs without materializing any row projection.
-    /// Kind-only predicates are answered straight from the table sizes;
-    /// everything else runs the id executor (row probes, but never a
-    /// `Knowledge` deserialization).
+    /// Kind-only predicates are answered straight from the active table
+    /// sizes plus the sealed segments' metadata counts (minus
+    /// tombstones); everything else runs the id executor (row probes,
+    /// but never a `Knowledge` deserialization).
     pub fn count(&self, predicate: &RunPredicate) -> Result<usize, DbError> {
-        match predicate {
-            RunPredicate::True => {
-                Ok(self.db.row_count("performances")? + self.db.row_count("IOFHsRuns")?)
-            }
-            RunPredicate::Kind(RunKind::Benchmark) => self.db.row_count("performances"),
-            RunPredicate::Kind(RunKind::Io500) => self.db.row_count("IOFHsRuns"),
-            _ => Ok(self.execute(&Query::new(predicate.clone()), false)?.len()),
-        }
+        self.view().count(predicate)
     }
 
     /// The per-run bandwidth series for one operation across every
     /// matching benchmark run — the box-plot projection. Reads only the
     /// matched `summaries` and `results` rows (both index-backed), not
     /// the full `Knowledge` objects. Returns `(command, series)` pairs
-    /// in query order.
+    /// in query order. `deadline` is polled between runs, since each
+    /// run fans out into `summaries` and `results` selects.
     pub fn boxplot_series(
-        &self,
-        predicate: &RunPredicate,
-        operation: &str,
-    ) -> Result<Vec<(String, Vec<f64>)>, DbError> {
-        self.boxplot_series_inner(predicate, operation, None)
-    }
-
-    /// [`KnowledgeStore::boxplot_series`] under a deadline; polled
-    /// between runs, since each run fans out into `summaries` and
-    /// `results` selects.
-    pub fn boxplot_series_deadline(
         &self,
         predicate: &RunPredicate,
         operation: &str,
         deadline: &DeadlineToken,
     ) -> Result<Vec<(String, Vec<f64>)>, DbError> {
-        self.boxplot_series_inner(predicate, operation, Some(deadline))
+        self.view().boxplot_series(predicate, operation, deadline)
     }
 
-    fn boxplot_series_inner(
+    /// The unbounded executor: used by internal callers that cannot be
+    /// cancelled (fsck, the Persister trait). `force_scan` disables
+    /// index planning — the equivalence oracle the property tests
+    /// compare against.
+    pub(crate) fn execute(&self, query: &Query, force_scan: bool) -> Result<Vec<RunRef>, DbError> {
+        self.view()
+            .execute(query, force_scan, &DeadlineToken::unbounded())
+    }
+}
+
+/// A coherent read-only view of store state: the active generation with
+/// its indexes, the sealed segments, and the tombstones hiding deleted
+/// segment-resident runs. Both [`KnowledgeStore`] (live state) and
+/// [`crate::Snapshot`] (pinned state) execute every read through this
+/// one type, so there is exactly one read path over the segmented
+/// store.
+pub(crate) struct StoreView<'a> {
+    pub(crate) active: &'a Database,
+    pub(crate) indexes: &'a RunIndexes,
+    pub(crate) segments: &'a [Arc<Segment>],
+    pub(crate) tombstones: &'a BTreeSet<(RunKind, u64)>,
+    pub(crate) vfs: &'a dyn Vfs,
+    pub(crate) obs: &'a QueryObs,
+}
+
+/// Where one run's rows live — the active generation, or a sealed
+/// segment whose loaded body the location keeps alive.
+pub(crate) enum RunLocation<'a> {
+    /// The run is in the active generation.
+    Active(&'a Database),
+    /// The run is in a sealed segment.
+    Segment(Arc<SegmentData>),
+}
+
+impl RunLocation<'_> {
+    /// The database holding the run's rows.
+    pub(crate) fn db(&self) -> &Database {
+        match self {
+            RunLocation::Active(db) => db,
+            RunLocation::Segment(data) => &data.db,
+        }
+    }
+}
+
+impl<'a> StoreView<'a> {
+    /// Find the generation holding run `(kind, id)`: the active
+    /// database first (no I/O), then each sealed segment whose id range
+    /// and membership filter admit the id (loading its body on first
+    /// touch). Tombstoned runs resolve to `None`.
+    pub(crate) fn locate(
+        &self,
+        kind: RunKind,
+        id: u64,
+    ) -> Result<Option<RunLocation<'a>>, DbError> {
+        let table = match kind {
+            RunKind::Benchmark => "performances",
+            RunKind::Io500 => "IOFHsRuns",
+        };
+        if self.active.get(table, id as i64)?.is_some() {
+            return Ok(Some(RunLocation::Active(self.active)));
+        }
+        if self.tombstones.contains(&(kind, id)) {
+            return Ok(None);
+        }
+        for seg in self.segments {
+            let range = match kind {
+                RunKind::Benchmark => seg.meta.bench_ids,
+                RunKind::Io500 => seg.meta.io500_ids,
+            };
+            if !range.is_some_and(|(lo, hi)| (lo..=hi).contains(&id)) {
+                continue;
+            }
+            if !seg.meta.bloom.may_contain(kind, id) {
+                continue;
+            }
+            let data = seg.data(self.vfs)?;
+            if data.summaries.iter().any(|s| s.kind == kind && s.id == id) {
+                return Ok(Some(RunLocation::Segment(data)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Build the [`RunSummary`] projection for one run: computed from
+    /// rows when the run is active, cloned from the segment's
+    /// pre-computed summary block when sealed.
+    pub(crate) fn summarize(&self, r: RunRef) -> Result<RunSummary, DbError> {
+        match self.locate(r.kind, r.id)? {
+            Some(RunLocation::Active(db)) => summarize_in_db(db, r),
+            Some(RunLocation::Segment(data)) => data
+                .summaries
+                .iter()
+                .find(|s| s.kind == r.kind && s.id == r.id)
+                .cloned()
+                .ok_or_else(|| {
+                    DbError::Corrupt(format!(
+                        "{} run {} vanished mid-query",
+                        r.kind.as_str(),
+                        r.id
+                    ))
+                }),
+            None => Err(DbError::Corrupt(format!(
+                "{} run {} vanished mid-query",
+                r.kind.as_str(),
+                r.id
+            ))),
+        }
+    }
+
+    /// [`KnowledgeStore::query_summaries`] over this view.
+    pub(crate) fn query_summaries(
+        &self,
+        query: &Query,
+        deadline: &DeadlineToken,
+    ) -> Result<Vec<RunSummary>, DbError> {
+        let refs = self.execute(query, false, deadline)?;
+        let mut rows = Vec::with_capacity(refs.len());
+        for (done, r) in refs.iter().enumerate() {
+            if deadline.should_stop() {
+                self.obs.cancelled.inc();
+                return Err(DbError::Cancelled {
+                    examined: refs.len(),
+                    matched: done,
+                });
+            }
+            rows.push(self.summarize(*r)?);
+        }
+        Ok(rows)
+    }
+
+    /// [`KnowledgeStore::count`] over this view.
+    pub(crate) fn count(&self, predicate: &RunPredicate) -> Result<usize, DbError> {
+        let sealed = |kind: RunKind| -> usize {
+            let live: usize = self.segments.iter().map(|s| s.meta.count(kind)).sum();
+            // Tombstones only ever reference segment-resident runs, so
+            // this subtraction is exact (saturating defends a corrupt
+            // manifest, not a normal state).
+            live.saturating_sub(self.tombstones.iter().filter(|(k, _)| *k == kind).count())
+        };
+        match predicate {
+            RunPredicate::True => Ok(self.active.row_count("performances")?
+                + self.active.row_count("IOFHsRuns")?
+                + sealed(RunKind::Benchmark)
+                + sealed(RunKind::Io500)),
+            RunPredicate::Kind(RunKind::Benchmark) => {
+                Ok(self.active.row_count("performances")? + sealed(RunKind::Benchmark))
+            }
+            RunPredicate::Kind(RunKind::Io500) => {
+                Ok(self.active.row_count("IOFHsRuns")? + sealed(RunKind::Io500))
+            }
+            _ => Ok(self
+                .execute(
+                    &Query::new(predicate.clone()),
+                    false,
+                    &DeadlineToken::unbounded(),
+                )?
+                .len()),
+        }
+    }
+
+    /// [`KnowledgeStore::boxplot_series`] over this view.
+    pub(crate) fn boxplot_series(
         &self,
         predicate: &RunPredicate,
         operation: &str,
-        deadline: Option<&DeadlineToken>,
+        deadline: &DeadlineToken,
     ) -> Result<Vec<(String, Vec<f64>)>, DbError> {
         let query = Query::new(
             RunPredicate::Kind(RunKind::Benchmark)
                 .and(RunPredicate::HasOp(operation.to_owned()))
                 .and(predicate.clone()),
         );
-        let refs = self.execute_deadline(&query, false, deadline)?;
+        let refs = self.execute(&query, false, deadline)?;
         let total = refs.len();
         let mut out = Vec::with_capacity(refs.len());
         for (done, r) in refs.into_iter().enumerate() {
-            if deadline.is_some_and(DeadlineToken::should_stop) {
+            if deadline.should_stop() {
                 self.obs.cancelled.inc();
                 return Err(DbError::Cancelled {
                     examined: total,
                     matched: done,
                 });
             }
-            let Some(row) = self.db.get("performances", r.id as i64)? else {
+            let Some(location) = self.locate(r.kind, r.id)? else {
+                continue;
+            };
+            let db = location.db();
+            let Some(row) = db.get("performances", r.id as i64)? else {
                 continue;
             };
             let command = row.values[0].as_text().unwrap_or("").to_owned();
-            let summaries = self.db.select(
+            let summaries = db.select(
                 "summaries",
                 &Predicate::Eq("performance_id".into(), Value::Int(r.id as i64)),
                 OrderBy::Id,
@@ -979,7 +1134,7 @@ impl KnowledgeStore {
                 .iter()
                 .filter(|s| s.values[1].as_text() == Some(operation))
             {
-                for rrow in self.db.select(
+                for rrow in db.select(
                     "results",
                     &Predicate::Eq("summary_id".into(), Value::Int(srow.id)),
                     OrderBy::Id,
@@ -995,107 +1150,13 @@ impl KnowledgeStore {
         Ok(out)
     }
 
-    /// Build the [`RunSummary`] projection for one run.
-    fn summarize(&self, r: RunRef) -> Result<RunSummary, DbError> {
-        match r.kind {
-            RunKind::Benchmark => {
-                let row = self.db.get("performances", r.id as i64)?.ok_or_else(|| {
-                    DbError::Corrupt(format!("benchmark run {} vanished mid-query", r.id))
-                })?;
-                let mut probe = BenchProbe {
-                    db: &self.db,
-                    id: r.id,
-                    row,
-                    ops: None,
-                };
-                let ops = probe.ops()?.to_vec();
-                Ok(RunSummary {
-                    kind: RunKind::Benchmark,
-                    id: r.id,
-                    command: probe.command().to_owned(),
-                    api: probe.api().to_owned(),
-                    tasks: probe.tasks(),
-                    block_size: probe.row.values[4].as_int().unwrap_or(0) as u64,
-                    transfer_size: probe.transfer_size(),
-                    segments: probe.row.values[6].as_int().unwrap_or(0) as u64,
-                    clients_per_node: probe.row.values[13].as_int().unwrap_or(0) as u32,
-                    ops,
-                    bw_score: 0.0,
-                    md_score: 0.0,
-                    total_score: 0.0,
-                    warning_count: self.warning_count("benchmark", r.id)?,
-                })
-            }
-            RunKind::Io500 => {
-                let row = self.db.get("IOFHsRuns", r.id as i64)?.ok_or_else(|| {
-                    DbError::Corrupt(format!("io500 run {} vanished mid-query", r.id))
-                })?;
-                let tasks = row.values[0].as_int().unwrap_or(0) as u32;
-                let scores = self
-                    .db
-                    .select(
-                        "IOFHsScores",
-                        &Predicate::Eq("IOFH_id".into(), Value::Int(r.id as i64)),
-                        OrderBy::Id,
-                        Some(1),
-                    )?
-                    .into_iter()
-                    .next();
-                let score = |i: usize| {
-                    scores
-                        .as_ref()
-                        .and_then(|s| s.values[i].as_real())
-                        .unwrap_or(0.0)
-                };
-                Ok(RunSummary {
-                    kind: RunKind::Io500,
-                    id: r.id,
-                    command: "io500".to_owned(),
-                    api: String::new(),
-                    tasks,
-                    block_size: 0,
-                    transfer_size: 0,
-                    segments: 0,
-                    clients_per_node: 0,
-                    ops: Vec::new(),
-                    bw_score: score(1),
-                    md_score: score(2),
-                    total_score: score(3),
-                    warning_count: self.warning_count("io500", r.id)?,
-                })
-            }
-        }
-    }
-
-    fn warning_count(&self, owner: &str, id: u64) -> Result<usize, DbError> {
-        Ok(self
-            .db
-            .select(
-                "warnings",
-                &Predicate::Eq("owner_id".into(), Value::Int(id as i64)),
-                OrderBy::Id,
-                None,
-            )?
-            .iter()
-            .filter(|row| row.values[0].as_text() == Some(owner))
-            .count())
-    }
-
-    /// The executor: plan candidates per kind (index or scan), evaluate
-    /// the full predicate on each, sort with the id tie-break, apply
-    /// offset/limit. `force_scan` disables index planning — the
-    /// equivalence oracle the property tests compare against.
-    pub(crate) fn execute(&self, query: &Query, force_scan: bool) -> Result<Vec<RunRef>, DbError> {
-        self.execute_deadline(query, force_scan, None)
-    }
-
-    /// [`KnowledgeStore::execute`] with an optional deadline polled
-    /// between row probes. A `None` deadline never stops the scan.
-    pub(crate) fn execute_deadline(
+    /// The executor entry point: runs [`StoreView::execute_inner`]
+    /// under a `store.query` span and counts cancellations.
+    pub(crate) fn execute(
         &self,
         query: &Query,
         force_scan: bool,
-        deadline: Option<&DeadlineToken>,
+        deadline: &DeadlineToken,
     ) -> Result<Vec<RunRef>, DbError> {
         let span =
             self.obs
@@ -1116,11 +1177,19 @@ impl KnowledgeStore {
         result
     }
 
+    /// The executor: plan candidates per kind over the active
+    /// generation (index or scan), evaluate the full predicate on each,
+    /// then scan each sealed segment's pre-computed summary block —
+    /// pruned by the segment's index block ([`may_match_segment`]) so
+    /// non-matching segments are never loaded — sort with the id
+    /// tie-break, apply offset/limit. `force_scan` disables index
+    /// planning — the equivalence oracle the property tests compare
+    /// against.
     fn execute_inner(
         &self,
         query: &Query,
         force_scan: bool,
-        deadline: Option<&DeadlineToken>,
+        deadline: &DeadlineToken,
     ) -> Result<Vec<RunRef>, DbError> {
         self.obs.queries.inc();
         let mut matched: Vec<Matched> = Vec::new();
@@ -1134,15 +1203,20 @@ impl KnowledgeStore {
                 RunKind::Benchmark => "performances",
                 RunKind::Io500 => "IOFHsRuns",
             };
-            let table_rows = self.db.row_count(table)?;
+            let table_rows = self.active.row_count(table)?;
             total += table_rows;
+            total += self
+                .segments
+                .iter()
+                .map(|s| s.meta.count(kind))
+                .sum::<usize>();
             if !query.predicate.may_match_kind(kind) {
                 continue;
             }
             let plan = if force_scan {
                 Plan::Scan
             } else {
-                plan_candidates(&self.indexes, kind, &query.predicate)
+                plan_candidates(self.indexes, kind, &query.predicate)
             };
             let ids: Vec<u64> = match &plan {
                 Plan::Index(ids) => {
@@ -1151,7 +1225,7 @@ impl KnowledgeStore {
                 }
                 Plan::Scan => {
                     any_scan = true;
-                    self.db
+                    self.active
                         .select(table, &Predicate::True, OrderBy::Id, None)?
                         .into_iter()
                         .map(|row| row.id as u64)
@@ -1163,7 +1237,7 @@ impl KnowledgeStore {
                 // least one table `get`, so the poll is cheap relative
                 // to the work it bounds, and a runaway scan stops within
                 // one row of the budget expiring.
-                if deadline.is_some_and(DeadlineToken::should_stop) {
+                if deadline.should_stop() {
                     return Err(DbError::Cancelled {
                         examined,
                         matched: matched.len(),
@@ -1171,7 +1245,7 @@ impl KnowledgeStore {
                 }
                 match kind {
                     RunKind::Benchmark => {
-                        let Some(mut probe) = BenchProbe::fetch(&self.db, id)? else {
+                        let Some(mut probe) = BenchProbe::fetch(self.active, id)? else {
                             continue;
                         };
                         examined += 1;
@@ -1183,7 +1257,7 @@ impl KnowledgeStore {
                         }
                     }
                     RunKind::Io500 => {
-                        let Some(mut probe) = Io500Probe::fetch(&self.db, id)? else {
+                        let Some(mut probe) = Io500Probe::fetch(self.active, id)? else {
                             continue;
                         };
                         examined += 1;
@@ -1193,6 +1267,37 @@ impl KnowledgeStore {
                                 key: probe.sort_key(query.order)?,
                             });
                         }
+                    }
+                }
+            }
+            // Sealed segments: evaluate against the pre-computed
+            // summary block. Segments whose index block rules out the
+            // predicate are skipped without touching disk — their rows
+            // show up in `rows_pruned`.
+            for seg in self.segments {
+                if seg.meta.count(kind) == 0 {
+                    continue;
+                }
+                if !may_match_segment(&query.predicate, &seg.meta, kind) {
+                    continue;
+                }
+                let data = seg.data(self.vfs)?;
+                for s in data.summaries.iter().filter(|s| s.kind == kind) {
+                    if deadline.should_stop() {
+                        return Err(DbError::Cancelled {
+                            examined,
+                            matched: matched.len(),
+                        });
+                    }
+                    if self.tombstones.contains(&(kind, s.id)) {
+                        continue;
+                    }
+                    examined += 1;
+                    if query.predicate.matches_summary(s) {
+                        matched.push(Matched {
+                            run: RunRef { kind, id: s.id },
+                            key: summary_sort_key(s, query.order),
+                        });
                     }
                 }
             }
@@ -1225,6 +1330,121 @@ impl KnowledgeStore {
             .collect();
         Ok(refs)
     }
+}
+
+/// The sort key for a run already projected to a [`RunSummary`] — the
+/// segment-side mirror of the probes' `sort_key`.
+fn summary_sort_key(s: &RunSummary, order: RunOrder) -> SortKey {
+    match order {
+        RunOrder::Id => SortKey::Int(s.id),
+        RunOrder::Tasks => SortKey::Int(u64::from(s.tasks)),
+        RunOrder::Command => SortKey::Text(s.command.clone()),
+        RunOrder::Bandwidth => SortKey::Bw(s.bandwidth()),
+    }
+}
+
+/// Every run in `db`, benchmarks then io500s, each in id order.
+pub(crate) fn run_refs_in_db(db: &Database) -> Result<Vec<RunRef>, DbError> {
+    let mut refs = Vec::new();
+    for row in db.select("performances", &Predicate::True, OrderBy::Id, None)? {
+        refs.push(RunRef {
+            kind: RunKind::Benchmark,
+            id: row.id as u64,
+        });
+    }
+    for row in db.select("IOFHsRuns", &Predicate::True, OrderBy::Id, None)? {
+        refs.push(RunRef {
+            kind: RunKind::Io500,
+            id: row.id as u64,
+        });
+    }
+    Ok(refs)
+}
+
+/// Build the [`RunSummary`] projection for one run from its rows in
+/// `db` — used for active-generation reads and for computing a
+/// segment's summary block at seal time.
+pub(crate) fn summarize_in_db(db: &Database, r: RunRef) -> Result<RunSummary, DbError> {
+    match r.kind {
+        RunKind::Benchmark => {
+            let row = db.get("performances", r.id as i64)?.ok_or_else(|| {
+                DbError::Corrupt(format!("benchmark run {} vanished mid-query", r.id))
+            })?;
+            let mut probe = BenchProbe {
+                db,
+                id: r.id,
+                row,
+                ops: None,
+            };
+            let ops = probe.ops()?.to_vec();
+            Ok(RunSummary {
+                kind: RunKind::Benchmark,
+                id: r.id,
+                command: probe.command().to_owned(),
+                api: probe.api().to_owned(),
+                tasks: probe.tasks(),
+                block_size: probe.row.values[4].as_int().unwrap_or(0) as u64,
+                transfer_size: probe.transfer_size(),
+                segments: probe.row.values[6].as_int().unwrap_or(0) as u64,
+                clients_per_node: probe.row.values[13].as_int().unwrap_or(0) as u32,
+                ops,
+                bw_score: 0.0,
+                md_score: 0.0,
+                total_score: 0.0,
+                warning_count: warning_count_in(db, "benchmark", r.id)?,
+            })
+        }
+        RunKind::Io500 => {
+            let row = db.get("IOFHsRuns", r.id as i64)?.ok_or_else(|| {
+                DbError::Corrupt(format!("io500 run {} vanished mid-query", r.id))
+            })?;
+            let tasks = row.values[0].as_int().unwrap_or(0) as u32;
+            let scores = db
+                .select(
+                    "IOFHsScores",
+                    &Predicate::Eq("IOFH_id".into(), Value::Int(r.id as i64)),
+                    OrderBy::Id,
+                    Some(1),
+                )?
+                .into_iter()
+                .next();
+            let score = |i: usize| {
+                scores
+                    .as_ref()
+                    .and_then(|s| s.values[i].as_real())
+                    .unwrap_or(0.0)
+            };
+            Ok(RunSummary {
+                kind: RunKind::Io500,
+                id: r.id,
+                command: "io500".to_owned(),
+                api: String::new(),
+                tasks,
+                block_size: 0,
+                transfer_size: 0,
+                segments: 0,
+                clients_per_node: 0,
+                ops: Vec::new(),
+                bw_score: score(1),
+                md_score: score(2),
+                total_score: score(3),
+                warning_count: warning_count_in(db, "io500", r.id)?,
+            })
+        }
+    }
+}
+
+fn warning_count_in(db: &Database, owner: &str, id: u64) -> Result<usize, DbError> {
+    Ok(db
+        .select(
+            "warnings",
+            &Predicate::Eq("owner_id".into(), Value::Int(id as i64)),
+            OrderBy::Id,
+            None,
+        )?
+        .iter()
+        .filter(|row| row.values[0].as_text() == Some(owner))
+        .count())
 }
 
 #[cfg(test)]
@@ -1336,7 +1556,7 @@ mod tests {
         let q = Query::new(RunPredicate::True)
             .order_by(RunOrder::Bandwidth)
             .descending();
-        let all = store.query_ids(&q).unwrap();
+        let all = store.query_ids(&q, &DeadlineToken::unbounded()).unwrap();
         assert_eq!(
             ids(&all),
             vec![
@@ -1348,8 +1568,12 @@ mod tests {
         );
         // Pagination over the duplicate keys is deterministic: pages
         // partition the same total order.
-        let page1 = store.query_ids(&q.clone().limit(2)).unwrap();
-        let page2 = store.query_ids(&q.clone().offset(2).limit(2)).unwrap();
+        let page1 = store
+            .query_ids(&q.clone().limit(2), &DeadlineToken::unbounded())
+            .unwrap();
+        let page2 = store
+            .query_ids(&q.clone().offset(2).limit(2), &DeadlineToken::unbounded())
+            .unwrap();
         let mut joined = ids(&page1);
         joined.extend(ids(&page2));
         assert_eq!(joined, ids(&all));
@@ -1384,7 +1608,10 @@ mod tests {
             .metrics()
             .counter("store.query.knowledge_deserialized");
         let rows = store
-            .query_summaries(&Query::all().order_by(RunOrder::Bandwidth).descending())
+            .query_summaries(
+                &Query::all().order_by(RunOrder::Bandwidth).descending(),
+                &DeadlineToken::unbounded(),
+            )
             .unwrap();
         assert_eq!(deser.get(), 0);
         assert_eq!(rows.len(), 4);
@@ -1422,14 +1649,20 @@ mod tests {
         let scans = recorder.metrics().counter("store.query.full_scans");
         let pruned = recorder.metrics().counter("store.query.rows_pruned");
         store
-            .query_ids(&Query::new(
-                RunPredicate::Kind(RunKind::Benchmark).and(RunPredicate::ApiEq("MPIIO".into())),
-            ))
+            .query_ids(
+                &Query::new(
+                    RunPredicate::Kind(RunKind::Benchmark).and(RunPredicate::ApiEq("MPIIO".into())),
+                ),
+                &DeadlineToken::unbounded(),
+            )
             .unwrap();
         assert_eq!((hits.get(), scans.get()), (1, 0));
         assert!(pruned.get() >= 3, "api index should prune non-MPIIO rows");
         store
-            .query_ids(&Query::new(RunPredicate::CommandContains("ior".into())))
+            .query_ids(
+                &Query::new(RunPredicate::CommandContains("ior".into())),
+                &DeadlineToken::unbounded(),
+            )
             .unwrap();
         assert_eq!((hits.get(), scans.get()), (1, 1));
     }
@@ -1461,7 +1694,11 @@ mod tests {
     fn boxplot_series_reads_iteration_results() {
         let store = seeded();
         let series = store
-            .boxplot_series(&RunPredicate::ApiEq("POSIX".into()), "write")
+            .boxplot_series(
+                &RunPredicate::ApiEq("POSIX".into()),
+                "write",
+                &DeadlineToken::unbounded(),
+            )
             .unwrap();
         assert_eq!(series.len(), 2);
         assert_eq!(series[0].0, "ior -a posix");
@@ -1479,18 +1716,14 @@ mod tests {
         let cancelled = recorder.metrics().counter("store.query_cancelled");
 
         let expired = DeadlineToken::with_budget(CancelToken::new(), Duration::ZERO);
-        let err = store
-            .query_ids_deadline(&Query::all(), &expired)
-            .unwrap_err();
+        let err = store.query_ids(&Query::all(), &expired).unwrap_err();
         assert!(matches!(err, DbError::Cancelled { .. }), "{err}");
         assert_eq!(cancelled.get(), 1);
 
-        let err = store
-            .query_summaries_deadline(&Query::all(), &expired)
-            .unwrap_err();
+        let err = store.query_summaries(&Query::all(), &expired).unwrap_err();
         assert!(matches!(err, DbError::Cancelled { .. }), "{err}");
         let err = store
-            .boxplot_series_deadline(&RunPredicate::True, "write", &expired)
+            .boxplot_series(&RunPredicate::True, "write", &expired)
             .unwrap_err();
         assert!(matches!(err, DbError::Cancelled { .. }), "{err}");
         assert_eq!(cancelled.get(), 3);
@@ -1500,25 +1733,16 @@ mod tests {
         let token = CancelToken::new();
         token.cancel();
         let err = store
-            .query_ids_deadline(&Query::all(), &DeadlineToken::unbounded(token))
+            .query_ids(&Query::all(), &DeadlineToken::cancellable(token))
             .unwrap_err();
         assert!(err.to_string().contains("query cancelled"), "{err}");
 
         // An unbounded, un-cancelled token runs to completion and does
         // not bump the counter.
-        let open = DeadlineToken::unbounded(CancelToken::new());
+        let open = DeadlineToken::unbounded();
+        assert_eq!(store.query_ids(&Query::all(), &open).unwrap().len(), 4);
         assert_eq!(
-            store
-                .query_ids_deadline(&Query::all(), &open)
-                .unwrap()
-                .len(),
-            4
-        );
-        assert_eq!(
-            store
-                .query_summaries_deadline(&Query::all(), &open)
-                .unwrap()
-                .len(),
+            store.query_summaries(&Query::all(), &open).unwrap().len(),
             4
         );
         assert_eq!(cancelled.get(), 4);

@@ -1,0 +1,808 @@
+//! Immutable on-disk segments of the segmented store.
+//!
+//! When the active generation grows past its seal threshold, the store
+//! freezes it into a *segment*: a checksummed document holding the full
+//! database image of those runs plus their pre-computed
+//! [`RunSummary`] projections. Each segment carries a [`SegmentMeta`]
+//! index block — run counts, id/task/bandwidth ranges, the API set, and
+//! a bloom-style membership filter — which lives in the store manifest,
+//! so `open()` maps metadata only and never reads segment bodies until a
+//! query actually needs them.
+//!
+//! Bloom sizing: 10 bits per entry with 7 probes gives a false-positive
+//! rate under 1% — a false positive costs one wasted segment body load,
+//! never a wrong answer, because the executor re-evaluates the full
+//! predicate against the summaries it loads.
+
+use crate::database::{Database, DbError};
+use crate::persist;
+use crate::query::{OpStat, RunKind, RunPredicate, RunSummary};
+use crate::vfs::Vfs;
+use iokc_util::json::Json;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Bloom-style membership filter over `(kind, id)` run keys.
+///
+/// Double hashing: two FNV-1a hashes with distinct seeds drive `k`
+/// probe positions, `bit_i = (h1 + i·h2) mod m`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Bloom {
+    bits: Vec<u64>,
+    probes: u32,
+}
+
+const BLOOM_PROBES: u32 = 7;
+const BLOOM_BITS_PER_ENTRY: usize = 10;
+
+fn fnv1a_seeded(seed: u64, bytes: &[u8]) -> u64 {
+    let mut hash = seed;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn run_key_bytes(kind: RunKind, id: u64) -> [u8; 9] {
+    let mut bytes = [0u8; 9];
+    bytes[0] = match kind {
+        RunKind::Benchmark => 0,
+        RunKind::Io500 => 1,
+    };
+    bytes[1..].copy_from_slice(&id.to_le_bytes());
+    bytes
+}
+
+impl Bloom {
+    /// A filter sized for `entries` keys (at least one word).
+    #[must_use]
+    pub(crate) fn with_capacity(entries: usize) -> Bloom {
+        let bits = (entries * BLOOM_BITS_PER_ENTRY).max(1).div_ceil(64);
+        Bloom {
+            bits: vec![0; bits],
+            probes: BLOOM_PROBES,
+        }
+    }
+
+    fn positions(&self, kind: RunKind, id: u64) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let key = run_key_bytes(kind, id);
+        let h1 = fnv1a_seeded(0xcbf2_9ce4_8422_2325, &key);
+        let h2 = fnv1a_seeded(0x6c62_272e_07bb_0142, &key) | 1;
+        let m = self.bits.len() as u64 * 64;
+        (0..u64::from(self.probes)).map(move |i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % m;
+            ((bit / 64) as usize, 1u64 << (bit % 64))
+        })
+    }
+
+    /// Record a run key.
+    pub(crate) fn insert(&mut self, kind: RunKind, id: u64) {
+        for (word, mask) in self.positions(kind, id).collect::<Vec<_>>() {
+            self.bits[word] |= mask;
+        }
+    }
+
+    /// Whether the key may be present (false = definitely absent).
+    #[must_use]
+    pub(crate) fn may_contain(&self, kind: RunKind, id: u64) -> bool {
+        self.positions(kind, id)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .all(|(word, mask)| self.bits[word] & mask != 0)
+    }
+
+    fn to_hex(&self) -> String {
+        let mut out = String::with_capacity(self.bits.len() * 16);
+        for word in &self.bits {
+            out.push_str(&format!("{word:016x}"));
+        }
+        out
+    }
+
+    fn from_hex(text: &str) -> Result<Bloom, DbError> {
+        if text.is_empty() || !text.len().is_multiple_of(16) {
+            return Err(DbError::Corrupt(format!(
+                "bloom filter hex has bad length {}",
+                text.len()
+            )));
+        }
+        let mut bits = Vec::with_capacity(text.len() / 16);
+        for chunk in text.as_bytes().chunks(16) {
+            let chunk = std::str::from_utf8(chunk)
+                .map_err(|e| DbError::Corrupt(format!("bloom filter not ascii: {e}")))?;
+            bits.push(
+                u64::from_str_radix(chunk, 16)
+                    .map_err(|e| DbError::Corrupt(format!("bloom filter word {chunk:?}: {e}")))?,
+            );
+        }
+        Ok(Bloom {
+            bits,
+            probes: BLOOM_PROBES,
+        })
+    }
+}
+
+/// The index block of one sealed segment — everything the query planner
+/// needs to *skip* a segment without reading its body. Lives in the
+/// store manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentMeta {
+    /// Segment id (file name suffix; monotonically assigned).
+    pub id: u64,
+    /// How many benchmark runs the segment holds.
+    pub bench_count: usize,
+    /// How many IO500 runs the segment holds.
+    pub io500_count: usize,
+    /// Inclusive benchmark id range, when any are present.
+    pub bench_ids: Option<(u64, u64)>,
+    /// Inclusive IO500 id range, when any are present.
+    pub io500_ids: Option<(u64, u64)>,
+    /// Inclusive task-count range over all runs.
+    pub tasks: Option<(u32, u32)>,
+    /// Inclusive bandwidth range (write mean / `bw_score`).
+    pub bandwidth: Option<(f64, f64)>,
+    /// Every API string appearing in the segment (`""` for IO500 runs).
+    pub apis: BTreeSet<String>,
+    /// Membership filter over `(kind, id)` keys.
+    pub(crate) bloom: Bloom,
+}
+
+impl SegmentMeta {
+    /// Compute the index block for the runs in `summaries`.
+    #[must_use]
+    pub fn compute(id: u64, summaries: &[RunSummary]) -> SegmentMeta {
+        let mut meta = SegmentMeta {
+            id,
+            bench_count: 0,
+            io500_count: 0,
+            bench_ids: None,
+            io500_ids: None,
+            tasks: None,
+            bandwidth: None,
+            apis: BTreeSet::new(),
+            bloom: Bloom::with_capacity(summaries.len()),
+        };
+        fn widen<T: Copy + PartialOrd>(range: &mut Option<(T, T)>, v: T) {
+            *range = Some(match *range {
+                None => (v, v),
+                Some((lo, hi)) => (if v < lo { v } else { lo }, if v > hi { v } else { hi }),
+            });
+        }
+        for s in summaries {
+            match s.kind {
+                RunKind::Benchmark => {
+                    meta.bench_count += 1;
+                    widen(&mut meta.bench_ids, s.id);
+                }
+                RunKind::Io500 => {
+                    meta.io500_count += 1;
+                    widen(&mut meta.io500_ids, s.id);
+                }
+            }
+            widen(&mut meta.tasks, s.tasks);
+            widen(&mut meta.bandwidth, s.bandwidth());
+            meta.apis.insert(s.api.clone());
+            meta.bloom.insert(s.kind, s.id);
+        }
+        meta
+    }
+
+    /// Runs of `kind` in this segment.
+    #[must_use]
+    pub fn count(&self, kind: RunKind) -> usize {
+        match kind {
+            RunKind::Benchmark => self.bench_count,
+            RunKind::Io500 => self.io500_count,
+        }
+    }
+
+    /// Manifest-block JSON form.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let range_u64 = |r: Option<(u64, u64)>| match r {
+            Some((lo, hi)) => Json::Arr(vec![Json::from(lo), Json::from(hi)]),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("id", Json::from(self.id)),
+            ("bench_count", Json::from(self.bench_count)),
+            ("io500_count", Json::from(self.io500_count)),
+            ("bench_ids", range_u64(self.bench_ids)),
+            ("io500_ids", range_u64(self.io500_ids)),
+            (
+                "tasks",
+                match self.tasks {
+                    Some((lo, hi)) => {
+                        Json::Arr(vec![Json::from(u64::from(lo)), Json::from(u64::from(hi))])
+                    }
+                    None => Json::Null,
+                },
+            ),
+            (
+                "bandwidth",
+                match self.bandwidth {
+                    Some((lo, hi)) => Json::Arr(vec![Json::from(lo), Json::from(hi)]),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "apis",
+                Json::Arr(self.apis.iter().map(|a| Json::from(a.as_str())).collect()),
+            ),
+            ("bloom", Json::from(self.bloom.to_hex())),
+        ])
+    }
+
+    /// Parse a manifest block back into an index block.
+    pub fn from_json(json: &Json) -> Result<SegmentMeta, DbError> {
+        let corrupt = |what: &str| DbError::Corrupt(format!("segment meta: {what}"));
+        let id = json
+            .get("id")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt("missing id"))?;
+        let count = |key: &str| -> Result<usize, DbError> {
+            json.get(key)
+                .and_then(Json::as_u64)
+                .map(|n| n as usize)
+                .ok_or_else(|| corrupt(&format!("missing {key}")))
+        };
+        let range_u64 = |key: &str| -> Result<Option<(u64, u64)>, DbError> {
+            match json.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(Json::Arr(pair)) if pair.len() == 2 => {
+                    match (pair[0].as_u64(), pair[1].as_u64()) {
+                        (Some(lo), Some(hi)) => Ok(Some((lo, hi))),
+                        _ => Err(corrupt(&format!("bad {key} range"))),
+                    }
+                }
+                Some(_) => Err(corrupt(&format!("bad {key} range"))),
+            }
+        };
+        let bandwidth = match json.get("bandwidth") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(pair)) if pair.len() == 2 => {
+                match (pair[0].as_f64(), pair[1].as_f64()) {
+                    (Some(lo), Some(hi)) => Some((lo, hi)),
+                    _ => return Err(corrupt("bad bandwidth range")),
+                }
+            }
+            Some(_) => return Err(corrupt("bad bandwidth range")),
+        };
+        let mut apis = BTreeSet::new();
+        if let Some(list) = json.get("apis").and_then(Json::as_arr) {
+            for api in list {
+                apis.insert(
+                    api.as_str()
+                        .ok_or_else(|| corrupt("non-text api"))?
+                        .to_owned(),
+                );
+            }
+        }
+        let bloom = Bloom::from_hex(
+            json.get("bloom")
+                .and_then(Json::as_str)
+                .ok_or_else(|| corrupt("missing bloom"))?,
+        )?;
+        let tasks = range_u64("tasks")?.map(|(lo, hi)| (lo as u32, hi as u32));
+        Ok(SegmentMeta {
+            id,
+            bench_count: count("bench_count")?,
+            io500_count: count("io500_count")?,
+            bench_ids: range_u64("bench_ids")?,
+            io500_ids: range_u64("io500_ids")?,
+            tasks,
+            bandwidth,
+            apis,
+            bloom,
+        })
+    }
+}
+
+/// The body of a segment: the pre-computed projections the executor
+/// scans, and the full database image full deserialization joins against.
+#[derive(Debug)]
+pub struct SegmentData {
+    /// Every run's projection row, in `(kind, id)` order.
+    pub summaries: Vec<RunSummary>,
+    /// The runs' rows, exactly as they were in the active generation at
+    /// seal time (ids preserved).
+    pub db: Database,
+}
+
+/// One immutable sealed segment: its index block, its file, and a
+/// lazily-loaded body shared by every reader.
+#[derive(Debug)]
+pub struct Segment {
+    /// The index block (also stored in the manifest).
+    pub meta: SegmentMeta,
+    path: PathBuf,
+    data: Mutex<Option<Arc<SegmentData>>>,
+}
+
+impl Segment {
+    /// A segment whose body will be read from `path` on first use.
+    #[must_use]
+    pub fn new(meta: SegmentMeta, path: PathBuf) -> Segment {
+        Segment {
+            meta,
+            path,
+            data: Mutex::new(None),
+        }
+    }
+
+    /// A segment whose body is already in memory (just sealed, or about
+    /// to have its file removed by compaction while snapshots still hold
+    /// the handle).
+    #[must_use]
+    pub fn preloaded(meta: SegmentMeta, path: PathBuf, data: Arc<SegmentData>) -> Segment {
+        Segment {
+            meta,
+            path,
+            data: Mutex::new(Some(data)),
+        }
+    }
+
+    /// The segment's file.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The body, reading and caching it on first use. Concurrent callers
+    /// share one `Arc`; the cache is never evicted for the lifetime of
+    /// the handle (snapshot lifetime rule: a `Snapshot` holding this
+    /// segment stays readable even after compaction unlinks the file).
+    pub fn data(&self, vfs: &dyn Vfs) -> Result<Arc<SegmentData>, DbError> {
+        let mut slot = self
+            .data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(data) = &*slot {
+            return Ok(Arc::clone(data));
+        }
+        let data = Arc::new(read_segment_vfs(&self.path, vfs)?);
+        *slot = Some(Arc::clone(&data));
+        Ok(data)
+    }
+
+    /// Load and cache the body now (compaction calls this before
+    /// unlinking input files).
+    pub fn preload_data(&self, vfs: &dyn Vfs) -> Result<(), DbError> {
+        self.data(vfs).map(|_| ())
+    }
+}
+
+/// Format tag of segment documents.
+const SEGMENT_FORMAT: &str = "iokc-segment";
+
+/// Write a segment document crash-safely.
+pub fn write_segment_vfs(
+    path: &Path,
+    vfs: &dyn Vfs,
+    id: u64,
+    summaries: &[RunSummary],
+    db: &Database,
+) -> Result<(), std::io::Error> {
+    let body = Json::obj(vec![
+        ("format", Json::from(SEGMENT_FORMAT)),
+        ("version", Json::from(1u64)),
+        ("id", Json::from(id)),
+        (
+            "summaries",
+            Json::Arr(summaries.iter().map(summary_to_json).collect()),
+        ),
+        ("db", persist::to_json(db)),
+    ]);
+    persist::write_document_vfs(path, vfs, &body)
+}
+
+/// Read a segment body, verifying its checksum and format tag.
+pub fn read_segment_vfs(path: &Path, vfs: &dyn Vfs) -> Result<SegmentData, DbError> {
+    let doc = persist::read_document_vfs(path, vfs)?;
+    if doc.get("format").and_then(Json::as_str) != Some(SEGMENT_FORMAT) {
+        return Err(DbError::Corrupt(format!(
+            "{}: missing {SEGMENT_FORMAT} format tag",
+            path.display()
+        )));
+    }
+    let mut summaries = Vec::new();
+    for s in doc
+        .get("summaries")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| DbError::Corrupt(format!("{}: missing summaries", path.display())))?
+    {
+        summaries.push(summary_from_json(s)?);
+    }
+    let db = persist::from_json(
+        doc.get("db")
+            .ok_or_else(|| DbError::Corrupt(format!("{}: missing db image", path.display())))?,
+    )?;
+    Ok(SegmentData { summaries, db })
+}
+
+/// Serialize one projection row for a segment body.
+#[must_use]
+pub(crate) fn summary_to_json(s: &RunSummary) -> Json {
+    Json::obj(vec![
+        ("kind", Json::from(s.kind.as_str())),
+        ("id", Json::from(s.id)),
+        ("command", Json::from(s.command.as_str())),
+        ("api", Json::from(s.api.as_str())),
+        ("tasks", Json::from(u64::from(s.tasks))),
+        ("block_size", Json::from(s.block_size)),
+        ("transfer_size", Json::from(s.transfer_size)),
+        ("segments", Json::from(s.segments)),
+        (
+            "clients_per_node",
+            Json::from(u64::from(s.clients_per_node)),
+        ),
+        (
+            "ops",
+            Json::Arr(
+                s.ops
+                    .iter()
+                    .map(|o| {
+                        Json::obj(vec![
+                            ("operation", Json::from(o.operation.as_str())),
+                            ("mean_mib", Json::from(o.mean_mib)),
+                            ("max_mib", Json::from(o.max_mib)),
+                            ("mean_ops", Json::from(o.mean_ops)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("bw_score", Json::from(s.bw_score)),
+        ("md_score", Json::from(s.md_score)),
+        ("total_score", Json::from(s.total_score)),
+        ("warning_count", Json::from(s.warning_count)),
+    ])
+}
+
+/// Parse one projection row from a segment body.
+pub(crate) fn summary_from_json(json: &Json) -> Result<RunSummary, DbError> {
+    let corrupt = |what: &str| DbError::Corrupt(format!("segment summary: {what}"));
+    let kind = match json.get("kind").and_then(Json::as_str) {
+        Some("benchmark") => RunKind::Benchmark,
+        Some("io500") => RunKind::Io500,
+        other => return Err(corrupt(&format!("bad kind {other:?}"))),
+    };
+    let u64_field = |key: &str| -> Result<u64, DbError> {
+        json.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| corrupt(&format!("missing {key}")))
+    };
+    let f64_field = |key: &str| -> Result<f64, DbError> {
+        json.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| corrupt(&format!("missing {key}")))
+    };
+    let str_field = |key: &str| -> Result<String, DbError> {
+        json.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| corrupt(&format!("missing {key}")))
+    };
+    let mut ops = Vec::new();
+    if let Some(list) = json.get("ops").and_then(Json::as_arr) {
+        for o in list {
+            ops.push(OpStat {
+                operation: o
+                    .get("operation")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| corrupt("op without operation"))?
+                    .to_owned(),
+                mean_mib: o.get("mean_mib").and_then(Json::as_f64).unwrap_or(0.0),
+                max_mib: o.get("max_mib").and_then(Json::as_f64).unwrap_or(0.0),
+                mean_ops: o.get("mean_ops").and_then(Json::as_f64).unwrap_or(0.0),
+            });
+        }
+    }
+    Ok(RunSummary {
+        kind,
+        id: u64_field("id")?,
+        command: str_field("command")?,
+        api: str_field("api")?,
+        tasks: u64_field("tasks")? as u32,
+        block_size: u64_field("block_size")?,
+        transfer_size: u64_field("transfer_size")?,
+        segments: u64_field("segments")?,
+        clients_per_node: u64_field("clients_per_node")? as u32,
+        ops,
+        bw_score: f64_field("bw_score")?,
+        md_score: f64_field("md_score")?,
+        total_score: f64_field("total_score")?,
+        warning_count: u64_field("warning_count")? as usize,
+    })
+}
+
+/// Can any run in a segment with this index block match the predicate?
+///
+/// Conservative: `true` means "maybe" — the executor re-evaluates the
+/// full predicate against each summary it loads, so a false `true` costs
+/// one body read, never a wrong answer. `false` must be exact.
+#[must_use]
+pub fn may_match_segment(pred: &RunPredicate, meta: &SegmentMeta, kind: RunKind) -> bool {
+    let overlaps_u32 = |range: Option<(u32, u32)>, lo: u32, hi: u32| {
+        range.is_none_or(|(rlo, rhi)| lo <= rhi && rlo <= hi)
+    };
+    match pred {
+        RunPredicate::True => true,
+        RunPredicate::Kind(k) => *k == kind,
+        RunPredicate::ApiEq(api) => match kind {
+            RunKind::Benchmark => meta.apis.contains(api),
+            // IO500 runs match only the empty api, and their summaries
+            // contribute `""` to the api set.
+            RunKind::Io500 => api.is_empty() && meta.apis.contains(""),
+        },
+        RunPredicate::HasOp(_) => kind == RunKind::Benchmark,
+        RunPredicate::TasksBetween(lo, hi) => overlaps_u32(meta.tasks, *lo, *hi),
+        RunPredicate::BandwidthBetween(lo, hi) => meta
+            .bandwidth
+            .is_none_or(|(blo, bhi)| *lo <= bhi && blo <= *hi),
+        // Transfer sizes and command text are not summarized in the
+        // index block; always load.
+        RunPredicate::TransferBetween(..) | RunPredicate::CommandContains(_) => true,
+        RunPredicate::IdIn(ids) => {
+            let range = match kind {
+                RunKind::Benchmark => meta.bench_ids,
+                RunKind::Io500 => meta.io500_ids,
+            };
+            let Some((lo, hi)) = range else { return false };
+            ids.iter()
+                .any(|id| (lo..=hi).contains(id) && meta.bloom.may_contain(kind, *id))
+        }
+        RunPredicate::And(a, b) => {
+            may_match_segment(a, meta, kind) && may_match_segment(b, meta, kind)
+        }
+        RunPredicate::Or(a, b) => {
+            may_match_segment(a, meta, kind) || may_match_segment(b, meta, kind)
+        }
+        // A negation can admit runs the inner ranges exclude; stay
+        // conservative.
+        RunPredicate::Not(_) => true,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn bench_summary(id: u64, api: &str, tasks: u32, bw: f64) -> RunSummary {
+        RunSummary {
+            kind: RunKind::Benchmark,
+            id,
+            command: format!("ior -{id}"),
+            api: api.to_owned(),
+            tasks,
+            block_size: 4 << 20,
+            transfer_size: 1 << 20,
+            segments: 16,
+            clients_per_node: 20,
+            ops: vec![OpStat {
+                operation: "write".into(),
+                mean_mib: bw,
+                max_mib: bw * 1.5,
+                mean_ops: bw / 2.0,
+            }],
+            bw_score: 0.0,
+            md_score: 0.0,
+            total_score: 0.0,
+            warning_count: 0,
+        }
+    }
+
+    fn io500_summary(id: u64, tasks: u32, bw_score: f64) -> RunSummary {
+        RunSummary {
+            kind: RunKind::Io500,
+            id,
+            command: "io500".into(),
+            api: String::new(),
+            tasks,
+            block_size: 0,
+            transfer_size: 0,
+            segments: 0,
+            clients_per_node: 0,
+            ops: Vec::new(),
+            bw_score,
+            md_score: bw_score * 2.0,
+            total_score: bw_score * 1.5,
+            warning_count: 1,
+        }
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives_and_few_false_positives() {
+        let mut bloom = Bloom::with_capacity(200);
+        for id in 0..200u64 {
+            bloom.insert(RunKind::Benchmark, id);
+        }
+        for id in 0..200u64 {
+            assert!(bloom.may_contain(RunKind::Benchmark, id), "id {id}");
+        }
+        // Kinds are part of the key.
+        let io500_hits = (0..200u64)
+            .filter(|id| bloom.may_contain(RunKind::Io500, *id))
+            .count();
+        let absent_hits = (10_000..20_000u64)
+            .filter(|id| bloom.may_contain(RunKind::Benchmark, *id))
+            .count();
+        // 10 bits/entry, 7 probes → ~0.8% expected; allow generous slack.
+        assert!(io500_hits < 20, "io500 false positives: {io500_hits}");
+        assert!(absent_hits < 500, "absent false positives: {absent_hits}");
+    }
+
+    #[test]
+    fn bloom_roundtrips_through_hex() {
+        let mut bloom = Bloom::with_capacity(10);
+        bloom.insert(RunKind::Benchmark, 7);
+        bloom.insert(RunKind::Io500, 3);
+        let restored = Bloom::from_hex(&bloom.to_hex()).unwrap();
+        assert_eq!(restored, bloom);
+        assert!(Bloom::from_hex("").is_err());
+        assert!(Bloom::from_hex("xyz").is_err());
+    }
+
+    #[test]
+    fn meta_computes_ranges_and_roundtrips_json() {
+        let summaries = vec![
+            bench_summary(3, "MPIIO", 80, 2000.0),
+            bench_summary(9, "POSIX", 40, 900.0),
+            io500_summary(2, 160, 1.5),
+        ];
+        let meta = SegmentMeta::compute(4, &summaries);
+        assert_eq!(meta.id, 4);
+        assert_eq!(meta.bench_count, 2);
+        assert_eq!(meta.io500_count, 1);
+        assert_eq!(meta.bench_ids, Some((3, 9)));
+        assert_eq!(meta.io500_ids, Some((2, 2)));
+        assert_eq!(meta.tasks, Some((40, 160)));
+        assert_eq!(meta.bandwidth, Some((1.5, 2000.0)));
+        assert!(meta.apis.contains("MPIIO"));
+        assert!(meta.apis.contains(""));
+
+        let restored = SegmentMeta::from_json(&meta.to_json()).unwrap();
+        assert_eq!(restored, meta);
+        // And through a rendered document, the path the manifest takes.
+        let reparsed = iokc_util::json::parse(&meta.to_json().to_pretty()).unwrap();
+        assert_eq!(SegmentMeta::from_json(&reparsed).unwrap(), meta);
+        assert!(SegmentMeta::from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn summaries_roundtrip_json() {
+        for s in [
+            bench_summary(1, "MPIIO", 80, 2850.5),
+            io500_summary(4, 40, 1.25),
+        ] {
+            let reparsed = iokc_util::json::parse(&summary_to_json(&s).to_pretty()).unwrap();
+            assert_eq!(summary_from_json(&reparsed).unwrap(), s);
+        }
+        assert!(summary_from_json(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn may_match_prunes_exactly_when_safe() {
+        let summaries = vec![
+            bench_summary(3, "MPIIO", 80, 2000.0),
+            bench_summary(9, "POSIX", 40, 900.0),
+        ];
+        let meta = SegmentMeta::compute(0, &summaries);
+        let b = RunKind::Benchmark;
+        assert!(may_match_segment(&RunPredicate::True, &meta, b));
+        assert!(may_match_segment(&RunPredicate::Kind(b), &meta, b));
+        assert!(!may_match_segment(
+            &RunPredicate::Kind(RunKind::Io500),
+            &meta,
+            b
+        ));
+        assert!(may_match_segment(
+            &RunPredicate::ApiEq("MPIIO".into()),
+            &meta,
+            b
+        ));
+        assert!(!may_match_segment(
+            &RunPredicate::ApiEq("HDF5".into()),
+            &meta,
+            b
+        ));
+        assert!(may_match_segment(
+            &RunPredicate::TasksBetween(50, 90),
+            &meta,
+            b
+        ));
+        assert!(!may_match_segment(
+            &RunPredicate::TasksBetween(100, 200),
+            &meta,
+            b
+        ));
+        assert!(!may_match_segment(
+            &RunPredicate::BandwidthBetween(3000.0, 4000.0),
+            &meta,
+            b
+        ));
+        assert!(may_match_segment(&RunPredicate::IdIn(vec![3]), &meta, b));
+        assert!(!may_match_segment(&RunPredicate::IdIn(vec![100]), &meta, b));
+        // No IO500 runs at all: IdIn on that space prunes.
+        assert!(!may_match_segment(
+            &RunPredicate::IdIn(vec![3]),
+            &meta,
+            RunKind::Io500
+        ));
+        // Conjunctions prune when either side does; disjunctions only
+        // when both do.
+        assert!(!may_match_segment(
+            &RunPredicate::ApiEq("MPIIO".into()).and(RunPredicate::TasksBetween(100, 200)),
+            &meta,
+            b
+        ));
+        assert!(may_match_segment(
+            &RunPredicate::ApiEq("HDF5".into()).or(RunPredicate::TasksBetween(50, 90)),
+            &meta,
+            b
+        ));
+        // Negation and unsummarized fields never prune.
+        assert!(may_match_segment(
+            &RunPredicate::TasksBetween(100, 200).negate(),
+            &meta,
+            b
+        ));
+        assert!(may_match_segment(
+            &RunPredicate::CommandContains("zz".into()),
+            &meta,
+            b
+        ));
+        assert!(may_match_segment(
+            &RunPredicate::TransferBetween(0, 1),
+            &meta,
+            b
+        ));
+    }
+
+    #[test]
+    fn segment_files_roundtrip_and_lazy_load_once() {
+        use crate::vfs::FaultVfs;
+        let vfs = FaultVfs::pristine();
+        let path = PathBuf::from("/kb.json.seg-0");
+        let mut db = Database::new();
+        db.create_table(crate::database::TableSchema::new(
+            "performances",
+            vec![crate::database::Column::required(
+                "command",
+                crate::value::ColumnType::Text,
+            )],
+        ))
+        .unwrap();
+        db.insert("performances", vec![crate::value::Value::from("ior")])
+            .unwrap();
+        let summaries = vec![bench_summary(1, "MPIIO", 80, 2000.0)];
+        write_segment_vfs(&path, &vfs, 0, &summaries, &db).unwrap();
+
+        let meta = SegmentMeta::compute(0, &summaries);
+        let seg = Segment::new(meta, path.clone());
+        let a = seg.data(&vfs).unwrap();
+        let b = seg.data(&vfs).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "body cached, read once");
+        assert_eq!(a.summaries, summaries);
+        assert_eq!(a.db.row_count("performances").unwrap(), 1);
+
+        // Wrong format tag is corruption.
+        persist::write_document_vfs(
+            &path,
+            &vfs,
+            &Json::obj(vec![("format", Json::from("wrong"))]),
+        )
+        .unwrap();
+        assert!(matches!(
+            read_segment_vfs(&path, &vfs),
+            Err(DbError::Corrupt(_))
+        ));
+        // A preloaded handle survives the file going away entirely.
+        vfs.remove_file(&path).unwrap();
+        let kept = Segment::preloaded(seg.meta.clone(), path, a);
+        assert_eq!(kept.data(&vfs).unwrap().summaries.len(), 1);
+    }
+}

@@ -148,12 +148,13 @@ pub fn select_candidates(
     store: &iokc_store::KnowledgeStore,
     limit: usize,
 ) -> Result<Vec<KnowledgeItem>, iokc_store::DbError> {
-    use iokc_store::{Query, RunKind, RunOrder, RunPredicate};
+    use iokc_store::{DeadlineToken, Query, RunKind, RunOrder, RunPredicate};
     let top = store.query_summaries(
         &Query::new(RunPredicate::Kind(RunKind::Benchmark))
             .order_by(RunOrder::Bandwidth)
             .descending()
             .limit(limit),
+        &DeadlineToken::unbounded(),
     )?;
     let ids: Vec<u64> = top.iter().map(|row| row.id).collect();
     store.query_items(

@@ -35,6 +35,11 @@ cargo clippy -p iokc-analysis -p iokc-usage -p iokc-sim --all-targets -- -D warn
 echo "==> crash-consistency suite"
 cargo test -p iokc-integration --test crash_consistency -q
 
+# Compaction smoke: seal/merge/tombstone protocol plus the snapshot
+# immunity proptest, quick enough to run on every check.
+echo "==> compaction smoke"
+cargo test -p iokc-store compaction -q
+
 # Network chaos: fault-injected transports, misbehaving clients,
 # deadline budgets, and admission control against the explorer service.
 echo "==> explorerd chaos suite"

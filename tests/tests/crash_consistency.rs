@@ -22,7 +22,8 @@ use std::sync::Arc;
 use iokc_core::model::{Io500Knowledge, Io500Testcase, Knowledge, KnowledgeSource};
 use iokc_store::journal::{read_journal_vfs, truncate_torn_tail_vfs, JournalWriter};
 use iokc_store::{
-    fsck, DbError, FaultPlan, FaultVfs, FsckOptions, KnowledgeStore, Query, RunKind, Vfs,
+    fsck, DbError, DeadlineToken, FaultPlan, FaultVfs, FsckOptions, KnowledgeStore, Query, RunKind,
+    Vfs,
 };
 
 fn kb() -> PathBuf {
@@ -60,7 +61,7 @@ fn io500(i: usize) -> Io500Knowledge {
 /// Stable content signature of a store: one sorted line per run.
 fn fingerprint(store: &KnowledgeStore) -> Vec<String> {
     let mut rows: Vec<String> = store
-        .query_summaries(&Query::all())
+        .query_summaries(&Query::all(), &DeadlineToken::unbounded())
         .expect("fingerprint query")
         .iter()
         .map(|r| match r.kind {
@@ -210,6 +211,121 @@ fn every_crash_point_recovers_an_acknowledged_prefix() {
                 &FsckOptions {
                     repair: false,
                     journal: Some(journal_path()),
+                },
+            );
+            assert!(
+                second.clean(),
+                "crash op {op}: fsck not clean after repair: {:?}",
+                second.findings
+            );
+            let after = KnowledgeStore::open_with_vfs(kb(), Arc::clone(&svfs) as Arc<dyn Vfs>)
+                .unwrap_or_else(|e| panic!("crash op {op}: reopen after fsck failed: {e}"));
+            assert!(allowed.contains(&fingerprint(&after)));
+        }
+    }
+}
+
+/// The segmented-store workload: saves that trip the auto-seal
+/// threshold (so segments seal mid-workload), a delete that lands a
+/// tombstone on a sealed run, an explicit seal, and a full compaction.
+/// Sealing and compaction move rows between layers without changing
+/// what reads return, so their fingerprints equal the preceding step's.
+fn run_segmented_workload(vfs: Arc<FaultVfs>) -> WorkloadRun {
+    let mut out = WorkloadRun {
+        acked: 0,
+        journal_records: Vec::new(),
+        states: Vec::new(),
+    };
+    let Ok(mut store) = KnowledgeStore::open_with_vfs(kb(), Arc::clone(&vfs) as Arc<dyn Vfs>)
+    else {
+        return out;
+    };
+    store.set_seal_threshold(2);
+    out.states.push(fingerprint(&store));
+    let mut ids: Vec<u64> = Vec::new();
+    for step in 0..8 {
+        let result: Result<(), DbError> = (|| {
+            match step {
+                0..=3 => ids.push(store.save_knowledge(&bench(step))?),
+                4 => drop(store.delete_knowledge(ids[0])?),
+                5 => drop(store.save_io500(&io500(0))?),
+                6 => store.seal_active()?,
+                _ => {
+                    store.compact()?;
+                }
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            return out;
+        }
+        out.acked += 1;
+        out.states.push(fingerprint(&store));
+    }
+    out
+}
+
+#[test]
+fn every_crash_point_during_seal_and_compaction_recovers() {
+    let probe_vfs = Arc::new(FaultVfs::pristine());
+    let probe = run_segmented_workload(Arc::clone(&probe_vfs));
+    assert_eq!(probe.acked, 8, "fault-free segmented workload must succeed");
+    let total_ops = probe_vfs.op_count();
+    assert!(
+        total_ops > 30,
+        "segmented workload too small to exercise seal/compaction windows"
+    );
+
+    for op in 0..total_ops {
+        let vfs = Arc::new(FaultVfs::new(FaultPlan::crash_at_op(op)));
+        let run = run_segmented_workload(Arc::clone(&vfs));
+        assert!(vfs.crashed(), "crash op {op} never fired");
+        let j = run.acked;
+        let hi = (j + 1).min(probe.acked);
+        let allowed = &probe.states[j..=hi];
+
+        for state in vfs.crash_states() {
+            let svfs = Arc::new(FaultVfs::from_state(state));
+
+            // Reopen: mid-seal and mid-compaction crash images must load
+            // to an acknowledged-prefix state — strays (half-written
+            // segments, superseded actives, torn manifests) never change
+            // what reads return.
+            let reopened = KnowledgeStore::open_with_vfs(kb(), Arc::clone(&svfs) as Arc<dyn Vfs>)
+                .unwrap_or_else(|e| panic!("crash op {op}: reopen failed: {e}"));
+            let fp = fingerprint(&reopened);
+            assert!(
+                allowed.contains(&fp),
+                "crash op {op} (acked {j}): recovered state {fp:?} is not an acknowledged prefix"
+            );
+            assert!(
+                reopened.indexes_consistent().expect("index rebuild"),
+                "crash op {op}: incremental indexes diverge from bulk rebuild"
+            );
+
+            // One `fsck --repair` pass sweeps every stray the crash
+            // left; the second pass is clean; the repaired image still
+            // reads as an acknowledged prefix.
+            let repair = fsck(
+                &kb(),
+                &*svfs,
+                &FsckOptions {
+                    repair: true,
+                    journal: None,
+                },
+            );
+            assert_eq!(
+                repair.unrepaired(),
+                0,
+                "crash op {op}: unrepaired findings {:?}",
+                repair.findings
+            );
+            let second = fsck(
+                &kb(),
+                &*svfs,
+                &FsckOptions {
+                    repair: false,
+                    journal: None,
                 },
             );
             assert!(

@@ -130,9 +130,12 @@ fn extracted_knowledge_carries_fs_and_system_info() {
 #[test]
 fn persisted_knowledge_survives_store_roundtrip() {
     let dir = std::env::temp_dir().join("iokc-integration-cycle");
+    // The segmented layout spreads the store over several files
+    // (manifest, backup, active image, segments) — clear the whole
+    // directory so earlier runs can't leak state in.
+    let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("roundtrip.iokc.json");
-    let _ = std::fs::remove_file(&path);
 
     let config =
         IorConfig::parse_command("ior -a mpiio -b 512k -t 256k -s 2 -i 2 -o /scratch/rt -k")
@@ -157,5 +160,5 @@ fn persisted_knowledge_survives_store_roundtrip() {
     assert!(k.command.contains("-b 512k"));
     assert_eq!(k.pattern.iterations, 2);
     assert!(!k.pattern.file_per_proc, "shared file run");
-    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -176,14 +176,12 @@ fn torn_store_write_recovers_the_previous_generation() {
     let dir = scratch_dir("torn");
     let path = dir.join("knowledge.json");
 
-    // Generation 1: one knowledge object; generation 2 adds another and
-    // rotates generation 1 into the backup.
     let mut store = KnowledgeStore::open(path.clone()).unwrap();
     store.save_knowledge(&sample_knowledge("gen1")).unwrap();
     store.save_knowledge(&sample_knowledge("gen2")).unwrap();
     drop(store);
 
-    // Crash mid-write: the primary image is torn.
+    // Crash mid-write: the manifest document is torn.
     let len = std::fs::metadata(&path).unwrap().len();
     persist::inject_torn_write(&path, len / 2).unwrap();
 
@@ -194,13 +192,22 @@ fn torn_store_write_recovers_the_previous_generation() {
         .primary_error
         .as_deref()
         .is_some_and(|e| !e.is_empty()));
-    // The backup held generation 1 (written before the second save).
+    // In the segmented layout the runs live in the *active image*, not
+    // the manifest, so recovering the manifest from its backup loses no
+    // acknowledged data: both saves survive the torn write.
     let items = store.query_items(&Query::all()).unwrap();
-    assert_eq!(items.len(), 1);
-    let KnowledgeItem::Benchmark(k) = &items[0] else {
-        panic!("wrong kind")
-    };
-    assert!(k.command.ends_with("gen1"));
+    assert_eq!(items.len(), 2);
+    let commands: Vec<&str> = items
+        .iter()
+        .map(|item| {
+            let KnowledgeItem::Benchmark(k) = item else {
+                panic!("wrong kind")
+            };
+            k.command.as_str()
+        })
+        .collect();
+    assert!(commands.iter().any(|c| c.ends_with("gen1")));
+    assert!(commands.iter().any(|c| c.ends_with("gen2")));
 
     std::fs::remove_dir_all(dir).ok();
 }
