@@ -1,0 +1,287 @@
+//! Corpus-wide bounding boxes: the IO500 expectation box of
+//! [`crate::bounding_box`] lifted to fleet scale.
+//!
+//! The per-system detector fits its box from a handful of reference
+//! runs it holds in memory. At corpus scale (tens of thousands of
+//! runs) that no longer works, so this module fits one [`Bound`] per
+//! *group* from the percentile bands of an aggregation-pushdown result
+//! ([`iokc_store::aggregate`]): the store streams `RunSummary`
+//! projections into `GroupStats` without deserializing any `Knowledge`,
+//! and the box is derived from the finished group statistics — fitting
+//! cost is O(groups), independent of corpus size. Individual runs are
+//! then mapped back into their group's box to flag outlier run ids.
+
+use crate::bounding_box::{Bound, Verdict};
+use iokc_store::{AggregateResult, Factor, GroupBy, RunKind, RunSummary};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default lower quantile of the expectation band.
+pub const DEFAULT_LOW_Q: f64 = 0.01;
+/// Default upper quantile of the expectation band.
+pub const DEFAULT_HIGH_Q: f64 = 0.99;
+/// Default fractional slack applied on membership tests.
+pub const DEFAULT_MARGIN: f64 = 0.05;
+
+/// One run flagged outside its group's expectation band.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusOutlier {
+    /// Which id space the run lives in.
+    pub kind: RunKind,
+    /// Run id within that space.
+    pub id: u64,
+    /// The group whose box the run was checked against.
+    pub group: String,
+    /// The metric value the run produced.
+    pub value: f64,
+    /// Which side of the band it fell on (never [`Verdict::Inside`]).
+    pub verdict: Verdict,
+    /// Lower edge of the band (before margin slack).
+    pub lo: f64,
+    /// Upper edge of the band (before margin slack).
+    pub hi: f64,
+}
+
+/// Per-group expectation boxes fitted from aggregated percentile bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusBoxes {
+    group_by: GroupBy,
+    metric: Factor,
+    boxes: BTreeMap<String, Bound>,
+}
+
+impl CorpusBoxes {
+    /// Fit one box per group from an [`AggregateResult`] computed with
+    /// `group_by`/`metric`. The band spans the `[low_q, high_q]`
+    /// percentiles of each group (falling back to min/max when the
+    /// requested quantile was not part of the aggregation), widened by
+    /// the fractional `margin` on membership tests. Groups with fewer
+    /// than two rows carry no discriminating power and are skipped.
+    #[must_use]
+    pub fn fit(
+        result: &AggregateResult,
+        group_by: GroupBy,
+        metric: Factor,
+        low_q: f64,
+        high_q: f64,
+        margin: f64,
+    ) -> CorpusBoxes {
+        let mut boxes = BTreeMap::new();
+        for group in &result.groups {
+            if group.count < 2 {
+                continue;
+            }
+            let lo = group.percentile(low_q).unwrap_or(group.min);
+            let hi = group.percentile(high_q).unwrap_or(group.max);
+            boxes.insert(
+                group.key.clone(),
+                Bound {
+                    min: lo,
+                    max: hi,
+                    mean: group.mean,
+                    margin,
+                },
+            );
+        }
+        CorpusBoxes {
+            group_by,
+            metric,
+            boxes,
+        }
+    }
+
+    /// The groups that received a box, in deterministic order.
+    #[must_use]
+    pub fn groups(&self) -> Vec<&str> {
+        self.boxes.keys().map(String::as_str).collect()
+    }
+
+    /// Band of one group.
+    #[must_use]
+    pub fn bound(&self, group: &str) -> Option<&Bound> {
+        self.boxes.get(group)
+    }
+
+    /// Map one summary row into its group's box. `None` when the row's
+    /// group has no box (too few reference rows) or the value sits
+    /// inside the band.
+    #[must_use]
+    pub fn check(&self, row: &RunSummary) -> Option<CorpusOutlier> {
+        let group = self.group_by.key(row);
+        let bound = self.boxes.get(&group)?;
+        let value = self.metric.extract(row);
+        if bound.contains(value) {
+            return None;
+        }
+        let verdict = if value < bound.min {
+            Verdict::Below
+        } else {
+            Verdict::Above
+        };
+        Some(CorpusOutlier {
+            kind: row.kind,
+            id: row.id,
+            group,
+            value,
+            verdict,
+            lo: bound.min,
+            hi: bound.max,
+        })
+    }
+
+    /// Flag every row falling outside its group's band, in input order.
+    #[must_use]
+    pub fn flag<'a>(&self, rows: impl IntoIterator<Item = &'a RunSummary>) -> Vec<CorpusOutlier> {
+        rows.into_iter().filter_map(|row| self.check(row)).collect()
+    }
+
+    /// Render the fitted bands plus the flagged runs as a terminal
+    /// table — the corpus edition of
+    /// [`crate::bounding_box::BoundingBox::render_check`].
+    #[must_use]
+    pub fn render(&self, outliers: &[CorpusOutlier]) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "corpus bounding boxes: metric {} grouped by {}",
+            self.metric.as_str(),
+            self.group_by.as_str()
+        );
+        for (group, bound) in &self.boxes {
+            let _ = writeln!(
+                out,
+                "  {group:<14} band [{:>12.4} … {:>12.4}] mean {:>12.4}",
+                bound.min, bound.max, bound.mean
+            );
+        }
+        if outliers.is_empty() {
+            out.push_str("no runs outside their band\n");
+        } else {
+            let _ = writeln!(out, "{} run(s) outside their band:", outliers.len());
+            for o in outliers {
+                let mark = match o.verdict {
+                    Verdict::Below => "BELOW",
+                    Verdict::Above => "above",
+                    Verdict::Inside => "ok",
+                };
+                let _ = writeln!(
+                    out,
+                    "  {} #{:<6} {:<14} got {:>12.4} {mark} [{:.4} … {:.4}]",
+                    o.kind.as_str(),
+                    o.id,
+                    o.group,
+                    o.value,
+                    o.lo,
+                    o.hi
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use iokc_store::{AggregateQuery, DEFAULT_PERCENTILES};
+
+    fn io500_row(id: u64, tasks: u32, total: f64) -> RunSummary {
+        RunSummary {
+            kind: RunKind::Io500,
+            id,
+            command: "io500".to_owned(),
+            api: String::new(),
+            tasks,
+            block_size: 0,
+            transfer_size: 0,
+            segments: 0,
+            clients_per_node: 0,
+            ops: Vec::new(),
+            bw_score: total * 0.8,
+            md_score: total * 1.2,
+            total_score: total,
+            warning_count: 0,
+        }
+    }
+
+    /// A two-band corpus: tasks=4 scores cluster near 1.0, tasks=8 near
+    /// 2.0, with one planted outlier in each band.
+    fn corpus() -> Vec<RunSummary> {
+        let mut rows = Vec::new();
+        for i in 0..40u64 {
+            let jitter = 1.0 + 0.01 * (i % 7) as f64;
+            rows.push(io500_row(i, 4, jitter));
+            rows.push(io500_row(100 + i, 8, 2.0 * jitter));
+        }
+        rows.push(io500_row(900, 4, 0.2)); // degraded
+        rows.push(io500_row(901, 8, 9.0)); // cache artifact
+        rows
+    }
+
+    fn fitted(rows: &[RunSummary]) -> CorpusBoxes {
+        let q = AggregateQuery::new(GroupBy::TasksLog2, Factor::TotalScore)
+            .with_percentiles(&DEFAULT_PERCENTILES);
+        let result = q.evaluate_rows(rows.iter());
+        CorpusBoxes::fit(
+            &result,
+            GroupBy::TasksLog2,
+            Factor::TotalScore,
+            DEFAULT_LOW_Q,
+            DEFAULT_HIGH_Q,
+            DEFAULT_MARGIN,
+        )
+    }
+
+    #[test]
+    fn flags_planted_outliers_per_group() {
+        let rows = corpus();
+        let boxes = fitted(&rows);
+        assert_eq!(boxes.groups(), vec!["tasks 2^2", "tasks 2^3"]);
+        let outliers = boxes.flag(rows.iter());
+        let ids: Vec<u64> = outliers.iter().map(|o| o.id).collect();
+        assert_eq!(ids, vec![900, 901]);
+        assert_eq!(outliers[0].verdict, Verdict::Below);
+        assert_eq!(outliers[0].group, "tasks 2^2");
+        assert_eq!(outliers[1].verdict, Verdict::Above);
+        assert_eq!(outliers[1].group, "tasks 2^3");
+    }
+
+    #[test]
+    fn healthy_runs_stay_inside_their_band() {
+        let rows: Vec<RunSummary> = corpus().into_iter().filter(|r| r.id < 900).collect();
+        let boxes = fitted(&rows);
+        assert!(boxes.flag(rows.iter()).is_empty());
+    }
+
+    #[test]
+    fn sparse_groups_are_skipped_not_fitted() {
+        let rows = [io500_row(0, 4, 1.0)];
+        let q = AggregateQuery::new(GroupBy::TasksLog2, Factor::TotalScore);
+        let result = q.evaluate_rows(rows.iter());
+        let boxes = CorpusBoxes::fit(
+            &result,
+            GroupBy::TasksLog2,
+            Factor::TotalScore,
+            DEFAULT_LOW_Q,
+            DEFAULT_HIGH_Q,
+            DEFAULT_MARGIN,
+        );
+        assert!(boxes.groups().is_empty());
+        assert!(boxes.check(&rows[0]).is_none(), "no box, no verdict");
+    }
+
+    #[test]
+    fn render_lists_bands_and_outliers() {
+        let rows = corpus();
+        let boxes = fitted(&rows);
+        let outliers = boxes.flag(rows.iter());
+        let text = boxes.render(&outliers);
+        assert!(text.contains("grouped by tasks"));
+        assert!(text.contains("tasks 2^2"));
+        assert!(text.contains("#900"));
+        assert!(text.contains("BELOW"));
+        let clean = boxes.render(&[]);
+        assert!(clean.contains("no runs outside"));
+    }
+}

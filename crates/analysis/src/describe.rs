@@ -37,16 +37,19 @@ pub struct Describe {
 
 impl Describe {
     /// Describe a series. An empty series yields all-zero statistics.
+    /// All three quartiles come from one sort of the canonical
+    /// interpolated-percentile implementation in `iokc_util::stats`.
     #[must_use]
     pub fn of(values: &[f64]) -> Describe {
+        let sorted = stats::sorted_copy(values);
         Describe {
             n: values.len(),
             mean: stats::mean(values),
             stddev: stats::stddev(values),
             min: stats::min(values),
-            q1: stats::percentile(values, 0.25),
-            median: stats::median(values),
-            q3: stats::percentile(values, 0.75),
+            q1: stats::percentile_sorted(&sorted, 0.25),
+            median: stats::percentile_sorted(&sorted, 0.5),
+            q3: stats::percentile_sorted(&sorted, 0.75),
             max: stats::max(values),
         }
     }

@@ -10,6 +10,8 @@
 //! * [`anomaly`] — per-iteration variance anomaly detection with
 //!   supporting-metric corroboration (Example II);
 //! * [`bounding_box`] — the IO500 expectation box after Liem et al.;
+//! * [`mod@corpus`] — the expectation box lifted to fleet scale: per-group
+//!   bands fitted from aggregation-pushdown percentiles;
 //! * [`charts`] — SVG line/bar/box-plot/heat-map rendering and ASCII bars;
 //! * [`dxt_explorer`] — the DXT-Explorer equivalent: per-rank timelines,
 //!   transfer heat maps and straggler detection over Darshan DXT traces.
@@ -22,6 +24,7 @@ pub mod anomaly;
 pub mod bounding_box;
 pub mod charts;
 pub mod compare;
+pub mod corpus;
 pub mod describe;
 pub mod dxt_explorer;
 pub mod pattern;
@@ -39,6 +42,7 @@ pub use compare::{
     compare, compare_summaries, overview, overview_series, ComparisonPoint, KnowledgeFilter,
     MetricAxis, OptionAxis,
 };
+pub use corpus::{CorpusBoxes, CorpusOutlier, DEFAULT_HIGH_Q, DEFAULT_LOW_Q, DEFAULT_MARGIN};
 pub use describe::{mad_scores, Describe};
 pub use dxt_explorer::{DxtTimeline, RankActivity};
 pub use pattern::{classify, render_profile, Direction, IoPatternProfile, Locality, SizeClass};

@@ -12,7 +12,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use iokc_core::model::{
     IterationResult, Knowledge, KnowledgeItem, KnowledgeSource, OperationSummary,
 };
-use iokc_store::{DeadlineToken, KnowledgeStore, Query, RunKind, RunOrder, RunPredicate};
+use iokc_store::{
+    AggregateQuery, DeadlineToken, Factor, GroupBy, KnowledgeStore, Query, RunKind, RunOrder,
+    RunPredicate,
+};
 use std::hint::black_box;
 
 /// One synthetic benchmark run with realistic weight: two operation
@@ -228,6 +231,34 @@ fn bench_store_scale(c: &mut Criterion) {
                 .query_summaries(&q, &DeadlineToken::unbounded())
                 .unwrap();
             black_box(rows.len())
+        });
+    });
+
+    // Aggregation pushdown: group-by-api percentiles folded inside the
+    // store from segment summary blocks (no row materialization)…
+    let agg_q = AggregateQuery::new(GroupBy::Api, Factor::Bandwidth)
+        .with_predicate(RunPredicate::Kind(RunKind::Benchmark));
+    group.bench_function(format!("aggregate_{runs}"), |b| {
+        b.iter(|| {
+            let res = store
+                .aggregate(&agg_q, &DeadlineToken::unbounded())
+                .unwrap();
+            assert_eq!(res.rows_aggregated as usize, runs);
+            black_box(res.groups.len())
+        });
+    });
+
+    // …versus materializing every summary row and folding client-side:
+    // the pattern the pushdown replaced in `iokc agg` and `/api/dist`.
+    group.bench_function(format!("aggregate_rows_{runs}"), |b| {
+        let q = Query::new(RunPredicate::Kind(RunKind::Benchmark));
+        b.iter(|| {
+            let rows = store
+                .query_summaries(&q, &DeadlineToken::unbounded())
+                .unwrap();
+            let res = agg_q.evaluate_rows(rows.iter());
+            assert_eq!(res.rows_aggregated as usize, runs);
+            black_box(res.groups.len())
         });
     });
     drop(store);

@@ -145,6 +145,7 @@ fn ensure_dirs(world: &mut World, path: &str) -> Result<(), StepFailure> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_jube::{run_campaign, CampaignOptions, JubeConfig};

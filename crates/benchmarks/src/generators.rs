@@ -384,6 +384,7 @@ fn hacc_file_of(config: &HaccConfig, rank: u32) -> (String, u64) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_sim::config::SystemConfig;

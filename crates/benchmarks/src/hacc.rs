@@ -246,6 +246,7 @@ pub fn run_hacc(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_sim::config::SystemConfig;

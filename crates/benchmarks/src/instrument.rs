@@ -104,6 +104,7 @@ pub fn darshan_from_phases(phases: &[&PhaseResult], opts: &InstrumentOptions) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_sim::config::SystemConfig;

@@ -569,6 +569,7 @@ fn sample_from(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_sim::config::SystemConfig;

@@ -177,6 +177,7 @@ pub fn render_output(run: &IorRunResult) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::ior::IorConfig;

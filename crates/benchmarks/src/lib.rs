@@ -10,8 +10,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 pub mod campaign;
+pub mod corpus;
 pub mod find;
 pub mod generators;
 pub mod hacc;
@@ -22,6 +24,7 @@ pub mod ior_output;
 pub mod mdtest;
 
 pub use campaign::{CampaignRunner, SimCampaignRunner};
+pub use corpus::{CorpusPoint, CorpusRun, CorpusSpec};
 pub use find::{run_find, FindResult};
 pub use generators::{HaccGenerator, Io500Generator, IorGenerator, MdtestGenerator};
 pub use hacc::{run_hacc, FileMode, HaccConfig, HaccResult, BYTES_PER_PARTICLE};

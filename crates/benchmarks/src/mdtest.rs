@@ -422,6 +422,7 @@ pub fn run_mdtest(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use iokc_sim::config::SystemConfig;

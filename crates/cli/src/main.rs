@@ -36,7 +36,7 @@ use iokc_benchmarks::{
 };
 use iokc_core::cycle::ModuleBox;
 use iokc_core::model::KnowledgeItem;
-use iokc_core::phases::{Analyzer, CycleError, ErrorClass, Finding, PhaseKind};
+use iokc_core::phases::{Analyzer, CycleError, ErrorClass, Extractor, Finding, PhaseKind};
 use iokc_core::resilience::{ResilienceConfig, RetryPolicy};
 use iokc_core::{KnowledgeCycle, Observability, PhaseCtx};
 use iokc_extract::{
@@ -206,6 +206,11 @@ struct Options {
     trace_out: Option<PathBuf>,
     repair: bool,
     journal: Option<PathBuf>,
+    runs: usize,
+    group: String,
+    factor: String,
+    correlate: Option<String>,
+    outliers: bool,
     positional: Vec<String>,
 }
 
@@ -261,6 +266,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         trace_out: None,
         repair: false,
         journal: None,
+        runs: 256,
+        group: "api".to_owned(),
+        factor: "bw".to_owned(),
+        correlate: None,
+        outliers: false,
         positional: Vec::new(),
     };
     let mut i = 0;
@@ -436,6 +446,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--repair" => opts.repair = true,
             "--journal" => opts.journal = Some(PathBuf::from(value(&mut i, "--journal")?)),
             "--contains" => opts.filter_contains = Some(value(&mut i, "--contains")?),
+            "--runs" => {
+                opts.runs = value(&mut i, "--runs")?
+                    .parse()
+                    .map_err(|_| "bad --runs".to_owned())?;
+                if opts.runs == 0 {
+                    return Err("--runs must be non-zero".to_owned());
+                }
+            }
+            "--group" => opts.group = value(&mut i, "--group")?,
+            "--factor" => opts.factor = value(&mut i, "--factor")?,
+            "--correlate" => opts.correlate = Some(value(&mut i, "--correlate")?),
+            "--outliers" => opts.outliers = true,
             other => opts.positional.push(other.to_owned()),
         }
         i += 1;
@@ -471,6 +493,8 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "import" => cmd_import(&opts),
         "jube" => cmd_jube(&opts),
         "sweep" => cmd_sweep(&opts),
+        "corpus" => cmd_corpus(&opts),
+        "agg" => cmd_agg(&opts),
         "serve" => cmd_serve(&opts),
         "fsck" => cmd_fsck(&opts),
         "compact" => cmd_compact(&opts),
@@ -520,6 +544,16 @@ fn print_help() {
          \x20                       quarantine (--campaign <dir>, --max-parallel <n>,\n\
          \x20                       --wp-deadline <ms>, --quarantine <n>)\n\
          \x20 sweep --resume <dir>  resume a killed campaign from its journal\n\
+         \x20 corpus gen            generate a deterministic IO500 corpus: seeded sweep\n\
+         \x20                       over cluster shapes, filesystems and fault mixes,\n\
+         \x20                       journaled + resumable (--runs <n>, --seed <n>,\n\
+         \x20                       --campaign <dir>); every 32nd point is an outlier\n\
+         \x20 agg                   aggregation pushdown over the store: group-by +\n\
+         \x20                       percentiles/histograms inside the segments\n\
+         \x20                       (--group all|kind|api|tasks|xfer, --factor bw|\n\
+         \x20                       bw_score|md_score|total_score|tasks|xfer|block|\n\
+         \x20                       warnings, --correlate <f1,f2,…>, --outliers to\n\
+         \x20                       flag runs outside their group's percentile band)\n\
          \x20 serve                 HTTP knowledge-explorer service (--addr <host:port>,\n\
          \x20                       --workers <n>, --queue <n>, --cache-bytes <n>,\n\
          \x20                       --request-deadline-ms <n> per-request budget (504\n\
@@ -739,7 +773,8 @@ fn cmd_serve(opts: &Options) -> Result<(), CliError> {
         server.local_addr()
     );
     println!(
-        "endpoints: / /api/runs /api/runs/<id> /api/io500/<id> /api/compare /api/boxplot /metrics /healthz"
+        "endpoints: / /api/runs /api/runs/<id> /api/io500/<id> /api/compare /api/boxplot \
+         /api/agg /api/dist /api/corr /dist /corr /metrics /healthz"
     );
     match opts.serve_ms {
         Some(ms) => {
@@ -1519,6 +1554,250 @@ fn cmd_sweep(opts: &Options) -> Result<(), CliError> {
                 dir.display()
             ),
         });
+    }
+    Ok(())
+}
+
+/// `iokc corpus gen` — generate a fleet-scale IO500 corpus: a seeded
+/// deterministic sweep over cluster shapes, file-system variants and
+/// fault mixes, every rendered submission routed through the normal
+/// extract path into the store. The generation is a durable campaign:
+/// every submission is journaled like a sweep workpackage, so a killed
+/// generation resumes where it stopped and re-running a finished one is
+/// a no-op.
+fn cmd_corpus(opts: &Options) -> Result<(), CliError> {
+    match opts.positional.first().map(String::as_str) {
+        Some("gen") => cmd_corpus_gen(opts),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown corpus subcommand `{other}` (expected gen)"
+        ))),
+        None => Err(CliError::usage("corpus needs a subcommand: gen")),
+    }
+}
+
+fn cmd_corpus_gen(opts: &Options) -> Result<(), CliError> {
+    use iokc_jube::campaign::{replay, Record};
+
+    let spec = iokc_benchmarks::CorpusSpec::new(opts.runs, opts.seed);
+    let dir = opts.campaign.clone().unwrap_or_else(|| {
+        let mut name = opts.db.as_os_str().to_owned();
+        name.push(".corpus");
+        PathBuf::from(name)
+    });
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let journal = iokc_jube::journal_path(&dir);
+
+    // Replay a previous generation's journal: finished indexes are
+    // skipped, a changed spec is rejected (resuming onto different
+    // parameters would silently mix two corpora).
+    let state = if journal.exists() {
+        replay(&journal).map_err(|e| format!("replay {}: {e:?}", journal.display()))?
+    } else {
+        iokc_jube::CampaignState::default()
+    };
+    if let Some((benchmark, fingerprint, _)) = &state.header {
+        if benchmark != "io500-corpus" {
+            return Err(CliError::usage(format!(
+                "{} belongs to campaign `{benchmark}`, not a corpus generation",
+                dir.display()
+            )));
+        }
+        if *fingerprint != spec.fingerprint() {
+            return Err(CliError::usage(format!(
+                "{} was generated with different corpus parameters (seed/scale); \
+                 use a fresh --campaign directory or the original --seed",
+                dir.display()
+            )));
+        }
+    }
+    let mut writer = iokc_store::journal::JournalWriter::open(&journal)
+        .map_err(|e| format!("open {}: {e}", journal.display()))?;
+    if state.header.is_none() {
+        let header = Record::Campaign {
+            benchmark: "io500-corpus".to_owned(),
+            fingerprint: spec.fingerprint(),
+            total: spec.runs,
+        };
+        writer
+            .append(&header.encode())
+            .map_err(|e| format!("journal append: {e}"))?;
+    }
+
+    let mut store = open_store(opts)?;
+    let mut ctx = PhaseCtx::detached(PhaseKind::Extraction, "iokc-corpus");
+    let extractor = Io500Extractor;
+    let skipped = (0..spec.runs).filter(|i| !state.is_pending(*i)).count();
+    let mut generated = 0usize;
+    let mut batch: Vec<KnowledgeItem> = Vec::new();
+    let mut batch_wps: Vec<usize> = Vec::new();
+    // Persist-then-journal in chunks: a `Done` record is only written
+    // after its knowledge hit the store, so a crash between the two at
+    // worst re-runs (deterministically identical) submissions.
+    let flush = |store: &mut KnowledgeStore,
+                 writer: &mut iokc_store::journal::JournalWriter,
+                 batch: &mut Vec<KnowledgeItem>,
+                 batch_wps: &mut Vec<usize>|
+     -> Result<(), CliError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        store.save_batch(batch).map_err(store_err)?;
+        for wp in batch_wps.iter() {
+            let done = Record::Done {
+                wp: *wp,
+                attempts: 1,
+                elapsed_ms: 0,
+                commands: Vec::new(),
+                outputs: Vec::new(),
+            };
+            writer
+                .append(&done.encode())
+                .map_err(|e| format!("journal append: {e}"))?;
+        }
+        batch.clear();
+        batch_wps.clear();
+        Ok(())
+    };
+    for index in 0..spec.runs {
+        if !state.is_pending(index) {
+            continue;
+        }
+        writer
+            .append(&Record::Start { wp: index }.encode())
+            .map_err(|e| format!("journal append: {e}"))?;
+        let run = spec
+            .execute(index)
+            .map_err(|e| format!("corpus point {index}: {e}"))?;
+        let mut artifact = iokc_core::phases::Artifact::text(
+            iokc_core::phases::ArtifactKind::Io500Output,
+            &format!("corpus-{index}.txt"),
+            run.output.clone(),
+        )
+        .with_meta("tasks", &run.point.tasks.to_string())
+        .with_meta("start_time", &run.start_time.to_string())
+        .with_meta("system", &format!("sim-{}", run.point.shape));
+        for (key, value) in run.point.params() {
+            artifact = artifact.with_meta(&key, &value);
+        }
+        let items = extractor
+            .extract(&mut ctx, &[&artifact])
+            .map_err(cycle_err)?;
+        batch.extend(items);
+        batch_wps.push(index);
+        generated += 1;
+        if batch.len() >= 512 {
+            flush(&mut store, &mut writer, &mut batch, &mut batch_wps)?;
+        }
+    }
+    flush(&mut store, &mut writer, &mut batch, &mut batch_wps)?;
+    // Seal the tail so a freshly generated corpus is immediately in
+    // segmented (index-block pruned) form for `iokc agg`.
+    store.seal_active().map_err(store_err)?;
+    let total = store
+        .count(&RunPredicate::Kind(RunKind::Io500))
+        .map_err(store_err)?;
+    println!(
+        "corpus: generated {generated} submission(s), skipped {skipped} already journaled; \
+         store now holds {total} io500 run(s) (journal: {})",
+        journal.display()
+    );
+    Ok(())
+}
+
+/// `iokc agg` — corpus analytics from the shell: group-by aggregation
+/// with streaming statistics pushed down into the store (percentiles,
+/// histograms, optional correlation matrix), and `--outliers` to flag
+/// runs outside their group's percentile band.
+fn cmd_agg(opts: &Options) -> Result<(), CliError> {
+    use iokc_store::{AggregateQuery, Factor, GroupBy};
+
+    let group = GroupBy::parse(&opts.group).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown --group `{}` (expected all|kind|api|tasks|xfer)",
+            opts.group
+        ))
+    })?;
+    let factor = Factor::parse(&opts.factor).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown --factor `{}` (expected bw|bw_score|md_score|total_score|tasks|xfer|block|warnings)",
+            opts.factor
+        ))
+    })?;
+    let mut query = AggregateQuery::new(group, factor).with_predicate(query_predicate(opts)?);
+    if let Some(list) = &opts.correlate {
+        let factors = list
+            .split(',')
+            .map(|name| {
+                Factor::parse(name.trim())
+                    .ok_or_else(|| CliError::usage(format!("unknown correlation factor `{name}`")))
+            })
+            .collect::<Result<Vec<Factor>, CliError>>()?;
+        query = query.with_correlation(&factors);
+    }
+
+    let store = open_store(opts)?;
+    let result = store
+        .aggregate(&query, &DeadlineToken::unbounded())
+        .map_err(store_err)?;
+    if result.groups.is_empty() {
+        println!("no matching runs");
+        return Ok(());
+    }
+    println!(
+        "aggregated {} run(s): metric {} grouped by {}",
+        result.rows_aggregated,
+        factor.as_str(),
+        group.as_str()
+    );
+    let mut table = iokc_util::table::TextTable::new(vec![
+        "group", "count", "min", "p50", "mean", "p99", "max", "stddev",
+    ]);
+    for g in &result.groups {
+        table.push_row(vec![
+            g.key.clone(),
+            g.count.to_string(),
+            format!("{:.2}", g.min),
+            format!("{:.2}", g.percentile(0.5).unwrap_or(f64::NAN)),
+            format!("{:.2}", g.mean),
+            format!("{:.2}", g.percentile(0.99).unwrap_or(f64::NAN)),
+            format!("{:.2}", g.max),
+            format!("{:.2}", g.stddev),
+        ]);
+    }
+    print!("{}", table.render());
+    if let Some(corr) = &result.correlation {
+        println!("\ncorrelation matrix (Pearson r):");
+        let mut ctab = iokc_util::table::TextTable::new(
+            std::iter::once("factor")
+                .chain(corr.factors.iter().map(String::as_str))
+                .collect(),
+        );
+        for (name, row) in corr.factors.iter().zip(&corr.matrix) {
+            ctab.push_row(
+                std::iter::once(name.clone())
+                    .chain(row.iter().map(|r| format!("{r:+.3}")))
+                    .collect(),
+            );
+        }
+        print!("{}", ctab.render());
+    }
+    if opts.outliers {
+        let boxes = iokc_analysis::CorpusBoxes::fit(
+            &result,
+            group,
+            factor,
+            iokc_analysis::DEFAULT_LOW_Q,
+            iokc_analysis::DEFAULT_HIGH_Q,
+            iokc_analysis::DEFAULT_MARGIN,
+        );
+        let rows = store
+            .query_summaries(
+                &Query::new(query_predicate(opts)?),
+                &DeadlineToken::unbounded(),
+            )
+            .map_err(store_err)?;
+        println!();
+        print!("{}", boxes.render(&boxes.flag(rows.iter())));
     }
     Ok(())
 }

@@ -13,12 +13,21 @@
 //! * `GET /api/boxplot?op=..` — the per-run throughput distribution
 //!   overview;
 //! * `GET /api/io500/{id}` — one IO500 object;
+//! * `GET /api/agg?group=..&factor=..` — corpus analytics: group-by
+//!   aggregation (count/min/max/mean/stddev/percentiles) pushed down
+//!   into the store — streamed from summary projections, no knowledge
+//!   deserialization;
+//! * `GET /api/dist?group=..&factor=..` — per-group log2 histograms and
+//!   percentile bands;
+//! * `GET /api/corr?correlate=f1,f2,..` — pairwise Pearson correlation
+//!   over numeric run factors;
 //! * `GET /metrics` — the schema-1 metrics JSON (never cached);
 //! * `GET /healthz` — liveness and store health (never cached; a
 //!   degraded store still answers 200 with `status: "degraded"`).
 //!
 //! HTML pages (`/`, `/runs/{id}`, `/io500/{id}`, `/compare`,
-//! `/boxplot`) embed the `iokc-analysis` text viewers and SVG charts.
+//! `/boxplot`, `/dist`, `/corr`) embed the `iokc-analysis` text viewers
+//! and SVG charts.
 //!
 //! Every response except `/metrics` flows through the read-through
 //! [`QueryCache`], keyed on the normalized query and the store's write
@@ -28,13 +37,14 @@ use std::io::{self, Write};
 use std::sync::{Arc, RwLock};
 
 use iokc_analysis::{
-    compare_summaries, overview_series, write_bar_chart, write_box_plot, write_io500,
-    write_knowledge, write_line_chart, ChartOptions, MetricAxis, OptionAxis, Series,
+    compare_summaries, overview_series, write_bar_chart, write_box_plot, write_heat_map,
+    write_io500, write_knowledge, write_line_chart, ChartOptions, MetricAxis, OptionAxis, Series,
 };
 use iokc_core::model::Knowledge;
 use iokc_obs::{Counter, DeadlineToken, Recorder, SpanStatus};
 use iokc_store::{
-    DbError, KnowledgeStore, Query, RunKind, RunOrder, RunPredicate, RunSummary, Snapshot,
+    AggregateQuery, AggregateResult, DbError, Factor, GroupBy, KnowledgeStore, Query, RunKind,
+    RunOrder, RunPredicate, RunSummary, Snapshot,
 };
 use iokc_util::json::{ArrayWriter, Json};
 
@@ -208,6 +218,44 @@ impl Explorer {
                     boxplot_json(store, &op, &deadline)
                 })
             }
+            ["api", "agg"] => {
+                let spec = AggSpec::from_request(req)?;
+                let deadline = deadline.clone();
+                self.cached_json(spec.cache_key("/api/agg"), move |store| {
+                    let result = store.aggregate(&spec.query, &deadline)?;
+                    Ok(agg_json(&spec, &result))
+                })
+            }
+            ["api", "dist"] => {
+                let spec = AggSpec::from_request(req)?;
+                let deadline = deadline.clone();
+                self.cached_json(spec.cache_key("/api/dist"), move |store| {
+                    let result = store.aggregate(&spec.query, &deadline)?;
+                    Ok(dist_json(&spec, &result))
+                })
+            }
+            ["api", "corr"] => {
+                let spec = AggSpec::from_request(req)?;
+                let deadline = deadline.clone();
+                self.cached_json(spec.cache_key("/api/corr"), move |store| {
+                    let result = store.aggregate(&spec.query, &deadline)?;
+                    corr_json(&result)
+                })
+            }
+            ["dist"] => {
+                let spec = AggSpec::from_request(req)?;
+                let deadline = deadline.clone();
+                self.cached_html(spec.cache_key("/dist"), move |store, out| {
+                    dist_page(store, &spec, &deadline, out)
+                })
+            }
+            ["corr"] => {
+                let spec = AggSpec::from_request(req)?;
+                let deadline = deadline.clone();
+                self.cached_html(spec.cache_key("/corr"), move |store, out| {
+                    corr_page(store, &spec, &deadline, out)
+                })
+            }
             ["runs", id] => {
                 let id = parse_run_id(id)?;
                 self.cached_html(req.normalized(), move |store, out| run_page(store, id, out))
@@ -233,7 +281,8 @@ impl Explorer {
                 })
             }
             _ => Err(RouteError::NotFound(format!(
-                "no route for {} (try /, /api/runs, /api/compare, /api/boxplot, /metrics, /healthz)",
+                "no route for {} (try /, /api/runs, /api/compare, /api/boxplot, /api/agg, \
+                 /api/dist, /api/corr, /metrics, /healthz)",
                 req.path
             ))),
         }
@@ -707,6 +756,198 @@ fn boxplot_json(store: &Snapshot, op: &str, deadline: &DeadlineToken) -> Result<
     ]))
 }
 
+// ------------------------------------------------- /api/agg /api/dist /api/corr
+
+/// Parsed corpus-analytics parameters, shared by `/api/agg`,
+/// `/api/dist`, `/api/corr` and their HTML twins: a group-by dimension,
+/// a metric factor, optional correlation factors, and an optional
+/// `kind` filter — all lowered onto one [`AggregateQuery`] the store
+/// evaluates without deserializing any knowledge.
+struct AggSpec {
+    group: GroupBy,
+    factor: Factor,
+    query: AggregateQuery,
+}
+
+impl AggSpec {
+    fn from_request(req: &Request) -> Result<AggSpec, RouteError> {
+        let group_raw = req.param("group").unwrap_or("api");
+        let group = GroupBy::parse(group_raw).ok_or_else(|| {
+            RouteError::BadQuery(format!(
+                "unknown group `{group_raw}` (expected all|kind|api|tasks|xfer)"
+            ))
+        })?;
+        let factor_raw = req.param("factor").unwrap_or("bw");
+        let factor = Factor::parse(factor_raw).ok_or_else(|| {
+            RouteError::BadQuery(format!(
+                "unknown factor `{factor_raw}` \
+                 (expected bw|bw_score|md_score|total_score|tasks|xfer|block|warnings)"
+            ))
+        })?;
+        let mut query = AggregateQuery::new(group, factor);
+        match req.param("kind") {
+            Some("benchmark") => {
+                query = query.with_predicate(RunPredicate::Kind(RunKind::Benchmark));
+            }
+            Some("io500") => query = query.with_predicate(RunPredicate::Kind(RunKind::Io500)),
+            Some(other) => {
+                return Err(RouteError::BadQuery(format!(
+                    "unknown kind `{other}` (expected benchmark|io500)"
+                )))
+            }
+            None => {}
+        }
+        // `/api/corr` defaults to the IO500 score factors; the others
+        // correlate only on request.
+        let correlate_raw = req.param("correlate").or(match req.path.as_str() {
+            "/api/corr" | "/corr" => Some("bw_score,md_score,total_score,tasks"),
+            _ => None,
+        });
+        if let Some(raw) = correlate_raw {
+            let mut factors = Vec::new();
+            for name in raw.split(',').filter(|n| !n.is_empty()) {
+                factors.push(Factor::parse(name.trim()).ok_or_else(|| {
+                    RouteError::BadQuery(format!("unknown correlation factor `{name}`"))
+                })?);
+            }
+            query = query.with_correlation(&factors);
+        }
+        Ok(AggSpec {
+            group,
+            factor,
+            query,
+        })
+    }
+
+    /// Canonical cache key: route prefix + the typed aggregate query.
+    fn cache_key(&self, route: &str) -> String {
+        format!("{route}:{}", self.query.cache_key())
+    }
+}
+
+/// Human label for a log2 histogram bin (`i32::MIN` is the ≤0 bin).
+fn bin_label(bin: i32) -> String {
+    if bin == i32::MIN {
+        "<=0".to_owned()
+    } else {
+        format!("2^{bin}")
+    }
+}
+
+fn percentiles_json(group: &iokc_store::GroupStats) -> Json {
+    Json::Arr(
+        group
+            .percentiles
+            .iter()
+            .map(|(q, v)| Json::obj(vec![("q", Json::from(*q)), ("value", Json::from(*v))]))
+            .collect(),
+    )
+}
+
+fn agg_json(spec: &AggSpec, result: &AggregateResult) -> Json {
+    let mut fields = vec![
+        ("group_by", Json::from(spec.group.as_str())),
+        ("factor", Json::from(spec.factor.as_str())),
+        ("rows_aggregated", Json::from(result.rows_aggregated)),
+        (
+            "groups",
+            Json::Arr(
+                result
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        Json::obj(vec![
+                            ("key", Json::from(g.key.as_str())),
+                            ("count", Json::from(g.count)),
+                            ("min", Json::from(g.min)),
+                            ("max", Json::from(g.max)),
+                            ("mean", Json::from(g.mean)),
+                            ("stddev", Json::from(g.stddev)),
+                            ("percentiles", percentiles_json(g)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(corr) = &result.correlation {
+        fields.push(("correlation", corr_matrix_json(corr)));
+    }
+    Json::obj(fields)
+}
+
+fn dist_json(spec: &AggSpec, result: &AggregateResult) -> Json {
+    Json::obj(vec![
+        ("group_by", Json::from(spec.group.as_str())),
+        ("factor", Json::from(spec.factor.as_str())),
+        ("rows_aggregated", Json::from(result.rows_aggregated)),
+        (
+            "groups",
+            Json::Arr(
+                result
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        Json::obj(vec![
+                            ("key", Json::from(g.key.as_str())),
+                            ("count", Json::from(g.count)),
+                            ("percentiles", percentiles_json(g)),
+                            (
+                                "histogram",
+                                Json::Arr(
+                                    g.histogram
+                                        .iter()
+                                        .map(|(bin, count)| {
+                                            Json::obj(vec![
+                                                ("bin", Json::from(bin_label(*bin))),
+                                                ("count", Json::from(*count)),
+                                            ])
+                                        })
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn corr_matrix_json(corr: &iokc_store::CorrelationMatrix) -> Json {
+    Json::obj(vec![
+        (
+            "factors",
+            Json::Arr(
+                corr.factors
+                    .iter()
+                    .map(|f| Json::from(f.as_str()))
+                    .collect(),
+            ),
+        ),
+        (
+            "matrix",
+            Json::Arr(
+                corr.matrix
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|r| Json::from(*r)).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn corr_json(result: &AggregateResult) -> Result<Json, RouteError> {
+    let corr = result
+        .correlation
+        .as_ref()
+        .ok_or_else(|| RouteError::NotFound("no runs to correlate".to_owned()))?;
+    Ok(Json::obj(vec![
+        ("rows_aggregated", Json::from(result.rows_aggregated)),
+        ("correlation", corr_matrix_json(corr)),
+    ]))
+}
+
 // ----------------------------------------------------------------- HTML pages
 
 fn html_escape(text: &str) -> String {
@@ -739,7 +980,8 @@ fn index_page(
     page_open("iokc knowledge explorer", out);
     out.push_str(
         "<p><a href=\"/api/runs\">/api/runs</a> · <a href=\"/compare\">/compare</a> · \
-         <a href=\"/boxplot\">/boxplot</a> · <a href=\"/metrics\">/metrics</a></p>\n",
+         <a href=\"/boxplot\">/boxplot</a> · <a href=\"/dist\">/dist</a> · \
+         <a href=\"/corr\">/corr</a> · <a href=\"/metrics\">/metrics</a></p>\n",
     );
     out.push_str("<table><tr><th>kind</th><th>id</th><th>summary</th></tr>\n");
     for row in &rows {
@@ -850,6 +1092,124 @@ fn compare_page(
             },
             out,
         );
+    }
+    page_close(out);
+    Ok(())
+}
+
+/// `/dist` — the distribution page: per-group log2 histograms of the
+/// selected factor as a grouped bar chart, plus the percentile table.
+/// Everything is computed by the store's aggregation pushdown against
+/// one pinned snapshot.
+fn dist_page(
+    store: &Snapshot,
+    spec: &AggSpec,
+    deadline: &DeadlineToken,
+    out: &mut String,
+) -> Result<(), RouteError> {
+    let result = store.aggregate(&spec.query, deadline)?;
+    page_open(
+        &format!(
+            "distribution — {} by {}",
+            spec.factor.as_str(),
+            spec.group.as_str()
+        ),
+        out,
+    );
+    if result.groups.is_empty() {
+        out.push_str("<p>no matching runs</p>\n");
+        page_close(out);
+        return Ok(());
+    }
+    // Union of the populated bins across groups keeps the x axis shared.
+    let mut bins: Vec<i32> = result
+        .groups
+        .iter()
+        .flat_map(|g| g.histogram.iter().map(|(bin, _)| *bin))
+        .collect();
+    bins.sort_unstable();
+    bins.dedup();
+    let categories: Vec<String> = bins.iter().map(|b| bin_label(*b)).collect();
+    let series: Vec<Series> = result
+        .groups
+        .iter()
+        .map(|g| Series {
+            label: g.key.clone(),
+            points: bins
+                .iter()
+                .enumerate()
+                .map(|(i, bin)| {
+                    let count = g
+                        .histogram
+                        .iter()
+                        .find(|(b, _)| b == bin)
+                        .map_or(0.0, |(_, c)| *c as f64);
+                    (i as f64, count)
+                })
+                .collect(),
+        })
+        .collect();
+    let _ = write_bar_chart(
+        &categories,
+        &series,
+        &ChartOptions {
+            title: format!("{} distribution (log2 bins)", spec.factor.as_str()),
+            x_label: spec.factor.as_str().to_owned(),
+            y_label: "runs".into(),
+            ..ChartOptions::default()
+        },
+        out,
+    );
+    out.push_str(
+        "<table><tr><th>group</th><th>count</th><th>min</th><th>p50</th>\
+         <th>mean</th><th>p99</th><th>max</th><th>stddev</th></tr>\n",
+    );
+    for g in &result.groups {
+        out.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{:.3}</td><td>{:.3}</td>\
+             <td>{:.3}</td><td>{:.3}</td><td>{:.3}</td><td>{:.3}</td></tr>\n",
+            html_escape(&g.key),
+            g.count,
+            g.min,
+            g.percentile(0.5).unwrap_or(f64::NAN),
+            g.mean,
+            g.percentile(0.99).unwrap_or(f64::NAN),
+            g.max,
+            g.stddev,
+        ));
+    }
+    out.push_str("</table>\n");
+    page_close(out);
+    Ok(())
+}
+
+/// `/corr` — the pairwise correlation matrix of the requested factors
+/// as an SVG heat map.
+fn corr_page(
+    store: &Snapshot,
+    spec: &AggSpec,
+    deadline: &DeadlineToken,
+    out: &mut String,
+) -> Result<(), RouteError> {
+    let result = store.aggregate(&spec.query, deadline)?;
+    page_open("factor correlation", out);
+    match &result.correlation {
+        None => out.push_str("<p>no runs to correlate</p>\n"),
+        Some(corr) => {
+            let _ = write_heat_map(
+                &corr.matrix,
+                &corr.factors,
+                &ChartOptions {
+                    title: format!("pairwise Pearson r over {} run(s)", result.rows_aggregated),
+                    ..ChartOptions::default()
+                },
+                out,
+            );
+            out.push_str(&format!(
+                "<p>factors: {}</p>\n",
+                html_escape(&corr.factors.join(", "))
+            ));
+        }
     }
     page_close(out);
     Ok(())

@@ -1176,6 +1176,17 @@ impl Snapshot {
         self.view().boxplot_series(predicate, operation, deadline)
     }
 
+    /// [`KnowledgeStore::aggregate`] against the pinned state: the
+    /// aggregates answer from exactly this generation however the live
+    /// store mutates underneath.
+    pub fn aggregate(
+        &self,
+        query: &crate::aggregate::AggregateQuery,
+        deadline: &DeadlineToken,
+    ) -> Result<crate::aggregate::AggregateResult, DbError> {
+        self.view().aggregate(query, false, deadline)
+    }
+
     /// [`KnowledgeStore::count`] against the pinned state.
     pub fn count(&self, predicate: &RunPredicate) -> Result<usize, DbError> {
         self.view().count(predicate)

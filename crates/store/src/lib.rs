@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+pub mod aggregate;
 pub mod compaction;
 pub mod database;
 pub mod fsck;
@@ -24,6 +25,10 @@ pub mod sql;
 pub mod value;
 pub mod vfs;
 
+pub use aggregate::{
+    AggregateQuery, AggregateResult, CorrelationMatrix, Factor, GroupBy, GroupStats,
+    DEFAULT_PERCENTILES,
+};
 pub use compaction::{CompactionPlan, CompactionReport};
 pub use database::{
     Column, Database, DbError, ForeignKey, OrderBy, Predicate, Row, SelectStats, TableSchema,

@@ -124,7 +124,7 @@ impl RunPredicate {
     /// Could a run of `kind` possibly match? Conservative: `false` only
     /// when the predicate *provably* excludes the kind, so planning can
     /// skip a whole table.
-    fn may_match_kind(&self, kind: RunKind) -> bool {
+    pub(crate) fn may_match_kind(&self, kind: RunKind) -> bool {
         match self {
             RunPredicate::Kind(k) => *k == kind,
             RunPredicate::HasOp(_) => kind == RunKind::Benchmark,
@@ -513,6 +513,7 @@ pub(crate) struct QueryObs {
     pub(crate) rows_pruned: Counter,
     pub(crate) knowledge_deserialized: Counter,
     pub(crate) cancelled: Counter,
+    pub(crate) agg: crate::aggregate::AggObs,
 }
 
 impl QueryObs {
@@ -525,6 +526,7 @@ impl QueryObs {
             rows_pruned: metrics.counter("store.query.rows_pruned"),
             knowledge_deserialized: metrics.counter("store.query.knowledge_deserialized"),
             cancelled: metrics.counter("store.query_cancelled"),
+            agg: crate::aggregate::AggObs::new(&metrics),
             recorder,
         }
     }
@@ -727,7 +729,7 @@ impl<'a> Io500Probe<'a> {
 
 /// The candidate plan for one kind: either an index-pruned id list or a
 /// full scan of the kind's table.
-enum Plan {
+pub(crate) enum Plan {
     Index(Vec<u64>),
     Scan,
 }
@@ -750,7 +752,11 @@ fn intersect_sorted(a: &[u64], b: &[u64]) -> Vec<u64> {
     out
 }
 
-fn plan_candidates(indexes: &RunIndexes, kind: RunKind, predicate: &RunPredicate) -> Plan {
+pub(crate) fn plan_candidates(
+    indexes: &RunIndexes,
+    kind: RunKind,
+    predicate: &RunPredicate,
+) -> Plan {
     // Walk the top-level AND chain: every indexable conjunct contributes
     // a sorted candidate list, and a matching row must appear in all of
     // them, so the plan is their intersection — each usable index
@@ -930,6 +936,30 @@ impl KnowledgeStore {
         deadline: &DeadlineToken,
     ) -> Result<Vec<(String, Vec<f64>)>, DbError> {
         self.view().boxplot_series(predicate, operation, deadline)
+    }
+
+    /// Evaluate an aggregation inside the store: group-by + streaming
+    /// statistics over the [`RunSummary`] projections, segments pruned
+    /// by their index blocks, no `Knowledge` deserialization (see
+    /// [`crate::aggregate`]). Polls `deadline` per row like the query
+    /// executor.
+    pub fn aggregate(
+        &self,
+        query: &crate::aggregate::AggregateQuery,
+        deadline: &DeadlineToken,
+    ) -> Result<crate::aggregate::AggregateResult, DbError> {
+        self.view().aggregate(query, false, deadline)
+    }
+
+    /// The unpruned aggregate executor — the equivalence oracle the
+    /// property tests compare against.
+    #[cfg(test)]
+    pub(crate) fn aggregate_force_scan(
+        &self,
+        query: &crate::aggregate::AggregateQuery,
+    ) -> Result<crate::aggregate::AggregateResult, DbError> {
+        self.view()
+            .aggregate(query, true, &DeadlineToken::unbounded())
     }
 
     /// The unbounded executor: used by internal callers that cannot be

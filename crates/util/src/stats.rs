@@ -78,15 +78,25 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
     (log_sum / values.len() as f64).exp()
 }
 
-/// Linear-interpolated percentile (`q` in `[0, 1]`) of an unsorted slice.
-/// Returns `0.0` for an empty slice.
+/// Sort a copy of `values` ascending (NaN-free metric values).
 #[must_use]
-pub fn percentile(values: &[f64], q: f64) -> f64 {
-    if values.is_empty() {
+pub fn sorted_copy(values: &[f64]) -> Vec<f64> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted
+}
+
+/// The canonical linear-interpolated percentile over an
+/// *already-sorted* ascending slice (`q` in `[0, 1]`, clamped). This is
+/// the one implementation every percentile in the workspace lowers onto
+/// — [`percentile`], [`percentiles`], the analysis box-plot summaries
+/// and the store's aggregation engine — so "p50" means the same number
+/// everywhere. Returns `0.0` for an empty slice.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
         return 0.0;
     }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in metric values"));
     let q = q.clamp(0.0, 1.0);
     let rank = q * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -97,6 +107,36 @@ pub fn percentile(values: &[f64], q: f64) -> f64 {
         let w = rank - lo as f64;
         sorted[lo] * (1.0 - w) + sorted[hi] * w
     }
+}
+
+/// The nearest-rank percentile over an already-sorted ascending slice:
+/// the smallest value with at least `⌈q·n⌉` samples at or below it (the
+/// classic textbook definition, exact-sample rather than interpolated).
+/// Returns `0.0` for an empty slice.
+#[must_use]
+pub fn nearest_rank_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Linear-interpolated percentile (`q` in `[0, 1]`) of an unsorted slice.
+/// Returns `0.0` for an empty slice.
+#[must_use]
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    percentile_sorted(&sorted_copy(values), q)
+}
+
+/// Several linear-interpolated percentiles of an unsorted slice with a
+/// single sort — the multi-quantile form the box-plot and aggregation
+/// paths use. Returns one value per requested `q`, in request order.
+#[must_use]
+pub fn percentiles(values: &[f64], qs: &[f64]) -> Vec<f64> {
+    let sorted = sorted_copy(values);
+    qs.iter().map(|q| percentile_sorted(&sorted, *q)).collect()
 }
 
 /// Median (50th percentile).
@@ -137,12 +177,61 @@ mod tests {
     }
 
     #[test]
-    fn percentiles() {
+    fn percentile_endpoints_and_median() {
         let v = [1.0, 2.0, 3.0, 4.0];
         assert_eq!(percentile(&v, 0.0), 1.0);
         assert_eq!(percentile(&v, 1.0), 4.0);
         assert!((median(&v) - 2.5).abs() < 1e-12);
         assert!((percentile(&v, 0.25) - 1.75).abs() < 1e-12);
         assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn interpolated_percentiles_pin_exact_values() {
+        // Regression pin: these exact values are what every consumer of
+        // the canonical implementation (Describe::of, store::aggregate)
+        // must reproduce. Unsorted on purpose.
+        let v = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(percentile(&v, 0.25), 3.0);
+        assert_eq!(percentile(&v, 0.5), 5.0);
+        assert_eq!(percentile(&v, 0.75), 7.0);
+        assert!((percentile(&v, 0.10) - 1.8) < 1e-12);
+        assert!((percentile(&v, 0.90) - 8.2).abs() < 1e-12);
+        assert!((percentile(&v, 0.99) - 8.92).abs() < 1e-12);
+        // Multi-quantile form agrees with the one-shot form exactly.
+        assert_eq!(
+            percentiles(&v, &[0.1, 0.25, 0.5, 0.75, 0.9]),
+            vec![
+                percentile(&v, 0.1),
+                percentile(&v, 0.25),
+                percentile(&v, 0.5),
+                percentile(&v, 0.75),
+                percentile(&v, 0.9)
+            ]
+        );
+        // Out-of-range quantiles clamp.
+        assert_eq!(percentile(&v, -1.0), 1.0);
+        assert_eq!(percentile(&v, 2.0), 9.0);
+    }
+
+    #[test]
+    fn nearest_rank_pins_exact_samples() {
+        let sorted = [15.0, 20.0, 35.0, 40.0, 50.0];
+        // Classic textbook vector: p30 = 20, p40 = 20, p50 = 35, p100 = 50.
+        assert_eq!(nearest_rank_sorted(&sorted, 0.30), 20.0);
+        assert_eq!(nearest_rank_sorted(&sorted, 0.40), 20.0);
+        assert_eq!(nearest_rank_sorted(&sorted, 0.50), 35.0);
+        assert_eq!(nearest_rank_sorted(&sorted, 1.00), 50.0);
+        assert_eq!(nearest_rank_sorted(&sorted, 0.0), 15.0);
+        assert_eq!(nearest_rank_sorted(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn sorted_variant_matches_unsorted_entry_point() {
+        let v = [4.0, 1.0, 3.0, 2.0];
+        let sorted = sorted_copy(&v);
+        for q in [0.0, 0.1, 0.33, 0.5, 0.66, 0.9, 1.0] {
+            assert_eq!(percentile(&v, q), percentile_sorted(&sorted, q));
+        }
     }
 }

@@ -30,6 +30,11 @@ cargo clippy -p iokc-obs --all-targets -- -D warnings -D clippy::unwrap_used
 echo "==> cargo clippy -p iokc-analysis -p iokc-usage -p iokc-sim (unwraps are errors)"
 cargo clippy -p iokc-analysis -p iokc-usage -p iokc-sim --all-targets -- -D warnings -D clippy::unwrap_used
 
+# The corpus generator feeds fleet-scale ingest; it joins the strict
+# gate so a malformed point can never panic a campaign mid-journal.
+echo "==> cargo clippy -p iokc-benchmarks (unwraps are errors)"
+cargo clippy -p iokc-benchmarks --all-targets -- -D warnings -D clippy::unwrap_used
+
 # Crash-consistency: enumerate every crash point of the mixed workload
 # and verify each post-crash disk image recovers an acknowledged prefix.
 echo "==> crash-consistency suite"
@@ -49,6 +54,23 @@ cargo test -p iokc-integration --test explorerd_chaos -q
 # `cargo test`, so regressions in the bench harnesses fail fast here.
 echo "==> query-engine bench smoke"
 cargo test -p iokc-bench --bench query_engine
+
+# Corpus analytics end to end: deterministic corpus generation through
+# the extract path, aggregation pushdown counters, outlier detection.
+echo "==> corpus analytics suite"
+cargo test -p iokc-integration --test corpus_analytics -q
+
+# CLI smoke: generate a small corpus, resume it (everything journaled,
+# nothing regenerated), and run a group-by aggregate over the result.
+echo "==> corpus gen + agg CLI smoke"
+corpus_dir="$(mktemp -d)"
+trap 'rm -rf "$corpus_dir"' EXIT
+cargo run -q -p iokc-cli -- corpus gen --db "$corpus_dir/corpus.iokc.json" \
+  --campaign "$corpus_dir/campaign" --runs 64 --seed 42 | grep -q "generated 64"
+cargo run -q -p iokc-cli -- corpus gen --db "$corpus_dir/corpus.iokc.json" \
+  --campaign "$corpus_dir/campaign" --runs 64 --seed 42 | grep -q "skipped 64"
+cargo run -q -p iokc-cli -- agg --db "$corpus_dir/corpus.iokc.json" \
+  --group tasks --factor total_score --outliers | grep -q "2 run(s) outside their band"
 
 echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

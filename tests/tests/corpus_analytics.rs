@@ -1,0 +1,287 @@
+//! End-to-end corpus analytics: a deterministic IO500 corpus generated
+//! through the normal extract path into a disk-backed, segmented store,
+//! then analyzed entirely through aggregation pushdown.
+//!
+//! Exercises the whole chain the `iokc corpus gen` / `iokc agg`
+//! commands and the explorerd distribution endpoints sit on:
+//!
+//! - benchmark rows sealed into their own segments, corpus rows into
+//!   theirs, so kind predicates get real index-block pruning;
+//! - group-by percentile aggregates answered without a single
+//!   `Knowledge` deserialization (asserted via the recorder's
+//!   `store.aggregate.*` counters, the observable contract);
+//! - pushdown results equal to the `evaluate_rows` oracle over the
+//!   same summaries;
+//! - MVCC snapshots pinning aggregate answers while the live store
+//!   keeps ingesting;
+//! - the corpus bounding-box detector recovering exactly the planted
+//!   outlier points.
+
+use iokc_analysis::{CorpusBoxes, DEFAULT_HIGH_Q, DEFAULT_LOW_Q, DEFAULT_MARGIN};
+use iokc_benchmarks::CorpusSpec;
+use iokc_core::model::{
+    IterationResult, Knowledge, KnowledgeItem, KnowledgeSource, OperationSummary,
+};
+use iokc_core::phases::{Artifact, ArtifactKind, Extractor, PhaseKind};
+use iokc_core::PhaseCtx;
+use iokc_extract::Io500Extractor;
+use iokc_obs::{Clock, NullSink, Recorder};
+use iokc_store::{
+    AggregateQuery, DeadlineToken, Factor, GroupBy, KnowledgeStore, Query, RunKind, RunPredicate,
+    RunSummary, DEFAULT_PERCENTILES,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Corpus size: 64 points plants outliers at indexes 31 and 63 (the
+/// default every-32nd cadence), which land in store ids 32 and 64
+/// because io500 ids are assigned densely in ingest order.
+const RUNS: usize = 64;
+const SEED: u64 = 42;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("iokc-corpus-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A synthetic benchmark run: enough of a `Knowledge` for the summary
+/// projection (api, tasks, bandwidth) that group-by-api aggregates see.
+fn bench(api: &str, tasks: u32, write_bw: f64) -> Knowledge {
+    let mut k = Knowledge::new(KnowledgeSource::Ior, &format!("ior -a {api}"));
+    k.pattern.api = api.to_owned();
+    k.pattern.tasks = tasks;
+    k.pattern.transfer_size = 1 << 20;
+    k.summaries.push(OperationSummary {
+        operation: "write".into(),
+        api: api.to_owned(),
+        max_mib: write_bw * 1.2,
+        min_mib: write_bw * 0.8,
+        mean_mib: write_bw,
+        stddev_mib: 0.0,
+        mean_ops: write_bw / 2.0,
+        iterations: 1,
+    });
+    k.results.push(IterationResult {
+        operation: "write".into(),
+        iteration: 0,
+        bw_mib: write_bw,
+        ops: 10,
+        ops_per_sec: 5.0,
+        latency_s: 0.001,
+        open_s: 0.002,
+        wrrd_s: 1.0,
+        close_s: 0.003,
+        total_s: 1.1,
+    });
+    k
+}
+
+/// Run one corpus point through the real extract path and return the
+/// knowledge items the IO500 extractor produced for it.
+fn extract_point(spec: &CorpusSpec, index: usize) -> Vec<KnowledgeItem> {
+    let run = spec.execute(index).expect("corpus point simulates");
+    let mut artifact = Artifact::text(
+        ArtifactKind::Io500Output,
+        &format!("corpus-{index}.txt"),
+        run.output.clone(),
+    )
+    .with_meta("tasks", &run.point.tasks.to_string())
+    .with_meta("start_time", &run.start_time.to_string())
+    .with_meta("system", &format!("sim-{}", run.point.shape));
+    for (key, value) in run.point.params() {
+        artifact = artifact.with_meta(&key, &value);
+    }
+    let mut ctx = PhaseCtx::detached(PhaseKind::Extraction, "corpus-e2e");
+    Io500Extractor
+        .extract(&mut ctx, &[&artifact])
+        .expect("extraction succeeds")
+}
+
+fn assert_groups_equal(a: &iokc_store::AggregateResult, b: &iokc_store::AggregateResult) {
+    assert_eq!(a.rows_aggregated, b.rows_aggregated);
+    assert_eq!(a.groups.len(), b.groups.len());
+    for (ga, gb) in a.groups.iter().zip(b.groups.iter()) {
+        assert_eq!(ga.key, gb.key);
+        assert_eq!(ga.count, gb.count);
+        assert!((ga.mean - gb.mean).abs() <= 1e-9 * ga.mean.abs().max(1.0));
+        assert!((ga.stddev - gb.stddev).abs() <= 1e-9);
+        assert_eq!(ga.histogram, gb.histogram);
+        for ((qa, va), (qb, vb)) in ga.percentiles.iter().zip(gb.percentiles.iter()) {
+            assert_eq!(qa, qb);
+            assert!((va - vb).abs() <= 1e-9 * va.abs().max(1.0));
+        }
+    }
+}
+
+#[test]
+fn corpus_analytics_pushdown_end_to_end() {
+    let dir = scratch_dir("e2e");
+    let recorder = Arc::new(Recorder::new(Clock::wall(), Arc::new(NullSink)));
+    let metrics = recorder.metrics();
+    let mut store = KnowledgeStore::open(dir.join("corpus.iokc.json")).expect("open store");
+    store.set_seal_threshold(48);
+    store.attach_recorder(Arc::clone(&recorder));
+
+    // Phase 1: benchmark rows first, blocked by task count: the first
+    // 48 rows (one full segment at the lowered threshold) run at 1/2/4
+    // tasks, the 12-row tail at 8 tasks. A tasks-range predicate can
+    // then prune the tail segment via its index block.
+    let apis = ["POSIX", "MPIIO", "HDF5"];
+    let bench_rows: Vec<KnowledgeItem> = (0..60)
+        .map(|i| {
+            let tasks = if i < 48 { 1 << (i % 3) } else { 8 };
+            KnowledgeItem::Benchmark(bench(apis[i % apis.len()], tasks, 100.0 + i as f64))
+        })
+        .collect();
+    store.save_batch(&bench_rows).expect("save benchmarks");
+    store.seal_active().expect("seal benchmark tail");
+
+    // Phase 2: the corpus, through the same extractor the CLI uses.
+    let spec = CorpusSpec::new(RUNS, SEED);
+    let mut batch: Vec<KnowledgeItem> = Vec::new();
+    for index in 0..spec.runs {
+        batch.extend(extract_point(&spec, index));
+    }
+    assert_eq!(batch.len(), RUNS, "one submission per corpus point");
+    store.save_batch(&batch).expect("save corpus");
+    store.seal_active().expect("seal corpus tail");
+
+    let deadline = DeadlineToken::unbounded();
+
+    // Group-by-api percentile query over the small-task benchmark
+    // rows: answered from summaries alone (zero Knowledge
+    // deserializations), with the 8-task tail segment pruned by its
+    // index block before its body is touched.
+    let api_q = AggregateQuery::new(GroupBy::Api, Factor::Bandwidth)
+        .with_predicate(
+            RunPredicate::Kind(RunKind::Benchmark).and(RunPredicate::TasksBetween(1, 4)),
+        )
+        .with_percentiles(&DEFAULT_PERCENTILES);
+    let api_res = store.aggregate(&api_q, &deadline).expect("api aggregate");
+    assert_eq!(api_res.rows_aggregated, 48);
+    assert_eq!(api_res.groups.len(), apis.len());
+    for g in &api_res.groups {
+        assert_eq!(g.count, 16);
+        let p50 = g.percentile(0.5).expect("median computed");
+        assert!(g.min <= p50 && p50 <= g.max);
+        assert!(g.min >= 100.0 && g.max <= 148.0);
+    }
+    assert_eq!(
+        metrics
+            .counter("store.aggregate.knowledge_deserialized")
+            .get(),
+        0,
+        "aggregation must never fall back to full Knowledge rows"
+    );
+    assert!(
+        metrics.counter("store.aggregate.segments_pruned").get() >= 1,
+        "kind predicate must prune at least one mismatched segment"
+    );
+    assert!(metrics.counter("store.aggregate.segments_scanned").get() >= 1);
+    assert_eq!(metrics.counter("store.aggregate.queries").get(), 1);
+
+    // The corpus-side distribution the explorerd /api/dist endpoint
+    // serves: group by task scale, total-score percentiles.
+    let dist_q = AggregateQuery::new(GroupBy::TasksLog2, Factor::TotalScore)
+        .with_predicate(RunPredicate::Kind(RunKind::Io500))
+        .with_percentiles(&DEFAULT_PERCENTILES);
+    let dist_res = store.aggregate(&dist_q, &deadline).expect("dist aggregate");
+    assert_eq!(dist_res.rows_aggregated as usize, RUNS);
+    assert_eq!(dist_res.groups.len(), 3, "tasks 4/8/16 buckets");
+    let counted: u64 = dist_res.groups.iter().map(|g| g.count).sum();
+    assert_eq!(counted as usize, RUNS, "groups partition the corpus");
+    assert_eq!(
+        metrics
+            .counter("store.aggregate.knowledge_deserialized")
+            .get(),
+        0
+    );
+
+    // Pushdown equals the row-at-a-time oracle over the same summaries.
+    let rows: Vec<RunSummary> = store
+        .query_summaries(&Query::new(RunPredicate::Kind(RunKind::Io500)), &deadline)
+        .expect("summaries");
+    assert_eq!(rows.len(), RUNS);
+    let oracle = dist_q.evaluate_rows(rows.iter());
+    assert_groups_equal(&dist_res, &oracle);
+
+    // The bounding-box detector recovers the planted outliers: the
+    // every-32nd crippled-backend points, whose total scores fall below
+    // their task group's percentile band.
+    let boxes = CorpusBoxes::fit(
+        &dist_res,
+        GroupBy::TasksLog2,
+        Factor::TotalScore,
+        DEFAULT_LOW_Q,
+        DEFAULT_HIGH_Q,
+        DEFAULT_MARGIN,
+    );
+    let flagged = boxes.flag(rows.iter());
+    let planted: Vec<u64> = (0..RUNS)
+        .filter(|i| i % 32 == 31)
+        .map(|i| i as u64 + 1)
+        .collect();
+    assert_eq!(planted, vec![32, 64]);
+    let mut flagged_ids: Vec<u64> = flagged.iter().map(|o| o.id).collect();
+    flagged_ids.sort_unstable();
+    assert_eq!(
+        flagged_ids, planted,
+        "detector flags exactly the planted outlier points"
+    );
+    for o in &flagged {
+        assert_eq!(o.kind, RunKind::Io500);
+        assert!(o.value < o.lo, "planted outliers sit below their band");
+    }
+
+    // MVCC: a snapshot taken now answers from this generation even as
+    // the live store keeps ingesting.
+    let snap = store.snapshot();
+    let extra: Vec<KnowledgeItem> = (RUNS..RUNS + 4)
+        .flat_map(|index| extract_point(&CorpusSpec::new(RUNS + 4, SEED), index))
+        .collect();
+    store.save_batch(&extra).expect("save extra corpus rows");
+    let pinned = snap
+        .aggregate(&dist_q, &deadline)
+        .expect("snapshot aggregate");
+    assert_eq!(pinned.rows_aggregated as usize, RUNS, "snapshot is pinned");
+    let live = store.aggregate(&dist_q, &deadline).expect("live aggregate");
+    assert_eq!(
+        live.rows_aggregated as usize,
+        RUNS + 4,
+        "live store moved on"
+    );
+    assert_eq!(
+        metrics
+            .counter("store.aggregate.knowledge_deserialized")
+            .get(),
+        0,
+        "the whole analytics session never deserialized a Knowledge row"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two independent generations of the same (seed, scale) spec produce
+/// byte-identical submissions — the property `iokc corpus gen` resume
+/// and the campaign journal fingerprint both lean on.
+#[test]
+fn corpus_generation_is_deterministic_across_specs() {
+    let a = CorpusSpec::new(RUNS, SEED);
+    let b = CorpusSpec::new(RUNS, SEED);
+    assert_eq!(a.fingerprint(), b.fingerprint());
+    for index in [0, 31, 47, 63] {
+        let ra = a.execute(index).expect("first generation");
+        let rb = b.execute(index).expect("second generation");
+        assert_eq!(ra.output, rb.output, "index {index} diverged");
+        assert_eq!(ra.point.params(), rb.point.params());
+    }
+    // A different seed actually changes the corpus (the fingerprint
+    // guard in the journal is not vacuous).
+    let c = CorpusSpec::new(RUNS, SEED + 1);
+    assert_ne!(a.fingerprint(), c.fingerprint());
+    let r0 = a.execute(0).expect("seed 42");
+    let s0 = c.execute(0).expect("seed 43");
+    assert_ne!(r0.output, s0.output);
+}

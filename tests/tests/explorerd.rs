@@ -359,6 +359,138 @@ fn cache_hits_rise_on_repeats_and_reset_after_a_store_write() {
     server.shutdown();
 }
 
+/// The corpus-analytics endpoints under live ingest: every response
+/// renders from one pinned snapshot, so its numbers must be internally
+/// consistent (histogram mass equals group counts, counts sum to the
+/// aggregated row total) no matter how many writes land mid-render, and
+/// the visible corpus only ever grows.
+#[test]
+fn distribution_and_correlation_endpoints_stay_consistent_under_ingest() {
+    let server = start_server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        let store = server.store();
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let mut k = sample_io500();
+                k.tasks = [4u32, 8, 16][(n % 3) as usize];
+                k.bw_score = 0.5 + 0.1 * (n % 7) as f64;
+                k.md_score = 8.0 + 0.5 * (n % 5) as f64;
+                k.total_score = (k.bw_score * k.md_score).sqrt();
+                store.write().unwrap().save_io500(&k).unwrap();
+                n += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+
+    let mut last_rows = 0u64;
+    for round in 0..12 {
+        let (status, body) = get(addr, "/api/dist?group=tasks&factor=total_score&kind=io500");
+        assert_eq!(status, 200, "round {round}: /api/dist");
+        let dist = parse_json(&body);
+        let rows = dist.get("rows_aggregated").unwrap().as_u64().unwrap();
+        assert!(
+            rows >= last_rows,
+            "round {round}: the corpus only grows ({rows} < {last_rows})"
+        );
+        last_rows = rows;
+        let groups = dist.get("groups").unwrap().as_arr().unwrap();
+        let mut counted = 0u64;
+        for group in groups {
+            let count = group.get("count").unwrap().as_u64().unwrap();
+            let mass: u64 = group
+                .get("histogram")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|bin| bin.get("count").unwrap().as_u64().unwrap())
+                .sum();
+            assert_eq!(
+                mass, count,
+                "round {round}: histogram mass equals the group count \
+                 (a torn snapshot would break this)"
+            );
+            counted += count;
+        }
+        assert_eq!(
+            counted, rows,
+            "round {round}: groups partition the aggregated rows"
+        );
+
+        let (status, body) = get(addr, "/api/corr?correlate=bw_score,md_score,total_score");
+        assert_eq!(status, 200, "round {round}: /api/corr");
+        let corr = parse_json(&body);
+        let matrix = corr
+            .get("correlation")
+            .unwrap()
+            .get("matrix")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(matrix.len(), 3);
+        for (i, row) in matrix.iter().enumerate() {
+            let row = row.as_arr().unwrap();
+            assert_eq!(row.len(), 3);
+            for (j, cell) in row.iter().enumerate() {
+                let r = cell.as_f64().unwrap();
+                assert!(
+                    (-1.0..=1.0).contains(&r),
+                    "round {round}: r[{i}][{j}] = {r}"
+                );
+                let mirrored = matrix[j].as_arr().unwrap()[i].as_f64().unwrap();
+                assert!(
+                    (r - mirrored).abs() < 1e-9,
+                    "round {round}: the matrix is symmetric"
+                );
+            }
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().expect("writer thread");
+
+    // Quiesced: enough varied rows exist that every factor has spread,
+    // so the diagonal is exactly 1, and the HTML twins render charts
+    // from the same pushdown.
+    let (status, body) = get(addr, "/api/corr?correlate=bw_score,md_score,total_score");
+    assert_eq!(status, 200);
+    let corr = parse_json(&body);
+    let matrix = corr
+        .get("correlation")
+        .unwrap()
+        .get("matrix")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    for (i, row) in matrix.iter().enumerate() {
+        let r = row.as_arr().unwrap()[i].as_f64().unwrap();
+        assert!((r - 1.0).abs() < 1e-9, "diag r[{i}][{i}] = {r}");
+    }
+    let (status, body) = get(addr, "/dist?group=tasks&factor=total_score&kind=io500");
+    assert_eq!(status, 200);
+    assert!(
+        String::from_utf8_lossy(&body).contains("<svg"),
+        "/dist chart"
+    );
+    let (status, body) = get(addr, "/corr");
+    assert_eq!(status, 200);
+    assert!(
+        String::from_utf8_lossy(&body).contains("<svg"),
+        "/corr chart"
+    );
+    let (status, body) = get(addr, "/api/agg?group=kind&factor=tasks");
+    assert_eq!(status, 200);
+    let agg = parse_json(&body);
+    assert!(agg.get("groups").unwrap().as_arr().unwrap().len() >= 2);
+
+    server.shutdown();
+}
+
 #[test]
 fn graceful_shutdown_joins_every_thread_with_clients_attached() {
     let server = start_server(ServerConfig {

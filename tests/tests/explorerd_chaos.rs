@@ -288,7 +288,19 @@ fn exhausted_deadline_budget_answers_504_with_progress_counters() {
     let addr = server.local_addr();
     let metrics = server.metrics();
 
-    for path in ["/api/runs", "/api/boxplot?op=write", "/api/compare", "/"] {
+    // The aggregation endpoints must fail the same way: the 504 is
+    // decided before the first body byte (the whole response renders
+    // from the pinned snapshot before anything is written), so a blown
+    // budget never tears a partially-streamed JSON document.
+    for path in [
+        "/api/runs",
+        "/api/boxplot?op=write",
+        "/api/compare",
+        "/",
+        "/api/agg",
+        "/api/dist?group=tasks&factor=total_score",
+        "/api/corr",
+    ] {
         let (status, body) = try_get(addr, path).expect("a clean, fully framed 504");
         assert_eq!(status, 504, "{path} must answer Gateway Timeout");
         if path.starts_with("/api") {
@@ -301,12 +313,16 @@ fn exhausted_deadline_budget_answers_504_with_progress_counters() {
     }
     assert_eq!(
         metrics.counter("http.deadline_exceeded").get(),
-        4,
+        7,
         "each deadline miss ticks http.deadline_exceeded"
     );
     assert!(
         metrics.counter("store.query_cancelled").get() >= 4,
         "the store's scans observed the cancellations"
+    );
+    assert!(
+        metrics.counter("store.aggregate.cancelled").get() >= 3,
+        "the aggregate engine observed its cancellations"
     );
 
     let (status, _) = try_get(addr, "/healthz").expect("health is deadline-free");
