@@ -37,13 +37,14 @@ fn request(path: &str, query: Vec<(String, String)>) -> Request {
         path: path.to_owned(),
         query,
         keep_alive: true,
+        if_none_match: None,
     }
 }
 
 fn body_len(body: &Body) -> usize {
     match body {
         Body::Full(bytes) => bytes.len(),
-        Body::Stream(_) => 0,
+        Body::Pull(_) => 0,
     }
 }
 

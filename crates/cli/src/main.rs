@@ -187,6 +187,8 @@ struct Options {
     request_deadline_ms: u64,
     max_per_peer: usize,
     rate_per_peer: f64,
+    max_conns: usize,
+    idle_timeout_ms: u64,
     metric: String,
     axis: String,
     filter_api: Option<String>,
@@ -247,6 +249,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         request_deadline_ms: 30_000,
         max_per_peer: 0,
         rate_per_peer: 0.0,
+        max_conns: 0,
+        idle_timeout_ms: 5000,
         metric: "write".to_owned(),
         axis: "transfer".to_owned(),
         filter_api: None,
@@ -385,6 +389,19 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|_| "bad --rate".to_owned())?;
                 if opts.rate_per_peer < 0.0 || !opts.rate_per_peer.is_finite() {
                     return Err("--rate must be a non-negative number".to_owned());
+                }
+            }
+            "--max-conns" => {
+                opts.max_conns = value(&mut i, "--max-conns")?
+                    .parse()
+                    .map_err(|_| "bad --max-conns".to_owned())?;
+            }
+            "--idle-timeout-ms" => {
+                opts.idle_timeout_ms = value(&mut i, "--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "bad --idle-timeout-ms".to_owned())?;
+                if opts.idle_timeout_ms == 0 {
+                    return Err("--idle-timeout-ms must be non-zero".to_owned());
                 }
             }
             "--metric" => opts.metric = value(&mut i, "--metric")?,
@@ -559,6 +576,8 @@ fn print_help() {
          \x20                       --request-deadline-ms <n> per-request budget (504\n\
          \x20                       past it), --max-per-peer <n> connection cap,\n\
          \x20                       --rate <req/s> per-peer rate limit,\n\
+         \x20                       --max-conns <n> global open-connection cap,\n\
+         \x20                       --idle-timeout-ms <n> keep-alive idle reaping,\n\
          \x20                       --serve-ms <n> to stop after a fixed window); a\n\
          \x20                       damaged store serves read-only, /healthz reports it\n\
          \x20 fsck                  check the knowledge base image and its backup\n\
@@ -764,6 +783,8 @@ fn cmd_serve(opts: &Options) -> Result<(), CliError> {
         request_deadline: std::time::Duration::from_millis(opts.request_deadline_ms),
         max_per_peer: opts.max_per_peer,
         rate_per_peer: opts.rate_per_peer,
+        max_conns: opts.max_conns,
+        idle_timeout: std::time::Duration::from_millis(opts.idle_timeout_ms),
         ..iokc_explorerd::ServerConfig::default()
     };
     let server = iokc_explorerd::Server::start(config, store, std::sync::Arc::new(recorder))

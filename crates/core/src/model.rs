@@ -658,6 +658,7 @@ fn system_from(json: &Json) -> Option<SystemInfo> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

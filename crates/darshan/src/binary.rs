@@ -300,6 +300,7 @@ impl Reader<'_> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::log::LogBuilder;

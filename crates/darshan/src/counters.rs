@@ -185,6 +185,7 @@ pub fn size_bucket(len: u64) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -479,6 +479,7 @@ pub struct MpiioTransfer {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

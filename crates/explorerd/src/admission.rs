@@ -83,18 +83,45 @@ pub fn classify(path: &str) -> EndpointClass {
     }
 }
 
-/// The verdict for one parsed request.
+/// The verdict for one parsed request. Refusals carry a derived
+/// `Retry-After` hint: bucket refill time for rate limits, remaining
+/// cooldown for the breaker — so well-behaved clients back off for
+/// exactly as long as the server needs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmitDecision {
     /// Serve it.
     Admit,
     /// The peer's token bucket is empty — `429 Retry-After`.
-    RateLimited,
+    RateLimited {
+        /// Seconds until the bucket refills to one token.
+        retry_after_secs: u32,
+    },
     /// The queue is backlogged and this endpoint is expensive — `503`.
-    ShedExpensive,
+    ShedExpensive {
+        /// Suggested back-off; the backlog drains at worker speed, so
+        /// this stays the minimum hint.
+        retry_after_secs: u32,
+    },
     /// The circuit breaker is open (or the store is degraded) — `503`
     /// without touching the store.
-    BreakerOpen,
+    BreakerOpen {
+        /// Seconds until the cooldown admits a probe.
+        retry_after_secs: u32,
+    },
+}
+
+impl AdmitDecision {
+    /// The `Retry-After` hint carried by a refusal (`None` for
+    /// [`AdmitDecision::Admit`]).
+    #[must_use]
+    pub fn retry_after_secs(&self) -> Option<u32> {
+        match self {
+            AdmitDecision::Admit => None,
+            AdmitDecision::RateLimited { retry_after_secs }
+            | AdmitDecision::ShedExpensive { retry_after_secs }
+            | AdmitDecision::BreakerOpen { retry_after_secs } => Some(*retry_after_secs),
+        }
+    }
 }
 
 /// Per-peer bookkeeping: live connections and the rate-limit bucket.
@@ -226,19 +253,23 @@ impl Admission {
         if class == EndpointClass::Expensive {
             if degraded || !self.breaker_probe() {
                 self.breaker_fast_fail.inc();
-                return AdmitDecision::BreakerOpen;
+                return AdmitDecision::BreakerOpen {
+                    retry_after_secs: self.breaker_retry_hint(),
+                };
             }
             // Priority shedding: a backlogged queue (over half full)
             // means workers are saturated — stop paying for fan-out
             // renders before touching cheap requests.
             if self.queue_depth() * 2 > self.queue_capacity {
                 self.shed_expensive.inc();
-                return AdmitDecision::ShedExpensive;
+                return AdmitDecision::ShedExpensive {
+                    retry_after_secs: 1,
+                };
             }
         }
-        if !self.take_token(peer) {
+        if let Err(retry_after_secs) = self.take_token(peer) {
             self.rate_limited.inc();
-            return AdmitDecision::RateLimited;
+            return AdmitDecision::RateLimited { retry_after_secs };
         }
         AdmitDecision::Admit
     }
@@ -307,16 +338,33 @@ impl Admission {
         }
     }
 
-    /// Take one token from the peer's bucket; `true` when admitted.
-    fn take_token(&self, peer: Option<IpAddr>) -> bool {
+    /// Seconds until the breaker cooldown admits a probe: the remaining
+    /// `Open` window, or (when the store itself is degraded with the
+    /// breaker closed) one full cooldown as the recheck interval.
+    fn breaker_retry_hint(&self) -> u32 {
+        let cooldown = duration_ceil_secs(self.config.breaker_cooldown);
+        let Ok(breaker) = self.breaker.lock() else {
+            return cooldown;
+        };
+        match &*breaker {
+            BreakerState::Closed { .. } => cooldown,
+            BreakerState::Open { until } => {
+                duration_ceil_secs(until.saturating_duration_since(Instant::now()))
+            }
+        }
+    }
+
+    /// Take one token from the peer's bucket; on refusal returns the
+    /// seconds until the bucket refills to a whole token.
+    fn take_token(&self, peer: Option<IpAddr>) -> Result<(), u32> {
         if self.config.rate_per_peer <= 0.0 {
-            return true;
+            return Ok(());
         }
         let Some(ip) = peer else {
-            return true;
+            return Ok(());
         };
         let Ok(mut peers) = self.peers.lock() else {
-            return true;
+            return Ok(());
         };
         let burst = self.effective_burst();
         let now = Instant::now();
@@ -330,10 +378,31 @@ impl Admission {
         state.refilled = now;
         if state.tokens >= 1.0 {
             state.tokens -= 1.0;
-            true
+            Ok(())
         } else {
-            false
+            let deficit = 1.0 - state.tokens;
+            let secs = (deficit / self.config.rate_per_peer).ceil();
+            Err(clamp_secs(secs))
         }
+    }
+}
+
+/// Round a duration up to whole seconds, never below 1.
+fn duration_ceil_secs(dur: Duration) -> u32 {
+    clamp_secs(dur.as_secs_f64().ceil())
+}
+
+/// Clamp a (already ceiled) second count into `1..=u32::MAX`.
+fn clamp_secs(secs: f64) -> u32 {
+    if secs.is_finite() && secs >= 1.0 {
+        if secs >= f64::from(u32::MAX) {
+            u32::MAX
+        } else {
+            // Representable: finite, >= 1, < u32::MAX after the guard.
+            secs as u32
+        }
+    } else {
+        1
     }
 }
 
@@ -418,10 +487,15 @@ mod tests {
             admission.admit_request(peer, EndpointClass::Normal, false),
             AdmitDecision::Admit
         );
+        let refused = admission.admit_request(peer, EndpointClass::Normal, false);
+        assert!(
+            matches!(refused, AdmitDecision::RateLimited { .. }),
+            "burst of 2 exhausted, got {refused:?}"
+        );
         assert_eq!(
-            admission.admit_request(peer, EndpointClass::Normal, false),
-            AdmitDecision::RateLimited,
-            "burst of 2 exhausted"
+            refused.retry_after_secs(),
+            Some(1),
+            "one token refills within a second at 1 rps"
         );
         // Critical endpoints bypass the bucket entirely.
         assert_eq!(
@@ -436,10 +510,10 @@ mod tests {
         for _ in 0..3 {
             admission.note_queued();
         }
-        assert_eq!(
+        assert!(matches!(
             admission.admit_request(Some(ip(1)), EndpointClass::Expensive, false),
-            AdmitDecision::ShedExpensive
-        );
+            AdmitDecision::ShedExpensive { .. }
+        ));
         assert_eq!(
             admission.admit_request(Some(ip(1)), EndpointClass::Normal, false),
             AdmitDecision::Admit,
@@ -457,9 +531,12 @@ mod tests {
     #[test]
     fn degraded_store_forces_breaker_for_expensive_only() {
         let admission = controller(AdmissionConfig::default(), 8);
+        let refused = admission.admit_request(Some(ip(1)), EndpointClass::Expensive, true);
+        assert!(matches!(refused, AdmitDecision::BreakerOpen { .. }));
         assert_eq!(
-            admission.admit_request(Some(ip(1)), EndpointClass::Expensive, true),
-            AdmitDecision::BreakerOpen
+            refused.retry_after_secs(),
+            Some(5),
+            "degraded store with a closed breaker hints one full cooldown"
         );
         assert_eq!(
             admission.admit_request(Some(ip(1)), EndpointClass::Normal, true),
@@ -492,9 +569,12 @@ mod tests {
             admission.record_outcome(EndpointClass::Expensive, false);
         }
         assert!(admission.breaker_open());
+        let refused = admission.admit_request(peer, EndpointClass::Expensive, false);
+        assert!(matches!(refused, AdmitDecision::BreakerOpen { .. }));
         assert_eq!(
-            admission.admit_request(peer, EndpointClass::Expensive, false),
-            AdmitDecision::BreakerOpen
+            refused.retry_after_secs(),
+            Some(1),
+            "a 20ms cooldown rounds up to the 1s floor"
         );
         // Normal traffic is untouched by the breaker.
         assert_eq!(
@@ -509,6 +589,29 @@ mod tests {
         );
         admission.record_outcome(EndpointClass::Expensive, true);
         assert!(!admission.breaker_open());
+    }
+
+    #[test]
+    fn retry_after_tracks_bucket_refill_time() {
+        // At 0.25 rps an empty bucket needs 4s to mint one token.
+        let admission = controller(
+            AdmissionConfig {
+                rate_per_peer: 0.25,
+                burst: 1.0,
+                ..AdmissionConfig::default()
+            },
+            8,
+        );
+        let peer = Some(ip(9));
+        assert_eq!(
+            admission.admit_request(peer, EndpointClass::Normal, false),
+            AdmitDecision::Admit
+        );
+        let refused = admission.admit_request(peer, EndpointClass::Normal, false);
+        let Some(secs) = refused.retry_after_secs() else {
+            panic!("empty bucket must refuse, got {refused:?}");
+        };
+        assert!((3..=4).contains(&secs), "refill hint ~4s, got {secs}");
     }
 
     #[test]

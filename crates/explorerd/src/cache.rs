@@ -9,8 +9,13 @@
 //! and easy to reason about.
 //!
 //! Entries are evicted least-recently-used once the byte budget is
-//! exceeded. Hit/miss/eviction/invalidation counts feed the
-//! `explorerd.cache.*` metrics.
+//! exceeded. Hit/miss/eviction/invalidation/revalidation counts feed
+//! the `explorerd.cache.*` metrics.
+//!
+//! The same `(generation, cache key)` pair that addresses an entry also
+//! derives its strong [`etag`] validator: a store write bumps the
+//! generation, which both empties the cache and changes every ETag, so
+//! a `304 Not Modified` can never outlive the body it vouches for.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -41,6 +46,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Wholesale invalidations triggered by a store write.
     pub invalidations: u64,
+    /// Conditional GETs answered `304 Not Modified` without a body.
+    pub not_modified: u64,
     /// Entries currently cached.
     pub entries: usize,
     /// Bytes currently cached (body bytes, excluding keys).
@@ -56,6 +63,21 @@ pub struct QueryCache {
     misses: Counter,
     evictions: Counter,
     invalidations: Counter,
+    not_modified: Counter,
+}
+
+/// The strong ETag for a response rendered from `key` at store
+/// generation `generation`: the generation in clear (cheap to audit in
+/// a packet capture) plus an FNV-1a 64 digest of the canonical cache
+/// key, quoted per RFC 9110.
+#[must_use]
+pub fn etag(generation: u64, key: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("\"g{generation}-{hash:016x}\"")
 }
 
 impl QueryCache {
@@ -75,7 +97,20 @@ impl QueryCache {
             misses: metrics.counter("explorerd.cache.misses"),
             evictions: metrics.counter("explorerd.cache.evictions"),
             invalidations: metrics.counter("explorerd.cache.invalidations"),
+            not_modified: metrics.counter("explorerd.cache.not_modified"),
         }
+    }
+
+    /// The configured byte budget — also the cap a streaming tee uses
+    /// to abandon an in-flight cache copy that could never be stored.
+    #[must_use]
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Record a conditional GET answered `304 Not Modified`.
+    pub fn note_not_modified(&self) {
+        self.not_modified.inc();
     }
 
     /// Look up `key` at store generation `generation`. A generation
@@ -169,6 +204,7 @@ impl QueryCache {
             misses: self.misses.get(),
             evictions: self.evictions.get(),
             invalidations: self.invalidations.get(),
+            not_modified: self.not_modified.get(),
             entries,
             bytes,
         }
@@ -245,5 +281,24 @@ mod tests {
         let cache = QueryCache::new(4, &metrics);
         cache.put("big", 0, "text/plain; charset=utf-8", body("too large"));
         assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.budget(), 4);
+    }
+
+    #[test]
+    fn etags_are_strong_per_generation_and_key() {
+        let a = etag(4, "/api/runs?");
+        assert!(a.starts_with("\"g4-") && a.ends_with('"'));
+        assert_eq!(a, etag(4, "/api/runs?"), "deterministic");
+        assert_ne!(a, etag(5, "/api/runs?"), "generation bump changes it");
+        assert_ne!(a, etag(4, "/api/runs?kind=io500"), "key changes it");
+    }
+
+    #[test]
+    fn not_modified_counter_surfaces_in_stats() {
+        let metrics = MetricsRegistry::new();
+        let cache = QueryCache::new(64, &metrics);
+        cache.note_not_modified();
+        cache.note_not_modified();
+        assert_eq!(cache.stats().not_modified, 2);
     }
 }

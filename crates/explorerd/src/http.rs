@@ -1,44 +1,38 @@
-//! A minimal HTTP/1.1 layer over blocking sockets.
+//! A minimal HTTP/1.1 layer for the readiness-driven reactor.
 //!
 //! Deliberately small: `GET` only (the explorer is read-only), no
 //! request bodies, percent-decoded query strings, and two response body
-//! shapes — fixed-length (`Content-Length`) and streamed
-//! (`Transfer-Encoding: chunked`). Request parsing enforces a head-size
-//! limit and a read deadline so a slow-loris client cannot pin a worker,
-//! and polls a [`CancelToken`] so graceful shutdown is never blocked on
-//! a silent peer.
+//! shapes — fully materialized (`Content-Length`, shareable from the
+//! cache without copying) and incrementally pulled
+//! (`Transfer-Encoding: chunked`, produced page by page as the socket
+//! drains). Parsing is resumable: the reactor feeds whatever bytes have
+//! arrived into [`parse_request`], which answers
+//! [`Parsed::NeedMore`] until a complete head is buffered — deadlines
+//! and slow-loris enforcement live on the reactor's timers, not in
+//! blocking reads.
 
 use std::io::{self, Write};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 use crate::transport::Conn;
-use iokc_obs::CancelToken;
 
-/// How often a blocked read wakes up to re-check the deadline and the
-/// cancellation token.
-const POLL_SLICE: Duration = Duration::from_millis(25);
-
-/// Flush threshold for chunked response bodies.
-const CHUNK_SIZE: usize = 8 * 1024;
-
-/// Parsing limits: how big a request head may grow and how long a
-/// client may take to deliver it.
+/// Parsing limits: how big a request head may grow before rejection.
 #[derive(Debug, Clone)]
 pub struct Limits {
     /// Maximum bytes of request line + headers before the request is
     /// rejected with `400`.
     pub max_head_bytes: usize,
-    /// Deadline for receiving the complete request head; exceeding it
-    /// yields `408` and closes the connection.
-    pub read_deadline: Duration,
+    /// Deadline for receiving the complete request head, enforced by
+    /// the reactor's timer wheel; exceeding it yields `408` and closes
+    /// the connection.
+    pub read_deadline: std::time::Duration,
 }
 
 impl Default for Limits {
     fn default() -> Limits {
         Limits {
             max_head_bytes: 8 * 1024,
-            read_deadline: Duration::from_secs(2),
+            read_deadline: std::time::Duration::from_secs(2),
         }
     }
 }
@@ -54,6 +48,8 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Whether the connection should stay open after the response.
     pub keep_alive: bool,
+    /// The `If-None-Match` validator, verbatim, for conditional GETs.
+    pub if_none_match: Option<String>,
 }
 
 impl Request {
@@ -86,69 +82,41 @@ impl Request {
     }
 }
 
-/// Why reading a request failed.
+/// Why the buffered bytes cannot become a request. Transport-level
+/// conditions (peer closed, deadline blown, cancelled) are classified
+/// by the reactor, which owns the socket; the parser only judges bytes.
 #[derive(Debug)]
 pub enum RecvError {
-    /// The peer closed the connection before sending a request.
-    Closed,
-    /// The read deadline elapsed before the head completed.
-    Timeout,
     /// The head exceeded [`Limits::max_head_bytes`].
     TooLarge,
-    /// Shutdown was requested while waiting.
-    Cancelled,
     /// The bytes received do not form a valid request.
     Malformed(String),
-    /// A transport error other than a timeout.
-    Io(io::Error),
 }
 
-/// Read and parse one request head from `stream`, honouring the limits
-/// and the cancellation token. The stream's read timeout is set to a
-/// short poll slice so the deadline and the token are both observed
-/// promptly.
-pub fn read_request(
-    stream: &mut dyn Conn,
-    limits: &Limits,
-    cancel: &CancelToken,
-) -> Result<Request, RecvError> {
-    stream
-        .set_read_timeout(Some(POLL_SLICE))
-        .map_err(RecvError::Io)?;
-    let started = Instant::now();
-    let mut head: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 1024];
-    loop {
-        if let Some(end) = find_head_end(&head) {
-            let text = std::str::from_utf8(&head[..end])
+/// Outcome of feeding buffered bytes to the incremental parser.
+#[derive(Debug)]
+pub enum Parsed {
+    /// No complete head yet — keep the buffer and read more.
+    NeedMore,
+    /// A complete head: the parsed request plus the byte count it
+    /// consumed from the front of the buffer (anything after that is
+    /// the start of the next pipelined request).
+    Complete(Request, usize),
+}
+
+/// Try to parse one request head from the front of `buf`. The caller
+/// keeps ownership of the buffer and, on [`Parsed::Complete`], drains
+/// the consumed prefix itself.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed, RecvError> {
+    match find_head_end(buf) {
+        Some(end) => {
+            let text = std::str::from_utf8(&buf[..end])
                 .map_err(|_| RecvError::Malformed("request head is not UTF-8".to_owned()))?;
-            return parse_head(text);
+            let req = parse_head(text)?;
+            Ok(Parsed::Complete(req, end + 4))
         }
-        if cancel.is_cancelled() {
-            return Err(RecvError::Cancelled);
-        }
-        if head.len() > limits.max_head_bytes {
-            return Err(RecvError::TooLarge);
-        }
-        if started.elapsed() > limits.read_deadline {
-            return Err(RecvError::Timeout);
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                return if head.is_empty() {
-                    Err(RecvError::Closed)
-                } else {
-                    Err(RecvError::Malformed("connection closed mid-request".into()))
-                };
-            }
-            Ok(n) => head.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut
-                    || e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) if e.kind() == io::ErrorKind::ConnectionReset => return Err(RecvError::Closed),
-            Err(e) => return Err(RecvError::Io(e)),
-        }
+        None if buf.len() > limits.max_head_bytes => Err(RecvError::TooLarge),
+        None => Ok(Parsed::NeedMore),
     }
 }
 
@@ -174,6 +142,7 @@ fn parse_head(text: &str) -> Result<Request, RecvError> {
     };
 
     let mut connection = None;
+    let mut if_none_match = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -185,6 +154,7 @@ fn parse_head(text: &str) -> Result<Request, RecvError> {
         let value = value.trim();
         match name.as_str() {
             "connection" => connection = Some(value.to_ascii_lowercase()),
+            "if-none-match" => if_none_match = Some(value.to_owned()),
             "content-length" if value != "0" => {
                 return Err(malformed("request bodies are not supported"));
             }
@@ -216,6 +186,7 @@ fn parse_head(text: &str) -> Result<Request, RecvError> {
         path,
         query,
         keep_alive,
+        if_none_match,
     })
 }
 
@@ -247,19 +218,42 @@ fn percent_decode(text: &str) -> Option<String> {
     String::from_utf8(out).ok()
 }
 
+/// An incremental body producer for chunked responses.
+///
+/// The reactor pulls one chunk at a time, only when the socket has
+/// drained the previous one — the backpressure that keeps a 100k-row
+/// listing from ever being buffered whole.
+pub trait BodySource: Send {
+    /// Append the next run of body bytes to `out`. `Ok(true)` means
+    /// more may follow (call again once `out` has drained); `Ok(false)`
+    /// means the body is complete. Appending nothing while returning
+    /// `Ok(true)` is not allowed — sources must make progress.
+    fn next_chunk(&mut self, out: &mut Vec<u8>) -> io::Result<bool>;
+}
+
 /// A response body: fully materialized (served with `Content-Length`,
-/// and shareable from the cache without copying) or produced on the fly
-/// into the socket (served with chunked transfer encoding).
+/// and shareable from the cache without copying) or pulled
+/// incrementally (served with chunked transfer encoding).
 pub enum Body {
     /// Complete body bytes.
     Full(Arc<Vec<u8>>),
-    /// A producer invoked with the (chunk-encoding) response writer.
-    Stream(BodyProducer),
+    /// An incremental producer the reactor drains page by page.
+    Pull(Box<dyn BodySource>),
 }
 
-/// A streamed-body producer, invoked once with the chunk-encoding
-/// response writer.
-pub type BodyProducer = Box<dyn FnOnce(&mut dyn Write) -> io::Result<()> + Send>;
+/// The chunked-encoding stream terminator.
+pub const CHUNK_TERMINATOR: &[u8] = b"0\r\n\r\n";
+
+/// Chunk-encode `data` onto `out`. Empty input encodes nothing (an
+/// empty chunk would terminate the stream).
+pub fn encode_chunk(data: &[u8], out: &mut Vec<u8>) {
+    if data.is_empty() {
+        return;
+    }
+    let _ = write!(out, "{:x}\r\n", data.len());
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+}
 
 /// An HTTP response ready to be written.
 pub struct Response {
@@ -297,14 +291,26 @@ impl Response {
         Response::full("text/html; charset=utf-8", Arc::new(page.into_bytes()))
     }
 
-    /// A `200` chunked response produced by `writer`.
+    /// A `200` chunked response pulled incrementally from `source`.
     #[must_use]
-    pub fn stream(content_type: &'static str, writer: BodyProducer) -> Response {
+    pub fn stream(content_type: &'static str, source: Box<dyn BodySource>) -> Response {
         Response {
             status: 200,
             content_type,
             headers: Vec::new(),
-            body: Body::Stream(writer),
+            body: Body::Pull(source),
+        }
+    }
+
+    /// A `304 Not Modified` revalidation: no body, the validator echoed
+    /// back so the client keeps its cached copy fresh.
+    #[must_use]
+    pub fn not_modified(content_type: &'static str, etag: String) -> Response {
+        Response {
+            status: 304,
+            content_type,
+            headers: vec![("ETag", etag)],
+            body: Body::Full(Arc::new(Vec::new())),
         }
     }
 
@@ -320,7 +326,7 @@ impl Response {
     }
 
     /// `503 Service Unavailable` with a `Retry-After` hint — the
-    /// load-shedding response sent when the accept queue is full.
+    /// load-shedding response sent when the server is at capacity.
     #[must_use]
     pub fn unavailable(retry_after_secs: u32) -> Response {
         let mut resp = Response::error(503, "server is at capacity, retry shortly");
@@ -329,9 +335,12 @@ impl Response {
         resp
     }
 
-    /// Serialize onto `stream`. `keep_alive` decides the `Connection`
-    /// header; a `Body::Stream` is sent with chunked encoding.
-    pub fn write(self, stream: &mut dyn Conn, keep_alive: bool) -> io::Result<()> {
+    /// Serialize the status line, headers, and framing (Content-Length
+    /// for [`Body::Full`], chunked for [`Body::Pull`]) through the
+    /// terminating blank line. The reactor appends body bytes behind
+    /// this and drains the whole buffer as the socket allows.
+    #[must_use]
+    pub fn head_bytes(&self, keep_alive: bool) -> Vec<u8> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: {}\r\n",
             self.status,
@@ -345,18 +354,37 @@ impl Response {
             head.push_str(value);
             head.push_str("\r\n");
         }
-        match self.body {
+        match &self.body {
             Body::Full(bytes) => {
                 head.push_str(&format!("Content-Length: {}\r\n\r\n", bytes.len()));
-                stream.write_all(head.as_bytes())?;
-                stream.write_all(&bytes)?;
             }
-            Body::Stream(producer) => {
-                head.push_str("Transfer-Encoding: chunked\r\n\r\n");
-                stream.write_all(head.as_bytes())?;
-                let mut chunker = ChunkWriter::new(stream);
-                producer(&mut chunker)?;
-                chunker.finish()?;
+            Body::Pull(_) => head.push_str("Transfer-Encoding: chunked\r\n\r\n"),
+        }
+        head.into_bytes()
+    }
+
+    /// Blocking serialization onto `stream`, used only by the O(1) shed
+    /// path (the socket never joins the reactor) and by tests. All
+    /// served connections are written incrementally by the reactor.
+    pub fn write(self, stream: &mut dyn Conn, keep_alive: bool) -> io::Result<()> {
+        let head = self.head_bytes(keep_alive);
+        stream.write_all(&head)?;
+        match self.body {
+            Body::Full(bytes) => stream.write_all(&bytes)?,
+            Body::Pull(mut source) => {
+                let mut raw = Vec::new();
+                let mut encoded = Vec::new();
+                loop {
+                    raw.clear();
+                    encoded.clear();
+                    let more = source.next_chunk(&mut raw)?;
+                    encode_chunk(&raw, &mut encoded);
+                    stream.write_all(&encoded)?;
+                    if !more {
+                        break;
+                    }
+                }
+                stream.write_all(CHUNK_TERMINATOR)?;
             }
         }
         stream.flush()
@@ -366,6 +394,7 @@ impl Response {
 fn reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        304 => "Not Modified",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
@@ -375,52 +404,6 @@ fn reason(status: u16) -> &'static str {
         503 => "Service Unavailable",
         504 => "Gateway Timeout",
         _ => "Status",
-    }
-}
-
-/// Encodes written bytes as HTTP/1.1 chunks, buffering up to
-/// [`CHUNK_SIZE`] bytes per chunk.
-struct ChunkWriter<'a> {
-    out: &'a mut dyn Conn,
-    buf: Vec<u8>,
-}
-
-impl<'a> ChunkWriter<'a> {
-    fn new(out: &'a mut dyn Conn) -> ChunkWriter<'a> {
-        ChunkWriter {
-            out,
-            buf: Vec::with_capacity(CHUNK_SIZE),
-        }
-    }
-
-    fn flush_chunk(&mut self) -> io::Result<()> {
-        if self.buf.is_empty() {
-            return Ok(());
-        }
-        write!(self.out, "{:x}\r\n", self.buf.len())?;
-        self.out.write_all(&self.buf)?;
-        self.out.write_all(b"\r\n")?;
-        self.buf.clear();
-        Ok(())
-    }
-
-    fn finish(mut self) -> io::Result<()> {
-        self.flush_chunk()?;
-        self.out.write_all(b"0\r\n\r\n")
-    }
-}
-
-impl Write for ChunkWriter<'_> {
-    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
-        self.buf.extend_from_slice(data);
-        if self.buf.len() >= CHUNK_SIZE {
-            self.flush_chunk()?;
-        }
-        Ok(data.len())
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        self.flush_chunk()
     }
 }
 
@@ -441,6 +424,7 @@ mod tests {
         assert_eq!(req.param("api"), Some("MPIIO"));
         assert_eq!(req.param("min_tasks"), Some("4"));
         assert!(req.keep_alive);
+        assert!(req.if_none_match.is_none());
     }
 
     #[test]
@@ -492,5 +476,56 @@ mod tests {
         let b = parse("GET /api/runs?a=1&b=2 HTTP/1.1\r\n").unwrap();
         assert_eq!(a.normalized(), b.normalized());
         assert_eq!(a.normalized(), "/api/runs?a=1&b=2");
+    }
+
+    #[test]
+    fn incremental_parse_resumes_and_reports_consumption() {
+        let limits = Limits::default();
+        let full = b"GET /api/runs HTTP/1.1\r\nHost: x\r\n\r\nGET /next";
+        // Every proper prefix short of the blank line needs more bytes.
+        for cut in 0..full.len() - 9 - 4 {
+            assert!(matches!(
+                parse_request(&full[..cut], &limits),
+                Ok(Parsed::NeedMore)
+            ));
+        }
+        match parse_request(full, &limits).unwrap() {
+            Parsed::Complete(req, used) => {
+                assert_eq!(req.path, "/api/runs");
+                assert_eq!(&full[used..], b"GET /next", "pipelined tail preserved");
+            }
+            Parsed::NeedMore => panic!("head was complete"),
+        }
+    }
+
+    #[test]
+    fn incremental_parse_enforces_head_limit() {
+        let limits = Limits {
+            max_head_bytes: 16,
+            ..Limits::default()
+        };
+        let body = vec![b'a'; 64];
+        assert!(matches!(
+            parse_request(&body, &limits),
+            Err(RecvError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn captures_if_none_match() {
+        let req = parse("GET / HTTP/1.1\r\nIf-None-Match: \"g4-abc\"\r\n").unwrap();
+        assert_eq!(req.if_none_match.as_deref(), Some("\"g4-abc\""));
+    }
+
+    #[test]
+    fn chunk_encoding_round_trip() {
+        let mut out = Vec::new();
+        encode_chunk(b"hello", &mut out);
+        assert_eq!(out, b"5\r\nhello\r\n");
+        let before = out.len();
+        encode_chunk(b"", &mut out);
+        assert_eq!(out.len(), before, "empty chunk encodes nothing");
+        out.extend_from_slice(CHUNK_TERMINATOR);
+        assert!(out.ends_with(b"0\r\n\r\n"));
     }
 }

@@ -1,203 +1,148 @@
-//! A fixed worker pool behind a bounded queue.
+//! The off-loop handler pool: a fixed set of worker threads that
+//! execute store-touching jobs submitted by the reactor and hand the
+//! finished results back through a completion queue.
 //!
-//! The server's backpressure story: one accept thread feeds connections
-//! to `N` workers through a queue of bounded capacity. [`WorkerPool::try_submit`]
-//! never blocks — when the queue is full it hands the item back so the
-//! caller can shed load (the server answers `503 Retry-After`) instead
-//! of letting every client's latency grow without bound.
-//!
-//! Shutdown is graceful: workers finish the item they are processing,
-//! drain what is already queued (each connection handler observes the
-//! cancellation token and exits quickly), then the pool joins them.
+//! The reactor never blocks: it submits with [`HandlerPool::try_submit`]
+//! (refusing, not queueing unboundedly, when the backlog is full) and
+//! collects with [`HandlerPool::drain_completions`] after the pool
+//! rings the `notify` hook — in the server that hook is the reactor's
+//! [`Waker`](crate::transport::Waker), so a finished response starts
+//! draining onto its socket within one poll cycle. Shutdown is a flag
+//! plus a broadcast: workers drain every job already accepted (each
+//! request admitted before shutdown still gets a response) and exit
+//! when the queue is empty.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::thread;
 
-struct Shared<T> {
-    queue: Mutex<VecDeque<T>>,
+struct Shared<J, R> {
+    jobs: Mutex<VecDeque<J>>,
     wake: Condvar,
-    /// Signalled whenever a worker pops the queue empty, so waiters on
-    /// [`WorkerPool::wait_queue_empty`] never have to poll a clock.
-    drained: Condvar,
+    completions: Mutex<VecDeque<R>>,
+    notify: Box<dyn Fn() + Send + Sync>,
     capacity: usize,
     shutdown: AtomicBool,
 }
 
-/// A fixed set of worker threads consuming items of type `T` from a
-/// bounded queue via a shared handler.
-pub struct WorkerPool<T: Send + 'static> {
-    shared: Arc<Shared<T>>,
-    workers: Vec<JoinHandle<()>>,
+/// A bounded pool of handler threads with a completion queue.
+pub struct HandlerPool<J: Send + 'static, R: Send + 'static> {
+    shared: Arc<Shared<J, R>>,
+    workers: Vec<thread::JoinHandle<()>>,
 }
 
-impl<T: Send + 'static> WorkerPool<T> {
-    /// Spawn `workers` threads that each run `handler` on received
-    /// items. At most `capacity` items wait in the queue at once.
-    pub fn new<F>(workers: usize, capacity: usize, handler: F) -> WorkerPool<T>
+impl<J: Send + 'static, R: Send + 'static> HandlerPool<J, R> {
+    /// Spawn `workers` threads running `handler` over submitted jobs.
+    /// `capacity` bounds the backlog of not-yet-started jobs; `notify`
+    /// fires after each completion is queued.
+    pub fn new<F>(
+        workers: usize,
+        capacity: usize,
+        notify: impl Fn() + Send + Sync + 'static,
+        handler: F,
+    ) -> HandlerPool<J, R>
     where
-        F: Fn(T) + Send + Sync + 'static,
+        F: Fn(J) -> R + Send + Sync + 'static,
     {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            jobs: Mutex::new(VecDeque::new()),
             wake: Condvar::new(),
-            drained: Condvar::new(),
+            completions: Mutex::new(VecDeque::new()),
+            notify: Box::new(notify),
             capacity: capacity.max(1),
             shutdown: AtomicBool::new(false),
         });
         let handler = Arc::new(handler);
-        let mut handles = Vec::with_capacity(workers.max(1));
-        for n in 0..workers.max(1) {
-            let shared = Arc::clone(&shared);
-            let handler = Arc::clone(&handler);
-            let thread = std::thread::Builder::new()
-                .name(format!("explorerd-worker-{n}"))
-                .spawn(move || worker_loop(&shared, handler.as_ref()));
-            match thread {
-                Ok(handle) => handles.push(handle),
-                // Thread spawning only fails under resource exhaustion;
-                // the pool still works with the workers that did start.
-                Err(_) => break,
-            }
-        }
-        WorkerPool {
+        let threads = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                thread::Builder::new()
+                    .name(format!("explorerd-handler-{i}"))
+                    .spawn(move || worker_loop(&shared, handler.as_ref()))
+                    .unwrap_or_else(|e| panic!("failed to spawn handler thread: {e}"))
+            })
+            .collect();
+        HandlerPool {
             shared,
-            workers: handles,
+            workers: threads,
         }
     }
 
-    /// Queue an item for a worker. Returns the item back when the queue
-    /// is at capacity or the pool is shutting down — the caller decides
-    /// how to shed it.
-    pub fn try_submit(&self, item: T) -> Result<(), T> {
-        try_submit(&self.shared, item)
+    /// Submit a job without blocking. Returns the job back when the
+    /// backlog is at capacity or the pool is shutting down — the caller
+    /// sheds the request instead of waiting.
+    pub fn try_submit(&self, job: J) -> Result<(), J> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(job);
+        }
+        let Ok(mut jobs) = self.shared.jobs.lock() else {
+            return Err(job);
+        };
+        if jobs.len() >= self.shared.capacity {
+            return Err(job);
+        }
+        jobs.push_back(job);
+        drop(jobs);
+        self.shared.wake.notify_one();
+        Ok(())
     }
 
-    /// A cloneable submission handle that can outlive borrows of the
-    /// pool (e.g. live on the accept thread while the pool itself stays
-    /// owned by the server for shutdown).
+    /// Take every finished result queued since the last drain.
     #[must_use]
-    pub fn submitter(&self) -> Submitter<T> {
-        Submitter {
-            shared: Arc::clone(&self.shared),
+    pub fn drain_completions(&self) -> Vec<R> {
+        match self.shared.completions.lock() {
+            Ok(mut done) => done.drain(..).collect(),
+            Err(_) => Vec::new(),
         }
     }
 
-    /// Items currently waiting (not counting in-flight work).
+    /// Jobs accepted but not yet started.
     #[must_use]
     pub fn queued(&self) -> usize {
-        self.shared.queue.lock().map(|q| q.len()).unwrap_or(0)
+        self.shared.jobs.lock().map(|q| q.len()).unwrap_or(0)
     }
 
-    /// Block until the queue is empty (in-flight work may still be
-    /// running) or `timeout` elapses; `true` when it emptied. This is
-    /// event-driven — workers signal when they pop the last item — so
-    /// callers never spin on a clock.
-    #[must_use]
-    pub fn wait_queue_empty(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        let Ok(mut queue) = self.shared.queue.lock() else {
-            return false;
-        };
-        while !queue.is_empty() {
-            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
-                return false;
-            };
-            queue = match self.shared.drained.wait_timeout(queue, remaining) {
-                Ok((guard, _)) => guard,
-                Err(_) => return false,
-            };
-        }
-        true
-    }
-
-    /// Number of worker threads.
-    #[must_use]
-    pub fn workers(&self) -> usize {
-        self.workers.len()
-    }
-
-    /// Stop accepting work, let workers drain the queue, and join them.
+    /// Stop accepting jobs, let workers drain the backlog, and join
+    /// them. Results of drained jobs remain collectable via
+    /// [`HandlerPool::drain_completions`] afterwards.
     pub fn shutdown(mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.wake.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
 
-impl<T: Send + 'static> Drop for WorkerPool<T> {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.wake.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-/// A handle that can only submit work — see [`WorkerPool::submitter`].
-pub struct Submitter<T: Send + 'static> {
-    shared: Arc<Shared<T>>,
-}
-
-impl<T: Send + 'static> Clone for Submitter<T> {
-    fn clone(&self) -> Submitter<T> {
-        Submitter {
-            shared: Arc::clone(&self.shared),
-        }
-    }
-}
-
-impl<T: Send + 'static> Submitter<T> {
-    /// Same contract as [`WorkerPool::try_submit`].
-    pub fn try_submit(&self, item: T) -> Result<(), T> {
-        try_submit(&self.shared, item)
-    }
-}
-
-fn try_submit<T>(shared: &Shared<T>, item: T) -> Result<(), T> {
-    if shared.shutdown.load(Ordering::SeqCst) {
-        return Err(item);
-    }
-    let Ok(mut queue) = shared.queue.lock() else {
-        return Err(item);
-    };
-    if queue.len() >= shared.capacity {
-        return Err(item);
-    }
-    queue.push_back(item);
-    drop(queue);
-    shared.wake.notify_one();
-    Ok(())
-}
-
-fn worker_loop<T, F: Fn(T) + ?Sized>(shared: &Shared<T>, handler: &F) {
+fn worker_loop<J, R>(shared: &Shared<J, R>, handler: &(impl Fn(J) -> R + ?Sized)) {
     loop {
-        let item = {
-            let Ok(mut queue) = shared.queue.lock() else {
+        let job = {
+            let Ok(mut jobs) = shared.jobs.lock() else {
                 return;
             };
             loop {
-                if let Some(item) = queue.pop_front() {
-                    if queue.is_empty() {
-                        shared.drained.notify_all();
-                    }
-                    break item;
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
+                    break None;
                 }
-                queue = match shared.wake.wait(queue) {
+                jobs = match shared.wake.wait(jobs) {
                     Ok(guard) => guard,
                     Err(_) => return,
                 };
             }
         };
-        handler(item);
+        let Some(job) = job else {
+            return;
+        };
+        let result = handler(job);
+        if let Ok(mut done) = shared.completions.lock() {
+            done.push_back(result);
+        }
+        (shared.notify)();
     }
 }
 
@@ -209,60 +154,83 @@ mod tests {
     use std::time::Duration;
 
     #[test]
-    fn processes_all_submitted_items() {
-        let seen = Arc::new(AtomicUsize::new(0));
-        let pool = {
-            let seen = Arc::clone(&seen);
-            WorkerPool::new(4, 64, move |n: usize| {
-                seen.fetch_add(n, Ordering::SeqCst);
-            })
-        };
-        for n in 1..=10 {
-            while pool.try_submit(n).is_err() {
-                std::thread::sleep(Duration::from_millis(1));
-            }
+    fn jobs_flow_through_to_completions_and_notify_fires() {
+        let notified = Arc::new(AtomicUsize::new(0));
+        let count = Arc::clone(&notified);
+        let pool: HandlerPool<u32, u32> = HandlerPool::new(
+            2,
+            8,
+            move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            },
+            |n| n * 2,
+        );
+        for n in 0..4u32 {
+            pool.try_submit(n).unwrap();
         }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut results = Vec::new();
+        while results.len() < 4 && std::time::Instant::now() < deadline {
+            results.extend(pool.drain_completions());
+            thread::sleep(Duration::from_millis(5));
+        }
+        results.sort_unstable();
+        assert_eq!(results, vec![0, 2, 4, 6]);
+        assert!(notified.load(Ordering::SeqCst) >= 4);
         pool.shutdown();
-        assert_eq!(seen.load(Ordering::SeqCst), 55);
     }
 
     #[test]
-    fn full_queue_rejects_and_returns_item() {
-        let gate = Arc::new(Mutex::new(()));
-        let hold = gate.lock().unwrap();
-        let pool = {
-            let gate = Arc::clone(&gate);
-            WorkerPool::new(1, 1, move |_: u32| {
-                let _wait = gate.lock();
-            })
-        };
-        // First item occupies the worker, second fills the queue; wait
-        // (event-driven, no polling) for the worker to pick the first up.
+    fn backlog_capacity_refuses_excess_jobs() {
+        // A single worker parked on a gated job: capacity bounds what
+        // piles up behind it.
+        let started = Arc::new(AtomicBool::new(false));
+        let release = Arc::new(AtomicBool::new(false));
+        let (started_w, release_w) = (Arc::clone(&started), Arc::clone(&release));
+        let pool: HandlerPool<u32, u32> = HandlerPool::new(
+            1,
+            2,
+            || {},
+            move |n| {
+                if n == 0 {
+                    started_w.store(true, Ordering::SeqCst);
+                    while !release_w.load(Ordering::SeqCst) {
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                n
+            },
+        );
+        pool.try_submit(0).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !started.load(Ordering::SeqCst) && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(1));
+        }
         pool.try_submit(1).unwrap();
-        assert!(pool.wait_queue_empty(Duration::from_secs(5)));
         pool.try_submit(2).unwrap();
-        assert_eq!(pool.try_submit(3), Err(3));
-        drop(hold);
+        let refused = pool.try_submit(3);
+        assert_eq!(refused, Err(3), "backlog at capacity sheds");
+        release.store(true, Ordering::SeqCst);
         pool.shutdown();
     }
 
     #[test]
-    fn shutdown_drains_queued_items() {
-        let seen = Arc::new(AtomicUsize::new(0));
-        let pool = {
-            let seen = Arc::clone(&seen);
-            WorkerPool::new(2, 32, move |_: u32| {
-                std::thread::sleep(Duration::from_millis(2));
-                seen.fetch_add(1, Ordering::SeqCst);
-            })
-        };
-        let mut submitted = 0;
-        for n in 0..16 {
-            if pool.try_submit(n).is_ok() {
-                submitted += 1;
-            }
+    fn shutdown_drains_accepted_jobs() {
+        let pool: HandlerPool<u32, u32> = HandlerPool::new(
+            1,
+            16,
+            || {},
+            |n| {
+                thread::sleep(Duration::from_millis(10));
+                n + 100
+            },
+        );
+        for n in 0..5u32 {
+            pool.try_submit(n).unwrap();
         }
+        let shared = Arc::clone(&pool.shared);
         pool.shutdown();
-        assert_eq!(seen.load(Ordering::SeqCst), submitted);
+        let done = shared.completions.lock().unwrap();
+        assert_eq!(done.len(), 5, "every accepted job completed");
     }
 }

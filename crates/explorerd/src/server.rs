@@ -1,56 +1,60 @@
-//! The accept loop: listener, transport seam, admission control, worker
-//! pool, load shedding, shutdown.
+//! Server assembly: listener, transport seam, admission control, the
+//! readiness-driven reactor, and the off-loop handler pool.
 //!
-//! One dedicated thread accepts connections, wraps them through the
-//! configured [`Transport`] (production: raw sockets; chaos tests: the
-//! fault injector), checks the per-peer connection cap, and feeds them
-//! to the [`WorkerPool`]. A worker owns a connection for its whole
-//! keep-alive lifetime, so the bounded queue gives real backpressure:
-//! when all workers are busy and the queue is full, new connections are
-//! answered `503 Retry-After` straight from the accept thread and
-//! closed — shedding load in O(1) instead of letting every client queue
-//! behind a stalled worker.
+//! One reactor thread owns every socket (see [`crate::reactor`]): it
+//! accepts connections, wraps them through the configured
+//! [`Transport`] (production: raw sockets; chaos tests: the fault
+//! injector), enforces the global connection cap and the per-peer
+//! concurrency cap, and multiplexes all connections through `poll(2)`
+//! in non-blocking mode. Parsed requests are executed by a small
+//! [`HandlerPool`] off the loop; finished
+//! responses come back through a completion queue and are written
+//! incrementally as each socket drains. When the pool's bounded
+//! backlog is full, new requests are answered `503 Retry-After`
+//! straight from the loop — shedding load in O(1) instead of letting
+//! every client queue behind a stalled handler.
 //!
-//! Each parsed request runs under a wall-clock deadline budget
+//! Each admitted request runs under a wall-clock deadline budget
 //! ([`ServerConfig::request_deadline`]) carried as an `iokc-obs`
 //! [`DeadlineToken`] into the store's query scans; a request that blows
 //! its budget answers `504` with partial-progress counters instead of
-//! pinning the worker. The [`Admission`] controller layers per-peer
+//! pinning a handler. The [`Admission`] controller layers per-peer
 //! rate limits, priority shedding, and a circuit breaker on top — see
-//! [`crate::admission`].
+//! [`crate::admission`] — and every `429`/`503` derives its
+//! `Retry-After` from the limiter's actual refill or cooldown clock.
 //!
 //! Shutdown is cooperative through the shared [`CancelToken`]: the
-//! accept loop stops admitting work, in-flight handlers notice the
-//! token at their next read slice and close, and the pool drains and
-//! joins. No thread is left hung on a silent peer.
+//! reactor stops accepting, reaps connections that are between
+//! requests, drains dispatched and mid-write responses within a short
+//! grace period, and joins the handler pool. No thread is left hung on
+//! a silent peer.
 
 use std::io;
-use std::net::{IpAddr, SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use iokc_obs::{CancelToken, Counter, DeadlineToken, MetricsRegistry, Recorder};
+use iokc_obs::{CancelToken, DeadlineToken, MetricsRegistry, Recorder};
 use iokc_store::KnowledgeStore;
 
-use crate::admission::{classify, Admission, AdmissionConfig, AdmitDecision, ConnPermit};
+use crate::admission::{classify, Admission, AdmissionConfig};
 use crate::cache::CacheStats;
-use crate::http::{read_request, Limits, RecvError, Response};
-use crate::pool::{Submitter, WorkerPool};
+use crate::http::Limits;
+use crate::pool::HandlerPool;
+use crate::reactor::{Completion, Job, Reactor, ReactorConfig};
 use crate::service::Explorer;
-use crate::transport::{Conn, StdTransport, Transport};
-
-/// How long the accept loop sleeps when no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
+use crate::transport::{StdTransport, Transport, Waker};
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Worker threads (each owns one connection at a time).
+    /// Handler threads executing store queries off the reactor loop.
     pub workers: usize,
-    /// Bounded accept-queue capacity; beyond it, load is shed with 503.
+    /// Bounded handler-backlog capacity; beyond it, load is shed with
+    /// 503.
     pub queue: usize,
     /// Query-cache byte budget.
     pub cache_bytes: usize,
@@ -67,6 +71,12 @@ pub struct ServerConfig {
     pub max_per_peer: usize,
     /// Sustained requests/second per peer address (0 = unlimited).
     pub rate_per_peer: f64,
+    /// Maximum simultaneous open connections across all peers
+    /// (0 = unlimited). Beyond it, new connections are shed with 503.
+    pub max_conns: usize,
+    /// How long a keep-alive connection may sit between requests before
+    /// the reactor reaps it with a clean close.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -81,40 +91,8 @@ impl Default for ServerConfig {
             request_deadline: Duration::from_secs(30),
             max_per_peer: 0,
             rate_per_peer: 0.0,
-        }
-    }
-}
-
-/// One queued unit of work: a wrapped connection plus its per-peer
-/// admission permit (released when the handler finishes).
-struct ConnTask {
-    conn: Box<dyn Conn>,
-    permit: Option<ConnPermit>,
-}
-
-/// The classified connection-error counters — every accepted connection
-/// that does not end in a clean response ends in exactly one of these.
-#[derive(Clone)]
-struct ConnObs {
-    recv_closed: Counter,
-    recv_timeout: Counter,
-    recv_too_large: Counter,
-    recv_malformed: Counter,
-    recv_io: Counter,
-    recv_cancelled: Counter,
-    write_failed: Counter,
-}
-
-impl ConnObs {
-    fn new(metrics: &MetricsRegistry) -> ConnObs {
-        ConnObs {
-            recv_closed: metrics.counter("explorerd.recv.closed"),
-            recv_timeout: metrics.counter("explorerd.recv.timeout"),
-            recv_too_large: metrics.counter("explorerd.recv.too_large"),
-            recv_malformed: metrics.counter("explorerd.recv.malformed"),
-            recv_io: metrics.counter("explorerd.recv.io"),
-            recv_cancelled: metrics.counter("explorerd.recv.cancelled"),
-            write_failed: metrics.counter("explorerd.write_failed"),
+            max_conns: 0,
+            idle_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -125,12 +103,12 @@ pub struct Server {
     explorer: Arc<Explorer>,
     recorder: Arc<Recorder>,
     cancel: CancelToken,
-    accept: Option<JoinHandle<()>>,
-    pool: Option<WorkerPool<ConnTask>>,
+    waker: Arc<Waker>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind, spawn the worker pool and the accept thread, and start
+    /// Bind, spawn the handler pool and the reactor thread, and start
     /// serving `store`.
     pub fn start(
         config: ServerConfig,
@@ -163,56 +141,58 @@ impl Server {
             config.queue,
             &metrics,
         ));
+        let waker = Arc::new(Waker::new()?);
 
         let pool = {
             let explorer = Arc::clone(&explorer);
-            let limits = config.limits.clone();
             let cancel = cancel.clone();
             let admission = Arc::clone(&admission);
-            let obs = ConnObs::new(&metrics);
             let request_deadline = config.request_deadline;
-            WorkerPool::new(config.workers, config.queue, move |task: ConnTask| {
-                admission.note_dequeued();
-                handle_connection(
-                    task.conn,
-                    &explorer,
-                    &limits,
-                    &cancel,
-                    &admission,
-                    &obs,
-                    request_deadline,
-                );
-                drop(task.permit);
-            })
+            let wake = Arc::clone(&waker);
+            HandlerPool::new(
+                config.workers,
+                config.queue,
+                move || wake.wake(),
+                move |job: Job| {
+                    admission.note_dequeued();
+                    let class = classify(&job.request.path);
+                    let deadline = DeadlineToken::with_budget(cancel.clone(), request_deadline);
+                    let response = explorer.handle(&job.request, &deadline);
+                    admission.record_outcome(class, response.status < 500);
+                    Completion {
+                        conn_id: job.conn_id,
+                        response,
+                    }
+                },
+            )
         };
 
-        let accept = {
-            let cancel = cancel.clone();
-            let recorder = Arc::clone(&recorder);
-            let submitter = pool.submitter();
-            let transport = Arc::clone(&config.transport);
-            let admission = Arc::clone(&admission);
-            std::thread::Builder::new()
-                .name("explorerd-accept".to_owned())
-                .spawn(move || {
-                    accept_loop(
-                        &listener,
-                        transport.as_ref(),
-                        &admission,
-                        &submitter,
-                        &cancel,
-                        &recorder,
-                    );
-                })?
+        let reactor = Reactor {
+            listener,
+            transport: Arc::clone(&config.transport),
+            admission,
+            explorer: Arc::clone(&explorer),
+            pool,
+            waker: Arc::clone(&waker),
+            cancel: cancel.clone(),
+            recorder: Arc::clone(&recorder),
+            config: ReactorConfig {
+                limits: config.limits.clone(),
+                idle_timeout: config.idle_timeout,
+                max_conns: config.max_conns,
+            },
         };
+        let reactor = std::thread::Builder::new()
+            .name("explorerd-reactor".to_owned())
+            .spawn(move || reactor.run())?;
 
         Ok(Server {
             local_addr,
             explorer,
             recorder,
             cancel,
-            accept: Some(accept),
-            pool: Some(pool),
+            waker,
+            reactor: Some(reactor),
         })
     }
 
@@ -247,20 +227,17 @@ impl Server {
         self.cancel.clone()
     }
 
-    /// Graceful shutdown: stop accepting, let in-flight requests finish
-    /// (handlers observe the token within one read slice), join all
-    /// threads.
+    /// Graceful shutdown: stop accepting, drain in-flight responses
+    /// within the reactor's grace period, join every thread.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
         self.cancel.cancel();
-        if let Some(handle) = self.accept.take() {
+        self.waker.wake();
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
-        }
-        if let Some(pool) = self.pool.take() {
-            pool.shutdown();
         }
     }
 }
@@ -268,142 +245,5 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
-    }
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    transport: &dyn Transport,
-    admission: &Admission,
-    pool: &Submitter<ConnTask>,
-    cancel: &CancelToken,
-    recorder: &Arc<Recorder>,
-) {
-    let shed = recorder.counter("explorerd.shed");
-    let accepted = recorder.counter("explorerd.connections");
-    loop {
-        if cancel.is_cancelled() {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                // The listener is non-blocking; accepted sockets get
-                // their own timeouts in the handler.
-                let _ = stream.set_nonblocking(false);
-                accepted.inc();
-                let conn = transport.wrap(stream);
-                let Some(permit) = admission.admit_conn(Some(peer.ip())) else {
-                    // Peer is over its concurrency cap: shed in O(1).
-                    shed.inc();
-                    shed_connection(conn);
-                    continue;
-                };
-                let task = ConnTask {
-                    conn,
-                    permit: Some(permit),
-                };
-                match pool.try_submit(task) {
-                    Ok(()) => admission.note_queued(),
-                    Err(task) => {
-                        shed.inc();
-                        shed_connection(task.conn);
-                    }
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
-}
-
-/// Answer `503 Retry-After: 1` and close — the load-shedding path, run
-/// on the accept thread so it stays O(1) regardless of worker state.
-fn shed_connection(mut conn: Box<dyn Conn>) {
-    let _ = conn.set_write_timeout(Some(Duration::from_millis(250)));
-    let _ = Response::unavailable(1).write(conn.as_mut(), false);
-}
-
-/// `429 Too Many Requests` with a `Retry-After` hint.
-fn rate_limited() -> Response {
-    let mut resp = Response::error(429, "per-peer rate limit exceeded, retry shortly");
-    resp.headers.push(("Retry-After", "1".to_owned()));
-    resp
-}
-
-/// Serve one connection for its keep-alive lifetime.
-#[allow(clippy::too_many_arguments)]
-fn handle_connection(
-    mut conn: Box<dyn Conn>,
-    explorer: &Explorer,
-    limits: &Limits,
-    cancel: &CancelToken,
-    admission: &Admission,
-    obs: &ConnObs,
-    request_deadline: Duration,
-) {
-    let _ = conn.set_write_timeout(Some(Duration::from_secs(10)));
-    let peer: Option<IpAddr> = conn.peer_addr().map(|a| a.ip());
-    loop {
-        if cancel.is_cancelled() {
-            return;
-        }
-        match read_request(conn.as_mut(), limits, cancel) {
-            Ok(req) => {
-                let keep_alive = req.keep_alive && !cancel.is_cancelled();
-                let class = classify(&req.path);
-                let response = match admission.admit_request(peer, class, explorer.store_degraded())
-                {
-                    AdmitDecision::Admit => {
-                        let deadline = DeadlineToken::with_budget(cancel.clone(), request_deadline);
-                        let response = explorer.handle(&req, &deadline);
-                        admission.record_outcome(class, response.status < 500);
-                        response
-                    }
-                    AdmitDecision::RateLimited => rate_limited(),
-                    AdmitDecision::ShedExpensive | AdmitDecision::BreakerOpen => {
-                        Response::unavailable(1)
-                    }
-                };
-                if response.write(conn.as_mut(), keep_alive).is_err() {
-                    obs.write_failed.inc();
-                    return;
-                }
-                if !keep_alive {
-                    return;
-                }
-            }
-            Err(RecvError::Closed) => {
-                obs.recv_closed.inc();
-                return;
-            }
-            Err(RecvError::Cancelled) => {
-                obs.recv_cancelled.inc();
-                return;
-            }
-            Err(RecvError::Io(_)) => {
-                obs.recv_io.inc();
-                return;
-            }
-            Err(RecvError::Timeout) => {
-                obs.recv_timeout.inc();
-                let _ = Response::error(408, "request not received before the read deadline")
-                    .write(conn.as_mut(), false);
-                return;
-            }
-            Err(RecvError::TooLarge) => {
-                obs.recv_too_large.inc();
-                let _ = Response::error(400, "request head exceeds the size limit")
-                    .write(conn.as_mut(), false);
-                return;
-            }
-            Err(RecvError::Malformed(what)) => {
-                obs.recv_malformed.inc();
-                let _ = Response::error(400, &what).write(conn.as_mut(), false);
-                return;
-            }
-        }
     }
 }

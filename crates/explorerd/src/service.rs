@@ -29,11 +29,14 @@
 //! `/boxplot`, `/dist`, `/corr`) embed the `iokc-analysis` text viewers
 //! and SVG charts.
 //!
-//! Every response except `/metrics` flows through the read-through
-//! [`QueryCache`], keyed on the normalized query and the store's write
+//! Every response except `/metrics` and `/healthz` flows through the
+//! read-through [`QueryCache`], keyed on the normalized query and the
+//! store's write generation — and carries a strong `ETag` derived from
+//! the same pair, so a client presenting `If-None-Match` gets a
+//! body-less `304 Not Modified` until the next store write bumps the
 //! generation.
 
-use std::io::{self, Write};
+use std::io;
 use std::sync::{Arc, RwLock};
 
 use iokc_analysis::{
@@ -46,10 +49,10 @@ use iokc_store::{
     AggregateQuery, AggregateResult, DbError, Factor, GroupBy, KnowledgeStore, Query, RunKind,
     RunOrder, RunPredicate, RunSummary, Snapshot,
 };
-use iokc_util::json::{ArrayWriter, Json};
+use iokc_util::json::Json;
 
-use crate::cache::{CacheStats, QueryCache};
-use crate::http::{Request, Response};
+use crate::cache::{self, CacheStats, QueryCache};
+use crate::http::{BodySource, Request, Response};
 
 /// The explorer service: store access, cache, and observability.
 pub struct Explorer {
@@ -178,7 +181,7 @@ impl Explorer {
         match segments.as_slice() {
             [] => {
                 let deadline = deadline.clone();
-                self.cached_html(req.normalized(), move |store, out| {
+                self.cached_html(req, req.normalized(), move |store, out| {
                     index_page(store, &deadline, out)
                 })
             }
@@ -190,14 +193,14 @@ impl Explorer {
             ["api", "runs"] => self.api_runs(req, deadline),
             ["api", "runs", id] => {
                 let id = parse_run_id(id)?;
-                self.cached_json(req.normalized(), move |store| {
+                self.cached_json(req, req.normalized(), move |store| {
                     let k = load_benchmark(store, id)?;
                     Ok(k.to_json())
                 })
             }
             ["api", "io500", id] => {
                 let id = parse_run_id(id)?;
-                self.cached_json(req.normalized(), move |store| {
+                self.cached_json(req, req.normalized(), move |store| {
                     let k = store
                         .load_io500(id)?
                         .ok_or_else(|| RouteError::NotFound(format!("no io500 run {id}")))?;
@@ -207,21 +210,21 @@ impl Explorer {
             ["api", "compare"] => {
                 let spec = CompareSpec::from_request(req)?;
                 let deadline = deadline.clone();
-                self.cached_json(spec.cache_key("/api/compare"), move |store| {
+                self.cached_json(req, spec.cache_key("/api/compare"), move |store| {
                     compare_json(store, &spec, &deadline)
                 })
             }
             ["api", "boxplot"] => {
                 let op = req.param("op").unwrap_or("write").to_owned();
                 let deadline = deadline.clone();
-                self.cached_json(format!("/api/boxplot:op={op}"), move |store| {
+                self.cached_json(req, format!("/api/boxplot:op={op}"), move |store| {
                     boxplot_json(store, &op, &deadline)
                 })
             }
             ["api", "agg"] => {
                 let spec = AggSpec::from_request(req)?;
                 let deadline = deadline.clone();
-                self.cached_json(spec.cache_key("/api/agg"), move |store| {
+                self.cached_json(req, spec.cache_key("/api/agg"), move |store| {
                     let result = store.aggregate(&spec.query, &deadline)?;
                     Ok(agg_json(&spec, &result))
                 })
@@ -229,7 +232,7 @@ impl Explorer {
             ["api", "dist"] => {
                 let spec = AggSpec::from_request(req)?;
                 let deadline = deadline.clone();
-                self.cached_json(spec.cache_key("/api/dist"), move |store| {
+                self.cached_json(req, spec.cache_key("/api/dist"), move |store| {
                     let result = store.aggregate(&spec.query, &deadline)?;
                     Ok(dist_json(&spec, &result))
                 })
@@ -237,7 +240,7 @@ impl Explorer {
             ["api", "corr"] => {
                 let spec = AggSpec::from_request(req)?;
                 let deadline = deadline.clone();
-                self.cached_json(spec.cache_key("/api/corr"), move |store| {
+                self.cached_json(req, spec.cache_key("/api/corr"), move |store| {
                     let result = store.aggregate(&spec.query, &deadline)?;
                     corr_json(&result)
                 })
@@ -245,38 +248,40 @@ impl Explorer {
             ["dist"] => {
                 let spec = AggSpec::from_request(req)?;
                 let deadline = deadline.clone();
-                self.cached_html(spec.cache_key("/dist"), move |store, out| {
+                self.cached_html(req, spec.cache_key("/dist"), move |store, out| {
                     dist_page(store, &spec, &deadline, out)
                 })
             }
             ["corr"] => {
                 let spec = AggSpec::from_request(req)?;
                 let deadline = deadline.clone();
-                self.cached_html(spec.cache_key("/corr"), move |store, out| {
+                self.cached_html(req, spec.cache_key("/corr"), move |store, out| {
                     corr_page(store, &spec, &deadline, out)
                 })
             }
             ["runs", id] => {
                 let id = parse_run_id(id)?;
-                self.cached_html(req.normalized(), move |store, out| run_page(store, id, out))
+                self.cached_html(req, req.normalized(), move |store, out| {
+                    run_page(store, id, out)
+                })
             }
             ["io500", id] => {
                 let id = parse_run_id(id)?;
-                self.cached_html(req.normalized(), move |store, out| {
+                self.cached_html(req, req.normalized(), move |store, out| {
                     io500_page(store, id, out)
                 })
             }
             ["compare"] => {
                 let spec = CompareSpec::from_request(req)?;
                 let deadline = deadline.clone();
-                self.cached_html(spec.cache_key("/compare"), move |store, out| {
+                self.cached_html(req, spec.cache_key("/compare"), move |store, out| {
                     compare_page(store, &spec, &deadline, out)
                 })
             }
             ["boxplot"] => {
                 let op = req.param("op").unwrap_or("write").to_owned();
                 let deadline = deadline.clone();
-                self.cached_html(format!("/boxplot:op={op}"), move |store, out| {
+                self.cached_html(req, format!("/boxplot:op={op}"), move |store, out| {
                     boxplot_page(store, &op, &deadline, out)
                 })
             }
@@ -349,39 +354,98 @@ impl Explorer {
         Ok(store.snapshot())
     }
 
+    /// The store's current write generation, read under the lock
+    /// without pinning. Pinning clones the active generation — O(its
+    /// size) — so the cache-hit and `304` fast paths, which only need
+    /// the generation number for the validator, must not pay it.
+    fn generation(&self) -> Result<u64, RouteError> {
+        let store = self.store.read().map_err(|_| poisoned())?;
+        Ok(store.generation())
+    }
+
+    /// The no-render fast path shared by every cacheable endpoint:
+    /// compute the validator from the current generation, answer `304`
+    /// if the client already holds the body, or serve it straight from
+    /// the cache. Returns `None` on a miss — only then does the caller
+    /// pin a snapshot and render.
+    fn fast_path(
+        &self,
+        req: &Request,
+        key: &str,
+        content_type: &'static str,
+    ) -> Result<Option<Response>, RouteError> {
+        let generation = self.generation()?;
+        let tag = cache::etag(generation, key);
+        if let Some(resp) = self.check_not_modified(req, content_type, &tag) {
+            return Ok(Some(resp));
+        }
+        if let Some((cached_type, body)) = self.cache.get(key, generation) {
+            let mut resp = Response::full(cached_type, body);
+            resp.headers.push(("ETag", tag));
+            return Ok(Some(resp));
+        }
+        Ok(None)
+    }
+
+    /// Conditional-GET preamble shared by every cacheable endpoint: the
+    /// strong validator for `key` at `generation`, and the `304` if the
+    /// client already holds it. `/metrics` and `/healthz` never come
+    /// through here.
+    fn check_not_modified(
+        &self,
+        req: &Request,
+        content_type: &'static str,
+        tag: &str,
+    ) -> Option<Response> {
+        if req.if_none_match.as_deref() == Some(tag) {
+            self.cache.note_not_modified();
+            return Some(Response::not_modified(content_type, tag.to_owned()));
+        }
+        None
+    }
+
     /// Read-through JSON endpoint: serve from cache or render against a
     /// pinned [`Snapshot`] — outside the store lock — and fill the
     /// cache. Typed-query endpoints pass a canonical key derived from
     /// the parsed query, so two request strings that parse identically
-    /// share one entry.
+    /// share one entry (and one ETag).
     fn cached_json(
         &self,
+        req: &Request,
         key: String,
         render: impl FnOnce(&Snapshot) -> Result<Json, RouteError>,
     ) -> RouteResult {
+        if let Some(resp) = self.fast_path(req, &key, "application/json")? {
+            return Ok(resp);
+        }
+        // Miss: pin and render. Re-derive the validator from the pinned
+        // snapshot — a writer may have bumped the generation between the
+        // fast-path read and the pin.
         let snapshot = self.pin()?;
         let generation = snapshot.generation();
-        if let Some((content_type, body)) = self.cache.get(&key, generation) {
-            return Ok(Response::full(content_type, body));
-        }
+        let tag = cache::etag(generation, &key);
         let json = render(&snapshot)?;
         let body = Arc::new(json.to_compact().into_bytes());
         self.cache
             .put(&key, generation, "application/json", Arc::clone(&body));
-        Ok(Response::full("application/json", body))
+        let mut resp = Response::full("application/json", body);
+        resp.headers.push(("ETag", tag));
+        Ok(resp)
     }
 
     /// Read-through HTML endpoint: snapshot-then-render, unlocked.
     fn cached_html(
         &self,
+        req: &Request,
         key: String,
         render: impl FnOnce(&Snapshot, &mut String) -> Result<(), RouteError>,
     ) -> RouteResult {
+        if let Some(resp) = self.fast_path(req, &key, "text/html; charset=utf-8")? {
+            return Ok(resp);
+        }
         let snapshot = self.pin()?;
         let generation = snapshot.generation();
-        if let Some((content_type, body)) = self.cache.get(&key, generation) {
-            return Ok(Response::full(content_type, body));
-        }
+        let tag = cache::etag(generation, &key);
         let mut page = String::new();
         render(&snapshot, &mut page)?;
         let body = Arc::new(page.into_bytes());
@@ -391,66 +455,177 @@ impl Explorer {
             "text/html; charset=utf-8",
             Arc::clone(&body),
         );
-        Ok(Response::full("text/html; charset=utf-8", body))
+        let mut resp = Response::full("text/html; charset=utf-8", body);
+        resp.headers.push(("ETag", tag));
+        Ok(resp)
     }
 
-    /// `GET /api/runs`: the one endpoint whose body can grow with the
-    /// store, so a cache miss *streams* the JSON array into the socket
-    /// chunk by chunk through [`ArrayWriter`], teeing the bytes into
-    /// the cache rather than materializing the body up front.
+    /// `GET /api/runs`: the one endpoint whose body grows with the
+    /// store, so a cache miss *streams* — [`RunsStream`] pulls bounded
+    /// pages from the pinned snapshot as the socket drains, teeing the
+    /// bytes into the cache. The first page is fetched here, inside the
+    /// handler, so query and deadline errors (`400`, `504`) surface as
+    /// proper statuses before any body byte is committed.
     fn api_runs(&self, req: &Request, deadline: &DeadlineToken) -> RouteResult {
-        let query = RunsQuery::from_request(req)?.to_query();
+        let spec = RunsQuery::from_request(req)?;
         // The cache keys on the *typed* query: `?api=X&sort=id` and
         // `?sort=id&api=X` (or an explicit `order=asc`) land on the
         // same entry.
-        let key = format!("/api/runs:{}", query.cache_key());
+        let key = format!("/api/runs:{}", spec.to_query().cache_key());
+        if let Some(resp) = self.fast_path(req, &key, "application/json")? {
+            return Ok(resp);
+        }
         let snapshot = self.pin()?;
         let generation = snapshot.generation();
-        if let Some((content_type, body)) = self.cache.get(&key, generation) {
-            return Ok(Response::full(content_type, body));
+        let tag = cache::etag(generation, &key);
+        let stream = RunsStream::new(
+            snapshot,
+            spec,
+            deadline.clone(),
+            Arc::clone(&self.cache),
+            key,
+            generation,
+        )?;
+        let mut resp = Response::stream("application/json", Box::new(stream));
+        resp.headers.push(("ETag", tag));
+        Ok(resp)
+    }
+}
+
+/// Rows per page pulled from the snapshot between socket writes: large
+/// enough to amortize the query, small enough that a 100k-row listing
+/// never holds more than one page of `Json` rows in memory.
+const PAGE_ROWS: usize = 512;
+
+/// The `/api/runs` body source: serializes the JSON array one bounded
+/// page at a time against a pinned [`Snapshot`], so memory stays O(page)
+/// no matter how many rows match. Bytes are teed into the cache while
+/// the copy still fits the cache budget; the entry is committed only
+/// when the whole body has been produced, so the cache never holds a
+/// torn response.
+struct RunsStream {
+    snapshot: Snapshot,
+    spec: RunsQuery,
+    deadline: DeadlineToken,
+    cache: Arc<QueryCache>,
+    key: String,
+    generation: u64,
+    /// Rows pulled from the snapshot so far (relative to `spec.offset`).
+    fetched: usize,
+    /// The next page, fetched but not yet serialized.
+    pending: Vec<Json>,
+    /// No more pages after `pending`.
+    finished_input: bool,
+    opened: bool,
+    first_row: bool,
+    /// The cache tee; dropped once the body outgrows the cache budget.
+    copy: Option<Vec<u8>>,
+}
+
+impl RunsStream {
+    fn new(
+        snapshot: Snapshot,
+        spec: RunsQuery,
+        deadline: DeadlineToken,
+        cache: Arc<QueryCache>,
+        key: String,
+        generation: u64,
+    ) -> Result<RunsStream, RouteError> {
+        let mut stream = RunsStream {
+            snapshot,
+            spec,
+            deadline,
+            cache,
+            key,
+            generation,
+            fetched: 0,
+            pending: Vec::new(),
+            finished_input: false,
+            opened: false,
+            first_row: true,
+            copy: Some(Vec::new()),
+        };
+        // The first page runs under the handler: a deadline that is
+        // already blown becomes a clean `504` instead of a torn stream.
+        stream.fetch_page()?;
+        Ok(stream)
+    }
+
+    fn fetch_page(&mut self) -> Result<(), RouteError> {
+        let remaining = self.spec.limit.saturating_sub(self.fetched);
+        let page = remaining.min(PAGE_ROWS);
+        if page == 0 {
+            self.finished_input = true;
+            return Ok(());
         }
-        let rows: Vec<Json> = snapshot
-            .query_summaries(&query, deadline)?
-            .iter()
-            .map(summary_row)
-            .collect();
-        let cache = Arc::clone(&self.cache);
-        Ok(Response::stream(
-            "application/json",
-            Box::new(move |out| {
-                let mut copy = Vec::new();
-                let mut tee = Tee {
-                    net: out,
-                    copy: &mut copy,
-                };
-                let mut array = ArrayWriter::new(&mut tee)?;
-                for row in &rows {
-                    array.push(row)?;
-                }
-                array.finish()?;
-                cache.put(&key, generation, "application/json", Arc::new(copy));
-                Ok(())
-            }),
-        ))
+        let query = self
+            .spec
+            .page_query(self.spec.offset.saturating_add(self.fetched), page);
+        let rows = self.snapshot.query_summaries(&query, &self.deadline)?;
+        if rows.len() < page {
+            self.finished_input = true;
+        }
+        self.fetched += rows.len();
+        self.pending = rows.iter().map(summary_row).collect();
+        Ok(())
+    }
+
+    fn tee(&mut self, bytes: &[u8]) {
+        if let Some(copy) = self.copy.as_mut() {
+            if copy.len() + bytes.len() > self.cache.budget() {
+                // The full body can never be cached; stop copying.
+                self.copy = None;
+            } else {
+                copy.extend_from_slice(bytes);
+            }
+        }
     }
 }
 
-/// Duplicates everything written to the network into an owned buffer,
-/// so a streamed response can populate the cache as a side effect.
-struct Tee<'a> {
-    net: &'a mut dyn Write,
-    copy: &'a mut Vec<u8>,
+/// A mid-stream failure: the chunked framing is simply never
+/// terminated, so the client sees a truncated body, never a wrong one.
+fn stream_error(e: RouteError) -> io::Error {
+    let what = match e {
+        RouteError::Deadline { .. } => "deadline exceeded mid-stream".to_owned(),
+        RouteError::Store(err) => format!("store error: {err}"),
+        RouteError::NotFound(what) | RouteError::BadQuery(what) => what,
+    };
+    io::Error::other(what)
 }
 
-impl Write for Tee<'_> {
-    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
-        self.net.write_all(data)?;
-        self.copy.extend_from_slice(data);
-        Ok(data.len())
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        self.net.flush()
+impl BodySource for RunsStream {
+    fn next_chunk(&mut self, out: &mut Vec<u8>) -> io::Result<bool> {
+        if !self.opened {
+            self.opened = true;
+            out.push(b'[');
+        }
+        if self.pending.is_empty() && !self.finished_input {
+            self.fetch_page().map_err(stream_error)?;
+        }
+        for row in self.pending.drain(..) {
+            if self.first_row {
+                self.first_row = false;
+            } else {
+                out.push(b',');
+            }
+            out.extend_from_slice(row.to_compact().as_bytes());
+        }
+        let more = !self.finished_input;
+        if !more {
+            out.push(b']');
+        }
+        self.tee(out);
+        if !more {
+            if let Some(copy) = self.copy.take() {
+                self.cache.put(
+                    &self.key,
+                    self.generation,
+                    "application/json",
+                    Arc::new(copy),
+                );
+            }
+        }
+        Ok(more)
     }
 }
 
@@ -529,11 +704,11 @@ impl RunsQuery {
         })
     }
 
-    /// Lower the request parameters onto the typed query. The api,
-    /// command and op filters pin the benchmark kind — IO500 runs carry
-    /// none of those fields, matching the endpoint's long-standing
-    /// behavior of excluding them once such a filter is present.
-    fn to_query(&self) -> Query {
+    /// The typed predicate. The api, command and op filters pin the
+    /// benchmark kind — IO500 runs carry none of those fields, matching
+    /// the endpoint's long-standing behavior of excluding them once
+    /// such a filter is present.
+    fn predicate(&self) -> RunPredicate {
         let mut conjuncts = Vec::new();
         match self.kind.as_deref() {
             Some("io500") => conjuncts.push(RunPredicate::Kind(RunKind::Io500)),
@@ -554,11 +729,16 @@ impl RunsQuery {
         if self.min_tasks > 0 || self.max_tasks < u32::MAX {
             conjuncts.push(RunPredicate::TasksBetween(self.min_tasks, self.max_tasks));
         }
-        let predicate = conjuncts
+        conjuncts
             .into_iter()
             .reduce(RunPredicate::and)
-            .unwrap_or(RunPredicate::True);
-        let mut query = Query::new(predicate)
+            .unwrap_or(RunPredicate::True)
+    }
+
+    /// The full requested query — used only for the canonical cache
+    /// key; actual evaluation happens page by page.
+    fn to_query(&self) -> Query {
+        let mut query = Query::new(self.predicate())
             .order_by(self.sort)
             .offset(self.offset);
         if self.descending {
@@ -566,6 +746,19 @@ impl RunsQuery {
         }
         if self.limit < usize::MAX {
             query = query.limit(self.limit);
+        }
+        query
+    }
+
+    /// One bounded window of the requested ordering, starting at the
+    /// absolute store offset `offset`.
+    fn page_query(&self, offset: usize, limit: usize) -> Query {
+        let mut query = Query::new(self.predicate())
+            .order_by(self.sort)
+            .offset(offset)
+            .limit(limit);
+        if self.descending {
+            query = query.descending();
         }
         query
     }

@@ -1,6 +1,7 @@
-//! The socket-layer fault seam: [`Transport`]/[`Conn`] traits, the
-//! production [`StdTransport`] veneer, and the deterministic
-//! [`FaultTransport`] injector.
+//! The socket layer: [`Transport`]/[`Conn`] traits, the production
+//! [`StdTransport`] veneer, the deterministic [`FaultTransport`]
+//! injector, and the readiness primitives ([`Poller`]/[`Waker`]) the
+//! reactor drives every connection through.
 //!
 //! This mirrors `store::vfs` one layer up: just as every file operation
 //! the store performs flows through a `Vfs` so crash consistency can be
@@ -32,23 +33,41 @@ use iokc_obs::Counter;
 /// `&mut dyn Conn`, so a fault-injecting wrapper slots under the whole
 /// serving path without the HTTP code knowing.
 pub trait Conn: Read + Write + Send {
-    /// Set the read timeout (the handler's poll slice).
-    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
-    /// Set the write timeout.
+    /// Set the write timeout (used by the blocking shed path only; the
+    /// reactor's writes are non-blocking).
     fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+    /// Switch the connection between blocking and non-blocking mode.
+    /// The reactor owns every admitted socket in non-blocking mode.
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()>;
     /// The peer's address, when still known.
     fn peer_addr(&self) -> Option<SocketAddr>;
     /// Shut down both directions of the connection.
     fn shutdown(&self) -> io::Result<()>;
+    /// The underlying OS descriptor for readiness polling, when the
+    /// platform exposes one. `None` makes the [`Poller`] fall back to
+    /// treating the connection as always ready.
+    fn raw_fd(&self) -> Option<i32>;
+}
+
+/// The platform descriptor of a socket, when one exists.
+#[cfg(unix)]
+fn stream_fd(stream: &TcpStream) -> Option<i32> {
+    use std::os::unix::io::AsRawFd;
+    Some(stream.as_raw_fd())
+}
+
+#[cfg(not(unix))]
+fn stream_fd(_stream: &TcpStream) -> Option<i32> {
+    None
 }
 
 impl Conn for TcpStream {
-    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
-        TcpStream::set_read_timeout(self, dur)
-    }
-
     fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         TcpStream::set_write_timeout(self, dur)
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        TcpStream::set_nonblocking(self, nonblocking)
     }
 
     fn peer_addr(&self) -> Option<SocketAddr> {
@@ -57,6 +76,10 @@ impl Conn for TcpStream {
 
     fn shutdown(&self) -> io::Result<()> {
         TcpStream::shutdown(self, Shutdown::Both)
+    }
+
+    fn raw_fd(&self) -> Option<i32> {
+        stream_fd(self)
     }
 }
 
@@ -397,12 +420,12 @@ impl Write for FaultConn {
 }
 
 impl Conn for FaultConn {
-    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
-        self.stream.set_read_timeout(dur)
-    }
-
     fn set_write_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         self.stream.set_write_timeout(dur)
+    }
+
+    fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        self.stream.set_nonblocking(nonblocking)
     }
 
     fn peer_addr(&self) -> Option<SocketAddr> {
@@ -412,6 +435,281 @@ impl Conn for FaultConn {
     fn shutdown(&self) -> io::Result<()> {
         self.stream.shutdown(Shutdown::Both)
     }
+
+    fn raw_fd(&self) -> Option<i32> {
+        stream_fd(&self.stream)
+    }
+}
+
+/// Raw `poll(2)` bindings. The crate otherwise denies unsafe code; this
+/// module is the single audited exception, kept to one `#[repr(C)]`
+/// struct and one foreign call so the reactor can sleep until a socket
+/// is actually ready instead of burning a thread per connection.
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+
+    /// Mirror of the kernel's `struct pollfd`.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    /// Safe wrapper over `poll(2)`: blocks until a descriptor is ready
+    /// or `timeout_ms` elapses, filling `revents` in place.
+    pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `fds` is an exclusively borrowed slice of `#[repr(C)]`
+        // pollfd records valid for the whole call, and `nfds` matches
+        // its length, so the kernel writes only within bounds.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(usize::try_from(rc).unwrap_or(0))
+        }
+    }
+}
+
+/// Interest registration and readiness report for one descriptor in a
+/// [`Poller::wait`] call. Error/hangup conditions are folded into both
+/// `readable()` and `writable()` so the connection's state machine
+/// advances, performs the I/O, and classifies the failure it gets back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PollSlot {
+    fd: Option<i32>,
+    want_read: bool,
+    want_write: bool,
+    got_read: bool,
+    got_write: bool,
+    got_error: bool,
+}
+
+impl PollSlot {
+    /// Register read interest on `fd`.
+    #[must_use]
+    pub fn read(fd: Option<i32>) -> PollSlot {
+        PollSlot {
+            fd,
+            want_read: true,
+            ..PollSlot::default()
+        }
+    }
+
+    /// Register write interest on `fd`.
+    #[must_use]
+    pub fn write(fd: Option<i32>) -> PollSlot {
+        PollSlot {
+            fd,
+            want_write: true,
+            ..PollSlot::default()
+        }
+    }
+
+    /// The descriptor became readable (or errored/hung up).
+    #[must_use]
+    pub fn readable(&self) -> bool {
+        self.got_read || self.got_error
+    }
+
+    /// The descriptor became writable (or errored/hung up).
+    #[must_use]
+    pub fn writable(&self) -> bool {
+        self.got_write || self.got_error
+    }
+}
+
+/// A thin readiness poller over `poll(2)`.
+///
+/// On Linux this is a real level-triggered kernel poll; descriptors
+/// stay reported ready until their buffers drain, which is what lets
+/// the reactor park pipelined bytes in the kernel while a response is
+/// still being written. On other platforms (and for [`Conn`]s without
+/// a descriptor) it degrades to a bounded sleep that reports every
+/// slot ready — correct, because all reactor I/O is non-blocking and
+/// simply returns `WouldBlock`, just less efficient.
+#[derive(Debug, Default)]
+pub struct Poller {
+    #[cfg(target_os = "linux")]
+    fds: Vec<sys::PollFd>,
+    #[cfg(target_os = "linux")]
+    slot_index: Vec<usize>,
+}
+
+impl Poller {
+    /// A fresh poller with no registered interest.
+    #[must_use]
+    pub fn new() -> Poller {
+        Poller::default()
+    }
+
+    /// Wait until a slot is ready or `timeout` elapses, filling each
+    /// slot's readiness flags. Returns the number of ready slots.
+    #[cfg(target_os = "linux")]
+    pub fn wait(&mut self, slots: &mut [PollSlot], timeout: Duration) -> io::Result<usize> {
+        self.fds.clear();
+        self.slot_index.clear();
+        let mut fallback_ready = 0usize;
+        for (i, slot) in slots.iter_mut().enumerate() {
+            slot.got_read = false;
+            slot.got_write = false;
+            slot.got_error = false;
+            match slot.fd {
+                Some(fd) => {
+                    let mut events = 0i16;
+                    if slot.want_read {
+                        events |= sys::POLLIN;
+                    }
+                    if slot.want_write {
+                        events |= sys::POLLOUT;
+                    }
+                    self.fds.push(sys::PollFd {
+                        fd,
+                        events,
+                        revents: 0,
+                    });
+                    self.slot_index.push(i);
+                }
+                None => {
+                    // No descriptor: report requested readiness and do
+                    // not let the kernel sleep past it.
+                    slot.got_read = slot.want_read;
+                    slot.got_write = slot.want_write;
+                    fallback_ready += 1;
+                }
+            }
+        }
+        let timeout_ms = if fallback_ready > 0 {
+            0
+        } else {
+            i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX)
+        };
+        if self.fds.is_empty() {
+            if fallback_ready == 0 && !timeout.is_zero() {
+                std::thread::sleep(timeout);
+            }
+            return Ok(fallback_ready);
+        }
+        match sys::poll_fds(&mut self.fds, timeout_ms) {
+            Ok(_) => {}
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => return Ok(fallback_ready),
+            Err(err) => return Err(err),
+        }
+        let mut ready = fallback_ready;
+        for (pf, &i) in self.fds.iter().zip(&self.slot_index) {
+            let slot = &mut slots[i];
+            if pf.revents & sys::POLLIN != 0 {
+                slot.got_read = true;
+            }
+            if pf.revents & sys::POLLOUT != 0 {
+                slot.got_write = true;
+            }
+            if pf.revents & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0 {
+                slot.got_error = true;
+            }
+            if slot.readable() || slot.writable() {
+                ready += 1;
+            }
+        }
+        Ok(ready)
+    }
+
+    /// Portable fallback: bounded sleep, then report every slot ready.
+    #[cfg(not(target_os = "linux"))]
+    pub fn wait(&mut self, slots: &mut [PollSlot], timeout: Duration) -> io::Result<usize> {
+        std::thread::sleep(timeout.min(Duration::from_millis(5)));
+        for slot in slots.iter_mut() {
+            slot.got_read = slot.want_read;
+            slot.got_write = slot.want_write;
+            slot.got_error = false;
+        }
+        Ok(slots.len())
+    }
+}
+
+/// A self-pipe that unblocks [`Poller::wait`] from another thread.
+///
+/// The handler pool rings it after pushing each completion so finished
+/// responses start draining immediately instead of waiting out the
+/// poll slice.
+#[cfg(unix)]
+#[derive(Debug)]
+pub struct Waker {
+    tx: std::os::unix::net::UnixStream,
+    rx: std::os::unix::net::UnixStream,
+}
+
+#[cfg(unix)]
+impl Waker {
+    /// A connected, non-blocking socketpair waker.
+    pub fn new() -> io::Result<Waker> {
+        let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// Wake the poller. A full pipe means a wake-up is already pending,
+    /// so the failed write is deliberately ignored.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// The readable end's descriptor, registered as a read slot.
+    #[must_use]
+    pub fn fd(&self) -> Option<i32> {
+        use std::os::unix::io::AsRawFd;
+        Some(self.rx.as_raw_fd())
+    }
+
+    /// Consume any pending wake-up bytes.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while let Ok(n) = (&self.rx).read(&mut buf) {
+            if n == 0 {
+                break;
+            }
+        }
+    }
+}
+
+/// Portable stand-in: the fallback poller never sleeps long, so a
+/// no-op waker only costs a bounded delay.
+#[cfg(not(unix))]
+#[derive(Debug)]
+pub struct Waker;
+
+#[cfg(not(unix))]
+impl Waker {
+    /// A no-op waker.
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker)
+    }
+
+    /// No-op: the fallback poller wakes itself every few milliseconds.
+    pub fn wake(&self) {}
+
+    /// No descriptor to register.
+    #[must_use]
+    pub fn fd(&self) -> Option<i32> {
+        None
+    }
+
+    /// No-op.
+    pub fn drain(&self) {}
 }
 
 #[cfg(test)]
@@ -508,6 +806,36 @@ mod tests {
         assert_eq!(received, b"abc", "trickle is slow, never lossy");
         assert_eq!(transport.faults_injected(), 2);
         assert!(transport.op_count() >= 3);
+    }
+
+    #[test]
+    fn poller_reports_readiness_and_waker_unblocks() {
+        let (server, mut client) = pair();
+        server.set_nonblocking(true).unwrap();
+        let conn = StdTransport.wrap(server);
+        let mut poller = Poller::new();
+
+        // Write interest on an empty send buffer is immediately ready.
+        let mut slots = [PollSlot::write(conn.raw_fd())];
+        let n = poller.wait(&mut slots, Duration::from_millis(200)).unwrap();
+        assert!(n >= 1);
+        assert!(slots[0].writable());
+
+        // Read interest becomes ready once the peer sends a byte.
+        client.write_all(b"x").unwrap();
+        let mut slots = [PollSlot::read(conn.raw_fd())];
+        let n = poller.wait(&mut slots, Duration::from_millis(500)).unwrap();
+        assert!(n >= 1);
+        assert!(slots[0].readable());
+
+        // The waker's pipe registers like any other descriptor.
+        let waker = Waker::new().unwrap();
+        waker.wake();
+        let mut slots = [PollSlot::read(waker.fd())];
+        let n = poller.wait(&mut slots, Duration::from_millis(500)).unwrap();
+        assert!(n >= 1);
+        assert!(slots[0].readable());
+        waker.drain();
     }
 
     #[test]

@@ -589,6 +589,7 @@ impl<T: Into<Json>> From<Vec<T>> for Json {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -374,6 +374,7 @@ pub fn extract_f64(pattern: &str, text: &str, name: &str) -> Option<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -175,6 +175,7 @@ pub fn parse_csv(text: &str) -> Vec<Vec<String>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

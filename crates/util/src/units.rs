@@ -136,6 +136,7 @@ pub fn secs_to_nanos(secs: f64) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -35,6 +35,12 @@ cargo clippy -p iokc-analysis -p iokc-usage -p iokc-sim --all-targets -- -D warn
 echo "==> cargo clippy -p iokc-benchmarks (unwraps are errors)"
 cargo clippy -p iokc-benchmarks --all-targets -- -D warnings -D clippy::unwrap_used
 
+# The foundation crates everything else builds on: a panic in JSON,
+# pattern matching, the knowledge model, or the trace codec surfaces in
+# every phase of the cycle at once.
+echo "==> cargo clippy -p iokc-util -p iokc-core -p iokc-darshan (unwraps are errors)"
+cargo clippy -p iokc-util -p iokc-core -p iokc-darshan --all-targets -- -D warnings -D clippy::unwrap_used
+
 # Crash-consistency: enumerate every crash point of the mixed workload
 # and verify each post-crash disk image recovers an acknowledged prefix.
 echo "==> crash-consistency suite"
@@ -54,6 +60,13 @@ cargo test -p iokc-integration --test explorerd_chaos -q
 # `cargo test`, so regressions in the bench harnesses fail fast here.
 echo "==> query-engine bench smoke"
 cargo test -p iokc-bench --bench query_engine
+
+# Loadtest smoke: the reactor holds 100 keep-alive connections, streams
+# a full listing, and answers a timed phase under a generous p99 bound —
+# catches event-loop stalls (a missed waker alone costs a 25ms slice).
+echo "==> explorerd loadtest smoke (100 conns)"
+cargo run --release -q -p iokc-bench --bin explorerd_loadtest -- \
+  --conns 100 --requests 200 --rows 2000 --p99-max-ms 250 --out - >/dev/null
 
 # Corpus analytics end to end: deterministic corpus generation through
 # the extract path, aggregation pushdown counters, outlier detection.

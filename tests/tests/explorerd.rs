@@ -278,22 +278,17 @@ fn slow_loris_is_cut_off_at_the_read_deadline() {
 }
 
 #[test]
-fn full_queue_sheds_load_with_503_retry_after() {
-    // One worker, queue of one: a third concurrent connection cannot be
-    // admitted and must be shed from the accept thread.
+fn full_server_sheds_load_with_503_retry_after() {
+    // A hard cap of two open connections: idle keep-alives no longer
+    // pin workers under the reactor, so the cap is what bounds
+    // concurrent sockets. The third connection must be shed with 503.
     let server = start_server(ServerConfig {
-        workers: 1,
-        queue: 1,
-        limits: Limits {
-            read_deadline: Duration::from_secs(30),
-            ..Limits::default()
-        },
+        max_conns: 2,
         ..ServerConfig::default()
     });
     let addr = server.local_addr();
 
-    // Two idle connections: the first occupies the worker (it waits on
-    // the read deadline), the second fills the queue.
+    // Two idle connections occupy the cap.
     let hold_a = TcpStream::connect(addr).unwrap();
     std::thread::sleep(Duration::from_millis(150));
     let hold_b = TcpStream::connect(addr).unwrap();
@@ -317,6 +312,150 @@ fn full_queue_sheds_load_with_503_retry_after() {
 
     drop(hold_a);
     drop(hold_b);
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_reaped_by_the_reactor() {
+    let server = start_server(ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // Serve one request, then let the connection idle past the timeout.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let (status, _) = read_framed(&mut stream);
+    assert_eq!(status, 200);
+    std::thread::sleep(Duration::from_millis(600));
+
+    // The reactor reaped the idle connection with a clean close: a
+    // pipelined second request gets EOF, not a response.
+    write!(stream, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut rest = Vec::new();
+    let n = stream.read_to_end(&mut rest).unwrap_or(0);
+    assert_eq!(n, 0, "reaped connection closes cleanly, no bytes: {rest:?}");
+
+    // The eviction is observable: `explorerd.recv.timeout` ticked.
+    let metrics = server.metrics().to_json().to_compact();
+    assert!(
+        metrics.contains("\"explorerd.recv.timeout\":1"),
+        "idle reap ticks recv.timeout: {metrics}"
+    );
+
+    server.shutdown();
+}
+
+/// Read one `Content-Length`-framed response off a keep-alive stream
+/// without waiting for EOF.
+fn read_framed(stream: &mut TcpStream) -> (u16, Vec<u8>) {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(split) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&raw[..split]).to_string();
+            let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+            let content_length: usize = head
+                .lines()
+                .find(|l| l.to_ascii_lowercase().starts_with("content-length:"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|v| v.trim().parse().unwrap())
+                .unwrap_or(0);
+            let mut body = raw[split + 4..].to_vec();
+            while body.len() < content_length {
+                let n = stream.read(&mut buf).unwrap();
+                assert!(n > 0, "connection closed mid-body");
+                body.extend_from_slice(&buf[..n]);
+            }
+            return (status, body);
+        }
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n > 0, "connection closed before a full head");
+        raw.extend_from_slice(&buf[..n]);
+    }
+}
+
+/// The full conditional-GET cycle: a 200 carries a strong ETag, a
+/// request presenting it gets a body-less 304, a store write bumps the
+/// generation so the same validator yields a fresh 200 with a new tag.
+#[test]
+fn etag_round_trip_revalidates_until_a_store_write() {
+    let server = start_server(ServerConfig::default());
+    let addr = server.local_addr();
+
+    let get_with = |if_none_match: Option<&str>| -> (u16, Vec<u8>, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let conditional = if_none_match
+            .map(|tag| format!("If-None-Match: {tag}\r\n"))
+            .unwrap_or_default();
+        write!(
+            stream,
+            "GET /api/runs HTTP/1.1\r\nHost: t\r\n{conditional}Connection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => raw.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        let split = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+        let head = String::from_utf8_lossy(&raw[..split]).to_string();
+        let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let etag = head
+            .lines()
+            .find(|l| l.to_ascii_lowercase().starts_with("etag:"))
+            .map(|l| l[5..].trim().to_owned())
+            .unwrap_or_default();
+        let body = raw[split + 4..].to_vec();
+        let body = if head
+            .to_ascii_lowercase()
+            .contains("transfer-encoding: chunked")
+        {
+            dechunk(&body)
+        } else {
+            body
+        };
+        (status, body, etag)
+    };
+
+    // Cold: 200 with a strong validator.
+    let (status, body, tag) = get_with(None);
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+    assert!(
+        tag.starts_with("\"g") && tag.ends_with('"'),
+        "strong etag: {tag}"
+    );
+
+    // Revalidation: 304, no body, and the counter ticks.
+    let (status, body_304, _) = get_with(Some(&tag));
+    assert_eq!(status, 304, "matching validator revalidates");
+    assert!(body_304.is_empty(), "304 carries no body");
+    assert_eq!(server.cache_stats().not_modified, 1);
+
+    // A store write bumps the generation: the old validator is stale.
+    {
+        let store = server.store();
+        let mut store = store.write().unwrap();
+        store.save_knowledge(&knowledge_for("32k", 78)).unwrap();
+    }
+    let (status, body_fresh, new_tag) = get_with(Some(&tag));
+    assert_eq!(status, 200, "stale validator re-renders");
+    assert!(body_fresh.len() > body.len(), "new run is in the listing");
+    assert_ne!(new_tag, tag, "generation bump changes the validator");
+
     server.shutdown();
 }
 
